@@ -1,0 +1,274 @@
+//! Collection of array accesses from a loop body, with their affine forms
+//! and execution context (conditional guards, enclosing inner loops).
+
+use crate::affine::{linearize, Affine};
+use crate::classify::VarClasses;
+use japonica_ir::{Expr, ForLoop, Stmt, VarId};
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    Read,
+    Write,
+}
+
+/// An inner (nested) loop enclosing an access, with its bound expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InnerLoopCtx {
+    pub var: VarId,
+    pub start: Expr,
+    pub end: Expr,
+    pub step: Expr,
+}
+
+/// One array access site inside the analyzed loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Access {
+    /// The array variable.
+    pub array: VarId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// The index expression (as written).
+    pub index: Expr,
+    /// Affine form w.r.t. the analyzed loop's induction variable, when the
+    /// index could be compressed into a linear constraint.
+    pub affine: Option<Affine>,
+    /// The access executes under an `if`/ternary guard, so whether it
+    /// happens at all is data-dependent.
+    pub conditional: bool,
+    /// Enclosing inner loops, outermost first.
+    pub inner: Vec<InnerLoopCtx>,
+}
+
+struct Collector<'a> {
+    ivar: VarId,
+    classes: &'a VarClasses,
+    out: Vec<Access>,
+    cond_depth: u32,
+    inner: Vec<InnerLoopCtx>,
+}
+
+impl Collector<'_> {
+    fn record(&mut self, array: VarId, kind: AccessKind, index: &Expr) {
+        let ivar = self.ivar;
+        let classes = self.classes;
+        let affine = linearize(index, ivar, &|v| v != ivar && classes.is_invariant(v));
+        self.out.push(Access {
+            array,
+            kind,
+            index: index.clone(),
+            affine,
+            conditional: self.cond_depth > 0,
+            inner: self.inner.clone(),
+        });
+    }
+
+    /// Record the reads performed while evaluating `e`. Guards of ternaries
+    /// are unconditional; their arms are conditional.
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Index { array, index } => {
+                self.expr(index);
+                self.record(*array, AccessKind::Read, index);
+            }
+            Expr::Ternary(c, t, f) => {
+                self.expr(c);
+                self.cond_depth += 1;
+                self.expr(t);
+                self.expr(f);
+                self.cond_depth -= 1;
+            }
+            Expr::Binary(op, a, b) if op.is_short_circuit() => {
+                self.expr(a);
+                self.cond_depth += 1;
+                self.expr(b);
+                self.cond_depth -= 1;
+            }
+            Expr::Unary(_, a) | Expr::Cast(_, a) => self.expr(a),
+            Expr::Binary(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            Expr::Intrinsic(_, args) | Expr::Call(_, args) => {
+                // Calls are treated opaquely: argument reads are recorded;
+                // callee-side accesses are the lowering's responsibility
+                // (workload kernels do not call array-mutating helpers).
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Const(_) | Expr::Var(_) | Expr::Len(_) => {}
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::DeclVar { init: Some(e), .. } => self.expr(e),
+            Stmt::DeclVar { init: None, .. } => {}
+            Stmt::NewArray { len, .. } => self.expr(len),
+            Stmt::Assign { value, .. } => self.expr(value),
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                self.expr(index);
+                self.expr(value);
+                self.record(*array, AccessKind::Write, index);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expr(cond);
+                self.cond_depth += 1;
+                for s in then_branch.iter().chain(else_branch) {
+                    self.stmt(s);
+                }
+                self.cond_depth -= 1;
+            }
+            Stmt::For(inner) => {
+                self.expr(&inner.start);
+                self.expr(&inner.end);
+                self.expr(&inner.step);
+                self.inner.push(InnerLoopCtx {
+                    var: inner.var,
+                    start: inner.start.clone(),
+                    end: inner.end.clone(),
+                    step: inner.step.clone(),
+                });
+                for s in &inner.body {
+                    self.stmt(s);
+                }
+                self.inner.pop();
+            }
+            Stmt::While { cond, body } => {
+                self.expr(cond);
+                // Whether and how often a while-body runs is data-dependent.
+                self.cond_depth += 1;
+                for s in body {
+                    self.stmt(s);
+                }
+                self.cond_depth -= 1;
+            }
+            Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => self.expr(e),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+}
+
+/// Collect every array access in the body of `l`.
+pub fn collect_accesses(l: &ForLoop, classes: &VarClasses) -> Vec<Access> {
+    let mut c = Collector {
+        ivar: l.var,
+        classes,
+        out: Vec::new(),
+        cond_depth: 0,
+        inner: Vec::new(),
+    };
+    for s in &l.body {
+        c.stmt(s);
+    }
+    c.out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_variables;
+    use japonica_frontend::compile_source;
+
+    fn accesses(src: &str) -> (Vec<Access>, japonica_ir::Program) {
+        let p = compile_source(src).unwrap();
+        let l = p.functions[0].all_loops()[0].clone();
+        let classes = classify_variables(&l);
+        (collect_accesses(&l, &classes), p)
+    }
+
+    #[test]
+    fn simple_read_write_pair() {
+        let (acc, _) = accesses(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { b[i] = a[i + 1]; }
+            }",
+        );
+        assert_eq!(acc.len(), 2);
+        assert_eq!(acc[0].kind, AccessKind::Read);
+        assert_eq!(acc[0].affine.as_ref().unwrap().konst, 1);
+        assert_eq!(acc[1].kind, AccessKind::Write);
+        assert_eq!(acc[1].affine.as_ref().unwrap().coeff, 1);
+        assert!(!acc[1].conditional);
+    }
+
+    #[test]
+    fn conditional_flag_set_under_if() {
+        let (acc, _) = accesses(
+            "static void f(int[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { if (a[i] > 0) { a[i] = 0; } }
+            }",
+        );
+        let w = acc.iter().find(|a| a.kind == AccessKind::Write).unwrap();
+        assert!(w.conditional);
+        let r = acc.iter().find(|a| a.kind == AccessKind::Read).unwrap();
+        assert!(!r.conditional);
+    }
+
+    #[test]
+    fn indirect_access_has_no_affine_form() {
+        let (acc, _) = accesses(
+            "static void f(int[] a, int[] idx, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[idx[i]] = i; }
+            }",
+        );
+        let w = acc.iter().find(|a| a.kind == AccessKind::Write).unwrap();
+        assert!(w.affine.is_none());
+    }
+
+    #[test]
+    fn inner_loop_context_recorded() {
+        let (acc, _) = accesses(
+            "static void f(double[] c, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) { c[i * n + j] = 0.0; }
+                }
+            }",
+        );
+        let w = acc.iter().find(|a| a.kind == AccessKind::Write).unwrap();
+        assert_eq!(w.inner.len(), 1);
+        // i*n is nonlinear w.r.t. i with symbolic n
+        assert!(w.affine.is_none());
+    }
+
+    #[test]
+    fn ternary_arms_are_conditional() {
+        let (acc, _) = accesses(
+            "static void f(int[] a, int[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[i] = a[i] > 0 ? a[i - 1] : 0; }
+            }",
+        );
+        let cond_reads: Vec<_> = acc
+            .iter()
+            .filter(|a| a.kind == AccessKind::Read && a.conditional)
+            .collect();
+        assert_eq!(cond_reads.len(), 1);
+        assert_eq!(cond_reads[0].affine.as_ref().unwrap().konst, -1);
+    }
+
+    #[test]
+    fn reads_in_index_expressions_recorded() {
+        let (acc, _) = accesses(
+            "static void f(int[] a, int[] idx, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[idx[i]] = 1; }
+            }",
+        );
+        // idx[i] read + a[...] write
+        assert_eq!(acc.len(), 2);
+        assert!(acc.iter().any(|a| a.kind == AccessKind::Read));
+    }
+}

@@ -1,0 +1,254 @@
+//! Linearization of index expressions: the paper's "compress the memory
+//! accesses into a linear constraint in terms of loop iteration ID".
+//!
+//! An index expression is *affine* (for our purposes) when it can be written
+//! as `coeff · i + Σ cₖ·vₖ + konst`, where `i` is the induction variable of
+//! the analyzed loop, each `vₖ` is a loop-invariant integer variable, and
+//! all multipliers are integer constants. Nonlinear or value-dependent
+//! indices (e.g. `a[b[i]]`) fail linearization and force dynamic profiling.
+
+use japonica_ir::{BinOp, Expr, UnOp, Value, VarId};
+use std::collections::BTreeMap;
+
+/// An affine form `coeff·i + Σ sym[v]·v + konst`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Affine {
+    /// Multiplier of the loop induction variable.
+    pub coeff: i64,
+    /// Loop-invariant symbolic terms with their multipliers (zero entries
+    /// are removed).
+    pub sym: BTreeMap<VarId, i64>,
+    /// Constant term.
+    pub konst: i64,
+}
+
+impl Affine {
+    /// The constant `c`.
+    pub fn constant(c: i64) -> Affine {
+        Affine {
+            konst: c,
+            ..Affine::default()
+        }
+    }
+
+    /// The bare induction variable `i`.
+    pub fn induction() -> Affine {
+        Affine {
+            coeff: 1,
+            ..Affine::default()
+        }
+    }
+
+    /// A bare invariant symbol `v`.
+    pub fn symbol(v: VarId) -> Affine {
+        let mut sym = BTreeMap::new();
+        sym.insert(v, 1);
+        Affine {
+            sym,
+            ..Affine::default()
+        }
+    }
+
+    fn normalize(mut self) -> Affine {
+        self.sym.retain(|_, c| *c != 0);
+        self
+    }
+
+    fn add(mut self, other: &Affine) -> Affine {
+        self.coeff += other.coeff;
+        self.konst += other.konst;
+        for (&v, &c) in &other.sym {
+            *self.sym.entry(v).or_insert(0) += c;
+        }
+        self.normalize()
+    }
+
+    fn neg(mut self) -> Affine {
+        self.coeff = -self.coeff;
+        self.konst = -self.konst;
+        for c in self.sym.values_mut() {
+            *c = -*c;
+        }
+        self
+    }
+
+    fn scale(mut self, k: i64) -> Affine {
+        self.coeff *= k;
+        self.konst *= k;
+        for c in self.sym.values_mut() {
+            *c *= k;
+        }
+        self.normalize()
+    }
+
+    /// Is the form a pure constant (no induction, no symbols)?
+    pub fn is_constant(&self) -> bool {
+        self.coeff == 0 && self.sym.is_empty()
+    }
+
+    /// Does the form depend on the induction variable at all?
+    pub fn uses_induction(&self) -> bool {
+        self.coeff != 0
+    }
+
+    /// Symbolic difference `self - other`; `None` components never occur —
+    /// the difference is always representable.
+    pub fn diff(&self, other: &Affine) -> Affine {
+        self.clone().add(&other.clone().neg())
+    }
+
+    /// Do `self` and `other` have identical symbolic (non-induction,
+    /// non-constant) parts? When true, their difference is
+    /// `(coeff₁-coeff₂)·i + (konst₁-konst₂)` and the classic SIV/GCD
+    /// machinery applies.
+    pub fn same_symbols(&self, other: &Affine) -> bool {
+        self.sym == other.sym
+    }
+}
+
+/// Try to linearize `expr` with respect to induction variable `ivar`.
+/// `is_invariant` reports whether a variable is loop-invariant (not written
+/// anywhere in the loop body).
+pub fn linearize(
+    expr: &Expr,
+    ivar: VarId,
+    is_invariant: &dyn Fn(VarId) -> bool,
+) -> Option<Affine> {
+    match expr {
+        Expr::Const(Value::Int(v)) => Some(Affine::constant(*v as i64)),
+        Expr::Const(Value::Long(v)) => Some(Affine::constant(*v)),
+        Expr::Const(_) => None,
+        Expr::Var(v) if *v == ivar => Some(Affine::induction()),
+        Expr::Var(v) if is_invariant(*v) => Some(Affine::symbol(*v)),
+        Expr::Var(_) => None,
+        Expr::Unary(UnOp::Neg, a) => Some(linearize(a, ivar, is_invariant)?.neg()),
+        Expr::Unary(_, _) => None,
+        Expr::Cast(t, a) if t.is_integral() => linearize(a, ivar, is_invariant),
+        Expr::Cast(_, _) => None,
+        Expr::Binary(BinOp::Add, a, b) => {
+            let fa = linearize(a, ivar, is_invariant)?;
+            let fb = linearize(b, ivar, is_invariant)?;
+            Some(fa.add(&fb))
+        }
+        Expr::Binary(BinOp::Sub, a, b) => {
+            let fa = linearize(a, ivar, is_invariant)?;
+            let fb = linearize(b, ivar, is_invariant)?;
+            Some(fa.add(&fb.neg()))
+        }
+        Expr::Binary(BinOp::Mul, a, b) => {
+            let fa = linearize(a, ivar, is_invariant)?;
+            let fb = linearize(b, ivar, is_invariant)?;
+            // One side must be a pure constant to stay linear with integer
+            // multipliers. (`n * i` with symbolic `n` is linear in `i` but
+            // its coefficient is unknown, so the static tests cannot use it.)
+            if fa.is_constant() {
+                Some(fb.scale(fa.konst))
+            } else if fb.is_constant() {
+                Some(fa.scale(fb.konst))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_ir::Expr;
+
+    const I: VarId = VarId(0);
+    const N: VarId = VarId(1);
+    const J: VarId = VarId(2); // non-invariant
+
+    fn lin(e: &Expr) -> Option<Affine> {
+        linearize(e, I, &|v| v == N)
+    }
+
+    #[test]
+    fn plain_induction() {
+        let a = lin(&Expr::var(I)).unwrap();
+        assert_eq!(a, Affine::induction());
+        assert!(a.uses_induction());
+    }
+
+    #[test]
+    fn scaled_and_shifted() {
+        // 4*i + 3
+        let e = Expr::int(4).mul(Expr::var(I)).add(Expr::int(3));
+        let a = lin(&e).unwrap();
+        assert_eq!(a.coeff, 4);
+        assert_eq!(a.konst, 3);
+        assert!(a.sym.is_empty());
+    }
+
+    #[test]
+    fn symbolic_offset() {
+        // i*n + 2 -> fails (i*n nonlinear); i + n*2 -> ok
+        let bad = Expr::var(I).mul(Expr::var(N));
+        assert!(lin(&bad).is_none());
+        let ok = Expr::var(I).add(Expr::var(N).mul(Expr::int(2)));
+        let a = lin(&ok).unwrap();
+        assert_eq!(a.coeff, 1);
+        assert_eq!(a.sym.get(&N), Some(&2));
+    }
+
+    #[test]
+    fn non_invariant_var_fails() {
+        assert!(lin(&Expr::var(J)).is_none());
+    }
+
+    #[test]
+    fn subtraction_and_negation() {
+        // -(i - 5) = -i + 5
+        let e = Expr::Unary(
+            UnOp::Neg,
+            Box::new(Expr::var(I).sub(Expr::int(5))),
+        );
+        let a = lin(&e).unwrap();
+        assert_eq!(a.coeff, -1);
+        assert_eq!(a.konst, 5);
+    }
+
+    #[test]
+    fn diff_and_same_symbols() {
+        // (2i + n + 3) - (2i + n) = 3
+        let e1 = Expr::int(2)
+            .mul(Expr::var(I))
+            .add(Expr::var(N))
+            .add(Expr::int(3));
+        let e2 = Expr::int(2).mul(Expr::var(I)).add(Expr::var(N));
+        let a1 = lin(&e1).unwrap();
+        let a2 = lin(&e2).unwrap();
+        assert!(a1.same_symbols(&a2));
+        let d = a1.diff(&a2);
+        assert!(d.is_constant());
+        assert_eq!(d.konst, 3);
+    }
+
+    #[test]
+    fn symbol_cancellation_normalizes() {
+        // (i + n) - n = i
+        let e1 = Expr::var(I).add(Expr::var(N));
+        let a1 = lin(&e1).unwrap();
+        let d = a1.diff(&Affine::symbol(N));
+        assert_eq!(d, Affine::induction());
+    }
+
+    #[test]
+    fn nonlinear_forms_rejected() {
+        // i*i
+        assert!(lin(&Expr::var(I).mul(Expr::var(I))).is_none());
+        // i / 2 (division not affine-safe)
+        assert!(lin(&Expr::var(I).div(Expr::int(2))).is_none());
+    }
+
+    #[test]
+    fn cast_transparency() {
+        let e = Expr::Cast(japonica_ir::Ty::Int, Box::new(Expr::var(I)));
+        assert_eq!(lin(&e).unwrap(), Affine::induction());
+        let f = Expr::Cast(japonica_ir::Ty::Double, Box::new(Expr::var(I)));
+        assert!(lin(&f).is_none());
+    }
+}

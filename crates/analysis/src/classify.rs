@@ -1,0 +1,308 @@
+//! Variable classification for annotated loops (paper §III-A).
+//!
+//! Along the loop-body traversal each referenced variable is classified as
+//! one of:
+//!
+//! * **temp** — declared inside the loop body, invisible outside;
+//! * **live-in** — declared outside the loop and read by the loop;
+//! * **live-out** — declared outside the loop and *updated* by the loop
+//!   (a variable can be both live-in and live-out).
+//!
+//! Classification drives two things: the automatic generation of
+//! host↔device data-movement calls when the user gave no explicit
+//! `copyin`/`copyout` clauses (paper §III-B), and the conflict-pair
+//! enumeration of the dependence tests (live-out × live-out for WAW,
+//! live-out × live-in for RAW/WAR).
+
+use japonica_ir::{Expr, ForLoop, Stmt, VarId};
+use std::collections::BTreeMap;
+
+/// Per-variable usage facts gathered from a loop body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VarUse {
+    /// Variable is read as a scalar (or used as an array base for loads).
+    pub read: bool,
+    /// Variable is written (scalar assignment or element store).
+    pub written: bool,
+    /// Variable is used as an array base.
+    pub is_array: bool,
+    /// Variable is declared inside the loop body.
+    pub declared_inside: bool,
+}
+
+/// The classification result.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VarClasses {
+    /// Outer variables the loop reads.
+    pub live_in: Vec<VarId>,
+    /// Outer variables the loop updates.
+    pub live_out: Vec<VarId>,
+    /// Variables declared inside the loop body.
+    pub temp: Vec<VarId>,
+    /// Raw usage facts for every referenced variable (excluding the
+    /// induction variable).
+    pub uses: BTreeMap<VarId, VarUse>,
+}
+
+impl VarClasses {
+    /// Is `v` loop-invariant (an outer variable that is never written)?
+    pub fn is_invariant(&self, v: VarId) -> bool {
+        match self.uses.get(&v) {
+            Some(u) => !u.written && !u.declared_inside,
+            // Unreferenced variables are trivially invariant.
+            None => true,
+        }
+    }
+
+    /// Outer arrays the loop reads (candidates for automatic `copyin`).
+    pub fn arrays_in(&self) -> Vec<VarId> {
+        self.live_in
+            .iter()
+            .copied()
+            .filter(|v| self.uses[v].is_array)
+            .collect()
+    }
+
+    /// Outer arrays the loop writes (candidates for automatic `copyout`).
+    pub fn arrays_out(&self) -> Vec<VarId> {
+        self.live_out
+            .iter()
+            .copied()
+            .filter(|v| self.uses[v].is_array)
+            .collect()
+    }
+
+    /// Outer *scalars* the loop writes — each one is a loop-carried hazard
+    /// unless privatized.
+    pub fn scalar_live_out(&self) -> Vec<VarId> {
+        self.live_out
+            .iter()
+            .copied()
+            .filter(|v| !self.uses[v].is_array)
+            .collect()
+    }
+}
+
+/// Classify every variable referenced by the body of `l`.
+pub fn classify_variables(l: &ForLoop) -> VarClasses {
+    let mut uses: BTreeMap<VarId, VarUse> = BTreeMap::new();
+    let mut order: Vec<VarId> = Vec::new();
+    fn touch<'m>(
+        uses: &'m mut BTreeMap<VarId, VarUse>,
+        order: &mut Vec<VarId>,
+        v: VarId,
+    ) -> &'m mut VarUse {
+        if !uses.contains_key(&v) {
+            order.push(v);
+        }
+        uses.entry(v).or_default()
+    }
+
+    for s in &l.body {
+        s.walk(&mut |s| match s {
+            Stmt::DeclVar { var, .. } | Stmt::NewArray { var, .. } => {
+                let u = touch(&mut uses, &mut order, *var);
+                u.declared_inside = true;
+                u.written = true;
+            }
+            Stmt::Assign { var, .. } => {
+                touch(&mut uses, &mut order, *var).written = true;
+            }
+            Stmt::Store { array, .. } => {
+                let u = touch(&mut uses, &mut order, *array);
+                u.written = true;
+                u.is_array = true;
+            }
+            Stmt::For(inner) => {
+                // Inner induction variables are temps of the outer loop.
+                let u = touch(&mut uses, &mut order, inner.var);
+                u.declared_inside = true;
+                u.written = true;
+            }
+            _ => {}
+        });
+        s.walk_exprs(&mut |e| match e {
+            Expr::Var(v) => {
+                touch(&mut uses, &mut order, *v).read = true;
+            }
+            Expr::Index { array, .. } => {
+                let u = touch(&mut uses, &mut order, *array);
+                u.read = true;
+                u.is_array = true;
+            }
+            Expr::Len(v) => {
+                let u = touch(&mut uses, &mut order, *v);
+                u.read = true;
+                u.is_array = true;
+            }
+            _ => {}
+        });
+    }
+
+    // Bound expressions are evaluated once on loop entry: pure reads.
+    for e in [&l.start, &l.end, &l.step] {
+        e.walk(&mut |e| match e {
+            Expr::Var(v) => {
+                touch(&mut uses, &mut order, *v).read = true;
+            }
+            Expr::Index { array, .. } | Expr::Len(array) => {
+                let u = touch(&mut uses, &mut order, *array);
+                u.read = true;
+                u.is_array = true;
+            }
+            _ => {}
+        });
+    }
+
+    uses.remove(&l.var);
+    order.retain(|v| *v != l.var);
+
+    let mut classes = VarClasses::default();
+    for v in order {
+        let u = uses[&v];
+        if u.declared_inside {
+            classes.temp.push(v);
+        } else {
+            if u.read {
+                classes.live_in.push(v);
+            }
+            if u.written {
+                classes.live_out.push(v);
+            }
+        }
+    }
+    classes.uses = uses;
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_frontend::compile_source;
+
+    fn first_loop(src: &str) -> (japonica_ir::Program, japonica_ir::LoopId) {
+        let p = compile_source(src).unwrap();
+        let lid = p.functions[0]
+            .all_loops()
+            .first()
+            .map(|l| l.id)
+            .expect("function has a loop");
+        (p, lid)
+    }
+
+    fn classes_of(src: &str) -> (VarClasses, japonica_ir::Program) {
+        let (p, lid) = first_loop(src);
+        let (_, _, l) = p.find_loop(lid).unwrap();
+        (classify_variables(l), p.clone())
+    }
+
+    fn names(p: &japonica_ir::Program, vs: &[VarId]) -> Vec<String> {
+        vs.iter().map(|v| p.functions[0].var_name(*v)).collect()
+    }
+
+    #[test]
+    fn vector_add_classification() {
+        let (c, p) = classes_of(
+            r#"static void add(double[] a, double[] b, double[] c, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { c[i] = a[i] + b[i]; }
+            }"#,
+        );
+        assert_eq!(names(&p, &c.live_in), vec!["a", "b", "n"]);
+        assert_eq!(names(&p, &c.live_out), vec!["c"]);
+        assert!(c.temp.is_empty());
+    }
+
+    #[test]
+    fn temp_declared_inside() {
+        let (c, p) = classes_of(
+            r#"static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { double t = a[i]; a[i] = t * 2.0; }
+            }"#,
+        );
+        assert_eq!(names(&p, &c.temp), vec!["t"]);
+        // `a` is both read and updated
+        assert!(c.live_in.iter().any(|v| p.functions[0].var_name(*v) == "a"));
+        assert!(c.live_out.iter().any(|v| p.functions[0].var_name(*v) == "a"));
+    }
+
+    #[test]
+    fn scalar_accumulator_is_live_out() {
+        let (c, p) = classes_of(
+            r#"static double f(double[] a, int n) {
+                double s = 0.0;
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { s = s + a[i]; }
+                return s;
+            }"#,
+        );
+        assert_eq!(names(&p, &c.scalar_live_out()), vec!["s"]);
+        assert!(!c.is_invariant(c.scalar_live_out()[0]));
+    }
+
+    #[test]
+    fn induction_var_excluded() {
+        let (c, _) = classes_of(
+            r#"static void f(int[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i] = i; }
+            }"#,
+        );
+        // only a and n appear
+        assert_eq!(c.uses.len(), 2);
+    }
+
+    #[test]
+    fn inner_loop_var_is_temp() {
+        let (c, p) = classes_of(
+            r#"static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) { a[i * n + j] = 0.0; }
+                }
+            }"#,
+        );
+        assert!(names(&p, &c.temp).contains(&"j".to_string()));
+    }
+
+    #[test]
+    fn invariant_scalars_detected() {
+        let (c, p) = classes_of(
+            r#"static void f(double[] a, double alpha, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i] = alpha * a[i]; }
+            }"#,
+        );
+        let alpha = c
+            .live_in
+            .iter()
+            .copied()
+            .find(|v| p.functions[0].var_name(*v) == "alpha")
+            .unwrap();
+        assert!(c.is_invariant(alpha));
+    }
+
+    #[test]
+    fn arrays_in_out_helpers() {
+        let (c, p) = classes_of(
+            r#"static void f(double[] x, double[] y, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { y[i] = x[i]; }
+            }"#,
+        );
+        assert_eq!(names(&p, &c.arrays_in()), vec!["x"]);
+        assert_eq!(names(&p, &c.arrays_out()), vec!["y"]);
+    }
+
+    #[test]
+    fn first_loop_helper_uses_annotations() {
+        // classification also works for un-annotated loops
+        let (p, lid) = first_loop(
+            "static void f(int[] a, int n) { for (int i = 0; i < n; i++) { a[i] = 1; } }",
+        );
+        let (_, _, l) = p.find_loop(lid).unwrap();
+        let c = classify_variables(l);
+        assert_eq!(c.live_out.len(), 1);
+    }
+}

@@ -1,0 +1,662 @@
+//! Pairwise dependence testing and per-loop determination (paper §III-A).
+//!
+//! Following the paper's rules: (1) accesses are compressed into linear
+//! constraints of the iteration ID where possible; (2) all pairs of live-out
+//! (written) accesses are examined for write-after-write conflicts; (3) all
+//! live-out × live-in pairs are examined for read-write conflicts; (4) every
+//! pair the static tests cannot decide is deferred to the dynamic profiler
+//! (the loop comes out [`Determination::Uncertain`]).
+//!
+//! The deciders are the classic ZIV / strong-SIV / weak-zero-SIV / GCD
+//! tests, plus a *disjoint-rows* pattern test that proves independence of
+//! flattened 2-D accesses like `c[i*n + j]` with `j ∈ [0, n)` — the shape
+//! every dense-linear-algebra benchmark in the paper's Table II uses.
+
+use crate::access::{collect_accesses, Access, AccessKind};
+use crate::affine::{linearize, Affine};
+use crate::classify::{classify_variables, VarClasses};
+use japonica_ir::{Expr, ForLoop, LoopAnnotation, LoopId, Program, Value, VarId};
+use std::collections::BTreeMap;
+
+/// Kind of a loop-carried dependence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Read-after-write (true dependence, TD).
+    True,
+    /// Write-after-read (anti dependence — a false dependence, FD).
+    Anti,
+    /// Write-after-write (output dependence — a false dependence, FD).
+    Output,
+}
+
+impl DepKind {
+    /// Is this a true dependence?
+    pub fn is_true(self) -> bool {
+        self == DepKind::True
+    }
+}
+
+/// Summary of the dependences proven by static analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DepSummary {
+    /// A loop-carried true dependence was proven.
+    pub true_dep: bool,
+    /// A loop-carried false (anti/output) dependence was proven.
+    pub false_dep: bool,
+    /// Smallest proven true-dependence distance, in iterations.
+    pub min_true_distance: Option<u64>,
+    /// Human-readable explanations, one per proven dependence.
+    pub notes: Vec<String>,
+}
+
+impl DepSummary {
+    fn add(&mut self, kind: DepKind, distance: Option<u64>, note: String) {
+        match kind {
+            DepKind::True => {
+                self.true_dep = true;
+                if let Some(d) = distance {
+                    self.min_true_distance = Some(match self.min_true_distance {
+                        Some(m) => m.min(d),
+                        None => d,
+                    });
+                }
+            }
+            DepKind::Anti | DepKind::Output => self.false_dep = true,
+        }
+        self.notes.push(note);
+    }
+}
+
+/// The static verdict for one annotated loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Determination {
+    /// Provably free of loop-carried dependences: safe for mode A.
+    Doall,
+    /// Provably carries dependences (the summary says which kinds).
+    Deterministic(DepSummary),
+    /// At least one access pair could not be decided; dynamic profiling on
+    /// the GPU is required. `partial` holds whatever *was* proven.
+    Uncertain {
+        reasons: Vec<String>,
+        partial: DepSummary,
+    },
+}
+
+impl Determination {
+    /// Is this loop statically proven DOALL?
+    pub fn is_doall(&self) -> bool {
+        matches!(self, Determination::Doall)
+    }
+
+    /// Does the loop need dynamic profiling?
+    pub fn needs_profiling(&self) -> bool {
+        matches!(self, Determination::Uncertain { .. })
+    }
+}
+
+/// Full static-analysis result for one loop.
+#[derive(Debug, Clone)]
+pub struct LoopAnalysis {
+    pub loop_id: LoopId,
+    pub classes: VarClasses,
+    pub accesses: Vec<Access>,
+    pub determination: Determination,
+}
+
+/// Analyze one canonical loop.
+pub fn analyze_loop(l: &ForLoop) -> LoopAnalysis {
+    let classes = classify_variables(l);
+    let accesses = collect_accesses(l, &classes);
+    let empty = LoopAnnotation::default();
+    let annot = l.annot.as_ref().unwrap_or(&empty);
+
+    let mut summary = DepSummary::default();
+    let mut reasons: Vec<String> = Vec::new();
+
+    // --- scalar hazards (paper: live-out scalars) ---
+    for v in classes.scalar_live_out() {
+        if annot.private.contains(&v) {
+            continue; // privatized by clause
+        }
+        let u = classes.uses[&v];
+        if u.read {
+            summary.add(
+                DepKind::True,
+                Some(1),
+                format!("scalar {v} is read and updated across iterations"),
+            );
+        } else {
+            summary.add(
+                DepKind::Output,
+                Some(1),
+                format!("scalar {v} is overwritten by every iteration"),
+            );
+        }
+    }
+
+    // --- array conflict pairs: write×write (WAW rule 2) and
+    //     write×read (RAW/WAR rule 3) ---
+    let writes: Vec<&Access> = accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Write)
+        .collect();
+    let reads: Vec<&Access> = accesses
+        .iter()
+        .filter(|a| a.kind == AccessKind::Read)
+        .collect();
+
+    for (wi, w) in writes.iter().enumerate() {
+        // write × write, including the self pair
+        for w2 in &writes[wi..] {
+            if w.array != w2.array {
+                continue;
+            }
+            match pair_test(w, w2, true) {
+                PairResult::NoDep => {}
+                PairResult::Dep { kind, distance } => summary.add(
+                    kind,
+                    distance,
+                    format!("WAW conflict on {}", w.array),
+                ),
+                PairResult::Unknown(why) => {
+                    reasons.push(format!("unresolved WAW pair on {}: {why}", w.array))
+                }
+            }
+        }
+        // write × read
+        for r in &reads {
+            if w.array != r.array {
+                continue;
+            }
+            match pair_test(w, r, false) {
+                PairResult::NoDep => {}
+                PairResult::Dep { kind, distance } => summary.add(
+                    kind,
+                    distance,
+                    format!("{} conflict on {}", if kind.is_true() { "RAW" } else { "WAR" }, w.array),
+                ),
+                PairResult::Unknown(why) => {
+                    reasons.push(format!("unresolved RW pair on {}: {why}", w.array))
+                }
+            }
+        }
+    }
+
+    let determination = if summary.true_dep {
+        // A proven TD dominates: no profiling can remove it.
+        Determination::Deterministic(summary)
+    } else if !reasons.is_empty() {
+        Determination::Uncertain {
+            reasons,
+            partial: summary,
+        }
+    } else if summary.false_dep {
+        Determination::Deterministic(summary)
+    } else {
+        Determination::Doall
+    };
+
+    LoopAnalysis {
+        loop_id: l.id,
+        classes,
+        accesses,
+        determination,
+    }
+}
+
+/// Analyze every *annotated* loop in a program, keyed by loop id.
+pub fn analyze_program(p: &Program) -> BTreeMap<LoopId, LoopAnalysis> {
+    let mut out = BTreeMap::new();
+    for f in &p.functions {
+        for l in f.all_loops() {
+            if l.is_annotated() {
+                out.insert(l.id, analyze_loop(l));
+            }
+        }
+    }
+    out
+}
+
+enum PairResult {
+    NoDep,
+    Dep { kind: DepKind, distance: Option<u64> },
+    Unknown(String),
+}
+
+/// Decide the (write `a`, other `b`) pair. `both_writes` selects WAW
+/// classification; otherwise `b` is a read and the distance sign picks
+/// RAW vs WAR.
+fn pair_test(a: &Access, b: &Access, both_writes: bool) -> PairResult {
+    let structural = match (&a.affine, &b.affine) {
+        (Some(fa), Some(fb)) if fa.same_symbols(fb) => affine_pair(fa, fb, both_writes),
+        (Some(_), Some(_)) => {
+            // Symbolic parts differ (e.g. a[i+n] vs a[i+m]); fall back to
+            // the row-disjointness pattern, else unknown.
+            row_disjoint_pair(a, b)
+        }
+        _ => row_disjoint_pair(a, b),
+    };
+    match structural {
+        PairResult::Dep { kind, distance } if a.conditional || b.conditional => {
+            // A dependence that only happens when a guard fires is not a
+            // *deterministic* dependence: hand it to the profiler.
+            let _ = (kind, distance);
+            PairResult::Unknown("conflicting access is guarded by a condition".into())
+        }
+        other => other,
+    }
+}
+
+fn affine_pair(fa: &Affine, fb: &Affine, both_writes: bool) -> PairResult {
+    let dk = fa.konst - fb.konst;
+    if fa.coeff == fb.coeff {
+        if fa.coeff == 0 {
+            // ZIV: both touch one fixed location.
+            return if dk == 0 {
+                PairResult::Dep {
+                    kind: if both_writes { DepKind::Output } else { DepKind::True },
+                    distance: Some(1),
+                }
+            } else {
+                PairResult::NoDep
+            };
+        }
+        // Strong SIV.
+        if dk == 0 {
+            return PairResult::NoDep; // same-iteration only
+        }
+        if dk % fa.coeff != 0 {
+            return PairResult::NoDep;
+        }
+        // b at iteration i2 touches what a (the write) touched at
+        // i1 = i2 + dk/coeff ... solve a.coeff*i1 + ka = b.coeff*i2 + kb
+        // => i2 = i1 + dk/coeff.
+        let dist = dk / fa.coeff;
+        let kind = if both_writes {
+            DepKind::Output
+        } else if dist > 0 {
+            DepKind::True // write first, read dist iterations later
+        } else {
+            DepKind::Anti
+        };
+        return PairResult::Dep {
+            kind,
+            distance: Some(dist.unsigned_abs()),
+        };
+    }
+    // Weak-zero SIV: one side is a fixed location.
+    if fa.coeff == 0 || fb.coeff == 0 {
+        let (moving, fixed) = if fa.coeff == 0 { (fb, fa) } else { (fa, fb) };
+        let d = fixed.konst - moving.konst;
+        return if d % moving.coeff == 0 {
+            PairResult::Dep {
+                kind: if both_writes { DepKind::Output } else { DepKind::True },
+                distance: None,
+            }
+        } else {
+            PairResult::NoDep
+        };
+    }
+    // General GCD test.
+    let g = gcd(fa.coeff.unsigned_abs(), fb.coeff.unsigned_abs());
+    if g != 0 && !dk.unsigned_abs().is_multiple_of(g) {
+        return PairResult::NoDep;
+    }
+    PairResult::Unknown("GCD test cannot disprove the conflict".into())
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Row stride of a flattened 2-D access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Stride {
+    Const(i64),
+    Sym(VarId),
+}
+
+/// Try to prove the pair independent via the disjoint-rows pattern: both
+/// accesses have the shape `i·S + r` with the *same* stride `S` and a row
+/// offset `r` provably within `[0, S)`, so different iterations touch
+/// disjoint index ranges.
+fn row_disjoint_pair(a: &Access, b: &Access) -> PairResult {
+    match (row_form(a), row_form(b)) {
+        (Some(sa), Some(sb)) if sa == sb => PairResult::NoDep,
+        _ => PairResult::Unknown("index not expressible as a linear constraint".into()),
+    }
+}
+
+/// Match `index = ivar·S + r` (any operand order) where `r` stays in
+/// `[0, S)`; returns the stride on success.
+fn row_form(acc: &Access) -> Option<Stride> {
+    // An affine access with coeff 0 and no use of the induction var cannot
+    // be handled here.
+    let (i_term, rest) = split_add(&acc.index)?;
+    let stride = match_i_times_s(i_term, acc)?;
+    rest_in_range(rest, &stride, acc)?;
+    Some(stride)
+}
+
+/// Split `x + y` so that exactly one side contains a `Mul` with some
+/// variable — returns (mul-side, other-side).
+fn split_add(e: &Expr) -> Option<(&Expr, &Expr)> {
+    if let Expr::Binary(japonica_ir::BinOp::Add, l, r) = e {
+        if matches!(**l, Expr::Binary(japonica_ir::BinOp::Mul, _, _)) {
+            return Some((l, r));
+        }
+        if matches!(**r, Expr::Binary(japonica_ir::BinOp::Mul, _, _)) {
+            return Some((r, l));
+        }
+    }
+    None
+}
+
+/// Match `ivar * S` or `S * ivar` with `S` a constant or loop-invariant var.
+fn match_i_times_s(e: &Expr, acc: &Access) -> Option<Stride> {
+    // The analyzed loop's induction var is the only var that linearizes to
+    // a pure induction form. We detect it syntactically via the Access's
+    // stored context: the ivar is whichever Var the affine analysis treats
+    // as induction — recover it from the expression itself.
+    if let Expr::Binary(japonica_ir::BinOp::Mul, l, r) = e {
+        for (x, y) in [(l, r), (r, l)] {
+            if let Expr::Var(v) = **x {
+                // v must be the outer induction variable: it cannot be an
+                // inner loop var and cannot be invariant.
+                let is_inner = acc.inner.iter().any(|il| il.var == v);
+                if is_inner {
+                    continue;
+                }
+                match **y {
+                    Expr::Const(Value::Int(c)) if c > 0 => return Some(Stride::Const(c as i64)),
+                    Expr::Var(s) if s != v
+                        // stride symbol must be invariant: not an inner var
+                        && !acc.inner.iter().any(|il| il.var == s) => {
+                            return Some(Stride::Sym(s));
+                        }
+                    _ => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Prove `rest ∈ [0, stride)`.
+fn rest_in_range(rest: &Expr, stride: &Stride, acc: &Access) -> Option<()> {
+    // Identify which inner loop variable `rest` uses: linearize w.r.t. each
+    // enclosing inner loop in turn.
+    for il in &acc.inner {
+        let inner_var = il.var;
+        let others_invariant = |v: VarId| v != inner_var && !acc.inner.iter().any(|x| x.var == v);
+        if let Some(f) = linearize(rest, inner_var, &others_invariant) {
+            if f.coeff == 1 && f.sym.is_empty() {
+                // rest = j + konst with j ∈ [start, end) step `step`.
+                let start_zero = matches!(il.start, Expr::Const(Value::Int(0)));
+                let step_one = matches!(il.step, Expr::Const(Value::Int(1)));
+                if !start_zero || !step_one {
+                    continue;
+                }
+                match stride {
+                    Stride::Sym(s) => {
+                        // end must be exactly the stride symbol and the
+                        // offset 0, so j+0 ∈ [0, S).
+                        if matches!(il.end, Expr::Var(e) if e == *s) && f.konst == 0 {
+                            return Some(());
+                        }
+                    }
+                    Stride::Const(sc) => {
+                        if let Expr::Const(Value::Int(end)) = il.end {
+                            let lo = f.konst;
+                            let hi = (end as i64 - 1) + f.konst;
+                            if lo >= 0 && hi < *sc {
+                                return Some(());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Constant rest: 0 <= c < stride (const strides only).
+    let no_inner = |v: VarId| !acc.inner.iter().any(|x| x.var == v);
+    if acc.inner.is_empty() || rest_uses_no_inner(rest, acc) {
+        if let Some(f) = linearize(rest, VarId(u32::MAX), &no_inner) {
+            if f.is_constant() {
+                if let Stride::Const(sc) = stride {
+                    if f.konst >= 0 && f.konst < *sc {
+                        return Some(());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn rest_uses_no_inner(rest: &Expr, acc: &Access) -> bool {
+    !acc.inner.iter().any(|il| rest.uses_var(il.var))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_frontend::compile_source;
+
+    fn det(src: &str) -> Determination {
+        let p = compile_source(src).unwrap();
+        let l = p.functions[0]
+            .all_loops()
+            .into_iter()
+            .find(|l| l.is_annotated())
+            .expect("annotated loop")
+            .clone();
+        analyze_loop(&l).determination
+    }
+
+    #[test]
+    fn vector_add_is_doall() {
+        let d = det(
+            "static void f(double[] a, double[] b, double[] c, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { c[i] = a[i] + b[i]; }
+            }",
+        );
+        assert!(d.is_doall(), "{d:?}");
+    }
+
+    #[test]
+    fn gemm_outer_loop_is_doall_via_disjoint_rows() {
+        let d = det(
+            "static void gemm(double[] a, double[] b, double[] c, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < n; j++) {
+                        double s = 0.0;
+                        for (int k = 0; k < n; k++) { s += a[i * n + k] * b[k * n + j]; }
+                        c[i * n + j] = s;
+                    }
+                }
+            }",
+        );
+        assert!(d.is_doall(), "{d:?}");
+    }
+
+    #[test]
+    fn gauss_seidel_has_deterministic_true_dep() {
+        let d = det(
+            "static void gs(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 1; i < n - 1; i++) { a[i] = (a[i - 1] + a[i + 1]) * 0.5; }
+            }",
+        );
+        match d {
+            Determination::Deterministic(s) => {
+                assert!(s.true_dep);
+                assert_eq!(s.min_true_distance, Some(1));
+                assert!(s.false_dep); // a[i+1] read is also WAR
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_accumulator_forces_deterministic_td() {
+        let d = det(
+            "static double f(double[] a, int n) {
+                double s = 0.0;
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        assert!(matches!(d, Determination::Deterministic(ref s) if s.true_dep));
+    }
+
+    #[test]
+    fn privatized_scalar_is_not_a_hazard() {
+        let d = det(
+            "static void f(double[] a, double[] b, int n) {
+                double t = 0.0;
+                /* acc parallel private(t) */
+                for (int i = 0; i < n; i++) { t = a[i] * 2.0; b[i] = t; }
+            }",
+        );
+        assert!(d.is_doall(), "{d:?}");
+    }
+
+    #[test]
+    fn indirect_write_is_uncertain() {
+        let d = det(
+            "static void f(int[] a, int[] idx, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[idx[i]] = i; }
+            }",
+        );
+        assert!(d.needs_profiling(), "{d:?}");
+    }
+
+    #[test]
+    fn conditional_dependence_is_uncertain() {
+        let d = det(
+            "static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 1; i < n; i++) { if (a[i] > 0.0) { a[i] = a[i - 1]; } }
+            }",
+        );
+        assert!(d.needs_profiling(), "{d:?}");
+    }
+
+    #[test]
+    fn strided_writes_without_overlap_are_doall() {
+        // writes to 2i, reads from 2i+1: never conflict (GCD/SIV)
+        let d = det(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[2 * i] = a[2 * i + 1]; }
+            }",
+        );
+        assert!(d.is_doall(), "{d:?}");
+    }
+
+    #[test]
+    fn offset_write_creates_true_dep_with_distance() {
+        // a[i+2] written, a[i] read: read at i sees write from i-2.
+        let d = det(
+            "static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n - 2; i++) { a[i + 2] = a[i]; }
+            }",
+        );
+        match d {
+            Determination::Deterministic(s) => {
+                assert!(s.true_dep);
+                assert_eq!(s.min_true_distance, Some(2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_cell_write_is_output_dep_only() {
+        let d = det(
+            "static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[0] = 1.0; }
+            }",
+        );
+        match d {
+            Determination::Deterministic(s) => {
+                assert!(!s.true_dep);
+                assert!(s.false_dep);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn modulo_index_is_uncertain() {
+        let d = det(
+            "static void f(double[] t, double[] o, int n, int b) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { t[i % b] = 1.0; o[i] = t[i % b]; }
+            }",
+        );
+        assert!(d.needs_profiling(), "{d:?}");
+    }
+
+    #[test]
+    fn const_stride_rows_are_disjoint() {
+        let d = det(
+            "static void f(double[] c) {
+                /* acc parallel */
+                for (int i = 0; i < 64; i++) {
+                    for (int j = 0; j < 8; j++) { c[i * 8 + j] = 1.0; }
+                }
+            }",
+        );
+        assert!(d.is_doall(), "{d:?}");
+    }
+
+    #[test]
+    fn const_stride_row_overflow_is_not_proven() {
+        // inner j runs to 9 > stride 8: rows overlap
+        let d = det(
+            "static void f(double[] c) {
+                /* acc parallel */
+                for (int i = 0; i < 64; i++) {
+                    for (int j = 0; j < 9; j++) { c[i * 8 + j] = 1.0; }
+                }
+            }",
+        );
+        assert!(d.needs_profiling(), "{d:?}");
+    }
+
+    #[test]
+    fn analyze_program_covers_all_annotated_loops() {
+        let p = compile_source(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { a[i] = 1.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { b[i] = a[i]; }
+            }",
+        )
+        .unwrap();
+        let m = analyze_program(&p);
+        assert_eq!(m.len(), 2);
+        assert!(m.values().all(|a| a.determination.is_doall()));
+    }
+
+    #[test]
+    fn write_read_different_arrays_never_pair() {
+        let d = det(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[i] = a[i + 1] + a[i - 1]; }
+            }",
+        );
+        assert!(d.is_doall(), "{d:?}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # japonica-analysis
+//!
+//! Static analysis half of the Japonica code translator (paper §III-A) plus
+//! the inter-loop program dependence graph used by the task-stealing
+//! scheduler (paper §V-B):
+//!
+//! * [`classify`] — variable classification of annotated loops into
+//!   *live-in*, *live-out* and *temp* sets;
+//! * [`affine`] — compression of memory accesses into linear constraints of
+//!   the loop iteration ID (`a*i + Σ cₖ·vₖ + c`);
+//! * [`access`] — collection of every array access in a loop body with its
+//!   affine form (when resolvable) and conditional-execution flag;
+//! * [`deptest`] — pairwise WAW / RAW / WAR conflict examination with
+//!   ZIV/SIV/GCD dependence tests, producing the loop
+//!   [`deptest::Determination`]: provably DOALL, provably
+//!   dependent (deterministic), or *uncertain* — the last group is what the
+//!   dynamic profiler executes on the GPU;
+//! * [`pdg`] — the program dependence graph across annotated loops and its
+//!   topological batching.
+
+pub mod access;
+pub mod affine;
+pub mod classify;
+pub mod deptest;
+pub mod pdg;
+
+pub use access::{Access, AccessKind, collect_accesses};
+pub use affine::Affine;
+pub use classify::{classify_variables, VarClasses, VarUse};
+pub use deptest::{analyze_loop, analyze_program, DepKind, DepSummary, Determination, LoopAnalysis};
+pub use pdg::{build_pdg, DepEdge, Pdg};

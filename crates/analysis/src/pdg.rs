@@ -1,0 +1,249 @@
+//! Program dependence graph (PDG) across annotated loops.
+//!
+//! The task-stealing scheduler (paper §V-B, Algorithm 1) consumes loops as
+//! *tasks*; the PDG records data-flow between them so the scheduler can pop
+//! batches of mutually independent tasks by topological sort.
+//!
+//! Loops inside one function execute in source order, so an edge runs from
+//! an earlier loop `A` to a later loop `B` whenever `A` writes a variable
+//! `B` touches, or `A` reads a variable `B` writes.
+
+use crate::classify::classify_variables;
+use japonica_ir::{Function, LoopId, VarId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A dependence edge between two loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepEdge {
+    /// The earlier loop.
+    pub from: LoopId,
+    /// The later, dependent loop.
+    pub to: LoopId,
+    /// The variables that induce the dependence.
+    pub vars: Vec<VarId>,
+}
+
+/// The program dependence graph over one function's annotated loops.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Pdg {
+    /// Loops in execution (source) order.
+    pub nodes: Vec<LoopId>,
+    /// Dependence edges (from earlier to later loops).
+    pub edges: Vec<DepEdge>,
+}
+
+impl Pdg {
+    /// Loops that must complete before `id` may start.
+    pub fn predecessors(&self, id: LoopId) -> Vec<LoopId> {
+        self.edges
+            .iter()
+            .filter(|e| e.to == id)
+            .map(|e| e.from)
+            .collect()
+    }
+
+    /// Loops that wait on `id`.
+    pub fn successors(&self, id: LoopId) -> Vec<LoopId> {
+        self.edges
+            .iter()
+            .filter(|e| e.from == id)
+            .map(|e| e.to)
+            .collect()
+    }
+
+    /// Topological batches: layer `k` contains the loops whose predecessors
+    /// all sit in layers `< k`. Loops within one batch are mutually
+    /// data-independent and may run concurrently.
+    pub fn batches(&self) -> Vec<Vec<LoopId>> {
+        let mut remaining: BTreeSet<LoopId> = self.nodes.iter().copied().collect();
+        let mut done: BTreeSet<LoopId> = BTreeSet::new();
+        let mut out = Vec::new();
+        while !remaining.is_empty() {
+            let ready: Vec<LoopId> = self
+                .nodes
+                .iter()
+                .copied()
+                .filter(|id| remaining.contains(id))
+                .filter(|id| self.predecessors(*id).iter().all(|p| done.contains(p)))
+                .collect();
+            assert!(
+                !ready.is_empty(),
+                "PDG has a cycle, which source order makes impossible"
+            );
+            for id in &ready {
+                remaining.remove(id);
+                done.insert(*id);
+            }
+            out.push(ready);
+        }
+        out
+    }
+
+    /// Graphviz DOT rendering (loop names resolved via `func`).
+    pub fn to_dot(&self, func: &Function) -> String {
+        let mut s = String::from("digraph pdg {\n");
+        for id in &self.nodes {
+            s.push_str(&format!("  \"{id}\";\n"));
+        }
+        for e in &self.edges {
+            let vars: Vec<String> = e.vars.iter().map(|v| func.var_name(*v)).collect();
+            s.push_str(&format!(
+                "  \"{}\" -> \"{}\" [label=\"{}\"];\n",
+                e.from,
+                e.to,
+                vars.join(",")
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// Build the PDG over the annotated loops of `func`.
+pub fn build_pdg(func: &Function) -> Pdg {
+    let loops: Vec<_> = func
+        .all_loops()
+        .into_iter()
+        .filter(|l| l.is_annotated())
+        .collect();
+    let mut reads: BTreeMap<LoopId, BTreeSet<VarId>> = BTreeMap::new();
+    let mut writes: BTreeMap<LoopId, BTreeSet<VarId>> = BTreeMap::new();
+    for l in &loops {
+        let c = classify_variables(l);
+        reads.insert(l.id, c.live_in.iter().copied().collect());
+        writes.insert(l.id, c.live_out.iter().copied().collect());
+    }
+    let mut pdg = Pdg {
+        nodes: loops.iter().map(|l| l.id).collect(),
+        ..Pdg::default()
+    };
+    for (i, a) in loops.iter().enumerate() {
+        for b in &loops[i + 1..] {
+            let wa = &writes[&a.id];
+            let rb = &reads[&b.id];
+            let wb = &writes[&b.id];
+            let ra = &reads[&a.id];
+            let mut vars: BTreeSet<VarId> = BTreeSet::new();
+            vars.extend(wa.intersection(rb)); // flow
+            vars.extend(wa.intersection(wb)); // output
+            vars.extend(ra.intersection(wb)); // anti
+            if !vars.is_empty() {
+                pdg.edges.push(DepEdge {
+                    from: a.id,
+                    to: b.id,
+                    vars: vars.into_iter().collect(),
+                });
+            }
+        }
+    }
+    pdg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_frontend::compile_source;
+
+    fn pdg_of(src: &str) -> (Pdg, japonica_ir::Program) {
+        let p = compile_source(src).unwrap();
+        (build_pdg(&p.functions[0]), p)
+    }
+
+    #[test]
+    fn independent_loops_have_no_edges() {
+        // BICG-style: two independent loops
+        let (pdg, _) = pdg_of(
+            "static void f(double[] a, double[] b, double[] x, double[] y, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { x[i] = a[i] * 2.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { y[i] = b[i] * 3.0; }
+            }",
+        );
+        assert_eq!(pdg.nodes.len(), 2);
+        assert!(pdg.edges.is_empty());
+        assert_eq!(pdg.batches(), vec![pdg.nodes.clone()]);
+    }
+
+    #[test]
+    fn flow_dependence_creates_edge_and_two_batches() {
+        // 2MM-style: second loop consumes the first loop's output
+        let (pdg, _) = pdg_of(
+            "static void f(double[] a, double[] t, double[] c, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { t[i] = a[i] * 2.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { c[i] = t[i] + 1.0; }
+            }",
+        );
+        assert_eq!(pdg.edges.len(), 1);
+        let batches = pdg.batches();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].len(), 1);
+        assert_eq!(batches[1].len(), 1);
+    }
+
+    #[test]
+    fn anti_dependence_detected() {
+        // first reads t, second writes t
+        let (pdg, _) = pdg_of(
+            "static void f(double[] t, double[] o, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { o[i] = t[i]; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { t[i] = 0.0; }
+            }",
+        );
+        assert_eq!(pdg.edges.len(), 1);
+        assert_eq!(pdg.edges[0].from, pdg.nodes[0]);
+    }
+
+    #[test]
+    fn diamond_shape_batches() {
+        // L0 feeds L1 and L2 (independent), both feed L3.
+        let (pdg, _) = pdg_of(
+            "static void f(double[] s, double[] u, double[] v, double[] r, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { s[i] = 1.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { u[i] = s[i] * 2.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { v[i] = s[i] * 3.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { r[i] = u[i] + v[i]; }
+            }",
+        );
+        let batches = pdg.batches();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[1].len(), 2);
+    }
+
+    #[test]
+    fn scalar_dependences_count_too() {
+        let (pdg, _) = pdg_of(
+            "static double f(double[] a, int n) {
+                double s = 0.0;
+                /* acc parallel */ for (int i = 0; i < n; i++) { a[i] = 1.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { s = s + a[i]; }
+                return s;
+            }",
+        );
+        assert_eq!(pdg.edges.len(), 1);
+    }
+
+    #[test]
+    fn dot_output_mentions_variables() {
+        let (pdg, p) = pdg_of(
+            "static void f(double[] t, double[] c, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { t[i] = 1.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { c[i] = t[i]; }
+            }",
+        );
+        let dot = pdg.to_dot(&p.functions[0]);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("label=\"t\""));
+    }
+
+    #[test]
+    fn crypt_like_chain() {
+        // encrypt then decrypt: decrypt reads encrypt's output
+        let (pdg, _) = pdg_of(
+            "static void f(int[] plain, int[] enc, int[] dec, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { enc[i] = plain[i] ^ 77; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { dec[i] = enc[i] ^ 77; }
+            }",
+        );
+        let batches = pdg.batches();
+        assert_eq!(batches.len(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ablation studies over the design choices DESIGN.md calls out:
+//!
+//! 1. the boundary/steal-back split vs naive fixed fractions;
+//! 2. the sharing chunk count (transfer-overlap granularity);
+//! 3. TLS sub-loop size under blind speculation;
+//! 4. profile-guided vs blind speculation for the low-density loop.
+//!
+//! Each ablation prints a small table; criterion measures one
+//! representative configuration pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use japonica::{run_baseline, Baseline, Runtime, RuntimeConfig};
+use japonica_bench::{run_variant, Variant};
+use japonica_workloads::Workload;
+use std::time::Duration;
+
+fn wall_with(w: &Workload, n: u64, tweak: impl FnOnce(&mut RuntimeConfig)) -> f64 {
+    let compiled = w.compile();
+    let inst = w.instantiate(n);
+    let mut heap = inst.heap.clone();
+    let mut cfg = RuntimeConfig::default();
+    cfg.sched.subloops_per_task = w.subloops;
+    tweak(&mut cfg);
+    let r = Runtime::new(cfg)
+        .run(&compiled, w.entry, &inst.args, &mut heap)
+        .unwrap();
+    let mut expected = inst.heap.clone();
+    w.run_reference(&mut expected, &inst.args);
+    japonica_workloads::outputs_match(&heap, &expected, &inst).unwrap();
+    r.total_s
+}
+
+fn ablate_split_policy() {
+    println!("== Ablation: split policy (VectorAdd, n=2, ms) ==");
+    let w = Workload::by_name("VectorAdd").unwrap();
+    let compiled = w.compile();
+    let row = |label: &str, frac: Option<f64>| {
+        let inst = w.instantiate(2);
+        let mut heap = inst.heap.clone();
+        let t = match frac {
+            Some(f) => run_baseline(
+                &RuntimeConfig::default(),
+                &compiled,
+                w.entry,
+                &inst.args,
+                &mut heap,
+                Baseline::FixedSplit(f),
+            )
+            .unwrap()
+            .total_s,
+            None => {
+                let r = Runtime::default()
+                    .run(&compiled, w.entry, &inst.args, &mut heap)
+                    .unwrap();
+                r.total_s
+            }
+        };
+        println!("  {label:<28} {:>8.3}", t * 1e3);
+    };
+    row("boundary + steal-back", None);
+    for f in [0.25, 0.5, 0.75, 0.94] {
+        row(&format!("fixed {:.0}% GPU", f * 100.0), Some(f));
+    }
+}
+
+fn ablate_chunk_count() {
+    println!("== Ablation: sharing chunk size (VectorAdd, n=2, ms) ==");
+    let w = Workload::by_name("VectorAdd").unwrap();
+    for chunk_iters in [128u64, 512, 2048, 8192, 32768] {
+        let t = wall_with(w, 2, |cfg| cfg.sched.chunk_iters = chunk_iters);
+        println!("  chunk_iters = {chunk_iters:<6} {:>8.3}", t * 1e3);
+    }
+}
+
+fn ablate_tls_subloop() {
+    println!("== Ablation: blind-TLS sub-loop size (BlackScholes GPU-only, n=1, ms) ==");
+    let w = Workload::by_name("BlackScholes").unwrap();
+    let compiled = w.compile();
+    for sub in [256u64, 896, 1792, 7168] {
+        let inst = w.instantiate(1);
+        let mut heap = inst.heap.clone();
+        let mut cfg = RuntimeConfig::default();
+        cfg.sched.tls.subloop_iters = sub;
+        let t = run_baseline(&cfg, &compiled, w.entry, &inst.args, &mut heap, Baseline::GpuOnly)
+            .unwrap()
+            .total_s;
+        println!("  subloop = {sub:<5} {:>8.3}", t * 1e3);
+    }
+}
+
+fn ablate_profile_guidance() {
+    println!("== Ablation: profile guidance for mode B (BlackScholes, n=1, ms) ==");
+    let w = Workload::by_name("BlackScholes").unwrap();
+    // Guided: the runtime profiles and feeds td_iters to the TLS engine.
+    let guided = wall_with(w, 1, |_| {});
+    // Blind: the GPU-only baseline speculates without a profile.
+    let compiled = w.compile();
+    let inst = w.instantiate(1);
+    let mut heap = inst.heap.clone();
+    let blind = run_baseline(
+        &RuntimeConfig::default(),
+        &compiled,
+        w.entry,
+        &inst.args,
+        &mut heap,
+        Baseline::GpuOnly,
+    )
+    .unwrap()
+    .total_s;
+    println!("  profile-guided {:>8.3}", guided * 1e3);
+    println!("  blind          {:>8.3}", blind * 1e3);
+}
+
+fn bench(c: &mut Criterion) {
+    ablate_split_policy();
+    ablate_chunk_count();
+    ablate_tls_subloop();
+    ablate_profile_guidance();
+
+    let mut g = c.benchmark_group("ablation_split");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    let w = Workload::by_name("VectorAdd").unwrap();
+    g.bench_function("boundary_steal_back", |b| {
+        b.iter(|| run_variant(w, 1, Variant::Japonica));
+    });
+    g.bench_function("fixed_fifty", |b| {
+        b.iter(|| run_variant(w, 1, Variant::Fifty));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench target for Figure 3 (DOALL apps under task sharing): prints the
+//! regenerated figure, then criterion-measures the sharing runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use japonica_bench::{fig3, run_variant, Variant};
+use japonica_workloads::Workload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig3(2));
+    let mut g = c.benchmark_group("fig3_sharing");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for name in ["VectorAdd", "BFS", "MVT"] {
+        let w = Workload::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| run_variant(w, 1, Variant::Japonica));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench target for Figure 5(a) (task stealing): prints the regenerated
+//! figure, then criterion-measures the stealing runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use japonica_bench::{fig5a, run_variant, Variant};
+use japonica_workloads::Workload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig5a(2));
+    let mut g = c.benchmark_group("fig5a_stealing");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for name in ["BICG", "Crypt"] {
+        let w = Workload::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| run_variant(w, 1, Variant::Japonica));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

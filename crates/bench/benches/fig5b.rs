@@ -1,0 +1,27 @@
+//! Bench target for Figure 5(b) (Crypt: sharing vs stealing across sizes):
+//! prints the regenerated series, then criterion-measures both schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use japonica_bench::{fig5b, run_variant, Variant};
+use japonica_ir::Scheme;
+use japonica_workloads::Workload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", fig5b(&[1, 2, 3]));
+    let w = Workload::by_name("Crypt").unwrap();
+    let mut g = c.benchmark_group("fig5b_crypt");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    g.bench_function("sharing", |b| {
+        b.iter(|| run_variant(w, 1, Variant::Scheme(Scheme::Sharing)));
+    });
+    g.bench_function("stealing", |b| {
+        b.iter(|| run_variant(w, 1, Variant::Scheme(Scheme::Stealing)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench target for the paper's Table II: prints the measured benchmark
+//! inventory (serial times on the simulated platform), then
+//! criterion-measures representative serial runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use japonica_bench::{run_variant, table2, Variant};
+use japonica_workloads::Workload;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", table2(1));
+    let mut g = c.benchmark_group("table2_serial");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for name in ["VectorAdd", "Sepia", "Crypt"] {
+        let w = Workload::by_name(name).unwrap();
+        g.bench_function(name, |b| {
+            b.iter(|| run_variant(w, 1, Variant::Serial));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! `repro` — regenerate the paper's tables and figures on the simulated
+//! platform.
+//!
+//! ```text
+//! cargo run -p japonica-bench --release --bin repro -- all
+//! cargo run -p japonica-bench --release --bin repro -- fig3 --scale 2
+//! ```
+//!
+//! Targets: `table2`, `fig3`, `fig4`, `fig5a`, `fig5b`, `summary`, `all`.
+
+use japonica_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = "all".to_string();
+    let mut scale: u64 = 2;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            t @ ("table2" | "fig3" | "fig4" | "fig5a" | "fig5b" | "summary" | "all") => {
+                target = t.to_string();
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let run = |name: &str| target == name || target == "all";
+    if run("table2") {
+        println!("{}", bench::table2(1));
+    }
+    if run("fig3") {
+        println!("{}", bench::fig3(scale));
+    }
+    if run("fig4") {
+        println!("{}", bench::fig4(scale));
+    }
+    if run("fig5a") {
+        println!("{}", bench::fig5a(scale));
+    }
+    if run("fig5b") {
+        println!("{}", bench::fig5b(&[1, 2, 3, 4, 5]));
+    }
+    if run("summary") {
+        println!("{}", bench::summary(1));
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [table2|fig3|fig4|fig5a|fig5b|summary|all] [--scale N]"
+    );
+    std::process::exit(2)
+}

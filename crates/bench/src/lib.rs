@@ -1,0 +1,422 @@
+//! # japonica-bench
+//!
+//! The evaluation harness: executes every Table II application under the
+//! paper's comparison points (best serial CPU, 16-thread CPU, GPU-only,
+//! naive 50/50 split, Japonica sharing, Japonica stealing) and regenerates
+//! each table and figure of the paper's §VI.
+//!
+//! Absolute times come from the simulated platform and will not match the
+//! paper's testbed; the regenerated artifacts are the *shapes* — which
+//! configuration wins, by roughly what factor, and where the crossovers
+//! fall. `EXPERIMENTS.md` records paper-vs-measured values.
+
+use japonica::{run_baseline, Baseline, Runtime, RuntimeConfig};
+use japonica_ir::Scheme;
+use japonica_workloads::Workload;
+
+/// One way to execute an application.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Variant {
+    /// 1-thread CPU (paper's "best serial").
+    Serial,
+    /// 16-thread CPU.
+    Cpu16,
+    /// GPU-only (synchronous transfers, dependence-class-appropriate engine).
+    GpuOnly,
+    /// Naive fixed 50% GPU + 50% CPU split.
+    Fifty,
+    /// Japonica with the scheme from the source annotations.
+    Japonica,
+    /// Japonica with a forced scheme.
+    Scheme(Scheme),
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Variant::Serial => write!(f, "serial"),
+            Variant::Cpu16 => write!(f, "CPU-16"),
+            Variant::GpuOnly => write!(f, "GPU"),
+            Variant::Fifty => write!(f, "CPU 50%+GPU 50%"),
+            Variant::Japonica => write!(f, "Japonica"),
+            Variant::Scheme(Scheme::Sharing) => write!(f, "Sharing"),
+            Variant::Scheme(Scheme::Stealing) => write!(f, "Stealing"),
+        }
+    }
+}
+
+/// Run one application once under `variant` at scale `n`; returns the
+/// simulated wall-clock seconds. Results are validated against the Rust
+/// reference implementation on every call.
+pub fn run_variant(w: &Workload, n: u64, variant: Variant) -> f64 {
+    let compiled = w.compile();
+    let inst = w.instantiate(n);
+    let mut expected = inst.heap.clone();
+    w.run_reference(&mut expected, &inst.args);
+    let mut heap = inst.heap.clone();
+    let mut cfg = RuntimeConfig::default();
+    cfg.sched.subloops_per_task = w.subloops;
+    let total = match variant {
+        Variant::Serial => {
+            run_baseline(&cfg, &compiled, w.entry, &inst.args, &mut heap, Baseline::Serial)
+                .unwrap()
+                .total_s
+        }
+        Variant::Cpu16 => run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut heap,
+            Baseline::CpuParallel(16),
+        )
+        .unwrap()
+        .total_s,
+        Variant::GpuOnly => run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut heap,
+            Baseline::GpuOnly,
+        )
+        .unwrap()
+        .total_s,
+        Variant::Fifty => run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut heap,
+            Baseline::FixedSplit(0.5),
+        )
+        .unwrap()
+        .total_s,
+        Variant::Japonica => Runtime::new(cfg)
+            .run(&compiled, w.entry, &inst.args, &mut heap)
+            .unwrap()
+            .total_s,
+        Variant::Scheme(s) => Runtime::new(RuntimeConfig {
+            scheme_override: Some(s),
+            ..cfg.clone()
+        })
+        .run(&compiled, w.entry, &inst.args, &mut heap)
+        .unwrap()
+        .total_s,
+    };
+    japonica_workloads::outputs_match(&heap, &expected, &inst)
+        .unwrap_or_else(|e| panic!("{} under {variant}: {e}", w.name));
+    total
+}
+
+/// A generated table, printable and inspectable.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            let mut parts = Vec::new();
+            for (i, c) in cells.iter().enumerate() {
+                parts.push(format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(4)));
+            }
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+        line(f, &self.header)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+fn ms(s: f64) -> String {
+    format!("{:.3}", s * 1e3)
+}
+
+fn x(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Table II: the benchmark inventory with measured serial times at `n`.
+pub fn table2(n: u64) -> Table {
+    let mut t = Table {
+        title: format!("Table II: benchmarks (serial time measured at n={n})"),
+        header: ["Benchmark", "Origin", "Description", "Input (scaled)", "Serial ms", "Scheme"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows: vec![],
+    };
+    for w in Workload::all() {
+        let serial = run_variant(w, n, Variant::Serial);
+        t.rows.push(vec![
+            w.name.to_string(),
+            w.origin.to_string(),
+            w.description.to_string(),
+            w.input_desc.to_string(),
+            ms(serial),
+            w.scheme.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Fig. 3: DOALL applications under task sharing — speedups over the
+/// 16-thread CPU version for CPU-16 / GPU-only / Sharing / 50-50.
+pub fn fig3(n: u64) -> Table {
+    // Paper values for comparison: (gpu, sharing, fifty) speedups over CPU-16.
+    let paper = [
+        ("GEMM", 25.0, 25.5, 13.0),
+        ("VectorAdd", 0.59, 1.56, 1.18),
+        ("BFS", 0.21, 1.12, 0.44),
+        ("MVT", 0.53, 1.47, 1.01),
+    ];
+    let mut t = Table {
+        title: format!("Figure 3: DOALL apps, task sharing (speedup over CPU-16, n={n})"),
+        header: [
+            "App",
+            "CPU-16",
+            "GPU",
+            "Sharing",
+            "50/50",
+            "paper GPU",
+            "paper Sharing",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: vec![],
+    };
+    for (name, p_gpu, p_share, _p_fifty) in paper {
+        let w = Workload::by_name(name).unwrap();
+        let cpu16 = run_variant(w, n, Variant::Cpu16);
+        let gpu = run_variant(w, n, Variant::GpuOnly);
+        let share = run_variant(w, n, Variant::Japonica);
+        let fifty = run_variant(w, n, Variant::Fifty);
+        t.rows.push(vec![
+            name.to_string(),
+            x(1.0),
+            x(cpu16 / gpu),
+            x(cpu16 / share),
+            x(cpu16 / fifty),
+            x(p_gpu),
+            x(p_share),
+        ]);
+    }
+    t
+}
+
+/// Fig. 4: DOACROSS applications — speedups over serial CPU for CPU / GPU /
+/// Sharing.
+pub fn fig4(n: u64) -> Table {
+    // Paper values: (cpu, gpu, sharing) speedups over serial.
+    let paper = [
+        ("Gauss-Seidel", 1.0, 0.2, 1.0),
+        ("CFD", 1.4, 1.9, 3.55),
+        ("Sepia", 1.6, 1.6, 2.59),
+        ("BlackScholes", 1.0, 0.8, 5.1),
+    ];
+    let mut t = Table {
+        title: format!("Figure 4: DOACROSS apps, task sharing (speedup over serial, n={n})"),
+        header: [
+            "App",
+            "CPU",
+            "GPU",
+            "Sharing",
+            "paper CPU",
+            "paper GPU",
+            "paper Sharing",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: vec![],
+    };
+    for (name, p_cpu, p_gpu, p_share) in paper {
+        let w = Workload::by_name(name).unwrap();
+        let serial = run_variant(w, n, Variant::Serial);
+        let cpu = run_variant(w, n, Variant::Cpu16);
+        let gpu = run_variant(w, n, Variant::GpuOnly);
+        let share = run_variant(w, n, Variant::Japonica);
+        t.rows.push(vec![
+            name.to_string(),
+            x(serial / cpu),
+            x(serial / gpu),
+            x(serial / share),
+            x(p_cpu),
+            x(p_gpu),
+            x(p_share),
+        ]);
+    }
+    t
+}
+
+/// Fig. 5(a): task stealing applications — speedups over CPU-16 for
+/// CPU-16 / GPU-only / Stealing.
+pub fn fig5a(n: u64) -> Table {
+    let paper = [
+        ("BICG", 1.88, 1.82),
+        ("2MM", 1.0, 1.02),
+        ("Crypt", 2.32, 2.09),
+    ];
+    let mut t = Table {
+        title: format!("Figure 5(a): task stealing (speedup over CPU-16, n={n})"),
+        header: [
+            "App",
+            "CPU-16",
+            "GPU",
+            "Stealing",
+            "paper Stealing/CPU-16",
+            "paper Stealing/GPU",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: vec![],
+    };
+    for (name, p_vs_cpu, p_vs_gpu) in paper {
+        let w = Workload::by_name(name).unwrap();
+        let cpu16 = run_variant(w, n, Variant::Cpu16);
+        let gpu = run_variant(w, n, Variant::GpuOnly);
+        let steal = run_variant(w, n, Variant::Japonica);
+        t.rows.push(vec![
+            name.to_string(),
+            x(1.0),
+            x(cpu16 / gpu),
+            x(cpu16 / steal),
+            x(p_vs_cpu),
+            x(p_vs_gpu),
+        ]);
+    }
+    t
+}
+
+/// Fig. 5(b): Crypt — sharing vs stealing execution time across sizes.
+/// Includes a third series running the *paper's literal* sharing scheme
+/// (no CPU steal-back across the boundary), which is what the paper's
+/// stealing scheme was compared against.
+pub fn fig5b(scales: &[u64]) -> Table {
+    let w = Workload::by_name("Crypt").unwrap();
+    let mut t = Table {
+        title: "Figure 5(b): Crypt, sharing vs stealing execution time".to_string(),
+        header: [
+            "size (n*16384)",
+            "Sharing ms",
+            "Sharing (paper-literal) ms",
+            "Stealing ms",
+            "stealing beats literal sharing",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
+        rows: vec![],
+    };
+    for &n in scales {
+        let share = run_variant(w, n, Variant::Scheme(Scheme::Sharing));
+        let literal = run_literal_sharing(w, n);
+        let steal = run_variant(w, n, Variant::Scheme(Scheme::Stealing));
+        t.rows.push(vec![
+            n.to_string(),
+            ms(share),
+            ms(literal),
+            ms(steal),
+            (steal < literal).to_string(),
+        ]);
+    }
+    t
+}
+
+/// Run one app under the paper's literal sharing (boundary-pinned CPU
+/// partition, GPU-only steal-back), validating results as usual.
+pub fn run_literal_sharing(w: &Workload, n: u64) -> f64 {
+    let compiled = w.compile();
+    let inst = w.instantiate(n);
+    let mut expected = inst.heap.clone();
+    w.run_reference(&mut expected, &inst.args);
+    let mut heap = inst.heap.clone();
+    let mut cfg = RuntimeConfig {
+        scheme_override: Some(Scheme::Sharing),
+        ..RuntimeConfig::default()
+    };
+    cfg.sched.subloops_per_task = w.subloops;
+    cfg.sched.cpu_steals_back = false;
+    let total = Runtime::new(cfg)
+        .run(&compiled, w.entry, &inst.args, &mut heap)
+        .unwrap()
+        .total_s;
+    japonica_workloads::outputs_match(&heap, &expected, &inst)
+        .unwrap_or_else(|e| panic!("{} under literal sharing: {e}", w.name));
+    total
+}
+
+/// The headline averages: Japonica vs best serial, GPU-alone and CPU-alone
+/// (paper: 10x, 2.5x and 2.14x).
+pub fn summary(n: u64) -> Table {
+    let geo = |f: &dyn Fn(&Workload) -> f64| -> f64 {
+        let logs: Vec<f64> = Workload::all().iter().map(|w| f(w).ln()).collect();
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    };
+    let vs_serial = geo(&|w| {
+        run_variant(w, n, Variant::Serial) / run_variant(w, n, Variant::Japonica)
+    });
+    let vs_gpu =
+        geo(&|w| run_variant(w, n, Variant::GpuOnly) / run_variant(w, n, Variant::Japonica));
+    let vs_cpu =
+        geo(&|w| run_variant(w, n, Variant::Cpu16) / run_variant(w, n, Variant::Japonica));
+    Table {
+        title: format!("Headline averages over all 11 apps (geometric mean, n={n})"),
+        header: ["Comparison", "measured", "paper"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows: vec![
+            vec!["vs best serial".into(), x(vs_serial), x(10.0)],
+            vec!["vs GPU-alone".into(), x(vs_gpu), x(2.5)],
+            vec!["vs CPU-alone".into(), x(vs_cpu), x(2.14)],
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_display() {
+        assert_eq!(Variant::Cpu16.to_string(), "CPU-16");
+        assert_eq!(Variant::Scheme(Scheme::Stealing).to_string(), "Stealing");
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = Table {
+            title: "t".into(),
+            header: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "2".into()]],
+        };
+        let s = t.to_string();
+        assert!(s.contains("== t =="));
+        assert!(s.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn run_variant_validates_and_times() {
+        let w = Workload::by_name("VectorAdd").unwrap();
+        let t = run_variant(w, 1, Variant::Serial);
+        assert!(t > 0.0);
+    }
+}

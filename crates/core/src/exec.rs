@@ -1,0 +1,201 @@
+//! The shared function executor: runs glue statements sequentially (with
+//! cost accounting) while intercepting annotated loops at *any* nesting
+//! depth and handing maximal consecutive runs of them to a dispatcher —
+//! the Japonica scheduler or one of the baseline executors.
+//!
+//! Nested interception matters for level-synchronous and time-stepped
+//! codes (BFS, iterative solvers): their annotated inner loops must be
+//! scheduled on every encounter of the enclosing sequential loop.
+
+use crate::compile::Compiled;
+use crate::report::RunReport;
+use japonica_cpuexec::CpuConfig;
+use japonica_ir::{
+    CountingBackend, Env, ExecError, Flow, ForLoop, Heap, HeapBackend, Interp, ParamTy, Stmt,
+    Value,
+};
+use japonica_scheduler::SchedError;
+
+/// Called with each maximal run of consecutive annotated loops.
+pub(crate) type Dispatch<'d> = dyn FnMut(
+        &[&ForLoop],
+        &mut Env,
+        &mut Heap,
+        &mut RunReport,
+    ) -> Result<(), SchedError>
+    + 'd;
+
+/// Execute `function` with `args`, walking glue sequentially and routing
+/// annotated-loop runs through `dispatch`.
+pub(crate) fn execute_function(
+    compiled: &Compiled,
+    function: &str,
+    args: &[Value],
+    heap: &mut Heap,
+    cpu: &CpuConfig,
+    dispatch: &mut Dispatch<'_>,
+) -> Result<RunReport, SchedError> {
+    let (_, f) = compiled
+        .program
+        .function_by_name(function)
+        .ok_or_else(|| ExecError::UnknownFunction(function.to_string()))?;
+    if args.len() != f.params.len() {
+        return Err(ExecError::ArityMismatch {
+            function: f.name.clone(),
+            expected: f.params.len(),
+            found: args.len(),
+        }
+        .into());
+    }
+    let mut env = Env::with_slots(f.num_vars);
+    for (p, &a) in f.params.iter().zip(args) {
+        let bound = match p.ty {
+            ParamTy::Scalar(t) => a.cast(t).ok_or_else(|| ExecError::TypeMismatch {
+                expected: t.to_string(),
+                found: format!("{a}"),
+            })?,
+            ParamTy::Array(_) => a,
+        };
+        env.set(p.var, bound);
+    }
+    let mut report = RunReport::default();
+    let mut exec = Exec {
+        interp: Interp::new(&compiled.program),
+        cpu,
+        dispatch,
+    };
+    let flow = exec.exec_stmts(&f.body, &mut env, heap, &mut report)?;
+    if let Flow::Return(v) = flow {
+        report.ret = v;
+    }
+    report.total_s = report.glue_s + report.profiling_s + report.loops_wall_s();
+    Ok(report)
+}
+
+fn is_annotated_for(s: &Stmt) -> bool {
+    matches!(s, Stmt::For(l) if l.is_annotated())
+}
+
+fn contains_annotated(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| {
+        let mut found = false;
+        s.walk(&mut |s| {
+            if is_annotated_for(s) {
+                found = true;
+            }
+        });
+        found
+    })
+}
+
+struct Exec<'a, 'd> {
+    interp: Interp<'a>,
+    cpu: &'a CpuConfig,
+    dispatch: &'a mut Dispatch<'d>,
+}
+
+impl Exec<'_, '_> {
+    fn glue<T>(
+        &self,
+        report: &mut RunReport,
+        heap: &mut Heap,
+        f: impl FnOnce(&Interp, &mut CountingBackend<HeapBackend>) -> Result<T, ExecError>,
+    ) -> Result<T, SchedError> {
+        let mut be = CountingBackend::new(HeapBackend::new(heap));
+        let out = f(&self.interp, &mut be)?;
+        report.glue_s += self.cpu.cycles_to_seconds(be.cycles(&self.cpu.cost));
+        Ok(out)
+    }
+
+    fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        heap: &mut Heap,
+        report: &mut RunReport,
+    ) -> Result<Flow, SchedError> {
+        let mut i = 0;
+        while i < stmts.len() {
+            // Maximal run of consecutive annotated loops.
+            let mut j = i;
+            while j < stmts.len() && is_annotated_for(&stmts[j]) {
+                j += 1;
+            }
+            if j > i {
+                let loops: Vec<&ForLoop> = stmts[i..j]
+                    .iter()
+                    .map(|s| match s {
+                        Stmt::For(l) => l,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                (self.dispatch)(&loops, env, heap, report)?;
+                i = j;
+                continue;
+            }
+            match self.exec_stmt(&stmts[i], env, heap, report)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+            i += 1;
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(
+        &mut self,
+        s: &Stmt,
+        env: &mut Env,
+        heap: &mut Heap,
+        report: &mut RunReport,
+    ) -> Result<Flow, SchedError> {
+        match s {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } if contains_annotated(then_branch) || contains_annotated(else_branch) => {
+                let c = self.glue(report, heap, |interp, be| interp.eval(cond, env, be, 0))?;
+                let taken = c.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                    expected: "boolean".into(),
+                    found: format!("{c}"),
+                })?;
+                if taken {
+                    self.exec_stmts(then_branch, env, heap, report)
+                } else {
+                    self.exec_stmts(else_branch, env, heap, report)
+                }
+            }
+            Stmt::While { cond, body } if contains_annotated(body) => {
+                loop {
+                    let c = self.glue(report, heap, |interp, be| interp.eval(cond, env, be, 0))?;
+                    if !c.as_bool().unwrap_or(false) {
+                        break;
+                    }
+                    match self.exec_stmts(body, env, heap, report)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For(l) if !l.is_annotated() && contains_annotated(&l.body) => {
+                let bounds = self.glue(report, heap, |interp, be| interp.loop_bounds(l, env, be))?;
+                for k in 0..bounds.trip() {
+                    env.set(l.var, Value::Int(bounds.value_of(k) as i32));
+                    match self.exec_stmts(&l.body, env, heap, report)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            // Fast path: nothing annotated inside — plain interpretation.
+            other => self.glue(report, heap, |interp, be| {
+                interp.exec_stmt(other, env, be, 0)
+            }),
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! # japonica
+//!
+//! **Japonica** — *Java with Auto-Parallelization ON graphIcs Coprocessing
+//! Architecture* — is a compiler framework and runtime system that lets an
+//! annotated sequential MiniJava program scale transparently across a
+//! heterogeneous CPU + GPU platform, reproducing the ICPP 2013 paper by
+//! Han, Zhang, Lam and Wang.
+//!
+//! The pipeline mirrors the paper's Fig. 1:
+//!
+//! 1. **Code translator** ([`compile()`]) — parses the annotated source,
+//!    classifies variables (live-in / live-out / temp), compresses memory
+//!    accesses into linear constraints of the iteration ID, and runs the
+//!    WAW / RAW conflict tests. Every annotated loop comes out *DOALL*,
+//!    *deterministically dependent*, or *uncertain*.
+//! 2. **Profiler** — uncertain loops are executed on the simulated GPU with
+//!    full access instrumentation to measure their true/false dependency
+//!    density (von Praun's quantitative model).
+//! 3. **DOALL parallelizer / speculator** — DOALL loops run in parallel on
+//!    both devices; loops with modest true-dependence density run under
+//!    GPU-TLS; loops with only false dependences run privatized.
+//! 4. **Task scheduler** ([`Runtime::run`]) — distributes loop chunks over
+//!    CPU and GPU with the *task sharing* scheme, or whole (sub-)loops with
+//!    the *task stealing* scheme, guided by the PDG.
+//!
+//! ```
+//! use japonica::{compile, Runtime, RuntimeConfig};
+//! use japonica::ir::{Heap, Value};
+//!
+//! let compiled = compile(r#"
+//!     static void scale(double[] a, double[] b, int n) {
+//!         /* acc parallel copyin(a[0:n]) copyout(b[0:n]) */
+//!         for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0 + 1.0; }
+//!     }
+//! "#).unwrap();
+//!
+//! let mut heap = Heap::new();
+//! let a = heap.alloc_doubles(&vec![1.0; 4096]);
+//! let b = heap.alloc_doubles(&vec![0.0; 4096]);
+//! let runtime = Runtime::new(RuntimeConfig::default());
+//! let report = runtime
+//!     .run(&compiled, "scale", &[Value::Array(a), Value::Array(b), Value::Int(4096)], &mut heap)
+//!     .unwrap();
+//! assert_eq!(heap.read_doubles(b).unwrap()[0], 3.0);
+//! assert_eq!(report.loops.len(), 1);
+//! ```
+
+pub mod baseline;
+pub mod compile;
+pub mod cudagen;
+pub(crate) mod exec;
+pub mod report;
+pub mod runtime;
+
+pub use baseline::{run_baseline, Baseline};
+pub use cudagen::cuda_translation;
+
+/// One-shot convenience: compile `source` and run `function` with `args`
+/// against `heap` under a default-configured [`Runtime`].
+///
+/// ```
+/// use japonica::ir::{Heap, Value};
+/// let mut heap = Heap::new();
+/// let a = heap.alloc_doubles(&[1.0, 2.0, 3.0]);
+/// let report = japonica::run_source(
+///     "static void twice(double[] a, int n) {
+///         /* acc parallel */
+///         for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+///     }",
+///     "twice",
+///     &[Value::Array(a), Value::Int(3)],
+///     &mut heap,
+/// ).unwrap();
+/// assert_eq!(heap.read_doubles(a).unwrap(), vec![2.0, 4.0, 6.0]);
+/// assert_eq!(report.loops.len(), 1);
+/// ```
+pub fn run_source(
+    source: &str,
+    function: &str,
+    args: &[ir::Value],
+    heap: &mut ir::Heap,
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    let compiled = compile(source)?;
+    let report = Runtime::new(RuntimeConfig::default()).run(&compiled, function, args, heap)?;
+    Ok(report)
+}
+pub use compile::{compile, Compiled};
+pub use report::RunReport;
+pub use runtime::{Runtime, RuntimeConfig};
+
+/// Re-export of the IR crate (values, heap, programs).
+pub use japonica_ir as ir;
+/// Re-export of the front end (errors, AST).
+pub use japonica_frontend as frontend;
+/// Re-export of the static analysis.
+pub use japonica_analysis as analysis;
+/// Re-export of the GPU simulator.
+pub use japonica_gpusim as gpusim;
+/// Re-export of the CPU executor.
+pub use japonica_cpuexec as cpuexec;
+/// Re-export of the GPU-TLS engine.
+pub use japonica_tls as tls;
+/// Re-export of the dynamic profiler.
+pub use japonica_profiler as profiler;
+/// Re-export of the task scheduler.
+pub use japonica_scheduler as scheduler;

@@ -1,0 +1,86 @@
+//! End-to-end run reports.
+
+use japonica_ir::{LoopId, Value};
+use japonica_profiler::LoopProfile;
+use japonica_scheduler::{LoopExecReport, StealingReport};
+use std::collections::BTreeMap;
+
+/// Report of one [`crate::Runtime::run`] invocation.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-loop execution reports (sharing scheme and single-device modes).
+    pub loops: Vec<LoopExecReport>,
+    /// Reports of stealing-scheme pools (one per consecutive run of
+    /// annotated loops scheduled by stealing).
+    pub stealing: Vec<StealingReport>,
+    /// Dynamic profiles gathered for uncertain loops.
+    pub profiles: BTreeMap<LoopId, LoopProfile>,
+    /// Simulated seconds spent profiling on the GPU.
+    pub profiling_s: f64,
+    /// Simulated seconds of sequential glue code around the loops.
+    pub glue_s: f64,
+    /// The function's return value, if any.
+    pub ret: Option<Value>,
+    /// End-to-end simulated wall-clock: glue + profiling + loop walls.
+    pub total_s: f64,
+}
+
+impl RunReport {
+    /// Sum of the scheduled loops' wall times (excluding glue/profiling).
+    pub fn loops_wall_s(&self) -> f64 {
+        self.loops.iter().map(|l| l.wall_s).sum::<f64>()
+            + self.stealing.iter().map(|s| s.wall_s).sum::<f64>()
+    }
+
+    /// One-line-per-loop human-readable summary.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for l in &self.loops {
+            writeln!(
+                out,
+                "{} mode {}: {:.3} ms wall (gpu {:.3} ms / cpu {:.3} ms, {}/{} iters, {} B moved)",
+                l.loop_id,
+                l.mode,
+                l.wall_s * 1e3,
+                l.gpu_busy_s * 1e3,
+                l.cpu_busy_s * 1e3,
+                l.gpu_iters,
+                l.cpu_iters,
+                l.bytes_in + l.bytes_out,
+            )
+            .unwrap();
+        }
+        for s in &self.stealing {
+            writeln!(
+                out,
+                "stealing pool: {:.3} ms wall, {} tasks ({} stolen), CPU share {:.1}%",
+                s.wall_s * 1e3,
+                s.tasks.len(),
+                s.stolen_by_cpu + s.stolen_by_gpu,
+                s.cpu_iter_share() * 100.0,
+            )
+            .unwrap();
+        }
+        if self.profiling_s > 0.0 {
+            writeln!(out, "profiling: {:.3} ms", self.profiling_s * 1e3).unwrap();
+        }
+        writeln!(out, "total: {:.3} ms", self.total_s * 1e3).unwrap();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_formats_without_panic() {
+        let r = RunReport {
+            total_s: 0.001,
+            ..RunReport::default()
+        };
+        assert!(r.summary().contains("total"));
+        assert_eq!(r.loops_wall_s(), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! CPU model configuration.
+
+use japonica_ir::{CostTable, OpClass};
+
+/// Parameters of the simulated CPU side. Defaults model the paper's two
+/// Intel Xeon X5650 sockets (12 cores total @ 2.66 GHz) running JIT-compiled
+/// Java.
+#[derive(Debug, Clone)]
+pub struct CpuConfig {
+    /// Physical cores available for loop work.
+    pub cores: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Sustained IR-ops-per-cycle for this interpreter's op mix, folded
+    /// together with the JIT quality of the 2010-era Java runtime the paper
+    /// ran on (HotSpot under JDK 1.6, bounds checks, object headers).
+    /// Calibrated once, globally — never per benchmark.
+    pub ipc: f64,
+    /// Fixed cost to dispatch one chunk to a worker thread, in microseconds
+    /// (thread wake-up + queue handoff).
+    pub chunk_dispatch_us: f64,
+    /// Per-op issue costs.
+    pub cost: CostTable,
+}
+
+impl CpuConfig {
+    /// Seconds for `cycles` core cycles on one core.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9 * self.ipc)
+    }
+}
+
+impl Default for CpuConfig {
+    fn default() -> CpuConfig {
+        CpuConfig {
+            cores: 12,
+            clock_ghz: 2.66,
+            ipc: 0.2,
+            chunk_dispatch_us: 5.0,
+            cost: cpu_cost_table(),
+        }
+    }
+}
+
+/// Per-op costs of an out-of-order x86 core running JIT-compiled Java.
+/// Array accesses fold in the JVM's bounds checks and object-header
+/// indirection on top of cache latency; there is no warp-level coalescing
+/// effect to model.
+pub fn cpu_cost_table() -> CostTable {
+    CostTable::uniform(1.0)
+        .with(OpClass::IntMul, 3.0)
+        .with(OpClass::IntDiv, 22.0)
+        .with(OpClass::FpAlu, 2.0)
+        .with(OpClass::FpDiv, 22.0)
+        .with(OpClass::Special, 45.0)
+        .with(OpClass::Cast, 1.0)
+        .with(OpClass::Branch, 1.5)
+        .with(OpClass::Move, 1.0)
+        .with(OpClass::Load, 12.0)
+        .with(OpClass::Store, 12.0)
+        .with(OpClass::Call, 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_model_the_paper_testbed() {
+        let c = CpuConfig::default();
+        assert_eq!(c.cores, 12);
+        assert!((c.clock_ghz - 2.66).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_to_seconds_scales_with_ipc() {
+        let mut c = CpuConfig {
+            ipc: 1.0,
+            ..CpuConfig::default()
+        };
+        let t1 = c.cycles_to_seconds(2.66e9);
+        assert!((t1 - 1.0).abs() < 1e-9);
+        c.ipc = 2.0;
+        assert!((c.cycles_to_seconds(2.66e9) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn special_functions_are_expensive_on_java() {
+        let t = cpu_cost_table();
+        assert!(t.cost(OpClass::Special) > 10.0 * t.cost(OpClass::FpAlu));
+    }
+}

@@ -1,0 +1,299 @@
+//! Sequential and multi-threaded chunk execution of canonical loops.
+
+use crate::buffer::BufferedBackend;
+use crate::config::CpuConfig;
+use japonica_ir::{
+    CountingBackend, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, LoopBounds, OpCounts,
+    Program,
+};
+use std::ops::Range;
+
+/// Result of executing an iteration range on the CPU model.
+#[derive(Debug, Clone)]
+pub struct CpuReport {
+    /// Simulated seconds of CPU time (critical path over cores).
+    pub time_s: f64,
+    /// Total op counts across all threads.
+    pub counts: OpCounts,
+    /// Worker threads used.
+    pub threads_used: u32,
+    /// Modeled busy seconds per worker thread (before core packing).
+    pub per_thread_seconds: Vec<f64>,
+}
+
+impl CpuReport {
+    /// An empty execution.
+    pub fn empty() -> CpuReport {
+        CpuReport {
+            time_s: 0.0,
+            counts: OpCounts::new(),
+            threads_used: 0,
+            per_thread_seconds: Vec::new(),
+        }
+    }
+
+    /// Chain a subsequent execution (runs back-to-back).
+    pub fn chain(&mut self, other: &CpuReport) {
+        self.time_s += other.time_s;
+        self.counts.merge(&other.counts);
+        self.threads_used = self.threads_used.max(other.threads_used);
+    }
+}
+
+/// Execute iterations `range` of `loop_` sequentially on one core
+/// (the paper's mode C and all serial baselines).
+pub fn run_sequential(
+    program: &Program,
+    cfg: &CpuConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    env: &mut Env,
+    heap: &mut Heap,
+) -> Result<CpuReport, ExecError> {
+    let interp = Interp::new(program);
+    let mut be = CountingBackend::new(HeapBackend::new(heap));
+    interp.exec_range(loop_, bounds, range.start, range.end, env, &mut be)?;
+    let cycles = be.cycles(&cfg.cost);
+    Ok(CpuReport {
+        time_s: cfg.cycles_to_seconds(cycles),
+        counts: be.counts,
+        threads_used: 1,
+        per_thread_seconds: vec![cfg.cycles_to_seconds(cycles)],
+    })
+}
+
+/// Execute iterations `range` of `loop_` on `threads` worker threads
+/// (contiguous chunks, real OS threads via crossbeam scoped threads).
+///
+/// Each worker runs against a private write buffer; buffers are committed
+/// to the heap in chunk order afterwards, so a DOALL loop yields exactly
+/// the sequential result. Modeled time packs worker busy-times onto
+/// `cfg.cores` cores and takes the busiest core.
+#[allow(clippy::too_many_arguments)] // mirrors the launch signature (program/config/loop/range/state)
+pub fn run_parallel(
+    program: &Program,
+    cfg: &CpuConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    env: &Env,
+    heap: &mut Heap,
+    threads: u32,
+) -> Result<CpuReport, ExecError> {
+    let total = range.end.saturating_sub(range.start);
+    if total == 0 {
+        return Ok(CpuReport::empty());
+    }
+    let threads = threads.max(1).min(total as u32);
+    // Contiguous, balanced chunks.
+    let mut chunks: Vec<Range<u64>> = Vec::with_capacity(threads as usize);
+    let base = total / threads as u64;
+    let extra = total % threads as u64;
+    let mut lo = range.start;
+    for t in 0..threads as u64 {
+        let len = base + if t < extra { 1 } else { 0 };
+        chunks.push(lo..lo + len);
+        lo += len;
+    }
+
+    let interp = Interp::new(program);
+    let heap_ref: &Heap = heap;
+    let results: Vec<Result<(BufferedBackend, Range<u64>), ExecError>> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .cloned()
+                .map(|chunk| {
+                    let interp = &interp;
+                    let env = env.clone();
+                    scope.spawn(move |_| {
+                        let mut be = BufferedBackend::new(heap_ref);
+                        let mut env = env;
+                        interp
+                            .exec_range(loop_, bounds, chunk.start, chunk.end, &mut env, &mut be)
+                            .map(|_| (be, chunk))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        })
+        .expect("thread scope");
+
+    let mut counts = OpCounts::new();
+    let mut per_thread = Vec::with_capacity(threads as usize);
+    let mut buffers = Vec::with_capacity(threads as usize);
+    for r in results {
+        let (be, chunk) = r?;
+        let cycles = cfg.cost.total(&be.counts);
+        per_thread.push(cfg.cycles_to_seconds(cycles) + cfg.chunk_dispatch_us * 1e-6);
+        counts.merge(&be.counts);
+        buffers.push((chunk.start, be.into_writes()));
+    }
+    // Commit in chunk order (sequential last-writer-wins semantics).
+    buffers.sort_by_key(|(start, _)| *start);
+    for (_, writes) in buffers {
+        crate::buffer::apply_writes(heap, writes)?;
+    }
+    // Pack threads onto cores round-robin; the busiest core is the
+    // critical path.
+    let mut core_load = vec![0.0f64; cfg.cores as usize];
+    for (t, s) in per_thread.iter().enumerate() {
+        core_load[t % cfg.cores as usize] += *s;
+    }
+    let time_s = core_load.iter().copied().fold(0.0, f64::max);
+    Ok(CpuReport {
+        time_s,
+        counts,
+        threads_used: threads,
+        per_thread_seconds: per_thread,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_frontend::compile_source;
+    use japonica_ir::Value;
+
+    fn setup(
+        src: &str,
+        fname: &str,
+    ) -> (Program, ForLoop, Env, Heap, japonica_ir::ArrayId, usize) {
+        setup_n(src, fname, 1000)
+    }
+
+    fn setup_n(
+        src: &str,
+        fname: &str,
+        n: usize,
+    ) -> (Program, ForLoop, Env, Heap, japonica_ir::ArrayId, usize) {
+        let p = compile_source(src).unwrap();
+        let (_, f) = p.function_by_name(fname).unwrap();
+        let l = f
+            .all_loops()
+            .into_iter()
+            .find(|l| l.is_annotated())
+            .unwrap()
+            .clone();
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&vec![1.5; n]);
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(a));
+        env.set(f.params[1].var, Value::Int(n as i32));
+        (p.clone(), l, env, heap, a, n)
+    }
+
+    const SCALE: &str = "static void scale(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+    }";
+
+    #[test]
+    fn sequential_matches_expected_results() {
+        let (p, l, env, mut heap, a, n) = setup(SCALE, "scale");
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let r = run_sequential(&p, &cfg, &l, &bounds, 0..n as u64, &mut env.clone(), &mut heap).unwrap();
+        assert!(r.time_s > 0.0);
+        assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_results() {
+        let (p, l, env, mut heap, a, n) = setup(SCALE, "scale");
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 16).unwrap();
+        assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 3.0));
+    }
+
+    #[test]
+    fn parallel_is_modeled_faster_than_sequential() {
+        // Large enough that per-chunk dispatch overhead is amortized.
+        let (p, l, env, mut heap, _, n) = setup_n(SCALE, "scale", 100_000);
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let seq =
+            run_sequential(&p, &cfg, &l, &bounds, 0..n as u64, &mut env.clone(), &mut heap.clone())
+                .unwrap();
+        let par =
+            run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 12).unwrap();
+        assert!(
+            par.time_s < seq.time_s / 4.0,
+            "par {} vs seq {}",
+            par.time_s,
+            seq.time_s
+        );
+    }
+
+    #[test]
+    fn more_threads_than_cores_does_not_help() {
+        let (p, l, env, heap, _, n) = setup(SCALE, "scale");
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let t12 = run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap.clone(), 12)
+            .unwrap();
+        let t48 = run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap.clone(), 48)
+            .unwrap();
+        // Oversubscription cannot beat the core count by more than noise.
+        assert!(t48.time_s > t12.time_s * 0.8);
+    }
+
+    #[test]
+    fn partial_range_executes_only_that_range() {
+        let (p, l, env, mut heap, a, n) = setup(SCALE, "scale");
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        run_parallel(&p, &cfg, &l, &bounds, 100..200, &env, &mut heap, 4).unwrap();
+        let vals = heap.read_doubles(a).unwrap();
+        assert_eq!(vals[99], 1.5);
+        assert_eq!(vals[150], 3.0);
+        assert_eq!(vals[200], 1.5);
+    }
+
+    #[test]
+    fn empty_range_is_free() {
+        let (p, l, env, mut heap, _, _) = setup(SCALE, "scale");
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: 0, step: 1 };
+        let r = run_parallel(&p, &cfg, &l, &bounds, 0..0, &env, &mut heap, 8).unwrap();
+        assert_eq!(r.time_s, 0.0);
+        assert_eq!(r.threads_used, 0);
+    }
+
+    #[test]
+    fn runtime_error_in_worker_propagates() {
+        let src = "static void f(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i + 5000] = 0.0; }
+        }";
+        let (p, l, env, mut heap, _, n) = setup(src, "f");
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let err = run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8);
+        assert!(matches!(err, Err(ExecError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn temp_heavy_loop_works_in_parallel() {
+        // iteration-local temp array exercises the local-alloc path
+        let src = "static void f(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                double[] t = new double[4];
+                t[0] = a[i];
+                t[1] = t[0] * 2.0;
+                a[i] = t[1];
+            }
+        }";
+        let (p, l, env, mut heap, a, n) = setup(src, "f");
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8).unwrap();
+        assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 3.0));
+    }
+}

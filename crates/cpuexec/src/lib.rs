@@ -1,0 +1,27 @@
+//! # japonica-cpuexec
+//!
+//! CPU-side loop execution for Japonica, standing in for the paper's
+//! multi-threaded Java on a 2× Xeon X5650 (12 cores @ 2.66 GHz):
+//!
+//! * [`config::CpuConfig`] — core count, clock, a JIT-efficiency factor
+//!   calibrated once globally (Java vs. native), and a per-op cost table;
+//! * [`executor::run_sequential`] — single-thread execution of an iteration
+//!   range (the paper's mode C and the serial baselines);
+//! * [`executor::run_parallel`] — chunked execution over real OS threads
+//!   (crossbeam scoped threads), each thread working on a private write
+//!   buffer that is committed in chunk order afterwards, so DOALL loops
+//!   produce exactly the sequential result;
+//! * [`buffer::BufferedBackend`] — the read-through/write-buffer backend
+//!   that makes the shared heap safe to use from many threads.
+//!
+//! Reported times come from the same cycle-accounting model the GPU
+//! simulator uses, so CPU:GPU ratios are controlled by configuration, not
+//! by host-machine noise.
+
+pub mod buffer;
+pub mod config;
+pub mod executor;
+
+pub use buffer::BufferedBackend;
+pub use config::CpuConfig;
+pub use executor::{run_parallel, run_sequential, CpuReport};

@@ -1,0 +1,278 @@
+//! Parser for the OpenACC-style annotation clause grammar (paper Table I).
+//!
+//! Annotations arrive from the lexer as the raw body of an
+//! `/* acc parallel [clause [], clause []...] */` comment. Clause arguments
+//! may contain full MiniJava expressions (e.g. `copyin(a[0:n*n])`), which
+//! are parsed with the main expression parser.
+
+use crate::ast::AExpr;
+use crate::error::{CompileError, Pos};
+use crate::lexer;
+use crate::parser::Parser;
+use crate::token::Tok;
+use japonica_ir::Scheme;
+
+/// An `arr[low:high]` (or bare `arr`) argument of a data clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ARange {
+    pub name: String,
+    pub pos: Pos,
+    /// Inclusive lower bound; `None` = 0.
+    pub lo: Option<AExpr>,
+    /// Exclusive upper bound; `None` = whole array.
+    pub hi: Option<AExpr>,
+}
+
+/// A parsed loop annotation (paper Table I clauses).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AAnnot {
+    pub pos: Pos,
+    /// `parallel` clause present.
+    pub parallel: bool,
+    /// `private(list)` variable names.
+    pub private: Vec<(String, Pos)>,
+    /// `copyin(list)` ranges.
+    pub copyin: Vec<ARange>,
+    /// `copyout(list)` ranges.
+    pub copyout: Vec<ARange>,
+    /// `create(list)` ranges.
+    pub create: Vec<ARange>,
+    /// `threads(n)` CPU thread count.
+    pub threads: Option<u32>,
+    /// `scheme(sharing|stealing)`.
+    pub scheme: Option<Scheme>,
+}
+
+/// Parse the body of an `acc` comment (text starts with `acc`).
+pub fn parse_annot(text: &str, pos: Pos) -> Result<AAnnot, CompileError> {
+    let tokens = lexer::lex(text).map_err(|e| CompileError::at(pos, e.msg))?;
+    let mut p = Parser::new(tokens);
+    let mut a = AAnnot {
+        pos,
+        ..AAnnot::default()
+    };
+    // Leading `acc`
+    match p.bump_tok() {
+        Tok::Ident(s) if s == "acc" => {}
+        other => {
+            return Err(CompileError::at(
+                pos,
+                format!("annotation must start with `acc`, found `{other}`"),
+            ))
+        }
+    }
+    loop {
+        let cpos = p.pos();
+        match p.bump_tok() {
+            Tok::Eof => break,
+            Tok::Comma => continue,
+            Tok::Ident(name) => match name.as_str() {
+                "parallel" => a.parallel = true,
+                "private" => {
+                    for (n, np) in ident_list(&mut p, cpos)? {
+                        a.private.push((n, np));
+                    }
+                }
+                "copyin" => a.copyin.extend(range_list(&mut p, cpos)?),
+                "copyout" => a.copyout.extend(range_list(&mut p, cpos)?),
+                "create" => a.create.extend(range_list(&mut p, cpos)?),
+                "threads" => {
+                    p.expect(&Tok::LParen)?;
+                    let n = match p.bump_tok() {
+                        Tok::IntLit(v) if v > 0 => v as u32,
+                        other => {
+                            return Err(CompileError::at(
+                                cpos,
+                                format!("threads(...) needs a positive int, found `{other}`"),
+                            ))
+                        }
+                    };
+                    p.expect(&Tok::RParen)?;
+                    a.threads = Some(n);
+                }
+                "scheme" => {
+                    p.expect(&Tok::LParen)?;
+                    let s = match p.bump_tok() {
+                        Tok::Ident(s) if s == "sharing" => Scheme::Sharing,
+                        Tok::Ident(s) if s == "stealing" => Scheme::Stealing,
+                        other => {
+                            return Err(CompileError::at(
+                                cpos,
+                                format!("scheme must be `sharing` or `stealing`, found `{other}`"),
+                            ))
+                        }
+                    };
+                    p.expect(&Tok::RParen)?;
+                    a.scheme = Some(s);
+                }
+                other => {
+                    return Err(CompileError::at(
+                        cpos,
+                        format!("unknown annotation clause `{other}`"),
+                    ))
+                }
+            },
+            other => {
+                return Err(CompileError::at(
+                    cpos,
+                    format!("unexpected token `{other}` in annotation"),
+                ))
+            }
+        }
+    }
+    if !a.parallel {
+        return Err(CompileError::at(
+            pos,
+            "annotation is missing the `parallel` clause",
+        ));
+    }
+    Ok(a)
+}
+
+fn ident_list(p: &mut Parser, cpos: Pos) -> Result<Vec<(String, Pos)>, CompileError> {
+    p.expect(&Tok::LParen)?;
+    let mut out = Vec::new();
+    loop {
+        let ip = p.pos();
+        match p.bump_tok() {
+            Tok::Ident(s) => out.push((s, ip)),
+            other => {
+                return Err(CompileError::at(
+                    cpos,
+                    format!("expected variable name, found `{other}`"),
+                ))
+            }
+        }
+        match p.bump_tok() {
+            Tok::Comma => continue,
+            Tok::RParen => break,
+            other => {
+                return Err(CompileError::at(
+                    cpos,
+                    format!("expected `,` or `)`, found `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn range_list(p: &mut Parser, cpos: Pos) -> Result<Vec<ARange>, CompileError> {
+    p.expect(&Tok::LParen)?;
+    let mut out = Vec::new();
+    loop {
+        let ip = p.pos();
+        let name = match p.bump_tok() {
+            Tok::Ident(s) => s,
+            other => {
+                return Err(CompileError::at(
+                    cpos,
+                    format!("expected array name, found `{other}`"),
+                ))
+            }
+        };
+        let mut lo = None;
+        let mut hi = None;
+        if p.eat(&Tok::LBracket) {
+            lo = Some(p.parse_expr()?);
+            p.expect(&Tok::Colon)?;
+            hi = Some(p.parse_expr()?);
+            p.expect(&Tok::RBracket)?;
+        }
+        out.push(ARange {
+            name,
+            pos: ip,
+            lo,
+            hi,
+        });
+        match p.bump_tok() {
+            Tok::Comma => continue,
+            Tok::RParen => break,
+            other => {
+                return Err(CompileError::at(
+                    cpos,
+                    format!("expected `,` or `)`, found `{other}`"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::AExprKind;
+
+    fn parse(s: &str) -> AAnnot {
+        parse_annot(s, Pos::new(1, 1)).unwrap()
+    }
+
+    #[test]
+    fn bare_parallel() {
+        let a = parse("acc parallel");
+        assert!(a.parallel);
+        assert!(a.copyin.is_empty());
+        assert!(a.threads.is_none());
+    }
+
+    #[test]
+    fn full_clause_set() {
+        let a = parse(
+            "acc parallel copyin(a[0:1024], b) copyout(c[1:n]) create(tmp) \
+             private(x, y) threads(16) scheme(stealing)",
+        );
+        assert!(a.parallel);
+        assert_eq!(a.copyin.len(), 2);
+        assert_eq!(a.copyin[0].name, "a");
+        assert!(a.copyin[0].lo.is_some());
+        assert!(a.copyin[1].lo.is_none());
+        assert_eq!(a.copyout.len(), 1);
+        assert_eq!(a.create.len(), 1);
+        assert_eq!(
+            a.private.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            vec!["x", "y"]
+        );
+        assert_eq!(a.threads, Some(16));
+        assert_eq!(a.scheme, Some(Scheme::Stealing));
+    }
+
+    #[test]
+    fn range_bounds_are_full_expressions() {
+        let a = parse("acc parallel copyin(a[0:n*n+1])");
+        match &a.copyin[0].hi.as_ref().unwrap().kind {
+            AExprKind::Binary(japonica_ir::BinOp::Add, _, _) => {}
+            other => panic!("expected add expr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_parallel_clause_rejected() {
+        assert!(parse_annot("acc copyin(a)", Pos::default()).is_err());
+    }
+
+    #[test]
+    fn unknown_clause_rejected() {
+        let e = parse_annot("acc parallel gang(4)", Pos::default()).unwrap_err();
+        assert!(e.msg.contains("gang"));
+    }
+
+    #[test]
+    fn scheme_validation() {
+        assert!(parse_annot("acc parallel scheme(greedy)", Pos::default()).is_err());
+        assert_eq!(parse("acc parallel scheme(sharing)").scheme, Some(Scheme::Sharing));
+    }
+
+    #[test]
+    fn threads_must_be_positive() {
+        assert!(parse_annot("acc parallel threads(0)", Pos::default()).is_err());
+    }
+
+    #[test]
+    fn comma_separated_clauses_tolerated() {
+        // The paper's format shows `clause [], clause []...`
+        let a = parse("acc parallel, copyin(a), threads(8)");
+        assert!(a.parallel);
+        assert_eq!(a.threads, Some(8));
+    }
+}

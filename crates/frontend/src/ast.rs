@@ -1,0 +1,160 @@
+//! The MiniJava abstract syntax tree (pre-resolution: names are strings).
+
+use crate::annot::AAnnot;
+use crate::error::Pos;
+use japonica_ir::{BinOp, Intrinsic, Ty, UnOp};
+
+/// A declared type: scalar primitive or array of primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AType {
+    Prim(Ty),
+    Array(Ty),
+}
+
+impl std::fmt::Display for AType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AType::Prim(t) => write!(f, "{t}"),
+            AType::Array(t) => write!(f, "{t}[]"),
+        }
+    }
+}
+
+/// An expression with a source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AExpr {
+    pub kind: AExprKind,
+    pub pos: Pos,
+}
+
+impl AExpr {
+    /// Construct an expression node.
+    pub fn new(kind: AExprKind, pos: Pos) -> AExpr {
+        AExpr { kind, pos }
+    }
+}
+
+/// Expression node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AExprKind {
+    Int(i32),
+    Long(i64),
+    Float(f32),
+    Double(f64),
+    Bool(bool),
+    /// A variable reference.
+    Name(String),
+    Unary(UnOp, Box<AExpr>),
+    Binary(BinOp, Box<AExpr>, Box<AExpr>),
+    Cast(Ty, Box<AExpr>),
+    /// `base[index]` — the base is restricted to a simple name.
+    Index(String, Box<AExpr>),
+    /// `base.length`
+    Length(String),
+    /// `Math.f(args)`
+    Math(Intrinsic, Vec<AExpr>),
+    /// Call of a user `static` function.
+    Call(String, Vec<AExpr>),
+    /// `c ? t : e`
+    Ternary(Box<AExpr>, Box<AExpr>, Box<AExpr>),
+}
+
+/// Assignment target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ATarget {
+    /// Scalar / array-reference variable.
+    Var(String),
+    /// Array element `name[index]`.
+    Elem(String, AExpr),
+}
+
+/// Variable initializer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AInit {
+    Expr(AExpr),
+    /// `new ty[len]`
+    NewArray { elem: Ty, len: AExpr },
+}
+
+/// A statement with a source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AStmt {
+    pub kind: AStmtKind,
+    pub pos: Pos,
+}
+
+impl AStmt {
+    /// Construct a statement node.
+    pub fn new(kind: AStmtKind, pos: Pos) -> AStmt {
+        AStmt { kind, pos }
+    }
+}
+
+/// Statement node kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AStmtKind {
+    /// Local declaration `ty name (= init)?;`
+    Decl {
+        ty: AType,
+        name: String,
+        init: Option<AInit>,
+    },
+    /// Simple or compound assignment: `target = value` or
+    /// `target op= value` (`op` is the compound operator, if any).
+    Assign {
+        target: ATarget,
+        op: Option<BinOp>,
+        value: AExpr,
+    },
+    /// `name++` / `name--`.
+    IncDec { name: String, inc: bool },
+    If {
+        cond: AExpr,
+        then_branch: Vec<AStmt>,
+        else_branch: Vec<AStmt>,
+    },
+    While {
+        cond: AExpr,
+        body: Vec<AStmt>,
+    },
+    /// A `for` loop, optionally carrying an `/* acc ... */` annotation.
+    For {
+        annot: Option<AAnnot>,
+        init: Option<Box<AStmt>>,
+        cond: AExpr,
+        update: Option<Box<AStmt>>,
+        body: Vec<AStmt>,
+    },
+    Return(Option<AExpr>),
+    Break,
+    Continue,
+    /// Bare expression statement (function call).
+    ExprStmt(AExpr),
+    /// Nested block scope.
+    Block(Vec<AStmt>),
+}
+
+/// A `static` function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AFunction {
+    pub name: String,
+    pub pos: Pos,
+    /// `(type, name, pos)` per parameter.
+    pub params: Vec<(AType, String, Pos)>,
+    /// `None` = `void`.
+    pub ret: Option<Ty>,
+    pub body: Vec<AStmt>,
+}
+
+/// A parsed compilation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Unit {
+    pub functions: Vec<AFunction>,
+}
+
+impl Unit {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&AFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+}

@@ -1,0 +1,61 @@
+//! Compile-time diagnostics.
+
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Pos {
+    /// Construct a position.
+    pub fn new(line: u32, col: u32) -> Pos {
+        Pos { line, col }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A compilation error with source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    /// Where the error was detected.
+    pub pos: Pos,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl CompileError {
+    /// Construct an error at `pos`.
+    pub fn at(pos: Pos, msg: impl Into<String>) -> CompileError {
+        CompileError {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location() {
+        let e = CompileError::at(Pos::new(3, 7), "unexpected token");
+        assert_eq!(e.to_string(), "error at 3:7: unexpected token");
+    }
+}

@@ -1,0 +1,471 @@
+//! Hand-written MiniJava lexer.
+//!
+//! Ordinary `//` and `/* */` comments are skipped; block comments whose body
+//! starts with `acc` (optionally after whitespace/`*`) are emitted as
+//! [`Tok::Annot`] tokens so the parser can attach them to the following
+//! `for` statement (paper §III-B retains JavaR's comment-annotation style).
+
+use crate::error::{CompileError, Pos};
+use crate::token::{Tok, Token};
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Tokenize MiniJava source text.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    loop {
+        let t = lx.next_token()?;
+        let end = t.tok == Tok::Eof;
+        out.push(t);
+        if end {
+            return Ok(out);
+        }
+    }
+}
+
+impl<'s> Lexer<'s> {
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.i + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.src.get(self.i + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) -> Result<Option<Token>, CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    let mut body = String::new();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => body.push(self.bump().unwrap() as char),
+                            None => {
+                                return Err(CompileError::at(start, "unterminated block comment"))
+                            }
+                        }
+                    }
+                    // Strip leading decoration and detect `acc` annotations.
+                    let trimmed = body
+                        .trim_start_matches(|c: char| c.is_whitespace() || c == '*')
+                        .trim_end();
+                    if trimmed.starts_with("acc")
+                        && trimmed[3..].chars().next().is_none_or(|c| c.is_whitespace())
+                    {
+                        return Ok(Some(Token::new(Tok::Annot(trimmed.to_string()), start)));
+                    }
+                }
+                _ => return Ok(None),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, CompileError> {
+        if let Some(annot) = self.skip_trivia()? {
+            return Ok(annot);
+        }
+        let pos = self.pos();
+        let c = match self.peek() {
+            None => return Ok(Token::new(Tok::Eof, pos)),
+            Some(c) => c,
+        };
+        if c.is_ascii_digit() {
+            return self.number(pos);
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            return Ok(self.word(pos));
+        }
+        self.bump();
+        let two = |lx: &mut Lexer, t: Tok| {
+            lx.bump();
+            t
+        };
+        let tok = match c {
+            b'(' => Tok::LParen,
+            b')' => Tok::RParen,
+            b'{' => Tok::LBrace,
+            b'}' => Tok::RBrace,
+            b'[' => Tok::LBracket,
+            b']' => Tok::RBracket,
+            b';' => Tok::Semi,
+            b',' => Tok::Comma,
+            b'.' => Tok::Dot,
+            b':' => Tok::Colon,
+            b'?' => Tok::Question,
+            b'~' => Tok::Tilde,
+            b'^' => Tok::Caret,
+            b'+' => match self.peek() {
+                Some(b'+') => two(self, Tok::PlusPlus),
+                Some(b'=') => two(self, Tok::PlusAssign),
+                _ => Tok::Plus,
+            },
+            b'-' => match self.peek() {
+                Some(b'-') => two(self, Tok::MinusMinus),
+                Some(b'=') => two(self, Tok::MinusAssign),
+                _ => Tok::Minus,
+            },
+            b'*' => match self.peek() {
+                Some(b'=') => two(self, Tok::StarAssign),
+                _ => Tok::Star,
+            },
+            b'/' => match self.peek() {
+                Some(b'=') => two(self, Tok::SlashAssign),
+                _ => Tok::Slash,
+            },
+            b'%' => match self.peek() {
+                Some(b'=') => two(self, Tok::PercentAssign),
+                _ => Tok::Percent,
+            },
+            b'&' => match self.peek() {
+                Some(b'&') => two(self, Tok::AmpAmp),
+                _ => Tok::Amp,
+            },
+            b'|' => match self.peek() {
+                Some(b'|') => two(self, Tok::PipePipe),
+                _ => Tok::Pipe,
+            },
+            b'!' => match self.peek() {
+                Some(b'=') => two(self, Tok::Ne),
+                _ => Tok::Bang,
+            },
+            b'=' => match self.peek() {
+                Some(b'=') => two(self, Tok::EqEq),
+                _ => Tok::Assign,
+            },
+            b'<' => match self.peek() {
+                Some(b'=') => two(self, Tok::Le),
+                Some(b'<') => two(self, Tok::Shl),
+                _ => Tok::Lt,
+            },
+            b'>' => match self.peek() {
+                Some(b'=') => two(self, Tok::Ge),
+                Some(b'>') => {
+                    self.bump();
+                    if self.peek() == Some(b'>') {
+                        self.bump();
+                        Tok::UShr
+                    } else {
+                        Tok::Shr
+                    }
+                }
+                _ => Tok::Gt,
+            },
+            other => {
+                return Err(CompileError::at(
+                    pos,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        Ok(Token::new(tok, pos))
+    }
+
+    fn word(&mut self, pos: Pos) -> Token {
+        let start = self.i;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let s = std::str::from_utf8(&self.src[start..self.i]).unwrap();
+        let tok = match s {
+            "static" => Tok::KwStatic,
+            "void" => Tok::KwVoid,
+            "boolean" => Tok::KwBoolean,
+            "int" => Tok::KwInt,
+            "long" => Tok::KwLong,
+            "float" => Tok::KwFloat,
+            "double" => Tok::KwDouble,
+            "if" => Tok::KwIf,
+            "else" => Tok::KwElse,
+            "for" => Tok::KwFor,
+            "while" => Tok::KwWhile,
+            "return" => Tok::KwReturn,
+            "break" => Tok::KwBreak,
+            "continue" => Tok::KwContinue,
+            "new" => Tok::KwNew,
+            "true" => Tok::BoolLit(true),
+            "false" => Tok::BoolLit(false),
+            _ => Tok::Ident(s.to_string()),
+        };
+        Token::new(tok, pos)
+    }
+
+    fn number(&mut self, pos: Pos) -> Result<Token, CompileError> {
+        let start = self.i;
+        // Hex literal
+        if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X')) {
+            self.bump();
+            self.bump();
+            let hstart = self.i;
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let digits = std::str::from_utf8(&self.src[hstart..self.i]).unwrap();
+            if digits.is_empty() {
+                return Err(CompileError::at(pos, "empty hex literal"));
+            }
+            if matches!(self.peek(), Some(b'l') | Some(b'L')) {
+                self.bump();
+                let v = u64::from_str_radix(digits, 16)
+                    .map_err(|_| CompileError::at(pos, "hex literal too large for long"))?;
+                return Ok(Token::new(Tok::LongLit(v as i64), pos));
+            }
+            let v = u32::from_str_radix(digits, 16)
+                .map_err(|_| CompileError::at(pos, "hex literal too large for int"))?;
+            return Ok(Token::new(Tok::IntLit(v as i32), pos));
+        }
+
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                self.bump();
+            } else if c == b'.' && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+            } else if (c == b'e' || c == b'E')
+                && (self.peek2().is_some_and(|d| d.is_ascii_digit())
+                    || (matches!(self.peek2(), Some(b'+') | Some(b'-'))
+                        && self.peek3().is_some_and(|d| d.is_ascii_digit())))
+            {
+                is_float = true;
+                self.bump();
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.i]).unwrap();
+        match self.peek() {
+            Some(b'f') | Some(b'F') => {
+                self.bump();
+                let v: f32 = text
+                    .parse()
+                    .map_err(|_| CompileError::at(pos, "malformed float literal"))?;
+                Ok(Token::new(Tok::FloatLit(v), pos))
+            }
+            Some(b'l') | Some(b'L') if !is_float => {
+                self.bump();
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| CompileError::at(pos, "malformed long literal"))?;
+                Ok(Token::new(Tok::LongLit(v), pos))
+            }
+            Some(b'd') | Some(b'D') => {
+                self.bump();
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| CompileError::at(pos, "malformed double literal"))?;
+                Ok(Token::new(Tok::DoubleLit(v), pos))
+            }
+            _ if is_float => {
+                let v: f64 = text
+                    .parse()
+                    .map_err(|_| CompileError::at(pos, "malformed double literal"))?;
+                Ok(Token::new(Tok::DoubleLit(v), pos))
+            }
+            _ => {
+                let v: i64 = text
+                    .parse()
+                    .map_err(|_| CompileError::at(pos, "malformed int literal"))?;
+                if v > i32::MAX as i64 {
+                    return Err(CompileError::at(
+                        pos,
+                        "int literal overflows; use an L suffix",
+                    ));
+                }
+                Ok(Token::new(Tok::IntLit(v as i32), pos))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            toks("static int foo"),
+            vec![
+                Tok::KwStatic,
+                Tok::KwInt,
+                Tok::Ident("foo".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals() {
+        assert_eq!(
+            toks("42 42L 1.5 2.5f 1e3 0x1F 0xffL 3d"),
+            vec![
+                Tok::IntLit(42),
+                Tok::LongLit(42),
+                Tok::DoubleLit(1.5),
+                Tok::FloatLit(2.5),
+                Tok::DoubleLit(1000.0),
+                Tok::IntLit(31),
+                Tok::LongLit(255),
+                Tok::DoubleLit(3.0),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn int_literal_overflow_is_reported() {
+        assert!(lex("2147483648").is_err());
+        assert_eq!(toks("2147483647")[0], Tok::IntLit(i32::MAX));
+    }
+
+    #[test]
+    fn operators_longest_match() {
+        assert_eq!(
+            toks("a >>> b >> c << d <= e == f != g && h || i += j ++"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::UShr,
+                Tok::Ident("b".into()),
+                Tok::Shr,
+                Tok::Ident("c".into()),
+                Tok::Shl,
+                Tok::Ident("d".into()),
+                Tok::Le,
+                Tok::Ident("e".into()),
+                Tok::EqEq,
+                Tok::Ident("f".into()),
+                Tok::Ne,
+                Tok::Ident("g".into()),
+                Tok::AmpAmp,
+                Tok::Ident("h".into()),
+                Tok::PipePipe,
+                Tok::Ident("i".into()),
+                Tok::PlusAssign,
+                Tok::Ident("j".into()),
+                Tok::PlusPlus,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn plain_comments_are_skipped() {
+        assert_eq!(
+            toks("a // line\n /* block */ b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn acc_comment_becomes_annotation_token() {
+        let ts = toks("/* acc parallel copyin(a[0:10]) */ for");
+        assert_eq!(ts.len(), 3);
+        match &ts[0] {
+            Tok::Annot(s) => assert_eq!(s, "acc parallel copyin(a[0:10])"),
+            other => panic!("expected annot, got {other:?}"),
+        }
+        assert_eq!(ts[1], Tok::KwFor);
+    }
+
+    #[test]
+    fn acc_prefix_requires_word_boundary() {
+        // "/* accelerate */" is an ordinary comment, not an annotation
+        assert_eq!(toks("/* accelerate */ x"), vec![Tok::Ident("x".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* acc parallel").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos, Pos::new(1, 1));
+        assert_eq!(ts[1].pos, Pos::new(2, 3));
+    }
+
+    #[test]
+    fn field_access_tokens() {
+        assert_eq!(
+            toks("a.length"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Dot,
+                Tok::Ident("length".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_char_reports_position() {
+        let err = lex("a @").unwrap_err();
+        assert_eq!(err.pos, Pos::new(1, 3));
+    }
+}

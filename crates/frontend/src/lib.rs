@@ -1,0 +1,47 @@
+//! # japonica-frontend
+//!
+//! The MiniJava front end of Japonica: the "code translator" input stage of
+//! the paper (§III). It turns annotated sequential MiniJava source into the
+//! [`japonica_ir`] loop IR:
+//!
+//! 1. [`lexer`] — tokenizes MiniJava, capturing `/* acc ... */` comments as
+//!    annotation tokens (all other comments are skipped);
+//! 2. [`parser`] — recursive-descent parser producing a typed AST;
+//! 3. [`annot`] — parses the OpenACC-style clause grammar of paper Table I;
+//! 4. [`sema`] — name resolution and Java-style type checking;
+//! 5. [`lower`] — lowers the AST to IR, canonicalizing annotated `for` loops
+//!    into counted [`japonica_ir::ForLoop`]s.
+//!
+//! The one-call entry point is [`compile_source`].
+
+pub mod annot;
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod sema;
+pub mod token;
+
+pub use error::CompileError;
+
+/// Compile MiniJava source text to an IR [`japonica_ir::Program`].
+///
+/// ```
+/// let src = r#"
+///     static void scale(double[] a, double[] b, int n) {
+///         /* acc parallel copyin(a[0:n]) copyout(b[0:n]) */
+///         for (int i = 0; i < n; i = i + 1) {
+///             b[i] = a[i] * 2.0;
+///         }
+///     }
+/// "#;
+/// let program = japonica_frontend::compile_source(src).unwrap();
+/// assert_eq!(program.functions.len(), 1);
+/// ```
+pub fn compile_source(src: &str) -> Result<japonica_ir::Program, CompileError> {
+    let tokens = lexer::lex(src)?;
+    let unit = parser::parse(tokens)?;
+    sema::check(&unit)?;
+    lower::lower(&unit)
+}

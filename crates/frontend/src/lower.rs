@@ -1,0 +1,708 @@
+//! Lowering from the MiniJava AST to the loop IR.
+//!
+//! The main transformation is loop canonicalization: every annotated `for`
+//! loop must be expressible as `for (i = start; i < end; i += step)` with a
+//! positive step, because that is the iteration space the parallelizer,
+//! GPU-TLS and the scheduler chunk over. Non-canonical, *un-annotated* loops
+//! are desugared into `while` loops instead.
+
+use crate::annot::AAnnot;
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use japonica_ir::{
+    ArrayRange, BinOp, Expr, ForLoop, Function, LoopAnnotation, LoopId, Param, ParamTy, Program,
+    Stmt, Ty, VarId,
+};
+use std::collections::HashMap;
+
+/// Lower a checked compilation unit.
+pub fn lower(unit: &Unit) -> Result<Program, CompileError> {
+    let fn_ids: HashMap<&str, japonica_ir::FnId> = unit
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.name.as_str(), japonica_ir::FnId(i as u32)))
+        .collect();
+    let mut program = Program::new();
+    let mut next_loop = 0u32;
+    for f in &unit.functions {
+        let mut lw = Lowerer {
+            fn_ids: &fn_ids,
+            scopes: Vec::new(),
+            next_var: 0,
+            var_names: Vec::new(),
+            next_loop: &mut next_loop,
+        };
+        program.add_function(lw.lower_function(f)?);
+    }
+    Ok(program)
+}
+
+struct Lowerer<'u> {
+    fn_ids: &'u HashMap<&'u str, japonica_ir::FnId>,
+    scopes: Vec<HashMap<String, (VarId, AType)>>,
+    next_var: u32,
+    var_names: Vec<String>,
+    next_loop: &'u mut u32,
+}
+
+impl<'u> Lowerer<'u> {
+    fn fresh(&mut self, name: &str) -> VarId {
+        let v = VarId(self.next_var);
+        self.next_var += 1;
+        self.var_names.push(name.to_string());
+        v
+    }
+
+    fn fresh_loop(&mut self) -> LoopId {
+        let id = LoopId(*self.next_loop);
+        *self.next_loop += 1;
+        id
+    }
+
+    fn declare(&mut self, name: &str, ty: AType) -> VarId {
+        let v = self.fresh(name);
+        self.scopes
+            .last_mut()
+            .expect("scope stack never empty")
+            .insert(name.to_string(), (v, ty));
+        v
+    }
+
+    fn lookup(&self, name: &str, pos: Pos) -> Result<(VarId, AType), CompileError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(&v) = scope.get(name) {
+                return Ok(v);
+            }
+        }
+        Err(CompileError::at(pos, format!("undeclared variable `{name}`")))
+    }
+
+    fn lower_function(&mut self, f: &AFunction) -> Result<Function, CompileError> {
+        self.scopes.push(HashMap::new());
+        let mut params = Vec::new();
+        for (ty, name, _) in &f.params {
+            let var = self.declare(name, *ty);
+            params.push(Param {
+                name: name.clone(),
+                var,
+                ty: match ty {
+                    AType::Prim(t) => ParamTy::Scalar(*t),
+                    AType::Array(t) => ParamTy::Array(*t),
+                },
+            });
+        }
+        let body = self.lower_block(&f.body)?;
+        self.scopes.pop();
+        Ok(Function {
+            name: f.name.clone(),
+            params,
+            ret: f.ret,
+            body,
+            num_vars: self.next_var,
+            var_names: std::mem::take(&mut self.var_names),
+        })
+    }
+
+    fn lower_block(&mut self, stmts: &[AStmt]) -> Result<Vec<Stmt>, CompileError> {
+        self.scopes.push(HashMap::new());
+        let mut out = Vec::new();
+        for s in stmts {
+            self.lower_stmt(s, &mut out)?;
+        }
+        self.scopes.pop();
+        Ok(out)
+    }
+
+    fn lower_stmt(&mut self, s: &AStmt, out: &mut Vec<Stmt>) -> Result<(), CompileError> {
+        match &s.kind {
+            AStmtKind::Decl { ty, name, init } => match (ty, init) {
+                (AType::Prim(t), init) => {
+                    let e = match init {
+                        Some(AInit::Expr(e)) => Some(self.lower_expr(e)?),
+                        Some(AInit::NewArray { .. }) => {
+                            return Err(CompileError::at(
+                                s.pos,
+                                "cannot assign an array to a scalar",
+                            ))
+                        }
+                        None => None,
+                    };
+                    let var = self.declare(name, *ty);
+                    out.push(Stmt::DeclVar {
+                        var,
+                        ty: *t,
+                        init: e,
+                    });
+                }
+                (AType::Array(_), Some(AInit::NewArray { elem, len })) => {
+                    let len = self.lower_expr(len)?;
+                    let var = self.declare(name, *ty);
+                    out.push(Stmt::NewArray {
+                        var,
+                        elem: *elem,
+                        len,
+                    });
+                }
+                (AType::Array(_), Some(AInit::Expr(e))) => {
+                    let value = self.lower_expr(e)?;
+                    let var = self.declare(name, *ty);
+                    out.push(Stmt::Assign { var, value });
+                }
+                (AType::Array(_), None) => {
+                    // Declared but unassigned array reference; slot stays
+                    // unbound until assigned.
+                    self.declare(name, *ty);
+                }
+            },
+            AStmtKind::Assign { target, op, value } => {
+                let rhs = self.lower_expr(value)?;
+                match target {
+                    ATarget::Var(name) => {
+                        let (var, _) = self.lookup(name, s.pos)?;
+                        let value = match op {
+                            Some(op) => Expr::Binary(*op, Box::new(Expr::Var(var)), Box::new(rhs)),
+                            None => rhs,
+                        };
+                        out.push(Stmt::Assign { var, value });
+                    }
+                    ATarget::Elem(name, idx) => {
+                        let (array, _) = self.lookup(name, s.pos)?;
+                        let index = self.lower_expr(idx)?;
+                        let value = match op {
+                            Some(op) => Expr::Binary(
+                                *op,
+                                Box::new(Expr::Index {
+                                    array,
+                                    index: Box::new(index.clone()),
+                                }),
+                                Box::new(rhs),
+                            ),
+                            None => rhs,
+                        };
+                        out.push(Stmt::Store {
+                            array,
+                            index,
+                            value,
+                        });
+                    }
+                }
+            }
+            AStmtKind::IncDec { name, inc } => {
+                let (var, _) = self.lookup(name, s.pos)?;
+                let op = if *inc { BinOp::Add } else { BinOp::Sub };
+                out.push(Stmt::Assign {
+                    var,
+                    value: Expr::Binary(op, Box::new(Expr::Var(var)), Box::new(Expr::int(1))),
+                });
+            }
+            AStmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let cond = self.lower_expr(cond)?;
+                let then_branch = self.lower_block(then_branch)?;
+                let else_branch = self.lower_block(else_branch)?;
+                out.push(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                });
+            }
+            AStmtKind::While { cond, body } => {
+                let cond = self.lower_expr(cond)?;
+                let body = self.lower_block(body)?;
+                out.push(Stmt::While { cond, body });
+            }
+            AStmtKind::For { .. } => self.lower_for(s, out)?,
+            AStmtKind::Return(e) => {
+                let e = e.as_ref().map(|e| self.lower_expr(e)).transpose()?;
+                out.push(Stmt::Return(e));
+            }
+            AStmtKind::Break => out.push(Stmt::Break),
+            AStmtKind::Continue => out.push(Stmt::Continue),
+            AStmtKind::ExprStmt(e) => {
+                let e = self.lower_expr(e)?;
+                out.push(Stmt::ExprStmt(e));
+            }
+            AStmtKind::Block(b) => {
+                let stmts = self.lower_block(b)?;
+                out.extend(stmts);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_for(&mut self, s: &AStmt, out: &mut Vec<Stmt>) -> Result<(), CompileError> {
+        let (annot, init, cond, update, body) = match &s.kind {
+            AStmtKind::For {
+                annot,
+                init,
+                cond,
+                update,
+                body,
+            } => (annot, init, cond, update, body),
+            _ => unreachable!(),
+        };
+        self.scopes.push(HashMap::new());
+        let result = self.lower_for_inner(s.pos, annot, init, cond, update, body, out);
+        self.scopes.pop();
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_for_inner(
+        &mut self,
+        pos: Pos,
+        annot: &Option<AAnnot>,
+        init: &Option<Box<AStmt>>,
+        cond: &AExpr,
+        update: &Option<Box<AStmt>>,
+        body: &[AStmt],
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), CompileError> {
+        // Try the canonical pattern.
+        if let Some(canon) = self.try_canonical(init, cond, update)? {
+            let (ivar, start, end, step) = canon;
+            let annot = annot
+                .as_ref()
+                .map(|a| self.lower_annot(a))
+                .transpose()?;
+            let id = self.fresh_loop();
+            let body = self.lower_block(body)?;
+            out.push(Stmt::For(ForLoop {
+                id,
+                var: ivar,
+                start,
+                end,
+                step,
+                body,
+                annot,
+            }));
+            return Ok(());
+        }
+        if annot.is_some() {
+            return Err(CompileError::at(
+                pos,
+                "annotated loops must be canonical: `for (int i = s; i < e; i += c)` \
+                 with a positive constant-free step",
+            ));
+        }
+        // Desugar a general for-loop into init + while { body; update }.
+        if let Some(i) = init {
+            self.lower_stmt(i, out)?;
+        }
+        let cond = self.lower_expr(cond)?;
+        let mut wbody = self.lower_block(body)?;
+        if contains_continue(body) {
+            return Err(CompileError::at(
+                pos,
+                "`continue` in a non-canonical for loop is not supported",
+            ));
+        }
+        if let Some(u) = update {
+            self.lower_stmt(u, &mut wbody)?;
+        }
+        out.push(Stmt::While { cond, body: wbody });
+        Ok(())
+    }
+
+    /// Recognize `for (int i = s; i < e; i += c)` shapes.
+    /// Returns `(ivar, start, end, step)` when canonical.
+    fn try_canonical(
+        &mut self,
+        init: &Option<Box<AStmt>>,
+        cond: &AExpr,
+        update: &Option<Box<AStmt>>,
+    ) -> Result<Option<(VarId, Expr, Expr, Expr)>, CompileError> {
+        // --- init must bind one int variable ---
+        let (name, start_ast, declares) = match init.as_deref() {
+            Some(AStmt {
+                kind:
+                    AStmtKind::Decl {
+                        ty: AType::Prim(Ty::Int),
+                        name,
+                        init: Some(AInit::Expr(e)),
+                    },
+                ..
+            }) => (name.clone(), e.clone(), true),
+            Some(AStmt {
+                kind:
+                    AStmtKind::Assign {
+                        target: ATarget::Var(name),
+                        op: None,
+                        value,
+                    },
+                ..
+            }) => (name.clone(), value.clone(), false),
+            _ => return Ok(None),
+        };
+        // --- cond must be `i < e` or `i <= e` ---
+        let (end_ast, inclusive) = match &cond.kind {
+            AExprKind::Binary(BinOp::Lt, l, r) => match &l.kind {
+                AExprKind::Name(n) if *n == name => ((**r).clone(), false),
+                _ => return Ok(None),
+            },
+            AExprKind::Binary(BinOp::Le, l, r) => match &l.kind {
+                AExprKind::Name(n) if *n == name => ((**r).clone(), true),
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        // --- update must advance i by a loop-invariant positive step ---
+        let step_ast: Option<AExpr> = match update.as_deref() {
+            Some(AStmt {
+                kind: AStmtKind::IncDec { name: n, inc: true },
+                pos,
+            }) if *n == name => Some(AExpr::new(AExprKind::Int(1), *pos)),
+            Some(AStmt {
+                kind:
+                    AStmtKind::Assign {
+                        target: ATarget::Var(n),
+                        op: Some(BinOp::Add),
+                        value,
+                    },
+                ..
+            }) if *n == name => Some(value.clone()),
+            Some(AStmt {
+                kind:
+                    AStmtKind::Assign {
+                        target: ATarget::Var(n),
+                        op: None,
+                        value,
+                    },
+                ..
+            }) if *n == name => match &value.kind {
+                // i = i + step  |  i = step + i
+                AExprKind::Binary(BinOp::Add, l, r) => match (&l.kind, &r.kind) {
+                    (AExprKind::Name(m), _) if *m == name => Some((**r).clone()),
+                    (_, AExprKind::Name(m)) if *m == name => Some((**l).clone()),
+                    _ => None,
+                },
+                _ => None,
+            },
+            _ => None,
+        };
+        let step_ast = match step_ast {
+            Some(s) => s,
+            None => return Ok(None),
+        };
+        // The step must not reference the induction variable.
+        if expr_uses_name(&step_ast, &name) || expr_uses_name(&end_ast, &name) {
+            return Ok(None);
+        }
+
+        // Lower pieces. The induction variable is declared in the loop's own
+        // scope when the init was a declaration.
+        let start = self.lower_expr(&start_ast)?;
+        let end = self.lower_expr(&end_ast)?;
+        let end = if inclusive {
+            end.add(Expr::int(1))
+        } else {
+            end
+        };
+        let step = self.lower_expr(&step_ast)?;
+        let ivar = if declares {
+            self.declare(&name, AType::Prim(Ty::Int))
+        } else {
+            self.lookup(&name, Pos::default())?.0
+        };
+        Ok(Some((ivar, start, end, step)))
+    }
+
+    fn lower_annot(&mut self, a: &AAnnot) -> Result<LoopAnnotation, CompileError> {
+        let mut out = LoopAnnotation {
+            parallel: a.parallel,
+            threads: a.threads,
+            scheme: a.scheme,
+            ..LoopAnnotation::default()
+        };
+        for (name, pos) in &a.private {
+            out.private.push(self.lookup(name, *pos)?.0);
+        }
+        let lower_ranges = |lw: &mut Self,
+                                src: &[crate::annot::ARange]|
+         -> Result<Vec<ArrayRange>, CompileError> {
+            src.iter()
+                .map(|r| {
+                    let (array, _) = lw.lookup(&r.name, r.pos)?;
+                    Ok(ArrayRange {
+                        array,
+                        lo: r.lo.as_ref().map(|e| lw.lower_expr(e)).transpose()?,
+                        hi: r.hi.as_ref().map(|e| lw.lower_expr(e)).transpose()?,
+                    })
+                })
+                .collect()
+        };
+        out.copyin = lower_ranges(self, &a.copyin)?;
+        out.copyout = lower_ranges(self, &a.copyout)?;
+        out.create = lower_ranges(self, &a.create)?;
+        Ok(out)
+    }
+
+    fn lower_expr(&mut self, e: &AExpr) -> Result<Expr, CompileError> {
+        Ok(match &e.kind {
+            AExprKind::Int(v) => Expr::int(*v),
+            AExprKind::Long(v) => Expr::long(*v),
+            AExprKind::Float(v) => Expr::float(*v),
+            AExprKind::Double(v) => Expr::double(*v),
+            AExprKind::Bool(v) => Expr::bool(*v),
+            AExprKind::Name(n) => Expr::Var(self.lookup(n, e.pos)?.0),
+            AExprKind::Unary(op, a) => Expr::Unary(*op, Box::new(self.lower_expr(a)?)),
+            AExprKind::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(self.lower_expr(a)?),
+                Box::new(self.lower_expr(b)?),
+            ),
+            AExprKind::Cast(ty, a) => Expr::Cast(*ty, Box::new(self.lower_expr(a)?)),
+            AExprKind::Index(n, idx) => Expr::Index {
+                array: self.lookup(n, e.pos)?.0,
+                index: Box::new(self.lower_expr(idx)?),
+            },
+            AExprKind::Length(n) => Expr::Len(self.lookup(n, e.pos)?.0),
+            AExprKind::Math(f, args) => Expr::Intrinsic(
+                *f,
+                args.iter()
+                    .map(|a| self.lower_expr(a))
+                    .collect::<Result<_, _>>()?,
+            ),
+            AExprKind::Call(name, args) => {
+                let fid = *self
+                    .fn_ids
+                    .get(name.as_str())
+                    .ok_or_else(|| CompileError::at(e.pos, format!("unknown function `{name}`")))?;
+                Expr::Call(
+                    fid,
+                    args.iter()
+                        .map(|a| self.lower_expr(a))
+                        .collect::<Result<_, _>>()?,
+                )
+            }
+            AExprKind::Ternary(c, t, f) => Expr::Ternary(
+                Box::new(self.lower_expr(c)?),
+                Box::new(self.lower_expr(t)?),
+                Box::new(self.lower_expr(f)?),
+            ),
+        })
+    }
+}
+
+fn expr_uses_name(e: &AExpr, name: &str) -> bool {
+    match &e.kind {
+        AExprKind::Name(n) => n == name,
+        AExprKind::Index(n, idx) => n == name || expr_uses_name(idx, name),
+        AExprKind::Length(n) => n == name,
+        AExprKind::Unary(_, a) | AExprKind::Cast(_, a) => expr_uses_name(a, name),
+        AExprKind::Binary(_, a, b) => expr_uses_name(a, name) || expr_uses_name(b, name),
+        AExprKind::Math(_, args) | AExprKind::Call(_, args) => {
+            args.iter().any(|a| expr_uses_name(a, name))
+        }
+        AExprKind::Ternary(c, t, f) => {
+            expr_uses_name(c, name) || expr_uses_name(t, name) || expr_uses_name(f, name)
+        }
+        _ => false,
+    }
+}
+
+fn contains_continue(stmts: &[AStmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        AStmtKind::Continue => true,
+        AStmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => contains_continue(then_branch) || contains_continue(else_branch),
+        AStmtKind::Block(b) => contains_continue(b),
+        // continue inside a nested loop binds to that loop
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+    use japonica_ir::{Heap, HeapBackend, Interp, Value};
+
+    #[test]
+    fn canonical_for_becomes_forloop() {
+        let p = compile_source(
+            r#"static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i] = 1.0; }
+            }"#,
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        match &f.body[0] {
+            Stmt::For(l) => {
+                assert!(l.is_annotated());
+                assert_eq!(l.step, Expr::int(1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn le_condition_becomes_exclusive_end() {
+        let p = compile_source(
+            "static void f(int[] a, int n) { for (int i = 0; i <= n; i++) { a[i] = i; } }",
+        )
+        .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::For(l) => assert_eq!(l.end, Expr::Var(VarId(1)).add(Expr::int(1))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_canonical_annotated_loop_rejected() {
+        let err = compile_source(
+            r#"static void f(int[] a, int n) {
+                /* acc parallel */
+                for (int i = n; i > 0; i = i - 1) { a[i] = i; }
+            }"#,
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("canonical"));
+    }
+
+    #[test]
+    fn non_canonical_plain_loop_desugars_to_while() {
+        let p = compile_source(
+            "static void f(int[] a, int n) { for (int i = n; i > 0; i = i - 1) { a[i - 1] = i; } }",
+        )
+        .unwrap();
+        assert!(matches!(&p.functions[0].body[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn desugared_loop_executes_correctly() {
+        let p = compile_source(
+            "static int f(int n) {
+                int s = 0;
+                for (int i = n; i > 0; i = i - 1) { s += i; }
+                return s;
+            }",
+        )
+        .unwrap();
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p).call_by_name("f", &[Value::Int(4)], &mut be).unwrap();
+        assert_eq!(r, Some(Value::Int(10)));
+    }
+
+    #[test]
+    fn end_to_end_annotated_gemm_like_loop() {
+        let p = compile_source(
+            r#"static void axpy(double[] x, double[] y, double a, int n) {
+                /* acc parallel copyin(x[0:n]) copyout(y[0:n]) */
+                for (int i = 0; i < n; i++) {
+                    y[i] = a * x[i] + y[i];
+                }
+            }"#,
+        )
+        .unwrap();
+        let mut heap = Heap::new();
+        let x = heap.alloc_doubles(&[1.0, 2.0]);
+        let y = heap.alloc_doubles(&[10.0, 20.0]);
+        let mut be = HeapBackend::new(&mut heap);
+        Interp::new(&p)
+            .call_by_name(
+                "axpy",
+                &[
+                    Value::Array(x),
+                    Value::Array(y),
+                    Value::Double(2.0),
+                    Value::Int(2),
+                ],
+                &mut be,
+            )
+            .unwrap();
+        assert_eq!(heap.read_doubles(y).unwrap(), vec![12.0, 24.0]);
+    }
+
+    #[test]
+    fn annotation_ranges_are_lowered() {
+        let p = compile_source(
+            r#"static void f(double[] a, int n) {
+                /* acc parallel copyin(a[0:n*n]) threads(8) scheme(stealing) */
+                for (int i = 0; i < n; i++) { a[i] = 0.0; }
+            }"#,
+        )
+        .unwrap();
+        match &p.functions[0].body[0] {
+            Stmt::For(l) => {
+                let a = l.annot.as_ref().unwrap();
+                assert_eq!(a.threads, Some(8));
+                assert_eq!(a.scheme, Some(japonica_ir::Scheme::Stealing));
+                assert_eq!(a.copyin.len(), 1);
+                assert!(a.copyin[0].lo.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_ids_unique_across_functions() {
+        let p = compile_source(
+            r#"
+            static void f(int[] a, int n) { for (int i = 0; i < n; i++) { a[i] = i; } }
+            static void g(int[] a, int n) { for (int i = 0; i < n; i++) { a[i] = i; } }
+            "#,
+        )
+        .unwrap();
+        let l0 = match &p.functions[0].body[0] {
+            Stmt::For(l) => l.id,
+            _ => panic!(),
+        };
+        let l1 = match &p.functions[1].body[0] {
+            Stmt::For(l) => l.id,
+            _ => panic!(),
+        };
+        assert_ne!(l0, l1);
+    }
+
+    #[test]
+    fn function_calls_resolve_across_declaration_order() {
+        let p = compile_source(
+            r#"
+            static int f(int x) { return g(x) + 1; }
+            static int g(int x) { return x * 2; }
+            "#,
+        )
+        .unwrap();
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p).call_by_name("f", &[Value::Int(5)], &mut be).unwrap();
+        assert_eq!(r, Some(Value::Int(11)));
+    }
+
+    #[test]
+    fn compound_and_incdec_lowering_runs() {
+        let p = compile_source(
+            r#"static int f(int n) {
+                int s = 0;
+                int i = 0;
+                while (i < n) { s += i * 2; i++; }
+                return s;
+            }"#,
+        )
+        .unwrap();
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p).call_by_name("f", &[Value::Int(4)], &mut be).unwrap();
+        assert_eq!(r, Some(Value::Int(12)));
+    }
+
+    #[test]
+    fn step_referencing_induction_var_is_not_canonical() {
+        let p = compile_source(
+            "static void f(int[] a, int n) { for (int i = 1; i < n; i = i + i) { a[i] = 1; } }",
+        )
+        .unwrap();
+        // geometric step -> desugared to while, not ForLoop
+        assert!(matches!(&p.functions[0].body[1], Stmt::While { .. }));
+    }
+}

@@ -1,0 +1,778 @@
+//! Recursive-descent parser for MiniJava.
+
+use crate::annot::{parse_annot, AAnnot};
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use crate::token::{Tok, Token};
+use japonica_ir::{BinOp, Intrinsic, Ty, UnOp};
+
+/// Parse a token stream into a compilation [`Unit`].
+pub fn parse(tokens: Vec<Token>) -> Result<Unit, CompileError> {
+    let mut p = Parser::new(tokens);
+    let mut unit = Unit::default();
+    while !p.at(&Tok::Eof) {
+        unit.functions.push(p.parse_function()?);
+    }
+    if unit.functions.is_empty() {
+        return Err(CompileError::at(p.pos(), "empty compilation unit"));
+    }
+    Ok(unit)
+}
+
+/// The parser state. Exposed crate-internally so the annotation grammar can
+/// reuse the expression parser.
+pub(crate) struct Parser {
+    tokens: Vec<Token>,
+    i: usize,
+}
+
+impl Parser {
+    pub(crate) fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, i: 0 }
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.i.min(self.tokens.len() - 1)].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Tok {
+        &self.tokens[(self.i + n).min(self.tokens.len() - 1)].tok
+    }
+
+    pub(crate) fn pos(&self) -> Pos {
+        self.tokens[self.i.min(self.tokens.len() - 1)].pos
+    }
+
+    pub(crate) fn bump_tok(&mut self) -> Tok {
+        let t = self.tokens[self.i.min(self.tokens.len() - 1)].tok.clone();
+        if self.i < self.tokens.len() - 1 {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at(&self, t: &Tok) -> bool {
+        self.peek() == t
+    }
+
+    pub(crate) fn eat(&mut self, t: &Tok) -> bool {
+        if self.at(t) {
+            self.bump_tok();
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(crate) fn expect(&mut self, t: &Tok) -> Result<(), CompileError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(CompileError::at(
+                self.pos(),
+                format!("expected `{t}`, found `{}`", self.peek()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Pos), CompileError> {
+        let pos = self.pos();
+        match self.bump_tok() {
+            Tok::Ident(s) => Ok((s, pos)),
+            other => Err(CompileError::at(
+                pos,
+                format!("expected identifier, found `{other}`"),
+            )),
+        }
+    }
+
+    fn prim_ty(tok: &Tok) -> Option<Ty> {
+        Some(match tok {
+            Tok::KwBoolean => Ty::Bool,
+            Tok::KwInt => Ty::Int,
+            Tok::KwLong => Ty::Long,
+            Tok::KwFloat => Ty::Float,
+            Tok::KwDouble => Ty::Double,
+            _ => return None,
+        })
+    }
+
+    fn parse_type(&mut self) -> Result<AType, CompileError> {
+        let pos = self.pos();
+        let t = self.bump_tok();
+        let prim = Self::prim_ty(&t)
+            .ok_or_else(|| CompileError::at(pos, format!("expected a type, found `{t}`")))?;
+        if self.eat(&Tok::LBracket) {
+            self.expect(&Tok::RBracket)?;
+            Ok(AType::Array(prim))
+        } else {
+            Ok(AType::Prim(prim))
+        }
+    }
+
+    fn parse_function(&mut self) -> Result<AFunction, CompileError> {
+        let pos = self.pos();
+        self.expect(&Tok::KwStatic)?;
+        let ret = if self.eat(&Tok::KwVoid) {
+            None
+        } else {
+            match self.parse_type()? {
+                AType::Prim(t) => Some(t),
+                AType::Array(_) => {
+                    return Err(CompileError::at(
+                        pos,
+                        "array return types are not supported",
+                    ))
+                }
+            }
+        };
+        let (name, _) = self.expect_ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&Tok::RParen) {
+            loop {
+                let ty = self.parse_type()?;
+                let (pname, ppos) = self.expect_ident()?;
+                params.push((ty, pname, ppos));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let body = self.parse_block()?;
+        Ok(AFunction {
+            name,
+            pos,
+            params,
+            ret,
+            body,
+        })
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<AStmt>, CompileError> {
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.at(&Tok::RBrace) {
+            if self.at(&Tok::Eof) {
+                return Err(CompileError::at(self.pos(), "unterminated block"));
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(stmts)
+    }
+
+    /// A statement body: either a single statement or a braced block,
+    /// normalized to a statement list.
+    fn parse_body(&mut self) -> Result<Vec<AStmt>, CompileError> {
+        if self.at(&Tok::LBrace) {
+            self.parse_block()
+        } else {
+            Ok(vec![self.parse_stmt()?])
+        }
+    }
+
+    fn parse_stmt(&mut self) -> Result<AStmt, CompileError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Annot(text) => {
+                self.bump_tok();
+                let annot = parse_annot(&text, pos)?;
+                if !self.at(&Tok::KwFor) {
+                    return Err(CompileError::at(
+                        pos,
+                        "an /* acc ... */ annotation must be followed by a `for` loop",
+                    ));
+                }
+                self.parse_for(Some(annot))
+            }
+            Tok::LBrace => Ok(AStmt::new(AStmtKind::Block(self.parse_block()?), pos)),
+            Tok::KwIf => {
+                self.bump_tok();
+                self.expect(&Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                let then_branch = self.parse_body()?;
+                let else_branch = if self.eat(&Tok::KwElse) {
+                    self.parse_body()?
+                } else {
+                    vec![]
+                };
+                Ok(AStmt::new(
+                    AStmtKind::If {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    },
+                    pos,
+                ))
+            }
+            Tok::KwWhile => {
+                self.bump_tok();
+                self.expect(&Tok::LParen)?;
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                let body = self.parse_body()?;
+                Ok(AStmt::new(AStmtKind::While { cond, body }, pos))
+            }
+            Tok::KwFor => self.parse_for(None),
+            Tok::KwReturn => {
+                self.bump_tok();
+                let e = if self.at(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&Tok::Semi)?;
+                Ok(AStmt::new(AStmtKind::Return(e), pos))
+            }
+            Tok::KwBreak => {
+                self.bump_tok();
+                self.expect(&Tok::Semi)?;
+                Ok(AStmt::new(AStmtKind::Break, pos))
+            }
+            Tok::KwContinue => {
+                self.bump_tok();
+                self.expect(&Tok::Semi)?;
+                Ok(AStmt::new(AStmtKind::Continue, pos))
+            }
+            t if Self::prim_ty(&t).is_some() => {
+                let s = self.parse_decl()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+            _ => {
+                let s = self.parse_simple_stmt()?;
+                self.expect(&Tok::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// A declaration without the trailing `;` (shared with for-init).
+    fn parse_decl(&mut self) -> Result<AStmt, CompileError> {
+        let pos = self.pos();
+        let ty = self.parse_type()?;
+        let (name, _) = self.expect_ident()?;
+        let init = if self.eat(&Tok::Assign) {
+            if self.at(&Tok::KwNew) {
+                self.bump_tok();
+                let tpos = self.pos();
+                let t = self.bump_tok();
+                let elem = Self::prim_ty(&t).ok_or_else(|| {
+                    CompileError::at(tpos, format!("expected element type after new, found `{t}`"))
+                })?;
+                self.expect(&Tok::LBracket)?;
+                let len = self.parse_expr()?;
+                self.expect(&Tok::RBracket)?;
+                Some(AInit::NewArray { elem, len })
+            } else {
+                Some(AInit::Expr(self.parse_expr()?))
+            }
+        } else {
+            None
+        };
+        Ok(AStmt::new(AStmtKind::Decl { ty, name, init }, pos))
+    }
+
+    /// Assignment / compound assignment / inc-dec / expression statement,
+    /// without the trailing `;` (shared with for-init / for-update).
+    fn parse_simple_stmt(&mut self) -> Result<AStmt, CompileError> {
+        let pos = self.pos();
+        // name[...]= / name = / name op= / name++ / expr-stmt
+        if let Tok::Ident(name) = self.peek().clone() {
+            match self.peek_at(1) {
+                Tok::Assign => {
+                    self.bump_tok();
+                    self.bump_tok();
+                    let value = self.parse_expr()?;
+                    return Ok(AStmt::new(
+                        AStmtKind::Assign {
+                            target: ATarget::Var(name),
+                            op: None,
+                            value,
+                        },
+                        pos,
+                    ));
+                }
+                Tok::PlusAssign | Tok::MinusAssign | Tok::StarAssign | Tok::SlashAssign
+                | Tok::PercentAssign => {
+                    self.bump_tok();
+                    let op = match self.bump_tok() {
+                        Tok::PlusAssign => BinOp::Add,
+                        Tok::MinusAssign => BinOp::Sub,
+                        Tok::StarAssign => BinOp::Mul,
+                        Tok::SlashAssign => BinOp::Div,
+                        Tok::PercentAssign => BinOp::Rem,
+                        _ => unreachable!(),
+                    };
+                    let value = self.parse_expr()?;
+                    return Ok(AStmt::new(
+                        AStmtKind::Assign {
+                            target: ATarget::Var(name),
+                            op: Some(op),
+                            value,
+                        },
+                        pos,
+                    ));
+                }
+                Tok::PlusPlus | Tok::MinusMinus => {
+                    self.bump_tok();
+                    let inc = self.bump_tok() == Tok::PlusPlus;
+                    return Ok(AStmt::new(AStmtKind::IncDec { name, inc }, pos));
+                }
+                Tok::LBracket => {
+                    // Could be `a[i] = v`, `a[i] += v`, or an expression
+                    // starting with an index. Parse the index, then decide.
+                    let save = self.i;
+                    self.bump_tok();
+                    self.bump_tok();
+                    let idx = self.parse_expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    match self.peek() {
+                        Tok::Assign => {
+                            self.bump_tok();
+                            let value = self.parse_expr()?;
+                            return Ok(AStmt::new(
+                                AStmtKind::Assign {
+                                    target: ATarget::Elem(name, idx),
+                                    op: None,
+                                    value,
+                                },
+                                pos,
+                            ));
+                        }
+                        Tok::PlusAssign | Tok::MinusAssign | Tok::StarAssign
+                        | Tok::SlashAssign | Tok::PercentAssign => {
+                            let op = match self.bump_tok() {
+                                Tok::PlusAssign => BinOp::Add,
+                                Tok::MinusAssign => BinOp::Sub,
+                                Tok::StarAssign => BinOp::Mul,
+                                Tok::SlashAssign => BinOp::Div,
+                                Tok::PercentAssign => BinOp::Rem,
+                                _ => unreachable!(),
+                            };
+                            let value = self.parse_expr()?;
+                            return Ok(AStmt::new(
+                                AStmtKind::Assign {
+                                    target: ATarget::Elem(name, idx),
+                                    op: Some(op),
+                                    value,
+                                },
+                                pos,
+                            ));
+                        }
+                        _ => {
+                            // Not an element assignment: re-parse as expr.
+                            self.i = save;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        let e = self.parse_expr()?;
+        Ok(AStmt::new(AStmtKind::ExprStmt(e), pos))
+    }
+
+    fn parse_for(&mut self, annot: Option<AAnnot>) -> Result<AStmt, CompileError> {
+        let pos = self.pos();
+        self.expect(&Tok::KwFor)?;
+        self.expect(&Tok::LParen)?;
+        let init = if self.at(&Tok::Semi) {
+            None
+        } else if Self::prim_ty(self.peek()).is_some() {
+            Some(Box::new(self.parse_decl()?))
+        } else {
+            Some(Box::new(self.parse_simple_stmt()?))
+        };
+        self.expect(&Tok::Semi)?;
+        let cond = self.parse_expr()?;
+        self.expect(&Tok::Semi)?;
+        let update = if self.at(&Tok::RParen) {
+            None
+        } else {
+            Some(Box::new(self.parse_simple_stmt()?))
+        };
+        self.expect(&Tok::RParen)?;
+        let body = self.parse_body()?;
+        Ok(AStmt::new(
+            AStmtKind::For {
+                annot,
+                init,
+                cond,
+                update,
+                body,
+            },
+            pos,
+        ))
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    pub(crate) fn parse_expr(&mut self) -> Result<AExpr, CompileError> {
+        self.parse_ternary()
+    }
+
+    fn parse_ternary(&mut self) -> Result<AExpr, CompileError> {
+        let cond = self.parse_binary(0)?;
+        if self.eat(&Tok::Question) {
+            let pos = cond.pos;
+            let t = self.parse_expr()?;
+            self.expect(&Tok::Colon)?;
+            let e = self.parse_ternary()?;
+            return Ok(AExpr::new(
+                AExprKind::Ternary(Box::new(cond), Box::new(t), Box::new(e)),
+                pos,
+            ));
+        }
+        Ok(cond)
+    }
+
+    fn bin_op_at(&self, level: usize) -> Option<BinOp> {
+        let op = match (level, self.peek()) {
+            (0, Tok::PipePipe) => BinOp::LOr,
+            (1, Tok::AmpAmp) => BinOp::LAnd,
+            (2, Tok::Pipe) => BinOp::Or,
+            (3, Tok::Caret) => BinOp::Xor,
+            (4, Tok::Amp) => BinOp::And,
+            (5, Tok::EqEq) => BinOp::Eq,
+            (5, Tok::Ne) => BinOp::Ne,
+            (6, Tok::Lt) => BinOp::Lt,
+            (6, Tok::Le) => BinOp::Le,
+            (6, Tok::Gt) => BinOp::Gt,
+            (6, Tok::Ge) => BinOp::Ge,
+            (7, Tok::Shl) => BinOp::Shl,
+            (7, Tok::Shr) => BinOp::Shr,
+            (7, Tok::UShr) => BinOp::UShr,
+            (8, Tok::Plus) => BinOp::Add,
+            (8, Tok::Minus) => BinOp::Sub,
+            (9, Tok::Star) => BinOp::Mul,
+            (9, Tok::Slash) => BinOp::Div,
+            (9, Tok::Percent) => BinOp::Rem,
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn parse_binary(&mut self, level: usize) -> Result<AExpr, CompileError> {
+        if level > 9 {
+            return self.parse_unary();
+        }
+        let mut lhs = self.parse_binary(level + 1)?;
+        while let Some(op) = self.bin_op_at(level) {
+            self.bump_tok();
+            let rhs = self.parse_binary(level + 1)?;
+            let pos = lhs.pos;
+            lhs = AExpr::new(AExprKind::Binary(op, Box::new(lhs), Box::new(rhs)), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<AExpr, CompileError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump_tok();
+                let e = self.parse_unary()?;
+                Ok(AExpr::new(AExprKind::Unary(UnOp::Neg, Box::new(e)), pos))
+            }
+            Tok::Bang => {
+                self.bump_tok();
+                let e = self.parse_unary()?;
+                Ok(AExpr::new(AExprKind::Unary(UnOp::Not, Box::new(e)), pos))
+            }
+            Tok::Tilde => {
+                self.bump_tok();
+                let e = self.parse_unary()?;
+                Ok(AExpr::new(AExprKind::Unary(UnOp::BitNot, Box::new(e)), pos))
+            }
+            // Cast: `(` prim `)` unary
+            Tok::LParen
+                if Self::prim_ty(self.peek_at(1)).is_some() && *self.peek_at(2) == Tok::RParen =>
+            {
+                self.bump_tok();
+                let ty = Self::prim_ty(&self.bump_tok()).unwrap();
+                self.bump_tok();
+                let e = self.parse_unary()?;
+                Ok(AExpr::new(AExprKind::Cast(ty, Box::new(e)), pos))
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<AExpr>, CompileError> {
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if !self.at(&Tok::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(args)
+    }
+
+    fn parse_primary(&mut self) -> Result<AExpr, CompileError> {
+        let pos = self.pos();
+        match self.bump_tok() {
+            Tok::IntLit(v) => Ok(AExpr::new(AExprKind::Int(v), pos)),
+            Tok::LongLit(v) => Ok(AExpr::new(AExprKind::Long(v), pos)),
+            Tok::FloatLit(v) => Ok(AExpr::new(AExprKind::Float(v), pos)),
+            Tok::DoubleLit(v) => Ok(AExpr::new(AExprKind::Double(v), pos)),
+            Tok::BoolLit(v) => Ok(AExpr::new(AExprKind::Bool(v), pos)),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) if name == "Math" && self.at(&Tok::Dot) => {
+                self.bump_tok();
+                let (mname, mpos) = self.expect_ident()?;
+                let f = Intrinsic::from_name(&mname).ok_or_else(|| {
+                    CompileError::at(mpos, format!("unknown Math method `{mname}`"))
+                })?;
+                let args = self.parse_args()?;
+                if args.len() != f.arity() {
+                    return Err(CompileError::at(
+                        mpos,
+                        format!("{f} expects {} argument(s), got {}", f.arity(), args.len()),
+                    ));
+                }
+                Ok(AExpr::new(AExprKind::Math(f, args), pos))
+            }
+            Tok::Ident(name) => {
+                if self.at(&Tok::LParen) {
+                    let args = self.parse_args()?;
+                    return Ok(AExpr::new(AExprKind::Call(name, args), pos));
+                }
+                if self.at(&Tok::LBracket) {
+                    self.bump_tok();
+                    let idx = self.parse_expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    return Ok(AExpr::new(AExprKind::Index(name, Box::new(idx)), pos));
+                }
+                if self.at(&Tok::Dot) {
+                    self.bump_tok();
+                    let (field, fpos) = self.expect_ident()?;
+                    if field != "length" {
+                        return Err(CompileError::at(
+                            fpos,
+                            format!("only `.length` is supported, found `.{field}`"),
+                        ));
+                    }
+                    return Ok(AExpr::new(AExprKind::Length(name), pos));
+                }
+                Ok(AExpr::new(AExprKind::Name(name), pos))
+            }
+            other => Err(CompileError::at(
+                pos,
+                format!("unexpected token `{other}` in expression"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Unit {
+        parse(lex(src).unwrap()).unwrap()
+    }
+
+    fn parse_err(src: &str) -> CompileError {
+        parse(lex(src).unwrap()).unwrap_err()
+    }
+
+    #[test]
+    fn minimal_function() {
+        let u = parse_src("static void f() { }");
+        assert_eq!(u.functions.len(), 1);
+        assert_eq!(u.functions[0].name, "f");
+        assert!(u.functions[0].ret.is_none());
+        assert!(u.functions[0].body.is_empty());
+    }
+
+    #[test]
+    fn params_and_return_type() {
+        let u = parse_src("static double f(int n, double[] a) { return a[n]; }");
+        let f = &u.functions[0];
+        assert_eq!(f.ret, Some(Ty::Double));
+        assert_eq!(f.params[0].0, AType::Prim(Ty::Int));
+        assert_eq!(f.params[1].0, AType::Array(Ty::Double));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let u = parse_src("static int f(int a, int b, int c) { return a + b * c; }");
+        match &u.functions[0].body[0].kind {
+            AStmtKind::Return(Some(e)) => match &e.kind {
+                AExprKind::Binary(BinOp::Add, _, rhs) => {
+                    assert!(matches!(rhs.kind, AExprKind::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("bad tree {other:?}"),
+            },
+            other => panic!("bad stmt {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_vs_paren() {
+        let u = parse_src("static double f(int a) { return (double) a + (a); }");
+        match &u.functions[0].body[0].kind {
+            AStmtKind::Return(Some(e)) => match &e.kind {
+                AExprKind::Binary(BinOp::Add, lhs, _) => {
+                    assert!(matches!(lhs.kind, AExprKind::Cast(Ty::Double, _)));
+                }
+                other => panic!("bad tree {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn annotated_for_loop() {
+        let u = parse_src(
+            r#"static void f(double[] a, int n) {
+                /* acc parallel copyin(a[0:n]) */
+                for (int i = 0; i < n; i = i + 1) { a[i] = 0.0; }
+            }"#,
+        );
+        match &u.functions[0].body[0].kind {
+            AStmtKind::For { annot: Some(a), .. } => {
+                assert!(a.parallel);
+                assert_eq!(a.copyin.len(), 1);
+            }
+            other => panic!("expected annotated for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn annotation_not_on_for_is_error() {
+        let e = parse_err(
+            "static void f() { /* acc parallel */ int x = 0; }",
+        );
+        assert!(e.msg.contains("for"));
+    }
+
+    #[test]
+    fn for_update_variants() {
+        for upd in ["i = i + 1", "i += 1", "i++"] {
+            let src =
+                format!("static void f(int n) {{ for (int i = 0; i < n; {upd}) {{ }} }}");
+            parse_src(&src);
+        }
+    }
+
+    #[test]
+    fn compound_element_assignment() {
+        let u = parse_src("static void f(int[] a) { a[0] += 2; }");
+        match &u.functions[0].body[0].kind {
+            AStmtKind::Assign {
+                target: ATarget::Elem(n, _),
+                op: Some(BinOp::Add),
+                ..
+            } => assert_eq!(n, "a"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn math_intrinsic_arity_checked() {
+        let e = parse_err("static double f() { return Math.pow(2.0); }");
+        assert!(e.msg.contains("argument"));
+    }
+
+    #[test]
+    fn length_access() {
+        let u = parse_src("static int f(int[] a) { return a.length; }");
+        match &u.functions[0].body[0].kind {
+            AStmtKind::Return(Some(e)) => {
+                assert!(matches!(&e.kind, AExprKind::Length(n) if n == "a"))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn new_array_decl() {
+        let u = parse_src("static void f(int n) { double[] t = new double[n * 2]; }");
+        match &u.functions[0].body[0].kind {
+            AStmtKind::Decl {
+                init: Some(AInit::NewArray { elem, .. }),
+                ..
+            } => assert_eq!(*elem, Ty::Double),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_parses_right_associative() {
+        let u = parse_src("static int f(boolean b) { return b ? 1 : b ? 2 : 3; }");
+        match &u.functions[0].body[0].kind {
+            AStmtKind::Return(Some(e)) => {
+                assert!(matches!(e.kind, AExprKind::Ternary(_, _, _)))
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn dangling_else_binds_inner() {
+        let u = parse_src(
+            "static void f(boolean a, boolean b, int[] x) {
+                if (a) if (b) x[0] = 1; else x[0] = 2;
+            }",
+        );
+        match &u.functions[0].body[0].kind {
+            AStmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                assert!(else_branch.is_empty());
+                match &then_branch[0].kind {
+                    AStmtKind::If { else_branch, .. } => assert_eq!(else_branch.len(), 1),
+                    _ => panic!(),
+                }
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn call_statement() {
+        let u = parse_src("static void f() { g(1, 2); } static void g(int a, int b) { }");
+        assert!(matches!(
+            &u.functions[0].body[0].kind,
+            AStmtKind::ExprStmt(e) if matches!(&e.kind, AExprKind::Call(n, args) if n == "g" && args.len() == 2)
+        ));
+    }
+
+    #[test]
+    fn missing_semicolon_reports_position() {
+        let e = parse_err("static void f() { int x = 1 }");
+        assert!(e.msg.contains("expected `;`"), "{}", e.msg);
+    }
+
+    #[test]
+    fn shift_precedence_below_relational() {
+        // a << b < c parses as (a << b) < c
+        let u = parse_src("static boolean f(int a, int b, int c) { return a << b < c; }");
+        match &u.functions[0].body[0].kind {
+            AStmtKind::Return(Some(e)) => match &e.kind {
+                AExprKind::Binary(BinOp::Lt, lhs, _) => {
+                    assert!(matches!(lhs.kind, AExprKind::Binary(BinOp::Shl, _, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+}

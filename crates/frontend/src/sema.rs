@@ -1,0 +1,678 @@
+//! Semantic analysis: name resolution and Java-style type checking.
+//!
+//! `check` validates a parsed [`Unit`] before lowering:
+//! scoping rules, operand types, assignment compatibility (implicit numeric
+//! conversions are allowed, boolean never converts), annotation clause
+//! sanity (data clauses name arrays, `private` names scalars), and
+//! definite-return for non-void functions.
+
+use crate::annot::AAnnot;
+use crate::ast::*;
+use crate::error::{CompileError, Pos};
+use japonica_ir::{BinOp, Ty, UnOp};
+use std::collections::HashMap;
+
+/// Check a compilation unit, returning the first error found.
+pub fn check(unit: &Unit) -> Result<(), CompileError> {
+    let mut sigs: HashMap<&str, (&AFunction, Vec<AType>)> = HashMap::new();
+    for f in &unit.functions {
+        let tys = f.params.iter().map(|(t, _, _)| *t).collect();
+        if sigs.insert(f.name.as_str(), (f, tys)).is_some() {
+            return Err(CompileError::at(
+                f.pos,
+                format!("duplicate function `{}`", f.name),
+            ));
+        }
+    }
+    for f in &unit.functions {
+        Checker {
+            sigs: &sigs,
+            scopes: Vec::new(),
+            func: f,
+            loop_depth: 0,
+        }
+        .check_function()?;
+    }
+    Ok(())
+}
+
+struct Checker<'u> {
+    sigs: &'u HashMap<&'u str, (&'u AFunction, Vec<AType>)>,
+    scopes: Vec<HashMap<String, AType>>,
+    func: &'u AFunction,
+    loop_depth: u32,
+}
+
+impl<'u> Checker<'u> {
+    fn check_function(mut self) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for (ty, name, pos) in &self.func.params {
+            self.declare(name, *ty, *pos)?;
+        }
+        self.check_block(&self.func.body)?;
+        if self.func.ret.is_some() && !always_returns(&self.func.body) {
+            return Err(CompileError::at(
+                self.func.pos,
+                format!(
+                    "function `{}` may complete without returning a value",
+                    self.func.name
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn declare(&mut self, name: &str, ty: AType, pos: Pos) -> Result<(), CompileError> {
+        let scope = self.scopes.last_mut().expect("scope stack never empty");
+        if scope.insert(name.to_string(), ty).is_some() {
+            return Err(CompileError::at(
+                pos,
+                format!("`{name}` is already declared in this scope"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str, pos: Pos) -> Result<AType, CompileError> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(t) = scope.get(name) {
+                return Ok(*t);
+            }
+        }
+        Err(CompileError::at(pos, format!("undeclared variable `{name}`")))
+    }
+
+    fn check_block(&mut self, stmts: &[AStmt]) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for s in stmts {
+            self.check_stmt(s)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, s: &AStmt) -> Result<(), CompileError> {
+        match &s.kind {
+            AStmtKind::Decl { ty, name, init } => {
+                match init {
+                    Some(AInit::Expr(e)) => {
+                        let et = self.type_of(e)?;
+                        self.check_assignable(*ty, et, e.pos)?;
+                    }
+                    Some(AInit::NewArray { elem, len }) => {
+                        match ty {
+                            AType::Array(t) if t == elem => {}
+                            _ => {
+                                return Err(CompileError::at(
+                                    s.pos,
+                                    format!("cannot assign new {elem}[] to a {ty} variable"),
+                                ))
+                            }
+                        }
+                        self.expect_int(len)?;
+                    }
+                    None => {}
+                }
+                self.declare(name, *ty, s.pos)
+            }
+            AStmtKind::Assign { target, op, value } => {
+                let tt = match target {
+                    ATarget::Var(n) => self.lookup(n, s.pos)?,
+                    ATarget::Elem(n, idx) => {
+                        let at = self.lookup(n, s.pos)?;
+                        self.expect_int(idx)?;
+                        match at {
+                            AType::Array(t) => AType::Prim(t),
+                            AType::Prim(_) => {
+                                return Err(CompileError::at(
+                                    s.pos,
+                                    format!("`{n}` is not an array"),
+                                ))
+                            }
+                        }
+                    }
+                };
+                let vt = self.type_of(value)?;
+                if let Some(op) = op {
+                    // Compound: target must be numeric and op arithmetic.
+                    match (tt, vt) {
+                        (AType::Prim(a), AType::Prim(b)) if a.is_numeric() && b.is_numeric() => {}
+                        _ => {
+                            return Err(CompileError::at(
+                                s.pos,
+                                format!("compound `{op:?}=` needs numeric operands"),
+                            ))
+                        }
+                    }
+                    Ok(())
+                } else {
+                    self.check_assignable(tt, vt, value.pos)
+                }
+            }
+            AStmtKind::IncDec { name, .. } => match self.lookup(name, s.pos)? {
+                AType::Prim(t) if t.is_integral() => Ok(()),
+                other => Err(CompileError::at(
+                    s.pos,
+                    format!("`++`/`--` needs an integral variable, `{name}` is {other}"),
+                )),
+            },
+            AStmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.expect_bool(cond)?;
+                self.check_block(then_branch)?;
+                self.check_block(else_branch)
+            }
+            AStmtKind::While { cond, body } => {
+                self.expect_bool(cond)?;
+                self.loop_depth += 1;
+                let r = self.check_block(body);
+                self.loop_depth -= 1;
+                r
+            }
+            AStmtKind::For {
+                annot,
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.check_stmt(i)?;
+                }
+                self.expect_bool(cond)?;
+                if let Some(u) = update {
+                    self.check_stmt(u)?;
+                }
+                if let Some(a) = annot {
+                    self.check_annot(a)?;
+                }
+                self.loop_depth += 1;
+                let r = self.check_block(body);
+                self.loop_depth -= 1;
+                self.scopes.pop();
+                r
+            }
+            AStmtKind::Return(e) => match (self.func.ret, e) {
+                (None, None) => Ok(()),
+                (None, Some(_)) => Err(CompileError::at(
+                    s.pos,
+                    "void function cannot return a value",
+                )),
+                (Some(_), None) => Err(CompileError::at(
+                    s.pos,
+                    "non-void function must return a value",
+                )),
+                (Some(rt), Some(e)) => {
+                    let et = self.type_of(e)?;
+                    self.check_assignable(AType::Prim(rt), et, e.pos)
+                }
+            },
+            AStmtKind::Break | AStmtKind::Continue => {
+                if self.loop_depth == 0 {
+                    return Err(CompileError::at(
+                        s.pos,
+                        "break/continue outside of a loop",
+                    ));
+                }
+                Ok(())
+            }
+            AStmtKind::ExprStmt(e) => {
+                // Only calls make sense as statements; allow void calls.
+                match &e.kind {
+                    AExprKind::Call(name, args) => {
+                        self.check_call(name, args, e.pos)?;
+                        Ok(())
+                    }
+                    _ => Err(CompileError::at(
+                        e.pos,
+                        "only function calls may be used as statements",
+                    )),
+                }
+            }
+            AStmtKind::Block(b) => self.check_block(b),
+        }
+    }
+
+    fn check_annot(&mut self, a: &AAnnot) -> Result<(), CompileError> {
+        for (name, pos) in &a.private {
+            match self.lookup(name, *pos)? {
+                AType::Prim(_) => {}
+                AType::Array(_) => {
+                    return Err(CompileError::at(
+                        *pos,
+                        format!("private({name}): arrays cannot be privatized by clause"),
+                    ))
+                }
+            }
+        }
+        for r in a.copyin.iter().chain(&a.copyout).chain(&a.create) {
+            match self.lookup(&r.name, r.pos)? {
+                AType::Array(_) => {}
+                AType::Prim(_) => {
+                    return Err(CompileError::at(
+                        r.pos,
+                        format!("data clause on `{}` which is not an array", r.name),
+                    ))
+                }
+            }
+            if let Some(lo) = &r.lo {
+                self.expect_int(lo)?;
+            }
+            if let Some(hi) = &r.hi {
+                self.expect_int(hi)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_assignable(&self, to: AType, from: AType, pos: Pos) -> Result<(), CompileError> {
+        let ok = match (to, from) {
+            (AType::Prim(Ty::Bool), AType::Prim(Ty::Bool)) => true,
+            (AType::Prim(a), AType::Prim(b)) => a.is_numeric() && b.is_numeric(),
+            (AType::Array(a), AType::Array(b)) => a == b,
+            _ => false,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(CompileError::at(
+                pos,
+                format!("cannot assign {from} to {to}"),
+            ))
+        }
+    }
+
+    fn expect_bool(&mut self, e: &AExpr) -> Result<(), CompileError> {
+        match self.type_of(e)? {
+            AType::Prim(Ty::Bool) => Ok(()),
+            other => Err(CompileError::at(
+                e.pos,
+                format!("expected boolean, found {other}"),
+            )),
+        }
+    }
+
+    fn expect_int(&mut self, e: &AExpr) -> Result<(), CompileError> {
+        match self.type_of(e)? {
+            AType::Prim(Ty::Int) => Ok(()),
+            other => Err(CompileError::at(
+                e.pos,
+                format!("expected int, found {other}"),
+            )),
+        }
+    }
+
+    fn check_call(&mut self, name: &str, args: &[AExpr], pos: Pos) -> Result<Option<Ty>, CompileError> {
+        let (f, ptys) = self
+            .sigs
+            .get(name)
+            .ok_or_else(|| CompileError::at(pos, format!("unknown function `{name}`")))?;
+        if args.len() != ptys.len() {
+            return Err(CompileError::at(
+                pos,
+                format!(
+                    "`{name}` expects {} argument(s), got {}",
+                    ptys.len(),
+                    args.len()
+                ),
+            ));
+        }
+        for (a, pt) in args.iter().zip(ptys.iter()) {
+            let at = self.type_of(a)?;
+            self.check_assignable(*pt, at, a.pos)?;
+        }
+        Ok(f.ret)
+    }
+
+    fn type_of(&mut self, e: &AExpr) -> Result<AType, CompileError> {
+        let prim = |t| Ok(AType::Prim(t));
+        match &e.kind {
+            AExprKind::Int(_) => prim(Ty::Int),
+            AExprKind::Long(_) => prim(Ty::Long),
+            AExprKind::Float(_) => prim(Ty::Float),
+            AExprKind::Double(_) => prim(Ty::Double),
+            AExprKind::Bool(_) => prim(Ty::Bool),
+            AExprKind::Name(n) => self.lookup(n, e.pos),
+            AExprKind::Unary(op, a) => {
+                let at = self.type_of(a)?;
+                match (op, at) {
+                    (UnOp::Neg, AType::Prim(t)) if t.is_numeric() => Ok(at),
+                    (UnOp::Not, AType::Prim(Ty::Bool)) => Ok(at),
+                    (UnOp::BitNot, AType::Prim(t)) if t.is_integral() => Ok(at),
+                    _ => Err(CompileError::at(
+                        e.pos,
+                        format!("operator `{op:?}` cannot apply to {at}"),
+                    )),
+                }
+            }
+            AExprKind::Binary(op, a, b) => {
+                let at = self.type_of(a)?;
+                let bt = self.type_of(b)?;
+                let (ta, tb) = match (at, bt) {
+                    (AType::Prim(x), AType::Prim(y)) => (x, y),
+                    _ => {
+                        // Array references only support ==/!=.
+                        if matches!(op, BinOp::Eq | BinOp::Ne) && at == bt {
+                            return prim(Ty::Bool);
+                        }
+                        return Err(CompileError::at(
+                            e.pos,
+                            format!("operator `{op:?}` cannot apply to {at} and {bt}"),
+                        ));
+                    }
+                };
+                let err = || {
+                    Err(CompileError::at(
+                        e.pos,
+                        format!("operator `{op:?}` cannot apply to {ta} and {tb}"),
+                    ))
+                };
+                match op {
+                    BinOp::LAnd | BinOp::LOr => {
+                        if ta == Ty::Bool && tb == Ty::Bool {
+                            prim(Ty::Bool)
+                        } else {
+                            err()
+                        }
+                    }
+                    BinOp::And | BinOp::Or | BinOp::Xor => {
+                        if ta == Ty::Bool && tb == Ty::Bool {
+                            prim(Ty::Bool)
+                        } else if ta.is_integral() && tb.is_integral() {
+                            prim(ta.max(tb))
+                        } else {
+                            err()
+                        }
+                    }
+                    BinOp::Shl | BinOp::Shr | BinOp::UShr => {
+                        if ta.is_integral() && tb.is_integral() {
+                            prim(ta)
+                        } else {
+                            err()
+                        }
+                    }
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        if ta.is_numeric() && tb.is_numeric() {
+                            prim(Ty::Bool)
+                        } else {
+                            err()
+                        }
+                    }
+                    BinOp::Eq | BinOp::Ne => {
+                        if (ta.is_numeric() && tb.is_numeric())
+                            || (ta == Ty::Bool && tb == Ty::Bool)
+                        {
+                            prim(Ty::Bool)
+                        } else {
+                            err()
+                        }
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                        match Ty::promote(ta, tb) {
+                            Some(t) => prim(t),
+                            None => err(),
+                        }
+                    }
+                }
+            }
+            AExprKind::Cast(ty, a) => {
+                let at = self.type_of(a)?;
+                match at {
+                    AType::Prim(t) if t.is_numeric() && ty.is_numeric() => prim(*ty),
+                    AType::Prim(Ty::Bool) if *ty == Ty::Bool => prim(Ty::Bool),
+                    _ => Err(CompileError::at(
+                        e.pos,
+                        format!("invalid cast from {at} to {ty}"),
+                    )),
+                }
+            }
+            AExprKind::Index(n, idx) => {
+                let at = self.lookup(n, e.pos)?;
+                self.expect_int(idx)?;
+                match at {
+                    AType::Array(t) => prim(t),
+                    AType::Prim(_) => Err(CompileError::at(
+                        e.pos,
+                        format!("`{n}` is not an array"),
+                    )),
+                }
+            }
+            AExprKind::Length(n) => {
+                match self.lookup(n, e.pos)? {
+                    AType::Array(_) => prim(Ty::Int),
+                    AType::Prim(_) => Err(CompileError::at(
+                        e.pos,
+                        format!("`{n}` is not an array"),
+                    )),
+                }
+            }
+            AExprKind::Math(f, args) => {
+                for a in args {
+                    match self.type_of(a)? {
+                        AType::Prim(t) if t.is_numeric() => {}
+                        other => {
+                            return Err(CompileError::at(
+                                a.pos,
+                                format!("Math.{f} needs numeric arguments, found {other}"),
+                            ))
+                        }
+                    }
+                }
+                use japonica_ir::Intrinsic as I;
+                match f {
+                    I::Abs | I::Max | I::Min => {
+                        // Result type follows promoted argument type.
+                        let mut t = Ty::Int;
+                        for a in args {
+                            if let AType::Prim(at) = self.type_of(a)? {
+                                t = t.max(at);
+                            }
+                        }
+                        prim(t)
+                    }
+                    _ => prim(Ty::Double),
+                }
+            }
+            AExprKind::Call(name, args) => match self.check_call(name, args, e.pos)? {
+                Some(t) => prim(t),
+                None => Err(CompileError::at(
+                    e.pos,
+                    format!("void function `{name}` used in an expression"),
+                )),
+            },
+            AExprKind::Ternary(c, t, f) => {
+                self.expect_bool(c)?;
+                let tt = self.type_of(t)?;
+                let ft = self.type_of(f)?;
+                match (tt, ft) {
+                    (AType::Prim(a), AType::Prim(b)) => match Ty::promote(a, b) {
+                        Some(t) => prim(t),
+                        None if a == Ty::Bool && b == Ty::Bool => prim(Ty::Bool),
+                        None => Err(CompileError::at(
+                            e.pos,
+                            format!("ternary branches have incompatible types {a} / {b}"),
+                        )),
+                    },
+                    (a, b) if a == b => Ok(a),
+                    (a, b) => Err(CompileError::at(
+                        e.pos,
+                        format!("ternary branches have incompatible types {a} / {b}"),
+                    )),
+                }
+            }
+        }
+    }
+}
+
+/// Conservative "all paths return" analysis.
+fn always_returns(stmts: &[AStmt]) -> bool {
+    stmts.iter().any(|s| match &s.kind {
+        AStmtKind::Return(_) => true,
+        AStmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => always_returns(then_branch) && always_returns(else_branch),
+        AStmtKind::Block(b) => always_returns(b),
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse;
+
+    fn ok(src: &str) {
+        let unit = parse(lex(src).unwrap()).unwrap();
+        check(&unit).unwrap();
+    }
+
+    fn err(src: &str) -> CompileError {
+        let unit = parse(lex(src).unwrap()).unwrap();
+        check(&unit).unwrap_err()
+    }
+
+    #[test]
+    fn accepts_well_typed_program() {
+        ok(r#"
+            static double dot(double[] a, double[] b, int n) {
+                double s = 0.0;
+                for (int i = 0; i < n; i++) { s += a[i] * b[i]; }
+                return s;
+            }
+        "#);
+    }
+
+    #[test]
+    fn undeclared_variable() {
+        let e = err("static void f() { x = 1; }");
+        assert!(e.msg.contains("undeclared"));
+    }
+
+    #[test]
+    fn duplicate_declaration_in_scope() {
+        let e = err("static void f() { int x = 1; int x = 2; }");
+        assert!(e.msg.contains("already declared"));
+    }
+
+    #[test]
+    fn shadowing_in_inner_scope_allowed() {
+        ok("static void f() { int x = 1; { int x = 2; } }");
+    }
+
+    #[test]
+    fn condition_must_be_boolean() {
+        let e = err("static void f(int n) { if (n) { } }");
+        assert!(e.msg.contains("boolean"));
+    }
+
+    #[test]
+    fn boolean_never_converts_to_numeric() {
+        let e = err("static void f(boolean b) { int x = 0; x = b; }");
+        assert!(e.msg.contains("cannot assign"));
+    }
+
+    #[test]
+    fn array_element_type_checked() {
+        let e = err("static void f(int[] a, boolean b) { a[0] = b; }");
+        assert!(e.msg.contains("cannot assign"));
+    }
+
+    #[test]
+    fn array_index_must_be_int() {
+        let e = err("static void f(int[] a, double d) { a[d] = 1; }");
+        assert!(e.msg.contains("expected int"));
+    }
+
+    #[test]
+    fn call_arity_and_types() {
+        let e = err(
+            "static void f() { g(1); } static void g(int a, int b) { }",
+        );
+        assert!(e.msg.contains("argument"));
+        let e = err(
+            "static void f(boolean b) { g(b); } static void g(int a) { }",
+        );
+        assert!(e.msg.contains("cannot assign"));
+    }
+
+    #[test]
+    fn void_call_in_expression_rejected() {
+        let e = err("static void g() { } static void f() { int x = 0; x = g(); }");
+        assert!(e.msg.contains("void"));
+    }
+
+    #[test]
+    fn missing_return_detected() {
+        let e = err("static int f(boolean b) { if (b) { return 1; } }");
+        assert!(e.msg.contains("without returning"));
+        ok("static int f(boolean b) { if (b) { return 1; } else { return 2; } }");
+    }
+
+    #[test]
+    fn break_outside_loop() {
+        let e = err("static void f() { break; }");
+        assert!(e.msg.contains("outside"));
+    }
+
+    #[test]
+    fn annotation_data_clause_must_name_array() {
+        let e = err(
+            "static void f(int n) { /* acc parallel copyin(n) */ for (int i = 0; i < n; i++) { } }",
+        );
+        assert!(e.msg.contains("not an array"));
+    }
+
+    #[test]
+    fn annotation_private_must_name_scalar() {
+        let e = err(
+            "static void f(int[] a, int n) { /* acc parallel private(a) */ for (int i = 0; i < n; i++) { } }",
+        );
+        assert!(e.msg.contains("privatized"));
+    }
+
+    #[test]
+    fn annotation_names_must_be_in_scope() {
+        let e = err(
+            "static void f(int n) { /* acc parallel copyin(zz) */ for (int i = 0; i < n; i++) { } }",
+        );
+        assert!(e.msg.contains("undeclared"));
+    }
+
+    #[test]
+    fn duplicate_function_names() {
+        let e = err("static void f() { } static void f() { }");
+        assert!(e.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn shift_result_keeps_lhs_type() {
+        ok("static long f(long x) { return x << 3; }");
+    }
+
+    #[test]
+    fn array_reference_assignment_requires_same_elem() {
+        let e = err("static void f(int[] a, double[] b) { a = b; }");
+        assert!(e.msg.contains("cannot assign"));
+        ok("static void f(int[] a, int[] b) { a = b; }");
+    }
+
+    #[test]
+    fn ternary_type_promotion() {
+        ok("static double f(boolean b, int i, double d) { return b ? i : d; }");
+        let e = err("static int f(boolean b, int i) { return b ? i : b; }");
+        assert!(e.msg.contains("incompatible"));
+    }
+
+    #[test]
+    fn incdec_requires_integral() {
+        let e = err("static void f(double d) { d++; }");
+        assert!(e.msg.contains("integral"));
+    }
+}

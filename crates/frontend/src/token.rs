@@ -1,0 +1,166 @@
+//! Token definitions for the MiniJava lexer.
+
+use crate::error::Pos;
+use std::fmt;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals
+    IntLit(i32),
+    LongLit(i64),
+    FloatLit(f32),
+    DoubleLit(f64),
+    BoolLit(bool),
+    /// Identifier or non-keyword word.
+    Ident(String),
+    /// Captured `/* acc ... */` comment body (without the delimiters,
+    /// leading `acc` retained).
+    Annot(String),
+
+    // Keywords
+    KwStatic,
+    KwVoid,
+    KwBoolean,
+    KwInt,
+    KwLong,
+    KwFloat,
+    KwDouble,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwNew,
+
+    // Punctuation / operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+    Assign,     // =
+    PlusAssign, // +=
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    PlusPlus,
+    MinusMinus,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Bang,
+    Tilde,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Shl,  // <<
+    Shr,  // >>
+    UShr, // >>>
+
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::IntLit(v) => write!(f, "{v}"),
+            Tok::LongLit(v) => write!(f, "{v}L"),
+            Tok::FloatLit(v) => write!(f, "{v}f"),
+            Tok::DoubleLit(v) => write!(f, "{v}"),
+            Tok::BoolLit(v) => write!(f, "{v}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Annot(_) => write!(f, "/* acc ... */"),
+            Tok::KwStatic => write!(f, "static"),
+            Tok::KwVoid => write!(f, "void"),
+            Tok::KwBoolean => write!(f, "boolean"),
+            Tok::KwInt => write!(f, "int"),
+            Tok::KwLong => write!(f, "long"),
+            Tok::KwFloat => write!(f, "float"),
+            Tok::KwDouble => write!(f, "double"),
+            Tok::KwIf => write!(f, "if"),
+            Tok::KwElse => write!(f, "else"),
+            Tok::KwFor => write!(f, "for"),
+            Tok::KwWhile => write!(f, "while"),
+            Tok::KwReturn => write!(f, "return"),
+            Tok::KwBreak => write!(f, "break"),
+            Tok::KwContinue => write!(f, "continue"),
+            Tok::KwNew => write!(f, "new"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Dot => write!(f, "."),
+            Tok::Colon => write!(f, ":"),
+            Tok::Question => write!(f, "?"),
+            Tok::Assign => write!(f, "="),
+            Tok::PlusAssign => write!(f, "+="),
+            Tok::MinusAssign => write!(f, "-="),
+            Tok::StarAssign => write!(f, "*="),
+            Tok::SlashAssign => write!(f, "/="),
+            Tok::PercentAssign => write!(f, "%="),
+            Tok::PlusPlus => write!(f, "++"),
+            Tok::MinusMinus => write!(f, "--"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Amp => write!(f, "&"),
+            Tok::AmpAmp => write!(f, "&&"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::PipePipe => write!(f, "||"),
+            Tok::Caret => write!(f, "^"),
+            Tok::Bang => write!(f, "!"),
+            Tok::Tilde => write!(f, "~"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Shl => write!(f, "<<"),
+            Tok::Shr => write!(f, ">>"),
+            Tok::UShr => write!(f, ">>>"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub pos: Pos,
+}
+
+impl Token {
+    /// Construct a token.
+    pub fn new(tok: Tok, pos: Pos) -> Token {
+        Token { tok, pos }
+    }
+}

@@ -1,0 +1,133 @@
+//! Round-trip property: source → IR → pretty-printed MiniJava → IR, with
+//! identical execution semantics.
+
+use japonica_frontend::compile_source;
+use japonica_ir::{pretty, Heap, HeapBackend, Interp, Value};
+
+fn roundtrip_and_compare(src: &str, entry: &str, args_factory: impl Fn(&mut Heap) -> Vec<Value>) {
+    let p1 = compile_source(src).unwrap();
+    let printed = pretty::program(&p1);
+    let p2 = compile_source(&printed)
+        .unwrap_or_else(|e| panic!("pretty output must re-parse: {e}\n{printed}"));
+
+    let run = |p: &japonica_ir::Program| {
+        let mut heap = Heap::new();
+        let args = args_factory(&mut heap);
+        let ret = {
+            let mut be = HeapBackend::new(&mut heap);
+            Interp::new(p).call_by_name(entry, &args, &mut be).unwrap()
+        };
+        let arrays: Vec<Vec<f64>> = args
+            .iter()
+            .filter_map(|v| v.as_array())
+            .map(|a| heap.read_doubles(a).unwrap())
+            .collect();
+        (ret, arrays)
+    };
+    assert_eq!(run(&p1), run(&p2), "semantics diverged:\n{printed}");
+}
+
+#[test]
+fn roundtrip_annotated_stencil() {
+    roundtrip_and_compare(
+        r#"static void st(double[] a, double[] b, int n) {
+            /* acc parallel copyin(a[0:n]) copyout(b[1:n]) threads(8) */
+            for (int i = 1; i < n - 1; i++) {
+                b[i] = (a[i - 1] + a[i + 1]) * 0.5;
+            }
+        }"#,
+        "st",
+        |heap| {
+            let a = heap.alloc_doubles(&(0..64).map(|i| (i * i) as f64).collect::<Vec<_>>());
+            let b = heap.alloc_doubles(&vec![0.0; 64]);
+            vec![Value::Array(a), Value::Array(b), Value::Int(64)]
+        },
+    );
+}
+
+#[test]
+fn roundtrip_control_flow_zoo() {
+    roundtrip_and_compare(
+        r#"static double zoo(double[] a, int n) {
+            double acc = 0.0;
+            int i = 0;
+            while (i < n) {
+                if (i % 3 == 0) { acc += a[i] * 2.0; }
+                else {
+                    if (i % 3 == 1) { acc -= a[i]; } else { acc += Math.sqrt(Math.abs(a[i])); }
+                }
+                i++;
+            }
+            for (int j = 0; j < n; j += 2) { a[j] = acc > 0.0 ? acc : 0.0 - acc; }
+            return acc;
+        }"#,
+        "zoo",
+        |heap| {
+            let a = heap.alloc_doubles(&(0..32).map(|i| i as f64 - 16.0).collect::<Vec<_>>());
+            vec![Value::Array(a), Value::Int(32)]
+        },
+    );
+}
+
+#[test]
+fn roundtrip_calls_and_bitops() {
+    roundtrip_and_compare(
+        r#"
+        static int mix(int v, int k) {
+            v = v ^ k;
+            v = (v << 5) | (v >>> 27);
+            return v;
+        }
+        static void enc(double[] out, int n) {
+            for (int i = 0; i < n; i++) {
+                out[i] = mix(i * 1640531527, 12345) % 1000;
+            }
+        }"#,
+        "enc",
+        |heap| {
+            let out = heap.alloc_doubles(&vec![0.0; 50]);
+            vec![Value::Array(out), Value::Int(50)]
+        },
+    );
+}
+
+#[test]
+fn roundtrip_scheme_and_create_clauses() {
+    roundtrip_and_compare(
+        r#"static void f(double[] t, double[] o, int n, int b) {
+            /* acc parallel create(t) copyout(o[0:n]) scheme(stealing) */
+            for (int i = 0; i < n; i++) {
+                t[i % b] = i * 1.5;
+                o[i] = t[i % b];
+            }
+        }"#,
+        "f",
+        |heap| {
+            let t = heap.alloc_doubles(&[0.0; 16]);
+            let o = heap.alloc_doubles(&vec![0.0; 200]);
+            vec![Value::Array(t), Value::Array(o), Value::Int(200), Value::Int(16)]
+        },
+    );
+}
+
+#[test]
+fn pretty_output_preserves_annotations() {
+    let p = compile_source(
+        r#"static void f(double[] a, int n) {
+            /* acc parallel copyin(a[0:n]) threads(4) scheme(sharing) */
+            for (int i = 0; i < n; i++) { a[i] = 0.0; }
+        }"#,
+    )
+    .unwrap();
+    let printed = pretty::program(&p);
+    assert!(printed.contains("/* acc parallel"));
+    assert!(printed.contains("copyin(a[0:n])"));
+    assert!(printed.contains("threads(4)"));
+    assert!(printed.contains("scheme(sharing)"));
+    // and the re-parsed program keeps the annotation
+    let p2 = compile_source(&printed).unwrap();
+    let l = p2.functions[0].all_loops()[0].clone();
+    let a = l.annot.unwrap();
+    assert_eq!(a.threads, Some(4));
+    assert_eq!(a.copyin.len(), 1);
+}

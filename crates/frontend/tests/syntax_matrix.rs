@@ -1,0 +1,224 @@
+//! Broad syntax/semantics matrix for the MiniJava front end: each case is a
+//! small program executed through the interpreter with a known result, or a
+//! source that must be rejected with a specific diagnostic.
+
+use japonica_frontend::compile_source;
+use japonica_ir::{Heap, HeapBackend, Interp, Value};
+
+fn eval(src: &str, entry: &str, args: &[Value]) -> Option<Value> {
+    let p = compile_source(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut heap = Heap::new();
+    let mut be = HeapBackend::new(&mut heap);
+    Interp::new(&p).call_by_name(entry, args, &mut be).unwrap()
+}
+
+fn eval_int(src: &str) -> i64 {
+    eval(src, "f", &[]).unwrap().as_i64().unwrap()
+}
+
+fn eval_f64(src: &str) -> f64 {
+    eval(src, "f", &[]).unwrap().as_f64().unwrap()
+}
+
+fn rejected(src: &str) -> String {
+    compile_source(src).unwrap_err().msg
+}
+
+// ---- operator precedence & semantics ----------------------------------
+
+#[test]
+fn precedence_matrix() {
+    let cases: &[(&str, i64)] = &[
+        ("2 + 3 * 4", 14),
+        ("(2 + 3) * 4", 20),
+        ("2 - 3 - 4", -5),            // left assoc
+        ("100 / 10 / 5", 2),          // left assoc
+        ("7 % 3 + 1", 2),
+        ("1 << 3 + 1", 16),           // shift below additive
+        ("16 >> 1 >> 1", 4),
+        ("5 & 3 | 8", 9),             // & binds tighter than |
+        ("5 ^ 3 & 1", 4),             // & tighter than ^
+        ("-2 * 3", -6),
+        ("~0 + 1", 0),
+        ("1 + 2 < 4 ? 10 : 20", 10),  // relational in ternary guard
+    ];
+    for (expr, expect) in cases {
+        let src = format!("static int f() {{ return {expr}; }}");
+        assert_eq!(eval_int(&src), *expect, "{expr}");
+    }
+}
+
+#[test]
+fn boolean_operator_matrix() {
+    let cases: &[(&str, bool)] = &[
+        ("true && false || true", true), // && tighter than ||
+        ("!(1 > 2) && 3 >= 3", true),
+        ("1 != 2 == true", true),        // relational then equality
+        ("true ^ true", false),
+        ("false | true", true),
+    ];
+    for (expr, expect) in cases {
+        let src = format!("static boolean f() {{ return {expr}; }}");
+        assert_eq!(
+            eval(&src, "f", &[]).unwrap(),
+            Value::Bool(*expect),
+            "{expr}"
+        );
+    }
+}
+
+#[test]
+fn numeric_literal_and_cast_matrix() {
+    assert_eq!(eval_f64("static double f() { return 1e2 + 0.5; }"), 100.5);
+    assert_eq!(eval_int("static int f() { return (int) 3.99; }"), 3);
+    assert_eq!(eval_int("static int f() { return (int) -3.99; }"), -3);
+    assert_eq!(
+        eval("static long f() { return 0x7fffffffffffffffL; }", "f", &[]).unwrap(),
+        Value::Long(i64::MAX)
+    );
+    assert_eq!(eval_f64("static double f() { return (double) 7 / 2; }"), 3.5);
+    assert_eq!(eval_int("static int f() { return 7 / 2; }"), 3);
+}
+
+#[test]
+fn string_of_control_flow_forms() {
+    let src = r#"
+        static int f() {
+            int total = 0;
+            for (int i = 0; i < 10; i++) {
+                if (i == 3) { continue; }
+                if (i == 8) { break; }
+                int j = 0;
+                while (j < i) {
+                    total += 1;
+                    j++;
+                }
+            }
+            return total;
+        }
+    "#;
+    // i in {0,1,2,4,5,6,7}: sum = 0+1+2+4+5+6+7 = 25
+    assert_eq!(eval_int(src), 25);
+}
+
+#[test]
+fn mutual_recursion_and_helpers() {
+    let src = r#"
+        static boolean isEven(int n) { if (n == 0) { return true; } return isOdd(n - 1); }
+        static boolean isOdd(int n) { if (n == 0) { return false; } return isEven(n - 1); }
+        static int f() { if (isEven(10)) { return 1; } return 0; }
+    "#;
+    assert_eq!(eval(src, "f", &[]).unwrap(), Value::Int(1));
+}
+
+#[test]
+fn arrays_as_arguments_share_identity() {
+    let src = r#"
+        static void bump(int[] a, int k) { a[k] = a[k] + 1; }
+        static int f() {
+            int[] a = new int[3];
+            bump(a, 1);
+            bump(a, 1);
+            return a[1];
+        }
+    "#;
+    assert_eq!(eval_int(src), 2);
+}
+
+#[test]
+fn math_intrinsics_smoke() {
+    assert!((eval_f64("static double f() { return Math.exp(0.0); }") - 1.0).abs() < 1e-12);
+    assert!((eval_f64("static double f() { return Math.pow(2.0, 10.0); }") - 1024.0).abs() < 1e-9);
+    assert_eq!(eval_f64("static double f() { return Math.floor(2.7); }"), 2.0);
+    assert_eq!(eval_f64("static double f() { return Math.ceil(2.1); }"), 3.0);
+    assert_eq!(
+        eval("static int f() { return Math.max(3, Math.min(9, 5)); }", "f", &[]).unwrap(),
+        Value::Int(5)
+    );
+}
+
+// ---- rejection matrix ---------------------------------------------------
+
+#[test]
+fn rejection_matrix() {
+    let cases: &[(&str, &str)] = &[
+        ("static int f() { return true; }", "cannot assign"),
+        ("static void f() { int x = 1.5 }", "expected `;`"),
+        ("static void f() { unknown(); }", "unknown function"),
+        ("static void f(int n) { n[0] = 1; }", "not an array"),
+        (
+            "static void f(int[] a) { a.size = 3; }",
+            "only `.length`",
+        ),
+        ("static void f() { for (int i = 0 i < 3; i++) { } }", "expected `;`"),
+        (
+            "static void f(int n) { /* acc parallel copyout(n) */ for (int i = 0; i < n; i++) { } }",
+            "not an array",
+        ),
+        (
+            "static void f(int n) { /* acc parallel threads(-2) */ for (int i = 0; i < n; i++) { } }",
+            "positive int",
+        ),
+        ("static int f() { }", "without returning"),
+        ("static void f() { double d = 1.0; int x = 0; boolean b = d && x > 0; }", "cannot apply"),
+    ];
+    for (src, needle) in cases {
+        let msg = rejected(src);
+        assert!(
+            msg.contains(needle),
+            "source {src:?}: expected {needle:?} in {msg:?}"
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_scopes_resolve_correctly() {
+    let src = r#"
+        static int f() {
+            int x = 1;
+            {
+                int y = x + 1;
+                {
+                    int x2 = y * 10;
+                    x = x2 + x;
+                }
+            }
+            return x;
+        }
+    "#;
+    assert_eq!(eval_int(src), 21);
+}
+
+#[test]
+fn annotated_loop_inside_helper_function_compiles() {
+    let src = r#"
+        static void helper(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = 1.0; }
+        }
+        static void f(double[] a, int n) {
+            helper(a, n);
+        }
+    "#;
+    let p = compile_source(src).unwrap();
+    assert_eq!(p.functions.len(), 2);
+    assert!(p.functions[0].all_loops()[0].is_annotated());
+}
+
+#[test]
+fn large_generated_program_compiles_quickly() {
+    // 120 functions, each with a loop: exercises scale paths in the
+    // lexer/parser/checker/lowering.
+    let mut src = String::new();
+    for k in 0..120 {
+        src.push_str(&format!(
+            "static int fn{k}(int n) {{
+                int s = 0;
+                for (int i = 0; i < n; i++) {{ s += i * {k}; }}
+                return s;
+            }}\n"
+        ));
+    }
+    let p = compile_source(&src).unwrap();
+    assert_eq!(p.functions.len(), 120);
+}

@@ -1,0 +1,133 @@
+//! Device configuration and cost model.
+
+use japonica_ir::{CostTable, OpClass};
+
+/// Parameters of the simulated GPU. Defaults model the paper's testbed GPU,
+/// an Nvidia Fermi M2050 (14 SMs × 32 CUDA cores @ 1.15 GHz, PCIe gen-2
+/// host link), at the granularity the scheduler cares about.
+#[derive(Debug, Clone)]
+pub struct DeviceConfig {
+    /// Streaming multiprocessors.
+    pub sm_count: u32,
+    /// Lanes per warp (CUDA fixes this at 32).
+    pub warp_size: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Cycles for one memory transaction (one coalesced segment).
+    pub mem_tx_cycles: f64,
+    /// Size of a coalescing segment in bytes (Fermi: 128-byte lines).
+    pub mem_segment_bytes: usize,
+    /// Fixed kernel-launch overhead in microseconds (driver + the JNI hop —
+    /// the paper invokes kernels from Java through JNI). Streamed chunked
+    /// launches pipeline this cost (see the sharing scheduler).
+    pub kernel_launch_us: f64,
+    /// Host↔device bandwidth in GB/s. Effective, not peak: the paper's
+    /// stack moves Java arrays through JNI into pageable staging buffers
+    /// before PCIe, roughly halving the usable rate.
+    pub pcie_gb_per_s: f64,
+    /// Per-transfer latency in microseconds.
+    pub pcie_latency_us: f64,
+    /// How many memory transactions the SM pipeline keeps in flight:
+    /// resident warps hide global-memory latency behind compute, so an
+    /// SM's time is `issue + mem / mem_concurrency`.
+    pub mem_concurrency: f64,
+    /// Per-op issue costs for the SIMT cores.
+    pub cost: CostTable,
+}
+
+impl DeviceConfig {
+    /// Total hardware lanes (`sm_count × warp_size` — one warp resident per
+    /// SM per cycle in this model).
+    pub fn total_lanes(&self) -> u32 {
+        self.sm_count * self.warp_size
+    }
+
+    /// Seconds for `cycles` device cycles.
+    pub fn cycles_to_seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+
+    /// Seconds to move `bytes` across PCIe (one direction, one synchronous
+    /// transfer, paying the full latency).
+    pub fn transfer_seconds(&self, bytes: usize) -> f64 {
+        self.pcie_latency_us * 1e-6 + bytes as f64 / (self.pcie_gb_per_s * 1e9)
+    }
+
+    /// Seconds `bytes` occupy an already-open asynchronous stream
+    /// (bandwidth only; the one-time latency is charged when the stream
+    /// opens).
+    pub fn stream_seconds(&self, bytes: usize) -> f64 {
+        bytes as f64 / (self.pcie_gb_per_s * 1e9)
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> DeviceConfig {
+        DeviceConfig {
+            sm_count: 14,
+            warp_size: 32,
+            clock_ghz: 1.15,
+            mem_tx_cycles: 16.0,
+            mem_segment_bytes: 128,
+            kernel_launch_us: 40.0,
+            pcie_gb_per_s: 1.5,
+            pcie_latency_us: 30.0,
+            mem_concurrency: 16.0,
+            cost: gpu_cost_table(),
+        }
+    }
+}
+
+/// The per-op issue cost of a Fermi-class SIMT core: fast FP32/int ALU,
+/// special-function units for transcendentals, painful integer division.
+pub fn gpu_cost_table() -> CostTable {
+    CostTable::uniform(1.0)
+        .with(OpClass::IntMul, 2.0)
+        .with(OpClass::IntDiv, 40.0)
+        .with(OpClass::FpAlu, 1.0)
+        .with(OpClass::FpDiv, 10.0)
+        .with(OpClass::Special, 4.0)
+        .with(OpClass::Cast, 1.0)
+        .with(OpClass::Branch, 2.0)
+        .with(OpClass::Move, 0.5)
+        // Load/Store issue cost; segment traffic is charged separately.
+        .with(OpClass::Load, 2.0)
+        .with(OpClass::Store, 2.0)
+        .with(OpClass::Call, 4.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_model_m2050() {
+        let c = DeviceConfig::default();
+        assert_eq!(c.sm_count, 14);
+        assert_eq!(c.warp_size, 32);
+        assert_eq!(c.total_lanes(), 448); // the M2050's 448 CUDA cores
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        let c = DeviceConfig::default();
+        let s = c.cycles_to_seconds(1.15e9);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_time_has_latency_floor() {
+        let c = DeviceConfig::default();
+        let tiny = c.transfer_seconds(4);
+        assert!(tiny >= c.pcie_latency_us * 1e-6);
+        let big = c.transfer_seconds(400_000_000); // 400 MB
+        assert!(big > 0.2); // ~0.27 s at 1.5 GB/s
+    }
+
+    #[test]
+    fn gpu_cost_table_shape() {
+        let t = gpu_cost_table();
+        assert!(t.cost(OpClass::Special) < t.cost(OpClass::IntDiv));
+        assert!(t.cost(OpClass::FpAlu) <= t.cost(OpClass::FpDiv));
+    }
+}

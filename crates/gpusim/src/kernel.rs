@@ -1,0 +1,189 @@
+//! Kernel launch: grid formation, warp scheduling over SMs, and timing.
+
+use crate::config::DeviceConfig;
+use crate::memory::LaneMemory;
+use crate::simt::{SimtError, SimtExec};
+use crate::stats::WarpStats;
+use japonica_ir::{Env, ForLoop, LoopBounds, Program};
+use std::ops::Range;
+
+/// Result of one kernel launch.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Simulated seconds of device compute (including launch overhead,
+    /// excluding transfers).
+    pub time_s: f64,
+    /// Device cycles on the critical (busiest) SM.
+    pub critical_cycles: f64,
+    /// Warps launched.
+    pub warps: u32,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Aggregated statistics over all warps.
+    pub stats: WarpStats,
+}
+
+impl KernelReport {
+    /// An empty launch (zero iterations): costs nothing, reports zeros.
+    pub fn empty() -> KernelReport {
+        KernelReport {
+            time_s: 0.0,
+            critical_cycles: 0.0,
+            warps: 0,
+            iterations: 0,
+            stats: WarpStats::new(),
+        }
+    }
+
+    /// Merge a subsequent launch's report (kernels run back-to-back).
+    pub fn chain(&mut self, other: &KernelReport) {
+        self.time_s += other.time_s;
+        self.critical_cycles += other.critical_cycles;
+        self.warps += other.warps;
+        self.iterations += other.iterations;
+        self.stats.merge(&other.stats);
+    }
+}
+
+/// Launch the body of `loop_` over iterations `iters` (0-based indices into
+/// `bounds`), one thread per iteration, against lane memory `mem`.
+///
+/// Warps are filled in iteration order and scheduled round-robin over the
+/// SMs; each SM runs its warps back-to-back, so kernel time is the busiest
+/// SM's cycle count plus the fixed launch overhead.
+pub fn launch_loop<M: LaneMemory>(
+    program: &Program,
+    cfg: &DeviceConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    iters: Range<u64>,
+    base_env: &Env,
+    mem: &mut M,
+) -> Result<KernelReport, SimtError> {
+    if iters.is_empty() {
+        return Ok(KernelReport::empty());
+    }
+    let exec = SimtExec::new(program, cfg);
+    let mut sm_cycles = vec![0.0f64; cfg.sm_count as usize];
+    let mut agg = WarpStats::new();
+    let mut warp_id = 0u32;
+    let total = iters.end - iters.start;
+    let mut k = iters.start;
+    while k < iters.end {
+        let hi = (k + cfg.warp_size as u64).min(iters.end);
+        let warp_iters: Vec<u64> = (k..hi).collect();
+        let stats = exec.run_warp(loop_, bounds, &warp_iters, base_env, warp_id, mem)?;
+        // Resident warps overlap memory latency with compute.
+        let occupied = stats.issue_cycles + stats.mem_cycles / cfg.mem_concurrency.max(1.0);
+        sm_cycles[(warp_id % cfg.sm_count) as usize] += occupied;
+        agg.merge(&stats);
+        warp_id += 1;
+        k = hi;
+    }
+    let critical = sm_cycles.iter().copied().fold(0.0, f64::max);
+    Ok(KernelReport {
+        time_s: cfg.cycles_to_seconds(critical) + cfg.kernel_launch_us * 1e-6,
+        critical_cycles: critical,
+        warps: warp_id,
+        iterations: total,
+        stats: agg,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DeviceMemory;
+    use japonica_frontend::compile_source;
+    use japonica_ir::{Heap, Value};
+
+    fn run_kernel(n: i32) -> (KernelReport, DeviceMemory, japonica_ir::ArrayId, Heap) {
+        let src = "static void scale(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }
+        }";
+        let p = compile_source(src).unwrap();
+        let (_, f) = p.function_by_name("scale").unwrap();
+        let l = f.all_loops()[0].clone();
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&vec![1.0; n as usize]);
+        let cfg = DeviceConfig::default();
+        let mut dev = DeviceMemory::new();
+        dev.copy_in(&heap, a, 0, n as usize, &cfg).unwrap();
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(a));
+        env.set(f.params[1].var, Value::Int(n));
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
+        let report =
+            launch_loop(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut dev).unwrap();
+        (report, dev, a, heap)
+    }
+
+    #[test]
+    fn kernel_computes_correct_results() {
+        let (report, dev, a, _) = run_kernel(1000);
+        assert_eq!(report.iterations, 1000);
+        assert_eq!(report.warps, 32); // ceil(1000/32)
+        for i in 0..1000 {
+            assert_eq!(dev.array(a).unwrap().get(i), Value::Double(3.0));
+        }
+    }
+
+    #[test]
+    fn empty_range_costs_nothing() {
+        let src = "static void f(int[] a, int n) {
+            /* acc parallel */ for (int i = 0; i < n; i++) { a[i] = 1; }
+        }";
+        let p = compile_source(src).unwrap();
+        let (_, f) = p.function_by_name("f").unwrap();
+        let l = f.all_loops()[0].clone();
+        let cfg = DeviceConfig::default();
+        let mut dev = DeviceMemory::new();
+        let env = Env::with_slots(f.num_vars);
+        let bounds = LoopBounds { start: 0, end: 0, step: 1 };
+        let r = launch_loop(&p, &cfg, &l, &bounds, 0..0, &env, &mut dev).unwrap();
+        assert_eq!(r.time_s, 0.0);
+        assert_eq!(r.warps, 0);
+    }
+
+    #[test]
+    fn more_iterations_take_longer() {
+        let (small, _, _, _) = run_kernel(448);
+        let (big, _, _, _) = run_kernel(448 * 8);
+        assert!(big.time_s > small.time_s);
+        // 8x work over the same SMs: roughly 8x critical cycles
+        let ratio = big.critical_cycles / small.critical_cycles;
+        assert!(ratio > 6.0 && ratio < 10.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn parallelism_amortizes_over_sms() {
+        // 14 warps (one per SM) should cost about the same critical cycles
+        // as 1 warp.
+        let (one, _, _, _) = run_kernel(32);
+        let (fourteen, _, _, _) = run_kernel(32 * 14);
+        let ratio = fourteen.critical_cycles / one.critical_cycles;
+        assert!(ratio < 1.7, "ratio {ratio}");
+    }
+
+    #[test]
+    fn launch_overhead_is_included() {
+        let (r, _, _, _) = run_kernel(32);
+        let cfg = DeviceConfig::default();
+        assert!(r.time_s >= cfg.kernel_launch_us * 1e-6);
+    }
+
+    #[test]
+    fn chain_merges_reports() {
+        let (mut a, _, _, _) = run_kernel(64);
+        let (b, _, _, _) = run_kernel(64);
+        let warps = a.warps;
+        a.chain(&b);
+        assert_eq!(a.warps, warps * 2);
+        assert!(a.time_s > b.time_s);
+    }
+}

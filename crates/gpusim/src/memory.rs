@@ -1,0 +1,311 @@
+//! Device global memory, host↔device transfers, and the [`LaneMemory`]
+//! abstraction the SIMT interpreter executes against.
+
+use crate::config::DeviceConfig;
+use japonica_ir::{ArrayData, ArrayId, ExecError, Heap, Ty, Value};
+use std::collections::BTreeMap;
+
+/// Execution context of a single lane access, given to [`LaneMemory`]
+/// implementations so wrappers (TLS buffers, profiler traces) know *which
+/// iteration* performed the access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessCtx {
+    /// Lane index within the warp.
+    pub lane: u32,
+    /// Global warp index within the kernel.
+    pub warp: u32,
+    /// The 0-based loop iteration this thread executes.
+    pub iter: u64,
+}
+
+/// Per-lane memory interface of the SIMT interpreter.
+///
+/// `DeviceMemory` implements it directly; the GPU-TLS engine and the
+/// dependency profiler wrap it.
+pub trait LaneMemory {
+    /// Load one element.
+    fn load(&mut self, ctx: AccessCtx, arr: ArrayId, idx: i64) -> Result<Value, ExecError>;
+    /// Store one element.
+    fn store(&mut self, ctx: AccessCtx, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError>;
+    /// Array length.
+    fn array_len(&self, arr: ArrayId) -> Result<usize, ExecError>;
+    /// Flat device byte address of an element, for the coalescing model.
+    /// `None` disables coalescing accounting for that access.
+    fn address_of(&self, arr: ArrayId, idx: i64) -> Option<u64>;
+    /// Extra issue cycles a wrapper charges per memory access (the TLS
+    /// engine uses this to model its metadata bookkeeping).
+    fn overhead_cycles(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A recorded host↔device transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transfer {
+    /// The array moved.
+    pub array: ArrayId,
+    /// Bytes moved.
+    pub bytes: usize,
+    /// Host-to-device (`true`) or device-to-host.
+    pub to_device: bool,
+    /// Simulated seconds the transfer occupies on the PCIe link.
+    pub seconds: f64,
+}
+
+/// The simulated device global memory: a mirror of selected host arrays
+/// plus a flat address map for coalescing analysis.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceMemory {
+    arrays: BTreeMap<ArrayId, ArrayData>,
+    bases: BTreeMap<ArrayId, u64>,
+    next_base: u64,
+    /// Log of all transfers performed (in order).
+    pub transfers: Vec<Transfer>,
+}
+
+impl DeviceMemory {
+    /// Empty device memory.
+    pub fn new() -> DeviceMemory {
+        DeviceMemory::default()
+    }
+
+    /// Is the array resident on the device?
+    pub fn is_resident(&self, arr: ArrayId) -> bool {
+        self.arrays.contains_key(&arr)
+    }
+
+    fn assign_base(&mut self, arr: ArrayId, bytes: usize) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.bases.entry(arr) {
+            // Segment-align every allocation.
+            let aligned = (bytes + 255) & !255;
+            e.insert(self.next_base);
+            self.next_base += aligned as u64 + 256;
+        }
+    }
+
+    /// `create` clause: allocate a device-only zeroed mirror.
+    pub fn alloc(&mut self, arr: ArrayId, ty: Ty, len: usize) {
+        let data = ArrayData::zeroed(ty, len);
+        self.assign_base(arr, data.size_bytes());
+        self.arrays.insert(arr, data);
+    }
+
+    /// `copyin`: allocate (if needed) and copy `host[lo..hi]` to the device,
+    /// recording the simulated transfer. Returns the transfer time.
+    pub fn copy_in(
+        &mut self,
+        host: &Heap,
+        arr: ArrayId,
+        lo: usize,
+        hi: usize,
+        cfg: &DeviceConfig,
+    ) -> Result<f64, ExecError> {
+        let src = host.array(arr)?;
+        let hi = hi.min(src.len());
+        if !self.arrays.contains_key(&arr) {
+            self.alloc(arr, src.ty(), src.len());
+        }
+        let dst = self.arrays.get_mut(&arr).expect("just allocated");
+        for i in lo..hi {
+            dst.set(i, src.get(i)).expect("same type");
+        }
+        let bytes = (hi.saturating_sub(lo)) * src.ty().size_bytes();
+        let seconds = cfg.transfer_seconds(bytes);
+        self.transfers.push(Transfer {
+            array: arr,
+            bytes,
+            to_device: true,
+            seconds,
+        });
+        Ok(seconds)
+    }
+
+    /// `copyout`: copy `device[lo..hi]` back to the host heap.
+    pub fn copy_out(
+        &mut self,
+        host: &mut Heap,
+        arr: ArrayId,
+        lo: usize,
+        hi: usize,
+        cfg: &DeviceConfig,
+    ) -> Result<f64, ExecError> {
+        let src = self
+            .arrays
+            .get(&arr)
+            .ok_or(ExecError::UnknownArray(arr))?;
+        let hi = hi.min(src.len());
+        for i in lo..hi {
+            let v = src.get(i);
+            host.store(arr, i as i64, v)?;
+        }
+        let bytes = (hi.saturating_sub(lo)) * src.ty().size_bytes();
+        let seconds = cfg.transfer_seconds(bytes);
+        self.transfers.push(Transfer {
+            array: arr,
+            bytes,
+            to_device: false,
+            seconds,
+        });
+        Ok(seconds)
+    }
+
+    /// Direct read of a device array (for tests and the TLS commit phase).
+    pub fn array(&self, arr: ArrayId) -> Result<&ArrayData, ExecError> {
+        self.arrays.get(&arr).ok_or(ExecError::UnknownArray(arr))
+    }
+
+    /// Direct mutable access (TLS commit).
+    pub fn array_mut(&mut self, arr: ArrayId) -> Result<&mut ArrayData, ExecError> {
+        self.arrays
+            .get_mut(&arr)
+            .ok_or(ExecError::UnknownArray(arr))
+    }
+
+    /// Total bytes the transfer log moved in the given direction.
+    pub fn bytes_transferred(&self, to_device: bool) -> usize {
+        self.transfers
+            .iter()
+            .filter(|t| t.to_device == to_device)
+            .map(|t| t.bytes)
+            .sum()
+    }
+}
+
+impl LaneMemory for DeviceMemory {
+    fn load(&mut self, _ctx: AccessCtx, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+        let a = self.arrays.get(&arr).ok_or(ExecError::UnknownArray(arr))?;
+        if idx < 0 || idx as usize >= a.len() {
+            return Err(ExecError::IndexOutOfBounds {
+                array: arr,
+                index: idx,
+                len: a.len(),
+            });
+        }
+        Ok(a.get(idx as usize))
+    }
+
+    fn store(&mut self, _ctx: AccessCtx, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+        let a = self
+            .arrays
+            .get_mut(&arr)
+            .ok_or(ExecError::UnknownArray(arr))?;
+        if idx < 0 || idx as usize >= a.len() {
+            return Err(ExecError::IndexOutOfBounds {
+                array: arr,
+                index: idx,
+                len: a.len(),
+            });
+        }
+        a.set(idx as usize, v)
+    }
+
+    fn array_len(&self, arr: ArrayId) -> Result<usize, ExecError> {
+        Ok(self
+            .arrays
+            .get(&arr)
+            .ok_or(ExecError::UnknownArray(arr))?
+            .len())
+    }
+
+    fn address_of(&self, arr: ArrayId, idx: i64) -> Option<u64> {
+        let base = *self.bases.get(&arr)?;
+        let elem = self.arrays.get(&arr)?.ty().size_bytes() as u64;
+        if idx < 0 {
+            return None;
+        }
+        Some(base + idx as u64 * elem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> AccessCtx {
+        AccessCtx {
+            lane: 0,
+            warp: 0,
+            iter: 0,
+        }
+    }
+
+    #[test]
+    fn copy_in_mirrors_host_data() {
+        let mut host = Heap::new();
+        let a = host.alloc_doubles(&[1.0, 2.0, 3.0]);
+        let mut dev = DeviceMemory::new();
+        let cfg = DeviceConfig::default();
+        let t = dev.copy_in(&host, a, 0, 3, &cfg).unwrap();
+        assert!(t > 0.0);
+        assert_eq!(dev.load(ctx(), a, 1).unwrap(), Value::Double(2.0));
+        assert!(dev.is_resident(a));
+    }
+
+    #[test]
+    fn copy_out_writes_back() {
+        let mut host = Heap::new();
+        let a = host.alloc_ints(&[0, 0]);
+        let mut dev = DeviceMemory::new();
+        let cfg = DeviceConfig::default();
+        dev.copy_in(&host, a, 0, 2, &cfg).unwrap();
+        dev.store(ctx(), a, 0, Value::Int(42)).unwrap();
+        dev.copy_out(&mut host, a, 0, 2, &cfg).unwrap();
+        assert_eq!(host.read_ints(a).unwrap(), vec![42, 0]);
+    }
+
+    #[test]
+    fn partial_range_copy() {
+        let mut host = Heap::new();
+        let a = host.alloc_ints(&[1, 2, 3, 4]);
+        let mut dev = DeviceMemory::new();
+        let cfg = DeviceConfig::default();
+        dev.copy_in(&host, a, 1, 3, &cfg).unwrap();
+        // untouched region is zero on device
+        assert_eq!(dev.load(ctx(), a, 0).unwrap(), Value::Int(0));
+        assert_eq!(dev.load(ctx(), a, 2).unwrap(), Value::Int(3));
+        assert_eq!(dev.transfers[0].bytes, 8);
+    }
+
+    #[test]
+    fn oob_detected_on_device() {
+        let mut host = Heap::new();
+        let a = host.alloc_ints(&[1]);
+        let mut dev = DeviceMemory::new();
+        dev.copy_in(&host, a, 0, 1, &DeviceConfig::default()).unwrap();
+        assert!(matches!(
+            dev.load(ctx(), a, 5),
+            Err(ExecError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn addresses_are_disjoint_across_arrays() {
+        let mut host = Heap::new();
+        let a = host.alloc_doubles(&[0.0; 64]);
+        let b = host.alloc_doubles(&[0.0; 64]);
+        let mut dev = DeviceMemory::new();
+        let cfg = DeviceConfig::default();
+        dev.copy_in(&host, a, 0, 64, &cfg).unwrap();
+        dev.copy_in(&host, b, 0, 64, &cfg).unwrap();
+        let a_end = dev.address_of(a, 63).unwrap() + 8;
+        let b_start = dev.address_of(b, 0).unwrap();
+        assert!(b_start >= a_end);
+        // unit stride: consecutive addresses
+        assert_eq!(
+            dev.address_of(a, 1).unwrap() - dev.address_of(a, 0).unwrap(),
+            8
+        );
+    }
+
+    #[test]
+    fn transfer_accounting() {
+        let mut host = Heap::new();
+        let a = host.alloc_doubles(&[0.0; 100]);
+        let mut dev = DeviceMemory::new();
+        let cfg = DeviceConfig::default();
+        dev.copy_in(&host, a, 0, 100, &cfg).unwrap();
+        dev.copy_out(&mut host, a, 0, 50, &cfg).unwrap();
+        assert_eq!(dev.bytes_transferred(true), 800);
+        assert_eq!(dev.bytes_transferred(false), 400);
+    }
+}

@@ -1,0 +1,112 @@
+//! Execution statistics gathered per warp and aggregated per kernel.
+
+use japonica_ir::{CostTable, OpClass, OpCounts};
+
+/// Cycle and event accounting for one warp's execution.
+#[derive(Debug, Clone, Default)]
+pub struct WarpStats {
+    /// Instructions issued, by class (one issue per warp-level op).
+    pub counts: OpCounts,
+    /// Issue cycles charged against the cost table.
+    pub issue_cycles: f64,
+    /// Memory segments touched by coalesced warp accesses.
+    pub mem_segments: u64,
+    /// Cycles spent on memory traffic.
+    pub mem_cycles: f64,
+    /// Branches where the warp diverged (both paths taken).
+    pub divergent_branches: u64,
+    /// Total branch decisions executed.
+    pub branches: u64,
+}
+
+impl WarpStats {
+    /// New, zeroed stats.
+    pub fn new() -> WarpStats {
+        WarpStats::default()
+    }
+
+    /// Charge one warp-level instruction of class `cls`.
+    #[inline]
+    pub fn charge(&mut self, cls: OpClass, cost: &CostTable) {
+        self.counts.record(cls);
+        self.issue_cycles += cost.cost(cls);
+    }
+
+    /// Charge `segments` memory transactions of `tx_cycles` each.
+    #[inline]
+    pub fn charge_mem(&mut self, segments: u64, tx_cycles: f64) {
+        self.mem_segments += segments;
+        self.mem_cycles += segments as f64 * tx_cycles;
+    }
+
+    /// Charge wrapper overhead cycles (TLS metadata etc.).
+    #[inline]
+    pub fn charge_extra(&mut self, cycles: f64) {
+        self.issue_cycles += cycles;
+    }
+
+    /// Total cycles this warp occupies its SM.
+    pub fn total_cycles(&self) -> f64 {
+        self.issue_cycles + self.mem_cycles
+    }
+
+    /// Fraction of branches that diverged.
+    pub fn divergence_rate(&self) -> f64 {
+        if self.branches == 0 {
+            0.0
+        } else {
+            self.divergent_branches as f64 / self.branches as f64
+        }
+    }
+
+    /// Merge another warp's stats (for kernel-level aggregation).
+    pub fn merge(&mut self, other: &WarpStats) {
+        self.counts.merge(&other.counts);
+        self.issue_cycles += other.issue_cycles;
+        self.mem_segments += other.mem_segments;
+        self.mem_cycles += other.mem_cycles;
+        self.divergent_branches += other.divergent_branches;
+        self.branches += other.branches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_accumulates() {
+        let t = CostTable::uniform(2.0);
+        let mut s = WarpStats::new();
+        s.charge(OpClass::FpAlu, &t);
+        s.charge(OpClass::FpAlu, &t);
+        s.charge_mem(3, 16.0);
+        assert_eq!(s.counts.count(OpClass::FpAlu), 2);
+        assert_eq!(s.issue_cycles, 4.0);
+        assert_eq!(s.mem_cycles, 48.0);
+        assert_eq!(s.total_cycles(), 52.0);
+    }
+
+    #[test]
+    fn divergence_rate() {
+        let mut s = WarpStats::new();
+        s.branches = 10;
+        s.divergent_branches = 4;
+        assert!((s.divergence_rate() - 0.4).abs() < 1e-12);
+        assert_eq!(WarpStats::new().divergence_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let t = CostTable::uniform(1.0);
+        let mut a = WarpStats::new();
+        a.charge(OpClass::Load, &t);
+        let mut b = WarpStats::new();
+        b.charge(OpClass::Store, &t);
+        b.branches = 2;
+        a.merge(&b);
+        assert_eq!(a.counts.count(OpClass::Store), 1);
+        assert_eq!(a.branches, 2);
+        assert_eq!(a.issue_cycles, 2.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! SIMT interpreter edge cases: divergence constructs, partial warps,
+//! data-dependent inner trip counts, and coalescing boundaries.
+
+use japonica_frontend::compile_source;
+use japonica_gpusim::{launch_loop, DeviceConfig, DeviceMemory};
+use japonica_ir::{ArrayId, Env, Heap, LoopBounds, Program, Value};
+
+struct Rig {
+    program: Program,
+    loop_: japonica_ir::ForLoop,
+    env: Env,
+    dev: DeviceMemory,
+    heap: Heap,
+    arrays: Vec<ArrayId>,
+    cfg: DeviceConfig,
+}
+
+/// Build a rig binding one i64 array per array param (filled by `fill`) and
+/// `n` for every int param.
+fn rig(src: &str, n: i64, len: usize, fill: impl Fn(usize) -> i64) -> Rig {
+    let program = compile_source(src).unwrap();
+    let f = &program.functions[0];
+    let loop_ = f
+        .all_loops()
+        .into_iter()
+        .find(|l| l.is_annotated())
+        .unwrap()
+        .clone();
+    let mut heap = Heap::new();
+    let cfg = DeviceConfig::default();
+    let mut dev = DeviceMemory::new();
+    let mut env = Env::with_slots(f.num_vars);
+    let mut arrays = Vec::new();
+    for p in &f.params {
+        match p.ty {
+            japonica_ir::ParamTy::Array(_) => {
+                let vals: Vec<i64> = (0..len).map(&fill).collect();
+                let a = heap.alloc_longs(&vals);
+                dev.copy_in(&heap, a, 0, len, &cfg).unwrap();
+                env.set(p.var, Value::Array(a));
+                arrays.push(a);
+            }
+            japonica_ir::ParamTy::Scalar(_) => env.set(p.var, Value::Int(n as i32)),
+        }
+    }
+    Rig {
+        program: program.clone(),
+        loop_,
+        env,
+        dev,
+        heap,
+        arrays,
+        cfg,
+    }
+}
+
+impl Rig {
+    fn launch(&mut self, trip: u64) -> japonica_gpusim::KernelReport {
+        let bounds = LoopBounds {
+            start: 0,
+            end: trip as i64,
+            step: 1,
+        };
+        launch_loop(
+            &self.program,
+            &self.cfg,
+            &self.loop_,
+            &bounds,
+            0..trip,
+            &self.env,
+            &mut self.dev,
+        )
+        .unwrap()
+    }
+
+    fn longs(&self, arr: ArrayId) -> Vec<i64> {
+        let a = self.dev.array(arr).unwrap();
+        (0..a.len()).map(|i| a.get(i).as_i64().unwrap()).collect()
+    }
+
+    /// Sequential reference on the host heap.
+    fn reference(&self, arr: ArrayId, trip: u64) -> Vec<i64> {
+        let mut heap = self.heap.clone();
+        let mut env = self.env.clone();
+        let bounds = LoopBounds {
+            start: 0,
+            end: trip as i64,
+            step: 1,
+        };
+        let mut be = japonica_ir::HeapBackend::new(&mut heap);
+        japonica_ir::Interp::new(&self.program)
+            .exec_range(&self.loop_, &bounds, 0, trip, &mut env, &mut be)
+            .unwrap();
+        heap.read_ints(arr).unwrap()
+    }
+}
+
+#[test]
+fn partial_tail_warp_executes_correctly() {
+    // 37 iterations: one full warp + a 5-lane tail warp.
+    let mut r = rig(
+        "static void f(long[] a, int n) {
+            /* acc parallel */ for (int i = 0; i < n; i++) { a[i] = a[i] + i; }
+        }",
+        37,
+        37,
+        |i| 100 + i as i64,
+    );
+    let kr = r.launch(37);
+    assert_eq!(kr.warps, 2);
+    let expect = r.reference(r.arrays[0], 37);
+    assert_eq!(r.longs(r.arrays[0]), expect);
+}
+
+#[test]
+fn ternary_divergence_merges_per_lane_values() {
+    let mut r = rig(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = i % 3 == 0 ? i * 10 : i; }
+        }",
+        64,
+        64,
+        |_| 0,
+    );
+    let kr = r.launch(64);
+    assert!(kr.stats.divergent_branches >= 2);
+    let vals = r.longs(r.arrays[0]);
+    for (i, &v) in vals.iter().enumerate() {
+        let expect = if i % 3 == 0 { i as i64 * 10 } else { i as i64 };
+        assert_eq!(v, expect, "lane {i}");
+    }
+}
+
+#[test]
+fn short_circuit_divergence_is_lazy_per_lane() {
+    // (i > 0 && a[i - 1] > 50): lane 0 must NOT evaluate a[-1].
+    let mut r = rig(
+        "static void f(long[] a, long[] b, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                if (i > 0 && a[i - 1] > 50) { b[i] = 1; } else { b[i] = 0; }
+            }
+        }",
+        32,
+        32,
+        |i| i as i64 * 3,
+    );
+    r.launch(32);
+    let b = r.longs(r.arrays[1]);
+    assert_eq!(b[0], 0);
+    // a[i-1] = 3(i-1) > 50 <=> i >= 18.667 -> i >= 18... 3*17=51>50 => i-1>=17 => i>=18
+    assert_eq!(b[17], 0);
+    assert_eq!(b[18], 1);
+    assert_eq!(b[31], 1);
+}
+
+#[test]
+fn data_dependent_inner_while_loops_diverge_but_compute_correctly() {
+    // Collatz-ish step count per lane: wildly uneven while-trip counts.
+    let mut r = rig(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                int x = i + 1;
+                int steps = 0;
+                while (x != 1) {
+                    if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+                    steps = steps + 1;
+                }
+                a[i] = steps;
+            }
+        }",
+        64,
+        64,
+        |_| 0,
+    );
+    let kr = r.launch(64);
+    assert!(kr.stats.divergent_branches > 0);
+    let expect = r.reference(r.arrays[0], 64);
+    assert_eq!(r.longs(r.arrays[0]), expect);
+    // spot-check a known Collatz length: 27 needs 111 steps
+    assert_eq!(r.longs(r.arrays[0])[26], 111);
+}
+
+#[test]
+fn array_length_expression_in_kernel() {
+    let mut r = rig(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = a.length; }
+        }",
+        16,
+        40,
+        |_| 0,
+    );
+    r.launch(16);
+    assert!(r.longs(r.arrays[0])[..16].iter().all(|&v| v == 40));
+}
+
+#[test]
+fn casts_and_long_arithmetic_in_kernel() {
+    let mut r = rig(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                double d = i * 1.5;
+                a[i] = (long) d * 1000000000L + (long) i;
+            }
+        }",
+        32,
+        32,
+        |_| 0,
+    );
+    r.launch(32);
+    let vals = r.longs(r.arrays[0]);
+    assert_eq!(vals[3], 4 * 1_000_000_000 + 3); // trunc(4.5) = 4
+    assert_eq!(vals[31], 46 * 1_000_000_000 + 31); // trunc(46.5)
+}
+
+#[test]
+fn coalescing_counts_respect_segment_boundaries() {
+    // 16 consecutive i64 = 128 bytes = exactly 1 segment per warp access
+    // when aligned; a 32-lane unit-stride warp touches 2 segments.
+    let mk = |stride: usize| {
+        let mut r = rig(
+            &format!(
+                "static void f(long[] a, int n) {{
+                    /* acc parallel */
+                    for (int i = 0; i < n; i++) {{ a[i * {stride}] = 1; }}
+                }}"
+            ),
+            32,
+            32 * stride.max(1),
+            |_| 0,
+        );
+        let kr = r.launch(32);
+        kr.stats.mem_segments
+    };
+    assert_eq!(mk(1), 2); // 32 * 8B unit stride = 256B = 2 segments
+    assert_eq!(mk(2), 4); // every other slot: spans 512B
+    assert_eq!(mk(16), 32); // one segment per lane
+}
+
+#[test]
+fn kernel_errors_surface_lane_iteration() {
+    let mut r = rig(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = a[i] / (i - 20); }
+        }",
+        32,
+        32,
+        |_| 100,
+    );
+    let bounds = LoopBounds {
+        start: 0,
+        end: 32,
+        step: 1,
+    };
+    let err = launch_loop(
+        &r.program,
+        &r.cfg,
+        &r.loop_,
+        &bounds,
+        0..32,
+        &r.env,
+        &mut r.dev,
+    )
+    .unwrap_err();
+    match err {
+        japonica_gpusim::SimtError::Lane { iter, error } => {
+            assert_eq!(iter, 20);
+            assert_eq!(error, japonica_ir::ExecError::DivisionByZero);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn uniform_inner_for_does_not_count_as_divergent() {
+    let mut r = rig(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                long s = 0;
+                for (int j = 0; j < 10; j++) { s = s + j; }
+                a[i] = s;
+            }
+        }",
+        32,
+        32,
+        |_| 0,
+    );
+    let kr = r.launch(32);
+    assert_eq!(kr.stats.divergent_branches, 0);
+    assert!(r.longs(r.arrays[0]).iter().all(|&v| v == 45));
+}

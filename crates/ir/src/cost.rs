@@ -1,0 +1,262 @@
+//! Dynamic operation classification and cycle cost tables.
+//!
+//! Every executor reports executed operations to its [`crate::Backend`] as
+//! an [`OpClass`]; a [`CostTable`] maps classes to issue cycles. The CPU
+//! executor and the GPU simulator each instantiate their own table — the
+//! relative weights (e.g. special-function units for `exp`, expensive
+//! divides) are what make compute-bound vs. memory-bound workloads behave
+//! differently on the two devices, reproducing the paper's crossovers.
+
+/// Classification of one dynamically executed IR operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Integer add/sub/bit/shift/compare.
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide / remainder.
+    IntDiv,
+    /// Floating add/sub/mul/compare.
+    FpAlu,
+    /// Floating divide.
+    FpDiv,
+    /// Transcendental / special function (`exp`, `log`, `sqrt`, ...).
+    Special,
+    /// Cast / conversion.
+    Cast,
+    /// Branch decision (if / loop back-edge / ternary / short-circuit).
+    Branch,
+    /// Scalar local variable read/write, loop bookkeeping, moves.
+    Move,
+    /// Array element load (memory models add latency separately).
+    Load,
+    /// Array element store.
+    Store,
+    /// Function call overhead.
+    Call,
+}
+
+impl OpClass {
+    /// All variants, for table iteration in tests and reports.
+    pub const ALL: [OpClass; 12] = [
+        OpClass::IntAlu,
+        OpClass::IntMul,
+        OpClass::IntDiv,
+        OpClass::FpAlu,
+        OpClass::FpDiv,
+        OpClass::Special,
+        OpClass::Cast,
+        OpClass::Branch,
+        OpClass::Move,
+        OpClass::Load,
+        OpClass::Store,
+        OpClass::Call,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            OpClass::IntAlu => 0,
+            OpClass::IntMul => 1,
+            OpClass::IntDiv => 2,
+            OpClass::FpAlu => 3,
+            OpClass::FpDiv => 4,
+            OpClass::Special => 5,
+            OpClass::Cast => 6,
+            OpClass::Branch => 7,
+            OpClass::Move => 8,
+            OpClass::Load => 9,
+            OpClass::Store => 10,
+            OpClass::Call => 11,
+        }
+    }
+}
+
+/// Cycles charged per operation class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostTable {
+    cycles: [f64; 12],
+}
+
+impl CostTable {
+    /// A table where every class costs `c` cycles.
+    pub fn uniform(c: f64) -> CostTable {
+        CostTable { cycles: [c; 12] }
+    }
+
+    /// Cycles for one op of class `cls`.
+    #[inline]
+    pub fn cost(&self, cls: OpClass) -> f64 {
+        self.cycles[cls.idx()]
+    }
+
+    /// Override the cost of one class (builder style).
+    pub fn with(mut self, cls: OpClass, c: f64) -> CostTable {
+        self.cycles[cls.idx()] = c;
+        self
+    }
+
+    /// Total cycles for a set of op counts.
+    pub fn total(&self, counts: &OpCounts) -> f64 {
+        OpClass::ALL
+            .iter()
+            .map(|&c| self.cost(c) * counts.count(c) as f64)
+            .sum()
+    }
+}
+
+impl Default for CostTable {
+    /// A generic single-issue core: most ops 1 cycle, multiplies 3,
+    /// divides 20, specials 40, memory handled by the device models.
+    fn default() -> CostTable {
+        CostTable::uniform(1.0)
+            .with(OpClass::IntMul, 3.0)
+            .with(OpClass::IntDiv, 20.0)
+            .with(OpClass::FpDiv, 20.0)
+            .with(OpClass::Special, 40.0)
+            .with(OpClass::Call, 5.0)
+    }
+}
+
+/// Accumulated per-class operation counts for one execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    counts: [u64; 12],
+}
+
+impl OpCounts {
+    /// All-zero counts.
+    pub fn new() -> OpCounts {
+        OpCounts::default()
+    }
+
+    /// Record one op of class `cls`.
+    #[inline]
+    pub fn record(&mut self, cls: OpClass) {
+        self.counts[cls.idx()] += 1;
+    }
+
+    /// Count for one class.
+    pub fn count(&self, cls: OpClass) -> u64 {
+        self.counts[cls.idx()]
+    }
+
+    /// Total ops across all classes.
+    pub fn total_ops(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Memory operations (loads + stores).
+    pub fn memory_ops(&self) -> u64 {
+        self.count(OpClass::Load) + self.count(OpClass::Store)
+    }
+
+    /// Compute (non-memory) operations.
+    pub fn compute_ops(&self) -> u64 {
+        self.total_ops() - self.memory_ops()
+    }
+
+    /// Arithmetic intensity: compute ops per memory op. Returns `f64::MAX`
+    /// style large value when there are no memory ops.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let mem = self.memory_ops();
+        if mem == 0 {
+            return self.compute_ops() as f64;
+        }
+        self.compute_ops() as f64 / mem as f64
+    }
+
+    /// Merge another count set into this one.
+    pub fn merge(&mut self, other: &OpCounts) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+        }
+    }
+}
+
+/// Classify a unary operator application (`float` = operand is FP).
+pub fn unop_class(op: crate::expr::UnOp, float: bool) -> OpClass {
+    match op {
+        crate::expr::UnOp::Neg if float => OpClass::FpAlu,
+        _ => OpClass::IntAlu,
+    }
+}
+
+/// Classify a binary operator application (`float` = either operand is FP).
+pub fn binop_class(op: crate::expr::BinOp, float: bool) -> OpClass {
+    use crate::expr::BinOp;
+    match op {
+        BinOp::Mul if !float => OpClass::IntMul,
+        BinOp::Div | BinOp::Rem if !float => OpClass::IntDiv,
+        BinOp::Div | BinOp::Rem => OpClass::FpDiv,
+        _ if float => OpClass::FpAlu,
+        _ => OpClass::IntAlu,
+    }
+}
+
+/// Classify a math-intrinsic application.
+pub fn intrinsic_class(f: crate::expr::Intrinsic) -> OpClass {
+    use crate::expr::Intrinsic as I;
+    match f {
+        I::Exp | I::Log | I::Sqrt | I::Sin | I::Cos | I::Pow => OpClass::Special,
+        I::Abs | I::Max | I::Min | I::Floor | I::Ceil => OpClass::FpAlu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_table_orders_costs_sensibly() {
+        let t = CostTable::default();
+        assert!(t.cost(OpClass::IntAlu) < t.cost(OpClass::IntMul));
+        assert!(t.cost(OpClass::IntMul) < t.cost(OpClass::IntDiv));
+        assert!(t.cost(OpClass::FpDiv) < t.cost(OpClass::Special));
+    }
+
+    #[test]
+    fn counts_accumulate_and_total() {
+        let mut c = OpCounts::new();
+        c.record(OpClass::FpAlu);
+        c.record(OpClass::FpAlu);
+        c.record(OpClass::Load);
+        assert_eq!(c.count(OpClass::FpAlu), 2);
+        assert_eq!(c.total_ops(), 3);
+        assert_eq!(c.memory_ops(), 1);
+        assert_eq!(c.compute_ops(), 2);
+        let t = CostTable::uniform(2.0);
+        assert_eq!(t.total(&c), 6.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = OpCounts::new();
+        a.record(OpClass::Store);
+        let mut b = OpCounts::new();
+        b.record(OpClass::Store);
+        b.record(OpClass::Branch);
+        a.merge(&b);
+        assert_eq!(a.count(OpClass::Store), 2);
+        assert_eq!(a.count(OpClass::Branch), 1);
+    }
+
+    #[test]
+    fn arithmetic_intensity() {
+        let mut c = OpCounts::new();
+        for _ in 0..10 {
+            c.record(OpClass::FpAlu);
+        }
+        c.record(OpClass::Load);
+        c.record(OpClass::Store);
+        assert!((c.arithmetic_intensity() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_classes_indexed_uniquely() {
+        let mut seen = std::collections::HashSet::new();
+        for c in OpClass::ALL {
+            assert!(seen.insert(c.idx()));
+        }
+        assert_eq!(seen.len(), 12);
+    }
+}

@@ -1,0 +1,109 @@
+//! Runtime errors raised during IR execution.
+
+use crate::heap::ArrayId;
+use crate::types::Ty;
+use crate::VarId;
+use std::fmt;
+
+/// An error raised while interpreting IR.
+///
+/// Well-typed programs produced by the front end only raise the *dynamic*
+/// variants (`IndexOutOfBounds`, `DivisionByZero`); the remaining variants
+/// guard against malformed hand-built IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// Array access outside `0..len`, mirroring Java's
+    /// `ArrayIndexOutOfBoundsException`.
+    IndexOutOfBounds {
+        array: ArrayId,
+        index: i64,
+        len: usize,
+    },
+    /// Integer division or remainder by zero (Java `ArithmeticException`).
+    DivisionByZero,
+    /// A variable slot was read before being assigned.
+    UnboundVariable(VarId),
+    /// An operation received a value of an unexpected type.
+    TypeMismatch { expected: String, found: String },
+    /// A cast between incompatible types.
+    InvalidCast { from: String, to: Ty },
+    /// Unknown array handle (stale or foreign heap).
+    UnknownArray(ArrayId),
+    /// Function called with the wrong number of arguments.
+    ArityMismatch {
+        function: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Unknown function id.
+    UnknownFunction(String),
+    /// Call stack exceeded the configured limit.
+    StackOverflow,
+    /// Negative array length in `new T[n]`.
+    NegativeArraySize(i64),
+    /// A canonical loop has a non-positive step (would not terminate).
+    NonPositiveStep(i64),
+    /// Execution was aborted by a backend (e.g. a TLS violation that the
+    /// engine converts into a control-flow event).
+    Aborted(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::IndexOutOfBounds { array, index, len } => write!(
+                f,
+                "array index out of bounds: index {index} on array#{} of length {len}",
+                array.0
+            ),
+            ExecError::DivisionByZero => write!(f, "integer division by zero"),
+            ExecError::UnboundVariable(v) => write!(f, "read of unassigned variable {v}"),
+            ExecError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            ExecError::InvalidCast { from, to } => write!(f, "invalid cast from {from} to {to}"),
+            ExecError::UnknownArray(a) => write!(f, "unknown array handle #{}", a.0),
+            ExecError::ArityMismatch {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{function}` expects {expected} arguments, got {found}"
+            ),
+            ExecError::UnknownFunction(name) => write!(f, "unknown function `{name}`"),
+            ExecError::StackOverflow => write!(f, "interpreter call-stack overflow"),
+            ExecError::NegativeArraySize(n) => write!(f, "negative array size {n}"),
+            ExecError::NonPositiveStep(s) => {
+                write!(f, "canonical loop step must be positive, got {s}")
+            }
+            ExecError::Aborted(why) => write!(f, "execution aborted: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExecError::IndexOutOfBounds {
+            array: ArrayId(3),
+            index: -1,
+            len: 10,
+        };
+        let s = e.to_string();
+        assert!(s.contains("array#3"));
+        assert!(s.contains("-1"));
+        assert!(s.contains("10"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(ExecError::DivisionByZero);
+        assert!(e.to_string().contains("division"));
+    }
+}

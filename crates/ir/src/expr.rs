@@ -1,0 +1,314 @@
+//! Expression nodes of the IR.
+
+use crate::types::{Ty, Value};
+use crate::{FnId, VarId};
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical not `!b`.
+    Not,
+    /// Bitwise complement `~x` (integral only).
+    BitNot,
+}
+
+/// Binary operators with Java semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Integral division truncates toward zero; raises on division by zero.
+    Div,
+    /// Remainder with the sign of the dividend.
+    Rem,
+    /// Bitwise and / or / xor (integral, or logical on booleans).
+    And,
+    Or,
+    Xor,
+    /// `<<` — shift count masked to 5 (int) / 6 (long) bits like the JVM.
+    Shl,
+    /// `>>` arithmetic shift right.
+    Shr,
+    /// `>>>` logical shift right.
+    UShr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+    /// Short-circuit `&&` (the interpreter evaluates lazily).
+    LAnd,
+    /// Short-circuit `||`.
+    LOr,
+}
+
+impl BinOp {
+    /// Does this operator produce a `boolean` result?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+        )
+    }
+
+    /// Is this a short-circuit logical operator?
+    pub fn is_short_circuit(self) -> bool {
+        matches!(self, BinOp::LAnd | BinOp::LOr)
+    }
+}
+
+/// Built-in math intrinsics (`Math.*` in MiniJava source).
+///
+/// Intrinsics are pure: they read their arguments and produce a `double`
+/// (or the argument type for `Abs`/`Max`/`Min`). On the simulated GPU they
+/// are accounted as special-function-unit operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    Exp,
+    Log,
+    Sqrt,
+    Pow,
+    Sin,
+    Cos,
+    Abs,
+    Max,
+    Min,
+    Floor,
+    Ceil,
+}
+
+impl Intrinsic {
+    /// Number of arguments the intrinsic takes.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Pow | Intrinsic::Max | Intrinsic::Min => 2,
+            _ => 1,
+        }
+    }
+
+    /// Resolve from the MiniJava method name after `Math.`.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "exp" => Intrinsic::Exp,
+            "log" => Intrinsic::Log,
+            "sqrt" => Intrinsic::Sqrt,
+            "pow" => Intrinsic::Pow,
+            "sin" => Intrinsic::Sin,
+            "cos" => Intrinsic::Cos,
+            "abs" => Intrinsic::Abs,
+            "max" => Intrinsic::Max,
+            "min" => Intrinsic::Min,
+            "floor" => Intrinsic::Floor,
+            "ceil" => Intrinsic::Ceil,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Intrinsic::Exp => "exp",
+            Intrinsic::Log => "log",
+            Intrinsic::Sqrt => "sqrt",
+            Intrinsic::Pow => "pow",
+            Intrinsic::Sin => "sin",
+            Intrinsic::Cos => "cos",
+            Intrinsic::Abs => "abs",
+            Intrinsic::Max => "max",
+            Intrinsic::Min => "min",
+            Intrinsic::Floor => "floor",
+            Intrinsic::Ceil => "ceil",
+        };
+        write!(f, "Math.{s}")
+    }
+}
+
+/// An expression tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Const(Value),
+    /// Read of a scalar or array-reference variable.
+    Var(VarId),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation (short-circuit ops evaluate the RHS lazily).
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Explicit cast `(ty) e`.
+    Cast(Ty, Box<Expr>),
+    /// Array element load `a[i]` where `array` holds an array reference.
+    Index { array: VarId, index: Box<Expr> },
+    /// Array length `a.length`.
+    Len(VarId),
+    /// Math intrinsic call.
+    Intrinsic(Intrinsic, Vec<Expr>),
+    /// Call of another MiniJava function in the same program.
+    Call(FnId, Vec<Expr>),
+    /// Conditional expression `c ? t : e`.
+    Ternary(Box<Expr>, Box<Expr>, Box<Expr>),
+}
+
+#[allow(clippy::should_implement_trait)] // DSL constructors, not arithmetic impls
+impl Expr {
+    /// Integer literal shorthand.
+    pub fn int(v: i32) -> Expr {
+        Expr::Const(Value::Int(v))
+    }
+
+    /// Long literal shorthand.
+    pub fn long(v: i64) -> Expr {
+        Expr::Const(Value::Long(v))
+    }
+
+    /// Double literal shorthand.
+    pub fn double(v: f64) -> Expr {
+        Expr::Const(Value::Double(v))
+    }
+
+    /// Float literal shorthand.
+    pub fn float(v: f32) -> Expr {
+        Expr::Const(Value::Float(v))
+    }
+
+    /// Boolean literal shorthand.
+    pub fn bool(v: bool) -> Expr {
+        Expr::Const(Value::Bool(v))
+    }
+
+    /// Variable read shorthand.
+    pub fn var(v: VarId) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs`
+    pub fn rem(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Rem, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Le, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs`
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::Binary(BinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `a[i]` load shorthand.
+    pub fn index(array: VarId, index: Expr) -> Expr {
+        Expr::Index {
+            array,
+            index: Box::new(index),
+        }
+    }
+
+    /// Visit every sub-expression (pre-order), including `self`.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Var(_) | Expr::Len(_) => {}
+            Expr::Unary(_, e) | Expr::Cast(_, e) => e.walk(f),
+            Expr::Binary(_, a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Index { index, .. } => index.walk(f),
+            Expr::Intrinsic(_, args) | Expr::Call(_, args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Ternary(c, t, e) => {
+                c.walk(f);
+                t.walk(f);
+                e.walk(f);
+            }
+        }
+    }
+
+    /// Does the expression reference `var` anywhere (including as an array
+    /// base)?
+    pub fn uses_var(&self, var: VarId) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| match e {
+            Expr::Var(v) | Expr::Len(v) if *v == var => found = true,
+            Expr::Index { array, .. } if *array == var => found = true,
+            _ => {}
+        });
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic_arities() {
+        assert_eq!(Intrinsic::Exp.arity(), 1);
+        assert_eq!(Intrinsic::Pow.arity(), 2);
+        assert_eq!(Intrinsic::Max.arity(), 2);
+    }
+
+    #[test]
+    fn intrinsic_lookup_by_name() {
+        assert_eq!(Intrinsic::from_name("sqrt"), Some(Intrinsic::Sqrt));
+        assert_eq!(Intrinsic::from_name("tanh"), None);
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let e = Expr::var(VarId(0)).add(Expr::index(VarId(1), Expr::var(VarId(2)).mul(Expr::int(4))));
+        let mut n = 0;
+        e.walk(&mut |_| n += 1);
+        // add, var0, index, mul, var2, 4
+        assert_eq!(n, 6);
+    }
+
+    #[test]
+    fn uses_var_sees_array_bases() {
+        let e = Expr::index(VarId(7), Expr::int(0));
+        assert!(e.uses_var(VarId(7)));
+        assert!(!e.uses_var(VarId(8)));
+    }
+
+    #[test]
+    fn comparison_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::LAnd.is_short_circuit());
+        assert!(!BinOp::And.is_short_circuit());
+    }
+}

@@ -1,0 +1,936 @@
+//! Tree-walking interpreter over the IR, generic over a [`Backend`].
+//!
+//! Every execution engine in Japonica is this interpreter plus a different
+//! backend:
+//!
+//! * sequential / multi-threaded CPU execution — a plain heap backend with a
+//!   CPU cost model;
+//! * GPU warp lanes — the SIMT driver in `japonica-gpusim` steps lanes in
+//!   lock-step, each lane being one interpreter activation over device
+//!   memory;
+//! * GPU-TLS speculative execution — a write-buffering backend that defers
+//!   stores and records access metadata for the dependency-check phase;
+//! * profiling — a tracing backend that logs `(iteration, array, index,
+//!   read/write)` tuples for the dependency-density analysis.
+
+use crate::cost::{CostTable, OpClass, OpCounts};
+use crate::error::ExecError;
+use crate::expr::{BinOp, Expr, Intrinsic, UnOp};
+use crate::heap::{ArrayId, Heap};
+use crate::ops;
+use crate::program::{FnId, ParamTy, Program};
+use crate::stmt::{ForLoop, Stmt};
+use crate::types::{Ty, Value};
+use crate::VarId;
+
+/// Memory + accounting interface the interpreter executes against.
+///
+/// `op` is invoked for every dynamically executed operation *before* the
+/// operation's own effect; memory methods both perform the access and give
+/// the backend a chance to trace, redirect or price it.
+pub trait Backend {
+    /// Load one array element.
+    fn load(&mut self, arr: ArrayId, idx: i64) -> Result<Value, ExecError>;
+    /// Store one array element.
+    fn store(&mut self, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError>;
+    /// Array length (must be stable during a loop execution).
+    fn array_len(&mut self, arr: ArrayId) -> Result<usize, ExecError>;
+    /// Allocate a new zeroed array.
+    fn alloc(&mut self, ty: Ty, len: usize) -> Result<ArrayId, ExecError>;
+    /// Account one executed operation.
+    #[inline]
+    fn op(&mut self, _cls: OpClass) {}
+}
+
+/// The canonical backend: direct execution against a host [`Heap`],
+/// no accounting.
+pub struct HeapBackend<'h> {
+    /// The underlying heap.
+    pub heap: &'h mut Heap,
+}
+
+impl<'h> HeapBackend<'h> {
+    /// Wrap a heap.
+    pub fn new(heap: &'h mut Heap) -> HeapBackend<'h> {
+        HeapBackend { heap }
+    }
+}
+
+impl Backend for HeapBackend<'_> {
+    fn load(&mut self, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+        self.heap.load(arr, idx)
+    }
+    fn store(&mut self, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+        self.heap.store(arr, idx, v)
+    }
+    fn array_len(&mut self, arr: ArrayId) -> Result<usize, ExecError> {
+        self.heap.len_of(arr)
+    }
+    fn alloc(&mut self, ty: Ty, len: usize) -> Result<ArrayId, ExecError> {
+        Ok(self.heap.alloc(ty, len))
+    }
+}
+
+/// A backend adapter that counts operations (and optionally prices them
+/// against a [`CostTable`]) while delegating memory to an inner backend.
+pub struct CountingBackend<B> {
+    /// Inner backend that owns memory.
+    pub inner: B,
+    /// Accumulated op counts.
+    pub counts: OpCounts,
+}
+
+impl<B: Backend> CountingBackend<B> {
+    /// Wrap `inner` with fresh counts.
+    pub fn new(inner: B) -> CountingBackend<B> {
+        CountingBackend {
+            inner,
+            counts: OpCounts::new(),
+        }
+    }
+
+    /// Cycles implied by the recorded counts under `table`.
+    pub fn cycles(&self, table: &CostTable) -> f64 {
+        table.total(&self.counts)
+    }
+}
+
+impl<B: Backend> Backend for CountingBackend<B> {
+    fn load(&mut self, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+        self.inner.load(arr, idx)
+    }
+    fn store(&mut self, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+        self.inner.store(arr, idx, v)
+    }
+    fn array_len(&mut self, arr: ArrayId) -> Result<usize, ExecError> {
+        self.inner.array_len(arr)
+    }
+    fn alloc(&mut self, ty: Ty, len: usize) -> Result<ArrayId, ExecError> {
+        self.inner.alloc(ty, len)
+    }
+    #[inline]
+    fn op(&mut self, cls: OpClass) {
+        self.counts.record(cls);
+        self.inner.op(cls);
+    }
+}
+
+/// A function-activation environment: one slot per variable.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    slots: Vec<Option<Value>>,
+}
+
+impl Env {
+    /// Environment with `n` unassigned slots.
+    pub fn with_slots(n: u32) -> Env {
+        Env {
+            slots: vec![None; n as usize],
+        }
+    }
+
+    /// Read a slot.
+    #[inline]
+    pub fn get(&self, v: VarId) -> Result<Value, ExecError> {
+        self.slots
+            .get(v.index())
+            .copied()
+            .flatten()
+            .ok_or(ExecError::UnboundVariable(v))
+    }
+
+    /// Write a slot (grows the environment if needed, which only hand-built
+    /// IR relies on).
+    #[inline]
+    pub fn set(&mut self, v: VarId, val: Value) {
+        if v.index() >= self.slots.len() {
+            self.slots.resize(v.index() + 1, None);
+        }
+        self.slots[v.index()] = Some(val);
+    }
+
+    /// Is the slot assigned?
+    pub fn is_set(&self, v: VarId) -> bool {
+        self.slots.get(v.index()).copied().flatten().is_some()
+    }
+}
+
+/// Control-flow outcome of executing a statement block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Flow {
+    /// Fell through normally.
+    Normal,
+    /// `return` reached, with the returned value.
+    Return(Option<Value>),
+    /// `break` propagating to the innermost loop.
+    Break,
+    /// `continue` propagating to the innermost loop.
+    Continue,
+}
+
+/// Evaluated bounds of a canonical loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopBounds {
+    /// First induction value.
+    pub start: i64,
+    /// Exclusive bound.
+    pub end: i64,
+    /// Positive step.
+    pub step: i64,
+}
+
+impl LoopBounds {
+    /// Trip count (number of iterations).
+    pub fn trip(&self) -> u64 {
+        if self.end <= self.start {
+            0
+        } else {
+            (((self.end - self.start) + self.step - 1) / self.step) as u64
+        }
+    }
+
+    /// Induction value of 0-based iteration `k`.
+    pub fn value_of(&self, k: u64) -> i64 {
+        self.start + (k as i64) * self.step
+    }
+}
+
+/// The tree-walking interpreter. Stateless apart from the program reference;
+/// all mutable state lives in the [`Env`] and the [`Backend`].
+pub struct Interp<'p> {
+    program: &'p Program,
+    max_depth: usize,
+}
+
+impl<'p> Interp<'p> {
+    /// Interpreter over `program` with the default call-depth limit (64).
+    pub fn new(program: &'p Program) -> Interp<'p> {
+        Interp {
+            program,
+            max_depth: 64,
+        }
+    }
+
+    /// Override the call-depth limit.
+    pub fn with_max_depth(mut self, d: usize) -> Interp<'p> {
+        self.max_depth = d;
+        self
+    }
+
+    /// The program being interpreted.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Call function `id` with `args`, returning its result (`None` for
+    /// `void`).
+    pub fn call<B: Backend>(
+        &self,
+        id: FnId,
+        args: &[Value],
+        be: &mut B,
+    ) -> Result<Option<Value>, ExecError> {
+        self.call_at_depth(id, args, be, 0)
+    }
+
+    /// Call a function by name.
+    pub fn call_by_name<B: Backend>(
+        &self,
+        name: &str,
+        args: &[Value],
+        be: &mut B,
+    ) -> Result<Option<Value>, ExecError> {
+        let (id, _) = self
+            .program
+            .function_by_name(name)
+            .ok_or_else(|| ExecError::UnknownFunction(name.to_string()))?;
+        self.call(id, args, be)
+    }
+
+    fn call_at_depth<B: Backend>(
+        &self,
+        id: FnId,
+        args: &[Value],
+        be: &mut B,
+        depth: usize,
+    ) -> Result<Option<Value>, ExecError> {
+        if depth >= self.max_depth {
+            return Err(ExecError::StackOverflow);
+        }
+        let f = self
+            .program
+            .function(id)
+            .ok_or_else(|| ExecError::UnknownFunction(id.to_string()))?;
+        if args.len() != f.params.len() {
+            return Err(ExecError::ArityMismatch {
+                function: f.name.clone(),
+                expected: f.params.len(),
+                found: args.len(),
+            });
+        }
+        be.op(OpClass::Call);
+        let mut env = Env::with_slots(f.num_vars);
+        for (p, &a) in f.params.iter().zip(args) {
+            // Apply the assignment conversion for scalar params.
+            let bound = match p.ty {
+                ParamTy::Scalar(t) => a.cast(t).ok_or_else(|| ExecError::TypeMismatch {
+                    expected: t.to_string(),
+                    found: format!("{a}"),
+                })?,
+                ParamTy::Array(_) => match a {
+                    Value::Array(_) => a,
+                    other => {
+                        return Err(ExecError::TypeMismatch {
+                            expected: format!("{}", p.ty),
+                            found: format!("{other}"),
+                        })
+                    }
+                },
+            };
+            env.set(p.var, bound);
+        }
+        match self.exec_block(&f.body, &mut env, be, depth)? {
+            Flow::Return(v) => Ok(v),
+            Flow::Normal => Ok(None),
+            Flow::Break | Flow::Continue => Err(ExecError::Aborted(
+                "break/continue escaped function body".into(),
+            )),
+        }
+    }
+
+    /// Execute a statement block.
+    pub fn exec_block<B: Backend>(
+        &self,
+        stmts: &[Stmt],
+        env: &mut Env,
+        be: &mut B,
+        depth: usize,
+    ) -> Result<Flow, ExecError> {
+        for s in stmts {
+            match self.exec_stmt(s, env, be, depth)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Execute one statement.
+    pub fn exec_stmt<B: Backend>(
+        &self,
+        stmt: &Stmt,
+        env: &mut Env,
+        be: &mut B,
+        depth: usize,
+    ) -> Result<Flow, ExecError> {
+        match stmt {
+            Stmt::DeclVar { var, ty, init } => {
+                let v = match init {
+                    Some(e) => {
+                        let raw = self.eval(e, env, be, depth)?;
+                        raw.cast(*ty).ok_or_else(|| ExecError::TypeMismatch {
+                            expected: ty.to_string(),
+                            found: format!("{raw}"),
+                        })?
+                    }
+                    None => ty.zero(),
+                };
+                be.op(OpClass::Move);
+                env.set(*var, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::NewArray { var, elem, len } => {
+                let n = self
+                    .eval(len, env, be, depth)?
+                    .as_i64()
+                    .ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "int".into(),
+                        found: "non-integral length".into(),
+                    })?;
+                if n < 0 {
+                    return Err(ExecError::NegativeArraySize(n));
+                }
+                be.op(OpClass::Move);
+                let id = be.alloc(*elem, n as usize)?;
+                env.set(*var, Value::Array(id));
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { var, value } => {
+                let mut v = self.eval(value, env, be, depth)?;
+                // Preserve the declared scalar type across re-assignment
+                // (e.g. `double x; x = 1;` stores 1.0).
+                if let Ok(old) = env.get(*var) {
+                    if let Some(ty) = old.ty() {
+                        v = v.cast(ty).ok_or_else(|| ExecError::TypeMismatch {
+                            expected: ty.to_string(),
+                            found: format!("{v}"),
+                        })?;
+                    }
+                }
+                be.op(OpClass::Move);
+                env.set(*var, v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                let arr = env.get(*array)?.as_array().ok_or_else(|| {
+                    ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{}", *array),
+                    }
+                })?;
+                let idx = self.eval_index(index, env, be, depth)?;
+                let v = self.eval(value, env, be, depth)?;
+                be.op(OpClass::Store);
+                be.store(arr, idx, v)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let c = self.eval_bool(cond, env, be, depth)?;
+                be.op(OpClass::Branch);
+                if c {
+                    self.exec_block(then_branch, env, be, depth)
+                } else {
+                    self.exec_block(else_branch, env, be, depth)
+                }
+            }
+            Stmt::For(l) => self.exec_for_sequential(l, env, be, depth),
+            Stmt::While { cond, body } => {
+                loop {
+                    let c = self.eval_bool(cond, env, be, depth)?;
+                    be.op(OpClass::Branch);
+                    if !c {
+                        break;
+                    }
+                    match self.exec_block(body, env, be, depth)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e) => {
+                let v = match e {
+                    Some(e) => Some(self.eval(e, env, be, depth)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::ExprStmt(e) => {
+                // A call in statement position may be void; evaluate it
+                // without demanding a value.
+                if let Expr::Call(fid, args) = e {
+                    let mut vals = Vec::with_capacity(args.len());
+                    for a in args {
+                        vals.push(self.eval(a, env, be, depth)?);
+                    }
+                    self.call_at_depth(*fid, &vals, be, depth + 1)?;
+                } else {
+                    self.eval(e, env, be, depth)?;
+                }
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    /// Evaluate a canonical loop's bounds in the current environment.
+    pub fn loop_bounds<B: Backend>(
+        &self,
+        l: &ForLoop,
+        env: &mut Env,
+        be: &mut B,
+    ) -> Result<LoopBounds, ExecError> {
+        let as_int = |v: Value| {
+            v.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                expected: "int".into(),
+                found: format!("{v}"),
+            })
+        };
+        let start = as_int(self.eval(&l.start, env, be, 0)?)?;
+        let end = as_int(self.eval(&l.end, env, be, 0)?)?;
+        let step = as_int(self.eval(&l.step, env, be, 0)?)?;
+        if step <= 0 {
+            return Err(ExecError::NonPositiveStep(step));
+        }
+        Ok(LoopBounds { start, end, step })
+    }
+
+    /// Execute a canonical loop sequentially (used for un-annotated loops
+    /// and for the paper's mode C sequential dispatch).
+    pub fn exec_for_sequential<B: Backend>(
+        &self,
+        l: &ForLoop,
+        env: &mut Env,
+        be: &mut B,
+        depth: usize,
+    ) -> Result<Flow, ExecError> {
+        let bounds = self.loop_bounds(l, env, be)?;
+        for k in 0..bounds.trip() {
+            match self.exec_iteration(l, &bounds, k, env, be, depth)? {
+                Flow::Normal | Flow::Continue => {}
+                Flow::Break => break,
+                ret @ Flow::Return(_) => return Ok(ret),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Execute 0-based iteration `k` of a canonical loop: binds the
+    /// induction variable and runs the body once. This is the primitive
+    /// every parallel executor builds chunks from.
+    pub fn exec_iteration<B: Backend>(
+        &self,
+        l: &ForLoop,
+        bounds: &LoopBounds,
+        k: u64,
+        env: &mut Env,
+        be: &mut B,
+        depth: usize,
+    ) -> Result<Flow, ExecError> {
+        // Loop bookkeeping: induction update + bound test + back edge.
+        be.op(OpClass::IntAlu);
+        be.op(OpClass::Branch);
+        env.set(l.var, Value::Int(bounds.value_of(k) as i32));
+        self.exec_block(&l.body, env, be, depth)
+    }
+
+    /// Execute iterations `k_lo..k_hi` of a canonical loop against `env`.
+    /// `break` terminates the range early (reported via the returned flow).
+    pub fn exec_range<B: Backend>(
+        &self,
+        l: &ForLoop,
+        bounds: &LoopBounds,
+        k_lo: u64,
+        k_hi: u64,
+        env: &mut Env,
+        be: &mut B,
+    ) -> Result<Flow, ExecError> {
+        for k in k_lo..k_hi {
+            match self.exec_iteration(l, bounds, k, env, be, 0)? {
+                Flow::Normal | Flow::Continue => {}
+                flow => return Ok(flow),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval_bool<B: Backend>(
+        &self,
+        e: &Expr,
+        env: &mut Env,
+        be: &mut B,
+        depth: usize,
+    ) -> Result<bool, ExecError> {
+        let v = self.eval(e, env, be, depth)?;
+        v.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+            expected: "boolean".into(),
+            found: format!("{v}"),
+        })
+    }
+
+    fn eval_index<B: Backend>(
+        &self,
+        e: &Expr,
+        env: &mut Env,
+        be: &mut B,
+        depth: usize,
+    ) -> Result<i64, ExecError> {
+        let v = self.eval(e, env, be, depth)?;
+        v.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+            expected: "int index".into(),
+            found: format!("{v}"),
+        })
+    }
+
+    /// Evaluate an expression.
+    pub fn eval<B: Backend>(
+        &self,
+        e: &Expr,
+        env: &mut Env,
+        be: &mut B,
+        depth: usize,
+    ) -> Result<Value, ExecError> {
+        match e {
+            Expr::Const(v) => {
+                be.op(OpClass::Move);
+                Ok(*v)
+            }
+            Expr::Var(v) => {
+                be.op(OpClass::Move);
+                env.get(*v)
+            }
+            Expr::Unary(op, a) => {
+                let va = self.eval(a, env, be, depth)?;
+                be.op(unop_class(*op, va));
+                ops::unary(*op, va)
+            }
+            Expr::Binary(op, a, b) if op.is_short_circuit() => {
+                let va = self.eval_bool(a, env, be, depth)?;
+                be.op(OpClass::Branch);
+                match (op, va) {
+                    (BinOp::LAnd, false) => Ok(Value::Bool(false)),
+                    (BinOp::LOr, true) => Ok(Value::Bool(true)),
+                    _ => {
+                        let vb = self.eval_bool(b, env, be, depth)?;
+                        Ok(Value::Bool(vb))
+                    }
+                }
+            }
+            Expr::Binary(op, a, b) => {
+                let va = self.eval(a, env, be, depth)?;
+                let vb = self.eval(b, env, be, depth)?;
+                be.op(binop_class(*op, va, vb));
+                ops::binary(*op, va, vb)
+            }
+            Expr::Cast(ty, a) => {
+                let va = self.eval(a, env, be, depth)?;
+                be.op(OpClass::Cast);
+                va.cast(*ty).ok_or_else(|| ExecError::InvalidCast {
+                    from: format!("{va}"),
+                    to: *ty,
+                })
+            }
+            Expr::Index { array, index } => {
+                let arr = env.get(*array)?.as_array().ok_or_else(|| {
+                    ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{}", *array),
+                    }
+                })?;
+                let idx = self.eval_index(index, env, be, depth)?;
+                be.op(OpClass::Load);
+                be.load(arr, idx)
+            }
+            Expr::Len(v) => {
+                let arr = env
+                    .get(*v)?
+                    .as_array()
+                    .ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{}", *v),
+                    })?;
+                be.op(OpClass::Move);
+                Ok(Value::Int(be.array_len(arr)? as i32))
+            }
+            Expr::Intrinsic(f, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, be, depth)?);
+                }
+                be.op(intrinsic_class(*f));
+                ops::intrinsic(*f, &vals)
+            }
+            Expr::Call(fid, args) => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env, be, depth)?);
+                }
+                let ret = self.call_at_depth(*fid, &vals, be, depth + 1)?;
+                ret.ok_or_else(|| ExecError::TypeMismatch {
+                    expected: "value".into(),
+                    found: "void call in expression".into(),
+                })
+            }
+            Expr::Ternary(c, t, f) => {
+                let cv = self.eval_bool(c, env, be, depth)?;
+                be.op(OpClass::Branch);
+                if cv {
+                    self.eval(t, env, be, depth)
+                } else {
+                    self.eval(f, env, be, depth)
+                }
+            }
+        }
+    }
+}
+
+fn is_float(v: Value) -> bool {
+    matches!(v, Value::Float(_) | Value::Double(_))
+}
+
+fn unop_class(op: UnOp, v: Value) -> OpClass {
+    crate::cost::unop_class(op, is_float(v))
+}
+
+fn binop_class(op: BinOp, a: Value, b: Value) -> OpClass {
+    crate::cost::binop_class(op, is_float(a) || is_float(b))
+}
+
+fn intrinsic_class(f: Intrinsic) -> OpClass {
+    crate::cost::intrinsic_class(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FnBuilder;
+
+    /// `sum(n) = 0 + 1 + ... + (n-1)` via a canonical loop.
+    fn sum_program() -> Program {
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("sum");
+        let n = f.param_scalar("n", Ty::Int);
+        let acc = f.fresh("acc");
+        let i = f.fresh("i");
+        f.push(Stmt::DeclVar {
+            var: acc,
+            ty: Ty::Int,
+            init: Some(Expr::int(0)),
+        });
+        f.push(Stmt::For(ForLoop {
+            id: crate::LoopId(0),
+            var: i,
+            start: Expr::int(0),
+            end: Expr::var(n),
+            step: Expr::int(1),
+            body: vec![Stmt::Assign {
+                var: acc,
+                value: Expr::var(acc).add(Expr::var(i)),
+            }],
+            annot: None,
+        }));
+        f.push(Stmt::Return(Some(Expr::var(acc))));
+        p.add_function(f.finish(Some(Ty::Int)));
+        p
+    }
+
+    #[test]
+    fn loop_bounds_trip_counts() {
+        let b = LoopBounds {
+            start: 0,
+            end: 10,
+            step: 3,
+        };
+        assert_eq!(b.trip(), 4);
+        assert_eq!(b.value_of(3), 9);
+        let empty = LoopBounds {
+            start: 5,
+            end: 5,
+            step: 1,
+        };
+        assert_eq!(empty.trip(), 0);
+    }
+
+    #[test]
+    fn sum_loop_executes() {
+        let p = sum_program();
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let interp = Interp::new(&p);
+        let r = interp.call_by_name("sum", &[Value::Int(10)], &mut be).unwrap();
+        assert_eq!(r, Some(Value::Int(45)));
+    }
+
+    #[test]
+    fn counting_backend_records_ops() {
+        let p = sum_program();
+        let mut heap = Heap::new();
+        let mut be = CountingBackend::new(HeapBackend::new(&mut heap));
+        let interp = Interp::new(&p);
+        interp.call_by_name("sum", &[Value::Int(4)], &mut be).unwrap();
+        assert!(be.counts.count(OpClass::IntAlu) >= 4);
+        assert!(be.counts.count(OpClass::Branch) >= 4);
+        assert_eq!(be.counts.count(OpClass::Call), 1);
+        assert!(be.cycles(&CostTable::default()) > 0.0);
+    }
+
+    #[test]
+    fn exec_range_runs_partial_iterations() {
+        let p = sum_program();
+        let f = p.function_by_name("sum").unwrap().1;
+        let l = match &f.body[1] {
+            Stmt::For(l) => l,
+            _ => panic!(),
+        };
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let interp = Interp::new(&p);
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(VarId(0), Value::Int(100)); // n
+        env.set(l.body_target_acc(), Value::Int(0));
+        let bounds = interp.loop_bounds(l, &mut env, &mut be).unwrap();
+        assert_eq!(bounds.trip(), 100);
+        interp
+            .exec_range(l, &bounds, 10, 20, &mut env, &mut be)
+            .unwrap();
+        // iterations 10..20 sum to 145
+        assert_eq!(env.get(l.body_target_acc()).unwrap(), Value::Int(145));
+    }
+
+    impl ForLoop {
+        /// test helper: the accumulator var in `sum_program`'s loop body.
+        fn body_target_acc(&self) -> VarId {
+            match &self.body[0] {
+                Stmt::Assign { var, .. } => *var,
+                _ => panic!(),
+            }
+        }
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs() {
+        // (false && (1/0 == 0)) must not raise.
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("sc");
+        f.push(Stmt::Return(Some(Expr::Binary(
+            BinOp::LAnd,
+            Box::new(Expr::bool(false)),
+            Box::new(Expr::int(1).div(Expr::int(0)).eq(Expr::int(0))),
+        ))));
+        p.add_function(f.finish(Some(Ty::Bool)));
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p).call_by_name("sc", &[], &mut be).unwrap();
+        assert_eq!(r, Some(Value::Bool(false)));
+    }
+
+    #[test]
+    fn while_break_continue() {
+        // count odd numbers below 10, via while + continue + break
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("odds");
+        let i = f.fresh("i");
+        let c = f.fresh("c");
+        f.push(Stmt::DeclVar {
+            var: i,
+            ty: Ty::Int,
+            init: Some(Expr::int(0)),
+        });
+        f.push(Stmt::DeclVar {
+            var: c,
+            ty: Ty::Int,
+            init: Some(Expr::int(0)),
+        });
+        f.push(Stmt::While {
+            cond: Expr::bool(true),
+            body: vec![
+                Stmt::If {
+                    cond: Expr::var(i).lt(Expr::int(10)),
+                    then_branch: vec![],
+                    else_branch: vec![Stmt::Break],
+                },
+                Stmt::Assign {
+                    var: i,
+                    value: Expr::var(i).add(Expr::int(1)),
+                },
+                Stmt::If {
+                    cond: Expr::var(i).rem(Expr::int(2)).eq(Expr::int(0)),
+                    then_branch: vec![Stmt::Continue],
+                    else_branch: vec![],
+                },
+                Stmt::Assign {
+                    var: c,
+                    value: Expr::var(c).add(Expr::int(1)),
+                },
+            ],
+        });
+        f.push(Stmt::Return(Some(Expr::var(c))));
+        p.add_function(f.finish(Some(Ty::Int)));
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p).call_by_name("odds", &[], &mut be).unwrap();
+        assert_eq!(r, Some(Value::Int(5)));
+    }
+
+    #[test]
+    fn new_array_and_store_load() {
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("arr");
+        let a = f.fresh("a");
+        f.push(Stmt::NewArray {
+            var: a,
+            elem: Ty::Int,
+            len: Expr::int(3),
+        });
+        f.push(Stmt::Store {
+            array: a,
+            index: Expr::int(1),
+            value: Expr::int(7),
+        });
+        f.push(Stmt::Return(Some(Expr::index(a, Expr::int(1)))));
+        p.add_function(f.finish(Some(Ty::Int)));
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p).call_by_name("arr", &[], &mut be).unwrap();
+        assert_eq!(r, Some(Value::Int(7)));
+    }
+
+    #[test]
+    fn stack_overflow_guard() {
+        // f() calls itself forever.
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("f");
+        f.push(Stmt::Return(Some(Expr::Call(FnId(0), vec![]))));
+        p.add_function(f.finish(Some(Ty::Int)));
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p).call_by_name("f", &[], &mut be);
+        assert_eq!(r, Err(ExecError::StackOverflow));
+    }
+
+    #[test]
+    fn scalar_param_conversion() {
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("id");
+        let x = f.param_scalar("x", Ty::Double);
+        f.push(Stmt::Return(Some(Expr::var(x))));
+        p.add_function(f.finish(Some(Ty::Double)));
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p)
+            .call_by_name("id", &[Value::Int(2)], &mut be)
+            .unwrap();
+        assert_eq!(r, Some(Value::Double(2.0)));
+    }
+
+    #[test]
+    fn negative_array_size_raises() {
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("neg");
+        let a = f.fresh("a");
+        f.push(Stmt::NewArray {
+            var: a,
+            elem: Ty::Int,
+            len: Expr::int(-1),
+        });
+        p.add_function(f.finish(None));
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        assert_eq!(
+            Interp::new(&p).call_by_name("neg", &[], &mut be),
+            Err(ExecError::NegativeArraySize(-1))
+        );
+    }
+
+    #[test]
+    fn assign_preserves_declared_type() {
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("g");
+        let x = f.fresh("x");
+        f.push(Stmt::DeclVar {
+            var: x,
+            ty: Ty::Double,
+            init: Some(Expr::int(0)),
+        });
+        f.push(Stmt::Assign {
+            var: x,
+            value: Expr::int(3),
+        });
+        f.push(Stmt::Return(Some(Expr::var(x))));
+        p.add_function(f.finish(Some(Ty::Double)));
+        let mut heap = Heap::new();
+        let mut be = HeapBackend::new(&mut heap);
+        let r = Interp::new(&p).call_by_name("g", &[], &mut be).unwrap();
+        assert_eq!(r, Some(Value::Double(3.0)));
+    }
+}

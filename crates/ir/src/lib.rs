@@ -1,0 +1,60 @@
+//! # japonica-ir
+//!
+//! The typed loop intermediate representation (IR) shared by every Japonica
+//! execution engine: the sequential CPU interpreter, the multi-threaded CPU
+//! chunk executor, the SIMT GPU simulator, the GPU-TLS speculation engine and
+//! the dependency profiler.
+//!
+//! The IR is a structured (tree-shaped, non-SSA) representation of MiniJava
+//! functions. Loops that carry an OpenACC-style annotation keep it as
+//! [`LoopAnnotation`] metadata so that downstream phases (static analysis,
+//! translation, scheduling) can find the parallelization candidates.
+//!
+//! Execution is performed by a tree-walking interpreter ([`interp::Interp`])
+//! that is generic over a [`Backend`]: the backend owns array memory and
+//! receives a callback for every dynamic operation, which is how the
+//! profiler observes memory accesses, how GPU-TLS redirects speculative
+//! stores into write buffers, and how the cost models account simulated
+//! cycles.
+
+pub mod builder;
+pub mod cost;
+pub mod error;
+pub mod expr;
+pub mod heap;
+pub mod interp;
+pub mod ops;
+pub mod pretty;
+pub mod program;
+pub mod stmt;
+pub mod types;
+
+pub use cost::{CostTable, OpClass, OpCounts};
+pub use error::ExecError;
+pub use expr::{BinOp, Expr, Intrinsic, UnOp};
+pub use heap::{ArrayData, ArrayId, Heap};
+pub use interp::{Backend, CountingBackend, Env, Flow, HeapBackend, Interp, LoopBounds};
+pub use program::{FnId, Function, Param, ParamTy, Program};
+pub use stmt::{ArrayRange, ForLoop, LoopAnnotation, LoopId, Scheme, Stmt};
+pub use types::{Ty, Value};
+
+/// A variable slot inside one function's environment.
+///
+/// Slots are assigned densely by the front end (or the [`builder`]) so an
+/// environment is a plain vector indexed by `VarId`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The slot index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for VarId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}

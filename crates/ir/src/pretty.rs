@@ -1,0 +1,360 @@
+//! Pretty-printing of IR back to MiniJava-style source.
+//!
+//! The output is valid MiniJava: it re-parses through the front end, and
+//! the round-trip is semantics-preserving (tested in
+//! `crates/frontend/tests/roundtrip.rs`). Useful for debugging lowered
+//! programs and for reports that show "what the translator saw".
+
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::program::{Function, ParamTy, Program};
+use crate::stmt::{ForLoop, LoopAnnotation, Stmt};
+use crate::types::Value;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for f in &p.functions {
+        out.push_str(&function(p, f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one function.
+pub fn function(p: &Program, f: &Function) -> String {
+    let mut out = String::new();
+    let ret = f
+        .ret
+        .map(|t| t.to_string())
+        .unwrap_or_else(|| "void".to_string());
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|prm| match prm.ty {
+            ParamTy::Scalar(t) => format!("{t} {}", prm.name),
+            ParamTy::Array(t) => format!("{t}[] {}", prm.name),
+        })
+        .collect();
+    writeln!(out, "static {ret} {}({}) {{", f.name, params.join(", ")).unwrap();
+    let mut pr = Pretty { p, f, out };
+    for s in &f.body {
+        pr.stmt(s, 1);
+    }
+    pr.out.push_str("}\n");
+    pr.out
+}
+
+struct Pretty<'a> {
+    p: &'a Program,
+    f: &'a Function,
+    out: String,
+}
+
+fn binop(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::UShr => ">>>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::LAnd => "&&",
+        BinOp::LOr => "||",
+    }
+}
+
+impl Pretty<'_> {
+    fn indent(&mut self, depth: usize) {
+        for _ in 0..depth {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn name(&self, v: crate::VarId) -> String {
+        self.f.var_name(v)
+    }
+
+    fn annot(&mut self, a: &LoopAnnotation, depth: usize) {
+        self.indent(depth);
+        self.out.push_str("/* acc parallel");
+        if !a.private.is_empty() {
+            let names: Vec<String> = a.private.iter().map(|v| self.name(*v)).collect();
+            write!(self.out, " private({})", names.join(", ")).unwrap();
+        }
+        let ranges = |label: &str, rs: &[crate::stmt::ArrayRange], out: &mut String| {
+            if rs.is_empty() {
+                return;
+            }
+            let items: Vec<String> = rs
+                .iter()
+                .map(|r| match (&r.lo, &r.hi) {
+                    (Some(lo), Some(hi)) => {
+                        format!("{}[{}:{}]", self.f.var_name(r.array), expr(self.p, self.f, lo), expr(self.p, self.f, hi))
+                    }
+                    _ => self.f.var_name(r.array),
+                })
+                .collect();
+            write!(out, " {label}({})", items.join(", ")).unwrap();
+        };
+        let mut tmp = std::mem::take(&mut self.out);
+        ranges("copyin", &a.copyin, &mut tmp);
+        ranges("copyout", &a.copyout, &mut tmp);
+        ranges("create", &a.create, &mut tmp);
+        self.out = tmp;
+        if let Some(t) = a.threads {
+            write!(self.out, " threads({t})").unwrap();
+        }
+        if let Some(s) = a.scheme {
+            write!(self.out, " scheme({s})").unwrap();
+        }
+        self.out.push_str(" */\n");
+    }
+
+    fn stmt(&mut self, s: &Stmt, depth: usize) {
+        match s {
+            Stmt::DeclVar { var, ty, init } => {
+                self.indent(depth);
+                match init {
+                    Some(e) => writeln!(
+                        self.out,
+                        "{ty} {} = {};",
+                        self.name(*var),
+                        expr(self.p, self.f, e)
+                    )
+                    .unwrap(),
+                    None => writeln!(self.out, "{ty} {};", self.name(*var)).unwrap(),
+                }
+            }
+            Stmt::NewArray { var, elem, len } => {
+                self.indent(depth);
+                writeln!(
+                    self.out,
+                    "{elem}[] {} = new {elem}[{}];",
+                    self.name(*var),
+                    expr(self.p, self.f, len)
+                )
+                .unwrap();
+            }
+            Stmt::Assign { var, value } => {
+                self.indent(depth);
+                writeln!(self.out, "{} = {};", self.name(*var), expr(self.p, self.f, value))
+                    .unwrap();
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                self.indent(depth);
+                writeln!(
+                    self.out,
+                    "{}[{}] = {};",
+                    self.name(*array),
+                    expr(self.p, self.f, index),
+                    expr(self.p, self.f, value)
+                )
+                .unwrap();
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.indent(depth);
+                writeln!(self.out, "if ({}) {{", expr(self.p, self.f, cond)).unwrap();
+                for s in then_branch {
+                    self.stmt(s, depth + 1);
+                }
+                if else_branch.is_empty() {
+                    self.indent(depth);
+                    self.out.push_str("}\n");
+                } else {
+                    self.indent(depth);
+                    self.out.push_str("} else {\n");
+                    for s in else_branch {
+                        self.stmt(s, depth + 1);
+                    }
+                    self.indent(depth);
+                    self.out.push_str("}\n");
+                }
+            }
+            Stmt::For(ForLoop {
+                var,
+                start,
+                end,
+                step,
+                body,
+                annot,
+                ..
+            }) => {
+                if let Some(a) = annot {
+                    self.annot(a, depth);
+                }
+                self.indent(depth);
+                let v = self.name(*var);
+                writeln!(
+                    self.out,
+                    "for (int {v} = {}; {v} < {}; {v} = {v} + {}) {{",
+                    expr(self.p, self.f, start),
+                    expr(self.p, self.f, end),
+                    expr(self.p, self.f, step)
+                )
+                .unwrap();
+                for s in body {
+                    self.stmt(s, depth + 1);
+                }
+                self.indent(depth);
+                self.out.push_str("}\n");
+            }
+            Stmt::While { cond, body } => {
+                self.indent(depth);
+                writeln!(self.out, "while ({}) {{", expr(self.p, self.f, cond)).unwrap();
+                for s in body {
+                    self.stmt(s, depth + 1);
+                }
+                self.indent(depth);
+                self.out.push_str("}\n");
+            }
+            Stmt::Return(e) => {
+                self.indent(depth);
+                match e {
+                    Some(e) => writeln!(self.out, "return {};", expr(self.p, self.f, e)).unwrap(),
+                    None => self.out.push_str("return;\n"),
+                }
+            }
+            Stmt::Break => {
+                self.indent(depth);
+                self.out.push_str("break;\n");
+            }
+            Stmt::Continue => {
+                self.indent(depth);
+                self.out.push_str("continue;\n");
+            }
+            Stmt::ExprStmt(e) => {
+                self.indent(depth);
+                writeln!(self.out, "{};", expr(self.p, self.f, e)).unwrap();
+            }
+        }
+    }
+}
+
+/// Render one expression (fully parenthesized — correctness over beauty).
+pub fn expr(p: &Program, f: &Function, e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => match v {
+            Value::Bool(b) => b.to_string(),
+            Value::Int(x) => {
+                if *x < 0 {
+                    format!("(0 - {})", x.unsigned_abs())
+                } else {
+                    x.to_string()
+                }
+            }
+            Value::Long(x) => {
+                if *x < 0 {
+                    format!("(0L - {}L)", x.unsigned_abs())
+                } else {
+                    format!("{x}L")
+                }
+            }
+            Value::Float(x) => format!("{x:?}f"),
+            Value::Double(x) => format!("{x:?}"),
+            Value::Array(a) => format!("/*{a}*/0"),
+        },
+        Expr::Var(v) => f.var_name(*v),
+        Expr::Unary(op, a) => match op {
+            UnOp::Neg => format!("(0 - {})", expr(p, f, a)),
+            UnOp::Not => format!("(!{})", expr(p, f, a)),
+            UnOp::BitNot => format!("(~{})", expr(p, f, a)),
+        },
+        Expr::Binary(op, a, b) => {
+            format!("({} {} {})", expr(p, f, a), binop(*op), expr(p, f, b))
+        }
+        Expr::Cast(ty, a) => format!("(({ty}) {})", expr(p, f, a)),
+        Expr::Index { array, index } => {
+            format!("{}[{}]", f.var_name(*array), expr(p, f, index))
+        }
+        Expr::Len(v) => format!("{}.length", f.var_name(*v)),
+        Expr::Intrinsic(i, args) => {
+            let args: Vec<String> = args.iter().map(|a| expr(p, f, a)).collect();
+            format!("{i}({})", args.join(", "))
+        }
+        Expr::Call(fid, args) => {
+            let name = p
+                .function(*fid)
+                .map(|g| g.name.clone())
+                .unwrap_or_else(|| fid.to_string());
+            let args: Vec<String> = args.iter().map(|a| expr(p, f, a)).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Ternary(c, t, e2) => format!(
+            "({} ? {} : {})",
+            expr(p, f, c),
+            expr(p, f, t),
+            expr(p, f, e2)
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FnBuilder;
+    use crate::types::Ty;
+
+    #[test]
+    fn renders_builder_output_as_minijava() {
+        let mut prog = Program::new();
+        let mut fb = FnBuilder::new("scale");
+        let a = fb.param_array("a", Ty::Double);
+        let n = fb.param_scalar("n", Ty::Int);
+        fb.for_loop(
+            "i",
+            Expr::int(0),
+            Expr::var(n),
+            Expr::int(1),
+            Some(crate::stmt::LoopAnnotation::parallel()),
+            |_, i| {
+                vec![Stmt::Store {
+                    array: a,
+                    index: Expr::var(i),
+                    value: Expr::index(a, Expr::var(i)).mul(Expr::double(2.0)),
+                }]
+            },
+        );
+        prog.add_function(fb.finish(None));
+        let src = program(&prog);
+        assert!(src.contains("static void scale(double[] a, int n) {"));
+        assert!(src.contains("/* acc parallel */"));
+        assert!(src.contains("for (int i = 0; i < n; i = i + 1) {"));
+        assert!(src.contains("a[i] = (a[i] * 2.0);"));
+    }
+
+    #[test]
+    fn negative_literals_render_parseably() {
+        let prog = Program::new();
+        let f = Function {
+            name: "x".into(),
+            params: vec![],
+            ret: None,
+            body: vec![],
+            num_vars: 0,
+            var_names: vec![],
+        };
+        assert_eq!(expr(&prog, &f, &Expr::int(-5)), "(0 - 5)");
+        assert_eq!(expr(&prog, &f, &Expr::int(7)), "7");
+        assert_eq!(expr(&prog, &f, &Expr::long(-3)), "(0L - 3L)");
+    }
+}

@@ -1,0 +1,189 @@
+//! Programs, functions and parameters.
+
+use crate::stmt::{ForLoop, LoopId, Stmt};
+use crate::types::Ty;
+use crate::VarId;
+use std::fmt;
+
+/// Index of a function within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnId(pub u32);
+
+impl fmt::Display for FnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Parameter type: scalar or array-of-scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ParamTy {
+    Scalar(Ty),
+    Array(Ty),
+}
+
+impl fmt::Display for ParamTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamTy::Scalar(t) => write!(f, "{t}"),
+            ParamTy::Array(t) => write!(f, "{t}[]"),
+        }
+    }
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Source-level name (diagnostics only).
+    pub name: String,
+    /// Environment slot the argument is bound to.
+    pub var: VarId,
+    /// Parameter type.
+    pub ty: ParamTy,
+}
+
+/// One MiniJava `static` function lowered to IR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Source-level name.
+    pub name: String,
+    /// Parameters in declaration order. Their `var` slots are `0..params.len()`.
+    pub params: Vec<Param>,
+    /// Return type (`None` = `void`).
+    pub ret: Option<Ty>,
+    /// Function body.
+    pub body: Vec<Stmt>,
+    /// Total number of variable slots used by the body (environment size).
+    pub num_vars: u32,
+    /// Source-level variable names by slot, for diagnostics and reports.
+    pub var_names: Vec<String>,
+}
+
+impl Function {
+    /// Name of a variable slot, falling back to the slot id.
+    pub fn var_name(&self, v: VarId) -> String {
+        self.var_names
+            .get(v.index())
+            .cloned()
+            .unwrap_or_else(|| v.to_string())
+    }
+
+    /// Find the annotated loop with the given id anywhere in the body.
+    pub fn find_loop(&self, id: LoopId) -> Option<&ForLoop> {
+        let mut found = None;
+        for s in &self.body {
+            s.walk(&mut |s| {
+                if let Stmt::For(l) = s {
+                    if l.id == id {
+                        found = Some(l);
+                    }
+                }
+            });
+        }
+        found
+    }
+
+    /// All loops (annotated or not) in source order.
+    pub fn all_loops(&self) -> Vec<&ForLoop> {
+        let mut out = Vec::new();
+        for s in &self.body {
+            s.walk(&mut |s| {
+                if let Stmt::For(l) = s {
+                    out.push(l);
+                }
+            });
+        }
+        out
+    }
+}
+
+/// A whole MiniJava compilation unit lowered to IR.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    /// Functions in declaration order; [`FnId`] indexes this vector.
+    pub functions: Vec<Function>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Add a function, returning its id.
+    pub fn add_function(&mut self, f: Function) -> FnId {
+        let id = FnId(self.functions.len() as u32);
+        self.functions.push(f);
+        id
+    }
+
+    /// Look up a function by id.
+    pub fn function(&self, id: FnId) -> Option<&Function> {
+        self.functions.get(id.0 as usize)
+    }
+
+    /// Look up a function by source name.
+    pub fn function_by_name(&self, name: &str) -> Option<(FnId, &Function)> {
+        self.functions
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.name == name)
+            .map(|(i, f)| (FnId(i as u32), f))
+    }
+
+    /// Find the function containing the loop `id`, plus the loop itself.
+    pub fn find_loop(&self, id: LoopId) -> Option<(FnId, &Function, &ForLoop)> {
+        for (i, f) in self.functions.iter().enumerate() {
+            if let Some(l) = f.find_loop(id) {
+                return Some((FnId(i as u32), f, l));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::stmt::LoopAnnotation;
+
+    fn func_with_loop(name: &str, lid: u32) -> Function {
+        Function {
+            name: name.into(),
+            params: vec![],
+            ret: None,
+            body: vec![Stmt::For(ForLoop {
+                id: LoopId(lid),
+                var: VarId(0),
+                start: Expr::int(0),
+                end: Expr::int(4),
+                step: Expr::int(1),
+                body: vec![],
+                annot: Some(LoopAnnotation::parallel()),
+            })],
+            num_vars: 1,
+            var_names: vec!["i".into()],
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_and_loop() {
+        let mut p = Program::new();
+        p.add_function(func_with_loop("a", 0));
+        let fb = p.add_function(func_with_loop("b", 1));
+        assert_eq!(p.function_by_name("b").unwrap().0, fb);
+        let (fid, f, l) = p.find_loop(LoopId(1)).unwrap();
+        assert_eq!(fid, fb);
+        assert_eq!(f.name, "b");
+        assert_eq!(l.id, LoopId(1));
+        assert!(p.find_loop(LoopId(9)).is_none());
+    }
+
+    #[test]
+    fn var_name_fallback() {
+        let f = func_with_loop("a", 0);
+        assert_eq!(f.var_name(VarId(0)), "i");
+        assert_eq!(f.var_name(VarId(5)), "v5");
+    }
+}

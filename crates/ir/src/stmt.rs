@@ -1,0 +1,306 @@
+//! Statement nodes, canonical loops, and loop annotations (paper Table I).
+
+use crate::expr::Expr;
+use crate::types::Ty;
+use crate::VarId;
+use std::fmt;
+
+/// Identifier of an annotated (or at least named) loop within a program.
+///
+/// Loop ids are assigned by the front end in source order and used by the
+/// analysis results, profiles, PDG and scheduler to refer to loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct LoopId(pub u32);
+
+impl fmt::Display for LoopId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// Task-scheduling scheme selected by the `scheme(...)` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scheme {
+    /// Task sharing: one loop's iteration space is split across CPU and GPU
+    /// at the boundary (paper §V-A). This is the paper's default.
+    #[default]
+    Sharing,
+    /// Task stealing: whole loops (or subloops) are queued on CPUQ/GPUQ and
+    /// stolen across (paper §V-B, Algorithm 1).
+    Stealing,
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scheme::Sharing => f.write_str("sharing"),
+            Scheme::Stealing => f.write_str("stealing"),
+        }
+    }
+}
+
+/// An `arr[low:high]` range in a data clause. Bounds are expressions
+/// evaluated in the enclosing scope when the loop is entered; `None` means
+/// the whole array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayRange {
+    /// The array variable.
+    pub array: VarId,
+    /// Inclusive element lower bound (`None` = 0).
+    pub lo: Option<Expr>,
+    /// Exclusive element upper bound (`None` = array length).
+    pub hi: Option<Expr>,
+}
+
+impl ArrayRange {
+    /// Whole-array range.
+    pub fn whole(array: VarId) -> ArrayRange {
+        ArrayRange {
+            array,
+            lo: None,
+            hi: None,
+        }
+    }
+}
+
+/// The OpenACC-style annotation attached to a `for` loop
+/// (`/* acc parallel clause ... */`, paper Table I).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoopAnnotation {
+    /// `parallel` — marks the loop for heterogeneous parallel execution.
+    pub parallel: bool,
+    /// `private(list)` — one copy of each listed variable per execution
+    /// element (used by the privatization mode D/D').
+    pub private: Vec<VarId>,
+    /// `copyin(list)` — allocate on the device and copy host -> device on
+    /// loop entry.
+    pub copyin: Vec<ArrayRange>,
+    /// `copyout(list)` — allocate on the device and copy device -> host on
+    /// loop exit.
+    pub copyout: Vec<ArrayRange>,
+    /// `create(list)` — device-only allocation, no transfers.
+    pub create: Vec<ArrayRange>,
+    /// `threads(n)` — requested CPU thread count.
+    pub threads: Option<u32>,
+    /// `scheme(s)` — scheduling scheme; `None` means the paper's default
+    /// (sharing).
+    pub scheme: Option<Scheme>,
+}
+
+impl LoopAnnotation {
+    /// A bare `/* acc parallel */` annotation.
+    pub fn parallel() -> LoopAnnotation {
+        LoopAnnotation {
+            parallel: true,
+            ..LoopAnnotation::default()
+        }
+    }
+
+    /// Were any explicit data clauses given? If not, the translator derives
+    /// transfers from the live-in / live-out analysis (paper §III-B).
+    pub fn has_data_clauses(&self) -> bool {
+        !self.copyin.is_empty() || !self.copyout.is_empty() || !self.create.is_empty()
+    }
+
+    /// Effective scheduling scheme (paper default: sharing).
+    pub fn effective_scheme(&self) -> Scheme {
+        self.scheme.unwrap_or_default()
+    }
+}
+
+/// A canonical counted loop:
+/// `for (var = start; var < end; var += step) body` with `step > 0`.
+///
+/// Iteration `k` (0-based) executes with `var = start + k*step`; the trip
+/// count is `ceil((end - start) / step)`. Parallelization, chunking, TLS
+/// sub-loops and the sharing boundary all operate on the iteration index
+/// space `0..trip`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForLoop {
+    /// Stable loop identity (assigned in source order).
+    pub id: LoopId,
+    /// The induction variable (always `int` in MiniJava).
+    pub var: VarId,
+    /// Start expression, evaluated once on entry.
+    pub start: Expr,
+    /// Exclusive end expression, evaluated once on entry.
+    pub end: Expr,
+    /// Step expression, evaluated once on entry; must be positive.
+    pub step: Expr,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+    /// Attached `/* acc ... */` annotation, if any.
+    pub annot: Option<LoopAnnotation>,
+}
+
+impl ForLoop {
+    /// Is this loop a parallelization candidate (annotated `parallel`)?
+    pub fn is_annotated(&self) -> bool {
+        self.annot.as_ref().map(|a| a.parallel).unwrap_or(false)
+    }
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Scalar variable declaration with optional initializer.
+    DeclVar {
+        var: VarId,
+        ty: Ty,
+        init: Option<Expr>,
+    },
+    /// Array allocation `ty[] var = new ty[len]`, zero-initialized.
+    NewArray { var: VarId, elem: Ty, len: Expr },
+    /// Scalar assignment `var = value`.
+    Assign { var: VarId, value: Expr },
+    /// Array element store `array[index] = value`.
+    Store {
+        array: VarId,
+        index: Expr,
+        value: Expr,
+    },
+    /// `if (cond) { then } else { other }`.
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
+    /// Canonical counted loop.
+    For(ForLoop),
+    /// General `while` loop (never parallelized).
+    While { cond: Expr, body: Vec<Stmt> },
+    /// `return e;` / `return;`.
+    Return(Option<Expr>),
+    /// `break;` out of the innermost loop.
+    Break,
+    /// `continue;` the innermost loop.
+    Continue,
+    /// Expression evaluated for side effects (function calls).
+    ExprStmt(Expr),
+}
+
+impl Stmt {
+    /// Visit this statement and all nested statements (pre-order).
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Stmt)) {
+        f(self);
+        match self {
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                for s in then_branch.iter().chain(else_branch) {
+                    s.walk(f);
+                }
+            }
+            Stmt::For(l) => {
+                for s in &l.body {
+                    s.walk(f);
+                }
+            }
+            Stmt::While { body, .. } => {
+                for s in body {
+                    s.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Visit every expression contained in this statement subtree.
+    pub fn walk_exprs<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        self.walk(&mut |s| match s {
+            Stmt::DeclVar { init: Some(e), .. } => e.walk(f),
+            Stmt::DeclVar { init: None, .. } => {}
+            Stmt::NewArray { len, .. } => len.walk(f),
+            Stmt::Assign { value, .. } => value.walk(f),
+            Stmt::Store { index, value, .. } => {
+                index.walk(f);
+                value.walk(f);
+            }
+            Stmt::If { cond, .. } => cond.walk(f),
+            Stmt::For(l) => {
+                l.start.walk(f);
+                l.end.walk(f);
+                l.step.walk(f);
+            }
+            Stmt::While { cond, .. } => cond.walk(f),
+            Stmt::Return(Some(e)) => e.walk(f),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+            Stmt::ExprStmt(e) => e.walk(f),
+        });
+    }
+}
+
+/// Collect all annotated loops in a statement list (outermost first, source
+/// order).
+pub fn annotated_loops(stmts: &[Stmt]) -> Vec<&ForLoop> {
+    let mut out = Vec::new();
+    for s in stmts {
+        s.walk(&mut |s| {
+            if let Stmt::For(l) = s {
+                if l.is_annotated() {
+                    out.push(l);
+                }
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    fn dummy_loop(id: u32, annotated: bool) -> ForLoop {
+        ForLoop {
+            id: LoopId(id),
+            var: VarId(0),
+            start: Expr::int(0),
+            end: Expr::int(10),
+            step: Expr::int(1),
+            body: vec![],
+            annot: annotated.then(LoopAnnotation::parallel),
+        }
+    }
+
+    #[test]
+    fn annotated_loops_found_in_order_and_nested() {
+        let inner = dummy_loop(1, true);
+        let mut outer = dummy_loop(0, true);
+        outer.body.push(Stmt::For(inner));
+        let stmts = vec![Stmt::For(outer), Stmt::For(dummy_loop(2, false))];
+        let found = annotated_loops(&stmts);
+        assert_eq!(
+            found.iter().map(|l| l.id).collect::<Vec<_>>(),
+            vec![LoopId(0), LoopId(1)]
+        );
+    }
+
+    #[test]
+    fn annotation_defaults_match_paper() {
+        let a = LoopAnnotation::parallel();
+        assert!(a.parallel);
+        assert_eq!(a.effective_scheme(), Scheme::Sharing);
+        assert!(!a.has_data_clauses());
+    }
+
+    #[test]
+    fn walk_exprs_reaches_store_operands() {
+        let s = Stmt::Store {
+            array: VarId(1),
+            index: Expr::var(VarId(0)),
+            value: Expr::int(42),
+        };
+        let mut n = 0;
+        s.walk_exprs(&mut |_| n += 1);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn scheme_display() {
+        assert_eq!(Scheme::Sharing.to_string(), "sharing");
+        assert_eq!(Scheme::Stealing.to_string(), "stealing");
+    }
+}

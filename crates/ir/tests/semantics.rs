@@ -1,0 +1,250 @@
+//! Property-based and edge-case tests of the IR's Java-faithful value
+//! semantics and the interpreter's evaluation rules.
+
+use japonica_ir::builder::FnBuilder;
+use japonica_ir::{
+    ops, BinOp, Expr, Heap, HeapBackend, Interp, Intrinsic, LoopId, Program, Stmt, Ty, UnOp,
+    Value,
+};
+use proptest::prelude::*;
+
+fn any_int() -> impl Strategy<Value = i32> {
+    prop_oneof![
+        any::<i32>(),
+        Just(0),
+        Just(1),
+        Just(-1),
+        Just(i32::MAX),
+        Just(i32::MIN),
+    ]
+}
+
+fn any_long() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        any::<i64>(),
+        Just(0),
+        Just(i64::MAX),
+        Just(i64::MIN),
+    ]
+}
+
+proptest! {
+    /// Integer arithmetic wraps exactly like Java primitives.
+    #[test]
+    fn int_ops_wrap_like_java(a in any_int(), b in any_int()) {
+        let got = ops::binary(BinOp::Add, Value::Int(a), Value::Int(b)).unwrap();
+        prop_assert_eq!(got, Value::Int(a.wrapping_add(b)));
+        let got = ops::binary(BinOp::Mul, Value::Int(a), Value::Int(b)).unwrap();
+        prop_assert_eq!(got, Value::Int(a.wrapping_mul(b)));
+        let got = ops::binary(BinOp::Sub, Value::Int(a), Value::Int(b)).unwrap();
+        prop_assert_eq!(got, Value::Int(a.wrapping_sub(b)));
+    }
+
+    /// Division and remainder satisfy the Euclidean identity when defined.
+    #[test]
+    fn div_rem_identity(a in any_int(), b in any_int()) {
+        prop_assume!(b != 0);
+        prop_assume!(!(a == i32::MIN && b == -1)); // JVM wraps; identity still holds but via wrapping
+        let d = ops::binary(BinOp::Div, Value::Int(a), Value::Int(b)).unwrap();
+        let r = ops::binary(BinOp::Rem, Value::Int(a), Value::Int(b)).unwrap();
+        if let (Value::Int(d), Value::Int(r)) = (d, r) {
+            prop_assert_eq!(d.wrapping_mul(b).wrapping_add(r), a);
+            // remainder takes the dividend's sign (or is zero)
+            prop_assert!(r == 0 || (r < 0) == (a < 0));
+        } else {
+            panic!();
+        }
+    }
+
+    /// Shifts mask the count to 5 bits for int, 6 bits for long.
+    #[test]
+    fn shift_counts_mask(a in any_int(), s in any_int()) {
+        let got = ops::binary(BinOp::Shl, Value::Int(a), Value::Int(s)).unwrap();
+        prop_assert_eq!(got, Value::Int(a.wrapping_shl((s & 31) as u32)));
+        let got = ops::binary(BinOp::UShr, Value::Int(a), Value::Int(s)).unwrap();
+        prop_assert_eq!(got, Value::Int(((a as u32) >> (s & 31)) as i32));
+    }
+
+    #[test]
+    fn long_shifts_mask_to_six_bits(a in any_long(), s in any_int()) {
+        let got = ops::binary(BinOp::Shl, Value::Long(a), Value::Int(s)).unwrap();
+        prop_assert_eq!(got, Value::Long(a.wrapping_shl((s & 63) as u32)));
+    }
+
+    /// Casting int -> long -> int is the identity.
+    #[test]
+    fn int_long_roundtrip(a in any_int()) {
+        let l = Value::Int(a).cast(Ty::Long).unwrap();
+        prop_assert_eq!(l.cast(Ty::Int).unwrap(), Value::Int(a));
+    }
+
+    /// Numeric promotion is commutative in the resulting type.
+    #[test]
+    fn promotion_type_is_symmetric(a in any_int(), b in any_long()) {
+        let x = ops::binary(BinOp::Add, Value::Int(a), Value::Long(b)).unwrap();
+        let y = ops::binary(BinOp::Add, Value::Long(b), Value::Int(a)).unwrap();
+        prop_assert_eq!(x, y);
+        prop_assert_eq!(x.ty(), Some(Ty::Long));
+    }
+
+    /// Comparison operators form a coherent total preorder on non-NaN
+    /// doubles.
+    #[test]
+    fn comparisons_coherent(a in any::<f64>(), b in any::<f64>()) {
+        prop_assume!(!a.is_nan() && !b.is_nan());
+        let lt = ops::binary(BinOp::Lt, Value::Double(a), Value::Double(b)).unwrap();
+        let ge = ops::binary(BinOp::Ge, Value::Double(a), Value::Double(b)).unwrap();
+        prop_assert_eq!(lt, Value::Bool(a < b));
+        prop_assert_eq!(ge, Value::Bool(a >= b));
+        if let (Value::Bool(l), Value::Bool(g)) = (lt, ge) {
+            prop_assert_ne!(l, g);
+        }
+    }
+
+    /// Min/max agree with comparisons.
+    #[test]
+    fn min_max_consistent(a in any_int(), b in any_int()) {
+        let mx = ops::intrinsic(Intrinsic::Max, &[Value::Int(a), Value::Int(b)]).unwrap();
+        let mn = ops::intrinsic(Intrinsic::Min, &[Value::Int(a), Value::Int(b)]).unwrap();
+        prop_assert_eq!(mx, Value::Int(a.max(b)));
+        prop_assert_eq!(mn, Value::Int(a.min(b)));
+    }
+
+    /// abs/neg interplay (wrapping at MIN like Java).
+    #[test]
+    fn abs_matches_java(a in any_int()) {
+        let got = ops::intrinsic(Intrinsic::Abs, &[Value::Int(a)]).unwrap();
+        prop_assert_eq!(got, Value::Int(a.wrapping_abs()));
+        let neg = ops::unary(UnOp::Neg, Value::Int(a)).unwrap();
+        prop_assert_eq!(neg, Value::Int(a.wrapping_neg()));
+    }
+}
+
+/// A hand-built IR loop mixing every statement form, run through the
+/// interpreter: documents the exact expected trace semantics.
+#[test]
+fn kitchen_sink_function_via_builder() {
+    let mut p = Program::new();
+    let mut f = FnBuilder::new("kitchen");
+    let n = f.param_scalar("n", Ty::Int);
+    let out = f.param_array("out", Ty::Long);
+    let acc = f.decl("acc", Ty::Long, Expr::long(0));
+    f.for_loop(
+        "i",
+        Expr::int(0),
+        Expr::var(n),
+        Expr::int(1),
+        None,
+        |fb, i| {
+            let t = fb.fresh("t");
+            vec![
+                Stmt::DeclVar {
+                    var: t,
+                    ty: Ty::Long,
+                    init: Some(Expr::var(i).mul(Expr::var(i))),
+                },
+                Stmt::If {
+                    cond: Expr::var(i).rem(Expr::int(2)).eq(Expr::int(0)),
+                    then_branch: vec![Stmt::Assign {
+                        var: acc,
+                        value: Expr::var(acc).add(Expr::var(t)),
+                    }],
+                    else_branch: vec![Stmt::Assign {
+                        var: acc,
+                        value: Expr::var(acc).sub(Expr::var(i)),
+                    }],
+                },
+                Stmt::Store {
+                    array: out,
+                    index: Expr::var(i),
+                    value: Expr::var(acc),
+                },
+            ]
+        },
+    );
+    f.push(Stmt::Return(Some(Expr::var(acc))));
+    p.add_function(f.finish(Some(Ty::Long)));
+
+    let mut heap = Heap::new();
+    let out_arr = heap.alloc(Ty::Long, 6);
+    let mut be = HeapBackend::new(&mut heap);
+    let r = Interp::new(&p)
+        .call_by_name("kitchen", &[Value::Int(6), Value::Array(out_arr)], &mut be)
+        .unwrap();
+    // i=0:+0 ; i=1:-1 ; i=2:+4=3 ; i=3:-3=0 ; i=4:+16=16 ; i=5:-5=11
+    assert_eq!(r, Some(Value::Long(11)));
+    assert_eq!(heap.read_ints(out_arr).unwrap(), vec![0, -1, 3, 0, 16, 11]);
+}
+
+#[test]
+fn exec_range_is_equivalent_to_chunked_union() {
+    // Running [0,N) in one go equals running [0,k) then [k,N).
+    let mut p = Program::new();
+    let mut f = FnBuilder::new("fill");
+    let a = f.param_array("a", Ty::Long);
+    let n = f.param_scalar("n", Ty::Int);
+    let lid = f.for_loop(
+        "i",
+        Expr::int(0),
+        Expr::var(n),
+        Expr::int(1),
+        None,
+        |_, i| {
+            vec![Stmt::Store {
+                array: a,
+                index: Expr::var(i),
+                value: Expr::var(i).mul(Expr::var(i)),
+            }]
+        },
+    );
+    p.add_function(f.finish(None));
+    let func = &p.functions[0];
+    let l = func.find_loop(lid).unwrap();
+
+    let run = |splits: &[u64]| -> Vec<i64> {
+        let mut heap = Heap::new();
+        let arr = heap.alloc(Ty::Long, 100);
+        let mut env = japonica_ir::Env::with_slots(func.num_vars);
+        env.set(func.params[0].var, Value::Array(arr));
+        env.set(func.params[1].var, Value::Int(100));
+        let bounds = japonica_ir::LoopBounds {
+            start: 0,
+            end: 100,
+            step: 1,
+        };
+        let mut be = HeapBackend::new(&mut heap);
+        let interp = Interp::new(&p);
+        let mut lo = 0;
+        for &hi in splits {
+            interp.exec_range(l, &bounds, lo, hi, &mut env, &mut be).unwrap();
+            lo = hi;
+        }
+        interp.exec_range(l, &bounds, lo, 100, &mut env, &mut be).unwrap();
+        heap.read_ints(arr).unwrap()
+    };
+    assert_eq!(run(&[]), run(&[1, 7, 50, 99]));
+}
+
+#[test]
+fn loop_ids_survive_find_loop_roundtrip() {
+    let mut p = Program::new();
+    let mut f = FnBuilder::new("g");
+    let n = f.param_scalar("n", Ty::Int);
+    let ids: Vec<LoopId> = (0..3)
+        .map(|_| {
+            f.for_loop(
+                "i",
+                Expr::int(0),
+                Expr::var(n),
+                Expr::int(1),
+                None,
+                |_, _| vec![],
+            )
+        })
+        .collect();
+    p.add_function(f.finish(None));
+    for id in ids {
+        let (_, _, l) = p.find_loop(id).unwrap();
+        assert_eq!(l.id, id);
+    }
+}

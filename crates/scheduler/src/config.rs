@@ -1,0 +1,88 @@
+//! Scheduler configuration.
+
+use japonica_cpuexec::CpuConfig;
+use japonica_gpusim::DeviceConfig;
+use japonica_tls::TlsConfig;
+
+/// Tunables of both scheduling schemes plus the platform descriptions.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// The simulated GPU.
+    pub gpu: DeviceConfig,
+    /// The simulated CPU.
+    pub cpu: CpuConfig,
+    /// The TLS engine settings (modes B and D).
+    pub tls: TlsConfig,
+    /// Worker threads for CPU-side multithreaded execution. The paper uses
+    /// 16 (on 12 cores), reserving one thread for GPU management and one
+    /// for CPU thread management.
+    pub cpu_threads: u32,
+    /// Minimum iterations per sharing chunk ("uniform chunks of moderate
+    /// size", §V-A).
+    pub chunk_iters: u64,
+    /// Upper bound on the number of sharing chunks per loop — large loops
+    /// get proportionally larger chunks so kernel-launch overhead stays
+    /// amortized.
+    pub max_chunks: u64,
+    /// The density threshold `N` of Fig. 2(b): profiled loops with true-
+    /// dependence density above it go to the CPU (mode C), below it to
+    /// GPU-TLS (mode B).
+    pub td_density_threshold: f64,
+    /// How many sub-loops the stealing scheme splits each DOALL task into
+    /// (the paper splits BICG loops into 4 and Crypt loops into 8).
+    pub subloops_per_task: u32,
+    /// May an idle CPU pull chunks back from the GPU's boundary partition?
+    /// `true` (default) is this reproduction's bidirectional sharing;
+    /// `false` is the paper's literal scheme, where the boundary statically
+    /// fixes the CPU partition and only the GPU extends its run (§V-A).
+    pub cpu_steals_back: bool,
+}
+
+impl SchedulerConfig {
+    /// The task-sharing boundary `Cg·Fg / (Cg·Fg + Cc·Fc)` (paper §V-A):
+    /// the fraction of the iteration space preferentially assigned to the
+    /// GPU, from the devices' core counts and clock frequencies.
+    pub fn boundary_fraction(&self) -> f64 {
+        let cg_fg = self.gpu.total_lanes() as f64 * self.gpu.clock_ghz;
+        let cc_fc = self.cpu.cores as f64 * self.cpu.clock_ghz;
+        cg_fg / (cg_fg + cc_fc)
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> SchedulerConfig {
+        SchedulerConfig {
+            gpu: DeviceConfig::default(),
+            cpu: CpuConfig::default(),
+            tls: TlsConfig::default(),
+            cpu_threads: 16,
+            chunk_iters: 2048,
+            max_chunks: 32,
+            td_density_threshold: 0.1,
+            subloops_per_task: 4,
+            cpu_steals_back: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_matches_paper_formula() {
+        let c = SchedulerConfig::default();
+        // 448 lanes * 1.15 GHz vs 12 cores * 2.66 GHz
+        let expect = (448.0 * 1.15) / (448.0 * 1.15 + 12.0 * 2.66);
+        assert!((c.boundary_fraction() - expect).abs() < 1e-12);
+        // The M2050/X5650 boundary strongly favors the GPU.
+        assert!(c.boundary_fraction() > 0.9);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SchedulerConfig::default();
+        assert_eq!(c.cpu_threads, 16);
+        assert!(c.td_density_threshold > 0.0 && c.td_density_threshold < 1.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # japonica-scheduler
+//!
+//! The profile-guided task scheduler of Japonica (paper §V): the component
+//! that distributes annotated-loop work across the CPU cores and the GPU.
+//!
+//! * [`modes`] — the execution-mode decision workflow of paper Fig. 2(b):
+//!   statically-proven DOALL loops run in **mode A** (split across GPU and
+//!   CPU at the boundary); profiled loops run in **mode B** (GPU-TLS, low
+//!   true-dependence density), **mode C** (CPU sequential, high density),
+//!   **mode D** (privatization on GPU + sequential CPU share, only false
+//!   dependences) or **mode D′** (no dependences observed at run time —
+//!   parallel on both sides);
+//! * [`plan`] — the data-movement plan: explicit `copyin`/`copyout` clause
+//!   ranges when given, otherwise automatically derived from the live-in /
+//!   live-out classification (paper §III-B);
+//! * [`sharing`] — the **task sharing** scheme (§V-A): one loop's iteration
+//!   space is split at the boundary `Cg·Fg / (Cg·Fg + Cc·Fc)`; the GPU works
+//!   through uniform chunks in ascending order with asynchronous streamed
+//!   transfers, the CPU works multi-threaded from the back, and whichever
+//!   device drains its share early pulls chunks from the other side (extra
+//!   transfers included — the paper's GEMM overhead note);
+//! * [`stealing`] — the **task stealing** scheme (§V-B, Algorithm 1): whole
+//!   loops (or sub-loops) are tasks; the PDG yields topologically sorted
+//!   batches of independent tasks, each distributed to the CPU or GPU queue
+//!   by dependence class, with idle-device stealing;
+//! * [`report`] — per-loop and per-run execution reports.
+
+pub mod config;
+pub mod modes;
+pub mod plan;
+pub mod report;
+pub mod sharing;
+pub mod stealing;
+
+pub use config::SchedulerConfig;
+pub use modes::{decide_mode, ExecutionMode};
+pub use plan::DataPlan;
+pub use report::{LoopExecReport, SchedError};
+pub use sharing::{run_sharing, LoopTask};
+pub use stealing::{run_stealing, StealingReport};

@@ -1,0 +1,229 @@
+//! The data-movement plan: which arrays move host↔device, over which
+//! element ranges (paper §III-B).
+
+use japonica_analysis::VarClasses;
+use japonica_ir::{ArrayId, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, Program};
+
+/// One array transfer entry: the element range `lo..hi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanEntry {
+    pub array: ArrayId,
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl PlanEntry {
+    /// Bytes this entry moves.
+    pub fn bytes(&self, heap: &Heap) -> usize {
+        let elem = heap
+            .array(self.array)
+            .map(|a| a.ty().size_bytes())
+            .unwrap_or(0);
+        (self.hi.saturating_sub(self.lo)) * elem
+    }
+}
+
+/// The complete data plan of one loop.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DataPlan {
+    /// Host→device before the loop.
+    pub copyin: Vec<PlanEntry>,
+    /// Device→host after the loop.
+    pub copyout: Vec<PlanEntry>,
+    /// Device-only allocations.
+    pub create: Vec<PlanEntry>,
+}
+
+impl DataPlan {
+    /// Derive the plan for `loop_`: explicit clause ranges when the user
+    /// gave data clauses, otherwise whole-array transfers for the live-in /
+    /// live-out arrays found by classification (paper: "our code translator
+    /// could automatically generate necessary data movement APIs for the
+    /// live-in and live-out variables").
+    pub fn derive(
+        program: &Program,
+        loop_: &ForLoop,
+        classes: &VarClasses,
+        env: &Env,
+        heap: &mut Heap,
+    ) -> Result<DataPlan, ExecError> {
+        let interp = Interp::new(program);
+        let annot = loop_.annot.clone().unwrap_or_default();
+        let mut plan = DataPlan::default();
+        if annot.has_data_clauses() {
+            let mut eval_ranges =
+                |ranges: &[japonica_ir::ArrayRange]| -> Result<Vec<PlanEntry>, ExecError> {
+                    let mut out = Vec::new();
+                    for r in ranges {
+                        let mut env = env.clone();
+                        let arr = env.get(r.array)?.as_array().ok_or_else(|| {
+                            ExecError::TypeMismatch {
+                                expected: "array".into(),
+                                found: format!("{}", r.array),
+                            }
+                        })?;
+                        let len = heap.len_of(arr)?;
+                        let mut be = HeapBackend::new(heap);
+                        let lo = match &r.lo {
+                            Some(e) => interp
+                                .eval(e, &mut env, &mut be, 0)?
+                                .as_i64()
+                                .unwrap_or(0)
+                                .max(0) as usize,
+                            None => 0,
+                        };
+                        let hi = match &r.hi {
+                            Some(e) => (interp
+                                .eval(e, &mut env, &mut be, 0)?
+                                .as_i64()
+                                .unwrap_or(len as i64)
+                                .max(0) as usize)
+                                .min(len),
+                            None => len,
+                        };
+                        out.push(PlanEntry { array: arr, lo, hi });
+                    }
+                    Ok(out)
+                };
+            plan.copyin = eval_ranges(&annot.copyin)?;
+            plan.copyout = eval_ranges(&annot.copyout)?;
+            plan.create = eval_ranges(&annot.create)?;
+        } else {
+            let whole = |ids: Vec<japonica_ir::VarId>,
+                         env: &Env,
+                         heap: &Heap|
+             -> Result<Vec<PlanEntry>, ExecError> {
+                let mut out = Vec::new();
+                for v in ids {
+                    if let Some(arr) = env.get(v)?.as_array() {
+                        out.push(PlanEntry {
+                            array: arr,
+                            lo: 0,
+                            hi: heap.len_of(arr)?,
+                        });
+                    }
+                }
+                Ok(out)
+            };
+            plan.copyin = whole(classes.arrays_in(), env, heap)?;
+            plan.copyout = whole(classes.arrays_out(), env, heap)?;
+        }
+        Ok(plan)
+    }
+
+    /// All arrays that must be resident on the device.
+    pub fn device_arrays(&self) -> Vec<PlanEntry> {
+        let mut out = self.copyin.clone();
+        for e in self.copyout.iter().chain(&self.create) {
+            if !out.iter().any(|x| x.array == e.array) {
+                out.push(e.clone());
+            }
+        }
+        out
+    }
+
+    /// Total host→device bytes.
+    pub fn bytes_in(&self, heap: &Heap) -> usize {
+        self.copyin.iter().map(|e| e.bytes(heap)).sum()
+    }
+
+    /// Total device→host bytes if the whole copyout plan moves back.
+    pub fn bytes_out(&self, heap: &Heap) -> usize {
+        self.copyout.iter().map(|e| e.bytes(heap)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_analysis::classify_variables;
+    use japonica_frontend::compile_source;
+    use japonica_ir::Value;
+
+    fn plan_for(src: &str, n: usize) -> (DataPlan, Heap, Vec<ArrayId>) {
+        let p = compile_source(src).unwrap();
+        let f = &p.functions[0];
+        let l = f
+            .all_loops()
+            .into_iter()
+            .find(|l| l.is_annotated())
+            .unwrap()
+            .clone();
+        let mut heap = Heap::new();
+        let mut env = Env::with_slots(f.num_vars);
+        let mut arrays = Vec::new();
+        for prm in &f.params {
+            match prm.ty {
+                japonica_ir::ParamTy::Array(_) => {
+                    let a = heap.alloc_doubles(&vec![0.0; n]);
+                    env.set(prm.var, Value::Array(a));
+                    arrays.push(a);
+                }
+                japonica_ir::ParamTy::Scalar(_) => env.set(prm.var, Value::Int(n as i32)),
+            }
+        }
+        let classes = classify_variables(&l);
+        let plan = DataPlan::derive(&p, &l, &classes, &env, &mut heap).unwrap();
+        (plan, heap, arrays)
+    }
+
+    #[test]
+    fn explicit_clauses_win() {
+        let (plan, heap, arrays) = plan_for(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel copyin(a[0:n]) copyout(b[10:20]) */
+                for (int i = 0; i < n; i++) { b[i] = a[i]; }
+            }",
+            100,
+        );
+        assert_eq!(plan.copyin, vec![PlanEntry { array: arrays[0], lo: 0, hi: 100 }]);
+        assert_eq!(plan.copyout, vec![PlanEntry { array: arrays[1], lo: 10, hi: 20 }]);
+        assert_eq!(plan.bytes_in(&heap), 800);
+        assert_eq!(plan.bytes_out(&heap), 80);
+    }
+
+    #[test]
+    fn automatic_plan_from_classification() {
+        let (plan, _, arrays) = plan_for(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+            }",
+            64,
+        );
+        assert_eq!(plan.copyin.len(), 1);
+        assert_eq!(plan.copyin[0].array, arrays[0]);
+        assert_eq!(plan.copyout.len(), 1);
+        assert_eq!(plan.copyout[0].array, arrays[1]);
+        assert_eq!(plan.copyin[0].hi, 64);
+    }
+
+    #[test]
+    fn inout_array_appears_on_both_sides() {
+        let (plan, _, arrays) = plan_for(
+            "static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+            }",
+            16,
+        );
+        assert_eq!(plan.copyin[0].array, arrays[0]);
+        assert_eq!(plan.copyout[0].array, arrays[0]);
+        // device set deduplicates
+        assert_eq!(plan.device_arrays().len(), 1);
+    }
+
+    #[test]
+    fn clause_ranges_clamped_to_length() {
+        let (plan, _, _) = plan_for(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel copyin(a[0:n*n]) copyout(b) */
+                for (int i = 0; i < n; i++) { b[i] = a[i]; }
+            }",
+            10,
+        );
+        // n*n = 100 > len 10: clamped
+        assert_eq!(plan.copyin[0].hi, 10);
+        assert_eq!(plan.copyout[0].hi, 10);
+    }
+}

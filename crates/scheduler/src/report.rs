@@ -1,0 +1,125 @@
+//! Execution reports and scheduler errors.
+
+use crate::modes::ExecutionMode;
+use japonica_gpusim::SimtError;
+use japonica_ir::{ExecError, LoopId, Scheme};
+use japonica_tls::{TlsError, TlsReport};
+
+/// Any error surfaced while scheduling/executing a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    Exec(ExecError),
+    Simt(SimtError),
+    Tls(TlsError),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::Exec(e) => write!(f, "{e}"),
+            SchedError::Simt(e) => write!(f, "{e}"),
+            SchedError::Tls(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+impl From<ExecError> for SchedError {
+    fn from(e: ExecError) -> SchedError {
+        SchedError::Exec(e)
+    }
+}
+
+impl From<SimtError> for SchedError {
+    fn from(e: SimtError) -> SchedError {
+        SchedError::Simt(e)
+    }
+}
+
+impl From<TlsError> for SchedError {
+    fn from(e: TlsError) -> SchedError {
+        SchedError::Tls(e)
+    }
+}
+
+/// Execution record of one scheduled loop.
+#[derive(Debug, Clone)]
+pub struct LoopExecReport {
+    /// The loop.
+    pub loop_id: LoopId,
+    /// The execution mode selected by the Fig. 2(b) workflow.
+    pub mode: ExecutionMode,
+    /// The scheduling scheme in effect.
+    pub scheme: Scheme,
+    /// Total iterations executed.
+    pub iterations: u64,
+    /// Iterations that ran on the GPU / CPU side.
+    pub gpu_iters: u64,
+    pub cpu_iters: u64,
+    /// Simulated busy time per side (excluding transfers).
+    pub gpu_busy_s: f64,
+    pub cpu_busy_s: f64,
+    /// Host↔device traffic.
+    pub bytes_in: usize,
+    pub bytes_out: usize,
+    /// Simulated transfer seconds on the critical path (after overlap).
+    pub transfer_s: f64,
+    /// TLS engine report when mode B/D ran.
+    pub tls: Option<TlsReport>,
+    /// Wall-clock of the loop (max over the concurrent device timelines).
+    pub wall_s: f64,
+}
+
+impl LoopExecReport {
+    /// An empty report skeleton.
+    pub fn new(loop_id: LoopId, mode: ExecutionMode, scheme: Scheme) -> LoopExecReport {
+        LoopExecReport {
+            loop_id,
+            mode,
+            scheme,
+            iterations: 0,
+            gpu_iters: 0,
+            cpu_iters: 0,
+            gpu_busy_s: 0.0,
+            cpu_busy_s: 0.0,
+            bytes_in: 0,
+            bytes_out: 0,
+            transfer_s: 0.0,
+            tls: None,
+            wall_s: 0.0,
+        }
+    }
+
+    /// Fraction of iterations the GPU executed.
+    pub fn gpu_share(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.gpu_iters as f64 / self.iterations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_share_computation() {
+        let mut r = LoopExecReport::new(LoopId(0), ExecutionMode::A, Scheme::Sharing);
+        r.iterations = 100;
+        r.gpu_iters = 75;
+        assert!((r.gpu_share() - 0.75).abs() < 1e-12);
+        let empty = LoopExecReport::new(LoopId(1), ExecutionMode::C, Scheme::Sharing);
+        assert_eq!(empty.gpu_share(), 0.0);
+    }
+
+    #[test]
+    fn error_conversions() {
+        let e: SchedError = ExecError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        let e: SchedError = SimtError::Unsupported("x".into()).into();
+        assert!(e.to_string().contains("unsupported"));
+    }
+}

@@ -1,0 +1,776 @@
+//! The task sharing scheme (paper §V-A) plus the single-device baseline
+//! executors used throughout the evaluation.
+//!
+//! Task sharing splits one loop's iteration space across GPU and CPU at the
+//! boundary `Cg·Fg / (Cg·Fg + Cc·Fc)`. Iterations before the boundary are
+//! *preferential* to the GPU: their data is streamed to the device in
+//! advance, asynchronously with kernel execution, so transfer latency hides
+//! behind compute. The GPU consumes uniform chunks in ascending order while
+//! the CPU consumes chunks from the other end in descending order; whichever
+//! device drains its share early pulls chunks from the other side — pulls
+//! beyond the boundary pay a *synchronous* transfer (the paper's "extra
+//! overhead" observed on GEMM).
+
+use crate::config::SchedulerConfig;
+use crate::modes::{decide_mode, ExecutionMode};
+use crate::plan::DataPlan;
+use crate::report::{LoopExecReport, SchedError};
+use japonica_analysis::LoopAnalysis;
+use japonica_cpuexec::{run_parallel, run_sequential};
+use japonica_gpusim::{launch_loop, DeviceMemory};
+use japonica_ir::{
+    ArrayId, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, LoopBounds, Program, Scheme,
+    Value,
+};
+use japonica_profiler::LoopProfile;
+use japonica_tls::{run_privatized, run_tls_loop, SpeculativeMemory};
+
+/// Everything the scheduler needs to know about one annotated loop.
+#[derive(Debug, Clone, Copy)]
+pub struct LoopTask<'a> {
+    pub loop_: &'a ForLoop,
+    pub analysis: &'a LoopAnalysis,
+    pub profile: Option<&'a LoopProfile>,
+}
+
+impl<'a> LoopTask<'a> {
+    /// The execution mode per the Fig. 2(b) workflow.
+    pub fn mode(&self, cfg: &SchedulerConfig) -> ExecutionMode {
+        decide_mode(
+            &self.analysis.determination,
+            self.profile,
+            cfg.td_density_threshold,
+        )
+    }
+}
+
+/// Evaluate the loop's canonical bounds in `env`.
+pub fn eval_bounds(
+    program: &Program,
+    loop_: &ForLoop,
+    env: &Env,
+    heap: &mut Heap,
+) -> Result<LoopBounds, ExecError> {
+    let mut env = env.clone();
+    let mut be = HeapBackend::new(heap);
+    Interp::new(program).loop_bounds(loop_, &mut env, &mut be)
+}
+
+/// Functionally mirror the plan's arrays onto the device (transfer *time*
+/// is modeled by the callers' timelines, not by this copy).
+pub fn stage_device(
+    plan: &DataPlan,
+    heap: &Heap,
+    dev: &mut DeviceMemory,
+    cfg: &SchedulerConfig,
+) -> Result<(), ExecError> {
+    for e in plan.device_arrays() {
+        let len = heap.len_of(e.array)?;
+        // `create` arrays are device-only: allocate without a transfer
+        // (paper Table I: "do not copy data between the host and device").
+        let create_only = plan.create.iter().any(|c| c.array == e.array)
+            && !plan.copyin.iter().any(|c| c.array == e.array)
+            && !plan.copyout.iter().any(|c| c.array == e.array);
+        if create_only {
+            let ty = heap.array(e.array)?.ty();
+            dev.alloc(e.array, ty, len);
+        } else {
+            dev.copy_in(heap, e.array, 0, len, &cfg.gpu)?;
+        }
+    }
+    Ok(())
+}
+
+fn apply_writes_to_host(
+    heap: &mut Heap,
+    writes: &[((ArrayId, i64), Value)],
+) -> Result<usize, ExecError> {
+    let mut bytes = 0usize;
+    for ((arr, idx), v) in writes {
+        heap.store(*arr, *idx, *v)?;
+        bytes += heap.array(*arr)?.ty().size_bytes();
+    }
+    Ok(bytes)
+}
+
+/// Execute one loop under the task sharing scheme (or its degenerate
+/// single-device modes B and C). The host heap holds the authoritative
+/// result afterwards.
+pub fn run_sharing(
+    program: &Program,
+    cfg: &SchedulerConfig,
+    task: &LoopTask,
+    env: &mut Env,
+    heap: &mut Heap,
+) -> Result<LoopExecReport, SchedError> {
+    let mode = task.mode(cfg);
+    let bounds = eval_bounds(program, task.loop_, env, heap)?;
+    let trip = bounds.trip();
+    let plan = DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;
+    let mut report = LoopExecReport::new(task.loop_.id, mode, Scheme::Sharing);
+    report.iterations = trip;
+    if trip == 0 {
+        return Ok(report);
+    }
+    match mode {
+        ExecutionMode::A | ExecutionMode::DPrime => greedy_share(
+            program, cfg, task, env, heap, &bounds, &plan, report, /*cpu_seq=*/ false,
+            /*privatized=*/ false,
+        ),
+        ExecutionMode::D => greedy_share(
+            program, cfg, task, env, heap, &bounds, &plan, report, /*cpu_seq=*/ true,
+            /*privatized=*/ true,
+        ),
+        ExecutionMode::B => run_mode_b(program, cfg, task, env, heap, &bounds, &plan, report),
+        ExecutionMode::C => {
+            let r = run_sequential(program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap)?;
+            report.cpu_iters = trip;
+            report.cpu_busy_s = r.time_s;
+            report.wall_s = r.time_s;
+            Ok(report)
+        }
+    }
+}
+
+/// The boundary-guided greedy chunk loop shared by modes A, D and D′.
+#[allow(clippy::too_many_arguments)]
+fn greedy_share(
+    program: &Program,
+    cfg: &SchedulerConfig,
+    task: &LoopTask,
+    env: &mut Env,
+    heap: &mut Heap,
+    bounds: &LoopBounds,
+    plan: &DataPlan,
+    mut report: LoopExecReport,
+    cpu_seq: bool,
+    privatized: bool,
+) -> Result<LoopExecReport, SchedError> {
+    let trip = bounds.trip();
+    // `threads(n)` clause overrides the configured CPU thread count.
+    let cpu_threads = task
+        .loop_
+        .annot
+        .as_ref()
+        .and_then(|a| a.threads)
+        .unwrap_or(cfg.cpu_threads);
+    // Uniform chunks of moderate size: one 32nd of the loop, but at least
+    // 16 iterations (heavy-iteration loops like MVT still split) and at
+    // most `chunk_iters` (cheap-iteration loops amortize per-chunk costs).
+    let chunk = trip
+        .div_ceil(cfg.max_chunks.max(1))
+        .clamp(16.min(trip.max(1)), cfg.chunk_iters.max(16));
+    let nchunks = trip.div_ceil(chunk);
+    let boundary_iter = (trip as f64 * cfg.boundary_fraction()) as u64;
+
+    let mut dev = DeviceMemory::new();
+    stage_device(plan, heap, &mut dev, cfg)?;
+    let bytes_in_total = plan.bytes_in(heap);
+    let in_bytes_per_iter = bytes_in_total as f64 / trip as f64;
+
+    // Per-SM availability: Fermi runs concurrent kernels, so small chunk
+    // kernels from different stream launches occupy different SMs in
+    // parallel instead of serializing.
+    let mut sm_free = vec![0.0f64; cfg.gpu.sm_count.max(1) as usize];
+    let mut gpu_clock = 0.0f64; // time the GPU *finishes* everything queued
+    let mut cpu_clock = 0.0f64;
+    let mut transfer_clock = 0.0f64; // the async H2D stream
+    let mut front = 0u64;
+    let mut back = nchunks;
+    // Writes collected per chunk so they can be committed to the host heap
+    // in iteration order — false-dependence loops (mode D) need the last
+    // writer to win exactly as in sequential execution.
+    let mut ordered_writes: Vec<(u64, bool, japonica_tls::WriteList)> = Vec::new();
+    let se_overhead = if privatized {
+        cfg.tls.se_overhead_cycles / 2.0
+    } else {
+        0.0
+    };
+
+    let mut gpu_started = false;
+    let mut cpu_per_chunk_est: Option<f64> = None;
+    // Under the paper's literal scheme the CPU never crosses the boundary
+    // into the GPU's preferred partition.
+    let mut cpu_blocked = false;
+    while front < back {
+        if !cfg.cpu_steals_back && !cpu_blocked {
+            let next_cpu_lo = (back - 1) * chunk;
+            if next_cpu_lo < boundary_iter {
+                cpu_blocked = true;
+            }
+        }
+        // The GPU pulls when an SM can start no later than the CPU frees up.
+        let gpu_next = sm_free.iter().copied().fold(f64::INFINITY, f64::min);
+        if gpu_next <= cpu_clock || cpu_blocked {
+            // GPU pulls the lowest remaining chunk.
+            let idx = front;
+            let lo = front * chunk;
+            let hi = ((front + 1) * chunk).min(trip);
+            front += 1;
+            let tbytes = (in_bytes_per_iter * (hi - lo) as f64) as usize;
+            if !gpu_started {
+                // Opening the stream pays the one-time JNI + driver and
+                // PCIe latencies; subsequent chunks pipeline behind it.
+                gpu_started = true;
+                let open = cfg.gpu.kernel_launch_us * 1e-6 + cfg.gpu.pcie_latency_us * 1e-6;
+                for f in &mut sm_free {
+                    *f += open;
+                }
+                transfer_clock = sm_free[0];
+            }
+            let tsec = cfg.gpu.stream_seconds(tbytes);
+            let arrival = if lo < boundary_iter {
+                // Pre-boundary data streams asynchronously.
+                transfer_clock += tsec;
+                transfer_clock
+            } else {
+                // Stolen from the CPU side: synchronous transfer.
+                gpu_next + cfg.gpu.transfer_seconds(tbytes)
+            };
+            let mut spec = SpeculativeMemory::new(&mut dev, se_overhead);
+            let kr = launch_loop(program, &cfg.gpu, task.loop_, bounds, lo..hi, env, &mut spec)?;
+            let writes = spec.commit_all_collect()?;
+            let commit_s = if privatized {
+                cfg.gpu
+                    .cycles_to_seconds(writes.len() as f64 * cfg.tls.commit_cycles_per_write)
+            } else {
+                0.0
+            };
+            ordered_writes.push((idx, true, writes));
+            // Spread this chunk's warps over the least-loaded SMs (streamed
+            // launches pipeline: ~2us issue per chunk instead of the full
+            // JNI launch cost). Each warp occupies its SM for its share of
+            // the chunk's occupied cycles.
+            let warps = kr.warps.max(1) as usize;
+            let occupied = kr.stats.issue_cycles
+                + kr.stats.mem_cycles / cfg.gpu.mem_concurrency.max(1.0);
+            let per_warp_s = cfg.gpu.cycles_to_seconds(occupied / warps as f64)
+                + commit_s / warps as f64
+                + 2e-6;
+            let mut order: Vec<usize> = (0..sm_free.len()).collect();
+            order.sort_by(|&a, &b| sm_free[a].total_cmp(&sm_free[b]));
+            for w in 0..warps {
+                let sm = order[w % order.len()];
+                sm_free[sm] = sm_free[sm].max(arrival) + per_warp_s;
+            }
+            gpu_clock = sm_free.iter().copied().fold(0.0, f64::max);
+            report.gpu_iters += hi - lo;
+        } else {
+            // CPU pulls from the high end, taking enough chunks per batch
+            // that the thread-dispatch overhead stays amortized (the
+            // paper's CPU partition is one descending multithreaded range,
+            // not per-chunk dispatches).
+            let mut take = match cpu_per_chunk_est {
+                Some(t) if t > 0.0 => {
+                    (((50e-6 / t).ceil() as u64).max(1)).min(back - front)
+                }
+                _ => 1,
+            };
+            if !cfg.cpu_steals_back {
+                // The whole batch must stay above the boundary.
+                let first_cpu_chunk = boundary_iter.div_ceil(chunk);
+                take = take.min(back.saturating_sub(first_cpu_chunk)).max(1);
+            }
+            back -= take;
+            let idx = back;
+            let lo = back * chunk;
+            let hi = ((back + take) * chunk).min(trip);
+            let batch_s = if cpu_seq {
+                // Deferred-write sequential execution so commits can be
+                // ordered across devices (safe for FD-only loops: every
+                // cross-chunk read is killed by an own-iteration write).
+                let mut be = japonica_cpuexec::BufferedBackend::new(heap);
+                let mut cenv = env.clone();
+                Interp::new(program)
+                    .exec_range(task.loop_, bounds, lo, hi, &mut cenv, &mut be)?;
+                let cycles = cfg.cpu.cost.total(&be.counts);
+                let t = cfg.cpu.cycles_to_seconds(cycles);
+                let writes: Vec<_> = be.into_writes().into_iter().collect();
+                ordered_writes.push((idx, false, writes));
+                t
+            } else {
+                let r = run_parallel(
+                    program,
+                    &cfg.cpu,
+                    task.loop_,
+                    bounds,
+                    lo..hi,
+                    env,
+                    heap,
+                    cpu_threads,
+                )?;
+                r.time_s
+            };
+            cpu_clock += batch_s;
+            cpu_per_chunk_est = Some(batch_s / take as f64);
+            report.cpu_iters += hi - lo;
+        }
+    }
+
+    // Commit all deferred writes in chunk (iteration) order; count the
+    // GPU-written bytes for the device-to-host transfer model.
+    ordered_writes.sort_by_key(|(idx, _, _)| *idx);
+    let mut bytes_out = 0usize;
+    for (_, from_gpu, writes) in &ordered_writes {
+        let b = apply_writes_to_host(heap, writes)?;
+        if *from_gpu {
+            bytes_out += b;
+        }
+    }
+    if report.gpu_iters > 0 {
+        // Results stream back on the return direction of the (full-duplex)
+        // link, overlapping compute; only the tail of the last chunk's
+        // write-back lands after the final kernel.
+        let gpu_chunks = (report.gpu_iters as f64 / chunk as f64).ceil().max(1.0);
+        gpu_clock += cfg.gpu.stream_seconds(bytes_out) / gpu_chunks;
+    }
+    report.gpu_busy_s = gpu_clock;
+    report.cpu_busy_s = cpu_clock;
+    report.bytes_in =
+        (in_bytes_per_iter * report.gpu_iters as f64) as usize;
+    report.bytes_out = bytes_out;
+    report.transfer_s = cfg.gpu.transfer_seconds(report.bytes_in)
+        + cfg.gpu.transfer_seconds(bytes_out);
+    report.wall_s = gpu_clock.max(cpu_clock);
+    Ok(report)
+}
+
+/// Mode B: the whole iteration space under GPU-TLS, with transfers at both
+/// ends and CPU recovery inside the engine.
+#[allow(clippy::too_many_arguments)]
+fn run_mode_b(
+    program: &Program,
+    cfg: &SchedulerConfig,
+    task: &LoopTask,
+    env: &Env,
+    heap: &mut Heap,
+    bounds: &LoopBounds,
+    plan: &DataPlan,
+    mut report: LoopExecReport,
+) -> Result<LoopExecReport, SchedError> {
+    let trip = bounds.trip();
+    let mut dev = DeviceMemory::new();
+    stage_device(plan, heap, &mut dev, cfg)?;
+    let h2d = cfg.gpu.transfer_seconds(plan.bytes_in(heap));
+    let tls = run_tls_loop(
+        program,
+        &cfg.gpu,
+        &cfg.cpu,
+        &cfg.tls,
+        task.loop_,
+        bounds,
+        0..trip,
+        env,
+        &mut dev,
+        task.profile.map(|p| &p.td_iters),
+    )?;
+    // The full loop ran against the device: copy the output plan back.
+    let mut bytes_out = 0;
+    for e in &plan.copyout {
+        dev.copy_out(heap, e.array, e.lo, e.hi, &cfg.gpu)?;
+        bytes_out += e.bytes(heap);
+    }
+    let d2h = cfg.gpu.transfer_seconds(bytes_out);
+    report.gpu_iters = trip - tls.recovered_iters;
+    report.cpu_iters = tls.recovered_iters;
+    report.gpu_busy_s = tls.gpu_time_s;
+    report.cpu_busy_s = tls.cpu_time_s;
+    report.bytes_in = plan.bytes_in(heap);
+    report.bytes_out = bytes_out;
+    report.transfer_s = h2d + d2h;
+    report.wall_s = h2d + tls.time_s + d2h;
+    report.tls = Some(tls);
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------
+// Baseline executors (used by the evaluation harness).
+// ---------------------------------------------------------------------
+
+/// CPU-only execution: multithreaded for loops without proven/observed true
+/// dependences, sequential otherwise.
+pub fn run_cpu_only(
+    program: &Program,
+    cfg: &SchedulerConfig,
+    task: &LoopTask,
+    env: &mut Env,
+    heap: &mut Heap,
+    threads: u32,
+) -> Result<LoopExecReport, SchedError> {
+    let mode = task.mode(cfg);
+    let bounds = eval_bounds(program, task.loop_, env, heap)?;
+    let trip = bounds.trip();
+    let mut report = LoopExecReport::new(task.loop_.id, mode, Scheme::Sharing);
+    report.iterations = trip;
+    report.cpu_iters = trip;
+    let r = match mode {
+        ExecutionMode::B | ExecutionMode::C => {
+            // A true dependence exists somewhere: a plain Java port cannot
+            // blindly multithread this loop.
+            run_sequential(program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap)?
+        }
+        _ => run_parallel(
+            program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap, threads,
+        )?,
+    };
+    report.cpu_busy_s = r.time_s;
+    report.wall_s = r.time_s;
+    Ok(report)
+}
+
+/// Serial (1-thread) CPU execution — the paper's "best serial" baseline.
+pub fn run_cpu_serial(
+    program: &Program,
+    cfg: &SchedulerConfig,
+    task: &LoopTask,
+    env: &mut Env,
+    heap: &mut Heap,
+) -> Result<LoopExecReport, SchedError> {
+    let bounds = eval_bounds(program, task.loop_, env, heap)?;
+    let trip = bounds.trip();
+    let mut report = LoopExecReport::new(task.loop_.id, task.mode(cfg), Scheme::Sharing);
+    report.iterations = trip;
+    report.cpu_iters = trip;
+    let r = run_sequential(program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap)?;
+    report.cpu_busy_s = r.time_s;
+    report.wall_s = r.time_s;
+    Ok(report)
+}
+
+/// GPU-only execution, like a plain CUDA port: synchronous full H2D, one
+/// engine run over the whole range, synchronous full D2H. The engine
+/// matches the loop's dependence class (plain kernel / privatized / TLS).
+pub fn run_gpu_only(
+    program: &Program,
+    cfg: &SchedulerConfig,
+    task: &LoopTask,
+    env: &Env,
+    heap: &mut Heap,
+) -> Result<LoopExecReport, SchedError> {
+    let mode = task.mode(cfg);
+    let bounds = eval_bounds(program, task.loop_, env, heap)?;
+    let trip = bounds.trip();
+    let plan = DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;
+    let mut report = LoopExecReport::new(task.loop_.id, mode, Scheme::Sharing);
+    report.iterations = trip;
+    report.gpu_iters = trip;
+    if trip == 0 {
+        return Ok(report);
+    }
+    let mut dev = DeviceMemory::new();
+    stage_device(&plan, heap, &mut dev, cfg)?;
+    let h2d = cfg.gpu.transfer_seconds(plan.bytes_in(heap));
+    let mut tls_report = None;
+    let compute_s = match mode {
+        ExecutionMode::A | ExecutionMode::DPrime => {
+            let kr = launch_loop(program, &cfg.gpu, task.loop_, &bounds, 0..trip, env, &mut dev)?;
+            kr.time_s
+        }
+        ExecutionMode::D => {
+            let r = run_privatized(
+                program, &cfg.gpu, &cfg.tls, task.loop_, &bounds, 0..trip, env, &mut dev,
+            )?;
+            let t = r.time_s;
+            tls_report = Some(r);
+            t
+        }
+        ExecutionMode::B | ExecutionMode::C => {
+            // Speculation is the only way a GPU port can run a loop with
+            // true dependences; dense TD makes this thrash (Gauss-Seidel's
+            // tiny GPU bar in the paper's Fig. 4). A hand-ported GPU-only
+            // version has no profiler, so it speculates blind.
+            let r = run_tls_loop(
+                program,
+                &cfg.gpu,
+                &cfg.cpu,
+                &cfg.tls,
+                task.loop_,
+                &bounds,
+                0..trip,
+                env,
+                &mut dev,
+                None,
+            )?;
+            let t = r.time_s;
+            report.cpu_iters = r.recovered_iters;
+            report.gpu_iters = trip - r.recovered_iters;
+            tls_report = Some(r);
+            t
+        }
+    };
+    let mut bytes_out = 0;
+    for e in &plan.copyout {
+        dev.copy_out(heap, e.array, e.lo, e.hi, &cfg.gpu)?;
+        bytes_out += e.bytes(heap);
+    }
+    let d2h = cfg.gpu.transfer_seconds(bytes_out);
+    report.gpu_busy_s = compute_s;
+    report.bytes_in = plan.bytes_in(heap);
+    report.bytes_out = bytes_out;
+    report.transfer_s = h2d + d2h;
+    report.tls = tls_report;
+    report.wall_s = h2d + compute_s + d2h;
+    Ok(report)
+}
+
+/// A fixed-fraction cooperative split with no stealing and no streamed
+/// transfers — the paper's naive "CPU 50% + GPU 50%" comparison point.
+pub fn run_fixed_split(
+    program: &Program,
+    cfg: &SchedulerConfig,
+    task: &LoopTask,
+    env: &Env,
+    heap: &mut Heap,
+    gpu_fraction: f64,
+) -> Result<LoopExecReport, SchedError> {
+    let mode = task.mode(cfg);
+    let bounds = eval_bounds(program, task.loop_, env, heap)?;
+    let trip = bounds.trip();
+    let plan = DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;
+    let mut report = LoopExecReport::new(task.loop_.id, mode, Scheme::Sharing);
+    report.iterations = trip;
+    let split = ((trip as f64 * gpu_fraction) as u64).min(trip);
+    let mut dev = DeviceMemory::new();
+    stage_device(&plan, heap, &mut dev, cfg)?;
+    let in_share = (plan.bytes_in(heap) as f64 * gpu_fraction) as usize;
+    let h2d = cfg.gpu.transfer_seconds(in_share);
+    let mut spec = SpeculativeMemory::new(&mut dev, 0.0);
+    let kr = launch_loop(program, &cfg.gpu, task.loop_, &bounds, 0..split, env, &mut spec)?;
+    let writes = spec.commit_all_collect()?;
+    let cpu = run_parallel(
+        program,
+        &cfg.cpu,
+        task.loop_,
+        &bounds,
+        split..trip,
+        env,
+        heap,
+        cfg.cpu_threads,
+    )?;
+    let bytes_out = apply_writes_to_host(heap, &writes)?;
+    let d2h = cfg.gpu.transfer_seconds(bytes_out);
+    report.gpu_iters = split;
+    report.cpu_iters = trip - split;
+    report.gpu_busy_s = h2d + kr.time_s + d2h;
+    report.cpu_busy_s = cpu.time_s;
+    report.bytes_in = in_share;
+    report.bytes_out = bytes_out;
+    report.transfer_s = h2d + d2h;
+    report.wall_s = report.gpu_busy_s.max(report.cpu_busy_s);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_analysis::analyze_loop;
+    use japonica_frontend::compile_source;
+    use japonica_ir::ParamTy;
+
+    /// Compile + bind one double array of len n per array param; returns
+    /// everything needed to schedule the first annotated loop.
+    pub(crate) struct Fx {
+        pub program: Program,
+        pub loop_: ForLoop,
+        pub analysis: LoopAnalysis,
+        pub env: Env,
+        pub heap: Heap,
+        pub arrays: Vec<ArrayId>,
+    }
+
+    pub(crate) fn fx(src: &str, n: usize) -> Fx {
+        let program = compile_source(src).unwrap();
+        let f = &program.functions[0];
+        let loop_ = f
+            .all_loops()
+            .into_iter()
+            .find(|l| l.is_annotated())
+            .unwrap()
+            .clone();
+        let analysis = analyze_loop(&loop_);
+        let mut heap = Heap::new();
+        let mut env = Env::with_slots(f.num_vars);
+        let mut arrays = Vec::new();
+        for p in &f.params {
+            match p.ty {
+                ParamTy::Array(_) => {
+                    let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                    let a = heap.alloc_doubles(&vals);
+                    env.set(p.var, Value::Array(a));
+                    arrays.push(a);
+                }
+                ParamTy::Scalar(_) => env.set(p.var, Value::Int(n as i32)),
+            }
+        }
+        Fx {
+            program: program.clone(),
+            loop_,
+            analysis,
+            env,
+            heap,
+            arrays,
+        }
+    }
+
+    fn seq_reference(fx: &Fx) -> Vec<Vec<f64>> {
+        let mut heap = fx.heap.clone();
+        let bounds = eval_bounds(&fx.program, &fx.loop_, &fx.env, &mut heap).unwrap();
+        run_sequential(
+            &fx.program,
+            &CpuConfig::default(),
+            &fx.loop_,
+            &bounds,
+            0..bounds.trip(),
+            &mut fx.env.clone(),
+            &mut heap,
+        )
+        .unwrap();
+        fx.arrays
+            .iter()
+            .map(|a| heap.read_doubles(*a).unwrap())
+            .collect()
+    }
+
+    use japonica_cpuexec::CpuConfig;
+
+    const SAXPY: &str = "static void f(double[] x, double[] y, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { y[i] = 2.0 * x[i] + y[i]; }
+    }";
+
+    #[test]
+    fn mode_a_sharing_produces_sequential_results() {
+        let mut f = fx(SAXPY, 20_000);
+        let expect = seq_reference(&f);
+        let cfg = SchedulerConfig::default();
+        let task = LoopTask {
+            loop_: &f.loop_,
+            analysis: &f.analysis,
+            profile: None,
+        };
+        let r = run_sharing(&f.program, &cfg, &task, &mut f.env.clone(), &mut f.heap).unwrap();
+        assert_eq!(r.mode, ExecutionMode::A);
+        assert_eq!(r.gpu_iters + r.cpu_iters, 20_000);
+        assert!(r.gpu_iters > 0, "GPU should take most of a DOALL loop");
+        for (a, e) in f.arrays.iter().zip(&expect) {
+            assert_eq!(&f.heap.read_doubles(*a).unwrap(), e);
+        }
+    }
+
+    const HEAVY: &str = "static void f(double[] x, double[] y, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) {
+            y[i] = Math.sqrt(x[i] * x[i] + y[i] * y[i]) + Math.exp(x[i] * 0.001);
+        }
+    }";
+
+    #[test]
+    fn sharing_beats_both_single_device_baselines_on_compute_heavy_loop() {
+        let cfg = SchedulerConfig::default();
+        let n = 200_000;
+        let wall = |runner: &dyn Fn(&mut Fx) -> LoopExecReport| {
+            let mut f = fx(HEAVY, n);
+            runner(&mut f).wall_s
+        };
+        let shared = wall(&|f| {
+            let task = LoopTask {
+                loop_: &f.loop_,
+                analysis: &f.analysis,
+                profile: None,
+            };
+            run_sharing(&f.program, &cfg, &task, &mut f.env.clone(), &mut f.heap).unwrap()
+        });
+        let gpu = wall(&|f| {
+            let task = LoopTask {
+                loop_: &f.loop_,
+                analysis: &f.analysis,
+                profile: None,
+            };
+            run_gpu_only(&f.program, &cfg, &task, &f.env.clone(), &mut f.heap).unwrap()
+        });
+        let cpu = wall(&|f| {
+            let task = LoopTask {
+                loop_: &f.loop_,
+                analysis: &f.analysis,
+                profile: None,
+            };
+            run_cpu_only(&f.program, &cfg, &task, &mut f.env.clone(), &mut f.heap, 16).unwrap()
+        });
+        assert!(shared < gpu, "shared {shared} vs gpu {gpu}");
+        assert!(shared < cpu, "shared {shared} vs cpu {cpu}");
+    }
+
+    #[test]
+    fn mode_c_runs_entirely_on_cpu() {
+        let mut f = fx(
+            "static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 1; i < n; i++) { a[i] = a[i - 1] * 0.5 + a[i]; }
+            }",
+            4096,
+        );
+        let expect = seq_reference(&f);
+        let cfg = SchedulerConfig::default();
+        let task = LoopTask {
+            loop_: &f.loop_,
+            analysis: &f.analysis,
+            profile: None,
+        };
+        let r = run_sharing(&f.program, &cfg, &task, &mut f.env.clone(), &mut f.heap).unwrap();
+        assert_eq!(r.mode, ExecutionMode::C);
+        assert_eq!(r.gpu_iters, 0);
+        assert_eq!(f.heap.read_doubles(f.arrays[0]).unwrap(), expect[0]);
+    }
+
+    #[test]
+    fn fixed_split_fifty_fifty_matches_results() {
+        let mut f = fx(SAXPY, 10_000);
+        let expect = seq_reference(&f);
+        let cfg = SchedulerConfig::default();
+        let task = LoopTask {
+            loop_: &f.loop_,
+            analysis: &f.analysis,
+            profile: None,
+        };
+        let r = run_fixed_split(&f.program, &cfg, &task, &f.env, &mut f.heap, 0.5).unwrap();
+        assert_eq!(r.gpu_iters, 5000);
+        assert_eq!(r.cpu_iters, 5000);
+        for (a, e) in f.arrays.iter().zip(&expect) {
+            assert_eq!(&f.heap.read_doubles(*a).unwrap(), e);
+        }
+    }
+
+    #[test]
+    fn gpu_only_pays_unoverlapped_transfers() {
+        let mut f = fx(SAXPY, 50_000);
+        let cfg = SchedulerConfig::default();
+        let task = LoopTask {
+            loop_: &f.loop_,
+            analysis: &f.analysis,
+            profile: None,
+        };
+        let r = run_gpu_only(&f.program, &cfg, &task, &f.env, &mut f.heap).unwrap();
+        // wall includes both directions of traffic
+        assert!(r.transfer_s > 0.0);
+        assert!(r.wall_s >= r.transfer_s);
+        assert_eq!(r.bytes_in, 2 * 50_000 * 8); // x and y in
+        assert_eq!(r.bytes_out, 50_000 * 8); // y out
+    }
+
+    #[test]
+    fn report_accounts_every_iteration_once() {
+        let mut f = fx(SAXPY, 33_333);
+        let cfg = SchedulerConfig {
+            chunk_iters: 1000,
+            ..SchedulerConfig::default()
+        };
+        let task = LoopTask {
+            loop_: &f.loop_,
+            analysis: &f.analysis,
+            profile: None,
+        };
+        let r = run_sharing(&f.program, &cfg, &task, &mut f.env.clone(), &mut f.heap).unwrap();
+        assert_eq!(r.gpu_iters + r.cpu_iters, 33_333);
+        assert!(r.wall_s >= r.gpu_busy_s.min(r.cpu_busy_s));
+    }
+}

@@ -1,0 +1,45 @@
+//! TLS engine tuning parameters.
+
+/// Configuration of the GPU-TLS engine.
+#[derive(Debug, Clone)]
+pub struct TlsConfig {
+    /// Iterations per sub-loop (one GPU kernel per sub-loop). The paper's
+    /// incremental solution: smaller sub-loops bound the re-execution cost
+    /// of a violation but pay more kernel launches.
+    pub subloop_iters: u64,
+    /// Extra issue cycles charged per warp-level memory access during SE,
+    /// modeling the metadata bookkeeping of the software TLS library.
+    pub se_overhead_cycles: f64,
+    /// Device cycles per tracked metadata entry scanned in the DC phase.
+    pub dc_cycles_per_entry: f64,
+    /// Device cycles per buffered value copied during commit.
+    pub commit_cycles_per_write: f64,
+    /// Iterations replayed sequentially after a violation before
+    /// speculation resumes.
+    pub recovery_window: u64,
+}
+
+impl Default for TlsConfig {
+    fn default() -> TlsConfig {
+        TlsConfig {
+            subloop_iters: 448 * 4,
+            se_overhead_cycles: 8.0,
+            dc_cycles_per_entry: 2.0,
+            commit_cycles_per_write: 4.0,
+            recovery_window: 32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_subloop_covers_the_device() {
+        let c = TlsConfig::default();
+        // At least one iteration per CUDA core of the default device.
+        assert!(c.subloop_iters >= 448);
+        assert!(c.recovery_window > 0);
+    }
+}

@@ -1,0 +1,589 @@
+//! The TLS execution engine: sub-loop scheduling, the SE/DC/commit/recovery
+//! cycle, and the privatization mode PE(V).
+
+use crate::config::TlsConfig;
+use crate::spec_mem::SpeculativeMemory;
+use japonica_cpuexec::CpuConfig;
+use japonica_gpusim::{launch_loop, AccessCtx, DeviceConfig, DeviceMemory, LaneMemory, SimtError};
+use japonica_ir::{
+    ArrayData, ArrayId, Backend, Env, ExecError, ForLoop, Interp, LoopBounds,
+    OpClass, Program, Ty, Value,
+};
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// Errors from the TLS engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TlsError {
+    /// The SIMT executor failed.
+    Simt(SimtError),
+    /// A sequential recovery step failed.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for TlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TlsError::Simt(e) => write!(f, "TLS speculative execution failed: {e}"),
+            TlsError::Exec(e) => write!(f, "TLS recovery failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TlsError {}
+
+impl From<SimtError> for TlsError {
+    fn from(e: SimtError) -> TlsError {
+        TlsError::Simt(e)
+    }
+}
+
+impl From<ExecError> for TlsError {
+    fn from(e: ExecError) -> TlsError {
+        TlsError::Exec(e)
+    }
+}
+
+/// Outcome of a TLS (or privatized) loop execution.
+#[derive(Debug, Clone, Default)]
+pub struct TlsReport {
+    /// GPU kernels launched (sub-loops + post-violation relaunches).
+    pub kernels: u32,
+    /// Sub-loops whose speculation succeeded entirely.
+    pub clean_subloops: u32,
+    /// Mis-speculations detected.
+    pub violations: u32,
+    /// Intra-warp / inter-warp violation classification totals.
+    pub intra_warp_violations: u32,
+    pub inter_warp_violations: u32,
+    /// Iterations replayed sequentially during recovery.
+    pub recovered_iters: u64,
+    /// Simulated GPU seconds (SE + DC + commit).
+    pub gpu_time_s: f64,
+    /// Simulated CPU seconds (sequential recovery windows).
+    pub cpu_time_s: f64,
+    /// Total wall time (phases are serialized).
+    pub time_s: f64,
+    /// Flattened, iteration-ordered global writes (filled by
+    /// [`run_privatized`], whose callers mirror them onto the host heap).
+    pub writes: Vec<((ArrayId, i64), Value)>,
+}
+
+/// A sequential-execution backend over device memory, used for recovery
+/// windows (the paper executes violating warps on the CPU against the
+/// coherent data set).
+pub struct DeviceBackend<'d> {
+    mem: &'d mut DeviceMemory,
+    locals: Vec<ArrayData>,
+    local_base: u32,
+    /// Op counts for the CPU time model.
+    pub counts: japonica_ir::OpCounts,
+}
+
+impl<'d> DeviceBackend<'d> {
+    /// Wrap device memory for sequential execution.
+    pub fn new(mem: &'d mut DeviceMemory) -> DeviceBackend<'d> {
+        DeviceBackend {
+            mem,
+            locals: Vec::new(),
+            // Local temp ids far above any realistic host heap id.
+            local_base: u32::MAX / 2,
+            counts: japonica_ir::OpCounts::new(),
+        }
+    }
+
+    fn local(&self, arr: ArrayId) -> Option<usize> {
+        (arr.0 >= self.local_base).then(|| (arr.0 - self.local_base) as usize)
+    }
+
+    fn actx() -> AccessCtx {
+        AccessCtx {
+            lane: 0,
+            warp: u32::MAX,
+            iter: 0,
+        }
+    }
+}
+
+impl Backend for DeviceBackend<'_> {
+    fn load(&mut self, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+        if let Some(li) = self.local(arr) {
+            let a = self.locals.get(li).ok_or(ExecError::UnknownArray(arr))?;
+            if idx < 0 || idx as usize >= a.len() {
+                return Err(ExecError::IndexOutOfBounds {
+                    array: arr,
+                    index: idx,
+                    len: a.len(),
+                });
+            }
+            return Ok(a.get(idx as usize));
+        }
+        self.mem.load(Self::actx(), arr, idx)
+    }
+
+    fn store(&mut self, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+        if let Some(li) = self.local(arr) {
+            let a = self
+                .locals
+                .get_mut(li)
+                .ok_or(ExecError::UnknownArray(arr))?;
+            if idx < 0 || idx as usize >= a.len() {
+                return Err(ExecError::IndexOutOfBounds {
+                    array: arr,
+                    index: idx,
+                    len: a.len(),
+                });
+            }
+            return a.set(idx as usize, v);
+        }
+        self.mem.store(Self::actx(), arr, idx, v)
+    }
+
+    fn array_len(&mut self, arr: ArrayId) -> Result<usize, ExecError> {
+        if let Some(li) = self.local(arr) {
+            return Ok(self.locals.get(li).ok_or(ExecError::UnknownArray(arr))?.len());
+        }
+        self.mem.array_len(arr)
+    }
+
+    fn alloc(&mut self, ty: Ty, len: usize) -> Result<ArrayId, ExecError> {
+        let id = ArrayId(self.local_base + self.locals.len() as u32);
+        self.locals.push(ArrayData::zeroed(ty, len));
+        Ok(id)
+    }
+
+    #[inline]
+    fn op(&mut self, cls: OpClass) {
+        self.counts.record(cls);
+    }
+}
+
+/// Execute iterations `range` of `loop_` under GPU-TLS against device
+/// memory `dev`.
+///
+/// `td_iters`, when available from the profiler, lists iterations known to
+/// carry true dependences; after a violation the engine replays the
+/// recovery window on the CPU while the profile says true dependences
+/// continue, then relaunches speculation on the GPU (the paper's recovery
+/// policy).
+#[allow(clippy::too_many_arguments)]
+pub fn run_tls_loop(
+    program: &Program,
+    dcfg: &DeviceConfig,
+    ccfg: &CpuConfig,
+    tls: &TlsConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    base_env: &Env,
+    dev: &mut DeviceMemory,
+    td_iters: Option<&BTreeSet<u64>>,
+) -> Result<TlsReport, TlsError> {
+    let mut report = TlsReport::default();
+    let mut k = range.start;
+    // One-time stream/JNI open; per-subloop launches pipeline behind it.
+    let open_s = dcfg.kernel_launch_us * 1e-6 + dcfg.pcie_latency_us * 1e-6;
+    let mut opened = false;
+    while k < range.end {
+        let mut sub_end = (k + tls.subloop_iters).min(range.end);
+        // Profile guidance: start a fresh sub-loop at every iteration the
+        // profiler saw carrying a true dependence, so its source is already
+        // committed when it speculates — the paper's profile-guided
+        // speculation for low-density loops (mode B).
+        if let Some(td) = td_iters {
+            if let Some(&next_td) = td.range(k + 1..sub_end).next() {
+                sub_end = next_td;
+            }
+        }
+        // ---- SE phase ----
+        let mut spec = SpeculativeMemory::new(dev, tls.se_overhead_cycles);
+        let kr = launch_loop(program, dcfg, loop_, bounds, k..sub_end, base_env, &mut spec)?;
+        report.kernels += 1;
+        let kernel_s = (kr.time_s - dcfg.kernel_launch_us * 1e-6).max(0.0) + 5e-6;
+        report.gpu_time_s += if opened {
+            kernel_s
+        } else {
+            opened = true;
+            open_s + kernel_s
+        };
+        // ---- DC phase ----
+        let dc = spec.check();
+        report.gpu_time_s += dcfg.cycles_to_seconds(
+            dc.entries_scanned as f64 * tls.dc_cycles_per_entry / dcfg.sm_count as f64,
+        );
+        report.intra_warp_violations += dc.intra_warp;
+        report.inter_warp_violations += dc.inter_warp;
+        match dc.first_violation() {
+            None => {
+                // ---- commit phase ----
+                let copied = spec.commit_all()?;
+                report.gpu_time_s += dcfg
+                    .cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
+                report.clean_subloops += 1;
+                k = sub_end;
+            }
+            Some(v) => {
+                report.violations += 1;
+                // Commit the safe prefix, discard the rest.
+                let copied = spec.commit_prefix(v)?;
+                report.gpu_time_s += dcfg
+                    .cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
+                // ---- recovery: replay a window sequentially ----
+                let mut rec_end = (v + tls.recovery_window).min(range.end);
+                // While the profile says the following iterations still
+                // carry true dependences, keep replaying sequentially.
+                if let Some(td) = td_iters {
+                    while rec_end < range.end
+                        && td.range(rec_end..rec_end + tls.recovery_window).next().is_some()
+                    {
+                        rec_end = (rec_end + tls.recovery_window).min(range.end);
+                    }
+                }
+                let mut be = DeviceBackend::new(dev);
+                let mut env = base_env.clone();
+                Interp::new(program)
+                    .exec_range(loop_, bounds, v, rec_end, &mut env, &mut be)?;
+                let cpu_cycles = ccfg.cost.total(&be.counts);
+                let cpu_s = ccfg.cycles_to_seconds(cpu_cycles)
+                    // control transfer + coherence hop across PCIe
+                    + 2.0 * dcfg.pcie_latency_us * 1e-6;
+                report.cpu_time_s += cpu_s;
+                report.recovered_iters += rec_end - v;
+                k = rec_end;
+            }
+        }
+    }
+    report.time_s = report.gpu_time_s + report.cpu_time_s;
+    Ok(report)
+}
+
+/// PE(V): parallel execution with privatization — buffered writes committed
+/// in iteration order after all iterations finish, no dependence checking
+/// (paper modes D/D', safe when only false dependences exist).
+#[allow(clippy::too_many_arguments)] // mirrors the launch signature
+pub fn run_privatized(
+    program: &Program,
+    dcfg: &DeviceConfig,
+    tls: &TlsConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    base_env: &Env,
+    dev: &mut DeviceMemory,
+) -> Result<TlsReport, TlsError> {
+    let mut report = TlsReport::default();
+    let mut spec = SpeculativeMemory::new(dev, tls.se_overhead_cycles / 2.0);
+    let kr = launch_loop(program, dcfg, loop_, bounds, range, base_env, &mut spec)?;
+    report.kernels = 1;
+    let writes = spec.commit_all_collect()?;
+    report.gpu_time_s =
+        kr.time_s + dcfg.cycles_to_seconds(writes.len() as f64 * tls.commit_cycles_per_write);
+    report.clean_subloops = 1;
+    report.time_s = report.gpu_time_s;
+    report.writes = writes;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_frontend::compile_source;
+    use japonica_ir::{Heap, HeapBackend};
+
+    struct Fixture {
+        program: Program,
+        loop_: ForLoop,
+        env: Env,
+        heap: Heap,
+        dev: DeviceMemory,
+        arrays: Vec<ArrayId>,
+        bounds: LoopBounds,
+    }
+
+    /// Build a fixture: compile `src`, bind `n` plus one i64 array of
+    /// length `len` per array param, fill with `fill(i)`, copy to device.
+    fn fixture(src: &str, fname: &str, n: i64, len: usize, fill: impl Fn(usize) -> i64) -> Fixture {
+        let program = compile_source(src).unwrap();
+        let (_, f) = program.function_by_name(fname).unwrap();
+        let loop_ = f
+            .all_loops()
+            .into_iter()
+            .find(|l| l.is_annotated())
+            .unwrap()
+            .clone();
+        let mut heap = Heap::new();
+        let dcfg = DeviceConfig::default();
+        let mut dev = DeviceMemory::new();
+        let mut env = Env::with_slots(f.num_vars);
+        let mut arrays = Vec::new();
+        for p in &f.params {
+            match p.ty {
+                japonica_ir::ParamTy::Array(_) => {
+                    let vals: Vec<i64> = (0..len).map(&fill).collect();
+                    let a = heap.alloc_longs(&vals);
+                    dev.copy_in(&heap, a, 0, len, &dcfg).unwrap();
+                    env.set(p.var, Value::Array(a));
+                    arrays.push(a);
+                }
+                japonica_ir::ParamTy::Scalar(_) => {
+                    env.set(p.var, Value::Int(n as i32));
+                }
+            }
+        }
+        let bounds = LoopBounds {
+            start: 0,
+            end: n,
+            step: 1,
+        };
+        Fixture {
+            program,
+            loop_,
+            env,
+            heap,
+            dev,
+            arrays,
+            bounds,
+        }
+    }
+
+    /// Sequential reference on a clone of the host heap.
+    fn sequential_reference(fx: &Fixture, arr: ArrayId) -> Vec<i64> {
+        let mut heap = fx.heap.clone();
+        let mut env = fx.env.clone();
+        let mut be = HeapBackend::new(&mut heap);
+        Interp::new(&fx.program)
+            .exec_range(
+                &fx.loop_,
+                &fx.bounds,
+                0,
+                fx.bounds.trip(),
+                &mut env,
+                &mut be,
+            )
+            .unwrap();
+        heap.read_ints(arr).unwrap()
+    }
+
+    fn device_longs(dev: &DeviceMemory, arr: ArrayId) -> Vec<i64> {
+        let a = dev.array(arr).unwrap();
+        (0..a.len()).map(|i| a.get(i).as_i64().unwrap()).collect()
+    }
+
+    const INDEPENDENT: &str = "static void f(long[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] * 2 + 1; }
+    }";
+
+    #[test]
+    fn clean_speculation_matches_sequential() {
+        let mut fx = fixture(INDEPENDENT, "f", 2000, 2000, |i| i as i64);
+        let expect = sequential_reference(&fx, fx.arrays[0]);
+        let r = run_tls_loop(
+            &fx.program,
+            &DeviceConfig::default(),
+            &CpuConfig::default(),
+            &TlsConfig::default(),
+            &fx.loop_,
+            &fx.bounds,
+            0..2000,
+            &fx.env,
+            &mut fx.dev,
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.violations, 0);
+        assert_eq!(r.clean_subloops, 2); // 2000 iters / 1792 per subloop
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect);
+        assert!(r.cpu_time_s == 0.0);
+        assert!(r.gpu_time_s > 0.0);
+    }
+
+    // a[i] = a[i - 100] + 1 for i >= 100: RAW at distance 100, which spans
+    // warps inside one subloop.
+    const CARRIED: &str = "static void f(long[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) {
+            if (i >= 100) { a[i] = a[i - 100] + 1; } else { a[i] = 1; }
+        }
+    }";
+
+    #[test]
+    fn violations_recover_to_sequential_result() {
+        let mut fx = fixture(CARRIED, "f", 1000, 1000, |_| 0);
+        let expect = sequential_reference(&fx, fx.arrays[0]);
+        let r = run_tls_loop(
+            &fx.program,
+            &DeviceConfig::default(),
+            &CpuConfig::default(),
+            &TlsConfig::default(),
+            &fx.loop_,
+            &fx.bounds,
+            0..1000,
+            &fx.env,
+            &mut fx.dev,
+            None,
+        )
+        .unwrap();
+        assert!(r.violations > 0);
+        assert!(r.recovered_iters > 0);
+        assert!(r.cpu_time_s > 0.0);
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect);
+    }
+
+    #[test]
+    fn rare_dependence_mostly_speculates() {
+        // only iteration 500 depends on an earlier one
+        let src = "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                if (i == 500) { a[i] = a[i - 400] + 7; } else { a[i] = i; }
+            }
+        }";
+        let mut fx = fixture(src, "f", 2000, 2000, |_| 0);
+        let expect = sequential_reference(&fx, fx.arrays[0]);
+        let tls = TlsConfig::default();
+        let r = run_tls_loop(
+            &fx.program,
+            &DeviceConfig::default(),
+            &CpuConfig::default(),
+            &tls,
+            &fx.loop_,
+            &fx.bounds,
+            0..2000,
+            &fx.env,
+            &mut fx.dev,
+            None,
+        )
+        .unwrap();
+        assert_eq!(r.violations, 1);
+        assert!(r.recovered_iters <= tls.recovery_window);
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect);
+    }
+
+    #[test]
+    fn profile_guided_boundaries_avoid_violations() {
+        let mut fx = fixture(CARRIED, "f", 600, 600, |_| 0);
+        let expect = sequential_reference(&fx, fx.arrays[0]);
+        // profile: every iteration >= 100 carries a TD, so the engine cuts
+        // a sub-loop boundary before each of them — every dependence source
+        // is committed before its reader speculates.
+        let td: BTreeSet<u64> = (100..600).collect();
+        let r = run_tls_loop(
+            &fx.program,
+            &DeviceConfig::default(),
+            &CpuConfig::default(),
+            &TlsConfig::default(),
+            &fx.loop_,
+            &fx.bounds,
+            0..600,
+            &fx.env,
+            &mut fx.dev,
+            Some(&td),
+        )
+        .unwrap();
+        assert_eq!(r.violations, 0);
+        assert!(r.kernels > 400, "one sub-loop per dependent iteration");
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect);
+    }
+
+    #[test]
+    fn blind_speculation_on_same_loop_violates_and_recovers() {
+        let mut fx = fixture(CARRIED, "f", 600, 600, |_| 0);
+        let expect = sequential_reference(&fx, fx.arrays[0]);
+        let r = run_tls_loop(
+            &fx.program,
+            &DeviceConfig::default(),
+            &CpuConfig::default(),
+            &TlsConfig::default(),
+            &fx.loop_,
+            &fx.bounds,
+            0..600,
+            &fx.env,
+            &mut fx.dev,
+            None,
+        )
+        .unwrap();
+        assert!(r.violations >= 1);
+        assert!(r.recovered_iters > 0);
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect);
+    }
+
+    #[test]
+    fn privatized_execution_is_sequential_equivalent_for_fd_loops() {
+        // WAW: all iterations write a[i % 64]; iteration order must win.
+        let src = "static void f(long[] a, long[] o, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                a[i % 64] = i;
+                o[i] = a[i % 64] * 2;
+            }
+        }";
+        let mut fx = fixture(src, "f", 1000, 1000, |_| 0);
+        let expect_a = sequential_reference(&fx, fx.arrays[0]);
+        let r = run_privatized(
+            &fx.program,
+            &DeviceConfig::default(),
+            &TlsConfig::default(),
+            &fx.loop_,
+            &fx.bounds,
+            0..1000,
+            &fx.env,
+            &mut fx.dev,
+        )
+        .unwrap();
+        assert_eq!(r.kernels, 1);
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect_a);
+        // o[i] = 2*i always (reads own write in the same iteration)
+        let o = device_longs(&fx.dev, fx.arrays[1]);
+        assert!(o.iter().enumerate().all(|(i, &v)| v == 2 * i as i64));
+    }
+
+    #[test]
+    fn device_backend_supports_temp_arrays() {
+        let src = "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                long[] t = new long[2];
+                t[0] = a[i];
+                a[i] = t[0] + 1;
+            }
+        }";
+        let mut fx = fixture(src, "f", 64, 64, |i| i as i64);
+        let mut be = DeviceBackend::new(&mut fx.dev);
+        let mut env = fx.env.clone();
+        Interp::new(&fx.program)
+            .exec_range(&fx.loop_, &fx.bounds, 0, 64, &mut env, &mut be)
+            .unwrap();
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0])[10], 11);
+    }
+
+    #[test]
+    fn smaller_subloops_bound_violation_cost() {
+        let mk = |subloop: u64| {
+            let mut fx = fixture(CARRIED, "f", 1000, 1000, |_| 0);
+            let tls = TlsConfig {
+                subloop_iters: subloop,
+                ..TlsConfig::default()
+            };
+            run_tls_loop(
+                &fx.program,
+                &DeviceConfig::default(),
+                &CpuConfig::default(),
+                &tls,
+                &fx.loop_,
+                &fx.bounds,
+                0..1000,
+                &fx.env,
+                &mut fx.dev,
+                None,
+            )
+            .unwrap()
+        };
+        let small = mk(64);
+        let large = mk(1024);
+        // With subloops of 64 <= dependence distance 100, speculation
+        // inside each subloop never observes stale data.
+        assert_eq!(small.violations, 0);
+        assert!(large.violations > 0);
+    }
+}

@@ -1,0 +1,405 @@
+//! Speculative memory: per-iteration write buffers + access metadata for
+//! the dependency-checking phase.
+
+use japonica_gpusim::{AccessCtx, DeviceMemory, LaneMemory};
+use japonica_ir::{ArrayId, ExecError, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A flattened, iteration-ordered list of `(location, value)` writes.
+pub type WriteList = Vec<((ArrayId, i64), Value)>;
+
+/// One recorded global-memory read: which iteration (and warp) read the
+/// location from global memory (i.e. did *not* hit its own write buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ReadRec {
+    iter: u64,
+    warp: u32,
+}
+
+/// Result of the dependency-checking phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DcOutcome {
+    /// Iterations that observed stale values (RAW violations), ascending.
+    pub violating_iters: Vec<u64>,
+    /// Violations where reader and writer sat in the same warp.
+    pub intra_warp: u32,
+    /// Violations across warps.
+    pub inter_warp: u32,
+    /// Metadata entries scanned (drives the DC time model).
+    pub entries_scanned: u64,
+}
+
+impl DcOutcome {
+    /// Did speculation succeed?
+    pub fn success(&self) -> bool {
+        self.violating_iters.is_empty()
+    }
+
+    /// Earliest violating iteration, if any.
+    pub fn first_violation(&self) -> Option<u64> {
+        self.violating_iters.first().copied()
+    }
+}
+
+/// Dependence classification over one (sub-)loop's recorded accesses,
+/// produced by [`SpeculativeMemory::dependence_stats`] for the profiler.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DepStats {
+    /// Histogram of observed true-dependence distances (reader iteration
+    /// minus the latest earlier writer), the raw material of von Praun's
+    /// quantitative dependence model.
+    pub td_distances: std::collections::BTreeMap<u64, u64>,
+    /// True-dependence pair counts per array.
+    pub td_by_array: std::collections::BTreeMap<japonica_ir::ArrayId, u64>,
+    /// Cross-iteration read-after-write pairs (true dependences).
+    pub raw_pairs: u64,
+    /// Cross-iteration write-after-read pairs (anti dependences).
+    pub war_pairs: u64,
+    /// Cross-iteration write-after-write pairs (output dependences).
+    pub waw_pairs: u64,
+    /// Iterations carrying a true dependence on an earlier iteration.
+    pub td_iters: std::collections::BTreeSet<u64>,
+    /// Iterations carrying only-false dependences on earlier iterations.
+    pub fd_iters: std::collections::BTreeSet<u64>,
+    /// True-dependence pairs within one warp / across warps.
+    pub intra_warp_td: u64,
+    pub inter_warp_td: u64,
+}
+
+/// The SE-phase memory wrapper: buffers all stores per iteration and logs
+/// global reads and writes for the DC phase.
+pub struct SpeculativeMemory<'d> {
+    base: &'d mut DeviceMemory,
+    /// iter -> ordered buffered writes.
+    writes: BTreeMap<u64, BTreeMap<(ArrayId, i64), Value>>,
+    /// location -> iterations that wrote it.
+    writers: BTreeMap<(ArrayId, i64), BTreeSet<(u64, u32)>>,
+    /// location -> iterations that read it from global memory.
+    readers: BTreeMap<(ArrayId, i64), Vec<ReadRec>>,
+    overhead_cycles: f64,
+}
+
+impl<'d> SpeculativeMemory<'d> {
+    /// Wrap device memory for one sub-loop's speculative execution.
+    pub fn new(base: &'d mut DeviceMemory, overhead_cycles: f64) -> SpeculativeMemory<'d> {
+        SpeculativeMemory {
+            base,
+            writes: BTreeMap::new(),
+            writers: BTreeMap::new(),
+            readers: BTreeMap::new(),
+            overhead_cycles,
+        }
+    }
+
+    /// Number of metadata entries recorded so far.
+    pub fn entries(&self) -> u64 {
+        let w: usize = self.writers.values().map(|s| s.len()).sum();
+        let r: usize = self.readers.values().map(|v| v.len()).sum();
+        (w + r) as u64
+    }
+
+    /// Total buffered writes.
+    pub fn buffered_writes(&self) -> u64 {
+        self.writes.values().map(|m| m.len() as u64).sum()
+    }
+
+    /// The DC phase: find read-after-write violations — a read by iteration
+    /// `r` of a location some iteration `w < r` wrote during this sub-loop.
+    /// Such a read observed the pre-sub-loop value instead of `w`'s update.
+    pub fn check(&self) -> DcOutcome {
+        let mut out = DcOutcome {
+            entries_scanned: self.entries(),
+            ..DcOutcome::default()
+        };
+        let mut violators: BTreeSet<u64> = BTreeSet::new();
+        for (loc, readers) in &self.readers {
+            if let Some(writers) = self.writers.get(loc) {
+                for r in readers {
+                    // Latest writer strictly earlier than the reader, if any.
+                    if let Some(&(w_iter, w_warp)) =
+                        writers.range(..(r.iter, 0u32)).next_back()
+                    {
+                        debug_assert!(w_iter < r.iter);
+                        violators.insert(r.iter);
+                        if w_warp == r.warp {
+                            out.intra_warp += 1;
+                        } else {
+                            out.inter_warp += 1;
+                        }
+                    }
+                }
+            }
+        }
+        out.violating_iters = violators.into_iter().collect();
+        out
+    }
+
+    /// Full dependence classification of the recorded accesses, used by the
+    /// dynamic profiler (the DC phase only needs the RAW subset).
+    pub fn dependence_stats(&self) -> DepStats {
+        let mut st = DepStats::default();
+        for (loc, readers) in &self.readers {
+            let writers = self.writers.get(loc);
+            for r in readers {
+                if let Some(ws) = writers {
+                    // RAW: latest earlier writer.
+                    if let Some(&(w_iter, w_warp)) = ws.range(..(r.iter, 0u32)).next_back() {
+                        debug_assert!(w_iter < r.iter);
+                        st.raw_pairs += 1;
+                        st.td_iters.insert(r.iter);
+                        *st.td_distances.entry(r.iter - w_iter).or_insert(0) += 1;
+                        *st.td_by_array.entry(loc.0).or_insert(0) += 1;
+                        if w_warp == r.warp {
+                            st.intra_warp_td += 1;
+                        } else {
+                            st.inter_warp_td += 1;
+                        }
+                    }
+                    // WAR: earliest later writer (that write is anti-dependent).
+                    if let Some(&(w_iter, _)) = ws.range((r.iter + 1, 0u32)..).next() {
+                        debug_assert!(w_iter > r.iter);
+                        st.war_pairs += 1;
+                        st.fd_iters.insert(w_iter);
+                    }
+                }
+            }
+        }
+        for ws in self.writers.values() {
+            if ws.len() > 1 {
+                st.waw_pairs += ws.len() as u64 - 1;
+                for &(w, _) in ws.iter().skip(1) {
+                    st.fd_iters.insert(w);
+                }
+            }
+        }
+        st
+    }
+
+    /// Commit phase: apply buffered writes of iterations `< upto` to global
+    /// memory in iteration order; discard the rest. Returns the number of
+    /// values copied.
+    pub fn commit_prefix(self, upto: u64) -> Result<u64, ExecError> {
+        let mut copied = 0u64;
+        for (iter, writes) in self.writes {
+            if iter >= upto {
+                break;
+            }
+            for ((arr, idx), v) in writes {
+                let ctx = AccessCtx {
+                    lane: 0,
+                    warp: 0,
+                    iter,
+                };
+                self.base.store(ctx, arr, idx, v)?;
+                copied += 1;
+            }
+        }
+        Ok(copied)
+    }
+
+    /// Commit everything (successful speculation).
+    pub fn commit_all(self) -> Result<u64, ExecError> {
+        self.commit_prefix(u64::MAX)
+    }
+
+    /// Commit everything to device memory *and* return the flattened,
+    /// iteration-ordered write list, so callers can mirror the updates onto
+    /// the host heap and account exact device-to-host byte counts (the
+    /// sharing scheduler does both).
+    pub fn commit_all_collect(self) -> Result<WriteList, ExecError> {
+        let mut out = Vec::new();
+        for (iter, writes) in self.writes {
+            for ((arr, idx), v) in writes {
+                let ctx = AccessCtx {
+                    lane: 0,
+                    warp: 0,
+                    iter,
+                };
+                self.base.store(ctx, arr, idx, v)?;
+                out.push(((arr, idx), v));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl LaneMemory for SpeculativeMemory<'_> {
+    fn load(&mut self, ctx: AccessCtx, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+        // Read-your-own-write: the thread's buffered update wins.
+        if let Some(buf) = self.writes.get(&ctx.iter) {
+            if let Some(v) = buf.get(&(arr, idx)) {
+                return Ok(*v);
+            }
+        }
+        // Global read: record metadata, then read the (stale) global value.
+        let v = self.base.load(ctx, arr, idx)?;
+        self.readers.entry((arr, idx)).or_default().push(ReadRec {
+            iter: ctx.iter,
+            warp: ctx.warp,
+        });
+        Ok(v)
+    }
+
+    fn store(&mut self, ctx: AccessCtx, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+        // Validate against the real array so OOB faults surface during SE.
+        let len = self.base.array_len(arr)?;
+        if idx < 0 || idx as usize >= len {
+            return Err(ExecError::IndexOutOfBounds {
+                array: arr,
+                index: idx,
+                len,
+            });
+        }
+        self.writers
+            .entry((arr, idx))
+            .or_default()
+            .insert((ctx.iter, ctx.warp));
+        self.writes
+            .entry(ctx.iter)
+            .or_default()
+            .insert((arr, idx), v);
+        Ok(())
+    }
+
+    fn array_len(&self, arr: ArrayId) -> Result<usize, ExecError> {
+        self.base.array_len(arr)
+    }
+
+    fn address_of(&self, arr: ArrayId, idx: i64) -> Option<u64> {
+        self.base.address_of(arr, idx)
+    }
+
+    fn overhead_cycles(&self) -> f64 {
+        self.overhead_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_gpusim::DeviceConfig;
+    use japonica_ir::Heap;
+
+    fn ctx(iter: u64, warp: u32) -> AccessCtx {
+        AccessCtx {
+            lane: 0,
+            warp,
+            iter,
+        }
+    }
+
+    fn device_with_array(vals: &[i64]) -> (DeviceMemory, ArrayId) {
+        let mut heap = Heap::new();
+        let a = heap.alloc_longs(vals);
+        let mut dev = DeviceMemory::new();
+        dev.copy_in(&heap, a, 0, vals.len(), &DeviceConfig::default())
+            .unwrap();
+        (dev, a)
+    }
+
+    #[test]
+    fn independent_iterations_pass_dc() {
+        let (mut dev, a) = device_with_array(&[0; 8]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        for i in 0..8u64 {
+            sm.store(ctx(i, 0), a, i as i64, Value::Long(i as i64 * 10))
+                .unwrap();
+        }
+        let dc = sm.check();
+        assert!(dc.success());
+        let n = sm.commit_all().unwrap();
+        assert_eq!(n, 8);
+        assert_eq!(dev.array(a).unwrap().get(3), Value::Long(30));
+    }
+
+    #[test]
+    fn raw_violation_detected_with_reader_blamed() {
+        let (mut dev, a) = device_with_array(&[0; 8]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        // iter 1 writes a[0]; iter 3 reads a[0] from global (stale).
+        sm.store(ctx(1, 0), a, 0, Value::Long(99)).unwrap();
+        let v = sm.load(ctx(3, 1), a, 0).unwrap();
+        assert_eq!(v, Value::Long(0)); // stale!
+        let dc = sm.check();
+        assert_eq!(dc.violating_iters, vec![3]);
+        assert_eq!(dc.inter_warp, 1);
+        assert_eq!(dc.intra_warp, 0);
+    }
+
+    #[test]
+    fn read_own_write_is_not_a_violation() {
+        let (mut dev, a) = device_with_array(&[0; 4]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        sm.store(ctx(2, 0), a, 1, Value::Long(5)).unwrap();
+        let v = sm.load(ctx(2, 0), a, 1).unwrap();
+        assert_eq!(v, Value::Long(5)); // sees own buffer
+        assert!(sm.check().success());
+    }
+
+    #[test]
+    fn war_is_not_a_violation() {
+        // iter 1 reads a[0]; iter 3 writes a[0]: anti-dependence is safe
+        // because reads go to the pre-subloop global state.
+        let (mut dev, a) = device_with_array(&[7; 4]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        assert_eq!(sm.load(ctx(1, 0), a, 0).unwrap(), Value::Long(7));
+        sm.store(ctx(3, 0), a, 0, Value::Long(1)).unwrap();
+        assert!(sm.check().success());
+    }
+
+    #[test]
+    fn waw_commits_in_iteration_order() {
+        let (mut dev, a) = device_with_array(&[0; 4]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        sm.store(ctx(5, 0), a, 0, Value::Long(55)).unwrap();
+        sm.store(ctx(2, 0), a, 0, Value::Long(22)).unwrap();
+        assert!(sm.check().success());
+        sm.commit_all().unwrap();
+        // last iteration (5) wins, like sequential execution
+        assert_eq!(dev.array(a).unwrap().get(0), Value::Long(55));
+    }
+
+    #[test]
+    fn commit_prefix_discards_violating_suffix() {
+        let (mut dev, a) = device_with_array(&[0; 8]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        for i in 0..8u64 {
+            sm.store(ctx(i, 0), a, i as i64, Value::Long(1)).unwrap();
+        }
+        let n = sm.commit_prefix(4).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(dev.array(a).unwrap().get(3), Value::Long(1));
+        assert_eq!(dev.array(a).unwrap().get(4), Value::Long(0));
+    }
+
+    #[test]
+    fn intra_warp_violation_classified() {
+        let (mut dev, a) = device_with_array(&[0; 4]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        sm.store(ctx(0, 7), a, 2, Value::Long(1)).unwrap();
+        sm.load(ctx(1, 7), a, 2).unwrap();
+        let dc = sm.check();
+        assert_eq!(dc.intra_warp, 1);
+        assert_eq!(dc.inter_warp, 0);
+    }
+
+    #[test]
+    fn entries_counted_for_dc_cost_model() {
+        let (mut dev, a) = device_with_array(&[0; 4]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        sm.store(ctx(0, 0), a, 0, Value::Long(1)).unwrap();
+        sm.load(ctx(1, 0), a, 1).unwrap();
+        sm.load(ctx(2, 0), a, 1).unwrap();
+        assert_eq!(sm.entries(), 3);
+    }
+
+    #[test]
+    fn oob_store_faults_during_se() {
+        let (mut dev, a) = device_with_array(&[0; 2]);
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        assert!(matches!(
+            sm.store(ctx(0, 0), a, 9, Value::Long(1)),
+            Err(ExecError::IndexOutOfBounds { .. })
+        ));
+    }
+}

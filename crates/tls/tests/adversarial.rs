@@ -1,0 +1,244 @@
+//! Adversarial TLS tests: dependence patterns engineered to stress the
+//! SE/DC/commit/recovery machinery — 100% density chains, bursts,
+//! write-once/read-everywhere hubs, and randomized distances.
+
+use japonica_cpuexec::CpuConfig;
+use japonica_frontend::compile_source;
+use japonica_gpusim::{DeviceConfig, DeviceMemory};
+use japonica_ir::{ArrayId, Env, Heap, HeapBackend, Interp, LoopBounds, Program, Value};
+use japonica_tls::{run_tls_loop, TlsConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+struct Fx {
+    program: Program,
+    loop_: japonica_ir::ForLoop,
+    env: Env,
+    heap: Heap,
+    dev: DeviceMemory,
+    arrays: Vec<ArrayId>,
+    bounds: LoopBounds,
+}
+
+fn fx(src: &str, n: i64, len: usize) -> Fx {
+    let program = compile_source(src).unwrap();
+    let f = &program.functions[0];
+    let loop_ = f
+        .all_loops()
+        .into_iter()
+        .find(|l| l.is_annotated())
+        .unwrap()
+        .clone();
+    let mut heap = Heap::new();
+    let dcfg = DeviceConfig::default();
+    let mut dev = DeviceMemory::new();
+    let mut env = Env::with_slots(f.num_vars);
+    let mut arrays = Vec::new();
+    for p in &f.params {
+        match p.ty {
+            japonica_ir::ParamTy::Array(_) => {
+                let vals: Vec<i64> = (0..len as i64).collect();
+                let a = heap.alloc_longs(&vals);
+                dev.copy_in(&heap, a, 0, len, &dcfg).unwrap();
+                env.set(p.var, Value::Array(a));
+                arrays.push(a);
+            }
+            japonica_ir::ParamTy::Scalar(_) => env.set(p.var, Value::Int(n as i32)),
+        }
+    }
+    let bounds = {
+        let mut h = heap.clone();
+        let mut be = HeapBackend::new(&mut h);
+        Interp::new(&program)
+            .loop_bounds(&loop_, &mut env.clone(), &mut be)
+            .unwrap()
+    };
+    Fx {
+        program,
+        loop_,
+        env,
+        heap,
+        dev,
+        arrays,
+        bounds,
+    }
+}
+
+fn expected(fxt: &Fx, arr: ArrayId) -> Vec<i64> {
+    let mut heap = fxt.heap.clone();
+    let mut env = fxt.env.clone();
+    let mut be = HeapBackend::new(&mut heap);
+    Interp::new(&fxt.program)
+        .exec_range(
+            &fxt.loop_,
+            &fxt.bounds,
+            0,
+            fxt.bounds.trip(),
+            &mut env,
+            &mut be,
+        )
+        .unwrap();
+    heap.read_ints(arr).unwrap()
+}
+
+fn run(fxt: &mut Fx, td: Option<&BTreeSet<u64>>) -> japonica_tls::TlsReport {
+    run_tls_loop(
+        &fxt.program,
+        &DeviceConfig::default(),
+        &CpuConfig::default(),
+        &TlsConfig::default(),
+        &fxt.loop_,
+        &fxt.bounds,
+        0..fxt.bounds.trip(),
+        &fxt.env,
+        &mut fxt.dev,
+        td,
+    )
+    .unwrap()
+}
+
+fn device_longs(dev: &DeviceMemory, arr: ArrayId) -> Vec<i64> {
+    let a = dev.array(arr).unwrap();
+    (0..a.len()).map(|i| a.get(i).as_i64().unwrap()).collect()
+}
+
+#[test]
+fn full_density_chain_degrades_to_sequential_but_stays_correct() {
+    // a[i] = a[i-1] + a[i]: a strict 100%-density chain.
+    let mut f = fx(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 1; i < n; i++) { a[i] = a[i - 1] + a[i]; }
+        }",
+        1000,
+        1000,
+    );
+    let expect = expected(&f, f.arrays[0]);
+    let r = run(&mut f, None);
+    assert!(r.violations > 0);
+    // almost everything went through sequential recovery
+    assert!(r.recovered_iters as f64 > 0.8 * f.bounds.trip() as f64);
+    assert_eq!(device_longs(&f.dev, f.arrays[0]), expect);
+}
+
+#[test]
+fn burst_dependences_recover_per_burst() {
+    // Bursts of 4 chained iterations every 200.
+    let mut f = fx(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                if (i % 200 < 4) {
+                    if (i > 0) { a[i] = a[i - 1] * 2 + 1; } else { a[i] = 1; }
+                } else {
+                    a[i] = i;
+                }
+            }
+        }",
+        2000,
+        2000,
+    );
+    let expect = expected(&f, f.arrays[0]);
+    let r = run(&mut f, None);
+    assert!(r.violations >= 1);
+    assert_eq!(device_longs(&f.dev, f.arrays[0]), expect);
+}
+
+#[test]
+fn hub_location_read_by_everyone_after_single_write() {
+    // Iteration 0 writes the hub; every later iteration reads it.
+    let mut f = fx(
+        "static void f(long[] a, long[] o, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                if (i == 0) { a[0] = 777; }
+                o[i] = a[0] + i;
+            }
+        }",
+        600,
+        600,
+    );
+    let expect = expected(&f, f.arrays[1]);
+    let r = run(&mut f, None);
+    // Everything except iteration 0 in the first sub-loop read a stale hub.
+    assert!(r.violations >= 1);
+    assert_eq!(device_longs(&f.dev, f.arrays[1]), expect);
+}
+
+#[test]
+fn exact_profile_makes_any_pattern_violation_free() {
+    let mut f = fx(
+        "static void f(long[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                if (i % 37 == 36) { a[i] = a[i - 19] + 1; } else { a[i] = i; }
+            }
+        }",
+        1500,
+        1500,
+    );
+    let expect = expected(&f, f.arrays[0]);
+    let td: BTreeSet<u64> = (0..1500u64).filter(|i| i % 37 == 36).collect();
+    let r = run(&mut f, Some(&td));
+    assert_eq!(r.violations, 0);
+    assert_eq!(device_longs(&f.dev, f.arrays[0]), expect);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// For arbitrary (gap, distance) dependence lattices, blind TLS must
+    /// converge to the exact sequential result.
+    #[test]
+    fn randomized_dependence_lattices_are_sequentially_correct(
+        gap in 5u64..120,
+        dist in 1u64..60,
+        n in 300i64..900,
+    ) {
+        let src = format!(
+            "static void f(long[] a, int n) {{
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {{
+                    if (i % {gap} == {gap} - 1 && i >= {dist}) {{
+                        a[i] = a[i - {dist}] + 1;
+                    }} else {{
+                        a[i] = i * 2;
+                    }}
+                }}
+            }}"
+        );
+        let mut f = fx(&src, n, n as usize);
+        let expect = expected(&f, f.arrays[0]);
+        run(&mut f, None);
+        prop_assert_eq!(device_longs(&f.dev, f.arrays[0]), expect);
+    }
+
+    /// The same lattices under an exact profile never violate.
+    #[test]
+    fn randomized_lattices_with_profile_never_violate(
+        gap in 5u64..120,
+        dist in 1u64..60,
+    ) {
+        let n = 800i64;
+        let src = format!(
+            "static void f(long[] a, int n) {{
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {{
+                    if (i % {gap} == {gap} - 1 && i >= {dist}) {{
+                        a[i] = a[i - {dist}] + 1;
+                    }} else {{
+                        a[i] = i * 2;
+                    }}
+                }}
+            }}"
+        );
+        let mut f = fx(&src, n, n as usize);
+        let expect = expected(&f, f.arrays[0]);
+        let td: BTreeSet<u64> = (0..n as u64)
+            .filter(|i| i % gap == gap - 1 && *i >= dist)
+            .collect();
+        let r = run(&mut f, Some(&td));
+        prop_assert_eq!(r.violations, 0);
+        prop_assert_eq!(device_longs(&f.dev, f.arrays[0]), expect);
+    }
+}

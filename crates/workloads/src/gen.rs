@@ -1,0 +1,295 @@
+//! Deterministic input generation for every benchmark.
+
+use japonica_ir::{ArrayId, Heap, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One instantiated benchmark run: a populated heap, the argument vector
+/// for the entry function, and the named output arrays to validate.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    pub heap: Heap,
+    pub args: Vec<Value>,
+    /// `(name, array)` pairs of the arrays the benchmark writes.
+    pub outputs: Vec<(&'static str, ArrayId)>,
+}
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn doubles(heap: &mut Heap, rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> ArrayId {
+    let v: Vec<f64> = (0..len).map(|_| rng.gen_range(lo..hi)).collect();
+    heap.alloc_doubles(&v)
+}
+
+pub fn gemm(n: u64, seed: u64) -> Instance {
+    let (m, d) = gemm_dims(n);
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let a = doubles(&mut heap, &mut r, m * d, -1.0, 1.0);
+    let b = doubles(&mut heap, &mut r, d * d, -1.0, 1.0);
+    let c = heap.alloc_doubles(&vec![0.0; m * d]);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(a),
+            Value::Array(b),
+            Value::Array(c),
+            Value::Int(m as i32),
+            Value::Int(d as i32),
+        ],
+        outputs: vec![("c", c)],
+    }
+}
+
+/// GEMM problem shape: `m×d · d×d`, with `m` scaling like the paper's
+/// `n·512×512` inputs.
+pub fn gemm_dims(n: u64) -> (usize, usize) {
+    (128 * n as usize, 48)
+}
+
+pub fn vectoradd(n: u64, seed: u64) -> Instance {
+    let len = 32_768 * n as usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let a = doubles(&mut heap, &mut r, len, -10.0, 10.0);
+    let b = doubles(&mut heap, &mut r, len, -10.0, 10.0);
+    let c = heap.alloc_doubles(&vec![0.0; len]);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(a),
+            Value::Array(b),
+            Value::Array(c),
+            Value::Int(len as i32),
+        ],
+        outputs: vec![("c", c)],
+    }
+}
+
+/// Levels run by the BFS workload.
+pub const BFS_LEVELS: usize = 20;
+
+pub fn bfs(n: u64, seed: u64) -> Instance {
+    let nodes = 1024 * n as usize;
+    let deg = 8usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    // CSR with exactly `deg` random neighbors per node.
+    let mut rowstart = Vec::with_capacity(nodes + 1);
+    let mut edges = Vec::with_capacity(nodes * deg);
+    rowstart.push(0i32);
+    for _ in 0..nodes {
+        for _ in 0..deg {
+            edges.push(r.gen_range(0..nodes) as i32);
+        }
+        rowstart.push(edges.len() as i32);
+    }
+    // costs: a random 1% frontier already labeled with level 0..3
+    let cost_in: Vec<i32> = (0..nodes)
+        .map(|_| {
+            if r.gen_ratio(1, 100) {
+                r.gen_range(0..4)
+            } else {
+                -1
+            }
+        })
+        .collect();
+    let rowstart = heap.alloc_ints(&rowstart);
+    let edges = heap.alloc_ints(&edges);
+    let cin = heap.alloc_ints(&cost_in);
+    let cout = heap.alloc_ints(&vec![-1; nodes]);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(rowstart),
+            Value::Array(edges),
+            Value::Array(cin),
+            Value::Array(cout),
+            Value::Int(nodes as i32),
+            Value::Int(BFS_LEVELS as i32),
+        ],
+        outputs: vec![("costIn", cin), ("costOut", cout)],
+    }
+}
+
+pub fn mvt(n: u64, seed: u64) -> Instance {
+    let d = 64 * n as usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let a = doubles(&mut heap, &mut r, d * d, -1.0, 1.0);
+    let x1 = doubles(&mut heap, &mut r, d, -1.0, 1.0);
+    let x2 = doubles(&mut heap, &mut r, d, -1.0, 1.0);
+    let y1 = doubles(&mut heap, &mut r, d, -1.0, 1.0);
+    let y2 = doubles(&mut heap, &mut r, d, -1.0, 1.0);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(a),
+            Value::Array(x1),
+            Value::Array(x2),
+            Value::Array(y1),
+            Value::Array(y2),
+            Value::Int(d as i32),
+        ],
+        outputs: vec![("x1", x1), ("x2", x2)],
+    }
+}
+
+pub fn gauss_seidel(n: u64, seed: u64) -> Instance {
+    let len = 2048 * n as usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let a = doubles(&mut heap, &mut r, len, 0.0, 100.0);
+    Instance {
+        heap,
+        args: vec![Value::Array(a), Value::Int(len as i32)],
+        outputs: vec![("a", a)],
+    }
+}
+
+pub fn cfd(n: u64, seed: u64) -> Instance {
+    let edges = 8192 * n as usize;
+    let nodes = (edges / 4).max(2);
+    let b = 64usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let rho = doubles(&mut heap, &mut r, nodes, 0.5, 2.0);
+    let mom = doubles(&mut heap, &mut r, nodes, -1.0, 1.0);
+    let src: Vec<i32> = (0..edges).map(|_| r.gen_range(0..nodes) as i32).collect();
+    let dst: Vec<i32> = (0..edges).map(|_| r.gen_range(0..nodes) as i32).collect();
+    let src = heap.alloc_ints(&src);
+    let dst = heap.alloc_ints(&dst);
+    let flux = heap.alloc_doubles(&vec![0.0; edges]);
+    let scratch = heap.alloc_doubles(&vec![0.0; b]);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(rho),
+            Value::Array(mom),
+            Value::Array(src),
+            Value::Array(dst),
+            Value::Array(flux),
+            Value::Array(scratch),
+            Value::Int(edges as i32),
+            Value::Int(b as i32),
+        ],
+        outputs: vec![("flux", flux), ("scratch", scratch)],
+    }
+}
+
+pub fn sepia(n: u64, seed: u64) -> Instance {
+    let npix = 8192 * n as usize;
+    let b = 128usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let img = doubles(&mut heap, &mut r, 3 * npix, 0.0, 255.0);
+    let out = heap.alloc_doubles(&vec![0.0; 3 * npix]);
+    let tmp = heap.alloc_doubles(&vec![0.0; b]);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(img),
+            Value::Array(out),
+            Value::Array(tmp),
+            Value::Int(npix as i32),
+            Value::Int(b as i32),
+        ],
+        outputs: vec![("out", out), ("tmp", tmp)],
+    }
+}
+
+pub fn blackscholes(n: u64, seed: u64) -> Instance {
+    let nopt = 8300 * n as usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let spot = doubles(&mut heap, &mut r, nopt, 10.0, 200.0);
+    let strike = doubles(&mut heap, &mut r, nopt, 10.0, 200.0);
+    let rate = doubles(&mut heap, &mut r, nopt, 0.01, 0.08);
+    let vol = doubles(&mut heap, &mut r, nopt, 0.1, 0.6);
+    let time = doubles(&mut heap, &mut r, nopt, 0.2, 2.0);
+    let call = heap.alloc_doubles(&vec![0.0; nopt]);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(spot),
+            Value::Array(strike),
+            Value::Array(rate),
+            Value::Array(vol),
+            Value::Array(time),
+            Value::Array(call),
+            Value::Int(nopt as i32),
+        ],
+        outputs: vec![("call", call)],
+    }
+}
+
+pub fn bicg(n: u64, seed: u64) -> Instance {
+    let d = 64 * n as usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let a = doubles(&mut heap, &mut r, d * d, -1.0, 1.0);
+    let p = doubles(&mut heap, &mut r, d, -1.0, 1.0);
+    let rr = doubles(&mut heap, &mut r, d, -1.0, 1.0);
+    let q = heap.alloc_doubles(&vec![0.0; d]);
+    let s = heap.alloc_doubles(&vec![0.0; d]);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(a),
+            Value::Array(p),
+            Value::Array(rr),
+            Value::Array(q),
+            Value::Array(s),
+            Value::Int(d as i32),
+        ],
+        outputs: vec![("q", q), ("s", s)],
+    }
+}
+
+pub fn two_mm(n: u64, seed: u64) -> Instance {
+    let d = 24 * n as usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let a = doubles(&mut heap, &mut r, d * d, -1.0, 1.0);
+    let b = doubles(&mut heap, &mut r, d * d, -1.0, 1.0);
+    let c = doubles(&mut heap, &mut r, d * d, -1.0, 1.0);
+    let t = heap.alloc_doubles(&vec![0.0; d * d]);
+    let dd = heap.alloc_doubles(&vec![0.0; d * d]);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(a),
+            Value::Array(b),
+            Value::Array(c),
+            Value::Array(t),
+            Value::Array(dd),
+            Value::Int(d as i32),
+        ],
+        outputs: vec![("t", t), ("d", dd)],
+    }
+}
+
+pub fn crypt(n: u64, seed: u64) -> Instance {
+    let len = 16_384 * n as usize;
+    let mut heap = Heap::new();
+    let mut r = rng(seed);
+    let plain: Vec<i64> = (0..len).map(|_| r.gen()).collect();
+    let key: Vec<i64> = (0..4).map(|_| r.gen()).collect();
+    let plain = heap.alloc_longs(&plain);
+    let enc = heap.alloc_longs(&vec![0; len]);
+    let dec = heap.alloc_longs(&vec![0; len]);
+    let key = heap.alloc_longs(&key);
+    Instance {
+        heap,
+        args: vec![
+            Value::Array(plain),
+            Value::Array(enc),
+            Value::Array(dec),
+            Value::Array(key),
+            Value::Int(len as i32),
+        ],
+        outputs: vec![("enc", enc), ("dec", dec)],
+    }
+}

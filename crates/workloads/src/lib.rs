@@ -1,0 +1,417 @@
+//! # japonica-workloads
+//!
+//! The eleven benchmark applications of the paper's Table II, re-written in
+//! MiniJava with deterministic synthetic input generators and independent
+//! Rust reference implementations.
+//!
+//! Problem sizes scale linearly with the factor `n`, mirroring the paper's
+//! `n·<base>` input column, but with bases small enough for the simulated
+//! platform (absolute times differ from the paper's testbed; shapes are
+//! what the evaluation reproduces).
+
+pub mod gen;
+pub mod reference;
+pub mod sources;
+
+pub use gen::Instance;
+
+use japonica::Compiled;
+use japonica_ir::{Heap, Scheme, Value};
+
+/// Which benchmark (dispatch key for generation and reference execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Gemm,
+    VectorAdd,
+    Bfs,
+    Mvt,
+    GaussSeidel,
+    Cfd,
+    Sepia,
+    BlackScholes,
+    Bicg,
+    TwoMm,
+    Crypt,
+}
+
+/// One benchmark of Table II.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    pub kind: Kind,
+    /// Table II name.
+    pub name: &'static str,
+    /// Table II origin suite.
+    pub origin: &'static str,
+    /// Table II description.
+    pub description: &'static str,
+    /// Scaled input-size description (`n` is the scale factor).
+    pub input_desc: &'static str,
+    /// Table II scheduling scheme.
+    pub scheme: Scheme,
+    /// MiniJava source.
+    pub source: &'static str,
+    /// Entry function name.
+    pub entry: &'static str,
+    /// Sub-loops per task under the stealing scheme (the paper rewrote
+    /// BICG into 4 sub-loops per loop and Crypt into 8; 2MM was not split).
+    pub subloops: u32,
+}
+
+/// The full Table II registry, in the paper's order.
+pub static ALL: [Workload; 11] = [
+    Workload {
+        kind: Kind::Gemm,
+        name: "GEMM",
+        origin: "PolyBench",
+        description: "Dense matrix multiplication",
+        input_desc: "n*128 x 48 matrix",
+        scheme: Scheme::Sharing,
+        source: sources::GEMM,
+        entry: "gemm",
+        subloops: 4,
+    },
+    Workload {
+        kind: Kind::VectorAdd,
+        name: "VectorAdd",
+        origin: "CUDA SDK",
+        description: "Vector addition",
+        input_desc: "n*32768 elements",
+        scheme: Scheme::Sharing,
+        source: sources::VECTOR_ADD,
+        entry: "vectoradd",
+        subloops: 4,
+    },
+    Workload {
+        kind: Kind::Bfs,
+        name: "BFS",
+        origin: "Rodinia",
+        description: "Breadth First Search (one level step)",
+        input_desc: "n*4096 nodes, degree 8",
+        scheme: Scheme::Sharing,
+        source: sources::BFS,
+        entry: "bfs",
+        subloops: 4,
+    },
+    Workload {
+        kind: Kind::Mvt,
+        name: "MVT",
+        origin: "PolyBench",
+        description: "Matrix-vector product and transpose",
+        input_desc: "n*64 square matrix",
+        scheme: Scheme::Sharing,
+        source: sources::MVT,
+        entry: "mvt",
+        subloops: 4,
+    },
+    Workload {
+        kind: Kind::GaussSeidel,
+        name: "Gauss-Seidel",
+        origin: "PolyBench",
+        description: "Iterative relaxation sweep",
+        input_desc: "n*2048 cells",
+        scheme: Scheme::Sharing,
+        source: sources::GAUSS_SEIDEL,
+        entry: "gauss_seidel",
+        subloops: 1,
+    },
+    Workload {
+        kind: Kind::Cfd,
+        name: "CFD",
+        origin: "Rodinia",
+        description: "Computational fluid dynamics (edge flux)",
+        input_desc: "n*8192 edges",
+        scheme: Scheme::Sharing,
+        source: sources::CFD,
+        entry: "cfd",
+        subloops: 4,
+    },
+    Workload {
+        kind: Kind::Sepia,
+        name: "Sepia",
+        origin: "Merge",
+        description: "Modify RGB value (sepia filter)",
+        input_desc: "n*8192 image pixels",
+        scheme: Scheme::Sharing,
+        source: sources::SEPIA,
+        entry: "sepia",
+        subloops: 4,
+    },
+    Workload {
+        kind: Kind::BlackScholes,
+        name: "BlackScholes",
+        origin: "Intel RMS",
+        description: "European option pricing",
+        input_desc: "n*8300 options",
+        scheme: Scheme::Sharing,
+        source: sources::BLACKSCHOLES,
+        entry: "blackscholes",
+        subloops: 4,
+    },
+    Workload {
+        kind: Kind::Bicg,
+        name: "BICG",
+        origin: "PolyBench",
+        description: "Bi-conjugate gradient kernels",
+        input_desc: "n*64 square matrix",
+        scheme: Scheme::Stealing,
+        source: sources::BICG,
+        entry: "bicg",
+        subloops: 4,
+    },
+    Workload {
+        kind: Kind::TwoMm,
+        name: "2MM",
+        origin: "PolyBench",
+        description: "Two chained matrix multiplications",
+        input_desc: "n*24 square matrices",
+        scheme: Scheme::Stealing,
+        source: sources::TWO_MM,
+        entry: "mm2",
+        subloops: 1,
+    },
+    Workload {
+        kind: Kind::Crypt,
+        name: "Crypt",
+        origin: "Java Grande",
+        description: "IDEA-style encryption/decryption",
+        input_desc: "n*16384 text elements",
+        scheme: Scheme::Stealing,
+        source: sources::CRYPT,
+        entry: "crypt",
+        subloops: 8,
+    },
+];
+
+impl Workload {
+    /// All benchmarks, Table II order.
+    pub fn all() -> &'static [Workload] {
+        &ALL
+    }
+
+    /// Look up by (case-insensitive) name.
+    pub fn by_name(name: &str) -> Option<&'static Workload> {
+        ALL.iter()
+            .find(|w| w.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Compile the benchmark's MiniJava source.
+    pub fn compile(&self) -> Compiled {
+        japonica::compile(self.source).expect("bundled benchmark sources always compile")
+    }
+
+    /// Instantiate inputs at scale `n` (deterministic: seeded per kind).
+    pub fn instantiate(&self, n: u64) -> Instance {
+        let seed = 42 + self.kind as u64;
+        match self.kind {
+            Kind::Gemm => gen::gemm(n, seed),
+            Kind::VectorAdd => gen::vectoradd(n, seed),
+            Kind::Bfs => gen::bfs(n, seed),
+            Kind::Mvt => gen::mvt(n, seed),
+            Kind::GaussSeidel => gen::gauss_seidel(n, seed),
+            Kind::Cfd => gen::cfd(n, seed),
+            Kind::Sepia => gen::sepia(n, seed),
+            Kind::BlackScholes => gen::blackscholes(n, seed),
+            Kind::Bicg => gen::bicg(n, seed),
+            Kind::TwoMm => gen::two_mm(n, seed),
+            Kind::Crypt => gen::crypt(n, seed),
+        }
+    }
+
+    /// Run the Rust reference implementation in place (sequential
+    /// semantics).
+    pub fn run_reference(&self, heap: &mut Heap, args: &[Value]) {
+        match self.kind {
+            Kind::Gemm => reference::gemm(heap, args),
+            Kind::VectorAdd => reference::vectoradd(heap, args),
+            Kind::Bfs => reference::bfs(heap, args),
+            Kind::Mvt => reference::mvt(heap, args),
+            Kind::GaussSeidel => reference::gauss_seidel(heap, args),
+            Kind::Cfd => reference::cfd(heap, args),
+            Kind::Sepia => reference::sepia(heap, args),
+            Kind::BlackScholes => reference::blackscholes(heap, args),
+            Kind::Bicg => reference::bicg(heap, args),
+            Kind::TwoMm => reference::two_mm(heap, args),
+            Kind::Crypt => reference::crypt(heap, args),
+        }
+    }
+}
+
+/// Compare two heaps' output arrays: integral arrays bit-exactly, floating
+/// arrays with a relative tolerance (results are expected to match to the
+/// last bit, but rounding-mode noise is tolerated).
+pub fn outputs_match(actual: &Heap, expected: &Heap, inst: &Instance) -> Result<(), String> {
+    for (name, id) in &inst.outputs {
+        let ty = actual.array(*id).map_err(|e| e.to_string())?.ty();
+        if ty.is_integral() || ty == japonica_ir::Ty::Bool {
+            let a = actual.read_ints(*id).map_err(|e| e.to_string())?;
+            let e = expected.read_ints(*id).map_err(|e| e.to_string())?;
+            if a != e {
+                let i = a.iter().zip(&e).position(|(x, y)| x != y).unwrap_or(0);
+                return Err(format!(
+                    "{name}[{i}]: got {}, expected {}",
+                    a.get(i).copied().unwrap_or(0),
+                    e.get(i).copied().unwrap_or(0)
+                ));
+            }
+            continue;
+        }
+        let a = actual.read_doubles(*id).map_err(|e| e.to_string())?;
+        let e = expected.read_doubles(*id).map_err(|e| e.to_string())?;
+        if a.len() != e.len() {
+            return Err(format!("{name}: length mismatch"));
+        }
+        for (i, (x, y)) in a.iter().zip(&e).enumerate() {
+            let tol = 1e-9 * y.abs().max(1.0);
+            if (x - y).abs() > tol {
+                return Err(format!("{name}[{i}]: got {x}, expected {y}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica::analysis::Determination;
+    use japonica::{run_baseline, Baseline, Runtime, RuntimeConfig};
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        assert_eq!(ALL.len(), 11);
+        let mut names: Vec<_> = ALL.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+        assert!(Workload::by_name("gemm").is_some());
+        assert!(Workload::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn all_sources_compile() {
+        for w in Workload::all() {
+            let c = w.compile();
+            assert!(
+                !c.annotated_loops_of(w.entry).is_empty(),
+                "{} has annotated loops",
+                w.name
+            );
+        }
+    }
+
+    /// The static determinations drive everything downstream; pin them to
+    /// the classes the paper reports.
+    #[test]
+    fn static_determinations_match_the_paper() {
+        let expect = |w: &Workload, f: &dyn Fn(&Determination) -> bool, label: &str| {
+            let c = w.compile();
+            for id in c.annotated_loops_of(w.entry) {
+                let det = &c.analyses[&id].determination;
+                assert!(f(det), "{} {id}: expected {label}, got {det:?}", w.name);
+            }
+        };
+        for name in ["GEMM", "VectorAdd", "BFS", "MVT", "BICG", "2MM", "Crypt"] {
+            expect(
+                Workload::by_name(name).unwrap(),
+                &|d| d.is_doall(),
+                "deterministic DOALL",
+            );
+        }
+        expect(
+            Workload::by_name("Gauss-Seidel").unwrap(),
+            &|d| matches!(d, Determination::Deterministic(s) if s.true_dep),
+            "deterministic TD",
+        );
+        for name in ["CFD", "Sepia", "BlackScholes"] {
+            expect(
+                Workload::by_name(name).unwrap(),
+                &|d| d.needs_profiling(),
+                "uncertain",
+            );
+        }
+    }
+
+    /// End-to-end: the full Japonica pipeline must reproduce the reference
+    /// results for every benchmark.
+    #[test]
+    fn japonica_matches_reference_on_every_benchmark() {
+        for w in Workload::all() {
+            let c = w.compile();
+            let inst = w.instantiate(1);
+            let mut expected = inst.heap.clone();
+            w.run_reference(&mut expected, &inst.args);
+            let mut heap = inst.heap.clone();
+            let rt = Runtime::new(RuntimeConfig::default());
+            rt.run(&c, w.entry, &inst.args, &mut heap)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+            outputs_match(&heap, &expected, &inst)
+                .unwrap_or_else(|e| panic!("{} mismatch: {e}", w.name));
+        }
+    }
+
+    /// All four baselines must also reproduce the reference results.
+    #[test]
+    fn baselines_match_reference_on_every_benchmark() {
+        for w in Workload::all() {
+            let c = w.compile();
+            let inst = w.instantiate(1);
+            let mut expected = inst.heap.clone();
+            w.run_reference(&mut expected, &inst.args);
+            for b in [Baseline::Serial, Baseline::CpuParallel(16), Baseline::GpuOnly] {
+                let mut heap = inst.heap.clone();
+                run_baseline(
+                    &RuntimeConfig::default(),
+                    &c,
+                    w.entry,
+                    &inst.args,
+                    &mut heap,
+                    b,
+                )
+                .unwrap_or_else(|e| panic!("{} under {b} failed: {e}", w.name));
+                outputs_match(&heap, &expected, &inst)
+                    .unwrap_or_else(|e| panic!("{} under {b} mismatch: {e}", w.name));
+            }
+        }
+    }
+
+    #[test]
+    fn blackscholes_profiles_near_paper_density() {
+        let w = Workload::by_name("BlackScholes").unwrap();
+        let c = w.compile();
+        let inst = w.instantiate(1);
+        let mut heap = inst.heap.clone();
+        let rt = Runtime::new(RuntimeConfig::default());
+        let r = rt.run(&c, w.entry, &inst.args, &mut heap).unwrap();
+        let p = r.profiles.values().next().expect("profiled");
+        // paper: measured dependency density about 0.012
+        assert!(
+            (p.td_density - 0.012).abs() < 0.003,
+            "density {}",
+            p.td_density
+        );
+        // and the loop must have been dispatched to GPU-TLS (mode B)
+        assert!(r.loops[0].tls.is_some(), "mode {:?}", r.loops[0].mode);
+    }
+
+    #[test]
+    fn crypt_decrypts_to_plaintext() {
+        let w = Workload::by_name("Crypt").unwrap();
+        let c = w.compile();
+        let inst = w.instantiate(1);
+        let mut heap = inst.heap.clone();
+        let rt = Runtime::new(RuntimeConfig::default());
+        rt.run(&c, w.entry, &inst.args, &mut heap).unwrap();
+        let plain = heap.read_ints(inst.args[0].as_array().unwrap()).unwrap();
+        let dec = heap.read_ints(inst.args[2].as_array().unwrap()).unwrap();
+        assert_eq!(plain, dec);
+    }
+
+    #[test]
+    fn stealing_workloads_declare_the_scheme() {
+        for name in ["BICG", "2MM", "Crypt"] {
+            let w = Workload::by_name(name).unwrap();
+            assert_eq!(w.scheme, Scheme::Stealing);
+            assert!(w.source.contains("scheme(stealing)"));
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Hand-written Rust reference implementations of every benchmark, used to
+//! validate the outputs of the Japonica pipeline (sequential semantics,
+//! independent of the IR interpreter).
+
+use japonica_ir::{ArrayData, ArrayId, Heap, Value};
+
+fn f64s(heap: &Heap, id: ArrayId) -> Vec<f64> {
+    heap.read_doubles(id).expect("double array")
+}
+
+fn i32s(heap: &Heap, id: ArrayId) -> Vec<i32> {
+    heap.read_ints(id)
+        .expect("int array")
+        .into_iter()
+        .map(|v| v as i32)
+        .collect()
+}
+
+fn put_f64s(heap: &mut Heap, id: ArrayId, vals: Vec<f64>) {
+    *heap.array_mut(id).expect("array") = ArrayData::Double(vals);
+}
+
+fn put_i32s(heap: &mut Heap, id: ArrayId, vals: Vec<i32>) {
+    *heap.array_mut(id).expect("array") = ArrayData::Int(vals);
+}
+
+fn arr(v: Value) -> ArrayId {
+    v.as_array().expect("array argument")
+}
+
+fn int(v: Value) -> usize {
+    v.as_i64().expect("int argument") as usize
+}
+
+/// `c = a × b` with `a: m×d`, `b: d×d`.
+pub fn gemm(heap: &mut Heap, args: &[Value]) {
+    let (a, b, c, m, d) = (
+        f64s(heap, arr(args[0])),
+        f64s(heap, arr(args[1])),
+        arr(args[2]),
+        int(args[3]),
+        int(args[4]),
+    );
+    let mut out = vec![0.0; m * d];
+    for i in 0..m {
+        for j in 0..d {
+            let mut s = 0.0;
+            for k in 0..d {
+                s += a[i * d + k] * b[k * d + j];
+            }
+            out[i * d + j] = s;
+        }
+    }
+    put_f64s(heap, c, out);
+}
+
+pub fn vectoradd(heap: &mut Heap, args: &[Value]) {
+    let (a, b, c, n) = (
+        f64s(heap, arr(args[0])),
+        f64s(heap, arr(args[1])),
+        arr(args[2]),
+        int(args[3]),
+    );
+    let out: Vec<f64> = (0..n).map(|i| a[i] + b[i]).collect();
+    put_f64s(heap, c, out);
+}
+
+pub fn bfs(heap: &mut Heap, args: &[Value]) {
+    let rowstart = i32s(heap, arr(args[0]));
+    let edges = i32s(heap, arr(args[1]));
+    let cinid = arr(args[2]);
+    let coutid = arr(args[3]);
+    let n = int(args[4]);
+    let levels = int(args[5]);
+    let mut cin = i32s(heap, cinid);
+    let mut cout = vec![-1i32; n];
+    for _ in 0..levels {
+        for i in 0..n {
+            let mut best = cin[i];
+            for e in rowstart[i]..rowstart[i + 1] {
+                let c = cin[edges[e as usize] as usize];
+                if c >= 0 && (best < 0 || c + 1 < best) {
+                    best = c + 1;
+                }
+            }
+            cout[i] = best;
+        }
+        cin.copy_from_slice(&cout);
+    }
+    put_i32s(heap, cinid, cin);
+    put_i32s(heap, coutid, cout);
+}
+
+pub fn mvt(heap: &mut Heap, args: &[Value]) {
+    let a = f64s(heap, arr(args[0]));
+    let x1id = arr(args[1]);
+    let x2id = arr(args[2]);
+    let y1 = f64s(heap, arr(args[3]));
+    let y2 = f64s(heap, arr(args[4]));
+    let n = int(args[5]);
+    let mut x1 = f64s(heap, x1id);
+    let mut x2 = f64s(heap, x2id);
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += a[i * n + j] * y1[j];
+        }
+        x1[i] += s;
+    }
+    for i in 0..n {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += a[j * n + i] * y2[j];
+        }
+        x2[i] += s;
+    }
+    put_f64s(heap, x1id, x1);
+    put_f64s(heap, x2id, x2);
+}
+
+pub fn gauss_seidel(heap: &mut Heap, args: &[Value]) {
+    let aid = arr(args[0]);
+    let n = int(args[1]);
+    let mut a = f64s(heap, aid);
+    for i in 1..n - 1 {
+        a[i] = (a[i - 1] + a[i] + a[i + 1]) * 0.333333;
+    }
+    put_f64s(heap, aid, a);
+}
+
+pub fn cfd(heap: &mut Heap, args: &[Value]) {
+    let rho = f64s(heap, arr(args[0]));
+    let mom = f64s(heap, arr(args[1]));
+    let src = i32s(heap, arr(args[2]));
+    let dst = i32s(heap, arr(args[3]));
+    let fluxid = arr(args[4]);
+    let scratchid = arr(args[5]);
+    let nedges = int(args[6]);
+    let b = int(args[7]);
+    let mut flux = vec![0.0; nedges];
+    let mut scratch = f64s(heap, scratchid);
+    for (i, fo) in flux.iter_mut().enumerate() {
+        let s = src[i] as usize;
+        let d = dst[i] as usize;
+        let f = (rho[s] - rho[d]) * 0.5 + mom[s] * 0.1 - mom[d] * 0.1;
+        scratch[i % b] = f;
+        *fo = scratch[i % b] * 1.5;
+    }
+    put_f64s(heap, fluxid, flux);
+    put_f64s(heap, scratchid, scratch);
+}
+
+pub fn sepia(heap: &mut Heap, args: &[Value]) {
+    let img = f64s(heap, arr(args[0]));
+    let outid = arr(args[1]);
+    let tmpid = arr(args[2]);
+    let npix = int(args[3]);
+    let b = int(args[4]);
+    let mut out = vec![0.0; 3 * npix];
+    let mut tmp = f64s(heap, tmpid);
+    for i in 0..npix {
+        tmp[i % b] = img[3 * i] * 0.393 + img[3 * i + 1] * 0.769 + img[3 * i + 2] * 0.189;
+        let v = tmp[i % b];
+        out[3 * i] = v;
+        out[3 * i + 1] = v * 0.89;
+        out[3 * i + 2] = v * 0.69;
+    }
+    put_f64s(heap, outid, out);
+    put_f64s(heap, tmpid, tmp);
+}
+
+fn cndf(x: f64) -> f64 {
+    let l = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * l);
+    let poly =
+        ((((1.330274429 * k - 1.821255978) * k + 1.781477937) * k - 0.356563782) * k + 0.31938153)
+            * k;
+    let w = 1.0 - 0.39894228 * (-l * l * 0.5).exp() * poly;
+    if x < 0.0 {
+        1.0 - w
+    } else {
+        w
+    }
+}
+
+pub fn blackscholes(heap: &mut Heap, args: &[Value]) {
+    let spot = f64s(heap, arr(args[0]));
+    let strike = f64s(heap, arr(args[1]));
+    let rate = f64s(heap, arr(args[2]));
+    let vol = f64s(heap, arr(args[3]));
+    let time = f64s(heap, arr(args[4]));
+    let callid = arr(args[5]);
+    let n = int(args[6]);
+    let mut call = vec![0.0; n];
+    for i in 0..n {
+        let (s, k, r, v, t) = (spot[i], strike[i], rate[i], vol[i], time[i]);
+        let sq = t.sqrt();
+        let d1 = ((s / k).ln() + (r + v * v * 0.5) * t) / (v * sq);
+        let d2 = d1 - v * sq;
+        call[i] = s * cndf(d1) - k * (-r * t).exp() * cndf(d2);
+        if i % 83 == 82 {
+            call[i] = (call[i] + call[i - 41]) * 0.5;
+        }
+    }
+    put_f64s(heap, callid, call);
+}
+
+pub fn bicg(heap: &mut Heap, args: &[Value]) {
+    let a = f64s(heap, arr(args[0]));
+    let p = f64s(heap, arr(args[1]));
+    let r = f64s(heap, arr(args[2]));
+    let qid = arr(args[3]);
+    let sid = arr(args[4]);
+    let n = int(args[5]);
+    let mut q = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a[i * n + j] * p[j];
+        }
+        q[i] = acc;
+    }
+    for i in 0..n {
+        let mut acc = 0.0;
+        for j in 0..n {
+            acc += a[j * n + i] * r[j];
+        }
+        s[i] = acc;
+    }
+    put_f64s(heap, qid, q);
+    put_f64s(heap, sid, s);
+}
+
+pub fn two_mm(heap: &mut Heap, args: &[Value]) {
+    let a = f64s(heap, arr(args[0]));
+    let b = f64s(heap, arr(args[1]));
+    let c = f64s(heap, arr(args[2]));
+    let tid = arr(args[3]);
+    let did = arr(args[4]);
+    let n = int(args[5]);
+    let mut t = vec![0.0; n * n];
+    let mut d = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += a[i * n + k] * b[k * n + j];
+            }
+            t[i * n + j] = s;
+        }
+    }
+    for i in 0..n {
+        for j in 0..n {
+            let mut s = 0.0;
+            for k in 0..n {
+                s += t[i * n + k] * c[k * n + j];
+            }
+            d[i * n + j] = s;
+        }
+    }
+    put_f64s(heap, tid, t);
+    put_f64s(heap, did, d);
+}
+
+pub fn crypt(heap: &mut Heap, args: &[Value]) {
+    let plain = heap.read_ints(arr(args[0])).expect("long array");
+    let encid = arr(args[1]);
+    let decid = arr(args[2]);
+    let key = heap.read_ints(arr(args[3])).expect("long array");
+    let n = int(args[4]);
+    let mut enc = vec![0i64; n];
+    let mut dec = vec![0i64; n];
+    for i in 0..n {
+        let mut v = plain[i];
+        v ^= key[0];
+        v = v.wrapping_shl(5) | ((v as u64) >> 59) as i64;
+        v = v.wrapping_add(key[1]);
+        v ^= key[2];
+        v = v.wrapping_shl(7) | ((v as u64) >> 57) as i64;
+        v = v.wrapping_add(key[3]);
+        enc[i] = v;
+    }
+    for i in 0..n {
+        let mut v = enc[i];
+        v = v.wrapping_sub(key[3]);
+        v = ((v as u64) >> 7) as i64 | v.wrapping_shl(57);
+        v ^= key[2];
+        v = v.wrapping_sub(key[1]);
+        v = ((v as u64) >> 5) as i64 | v.wrapping_shl(59);
+        v ^= key[0];
+        dec[i] = v;
+    }
+    *heap.array_mut(encid).expect("array") = ArrayData::Long(enc);
+    *heap.array_mut(decid).expect("array") = ArrayData::Long(dec);
+}

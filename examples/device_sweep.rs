@@ -1,0 +1,70 @@
+//! Platform sweep: how the sharing scheme's split and speedup react to the
+//! relative strength of the two devices. Sweeps the GPU's SM count and
+//! prints, for a fixed DOALL workload, the boundary value, the measured
+//! GPU share, and the speedup over CPU-16 — showing the scheduler adapting
+//! to the hardware it runs on.
+//!
+//! ```text
+//! cargo run --release --example device_sweep
+//! ```
+
+use japonica::ir::Value;
+use japonica::{compile, run_baseline, Baseline, Runtime, RuntimeConfig};
+use japonica_workloads::Workload;
+
+fn main() {
+    let w = Workload::by_name("VectorAdd").unwrap();
+    let compiled = compile(w.source).unwrap();
+
+    println!("VectorAdd under varying GPU sizes (boundary = Cg*Fg/(Cg*Fg+Cc*Fc)):");
+    println!("{:>5} {:>10} {:>11} {:>12} {:>14}", "SMs", "boundary", "GPU share", "wall (ms)", "vs CPU-16");
+    for sm_count in [2u32, 7, 14, 28, 56] {
+        let mut cfg = RuntimeConfig::default();
+        cfg.sched.gpu.sm_count = sm_count;
+        let boundary = cfg.sched.boundary_fraction();
+
+        let inst = w.instantiate(3);
+        let mut heap = inst.heap.clone();
+        let report = Runtime::new(cfg.clone())
+            .run(&compiled, w.entry, &inst.args, &mut heap)
+            .unwrap();
+        let l = &report.loops[0];
+
+        let mut h2 = inst.heap.clone();
+        let cpu16 = run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut h2,
+            Baseline::CpuParallel(16),
+        )
+        .unwrap()
+        .total_s;
+
+        // Results stay correct at every configuration.
+        let mut expected = inst.heap.clone();
+        w.run_reference(&mut expected, &inst.args);
+        japonica_workloads::outputs_match(&heap, &expected, &inst).expect("correct");
+
+        println!(
+            "{:>5} {:>9.1}% {:>10.1}% {:>12.3} {:>13.2}x",
+            sm_count,
+            boundary * 100.0,
+            l.gpu_share() * 100.0,
+            report.total_s * 1e3,
+            cpu16 / report.total_s,
+        );
+    }
+    println!("\nArguments used: {} elements", {
+        let inst = w.instantiate(3);
+        inst.args
+            .iter()
+            .filter_map(|v| match v {
+                Value::Int(n) => Some(*n),
+                _ => None,
+            })
+            .next()
+            .unwrap_or(0)
+    });
+}

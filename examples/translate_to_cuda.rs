@@ -1,0 +1,24 @@
+//! Show the code translator's output: the CUDA kernel + JNI host stub
+//! generated for each annotated loop (paper §III-B), here for GEMM and
+//! BlackScholes (which drags its `cndf` helper along as a `__device__`
+//! function).
+//!
+//! ```text
+//! cargo run --release --example translate_to_cuda
+//! ```
+
+use japonica::compile;
+use japonica_workloads::Workload;
+
+fn main() {
+    for name in ["GEMM", "BlackScholes"] {
+        let w = Workload::by_name(name).unwrap();
+        let compiled = compile(w.source).unwrap();
+        println!("===== {} =====", w.name);
+        println!("{}", compiled.describe());
+        for id in compiled.annotated_loops_of(w.entry) {
+            println!("--- CUDA translation of {id} ---");
+            println!("{}", compiled.cuda_source(id).unwrap());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Cross-crate integration tests: annotated MiniJava source in, scheduled
+//! heterogeneous execution out, validated against plain sequential
+//! interpretation.
+
+use japonica::ir::{Heap, HeapBackend, Interp, Value};
+use japonica::scheduler::ExecutionMode;
+use japonica::{compile, run_baseline, Baseline, Runtime, RuntimeConfig};
+
+/// Run `entry` sequentially with the plain IR interpreter (ground truth).
+fn sequential(source: &str, entry: &str, args: &[Value], heap: &mut Heap) -> Option<Value> {
+    let program = japonica::frontend::compile_source(source).unwrap();
+    let mut be = HeapBackend::new(heap);
+    Interp::new(&program)
+        .call_by_name(entry, args, &mut be)
+        .unwrap()
+}
+
+fn doubles(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+    (0..n).map(f).collect()
+}
+
+#[test]
+fn mixed_mode_program_end_to_end() {
+    // One function with a DOALL loop (mode A), a reduction (mode C), and an
+    // uncertain loop that profiles clean (mode D').
+    let src = r#"
+        static double mixed(double[] a, double[] b, int[] idx, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[idx[i]] = b[idx[i]] + 1.0; }
+            double s = 0.0;
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { s = s + a[i]; }
+            return s;
+        }
+    "#;
+    let n = 4096;
+    let mk = || {
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&doubles(n, |i| i as f64));
+        let b = heap.alloc_doubles(&vec![0.0; n]);
+        let idx = heap.alloc_ints(&(0..n as i32).collect::<Vec<_>>());
+        (heap, vec![Value::Array(a), Value::Array(b), Value::Array(idx), Value::Int(n as i32)], a, b)
+    };
+
+    let (mut seq_heap, args, a, b) = mk();
+    let expect_ret = sequential(src, "mixed", &args, &mut seq_heap);
+
+    let compiled = compile(src).unwrap();
+    let (mut heap, args2, _, _) = mk();
+    let report = Runtime::default()
+        .run(&compiled, "mixed", &args2, &mut heap)
+        .unwrap();
+
+    assert_eq!(report.ret, expect_ret);
+    assert_eq!(heap.read_doubles(a).unwrap(), seq_heap.read_doubles(a).unwrap());
+    assert_eq!(heap.read_doubles(b).unwrap(), seq_heap.read_doubles(b).unwrap());
+    assert_eq!(report.loops.len(), 3);
+    // modes: A, then profiled (clean index map -> D'), then C
+    assert_eq!(report.loops[0].mode, ExecutionMode::A);
+    assert_eq!(report.loops[1].mode, ExecutionMode::DPrime);
+    assert_eq!(report.loops[2].mode, ExecutionMode::C);
+    assert_eq!(report.profiles.len(), 1);
+}
+
+#[test]
+fn nested_annotated_loops_schedule_on_every_encounter() {
+    // Time-stepped stencil: the annotated inner loop runs once per step.
+    let src = r#"
+        static void steps(double[] cur, double[] next, int n, int t) {
+            for (int s = 0; s < t; s++) {
+                /* acc parallel */
+                for (int i = 1; i < n - 1; i++) {
+                    next[i] = (cur[i - 1] + cur[i + 1]) * 0.5;
+                }
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { cur[i] = next[i]; }
+            }
+        }
+    "#;
+    let n = 2048;
+    let t = 4;
+    let mk = || {
+        let mut heap = Heap::new();
+        let cur = heap.alloc_doubles(&doubles(n, |i| (i % 17) as f64));
+        let next = heap.alloc_doubles(&vec![0.0; n]);
+        (heap, vec![Value::Array(cur), Value::Array(next), Value::Int(n as i32), Value::Int(t)], cur)
+    };
+    let (mut seq_heap, args, cur) = mk();
+    sequential(src, "steps", &args, &mut seq_heap);
+
+    let compiled = compile(src).unwrap();
+    let (mut heap, args2, _) = mk();
+    let report = Runtime::default().run(&compiled, "steps", &args2, &mut heap).unwrap();
+
+    // 2 loops x 4 time steps
+    assert_eq!(report.loops.len(), 8);
+    assert_eq!(heap.read_doubles(cur).unwrap(), seq_heap.read_doubles(cur).unwrap());
+}
+
+#[test]
+fn annotated_loop_under_condition_runs_only_when_taken() {
+    let src = r#"
+        static void cond(double[] a, int n, boolean go) {
+            if (go) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i] = 1.0; }
+            }
+        }
+    "#;
+    let compiled = compile(src).unwrap();
+    for go in [true, false] {
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&vec![0.0; 256]);
+        let report = Runtime::default()
+            .run(&compiled, "cond", &[Value::Array(a), Value::Int(256), Value::Bool(go)], &mut heap)
+            .unwrap();
+        assert_eq!(report.loops.len(), usize::from(go));
+        let expect = if go { 1.0 } else { 0.0 };
+        assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == expect));
+    }
+}
+
+#[test]
+fn stealing_pool_with_three_way_dependencies() {
+    // L0 -> L1, L0 -> L2, (L1, L2) -> L3: two batches of parallel work.
+    let src = r#"
+        static void diamond(double[] s, double[] u, double[] v, double[] r, int n) {
+            /* acc parallel scheme(stealing) */
+            for (int i = 0; i < n; i++) { s[i] = i * 1.0; }
+            /* acc parallel scheme(stealing) */
+            for (int i = 0; i < n; i++) { u[i] = s[i] * 2.0; }
+            /* acc parallel scheme(stealing) */
+            for (int i = 0; i < n; i++) { v[i] = s[i] * 3.0; }
+            /* acc parallel scheme(stealing) */
+            for (int i = 0; i < n; i++) { r[i] = u[i] + v[i]; }
+        }
+    "#;
+    let n = 8192;
+    let compiled = compile(src).unwrap();
+    let mut heap = Heap::new();
+    let arrs: Vec<_> = (0..4).map(|_| heap.alloc_doubles(&vec![0.0; n])).collect();
+    let args: Vec<Value> = arrs
+        .iter()
+        .map(|&a| Value::Array(a))
+        .chain([Value::Int(n as i32)])
+        .collect();
+    let report = Runtime::default().run(&compiled, "diamond", &args, &mut heap).unwrap();
+    assert_eq!(report.stealing.len(), 1);
+    let pool = &report.stealing[0];
+    assert_eq!(pool.batch_ends.len(), 3); // L0 | L1+L2 | L3
+    let r = heap.read_doubles(arrs[3]).unwrap();
+    assert!(r.iter().enumerate().all(|(i, &x)| x == 5.0 * i as f64));
+}
+
+#[test]
+fn every_baseline_agrees_with_sequential_on_a_gauss_seidel_sweep() {
+    let src = r#"
+        static void gs(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 1; i < n - 1; i++) { a[i] = (a[i - 1] + a[i + 1]) * 0.5; }
+        }
+    "#;
+    let n = 2000;
+    let mk = || {
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&doubles(n, |i| (i * i % 31) as f64));
+        (heap, vec![Value::Array(a), Value::Int(n as i32)], a)
+    };
+    let (mut seq_heap, args, a) = mk();
+    sequential(src, "gs", &args, &mut seq_heap);
+    let expect = seq_heap.read_doubles(a).unwrap();
+
+    let compiled = compile(src).unwrap();
+    for b in [Baseline::Serial, Baseline::CpuParallel(16), Baseline::GpuOnly] {
+        let (mut heap, args2, _) = mk();
+        run_baseline(&RuntimeConfig::default(), &compiled, "gs", &args2, &mut heap, b).unwrap();
+        assert_eq!(heap.read_doubles(a).unwrap(), expect, "{b}");
+    }
+    let (mut heap, args3, _) = mk();
+    Runtime::default().run(&compiled, "gs", &args3, &mut heap).unwrap();
+    assert_eq!(heap.read_doubles(a).unwrap(), expect, "japonica");
+}
+
+#[test]
+fn report_accounts_iterations_and_times() {
+    let src = r#"
+        static void f(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = Math.sqrt(i * 1.0); }
+        }
+    "#;
+    let compiled = compile(src).unwrap();
+    let mut heap = Heap::new();
+    let a = heap.alloc_doubles(&vec![0.0; 50_000]);
+    let report = Runtime::default()
+        .run(&compiled, "f", &[Value::Array(a), Value::Int(50_000)], &mut heap)
+        .unwrap();
+    let l = &report.loops[0];
+    assert_eq!(l.iterations, 50_000);
+    assert_eq!(l.gpu_iters + l.cpu_iters, 50_000);
+    assert!(l.wall_s > 0.0);
+    assert!(l.wall_s + 1e-12 >= l.gpu_busy_s.min(l.cpu_busy_s));
+    assert!(report.total_s + 1e-12 >= report.loops_wall_s());
+    // both devices participated in a loop this large
+    assert!(l.gpu_iters > 0 && l.cpu_iters > 0);
+}
+
+#[test]
+fn scheme_override_moves_a_sharing_app_to_stealing() {
+    let src = r#"
+        static void two(double[] a, double[] b, double[] c, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { b[i] = a[i] + 1.0; }
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { c[i] = a[i] * 2.0; }
+        }
+    "#;
+    let compiled = compile(src).unwrap();
+    let mut heap = Heap::new();
+    let a = heap.alloc_doubles(&doubles(4096, |i| i as f64));
+    let b = heap.alloc_doubles(&vec![0.0; 4096]);
+    let c = heap.alloc_doubles(&vec![0.0; 4096]);
+    let args = vec![Value::Array(a), Value::Array(b), Value::Array(c), Value::Int(4096)];
+    let rt = Runtime::new(RuntimeConfig {
+        scheme_override: Some(japonica::ir::Scheme::Stealing),
+        ..RuntimeConfig::default()
+    });
+    let report = rt.run(&compiled, "two", &args, &mut heap).unwrap();
+    assert_eq!(report.stealing.len(), 1);
+    assert!(report.loops.is_empty());
+    assert!(heap.read_doubles(c).unwrap()[7] == 14.0);
+}

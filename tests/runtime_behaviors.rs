@@ -1,0 +1,233 @@
+//! Runtime behaviors: profile sampling, callee-loop semantics, report
+//! plumbing, and workload-level schedule properties.
+
+use japonica::ir::{Heap, Value};
+use japonica::{compile, Runtime, RuntimeConfig};
+use japonica_workloads::Workload;
+
+#[test]
+fn profile_limit_samples_a_prefix_and_execution_stays_correct() {
+    // TD pattern concentrated in the tail: a sampled profile misses it, so
+    // mode selection sees a clean prefix (D') — execution must still be
+    // sequentially correct via the runtime's safe engines.
+    let src = "static void f(long[] a, int[] idx, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[idx[i]] = a[idx[i]] + 1; }
+    }";
+    let compiled = compile(src).unwrap();
+    let n = 4096;
+    let mk = || {
+        let mut heap = Heap::new();
+        let a = heap.alloc_longs(&vec![0i64; n]);
+        // identity permutation: no dependences at all
+        let idx = heap.alloc_ints(&(0..n as i32).collect::<Vec<_>>());
+        (heap, vec![Value::Array(a), Value::Array(idx), Value::Int(n as i32)], a)
+    };
+
+    // Full profile
+    let (mut h1, args1, a1) = mk();
+    let full = Runtime::new(RuntimeConfig::default())
+        .run(&compiled, "f", &args1, &mut h1)
+        .unwrap();
+    assert_eq!(full.profiles.values().next().unwrap().iterations, n as u64);
+
+    // Sampled profile: only 256 iterations profiled
+    let (mut h2, args2, a2) = mk();
+    let sampled = Runtime::new(RuntimeConfig {
+        profile_limit: Some(256),
+        ..RuntimeConfig::default()
+    })
+    .run(&compiled, "f", &args2, &mut h2)
+    .unwrap();
+    assert_eq!(sampled.profiles.values().next().unwrap().iterations, 256);
+    assert!(sampled.profiling_s < full.profiling_s);
+    assert_eq!(h1.read_ints(a1).unwrap(), h2.read_ints(a2).unwrap());
+}
+
+#[test]
+fn annotated_loops_inside_callees_run_sequentially_but_correctly() {
+    // The runtime schedules annotated loops of the *entry* function; loops
+    // reached through calls execute through the plain interpreter (glue).
+    let src = "
+        static void helper(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+        }
+        static void f(double[] a, int n) {
+            helper(a, n);
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+        }
+    ";
+    let compiled = compile(src).unwrap();
+    let mut heap = Heap::new();
+    let a = heap.alloc_doubles(&(0..512).map(|i| i as f64).collect::<Vec<_>>());
+    let report = Runtime::default()
+        .run(&compiled, "f", &[Value::Array(a), Value::Int(512)], &mut heap)
+        .unwrap();
+    // only the entry function's annotated loop is scheduled
+    assert_eq!(report.loops.len(), 1);
+    assert!(report.glue_s > 0.0); // helper ran as glue
+    let vals = heap.read_doubles(a).unwrap();
+    assert!(vals.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f64 + 1.0));
+}
+
+#[test]
+fn bicg_stealing_gives_the_cpu_a_substantial_share() {
+    // The paper reports the CPU finishing 62.5% of BICG's sub-loops.
+    let w = Workload::by_name("BICG").unwrap();
+    let compiled = w.compile();
+    let inst = w.instantiate(2);
+    let mut heap = inst.heap.clone();
+    let mut cfg = RuntimeConfig::default();
+    cfg.sched.subloops_per_task = w.subloops;
+    let report = Runtime::new(cfg)
+        .run(&compiled, w.entry, &inst.args, &mut heap)
+        .unwrap();
+    let pool = &report.stealing[0];
+    let share = pool.cpu_iter_share();
+    assert!(
+        share > 0.2 && share < 0.9,
+        "CPU share {share} out of plausible range"
+    );
+    assert!(pool.stolen_by_cpu + pool.stolen_by_gpu > 0);
+}
+
+#[test]
+fn workload_instantiation_is_deterministic() {
+    for w in Workload::all() {
+        let a = w.instantiate(1);
+        let b = w.instantiate(1);
+        assert_eq!(a.args.len(), b.args.len(), "{}", w.name);
+        for ((_, ia), (_, ib)) in a.outputs.iter().zip(&b.outputs) {
+            assert_eq!(ia, ib);
+        }
+        // spot-check first array contents equal across instantiations
+        if let Some(arr) = a.args.iter().find_map(|v| v.as_array()) {
+            assert_eq!(
+                a.heap.read_doubles(arr).ok(),
+                b.heap.read_doubles(arr).ok(),
+                "{}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn scale_two_runs_remain_correct_for_representative_workloads() {
+    for name in ["VectorAdd", "CFD", "Crypt"] {
+        let w = Workload::by_name(name).unwrap();
+        let compiled = w.compile();
+        let inst = w.instantiate(2);
+        let mut expected = inst.heap.clone();
+        w.run_reference(&mut expected, &inst.args);
+        let mut heap = inst.heap.clone();
+        let mut cfg = RuntimeConfig::default();
+        cfg.sched.subloops_per_task = w.subloops;
+        Runtime::new(cfg)
+            .run(&compiled, w.entry, &inst.args, &mut heap)
+            .unwrap();
+        japonica_workloads::outputs_match(&heap, &expected, &inst)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn profiling_time_is_charged_once_per_loop_across_reencounters() {
+    // The uncertain loop sits inside a sequential outer loop: it is
+    // profiled on the first encounter only.
+    let src = "static void f(long[] t, long[] o, int n, int reps) {
+        for (int r = 0; r < reps; r++) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { t[i % 32] = i + r; o[i] = t[i % 32]; }
+        }
+    }";
+    let compiled = compile(src).unwrap();
+    let mut heap = Heap::new();
+    let t = heap.alloc_longs(&vec![0; 32]);
+    let o = heap.alloc_longs(&vec![0; 2048]);
+    let report = Runtime::default()
+        .run(
+            &compiled,
+            "f",
+            &[Value::Array(t), Value::Array(o), Value::Int(2048), Value::Int(4)],
+            &mut heap,
+        )
+        .unwrap();
+    assert_eq!(report.loops.len(), 4); // scheduled per encounter
+    assert_eq!(report.profiles.len(), 1); // profiled once
+    // the profile histogram exists and describes itself
+    let p = report.profiles.values().next().unwrap();
+    assert!(p.describe().contains("FD density"));
+}
+
+#[test]
+fn out_of_bounds_in_a_scheduled_loop_reports_an_error_not_a_panic() {
+    let src = "static void f(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i + 10] = 1.0; }
+    }";
+    let compiled = compile(src).unwrap();
+    let mut heap = Heap::new();
+    let a = heap.alloc_doubles(&vec![0.0; 64]);
+    let err = Runtime::default()
+        .run(&compiled, "f", &[Value::Array(a), Value::Int(64)], &mut heap)
+        .unwrap_err();
+    assert!(err.to_string().contains("out of bounds"), "{err}");
+}
+
+#[test]
+fn create_clause_array_is_not_transferred() {
+    // scratch is created on-device only; results flow out through `out`.
+    let src = "static void f(double[] inp, double[] scratch, double[] outp, int n, int b) {
+        /* acc parallel copyin(inp[0:n]) create(scratch) copyout(outp[0:n]) */
+        for (int i = 0; i < n; i++) {
+            scratch[i % b] = inp[i] * 2.0;
+            outp[i] = scratch[i % b] + 1.0;
+        }
+    }";
+    let compiled = compile(src).unwrap();
+    let n = 4096;
+    let mut heap = Heap::new();
+    let inp = heap.alloc_doubles(&(0..n).map(|i| i as f64).collect::<Vec<_>>());
+    let scratch = heap.alloc_doubles(&vec![0.0; 64]);
+    let outp = heap.alloc_doubles(&vec![0.0; n]);
+    let report = Runtime::default()
+        .run(
+            &compiled,
+            "f",
+            &[
+                Value::Array(inp),
+                Value::Array(scratch),
+                Value::Array(outp),
+                Value::Int(n as i32),
+                Value::Int(64),
+            ],
+            &mut heap,
+        )
+        .unwrap();
+    // transfer accounting covers only the copyin array (8 bytes per elem)
+    let l = &report.loops[0];
+    assert!(l.bytes_in <= n * 8, "bytes_in {} should exclude scratch", l.bytes_in);
+    let o = heap.read_doubles(outp).unwrap();
+    assert!(o.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f64 + 1.0));
+}
+
+#[test]
+fn run_source_one_shot_api() {
+    let mut heap = Heap::new();
+    let a = heap.alloc_doubles(&[5.0; 128]);
+    let report = japonica::run_source(
+        "static void halve(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = a[i] * 0.5; }
+        }",
+        "halve",
+        &[Value::Array(a), Value::Int(128)],
+        &mut heap,
+    )
+    .unwrap();
+    assert_eq!(report.loops.len(), 1);
+    assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 2.5));
+}
