@@ -51,7 +51,7 @@ impl Compiled {
             if loops.is_empty() {
                 continue;
             }
-            writeln!(out, "function `{}`:", f.name).unwrap();
+            writeln!(out, "function `{}`:", f.name).ok();
             for l in loops {
                 let a = match self.analyses.get(&l.id) {
                     Some(a) => a,
@@ -71,7 +71,7 @@ impl Compiled {
                     names(&a.classes.live_out),
                     names(&a.classes.temp),
                 )
-                .unwrap();
+                .ok();
                 let det = match &a.determination {
                     japonica_analysis::Determination::Doall => "deterministic DOALL".to_string(),
                     japonica_analysis::Determination::Deterministic(s) => format!(
@@ -82,7 +82,7 @@ impl Compiled {
                         format!("uncertain — profile on GPU ({} unresolved pairs)", reasons.len())
                     }
                 };
-                writeln!(out, "      determination: {det}").unwrap();
+                writeln!(out, "      determination: {det}").ok();
             }
         }
         out

@@ -151,7 +151,7 @@ impl Gen<'_> {
             "extern \"C\" __global__ void {kernel_name}({}, int __start, int __step, int __lo, int __hi)",
             param_list.join(", ")
         )
-        .unwrap();
+        .ok();
         self.out.push_str("{\n");
         self.out.push_str(
             "    int __k = blockIdx.x * blockDim.x + threadIdx.x + __lo;\n    if (__k >= __hi) return;\n",
@@ -160,15 +160,15 @@ impl Gen<'_> {
             self.out,
             "    int {ivar} = __start + __k * __step;  /* loop index remapped to thread id */"
         )
-        .unwrap();
+        .ok();
         for s in &loop_.body {
             self.stmt(s, 1);
         }
         self.out.push_str("}\n\n");
 
         // ---- the host stub ----
-        writeln!(self.out, "/* host stub (invoked from Java through JNI) */").unwrap();
-        writeln!(self.out, "void launch_{kernel_name}(...)").unwrap();
+        writeln!(self.out, "/* host stub (invoked from Java through JNI) */").ok();
+        writeln!(self.out, "void launch_{kernel_name}(...)").ok();
         self.out.push_str("{\n");
         for v in analysis.classes.arrays_in() {
             writeln!(
@@ -176,7 +176,7 @@ impl Gen<'_> {
                 "    cudaMemcpy(d_{0}, {0}, bytes_{0}, cudaMemcpyHostToDevice);",
                 self.name(v)
             )
-            .unwrap();
+            .ok();
         }
         self.out.push_str(
             "    int __n = __hi - __lo;\n    dim3 block(256);\n    dim3 grid((__n + 255) / 256);\n",
@@ -202,14 +202,14 @@ impl Gen<'_> {
                 .collect::<Vec<_>>()
                 .join(", ")
         )
-        .unwrap();
+        .ok();
         for v in analysis.classes.arrays_out() {
             writeln!(
                 self.out,
                 "    cudaMemcpy({0}, d_{0}, bytes_{0}, cudaMemcpyDeviceToHost);",
                 self.name(v)
             )
-            .unwrap();
+            .ok();
         }
         self.out.push_str("}\n");
     }
@@ -242,7 +242,7 @@ impl Gen<'_> {
             f.name,
             params.join(", ")
         )
-        .unwrap();
+        .ok();
         self.out.push_str("{\n");
         // Render with the callee's own variable names.
         let mut inner = Gen {
@@ -271,22 +271,24 @@ impl Gen<'_> {
                 match init {
                     Some(e) => {
                         let e = self.expr(e);
-                        writeln!(self.out, "{} {name} = {e};", c_ty(*ty)).unwrap();
+                        writeln!(self.out, "{} {name} = {e};", c_ty(*ty)).ok();
                     }
-                    None => writeln!(self.out, "{} {name};", c_ty(*ty)).unwrap(),
+                    None => {
+                        writeln!(self.out, "{} {name};", c_ty(*ty)).ok();
+                    }
                 }
             }
             Stmt::NewArray { var, elem, len } => {
                 self.indent(depth);
                 let name = self.name(*var);
                 let len = self.expr(len);
-                writeln!(self.out, "{}* {name} = new {0}[{len}];", c_ty(*elem)).unwrap();
+                writeln!(self.out, "{}* {name} = new {0}[{len}];", c_ty(*elem)).ok();
             }
             Stmt::Assign { var, value } => {
                 self.indent(depth);
                 let name = self.name(*var);
                 let e = self.expr(value);
-                writeln!(self.out, "{name} = {e};").unwrap();
+                writeln!(self.out, "{name} = {e};").ok();
             }
             Stmt::Store {
                 array,
@@ -297,7 +299,7 @@ impl Gen<'_> {
                 let a = self.name(*array);
                 let i = self.expr(index);
                 let v = self.expr(value);
-                writeln!(self.out, "{a}[{i}] = {v};").unwrap();
+                writeln!(self.out, "{a}[{i}] = {v};").ok();
             }
             Stmt::If {
                 cond,
@@ -306,7 +308,7 @@ impl Gen<'_> {
             } => {
                 self.indent(depth);
                 let c = self.expr(cond);
-                writeln!(self.out, "if ({c}) {{").unwrap();
+                writeln!(self.out, "if ({c}) {{").ok();
                 for s in then_branch {
                     self.stmt(s, depth + 1);
                 }
@@ -327,7 +329,7 @@ impl Gen<'_> {
                 self.indent(depth);
                 let v = self.name(l.var);
                 let (s0, e0, st) = (self.expr(&l.start), self.expr(&l.end), self.expr(&l.step));
-                writeln!(self.out, "for (int {v} = {s0}; {v} < {e0}; {v} += {st}) {{").unwrap();
+                writeln!(self.out, "for (int {v} = {s0}; {v} < {e0}; {v} += {st}) {{").ok();
                 for s in &l.body {
                     self.stmt(s, depth + 1);
                 }
@@ -337,7 +339,7 @@ impl Gen<'_> {
             Stmt::While { cond, body } => {
                 self.indent(depth);
                 let c = self.expr(cond);
-                writeln!(self.out, "while ({c}) {{").unwrap();
+                writeln!(self.out, "while ({c}) {{").ok();
                 for s in body {
                     self.stmt(s, depth + 1);
                 }
@@ -349,7 +351,7 @@ impl Gen<'_> {
                 match e {
                     Some(e) => {
                         let e = self.expr(e);
-                        writeln!(self.out, "return {e};").unwrap();
+                        writeln!(self.out, "return {e};").ok();
                     }
                     None => self.out.push_str("return;\n"),
                 }
@@ -365,7 +367,7 @@ impl Gen<'_> {
             Stmt::ExprStmt(e) => {
                 self.indent(depth);
                 let e = self.expr(e);
-                writeln!(self.out, "{e};").unwrap();
+                writeln!(self.out, "{e};").ok();
             }
         }
     }

@@ -90,6 +90,8 @@ pub use runtime::{Runtime, RuntimeConfig};
 
 /// Re-export of the IR crate (values, heap, programs).
 pub use japonica_ir as ir;
+/// Re-export of the fault-injection model (plans, stats, resilience knobs).
+pub use japonica_faults as faults;
 /// Re-export of the front end (errors, AST).
 pub use japonica_frontend as frontend;
 /// Re-export of the static analysis.

@@ -1,5 +1,6 @@
 //! End-to-end run reports.
 
+use japonica_faults::FaultStats;
 use japonica_ir::{LoopId, Value};
 use japonica_profiler::LoopProfile;
 use japonica_scheduler::{LoopExecReport, StealingReport};
@@ -32,12 +33,26 @@ impl RunReport {
             + self.stealing.iter().map(|s| s.wall_s).sum::<f64>()
     }
 
+    /// Fault/recovery counters aggregated over every scheduled loop and
+    /// stealing pool of the run. All zeros when no fault plan was active.
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut agg = FaultStats::default();
+        for l in &self.loops {
+            agg.merge(&l.faults);
+        }
+        for s in &self.stealing {
+            agg.merge(&s.faults);
+        }
+        agg
+    }
+
     /// One-line-per-loop human-readable summary.
     pub fn summary(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        // Writing into a String is infallible; discard the Ok(()).
         for l in &self.loops {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "{} mode {}: {:.3} ms wall (gpu {:.3} ms / cpu {:.3} ms, {}/{} iters, {} B moved)",
                 l.loop_id,
@@ -48,24 +63,37 @@ impl RunReport {
                 l.gpu_iters,
                 l.cpu_iters,
                 l.bytes_in + l.bytes_out,
-            )
-            .unwrap();
+            );
         }
         for s in &self.stealing {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "stealing pool: {:.3} ms wall, {} tasks ({} stolen), CPU share {:.1}%",
                 s.wall_s * 1e3,
                 s.tasks.len(),
                 s.stolen_by_cpu + s.stolen_by_gpu,
                 s.cpu_iter_share() * 100.0,
-            )
-            .unwrap();
+            );
         }
         if self.profiling_s > 0.0 {
-            writeln!(out, "profiling: {:.3} ms", self.profiling_s * 1e3).unwrap();
+            let _ = writeln!(out, "profiling: {:.3} ms", self.profiling_s * 1e3);
         }
-        writeln!(out, "total: {:.3} ms", self.total_s * 1e3).unwrap();
+        let faults = self.fault_stats();
+        if faults.any() {
+            let _ = writeln!(
+                out,
+                "faults: {} gpu / {} cpu / {} transfer / {} deadline; {} retries, {} fallbacks, {} degradations, level {}",
+                faults.gpu_faults,
+                faults.cpu_faults,
+                faults.transfer_faults,
+                faults.deadline_overruns,
+                faults.retries,
+                faults.fallbacks,
+                faults.degradations,
+                faults.level,
+            );
+        }
+        let _ = writeln!(out, "total: {:.3} ms", self.total_s * 1e3);
         out
     }
 }

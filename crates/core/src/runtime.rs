@@ -83,15 +83,19 @@ impl Runtime {
         report: &mut RunReport,
     ) -> Result<(), SchedError> {
         let cfg = &self.cfg.sched;
+        // A missing analysis is a compiler-pipeline invariant violation;
+        // surface it as a typed error instead of unwinding mid-run.
+        let analysis_of = |id: japonica_ir::LoopId| {
+            compiled.analyses.get(&id).ok_or_else(|| {
+                SchedError::Internal(format!("loop {id} was never analyzed at compile time"))
+            })
+        };
         // Profile every uncertain loop in the run first; a loop profiled on
         // an earlier encounter (e.g. inside an outer sequential loop) keeps
         // its profile.
         let mut profiles: BTreeMap<japonica_ir::LoopId, LoopProfile> = BTreeMap::new();
         for l in loops {
-            let analysis = compiled
-                .analyses
-                .get(&l.id)
-                .expect("annotated loop was analyzed at compile time");
+            let analysis = analysis_of(l.id)?;
             if analysis.determination.needs_profiling() {
                 if let Some(p) = report.profiles.get(&l.id) {
                     profiles.insert(l.id, p.clone());
@@ -112,16 +116,18 @@ impl Runtime {
         });
         match scheme {
             Scheme::Stealing if !loops.is_empty() => {
-                let tasks: Vec<LoopTask> = loops
-                    .iter()
-                    .map(|l| LoopTask {
+                let mut tasks: Vec<LoopTask> = Vec::with_capacity(loops.len());
+                for l in loops {
+                    tasks.push(LoopTask {
                         loop_: l,
-                        analysis: &compiled.analyses[&l.id],
+                        analysis: analysis_of(l.id)?,
                         profile: profiles.get(&l.id),
-                    })
-                    .collect();
+                    });
+                }
                 // Restrict the function's PDG to this run's loops.
-                let full = &compiled.pdgs[&fid];
+                let full = compiled.pdgs.get(&fid).ok_or_else(|| {
+                    SchedError::Internal(format!("function {fid} has no dependence graph"))
+                })?;
                 let ids: Vec<_> = loops.iter().map(|l| l.id).collect();
                 let pdg = japonica_analysis::Pdg {
                     nodes: full
@@ -144,7 +150,7 @@ impl Runtime {
                 for l in loops {
                     let task = LoopTask {
                         loop_: l,
-                        analysis: &compiled.analyses[&l.id],
+                        analysis: analysis_of(l.id)?,
                         profile: profiles.get(&l.id),
                     };
                     let r = run_sharing(&compiled.program, cfg, &task, env, heap)?;

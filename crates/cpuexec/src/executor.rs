@@ -2,11 +2,38 @@
 
 use crate::buffer::BufferedBackend;
 use crate::config::CpuConfig;
+use japonica_faults::{DeviceFault, FaultOrigin, FaultPlan};
 use japonica_ir::{
     CountingBackend, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, LoopBounds, OpCounts,
     Program,
 };
+use std::fmt;
 use std::ops::Range;
+
+/// Errors out of the guarded CPU executor: either a real interpreter error
+/// or an injected worker fault (carried intact for the recovery machinery).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpuExecError {
+    Exec(ExecError),
+    Fault(DeviceFault),
+}
+
+impl fmt::Display for CpuExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuExecError::Exec(e) => write!(f, "{e}"),
+            CpuExecError::Fault(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+impl std::error::Error for CpuExecError {}
+
+impl From<ExecError> for CpuExecError {
+    fn from(e: ExecError) -> CpuExecError {
+        CpuExecError::Exec(e)
+    }
+}
 
 /// Result of executing an iteration range on the CPU model.
 #[derive(Debug, Clone)]
@@ -64,7 +91,7 @@ pub fn run_sequential(
 }
 
 /// Execute iterations `range` of `loop_` on `threads` worker threads
-/// (contiguous chunks, real OS threads via crossbeam scoped threads).
+/// (contiguous chunks, real OS threads via `std::thread::scope`).
 ///
 /// Each worker runs against a private write buffer; buffers are committed
 /// to the heap in chunk order afterwards, so a DOALL loop yields exactly
@@ -81,9 +108,51 @@ pub fn run_parallel(
     heap: &mut Heap,
     threads: u32,
 ) -> Result<CpuReport, ExecError> {
+    run_parallel_guarded(
+        program,
+        cfg,
+        loop_,
+        bounds,
+        range,
+        env,
+        heap,
+        threads,
+        None,
+        FaultOrigin::default(),
+    )
+    .map_err(|e| match e {
+        CpuExecError::Exec(x) => x,
+        // Unreachable: faults only fire when a plan is installed.
+        CpuExecError::Fault(f) => ExecError::Aborted(format!("unexpected fault: {f}")),
+    })
+}
+
+/// [`run_parallel`] with an optional fault-injection plan. The plan is
+/// consulted once per worker batch *before any worker starts* (on the
+/// calling thread, so injection order is deterministic); a fired fault
+/// surfaces as [`CpuExecError::Fault`] with the heap untouched, which lets
+/// the scheduler resubmit the whole batch elsewhere.
+#[allow(clippy::too_many_arguments)] // mirrors the launch signature (program/config/loop/range/state)
+pub fn run_parallel_guarded(
+    program: &Program,
+    cfg: &CpuConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    env: &Env,
+    heap: &mut Heap,
+    threads: u32,
+    faults: Option<&FaultPlan>,
+    origin: FaultOrigin,
+) -> Result<CpuReport, CpuExecError> {
     let total = range.end.saturating_sub(range.start);
     if total == 0 {
         return Ok(CpuReport::empty());
+    }
+    if let Some(plan) = faults {
+        if let Some(f) = plan.on_cpu_chunk(origin) {
+            return Err(CpuExecError::Fault(f));
+        }
     }
     let threads = threads.max(1).min(total as u32);
     // Contiguous, balanced chunks.
@@ -100,14 +169,14 @@ pub fn run_parallel(
     let interp = Interp::new(program);
     let heap_ref: &Heap = heap;
     let results: Vec<Result<(BufferedBackend, Range<u64>), ExecError>> =
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .iter()
                 .cloned()
                 .map(|chunk| {
                     let interp = &interp;
                     let env = env.clone();
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut be = BufferedBackend::new(heap_ref);
                         let mut env = env;
                         interp
@@ -118,10 +187,13 @@ pub fn run_parallel(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("worker thread panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(ExecError::Aborted("worker thread panicked".into()))
+                    })
+                })
                 .collect()
-        })
-        .expect("thread scope");
+        });
 
     let mut counts = OpCounts::new();
     let mut per_thread = Vec::with_capacity(threads as usize);
@@ -276,6 +348,29 @@ mod tests {
         let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
         let err = run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8);
         assert!(matches!(err, Err(ExecError::IndexOutOfBounds { .. })));
+    }
+
+    #[test]
+    fn injected_chunk_fault_leaves_heap_untouched() {
+        use japonica_faults::{FaultKind, FaultPlan, FaultRule};
+        let (p, l, env, mut heap, a, n) = setup(SCALE, "scale");
+        let cfg = CpuConfig::default();
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let plan = FaultPlan::new(1, vec![FaultRule::transient(FaultKind::CpuChunk, 1)]);
+        let err = run_parallel_guarded(
+            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8,
+            Some(&plan), FaultOrigin::default(),
+        );
+        assert!(matches!(err, Err(CpuExecError::Fault(f)) if f.kind == FaultKind::CpuChunk));
+        // Nothing committed: the batch can be resubmitted elsewhere.
+        assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 1.5));
+        // The transient window has passed; the retry succeeds.
+        run_parallel_guarded(
+            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8,
+            Some(&plan), FaultOrigin::default(),
+        )
+        .unwrap();
+        assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 3.0));
     }
 
     #[test]

@@ -8,9 +8,10 @@
 //! * [`executor::run_sequential`] — single-thread execution of an iteration
 //!   range (the paper's mode C and the serial baselines);
 //! * [`executor::run_parallel`] — chunked execution over real OS threads
-//!   (crossbeam scoped threads), each thread working on a private write
+//!   (`std::thread::scope`), each thread working on a private write
 //!   buffer that is committed in chunk order afterwards, so DOALL loops
-//!   produce exactly the sequential result;
+//!   produce exactly the sequential result ([`executor::run_parallel_guarded`]
+//!   additionally consults a fault-injection plan);
 //! * [`buffer::BufferedBackend`] — the read-through/write-buffer backend
 //!   that makes the shared heap safe to use from many threads.
 //!
@@ -24,4 +25,4 @@ pub mod executor;
 
 pub use buffer::BufferedBackend;
 pub use config::CpuConfig;
-pub use executor::{run_parallel, run_sequential, CpuReport};
+pub use executor::{run_parallel, run_parallel_guarded, run_sequential, CpuExecError, CpuReport};

@@ -4,6 +4,7 @@ use crate::config::DeviceConfig;
 use crate::memory::LaneMemory;
 use crate::simt::{SimtError, SimtExec};
 use crate::stats::WarpStats;
+use japonica_faults::{FaultOrigin, FaultPlan};
 use japonica_ir::{Env, ForLoop, LoopBounds, Program};
 use std::ops::Range;
 
@@ -60,8 +61,53 @@ pub fn launch_loop<M: LaneMemory>(
     base_env: &Env,
     mem: &mut M,
 ) -> Result<KernelReport, SimtError> {
+    launch_loop_guarded(
+        program,
+        cfg,
+        loop_,
+        bounds,
+        iters,
+        base_env,
+        mem,
+        None,
+        None,
+    )
+}
+
+/// [`launch_loop`] with an optional fault-injection plan and watchdog.
+///
+/// The plan is consulted at the launch point (driver-level launch failure),
+/// before each warp issues (transient SIMT faults at a specific
+/// (sub-loop, warp) coordinate), and after the kernel's critical cycles are
+/// known (deadline overruns). The watchdog deadline is the cost model's own
+/// estimate — the computed critical cycles — times `watchdog_slack`; a plan
+/// that injects stall cycles past the deadline gets the launch killed as a
+/// [`SimtError::Fault`]. With no plan the function is byte-for-byte
+/// `launch_loop`: no stalls, identical timing.
+#[allow(clippy::too_many_arguments)] // mirrors launch_loop plus the fault hooks
+pub fn launch_loop_guarded<M: LaneMemory>(
+    program: &Program,
+    cfg: &DeviceConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    iters: Range<u64>,
+    base_env: &Env,
+    mem: &mut M,
+    faults: Option<&FaultPlan>,
+    watchdog_slack: Option<f64>,
+) -> Result<KernelReport, SimtError> {
     if iters.is_empty() {
         return Ok(KernelReport::empty());
+    }
+    let origin = FaultOrigin {
+        loop_id: Some(loop_.id),
+        subloop: Some(iters.start),
+        ..FaultOrigin::default()
+    };
+    if let Some(plan) = faults {
+        if let Some(f) = plan.on_kernel_launch(origin) {
+            return Err(SimtError::Fault(f));
+        }
     }
     let exec = SimtExec::new(program, cfg);
     let mut sm_cycles = vec![0.0f64; cfg.sm_count as usize];
@@ -71,6 +117,11 @@ pub fn launch_loop<M: LaneMemory>(
     let mut k = iters.start;
     while k < iters.end {
         let hi = (k + cfg.warp_size as u64).min(iters.end);
+        if let Some(plan) = faults {
+            if let Some(f) = plan.on_warp(origin.with_warp(warp_id as u64)) {
+                return Err(SimtError::Fault(f));
+            }
+        }
         let warp_iters: Vec<u64> = (k..hi).collect();
         let stats = exec.run_warp(loop_, bounds, &warp_iters, base_env, warp_id, mem)?;
         // Resident warps overlap memory latency with compute.
@@ -80,7 +131,20 @@ pub fn launch_loop<M: LaneMemory>(
         warp_id += 1;
         k = hi;
     }
-    let critical = sm_cycles.iter().copied().fold(0.0, f64::max);
+    let mut critical = sm_cycles.iter().copied().fold(0.0, f64::max);
+    if let Some(plan) = faults {
+        if let Some((stall, fault)) = plan.stall_cycles(origin) {
+            if let Some(slack) = watchdog_slack {
+                // Deadline = the cost model's own estimate × slack.
+                if critical + stall > critical * slack.max(1.0) + 1.0 {
+                    return Err(SimtError::Fault(fault));
+                }
+            }
+            // Stall below the deadline (or no watchdog): the device limps
+            // through — the burned cycles show up in the timing.
+            critical += stall;
+        }
+    }
     Ok(KernelReport {
         time_s: cfg.cycles_to_seconds(critical) + cfg.kernel_launch_us * 1e-6,
         critical_cycles: critical,
@@ -175,6 +239,90 @@ mod tests {
         let (r, _, _, _) = run_kernel(32);
         let cfg = DeviceConfig::default();
         assert!(r.time_s >= cfg.kernel_launch_us * 1e-6);
+    }
+
+    #[test]
+    fn fault_injection_hits_launch_warp_and_deadline() {
+        use japonica_faults::{FaultKind, FaultPlan, FaultRule};
+        let src = "static void scale(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }
+        }";
+        let p = compile_source(src).unwrap();
+        let (_, f) = p.function_by_name("scale").unwrap();
+        let l = f.all_loops()[0].clone();
+        let cfg = DeviceConfig::default();
+        let n = 256usize;
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&vec![1.0; n]);
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(a));
+        env.set(f.params[1].var, Value::Int(n as i32));
+        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let fresh = |heap: &Heap| {
+            let mut dev = DeviceMemory::new();
+            dev.copy_in(heap, a, 0, n, &cfg).unwrap();
+            dev
+        };
+
+        // No plan: guarded is identical to the plain launch.
+        let plain =
+            launch_loop(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap)).unwrap();
+        let guarded = launch_loop_guarded(
+            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), None, Some(4.0),
+        )
+        .unwrap();
+        assert_eq!(plain.time_s, guarded.time_s);
+        assert_eq!(plain.critical_cycles, guarded.critical_cycles);
+
+        // Launch failure.
+        let plan = FaultPlan::new(1, vec![FaultRule::persistent(FaultKind::KernelLaunch)]);
+        let err = launch_loop_guarded(
+            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), Some(&plan), None,
+        );
+        assert!(
+            matches!(err, Err(SimtError::Fault(f)) if f.kind == FaultKind::KernelLaunch),
+            "{err:?}"
+        );
+
+        // SIMT fault gated on warp 3 carries its coordinates.
+        let plan = FaultPlan::new(1, vec![FaultRule::persistent(FaultKind::Simt).on_warp(3)]);
+        let err = launch_loop_guarded(
+            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), Some(&plan), None,
+        );
+        match err {
+            Err(SimtError::Fault(f)) => {
+                assert_eq!(f.kind, FaultKind::Simt);
+                assert_eq!(f.origin.warp, Some(3));
+                assert_eq!(f.origin.subloop, Some(0));
+                assert_eq!(f.origin.loop_id, Some(l.id));
+            }
+            other => panic!("expected SIMT fault, got {other:?}"),
+        }
+
+        // A stall past the watchdog deadline kills the kernel...
+        let big_stall = plain.critical_cycles * 100.0 + 1e6;
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::persistent(FaultKind::DeadlineOverrun).stalling(big_stall)],
+        );
+        let err = launch_loop_guarded(
+            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), Some(&plan), Some(4.0),
+        );
+        assert!(
+            matches!(err, Err(SimtError::Fault(f)) if f.kind == FaultKind::DeadlineOverrun),
+            "{err:?}"
+        );
+        // ...while without a watchdog the device limps through, slower.
+        let plan = FaultPlan::new(
+            1,
+            vec![FaultRule::persistent(FaultKind::DeadlineOverrun).stalling(big_stall)],
+        );
+        let slow = launch_loop_guarded(
+            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), Some(&plan), None,
+        )
+        .unwrap();
+        assert!(slow.time_s > plain.time_s);
     }
 
     #[test]

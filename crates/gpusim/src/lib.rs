@@ -27,7 +27,7 @@ pub mod simt;
 pub mod stats;
 
 pub use config::DeviceConfig;
-pub use kernel::{launch_loop, KernelReport};
+pub use kernel::{launch_loop, launch_loop_guarded, KernelReport};
 pub use memory::{AccessCtx, DeviceMemory, LaneMemory, Transfer};
 pub use simt::{SimtError, SimtExec};
 pub use stats::WarpStats;

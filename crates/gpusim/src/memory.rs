@@ -2,6 +2,8 @@
 //! abstraction the SIMT interpreter executes against.
 
 use crate::config::DeviceConfig;
+use crate::simt::SimtError;
+use japonica_faults::{FaultOrigin, FaultPlan};
 use japonica_ir::{ArrayData, ArrayId, ExecError, Heap, Ty, Value};
 use std::collections::BTreeMap;
 
@@ -105,9 +107,12 @@ impl DeviceMemory {
         if !self.arrays.contains_key(&arr) {
             self.alloc(arr, src.ty(), src.len());
         }
-        let dst = self.arrays.get_mut(&arr).expect("just allocated");
+        let dst = self
+            .arrays
+            .get_mut(&arr)
+            .ok_or(ExecError::UnknownArray(arr))?;
         for i in lo..hi {
-            dst.set(i, src.get(i)).expect("same type");
+            dst.set(i, src.get(i))?;
         }
         let bytes = (hi.saturating_sub(lo)) * src.ty().size_bytes();
         let seconds = cfg.transfer_seconds(bytes);
@@ -147,6 +152,49 @@ impl DeviceMemory {
             seconds,
         });
         Ok(seconds)
+    }
+
+    /// [`DeviceMemory::copy_in`] with an optional fault-injection plan. The
+    /// plan is consulted *before* any element moves, so a fired fault leaves
+    /// both heaps untouched and the transfer can be retried or rerouted.
+    #[allow(clippy::too_many_arguments)] // copy_in plus the fault hooks
+    pub fn copy_in_guarded(
+        &mut self,
+        host: &Heap,
+        arr: ArrayId,
+        lo: usize,
+        hi: usize,
+        cfg: &DeviceConfig,
+        faults: Option<&FaultPlan>,
+        origin: FaultOrigin,
+    ) -> Result<f64, SimtError> {
+        if let Some(plan) = faults {
+            if let Some(f) = plan.on_transfer(true, origin) {
+                return Err(SimtError::Fault(f));
+            }
+        }
+        self.copy_in(host, arr, lo, hi, cfg).map_err(SimtError::Mem)
+    }
+
+    /// [`DeviceMemory::copy_out`] with an optional fault-injection plan,
+    /// checked before any element moves (same atomicity as `copy_in_guarded`).
+    #[allow(clippy::too_many_arguments)] // copy_out plus the fault hooks
+    pub fn copy_out_guarded(
+        &mut self,
+        host: &mut Heap,
+        arr: ArrayId,
+        lo: usize,
+        hi: usize,
+        cfg: &DeviceConfig,
+        faults: Option<&FaultPlan>,
+        origin: FaultOrigin,
+    ) -> Result<f64, SimtError> {
+        if let Some(plan) = faults {
+            if let Some(f) = plan.on_transfer(false, origin) {
+                return Err(SimtError::Fault(f));
+            }
+        }
+        self.copy_out(host, arr, lo, hi, cfg).map_err(SimtError::Mem)
     }
 
     /// Direct read of a device array (for tests and the TLS commit phase).

@@ -35,6 +35,11 @@ pub enum SimtError {
     Lane { iter: u64, error: ExecError },
     /// The kernel used a construct the SIMT engine does not support.
     Unsupported(String),
+    /// An injected (or watchdog-raised) device fault, carried with its
+    /// origin so the recovery machinery knows where execution stopped.
+    Fault(japonica_faults::DeviceFault),
+    /// A device memory operation (allocation/transfer bookkeeping) failed.
+    Mem(ExecError),
 }
 
 impl std::fmt::Display for SimtError {
@@ -42,11 +47,19 @@ impl std::fmt::Display for SimtError {
         match self {
             SimtError::Lane { iter, error } => write!(f, "lane at iteration {iter}: {error}"),
             SimtError::Unsupported(w) => write!(f, "unsupported in GPU kernel: {w}"),
+            SimtError::Fault(d) => write!(f, "device fault: {d}"),
+            SimtError::Mem(e) => write!(f, "device memory: {e}"),
         }
     }
 }
 
 impl std::error::Error for SimtError {}
+
+impl From<japonica_faults::DeviceFault> for SimtError {
+    fn from(f: japonica_faults::DeviceFault) -> SimtError {
+        SimtError::Fault(f)
+    }
+}
 
 /// Per-lane values produced by a vector expression evaluation. `None` for
 /// inactive lanes.
@@ -424,7 +437,11 @@ impl<'p> SimtExec<'p> {
         let mut trips = vec![0u64; lanes];
         for i in 0..lanes {
             if mask[i] {
-                let (s, e, st) = (starts[i].unwrap(), ends[i].unwrap(), steps[i].unwrap());
+                let (Some(s), Some(e), Some(st)) = (starts[i], ends[i], steps[i]) else {
+                    return Err(SimtError::Unsupported(
+                        "active lane has no evaluated inner-loop bound".into(),
+                    ));
+                };
                 if st <= 0 {
                     return Err(ctx.lane_err(i, ExecError::NonPositiveStep(st)));
                 }
@@ -448,10 +465,14 @@ impl<'p> SimtExec<'p> {
             }
             for i in 0..lanes {
                 if round[i] {
-                    envs[i].set(
-                        l.var,
-                        Value::Int((starts[i].unwrap() + k as i64 * steps[i].unwrap()) as i32),
-                    );
+                    // `round[i]` implies a nonzero trip count, which implies
+                    // the bounds evaluated to Some above.
+                    let (Some(s), Some(st)) = (starts[i], steps[i]) else {
+                        return Err(SimtError::Unsupported(
+                            "active lane lost its inner-loop bounds".into(),
+                        ));
+                    };
+                    envs[i].set(l.var, Value::Int((s + k as i64 * st) as i32));
                 }
             }
             self.exec_block(&l.body, envs, &round, frame, ctx)?;

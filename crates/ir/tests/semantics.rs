@@ -22,7 +22,7 @@ fn any_int() -> impl Strategy<Value = i32> {
 fn any_long() -> impl Strategy<Value = i64> {
     prop_oneof![
         any::<i64>(),
-        Just(0),
+        Just(0i64),
         Just(i64::MAX),
         Just(i64::MIN),
     ]

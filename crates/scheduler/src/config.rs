@@ -1,6 +1,7 @@
 //! Scheduler configuration.
 
 use japonica_cpuexec::CpuConfig;
+use japonica_faults::{FaultPlan, ResilienceConfig};
 use japonica_gpusim::DeviceConfig;
 use japonica_tls::TlsConfig;
 
@@ -36,6 +37,11 @@ pub struct SchedulerConfig {
     /// `false` is the paper's literal scheme, where the boundary statically
     /// fixes the CPU partition and only the GPU extends its run (§V-A).
     pub cpu_steals_back: bool,
+    /// Retry/backoff/watchdog policy applied when a fault plan is active.
+    pub resilience: ResilienceConfig,
+    /// Optional seeded fault-injection plan; `None` (default) leaves every
+    /// hot path untouched.
+    pub faults: Option<FaultPlan>,
 }
 
 impl SchedulerConfig {
@@ -61,6 +67,8 @@ impl Default for SchedulerConfig {
             td_density_threshold: 0.1,
             subloops_per_task: 4,
             cpu_steals_back: true,
+            resilience: ResilienceConfig::default(),
+            faults: None,
         }
     }
 }

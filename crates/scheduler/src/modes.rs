@@ -60,7 +60,19 @@ pub fn decide_mode(
     profile: Option<&LoopProfile>,
     td_density_threshold: f64,
 ) -> ExecutionMode {
-    match det {
+    try_decide_mode(det, profile, td_density_threshold)
+        .expect("uncertain loops must be profiled before scheduling")
+}
+
+/// [`decide_mode`] without the panic: returns `None` when the loop's
+/// determination is uncertain and no profile is available — the runtime
+/// turns that into a typed scheduler error instead of unwinding.
+pub fn try_decide_mode(
+    det: &Determination,
+    profile: Option<&LoopProfile>,
+    td_density_threshold: f64,
+) -> Option<ExecutionMode> {
+    Some(match det {
         Determination::Doall => ExecutionMode::A,
         Determination::Deterministic(s) => {
             if s.true_dep {
@@ -70,7 +82,7 @@ pub fn decide_mode(
             }
         }
         Determination::Uncertain { .. } => {
-            let p = profile.expect("uncertain loops must be profiled before scheduling");
+            let p = profile?;
             if p.has_td() {
                 if p.td_density > td_density_threshold {
                     ExecutionMode::C
@@ -83,7 +95,7 @@ pub fn decide_mode(
                 ExecutionMode::DPrime
             }
         }
-    }
+    })
 }
 
 #[cfg(test)]

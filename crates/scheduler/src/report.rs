@@ -1,6 +1,7 @@
 //! Execution reports and scheduler errors.
 
 use crate::modes::ExecutionMode;
+use japonica_faults::{DeviceFault, FaultStats};
 use japonica_gpusim::SimtError;
 use japonica_ir::{ExecError, LoopId, Scheme};
 use japonica_tls::{TlsError, TlsReport};
@@ -11,6 +12,12 @@ pub enum SchedError {
     Exec(ExecError),
     Simt(SimtError),
     Tls(TlsError),
+    /// A device fault that exhausted every retry/fallback rung, carried with
+    /// its structured origin (loop, sub-loop, warp, chunk).
+    Device(DeviceFault),
+    /// A scheduler invariant was violated — replaces what used to be a
+    /// panic on the hot path.
+    Internal(String),
 }
 
 impl std::fmt::Display for SchedError {
@@ -19,6 +26,8 @@ impl std::fmt::Display for SchedError {
             SchedError::Exec(e) => write!(f, "{e}"),
             SchedError::Simt(e) => write!(f, "{e}"),
             SchedError::Tls(e) => write!(f, "{e}"),
+            SchedError::Device(d) => write!(f, "unrecovered device fault: {d}"),
+            SchedError::Internal(m) => write!(f, "scheduler invariant violated: {m}"),
         }
     }
 }
@@ -33,13 +42,26 @@ impl From<ExecError> for SchedError {
 
 impl From<SimtError> for SchedError {
     fn from(e: SimtError) -> SchedError {
-        SchedError::Simt(e)
+        match e {
+            SimtError::Fault(f) => SchedError::Device(f),
+            SimtError::Mem(e) => SchedError::Exec(e),
+            other => SchedError::Simt(other),
+        }
     }
 }
 
 impl From<TlsError> for SchedError {
     fn from(e: TlsError) -> SchedError {
-        SchedError::Tls(e)
+        match e {
+            TlsError::Fault(f) => SchedError::Device(f),
+            other => SchedError::Tls(other),
+        }
+    }
+}
+
+impl From<DeviceFault> for SchedError {
+    fn from(f: DeviceFault) -> SchedError {
+        SchedError::Device(f)
     }
 }
 
@@ -67,6 +89,8 @@ pub struct LoopExecReport {
     pub transfer_s: f64,
     /// TLS engine report when mode B/D ran.
     pub tls: Option<TlsReport>,
+    /// Injected-fault bookkeeping: retries, fallbacks, degradation ladder.
+    pub faults: FaultStats,
     /// Wall-clock of the loop (max over the concurrent device timelines).
     pub wall_s: f64,
 }
@@ -87,6 +111,7 @@ impl LoopExecReport {
             bytes_out: 0,
             transfer_s: 0.0,
             tls: None,
+            faults: FaultStats::default(),
             wall_s: 0.0,
         }
     }

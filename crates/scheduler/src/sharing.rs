@@ -12,18 +12,19 @@
 //! overhead" observed on GEMM).
 
 use crate::config::SchedulerConfig;
-use crate::modes::{decide_mode, ExecutionMode};
+use crate::modes::{decide_mode, try_decide_mode, ExecutionMode};
 use crate::plan::DataPlan;
 use crate::report::{LoopExecReport, SchedError};
 use japonica_analysis::LoopAnalysis;
-use japonica_cpuexec::{run_parallel, run_sequential};
-use japonica_gpusim::{launch_loop, DeviceMemory};
+use japonica_cpuexec::{run_parallel, run_parallel_guarded, run_sequential, CpuExecError};
+use japonica_faults::{DegradationLevel, FaultOrigin, FaultStats, ResilienceConfig};
+use japonica_gpusim::{launch_loop, launch_loop_guarded, DeviceMemory, SimtError};
 use japonica_ir::{
     ArrayId, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, LoopBounds, Program, Scheme,
     Value,
 };
 use japonica_profiler::LoopProfile;
-use japonica_tls::{run_privatized, run_tls_loop, SpeculativeMemory};
+use japonica_tls::{run_privatized, run_tls_loop, run_tls_loop_guarded, SpeculativeMemory};
 
 /// Everything the scheduler needs to know about one annotated loop.
 #[derive(Debug, Clone, Copy)]
@@ -35,12 +36,30 @@ pub struct LoopTask<'a> {
 
 impl<'a> LoopTask<'a> {
     /// The execution mode per the Fig. 2(b) workflow.
+    ///
+    /// Panics when an uncertain loop has no profile; runtime code paths use
+    /// [`LoopTask::try_mode`] instead.
     pub fn mode(&self, cfg: &SchedulerConfig) -> ExecutionMode {
         decide_mode(
             &self.analysis.determination,
             self.profile,
             cfg.td_density_threshold,
         )
+    }
+
+    /// Panic-free mode selection for the scheduling hot path.
+    pub fn try_mode(&self, cfg: &SchedulerConfig) -> Result<ExecutionMode, SchedError> {
+        try_decide_mode(
+            &self.analysis.determination,
+            self.profile,
+            cfg.td_density_threshold,
+        )
+        .ok_or_else(|| {
+            SchedError::Internal(format!(
+                "loop {} has an uncertain determination but no profile",
+                self.loop_.id
+            ))
+        })
     }
 }
 
@@ -81,6 +100,63 @@ pub fn stage_device(
     Ok(())
 }
 
+/// Run one guarded transfer, retrying transient injected faults with a
+/// linear backoff charged to `stats`. Persistent (or retry-exhausted)
+/// faults surface as [`SchedError::Device`] for the caller's fallback rung.
+pub(crate) fn transfer_with_retry<T>(
+    res: &ResilienceConfig,
+    stats: &mut FaultStats,
+    mut attempt_fn: impl FnMut() -> Result<T, SimtError>,
+) -> Result<T, SchedError> {
+    let mut attempt = 0u32;
+    loop {
+        match attempt_fn() {
+            Ok(v) => return Ok(v),
+            Err(SimtError::Fault(f)) => {
+                stats.observe(&f);
+                if f.transient && attempt < res.max_retries {
+                    attempt += 1;
+                    stats.retries += 1;
+                    stats.backoff_s += res.retry_backoff_us * 1e-6 * attempt as f64;
+                    continue;
+                }
+                return Err(SchedError::Device(f));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// [`stage_device`] under an active fault plan: H2D staging transfers go
+/// through the guarded copy path with transient-fault retry. Nothing is
+/// special-cased when `cfg.faults` is `None` — the guarded copy degenerates
+/// to the plain one.
+pub(crate) fn stage_device_guarded(
+    plan: &DataPlan,
+    heap: &Heap,
+    dev: &mut DeviceMemory,
+    cfg: &SchedulerConfig,
+    origin: FaultOrigin,
+    stats: &mut FaultStats,
+) -> Result<(), SchedError> {
+    let faults = cfg.faults.as_ref();
+    for e in plan.device_arrays() {
+        let len = heap.len_of(e.array)?;
+        let create_only = plan.create.iter().any(|c| c.array == e.array)
+            && !plan.copyin.iter().any(|c| c.array == e.array)
+            && !plan.copyout.iter().any(|c| c.array == e.array);
+        if create_only {
+            let ty = heap.array(e.array)?.ty();
+            dev.alloc(e.array, ty, len);
+        } else {
+            transfer_with_retry(&cfg.resilience, stats, || {
+                dev.copy_in_guarded(heap, e.array, 0, len, &cfg.gpu, faults, origin)
+            })?;
+        }
+    }
+    Ok(())
+}
+
 fn apply_writes_to_host(
     heap: &mut Heap,
     writes: &[((ArrayId, i64), Value)],
@@ -103,7 +179,7 @@ pub fn run_sharing(
     env: &mut Env,
     heap: &mut Heap,
 ) -> Result<LoopExecReport, SchedError> {
-    let mode = task.mode(cfg);
+    let mode = task.try_mode(cfg)?;
     let bounds = eval_bounds(program, task.loop_, env, heap)?;
     let trip = bounds.trip();
     let plan = DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;
@@ -162,9 +238,31 @@ fn greedy_share(
         .clamp(16.min(trip.max(1)), cfg.chunk_iters.max(16));
     let nchunks = trip.div_ceil(chunk);
     let boundary_iter = (trip as f64 * cfg.boundary_fraction()) as u64;
+    let faults = cfg.faults.as_ref();
+    let res = &cfg.resilience;
+    let watchdog = if faults.is_some() { res.watchdog() } else { None };
+    let loop_origin = FaultOrigin::for_loop(task.loop_.id);
 
     let mut dev = DeviceMemory::new();
-    stage_device(plan, heap, &mut dev, cfg)?;
+    if let Err(e) = stage_device_guarded(plan, heap, &mut dev, cfg, loop_origin, &mut report.faults)
+    {
+        match e {
+            SchedError::Device(_) => {
+                // The device is unreachable before any compute was queued:
+                // bottom rung of the ladder, the whole loop runs
+                // sequentially on the host.
+                report.faults.fallbacks += 1;
+                report.faults.escalate(DegradationLevel::Sequential);
+                let r = run_sequential(program, &cfg.cpu, task.loop_, bounds, 0..trip, env, heap)?;
+                report.cpu_iters = trip;
+                report.cpu_busy_s = r.time_s + report.faults.backoff_s;
+                report.wall_s = report.cpu_busy_s;
+                return Ok(report);
+            }
+            other => return Err(other),
+        }
+    }
+    let stage_backoff = report.faults.backoff_s;
     let bytes_in_total = plan.bytes_in(heap);
     let in_bytes_per_iter = bytes_in_total as f64 / trip as f64;
 
@@ -192,6 +290,10 @@ fn greedy_share(
     // Under the paper's literal scheme the CPU never crosses the boundary
     // into the GPU's preferred partition.
     let mut cpu_blocked = false;
+    // Degradation ladder state: a device that exhausts its fault tolerance
+    // is retired for the rest of the run.
+    let mut gpu_alive = true;
+    let mut cpu_pool_alive = true;
     while front < back {
         if !cfg.cpu_steals_back && !cpu_blocked {
             let next_cpu_lo = (back - 1) * chunk;
@@ -201,7 +303,7 @@ fn greedy_share(
         }
         // The GPU pulls when an SM can start no later than the CPU frees up.
         let gpu_next = sm_free.iter().copied().fold(f64::INFINITY, f64::min);
-        if gpu_next <= cpu_clock || cpu_blocked {
+        if gpu_alive && (gpu_next <= cpu_clock || cpu_blocked) {
             // GPU pulls the lowest remaining chunk.
             let idx = front;
             let lo = front * chunk;
@@ -227,34 +329,102 @@ fn greedy_share(
                 // Stolen from the CPU side: synchronous transfer.
                 gpu_next + cfg.gpu.transfer_seconds(tbytes)
             };
-            let mut spec = SpeculativeMemory::new(&mut dev, se_overhead);
-            let kr = launch_loop(program, &cfg.gpu, task.loop_, bounds, lo..hi, env, &mut spec)?;
-            let writes = spec.commit_all_collect()?;
-            let commit_s = if privatized {
-                cfg.gpu
-                    .cycles_to_seconds(writes.len() as f64 * cfg.tls.commit_cycles_per_write)
-            } else {
-                0.0
-            };
-            ordered_writes.push((idx, true, writes));
-            // Spread this chunk's warps over the least-loaded SMs (streamed
-            // launches pipeline: ~2us issue per chunk instead of the full
-            // JNI launch cost). Each warp occupies its SM for its share of
-            // the chunk's occupied cycles.
-            let warps = kr.warps.max(1) as usize;
-            let occupied = kr.stats.issue_cycles
-                + kr.stats.mem_cycles / cfg.gpu.mem_concurrency.max(1.0);
-            let per_warp_s = cfg.gpu.cycles_to_seconds(occupied / warps as f64)
-                + commit_s / warps as f64
-                + 2e-6;
-            let mut order: Vec<usize> = (0..sm_free.len()).collect();
-            order.sort_by(|&a, &b| sm_free[a].total_cmp(&sm_free[b]));
-            for w in 0..warps {
-                let sm = order[w % order.len()];
-                sm_free[sm] = sm_free[sm].max(arrival) + per_warp_s;
+            // Launch with bounded retry; an unabsorbed fault resubmits the
+            // chunk on the CPU timeline. The speculative buffer dies with
+            // the kernel, so nothing partial ever reaches device memory.
+            let mut attempt = 0u32;
+            let mut chunk_backoff = 0.0f64;
+            let mut gpu_result = None;
+            loop {
+                let mut spec = SpeculativeMemory::new(&mut dev, se_overhead);
+                match launch_loop_guarded(
+                    program, &cfg.gpu, task.loop_, bounds, lo..hi, env, &mut spec, faults,
+                    watchdog,
+                ) {
+                    Ok(kr) => {
+                        let writes = spec.commit_all_collect()?;
+                        gpu_result = Some((kr, writes));
+                        break;
+                    }
+                    Err(SimtError::Fault(f)) => {
+                        drop(spec);
+                        report.faults.observe(&f);
+                        if f.transient && attempt < res.max_retries {
+                            attempt += 1;
+                            report.faults.retries += 1;
+                            let b = res.retry_backoff_us * 1e-6 * attempt as f64;
+                            report.faults.backoff_s += b;
+                            chunk_backoff += b;
+                            continue;
+                        }
+                        report.faults.fallbacks += 1;
+                        report.faults.escalate(DegradationLevel::GpuDegraded);
+                        let device_faults = report.faults.gpu_faults
+                            + report.faults.transfer_faults
+                            + report.faults.deadline_overruns;
+                        if device_faults >= res.device_fault_tolerance {
+                            gpu_alive = false;
+                            report.faults.escalate(DegradationLevel::CpuOnly);
+                        }
+                        break;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
-            gpu_clock = sm_free.iter().copied().fold(0.0, f64::max);
-            report.gpu_iters += hi - lo;
+            match gpu_result {
+                Some((kr, writes)) => {
+                    let commit_s = if privatized {
+                        cfg.gpu.cycles_to_seconds(
+                            writes.len() as f64 * cfg.tls.commit_cycles_per_write,
+                        )
+                    } else {
+                        0.0
+                    };
+                    ordered_writes.push((idx, true, writes));
+                    // Spread this chunk's warps over the least-loaded SMs
+                    // (streamed launches pipeline: ~2us issue per chunk
+                    // instead of the full JNI launch cost). Each warp
+                    // occupies its SM for its share of the chunk's occupied
+                    // cycles.
+                    let warps = kr.warps.max(1) as usize;
+                    let occupied = kr.stats.issue_cycles
+                        + kr.stats.mem_cycles / cfg.gpu.mem_concurrency.max(1.0);
+                    let per_warp_s = cfg.gpu.cycles_to_seconds(occupied / warps as f64)
+                        + commit_s / warps as f64
+                        + 2e-6;
+                    let mut order: Vec<usize> = (0..sm_free.len()).collect();
+                    order.sort_by(|&a, &b| sm_free[a].total_cmp(&sm_free[b]));
+                    for w in 0..warps {
+                        let sm = order[w % order.len()];
+                        sm_free[sm] = sm_free[sm].max(arrival) + per_warp_s + chunk_backoff;
+                    }
+                    gpu_clock = sm_free.iter().copied().fold(0.0, f64::max);
+                    report.gpu_iters += hi - lo;
+                }
+                None => {
+                    // Chunk resubmission: the failed GPU chunk re-runs on
+                    // the host. This rung is deliberately unguarded — the
+                    // ladder must terminate.
+                    let batch_s = if cpu_seq {
+                        let mut be = japonica_cpuexec::BufferedBackend::new(heap);
+                        let mut cenv = env.clone();
+                        Interp::new(program)
+                            .exec_range(task.loop_, bounds, lo, hi, &mut cenv, &mut be)?;
+                        let t = cfg.cpu.cycles_to_seconds(cfg.cpu.cost.total(&be.counts));
+                        let writes: Vec<_> = be.into_writes().into_iter().collect();
+                        ordered_writes.push((idx, false, writes));
+                        t
+                    } else {
+                        run_parallel(
+                            program, &cfg.cpu, task.loop_, bounds, lo..hi, env, heap,
+                            cpu_threads,
+                        )?
+                        .time_s
+                    };
+                    cpu_clock += batch_s + chunk_backoff;
+                    report.cpu_iters += hi - lo;
+                }
+            }
         } else {
             // CPU pulls from the high end, taking enough chunks per batch
             // that the thread-dispatch overhead stays amortized (the
@@ -266,7 +436,7 @@ fn greedy_share(
                 }
                 _ => 1,
             };
-            if !cfg.cpu_steals_back {
+            if !cfg.cpu_steals_back && gpu_alive {
                 // The whole batch must stay above the boundary.
                 let first_cpu_chunk = boundary_iter.div_ceil(chunk);
                 take = take.min(back.saturating_sub(first_cpu_chunk)).max(1);
@@ -289,17 +459,66 @@ fn greedy_share(
                 ordered_writes.push((idx, false, writes));
                 t
             } else {
-                let r = run_parallel(
-                    program,
-                    &cfg.cpu,
-                    task.loop_,
-                    bounds,
-                    lo..hi,
-                    env,
-                    heap,
-                    cpu_threads,
-                )?;
-                r.time_s
+                // Worker-pool dispatch with bounded retry; a pool that
+                // exhausts its fault tolerance is retired and batches drop
+                // to sequential execution (the guaranteed rung).
+                let mut attempt = 0u32;
+                loop {
+                    if !cpu_pool_alive {
+                        let r = run_sequential(
+                            program,
+                            &cfg.cpu,
+                            task.loop_,
+                            bounds,
+                            lo..hi,
+                            &mut env.clone(),
+                            heap,
+                        )?;
+                        break r.time_s;
+                    }
+                    match run_parallel_guarded(
+                        program,
+                        &cfg.cpu,
+                        task.loop_,
+                        bounds,
+                        lo..hi,
+                        env,
+                        heap,
+                        cpu_threads,
+                        faults,
+                        loop_origin.with_chunk(idx),
+                    ) {
+                        Ok(r) => break r.time_s,
+                        Err(CpuExecError::Fault(f)) => {
+                            report.faults.observe(&f);
+                            if f.transient && attempt < res.max_retries {
+                                attempt += 1;
+                                report.faults.retries += 1;
+                                let b = res.retry_backoff_us * 1e-6 * attempt as f64;
+                                report.faults.backoff_s += b;
+                                cpu_clock += b;
+                                continue;
+                            }
+                            report.faults.fallbacks += 1;
+                            if report.faults.cpu_faults >= res.device_fault_tolerance {
+                                cpu_pool_alive = false;
+                                report.faults.escalate(DegradationLevel::Sequential);
+                            }
+                            // One sequential shot for this batch either way.
+                            let r = run_sequential(
+                                program,
+                                &cfg.cpu,
+                                task.loop_,
+                                bounds,
+                                lo..hi,
+                                &mut env.clone(),
+                                heap,
+                            )?;
+                            break r.time_s;
+                        }
+                        Err(CpuExecError::Exec(e)) => return Err(e.into()),
+                    }
+                }
             };
             cpu_clock += batch_s;
             cpu_per_chunk_est = Some(batch_s / take as f64);
@@ -331,7 +550,7 @@ fn greedy_share(
     report.bytes_out = bytes_out;
     report.transfer_s = cfg.gpu.transfer_seconds(report.bytes_in)
         + cfg.gpu.transfer_seconds(bytes_out);
-    report.wall_s = gpu_clock.max(cpu_clock);
+    report.wall_s = gpu_clock.max(cpu_clock) + stage_backoff;
     Ok(report)
 }
 
@@ -349,10 +568,48 @@ fn run_mode_b(
     mut report: LoopExecReport,
 ) -> Result<LoopExecReport, SchedError> {
     let trip = bounds.trip();
+    let faults = cfg.faults.as_ref();
+    let res = &cfg.resilience;
+    let loop_origin = FaultOrigin::for_loop(task.loop_.id);
+    // The sequential rung for mode B restores the heap to its pre-loop
+    // state and replays everything on the host.
+    let sequential_rung = |report: &mut LoopExecReport,
+                           heap: &mut Heap,
+                           pristine: Heap|
+     -> Result<(), SchedError> {
+        report.faults.fallbacks += 1;
+        report.faults.escalate(DegradationLevel::Sequential);
+        *heap = pristine;
+        let r = run_sequential(
+            program,
+            &cfg.cpu,
+            task.loop_,
+            bounds,
+            0..trip,
+            &mut env.clone(),
+            heap,
+        )?;
+        report.gpu_iters = 0;
+        report.cpu_iters = trip;
+        report.cpu_busy_s = r.time_s + report.faults.backoff_s;
+        report.wall_s = report.cpu_busy_s;
+        Ok(())
+    };
+    // Snapshot only under an active plan; the happy path pays nothing.
+    let pristine = faults.map(|_| heap.clone());
     let mut dev = DeviceMemory::new();
-    stage_device(plan, heap, &mut dev, cfg)?;
+    if let Err(e) = stage_device_guarded(plan, heap, &mut dev, cfg, loop_origin, &mut report.faults)
+    {
+        return match (e, pristine) {
+            (SchedError::Device(_), Some(p)) => {
+                sequential_rung(&mut report, heap, p)?;
+                Ok(report)
+            }
+            (other, _) => Err(other),
+        };
+    }
     let h2d = cfg.gpu.transfer_seconds(plan.bytes_in(heap));
-    let tls = run_tls_loop(
+    let tls = run_tls_loop_guarded(
         program,
         &cfg.gpu,
         &cfg.cpu,
@@ -363,12 +620,33 @@ fn run_mode_b(
         env,
         &mut dev,
         task.profile.map(|p| &p.td_iters),
+        faults,
+        res,
     )?;
+    report.faults.gpu_faults += tls.device_faults;
+    report.faults.retries += tls.fault_retries;
+    if tls.device_faults > 0 {
+        report.faults.escalate(DegradationLevel::GpuDegraded);
+    }
     // The full loop ran against the device: copy the output plan back.
+    // Transfer faults are retried; an unabsorbed one discards the partial
+    // copy-back and drops to the sequential rung from the pristine heap.
     let mut bytes_out = 0;
     for e in &plan.copyout {
-        dev.copy_out(heap, e.array, e.lo, e.hi, &cfg.gpu)?;
-        bytes_out += e.bytes(heap);
+        let copied = transfer_with_retry(res, &mut report.faults, || {
+            dev.copy_out_guarded(heap, e.array, e.lo, e.hi, &cfg.gpu, faults, loop_origin)
+        });
+        match copied {
+            Ok(_) => bytes_out += e.bytes(heap),
+            Err(SchedError::Device(f)) => {
+                let Some(p) = pristine else {
+                    return Err(SchedError::Device(f));
+                };
+                sequential_rung(&mut report, heap, p)?;
+                return Ok(report);
+            }
+            Err(other) => return Err(other),
+        }
     }
     let d2h = cfg.gpu.transfer_seconds(bytes_out);
     report.gpu_iters = trip - tls.recovered_iters;
@@ -397,7 +675,7 @@ pub fn run_cpu_only(
     heap: &mut Heap,
     threads: u32,
 ) -> Result<LoopExecReport, SchedError> {
-    let mode = task.mode(cfg);
+    let mode = task.try_mode(cfg)?;
     let bounds = eval_bounds(program, task.loop_, env, heap)?;
     let trip = bounds.trip();
     let mut report = LoopExecReport::new(task.loop_.id, mode, Scheme::Sharing);
@@ -428,7 +706,7 @@ pub fn run_cpu_serial(
 ) -> Result<LoopExecReport, SchedError> {
     let bounds = eval_bounds(program, task.loop_, env, heap)?;
     let trip = bounds.trip();
-    let mut report = LoopExecReport::new(task.loop_.id, task.mode(cfg), Scheme::Sharing);
+    let mut report = LoopExecReport::new(task.loop_.id, task.try_mode(cfg)?, Scheme::Sharing);
     report.iterations = trip;
     report.cpu_iters = trip;
     let r = run_sequential(program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap)?;
@@ -447,7 +725,7 @@ pub fn run_gpu_only(
     env: &Env,
     heap: &mut Heap,
 ) -> Result<LoopExecReport, SchedError> {
-    let mode = task.mode(cfg);
+    let mode = task.try_mode(cfg)?;
     let bounds = eval_bounds(program, task.loop_, env, heap)?;
     let trip = bounds.trip();
     let plan = DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;
@@ -523,7 +801,7 @@ pub fn run_fixed_split(
     heap: &mut Heap,
     gpu_fraction: f64,
 ) -> Result<LoopExecReport, SchedError> {
-    let mode = task.mode(cfg);
+    let mode = task.try_mode(cfg)?;
     let bounds = eval_bounds(program, task.loop_, env, heap)?;
     let trip = bounds.trip();
     let plan = DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;

@@ -19,10 +19,11 @@ use crate::config::SchedulerConfig;
 use crate::modes::ExecutionMode;
 use crate::plan::DataPlan;
 use crate::report::{LoopExecReport, SchedError};
-use crate::sharing::{eval_bounds, stage_device, LoopTask};
+use crate::sharing::{eval_bounds, stage_device_guarded, transfer_with_retry, LoopTask};
 use japonica_analysis::Pdg;
-use japonica_cpuexec::{run_parallel, run_sequential};
-use japonica_gpusim::{launch_loop, DeviceMemory};
+use japonica_cpuexec::{run_parallel_guarded, run_sequential, CpuExecError};
+use japonica_faults::{DegradationLevel, FaultOrigin, FaultStats};
+use japonica_gpusim::{launch_loop_guarded, DeviceMemory, SimtError};
 use japonica_ir::{Env, Heap, LoopBounds, LoopId, Program, Scheme};
 use japonica_tls::SpeculativeMemory;
 use std::collections::VecDeque;
@@ -64,6 +65,8 @@ pub struct StealingReport {
     pub stolen_by_cpu: u32,
     pub gpu_iters: u64,
     pub cpu_iters: u64,
+    /// Injected-fault bookkeeping: retries, fallbacks, degradation ladder.
+    pub faults: FaultStats,
     /// End-to-end simulated wall time.
     pub wall_s: f64,
 }
@@ -136,6 +139,10 @@ pub fn run_stealing(
     let mut report = StealingReport::default();
     let mut gpu_clock = 0.0f64;
     let mut cpu_clock = 0.0f64;
+    // Degradation ladder state: once the device exhausts its fault
+    // tolerance it is retired for the remainder of the run (all batches).
+    let mut gpu_alive = true;
+    let res = &cfg.resilience;
 
     for batch in pdg.batches() {
         // --- build this batch's sub-tasks ---
@@ -146,7 +153,7 @@ pub fn run_stealing(
                 Some(t) => t,
                 None => continue, // loop not in this pool
             };
-            let mode = task.mode(cfg);
+            let mode = task.try_mode(cfg)?;
             let bounds = eval_bounds(program, task.loop_, env, heap)?;
             let plan =
                 DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;
@@ -225,15 +232,23 @@ pub fn run_stealing(
         let mut gpu_opened = false;
         let mut gpu_xfer_clock = batch_start;
         let mut gpu_return_clock = batch_start;
+        // A retired GPU hands its queue to the CPU wholesale.
+        if !gpu_alive {
+            while let Some(mut t) = gpu_q.pop_front() {
+                t.queued_on = Device::Cpu;
+                cpu_q.push_back(t);
+            }
+        }
         while !gpu_q.is_empty() || !cpu_q.is_empty() {
             // The device whose clock is behind acts next; it pops its own
             // queue first and steals the other queue's latest non-obligatory
             // task when idle. A device that can get no work yields the turn.
-            let mut gpu_turn = gpu_clock <= cpu_clock;
+            let mut gpu_turn = gpu_alive && gpu_clock <= cpu_clock;
             if gpu_turn && gpu_q.is_empty() && !cpu_q.iter().any(|t| !t.obligatory) {
                 gpu_turn = false;
             }
-            if !gpu_turn && cpu_q.is_empty() && !gpu_q.iter().any(|t| !t.obligatory) {
+            if gpu_alive && !gpu_turn && cpu_q.is_empty() && !gpu_q.iter().any(|t| !t.obligatory)
+            {
                 gpu_turn = true;
             }
             let (me, own_q, other_q) = if gpu_turn {
@@ -241,18 +256,21 @@ pub fn run_stealing(
             } else {
                 (Device::Cpu, &mut cpu_q, &mut gpu_q)
             };
-            let (t, stolen) = match own_q.pop_front() {
+            let (t, mut stolen) = match own_q.pop_front() {
                 Some(t) => {
                     let stolen = t.queued_on != me;
                     (t, stolen)
                 }
                 None => {
-                    let t = steal_back(other_q)
-                        .expect("turn selection guarantees a stealable task");
+                    let t = steal_back(other_q).ok_or_else(|| {
+                        SchedError::Internal(
+                            "turn selection promised a stealable task but found none".into(),
+                        )
+                    })?;
                     (t, true)
                 }
             };
-            let (start, end) = match me {
+            let (device_used, start, end) = match me {
                 Device::Gpu => {
                     if !gpu_opened {
                         gpu_opened = true;
@@ -261,31 +279,60 @@ pub fn run_stealing(
                         gpu_xfer_clock = gpu_clock;
                         gpu_return_clock = gpu_return_clock.max(gpu_clock);
                     }
-                    let (h2d, kernel, d2h) = exec_gpu(program, cfg, &t, env, heap)?;
-                    gpu_xfer_clock += h2d; // streamed ahead of the kernel
-                    let start = gpu_clock.max(gpu_xfer_clock);
-                    let end = start + kernel;
-                    gpu_clock = end;
-                    gpu_return_clock = gpu_return_clock.max(end) + d2h;
-                    (start, end)
+                    match exec_gpu(program, cfg, &t, env, heap, &mut report.faults) {
+                        Ok((h2d, kernel, d2h)) => {
+                            gpu_xfer_clock += h2d; // streamed ahead of the kernel
+                            let start = gpu_clock.max(gpu_xfer_clock);
+                            let end = start + kernel;
+                            gpu_clock = end;
+                            gpu_return_clock = gpu_return_clock.max(end) + d2h;
+                            (Device::Gpu, start, end)
+                        }
+                        Err(SchedError::Device(_)) => {
+                            // The fault already went through its retry
+                            // budget inside exec_gpu and the heap is
+                            // untouched: resubmit the task on the CPU
+                            // timeline.
+                            report.faults.fallbacks += 1;
+                            report.faults.escalate(DegradationLevel::GpuDegraded);
+                            let device_faults = report.faults.gpu_faults
+                                + report.faults.transfer_faults
+                                + report.faults.deadline_overruns;
+                            if device_faults >= res.device_fault_tolerance {
+                                gpu_alive = false;
+                                report.faults.escalate(DegradationLevel::CpuOnly);
+                                while let Some(mut q) = gpu_q.pop_front() {
+                                    q.queued_on = Device::Cpu;
+                                    cpu_q.push_back(q);
+                                }
+                            }
+                            let dur =
+                                exec_cpu(program, cfg, &t, env, heap, res, &mut report.faults)?;
+                            let start = cpu_clock;
+                            cpu_clock += dur;
+                            stolen = true;
+                            (Device::Cpu, start, cpu_clock)
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
                 Device::Cpu => {
-                    let dur = exec_cpu(program, cfg, &t, env, heap)?;
+                    let dur = exec_cpu(program, cfg, &t, env, heap, res, &mut report.faults)?;
                     let start = cpu_clock;
                     cpu_clock += dur;
-                    (start, cpu_clock)
+                    (Device::Cpu, start, cpu_clock)
                 }
             };
             report.tasks.push(TaskRecord {
                 loop_id: t.task.loop_.id,
                 subloop: t.sub,
                 range: (t.lo, t.hi),
-                device: me,
+                device: device_used,
                 stolen,
                 start_s: start,
                 end_s: end,
             });
-            match me {
+            match device_used {
                 Device::Gpu => {
                     report.gpu_busy_s += end - start;
                     report.gpu_iters += t.hi - t.lo;
@@ -322,9 +369,16 @@ fn exec_gpu(
     t: &SubTask,
     env: &Env,
     heap: &mut Heap,
+    stats: &mut FaultStats,
 ) -> Result<(f64, f64, f64), SchedError> {
+    let faults = cfg.faults.as_ref();
+    let res = &cfg.resilience;
+    let watchdog = if faults.is_some() { res.watchdog() } else { None };
+    let origin = FaultOrigin::for_loop(t.task.loop_.id)
+        .with_subloop(t.lo)
+        .with_chunk(t.sub.0 as u64);
     let mut dev = DeviceMemory::new();
-    stage_device(&t.plan, heap, &mut dev, cfg)?;
+    stage_device_guarded(&t.plan, heap, &mut dev, cfg, origin, stats)?;
     let trip = t.bounds.trip().max(1);
     let share = (t.hi - t.lo) as f64 / trip as f64;
     // Transfers ride the batch's open stream (the caller charges the
@@ -335,7 +389,7 @@ fn exec_gpu(
     if matches!(t.mode, ExecutionMode::B | ExecutionMode::C) {
         // Defensive: a true-dependence task can only run on the GPU under
         // speculation (never reached for obligatory-CPU tasks).
-        let r = japonica_tls::run_tls_loop(
+        let r = japonica_tls::run_tls_loop_guarded(
             program,
             &cfg.gpu,
             &cfg.cpu,
@@ -346,10 +400,16 @@ fn exec_gpu(
             env,
             &mut dev,
             t.task.profile.map(|p| &p.td_iters),
+            faults,
+            res,
         )?;
+        stats.gpu_faults += r.device_faults;
+        stats.retries += r.fault_retries;
         let mut bytes_out = 0usize;
         for e in &t.plan.copyout {
-            dev.copy_out(heap, e.array, e.lo, e.hi, &cfg.gpu)?;
+            transfer_with_retry(res, stats, || {
+                dev.copy_out_guarded(heap, e.array, e.lo, e.hi, &cfg.gpu, faults, origin)
+            })?;
             bytes_out += e.bytes(heap);
         }
         return Ok((h2d, r.time_s, cfg.gpu.stream_seconds(bytes_out)));
@@ -358,17 +418,56 @@ fn exec_gpu(
         ExecutionMode::D => cfg.tls.se_overhead_cycles / 2.0,
         _ => 0.0,
     };
-    let mut spec = SpeculativeMemory::new(&mut dev, overhead);
-    let kr = launch_loop(
-        program,
-        &cfg.gpu,
-        t.task.loop_,
-        &t.bounds,
-        t.lo..t.hi,
-        env,
-        &mut spec,
-    )?;
-    let writes = spec.commit_all_collect()?;
+    // Launch with bounded retry; the speculative buffer dies with a faulted
+    // kernel, so the host heap stays untouched until the launch succeeds
+    // AND the write-back below is cleared to proceed — a prerequisite for
+    // safe CPU resubmission by the caller.
+    let mut attempt = 0u32;
+    let mut backoff = 0.0f64;
+    let (kr, writes) = loop {
+        let mut spec = SpeculativeMemory::new(&mut dev, overhead);
+        match launch_loop_guarded(
+            program,
+            &cfg.gpu,
+            t.task.loop_,
+            &t.bounds,
+            t.lo..t.hi,
+            env,
+            &mut spec,
+            faults,
+            watchdog,
+        ) {
+            Ok(kr) => {
+                let writes = spec.commit_all_collect()?;
+                break (kr, writes);
+            }
+            Err(SimtError::Fault(f)) => {
+                drop(spec);
+                stats.observe(&f);
+                if f.transient && attempt < res.max_retries {
+                    attempt += 1;
+                    stats.retries += 1;
+                    let b = res.retry_backoff_us * 1e-6 * attempt as f64;
+                    stats.backoff_s += b;
+                    backoff += b;
+                    continue;
+                }
+                return Err(SchedError::Device(f));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    // D2H gate: check (and retry) the return transfer before the first
+    // element lands on the host, so a faulted write-back leaves the heap
+    // untouched.
+    transfer_with_retry(res, stats, || {
+        if let Some(plan) = faults {
+            if let Some(f) = plan.on_transfer(false, origin) {
+                return Err(SimtError::Fault(f));
+            }
+        }
+        Ok(())
+    })?;
     let mut bytes_out = 0usize;
     for ((arr, idx), v) in &writes {
         heap.store(*arr, *idx, *v)?;
@@ -376,38 +475,86 @@ fn exec_gpu(
     }
     let d2h = cfg.gpu.stream_seconds(bytes_out);
     // Launches pipeline on the open stream.
-    let kernel_s = (kr.time_s - cfg.gpu.kernel_launch_us * 1e-6).max(0.0) + 5e-6;
+    let kernel_s = (kr.time_s - cfg.gpu.kernel_launch_us * 1e-6).max(0.0) + 5e-6 + backoff;
     Ok((h2d, kernel_s, d2h))
 }
 
 /// Execute one sub-task on the CPU: multithreaded for dependence-free
-/// tasks, sequential otherwise.
+/// tasks, sequential otherwise. Injected worker-chunk faults are retried
+/// and then absorbed by dropping the batch to sequential execution — the
+/// CPU rung always completes.
 fn exec_cpu(
     program: &Program,
     cfg: &SchedulerConfig,
     t: &SubTask,
     env: &Env,
     heap: &mut Heap,
+    res: &japonica_faults::ResilienceConfig,
+    stats: &mut FaultStats,
 ) -> Result<f64, SchedError> {
+    let faults = cfg.faults.as_ref();
+    let origin = FaultOrigin::for_loop(t.task.loop_.id)
+        .with_subloop(t.lo)
+        .with_chunk(t.sub.0 as u64);
     let r = match t.mode {
-        ExecutionMode::B | ExecutionMode::C | ExecutionMode::D => {
-            run_sequential(program, &cfg.cpu, t.task.loop_, &t.bounds, t.lo..t.hi, &mut env.clone(), heap)?
-        }
-        _ => run_parallel(
+        ExecutionMode::B | ExecutionMode::C | ExecutionMode::D => run_sequential(
             program,
             &cfg.cpu,
             t.task.loop_,
             &t.bounds,
             t.lo..t.hi,
-            env,
+            &mut env.clone(),
             heap,
-            t.task
+        )?,
+        _ => {
+            let threads = t
+                .task
                 .loop_
                 .annot
                 .as_ref()
                 .and_then(|a| a.threads)
-                .unwrap_or(cfg.cpu_threads),
-        )?,
+                .unwrap_or(cfg.cpu_threads);
+            let mut attempt = 0u32;
+            loop {
+                match run_parallel_guarded(
+                    program,
+                    &cfg.cpu,
+                    t.task.loop_,
+                    &t.bounds,
+                    t.lo..t.hi,
+                    env,
+                    heap,
+                    threads,
+                    faults,
+                    origin,
+                ) {
+                    Ok(r) => break r,
+                    Err(CpuExecError::Fault(f)) => {
+                        stats.observe(&f);
+                        if f.transient && attempt < res.max_retries {
+                            attempt += 1;
+                            stats.retries += 1;
+                            stats.backoff_s += res.retry_backoff_us * 1e-6 * attempt as f64;
+                            continue;
+                        }
+                        stats.fallbacks += 1;
+                        if stats.cpu_faults >= res.device_fault_tolerance {
+                            stats.escalate(DegradationLevel::Sequential);
+                        }
+                        break run_sequential(
+                            program,
+                            &cfg.cpu,
+                            t.task.loop_,
+                            &t.bounds,
+                            t.lo..t.hi,
+                            &mut env.clone(),
+                            heap,
+                        )?;
+                    }
+                    Err(CpuExecError::Exec(e)) => return Err(e.into()),
+                }
+            }
+        }
     };
     Ok(r.time_s)
 }

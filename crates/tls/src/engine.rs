@@ -4,7 +4,10 @@
 use crate::config::TlsConfig;
 use crate::spec_mem::SpeculativeMemory;
 use japonica_cpuexec::CpuConfig;
-use japonica_gpusim::{launch_loop, AccessCtx, DeviceConfig, DeviceMemory, LaneMemory, SimtError};
+use japonica_faults::{DeviceFault, FaultPlan, ResilienceConfig};
+use japonica_gpusim::{
+    launch_loop, launch_loop_guarded, AccessCtx, DeviceConfig, DeviceMemory, LaneMemory, SimtError,
+};
 use japonica_ir::{
     ArrayData, ArrayId, Backend, Env, ExecError, ForLoop, Interp, LoopBounds,
     OpClass, Program, Ty, Value,
@@ -19,6 +22,8 @@ pub enum TlsError {
     Simt(SimtError),
     /// A sequential recovery step failed.
     Exec(ExecError),
+    /// A device fault the engine could not absorb, carried with its origin.
+    Fault(DeviceFault),
 }
 
 impl std::fmt::Display for TlsError {
@@ -26,6 +31,7 @@ impl std::fmt::Display for TlsError {
         match self {
             TlsError::Simt(e) => write!(f, "TLS speculative execution failed: {e}"),
             TlsError::Exec(e) => write!(f, "TLS recovery failed: {e}"),
+            TlsError::Fault(d) => write!(f, "TLS device fault: {d}"),
         }
     }
 }
@@ -34,13 +40,22 @@ impl std::error::Error for TlsError {}
 
 impl From<SimtError> for TlsError {
     fn from(e: SimtError) -> TlsError {
-        TlsError::Simt(e)
+        match e {
+            SimtError::Fault(f) => TlsError::Fault(f),
+            other => TlsError::Simt(other),
+        }
     }
 }
 
 impl From<ExecError> for TlsError {
     fn from(e: ExecError) -> TlsError {
         TlsError::Exec(e)
+    }
+}
+
+impl From<DeviceFault> for TlsError {
+    fn from(f: DeviceFault) -> TlsError {
+        TlsError::Fault(f)
     }
 }
 
@@ -58,6 +73,10 @@ pub struct TlsReport {
     pub inter_warp_violations: u32,
     /// Iterations replayed sequentially during recovery.
     pub recovered_iters: u64,
+    /// Injected device faults observed during speculative launches.
+    pub device_faults: u32,
+    /// Launch retries performed after transient device faults.
+    pub fault_retries: u32,
     /// Simulated GPU seconds (SE + DC + commit).
     pub gpu_time_s: f64,
     /// Simulated CPU seconds (sequential recovery windows).
@@ -179,11 +198,51 @@ pub fn run_tls_loop(
     dev: &mut DeviceMemory,
     td_iters: Option<&BTreeSet<u64>>,
 ) -> Result<TlsReport, TlsError> {
+    run_tls_loop_guarded(
+        program,
+        dcfg,
+        ccfg,
+        tls,
+        loop_,
+        bounds,
+        range,
+        base_env,
+        dev,
+        td_iters,
+        None,
+        &ResilienceConfig::default(),
+    )
+}
+
+/// [`run_tls_loop`] with an optional fault plan and resilience policy.
+///
+/// Transient injected faults are retried up to `res.max_retries` times with
+/// a linear backoff charged to the GPU clock; a persistent (or
+/// retry-exhausted) fault falls back onto the misspeculation-recovery
+/// machinery: the speculative buffer is discarded — nothing was committed —
+/// and the whole sub-loop is replayed sequentially against device memory.
+/// Either way the loop completes with sequential semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_tls_loop_guarded(
+    program: &Program,
+    dcfg: &DeviceConfig,
+    ccfg: &CpuConfig,
+    tls: &TlsConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    base_env: &Env,
+    dev: &mut DeviceMemory,
+    td_iters: Option<&BTreeSet<u64>>,
+    faults: Option<&FaultPlan>,
+    res: &ResilienceConfig,
+) -> Result<TlsReport, TlsError> {
     let mut report = TlsReport::default();
     let mut k = range.start;
     // One-time stream/JNI open; per-subloop launches pipeline behind it.
     let open_s = dcfg.kernel_launch_us * 1e-6 + dcfg.pcie_latency_us * 1e-6;
     let mut opened = false;
+    let watchdog = if faults.is_some() { res.watchdog() } else { None };
     while k < range.end {
         let mut sub_end = (k + tls.subloop_iters).min(range.end);
         // Profile guidance: start a fresh sub-loop at every iteration the
@@ -195,62 +254,107 @@ pub fn run_tls_loop(
                 sub_end = next_td;
             }
         }
-        // ---- SE phase ----
-        let mut spec = SpeculativeMemory::new(dev, tls.se_overhead_cycles);
-        let kr = launch_loop(program, dcfg, loop_, bounds, k..sub_end, base_env, &mut spec)?;
-        report.kernels += 1;
-        let kernel_s = (kr.time_s - dcfg.kernel_launch_us * 1e-6).max(0.0) + 5e-6;
-        report.gpu_time_s += if opened {
-            kernel_s
-        } else {
-            opened = true;
-            open_s + kernel_s
-        };
-        // ---- DC phase ----
-        let dc = spec.check();
-        report.gpu_time_s += dcfg.cycles_to_seconds(
-            dc.entries_scanned as f64 * tls.dc_cycles_per_entry / dcfg.sm_count as f64,
-        );
-        report.intra_warp_violations += dc.intra_warp;
-        report.inter_warp_violations += dc.inter_warp;
-        match dc.first_violation() {
-            None => {
-                // ---- commit phase ----
-                let copied = spec.commit_all()?;
-                report.gpu_time_s += dcfg
-                    .cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
-                report.clean_subloops += 1;
-                k = sub_end;
-            }
-            Some(v) => {
-                report.violations += 1;
-                // Commit the safe prefix, discard the rest.
-                let copied = spec.commit_prefix(v)?;
-                report.gpu_time_s += dcfg
-                    .cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
-                // ---- recovery: replay a window sequentially ----
-                let mut rec_end = (v + tls.recovery_window).min(range.end);
-                // While the profile says the following iterations still
-                // carry true dependences, keep replaying sequentially.
-                if let Some(td) = td_iters {
-                    while rec_end < range.end
-                        && td.range(rec_end..rec_end + tls.recovery_window).next().is_some()
-                    {
-                        rec_end = (rec_end + tls.recovery_window).min(range.end);
+        let mut attempt = 0u32;
+        loop {
+            // ---- SE phase ----
+            let mut spec = SpeculativeMemory::new(dev, tls.se_overhead_cycles);
+            let kr = match launch_loop_guarded(
+                program,
+                dcfg,
+                loop_,
+                bounds,
+                k..sub_end,
+                base_env,
+                &mut spec,
+                faults,
+                watchdog,
+            ) {
+                Ok(kr) => kr,
+                Err(SimtError::Fault(f)) => {
+                    // The buffer dies with the kernel: nothing reached
+                    // device memory, so both retry and fallback restart
+                    // from a coherent state.
+                    drop(spec);
+                    report.device_faults += 1;
+                    if f.transient && attempt < res.max_retries {
+                        attempt += 1;
+                        report.fault_retries += 1;
+                        report.gpu_time_s += res.retry_backoff_us * 1e-6 * attempt as f64;
+                        continue;
                     }
+                    // Persistent (or retry-exhausted): replay the sub-loop
+                    // sequentially, exactly like a misspeculation window.
+                    let mut be = DeviceBackend::new(dev);
+                    let mut env = base_env.clone();
+                    Interp::new(program)
+                        .exec_range(loop_, bounds, k, sub_end, &mut env, &mut be)?;
+                    let cpu_s = ccfg.cycles_to_seconds(ccfg.cost.total(&be.counts))
+                        + 2.0 * dcfg.pcie_latency_us * 1e-6;
+                    report.cpu_time_s += cpu_s;
+                    report.recovered_iters += sub_end - k;
+                    k = sub_end;
+                    break;
                 }
-                let mut be = DeviceBackend::new(dev);
-                let mut env = base_env.clone();
-                Interp::new(program)
-                    .exec_range(loop_, bounds, v, rec_end, &mut env, &mut be)?;
-                let cpu_cycles = ccfg.cost.total(&be.counts);
-                let cpu_s = ccfg.cycles_to_seconds(cpu_cycles)
-                    // control transfer + coherence hop across PCIe
-                    + 2.0 * dcfg.pcie_latency_us * 1e-6;
-                report.cpu_time_s += cpu_s;
-                report.recovered_iters += rec_end - v;
-                k = rec_end;
+                Err(e) => return Err(e.into()),
+            };
+            report.kernels += 1;
+            let kernel_s = (kr.time_s - dcfg.kernel_launch_us * 1e-6).max(0.0) + 5e-6;
+            report.gpu_time_s += if opened {
+                kernel_s
+            } else {
+                opened = true;
+                open_s + kernel_s
+            };
+            // ---- DC phase ----
+            let dc = spec.check();
+            report.gpu_time_s += dcfg.cycles_to_seconds(
+                dc.entries_scanned as f64 * tls.dc_cycles_per_entry / dcfg.sm_count as f64,
+            );
+            report.intra_warp_violations += dc.intra_warp;
+            report.inter_warp_violations += dc.inter_warp;
+            match dc.first_violation() {
+                None => {
+                    // ---- commit phase ----
+                    let copied = spec.commit_all()?;
+                    report.gpu_time_s += dcfg
+                        .cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
+                    report.clean_subloops += 1;
+                    k = sub_end;
+                }
+                Some(v) => {
+                    report.violations += 1;
+                    // Commit the safe prefix, discard the rest.
+                    let copied = spec.commit_prefix(v)?;
+                    report.gpu_time_s += dcfg
+                        .cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
+                    // ---- recovery: replay a window sequentially ----
+                    let mut rec_end = (v + tls.recovery_window).min(range.end);
+                    // While the profile says the following iterations still
+                    // carry true dependences, keep replaying sequentially.
+                    if let Some(td) = td_iters {
+                        while rec_end < range.end
+                            && td
+                                .range(rec_end..rec_end + tls.recovery_window)
+                                .next()
+                                .is_some()
+                        {
+                            rec_end = (rec_end + tls.recovery_window).min(range.end);
+                        }
+                    }
+                    let mut be = DeviceBackend::new(dev);
+                    let mut env = base_env.clone();
+                    Interp::new(program)
+                        .exec_range(loop_, bounds, v, rec_end, &mut env, &mut be)?;
+                    let cpu_cycles = ccfg.cost.total(&be.counts);
+                    let cpu_s = ccfg.cycles_to_seconds(cpu_cycles)
+                        // control transfer + coherence hop across PCIe
+                        + 2.0 * dcfg.pcie_latency_us * 1e-6;
+                    report.cpu_time_s += cpu_s;
+                    report.recovered_iters += rec_end - v;
+                    k = rec_end;
+                }
             }
+            break;
         }
     }
     report.time_s = report.gpu_time_s + report.cpu_time_s;
@@ -555,6 +659,104 @@ mod tests {
             .exec_range(&fx.loop_, &fx.bounds, 0, 64, &mut env, &mut be)
             .unwrap();
         assert_eq!(device_longs(&fx.dev, fx.arrays[0])[10], 11);
+    }
+
+    #[test]
+    fn transient_fault_retries_then_succeeds() {
+        use japonica_faults::{FaultKind, FaultRule};
+        let mut fx = fixture(INDEPENDENT, "f", 2000, 2000, |i| i as i64);
+        let expect = sequential_reference(&fx, fx.arrays[0]);
+        // First launch faults once, then the window passes and the retry
+        // goes through — no sequential fallback needed.
+        let plan = FaultPlan::new(7, vec![FaultRule::transient(FaultKind::KernelLaunch, 1)]);
+        let r = run_tls_loop_guarded(
+            &fx.program,
+            &DeviceConfig::default(),
+            &CpuConfig::default(),
+            &TlsConfig::default(),
+            &fx.loop_,
+            &fx.bounds,
+            0..2000,
+            &fx.env,
+            &mut fx.dev,
+            None,
+            Some(&plan),
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(r.device_faults, 1);
+        assert_eq!(r.fault_retries, 1);
+        assert_eq!(r.recovered_iters, 0);
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect);
+    }
+
+    #[test]
+    fn persistent_fault_falls_back_to_sequential_replay() {
+        use japonica_faults::{FaultKind, FaultRule};
+        let mut fx = fixture(INDEPENDENT, "f", 2000, 2000, |i| i as i64);
+        let expect = sequential_reference(&fx, fx.arrays[0]);
+        // Every launch of the first sub-loop window faults persistently.
+        let plan = FaultPlan::new(7, vec![FaultRule::persistent(FaultKind::KernelLaunch)]);
+        let r = run_tls_loop_guarded(
+            &fx.program,
+            &DeviceConfig::default(),
+            &CpuConfig::default(),
+            &TlsConfig::default(),
+            &fx.loop_,
+            &fx.bounds,
+            0..2000,
+            &fx.env,
+            &mut fx.dev,
+            None,
+            Some(&plan),
+            &ResilienceConfig::default(),
+        )
+        .unwrap();
+        assert!(r.device_faults > 0);
+        assert_eq!(r.kernels, 0, "device never executed a kernel");
+        assert_eq!(r.recovered_iters, 2000, "all iterations replayed sequentially");
+        assert!(r.cpu_time_s > 0.0);
+        assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect);
+    }
+
+    #[test]
+    fn guarded_without_plan_matches_unguarded_timing() {
+        let mk = |guarded: bool| {
+            let mut fx = fixture(CARRIED, "f", 1000, 1000, |_| 0);
+            let r = if guarded {
+                run_tls_loop_guarded(
+                    &fx.program,
+                    &DeviceConfig::default(),
+                    &CpuConfig::default(),
+                    &TlsConfig::default(),
+                    &fx.loop_,
+                    &fx.bounds,
+                    0..1000,
+                    &fx.env,
+                    &mut fx.dev,
+                    None,
+                    None,
+                    &ResilienceConfig::default(),
+                )
+                .unwrap()
+            } else {
+                run_tls_loop(
+                    &fx.program,
+                    &DeviceConfig::default(),
+                    &CpuConfig::default(),
+                    &TlsConfig::default(),
+                    &fx.loop_,
+                    &fx.bounds,
+                    0..1000,
+                    &fx.env,
+                    &mut fx.dev,
+                    None,
+                )
+                .unwrap()
+            };
+            (r.time_s, r.kernels, r.violations)
+        };
+        assert_eq!(mk(true), mk(false));
     }
 
     #[test]

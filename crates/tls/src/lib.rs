@@ -33,5 +33,7 @@ pub mod engine;
 pub mod spec_mem;
 
 pub use config::TlsConfig;
-pub use engine::{run_privatized, run_tls_loop, DeviceBackend, TlsError, TlsReport};
+pub use engine::{
+    run_privatized, run_tls_loop, run_tls_loop_guarded, DeviceBackend, TlsError, TlsReport,
+};
 pub use spec_mem::{DcOutcome, DepStats, SpeculativeMemory, WriteList};
