@@ -3,6 +3,7 @@
 
 use crate::affine::{linearize, Affine};
 use crate::classify::VarClasses;
+use crate::effects::EffectSummaries;
 use japonica_ir::{Expr, ForLoop, Stmt, VarId};
 
 /// Read or write.
@@ -38,11 +39,15 @@ pub struct Access {
     pub conditional: bool,
     /// Enclosing inner loops, outermost first.
     pub inner: Vec<InnerLoopCtx>,
+    /// The access happens inside a called function (recorded from its
+    /// effect summary); `index` is a placeholder and `affine` is `None`.
+    pub from_call: bool,
 }
 
 struct Collector<'a> {
     ivar: VarId,
     classes: &'a VarClasses,
+    summaries: Option<&'a EffectSummaries>,
     out: Vec<Access>,
     cond_depth: u32,
     inner: Vec<InnerLoopCtx>,
@@ -60,6 +65,22 @@ impl Collector<'_> {
             affine,
             conditional: self.cond_depth > 0,
             inner: self.inner.clone(),
+            from_call: false,
+        });
+    }
+
+    /// Record an opaque access a callee performs on the caller's array
+    /// `array` (per its effect summary). The element index is unknown, so
+    /// downstream pair tests treat it conservatively.
+    fn record_opaque(&mut self, array: VarId, kind: AccessKind) {
+        self.out.push(Access {
+            array,
+            kind,
+            index: Expr::Var(array),
+            affine: None,
+            conditional: self.cond_depth > 0,
+            inner: self.inner.clone(),
+            from_call: true,
         });
     }
 
@@ -89,12 +110,32 @@ impl Collector<'_> {
                 self.expr(a);
                 self.expr(b);
             }
-            Expr::Intrinsic(_, args) | Expr::Call(_, args) => {
-                // Calls are treated opaquely: argument reads are recorded;
-                // callee-side accesses are the lowering's responsibility
-                // (workload kernels do not call array-mutating helpers).
+            Expr::Intrinsic(_, args) => {
+                // Math intrinsics are pure: only argument reads matter.
                 for a in args {
                     self.expr(a);
+                }
+            }
+            Expr::Call(fid, args) => {
+                for a in args {
+                    self.expr(a);
+                }
+                // With effect summaries, the callee's array-parameter
+                // reads/writes surface as opaque accesses on the argument
+                // arrays; without summaries the caller (deptest) must
+                // treat the whole loop as uncertain instead.
+                if let Some(s) = self.summaries {
+                    let eff = s.effects(*fid);
+                    for (j, a) in args.iter().enumerate() {
+                        if let Expr::Var(v) = a {
+                            if eff.param_written.get(j).copied().unwrap_or(false) {
+                                self.record_opaque(*v, AccessKind::Write);
+                            }
+                            if eff.param_read.get(j).copied().unwrap_or(false) {
+                                self.record_opaque(*v, AccessKind::Read);
+                            }
+                        }
+                    }
                 }
             }
             Expr::Const(_) | Expr::Var(_) | Expr::Len(_) => {}
@@ -158,11 +199,25 @@ impl Collector<'_> {
     }
 }
 
-/// Collect every array access in the body of `l`.
+/// Collect every array access in the body of `l`. Calls are opaque (their
+/// callee-side accesses are not represented); use
+/// [`collect_accesses_with`] with effect summaries to surface them.
 pub fn collect_accesses(l: &ForLoop, classes: &VarClasses) -> Vec<Access> {
+    collect_accesses_with(l, classes, None)
+}
+
+/// Collect every array access in the body of `l`. When `summaries` is
+/// given, each call site additionally yields opaque accesses for the array
+/// arguments its callee (transitively) reads or writes.
+pub fn collect_accesses_with(
+    l: &ForLoop,
+    classes: &VarClasses,
+    summaries: Option<&EffectSummaries>,
+) -> Vec<Access> {
     let mut c = Collector {
         ivar: l.var,
         classes,
+        summaries,
         out: Vec::new(),
         cond_depth: 0,
         inner: Vec::new(),

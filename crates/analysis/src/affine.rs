@@ -54,31 +54,36 @@ impl Affine {
         self
     }
 
-    fn add(mut self, other: &Affine) -> Affine {
-        self.coeff += other.coeff;
-        self.konst += other.konst;
+    /// `self + other` with overflow detection: `None` means some multiplier
+    /// left the `i64` range, so the form is not usable by the static tests.
+    pub fn add(mut self, other: &Affine) -> Option<Affine> {
+        self.coeff = self.coeff.checked_add(other.coeff)?;
+        self.konst = self.konst.checked_add(other.konst)?;
         for (&v, &c) in &other.sym {
-            *self.sym.entry(v).or_insert(0) += c;
+            let e = self.sym.entry(v).or_insert(0);
+            *e = e.checked_add(c)?;
         }
-        self.normalize()
+        Some(self.normalize())
     }
 
-    fn neg(mut self) -> Affine {
-        self.coeff = -self.coeff;
-        self.konst = -self.konst;
+    /// `-self`, `None` on overflow (`i64::MIN` components).
+    pub fn neg(mut self) -> Option<Affine> {
+        self.coeff = self.coeff.checked_neg()?;
+        self.konst = self.konst.checked_neg()?;
         for c in self.sym.values_mut() {
-            *c = -*c;
+            *c = c.checked_neg()?;
         }
-        self
+        Some(self)
     }
 
-    fn scale(mut self, k: i64) -> Affine {
-        self.coeff *= k;
-        self.konst *= k;
+    /// `k · self`, `None` on overflow.
+    pub fn scale(mut self, k: i64) -> Option<Affine> {
+        self.coeff = self.coeff.checked_mul(k)?;
+        self.konst = self.konst.checked_mul(k)?;
         for c in self.sym.values_mut() {
-            *c *= k;
+            *c = c.checked_mul(k)?;
         }
-        self.normalize()
+        Some(self.normalize())
     }
 
     /// Is the form a pure constant (no induction, no symbols)?
@@ -91,10 +96,10 @@ impl Affine {
         self.coeff != 0
     }
 
-    /// Symbolic difference `self - other`; `None` components never occur —
-    /// the difference is always representable.
-    pub fn diff(&self, other: &Affine) -> Affine {
-        self.clone().add(&other.clone().neg())
+    /// Symbolic difference `self - other`; `None` when a component
+    /// overflows `i64`.
+    pub fn diff(&self, other: &Affine) -> Option<Affine> {
+        self.clone().add(&other.clone().neg()?)
     }
 
     /// Do `self` and `other` have identical symbolic (non-induction,
@@ -121,19 +126,19 @@ pub fn linearize(
         Expr::Var(v) if *v == ivar => Some(Affine::induction()),
         Expr::Var(v) if is_invariant(*v) => Some(Affine::symbol(*v)),
         Expr::Var(_) => None,
-        Expr::Unary(UnOp::Neg, a) => Some(linearize(a, ivar, is_invariant)?.neg()),
+        Expr::Unary(UnOp::Neg, a) => linearize(a, ivar, is_invariant)?.neg(),
         Expr::Unary(_, _) => None,
         Expr::Cast(t, a) if t.is_integral() => linearize(a, ivar, is_invariant),
         Expr::Cast(_, _) => None,
         Expr::Binary(BinOp::Add, a, b) => {
             let fa = linearize(a, ivar, is_invariant)?;
             let fb = linearize(b, ivar, is_invariant)?;
-            Some(fa.add(&fb))
+            fa.add(&fb)
         }
         Expr::Binary(BinOp::Sub, a, b) => {
             let fa = linearize(a, ivar, is_invariant)?;
             let fb = linearize(b, ivar, is_invariant)?;
-            Some(fa.add(&fb.neg()))
+            fa.add(&fb.neg()?)
         }
         Expr::Binary(BinOp::Mul, a, b) => {
             let fa = linearize(a, ivar, is_invariant)?;
@@ -142,9 +147,9 @@ pub fn linearize(
             // multipliers. (`n * i` with symbolic `n` is linear in `i` but
             // its coefficient is unknown, so the static tests cannot use it.)
             if fa.is_constant() {
-                Some(fb.scale(fa.konst))
+                fb.scale(fa.konst)
             } else if fb.is_constant() {
-                Some(fa.scale(fb.konst))
+                fa.scale(fb.konst)
             } else {
                 None
             }
@@ -222,7 +227,7 @@ mod tests {
         let a1 = lin(&e1).unwrap();
         let a2 = lin(&e2).unwrap();
         assert!(a1.same_symbols(&a2));
-        let d = a1.diff(&a2);
+        let d = a1.diff(&a2).unwrap();
         assert!(d.is_constant());
         assert_eq!(d.konst, 3);
     }
@@ -232,8 +237,74 @@ mod tests {
         // (i + n) - n = i
         let e1 = Expr::var(I).add(Expr::var(N));
         let a1 = lin(&e1).unwrap();
-        let d = a1.diff(&Affine::symbol(N));
+        let d = a1.diff(&Affine::symbol(N)).unwrap();
         assert_eq!(d, Affine::induction());
+    }
+
+    #[test]
+    fn negative_stride() {
+        // -2*i + 100: descending accesses linearize with a negative coeff.
+        let e = Expr::int(-2).mul(Expr::var(I)).add(Expr::int(100));
+        let a = lin(&e).unwrap();
+        assert_eq!(a.coeff, -2);
+        assert_eq!(a.konst, 100);
+        assert!(a.uses_induction());
+        // n - i is also a (unit) negative stride.
+        let e2 = Expr::var(N).sub(Expr::var(I));
+        let a2 = lin(&e2).unwrap();
+        assert_eq!(a2.coeff, -1);
+        assert_eq!(a2.sym.get(&N), Some(&1));
+    }
+
+    #[test]
+    fn zero_coefficient_collapses_to_constant() {
+        // i*0 + 7 is affine but does NOT use the induction variable: every
+        // iteration hits the same element, so SIV must treat it as ZIV.
+        let e = Expr::var(I).mul(Expr::int(0)).add(Expr::int(7));
+        let a = lin(&e).unwrap();
+        assert_eq!(a.coeff, 0);
+        assert_eq!(a.konst, 7);
+        assert!(a.is_constant());
+        assert!(!a.uses_induction());
+        // 0*(i + n): symbolic terms scaled by zero are dropped too.
+        let e2 = Expr::int(0).mul(Expr::var(I).add(Expr::var(N)));
+        let a2 = lin(&e2).unwrap();
+        assert_eq!(a2, Affine::constant(0));
+        assert!(a2.sym.is_empty());
+    }
+
+    #[test]
+    fn constant_overflow_rejected() {
+        // i64::MAX + 1 overflows during Add folding -> not linearizable.
+        let e = Expr::Const(Value::Long(i64::MAX)).add(Expr::Const(Value::Long(1)));
+        assert!(lin(&e).is_none());
+        // Scaling blows up: (i + K) * K with huge K.
+        let k = i64::MAX / 2 + 1;
+        let e2 = Expr::var(I)
+            .add(Expr::Const(Value::Long(k)))
+            .mul(Expr::Const(Value::Long(2)));
+        assert!(lin(&e2).is_none());
+        // Negating i64::MIN has no i64 representation.
+        let e3 = Expr::Unary(UnOp::Neg, Box::new(Expr::Const(Value::Long(i64::MIN))));
+        assert!(lin(&e3).is_none());
+    }
+
+    #[test]
+    fn diff_overflow_returns_none() {
+        // MAX - MIN does not fit in i64; `diff` must report that instead of
+        // wrapping (a wrapped delta could fake a GCD "independent" verdict).
+        let a = Affine::constant(i64::MAX);
+        let b = Affine::constant(i64::MIN);
+        assert!(a.diff(&b).is_none());
+        // Sanity: a representable difference still works.
+        assert_eq!(a.diff(&Affine::constant(1)).unwrap().konst, i64::MAX - 1);
+    }
+
+    #[test]
+    fn large_constants_within_range_still_fold() {
+        // Near-limit but representable arithmetic must keep working.
+        let e = Expr::Const(Value::Long(i64::MAX - 5)).add(Expr::Const(Value::Long(5)));
+        assert_eq!(lin(&e).unwrap(), Affine::constant(i64::MAX));
     }
 
     #[test]

@@ -12,9 +12,10 @@
 //! flattened 2-D accesses like `c[i*n + j]` with `j ∈ [0, n)` — the shape
 //! every dense-linear-algebra benchmark in the paper's Table II uses.
 
-use crate::access::{collect_accesses, Access, AccessKind};
+use crate::access::{collect_accesses_with, Access, AccessKind};
 use crate::affine::{linearize, Affine};
 use crate::classify::{classify_variables, VarClasses};
+use crate::effects::EffectSummaries;
 use japonica_ir::{Expr, ForLoop, LoopAnnotation, LoopId, Program, Value, VarId};
 use std::collections::BTreeMap;
 
@@ -103,15 +104,35 @@ pub struct LoopAnalysis {
     pub determination: Determination,
 }
 
-/// Analyze one canonical loop.
+/// Analyze one canonical loop in isolation. Calls inside the body are
+/// opaque: without [`EffectSummaries`] the loop is conservatively
+/// [`Determination::Uncertain`] whenever it calls another function. Use
+/// [`analyze_loop_with`] (or [`analyze_program`], which builds summaries
+/// itself) to let proven-pure callees stay transparent.
 pub fn analyze_loop(l: &ForLoop) -> LoopAnalysis {
+    analyze_loop_with(l, None)
+}
+
+/// Analyze one canonical loop, resolving callee side effects through
+/// `summaries` when given.
+pub fn analyze_loop_with(l: &ForLoop, summaries: Option<&EffectSummaries>) -> LoopAnalysis {
     let classes = classify_variables(l);
-    let accesses = collect_accesses(l, &classes);
+    let accesses = collect_accesses_with(l, &classes, summaries);
     let empty = LoopAnnotation::default();
     let annot = l.annot.as_ref().unwrap_or(&empty);
 
     let mut summary = DepSummary::default();
     let mut reasons: Vec<String> = Vec::new();
+
+    // Without effect summaries a call could touch anything: the static
+    // verdict cannot be trusted, so defer to the dynamic profiler.
+    if summaries.is_none() && body_has_call(l) {
+        reasons.push(
+            "loop body calls a function whose side effects are unknown \
+             (no effect summaries)"
+                .into(),
+        );
+    }
 
     // --- scalar hazards (paper: live-out scalars) ---
     for v in classes.scalar_live_out() {
@@ -204,17 +225,33 @@ pub fn analyze_loop(l: &ForLoop) -> LoopAnalysis {
     }
 }
 
-/// Analyze every *annotated* loop in a program, keyed by loop id.
+/// Analyze every *annotated* loop in a program, keyed by loop id. Callee
+/// side effects are resolved through whole-program [`EffectSummaries`], so
+/// loops calling proven-pure helpers are still eligible for DOALL.
 pub fn analyze_program(p: &Program) -> BTreeMap<LoopId, LoopAnalysis> {
+    let summaries = EffectSummaries::build(p);
     let mut out = BTreeMap::new();
     for f in &p.functions {
         for l in f.all_loops() {
             if l.is_annotated() {
-                out.insert(l.id, analyze_loop(l));
+                out.insert(l.id, analyze_loop_with(l, Some(&summaries)));
             }
         }
     }
     out
+}
+
+/// Does the loop body contain a user-function call (not a math intrinsic)?
+fn body_has_call(l: &ForLoop) -> bool {
+    let mut found = false;
+    for s in &l.body {
+        s.walk_exprs(&mut |e| {
+            if let Expr::Call(_, _) = e {
+                found = true;
+            }
+        });
+    }
+    found
 }
 
 enum PairResult {
@@ -227,6 +264,11 @@ enum PairResult {
 /// classification; otherwise `b` is a read and the distance sign picks
 /// RAW vs WAR.
 fn pair_test(a: &Access, b: &Access, both_writes: bool) -> PairResult {
+    if a.from_call || b.from_call {
+        // The element index of a callee-side access is unknown by
+        // construction; only the profiler can decide this pair.
+        return PairResult::Unknown("access occurs inside a called function".into());
+    }
     let structural = match (&a.affine, &b.affine) {
         (Some(fa), Some(fb)) if fa.same_symbols(fb) => affine_pair(fa, fb, both_writes),
         (Some(_), Some(_)) => {
@@ -248,7 +290,11 @@ fn pair_test(a: &Access, b: &Access, both_writes: bool) -> PairResult {
 }
 
 fn affine_pair(fa: &Affine, fb: &Affine, both_writes: bool) -> PairResult {
-    let dk = fa.konst - fb.konst;
+    // All deltas are checked: a wrapped difference could fabricate an
+    // "independent" verdict, so overflow degrades to Unknown (profiler).
+    let Some(dk) = fa.konst.checked_sub(fb.konst) else {
+        return PairResult::Unknown("constant delta overflows i64".into());
+    };
     if fa.coeff == fb.coeff {
         if fa.coeff == 0 {
             // ZIV: both touch one fixed location.
@@ -265,13 +311,19 @@ fn affine_pair(fa: &Affine, fb: &Affine, both_writes: bool) -> PairResult {
         if dk == 0 {
             return PairResult::NoDep; // same-iteration only
         }
-        if dk % fa.coeff != 0 {
-            return PairResult::NoDep;
+        // checked: dk = i64::MIN with coeff = -1 has no representable
+        // remainder/quotient.
+        match dk.checked_rem(fa.coeff) {
+            Some(0) => {}
+            Some(_) => return PairResult::NoDep,
+            None => return PairResult::Unknown("iteration distance overflows i64".into()),
         }
         // b at iteration i2 touches what a (the write) touched at
         // i1 = i2 + dk/coeff ... solve a.coeff*i1 + ka = b.coeff*i2 + kb
         // => i2 = i1 + dk/coeff.
-        let dist = dk / fa.coeff;
+        let Some(dist) = dk.checked_div(fa.coeff) else {
+            return PairResult::Unknown("iteration distance overflows i64".into());
+        };
         let kind = if both_writes {
             DepKind::Output
         } else if dist > 0 {
@@ -287,14 +339,16 @@ fn affine_pair(fa: &Affine, fb: &Affine, both_writes: bool) -> PairResult {
     // Weak-zero SIV: one side is a fixed location.
     if fa.coeff == 0 || fb.coeff == 0 {
         let (moving, fixed) = if fa.coeff == 0 { (fb, fa) } else { (fa, fb) };
-        let d = fixed.konst - moving.konst;
-        return if d % moving.coeff == 0 {
-            PairResult::Dep {
+        let Some(d) = fixed.konst.checked_sub(moving.konst) else {
+            return PairResult::Unknown("constant delta overflows i64".into());
+        };
+        return match d.checked_rem(moving.coeff) {
+            Some(0) => PairResult::Dep {
                 kind: if both_writes { DepKind::Output } else { DepKind::True },
                 distance: None,
-            }
-        } else {
-            PairResult::NoDep
+            },
+            Some(_) => PairResult::NoDep,
+            None => PairResult::Unknown("iteration distance overflows i64".into()),
         };
     }
     // General GCD test.
@@ -647,6 +701,56 @@ mod tests {
         let m = analyze_program(&p);
         assert_eq!(m.len(), 2);
         assert!(m.values().all(|a| a.determination.is_doall()));
+    }
+
+    #[test]
+    fn loop_calling_array_writing_helper_is_not_doall() {
+        // Regression: the callee writes a[*], which used to be invisible
+        // to the dependence tests — the loop was wrongly reported DOALL.
+        let src = "static void helper(double[] x, int k) { x[0] = x[0] + (double) k; }
+             static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { helper(a, i); }
+            }";
+        let p = compile_source(src).unwrap();
+        let l = p.functions[1].all_loops()[0].clone();
+        // Bare analysis (no summaries): forced uncertain.
+        let d = analyze_loop(&l).determination;
+        assert!(d.needs_profiling(), "{d:?}");
+        // With summaries: still not DOALL — the callee's write is an
+        // opaque access that no static test can disprove.
+        let m = analyze_program(&p);
+        let d = &m[&l.id].determination;
+        assert!(d.needs_profiling(), "{d:?}");
+    }
+
+    #[test]
+    fn loop_calling_pure_helper_stays_doall_with_summaries() {
+        let src = "static double sq(double x) { return x * x; }
+             static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[i] = sq(a[i]); }
+            }";
+        let p = compile_source(src).unwrap();
+        let l = p.functions[1].all_loops()[0].clone();
+        // Without summaries the call is opaque: uncertain.
+        assert!(analyze_loop(&l).determination.needs_profiling());
+        // analyze_program proves sq pure and recovers DOALL.
+        let m = analyze_program(&p);
+        assert!(m[&l.id].determination.is_doall(), "{:?}", m[&l.id].determination);
+    }
+
+    #[test]
+    fn callee_reading_array_written_by_loop_is_uncertain() {
+        let src = "static double peek(double[] x, int k) { return x[k]; }
+             static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i] = peek(a, i) + 1.0; }
+            }";
+        let p = compile_source(src).unwrap();
+        let m = analyze_program(&p);
+        let l = p.functions[1].all_loops()[0];
+        assert!(m[&l.id].determination.needs_profiling());
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! Interprocedural call-effect summaries.
+//!
+//! MiniJava functions can observably mutate caller state only through array
+//! parameters (scalars are passed by value, locals die on return and there
+//! are no globals), so a callee's side effects are fully captured by two
+//! per-parameter bit sets: which array parameters it may *read* and which it
+//! may *write* — directly or through any function it transitively calls.
+//!
+//! Summaries are computed by a monotone fixpoint over the whole program
+//! (bits only ever flip to `true`), so mutual recursion converges. Inside a
+//! function, local array references that may alias a parameter are tracked
+//! through assignments (`int[] b = a; b[i] = 0;` marks `a` written).
+//!
+//! [`crate::deptest`] uses the summaries to close the opaque-call hole: a
+//! loop that calls an array-writing helper is no longer analyzed as if the
+//! callee touched nothing.
+
+use japonica_ir::{Expr, FnId, Function, ParamTy, Program, Stmt, VarId};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// What one function may do to its array parameters, transitively through
+/// every function it calls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CallEffects {
+    /// `param_read[j]` — parameter `j` is an array whose elements may be
+    /// read.
+    pub param_read: Vec<bool>,
+    /// `param_written[j]` — parameter `j` is an array whose elements may be
+    /// written.
+    pub param_written: Vec<bool>,
+}
+
+impl CallEffects {
+    fn sized(n: usize) -> CallEffects {
+        CallEffects {
+            param_read: vec![false; n],
+            param_written: vec![false; n],
+        }
+    }
+
+    /// May the function write *any* caller-visible memory? `false` means
+    /// calling it is as safe as evaluating a pure expression.
+    pub fn writes_any(&self) -> bool {
+        self.param_written.iter().any(|&w| w)
+    }
+
+    /// Does the function read any array parameter's elements?
+    pub fn reads_any(&self) -> bool {
+        self.param_read.iter().any(|&r| r)
+    }
+
+    /// Pure for dependence purposes: no caller-visible writes.
+    pub fn is_pure(&self) -> bool {
+        !self.writes_any()
+    }
+}
+
+/// Per-function [`CallEffects`], indexed by [`FnId`].
+#[derive(Debug, Clone, Default)]
+pub struct EffectSummaries {
+    fns: Vec<CallEffects>,
+}
+
+impl EffectSummaries {
+    /// Compute summaries for every function of `p`.
+    pub fn build(p: &Program) -> EffectSummaries {
+        let mut fns: Vec<CallEffects> = p
+            .functions
+            .iter()
+            .map(|f| CallEffects::sized(f.params.len()))
+            .collect();
+        // Fixpoint: recompute every function against the current callee
+        // summaries until nothing changes. Bits only become true, so the
+        // iteration count is bounded by the total number of bits.
+        loop {
+            let mut changed = false;
+            for (i, f) in p.functions.iter().enumerate() {
+                let next = summarize_function(f, &fns);
+                if next != fns[i] {
+                    fns[i] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return EffectSummaries { fns };
+            }
+        }
+    }
+
+    /// Effects of function `f` (empty effects for an out-of-range id).
+    pub fn effects(&self, f: FnId) -> &CallEffects {
+        static EMPTY: CallEffects = CallEffects {
+            param_read: Vec::new(),
+            param_written: Vec::new(),
+        };
+        self.fns.get(f.0 as usize).unwrap_or(&EMPTY)
+    }
+
+    /// Is function `f` pure (no caller-visible writes)?
+    pub fn is_pure(&self, f: FnId) -> bool {
+        self.effects(f).is_pure()
+    }
+}
+
+/// Alias sets: for each local variable, the parameter indices its array
+/// reference may point at.
+type Aliases = BTreeMap<VarId, BTreeSet<usize>>;
+
+fn summarize_function(f: &Function, current: &[CallEffects]) -> CallEffects {
+    let mut eff = CallEffects::sized(f.params.len());
+    let mut aliases: Aliases = BTreeMap::new();
+    for (j, p) in f.params.iter().enumerate() {
+        if matches!(p.ty, ParamTy::Array(_)) {
+            aliases.entry(p.var).or_default().insert(j);
+        }
+    }
+    // Aliases flow forward through assignments; a single pre-pass that
+    // unions across the whole body is a sound (flow-insensitive)
+    // approximation and keeps the walk simple. Iterate to close chains
+    // like `b = a; c = b;` regardless of statement order.
+    loop {
+        let mut grew = false;
+        for s in &f.body {
+            s.walk(&mut |s| {
+                if let Stmt::Assign { var, value } = s {
+                    if let Expr::Var(src) = value {
+                        let from = aliases.get(src).cloned().unwrap_or_default();
+                        if !from.is_empty() {
+                            let to = aliases.entry(*var).or_default();
+                            let before = to.len();
+                            to.extend(from);
+                            grew |= to.len() > before;
+                        }
+                    }
+                }
+            });
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    for s in &f.body {
+        s.walk_exprs(&mut |e| match e {
+            Expr::Index { array, .. } => {
+                if let Some(ps) = aliases.get(array) {
+                    for &j in ps {
+                        eff.param_read[j] = true;
+                    }
+                }
+            }
+            Expr::Call(g, args) => {
+                if let Some(ge) = current.get(g.0 as usize) {
+                    for (j, a) in args.iter().enumerate() {
+                        // Array arguments are always plain variables;
+                        // anything else is a scalar and cannot leak
+                        // writes back.
+                        if let Expr::Var(v) = a {
+                            if let Some(ps) = aliases.get(v) {
+                                let r = ge.param_read.get(j).copied().unwrap_or(false);
+                                let w = ge.param_written.get(j).copied().unwrap_or(false);
+                                for &p in ps {
+                                    eff.param_read[p] |= r;
+                                    eff.param_written[p] |= w;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        });
+    }
+    for s in &f.body {
+        s.walk(&mut |s| {
+            if let Stmt::Store { array, .. } = s {
+                if let Some(ps) = aliases.get(array) {
+                    for &j in ps {
+                        eff.param_written[j] = true;
+                    }
+                }
+            }
+        });
+    }
+    eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_frontend::compile_source;
+
+    fn summaries(src: &str) -> (EffectSummaries, Program) {
+        let p = compile_source(src).unwrap();
+        (EffectSummaries::build(&p), p)
+    }
+
+    fn fid(p: &Program, name: &str) -> FnId {
+        p.function_by_name(name).unwrap().0
+    }
+
+    #[test]
+    fn direct_read_and_write_detected() {
+        let (s, p) = summaries(
+            "static void w(int[] a, int n) { a[0] = n; }
+             static int r(int[] a) { return a[0]; }",
+        );
+        let w = s.effects(fid(&p, "w"));
+        assert_eq!(w.param_written, vec![true, false]);
+        assert!(!w.param_read[0]);
+        assert!(!w.is_pure());
+        let r = s.effects(fid(&p, "r"));
+        assert_eq!(r.param_read, vec![true]);
+        assert!(r.is_pure());
+    }
+
+    #[test]
+    fn effects_propagate_through_call_chain() {
+        let (s, p) = summaries(
+            "static void leaf(int[] x) { x[0] = 1; }
+             static void mid(int[] y) { leaf(y); }
+             static void top(int[] z, int[] u) { mid(z); }",
+        );
+        assert!(!s.is_pure(fid(&p, "mid")));
+        let top = s.effects(fid(&p, "top"));
+        assert_eq!(top.param_written, vec![true, false]);
+    }
+
+    #[test]
+    fn scalar_only_helper_is_pure() {
+        let (s, p) = summaries(
+            "static double cndf(double x) { return 1.0 / (1.0 + Math.exp(0.0 - x)); }",
+        );
+        let e = s.effects(fid(&p, "cndf"));
+        assert!(e.is_pure());
+        assert!(!e.reads_any());
+    }
+
+    #[test]
+    fn local_alias_marks_parameter_written() {
+        let (s, p) = summaries(
+            "static void f(int[] a) {
+                 int[] b = a;
+                 b[0] = 1;
+             }",
+        );
+        assert_eq!(s.effects(fid(&p, "f")).param_written, vec![true]);
+    }
+
+    #[test]
+    fn fresh_local_array_writes_are_invisible() {
+        let (s, p) = summaries(
+            "static int f(int[] a, int n) {
+                 int[] t = new int[n];
+                 t[0] = a[0];
+                 return t[0];
+             }",
+        );
+        let e = s.effects(fid(&p, "f"));
+        assert_eq!(e.param_written, vec![false, false]);
+        assert_eq!(e.param_read, vec![true, false]);
+    }
+
+    #[test]
+    fn recursion_converges() {
+        let (s, p) = summaries(
+            "static void even(int[] a, int n) { if (n > 0) { odd(a, n - 1); } }
+             static void odd(int[] a, int n) { if (n > 0) { a[n] = n; even(a, n - 1); } }",
+        );
+        assert!(!s.is_pure(fid(&p, "even")));
+        assert!(!s.is_pure(fid(&p, "odd")));
+    }
+
+    #[test]
+    fn out_of_range_fnid_is_empty_and_pure() {
+        let (s, _) = summaries("static void f(int n) { return; }");
+        assert!(s.is_pure(FnId(99)));
+        assert!(!s.effects(FnId(99)).reads_any());
+    }
+}

@@ -22,10 +22,15 @@ pub mod access;
 pub mod affine;
 pub mod classify;
 pub mod deptest;
+pub mod effects;
 pub mod pdg;
 
-pub use access::{Access, AccessKind, collect_accesses};
-pub use affine::Affine;
+pub use access::{collect_accesses, collect_accesses_with, Access, AccessKind};
+pub use affine::{linearize, Affine};
 pub use classify::{classify_variables, VarClasses, VarUse};
-pub use deptest::{analyze_loop, analyze_program, DepKind, DepSummary, Determination, LoopAnalysis};
+pub use deptest::{
+    analyze_loop, analyze_loop_with, analyze_program, DepKind, DepSummary, Determination,
+    LoopAnalysis,
+};
+pub use effects::{CallEffects, EffectSummaries};
 pub use pdg::{build_pdg, DepEdge, Pdg};

@@ -235,6 +235,60 @@ mod tests {
     }
 
     #[test]
+    fn edge_construction_is_deterministic_across_builds() {
+        // Rebuilding the PDG from the same source must yield byte-identical
+        // node order, edge order, and per-edge var lists (the scheduler's
+        // batch layout and the golden lint output both rely on this).
+        let src = "static void f(double[] s, double[] u, double[] v, double[] r, int n) {
+            /* acc parallel */ for (int i = 0; i < n; i++) { s[i] = 1.0; }
+            /* acc parallel */ for (int i = 0; i < n; i++) { u[i] = s[i] * 2.0; }
+            /* acc parallel */ for (int i = 0; i < n; i++) { v[i] = s[i] + u[i]; }
+            /* acc parallel */ for (int i = 0; i < n; i++) { r[i] = u[i] + v[i]; }
+        }";
+        let (first, _) = pdg_of(src);
+        for _ in 0..10 {
+            let (again, _) = pdg_of(src);
+            assert_eq!(again, first);
+        }
+        // Edges come out in (from, to) source order…
+        let pairs: Vec<_> = first.edges.iter().map(|e| (e.from, e.to)).collect();
+        let mut sorted = pairs.clone();
+        sorted.sort();
+        assert_eq!(pairs, sorted);
+        // …and each edge's var list is sorted.
+        for e in &first.edges {
+            let mut vs = e.vars.clone();
+            vs.sort();
+            assert_eq!(e.vars, vs);
+        }
+    }
+
+    #[test]
+    fn edge_vars_are_deduped() {
+        // `t` induces BOTH a flow dep (L0 writes, L1 reads) and an output
+        // dep (both write) between the same loop pair: it must appear once
+        // on the single collapsed edge, not once per dependence kind.
+        let (pdg, p) = pdg_of(
+            "static void f(double[] t, double[] c, int n) {
+                /* acc parallel */ for (int i = 0; i < n; i++) { t[i] = 1.0; }
+                /* acc parallel */ for (int i = 0; i < n; i++) { t[i] = t[i] * 2.0; c[i] = t[i]; }
+            }",
+        );
+        assert_eq!(pdg.edges.len(), 1);
+        let t = p.functions[0]
+            .var_names
+            .iter()
+            .position(|n| n == "t")
+            .map(|i| japonica_ir::VarId(i as u32))
+            .unwrap();
+        assert_eq!(
+            pdg.edges[0].vars.iter().filter(|&&v| v == t).count(),
+            1,
+            "var inducing multiple dep kinds must be listed once"
+        );
+    }
+
+    #[test]
     fn crypt_like_chain() {
         // encrypt then decrypt: decrypt reads encrypt's output
         let (pdg, _) = pdg_of(

@@ -1,0 +1,87 @@
+//! `lint` — audit the annotations of MiniJava source files (or the built-in
+//! Table II workload corpus) with japonica-lint.
+//!
+//! ```text
+//! cargo run -p japonica-bench --bin lint -- prog.java
+//! cargo run -p japonica-bench --bin lint -- --json prog.java other.java
+//! cargo run -p japonica-bench --bin lint -- --workloads
+//! ```
+//!
+//! Exit status: 0 when no file has `error`-severity findings, 1 when any
+//! does, 2 on a compile failure or bad invocation.
+
+use japonica::lint::{lint_source, LintConfig, RULES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut workloads = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in &args {
+        match a.as_str() {
+            "--json" => json = true,
+            "--workloads" => workloads = true,
+            "--rules" => {
+                for r in RULES {
+                    println!("{}  {:<7}  {}", r.code, r.severity, r.summary);
+                }
+                return;
+            }
+            "--help" | "-h" => usage(0),
+            f if !f.starts_with('-') => files.push(f.to_string()),
+            _ => usage(2),
+        }
+    }
+    if !workloads && files.is_empty() {
+        usage(2);
+    }
+
+    // The CLI audits against the same platform the runtime simulates.
+    let cfg = LintConfig {
+        max_threads: japonica::cpuexec::CpuConfig::default().cores,
+        ..LintConfig::default()
+    };
+
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    if workloads {
+        for w in &japonica_workloads::ALL {
+            inputs.push((format!("<workload {}>", w.name), w.source.to_string()));
+        }
+    }
+    for f in files {
+        match std::fs::read_to_string(&f) {
+            Ok(src) => inputs.push((f, src)),
+            Err(e) => {
+                eprintln!("lint: cannot read {f}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut any_error = false;
+    for (name, src) in inputs {
+        match lint_source(&src, &cfg) {
+            Ok(report) => {
+                if json {
+                    println!("{}", report.to_json());
+                } else {
+                    println!("== {name} ==");
+                    print!("{}", report.render(&src));
+                }
+                any_error |= !report.is_clean();
+            }
+            Err(e) => {
+                eprintln!("lint: {name}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if any_error {
+        std::process::exit(1);
+    }
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: lint [--json] [--workloads] [--rules] FILE...");
+    std::process::exit(code)
+}

@@ -3,6 +3,7 @@
 use japonica_analysis::{analyze_program, build_pdg, LoopAnalysis, Pdg};
 use japonica_frontend::CompileError;
 use japonica_ir::{FnId, LoopId, Program};
+use japonica_lint::{LintConfig, LintReport};
 use std::collections::BTreeMap;
 
 /// A compiled program: IR plus everything the static phases produced.
@@ -14,11 +15,14 @@ pub struct Compiled {
     pub analyses: BTreeMap<LoopId, LoopAnalysis>,
     /// Per-function program dependence graph over annotated loops.
     pub pdgs: BTreeMap<FnId, Pdg>,
+    /// Annotation audit findings (never fatal — the runtime degrades
+    /// rather than trusts, but the findings explain where and why).
+    pub lints: LintReport,
 }
 
 /// Compile annotated MiniJava source: lex, parse, type-check, lower to IR,
-/// then statically analyze every annotated loop and build the per-function
-/// PDGs.
+/// then statically analyze every annotated loop, build the per-function
+/// PDGs and audit the annotations.
 pub fn compile(source: &str) -> Result<Compiled, CompileError> {
     let program = japonica_frontend::compile_source(source)?;
     let analyses = analyze_program(&program);
@@ -28,10 +32,17 @@ pub fn compile(source: &str) -> Result<Compiled, CompileError> {
         .enumerate()
         .map(|(i, f)| (FnId(i as u32), build_pdg(f)))
         .collect();
+    let lint_cfg = LintConfig {
+        // Match the simulated CPU the runtime will actually schedule on.
+        max_threads: japonica_cpuexec::CpuConfig::default().cores,
+        ..LintConfig::default()
+    };
+    let lints = japonica_lint::lint(&program, &lint_cfg);
     Ok(Compiled {
         program,
         analyses,
         pdgs,
+        lints,
     })
 }
 
@@ -152,5 +163,28 @@ mod tests {
     #[test]
     fn compile_error_propagates() {
         assert!(compile("static void f() { x = 1; }").is_err());
+    }
+
+    #[test]
+    fn clean_source_compiles_without_lints() {
+        let c = compile(SRC).unwrap();
+        assert!(c.lints.diagnostics.is_empty(), "got {:?}", c.lints);
+    }
+
+    #[test]
+    fn lints_ride_on_the_compile_result() {
+        let c = compile(
+            "static void f(double[] a, int n) {
+                /* acc parallel threads(99) */
+                for (int i = 0; i < n; i++) { a[i] = 1.0; }
+            }",
+        )
+        .unwrap();
+        assert_eq!(c.lints.diagnostics.len(), 1);
+        assert_eq!(c.lints.diagnostics[0].rule, "L007");
+        // The limit comes from the simulated CPU, not the lint default.
+        assert!(c.lints.diagnostics[0]
+            .message
+            .contains(&japonica_cpuexec::CpuConfig::default().cores.to_string()));
     }
 }

@@ -106,3 +106,5 @@ pub use japonica_tls as tls;
 pub use japonica_profiler as profiler;
 /// Re-export of the task scheduler.
 pub use japonica_scheduler as scheduler;
+/// Re-export of the annotation auditor.
+pub use japonica_lint as lint;

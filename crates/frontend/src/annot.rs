@@ -43,9 +43,22 @@ pub struct AAnnot {
     pub scheme: Option<Scheme>,
 }
 
-/// Parse the body of an `acc` comment (text starts with `acc`).
+/// Parse the body of an `acc` comment (text starts with `acc`). `pos` is
+/// the comment's position (used for the annotation itself and for errors).
 pub fn parse_annot(text: &str, pos: Pos) -> Result<AAnnot, CompileError> {
-    let tokens = lexer::lex(text).map_err(|e| CompileError::at(pos, e.msg))?;
+    parse_annot_at(text, pos, pos)
+}
+
+/// Like [`parse_annot`], but rebases clause positions onto `body_pos` — the
+/// file position where `text` starts — so diagnostics can point into the
+/// comment.
+pub fn parse_annot_at(text: &str, pos: Pos, body_pos: Pos) -> Result<AAnnot, CompileError> {
+    let mut tokens = lexer::lex(text).map_err(|e| CompileError::at(pos, e.msg))?;
+    // The body was lexed as its own little source starting at 1:1; shift
+    // every token to its real file position.
+    for t in &mut tokens {
+        t.pos = rebase(t.pos, body_pos);
+    }
     let mut p = Parser::new(tokens);
     let mut a = AAnnot {
         pos,
@@ -127,6 +140,15 @@ pub fn parse_annot(text: &str, pos: Pos) -> Result<AAnnot, CompileError> {
         ));
     }
     Ok(a)
+}
+
+/// Map a position relative to the comment body onto the file.
+fn rebase(rel: Pos, body: Pos) -> Pos {
+    if rel.line == 1 {
+        Pos::new(body.line, body.col + rel.col - 1)
+    } else {
+        Pos::new(body.line + rel.line - 1, rel.col)
+    }
 }
 
 fn ident_list(p: &mut Parser, cpos: Pos) -> Result<Vec<(String, Pos)>, CompileError> {

@@ -81,6 +81,7 @@ impl<'s> Lexer<'s> {
                     let start = self.pos();
                     self.bump();
                     self.bump();
+                    let body_base = self.pos();
                     let mut body = String::new();
                     loop {
                         match self.peek() {
@@ -102,7 +103,22 @@ impl<'s> Lexer<'s> {
                     if trimmed.starts_with("acc")
                         && trimmed[3..].chars().next().is_none_or(|c| c.is_whitespace())
                     {
-                        return Ok(Some(Token::new(Tok::Annot(trimmed.to_string()), start)));
+                        // Where `trimmed` starts in the file: walk the
+                        // stripped prefix forward from just after `/*`.
+                        let prefix_len = body.find(trimmed).unwrap_or(0);
+                        let mut bpos = body_base;
+                        for c in body[..prefix_len].chars() {
+                            if c == '\n' {
+                                bpos.line += 1;
+                                bpos.col = 1;
+                            } else {
+                                bpos.col += 1;
+                            }
+                        }
+                        return Ok(Some(Token::new(
+                            Tok::Annot(trimmed.to_string(), bpos),
+                            start,
+                        )));
                     }
                 }
                 _ => return Ok(None),
@@ -426,7 +442,11 @@ mod tests {
         let ts = toks("/* acc parallel copyin(a[0:10]) */ for");
         assert_eq!(ts.len(), 3);
         match &ts[0] {
-            Tok::Annot(s) => assert_eq!(s, "acc parallel copyin(a[0:10])"),
+            Tok::Annot(s, body_pos) => {
+                assert_eq!(s, "acc parallel copyin(a[0:10])");
+                // the body text starts after "/* " at column 4
+                assert_eq!(*body_pos, Pos::new(1, 4));
+            }
             other => panic!("expected annot, got {other:?}"),
         }
         assert_eq!(ts[1], Tok::KwFor);

@@ -11,9 +11,14 @@ use crate::ast::*;
 use crate::error::{CompileError, Pos};
 use japonica_ir::{
     ArrayRange, BinOp, Expr, ForLoop, Function, LoopAnnotation, LoopId, Param, ParamTy, Program,
-    Stmt, Ty, VarId,
+    Span, Stmt, Ty, VarId,
 };
 use std::collections::HashMap;
+
+/// Convert a frontend position into an IR span.
+fn sp(p: Pos) -> Span {
+    Span::new(p.line, p.col)
+}
 
 /// Lower a checked compilation unit.
 pub fn lower(unit: &Unit) -> Result<Program, CompileError> {
@@ -101,6 +106,7 @@ impl<'u> Lowerer<'u> {
             body,
             num_vars: self.next_var,
             var_names: std::mem::take(&mut self.var_names),
+            span: sp(f.pos),
         })
     }
 
@@ -279,6 +285,7 @@ impl<'u> Lowerer<'u> {
                 step,
                 body,
                 annot,
+                span: sp(pos),
             }));
             return Ok(());
         }
@@ -416,10 +423,12 @@ impl<'u> Lowerer<'u> {
             parallel: a.parallel,
             threads: a.threads,
             scheme: a.scheme,
+            span: sp(a.pos),
             ..LoopAnnotation::default()
         };
         for (name, pos) in &a.private {
             out.private.push(self.lookup(name, *pos)?.0);
+            out.private_spans.push(sp(*pos));
         }
         let lower_ranges = |lw: &mut Self,
                                 src: &[crate::annot::ARange]|
@@ -431,6 +440,7 @@ impl<'u> Lowerer<'u> {
                         array,
                         lo: r.lo.as_ref().map(|e| lw.lower_expr(e)).transpose()?,
                         hi: r.hi.as_ref().map(|e| lw.lower_expr(e)).transpose()?,
+                        span: sp(r.pos),
                     })
                 })
                 .collect()
@@ -639,6 +649,27 @@ mod tests {
                 assert_eq!(a.scheme, Some(japonica_ir::Scheme::Stealing));
                 assert_eq!(a.copyin.len(), 1);
                 assert!(a.copyin[0].lo.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_thread_from_source_into_ir() {
+        let p = compile_source(
+            "static void f(double[] a, int n) {\n    /* acc parallel copyin(a[0:n]) */\n    for (int i = 0; i < n; i++) { a[i] = 0.0; }\n}",
+        )
+        .unwrap();
+        let f = &p.functions[0];
+        assert_eq!((f.span.line, f.span.col), (1, 1));
+        match &f.body[0] {
+            Stmt::For(l) => {
+                assert_eq!(l.span.line, 3);
+                assert!(l.span.is_known());
+                let a = l.annot.as_ref().unwrap();
+                assert_eq!(a.span.line, 2);
+                assert_eq!(a.copyin[0].span.line, 2);
+                assert!(a.copyin[0].span.col > a.span.col);
             }
             other => panic!("{other:?}"),
         }

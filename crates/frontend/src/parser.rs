@@ -1,6 +1,6 @@
 //! Recursive-descent parser for MiniJava.
 
-use crate::annot::{parse_annot, AAnnot};
+use crate::annot::AAnnot;
 use crate::ast::*;
 use crate::error::{CompileError, Pos};
 use crate::token::{Tok, Token};
@@ -176,9 +176,9 @@ impl Parser {
     fn parse_stmt(&mut self) -> Result<AStmt, CompileError> {
         let pos = self.pos();
         match self.peek().clone() {
-            Tok::Annot(text) => {
+            Tok::Annot(text, body_pos) => {
                 self.bump_tok();
-                let annot = parse_annot(&text, pos)?;
+                let annot = crate::annot::parse_annot_at(&text, pos, body_pos)?;
                 if !self.at(&Tok::KwFor) {
                     return Err(CompileError::at(
                         pos,

@@ -15,8 +15,10 @@ pub enum Tok {
     /// Identifier or non-keyword word.
     Ident(String),
     /// Captured `/* acc ... */` comment body (without the delimiters,
-    /// leading `acc` retained).
-    Annot(String),
+    /// leading `acc` retained), plus the source position where the body
+    /// text starts — clause positions are rebased onto it when the body is
+    /// re-lexed.
+    Annot(String, Pos),
 
     // Keywords
     KwStatic,
@@ -90,7 +92,7 @@ impl fmt::Display for Tok {
             Tok::DoubleLit(v) => write!(f, "{v}"),
             Tok::BoolLit(v) => write!(f, "{v}"),
             Tok::Ident(s) => write!(f, "{s}"),
-            Tok::Annot(_) => write!(f, "/* acc ... */"),
+            Tok::Annot(_, _) => write!(f, "/* acc ... */"),
             Tok::KwStatic => write!(f, "static"),
             Tok::KwVoid => write!(f, "void"),
             Tok::KwBoolean => write!(f, "boolean"),

@@ -6,6 +6,7 @@
 
 use crate::expr::Expr;
 use crate::program::{Function, Param, ParamTy};
+use crate::span::Span;
 use crate::stmt::{ForLoop, LoopAnnotation, LoopId, Stmt};
 use crate::types::Ty;
 use crate::VarId;
@@ -113,6 +114,7 @@ impl FnBuilder {
             step,
             body,
             annot,
+            span: Span::none(),
         }));
         id
     }
@@ -126,6 +128,7 @@ impl FnBuilder {
             body: self.body,
             num_vars: self.next_var,
             var_names: self.var_names,
+            span: Span::none(),
         }
     }
 }

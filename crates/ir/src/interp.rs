@@ -698,6 +698,7 @@ mod tests {
                 value: Expr::var(acc).add(Expr::var(i)),
             }],
             annot: None,
+            span: crate::Span::none(),
         }));
         f.push(Stmt::Return(Some(Expr::var(acc))));
         p.add_function(f.finish(Some(Ty::Int)));

@@ -26,6 +26,7 @@ pub mod interp;
 pub mod ops;
 pub mod pretty;
 pub mod program;
+pub mod span;
 pub mod stmt;
 pub mod types;
 
@@ -35,6 +36,7 @@ pub use expr::{BinOp, Expr, Intrinsic, UnOp};
 pub use heap::{ArrayData, ArrayId, Heap};
 pub use interp::{Backend, CountingBackend, Env, Flow, HeapBackend, Interp, LoopBounds};
 pub use program::{FnId, Function, Param, ParamTy, Program};
+pub use span::Span;
 pub use stmt::{ArrayRange, ForLoop, LoopAnnotation, LoopId, Scheme, Stmt};
 pub use types::{Ty, Value};
 

@@ -352,6 +352,7 @@ mod tests {
             body: vec![],
             num_vars: 0,
             var_names: vec![],
+            span: crate::Span::none(),
         };
         assert_eq!(expr(&prog, &f, &Expr::int(-5)), "(0 - 5)");
         assert_eq!(expr(&prog, &f, &Expr::int(7)), "7");

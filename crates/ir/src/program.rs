@@ -1,5 +1,6 @@
 //! Programs, functions and parameters.
 
+use crate::span::Span;
 use crate::stmt::{ForLoop, LoopId, Stmt};
 use crate::types::Ty;
 use crate::VarId;
@@ -57,6 +58,8 @@ pub struct Function {
     pub num_vars: u32,
     /// Source-level variable names by slot, for diagnostics and reports.
     pub var_names: Vec<String>,
+    /// Source position of the function declaration.
+    pub span: Span,
 }
 
 impl Function {
@@ -161,9 +164,11 @@ mod tests {
                 step: Expr::int(1),
                 body: vec![],
                 annot: Some(LoopAnnotation::parallel()),
+                span: Span::none(),
             })],
             num_vars: 1,
             var_names: vec!["i".into()],
+            span: Span::none(),
         }
     }
 

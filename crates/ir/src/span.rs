@@ -1,0 +1,66 @@
+//! Source spans carried from the front end into the IR.
+//!
+//! The lexer stamps every token with a 1-based line/column; the parser
+//! copies it onto AST nodes; lowering threads it into the IR structures the
+//! analyses and the linter report on ([`crate::ForLoop`],
+//! [`crate::LoopAnnotation`], [`crate::ArrayRange`], [`crate::Function`]).
+//! IR built programmatically (e.g. via [`crate::FnBuilder`]) carries
+//! [`Span::none`], which diagnostics render as "<generated>".
+
+use std::fmt;
+
+/// A source position: 1-based line and column. `(0, 0)` means "unknown /
+/// generated" — IR assembled without source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Span {
+    /// 1-based source line; 0 when unknown.
+    pub line: u32,
+    /// 1-based source column; 0 when unknown.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span at `line:col` (both 1-based).
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+
+    /// The unknown/generated span.
+    pub fn none() -> Span {
+        Span::default()
+    }
+
+    /// Does this span point at real source text?
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            f.write_str("<generated>")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_known_and_generated() {
+        assert_eq!(Span::new(3, 7).to_string(), "3:7");
+        assert_eq!(Span::none().to_string(), "<generated>");
+        assert!(!Span::none().is_known());
+        assert!(Span::new(1, 1).is_known());
+    }
+
+    #[test]
+    fn ordering_is_line_major() {
+        assert!(Span::new(2, 1) < Span::new(3, 9));
+        assert!(Span::new(2, 1) < Span::new(2, 2));
+    }
+}

@@ -1,6 +1,7 @@
 //! Statement nodes, canonical loops, and loop annotations (paper Table I).
 
 use crate::expr::Expr;
+use crate::span::Span;
 use crate::types::Ty;
 use crate::VarId;
 use std::fmt;
@@ -50,6 +51,8 @@ pub struct ArrayRange {
     pub lo: Option<Expr>,
     /// Exclusive element upper bound (`None` = array length).
     pub hi: Option<Expr>,
+    /// Source position of the clause entry (`arr[lo:hi]`).
+    pub span: Span,
 }
 
 impl ArrayRange {
@@ -59,6 +62,7 @@ impl ArrayRange {
             array,
             lo: None,
             hi: None,
+            span: Span::none(),
         }
     }
 }
@@ -85,6 +89,11 @@ pub struct LoopAnnotation {
     /// `scheme(s)` — scheduling scheme; `None` means the paper's default
     /// (sharing).
     pub scheme: Option<Scheme>,
+    /// Source position of the `/* acc ... */` comment.
+    pub span: Span,
+    /// Source positions of the `private(...)` entries, parallel to
+    /// [`LoopAnnotation::private`] (empty when built programmatically).
+    pub private_spans: Vec<Span>,
 }
 
 impl LoopAnnotation {
@@ -131,6 +140,8 @@ pub struct ForLoop {
     pub body: Vec<Stmt>,
     /// Attached `/* acc ... */` annotation, if any.
     pub annot: Option<LoopAnnotation>,
+    /// Source position of the `for` keyword.
+    pub span: Span,
 }
 
 impl ForLoop {
@@ -262,6 +273,7 @@ mod tests {
             step: Expr::int(1),
             body: vec![],
             annot: annotated.then(LoopAnnotation::parallel),
+            span: Span::none(),
         }
     }
 

@@ -1,0 +1,259 @@
+//! Lint diagnostics: severities, span-carrying findings, caret rendering
+//! against the original source, and a stable hand-rolled JSON encoding
+//! (the build environment has no serde; the format below is pinned by the
+//! golden files under `tests/corpus/`).
+
+use japonica_ir::{LoopId, Span};
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: worth a look, never wrong to ignore.
+    Note,
+    /// Probably a mistake (or a performance problem); execution stays
+    /// correct because the runtime degrades rather than trusts.
+    Warning,
+    /// The annotation asks for something the toolchain will execute
+    /// incorrectly or reject.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both renderings.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding, anchored to a source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule code (`L001`..`L007`).
+    pub rule: &'static str,
+    pub severity: Severity,
+    /// Anchor position; [`Span::none`] when the finding has no single
+    /// source point (then the caret line is omitted).
+    pub span: Span,
+    /// The annotated loop the finding concerns, when applicable.
+    pub loop_id: Option<LoopId>,
+    /// Enclosing function name.
+    pub function: String,
+    /// One-line human description.
+    pub message: String,
+}
+
+/// Every finding for one program, in source order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LintReport {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Sort by source position (unknown spans last), then rule code —
+    /// the order both renderings present.
+    pub fn sort(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let ka = (!a.span.is_known(), a.span, a.rule, a.loop_id);
+            let kb = (!b.span.is_known(), b.span, b.rule, b.loop_id);
+            ka.cmp(&kb)
+        });
+    }
+
+    /// Number of `error`-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of `warning`-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of `note`-severity findings.
+    pub fn note_count(&self) -> usize {
+        self.count(Severity::Note)
+    }
+
+    fn count(&self, s: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == s).count()
+    }
+
+    /// No errors (warnings and notes allowed).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Human rendering with a caret under the offending source column:
+    ///
+    /// ```text
+    /// warning[L001]: `parallel` is unsound: ...
+    ///   --> gauss.java:4:9 (in f, loop L0)
+    ///    |
+    ///  4 |         /* acc parallel */
+    ///    |         ^
+    /// ```
+    pub fn render(&self, src: &str) -> String {
+        let lines: Vec<&str> = src.lines().collect();
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!("{}[{}]: {}\n", d.severity, d.rule, d.message));
+            let ctx = match d.loop_id {
+                Some(l) => format!(" (in {}, loop {})", d.function, l),
+                None => format!(" (in {})", d.function),
+            };
+            if d.span.is_known() {
+                out.push_str(&format!("  --> {}:{}{}\n", d.span.line, d.span.col, ctx));
+                if let Some(text) = lines.get(d.span.line as usize - 1) {
+                    let gutter = d.span.line.to_string();
+                    let pad = " ".repeat(gutter.len());
+                    out.push_str(&format!(" {pad} |\n"));
+                    out.push_str(&format!(" {gutter} | {text}\n"));
+                    // The caret column: tabs count as one column (the lexer
+                    // counts them the same way).
+                    let indent = " ".repeat(d.span.col.saturating_sub(1) as usize);
+                    out.push_str(&format!(" {pad} | {indent}^\n"));
+                }
+            } else {
+                out.push_str(&format!("  --> <generated>{ctx}\n"));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} note(s)\n",
+            self.error_count(),
+            self.warning_count(),
+            self.note_count()
+        ));
+        out
+    }
+
+    /// Stable JSON encoding (keys in fixed order, one diagnostic per
+    /// array element). Unknown spans encode as line/col 0.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {");
+            s.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+            s.push_str(&format!("\"severity\": {}, ", json_str(d.severity.as_str())));
+            s.push_str(&format!("\"line\": {}, ", d.span.line));
+            s.push_str(&format!("\"col\": {}, ", d.span.col));
+            match d.loop_id {
+                Some(l) => s.push_str(&format!("\"loop\": {}, ", json_str(&l.to_string()))),
+                None => s.push_str("\"loop\": null, "),
+            }
+            s.push_str(&format!("\"function\": {}, ", json_str(&d.function)));
+            s.push_str(&format!("\"message\": {}", json_str(&d.message)));
+            s.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+        s.push_str(&format!("  \"errors\": {},\n", self.error_count()));
+        s.push_str(&format!("  \"warnings\": {},\n", self.warning_count()));
+        s.push_str(&format!("  \"notes\": {}\n", self.note_count()));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// JSON string literal with the required escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, sev: Severity, line: u32, col: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: sev,
+            span: Span::new(line, col),
+            loop_id: Some(LoopId(0)),
+            function: "f".into(),
+            message: "msg".into(),
+        }
+    }
+
+    #[test]
+    fn severity_order() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn sort_is_position_major() {
+        let mut r = LintReport {
+            diagnostics: vec![
+                diag("L007", Severity::Warning, 5, 1),
+                diag("L001", Severity::Warning, 2, 9),
+                diag("L002", Severity::Error, 2, 9),
+            ],
+        };
+        r.sort();
+        let rules: Vec<_> = r.diagnostics.iter().map(|d| d.rule).collect();
+        assert_eq!(rules, vec!["L001", "L002", "L007"]);
+    }
+
+    #[test]
+    fn caret_lands_under_the_column() {
+        let src = "int x;\n/* acc parallel */\n";
+        let r = LintReport {
+            diagnostics: vec![diag("L001", Severity::Warning, 2, 4)],
+        };
+        let text = r.render(src);
+        assert!(text.contains(" 2 | /* acc parallel */"));
+        // col 4 -> three spaces of indent before the caret
+        assert!(text.contains(" |    ^\n"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut d = diag("L006", Severity::Error, 1, 1);
+        d.message = "calls \"g\"\n".into();
+        let r = LintReport {
+            diagnostics: vec![d],
+        };
+        let j = r.to_json();
+        assert!(j.contains("\\\"g\\\"\\n"));
+        assert!(j.contains("\"errors\": 1"));
+        assert!(j.contains("\"warnings\": 0"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = LintReport::default();
+        assert!(r.is_clean());
+        assert!(r.to_json().contains("\"diagnostics\": [],"));
+    }
+}

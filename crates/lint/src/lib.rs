@@ -1,0 +1,313 @@
+//! # japonica-lint
+//!
+//! Annotation soundness auditor for Japonica MiniJava programs: a static
+//! pass that cross-checks every `/* acc ... */` annotation against what the
+//! dependence analysis, call-effect summaries and affine region inference
+//! can actually prove, and reports span-carrying diagnostics.
+//!
+//! The rules (see [`RULES`]):
+//!
+//! | code | severity | finding |
+//! |------|----------|---------|
+//! | L001 | warning  | `parallel` on a loop with a proven loop-carried true dependence |
+//! | L002 | error    | `copyin`/`copyout` range shorter than the accessed region |
+//! | L003 | warning  | copy range grossly larger than the accessed region |
+//! | L004 | warning  | false-dependence-only scalar missing from `private(...)` |
+//! | L005 | note     | array parameters that would carry a dependence if they alias |
+//! | L006 | error    | annotated loop calls a function that writes caller memory |
+//! | L007 | warning  | `threads(n)` exceeds the simulated core count |
+//!
+//! Reports render two ways: [`LintReport::render`] (human, caret under the
+//! offending column) and [`LintReport::to_json`] (stable machine format).
+//!
+//! ```
+//! let src = "static void f(double[] a, int n) {
+//!     /* acc parallel threads(64) */
+//!     for (int i = 0; i < n; i++) { a[i] = 1.0; }
+//! }";
+//! let report = japonica_lint::lint_source(src, &Default::default()).unwrap();
+//! assert_eq!(report.diagnostics[0].rule, "L007");
+//! ```
+
+pub mod diag;
+pub mod rules;
+
+pub use diag::{Diagnostic, LintReport, Severity};
+pub use rules::{lint_program, RuleInfo, RULES};
+
+use japonica_frontend::CompileError;
+use japonica_ir::Program;
+
+/// Tunables for the audit.
+#[derive(Debug, Clone)]
+pub struct LintConfig {
+    /// L007 fires when `threads(n)` exceeds this (default: the simulated
+    /// CPU's 12 cores).
+    pub max_threads: u32,
+    /// L003 fires when a copy range exceeds the accessed region by more
+    /// than this many elements on either side.
+    pub over_copy_threshold: i64,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            max_threads: 12,
+            over_copy_threshold: 64,
+        }
+    }
+}
+
+/// Compile `src` and audit it. Compilation failures come back as the
+/// frontend's [`CompileError`]; lint findings never fail this call.
+pub fn lint_source(src: &str, cfg: &LintConfig) -> Result<LintReport, CompileError> {
+    let p = japonica_frontend::compile_source(src)?;
+    Ok(lint_program(&p, cfg))
+}
+
+/// Audit an already-compiled [`Program`].
+pub fn lint(p: &Program, cfg: &LintConfig) -> LintReport {
+    lint_program(p, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(src: &str) -> LintReport {
+        lint_source(src, &LintConfig::default()).unwrap()
+    }
+
+    fn rules_of(r: &LintReport) -> Vec<&'static str> {
+        r.diagnostics.iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_loop_is_silent() {
+        let r = report(
+            "static void f(double[] a, double[] b, double[] c, int n) {
+                /* acc parallel copyin(a[0:n], b[0:n]) copyout(c[0:n]) */
+                for (int i = 0; i < n; i++) { c[i] = a[i] + b[i]; }
+            }",
+        );
+        assert!(r.diagnostics.is_empty(), "got {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn l001_unsound_parallel_with_span_on_annotation() {
+        let r = report(
+            "static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 1; i < n; i++) { a[i] = a[i - 1] * 2.0; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L001"]);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.severity, Severity::Warning);
+        assert_eq!(d.span.line, 2, "span must point at the annotation comment");
+        assert!(d.message.contains("unsound"));
+    }
+
+    #[test]
+    fn l002_short_copyin_upper_bound() {
+        let r = report(
+            "static void f(double[] a, double[] c, int n) {
+                /* acc parallel copyin(a[0:n-1]) copyout(c[0:n]) */
+                for (int i = 0; i < n; i++) { c[i] = a[i]; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L002"]);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("1 element(s) short"), "{}", d.message);
+        assert!(d.message.contains('a'));
+    }
+
+    #[test]
+    fn l002_short_copyin_lower_bound() {
+        let r = report(
+            "static void f(double[] a, double[] c, int n) {
+                /* acc parallel copyin(a[2:n]) copyout(c[0:n]) */
+                for (int i = 0; i < n; i++) { c[i] = a[i]; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L002"]);
+        assert!(r.diagnostics[0].message.contains("first 2 element(s)"));
+    }
+
+    #[test]
+    fn l002_short_copyout() {
+        let r = report(
+            "static void f(double[] c, int n) {
+                /* acc parallel copyout(c[0:n-4]) */
+                for (int i = 0; i < n; i++) { c[i] = 1.0; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L002"]);
+        assert!(r.diagnostics[0].message.contains("copyout"));
+    }
+
+    #[test]
+    fn l002_respects_shifted_access() {
+        // reads a[i+1] for i in [0,n) -> needs a[1:n+1]; a[0:n] is short.
+        let r = report(
+            "static void f(double[] a, double[] c, int n) {
+                /* acc parallel copyin(a[0:n]) copyout(c[0:n]) */
+                for (int i = 0; i < n; i++) { c[i] = a[i + 1]; }
+            }",
+        );
+        // (the offset pattern also legitimately draws the L005 aliasing note)
+        assert!(rules_of(&r).contains(&"L002"), "got {:?}", r.diagnostics);
+        let d = r.diagnostics.iter().find(|d| d.rule == "L002").unwrap();
+        assert!(d.message.contains("1 element(s) short"), "{}", d.message);
+    }
+
+    #[test]
+    fn l003_gross_over_copy() {
+        let r = report(
+            "static void f(double[] a, double[] c, int n) {
+                /* acc parallel copyin(a[0:n+100]) copyout(c[0:n]) */
+                for (int i = 0; i < n; i++) { c[i] = a[i]; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L003"]);
+        assert_eq!(r.diagnostics[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn l003_threshold_tolerates_small_slack() {
+        let r = report(
+            "static void f(double[] a, double[] c, int n) {
+                /* acc parallel copyin(a[0:n+8]) copyout(c[0:n]) */
+                for (int i = 0; i < n; i++) { c[i] = a[i]; }
+            }",
+        );
+        assert!(r.diagnostics.is_empty(), "got {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn l004_missing_private() {
+        // `t` is overwritten every iteration and never read across
+        // iterations: an output (false) dependence only.
+        let r = report(
+            "static void f(double[] a, int n) {
+                double t = 0.0;
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { t = a[i] * 2.0; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L004"]);
+        assert!(r.diagnostics[0].message.contains("private(t)"));
+    }
+
+    #[test]
+    fn l004_silent_when_private_given() {
+        let r = report(
+            "static void f(double[] a, int n) {
+                double t = 0.0;
+                /* acc parallel private(t) */
+                for (int i = 0; i < n; i++) { t = a[i] * 2.0; }
+            }",
+        );
+        assert!(r.diagnostics.is_empty(), "got {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn l005_aliasable_parameters_note() {
+        // If b aliases a, writing b[i] conflicts with reading a[i+1].
+        let r = report(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[i] = a[i + 1]; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L005"]);
+        assert_eq!(r.diagnostics[0].severity, Severity::Note);
+    }
+
+    #[test]
+    fn l005_silent_for_same_iteration_pattern() {
+        // b[i] vs a[i]: even aliased, the conflict is within one iteration.
+        let r = report(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+            }",
+        );
+        assert!(r.diagnostics.is_empty(), "got {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn l006_impure_call_is_error() {
+        let r = report(
+            "static void init(double[] z, int k) { z[k] = 0.0; }
+             static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { init(a, i); }
+            }",
+        );
+        assert!(rules_of(&r).contains(&"L006"));
+        let d = r.diagnostics.iter().find(|d| d.rule == "L006").unwrap();
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.message.contains("init"));
+    }
+
+    #[test]
+    fn l006_silent_for_pure_call() {
+        let r = report(
+            "static double square(double x) { return x * x; }
+             static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i] = square(a[i]); }
+            }",
+        );
+        assert!(!rules_of(&r).contains(&"L006"), "got {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn l007_threads_over_limit() {
+        let r = report(
+            "static void f(double[] a, int n) {
+                /* acc parallel threads(64) */
+                for (int i = 0; i < n; i++) { a[i] = 1.0; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L007"]);
+        assert!(r.diagnostics[0].message.contains("threads(64)"));
+        let ok = report(
+            "static void f(double[] a, int n) {
+                /* acc parallel threads(12) */
+                for (int i = 0; i < n; i++) { a[i] = 1.0; }
+            }",
+        );
+        assert!(ok.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn config_is_respected() {
+        let src = "static void f(double[] a, int n) {
+            /* acc parallel threads(8) */
+            for (int i = 0; i < n; i++) { a[i] = 1.0; }
+        }";
+        let strict = LintConfig {
+            max_threads: 4,
+            ..LintConfig::default()
+        };
+        let r = lint_source(src, &strict).unwrap();
+        assert_eq!(rules_of(&r), vec!["L007"]);
+    }
+
+    #[test]
+    fn compile_error_propagates() {
+        assert!(lint_source("static void f( {", &LintConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rule_registry_matches_codes() {
+        let codes: Vec<_> = RULES.iter().map(|r| r.code).collect();
+        assert_eq!(
+            codes,
+            vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007"]
+        );
+    }
+}

@@ -1,0 +1,471 @@
+//! The rule passes L001..L007.
+//!
+//! Every annotated loop is re-analyzed with whole-program effect summaries
+//! (so callee side effects are visible) and audited against its own
+//! annotation. The rules never change what the compiler does — they explain,
+//! before execution, where the runtime will have to degrade (TLS fallback,
+//! profiling) or where an annotation asks for something unsound.
+
+use crate::diag::{Diagnostic, LintReport, Severity};
+use crate::LintConfig;
+use japonica_analysis::{analyze_loop_with, linearize, Access, AccessKind, Affine, Determination, EffectSummaries};
+use japonica_ir::{ArrayRange, Expr, ForLoop, Function, ParamTy, Program, Span, VarId};
+use std::collections::BTreeSet;
+
+/// Static description of one rule (for `--help`-style listings and docs).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    pub code: &'static str,
+    pub severity: Severity,
+    pub summary: &'static str,
+}
+
+/// The rule registry, in code order.
+pub const RULES: [RuleInfo; 7] = [
+    RuleInfo {
+        code: "L001",
+        severity: Severity::Warning,
+        summary: "`parallel` on a loop with a proven loop-carried true dependence",
+    },
+    RuleInfo {
+        code: "L002",
+        severity: Severity::Error,
+        summary: "copyin/copyout range shorter than the region the loop accesses",
+    },
+    RuleInfo {
+        code: "L003",
+        severity: Severity::Warning,
+        summary: "copy range much larger than the accessed region (wasted transfer)",
+    },
+    RuleInfo {
+        code: "L004",
+        severity: Severity::Warning,
+        summary: "scalar with only false dependences is missing from private(...)",
+    },
+    RuleInfo {
+        code: "L005",
+        severity: Severity::Note,
+        summary: "array parameters that would carry a dependence if they alias",
+    },
+    RuleInfo {
+        code: "L006",
+        severity: Severity::Error,
+        summary: "annotated loop calls a function that writes caller-visible memory",
+    },
+    RuleInfo {
+        code: "L007",
+        severity: Severity::Warning,
+        summary: "threads(n) exceeds the simulated platform's core count",
+    },
+];
+
+/// Audit every annotated loop of `p`. The report comes back sorted in
+/// source order.
+pub fn lint_program(p: &Program, cfg: &LintConfig) -> LintReport {
+    let summaries = EffectSummaries::build(p);
+    let mut report = LintReport::default();
+    for f in &p.functions {
+        for l in f.all_loops() {
+            if l.is_annotated() {
+                check_loop(p, f, l, &summaries, cfg, &mut report);
+            }
+        }
+    }
+    report.sort();
+    report
+}
+
+/// One loop, all rules.
+fn check_loop(
+    p: &Program,
+    f: &Function,
+    l: &ForLoop,
+    summaries: &EffectSummaries,
+    cfg: &LintConfig,
+    report: &mut LintReport,
+) {
+    let annot = match &l.annot {
+        Some(a) => a,
+        None => return,
+    };
+    let analysis = analyze_loop_with(l, Some(summaries));
+    let mut emit = |rule: &'static str, severity: Severity, span: Span, message: String| {
+        report.diagnostics.push(Diagnostic {
+            rule,
+            severity,
+            span,
+            loop_id: Some(l.id),
+            function: f.name.clone(),
+            message,
+        });
+    };
+
+    // --- L001: unsound `parallel` ---------------------------------------
+    if let Determination::Deterministic(s) = &analysis.determination {
+        if s.true_dep {
+            let why = s
+                .notes
+                .iter()
+                .find(|n| n.contains("RAW") || n.contains("read and updated"))
+                .map(|n| resolve_var_ids(n, f))
+                .unwrap_or_else(|| "a loop-carried true dependence is proven".into());
+            let dist = match s.min_true_distance {
+                Some(d) => format!(" (min distance {d})"),
+                None => String::new(),
+            };
+            emit(
+                "L001",
+                Severity::Warning,
+                annot.span,
+                format!(
+                    "`parallel` is unsound: {why}{dist}; the runtime will fall back to \
+                     TLS or sequential execution instead of trusting this annotation"
+                ),
+            );
+        }
+    }
+
+    // --- L002 / L003: data-clause ranges vs the accessed region ---------
+    if let Some((start, end)) = loop_bounds(l, &analysis) {
+        check_ranges(
+            f, l, &analysis.accesses, &annot.copyin, "copyin", AccessKind::Read,
+            &start, &end, cfg, &mut emit,
+        );
+        check_ranges(
+            f, l, &analysis.accesses, &annot.copyout, "copyout", AccessKind::Write,
+            &start, &end, cfg, &mut emit,
+        );
+    }
+
+    // --- L004: privatization candidate ----------------------------------
+    for v in analysis.classes.scalar_live_out() {
+        if annot.private.contains(&v) {
+            continue;
+        }
+        let u = analysis.classes.uses[&v];
+        if !u.read {
+            let name = f.var_name(v);
+            emit(
+                "L004",
+                Severity::Warning,
+                annot.span,
+                format!(
+                    "scalar `{name}` is overwritten by every iteration but carries no \
+                     value between iterations; adding `private({name})` removes the \
+                     false dependence"
+                ),
+            );
+        }
+    }
+
+    // --- L005: may-aliasing array parameters ----------------------------
+    check_aliasing(f, l, &analysis.accesses, &mut emit);
+
+    // --- L006: impure call in an annotated loop -------------------------
+    let mut impure: BTreeSet<japonica_ir::FnId> = BTreeSet::new();
+    for s in &l.body {
+        s.walk_exprs(&mut |e| {
+            if let Expr::Call(fid, _) = e {
+                if !summaries.is_pure(*fid) {
+                    impure.insert(*fid);
+                }
+            }
+        });
+    }
+    for fid in impure {
+        let callee = p
+            .function(fid)
+            .map(|g| g.name.clone())
+            .unwrap_or_else(|| fid.to_string());
+        emit(
+            "L006",
+            Severity::Error,
+            l.span,
+            format!(
+                "loop calls `{callee}`, which may write through its array \
+                 parameter(s); the `parallel` annotation cannot be validated \
+                 statically"
+            ),
+        );
+    }
+
+    // --- L007: threads clause vs simulated device -----------------------
+    if let Some(t) = annot.threads {
+        if t > cfg.max_threads {
+            emit(
+                "L007",
+                Severity::Warning,
+                annot.span,
+                format!(
+                    "threads({t}) exceeds the simulated platform's {} CPU cores; \
+                     the extra threads only add scheduling overhead",
+                    cfg.max_threads
+                ),
+            );
+        }
+    }
+}
+
+/// Replace raw `v<N>` slot ids in an analysis note with the source-level
+/// variable names. Highest slots first so `v1` never clobbers `v12`.
+fn resolve_var_ids(note: &str, f: &Function) -> String {
+    let mut out = note.to_string();
+    for i in (0..f.var_names.len()).rev() {
+        let slot = format!("v{i}");
+        if out.contains(&slot) {
+            out = out.replace(&slot, &format!("`{}`", f.var_names[i]));
+        }
+    }
+    out
+}
+
+/// The loop's `[start, end)` bounds as symbolic affine forms over
+/// loop-invariant variables, provided the step is the constant 1 (the
+/// canonical form every corpus loop uses; other steps make the last
+/// iteration value non-affine).
+fn loop_bounds(l: &ForLoop, analysis: &japonica_analysis::LoopAnalysis) -> Option<(Affine, Affine)> {
+    let classes = &analysis.classes;
+    let inv = |v: VarId| v != l.var && classes.is_invariant(v);
+    let step = linearize(&l.step, l.var, &inv)?;
+    if step != Affine::constant(1) {
+        return None;
+    }
+    let start = linearize(&l.start, l.var, &inv)?;
+    let end = linearize(&l.end, l.var, &inv)?;
+    if start.uses_induction() || end.uses_induction() {
+        return None;
+    }
+    Some((start, end))
+}
+
+/// The element region `[lo, hi)` of array `arr` touched by accesses of
+/// `kind`, or `None` when any matching access defeats affine inference
+/// (opaque call, nonlinear index, symbolically incomparable bounds).
+fn affine_region(
+    accesses: &[Access],
+    arr: VarId,
+    kind: AccessKind,
+    start: &Affine,
+    end: &Affine,
+) -> Option<(Affine, Affine)> {
+    let mut region: Option<(Affine, Affine)> = None;
+    for a in accesses.iter().filter(|a| a.array == arr && a.kind == kind) {
+        if a.from_call {
+            return None; // a callee touches unknown elements
+        }
+        let form = a.affine.as_ref()?;
+        let sym_part = Affine {
+            coeff: 0,
+            sym: form.sym.clone(),
+            konst: form.konst,
+        };
+        let (lo, last) = if form.coeff == 0 {
+            (sym_part.clone(), sym_part)
+        } else {
+            let at_start = start.clone().scale(form.coeff)?.add(&sym_part)?;
+            let last_iter = end.clone().add(&Affine::constant(-1))?;
+            let at_last = last_iter.scale(form.coeff)?.add(&sym_part)?;
+            if form.coeff > 0 {
+                (at_start, at_last)
+            } else {
+                (at_last, at_start)
+            }
+        };
+        let hi = last.add(&Affine::constant(1))?;
+        region = Some(match region {
+            None => (lo, hi),
+            Some((rlo, rhi)) => (pick(rlo, lo, true)?, pick(rhi, hi, false)?),
+        });
+    }
+    region
+}
+
+/// Pick the smaller (`want_min`) or larger of two forms when their
+/// difference is a known constant.
+fn pick(a: Affine, b: Affine, want_min: bool) -> Option<Affine> {
+    let d = cmp_const(&a, &b)?;
+    let a_first = if want_min { d <= 0 } else { d >= 0 };
+    Some(if a_first { a } else { b })
+}
+
+/// `a - b` when it reduces to a plain integer.
+fn cmp_const(a: &Affine, b: &Affine) -> Option<i64> {
+    let d = a.diff(b)?;
+    d.is_constant().then_some(d.konst)
+}
+
+/// L002 (range too short — error) and L003 (gross over-copy — warning)
+/// for one data clause list.
+#[allow(clippy::too_many_arguments)]
+fn check_ranges(
+    f: &Function,
+    l: &ForLoop,
+    accesses: &[Access],
+    ranges: &[ArrayRange],
+    clause: &str,
+    kind: AccessKind,
+    start: &Affine,
+    end: &Affine,
+    cfg: &LintConfig,
+    emit: &mut impl FnMut(&'static str, Severity, Span, String),
+) {
+    let classes_inv = |_: VarId| true; // clause bounds are loop-entry values
+    let verb = if kind == AccessKind::Read { "reads" } else { "writes" };
+    for r in ranges {
+        let Some((rlo, rhi)) = affine_region(accesses, r.array, kind, start, end) else {
+            continue;
+        };
+        let name = f.var_name(r.array);
+        let clause_lo = match &r.lo {
+            Some(e) => match linearize(e, l.var, &classes_inv) {
+                Some(a) => a,
+                None => continue,
+            },
+            None => Affine::constant(0),
+        };
+        // Lower side.
+        if let Some(d) = cmp_const(&clause_lo, &rlo) {
+            if d > 0 {
+                emit(
+                    "L002",
+                    Severity::Error,
+                    r.span,
+                    format!(
+                        "{clause} range for `{name}` misses the first {d} element(s) \
+                         the loop {verb}"
+                    ),
+                );
+            } else if -d > cfg.over_copy_threshold {
+                emit(
+                    "L003",
+                    Severity::Warning,
+                    r.span,
+                    format!(
+                        "{clause} range for `{name}` starts {} element(s) below \
+                         anything the loop {verb}; the extra transfer is wasted",
+                        -d
+                    ),
+                );
+            }
+        }
+        // Upper side (absent hi = whole array: never short, over-copy
+        // unknowable without the runtime length).
+        if let Some(e) = &r.hi {
+            let Some(clause_hi) = linearize(e, l.var, &classes_inv) else {
+                continue;
+            };
+            if let Some(d) = cmp_const(&rhi, &clause_hi) {
+                if d > 0 {
+                    emit(
+                        "L002",
+                        Severity::Error,
+                        r.span,
+                        format!(
+                            "{clause} range for `{name}` ends {d} element(s) short \
+                             of the region the loop {verb}"
+                        ),
+                    );
+                } else if -d > cfg.over_copy_threshold {
+                    emit(
+                        "L003",
+                        Severity::Warning,
+                        r.span,
+                        format!(
+                            "{clause} range for `{name}` extends {} element(s) past \
+                             anything the loop {verb}; the extra transfer is wasted",
+                            -d
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// L005: distinct array *parameters* whose access patterns would carry a
+/// definite loop-carried dependence if the caller passed the same array
+/// for both. Restricted to affine pairs where the dependence is certain —
+/// possible-but-unproven overlaps stay silent.
+fn check_aliasing(
+    f: &Function,
+    l: &ForLoop,
+    accesses: &[Access],
+    emit: &mut impl FnMut(&'static str, Severity, Span, String),
+) {
+    let array_params: BTreeSet<VarId> = f
+        .params
+        .iter()
+        .filter(|p| matches!(p.ty, ParamTy::Array(_)))
+        .map(|p| p.var)
+        .collect();
+    let mut flagged: BTreeSet<(VarId, VarId)> = BTreeSet::new();
+    let affine_param = |a: &Access| {
+        !a.from_call && a.affine.is_some() && array_params.contains(&a.array)
+    };
+    for w in accesses.iter().filter(|a| a.kind == AccessKind::Write) {
+        if !affine_param(w) {
+            continue;
+        }
+        for o in accesses.iter() {
+            if !affine_param(o) || o.array == w.array {
+                continue;
+            }
+            let key = if w.array < o.array {
+                (w.array, o.array)
+            } else {
+                (o.array, w.array)
+            };
+            if flagged.contains(&key) {
+                continue;
+            }
+            let (wf, of) = match (&w.affine, &o.affine) {
+                (Some(x), Some(y)) => (x, y),
+                _ => continue,
+            };
+            if would_dep_if_aliased(wf, of) {
+                flagged.insert(key);
+                emit(
+                    "L005",
+                    Severity::Note,
+                    l.span,
+                    format!(
+                        "array parameters `{}` and `{}` would carry a loop \
+                         dependence if they alias; the analysis assumes the \
+                         caller passes distinct arrays",
+                        f.var_name(key.0),
+                        f.var_name(key.1)
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Would accesses with these affine index forms conflict across iterations
+/// if they hit the same array? Mirrors the strong/weak-zero SIV deciders,
+/// keeping only the *definitely dependent* outcomes.
+fn would_dep_if_aliased(a: &Affine, b: &Affine) -> bool {
+    if !a.same_symbols(b) {
+        return false;
+    }
+    let Some(dk) = a.konst.checked_sub(b.konst) else {
+        return false;
+    };
+    if a.coeff == b.coeff {
+        if a.coeff == 0 {
+            // Both fixed: the same element every iteration.
+            return dk == 0;
+        }
+        // Strong SIV: a nonzero iteration distance exists.
+        return dk != 0 && dk.checked_rem(a.coeff) == Some(0);
+    }
+    if a.coeff == 0 || b.coeff == 0 {
+        // Weak-zero SIV: the moving side crosses the fixed location.
+        let (moving, fixed) = if a.coeff == 0 { (b, a) } else { (a, b) };
+        let Some(d) = fixed.konst.checked_sub(moving.konst) else {
+            return false;
+        };
+        return d.checked_rem(moving.coeff) == Some(0);
+    }
+    false
+}

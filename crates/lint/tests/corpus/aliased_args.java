@@ -1,0 +1,6 @@
+static void shift(double[] a, double[] b, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) {
+        b[i] = a[i + 1];
+    }
+}

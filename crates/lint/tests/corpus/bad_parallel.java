@@ -1,0 +1,6 @@
+static void prefix(double[] a, int n) {
+    /* acc parallel */
+    for (int i = 1; i < n; i++) {
+        a[i] = a[i - 1] + a[i];
+    }
+}

@@ -1,0 +1,10 @@
+static void bump(double[] z, int k) {
+    z[k] = z[k] + 1.0;
+}
+
+static void all(double[] a, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) {
+        bump(a, i);
+    }
+}

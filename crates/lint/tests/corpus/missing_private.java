@@ -1,0 +1,7 @@
+static void scan(double[] a, int n) {
+    double t = 0.0;
+    /* acc parallel */
+    for (int i = 0; i < n; i++) {
+        t = a[i] * 3.0;
+    }
+}

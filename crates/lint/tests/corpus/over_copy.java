@@ -1,0 +1,6 @@
+static void head(double[] a, double[] b, int n) {
+    /* acc parallel copyin(a[0:n+512]) copyout(b[0:n]) */
+    for (int i = 0; i < n; i++) {
+        b[i] = a[i] * 0.5;
+    }
+}

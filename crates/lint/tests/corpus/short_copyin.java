@@ -1,0 +1,6 @@
+static void copy(double[] src, double[] dst, int n) {
+    /* acc parallel copyin(src[2:n]) copyout(dst[0:n]) */
+    for (int i = 0; i < n; i++) {
+        dst[i] = src[i];
+    }
+}

@@ -1,0 +1,6 @@
+static void fill(double[] out, int n) {
+    /* acc parallel copyout(out[0:n-8]) */
+    for (int i = 0; i < n; i++) {
+        out[i] = 2.5;
+    }
+}

@@ -1,0 +1,6 @@
+static void wide(double[] a, int n) {
+    /* acc parallel threads(64) */
+    for (int i = 0; i < n; i++) {
+        a[i] = 1.0;
+    }
+}

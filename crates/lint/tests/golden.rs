@@ -1,0 +1,129 @@
+//! Golden tests: each seeded-unsound corpus file must produce exactly the
+//! checked-in JSON report (rule, severity, source span and message pinned
+//! byte-for-byte), and the clean Table II workload corpus must lint with
+//! zero errors.
+//!
+//! To regenerate a golden after an intentional change:
+//!
+//! ```text
+//! cargo run -p japonica-bench --bin lint -- --json \
+//!     crates/lint/tests/corpus/<name>.java > crates/lint/tests/corpus/<name>.golden.json
+//! ```
+
+use japonica_lint::{lint_source, LintConfig, Severity};
+
+fn corpus(name: &str, ext: &str) -> String {
+    let path = format!(
+        "{}/tests/corpus/{name}.{ext}",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// (corpus file, the one rule it seeds, its severity)
+const SEEDED: [(&str, &str, Severity); 8] = [
+    ("bad_parallel", "L001", Severity::Warning),
+    ("short_copyin", "L002", Severity::Error),
+    ("short_copyout", "L002", Severity::Error),
+    ("over_copy", "L003", Severity::Warning),
+    ("missing_private", "L004", Severity::Warning),
+    ("aliased_args", "L005", Severity::Note),
+    ("impure_call", "L006", Severity::Error),
+    ("threads_limit", "L007", Severity::Warning),
+];
+
+#[test]
+fn seeded_corpus_matches_goldens() {
+    for (name, _, _) in SEEDED {
+        let src = corpus(name, "java");
+        let golden = corpus(name, "golden.json");
+        let report = lint_source(&src, &LintConfig::default()).unwrap();
+        // The CLI's println! appends one newline beyond to_json()'s own;
+        // compare modulo trailing whitespace so both generations agree.
+        assert_eq!(
+            report.to_json().trim_end(),
+            golden.trim_end(),
+            "golden mismatch for {name}; regenerate per the module docs if intentional"
+        );
+    }
+}
+
+#[test]
+fn seeded_corpus_triggers_exactly_its_rule() {
+    for (name, rule, severity) in SEEDED {
+        let src = corpus(name, "java");
+        let report = lint_source(&src, &LintConfig::default()).unwrap();
+        assert_eq!(
+            report.diagnostics.len(),
+            1,
+            "{name} must trigger exactly one finding, got {:?}",
+            report.diagnostics
+        );
+        let d = &report.diagnostics[0];
+        assert_eq!(d.rule, rule, "{name}");
+        assert_eq!(d.severity, severity, "{name}");
+        assert!(d.span.is_known(), "{name} finding must carry a real span");
+    }
+}
+
+#[test]
+fn seeded_spans_point_into_the_source() {
+    // Every span must land on a line that exists and a column within it —
+    // carets in the human rendering depend on this.
+    for (name, _, _) in SEEDED {
+        let src = corpus(name, "java");
+        let report = lint_source(&src, &LintConfig::default()).unwrap();
+        for d in &report.diagnostics {
+            let line = src
+                .lines()
+                .nth(d.span.line as usize - 1)
+                .unwrap_or_else(|| panic!("{name}: line {} out of range", d.span.line));
+            assert!(
+                (d.span.col as usize) <= line.chars().count() + 1,
+                "{name}: col {} beyond line {:?}",
+                d.span.col,
+                line
+            );
+        }
+    }
+}
+
+#[test]
+fn human_rendering_places_caret_for_each_seeded_file() {
+    for (name, rule, _) in SEEDED {
+        let src = corpus(name, "java");
+        let report = lint_source(&src, &LintConfig::default()).unwrap();
+        let text = report.render(&src);
+        assert!(text.contains(&format!("[{rule}]")), "{name}: {text}");
+        assert!(text.contains('^'), "{name} rendering lost its caret:\n{text}");
+    }
+}
+
+#[test]
+fn table2_workload_corpus_is_error_free() {
+    // The paper's eleven benchmarks are correctly annotated: warnings and
+    // notes are tolerated (Gauss-Seidel's unsound-by-design `parallel` is
+    // expected to warn), errors are not.
+    for w in &japonica_workloads::ALL {
+        let report = lint_source(w.source, &LintConfig::default())
+            .unwrap_or_else(|e| panic!("{} failed to compile: {e}", w.name));
+        assert!(
+            report.is_clean(),
+            "{} must lint error-free, got {:?}",
+            w.name,
+            report.diagnostics
+        );
+    }
+}
+
+#[test]
+fn gauss_seidel_unsoundness_is_caught() {
+    // The one workload with a proven loop-carried true dependence under
+    // `parallel` must draw exactly the L001 warning.
+    let gs = japonica_workloads::ALL
+        .iter()
+        .find(|w| w.name == "Gauss-Seidel")
+        .unwrap();
+    let report = lint_source(gs.source, &LintConfig::default()).unwrap();
+    assert!(report.diagnostics.iter().any(|d| d.rule == "L001"));
+}
