@@ -114,11 +114,7 @@ impl Affine {
 /// Try to linearize `expr` with respect to induction variable `ivar`.
 /// `is_invariant` reports whether a variable is loop-invariant (not written
 /// anywhere in the loop body).
-pub fn linearize(
-    expr: &Expr,
-    ivar: VarId,
-    is_invariant: &dyn Fn(VarId) -> bool,
-) -> Option<Affine> {
+pub fn linearize(expr: &Expr, ivar: VarId, is_invariant: &dyn Fn(VarId) -> bool) -> Option<Affine> {
     match expr {
         Expr::Const(Value::Int(v)) => Some(Affine::constant(*v as i64)),
         Expr::Const(Value::Long(v)) => Some(Affine::constant(*v)),
@@ -207,10 +203,7 @@ mod tests {
     #[test]
     fn subtraction_and_negation() {
         // -(i - 5) = -i + 5
-        let e = Expr::Unary(
-            UnOp::Neg,
-            Box::new(Expr::var(I).sub(Expr::int(5))),
-        );
+        let e = Expr::Unary(UnOp::Neg, Box::new(Expr::var(I).sub(Expr::int(5))));
         let a = lin(&e).unwrap();
         assert_eq!(a.coeff, -1);
         assert_eq!(a.konst, 5);

@@ -224,7 +224,10 @@ mod tests {
         assert_eq!(names(&p, &c.temp), vec!["t"]);
         // `a` is both read and updated
         assert!(c.live_in.iter().any(|v| p.functions[0].var_name(*v) == "a"));
-        assert!(c.live_out.iter().any(|v| p.functions[0].var_name(*v) == "a"));
+        assert!(c
+            .live_out
+            .iter()
+            .any(|v| p.functions[0].var_name(*v) == "a"));
     }
 
     #[test]

@@ -174,11 +174,9 @@ pub fn analyze_loop_with(l: &ForLoop, summaries: Option<&EffectSummaries>) -> Lo
             }
             match pair_test(w, w2, true) {
                 PairResult::NoDep => {}
-                PairResult::Dep { kind, distance } => summary.add(
-                    kind,
-                    distance,
-                    format!("WAW conflict on {}", w.array),
-                ),
+                PairResult::Dep { kind, distance } => {
+                    summary.add(kind, distance, format!("WAW conflict on {}", w.array))
+                }
                 PairResult::Unknown(why) => {
                     reasons.push(format!("unresolved WAW pair on {}: {why}", w.array))
                 }
@@ -194,7 +192,11 @@ pub fn analyze_loop_with(l: &ForLoop, summaries: Option<&EffectSummaries>) -> Lo
                 PairResult::Dep { kind, distance } => summary.add(
                     kind,
                     distance,
-                    format!("{} conflict on {}", if kind.is_true() { "RAW" } else { "WAR" }, w.array),
+                    format!(
+                        "{} conflict on {}",
+                        if kind.is_true() { "RAW" } else { "WAR" },
+                        w.array
+                    ),
                 ),
                 PairResult::Unknown(why) => {
                     reasons.push(format!("unresolved RW pair on {}: {why}", w.array))
@@ -256,7 +258,10 @@ fn body_has_call(l: &ForLoop) -> bool {
 
 enum PairResult {
     NoDep,
-    Dep { kind: DepKind, distance: Option<u64> },
+    Dep {
+        kind: DepKind,
+        distance: Option<u64>,
+    },
     Unknown(String),
 }
 
@@ -300,7 +305,11 @@ fn affine_pair(fa: &Affine, fb: &Affine, both_writes: bool) -> PairResult {
             // ZIV: both touch one fixed location.
             return if dk == 0 {
                 PairResult::Dep {
-                    kind: if both_writes { DepKind::Output } else { DepKind::True },
+                    kind: if both_writes {
+                        DepKind::Output
+                    } else {
+                        DepKind::True
+                    },
                     distance: Some(1),
                 }
             } else {
@@ -344,7 +353,11 @@ fn affine_pair(fa: &Affine, fb: &Affine, both_writes: bool) -> PairResult {
         };
         return match d.checked_rem(moving.coeff) {
             Some(0) => PairResult::Dep {
-                kind: if both_writes { DepKind::Output } else { DepKind::True },
+                kind: if both_writes {
+                    DepKind::Output
+                } else {
+                    DepKind::True
+                },
                 distance: None,
             },
             Some(_) => PairResult::NoDep,
@@ -427,11 +440,13 @@ fn match_i_times_s(e: &Expr, acc: &Access) -> Option<Stride> {
                 }
                 match **y {
                     Expr::Const(Value::Int(c)) if c > 0 => return Some(Stride::Const(c as i64)),
-                    Expr::Var(s) if s != v
+                    Expr::Var(s)
+                        if s != v
                         // stride symbol must be invariant: not an inner var
-                        && !acc.inner.iter().any(|il| il.var == s) => {
-                            return Some(Stride::Sym(s));
-                        }
+                        && !acc.inner.iter().any(|il| il.var == s) =>
+                    {
+                        return Some(Stride::Sym(s));
+                    }
                     _ => {}
                 }
             }
@@ -514,11 +529,9 @@ mod tests {
 
     #[test]
     fn vector_add_is_doall() {
-        let d = det(
-            "static void f(double[] a, double[] b, double[] c, int n) {
+        let d = det("static void f(double[] a, double[] b, double[] c, int n) {
                 /* acc parallel */ for (int i = 0; i < n; i++) { c[i] = a[i] + b[i]; }
-            }",
-        );
+            }");
         assert!(d.is_doall(), "{d:?}");
     }
 
@@ -541,12 +554,10 @@ mod tests {
 
     #[test]
     fn gauss_seidel_has_deterministic_true_dep() {
-        let d = det(
-            "static void gs(double[] a, int n) {
+        let d = det("static void gs(double[] a, int n) {
                 /* acc parallel */
                 for (int i = 1; i < n - 1; i++) { a[i] = (a[i - 1] + a[i + 1]) * 0.5; }
-            }",
-        );
+            }");
         match d {
             Determination::Deterministic(s) => {
                 assert!(s.true_dep);
@@ -559,72 +570,60 @@ mod tests {
 
     #[test]
     fn scalar_accumulator_forces_deterministic_td() {
-        let d = det(
-            "static double f(double[] a, int n) {
+        let d = det("static double f(double[] a, int n) {
                 double s = 0.0;
                 /* acc parallel */
                 for (int i = 0; i < n; i++) { s = s + a[i]; }
                 return s;
-            }",
-        );
+            }");
         assert!(matches!(d, Determination::Deterministic(ref s) if s.true_dep));
     }
 
     #[test]
     fn privatized_scalar_is_not_a_hazard() {
-        let d = det(
-            "static void f(double[] a, double[] b, int n) {
+        let d = det("static void f(double[] a, double[] b, int n) {
                 double t = 0.0;
                 /* acc parallel private(t) */
                 for (int i = 0; i < n; i++) { t = a[i] * 2.0; b[i] = t; }
-            }",
-        );
+            }");
         assert!(d.is_doall(), "{d:?}");
     }
 
     #[test]
     fn indirect_write_is_uncertain() {
-        let d = det(
-            "static void f(int[] a, int[] idx, int n) {
+        let d = det("static void f(int[] a, int[] idx, int n) {
                 /* acc parallel */
                 for (int i = 0; i < n; i++) { a[idx[i]] = i; }
-            }",
-        );
+            }");
         assert!(d.needs_profiling(), "{d:?}");
     }
 
     #[test]
     fn conditional_dependence_is_uncertain() {
-        let d = det(
-            "static void f(double[] a, int n) {
+        let d = det("static void f(double[] a, int n) {
                 /* acc parallel */
                 for (int i = 1; i < n; i++) { if (a[i] > 0.0) { a[i] = a[i - 1]; } }
-            }",
-        );
+            }");
         assert!(d.needs_profiling(), "{d:?}");
     }
 
     #[test]
     fn strided_writes_without_overlap_are_doall() {
         // writes to 2i, reads from 2i+1: never conflict (GCD/SIV)
-        let d = det(
-            "static void f(double[] a, double[] b, int n) {
+        let d = det("static void f(double[] a, double[] b, int n) {
                 /* acc parallel */
                 for (int i = 0; i < n; i++) { b[2 * i] = a[2 * i + 1]; }
-            }",
-        );
+            }");
         assert!(d.is_doall(), "{d:?}");
     }
 
     #[test]
     fn offset_write_creates_true_dep_with_distance() {
         // a[i+2] written, a[i] read: read at i sees write from i-2.
-        let d = det(
-            "static void f(double[] a, int n) {
+        let d = det("static void f(double[] a, int n) {
                 /* acc parallel */
                 for (int i = 0; i < n - 2; i++) { a[i + 2] = a[i]; }
-            }",
-        );
+            }");
         match d {
             Determination::Deterministic(s) => {
                 assert!(s.true_dep);
@@ -636,12 +635,10 @@ mod tests {
 
     #[test]
     fn fixed_cell_write_is_output_dep_only() {
-        let d = det(
-            "static void f(double[] a, int n) {
+        let d = det("static void f(double[] a, int n) {
                 /* acc parallel */
                 for (int i = 0; i < n; i++) { a[0] = 1.0; }
-            }",
-        );
+            }");
         match d {
             Determination::Deterministic(s) => {
                 assert!(!s.true_dep);
@@ -653,39 +650,33 @@ mod tests {
 
     #[test]
     fn modulo_index_is_uncertain() {
-        let d = det(
-            "static void f(double[] t, double[] o, int n, int b) {
+        let d = det("static void f(double[] t, double[] o, int n, int b) {
                 /* acc parallel */
                 for (int i = 0; i < n; i++) { t[i % b] = 1.0; o[i] = t[i % b]; }
-            }",
-        );
+            }");
         assert!(d.needs_profiling(), "{d:?}");
     }
 
     #[test]
     fn const_stride_rows_are_disjoint() {
-        let d = det(
-            "static void f(double[] c) {
+        let d = det("static void f(double[] c) {
                 /* acc parallel */
                 for (int i = 0; i < 64; i++) {
                     for (int j = 0; j < 8; j++) { c[i * 8 + j] = 1.0; }
                 }
-            }",
-        );
+            }");
         assert!(d.is_doall(), "{d:?}");
     }
 
     #[test]
     fn const_stride_row_overflow_is_not_proven() {
         // inner j runs to 9 > stride 8: rows overlap
-        let d = det(
-            "static void f(double[] c) {
+        let d = det("static void f(double[] c) {
                 /* acc parallel */
                 for (int i = 0; i < 64; i++) {
                     for (int j = 0; j < 9; j++) { c[i * 8 + j] = 1.0; }
                 }
-            }",
-        );
+            }");
         assert!(d.needs_profiling(), "{d:?}");
     }
 
@@ -737,7 +728,11 @@ mod tests {
         assert!(analyze_loop(&l).determination.needs_profiling());
         // analyze_program proves sq pure and recovers DOALL.
         let m = analyze_program(&p);
-        assert!(m[&l.id].determination.is_doall(), "{:?}", m[&l.id].determination);
+        assert!(
+            m[&l.id].determination.is_doall(),
+            "{:?}",
+            m[&l.id].determination
+        );
     }
 
     #[test]
@@ -755,12 +750,10 @@ mod tests {
 
     #[test]
     fn write_read_different_arrays_never_pair() {
-        let d = det(
-            "static void f(double[] a, double[] b, int n) {
+        let d = det("static void f(double[] a, double[] b, int n) {
                 /* acc parallel */
                 for (int i = 0; i < n; i++) { b[i] = a[i + 1] + a[i - 1]; }
-            }",
-        );
+            }");
         assert!(d.is_doall(), "{d:?}");
     }
 }

@@ -229,9 +229,8 @@ mod tests {
 
     #[test]
     fn scalar_only_helper_is_pure() {
-        let (s, p) = summaries(
-            "static double cndf(double x) { return 1.0 / (1.0 + Math.exp(0.0 - x)); }",
-        );
+        let (s, p) =
+            summaries("static double cndf(double x) { return 1.0 / (1.0 + Math.exp(0.0 - x)); }");
         let e = s.effects(fid(&p, "cndf"));
         assert!(e.is_pure());
         assert!(!e.reads_any());

@@ -43,12 +43,12 @@ fn doall_shapes() {
 #[test]
 fn deterministic_dependence_shapes() {
     for (body, want_td) in [
-        ("a[i] = a[i - 1] + 1.0;", true),          // RAW distance 1
-        ("a[i] = a[i - 2] * a[i + 2];", true),     // RAW + WAR
-        ("a[i + 1] = b[i]; c[i] = a[i];", true),   // cross-statement RAW
-        ("a[i] = b[i]; a[i + 1] = c[i];", false),  // WAW between sites
-        ("a[0] = a[0];", true),                     // ZIV self RAW... reads a[0] written by earlier iters
-        ("a[1] = b[i];", false),                    // fixed-cell WAW only
+        ("a[i] = a[i - 1] + 1.0;", true),         // RAW distance 1
+        ("a[i] = a[i - 2] * a[i + 2];", true),    // RAW + WAR
+        ("a[i + 1] = b[i]; c[i] = a[i];", true),  // cross-statement RAW
+        ("a[i] = b[i]; a[i + 1] = c[i];", false), // WAW between sites
+        ("a[0] = a[0];", true), // ZIV self RAW... reads a[0] written by earlier iters
+        ("a[1] = b[i];", false), // fixed-cell WAW only
     ] {
         match det(&loop_src(body)) {
             Determination::Deterministic(s) => {
@@ -62,10 +62,10 @@ fn deterministic_dependence_shapes() {
 #[test]
 fn uncertain_shapes() {
     for body in [
-        "a[(int) b[i]] = 1.0;",                    // indirect write
-        "a[i * i % n] = b[i];",                     // nonlinear
-        "if (b[i] > 0.0) { a[i] = a[i - 1]; }",     // guarded dependence
-        "a[i * m + 1] = b[i];",                     // symbolic coeff, no row proof
+        "a[(int) b[i]] = 1.0;",                 // indirect write
+        "a[i * i % n] = b[i];",                 // nonlinear
+        "if (b[i] > 0.0) { a[i] = a[i - 1]; }", // guarded dependence
+        "a[i * m + 1] = b[i];",                 // symbolic coeff, no row proof
     ] {
         let d = det(&loop_src(body));
         assert!(d.needs_profiling(), "{body}: {d:?}");
@@ -90,34 +90,32 @@ fn private_clause_suppresses_scalar_hazard_but_not_array_ones() {
 #[test]
 fn triangular_inner_loop_blocks_row_disjointness() {
     // inner bound j < i depends on outer var: rows not provably in-range
-    let d = det(
-        "static void f(double[] c, int n) {
+    let d = det("static void f(double[] c, int n) {
             /* acc parallel */
             for (int i = 0; i < n; i++) {
                 for (int j = 0; j < i; j++) { c[i * n + j] = 1.0; }
             }
-        }",
-    );
+        }");
     assert!(d.needs_profiling(), "{d:?}");
 }
 
 #[test]
 fn row_disjointness_requires_matching_stride_symbol() {
     // stride n but inner bound m: cannot prove j < n
-    let d = det(
-        "static void f(double[] c, int n, int m) {
+    let d = det("static void f(double[] c, int n, int m) {
             /* acc parallel */
             for (int i = 0; i < n; i++) {
                 for (int j = 0; j < m; j++) { c[i * n + j] = 1.0; }
             }
-        }",
-    );
+        }");
     assert!(d.needs_profiling(), "{d:?}");
 }
 
 #[test]
 fn pdg_is_transitively_ordered_for_long_chains() {
-    let mut src = String::from("static void f(double[] x0, double[] x1, double[] x2, double[] x3, double[] x4, int n) {\n");
+    let mut src = String::from(
+        "static void f(double[] x0, double[] x1, double[] x2, double[] x3, double[] x4, int n) {\n",
+    );
     for k in 0..4 {
         src.push_str(&format!(
             "/* acc parallel */ for (int i = 0; i < n; i++) {{ x{}[i] = x{}[i] + 1.0; }}\n",

@@ -38,16 +38,18 @@ fn ablate_split_policy() {
         let inst = w.instantiate(2);
         let mut heap = inst.heap.clone();
         let t = match frac {
-            Some(f) => run_baseline(
-                &RuntimeConfig::default(),
-                &compiled,
-                w.entry,
-                &inst.args,
-                &mut heap,
-                Baseline::FixedSplit(f),
-            )
-            .unwrap()
-            .total_s,
+            Some(f) => {
+                run_baseline(
+                    &RuntimeConfig::default(),
+                    &compiled,
+                    w.entry,
+                    &inst.args,
+                    &mut heap,
+                    Baseline::FixedSplit(f),
+                )
+                .unwrap()
+                .total_s
+            }
             None => {
                 let r = Runtime::default()
                     .run(&compiled, w.entry, &inst.args, &mut heap)
@@ -81,9 +83,16 @@ fn ablate_tls_subloop() {
         let mut heap = inst.heap.clone();
         let mut cfg = RuntimeConfig::default();
         cfg.sched.tls.subloop_iters = sub;
-        let t = run_baseline(&cfg, &compiled, w.entry, &inst.args, &mut heap, Baseline::GpuOnly)
-            .unwrap()
-            .total_s;
+        let t = run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut heap,
+            Baseline::GpuOnly,
+        )
+        .unwrap()
+        .total_s;
         println!("  subloop = {sub:<5} {:>8.3}", t * 1e3);
     }
 }

@@ -1,0 +1,527 @@
+//! `bench` — the wall-clock benchmark harness.
+//!
+//! Runs the Table II corpus under sequential / CPU-only / GPU-only /
+//! sharing / stealing, with warmup and repeated trials, and emits a
+//! schema-stable `BENCH_<rev>.json`. Besides timing, it is the
+//! determinism oracle for host-parallel SIMT simulation: every workload's
+//! GPU run is repeated with `host_threads = 1` and the configured thread
+//! count, and the simulated outcomes (clock bits, scheduler report, fault
+//! counters) must match exactly.
+//!
+//! Exit codes: 0 ok · 2 parallel sim diverged from sequential golden ·
+//! 3 perf gate regression · 4 a mode failed to run.
+
+use japonica_bench::{
+    json_escape, json_f64, median, parse_flat_json, run_timed, SimFingerprint, Variant,
+};
+use japonica_ir::Scheme;
+use japonica_workloads::Workload;
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+
+/// Wall-clock regression tolerance of the perf gate: fail when a normalized
+/// best-of-trials wall exceeds its baseline by more than 25%.
+const GATE_TOLERANCE: f64 = 1.25;
+
+/// Baseline entries below this fraction of the serial calibration total are
+/// skipped by the gate: cells this small are launch-overhead dominated and
+/// their trial-to-trial noise exceeds the gate tolerance.
+const GATE_FLOOR: f64 = 0.01;
+
+/// When the run's own serial calibration spread (median over min) exceeds
+/// this, wall-clock on this machine is too unstable for a hard gate: the
+/// gate demotes to advisory warnings so a throttled or shared runner does
+/// not fail CI on noise.
+const NOISE_GUARD: f64 = 1.10;
+
+struct Opts {
+    quick: bool,
+    scale: u64,
+    trials: u32,
+    warmup: u32,
+    threads: usize,
+    out: Option<String>,
+    gate: Option<String>,
+    write_baseline: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench [--quick] [--scale N] [--trials K] [--warmup W] [--threads N]\n\
+         \x20            [--out PATH] [--gate BASELINE.json] [--write-baseline PATH]\n\
+         \n\
+         Runs every Table II workload under serial / CPU-16 / GPU / sharing /\n\
+         stealing, reports median host wall-clock, and checks that the\n\
+         host-parallel SIMT simulator reproduces the sequential simulator's\n\
+         results bit-for-bit. --quick shrinks scale and trials for CI smoke."
+    );
+    std::process::exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        quick: false,
+        scale: 0,
+        trials: 0,
+        warmup: 1,
+        threads: 8,
+        out: None,
+        gate: None,
+        write_baseline: None,
+    };
+    let mut scale_set = false;
+    let mut trials_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> u64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--scale" => {
+                o.scale = num(&mut args).max(1);
+                scale_set = true;
+            }
+            "--trials" => {
+                o.trials = num(&mut args).max(1) as u32;
+                trials_set = true;
+            }
+            "--warmup" => o.warmup = num(&mut args) as u32,
+            "--threads" => o.threads = num(&mut args).max(1) as usize,
+            "--out" => o.out = args.next().or_else(|| usage()).into(),
+            "--gate" => o.gate = args.next().or_else(|| usage()).into(),
+            "--write-baseline" => o.write_baseline = args.next().or_else(|| usage()).into(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if !scale_set {
+        o.scale = if o.quick { 1 } else { 4 };
+    }
+    if !trials_set {
+        o.trials = if o.quick { 3 } else { 5 };
+    }
+    o
+}
+
+/// The five comparison points of the harness.
+fn modes() -> [(&'static str, Variant); 5] {
+    [
+        ("serial", Variant::Serial),
+        ("cpu16", Variant::Cpu16),
+        ("gpu", Variant::GpuOnly),
+        ("sharing", Variant::Scheme(Scheme::Sharing)),
+        ("stealing", Variant::Scheme(Scheme::Stealing)),
+    ]
+}
+
+/// Median/min wall plus the (trial-invariant) simulated outcome of one
+/// workload × mode cell. The median is the headline number; the min is what
+/// the perf gate compares, being the noise-robust estimator of the true
+/// cost on a shared machine.
+struct Cell {
+    wall_s: f64,
+    wall_min_s: f64,
+    sim: SimFingerprint,
+    sim_time_s: f64,
+    error: Option<String>,
+}
+
+impl Cell {
+    fn failed(error: String) -> Cell {
+        Cell {
+            wall_s: f64::NAN,
+            wall_min_s: f64::NAN,
+            sim: SimFingerprint {
+                total_s_bits: 0,
+                summary: String::new(),
+                faults: String::new(),
+            },
+            sim_time_s: f64::NAN,
+            error: Some(error),
+        }
+    }
+}
+
+/// Run warmup + trials of one configuration; checks that every trial's
+/// simulated outcome is identical (the simulator is deterministic for a
+/// fixed config, so any drift here is a harness bug worth failing on).
+fn measure(w: &'static Workload, scale: u64, v: Variant, threads: usize, o: &Opts) -> Cell {
+    let run_once = || {
+        catch_unwind(AssertUnwindSafe(|| run_timed(w, scale, v, threads)))
+            .unwrap_or_else(|p| Err(format!("panicked: {p:?}")))
+    };
+    for _ in 0..o.warmup {
+        if let Err(e) = run_once() {
+            return Cell::failed(e);
+        }
+    }
+    let mut walls = Vec::new();
+    let mut sim: Option<(SimFingerprint, f64)> = None;
+    for t in 0..o.trials {
+        match run_once() {
+            Ok(r) => {
+                walls.push(r.wall_s);
+                let fp = SimFingerprint::of(&r.report);
+                match &sim {
+                    None => sim = Some((fp, r.report.total_s)),
+                    Some((first, _)) if *first != fp => {
+                        return Cell::failed(format!("trial {t} simulated outcome drifted"))
+                    }
+                    Some(_) => {}
+                }
+            }
+            Err(e) => return Cell::failed(e),
+        }
+    }
+    let (sim, sim_time_s) = sim.expect("at least one trial ran");
+    Cell {
+        wall_s: median(&walls),
+        wall_min_s: walls.iter().copied().fold(f64::INFINITY, f64::min),
+        sim,
+        sim_time_s,
+        error: None,
+    }
+}
+
+/// Fixed CPU-bound spin, timed: run at start and end of the bench to
+/// detect machine-speed drift (CPU-quota throttling, noisy neighbors)
+/// during the run.
+fn spin_probe() -> f64 {
+    let t = std::time::Instant::now();
+    let mut x = 0u64;
+    for i in 0..50_000_000u64 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    std::hint::black_box(x);
+    t.elapsed().as_secs_f64()
+}
+
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() -> ExitCode {
+    let o = parse_opts();
+    let rev = git_rev();
+    let workloads = Workload::all();
+    let mode_list = modes();
+
+    let probe_start = spin_probe();
+    let mut any_failed = false;
+    let mut sim_diverged = false;
+
+    // (workload, mode) -> Cell for the main table.
+    let mut cells: Vec<Vec<Cell>> = Vec::new();
+    // Per-workload thread-scaling: GPU mode at host_threads = 1 vs o.threads.
+    let mut scaling: Vec<(f64, f64, bool)> = Vec::new();
+
+    for w in workloads {
+        eprint!("{:>14}:", w.name);
+        let mut row = Vec::new();
+        for (mname, v) in mode_list {
+            let cell = measure(w, o.scale, v, o.threads, &o);
+            match &cell.error {
+                Some(e) => {
+                    any_failed = true;
+                    eprint!(" {mname}=FAIL({e})");
+                }
+                None => eprint!(" {mname}={:.0}ms", cell.wall_s * 1e3),
+            }
+            row.push(cell);
+        }
+        // Sequential golden run of the GPU mode: the parallel simulator
+        // must reproduce it bit-for-bit.
+        let seq = measure(w, o.scale, Variant::GpuOnly, 1, &o);
+        let par = &row[2];
+        let identical = match (&seq.error, &par.error) {
+            (None, None) => seq.sim == par.sim,
+            _ => false,
+        };
+        if !identical {
+            sim_diverged = true;
+            eprint!(" [SIM DIVERGED]");
+        }
+        let speedup = seq.wall_s / par.wall_s;
+        eprintln!(" | gpu x{}t speedup {speedup:.2}x", o.threads);
+        scaling.push((seq.wall_s, par.wall_s, identical));
+        cells.push(row);
+    }
+
+    // Normalize wall-clock by this run's own serial total so numbers are
+    // comparable across machines of different speeds. Medians feed the
+    // report; minima feed the gate.
+    let calib: f64 = cells
+        .iter()
+        .map(|row| row[0].wall_s)
+        .filter(|v| v.is_finite())
+        .sum();
+    let calib = if calib > 0.0 { calib } else { f64::NAN };
+    let calib_min: f64 = cells
+        .iter()
+        .map(|row| row[0].wall_min_s)
+        .filter(|v| v.is_finite())
+        .sum();
+    let calib_min = if calib_min > 0.0 { calib_min } else { f64::NAN };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": 1,");
+    let _ = writeln!(json, "  \"rev\": \"{}\",", json_escape(&rev));
+    let _ = writeln!(json, "  \"quick\": {},", o.quick);
+    let _ = writeln!(json, "  \"scale\": {},", o.scale);
+    let _ = writeln!(json, "  \"trials\": {},", o.trials);
+    let _ = writeln!(json, "  \"warmup\": {},", o.warmup);
+    let _ = writeln!(json, "  \"host_threads\": {},", o.threads);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"serial_calibration_s\": {},", json_f64(calib));
+    let _ = writeln!(json, "  \"workloads\": [");
+    for (wi, w) in workloads.iter().enumerate() {
+        let row = &cells[wi];
+        let serial_wall = row[0].wall_s;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", json_escape(w.name));
+        let _ = writeln!(
+            json,
+            "      \"scheme\": \"{}\",",
+            json_escape(&w.scheme.to_string())
+        );
+        let _ = writeln!(json, "      \"modes\": [");
+        for (mi, (mname, _)) in mode_list.iter().enumerate() {
+            let c = &row[mi];
+            let _ = writeln!(json, "        {{");
+            let _ = writeln!(json, "          \"mode\": \"{mname}\",");
+            match &c.error {
+                Some(e) => {
+                    let _ = writeln!(json, "          \"error\": \"{}\"", json_escape(e));
+                }
+                None => {
+                    let _ = writeln!(json, "          \"wall_s_median\": {},", json_f64(c.wall_s));
+                    let _ = writeln!(
+                        json,
+                        "          \"wall_s_min\": {},",
+                        json_f64(c.wall_min_s)
+                    );
+                    let _ = writeln!(
+                        json,
+                        "          \"wall_norm\": {},",
+                        json_f64(c.wall_s / calib)
+                    );
+                    let _ = writeln!(
+                        json,
+                        "          \"wall_norm_min\": {},",
+                        json_f64(c.wall_min_s / calib_min)
+                    );
+                    let _ = writeln!(
+                        json,
+                        "          \"sim_time_s\": {},",
+                        json_f64(c.sim_time_s)
+                    );
+                    let _ = writeln!(
+                        json,
+                        "          \"sim_time_bits\": \"0x{:016x}\",",
+                        c.sim.total_s_bits
+                    );
+                    let _ = writeln!(
+                        json,
+                        "          \"speedup_vs_serial\": {},",
+                        json_f64(serial_wall / c.wall_s)
+                    );
+                    let _ = writeln!(
+                        json,
+                        "          \"fault_stats\": \"{}\"",
+                        json_escape(&c.sim.faults)
+                    );
+                }
+            }
+            let comma = if mi + 1 < mode_list.len() { "," } else { "" };
+            let _ = writeln!(json, "        }}{comma}");
+        }
+        let _ = writeln!(json, "      ],");
+        let (w1, wn, identical) = scaling[wi];
+        let _ = writeln!(json, "      \"thread_scaling\": {{");
+        let _ = writeln!(json, "        \"threads\": {},", o.threads);
+        let _ = writeln!(json, "        \"wall_1t_s\": {},", json_f64(w1));
+        let _ = writeln!(json, "        \"wall_nt_s\": {},", json_f64(wn));
+        let _ = writeln!(json, "        \"speedup\": {},", json_f64(w1 / wn));
+        let _ = writeln!(json, "        \"sim_identical\": {identical}");
+        let _ = writeln!(json, "      }}");
+        let comma = if wi + 1 < workloads.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let out_path = o.out.clone().unwrap_or_else(|| format!("BENCH_{rev}.json"));
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::from(4);
+    }
+    eprintln!("wrote {out_path}");
+
+    // Human summary: thread-scaling wins.
+    let fast = scaling
+        .iter()
+        .filter(|(w1, wn, _)| (w1 / wn) >= 2.0)
+        .count();
+    eprintln!(
+        "host-parallel sim: {fast}/{} workloads at >=2x wall-clock speedup ({} threads vs 1 \
+         on {host_cpus} host CPUs), sim outputs identical on {}/{}",
+        workloads.len(),
+        o.threads,
+        scaling.iter().filter(|(_, _, id)| *id).count(),
+        workloads.len()
+    );
+
+    if let Some(path) = &o.write_baseline {
+        let mut b = String::from("{\n");
+        let mut first = true;
+        for (wi, w) in workloads.iter().enumerate() {
+            for (mi, (mname, _)) in mode_list.iter().enumerate() {
+                let c = &cells[wi][mi];
+                if c.error.is_some() || !c.wall_s.is_finite() {
+                    continue;
+                }
+                if !first {
+                    b.push_str(",\n");
+                }
+                first = false;
+                let _ = write!(
+                    b,
+                    "  \"{}/{}\": {}",
+                    json_escape(w.name),
+                    mname,
+                    json_f64(c.wall_min_s / calib_min)
+                );
+            }
+        }
+        b.push_str("\n}\n");
+        if let Err(e) = std::fs::write(path, b) {
+            eprintln!("cannot write baseline {path}: {e}");
+            return ExitCode::from(4);
+        }
+        eprintln!("wrote baseline {path}");
+    }
+
+    let mut gate_failed = false;
+    if let Some(path) = &o.gate {
+        // Machine-stability estimate: the larger of the serial calibration's
+        // median/min spread and the start-vs-end spin-probe drift. On a
+        // machine this unstable, between-run comparisons at GATE_TOLERANCE
+        // are pure noise, so the gate demotes itself to advisory.
+        let probe_end = spin_probe();
+        let drift = probe_start.max(probe_end) / probe_start.min(probe_end).max(f64::MIN_POSITIVE);
+        let noise = (calib / calib_min).max(drift);
+        let advisory = !noise.is_finite() || noise > NOISE_GUARD;
+        if advisory {
+            eprintln!(
+                "gate: ADVISORY ONLY — machine noise {noise:.2}x (calibration spread \
+                 {:.2}x, probe drift {drift:.2}x) exceeds the {NOISE_GUARD}x guard; \
+                 regressions below are warnings, not failures",
+                calib / calib_min
+            );
+        }
+        let base = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| parse_flat_json(&s))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                return ExitCode::from(4);
+            }
+        };
+        let mut skipped = 0usize;
+        for (key, base_norm) in &base {
+            let Some((wname, mname)) = key.split_once('/') else {
+                eprintln!("gate: malformed baseline key {key:?}");
+                gate_failed = true;
+                continue;
+            };
+            if *base_norm < GATE_FLOOR {
+                skipped += 1;
+                continue;
+            }
+            let found = workloads.iter().find(|w| w.name == wname).and_then(|w| {
+                mode_list
+                    .iter()
+                    .position(|(m, _)| *m == mname)
+                    .map(|mi| (w, mi))
+            });
+            let Some((w, mi)) = found else {
+                eprintln!("gate: baseline key {key} unknown in this corpus");
+                gate_failed = true;
+                continue;
+            };
+            let wi = workloads.iter().position(|x| x.name == wname).unwrap_or(0);
+            let c = &cells[wi][mi];
+            if c.error.is_some() || !c.wall_min_s.is_finite() {
+                eprintln!("gate: baseline key {key} failed in this run");
+                gate_failed = true;
+                continue;
+            }
+            let norm = c.wall_min_s / calib_min;
+            let ratio = norm / base_norm;
+            if ratio > GATE_TOLERANCE {
+                // Re-measure once before declaring a regression: real
+                // regressions reproduce, scheduling noise usually does not.
+                let recheck = measure(w, o.scale, mode_list[mi].1, o.threads, &o);
+                let re_norm = recheck.wall_min_s / calib_min;
+                let best = norm.min(re_norm);
+                if best / base_norm > GATE_TOLERANCE {
+                    eprintln!(
+                        "gate: {key} regressed {:.2}x (norm {best:.5} vs baseline \
+                         {base_norm:.5}, confirmed by re-measure)",
+                        best / base_norm
+                    );
+                    gate_failed = true;
+                } else {
+                    eprintln!(
+                        "gate: {key} first sample {ratio:.2}x over baseline but re-measure \
+                         cleared it ({:.2}x)",
+                        re_norm / base_norm
+                    );
+                }
+            }
+        }
+        if !gate_failed {
+            eprintln!(
+                "gate: all {} gated baseline entries within {GATE_TOLERANCE}x ({skipped} below \
+                 the {GATE_FLOOR} noise floor skipped)",
+                base.len() - skipped
+            );
+        }
+        if advisory {
+            gate_failed = false;
+        }
+    }
+
+    if sim_diverged {
+        eprintln!("FAIL: parallel simulation diverged from sequential golden outputs");
+        return ExitCode::from(2);
+    }
+    if gate_failed {
+        return ExitCode::from(3);
+    }
+    if any_failed {
+        return ExitCode::from(4);
+    }
+    ExitCode::SUCCESS
+}

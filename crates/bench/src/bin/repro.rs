@@ -54,8 +54,6 @@ fn main() {
 }
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: repro [table2|fig3|fig4|fig5a|fig5b|summary|all] [--scale N]"
-    );
+    eprintln!("usage: repro [table2|fig3|fig4|fig5a|fig5b|summary|all] [--scale N]");
     std::process::exit(2)
 }

@@ -1,0 +1,259 @@
+//! Wall-clock measurement support for the `bench` binary.
+//!
+//! [`run_variant`](crate::run_variant) returns only the *simulated* seconds;
+//! the benchmark harness also needs the *host* wall-clock of the simulator
+//! itself (the quantity host-parallel SIMT simulation speeds up), the full
+//! [`RunReport`] for fault counters, and a bit-exact fingerprint of the
+//! simulated outcome so parallel runs can be checked against sequential
+//! golden values.
+
+use crate::Variant;
+use japonica::{run_baseline, Baseline, RunReport, Runtime, RuntimeConfig};
+use japonica_workloads::Workload;
+use std::time::Instant;
+
+/// One measured execution: host seconds spent inside the runtime (compile,
+/// instantiation and validation excluded) plus the simulated-run report.
+#[derive(Debug, Clone)]
+pub struct TimedRun {
+    /// Host wall-clock seconds of the runtime/baseline call itself.
+    pub wall_s: f64,
+    /// The simulated run's report.
+    pub report: RunReport,
+}
+
+/// Run one application under `variant` with the SIMT simulator spread over
+/// `host_threads` host threads, timing only the runtime call. Outputs are
+/// validated against the Rust reference implementation; a mismatch is
+/// returned as `Err` rather than a panic so the harness can keep going.
+pub fn run_timed(
+    w: &Workload,
+    n: u64,
+    variant: Variant,
+    host_threads: usize,
+) -> Result<TimedRun, String> {
+    let compiled = w.compile();
+    let inst = w.instantiate(n);
+    let mut expected = inst.heap.clone();
+    w.run_reference(&mut expected, &inst.args);
+    let mut heap = inst.heap.clone();
+    let mut cfg = RuntimeConfig::default();
+    cfg.sched.subloops_per_task = w.subloops;
+    cfg.sched.gpu.sim.host_threads = host_threads.max(1);
+    let err = |e: &dyn std::fmt::Debug| format!("{} under {variant}: {e:?}", w.name);
+    let start = Instant::now();
+    let report = match variant {
+        Variant::Serial => run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut heap,
+            Baseline::Serial,
+        ),
+        Variant::Cpu16 => run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut heap,
+            Baseline::CpuParallel(16),
+        ),
+        Variant::GpuOnly => run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut heap,
+            Baseline::GpuOnly,
+        ),
+        Variant::Fifty => run_baseline(
+            &cfg,
+            &compiled,
+            w.entry,
+            &inst.args,
+            &mut heap,
+            Baseline::FixedSplit(0.5),
+        ),
+        Variant::Japonica => Runtime::new(cfg).run(&compiled, w.entry, &inst.args, &mut heap),
+        Variant::Scheme(s) => Runtime::new(RuntimeConfig {
+            scheme_override: Some(s),
+            ..cfg
+        })
+        .run(&compiled, w.entry, &inst.args, &mut heap),
+    }
+    .map_err(|e| err(&e))?;
+    let wall_s = start.elapsed().as_secs_f64();
+    japonica_workloads::outputs_match(&heap, &expected, &inst).map_err(|e| err(&e))?;
+    Ok(TimedRun { wall_s, report })
+}
+
+/// A bit-exact capture of everything the simulation decided: the simulated
+/// clock as raw f64 bits, the per-loop scheduler summary, and the fault
+/// counters. Two runs with equal fingerprints made identical decisions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimFingerprint {
+    /// `RunReport::total_s` as raw bits.
+    pub total_s_bits: u64,
+    /// `RunReport::summary()` verbatim.
+    pub summary: String,
+    /// `Debug` rendering of the aggregated fault counters.
+    pub faults: String,
+}
+
+impl SimFingerprint {
+    /// Capture `report`'s simulated outcome.
+    pub fn of(report: &RunReport) -> SimFingerprint {
+        SimFingerprint {
+            total_s_bits: report.total_s.to_bits(),
+            summary: report.summary(),
+            faults: format!("{:?}", report.fault_stats()),
+        }
+    }
+}
+
+/// Median of `xs` (mean of the two middle elements when even). Panics on an
+/// empty slice; the harness always collects at least one trial.
+pub fn median(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "median of no samples");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let mid = v.len() / 2;
+    if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    }
+}
+
+/// Escape `s` for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render `v` as a JSON number. Rust's `Display` for finite f64s is already
+/// valid JSON; non-finite values (which a healthy run never produces) are
+/// mapped to `null`.
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Parse a *flat* JSON object of string keys to numbers — the shape of
+/// `bench/baseline.json` (`{"GEMM/serial": 0.0123, ...}`). Not a general
+/// JSON parser: nested values are rejected. Returns pairs in file order.
+pub fn parse_flat_json(s: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut pairs = Vec::new();
+    let mut chars = s.chars().peekable();
+    let skip_ws = |chars: &mut std::iter::Peekable<std::str::Chars>| {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    };
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{'".to_string());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key or '}}', found {other:?}")),
+        }
+        chars.next(); // opening quote
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('"') => key.push('"'),
+                    Some('\\') => key.push('\\'),
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(c) => key.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let mut num = String::new();
+        while matches!(
+            chars.peek(),
+            Some(c) if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E')
+        ) {
+            num.push(chars.next().unwrap_or_default());
+        }
+        let value: f64 = num
+            .parse()
+            .map_err(|e| format!("bad number {num:?} for key {key:?}: {e}"))?;
+        pairs.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn flat_json_round_trips() {
+        let src = "{\n  \"GEMM/serial\": 0.125,\n  \"BFS/GPU\": 3e-2\n}\n";
+        let pairs = parse_flat_json(src).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].0, "GEMM/serial");
+        assert_eq!(pairs[0].1, 0.125);
+        assert_eq!(pairs[1].1, 0.03);
+        assert!(parse_flat_json("{\"a\": {}}").is_err());
+        assert!(parse_flat_json("[1]").is_err());
+    }
+
+    #[test]
+    fn json_escape_and_numbers() {
+        assert_eq!(json_escape("a\"b\n"), "a\\\"b\\n");
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+    }
+
+    #[test]
+    fn timed_run_fingerprints_are_stable() {
+        let w = japonica_workloads::Workload::by_name("VectorAdd").unwrap();
+        let a = run_timed(w, 1, Variant::GpuOnly, 1).unwrap();
+        let b = run_timed(w, 1, Variant::GpuOnly, 4).unwrap();
+        assert!(a.wall_s > 0.0);
+        assert_eq!(SimFingerprint::of(&a.report), SimFingerprint::of(&b.report));
+    }
+}

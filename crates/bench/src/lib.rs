@@ -14,6 +14,11 @@ use japonica::{run_baseline, Baseline, Runtime, RuntimeConfig};
 use japonica_ir::Scheme;
 use japonica_workloads::Workload;
 
+pub mod harness;
+pub use harness::{
+    json_escape, json_f64, median, parse_flat_json, run_timed, SimFingerprint, TimedRun,
+};
+
 /// One way to execute an application.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Variant {
@@ -58,51 +63,68 @@ pub fn run_variant(w: &Workload, n: u64, variant: Variant) -> f64 {
     cfg.sched.subloops_per_task = w.subloops;
     let total = match variant {
         Variant::Serial => {
-            run_baseline(&cfg, &compiled, w.entry, &inst.args, &mut heap, Baseline::Serial)
+            run_baseline(
+                &cfg,
+                &compiled,
+                w.entry,
+                &inst.args,
+                &mut heap,
+                Baseline::Serial,
+            )
+            .unwrap()
+            .total_s
+        }
+        Variant::Cpu16 => {
+            run_baseline(
+                &cfg,
+                &compiled,
+                w.entry,
+                &inst.args,
+                &mut heap,
+                Baseline::CpuParallel(16),
+            )
+            .unwrap()
+            .total_s
+        }
+        Variant::GpuOnly => {
+            run_baseline(
+                &cfg,
+                &compiled,
+                w.entry,
+                &inst.args,
+                &mut heap,
+                Baseline::GpuOnly,
+            )
+            .unwrap()
+            .total_s
+        }
+        Variant::Fifty => {
+            run_baseline(
+                &cfg,
+                &compiled,
+                w.entry,
+                &inst.args,
+                &mut heap,
+                Baseline::FixedSplit(0.5),
+            )
+            .unwrap()
+            .total_s
+        }
+        Variant::Japonica => {
+            Runtime::new(cfg)
+                .run(&compiled, w.entry, &inst.args, &mut heap)
                 .unwrap()
                 .total_s
         }
-        Variant::Cpu16 => run_baseline(
-            &cfg,
-            &compiled,
-            w.entry,
-            &inst.args,
-            &mut heap,
-            Baseline::CpuParallel(16),
-        )
-        .unwrap()
-        .total_s,
-        Variant::GpuOnly => run_baseline(
-            &cfg,
-            &compiled,
-            w.entry,
-            &inst.args,
-            &mut heap,
-            Baseline::GpuOnly,
-        )
-        .unwrap()
-        .total_s,
-        Variant::Fifty => run_baseline(
-            &cfg,
-            &compiled,
-            w.entry,
-            &inst.args,
-            &mut heap,
-            Baseline::FixedSplit(0.5),
-        )
-        .unwrap()
-        .total_s,
-        Variant::Japonica => Runtime::new(cfg)
+        Variant::Scheme(s) => {
+            Runtime::new(RuntimeConfig {
+                scheme_override: Some(s),
+                ..cfg.clone()
+            })
             .run(&compiled, w.entry, &inst.args, &mut heap)
             .unwrap()
-            .total_s,
-        Variant::Scheme(s) => Runtime::new(RuntimeConfig {
-            scheme_override: Some(s),
-            ..cfg.clone()
-        })
-        .run(&compiled, w.entry, &inst.args, &mut heap)
-        .unwrap()
-        .total_s,
+            .total_s
+        }
     };
     japonica_workloads::outputs_match(&heap, &expected, &inst)
         .unwrap_or_else(|e| panic!("{} under {variant}: {e}", w.name));
@@ -131,7 +153,11 @@ impl std::fmt::Display for Table {
         let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
             let mut parts = Vec::new();
             for (i, c) in cells.iter().enumerate() {
-                parts.push(format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(4)));
+                parts.push(format!(
+                    "{:<w$}",
+                    c,
+                    w = widths.get(i).copied().unwrap_or(4)
+                ));
             }
             writeln!(f, "| {} |", parts.join(" | "))
         };
@@ -155,10 +181,17 @@ fn x(v: f64) -> String {
 pub fn table2(n: u64) -> Table {
     let mut t = Table {
         title: format!("Table II: benchmarks (serial time measured at n={n})"),
-        header: ["Benchmark", "Origin", "Description", "Input (scaled)", "Serial ms", "Scheme"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        header: [
+            "Benchmark",
+            "Origin",
+            "Description",
+            "Input (scaled)",
+            "Serial ms",
+            "Scheme",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
         rows: vec![],
     };
     for w in Workload::all() {
@@ -370,13 +403,11 @@ pub fn summary(n: u64) -> Table {
         let logs: Vec<f64> = Workload::all().iter().map(|w| f(w).ln()).collect();
         (logs.iter().sum::<f64>() / logs.len() as f64).exp()
     };
-    let vs_serial = geo(&|w| {
-        run_variant(w, n, Variant::Serial) / run_variant(w, n, Variant::Japonica)
-    });
+    let vs_serial =
+        geo(&|w| run_variant(w, n, Variant::Serial) / run_variant(w, n, Variant::Japonica));
     let vs_gpu =
         geo(&|w| run_variant(w, n, Variant::GpuOnly) / run_variant(w, n, Variant::Japonica));
-    let vs_cpu =
-        geo(&|w| run_variant(w, n, Variant::Cpu16) / run_variant(w, n, Variant::Japonica));
+    let vs_cpu = geo(&|w| run_variant(w, n, Variant::Cpu16) / run_variant(w, n, Variant::Japonica));
     Table {
         title: format!("Headline averages over all 11 apps (geometric mean, n={n})"),
         header: ["Comparison", "measured", "paper"]

@@ -6,9 +6,7 @@ use crate::report::RunReport;
 use crate::runtime::RuntimeConfig;
 use japonica_ir::{Env, Heap, Value};
 use japonica_profiler::LoopProfile;
-use japonica_scheduler::sharing::{
-    run_cpu_only, run_cpu_serial, run_fixed_split, run_gpu_only,
-};
+use japonica_scheduler::sharing::{run_cpu_only, run_cpu_serial, run_fixed_split, run_gpu_only};
 use japonica_scheduler::{LoopTask, SchedError};
 use std::collections::BTreeMap;
 
@@ -32,7 +30,12 @@ impl std::fmt::Display for Baseline {
             Baseline::Serial => write!(f, "serial CPU"),
             Baseline::CpuParallel(t) => write!(f, "CPU-{t}"),
             Baseline::GpuOnly => write!(f, "GPU-only"),
-            Baseline::FixedSplit(frac) => write!(f, "fixed {:.0}/{:.0} split", frac * 100.0, (1.0 - frac) * 100.0),
+            Baseline::FixedSplit(frac) => write!(
+                f,
+                "fixed {:.0}/{:.0} split",
+                frac * 100.0,
+                (1.0 - frac) * 100.0
+            ),
         }
     }
 }
@@ -106,8 +109,13 @@ fn rt_profile(
 ) -> Result<LoopProfile, SchedError> {
     use japonica_scheduler::sharing::{eval_bounds, stage_device};
     let bounds = eval_bounds(&compiled.program, loop_, env, heap)?;
-    let plan =
-        japonica_scheduler::DataPlan::derive(&compiled.program, loop_, &analysis.classes, env, heap)?;
+    let plan = japonica_scheduler::DataPlan::derive(
+        &compiled.program,
+        loop_,
+        &analysis.classes,
+        env,
+        heap,
+    )?;
     let mut dev = japonica_gpusim::DeviceMemory::new();
     stage_device(&plan, heap, &mut dev, &rt.cfg.sched)?;
     let limit = rt.cfg.profile_limit.unwrap_or(u64::MAX);

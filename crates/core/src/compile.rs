@@ -90,7 +90,10 @@ impl Compiled {
                         s.true_dep, s.false_dep
                     ),
                     japonica_analysis::Determination::Uncertain { reasons, .. } => {
-                        format!("uncertain — profile on GPU ({} unresolved pairs)", reasons.len())
+                        format!(
+                            "uncertain — profile on GPU ({} unresolved pairs)",
+                            reasons.len()
+                        )
                     }
                 };
                 writeln!(out, "      determination: {det}").ok();

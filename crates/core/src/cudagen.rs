@@ -433,12 +433,9 @@ impl Gen<'_> {
                 let args: Vec<String> = args.iter().map(|a| self.expr(a)).collect();
                 format!("{f}({})", args.join(", "))
             }
-            Expr::Ternary(c, t, f) => format!(
-                "({} ? {} : {})",
-                self.expr(c),
-                self.expr(t),
-                self.expr(f)
-            ),
+            Expr::Ternary(c, t, f) => {
+                format!("({} ? {} : {})", self.expr(c), self.expr(t), self.expr(f))
+            }
         }
     }
 }
@@ -519,7 +516,8 @@ mod tests {
     }
 
     mod japonica_test_sources {
-        pub const GEMM_LIKE: &str = "static void gemm(double[] a, double[] b, double[] c, int m, int d) {
+        pub const GEMM_LIKE: &str =
+            "static void gemm(double[] a, double[] b, double[] c, int m, int d) {
             /* acc parallel */
             for (int i = 0; i < m; i++) {
                 for (int j = 0; j < d; j++) {

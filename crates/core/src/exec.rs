@@ -11,19 +11,13 @@ use crate::compile::Compiled;
 use crate::report::RunReport;
 use japonica_cpuexec::CpuConfig;
 use japonica_ir::{
-    CountingBackend, Env, ExecError, Flow, ForLoop, Heap, HeapBackend, Interp, ParamTy, Stmt,
-    Value,
+    CountingBackend, Env, ExecError, Flow, ForLoop, Heap, HeapBackend, Interp, ParamTy, Stmt, Value,
 };
 use japonica_scheduler::SchedError;
 
 /// Called with each maximal run of consecutive annotated loops.
-pub(crate) type Dispatch<'d> = dyn FnMut(
-        &[&ForLoop],
-        &mut Env,
-        &mut Heap,
-        &mut RunReport,
-    ) -> Result<(), SchedError>
-    + 'd;
+pub(crate) type Dispatch<'d> =
+    dyn FnMut(&[&ForLoop], &mut Env, &mut Heap, &mut RunReport) -> Result<(), SchedError> + 'd;
 
 /// Execute `function` with `args`, walking glue sequentially and routing
 /// annotated-loop runs through `dispatch`.
@@ -181,7 +175,8 @@ impl Exec<'_, '_> {
                 Ok(Flow::Normal)
             }
             Stmt::For(l) if !l.is_annotated() && contains_annotated(&l.body) => {
-                let bounds = self.glue(report, heap, |interp, be| interp.loop_bounds(l, env, be))?;
+                let bounds =
+                    self.glue(report, heap, |interp, be| interp.loop_bounds(l, env, be))?;
                 for k in 0..bounds.trip() {
                     env.set(l.var, Value::Int(bounds.value_of(k) as i32));
                     match self.exec_stmts(&l.body, env, heap, report)? {

@@ -88,23 +88,23 @@ pub use compile::{compile, Compiled};
 pub use report::RunReport;
 pub use runtime::{Runtime, RuntimeConfig};
 
-/// Re-export of the IR crate (values, heap, programs).
-pub use japonica_ir as ir;
+/// Re-export of the static analysis.
+pub use japonica_analysis as analysis;
+/// Re-export of the CPU executor.
+pub use japonica_cpuexec as cpuexec;
 /// Re-export of the fault-injection model (plans, stats, resilience knobs).
 pub use japonica_faults as faults;
 /// Re-export of the front end (errors, AST).
 pub use japonica_frontend as frontend;
-/// Re-export of the static analysis.
-pub use japonica_analysis as analysis;
 /// Re-export of the GPU simulator.
 pub use japonica_gpusim as gpusim;
-/// Re-export of the CPU executor.
-pub use japonica_cpuexec as cpuexec;
-/// Re-export of the GPU-TLS engine.
-pub use japonica_tls as tls;
+/// Re-export of the IR crate (values, heap, programs).
+pub use japonica_ir as ir;
+/// Re-export of the annotation auditor.
+pub use japonica_lint as lint;
 /// Re-export of the dynamic profiler.
 pub use japonica_profiler as profiler;
 /// Re-export of the task scheduler.
 pub use japonica_scheduler as scheduler;
-/// Re-export of the annotation auditor.
-pub use japonica_lint as lint;
+/// Re-export of the GPU-TLS engine.
+pub use japonica_tls as tls;

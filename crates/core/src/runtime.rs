@@ -226,7 +226,11 @@ mod tests {
             .run(
                 &c,
                 "scale",
-                &[Value::Array(ids[0]), Value::Array(ids[1]), Value::Int(10_000)],
+                &[
+                    Value::Array(ids[0]),
+                    Value::Array(ids[1]),
+                    Value::Int(10_000),
+                ],
                 &mut heap,
             )
             .unwrap();
@@ -253,7 +257,12 @@ mod tests {
         let idx = heap.alloc_ints(&(0..2048).collect::<Vec<_>>());
         let rt = Runtime::default();
         let r = rt
-            .run(&c, "f", &[Value::Array(a), Value::Array(idx), Value::Int(2048)], &mut heap)
+            .run(
+                &c,
+                "f",
+                &[Value::Array(a), Value::Array(idx), Value::Int(2048)],
+                &mut heap,
+            )
             .unwrap();
         assert_eq!(r.profiles.len(), 1);
         assert!(r.profiling_s > 0.0);
@@ -276,7 +285,12 @@ mod tests {
         let (mut heap, ids) = heap_with(1000, 1);
         let rt = Runtime::default();
         let r = rt
-            .run(&c, "sum", &[Value::Array(ids[0]), Value::Int(1000)], &mut heap)
+            .run(
+                &c,
+                "sum",
+                &[Value::Array(ids[0]), Value::Int(1000)],
+                &mut heap,
+            )
             .unwrap();
         // sum 0..999 = 499500
         assert_eq!(r.ret, Some(Value::Double(499_500.0)));
@@ -330,7 +344,12 @@ mod tests {
             ..RuntimeConfig::default()
         });
         let r = rt
-            .run(&c, "f", &[Value::Array(ids[0]), Value::Array(ids[1]), Value::Int(5000)], &mut heap)
+            .run(
+                &c,
+                "f",
+                &[Value::Array(ids[0]), Value::Array(ids[1]), Value::Int(5000)],
+                &mut heap,
+            )
             .unwrap();
         assert!(r.stealing.is_empty());
         assert_eq!(r.loops.len(), 1);
@@ -355,7 +374,7 @@ mod tests {
             .unwrap();
         assert!(r.glue_s > 0.0);
         assert_eq!(r.ret, Some(Value::Double(99.0))); // a[0]=0*2 + 99
-        // iteration count respects m = n - 1
+                                                      // iteration count respects m = n - 1
         assert_eq!(r.loops[0].iterations, 99);
         assert_eq!(heap.read_doubles(ids[0]).unwrap()[99], 99.0); // untouched
     }

@@ -70,10 +70,7 @@ impl<'h> BufferedBackend<'h> {
 impl Backend for BufferedBackend<'_> {
     fn load(&mut self, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
         if let Some(li) = self.local(arr) {
-            let a = self
-                .locals
-                .get(li)
-                .ok_or(ExecError::UnknownArray(arr))?;
+            let a = self.locals.get(li).ok_or(ExecError::UnknownArray(arr))?;
             if idx < 0 || idx as usize >= a.len() {
                 return Err(ExecError::IndexOutOfBounds {
                     array: arr,

@@ -231,10 +231,7 @@ mod tests {
     use japonica_frontend::compile_source;
     use japonica_ir::Value;
 
-    fn setup(
-        src: &str,
-        fname: &str,
-    ) -> (Program, ForLoop, Env, Heap, japonica_ir::ArrayId, usize) {
+    fn setup(src: &str, fname: &str) -> (Program, ForLoop, Env, Heap, japonica_ir::ArrayId, usize) {
         setup_n(src, fname, 1000)
     }
 
@@ -268,8 +265,21 @@ mod tests {
     fn sequential_matches_expected_results() {
         let (p, l, env, mut heap, a, n) = setup(SCALE, "scale");
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
-        let r = run_sequential(&p, &cfg, &l, &bounds, 0..n as u64, &mut env.clone(), &mut heap).unwrap();
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
+        let r = run_sequential(
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &mut env.clone(),
+            &mut heap,
+        )
+        .unwrap();
         assert!(r.time_s > 0.0);
         assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 3.0));
     }
@@ -278,7 +288,11 @@ mod tests {
     fn parallel_matches_sequential_results() {
         let (p, l, env, mut heap, a, n) = setup(SCALE, "scale");
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
         run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 16).unwrap();
         assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 3.0));
     }
@@ -288,12 +302,22 @@ mod tests {
         // Large enough that per-chunk dispatch overhead is amortized.
         let (p, l, env, mut heap, _, n) = setup_n(SCALE, "scale", 100_000);
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
-        let seq =
-            run_sequential(&p, &cfg, &l, &bounds, 0..n as u64, &mut env.clone(), &mut heap.clone())
-                .unwrap();
-        let par =
-            run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 12).unwrap();
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
+        let seq = run_sequential(
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &mut env.clone(),
+            &mut heap.clone(),
+        )
+        .unwrap();
+        let par = run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 12).unwrap();
         assert!(
             par.time_s < seq.time_s / 4.0,
             "par {} vs seq {}",
@@ -306,11 +330,33 @@ mod tests {
     fn more_threads_than_cores_does_not_help() {
         let (p, l, env, heap, _, n) = setup(SCALE, "scale");
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
-        let t12 = run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap.clone(), 12)
-            .unwrap();
-        let t48 = run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap.clone(), 48)
-            .unwrap();
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
+        let t12 = run_parallel(
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut heap.clone(),
+            12,
+        )
+        .unwrap();
+        let t48 = run_parallel(
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut heap.clone(),
+            48,
+        )
+        .unwrap();
         // Oversubscription cannot beat the core count by more than noise.
         assert!(t48.time_s > t12.time_s * 0.8);
     }
@@ -319,7 +365,11 @@ mod tests {
     fn partial_range_executes_only_that_range() {
         let (p, l, env, mut heap, a, n) = setup(SCALE, "scale");
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
         run_parallel(&p, &cfg, &l, &bounds, 100..200, &env, &mut heap, 4).unwrap();
         let vals = heap.read_doubles(a).unwrap();
         assert_eq!(vals[99], 1.5);
@@ -331,7 +381,11 @@ mod tests {
     fn empty_range_is_free() {
         let (p, l, env, mut heap, _, _) = setup(SCALE, "scale");
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: 0, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: 0,
+            step: 1,
+        };
         let r = run_parallel(&p, &cfg, &l, &bounds, 0..0, &env, &mut heap, 8).unwrap();
         assert_eq!(r.time_s, 0.0);
         assert_eq!(r.threads_used, 0);
@@ -345,7 +399,11 @@ mod tests {
         }";
         let (p, l, env, mut heap, _, n) = setup(src, "f");
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
         let err = run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8);
         assert!(matches!(err, Err(ExecError::IndexOutOfBounds { .. })));
     }
@@ -355,19 +413,39 @@ mod tests {
         use japonica_faults::{FaultKind, FaultPlan, FaultRule};
         let (p, l, env, mut heap, a, n) = setup(SCALE, "scale");
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
         let plan = FaultPlan::new(1, vec![FaultRule::transient(FaultKind::CpuChunk, 1)]);
         let err = run_parallel_guarded(
-            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8,
-            Some(&plan), FaultOrigin::default(),
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut heap,
+            8,
+            Some(&plan),
+            FaultOrigin::default(),
         );
         assert!(matches!(err, Err(CpuExecError::Fault(f)) if f.kind == FaultKind::CpuChunk));
         // Nothing committed: the batch can be resubmitted elsewhere.
         assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 1.5));
         // The transient window has passed; the retry succeeds.
         run_parallel_guarded(
-            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8,
-            Some(&plan), FaultOrigin::default(),
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut heap,
+            8,
+            Some(&plan),
+            FaultOrigin::default(),
         )
         .unwrap();
         assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 3.0));
@@ -387,7 +465,11 @@ mod tests {
         }";
         let (p, l, env, mut heap, a, n) = setup(src, "f");
         let cfg = CpuConfig::default();
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
         run_parallel(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut heap, 8).unwrap();
         assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 3.0));
     }

@@ -137,7 +137,11 @@ impl fmt::Display for DeviceFault {
             f,
             "{} ({}) at {}",
             self.kind,
-            if self.transient { "transient" } else { "persistent" },
+            if self.transient {
+                "transient"
+            } else {
+                "persistent"
+            },
             self.origin
         )
     }
@@ -276,7 +280,10 @@ impl FaultPlan {
 
     /// Total faults injected so far.
     pub fn injected(&self) -> u64 {
-        self.state.lock().expect("fault-plan state poisoned").injected
+        self.state
+            .lock()
+            .expect("fault-plan state poisoned")
+            .injected
     }
 
     /// Reset occurrence counters and RNG to the initial state.
@@ -524,7 +531,9 @@ mod tests {
     use super::*;
 
     fn origin() -> FaultOrigin {
-        FaultOrigin::for_loop(LoopId(3)).with_subloop(128).with_warp(2)
+        FaultOrigin::for_loop(LoopId(3))
+            .with_subloop(128)
+            .with_warp(2)
     }
 
     #[test]
@@ -567,10 +576,7 @@ mod tests {
 
     #[test]
     fn warp_gate_restricts_simt_faults() {
-        let p = FaultPlan::new(
-            1,
-            vec![FaultRule::persistent(FaultKind::Simt).on_warp(5)],
-        );
+        let p = FaultPlan::new(1, vec![FaultRule::persistent(FaultKind::Simt).on_warp(5)]);
         assert!(p.on_warp(origin().with_warp(4)).is_none());
         let f = p.on_warp(origin().with_warp(5)).expect("warp 5 faults");
         assert_eq!(f.origin.warp, Some(5));

@@ -252,7 +252,10 @@ mod tests {
         assert_eq!(a.copyout.len(), 1);
         assert_eq!(a.create.len(), 1);
         assert_eq!(
-            a.private.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+            a.private
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
             vec!["x", "y"]
         );
         assert_eq!(a.threads, Some(16));
@@ -282,7 +285,10 @@ mod tests {
     #[test]
     fn scheme_validation() {
         assert!(parse_annot("acc parallel scheme(greedy)", Pos::default()).is_err());
-        assert_eq!(parse("acc parallel scheme(sharing)").scheme, Some(Scheme::Sharing));
+        assert_eq!(
+            parse("acc parallel scheme(sharing)").scheme,
+            Some(Scheme::Sharing)
+        );
     }
 
     #[test]

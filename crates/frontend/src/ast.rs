@@ -73,7 +73,10 @@ pub enum ATarget {
 pub enum AInit {
     Expr(AExpr),
     /// `new ty[len]`
-    NewArray { elem: Ty, len: AExpr },
+    NewArray {
+        elem: Ty,
+        len: AExpr,
+    },
 }
 
 /// A statement with a source position.
@@ -107,7 +110,10 @@ pub enum AStmtKind {
         value: AExpr,
     },
     /// `name++` / `name--`.
-    IncDec { name: String, inc: bool },
+    IncDec {
+        name: String,
+        inc: bool,
+    },
     If {
         cond: AExpr,
         then_branch: Vec<AStmt>,

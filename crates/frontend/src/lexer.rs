@@ -101,7 +101,10 @@ impl<'s> Lexer<'s> {
                         .trim_start_matches(|c: char| c.is_whitespace() || c == '*')
                         .trim_end();
                     if trimmed.starts_with("acc")
-                        && trimmed[3..].chars().next().is_none_or(|c| c.is_whitespace())
+                        && trimmed[3..]
+                            .chars()
+                            .next()
+                            .is_none_or(|c| c.is_whitespace())
                     {
                         // Where `trimmed` starts in the file: walk the
                         // stripped prefix forward from just after `/*`.
@@ -455,7 +458,10 @@ mod tests {
     #[test]
     fn acc_prefix_requires_word_boundary() {
         // "/* accelerate */" is an ordinary comment, not an annotation
-        assert_eq!(toks("/* accelerate */ x"), vec![Tok::Ident("x".into()), Tok::Eof]);
+        assert_eq!(
+            toks("/* accelerate */ x"),
+            vec![Tok::Ident("x".into()), Tok::Eof]
+        );
     }
 
     #[test]

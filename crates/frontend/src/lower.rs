@@ -80,7 +80,10 @@ impl<'u> Lowerer<'u> {
                 return Ok(v);
             }
         }
-        Err(CompileError::at(pos, format!("undeclared variable `{name}`")))
+        Err(CompileError::at(
+            pos,
+            format!("undeclared variable `{name}`"),
+        ))
     }
 
     fn lower_function(&mut self, f: &AFunction) -> Result<Function, CompileError> {
@@ -271,10 +274,7 @@ impl<'u> Lowerer<'u> {
         // Try the canonical pattern.
         if let Some(canon) = self.try_canonical(init, cond, update)? {
             let (ivar, start, end, step) = canon;
-            let annot = annot
-                .as_ref()
-                .map(|a| self.lower_annot(a))
-                .transpose()?;
+            let annot = annot.as_ref().map(|a| self.lower_annot(a)).transpose()?;
             let id = self.fresh_loop();
             let body = self.lower_block(body)?;
             out.push(Stmt::For(ForLoop {
@@ -431,7 +431,7 @@ impl<'u> Lowerer<'u> {
             out.private_spans.push(sp(*pos));
         }
         let lower_ranges = |lw: &mut Self,
-                                src: &[crate::annot::ARange]|
+                            src: &[crate::annot::ARange]|
          -> Result<Vec<ArrayRange>, CompileError> {
             src.iter()
                 .map(|r| {
@@ -599,7 +599,9 @@ mod tests {
         .unwrap();
         let mut heap = Heap::new();
         let mut be = HeapBackend::new(&mut heap);
-        let r = Interp::new(&p).call_by_name("f", &[Value::Int(4)], &mut be).unwrap();
+        let r = Interp::new(&p)
+            .call_by_name("f", &[Value::Int(4)], &mut be)
+            .unwrap();
         assert_eq!(r, Some(Value::Int(10)));
     }
 
@@ -706,7 +708,9 @@ mod tests {
         .unwrap();
         let mut heap = Heap::new();
         let mut be = HeapBackend::new(&mut heap);
-        let r = Interp::new(&p).call_by_name("f", &[Value::Int(5)], &mut be).unwrap();
+        let r = Interp::new(&p)
+            .call_by_name("f", &[Value::Int(5)], &mut be)
+            .unwrap();
         assert_eq!(r, Some(Value::Int(11)));
     }
 
@@ -723,7 +727,9 @@ mod tests {
         .unwrap();
         let mut heap = Heap::new();
         let mut be = HeapBackend::new(&mut heap);
-        let r = Interp::new(&p).call_by_name("f", &[Value::Int(4)], &mut be).unwrap();
+        let r = Interp::new(&p)
+            .call_by_name("f", &[Value::Int(4)], &mut be)
+            .unwrap();
         assert_eq!(r, Some(Value::Int(12)));
     }
 

@@ -261,7 +261,10 @@ impl Parser {
                 let tpos = self.pos();
                 let t = self.bump_tok();
                 let elem = Self::prim_ty(&t).ok_or_else(|| {
-                    CompileError::at(tpos, format!("expected element type after new, found `{t}`"))
+                    CompileError::at(
+                        tpos,
+                        format!("expected element type after new, found `{t}`"),
+                    )
                 })?;
                 self.expect(&Tok::LBracket)?;
                 let len = self.parse_expr()?;
@@ -296,7 +299,10 @@ impl Parser {
                         pos,
                     ));
                 }
-                Tok::PlusAssign | Tok::MinusAssign | Tok::StarAssign | Tok::SlashAssign
+                Tok::PlusAssign
+                | Tok::MinusAssign
+                | Tok::StarAssign
+                | Tok::SlashAssign
                 | Tok::PercentAssign => {
                     self.bump_tok();
                     let op = match self.bump_tok() {
@@ -343,8 +349,11 @@ impl Parser {
                                 pos,
                             ));
                         }
-                        Tok::PlusAssign | Tok::MinusAssign | Tok::StarAssign
-                        | Tok::SlashAssign | Tok::PercentAssign => {
+                        Tok::PlusAssign
+                        | Tok::MinusAssign
+                        | Tok::StarAssign
+                        | Tok::SlashAssign
+                        | Tok::PercentAssign => {
                             let op = match self.bump_tok() {
                                 Tok::PlusAssign => BinOp::Add,
                                 Tok::MinusAssign => BinOp::Sub,
@@ -655,17 +664,14 @@ mod tests {
 
     #[test]
     fn annotation_not_on_for_is_error() {
-        let e = parse_err(
-            "static void f() { /* acc parallel */ int x = 0; }",
-        );
+        let e = parse_err("static void f() { /* acc parallel */ int x = 0; }");
         assert!(e.msg.contains("for"));
     }
 
     #[test]
     fn for_update_variants() {
         for upd in ["i = i + 1", "i += 1", "i++"] {
-            let src =
-                format!("static void f(int n) {{ for (int i = 0; i < n; {upd}) {{ }} }}");
+            let src = format!("static void f(int n) {{ for (int i = 0; i < n; {upd}) {{ }} }}");
             parse_src(&src);
         }
     }

@@ -79,7 +79,10 @@ impl<'u> Checker<'u> {
                 return Ok(*t);
             }
         }
-        Err(CompileError::at(pos, format!("undeclared variable `{name}`")))
+        Err(CompileError::at(
+            pos,
+            format!("undeclared variable `{name}`"),
+        ))
     }
 
     fn check_block(&mut self, stmts: &[AStmt]) -> Result<(), CompileError> {
@@ -213,10 +216,7 @@ impl<'u> Checker<'u> {
             },
             AStmtKind::Break | AStmtKind::Continue => {
                 if self.loop_depth == 0 {
-                    return Err(CompileError::at(
-                        s.pos,
-                        "break/continue outside of a loop",
-                    ));
+                    return Err(CompileError::at(s.pos, "break/continue outside of a loop"));
                 }
                 Ok(())
             }
@@ -306,7 +306,12 @@ impl<'u> Checker<'u> {
         }
     }
 
-    fn check_call(&mut self, name: &str, args: &[AExpr], pos: Pos) -> Result<Option<Ty>, CompileError> {
+    fn check_call(
+        &mut self,
+        name: &str,
+        args: &[AExpr],
+        pos: Pos,
+    ) -> Result<Option<Ty>, CompileError> {
         let (f, ptys) = self
             .sigs
             .get(name)
@@ -435,21 +440,15 @@ impl<'u> Checker<'u> {
                 self.expect_int(idx)?;
                 match at {
                     AType::Array(t) => prim(t),
-                    AType::Prim(_) => Err(CompileError::at(
-                        e.pos,
-                        format!("`{n}` is not an array"),
-                    )),
+                    AType::Prim(_) => {
+                        Err(CompileError::at(e.pos, format!("`{n}` is not an array")))
+                    }
                 }
             }
-            AExprKind::Length(n) => {
-                match self.lookup(n, e.pos)? {
-                    AType::Array(_) => prim(Ty::Int),
-                    AType::Prim(_) => Err(CompileError::at(
-                        e.pos,
-                        format!("`{n}` is not an array"),
-                    )),
-                }
-            }
+            AExprKind::Length(n) => match self.lookup(n, e.pos)? {
+                AType::Array(_) => prim(Ty::Int),
+                AType::Prim(_) => Err(CompileError::at(e.pos, format!("`{n}` is not an array"))),
+            },
             AExprKind::Math(f, args) => {
                 for a in args {
                     match self.type_of(a)? {
@@ -592,13 +591,9 @@ mod tests {
 
     #[test]
     fn call_arity_and_types() {
-        let e = err(
-            "static void f() { g(1); } static void g(int a, int b) { }",
-        );
+        let e = err("static void f() { g(1); } static void g(int a, int b) { }");
         assert!(e.msg.contains("argument"));
-        let e = err(
-            "static void f(boolean b) { g(b); } static void g(int a) { }",
-        );
+        let e = err("static void f(boolean b) { g(b); } static void g(int a) { }");
         assert!(e.msg.contains("cannot assign"));
     }
 

@@ -105,7 +105,12 @@ fn roundtrip_scheme_and_create_clauses() {
         |heap| {
             let t = heap.alloc_doubles(&[0.0; 16]);
             let o = heap.alloc_doubles(&vec![0.0; 200]);
-            vec![Value::Array(t), Value::Array(o), Value::Int(200), Value::Int(16)]
+            vec![
+                Value::Array(t),
+                Value::Array(o),
+                Value::Int(200),
+                Value::Int(16),
+            ]
         },
     );
 }

@@ -31,16 +31,16 @@ fn precedence_matrix() {
     let cases: &[(&str, i64)] = &[
         ("2 + 3 * 4", 14),
         ("(2 + 3) * 4", 20),
-        ("2 - 3 - 4", -5),            // left assoc
-        ("100 / 10 / 5", 2),          // left assoc
+        ("2 - 3 - 4", -5),   // left assoc
+        ("100 / 10 / 5", 2), // left assoc
         ("7 % 3 + 1", 2),
-        ("1 << 3 + 1", 16),           // shift below additive
+        ("1 << 3 + 1", 16), // shift below additive
         ("16 >> 1 >> 1", 4),
-        ("5 & 3 | 8", 9),             // & binds tighter than |
-        ("5 ^ 3 & 1", 4),             // & tighter than ^
+        ("5 & 3 | 8", 9), // & binds tighter than |
+        ("5 ^ 3 & 1", 4), // & tighter than ^
         ("-2 * 3", -6),
         ("~0 + 1", 0),
-        ("1 + 2 < 4 ? 10 : 20", 10),  // relational in ternary guard
+        ("1 + 2 < 4 ? 10 : 20", 10), // relational in ternary guard
     ];
     for (expr, expect) in cases {
         let src = format!("static int f() {{ return {expr}; }}");
@@ -53,7 +53,7 @@ fn boolean_operator_matrix() {
     let cases: &[(&str, bool)] = &[
         ("true && false || true", true), // && tighter than ||
         ("!(1 > 2) && 3 >= 3", true),
-        ("1 != 2 == true", true),        // relational then equality
+        ("1 != 2 == true", true), // relational then equality
         ("true ^ true", false),
         ("false | true", true),
     ];
@@ -76,7 +76,10 @@ fn numeric_literal_and_cast_matrix() {
         eval("static long f() { return 0x7fffffffffffffffL; }", "f", &[]).unwrap(),
         Value::Long(i64::MAX)
     );
-    assert_eq!(eval_f64("static double f() { return (double) 7 / 2; }"), 3.5);
+    assert_eq!(
+        eval_f64("static double f() { return (double) 7 / 2; }"),
+        3.5
+    );
     assert_eq!(eval_int("static int f() { return 7 / 2; }"), 3);
 }
 
@@ -129,10 +132,21 @@ fn arrays_as_arguments_share_identity() {
 fn math_intrinsics_smoke() {
     assert!((eval_f64("static double f() { return Math.exp(0.0); }") - 1.0).abs() < 1e-12);
     assert!((eval_f64("static double f() { return Math.pow(2.0, 10.0); }") - 1024.0).abs() < 1e-9);
-    assert_eq!(eval_f64("static double f() { return Math.floor(2.7); }"), 2.0);
-    assert_eq!(eval_f64("static double f() { return Math.ceil(2.1); }"), 3.0);
     assert_eq!(
-        eval("static int f() { return Math.max(3, Math.min(9, 5)); }", "f", &[]).unwrap(),
+        eval_f64("static double f() { return Math.floor(2.7); }"),
+        2.0
+    );
+    assert_eq!(
+        eval_f64("static double f() { return Math.ceil(2.1); }"),
+        3.0
+    );
+    assert_eq!(
+        eval(
+            "static int f() { return Math.max(3, Math.min(9, 5)); }",
+            "f",
+            &[]
+        )
+        .unwrap(),
         Value::Int(5)
     );
 }

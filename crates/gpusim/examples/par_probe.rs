@@ -1,0 +1,123 @@
+//! Micro-probe for host-parallel launch overhead: one big DOALL kernel,
+//! repeated launches, wall time per thread count.
+//!
+//! ```sh
+//! cargo run --release -p japonica-gpusim --example par_probe -- 1000000 8 1 2 8
+//! ```
+
+use japonica_frontend::compile_source;
+use japonica_gpusim::{launch_loop_par, DeviceConfig, DeviceMemory};
+use japonica_ir::{Env, Heap, LoopBounds, Value};
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000_000);
+    let reps: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let threads: Vec<usize> = {
+        let rest: Vec<usize> = args.filter_map(|a| a.parse().ok()).collect();
+        if rest.is_empty() {
+            vec![1, 2, 4, 8]
+        } else {
+            rest
+        }
+    };
+    let src = "static void k(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] * 1.5 + 2.0; }
+    }";
+    let p = compile_source(src).expect("probe kernel compiles");
+    let (_, f) = p.function_by_name("k").expect("function k");
+    let l = f.all_loops()[0].clone();
+    let mut heap = Heap::new();
+    let vals: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let a = heap.alloc_doubles(&vals);
+    let bounds = LoopBounds {
+        start: 0,
+        end: n as i64,
+        step: 1,
+    };
+    // Phase breakdown, single-threaded: interpret on plain memory vs on
+    // forked views, and the absorb cost, to localize parallel-path overhead.
+    {
+        use japonica_gpusim::ParallelLaneMemory as _;
+        let cfg = DeviceConfig::default();
+        let mut dev = DeviceMemory::new();
+        dev.copy_in(&heap, a, 0, n, &cfg).expect("copy_in");
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(a));
+        env.set(f.params[1].var, Value::Int(n as i32));
+        let exec = japonica_gpusim::SimtExec::new(&p, &cfg);
+        let ws = cfg.warp_size as u64;
+        let n_warps = (n as u64).div_ceil(ws);
+
+        let t0 = Instant::now();
+        for w in 0..n_warps {
+            let lo = w * ws;
+            let hi = (lo + ws).min(n as u64);
+            let warp_iters: Vec<u64> = (lo..hi).collect();
+            exec.run_warp(&l, &bounds, &warp_iters, &env, w as u32, &mut dev)
+                .expect("warp");
+        }
+        let seq = t0.elapsed().as_secs_f64();
+
+        let mut deltas = Vec::with_capacity(n_warps as usize);
+        let t0 = Instant::now();
+        for w in 0..n_warps {
+            let lo = w * ws;
+            let hi = (lo + ws).min(n as u64);
+            let warp_iters: Vec<u64> = (lo..hi).collect();
+            let mut view = dev.fork();
+            exec.run_warp(&l, &bounds, &warp_iters, &env, w as u32, &mut view)
+                .expect("warp");
+            deltas.push(DeviceMemory::harvest(view));
+        }
+        let viewed = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        for d in deltas {
+            dev.absorb(d).expect("absorb");
+        }
+        let absorb = t0.elapsed().as_secs_f64();
+        println!(
+            "1-thread phases: run_warp(direct) {:.1} ms | run_warp(view) {:.1} ms | absorb {:.1} ms",
+            seq * 1e3,
+            viewed * 1e3,
+            absorb * 1e3
+        );
+    }
+    let mut base = None;
+    for &t in &threads {
+        let mut cfg = DeviceConfig::default();
+        cfg.sim.host_threads = t;
+        let mut dev = DeviceMemory::new();
+        dev.copy_in(&heap, a, 0, n, &cfg).expect("copy_in");
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(a));
+        env.set(f.params[1].var, Value::Int(n as i32));
+        let start = Instant::now();
+        for _ in 0..reps {
+            launch_loop_par(
+                &p,
+                &cfg,
+                &l,
+                &bounds,
+                0..n as u64,
+                &env,
+                &mut dev,
+                None,
+                None,
+            )
+            .expect("launch");
+        }
+        let wall = start.elapsed().as_secs_f64();
+        let b = *base.get_or_insert(wall);
+        println!(
+            "threads={t:>2}  {:>8.1} ms/launch  speedup {:.2}x",
+            wall / reps as f64 * 1e3,
+            b / wall
+        );
+    }
+}

@@ -2,6 +2,43 @@
 
 use japonica_ir::{CostTable, OpClass};
 
+/// How the simulator itself runs on the host — as opposed to what it
+/// models. Purely a wall-clock knob: every simulated quantity (cycle
+/// counts, TLS conflict sets, fault decisions) is bit-identical across
+/// `host_threads` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Host worker threads the kernel launcher spreads warps over.
+    /// `1` (the default) is the reference sequential interpreter; higher
+    /// counts run warps on a `std::thread::scope` pool and merge per-warp
+    /// results in global warp order (see `launch_loop_par`).
+    pub host_threads: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig { host_threads: 1 }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with exactly `n` host threads (clamped to ≥ 1).
+    pub fn with_threads(n: usize) -> SimConfig {
+        SimConfig {
+            host_threads: n.max(1),
+        }
+    }
+
+    /// One host thread per available hardware thread.
+    pub fn auto() -> SimConfig {
+        SimConfig::with_threads(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
 /// Parameters of the simulated GPU. Defaults model the paper's testbed GPU,
 /// an Nvidia Fermi M2050 (14 SMs × 32 CUDA cores @ 1.15 GHz, PCIe gen-2
 /// host link), at the granularity the scheduler cares about.
@@ -33,6 +70,9 @@ pub struct DeviceConfig {
     pub mem_concurrency: f64,
     /// Per-op issue costs for the SIMT cores.
     pub cost: CostTable,
+    /// Host-side execution settings of the simulator itself (thread count);
+    /// does not affect any simulated quantity.
+    pub sim: SimConfig,
 }
 
 impl DeviceConfig {
@@ -74,6 +114,7 @@ impl Default for DeviceConfig {
             pcie_latency_us: 30.0,
             mem_concurrency: 16.0,
             cost: gpu_cost_table(),
+            sim: SimConfig::default(),
         }
     }
 }
@@ -122,6 +163,14 @@ mod tests {
         assert!(tiny >= c.pcie_latency_us * 1e-6);
         let big = c.transfer_seconds(400_000_000); // 400 MB
         assert!(big > 0.2); // ~0.27 s at 1.5 GB/s
+    }
+
+    #[test]
+    fn sim_config_defaults_sequential() {
+        assert_eq!(SimConfig::default().host_threads, 1);
+        assert_eq!(DeviceConfig::default().sim.host_threads, 1);
+        assert_eq!(SimConfig::with_threads(0).host_threads, 1);
+        assert!(SimConfig::auto().host_threads >= 1);
     }
 
     #[test]

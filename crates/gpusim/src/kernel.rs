@@ -1,15 +1,18 @@
 //! Kernel launch: grid formation, warp scheduling over SMs, and timing.
 
 use crate::config::DeviceConfig;
-use crate::memory::LaneMemory;
+use crate::memory::{LaneMemory, ParallelLaneMemory};
 use crate::simt::{SimtError, SimtExec};
 use crate::stats::WarpStats;
 use japonica_faults::{FaultOrigin, FaultPlan};
 use japonica_ir::{Env, ForLoop, LoopBounds, Program};
 use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Result of one kernel launch.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` is bitwise on the f64 fields, for the determinism tests.
+#[derive(Debug, Clone, PartialEq)]
 pub struct KernelReport {
     /// Simulated seconds of device compute (including launch overhead,
     /// excluding transfers).
@@ -62,15 +65,7 @@ pub fn launch_loop<M: LaneMemory>(
     mem: &mut M,
 ) -> Result<KernelReport, SimtError> {
     launch_loop_guarded(
-        program,
-        cfg,
-        loop_,
-        bounds,
-        iters,
-        base_env,
-        mem,
-        None,
-        None,
+        program, cfg, loop_, bounds, iters, base_env, mem, None, None,
     )
 }
 
@@ -154,6 +149,180 @@ pub fn launch_loop_guarded<M: LaneMemory>(
     })
 }
 
+/// Per-warp worker output: warp id plus either the warp's stats and
+/// harvested memory delta, or the error that stopped it.
+type WarpOutcome<M> = Vec<(
+    u32,
+    Result<(WarpStats, <M as ParallelLaneMemory>::Delta), SimtError>,
+)>;
+
+/// [`launch_loop_guarded`] with host-side parallelism: warps are executed
+/// by up to `cfg.sim.host_threads` scoped worker threads, each against its
+/// own forked [`ParallelLaneMemory`] view, and the per-warp results are
+/// merged by the coordinator in **global warp order** — the same order the
+/// sequential loop uses — so cycle counts (f64 accumulation order
+/// included), aggregated stats, TLS metadata, and write-after-write
+/// resolution are bit-identical to [`launch_loop_guarded`].
+///
+/// Fault determinism: the plan's per-warp hooks are pre-scanned on the
+/// calling thread in warp order *before* any worker starts, because plan
+/// state advances with each consultation. On a fault at warp `w`, exactly
+/// the warps before `w` execute and commit — the state the sequential path
+/// leaves behind.
+///
+/// With `host_threads <= 1` (the default) this delegates verbatim to the
+/// sequential path. Semantics caveat, parallel mode only: a warp cannot
+/// observe another warp's stores from the *same* launch (views read the
+/// pre-launch state). Every launch the runtime issues is either a proven
+/// DOALL loop or wrapped in speculative buffering — both already have that
+/// property — so the difference is observable only when a loop violates its
+/// `parallel` annotation on a plain device-memory launch.
+#[allow(clippy::too_many_arguments)] // mirrors launch_loop_guarded
+pub fn launch_loop_par<M: ParallelLaneMemory + Sync>(
+    program: &Program,
+    cfg: &DeviceConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    iters: Range<u64>,
+    base_env: &Env,
+    mem: &mut M,
+    faults: Option<&FaultPlan>,
+    watchdog_slack: Option<f64>,
+) -> Result<KernelReport, SimtError> {
+    if iters.is_empty() {
+        return Ok(KernelReport::empty());
+    }
+    let total = iters.end - iters.start;
+    let n_warps = total.div_ceil(cfg.warp_size as u64) as u32;
+    if cfg.sim.host_threads <= 1 || n_warps <= 1 {
+        return launch_loop_guarded(
+            program,
+            cfg,
+            loop_,
+            bounds,
+            iters,
+            base_env,
+            mem,
+            faults,
+            watchdog_slack,
+        );
+    }
+    let origin = FaultOrigin {
+        loop_id: Some(loop_.id),
+        subloop: Some(iters.start),
+        ..FaultOrigin::default()
+    };
+    if let Some(plan) = faults {
+        if let Some(f) = plan.on_kernel_launch(origin) {
+            return Err(SimtError::Fault(f));
+        }
+    }
+    // Pre-scan the per-warp fault hooks in warp order on this thread: the
+    // plan is deterministic purely by consultation order, so this replays
+    // the sequential call sequence exactly (stopping at the first hit, as
+    // the sequential loop does).
+    let mut pending_fault = None;
+    let mut run_warps = n_warps;
+    if let Some(plan) = faults {
+        for w in 0..n_warps {
+            if let Some(f) = plan.on_warp(origin.with_warp(w as u64)) {
+                pending_fault = Some(f);
+                run_warps = w;
+                break;
+            }
+        }
+    }
+    let exec = SimtExec::new(program, cfg);
+    let next = AtomicU32::new(0);
+    let mem_ref: &M = &*mem;
+    let workers = cfg.sim.host_threads.min(run_warps.max(1) as usize);
+    let mut results: WarpOutcome<M> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out: WarpOutcome<M> = Vec::new();
+                    loop {
+                        let w = next.fetch_add(1, Ordering::Relaxed);
+                        if w >= run_warps {
+                            break;
+                        }
+                        let lo = iters.start + w as u64 * cfg.warp_size as u64;
+                        let hi = (lo + cfg.warp_size as u64).min(iters.end);
+                        let warp_iters: Vec<u64> = (lo..hi).collect();
+                        let mut view = mem_ref.fork();
+                        let r = exec
+                            .run_warp(loop_, bounds, &warp_iters, base_env, w, &mut view)
+                            .map(|stats| (stats, M::harvest(view)));
+                        let failed = r.is_err();
+                        out.push((w, r));
+                        if failed {
+                            break;
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("simulator worker thread panicked"))
+            .collect()
+    });
+    results.sort_by_key(|(w, _)| *w);
+    // The lowest erroring warp wins, as in sequential execution; warps
+    // before it commit, everything at or after it is discarded.
+    let commit_limit = results
+        .iter()
+        .find(|(_, r)| r.is_err())
+        .map(|(w, _)| *w)
+        .unwrap_or(run_warps);
+    let mut sm_cycles = vec![0.0f64; cfg.sm_count as usize];
+    let mut agg = WarpStats::new();
+    let mut first_err = None;
+    for (w, r) in results {
+        match r {
+            Ok((stats, delta)) => {
+                if w >= commit_limit {
+                    continue;
+                }
+                let occupied = stats.issue_cycles + stats.mem_cycles / cfg.mem_concurrency.max(1.0);
+                sm_cycles[(w % cfg.sm_count) as usize] += occupied;
+                agg.merge(&stats);
+                mem.absorb(delta).map_err(SimtError::Mem)?;
+            }
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    if let Some(f) = pending_fault {
+        return Err(SimtError::Fault(f));
+    }
+    let mut critical = sm_cycles.iter().copied().fold(0.0, f64::max);
+    if let Some(plan) = faults {
+        if let Some((stall, fault)) = plan.stall_cycles(origin) {
+            if let Some(slack) = watchdog_slack {
+                if critical + stall > critical * slack.max(1.0) + 1.0 {
+                    return Err(SimtError::Fault(fault));
+                }
+            }
+            critical += stall;
+        }
+    }
+    Ok(KernelReport {
+        time_s: cfg.cycles_to_seconds(critical) + cfg.kernel_launch_us * 1e-6,
+        critical_cycles: critical,
+        warps: n_warps,
+        iterations: total,
+        stats: agg,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,8 +351,7 @@ mod tests {
             end: n as i64,
             step: 1,
         };
-        let report =
-            launch_loop(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut dev).unwrap();
+        let report = launch_loop(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut dev).unwrap();
         (report, dev, a, heap)
     }
 
@@ -208,7 +376,11 @@ mod tests {
         let cfg = DeviceConfig::default();
         let mut dev = DeviceMemory::new();
         let env = Env::with_slots(f.num_vars);
-        let bounds = LoopBounds { start: 0, end: 0, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: 0,
+            step: 1,
+        };
         let r = launch_loop(&p, &cfg, &l, &bounds, 0..0, &env, &mut dev).unwrap();
         assert_eq!(r.time_s, 0.0);
         assert_eq!(r.warps, 0);
@@ -258,7 +430,11 @@ mod tests {
         let mut env = Env::with_slots(f.num_vars);
         env.set(f.params[0].var, Value::Array(a));
         env.set(f.params[1].var, Value::Int(n as i32));
-        let bounds = LoopBounds { start: 0, end: n as i64, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
         let fresh = |heap: &Heap| {
             let mut dev = DeviceMemory::new();
             dev.copy_in(heap, a, 0, n, &cfg).unwrap();
@@ -269,7 +445,15 @@ mod tests {
         let plain =
             launch_loop(&p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap)).unwrap();
         let guarded = launch_loop_guarded(
-            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), None, Some(4.0),
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut fresh(&heap),
+            None,
+            Some(4.0),
         )
         .unwrap();
         assert_eq!(plain.time_s, guarded.time_s);
@@ -278,7 +462,15 @@ mod tests {
         // Launch failure.
         let plan = FaultPlan::new(1, vec![FaultRule::persistent(FaultKind::KernelLaunch)]);
         let err = launch_loop_guarded(
-            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), Some(&plan), None,
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut fresh(&heap),
+            Some(&plan),
+            None,
         );
         assert!(
             matches!(err, Err(SimtError::Fault(f)) if f.kind == FaultKind::KernelLaunch),
@@ -288,7 +480,15 @@ mod tests {
         // SIMT fault gated on warp 3 carries its coordinates.
         let plan = FaultPlan::new(1, vec![FaultRule::persistent(FaultKind::Simt).on_warp(3)]);
         let err = launch_loop_guarded(
-            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), Some(&plan), None,
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut fresh(&heap),
+            Some(&plan),
+            None,
         );
         match err {
             Err(SimtError::Fault(f)) => {
@@ -307,7 +507,15 @@ mod tests {
             vec![FaultRule::persistent(FaultKind::DeadlineOverrun).stalling(big_stall)],
         );
         let err = launch_loop_guarded(
-            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), Some(&plan), Some(4.0),
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut fresh(&heap),
+            Some(&plan),
+            Some(4.0),
         );
         assert!(
             matches!(err, Err(SimtError::Fault(f)) if f.kind == FaultKind::DeadlineOverrun),
@@ -319,10 +527,153 @@ mod tests {
             vec![FaultRule::persistent(FaultKind::DeadlineOverrun).stalling(big_stall)],
         );
         let slow = launch_loop_guarded(
-            &p, &cfg, &l, &bounds, 0..n as u64, &env, &mut fresh(&heap), Some(&plan), None,
+            &p,
+            &cfg,
+            &l,
+            &bounds,
+            0..n as u64,
+            &env,
+            &mut fresh(&heap),
+            Some(&plan),
+            None,
         )
         .unwrap();
         assert!(slow.time_s > plain.time_s);
+    }
+
+    #[test]
+    fn parallel_launch_is_bit_identical_to_sequential() {
+        let src = "static void f(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                if (i % 3 == 0) { a[i] = a[i] * 2.0 + 1.0; } else { a[i] = a[i] / 2.0; }
+            }
+        }";
+        let p = compile_source(src).unwrap();
+        let (_, f) = p.function_by_name("f").unwrap();
+        let l = f.all_loops()[0].clone();
+        let n = 2000usize;
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&(0..n).map(|i| i as f64).collect::<Vec<_>>());
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(a));
+        env.set(f.params[1].var, Value::Int(n as i32));
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
+        let run = |threads: usize| {
+            let mut cfg = DeviceConfig::default();
+            cfg.sim.host_threads = threads;
+            let mut dev = DeviceMemory::new();
+            dev.copy_in(&heap, a, 0, n, &cfg).unwrap();
+            let r = launch_loop_par(
+                &p,
+                &cfg,
+                &l,
+                &bounds,
+                0..n as u64,
+                &env,
+                &mut dev,
+                None,
+                None,
+            )
+            .unwrap();
+            let vals: Vec<Value> = (0..n).map(|i| dev.array(a).unwrap().get(i)).collect();
+            (r, vals)
+        };
+        let (seq, seq_vals) = run(1);
+        for threads in [2, 3, 8] {
+            let (par, par_vals) = run(threads);
+            assert_eq!(seq, par, "report diverged at {threads} threads");
+            assert_eq!(seq.time_s.to_bits(), par.time_s.to_bits());
+            assert_eq!(seq.critical_cycles.to_bits(), par.critical_cycles.to_bits());
+            assert_eq!(seq_vals, par_vals, "memory diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_launch_replays_fault_injection_exactly() {
+        use japonica_faults::{FaultKind, FaultPlan, FaultRule};
+        let src = "static void scale(double[] a, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0 + 1.0; }
+        }";
+        let p = compile_source(src).unwrap();
+        let (_, f) = p.function_by_name("scale").unwrap();
+        let l = f.all_loops()[0].clone();
+        let n = 512usize;
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&vec![1.0; n]);
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(a));
+        env.set(f.params[1].var, Value::Int(n as i32));
+        let bounds = LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        };
+        let run = |threads: usize| {
+            let mut cfg = DeviceConfig::default();
+            cfg.sim.host_threads = threads;
+            let mut dev = DeviceMemory::new();
+            dev.copy_in(&heap, a, 0, n, &cfg).unwrap();
+            let plan = FaultPlan::new(1, vec![FaultRule::persistent(FaultKind::Simt).on_warp(5)]);
+            let err = launch_loop_par(
+                &p,
+                &cfg,
+                &l,
+                &bounds,
+                0..n as u64,
+                &env,
+                &mut dev,
+                Some(&plan),
+                None,
+            );
+            let vals: Vec<Value> = (0..n).map(|i| dev.array(a).unwrap().get(i)).collect();
+            (format!("{err:?}"), vals)
+        };
+        // Fault at warp 5: warps 0..5 commit, the rest never run — and the
+        // partial memory state matches the sequential path exactly.
+        let (seq_err, seq_vals) = run(1);
+        for threads in [2, 8] {
+            let (par_err, par_vals) = run(threads);
+            assert_eq!(seq_err, par_err);
+            assert_eq!(seq_vals, par_vals);
+        }
+        assert_eq!(seq_vals[5 * 32 - 1], Value::Double(3.0));
+        assert_eq!(seq_vals[5 * 32], Value::Double(1.0));
+    }
+
+    #[test]
+    fn parallel_launch_empty_and_single_warp_delegate() {
+        let src = "static void f(int[] a, int n) {
+            /* acc parallel */ for (int i = 0; i < n; i++) { a[i] = 1; }
+        }";
+        let p = compile_source(src).unwrap();
+        let (_, f) = p.function_by_name("f").unwrap();
+        let l = f.all_loops()[0].clone();
+        let mut cfg = DeviceConfig::default();
+        cfg.sim.host_threads = 8;
+        let mut heap = Heap::new();
+        let a = heap.alloc_ints(&[0; 8]);
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(a));
+        env.set(f.params[1].var, Value::Int(8));
+        let bounds = LoopBounds {
+            start: 0,
+            end: 8,
+            step: 1,
+        };
+        let mut dev = DeviceMemory::new();
+        dev.copy_in(&heap, a, 0, 8, &cfg).unwrap();
+        let empty =
+            launch_loop_par(&p, &cfg, &l, &bounds, 0..0, &env, &mut dev, None, None).unwrap();
+        assert_eq!(empty.warps, 0);
+        let one = launch_loop_par(&p, &cfg, &l, &bounds, 0..8, &env, &mut dev, None, None).unwrap();
+        assert_eq!(one.warps, 1);
+        assert_eq!(dev.array(a).unwrap().get(7), Value::Int(1));
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub mod memory;
 pub mod simt;
 pub mod stats;
 
-pub use config::DeviceConfig;
-pub use kernel::{launch_loop, launch_loop_guarded, KernelReport};
-pub use memory::{AccessCtx, DeviceMemory, LaneMemory, Transfer};
+pub use config::{DeviceConfig, SimConfig};
+pub use kernel::{launch_loop, launch_loop_guarded, launch_loop_par, KernelReport};
+pub use memory::{AccessCtx, DeviceMemory, LaneMemory, ParallelLaneMemory, ShadowView, Transfer};
 pub use simt::{SimtError, SimtExec};
-pub use stats::WarpStats;
+pub use stats::{GpuStats, WarpStats};

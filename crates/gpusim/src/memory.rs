@@ -41,6 +41,32 @@ pub trait LaneMemory {
     }
 }
 
+/// Lane memory that can hand each warp an independent, sendable view for
+/// host-parallel simulation.
+///
+/// The contract that keeps the parallel launch path bit-identical to the
+/// sequential one: a view created by [`fork`](ParallelLaneMemory::fork)
+/// reads the pre-launch state and buffers its own stores; the coordinator
+/// [`absorb`](ParallelLaneMemory::absorb)s the harvested deltas in global
+/// warp order, so write-after-write resolution and every order-sensitive
+/// merge (f64 sums, metadata lists) replay the sequential schedule exactly.
+pub trait ParallelLaneMemory: LaneMemory {
+    /// The per-warp view warps execute against on worker threads.
+    type View<'v>: LaneMemory + Send
+    where
+        Self: 'v;
+    /// The owned result of one warp's execution, sent back to the
+    /// coordinator.
+    type Delta: Send;
+
+    /// A fresh view over the pre-launch state.
+    fn fork(&self) -> Self::View<'_>;
+    /// Extract a finished view's buffered effects.
+    fn harvest(view: Self::View<'_>) -> Self::Delta;
+    /// Apply one warp's effects; called in ascending warp order.
+    fn absorb(&mut self, delta: Self::Delta) -> Result<(), ExecError>;
+}
+
 /// A recorded host↔device transfer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Transfer {
@@ -134,10 +160,7 @@ impl DeviceMemory {
         hi: usize,
         cfg: &DeviceConfig,
     ) -> Result<f64, ExecError> {
-        let src = self
-            .arrays
-            .get(&arr)
-            .ok_or(ExecError::UnknownArray(arr))?;
+        let src = self.arrays.get(&arr).ok_or(ExecError::UnknownArray(arr))?;
         let hi = hi.min(src.len());
         for i in lo..hi {
             let v = src.get(i);
@@ -194,7 +217,8 @@ impl DeviceMemory {
                 return Err(SimtError::Fault(f));
             }
         }
-        self.copy_out(host, arr, lo, hi, cfg).map_err(SimtError::Mem)
+        self.copy_out(host, arr, lo, hi, cfg)
+            .map_err(SimtError::Mem)
     }
 
     /// Direct read of a device array (for tests and the TLS commit phase).
@@ -209,6 +233,21 @@ impl DeviceMemory {
             .ok_or(ExecError::UnknownArray(arr))
     }
 
+    /// Bounds-checked element read through a shared reference — the
+    /// read path of [`LaneMemory::load`], usable from per-warp views that
+    /// only hold `&DeviceMemory`.
+    pub fn peek(&self, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+        let a = self.arrays.get(&arr).ok_or(ExecError::UnknownArray(arr))?;
+        if idx < 0 || idx as usize >= a.len() {
+            return Err(ExecError::IndexOutOfBounds {
+                array: arr,
+                index: idx,
+                len: a.len(),
+            });
+        }
+        Ok(a.get(idx as usize))
+    }
+
     /// Total bytes the transfer log moved in the given direction.
     pub fn bytes_transferred(&self, to_device: bool) -> usize {
         self.transfers
@@ -221,18 +260,16 @@ impl DeviceMemory {
 
 impl LaneMemory for DeviceMemory {
     fn load(&mut self, _ctx: AccessCtx, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
-        let a = self.arrays.get(&arr).ok_or(ExecError::UnknownArray(arr))?;
-        if idx < 0 || idx as usize >= a.len() {
-            return Err(ExecError::IndexOutOfBounds {
-                array: arr,
-                index: idx,
-                len: a.len(),
-            });
-        }
-        Ok(a.get(idx as usize))
+        self.peek(arr, idx)
     }
 
-    fn store(&mut self, _ctx: AccessCtx, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+    fn store(
+        &mut self,
+        _ctx: AccessCtx,
+        arr: ArrayId,
+        idx: i64,
+        v: Value,
+    ) -> Result<(), ExecError> {
         let a = self
             .arrays
             .get_mut(&arr)
@@ -262,6 +299,81 @@ impl LaneMemory for DeviceMemory {
             return None;
         }
         Some(base + idx as u64 * elem)
+    }
+}
+
+/// One warp's private window onto [`DeviceMemory`] during a host-parallel
+/// launch: reads see the pre-launch state (or the warp's own buffered
+/// stores), stores land in an overlay the coordinator later applies in warp
+/// order.
+pub struct ShadowView<'v> {
+    base: &'v DeviceMemory,
+    overlay: BTreeMap<(ArrayId, i64), Value>,
+}
+
+impl LaneMemory for ShadowView<'_> {
+    fn load(&mut self, _ctx: AccessCtx, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+        if let Some(v) = self.overlay.get(&(arr, idx)) {
+            return Ok(*v);
+        }
+        self.base.peek(arr, idx)
+    }
+
+    fn store(
+        &mut self,
+        _ctx: AccessCtx,
+        arr: ArrayId,
+        idx: i64,
+        v: Value,
+    ) -> Result<(), ExecError> {
+        // Validate against the real array so OOB faults surface exactly as
+        // they would on the sequential path.
+        let len = self.base.array_len(arr)?;
+        if idx < 0 || idx as usize >= len {
+            return Err(ExecError::IndexOutOfBounds {
+                array: arr,
+                index: idx,
+                len,
+            });
+        }
+        self.overlay.insert((arr, idx), v);
+        Ok(())
+    }
+
+    fn array_len(&self, arr: ArrayId) -> Result<usize, ExecError> {
+        self.base.array_len(arr)
+    }
+
+    fn address_of(&self, arr: ArrayId, idx: i64) -> Option<u64> {
+        self.base.address_of(arr, idx)
+    }
+}
+
+impl ParallelLaneMemory for DeviceMemory {
+    type View<'v> = ShadowView<'v>;
+    type Delta = BTreeMap<(ArrayId, i64), Value>;
+
+    fn fork(&self) -> ShadowView<'_> {
+        ShadowView {
+            base: self,
+            overlay: BTreeMap::new(),
+        }
+    }
+
+    fn harvest(view: ShadowView<'_>) -> Self::Delta {
+        view.overlay
+    }
+
+    fn absorb(&mut self, delta: Self::Delta) -> Result<(), ExecError> {
+        let ctx = AccessCtx {
+            lane: 0,
+            warp: 0,
+            iter: 0,
+        };
+        for ((arr, idx), v) in delta {
+            self.store(ctx, arr, idx, v)?;
+        }
+        Ok(())
     }
 }
 
@@ -319,7 +431,8 @@ mod tests {
         let mut host = Heap::new();
         let a = host.alloc_ints(&[1]);
         let mut dev = DeviceMemory::new();
-        dev.copy_in(&host, a, 0, 1, &DeviceConfig::default()).unwrap();
+        dev.copy_in(&host, a, 0, 1, &DeviceConfig::default())
+            .unwrap();
         assert!(matches!(
             dev.load(ctx(), a, 5),
             Err(ExecError::IndexOutOfBounds { .. })
@@ -343,6 +456,28 @@ mod tests {
             dev.address_of(a, 1).unwrap() - dev.address_of(a, 0).unwrap(),
             8
         );
+    }
+
+    #[test]
+    fn shadow_view_buffers_stores_until_absorbed() {
+        let mut host = Heap::new();
+        let a = host.alloc_ints(&[1, 2, 3]);
+        let mut dev = DeviceMemory::new();
+        dev.copy_in(&host, a, 0, 3, &DeviceConfig::default())
+            .unwrap();
+        let mut view = dev.fork();
+        view.store(ctx(), a, 1, Value::Int(20)).unwrap();
+        // Read-own-write through the overlay; base untouched.
+        assert_eq!(view.load(ctx(), a, 1).unwrap(), Value::Int(20));
+        assert_eq!(view.load(ctx(), a, 0).unwrap(), Value::Int(1));
+        assert!(matches!(
+            view.store(ctx(), a, 9, Value::Int(0)),
+            Err(ExecError::IndexOutOfBounds { .. })
+        ));
+        let delta = DeviceMemory::harvest(view);
+        assert_eq!(dev.load(ctx(), a, 1).unwrap(), Value::Int(2));
+        dev.absorb(delta).unwrap();
+        assert_eq!(dev.load(ctx(), a, 1).unwrap(), Value::Int(20));
     }
 
     #[test]

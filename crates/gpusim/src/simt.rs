@@ -316,17 +316,15 @@ impl<'p> SimtExec<'p> {
                                 },
                             )
                         })?;
-                    let idx = idxs[l]
-                        .and_then(|v| v.as_i64())
-                        .ok_or_else(|| {
-                            ctx.lane_err(
-                                l,
-                                ExecError::TypeMismatch {
-                                    expected: "int index".into(),
-                                    found: "non-integer".into(),
-                                },
-                            )
-                        })?;
+                    let idx = idxs[l].and_then(|v| v.as_i64()).ok_or_else(|| {
+                        ctx.lane_err(
+                            l,
+                            ExecError::TypeMismatch {
+                                expected: "int index".into(),
+                                found: "non-integer".into(),
+                            },
+                        )
+                    })?;
                     touched.push((l, arr, idx));
                 }
                 ctx.charge_coalesced(&touched);
@@ -445,7 +443,11 @@ impl<'p> SimtExec<'p> {
                 if st <= 0 {
                     return Err(ctx.lane_err(i, ExecError::NonPositiveStep(st)));
                 }
-                trips[i] = if e <= s { 0 } else { ((e - s) + st - 1) as u64 / st as u64 };
+                trips[i] = if e <= s {
+                    0
+                } else {
+                    ((e - s) + st - 1) as u64 / st as u64
+                };
             }
         }
         let entered = count(mask);
@@ -549,7 +551,10 @@ impl<'p> SimtExec<'p> {
                         if !mask[l] {
                             return Ok(None);
                         }
-                        envs[l].get(*var).map(Some).map_err(|er| ctx.lane_err(l, er))
+                        envs[l]
+                            .get(*var)
+                            .map(Some)
+                            .map_err(|er| ctx.lane_err(l, er))
                     })
                     .collect()
             }
@@ -717,8 +722,10 @@ impl<'p> SimtExec<'p> {
                         if !mask[l] {
                             return Ok(None);
                         }
-                        let lane_args: Vec<Value> =
-                            arg_vals.iter().map(|v| v[l].expect("active lane")).collect();
+                        let lane_args: Vec<Value> = arg_vals
+                            .iter()
+                            .map(|v| v[l].expect("active lane"))
+                            .collect();
                         ops::intrinsic(*f, &lane_args)
                             .map(Some)
                             .map_err(|er| ctx.lane_err(l, er))
@@ -745,8 +752,7 @@ impl<'p> SimtExec<'p> {
                         f.name
                     )));
                 }
-                let mut callee_envs: Vec<Env> =
-                    vec![Env::with_slots(f.num_vars); lanes];
+                let mut callee_envs: Vec<Env> = vec![Env::with_slots(f.num_vars); lanes];
                 for l in 0..lanes {
                     if !mask[l] {
                         continue;
@@ -754,17 +760,15 @@ impl<'p> SimtExec<'p> {
                     for (p, av) in f.params.iter().zip(&arg_vals) {
                         let raw = av[l].expect("active lane arg");
                         let bound = match p.ty {
-                            japonica_ir::ParamTy::Scalar(t) => {
-                                raw.cast(t).ok_or_else(|| {
-                                    ctx.lane_err(
-                                        l,
-                                        ExecError::TypeMismatch {
-                                            expected: t.to_string(),
-                                            found: format!("{raw}"),
-                                        },
-                                    )
-                                })?
-                            }
+                            japonica_ir::ParamTy::Scalar(t) => raw.cast(t).ok_or_else(|| {
+                                ctx.lane_err(
+                                    l,
+                                    ExecError::TypeMismatch {
+                                        expected: t.to_string(),
+                                        found: format!("{raw}"),
+                                    },
+                                )
+                            })?,
                             japonica_ir::ParamTy::Array(_) => raw,
                         };
                         callee_envs[l].set(p.var, bound);
@@ -853,7 +857,11 @@ mod tests {
         env.set(f.params[1].var, Value::Array(b));
         env.set(f.params[2].var, Value::Array(c));
         env.set(f.params[3].var, Value::Int(32));
-        let bounds = LoopBounds { start: 0, end: 32, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: 32,
+            step: 1,
+        };
         let iters: Vec<u64> = (0..32).collect();
         let ex = SimtExec::new(&p, &cfg);
         let stats = ex.run_warp(&l, &bounds, &iters, &env, 0, &mut dev).unwrap();
@@ -889,7 +897,11 @@ mod tests {
         let mut env = Env::with_slots(f.num_vars);
         env.set(f.params[0].var, Value::Array(a));
         env.set(f.params[1].var, Value::Int(32));
-        let bounds = LoopBounds { start: 0, end: 32, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: 32,
+            step: 1,
+        };
         let iters: Vec<u64> = (0..32).collect();
         let stats = SimtExec::new(&p, &cfg)
             .run_warp(&l, &bounds, &iters, &env, 0, &mut dev)
@@ -920,7 +932,11 @@ mod tests {
         let mut env = Env::with_slots(f.num_vars);
         env.set(f.params[0].var, Value::Array(a));
         env.set(f.params[1].var, Value::Int(8));
-        let bounds = LoopBounds { start: 0, end: 8, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: 8,
+            step: 1,
+        };
         let iters: Vec<u64> = (0..8).collect();
         let stats = SimtExec::new(&p, &cfg)
             .run_warp(&l, &bounds, &iters, &env, 0, &mut dev)
@@ -956,7 +972,11 @@ mod tests {
         let mut env = Env::with_slots(f.num_vars);
         env.set(f.params[0].var, Value::Array(a));
         env.set(f.params[1].var, Value::Int(8));
-        let bounds = LoopBounds { start: 0, end: 8, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: 8,
+            step: 1,
+        };
         let iters: Vec<u64> = (0..8).collect();
         let stats = SimtExec::new(&p, &cfg)
             .run_warp(&l, &bounds, &iters, &env, 0, &mut dev)
@@ -986,12 +1006,18 @@ mod tests {
         let mut env = Env::with_slots(f.num_vars);
         env.set(f.params[0].var, Value::Array(a));
         env.set(f.params[1].var, Value::Int(8));
-        let bounds = LoopBounds { start: 0, end: 8, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: 8,
+            step: 1,
+        };
         let iters: Vec<u64> = (0..8).collect();
         SimtExec::new(&p, &cfg)
             .run_warp(&l, &bounds, &iters, &env, 0, &mut dev)
             .unwrap();
-        let vals: Vec<i64> = (0..8).map(|i| dev.array(a).unwrap().get(i).as_i64().unwrap()).collect();
+        let vals: Vec<i64> = (0..8)
+            .map(|i| dev.array(a).unwrap().get(i).as_i64().unwrap())
+            .collect();
         assert_eq!(vals, vec![0, 1, 2, 6, 8, 10, 12, 14]);
     }
 
@@ -1012,7 +1038,11 @@ mod tests {
         let mut env = Env::with_slots(f.num_vars);
         env.set(f.params[0].var, Value::Array(a));
         env.set(f.params[1].var, Value::Int(8));
-        let bounds = LoopBounds { start: 0, end: 8, step: 1 };
+        let bounds = LoopBounds {
+            start: 0,
+            end: 8,
+            step: 1,
+        };
         let iters: Vec<u64> = (0..8).collect();
         let err = SimtExec::new(&p, &cfg)
             .run_warp(&l, &bounds, &iters, &env, 0, &mut dev)
@@ -1040,7 +1070,11 @@ mod tests {
             let mut env = Env::with_slots(f.num_vars);
             env.set(f.params[0].var, Value::Array(a));
             env.set(f.params[1].var, Value::Int(32));
-            let bounds = LoopBounds { start: 0, end: 32, step: 1 };
+            let bounds = LoopBounds {
+                start: 0,
+                end: 32,
+                step: 1,
+            };
             let iters: Vec<u64> = (0..32).collect();
             SimtExec::new(&p, &cfg)
                 .run_warp(&l, &bounds, &iters, &env, 0, &mut dev)

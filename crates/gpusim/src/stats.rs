@@ -2,8 +2,16 @@
 
 use japonica_ir::{CostTable, OpClass, OpCounts};
 
+/// Per-kernel aggregate of [`WarpStats`] — what the parallel simulator's
+/// determinism contract is stated over: identical `GpuStats` (and cycle
+/// counts) for every `host_threads` value.
+pub type GpuStats = WarpStats;
+
 /// Cycle and event accounting for one warp's execution.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` is bitwise on the f64 fields — exactly what the
+/// cross-thread-count determinism tests want to assert.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WarpStats {
     /// Instructions issued, by class (one issue per warp-level op).
     pub counts: OpCounts,

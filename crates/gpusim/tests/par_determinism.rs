@@ -1,0 +1,108 @@
+//! Property tests: the host-parallel kernel launcher produces `GpuStats`,
+//! cycle counts, and device memory bit-identical to the sequential
+//! interpreter for every `host_threads` value.
+
+use japonica_frontend::compile_source;
+use japonica_gpusim::{launch_loop_par, DeviceConfig, DeviceMemory, GpuStats, KernelReport};
+use japonica_ir::{Env, Heap, LoopBounds, Value};
+use proptest::prelude::*;
+
+/// DOALL kernels with different stress profiles: uniform arithmetic, two
+/// divergence shapes, and a heavier arithmetic chain. (Each iteration only
+/// touches its own element — the contract the `/* acc parallel */`
+/// annotation promises.)
+const KERNELS: [&str; 4] = [
+    "static void k(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] * 1.5 + 2.0; }
+    }",
+    "static void k(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) {
+            if (i % 2 == 0) { a[i] = a[i] * 3.0; } else { a[i] = a[i] - 1.0; }
+        }
+    }",
+    "static void k(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) {
+            if (i % 3 == 0) { a[i] = a[i] * a[i] + 1.0; } else { a[i] = a[i] * 0.5 - 2.0; }
+        }
+    }",
+    "static void k(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] / 3.0 + a[i] * a[i]; }
+    }",
+];
+
+fn run(kernel: &str, n: usize, threads: usize) -> (KernelReport, GpuStats, Vec<u64>) {
+    let p = compile_source(kernel).unwrap();
+    let (_, f) = p.function_by_name("k").unwrap();
+    let l = f.all_loops()[0].clone();
+    let mut heap = Heap::new();
+    let a = heap.alloc_doubles(&(0..n).map(|i| (i as f64).sin()).collect::<Vec<_>>());
+    let mut cfg = DeviceConfig::default();
+    cfg.sim.host_threads = threads;
+    let mut dev = DeviceMemory::new();
+    dev.copy_in(&heap, a, 0, n, &cfg).unwrap();
+    let mut env = Env::with_slots(f.num_vars);
+    env.set(f.params[0].var, Value::Array(a));
+    env.set(f.params[1].var, Value::Int(n as i32));
+    let bounds = LoopBounds {
+        start: 0,
+        end: n as i64,
+        step: 1,
+    };
+    let r = launch_loop_par(
+        &p,
+        &cfg,
+        &l,
+        &bounds,
+        0..n as u64,
+        &env,
+        &mut dev,
+        None,
+        None,
+    )
+    .unwrap();
+    // Memory as raw f64 bits: identical must mean identical.
+    let mem: Vec<u64> = {
+        let arr = dev.array(a).unwrap();
+        (0..arr.len())
+            .map(|i| match arr.get(i) {
+                Value::Double(d) => d.to_bits(),
+                v => panic!("unexpected value {v:?}"),
+            })
+            .collect()
+    };
+    let stats = r.stats.clone();
+    (r, stats, mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gpu_stats_are_thread_count_invariant(
+        kernel_idx in 0usize..KERNELS.len(),
+        n in 64usize..3000,
+    ) {
+        let kernel = KERNELS[kernel_idx];
+        let (seq_report, seq_stats, seq_mem) = run(kernel, n, 1);
+        for threads in [2usize, 8] {
+            let (par_report, par_stats, par_mem) = run(kernel, n, threads);
+            prop_assert_eq!(&seq_stats, &par_stats, "GpuStats diverged at {} threads", threads);
+            prop_assert_eq!(
+                seq_report.critical_cycles.to_bits(),
+                par_report.critical_cycles.to_bits(),
+                "critical cycles diverged at {} threads", threads
+            );
+            prop_assert_eq!(
+                seq_report.time_s.to_bits(),
+                par_report.time_s.to_bits(),
+                "kernel time diverged at {} threads", threads
+            );
+            prop_assert_eq!(&seq_report, &par_report);
+            prop_assert_eq!(&seq_mem, &par_mem, "memory diverged at {} threads", threads);
+        }
+    }
+}

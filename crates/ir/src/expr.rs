@@ -290,7 +290,8 @@ mod tests {
 
     #[test]
     fn walk_visits_all_nodes() {
-        let e = Expr::var(VarId(0)).add(Expr::index(VarId(1), Expr::var(VarId(2)).mul(Expr::int(4))));
+        let e =
+            Expr::var(VarId(0)).add(Expr::index(VarId(1), Expr::var(VarId(2)).mul(Expr::int(4))));
         let mut n = 0;
         e.walk(&mut |_| n += 1);
         // add, var0, index, mul, var2, 4

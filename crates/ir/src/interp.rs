@@ -340,13 +340,12 @@ impl<'p> Interp<'p> {
                 Ok(Flow::Normal)
             }
             Stmt::NewArray { var, elem, len } => {
-                let n = self
-                    .eval(len, env, be, depth)?
-                    .as_i64()
-                    .ok_or_else(|| ExecError::TypeMismatch {
+                let n = self.eval(len, env, be, depth)?.as_i64().ok_or_else(|| {
+                    ExecError::TypeMismatch {
                         expected: "int".into(),
                         found: "non-integral length".into(),
-                    })?;
+                    }
+                })?;
                 if n < 0 {
                     return Err(ExecError::NegativeArraySize(n));
                 }
@@ -376,12 +375,13 @@ impl<'p> Interp<'p> {
                 index,
                 value,
             } => {
-                let arr = env.get(*array)?.as_array().ok_or_else(|| {
-                    ExecError::TypeMismatch {
+                let arr = env
+                    .get(*array)?
+                    .as_array()
+                    .ok_or_else(|| ExecError::TypeMismatch {
                         expected: "array".into(),
                         found: format!("{}", *array),
-                    }
-                })?;
+                    })?;
                 let idx = self.eval_index(index, env, be, depth)?;
                 let v = self.eval(value, env, be, depth)?;
                 be.op(OpClass::Store);
@@ -601,12 +601,13 @@ impl<'p> Interp<'p> {
                 })
             }
             Expr::Index { array, index } => {
-                let arr = env.get(*array)?.as_array().ok_or_else(|| {
-                    ExecError::TypeMismatch {
+                let arr = env
+                    .get(*array)?
+                    .as_array()
+                    .ok_or_else(|| ExecError::TypeMismatch {
                         expected: "array".into(),
                         found: format!("{}", *array),
-                    }
-                })?;
+                    })?;
                 let idx = self.eval_index(index, env, be, depth)?;
                 be.op(OpClass::Load);
                 be.load(arr, idx)
@@ -728,7 +729,9 @@ mod tests {
         let mut heap = Heap::new();
         let mut be = HeapBackend::new(&mut heap);
         let interp = Interp::new(&p);
-        let r = interp.call_by_name("sum", &[Value::Int(10)], &mut be).unwrap();
+        let r = interp
+            .call_by_name("sum", &[Value::Int(10)], &mut be)
+            .unwrap();
         assert_eq!(r, Some(Value::Int(45)));
     }
 
@@ -738,7 +741,9 @@ mod tests {
         let mut heap = Heap::new();
         let mut be = CountingBackend::new(HeapBackend::new(&mut heap));
         let interp = Interp::new(&p);
-        interp.call_by_name("sum", &[Value::Int(4)], &mut be).unwrap();
+        interp
+            .call_by_name("sum", &[Value::Int(4)], &mut be)
+            .unwrap();
         assert!(be.counts.count(OpClass::IntAlu) >= 4);
         assert!(be.counts.count(OpClass::Branch) >= 4);
         assert_eq!(be.counts.count(OpClass::Call), 1);

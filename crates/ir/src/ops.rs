@@ -307,9 +307,15 @@ mod tests {
 
     #[test]
     fn unary_ops() {
-        assert_eq!(unary(UnOp::Neg, Value::Int(i32::MIN)).unwrap(), Value::Int(i32::MIN));
+        assert_eq!(
+            unary(UnOp::Neg, Value::Int(i32::MIN)).unwrap(),
+            Value::Int(i32::MIN)
+        );
         assert_eq!(unary(UnOp::BitNot, Value::Int(0)).unwrap(), Value::Int(-1));
-        assert_eq!(unary(UnOp::Not, Value::Bool(false)).unwrap(), Value::Bool(true));
+        assert_eq!(
+            unary(UnOp::Not, Value::Bool(false)).unwrap(),
+            Value::Bool(true)
+        );
         assert!(unary(UnOp::Not, Value::Int(1)).is_err());
     }
 
@@ -341,11 +347,21 @@ mod tests {
     fn array_reference_equality() {
         use crate::heap::ArrayId;
         assert_eq!(
-            binary(BinOp::Eq, Value::Array(ArrayId(1)), Value::Array(ArrayId(1))).unwrap(),
+            binary(
+                BinOp::Eq,
+                Value::Array(ArrayId(1)),
+                Value::Array(ArrayId(1))
+            )
+            .unwrap(),
             Value::Bool(true)
         );
         assert_eq!(
-            binary(BinOp::Ne, Value::Array(ArrayId(1)), Value::Array(ArrayId(2))).unwrap(),
+            binary(
+                BinOp::Ne,
+                Value::Array(ArrayId(1)),
+                Value::Array(ArrayId(2))
+            )
+            .unwrap(),
             Value::Bool(true)
         );
     }

@@ -101,7 +101,12 @@ impl Pretty<'_> {
                 .iter()
                 .map(|r| match (&r.lo, &r.hi) {
                     (Some(lo), Some(hi)) => {
-                        format!("{}[{}:{}]", self.f.var_name(r.array), expr(self.p, self.f, lo), expr(self.p, self.f, hi))
+                        format!(
+                            "{}[{}:{}]",
+                            self.f.var_name(r.array),
+                            expr(self.p, self.f, lo),
+                            expr(self.p, self.f, hi)
+                        )
                     }
                     _ => self.f.var_name(r.array),
                 })
@@ -149,8 +154,13 @@ impl Pretty<'_> {
             }
             Stmt::Assign { var, value } => {
                 self.indent(depth);
-                writeln!(self.out, "{} = {};", self.name(*var), expr(self.p, self.f, value))
-                    .unwrap();
+                writeln!(
+                    self.out,
+                    "{} = {};",
+                    self.name(*var),
+                    expr(self.p, self.f, value)
+                )
+                .unwrap();
             }
             Stmt::Store {
                 array,

@@ -3,8 +3,7 @@
 
 use japonica_ir::builder::FnBuilder;
 use japonica_ir::{
-    ops, BinOp, Expr, Heap, HeapBackend, Interp, Intrinsic, LoopId, Program, Stmt, Ty, UnOp,
-    Value,
+    ops, BinOp, Expr, Heap, HeapBackend, Interp, Intrinsic, LoopId, Program, Stmt, Ty, UnOp, Value,
 };
 use proptest::prelude::*;
 
@@ -20,12 +19,7 @@ fn any_int() -> impl Strategy<Value = i32> {
 }
 
 fn any_long() -> impl Strategy<Value = i64> {
-    prop_oneof![
-        any::<i64>(),
-        Just(0i64),
-        Just(i64::MAX),
-        Just(i64::MIN),
-    ]
+    prop_oneof![any::<i64>(), Just(0i64), Just(i64::MAX), Just(i64::MIN),]
 }
 
 proptest! {
@@ -216,10 +210,14 @@ fn exec_range_is_equivalent_to_chunked_union() {
         let interp = Interp::new(&p);
         let mut lo = 0;
         for &hi in splits {
-            interp.exec_range(l, &bounds, lo, hi, &mut env, &mut be).unwrap();
+            interp
+                .exec_range(l, &bounds, lo, hi, &mut env, &mut be)
+                .unwrap();
             lo = hi;
         }
-        interp.exec_range(l, &bounds, lo, 100, &mut env, &mut be).unwrap();
+        interp
+            .exec_range(l, &bounds, lo, 100, &mut env, &mut be)
+            .unwrap();
         heap.read_ints(arr).unwrap()
     };
     assert_eq!(run(&[]), run(&[1, 7, 50, 99]));

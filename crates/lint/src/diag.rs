@@ -148,7 +148,10 @@ impl LintReport {
             }
             s.push_str("\n    {");
             s.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
-            s.push_str(&format!("\"severity\": {}, ", json_str(d.severity.as_str())));
+            s.push_str(&format!(
+                "\"severity\": {}, ",
+                json_str(d.severity.as_str())
+            ));
             s.push_str(&format!("\"line\": {}, ", d.span.line));
             s.push_str(&format!("\"col\": {}, ", d.span.col));
             match d.loop_id {

@@ -8,7 +8,9 @@
 
 use crate::diag::{Diagnostic, LintReport, Severity};
 use crate::LintConfig;
-use japonica_analysis::{analyze_loop_with, linearize, Access, AccessKind, Affine, Determination, EffectSummaries};
+use japonica_analysis::{
+    analyze_loop_with, linearize, Access, AccessKind, Affine, Determination, EffectSummaries,
+};
 use japonica_ir::{ArrayRange, Expr, ForLoop, Function, ParamTy, Program, Span, VarId};
 use std::collections::BTreeSet;
 
@@ -128,12 +130,28 @@ fn check_loop(
     // --- L002 / L003: data-clause ranges vs the accessed region ---------
     if let Some((start, end)) = loop_bounds(l, &analysis) {
         check_ranges(
-            f, l, &analysis.accesses, &annot.copyin, "copyin", AccessKind::Read,
-            &start, &end, cfg, &mut emit,
+            f,
+            l,
+            &analysis.accesses,
+            &annot.copyin,
+            "copyin",
+            AccessKind::Read,
+            &start,
+            &end,
+            cfg,
+            &mut emit,
         );
         check_ranges(
-            f, l, &analysis.accesses, &annot.copyout, "copyout", AccessKind::Write,
-            &start, &end, cfg, &mut emit,
+            f,
+            l,
+            &analysis.accesses,
+            &annot.copyout,
+            "copyout",
+            AccessKind::Write,
+            &start,
+            &end,
+            cfg,
+            &mut emit,
         );
     }
 
@@ -223,7 +241,10 @@ fn resolve_var_ids(note: &str, f: &Function) -> String {
 /// loop-invariant variables, provided the step is the constant 1 (the
 /// canonical form every corpus loop uses; other steps make the last
 /// iteration value non-affine).
-fn loop_bounds(l: &ForLoop, analysis: &japonica_analysis::LoopAnalysis) -> Option<(Affine, Affine)> {
+fn loop_bounds(
+    l: &ForLoop,
+    analysis: &japonica_analysis::LoopAnalysis,
+) -> Option<(Affine, Affine)> {
     let classes = &analysis.classes;
     let inv = |v: VarId| v != l.var && classes.is_invariant(v);
     let step = linearize(&l.step, l.var, &inv)?;
@@ -310,7 +331,11 @@ fn check_ranges(
     emit: &mut impl FnMut(&'static str, Severity, Span, String),
 ) {
     let classes_inv = |_: VarId| true; // clause bounds are loop-entry values
-    let verb = if kind == AccessKind::Read { "reads" } else { "writes" };
+    let verb = if kind == AccessKind::Read {
+        "reads"
+    } else {
+        "writes"
+    };
     for r in ranges {
         let Some((rlo, rhi)) = affine_region(accesses, r.array, kind, start, end) else {
             continue;
@@ -399,9 +424,8 @@ fn check_aliasing(
         .map(|p| p.var)
         .collect();
     let mut flagged: BTreeSet<(VarId, VarId)> = BTreeSet::new();
-    let affine_param = |a: &Access| {
-        !a.from_call && a.affine.is_some() && array_params.contains(&a.array)
-    };
+    let affine_param =
+        |a: &Access| !a.from_call && a.affine.is_some() && array_params.contains(&a.array);
     for w in accesses.iter().filter(|a| a.kind == AccessKind::Write) {
         if !affine_param(w) {
             continue;

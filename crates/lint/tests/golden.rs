@@ -13,10 +13,7 @@
 use japonica_lint::{lint_source, LintConfig, Severity};
 
 fn corpus(name: &str, ext: &str) -> String {
-    let path = format!(
-        "{}/tests/corpus/{name}.{ext}",
-        env!("CARGO_MANIFEST_DIR")
-    );
+    let path = format!("{}/tests/corpus/{name}.{ext}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
@@ -95,7 +92,10 @@ fn human_rendering_places_caret_for_each_seeded_file() {
         let report = lint_source(&src, &LintConfig::default()).unwrap();
         let text = report.render(&src);
         assert!(text.contains(&format!("[{rule}]")), "{name}: {text}");
-        assert!(text.contains('^'), "{name} rendering lost its caret:\n{text}");
+        assert!(
+            text.contains('^'),
+            "{name} rendering lost its caret:\n{text}"
+        );
     }
 }
 

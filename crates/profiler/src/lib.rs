@@ -94,7 +94,12 @@ impl LoopProfile {
                 .take(8)
                 .map(|(d, c)| format!("{d}:{c}"))
                 .collect();
-            writeln!(out, "  TD distance histogram (dist:count): {}", dists.join(" ")).unwrap();
+            writeln!(
+                out,
+                "  TD distance histogram (dist:count): {}",
+                dists.join(" ")
+            )
+            .unwrap();
         }
         out
     }
@@ -137,10 +142,8 @@ pub fn profile_loop(
 
     let committed = stats.td_iters.is_empty();
     if committed {
-        spec.commit_all().map_err(|e| SimtError::Lane {
-            iter: 0,
-            error: e,
-        })?;
+        spec.commit_all()
+            .map_err(|e| SimtError::Lane { iter: 0, error: e })?;
     }
     // else: buffers dropped; the runtime re-executes in a safe mode.
 
@@ -270,7 +273,11 @@ mod tests {
             1024,
         );
         assert!(p.has_td());
-        assert!(p.td_density > 0.0 && p.td_density < 0.05, "{}", p.td_density);
+        assert!(
+            p.td_density > 0.0 && p.td_density < 0.05,
+            "{}",
+            p.td_density
+        );
         assert_eq!(p.td_iters.len(), 16);
     }
 

@@ -45,6 +45,14 @@ pub struct SchedulerConfig {
 }
 
 impl SchedulerConfig {
+    /// Set how many host threads the GPU simulator spreads warps over
+    /// (purely a wall-clock knob — simulated results are bit-identical for
+    /// every value; see `japonica_gpusim::SimConfig`).
+    pub fn with_host_threads(mut self, n: usize) -> SchedulerConfig {
+        self.gpu.sim.host_threads = n.max(1);
+        self
+    }
+
     /// The task-sharing boundary `Cg·Fg / (Cg·Fg + Cc·Fc)` (paper §V-A):
     /// the fraction of the iteration space preferentially assigned to the
     /// GPU, from the devices' core counts and clock frequencies.

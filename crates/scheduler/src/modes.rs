@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn doall_gets_mode_a() {
-        assert_eq!(decide_mode(&Determination::Doall, None, 0.1), ExecutionMode::A);
+        assert_eq!(
+            decide_mode(&Determination::Doall, None, 0.1),
+            ExecutionMode::A
+        );
     }
 
     #[test]
@@ -164,7 +167,10 @@ mod tests {
     #[test]
     fn profiled_clean_gets_d_prime() {
         let p = profile(0.0, 0, 0);
-        assert_eq!(decide_mode(&uncertain(), Some(&p), 0.1), ExecutionMode::DPrime);
+        assert_eq!(
+            decide_mode(&uncertain(), Some(&p), 0.1),
+            ExecutionMode::DPrime
+        );
     }
 
     #[test]

@@ -176,8 +176,22 @@ mod tests {
             }",
             100,
         );
-        assert_eq!(plan.copyin, vec![PlanEntry { array: arrays[0], lo: 0, hi: 100 }]);
-        assert_eq!(plan.copyout, vec![PlanEntry { array: arrays[1], lo: 10, hi: 20 }]);
+        assert_eq!(
+            plan.copyin,
+            vec![PlanEntry {
+                array: arrays[0],
+                lo: 0,
+                hi: 100
+            }]
+        );
+        assert_eq!(
+            plan.copyout,
+            vec![PlanEntry {
+                array: arrays[1],
+                lo: 10,
+                hi: 20
+            }]
+        );
         assert_eq!(plan.bytes_in(&heap), 800);
         assert_eq!(plan.bytes_out(&heap), 80);
     }

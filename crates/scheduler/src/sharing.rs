@@ -18,10 +18,9 @@ use crate::report::{LoopExecReport, SchedError};
 use japonica_analysis::LoopAnalysis;
 use japonica_cpuexec::{run_parallel, run_parallel_guarded, run_sequential, CpuExecError};
 use japonica_faults::{DegradationLevel, FaultOrigin, FaultStats, ResilienceConfig};
-use japonica_gpusim::{launch_loop, launch_loop_guarded, DeviceMemory, SimtError};
+use japonica_gpusim::{launch_loop_par, DeviceMemory, SimtError};
 use japonica_ir::{
-    ArrayId, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, LoopBounds, Program, Scheme,
-    Value,
+    ArrayId, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, LoopBounds, Program, Scheme, Value,
 };
 use japonica_profiler::LoopProfile;
 use japonica_tls::{run_privatized, run_tls_loop, run_tls_loop_guarded, SpeculativeMemory};
@@ -240,7 +239,11 @@ fn greedy_share(
     let boundary_iter = (trip as f64 * cfg.boundary_fraction()) as u64;
     let faults = cfg.faults.as_ref();
     let res = &cfg.resilience;
-    let watchdog = if faults.is_some() { res.watchdog() } else { None };
+    let watchdog = if faults.is_some() {
+        res.watchdog()
+    } else {
+        None
+    };
     let loop_origin = FaultOrigin::for_loop(task.loop_.id);
 
     let mut dev = DeviceMemory::new();
@@ -337,8 +340,15 @@ fn greedy_share(
             let mut gpu_result = None;
             loop {
                 let mut spec = SpeculativeMemory::new(&mut dev, se_overhead);
-                match launch_loop_guarded(
-                    program, &cfg.gpu, task.loop_, bounds, lo..hi, env, &mut spec, faults,
+                match launch_loop_par(
+                    program,
+                    &cfg.gpu,
+                    task.loop_,
+                    bounds,
+                    lo..hi,
+                    env,
+                    &mut spec,
+                    faults,
                     watchdog,
                 ) {
                     Ok(kr) => {
@@ -416,7 +426,13 @@ fn greedy_share(
                         t
                     } else {
                         run_parallel(
-                            program, &cfg.cpu, task.loop_, bounds, lo..hi, env, heap,
+                            program,
+                            &cfg.cpu,
+                            task.loop_,
+                            bounds,
+                            lo..hi,
+                            env,
+                            heap,
                             cpu_threads,
                         )?
                         .time_s
@@ -431,9 +447,7 @@ fn greedy_share(
             // paper's CPU partition is one descending multithreaded range,
             // not per-chunk dispatches).
             let mut take = match cpu_per_chunk_est {
-                Some(t) if t > 0.0 => {
-                    (((50e-6 / t).ceil() as u64).max(1)).min(back - front)
-                }
+                Some(t) if t > 0.0 => (((50e-6 / t).ceil() as u64).max(1)).min(back - front),
                 _ => 1,
             };
             if !cfg.cpu_steals_back && gpu_alive {
@@ -451,8 +465,7 @@ fn greedy_share(
                 // cross-chunk read is killed by an own-iteration write).
                 let mut be = japonica_cpuexec::BufferedBackend::new(heap);
                 let mut cenv = env.clone();
-                Interp::new(program)
-                    .exec_range(task.loop_, bounds, lo, hi, &mut cenv, &mut be)?;
+                Interp::new(program).exec_range(task.loop_, bounds, lo, hi, &mut cenv, &mut be)?;
                 let cycles = cfg.cpu.cost.total(&be.counts);
                 let t = cfg.cpu.cycles_to_seconds(cycles);
                 let writes: Vec<_> = be.into_writes().into_iter().collect();
@@ -545,11 +558,10 @@ fn greedy_share(
     }
     report.gpu_busy_s = gpu_clock;
     report.cpu_busy_s = cpu_clock;
-    report.bytes_in =
-        (in_bytes_per_iter * report.gpu_iters as f64) as usize;
+    report.bytes_in = (in_bytes_per_iter * report.gpu_iters as f64) as usize;
     report.bytes_out = bytes_out;
-    report.transfer_s = cfg.gpu.transfer_seconds(report.bytes_in)
-        + cfg.gpu.transfer_seconds(bytes_out);
+    report.transfer_s =
+        cfg.gpu.transfer_seconds(report.bytes_in) + cfg.gpu.transfer_seconds(bytes_out);
     report.wall_s = gpu_clock.max(cpu_clock) + stage_backoff;
     Ok(report)
 }
@@ -573,28 +585,26 @@ fn run_mode_b(
     let loop_origin = FaultOrigin::for_loop(task.loop_.id);
     // The sequential rung for mode B restores the heap to its pre-loop
     // state and replays everything on the host.
-    let sequential_rung = |report: &mut LoopExecReport,
-                           heap: &mut Heap,
-                           pristine: Heap|
-     -> Result<(), SchedError> {
-        report.faults.fallbacks += 1;
-        report.faults.escalate(DegradationLevel::Sequential);
-        *heap = pristine;
-        let r = run_sequential(
-            program,
-            &cfg.cpu,
-            task.loop_,
-            bounds,
-            0..trip,
-            &mut env.clone(),
-            heap,
-        )?;
-        report.gpu_iters = 0;
-        report.cpu_iters = trip;
-        report.cpu_busy_s = r.time_s + report.faults.backoff_s;
-        report.wall_s = report.cpu_busy_s;
-        Ok(())
-    };
+    let sequential_rung =
+        |report: &mut LoopExecReport, heap: &mut Heap, pristine: Heap| -> Result<(), SchedError> {
+            report.faults.fallbacks += 1;
+            report.faults.escalate(DegradationLevel::Sequential);
+            *heap = pristine;
+            let r = run_sequential(
+                program,
+                &cfg.cpu,
+                task.loop_,
+                bounds,
+                0..trip,
+                &mut env.clone(),
+                heap,
+            )?;
+            report.gpu_iters = 0;
+            report.cpu_iters = trip;
+            report.cpu_busy_s = r.time_s + report.faults.backoff_s;
+            report.wall_s = report.cpu_busy_s;
+            Ok(())
+        };
     // Snapshot only under an active plan; the happy path pays nothing.
     let pristine = faults.map(|_| heap.clone());
     let mut dev = DeviceMemory::new();
@@ -688,7 +698,14 @@ pub fn run_cpu_only(
             run_sequential(program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap)?
         }
         _ => run_parallel(
-            program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap, threads,
+            program,
+            &cfg.cpu,
+            task.loop_,
+            &bounds,
+            0..trip,
+            env,
+            heap,
+            threads,
         )?,
     };
     report.cpu_busy_s = r.time_s;
@@ -741,12 +758,29 @@ pub fn run_gpu_only(
     let mut tls_report = None;
     let compute_s = match mode {
         ExecutionMode::A | ExecutionMode::DPrime => {
-            let kr = launch_loop(program, &cfg.gpu, task.loop_, &bounds, 0..trip, env, &mut dev)?;
+            let kr = launch_loop_par(
+                program,
+                &cfg.gpu,
+                task.loop_,
+                &bounds,
+                0..trip,
+                env,
+                &mut dev,
+                None,
+                None,
+            )?;
             kr.time_s
         }
         ExecutionMode::D => {
             let r = run_privatized(
-                program, &cfg.gpu, &cfg.tls, task.loop_, &bounds, 0..trip, env, &mut dev,
+                program,
+                &cfg.gpu,
+                &cfg.tls,
+                task.loop_,
+                &bounds,
+                0..trip,
+                env,
+                &mut dev,
             )?;
             let t = r.time_s;
             tls_report = Some(r);
@@ -813,7 +847,17 @@ pub fn run_fixed_split(
     let in_share = (plan.bytes_in(heap) as f64 * gpu_fraction) as usize;
     let h2d = cfg.gpu.transfer_seconds(in_share);
     let mut spec = SpeculativeMemory::new(&mut dev, 0.0);
-    let kr = launch_loop(program, &cfg.gpu, task.loop_, &bounds, 0..split, env, &mut spec)?;
+    let kr = launch_loop_par(
+        program,
+        &cfg.gpu,
+        task.loop_,
+        &bounds,
+        0..split,
+        env,
+        &mut spec,
+        None,
+        None,
+    )?;
     let writes = spec.commit_all_collect()?;
     let cpu = run_parallel(
         program,

@@ -23,7 +23,7 @@ use crate::sharing::{eval_bounds, stage_device_guarded, transfer_with_retry, Loo
 use japonica_analysis::Pdg;
 use japonica_cpuexec::{run_parallel_guarded, run_sequential, CpuExecError};
 use japonica_faults::{DegradationLevel, FaultOrigin, FaultStats};
-use japonica_gpusim::{launch_loop_guarded, DeviceMemory, SimtError};
+use japonica_gpusim::{launch_loop_par, DeviceMemory, SimtError};
 use japonica_ir::{Env, Heap, LoopBounds, LoopId, Program, Scheme};
 use japonica_tls::SpeculativeMemory;
 use std::collections::VecDeque;
@@ -155,8 +155,7 @@ pub fn run_stealing(
             };
             let mode = task.try_mode(cfg)?;
             let bounds = eval_bounds(program, task.loop_, env, heap)?;
-            let plan =
-                DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;
+            let plan = DataPlan::derive(program, task.loop_, &task.analysis.classes, env, heap)?;
             let trip = bounds.trip();
             // Only dependence-free tasks may be split into sub-loops.
             let splits = if matches!(mode, ExecutionMode::A | ExecutionMode::DPrime) {
@@ -247,8 +246,7 @@ pub fn run_stealing(
             if gpu_turn && gpu_q.is_empty() && !cpu_q.iter().any(|t| !t.obligatory) {
                 gpu_turn = false;
             }
-            if gpu_alive && !gpu_turn && cpu_q.is_empty() && !gpu_q.iter().any(|t| !t.obligatory)
-            {
+            if gpu_alive && !gpu_turn && cpu_q.is_empty() && !gpu_q.iter().any(|t| !t.obligatory) {
                 gpu_turn = true;
             }
             let (me, own_q, other_q) = if gpu_turn {
@@ -373,7 +371,11 @@ fn exec_gpu(
 ) -> Result<(f64, f64, f64), SchedError> {
     let faults = cfg.faults.as_ref();
     let res = &cfg.resilience;
-    let watchdog = if faults.is_some() { res.watchdog() } else { None };
+    let watchdog = if faults.is_some() {
+        res.watchdog()
+    } else {
+        None
+    };
     let origin = FaultOrigin::for_loop(t.task.loop_.id)
         .with_subloop(t.lo)
         .with_chunk(t.sub.0 as u64);
@@ -426,7 +428,7 @@ fn exec_gpu(
     let mut backoff = 0.0f64;
     let (kr, writes) = loop {
         let mut spec = SpeculativeMemory::new(&mut dev, overhead);
-        match launch_loop_guarded(
+        match launch_loop_par(
             program,
             &cfg.gpu,
             t.task.loop_,
@@ -697,7 +699,10 @@ mod tests {
             }
         }
         let c = p.heap.read_doubles(p.arrays[2]).unwrap();
-        assert!(c.iter().enumerate().all(|(i, &v)| v == 3.0 * i as f64 + 1.0));
+        assert!(c
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == 3.0 * i as f64 + 1.0));
     }
 
     #[test]

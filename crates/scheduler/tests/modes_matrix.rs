@@ -73,8 +73,7 @@ fn schedule_and_check(c: &mut Case) -> ExecutionMode {
     let profile = if analysis.determination.needs_profiling() {
         let bounds = eval_bounds(&c.program, &c.loop_, &c.env, &mut c.heap).unwrap();
         let plan =
-            DataPlan::derive(&c.program, &c.loop_, &analysis.classes, &c.env, &mut c.heap)
-                .unwrap();
+            DataPlan::derive(&c.program, &c.loop_, &analysis.classes, &c.env, &mut c.heap).unwrap();
         let mut dev = DeviceMemory::new();
         stage_device(&plan, &c.heap, &mut dev, &cfg).unwrap();
         Some(

@@ -6,11 +6,11 @@ use crate::spec_mem::SpeculativeMemory;
 use japonica_cpuexec::CpuConfig;
 use japonica_faults::{DeviceFault, FaultPlan, ResilienceConfig};
 use japonica_gpusim::{
-    launch_loop, launch_loop_guarded, AccessCtx, DeviceConfig, DeviceMemory, LaneMemory, SimtError,
+    launch_loop_par, AccessCtx, DeviceConfig, DeviceMemory, LaneMemory, SimtError,
 };
 use japonica_ir::{
-    ArrayData, ArrayId, Backend, Env, ExecError, ForLoop, Interp, LoopBounds,
-    OpClass, Program, Ty, Value,
+    ArrayData, ArrayId, Backend, Env, ExecError, ForLoop, Interp, LoopBounds, OpClass, Program, Ty,
+    Value,
 };
 use std::collections::BTreeSet;
 use std::ops::Range;
@@ -160,7 +160,11 @@ impl Backend for DeviceBackend<'_> {
 
     fn array_len(&mut self, arr: ArrayId) -> Result<usize, ExecError> {
         if let Some(li) = self.local(arr) {
-            return Ok(self.locals.get(li).ok_or(ExecError::UnknownArray(arr))?.len());
+            return Ok(self
+                .locals
+                .get(li)
+                .ok_or(ExecError::UnknownArray(arr))?
+                .len());
         }
         self.mem.array_len(arr)
     }
@@ -242,7 +246,11 @@ pub fn run_tls_loop_guarded(
     // One-time stream/JNI open; per-subloop launches pipeline behind it.
     let open_s = dcfg.kernel_launch_us * 1e-6 + dcfg.pcie_latency_us * 1e-6;
     let mut opened = false;
-    let watchdog = if faults.is_some() { res.watchdog() } else { None };
+    let watchdog = if faults.is_some() {
+        res.watchdog()
+    } else {
+        None
+    };
     while k < range.end {
         let mut sub_end = (k + tls.subloop_iters).min(range.end);
         // Profile guidance: start a fresh sub-loop at every iteration the
@@ -258,7 +266,7 @@ pub fn run_tls_loop_guarded(
         loop {
             // ---- SE phase ----
             let mut spec = SpeculativeMemory::new(dev, tls.se_overhead_cycles);
-            let kr = match launch_loop_guarded(
+            let kr = match launch_loop_par(
                 program,
                 dcfg,
                 loop_,
@@ -316,8 +324,8 @@ pub fn run_tls_loop_guarded(
                 None => {
                     // ---- commit phase ----
                     let copied = spec.commit_all()?;
-                    report.gpu_time_s += dcfg
-                        .cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
+                    report.gpu_time_s +=
+                        dcfg.cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
                     report.clean_subloops += 1;
                     k = sub_end;
                 }
@@ -325,8 +333,8 @@ pub fn run_tls_loop_guarded(
                     report.violations += 1;
                     // Commit the safe prefix, discard the rest.
                     let copied = spec.commit_prefix(v)?;
-                    report.gpu_time_s += dcfg
-                        .cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
+                    report.gpu_time_s +=
+                        dcfg.cycles_to_seconds(copied as f64 * tls.commit_cycles_per_write);
                     // ---- recovery: replay a window sequentially ----
                     let mut rec_end = (v + tls.recovery_window).min(range.end);
                     // While the profile says the following iterations still
@@ -377,7 +385,9 @@ pub fn run_privatized(
 ) -> Result<TlsReport, TlsError> {
     let mut report = TlsReport::default();
     let mut spec = SpeculativeMemory::new(dev, tls.se_overhead_cycles / 2.0);
-    let kr = launch_loop(program, dcfg, loop_, bounds, range, base_env, &mut spec)?;
+    let kr = launch_loop_par(
+        program, dcfg, loop_, bounds, range, base_env, &mut spec, None, None,
+    )?;
     report.kernels = 1;
     let writes = spec.commit_all_collect()?;
     report.gpu_time_s =
@@ -714,7 +724,10 @@ mod tests {
         .unwrap();
         assert!(r.device_faults > 0);
         assert_eq!(r.kernels, 0, "device never executed a kernel");
-        assert_eq!(r.recovered_iters, 2000, "all iterations replayed sequentially");
+        assert_eq!(
+            r.recovered_iters, 2000,
+            "all iterations replayed sequentially"
+        );
         assert!(r.cpu_time_s > 0.0);
         assert_eq!(device_longs(&fx.dev, fx.arrays[0]), expect);
     }

@@ -36,4 +36,4 @@ pub use config::TlsConfig;
 pub use engine::{
     run_privatized, run_tls_loop, run_tls_loop_guarded, DeviceBackend, TlsError, TlsReport,
 };
-pub use spec_mem::{DcOutcome, DepStats, SpeculativeMemory, WriteList};
+pub use spec_mem::{DcOutcome, DepStats, SpecDelta, SpecView, SpeculativeMemory, WriteList};

@@ -1,7 +1,7 @@
 //! Speculative memory: per-iteration write buffers + access metadata for
 //! the dependency-checking phase.
 
-use japonica_gpusim::{AccessCtx, DeviceMemory, LaneMemory};
+use japonica_gpusim::{AccessCtx, DeviceMemory, LaneMemory, ParallelLaneMemory};
 use japonica_ir::{ArrayId, ExecError, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -116,9 +116,7 @@ impl<'d> SpeculativeMemory<'d> {
             if let Some(writers) = self.writers.get(loc) {
                 for r in readers {
                     // Latest writer strictly earlier than the reader, if any.
-                    if let Some(&(w_iter, w_warp)) =
-                        writers.range(..(r.iter, 0u32)).next_back()
-                    {
+                    if let Some(&(w_iter, w_warp)) = writers.range(..(r.iter, 0u32)).next_back() {
                         debug_assert!(w_iter < r.iter);
                         violators.insert(r.iter);
                         if w_warp == r.warp {
@@ -220,6 +218,122 @@ impl<'d> SpeculativeMemory<'d> {
             }
         }
         Ok(out)
+    }
+}
+
+/// One warp's private window onto a [`SpeculativeMemory`] during a
+/// host-parallel speculative launch. Semantically *exactly* the sequential
+/// wrapper: reads hit the warp's own per-iteration buffer first and
+/// otherwise the (read-only during SE) pre-sub-loop device state, stores
+/// buffer per iteration, and all metadata is recorded locally and merged
+/// back in warp order — so the DC phase sees byte-identical conflict sets
+/// for every `host_threads` value.
+pub struct SpecView<'v> {
+    base: &'v DeviceMemory,
+    writes: BTreeMap<u64, BTreeMap<(ArrayId, i64), Value>>,
+    writers: BTreeMap<(ArrayId, i64), BTreeSet<(u64, u32)>>,
+    readers: BTreeMap<(ArrayId, i64), Vec<ReadRec>>,
+    overhead_cycles: f64,
+}
+
+/// One warp's harvested speculative effects: buffered writes plus the
+/// read/write metadata the DC phase scans.
+pub struct SpecDelta {
+    writes: BTreeMap<u64, BTreeMap<(ArrayId, i64), Value>>,
+    writers: BTreeMap<(ArrayId, i64), BTreeSet<(u64, u32)>>,
+    readers: BTreeMap<(ArrayId, i64), Vec<ReadRec>>,
+}
+
+impl LaneMemory for SpecView<'_> {
+    fn load(&mut self, ctx: AccessCtx, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+        // Read-your-own-write: iterations never span warps, so the warp's
+        // local buffer is authoritative for its own iterations.
+        if let Some(buf) = self.writes.get(&ctx.iter) {
+            if let Some(v) = buf.get(&(arr, idx)) {
+                return Ok(*v);
+            }
+        }
+        let v = self.base.peek(arr, idx)?;
+        self.readers.entry((arr, idx)).or_default().push(ReadRec {
+            iter: ctx.iter,
+            warp: ctx.warp,
+        });
+        Ok(v)
+    }
+
+    fn store(&mut self, ctx: AccessCtx, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+        let len = self.base.array_len(arr)?;
+        if idx < 0 || idx as usize >= len {
+            return Err(ExecError::IndexOutOfBounds {
+                array: arr,
+                index: idx,
+                len,
+            });
+        }
+        self.writers
+            .entry((arr, idx))
+            .or_default()
+            .insert((ctx.iter, ctx.warp));
+        self.writes
+            .entry(ctx.iter)
+            .or_default()
+            .insert((arr, idx), v);
+        Ok(())
+    }
+
+    fn array_len(&self, arr: ArrayId) -> Result<usize, ExecError> {
+        self.base.array_len(arr)
+    }
+
+    fn address_of(&self, arr: ArrayId, idx: i64) -> Option<u64> {
+        self.base.address_of(arr, idx)
+    }
+
+    fn overhead_cycles(&self) -> f64 {
+        self.overhead_cycles
+    }
+}
+
+impl ParallelLaneMemory for SpeculativeMemory<'_> {
+    type View<'v>
+        = SpecView<'v>
+    where
+        Self: 'v;
+    type Delta = SpecDelta;
+
+    fn fork(&self) -> SpecView<'_> {
+        SpecView {
+            base: &*self.base,
+            writes: BTreeMap::new(),
+            writers: BTreeMap::new(),
+            readers: BTreeMap::new(),
+            overhead_cycles: self.overhead_cycles,
+        }
+    }
+
+    fn harvest(view: SpecView<'_>) -> SpecDelta {
+        SpecDelta {
+            writes: view.writes,
+            writers: view.writers,
+            readers: view.readers,
+        }
+    }
+
+    fn absorb(&mut self, delta: SpecDelta) -> Result<(), ExecError> {
+        // Iteration keys are disjoint across warps (one iteration, one
+        // warp) and the per-location maps/sets are order-independent; the
+        // reader lists are appended in warp order by the caller's contract,
+        // reproducing the sequential append order per location.
+        for (iter, buf) in delta.writes {
+            self.writes.entry(iter).or_default().extend(buf);
+        }
+        for (loc, set) in delta.writers {
+            self.writers.entry(loc).or_default().extend(set);
+        }
+        for (loc, recs) in delta.readers {
+            self.readers.entry(loc).or_default().extend(recs);
+        }
+        Ok(())
     }
 }
 

@@ -1,0 +1,143 @@
+//! Host-parallelism determinism: the TLS engine must make *identical*
+//! rollback decisions — violations found, recovery windows replayed,
+//! kernels launched, every simulated clock bit — no matter how many host
+//! threads the SIMT simulator spreads warps over.
+
+use japonica_cpuexec::CpuConfig;
+use japonica_frontend::compile_source;
+use japonica_gpusim::{DeviceConfig, DeviceMemory};
+use japonica_ir::{ArrayId, Env, LoopBounds, Program, Value};
+use japonica_tls::{run_tls_loop, TlsConfig, TlsReport};
+use proptest::prelude::*;
+
+struct Fx {
+    program: Program,
+    loop_: japonica_ir::ForLoop,
+    env: Env,
+    dev: DeviceMemory,
+    array: ArrayId,
+    bounds: LoopBounds,
+}
+
+/// A loop with a seeded cross-iteration RAW at distance `dist`: iterations
+/// `>= dist` read `a[i - dist]`, so blind speculation violates whenever a
+/// sub-loop spans the distance.
+fn fx(n: i64, dist: i64, threads: usize) -> Fx {
+    let src = format!(
+        "static void f(long[] a, int n) {{
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {{
+                if (i >= {dist}) {{ a[i] = a[i - {dist}] + 1; }} else {{ a[i] = 1; }}
+            }}
+        }}"
+    );
+    let program = compile_source(&src).unwrap();
+    let f = &program.functions[0];
+    let loop_ = f.all_loops()[0].clone();
+    let mut heap = japonica_ir::Heap::new();
+    let vals: Vec<i64> = (0..n).collect();
+    let a = heap.alloc_longs(&vals);
+    let mut dcfg = DeviceConfig::default();
+    dcfg.sim.host_threads = threads;
+    let mut dev = DeviceMemory::new();
+    dev.copy_in(&heap, a, 0, n as usize, &dcfg).unwrap();
+    let mut env = Env::with_slots(f.num_vars);
+    env.set(f.params[0].var, Value::Array(a));
+    env.set(f.params[1].var, Value::Int(n as i32));
+    let bounds = LoopBounds {
+        start: 0,
+        end: n,
+        step: 1,
+    };
+    Fx {
+        program,
+        loop_,
+        env,
+        dev,
+        array: a,
+        bounds,
+    }
+}
+
+/// Run the speculative loop at `threads` host threads; return the fields a
+/// scheduler's decisions hang off, with f64s captured bit-exactly, plus the
+/// final device memory.
+fn run_at(n: i64, dist: i64, subloop: u64, threads: usize) -> (TlsFingerprint, Vec<i64>) {
+    let mut fx = fx(n, dist, threads);
+    let mut dcfg = DeviceConfig::default();
+    dcfg.sim.host_threads = threads;
+    let tls = TlsConfig {
+        subloop_iters: subloop,
+        ..TlsConfig::default()
+    };
+    let r = run_tls_loop(
+        &fx.program,
+        &dcfg,
+        &CpuConfig::default(),
+        &tls,
+        &fx.loop_,
+        &fx.bounds,
+        0..n as u64,
+        &fx.env,
+        &mut fx.dev,
+        None,
+    )
+    .unwrap();
+    let mem: Vec<i64> = {
+        let a = fx.dev.array(fx.array).unwrap();
+        (0..a.len()).map(|i| a.get(i).as_i64().unwrap()).collect()
+    };
+    (TlsFingerprint::of(&r), mem)
+}
+
+/// Everything downstream schedulers read from a [`TlsReport`], f64s as raw
+/// bits so "identical" means identical.
+#[derive(Debug, PartialEq, Eq)]
+struct TlsFingerprint {
+    kernels: u32,
+    clean_subloops: u32,
+    violations: u32,
+    intra_warp: u32,
+    inter_warp: u32,
+    recovered_iters: u64,
+    gpu_time_bits: u64,
+    cpu_time_bits: u64,
+    time_bits: u64,
+}
+
+impl TlsFingerprint {
+    fn of(r: &TlsReport) -> TlsFingerprint {
+        TlsFingerprint {
+            kernels: r.kernels,
+            clean_subloops: r.clean_subloops,
+            violations: r.violations,
+            intra_warp: r.intra_warp_violations,
+            inter_warp: r.inter_warp_violations,
+            recovered_iters: r.recovered_iters,
+            gpu_time_bits: r.gpu_time_s.to_bits(),
+            cpu_time_bits: r.cpu_time_s.to_bits(),
+            time_bits: r.time_s.to_bits(),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// `host_threads ∈ {1, 2, 8}`: identical rollback decisions, identical
+    /// simulated clocks (bit level), identical committed memory — on
+    /// workloads whose dependence distance forces real mis-speculation.
+    #[test]
+    fn tls_rollback_decisions_are_thread_count_invariant(
+        n in 200i64..1200,
+        dist in 1i64..300,
+        subloop in prop_oneof![Just(64u64), Just(256u64), Just(1792u64)],
+    ) {
+        let (seq, seq_mem) = run_at(n, dist, subloop, 1);
+        for threads in [2usize, 8] {
+            let (par, par_mem) = run_at(n, dist, subloop, threads);
+            prop_assert_eq!(&seq, &par, "report diverged at {} threads", threads);
+            prop_assert_eq!(&seq_mem, &par_mem, "memory diverged at {} threads", threads);
+        }
+    }
+}

@@ -190,8 +190,7 @@ impl Workload {
 
     /// Look up by (case-insensitive) name.
     pub fn by_name(name: &str) -> Option<&'static Workload> {
-        ALL.iter()
-            .find(|w| w.name.eq_ignore_ascii_case(name))
+        ALL.iter().find(|w| w.name.eq_ignore_ascii_case(name))
     }
 
     /// Compile the benchmark's MiniJava source.
@@ -357,7 +356,11 @@ mod tests {
             let inst = w.instantiate(1);
             let mut expected = inst.heap.clone();
             w.run_reference(&mut expected, &inst.args);
-            for b in [Baseline::Serial, Baseline::CpuParallel(16), Baseline::GpuOnly] {
+            for b in [
+                Baseline::Serial,
+                Baseline::CpuParallel(16),
+                Baseline::GpuOnly,
+            ] {
                 let mut heap = inst.heap.clone();
                 run_baseline(
                     &RuntimeConfig::default(),

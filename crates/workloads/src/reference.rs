@@ -172,9 +172,9 @@ pub fn sepia(heap: &mut Heap, args: &[Value]) {
 fn cndf(x: f64) -> f64 {
     let l = x.abs();
     let k = 1.0 / (1.0 + 0.2316419 * l);
-    let poly =
-        ((((1.330274429 * k - 1.821255978) * k + 1.781477937) * k - 0.356563782) * k + 0.31938153)
-            * k;
+    let poly = ((((1.330274429 * k - 1.821255978) * k + 1.781477937) * k - 0.356563782) * k
+        + 0.31938153)
+        * k;
     let w = 1.0 - 0.39894228 * (-l * l * 0.5).exp() * poly;
     if x < 0.0 {
         1.0 - w

@@ -17,7 +17,10 @@ fn main() {
     let compiled = compile(w.source).unwrap();
 
     println!("VectorAdd under varying GPU sizes (boundary = Cg*Fg/(Cg*Fg+Cc*Fc)):");
-    println!("{:>5} {:>10} {:>11} {:>12} {:>14}", "SMs", "boundary", "GPU share", "wall (ms)", "vs CPU-16");
+    println!(
+        "{:>5} {:>10} {:>11} {:>12} {:>14}",
+        "SMs", "boundary", "GPU share", "wall (ms)", "vs CPU-16"
+    );
     for sm_count in [2u32, 7, 14, 28, 56] {
         let mut cfg = RuntimeConfig::default();
         cfg.sched.gpu.sm_count = sm_count;

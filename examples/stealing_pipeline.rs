@@ -21,10 +21,7 @@ fn main() {
     println!("{}", pdg.to_dot(f));
     println!(
         "topological batches: {:?}",
-        pdg.batches()
-            .iter()
-            .map(|b| b.len())
-            .collect::<Vec<_>>()
+        pdg.batches().iter().map(|b| b.len()).collect::<Vec<_>>()
     );
 
     let inst = w.instantiate(3);

@@ -41,7 +41,17 @@ fn mixed_mode_program_end_to_end() {
         let a = heap.alloc_doubles(&doubles(n, |i| i as f64));
         let b = heap.alloc_doubles(&vec![0.0; n]);
         let idx = heap.alloc_ints(&(0..n as i32).collect::<Vec<_>>());
-        (heap, vec![Value::Array(a), Value::Array(b), Value::Array(idx), Value::Int(n as i32)], a, b)
+        (
+            heap,
+            vec![
+                Value::Array(a),
+                Value::Array(b),
+                Value::Array(idx),
+                Value::Int(n as i32),
+            ],
+            a,
+            b,
+        )
     };
 
     let (mut seq_heap, args, a, b) = mk();
@@ -54,8 +64,14 @@ fn mixed_mode_program_end_to_end() {
         .unwrap();
 
     assert_eq!(report.ret, expect_ret);
-    assert_eq!(heap.read_doubles(a).unwrap(), seq_heap.read_doubles(a).unwrap());
-    assert_eq!(heap.read_doubles(b).unwrap(), seq_heap.read_doubles(b).unwrap());
+    assert_eq!(
+        heap.read_doubles(a).unwrap(),
+        seq_heap.read_doubles(a).unwrap()
+    );
+    assert_eq!(
+        heap.read_doubles(b).unwrap(),
+        seq_heap.read_doubles(b).unwrap()
+    );
     assert_eq!(report.loops.len(), 3);
     // modes: A, then profiled (clean index map -> D'), then C
     assert_eq!(report.loops[0].mode, ExecutionMode::A);
@@ -85,18 +101,32 @@ fn nested_annotated_loops_schedule_on_every_encounter() {
         let mut heap = Heap::new();
         let cur = heap.alloc_doubles(&doubles(n, |i| (i % 17) as f64));
         let next = heap.alloc_doubles(&vec![0.0; n]);
-        (heap, vec![Value::Array(cur), Value::Array(next), Value::Int(n as i32), Value::Int(t)], cur)
+        (
+            heap,
+            vec![
+                Value::Array(cur),
+                Value::Array(next),
+                Value::Int(n as i32),
+                Value::Int(t),
+            ],
+            cur,
+        )
     };
     let (mut seq_heap, args, cur) = mk();
     sequential(src, "steps", &args, &mut seq_heap);
 
     let compiled = compile(src).unwrap();
     let (mut heap, args2, _) = mk();
-    let report = Runtime::default().run(&compiled, "steps", &args2, &mut heap).unwrap();
+    let report = Runtime::default()
+        .run(&compiled, "steps", &args2, &mut heap)
+        .unwrap();
 
     // 2 loops x 4 time steps
     assert_eq!(report.loops.len(), 8);
-    assert_eq!(heap.read_doubles(cur).unwrap(), seq_heap.read_doubles(cur).unwrap());
+    assert_eq!(
+        heap.read_doubles(cur).unwrap(),
+        seq_heap.read_doubles(cur).unwrap()
+    );
 }
 
 #[test]
@@ -114,7 +144,12 @@ fn annotated_loop_under_condition_runs_only_when_taken() {
         let mut heap = Heap::new();
         let a = heap.alloc_doubles(&vec![0.0; 256]);
         let report = Runtime::default()
-            .run(&compiled, "cond", &[Value::Array(a), Value::Int(256), Value::Bool(go)], &mut heap)
+            .run(
+                &compiled,
+                "cond",
+                &[Value::Array(a), Value::Int(256), Value::Bool(go)],
+                &mut heap,
+            )
             .unwrap();
         assert_eq!(report.loops.len(), usize::from(go));
         let expect = if go { 1.0 } else { 0.0 };
@@ -146,7 +181,9 @@ fn stealing_pool_with_three_way_dependencies() {
         .map(|&a| Value::Array(a))
         .chain([Value::Int(n as i32)])
         .collect();
-    let report = Runtime::default().run(&compiled, "diamond", &args, &mut heap).unwrap();
+    let report = Runtime::default()
+        .run(&compiled, "diamond", &args, &mut heap)
+        .unwrap();
     assert_eq!(report.stealing.len(), 1);
     let pool = &report.stealing[0];
     assert_eq!(pool.batch_ends.len(), 3); // L0 | L1+L2 | L3
@@ -173,13 +210,27 @@ fn every_baseline_agrees_with_sequential_on_a_gauss_seidel_sweep() {
     let expect = seq_heap.read_doubles(a).unwrap();
 
     let compiled = compile(src).unwrap();
-    for b in [Baseline::Serial, Baseline::CpuParallel(16), Baseline::GpuOnly] {
+    for b in [
+        Baseline::Serial,
+        Baseline::CpuParallel(16),
+        Baseline::GpuOnly,
+    ] {
         let (mut heap, args2, _) = mk();
-        run_baseline(&RuntimeConfig::default(), &compiled, "gs", &args2, &mut heap, b).unwrap();
+        run_baseline(
+            &RuntimeConfig::default(),
+            &compiled,
+            "gs",
+            &args2,
+            &mut heap,
+            b,
+        )
+        .unwrap();
         assert_eq!(heap.read_doubles(a).unwrap(), expect, "{b}");
     }
     let (mut heap, args3, _) = mk();
-    Runtime::default().run(&compiled, "gs", &args3, &mut heap).unwrap();
+    Runtime::default()
+        .run(&compiled, "gs", &args3, &mut heap)
+        .unwrap();
     assert_eq!(heap.read_doubles(a).unwrap(), expect, "japonica");
 }
 
@@ -195,7 +246,12 @@ fn report_accounts_iterations_and_times() {
     let mut heap = Heap::new();
     let a = heap.alloc_doubles(&vec![0.0; 50_000]);
     let report = Runtime::default()
-        .run(&compiled, "f", &[Value::Array(a), Value::Int(50_000)], &mut heap)
+        .run(
+            &compiled,
+            "f",
+            &[Value::Array(a), Value::Int(50_000)],
+            &mut heap,
+        )
         .unwrap();
     let l = &report.loops[0];
     assert_eq!(l.iterations, 50_000);
@@ -222,7 +278,12 @@ fn scheme_override_moves_a_sharing_app_to_stealing() {
     let a = heap.alloc_doubles(&doubles(4096, |i| i as f64));
     let b = heap.alloc_doubles(&vec![0.0; 4096]);
     let c = heap.alloc_doubles(&vec![0.0; 4096]);
-    let args = vec![Value::Array(a), Value::Array(b), Value::Array(c), Value::Int(4096)];
+    let args = vec![
+        Value::Array(a),
+        Value::Array(b),
+        Value::Array(c),
+        Value::Int(4096),
+    ];
     let rt = Runtime::new(RuntimeConfig {
         scheme_override: Some(japonica::ir::Scheme::Stealing),
         ..RuntimeConfig::default()

@@ -29,11 +29,7 @@ const SCALE_SRC: &str = "static void scale(double[] a, double[] b, int n) {
 
 const N: usize = 20_000;
 
-fn runtime_with(
-    plan: Option<FaultPlan>,
-    res: ResilienceConfig,
-    scheme: Option<Scheme>,
-) -> Runtime {
+fn runtime_with(plan: Option<FaultPlan>, res: ResilienceConfig, scheme: Option<Scheme>) -> Runtime {
     let mut cfg = RuntimeConfig::default();
     cfg.sched.faults = plan;
     cfg.sched.resilience = res;
@@ -77,9 +73,15 @@ fn transient_kernel_launch_is_absorbed_by_retry() {
     let plan = FaultPlan::new(1, vec![FaultRule::transient(FaultKind::KernelLaunch, 1)]);
     let (_, s) = run_scale(Some(plan), default_res(), None);
     assert!(s.retries >= 1, "retry must engage: {s:?}");
-    assert_eq!(s.fallbacks, 0, "one transient fault needs no fallback: {s:?}");
+    assert_eq!(
+        s.fallbacks, 0,
+        "one transient fault needs no fallback: {s:?}"
+    );
     assert_eq!(s.level, DegradationLevel::Full);
-    assert!(s.backoff_s > 0.0, "retry backoff must be charged to the clock");
+    assert!(
+        s.backoff_s > 0.0,
+        "retry backoff must be charged to the clock"
+    );
 }
 
 #[test]
@@ -87,16 +89,19 @@ fn persistent_kernel_launch_retires_the_gpu() {
     let plan = FaultPlan::new(2, vec![FaultRule::persistent(FaultKind::KernelLaunch)]);
     let (_, s) = run_scale(Some(plan), default_res(), None);
     assert!(s.fallbacks >= 1, "failed chunks must be resubmitted: {s:?}");
-    assert!(s.gpu_faults >= default_res().device_fault_tolerance, "{s:?}");
-    assert!(s.level >= DegradationLevel::CpuOnly, "GPU must be retired: {s:?}");
+    assert!(
+        s.gpu_faults >= default_res().device_fault_tolerance,
+        "{s:?}"
+    );
+    assert!(
+        s.level >= DegradationLevel::CpuOnly,
+        "GPU must be retired: {s:?}"
+    );
 }
 
 #[test]
 fn simt_fault_on_one_warp_is_retried() {
-    let plan = FaultPlan::new(
-        3,
-        vec![FaultRule::transient(FaultKind::Simt, 1).on_warp(0)],
-    );
+    let plan = FaultPlan::new(3, vec![FaultRule::transient(FaultKind::Simt, 1).on_warp(0)]);
     let (_, s) = run_scale(Some(plan), default_res(), None);
     assert!(s.gpu_faults >= 1, "SIMT fault must be observed: {s:?}");
     assert!(s.retries >= 1, "SIMT fault must be retried: {s:?}");
@@ -167,7 +172,10 @@ fn transient_cpu_chunk_fault_is_retried() {
 fn persistent_cpu_chunk_fault_degrades_the_worker_pool() {
     let plan = FaultPlan::new(9, vec![FaultRule::persistent(FaultKind::CpuChunk)]);
     let (_, s) = run_scale(Some(plan), default_res(), None);
-    assert!(s.cpu_faults >= default_res().device_fault_tolerance, "{s:?}");
+    assert!(
+        s.cpu_faults >= default_res().device_fault_tolerance,
+        "{s:?}"
+    );
     assert!(s.fallbacks >= 1, "{s:?}");
     assert!(s.level >= DegradationLevel::Sequential, "{s:?}");
 }
@@ -231,8 +239,14 @@ fn no_plan_runs_are_deterministic_and_quiet_plans_change_nothing() {
     let (r_none_b, _) = run_scale(None, default_res(), None);
     let (r_quiet, s_quiet) = run_scale(Some(FaultPlan::quiet(99)), default_res(), None);
     assert!(!s_none.any(), "no plan, no recovery activity: {s_none:?}");
-    assert!(!s_quiet.any(), "quiet plan, no recovery activity: {s_quiet:?}");
-    assert_eq!(r_none_a.total_s, r_none_b.total_s, "simulation is deterministic");
+    assert!(
+        !s_quiet.any(),
+        "quiet plan, no recovery activity: {s_quiet:?}"
+    );
+    assert_eq!(
+        r_none_a.total_s, r_none_b.total_s,
+        "simulation is deterministic"
+    );
     assert_eq!(
         r_none_a.total_s, r_quiet.total_s,
         "an installed-but-silent plan must be timing-invisible"
@@ -249,8 +263,14 @@ fn fault_stats_surface_in_the_run_summary() {
     let (r, s) = run_scale(Some(plan), default_res(), None);
     assert!(s.any());
     let text = r.summary();
-    assert!(text.contains("faults:"), "summary must report faults:\n{text}");
-    assert!(text.contains("retries"), "summary must report retries:\n{text}");
+    assert!(
+        text.contains("faults:"),
+        "summary must report faults:\n{text}"
+    );
+    assert!(
+        text.contains("retries"),
+        "summary must report retries:\n{text}"
+    );
     // And without faults the line is absent.
     let (r2, _) = run_scale(None, default_res(), None);
     assert!(!r2.summary().contains("faults:"));
@@ -329,10 +349,18 @@ const MARGIN: i32 = 6;
 fn body_stmt() -> impl Strategy<Value = BodyStmt> {
     let off = -MARGIN..=MARGIN;
     prop_oneof![
-        (off.clone(), off.clone(), 1..4i32, -9..9i32)
-            .prop_map(|(w, r, m, c)| BodyStmt::Combine { w, r, m, c }),
-        (off.clone(), off, -40..40i32, -9..9i32)
-            .prop_map(|(w, r, cut, c)| BodyStmt::Guarded { w, r, cut, c }),
+        (off.clone(), off.clone(), 1..4i32, -9..9i32).prop_map(|(w, r, m, c)| BodyStmt::Combine {
+            w,
+            r,
+            m,
+            c
+        }),
+        (off.clone(), off, -40..40i32, -9..9i32).prop_map(|(w, r, cut, c)| BodyStmt::Guarded {
+            w,
+            r,
+            cut,
+            c
+        }),
     ]
 }
 
@@ -385,7 +413,9 @@ fn fault_rule() -> impl Strategy<Value = FaultRule> {
             } else {
                 FaultRule::transient(k, count)
             };
-            let rule = rule.after(after).with_probability(0.25 + pct as f64 / 133.0);
+            let rule = rule
+                .after(after)
+                .with_probability(0.25 + pct as f64 / 133.0);
             if k == FaultKind::DeadlineOverrun {
                 rule.stalling(1e12)
             } else {
@@ -403,7 +433,9 @@ fn prop_case(
 ) -> Result<(), TestCaseError> {
     let n = 600usize;
     let src = render(stmts);
-    let init: Vec<i64> = (0..n as i64).map(|i| (i * 37 + seed as i64) % 97 - 48).collect();
+    let init: Vec<i64> = (0..n as i64)
+        .map(|i| (i * 37 + seed as i64) % 97 - 48)
+        .collect();
 
     // Ground truth: plain sequential interpretation.
     let program = japonica::frontend::compile_source(&src)
@@ -465,7 +497,12 @@ proptest! {
 #[test]
 fn regression_dependent_loop_with_persistent_launch_faults() {
     prop_case(
-        &[BodyStmt::Combine { w: 2, r: 0, m: 2, c: 1 }],
+        &[BodyStmt::Combine {
+            w: 2,
+            r: 0,
+            m: 2,
+            c: 1,
+        }],
         17,
         vec![FaultRule::persistent(FaultKind::KernelLaunch)],
         false,
@@ -477,8 +514,18 @@ fn regression_dependent_loop_with_persistent_launch_faults() {
 fn regression_guarded_loop_with_mixed_faults_under_stealing() {
     prop_case(
         &[
-            BodyStmt::Guarded { w: -2, r: 3, cut: 0, c: 5 },
-            BodyStmt::Combine { w: 0, r: -4, m: 3, c: -2 },
+            BodyStmt::Guarded {
+                w: -2,
+                r: 3,
+                cut: 0,
+                c: 5,
+            },
+            BodyStmt::Combine {
+                w: 0,
+                r: -4,
+                m: 3,
+                c: -2,
+            },
         ],
         23,
         vec![

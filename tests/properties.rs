@@ -32,12 +32,20 @@ const MARGIN: i32 = 8;
 fn body_stmt() -> impl Strategy<Value = BodyStmt> {
     let off = -MARGIN..=MARGIN;
     prop_oneof![
-        (off.clone(), off.clone(), 1..5i32, -9..9i32)
-            .prop_map(|(w, r, m, c)| BodyStmt::Combine { w, r, m, c }),
+        (off.clone(), off.clone(), 1..5i32, -9..9i32).prop_map(|(w, r, m, c)| BodyStmt::Combine {
+            w,
+            r,
+            m,
+            c
+        }),
         (off.clone(), -9..9i32).prop_map(|(w, c)| BodyStmt::FromAux { w, c }),
         (off.clone(), -9..9i32).prop_map(|(r, c)| BodyStmt::ToAux { r, c }),
-        (off.clone(), off, -50..50i32, -9..9i32)
-            .prop_map(|(w, r, cut, c)| BodyStmt::Guarded { w, r, cut, c }),
+        (off.clone(), off, -50..50i32, -9..9i32).prop_map(|(w, r, cut, c)| BodyStmt::Guarded {
+            w,
+            r,
+            cut,
+            c
+        }),
     ]
 }
 
@@ -52,11 +60,9 @@ fn render(stmts: &[BodyStmt]) -> String {
     let mut body = String::new();
     for s in stmts {
         let line = match s {
-            BodyStmt::Combine { w, r, m, c } => format!(
-                "data[{}] = data[{}] * {m} + {c};",
-                idx(*w),
-                idx(*r)
-            ),
+            BodyStmt::Combine { w, r, m, c } => {
+                format!("data[{}] = data[{}] * {m} + {c};", idx(*w), idx(*r))
+            }
             BodyStmt::FromAux { w, c } => format!("data[{}] = aux[i] + {c};", idx(*w)),
             BodyStmt::ToAux { r, c } => format!("aux[i] = data[{}] - {c};", idx(*r)),
             BodyStmt::Guarded { w, r, cut, c } => format!(
@@ -117,8 +123,18 @@ fn run_case(stmts: &[BodyStmt], n: usize, seed: i64) -> Result<(), TestCaseError
         .run(&compiled, "gen", &args2, &mut heap)
         .map_err(|e| TestCaseError::fail(format!("runtime failed: {e}")))?;
 
-    prop_assert_eq!(heap.read_ints(data2).unwrap(), expect_data, "data mismatch\n{}", src);
-    prop_assert_eq!(heap.read_ints(aux2).unwrap(), expect_aux, "aux mismatch\n{}", src);
+    prop_assert_eq!(
+        heap.read_ints(data2).unwrap(),
+        expect_data,
+        "data mismatch\n{}",
+        src
+    );
+    prop_assert_eq!(
+        heap.read_ints(aux2).unwrap(),
+        expect_aux,
+        "aux mismatch\n{}",
+        src
+    );
     Ok(())
 }
 

@@ -21,7 +21,11 @@ fn profile_limit_samples_a_prefix_and_execution_stays_correct() {
         let a = heap.alloc_longs(&vec![0i64; n]);
         // identity permutation: no dependences at all
         let idx = heap.alloc_ints(&(0..n as i32).collect::<Vec<_>>());
-        (heap, vec![Value::Array(a), Value::Array(idx), Value::Int(n as i32)], a)
+        (
+            heap,
+            vec![Value::Array(a), Value::Array(idx), Value::Int(n as i32)],
+            a,
+        )
     };
 
     // Full profile
@@ -63,13 +67,21 @@ fn annotated_loops_inside_callees_run_sequentially_but_correctly() {
     let mut heap = Heap::new();
     let a = heap.alloc_doubles(&(0..512).map(|i| i as f64).collect::<Vec<_>>());
     let report = Runtime::default()
-        .run(&compiled, "f", &[Value::Array(a), Value::Int(512)], &mut heap)
+        .run(
+            &compiled,
+            "f",
+            &[Value::Array(a), Value::Int(512)],
+            &mut heap,
+        )
         .unwrap();
     // only the entry function's annotated loop is scheduled
     assert_eq!(report.loops.len(), 1);
     assert!(report.glue_s > 0.0); // helper ran as glue
     let vals = heap.read_doubles(a).unwrap();
-    assert!(vals.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f64 + 1.0));
+    assert!(vals
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| v == 2.0 * i as f64 + 1.0));
 }
 
 #[test]
@@ -151,13 +163,18 @@ fn profiling_time_is_charged_once_per_loop_across_reencounters() {
         .run(
             &compiled,
             "f",
-            &[Value::Array(t), Value::Array(o), Value::Int(2048), Value::Int(4)],
+            &[
+                Value::Array(t),
+                Value::Array(o),
+                Value::Int(2048),
+                Value::Int(4),
+            ],
             &mut heap,
         )
         .unwrap();
     assert_eq!(report.loops.len(), 4); // scheduled per encounter
     assert_eq!(report.profiles.len(), 1); // profiled once
-    // the profile histogram exists and describes itself
+                                          // the profile histogram exists and describes itself
     let p = report.profiles.values().next().unwrap();
     assert!(p.describe().contains("FD density"));
 }
@@ -172,7 +189,12 @@ fn out_of_bounds_in_a_scheduled_loop_reports_an_error_not_a_panic() {
     let mut heap = Heap::new();
     let a = heap.alloc_doubles(&vec![0.0; 64]);
     let err = Runtime::default()
-        .run(&compiled, "f", &[Value::Array(a), Value::Int(64)], &mut heap)
+        .run(
+            &compiled,
+            "f",
+            &[Value::Array(a), Value::Int(64)],
+            &mut heap,
+        )
         .unwrap_err();
     assert!(err.to_string().contains("out of bounds"), "{err}");
 }
@@ -209,9 +231,16 @@ fn create_clause_array_is_not_transferred() {
         .unwrap();
     // transfer accounting covers only the copyin array (8 bytes per elem)
     let l = &report.loops[0];
-    assert!(l.bytes_in <= n * 8, "bytes_in {} should exclude scratch", l.bytes_in);
+    assert!(
+        l.bytes_in <= n * 8,
+        "bytes_in {} should exclude scratch",
+        l.bytes_in
+    );
     let o = heap.read_doubles(outp).unwrap();
-    assert!(o.iter().enumerate().all(|(i, &v)| v == 2.0 * i as f64 + 1.0));
+    assert!(o
+        .iter()
+        .enumerate()
+        .all(|(i, &v)| v == 2.0 * i as f64 + 1.0));
 }
 
 #[test]

@@ -65,7 +65,10 @@ impl BenchmarkGroup {
     fn run_one<F: FnMut(&mut Bencher)>(&self, id: &str, mut f: F) {
         // Warm-up pass.
         let warm_until = Instant::now() + self.warm_up;
-        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
         while Instant::now() < warm_until {
             b.elapsed = Duration::ZERO;
             b.iters = 0;

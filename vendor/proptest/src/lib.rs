@@ -34,7 +34,10 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Filter { inner: self, keep: f }
+            Filter {
+                inner: self,
+                keep: f,
+            }
         }
 
         fn boxed(self) -> BoxedStrategy<Self::Value>
@@ -284,8 +287,7 @@ pub mod strategy {
                     let roll = rng.next_u64();
                     if unicode && roll % 13 == 0 {
                         // Occasional non-ASCII printable characters.
-                        char::from_u32(0x00A1 + (roll >> 8) as u32 % 0x2000)
-                            .unwrap_or('\u{00BF}')
+                        char::from_u32(0x00A1 + (roll >> 8) as u32 % 0x2000).unwrap_or('\u{00BF}')
                     } else {
                         (b' ' + (roll % 95) as u8) as char
                     }
@@ -439,7 +441,9 @@ pub mod test_runner {
 pub mod prelude {
     pub use crate::strategy::{any, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[macro_export]
