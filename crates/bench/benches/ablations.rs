@@ -3,16 +3,21 @@
 //! 1. the boundary/steal-back split vs naive fixed fractions;
 //! 2. the sharing chunk count (transfer-overlap granularity);
 //! 3. TLS sub-loop size under blind speculation;
-//! 4. profile-guided vs blind speculation for the low-density loop.
+//! 4. profile-guided vs blind speculation for the low-density loop;
+//! 5. kernel execution engine: reference tree walker vs register bytecode
+//!    VM (real host wall-clock per simulated iteration, with the one-time
+//!    bytecode compile cost measured separately).
 //!
 //! Each ablation prints a small table; criterion measures one
 //! representative configuration pair.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use japonica::cpuexec::{run_sequential, CpuConfig};
+use japonica::ir::{compile_kernel, Env, ExecEngine, ForLoop, Heap, LoopBounds, Program, Value};
 use japonica::{run_baseline, Baseline, Runtime, RuntimeConfig};
 use japonica_bench::{run_variant, Variant};
 use japonica_workloads::Workload;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn wall_with(w: &Workload, n: u64, tweak: impl FnOnce(&mut RuntimeConfig)) -> f64 {
     let compiled = w.compile();
@@ -120,11 +125,132 @@ fn ablate_profile_guidance() {
     println!("  blind          {:>8.3}", blind * 1e3);
 }
 
+/// The three engine-ablation kernels: uniform streaming arithmetic, a
+/// divergent branch with intrinsics, and an inner loop plus helper call —
+/// the three per-iteration cost profiles the interpreter pays for
+/// differently.
+const ENGINE_KERNELS: [(&str, &str); 3] = [
+    (
+        "saxpy",
+        "static void k(double[] x, double[] y, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) { y[i] = 2.5 * x[i] + y[i]; }
+        }",
+    ),
+    (
+        "divergent",
+        "static void k(double[] x, double[] y, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                if (i % 3 == 0) { y[i] = Math.sqrt(Math.abs(x[i])) + 1.0; }
+                else { y[i] = x[i] * x[i] - 0.5; }
+            }
+        }",
+    ),
+    (
+        "inner_call",
+        "static double mix(double a, double b) { return a * 0.75 + b * 0.25; }
+        static void k(double[] x, double[] y, int n) {
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {
+                for (int j = 0; j < 4; j++) { y[i] = mix(y[i], x[i] + (double) j); }
+            }
+        }",
+    ),
+];
+
+struct EngineFx {
+    program: Program,
+    loop_: ForLoop,
+    env: Env,
+    heap: Heap,
+    bounds: LoopBounds,
+    n: u64,
+}
+
+fn engine_fx(src: &str, n: usize) -> EngineFx {
+    let program = japonica::frontend::compile_source(src).unwrap();
+    let (_, f) = program.function_by_name("k").unwrap();
+    let loop_ = f.all_loops()[0].clone();
+    let mut heap = Heap::new();
+    let x = heap.alloc_doubles(&(0..n).map(|i| (i as f64 * 0.37).sin()).collect::<Vec<_>>());
+    let y = heap.alloc_doubles(&vec![1.0; n]);
+    let mut env = Env::with_slots(f.num_vars);
+    env.set(f.params[0].var, Value::Array(x));
+    env.set(f.params[1].var, Value::Array(y));
+    env.set(f.params[2].var, Value::Int(n as i32));
+    EngineFx {
+        program,
+        loop_,
+        env,
+        heap,
+        bounds: LoopBounds {
+            start: 0,
+            end: n as i64,
+            step: 1,
+        },
+        n: n as u64,
+    }
+}
+
+fn engine_run(fx: &EngineFx, engine: ExecEngine) {
+    let mut cfg = CpuConfig::default();
+    cfg.engine = engine;
+    let mut heap = fx.heap.clone();
+    run_sequential(
+        &fx.program,
+        &cfg,
+        &fx.loop_,
+        &fx.bounds,
+        0..fx.n,
+        &mut fx.env.clone(),
+        &mut heap,
+    )
+    .unwrap();
+}
+
+fn ablate_engine() {
+    println!("== Ablation: kernel engine, host ns per simulated iteration (n=8192) ==");
+    println!(
+        "  {:<12} {:>12} {:>12} {:>9} {:>14}",
+        "kernel", "walker", "bytecode", "speedup", "compile (µs)"
+    );
+    for (name, src) in ENGINE_KERNELS {
+        let fx = engine_fx(src, 8192);
+        let time = |engine: ExecEngine| {
+            // One warm-up, then the median of 5 timed runs.
+            engine_run(&fx, engine);
+            let mut runs: Vec<f64> = (0..5)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    engine_run(&fx, engine);
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            runs.sort_by(|a, b| a.total_cmp(b));
+            runs[2] / fx.n as f64 * 1e9
+        };
+        let walker = time(ExecEngine::TreeWalker);
+        let bytecode = time(ExecEngine::Bytecode);
+        let t0 = Instant::now();
+        let reps = 100;
+        for _ in 0..reps {
+            compile_kernel(&fx.program, &fx.loop_).unwrap();
+        }
+        let compile_us = t0.elapsed().as_secs_f64() / reps as f64 * 1e6;
+        println!(
+            "  {name:<12} {walker:>12.1} {bytecode:>12.1} {:>8.2}x {compile_us:>14.2}",
+            walker / bytecode
+        );
+    }
+}
+
 fn bench(c: &mut Criterion) {
     ablate_split_policy();
     ablate_chunk_count();
     ablate_tls_subloop();
     ablate_profile_guidance();
+    ablate_engine();
 
     let mut g = c.benchmark_group("ablation_split");
     g.sample_size(10)
@@ -137,6 +263,26 @@ fn bench(c: &mut Criterion) {
     g.bench_function("fixed_fifty", |b| {
         b.iter(|| run_variant(w, 1, Variant::Fifty));
     });
+    g.finish();
+
+    // Engine ablation: per-iteration interpreter cost under each engine on
+    // the three kernel profiles, plus the one-time bytecode compile.
+    let mut g = c.benchmark_group("ablation_engine");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (name, src) in ENGINE_KERNELS {
+        let fx = engine_fx(src, 8192);
+        g.bench_function(&format!("{name}_walker"), |b| {
+            b.iter(|| engine_run(&fx, ExecEngine::TreeWalker));
+        });
+        g.bench_function(&format!("{name}_bytecode"), |b| {
+            b.iter(|| engine_run(&fx, ExecEngine::Bytecode));
+        });
+        g.bench_function(&format!("{name}_compile"), |b| {
+            b.iter(|| compile_kernel(&fx.program, &fx.loop_).unwrap());
+        });
+    }
     g.finish();
 }
 

@@ -12,9 +12,9 @@
 //! 3 perf gate regression · 4 a mode failed to run.
 
 use japonica_bench::{
-    json_escape, json_f64, median, parse_flat_json, run_timed, SimFingerprint, Variant,
+    json_escape, json_f64, median, parse_flat_json, run_timed_engine, SimFingerprint, Variant,
 };
-use japonica_ir::Scheme;
+use japonica_ir::{ExecEngine, Scheme};
 use japonica_workloads::Workload;
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -41,6 +41,7 @@ struct Opts {
     trials: u32,
     warmup: u32,
     threads: usize,
+    engine: ExecEngine,
     out: Option<String>,
     gate: Option<String>,
     write_baseline: Option<String>,
@@ -49,7 +50,8 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--quick] [--scale N] [--trials K] [--warmup W] [--threads N]\n\
-         \x20            [--out PATH] [--gate BASELINE.json] [--write-baseline PATH]\n\
+         \x20            [--engine bytecode|interp] [--out PATH] [--gate BASELINE.json]\n\
+         \x20            [--write-baseline PATH]\n\
          \n\
          Runs every Table II workload under serial / CPU-16 / GPU / sharing /\n\
          stealing, reports median host wall-clock, and checks that the\n\
@@ -66,6 +68,7 @@ fn parse_opts() -> Opts {
         trials: 0,
         warmup: 1,
         threads: 8,
+        engine: ExecEngine::default(),
         out: None,
         gate: None,
         write_baseline: None,
@@ -91,6 +94,13 @@ fn parse_opts() -> Opts {
             }
             "--warmup" => o.warmup = num(&mut args) as u32,
             "--threads" => o.threads = num(&mut args).max(1) as usize,
+            "--engine" => {
+                o.engine = match args.next().as_deref() {
+                    Some("bytecode") => ExecEngine::Bytecode,
+                    Some("interp") | Some("tree-walker") => ExecEngine::TreeWalker,
+                    _ => usage(),
+                }
+            }
             "--out" => o.out = args.next().or_else(|| usage()).into(),
             "--gate" => o.gate = args.next().or_else(|| usage()).into(),
             "--write-baseline" => o.write_baseline = args.next().or_else(|| usage()).into(),
@@ -154,8 +164,10 @@ impl Cell {
 /// fixed config, so any drift here is a harness bug worth failing on).
 fn measure(w: &'static Workload, scale: u64, v: Variant, threads: usize, o: &Opts) -> Cell {
     let run_once = || {
-        catch_unwind(AssertUnwindSafe(|| run_timed(w, scale, v, threads)))
-            .unwrap_or_else(|p| Err(format!("panicked: {p:?}")))
+        catch_unwind(AssertUnwindSafe(|| {
+            run_timed_engine(w, scale, v, threads, o.engine)
+        }))
+        .unwrap_or_else(|p| Err(format!("panicked: {p:?}")))
     };
     for _ in 0..o.warmup {
         if let Err(e) = run_once() {
@@ -287,6 +299,11 @@ fn main() -> ExitCode {
     let _ = writeln!(json, "  \"trials\": {},", o.trials);
     let _ = writeln!(json, "  \"warmup\": {},", o.warmup);
     let _ = writeln!(json, "  \"host_threads\": {},", o.threads);
+    let engine_name = match o.engine {
+        ExecEngine::Bytecode => "bytecode",
+        ExecEngine::TreeWalker => "interp",
+    };
+    let _ = writeln!(json, "  \"engine\": \"{engine_name}\",");
     let host_cpus = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);

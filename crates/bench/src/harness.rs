@@ -8,6 +8,7 @@
 //! golden values.
 
 use crate::Variant;
+use japonica::ir::ExecEngine;
 use japonica::{run_baseline, Baseline, RunReport, Runtime, RuntimeConfig};
 use japonica_workloads::Workload;
 use std::time::Instant;
@@ -32,6 +33,19 @@ pub fn run_timed(
     variant: Variant,
     host_threads: usize,
 ) -> Result<TimedRun, String> {
+    run_timed_engine(w, n, variant, host_threads, ExecEngine::default())
+}
+
+/// [`run_timed`] with an explicit kernel execution engine, applied to both
+/// the SIMT simulator and the CPU executor (the `--engine` flag of the
+/// `bench` binary).
+pub fn run_timed_engine(
+    w: &Workload,
+    n: u64,
+    variant: Variant,
+    host_threads: usize,
+    engine: ExecEngine,
+) -> Result<TimedRun, String> {
     let compiled = w.compile();
     let inst = w.instantiate(n);
     let mut expected = inst.heap.clone();
@@ -40,6 +54,8 @@ pub fn run_timed(
     let mut cfg = RuntimeConfig::default();
     cfg.sched.subloops_per_task = w.subloops;
     cfg.sched.gpu.sim.host_threads = host_threads.max(1);
+    cfg.sched.gpu.sim.engine = engine;
+    cfg.sched.cpu.engine = engine;
     let err = |e: &dyn std::fmt::Debug| format!("{} under {variant}: {e:?}", w.name);
     let start = Instant::now();
     let report = match variant {

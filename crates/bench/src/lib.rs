@@ -16,7 +16,8 @@ use japonica_workloads::Workload;
 
 pub mod harness;
 pub use harness::{
-    json_escape, json_f64, median, parse_flat_json, run_timed, SimFingerprint, TimedRun,
+    json_escape, json_f64, median, parse_flat_json, run_timed, run_timed_engine, SimFingerprint,
+    TimedRun,
 };
 
 /// One way to execute an application.

@@ -1,6 +1,6 @@
 //! CPU model configuration.
 
-use japonica_ir::{CostTable, OpClass};
+use japonica_ir::{CostTable, ExecEngine, OpClass};
 
 /// Parameters of the simulated CPU side. Defaults model the paper's two
 /// Intel Xeon X5650 sockets (12 cores total @ 2.66 GHz) running JIT-compiled
@@ -21,6 +21,12 @@ pub struct CpuConfig {
     pub chunk_dispatch_us: f64,
     /// Per-op issue costs.
     pub cost: CostTable,
+    /// Which chunk executor runs loop bodies: the compiled bytecode VM
+    /// (default) or the reference tree-walking interpreter. Both charge
+    /// the identical op sequence, so every simulated quantity is
+    /// bit-identical; loops the bytecode compiler declines fall back to
+    /// the walker regardless.
+    pub engine: ExecEngine,
 }
 
 impl CpuConfig {
@@ -38,6 +44,7 @@ impl Default for CpuConfig {
             ipc: 0.2,
             chunk_dispatch_us: 5.0,
             cost: cpu_cost_table(),
+            engine: ExecEngine::default(),
         }
     }
 }

@@ -4,11 +4,30 @@ use crate::buffer::BufferedBackend;
 use crate::config::CpuConfig;
 use japonica_faults::{DeviceFault, FaultOrigin, FaultPlan};
 use japonica_ir::{
-    CountingBackend, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, LoopBounds, OpCounts,
-    Program,
+    compile_kernel, CompiledKernel, CountingBackend, Env, ExecEngine, ExecError, ForLoop, Heap,
+    HeapBackend, Interp, KernelCache, LoopBounds, OpCounts, Program, ScalarVm,
 };
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
+
+/// Resolve which chunk executor to use: `Some(kernel)` for the bytecode
+/// VM, `None` for the reference tree walker (config opt-out, or a loop the
+/// bytecode compiler declines).
+fn resolve_kernel(
+    program: &Program,
+    cfg: &CpuConfig,
+    loop_: &ForLoop,
+    kernels: Option<&KernelCache>,
+) -> Option<Arc<CompiledKernel>> {
+    if cfg.engine != ExecEngine::Bytecode {
+        return None;
+    }
+    match kernels {
+        Some(cache) => cache.get_or_compile(program, loop_),
+        None => compile_kernel(program, loop_).ok().map(Arc::new),
+    }
+}
 
 /// Errors out of the guarded CPU executor: either a real interpreter error
 /// or an injected worker fault (carried intact for the recovery machinery).
@@ -78,9 +97,40 @@ pub fn run_sequential(
     env: &mut Env,
     heap: &mut Heap,
 ) -> Result<CpuReport, ExecError> {
-    let interp = Interp::new(program);
+    run_sequential_with(program, cfg, loop_, bounds, range, env, heap, None)
+}
+
+/// [`run_sequential`] with an optional shared [`KernelCache`] so repeated
+/// chunk dispatches of the same loop reuse one bytecode compilation.
+#[allow(clippy::too_many_arguments)] // mirrors run_sequential plus the cache
+pub fn run_sequential_with(
+    program: &Program,
+    cfg: &CpuConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    env: &mut Env,
+    heap: &mut Heap,
+    kernels: Option<&KernelCache>,
+) -> Result<CpuReport, ExecError> {
+    let compiled = resolve_kernel(program, cfg, loop_, kernels);
     let mut be = CountingBackend::new(HeapBackend::new(heap));
-    interp.exec_range(loop_, bounds, range.start, range.end, env, &mut be)?;
+    match &compiled {
+        Some(k) => {
+            ScalarVm::new().exec_range(
+                k,
+                loop_.var,
+                bounds,
+                range.start,
+                range.end,
+                env,
+                &mut be,
+            )?;
+        }
+        None => {
+            Interp::new(program).exec_range(loop_, bounds, range.start, range.end, env, &mut be)?;
+        }
+    }
     let cycles = be.cycles(&cfg.cost);
     Ok(CpuReport {
         time_s: cfg.cycles_to_seconds(cycles),
@@ -127,6 +177,39 @@ pub fn run_parallel(
     })
 }
 
+/// [`run_parallel`] with an optional shared [`KernelCache`].
+#[allow(clippy::too_many_arguments)] // mirrors run_parallel plus the cache
+pub fn run_parallel_with(
+    program: &Program,
+    cfg: &CpuConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    env: &Env,
+    heap: &mut Heap,
+    threads: u32,
+    kernels: Option<&KernelCache>,
+) -> Result<CpuReport, ExecError> {
+    run_parallel_guarded_with(
+        program,
+        cfg,
+        loop_,
+        bounds,
+        range,
+        env,
+        heap,
+        threads,
+        None,
+        FaultOrigin::default(),
+        kernels,
+    )
+    .map_err(|e| match e {
+        CpuExecError::Exec(x) => x,
+        // Unreachable: faults only fire when a plan is installed.
+        CpuExecError::Fault(f) => ExecError::Aborted(format!("unexpected fault: {f}")),
+    })
+}
+
 /// [`run_parallel`] with an optional fault-injection plan. The plan is
 /// consulted once per worker batch *before any worker starts* (on the
 /// calling thread, so injection order is deterministic); a fired fault
@@ -144,6 +227,28 @@ pub fn run_parallel_guarded(
     threads: u32,
     faults: Option<&FaultPlan>,
     origin: FaultOrigin,
+) -> Result<CpuReport, CpuExecError> {
+    run_parallel_guarded_with(
+        program, cfg, loop_, bounds, range, env, heap, threads, faults, origin, None,
+    )
+}
+
+/// [`run_parallel_guarded`] with an optional shared [`KernelCache`]. Each
+/// worker thread runs its own [`ScalarVm`] over the shared compiled
+/// kernel; with no cache the loop is compiled once per call.
+#[allow(clippy::too_many_arguments)] // mirrors run_parallel_guarded plus the cache
+pub fn run_parallel_guarded_with(
+    program: &Program,
+    cfg: &CpuConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    env: &Env,
+    heap: &mut Heap,
+    threads: u32,
+    faults: Option<&FaultPlan>,
+    origin: FaultOrigin,
+    kernels: Option<&KernelCache>,
 ) -> Result<CpuReport, CpuExecError> {
     let total = range.end.saturating_sub(range.start);
     if total == 0 {
@@ -166,6 +271,7 @@ pub fn run_parallel_guarded(
         lo += len;
     }
 
+    let compiled = resolve_kernel(program, cfg, loop_, kernels);
     let interp = Interp::new(program);
     let heap_ref: &Heap = heap;
     let results: Vec<Result<(BufferedBackend, Range<u64>), ExecError>> =
@@ -175,13 +281,31 @@ pub fn run_parallel_guarded(
                 .cloned()
                 .map(|chunk| {
                     let interp = &interp;
+                    let compiled = &compiled;
                     let env = env.clone();
                     scope.spawn(move || {
                         let mut be = BufferedBackend::new(heap_ref);
                         let mut env = env;
-                        interp
-                            .exec_range(loop_, bounds, chunk.start, chunk.end, &mut env, &mut be)
-                            .map(|_| (be, chunk))
+                        match compiled {
+                            Some(k) => ScalarVm::new().exec_range(
+                                k,
+                                loop_.var,
+                                bounds,
+                                chunk.start,
+                                chunk.end,
+                                &mut env,
+                                &mut be,
+                            ),
+                            None => interp.exec_range(
+                                loop_,
+                                bounds,
+                                chunk.start,
+                                chunk.end,
+                                &mut env,
+                                &mut be,
+                            ),
+                        }
+                        .map(|_| (be, chunk))
                     })
                 })
                 .collect();

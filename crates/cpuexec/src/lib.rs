@@ -25,4 +25,7 @@ pub mod executor;
 
 pub use buffer::BufferedBackend;
 pub use config::CpuConfig;
-pub use executor::{run_parallel, run_parallel_guarded, run_sequential, CpuExecError, CpuReport};
+pub use executor::{
+    run_parallel, run_parallel_guarded, run_parallel_guarded_with, run_parallel_with,
+    run_sequential, run_sequential_with, CpuExecError, CpuReport,
+};

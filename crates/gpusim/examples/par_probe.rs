@@ -1,13 +1,14 @@
 //! Micro-probe for host-parallel launch overhead: one big DOALL kernel,
-//! repeated launches, wall time per thread count.
+//! repeated launches, wall time per thread count — plus a per-engine phase
+//! breakdown (tree walker vs bytecode VM) and kernel-cache counters.
 //!
 //! ```sh
 //! cargo run --release -p japonica-gpusim --example par_probe -- 1000000 8 1 2 8
 //! ```
 
 use japonica_frontend::compile_source;
-use japonica_gpusim::{launch_loop_par, DeviceConfig, DeviceMemory};
-use japonica_ir::{Env, Heap, LoopBounds, Value};
+use japonica_gpusim::{launch_loop_par_with, DeviceConfig, DeviceMemory, SimtVm};
+use japonica_ir::{compile_kernel, Env, ExecEngine, Heap, KernelCache, LoopBounds, Value};
 use std::time::Instant;
 
 fn main() {
@@ -81,43 +82,98 @@ fn main() {
             dev.absorb(d).expect("absorb");
         }
         let absorb = t0.elapsed().as_secs_f64();
+
+        // Bytecode phases: the one-time compile, then the same warps on the
+        // SIMT register VM.
+        let t0 = Instant::now();
+        let compiled = compile_kernel(&p, &l).expect("probe kernel lowers to bytecode");
+        let compile = t0.elapsed().as_secs_f64();
+        let mut vm = SimtVm::new();
+        let t0 = Instant::now();
+        for w in 0..n_warps {
+            let lo = w * ws;
+            let hi = (lo + ws).min(n as u64);
+            let warp_iters: Vec<u64> = (lo..hi).collect();
+            vm.run_warp(
+                &compiled,
+                l.var,
+                &bounds,
+                &warp_iters,
+                &env,
+                w as u32,
+                &mut dev,
+                &cfg,
+            )
+            .expect("warp");
+        }
+        let bc = t0.elapsed().as_secs_f64();
         println!(
             "1-thread phases: run_warp(direct) {:.1} ms | run_warp(view) {:.1} ms | absorb {:.1} ms",
             seq * 1e3,
             viewed * 1e3,
             absorb * 1e3
         );
+        println!(
+            "bytecode phases: compile {:.3} ms (once) | run_warp(bytecode) {:.1} ms | \
+             walker/bytecode {:.2}x",
+            compile * 1e3,
+            bc * 1e3,
+            seq / bc
+        );
     }
     let mut base = None;
     for &t in &threads {
-        let mut cfg = DeviceConfig::default();
-        cfg.sim.host_threads = t;
-        let mut dev = DeviceMemory::new();
-        dev.copy_in(&heap, a, 0, n, &cfg).expect("copy_in");
-        let mut env = Env::with_slots(f.num_vars);
-        env.set(f.params[0].var, Value::Array(a));
-        env.set(f.params[1].var, Value::Int(n as i32));
-        let start = Instant::now();
-        for _ in 0..reps {
-            launch_loop_par(
-                &p,
-                &cfg,
-                &l,
-                &bounds,
-                0..n as u64,
-                &env,
-                &mut dev,
-                None,
-                None,
-            )
-            .expect("launch");
+        let mut walls = [0.0f64; 2];
+        let mut cache_line = String::new();
+        for (ei, engine) in [ExecEngine::TreeWalker, ExecEngine::Bytecode]
+            .into_iter()
+            .enumerate()
+        {
+            let mut cfg = DeviceConfig::default();
+            cfg.sim.host_threads = t;
+            cfg.sim.engine = engine;
+            let mut dev = DeviceMemory::new();
+            dev.copy_in(&heap, a, 0, n, &cfg).expect("copy_in");
+            let mut env = Env::with_slots(f.num_vars);
+            env.set(f.params[0].var, Value::Array(a));
+            env.set(f.params[1].var, Value::Int(n as i32));
+            // One shared cache across launches: every repeat after the
+            // first is a hit, as in the scheduler's chunk/sub-loop reuse.
+            let kernels = KernelCache::new();
+            let start = Instant::now();
+            for _ in 0..reps {
+                launch_loop_par_with(
+                    &p,
+                    &cfg,
+                    &l,
+                    &bounds,
+                    0..n as u64,
+                    &env,
+                    &mut dev,
+                    None,
+                    None,
+                    Some(&kernels),
+                )
+                .expect("launch");
+            }
+            walls[ei] = start.elapsed().as_secs_f64();
+            if engine == ExecEngine::Bytecode {
+                cache_line = format!(
+                    "cache {} hits / {} misses",
+                    kernels.hits(),
+                    kernels.misses()
+                );
+            }
         }
-        let wall = start.elapsed().as_secs_f64();
-        let b = *base.get_or_insert(wall);
+        let [walker, bytecode] = walls;
+        let b = *base.get_or_insert(bytecode);
         println!(
-            "threads={t:>2}  {:>8.1} ms/launch  speedup {:.2}x",
-            wall / reps as f64 * 1e3,
-            b / wall
+            "threads={t:>2}  walker {:>8.1} ms/launch | bytecode {:>8.1} ms/launch \
+             ({:.2}x) | scaling {:.2}x | {cache_line}",
+            walker / reps as f64 * 1e3,
+            bytecode / reps as f64 * 1e3,
+            walker / bytecode,
+            b / bytecode
         );
     }
 }

@@ -1,11 +1,11 @@
 //! Device configuration and cost model.
 
-use japonica_ir::{CostTable, OpClass};
+use japonica_ir::{CostTable, ExecEngine, OpClass};
 
 /// How the simulator itself runs on the host — as opposed to what it
 /// models. Purely a wall-clock knob: every simulated quantity (cycle
 /// counts, TLS conflict sets, fault decisions) is bit-identical across
-/// `host_threads` values.
+/// `host_threads` values and across `engine` choices.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
     /// Host worker threads the kernel launcher spreads warps over.
@@ -13,11 +13,20 @@ pub struct SimConfig {
     /// counts run warps on a `std::thread::scope` pool and merge per-warp
     /// results in global warp order (see `launch_loop_par`).
     pub host_threads: usize,
+    /// Which warp executor runs kernel bodies: the compiled bytecode VM
+    /// (default) or the reference tree walker. Both produce bit-identical
+    /// memory, stats and cycle counts; kernels the bytecode compiler
+    /// declines (recursion, deep static call chains) silently fall back to
+    /// the walker either way.
+    pub engine: ExecEngine,
 }
 
 impl Default for SimConfig {
     fn default() -> SimConfig {
-        SimConfig { host_threads: 1 }
+        SimConfig {
+            host_threads: 1,
+            engine: ExecEngine::default(),
+        }
     }
 }
 
@@ -26,6 +35,7 @@ impl SimConfig {
     pub fn with_threads(n: usize) -> SimConfig {
         SimConfig {
             host_threads: n.max(1),
+            engine: ExecEngine::default(),
         }
     }
 

@@ -4,10 +4,33 @@ use crate::config::DeviceConfig;
 use crate::memory::{LaneMemory, ParallelLaneMemory};
 use crate::simt::{SimtError, SimtExec};
 use crate::stats::WarpStats;
+use crate::vm::SimtVm;
 use japonica_faults::{FaultOrigin, FaultPlan};
-use japonica_ir::{Env, ForLoop, LoopBounds, Program};
+use japonica_ir::{
+    compile_kernel, CompiledKernel, Env, ExecEngine, ForLoop, KernelCache, LoopBounds, Program,
+};
 use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// Resolve which executor a launch should use: `Some(kernel)` to run the
+/// bytecode VM, `None` to run the reference tree walker. The walker is
+/// used when the config asks for it, when the warp width exceeds the VM's
+/// 32-lane mask, or when the loop is not bytecode-compilable.
+fn resolve_kernel(
+    program: &Program,
+    cfg: &DeviceConfig,
+    loop_: &ForLoop,
+    kernels: Option<&KernelCache>,
+) -> Option<Arc<CompiledKernel>> {
+    if cfg.sim.engine != ExecEngine::Bytecode || cfg.warp_size > 32 {
+        return None;
+    }
+    match kernels {
+        Some(cache) => cache.get_or_compile(program, loop_),
+        None => compile_kernel(program, loop_).ok().map(Arc::new),
+    }
+}
 
 /// Result of one kernel launch.
 ///
@@ -91,9 +114,43 @@ pub fn launch_loop_guarded<M: LaneMemory>(
     faults: Option<&FaultPlan>,
     watchdog_slack: Option<f64>,
 ) -> Result<KernelReport, SimtError> {
+    launch_loop_guarded_with(
+        program,
+        cfg,
+        loop_,
+        bounds,
+        iters,
+        base_env,
+        mem,
+        faults,
+        watchdog_slack,
+        None,
+    )
+}
+
+/// [`launch_loop_guarded`] with an optional shared [`KernelCache`]: the
+/// scheduler compiles each loop to bytecode once and reuses it across
+/// sub-loop launches, TLS re-executions and fault-ladder retries. Without
+/// a cache the loop is compiled per launch (still bytecode, just not
+/// amortized).
+#[allow(clippy::too_many_arguments)] // mirrors launch_loop_guarded plus the cache
+pub fn launch_loop_guarded_with<M: LaneMemory>(
+    program: &Program,
+    cfg: &DeviceConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    iters: Range<u64>,
+    base_env: &Env,
+    mem: &mut M,
+    faults: Option<&FaultPlan>,
+    watchdog_slack: Option<f64>,
+    kernels: Option<&KernelCache>,
+) -> Result<KernelReport, SimtError> {
     if iters.is_empty() {
         return Ok(KernelReport::empty());
     }
+    let compiled = resolve_kernel(program, cfg, loop_, kernels);
+    let mut vm = SimtVm::new();
     let origin = FaultOrigin {
         loop_id: Some(loop_.id),
         subloop: Some(iters.start),
@@ -118,7 +175,19 @@ pub fn launch_loop_guarded<M: LaneMemory>(
             }
         }
         let warp_iters: Vec<u64> = (k..hi).collect();
-        let stats = exec.run_warp(loop_, bounds, &warp_iters, base_env, warp_id, mem)?;
+        let stats = match &compiled {
+            Some(kc) => vm.run_warp(
+                kc,
+                loop_.var,
+                bounds,
+                &warp_iters,
+                base_env,
+                warp_id,
+                mem,
+                cfg,
+            )?,
+            None => exec.run_warp(loop_, bounds, &warp_iters, base_env, warp_id, mem)?,
+        };
         // Resident warps overlap memory latency with compute.
         let occupied = stats.issue_cycles + stats.mem_cycles / cfg.mem_concurrency.max(1.0);
         sm_cycles[(warp_id % cfg.sm_count) as usize] += occupied;
@@ -189,13 +258,43 @@ pub fn launch_loop_par<M: ParallelLaneMemory + Sync>(
     faults: Option<&FaultPlan>,
     watchdog_slack: Option<f64>,
 ) -> Result<KernelReport, SimtError> {
+    launch_loop_par_with(
+        program,
+        cfg,
+        loop_,
+        bounds,
+        iters,
+        base_env,
+        mem,
+        faults,
+        watchdog_slack,
+        None,
+    )
+}
+
+/// [`launch_loop_par`] with an optional shared [`KernelCache`]; see
+/// [`launch_loop_guarded_with`]. Each worker thread runs its own
+/// [`SimtVm`] over the shared compiled kernel.
+#[allow(clippy::too_many_arguments)] // mirrors launch_loop_par plus the cache
+pub fn launch_loop_par_with<M: ParallelLaneMemory + Sync>(
+    program: &Program,
+    cfg: &DeviceConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    iters: Range<u64>,
+    base_env: &Env,
+    mem: &mut M,
+    faults: Option<&FaultPlan>,
+    watchdog_slack: Option<f64>,
+    kernels: Option<&KernelCache>,
+) -> Result<KernelReport, SimtError> {
     if iters.is_empty() {
         return Ok(KernelReport::empty());
     }
     let total = iters.end - iters.start;
     let n_warps = total.div_ceil(cfg.warp_size as u64) as u32;
     if cfg.sim.host_threads <= 1 || n_warps <= 1 {
-        return launch_loop_guarded(
+        return launch_loop_guarded_with(
             program,
             cfg,
             loop_,
@@ -205,8 +304,10 @@ pub fn launch_loop_par<M: ParallelLaneMemory + Sync>(
             mem,
             faults,
             watchdog_slack,
+            kernels,
         );
     }
+    let compiled = resolve_kernel(program, cfg, loop_, kernels);
     let origin = FaultOrigin {
         loop_id: Some(loop_.id),
         subloop: Some(iters.start),
@@ -241,6 +342,7 @@ pub fn launch_loop_par<M: ParallelLaneMemory + Sync>(
             .map(|_| {
                 s.spawn(|| {
                     let mut out: WarpOutcome<M> = Vec::new();
+                    let mut vm = SimtVm::new();
                     loop {
                         let w = next.fetch_add(1, Ordering::Relaxed);
                         if w >= run_warps {
@@ -250,9 +352,22 @@ pub fn launch_loop_par<M: ParallelLaneMemory + Sync>(
                         let hi = (lo + cfg.warp_size as u64).min(iters.end);
                         let warp_iters: Vec<u64> = (lo..hi).collect();
                         let mut view = mem_ref.fork();
-                        let r = exec
-                            .run_warp(loop_, bounds, &warp_iters, base_env, w, &mut view)
-                            .map(|stats| (stats, M::harvest(view)));
+                        let r = match &compiled {
+                            Some(kc) => vm.run_warp(
+                                kc,
+                                loop_.var,
+                                bounds,
+                                &warp_iters,
+                                base_env,
+                                w,
+                                &mut view,
+                                cfg,
+                            ),
+                            None => {
+                                exec.run_warp(loop_, bounds, &warp_iters, base_env, w, &mut view)
+                            }
+                        }
+                        .map(|stats| (stats, M::harvest(view)));
                         let failed = r.is_err();
                         out.push((w, r));
                         if failed {

@@ -25,9 +25,14 @@ pub mod kernel;
 pub mod memory;
 pub mod simt;
 pub mod stats;
+pub mod vm;
 
 pub use config::{DeviceConfig, SimConfig};
-pub use kernel::{launch_loop, launch_loop_guarded, launch_loop_par, KernelReport};
+pub use kernel::{
+    launch_loop, launch_loop_guarded, launch_loop_guarded_with, launch_loop_par,
+    launch_loop_par_with, KernelReport,
+};
 pub use memory::{AccessCtx, DeviceMemory, LaneMemory, ParallelLaneMemory, ShadowView, Transfer};
 pub use simt::{SimtError, SimtExec};
 pub use stats::{GpuStats, WarpStats};
+pub use vm::SimtVm;

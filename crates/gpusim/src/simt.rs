@@ -26,7 +26,6 @@ use japonica_ir::cost::{binop_class, intrinsic_class, unop_class};
 use japonica_ir::{
     ops, ArrayId, Env, ExecError, Expr, ForLoop, LoopBounds, OpClass, Program, Stmt, Value,
 };
-use std::collections::BTreeSet;
 
 /// An error raised during SIMT execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,6 +114,9 @@ struct Ctx<'a, M: LaneMemory> {
     iters: &'a [u64],
     warp_id: u32,
     depth: usize,
+    /// Reusable distinct-segment scratch for `charge_coalesced` (avoids a
+    /// `BTreeSet` allocation per warp memory access).
+    seg_scratch: Vec<u64>,
 }
 
 impl<M: LaneMemory> Ctx<'_, M> {
@@ -136,17 +138,22 @@ impl<M: LaneMemory> Ctx<'_, M> {
     /// Charge one coalesced warp memory access over the given per-lane
     /// (array, index) pairs.
     fn charge_coalesced(&mut self, touched: &[(usize, ArrayId, i64)]) {
-        let mut segments: BTreeSet<u64> = BTreeSet::new();
+        self.seg_scratch.clear();
         let mut uncoalesced = 0u64;
         for &(_, arr, idx) in touched {
             match self.mem.address_of(arr, idx) {
                 Some(addr) => {
-                    segments.insert(addr / self.cfg.mem_segment_bytes as u64);
+                    self.seg_scratch
+                        .push(addr / self.cfg.mem_segment_bytes as u64);
                 }
                 None => uncoalesced += 1,
             }
         }
-        let segs = segments.len() as u64 + uncoalesced;
+        // sort+dedup yields the same distinct-segment count the old
+        // `BTreeSet` produced, without the per-access allocation.
+        self.seg_scratch.sort_unstable();
+        self.seg_scratch.dedup();
+        let segs = self.seg_scratch.len() as u64 + uncoalesced;
         if segs > 0 {
             self.stats.charge_mem(segs, self.cfg.mem_tx_cycles);
         }
@@ -205,6 +212,7 @@ impl<'p> SimtExec<'p> {
             iters: warp_iters,
             warp_id,
             depth: 0,
+            seg_scratch: Vec::new(),
         };
         let mask = vec![true; lanes];
         let mut frame = Frame::kernel(lanes);

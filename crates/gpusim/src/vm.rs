@@ -1,0 +1,1175 @@
+//! The SIMT bytecode VM: a warp-level executor over
+//! [`japonica_ir::bytecode::CompiledKernel`] that replays the tree-walking
+//! interpreter in `simt.rs` bit-for-bit — identical charge order (so
+//! `issue_cycles` f64 accumulation matches to the last bit), identical
+//! branch/divergence counting, identical coalescing segment sets, identical
+//! per-lane error selection — while eliminating the walker's per-expression
+//! `Vals` allocations and `Vec<bool>` masks.
+//!
+//! Representation choices:
+//!
+//! * **active masks are `u32` bitmasks** (warps are at most 32 lanes; the
+//!   dispatch layer falls back to the walker for exotic configs);
+//! * **lane register files are struct-of-arrays**: register `r` of lane
+//!   `l` lives at `frame_base + r * lanes + l` in one flat arena that is
+//!   reused across warps and grown only by call frames;
+//! * **per-variable boundness is a lane bitmask**, replicating the
+//!   walker's per-lane `Env` occupancy (reads of never-assigned variables
+//!   raise `UnboundVariable` on exactly the same lane);
+//! * fixed `[_; 32]` stack scratch replaces per-node heap allocation for
+//!   inner-loop bounds, touched-lane sets, and return values.
+
+use crate::config::DeviceConfig;
+use crate::memory::{AccessCtx, LaneMemory};
+use crate::simt::SimtError;
+use crate::stats::WarpStats;
+use japonica_ir::bytecode::{CompiledKernel, Instr, Reg};
+use japonica_ir::{ops, ArrayId, BinOp, Env, ExecError, LoopBounds, OpClass, Value, VarId};
+
+/// Call-frame metadata kept on the Rust stack (static call chains are
+/// bounded at compile time, so recursion depth is small).
+struct VmFrame {
+    /// Lanes that executed `return` in this frame.
+    returned: u32,
+    /// `false` at kernel top level, where `return` is illegal.
+    allow_return: bool,
+    /// Per-lane return values (only read when the callee declares a
+    /// return type, in which case every returned lane wrote one).
+    ret: [Value; 32],
+}
+
+impl VmFrame {
+    fn new(allow_return: bool) -> VmFrame {
+        VmFrame {
+            returned: 0,
+            allow_return,
+            ret: [Value::Int(0); 32],
+        }
+    }
+}
+
+/// Execution context threaded through the bytecode walk (mirrors the tree
+/// walker's `Ctx`, minus the depth counter: call depth is bounded at
+/// compile time).
+struct VmCtx<'a, M: LaneMemory> {
+    mem: &'a mut M,
+    stats: &'a mut WarpStats,
+    cfg: &'a DeviceConfig,
+    iters: &'a [u64],
+    warp_id: u32,
+}
+
+impl<M: LaneMemory> VmCtx<'_, M> {
+    fn access_ctx(&self, lane: usize) -> AccessCtx {
+        AccessCtx {
+            lane: lane as u32,
+            warp: self.warp_id,
+            iter: self.iters[lane],
+        }
+    }
+
+    fn lane_err(&self, lane: usize, error: ExecError) -> SimtError {
+        SimtError::Lane {
+            iter: self.iters[lane],
+            error,
+        }
+    }
+}
+
+#[inline]
+fn is_float(v: Value) -> bool {
+    matches!(v, Value::Float(_) | Value::Double(_))
+}
+
+#[inline]
+fn bit(l: usize) -> u32 {
+    1u32 << l
+}
+
+/// The warp-level bytecode VM. Owns reusable arenas; create one per host
+/// thread and reuse it across warps.
+#[derive(Debug, Default)]
+pub struct SimtVm {
+    /// SoA register arena: `frame_base + r * lanes + l`.
+    regs: Vec<Value>,
+    /// Per-frame, per-variable lane-boundness bitmasks.
+    bound: Vec<u32>,
+    /// Reusable distinct-segment scratch for coalescing charges.
+    seg_scratch: Vec<u64>,
+}
+
+impl SimtVm {
+    /// A fresh VM (arenas grow on first use, then get reused).
+    pub fn new() -> SimtVm {
+        SimtVm::default()
+    }
+
+    /// Execute one warp of a compiled kernel: lane `l` runs loop iteration
+    /// `warp_iters[l]`. Mirrors `SimtExec::run_warp` exactly.
+    #[allow(clippy::too_many_arguments)] // mirrors the walker's launch signature
+    pub fn run_warp<M: LaneMemory>(
+        &mut self,
+        kernel: &CompiledKernel,
+        loop_var: VarId,
+        bounds: &LoopBounds,
+        warp_iters: &[u64],
+        base_env: &Env,
+        warp_id: u32,
+        mem: &mut M,
+        cfg: &DeviceConfig,
+    ) -> Result<WarpStats, SimtError> {
+        assert!(warp_iters.len() <= cfg.warp_size as usize, "warp overfull");
+        assert!(warp_iters.len() <= 32, "bytecode VM lanes bounded at 32");
+        let lanes = warp_iters.len();
+        let full: u32 = if lanes == 32 {
+            u32::MAX
+        } else {
+            bit(lanes) - 1
+        };
+        let c0 = &kernel.chunks[0];
+        self.regs.clear();
+        self.regs
+            .resize(c0.num_regs as usize * lanes, Value::Int(0));
+        self.bound.clear();
+        self.bound.resize(c0.num_vars as usize, 0);
+        for v in 0..c0.num_vars as usize {
+            let vid = VarId(v as u32);
+            if base_env.is_set(vid) {
+                if let Ok(val) = base_env.get(vid) {
+                    for l in 0..lanes {
+                        self.regs[v * lanes + l] = val;
+                    }
+                    self.bound[v] = full;
+                }
+            }
+        }
+        let vi = loop_var.index();
+        for (l, &k) in warp_iters.iter().enumerate() {
+            self.regs[vi * lanes + l] = Value::Int(bounds.value_of(k) as i32);
+        }
+        self.bound[vi] = full;
+        let mut stats = WarpStats::new();
+        let mut ctx = VmCtx {
+            mem,
+            stats: &mut stats,
+            cfg,
+            iters: warp_iters,
+            warp_id,
+        };
+        let mut frame = VmFrame::new(false);
+        let hi = c0.code.len() as u32;
+        self.run(kernel, 0, 0, hi, lanes, full, 0, 0, &mut frame, &mut ctx)?;
+        Ok(stats)
+    }
+
+    #[inline]
+    fn reg(&self, base: usize, lanes: usize, r: Reg, l: usize) -> Value {
+        self.regs[base + r as usize * lanes + l]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, base: usize, lanes: usize, r: Reg, l: usize, v: Value) {
+        self.regs[base + r as usize * lanes + l] = v;
+    }
+
+    /// Convert the lanes of `sub` to a truth bitmask, raising the walker's
+    /// per-lane boolean `TypeMismatch` in lane order.
+    fn truth_mask<M: LaneMemory>(
+        &self,
+        base: usize,
+        lanes: usize,
+        r: Reg,
+        sub: u32,
+        ctx: &VmCtx<'_, M>,
+    ) -> Result<u32, SimtError> {
+        let mut truth = 0u32;
+        for l in 0..lanes {
+            if sub & bit(l) == 0 {
+                continue;
+            }
+            match self.reg(base, lanes, r, l) {
+                Value::Bool(true) => truth |= bit(l),
+                Value::Bool(false) => {}
+                other => {
+                    return Err(ctx.lane_err(
+                        l,
+                        ExecError::TypeMismatch {
+                            expected: "boolean".into(),
+                            found: format!("{other}"),
+                        },
+                    ))
+                }
+            }
+        }
+        Ok(truth)
+    }
+
+    /// Charge one coalesced warp memory access (same distinct-segment
+    /// count the walker's `BTreeSet` produced).
+    fn charge_coalesced<M: LaneMemory>(
+        &mut self,
+        touched: &[(usize, ArrayId, i64)],
+        ctx: &mut VmCtx<'_, M>,
+    ) {
+        self.seg_scratch.clear();
+        let mut uncoalesced = 0u64;
+        for &(_, arr, idx) in touched {
+            match ctx.mem.address_of(arr, idx) {
+                Some(addr) => self
+                    .seg_scratch
+                    .push(addr / ctx.cfg.mem_segment_bytes as u64),
+                None => uncoalesced += 1,
+            }
+        }
+        self.seg_scratch.sort_unstable();
+        self.seg_scratch.dedup();
+        let segs = self.seg_scratch.len() as u64 + uncoalesced;
+        if segs > 0 {
+            ctx.stats.charge_mem(segs, ctx.cfg.mem_tx_cycles);
+        }
+        let oh = ctx.mem.overhead_cycles();
+        if oh > 0.0 {
+            ctx.stats.charge_extra(oh);
+        }
+    }
+
+    /// Gather per-lane `(lane, array, index)` triples for a warp memory
+    /// access, raising the walker's per-lane errors in lane order.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_touched<M: LaneMemory>(
+        &self,
+        base: usize,
+        bbase: usize,
+        lanes: usize,
+        live: u32,
+        arr: Reg,
+        var: VarId,
+        idx: Reg,
+        ctx: &VmCtx<'_, M>,
+        out: &mut [(usize, ArrayId, i64); 32],
+    ) -> Result<usize, SimtError> {
+        let mut n = 0usize;
+        for l in 0..lanes {
+            if live & bit(l) == 0 {
+                continue;
+            }
+            if self.bound[bbase + arr as usize] & bit(l) == 0 {
+                return Err(ctx.lane_err(l, ExecError::UnboundVariable(var)));
+            }
+            let a = self.reg(base, lanes, arr, l).as_array().ok_or_else(|| {
+                ctx.lane_err(
+                    l,
+                    ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{var}"),
+                    },
+                )
+            })?;
+            let i = self.reg(base, lanes, idx, l).as_i64().ok_or_else(|| {
+                ctx.lane_err(
+                    l,
+                    ExecError::TypeMismatch {
+                        expected: "int index".into(),
+                        found: "non-integer".into(),
+                    },
+                )
+            })?;
+            out[n] = (l, a, i);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Execute instructions `lo..hi` of chunk `ci` under active mask
+    /// `mask`. Recomputes liveness (`mask & !returned`) per instruction,
+    /// which is equivalent to the walker's per-statement recheck because
+    /// `returned` only changes at `Return` instructions.
+    #[allow(clippy::too_many_arguments)]
+    fn run<M: LaneMemory>(
+        &mut self,
+        k: &CompiledKernel,
+        ci: usize,
+        lo: u32,
+        hi: u32,
+        lanes: usize,
+        mask: u32,
+        base: usize,
+        bbase: usize,
+        frame: &mut VmFrame,
+        ctx: &mut VmCtx<'_, M>,
+    ) -> Result<(), SimtError> {
+        let mut pc = lo;
+        while pc < hi {
+            let live = mask & !frame.returned;
+            if live == 0 {
+                break;
+            }
+            let instr = &k.chunks[ci].code[pc as usize];
+            let next = instr.next_pc(pc);
+            match instr {
+                Instr::Const { dst, pool } => {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    let v = k.pool[*pool as usize];
+                    for l in 0..lanes {
+                        if live & bit(l) != 0 {
+                            self.set_reg(base, lanes, *dst, l, v);
+                        }
+                    }
+                }
+                Instr::Copy { dst, src } => {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        if self.bound[bbase + *src as usize] & bit(l) == 0 {
+                            return Err(
+                                ctx.lane_err(l, ExecError::UnboundVariable(VarId(*src as u32)))
+                            );
+                        }
+                        let v = self.reg(base, lanes, *src, l);
+                        self.set_reg(base, lanes, *dst, l, v);
+                    }
+                }
+                Instr::Unary {
+                    op,
+                    dst,
+                    src,
+                    cls_i,
+                    cls_f,
+                } => {
+                    let fl = live.trailing_zeros() as usize;
+                    let float = is_float(self.reg(base, lanes, *src, fl));
+                    ctx.stats
+                        .charge(if float { *cls_f } else { *cls_i }, &ctx.cfg.cost);
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let v = self.reg(base, lanes, *src, l);
+                        let r = ops::unary(*op, v).map_err(|er| ctx.lane_err(l, er))?;
+                        self.set_reg(base, lanes, *dst, l, r);
+                    }
+                }
+                Instr::Binary {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    cls_i,
+                    cls_f,
+                } => {
+                    let fl = live.trailing_zeros() as usize;
+                    let float = is_float(self.reg(base, lanes, *a, fl))
+                        || is_float(self.reg(base, lanes, *b, fl));
+                    ctx.stats
+                        .charge(if float { *cls_f } else { *cls_i }, &ctx.cfg.cost);
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let va = self.reg(base, lanes, *a, l);
+                        let vb = self.reg(base, lanes, *b, l);
+                        let r = ops::binary(*op, va, vb).map_err(|er| ctx.lane_err(l, er))?;
+                        self.set_reg(base, lanes, *dst, l, r);
+                    }
+                }
+                Instr::Cast { ty, dst, src } => {
+                    ctx.stats.charge(OpClass::Cast, &ctx.cfg.cost);
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let v = self.reg(base, lanes, *src, l);
+                        let r = v.cast(*ty).ok_or_else(|| {
+                            ctx.lane_err(
+                                l,
+                                ExecError::InvalidCast {
+                                    from: format!("{v}"),
+                                    to: *ty,
+                                },
+                            )
+                        })?;
+                        self.set_reg(base, lanes, *dst, l, r);
+                    }
+                }
+                // Scalar-walker-only pre-checks: the SIMT walker validates
+                // arrays and indices per lane at the access itself.
+                Instr::GuardArray { .. } | Instr::CheckIdx { .. } => {}
+                Instr::Load { dst, arr, var, idx } => {
+                    ctx.stats.charge(OpClass::Load, &ctx.cfg.cost);
+                    let mut touched = [(0usize, ArrayId(0), 0i64); 32];
+                    let n = self.gather_touched(
+                        base,
+                        bbase,
+                        lanes,
+                        live,
+                        *arr,
+                        *var,
+                        *idx,
+                        ctx,
+                        &mut touched,
+                    )?;
+                    self.charge_coalesced(&touched[..n], ctx);
+                    for &(l, a, i) in &touched[..n] {
+                        let actx = ctx.access_ctx(l);
+                        let v = ctx.mem.load(actx, a, i).map_err(|er| ctx.lane_err(l, er))?;
+                        self.set_reg(base, lanes, *dst, l, v);
+                    }
+                }
+                Instr::Len { dst, arr, var } => {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        if self.bound[bbase + *arr as usize] & bit(l) == 0 {
+                            return Err(ctx.lane_err(l, ExecError::UnboundVariable(*var)));
+                        }
+                        let a = self.reg(base, lanes, *arr, l).as_array().ok_or_else(|| {
+                            ctx.lane_err(
+                                l,
+                                ExecError::TypeMismatch {
+                                    expected: "array".into(),
+                                    found: format!("{var}"),
+                                },
+                            )
+                        })?;
+                        let len = ctx.mem.array_len(a).map_err(|er| ctx.lane_err(l, er))?;
+                        self.set_reg(base, lanes, *dst, l, Value::Int(len as i32));
+                    }
+                }
+                Instr::Intrinsic { f, cls, dst, args } => {
+                    ctx.stats.charge(*cls, &ctx.cfg.cost);
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let mut buf = [Value::Int(0); 4];
+                        for (i, r) in args.iter().enumerate() {
+                            buf[i] = self.reg(base, lanes, *r, l);
+                        }
+                        let v = ops::intrinsic(*f, &buf[..args.len()])
+                            .map_err(|er| ctx.lane_err(l, er))?;
+                        self.set_reg(base, lanes, *dst, l, v);
+                    }
+                }
+                Instr::Call { chunk, dst, args } => {
+                    ctx.stats.charge(OpClass::Call, &ctx.cfg.cost);
+                    let callee = *chunk as usize;
+                    let c = &k.chunks[callee];
+                    let nbase = self.regs.len();
+                    let nbbase = self.bound.len();
+                    self.regs
+                        .resize(nbase + c.num_regs as usize * lanes, Value::Int(0));
+                    self.bound.resize(nbbase + c.num_vars as usize, 0);
+                    // Lane-major binding, like the walker's per-lane envs.
+                    let mut bind_err = None;
+                    'bind: for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        for (i, (preg, pty)) in c.params.iter().enumerate() {
+                            let raw = self.reg(base, lanes, args[i], l);
+                            let v = match pty {
+                                japonica_ir::ParamTy::Scalar(t) => match raw.cast(*t) {
+                                    Some(v) => v,
+                                    None => {
+                                        bind_err = Some(ctx.lane_err(
+                                            l,
+                                            ExecError::TypeMismatch {
+                                                expected: t.to_string(),
+                                                found: format!("{raw}"),
+                                            },
+                                        ));
+                                        break 'bind;
+                                    }
+                                },
+                                japonica_ir::ParamTy::Array(_) => raw,
+                            };
+                            self.set_reg(nbase, lanes, *preg, l, v);
+                        }
+                    }
+                    let res = match bind_err {
+                        Some(e) => Err(e),
+                        None => {
+                            for (preg, _) in &c.params {
+                                self.bound[nbbase + *preg as usize] = live;
+                            }
+                            let clen = c.code.len() as u32;
+                            let mut callee_frame = VmFrame::new(true);
+                            self.run(
+                                k,
+                                callee,
+                                0,
+                                clen,
+                                lanes,
+                                live,
+                                nbase,
+                                nbbase,
+                                &mut callee_frame,
+                                ctx,
+                            )
+                            .map(|()| callee_frame)
+                        }
+                    };
+                    self.regs.truncate(nbase);
+                    self.bound.truncate(nbbase);
+                    let callee_frame = res?;
+                    if c.check_returned {
+                        for l in 0..lanes {
+                            if live & bit(l) != 0 && callee_frame.returned & bit(l) == 0 {
+                                return Err(SimtError::Unsupported(format!(
+                                    "`{}` completed without returning on some lane",
+                                    c.fn_name
+                                )));
+                            }
+                        }
+                    }
+                    if let Some(dst) = dst {
+                        for l in 0..lanes {
+                            if live & bit(l) != 0 {
+                                self.set_reg(base, lanes, *dst, l, callee_frame.ret[l]);
+                            }
+                        }
+                    }
+                }
+                Instr::Sc {
+                    op,
+                    dst,
+                    lhs,
+                    rhs_range,
+                    rhs,
+                } => {
+                    let truth = self.truth_mask(base, lanes, *lhs, live, ctx)?;
+                    ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                    ctx.stats.branches += 1;
+                    let need_rhs = match op {
+                        BinOp::LAnd => live & truth,
+                        _ => live & !truth,
+                    };
+                    let short = live & !need_rhs;
+                    if need_rhs != 0 && short != 0 {
+                        ctx.stats.divergent_branches += 1;
+                    }
+                    let mut rtruth = 0u32;
+                    if need_rhs != 0 {
+                        self.run(
+                            k,
+                            ci,
+                            rhs_range.0,
+                            rhs_range.1,
+                            lanes,
+                            need_rhs,
+                            base,
+                            bbase,
+                            frame,
+                            ctx,
+                        )?;
+                        rtruth = self.truth_mask(base, lanes, *rhs, need_rhs, ctx)?;
+                    }
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let b = if need_rhs & bit(l) != 0 {
+                            rtruth & bit(l) != 0
+                        } else {
+                            truth & bit(l) != 0
+                        };
+                        self.set_reg(base, lanes, *dst, l, Value::Bool(b));
+                    }
+                }
+                Instr::Ternary {
+                    dst,
+                    cond,
+                    t_range,
+                    t_dst,
+                    f_range,
+                    f_dst,
+                } => {
+                    let truth = self.truth_mask(base, lanes, *cond, live, ctx)?;
+                    ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                    ctx.stats.branches += 1;
+                    let t_mask = live & truth;
+                    let f_mask = live & !truth;
+                    if t_mask != 0 && f_mask != 0 {
+                        ctx.stats.divergent_branches += 1;
+                    }
+                    if t_mask != 0 {
+                        self.run(
+                            k, ci, t_range.0, t_range.1, lanes, t_mask, base, bbase, frame, ctx,
+                        )?;
+                    }
+                    if f_mask != 0 {
+                        self.run(
+                            k, ci, f_range.0, f_range.1, lanes, f_mask, base, bbase, frame, ctx,
+                        )?;
+                    }
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let src = if t_mask & bit(l) != 0 { *t_dst } else { *f_dst };
+                        let v = self.reg(base, lanes, src, l);
+                        self.set_reg(base, lanes, *dst, l, v);
+                    }
+                }
+                Instr::Decl { var, ty, init } => {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let v = match init {
+                            Some(r) => {
+                                let raw = self.reg(base, lanes, *r, l);
+                                raw.cast(*ty).ok_or_else(|| {
+                                    ctx.lane_err(
+                                        l,
+                                        ExecError::TypeMismatch {
+                                            expected: ty.to_string(),
+                                            found: format!("{raw}"),
+                                        },
+                                    )
+                                })?
+                            }
+                            None => ty.zero(),
+                        };
+                        self.set_reg(base, lanes, *var, l, v);
+                    }
+                    self.bound[bbase + *var as usize] |= live;
+                }
+                Instr::Assign { var, src } => {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let mut v = self.reg(base, lanes, *src, l);
+                        if self.bound[bbase + *var as usize] & bit(l) != 0 {
+                            if let Some(ty) = self.reg(base, lanes, *var, l).ty() {
+                                v = v.cast(ty).ok_or_else(|| {
+                                    ctx.lane_err(
+                                        l,
+                                        ExecError::TypeMismatch {
+                                            expected: ty.to_string(),
+                                            found: format!("{v}"),
+                                        },
+                                    )
+                                })?;
+                            }
+                        }
+                        self.set_reg(base, lanes, *var, l, v);
+                    }
+                    self.bound[bbase + *var as usize] |= live;
+                }
+                Instr::Store { arr, var, idx, val } => {
+                    ctx.stats.charge(OpClass::Store, &ctx.cfg.cost);
+                    let mut touched = [(0usize, ArrayId(0), 0i64); 32];
+                    let n = self.gather_touched(
+                        base,
+                        bbase,
+                        lanes,
+                        live,
+                        *arr,
+                        *var,
+                        *idx,
+                        ctx,
+                        &mut touched,
+                    )?;
+                    self.charge_coalesced(&touched[..n], ctx);
+                    for &(l, a, i) in &touched[..n] {
+                        let v = self.reg(base, lanes, *val, l);
+                        let actx = ctx.access_ctx(l);
+                        ctx.mem
+                            .store(actx, a, i, v)
+                            .map_err(|er| ctx.lane_err(l, er))?;
+                    }
+                }
+                Instr::NewArray { .. } => {
+                    return Err(SimtError::Unsupported(
+                        "device-side array allocation".into(),
+                    ))
+                }
+                Instr::If {
+                    cond,
+                    then_range,
+                    else_range,
+                } => {
+                    let truth = self.truth_mask(base, lanes, *cond, live, ctx)?;
+                    ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                    ctx.stats.branches += 1;
+                    let t_mask = live & truth;
+                    let e_mask = live & !truth;
+                    if t_mask != 0 && e_mask != 0 {
+                        ctx.stats.divergent_branches += 1;
+                    }
+                    if t_mask != 0 {
+                        self.run(
+                            k,
+                            ci,
+                            then_range.0,
+                            then_range.1,
+                            lanes,
+                            t_mask,
+                            base,
+                            bbase,
+                            frame,
+                            ctx,
+                        )?;
+                    }
+                    if e_mask != 0 {
+                        self.run(
+                            k,
+                            ci,
+                            else_range.0,
+                            else_range.1,
+                            lanes,
+                            e_mask,
+                            base,
+                            bbase,
+                            frame,
+                            ctx,
+                        )?;
+                    }
+                }
+                Instr::While {
+                    cond_range,
+                    cond,
+                    body_range,
+                } => {
+                    let mut live_w = live;
+                    let entered = live_w.count_ones();
+                    loop {
+                        let live_now = live_w & !frame.returned;
+                        if live_now == 0 {
+                            break;
+                        }
+                        self.run(
+                            k,
+                            ci,
+                            cond_range.0,
+                            cond_range.1,
+                            lanes,
+                            live_now,
+                            base,
+                            bbase,
+                            frame,
+                            ctx,
+                        )?;
+                        let truth = self.truth_mask(base, lanes, *cond, live_now, ctx)?;
+                        ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                        ctx.stats.branches += 1;
+                        live_w = live_now & truth;
+                        if live_w == 0 {
+                            break;
+                        }
+                        if live_w.count_ones() < entered {
+                            ctx.stats.divergent_branches += 1;
+                        }
+                        self.run(
+                            k,
+                            ci,
+                            body_range.0,
+                            body_range.1,
+                            lanes,
+                            live_w,
+                            base,
+                            bbase,
+                            frame,
+                            ctx,
+                        )?;
+                    }
+                }
+                Instr::For {
+                    var,
+                    start_range,
+                    start,
+                    end_range,
+                    end,
+                    step_range,
+                    step,
+                    body_range,
+                } => {
+                    let mut starts = [0i64; 32];
+                    let mut steps = [0i64; 32];
+                    let mut trips = [0u64; 32];
+                    // Evaluate bounds like the walker's eval_i64: full
+                    // vector eval, then per-lane integrality in lane order.
+                    let mut bound_of = |vm: &mut Self,
+                                        range: &(u32, u32),
+                                        r: Reg,
+                                        out: &mut [i64; 32],
+                                        ctx: &mut VmCtx<'_, M>|
+                     -> Result<(), SimtError> {
+                        vm.run(
+                            k, ci, range.0, range.1, lanes, live, base, bbase, frame, ctx,
+                        )?;
+                        #[allow(clippy::needless_range_loop)] // lane indexing reads clearer
+                        for l in 0..lanes {
+                            if live & bit(l) == 0 {
+                                continue;
+                            }
+                            let v = vm.reg(base, lanes, r, l);
+                            out[l] = v.as_i64().ok_or_else(|| {
+                                ctx.lane_err(
+                                    l,
+                                    ExecError::TypeMismatch {
+                                        expected: "int".into(),
+                                        found: format!("{v}"),
+                                    },
+                                )
+                            })?;
+                        }
+                        Ok(())
+                    };
+                    bound_of(self, start_range, *start, &mut starts, ctx)?;
+                    let mut ends = [0i64; 32];
+                    bound_of(self, end_range, *end, &mut ends, ctx)?;
+                    bound_of(self, step_range, *step, &mut steps, ctx)?;
+                    for l in 0..lanes {
+                        if live & bit(l) == 0 {
+                            continue;
+                        }
+                        let (s, e, st) = (starts[l], ends[l], steps[l]);
+                        if st <= 0 {
+                            return Err(ctx.lane_err(l, ExecError::NonPositiveStep(st)));
+                        }
+                        trips[l] = if e <= s {
+                            0
+                        } else {
+                            ((e - s) + st - 1) as u64 / st as u64
+                        };
+                    }
+                    let entered = live.count_ones();
+                    let max_trip = (0..lanes)
+                        .filter(|&l| live & bit(l) != 0)
+                        .map(|l| trips[l])
+                        .max()
+                        .unwrap_or(0);
+                    for kk in 0..max_trip {
+                        let mut round = 0u32;
+                        #[allow(clippy::needless_range_loop)] // lane indexing reads clearer
+                        for l in 0..lanes {
+                            if live & bit(l) != 0 && kk < trips[l] && frame.returned & bit(l) == 0 {
+                                round |= bit(l);
+                            }
+                        }
+                        if round == 0 {
+                            break;
+                        }
+                        ctx.stats.charge(OpClass::IntAlu, &ctx.cfg.cost);
+                        ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                        ctx.stats.branches += 1;
+                        if round.count_ones() < entered {
+                            ctx.stats.divergent_branches += 1;
+                        }
+                        for l in 0..lanes {
+                            if round & bit(l) != 0 {
+                                let v = Value::Int((starts[l] + kk as i64 * steps[l]) as i32);
+                                self.set_reg(base, lanes, *var, l, v);
+                            }
+                        }
+                        self.bound[bbase + *var as usize] |= round;
+                        self.run(
+                            k,
+                            ci,
+                            body_range.0,
+                            body_range.1,
+                            lanes,
+                            round,
+                            base,
+                            bbase,
+                            frame,
+                            ctx,
+                        )?;
+                    }
+                }
+                Instr::Return { val_range, val } => {
+                    if !frame.allow_return {
+                        return Err(SimtError::Unsupported("return in kernel body".into()));
+                    }
+                    if let Some(r) = val {
+                        self.run(
+                            k,
+                            ci,
+                            val_range.0,
+                            val_range.1,
+                            lanes,
+                            live,
+                            base,
+                            bbase,
+                            frame,
+                            ctx,
+                        )?;
+                        for l in 0..lanes {
+                            if live & bit(l) != 0 {
+                                frame.ret[l] = self.reg(base, lanes, *r, l);
+                            }
+                        }
+                    }
+                    frame.returned |= live;
+                }
+                Instr::Break => return Err(SimtError::Unsupported("break in kernel body".into())),
+                Instr::Continue => {
+                    return Err(SimtError::Unsupported("continue in kernel body".into()))
+                }
+            }
+            pc = next;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::DeviceMemory;
+    use crate::simt::SimtExec;
+    use japonica_frontend::compile_source;
+    use japonica_ir::{compile_kernel, ForLoop, Heap, Program};
+
+    /// NaN-proof bit comparison key for a `Value`.
+    fn bits(v: Value) -> (u8, u64) {
+        match v {
+            Value::Bool(b) => (0, b as u64),
+            Value::Int(i) => (1, i as u32 as u64),
+            Value::Long(i) => (2, i as u64),
+            Value::Float(f) => (3, f.to_bits() as u64),
+            Value::Double(d) => (4, d.to_bits()),
+            Value::Array(a) => (5, a.0 as u64),
+        }
+    }
+
+    /// Run one warp of `fname`'s first annotated loop through the tree
+    /// walker and the bytecode VM, asserting bit-identical stats, device
+    /// memory, and error text.
+    fn assert_warp_identical(src: &str, fname: &str, arrays: &[&[f64]], int_arrays: &[&[i32]]) {
+        let p = compile_source(src).unwrap();
+        let (_, f) = p.function_by_name(fname).unwrap();
+        let l = f.all_loops()[0].clone();
+        let mut heap = Heap::new();
+        let mut env = Env::with_slots(f.num_vars);
+        let mut ids = Vec::new();
+        let mut pi = 0usize;
+        for a in arrays {
+            let id = heap.alloc_doubles(a);
+            ids.push((id, a.len()));
+            env.set(f.params[pi].var, Value::Array(id));
+            pi += 1;
+        }
+        for a in int_arrays {
+            let id = heap.alloc_ints(a);
+            ids.push((id, a.len()));
+            env.set(f.params[pi].var, Value::Array(id));
+            pi += 1;
+        }
+        let n = ids.first().map(|&(_, l)| l).unwrap_or(8) as i64;
+        env.set(f.params[pi].var, Value::Int(n as i32));
+        let bounds = LoopBounds {
+            start: 0,
+            end: n,
+            step: 1,
+        };
+        run_both(&p, &l, &bounds, &heap, &ids, &env);
+    }
+
+    fn run_both(
+        p: &Program,
+        l: &ForLoop,
+        bounds: &LoopBounds,
+        heap: &Heap,
+        ids: &[(ArrayId, usize)],
+        env: &Env,
+    ) {
+        let cfg = DeviceConfig::default();
+        let kernel = compile_kernel(p, l).expect("kernel should compile");
+        let trip = bounds.trip();
+        for lanes in [1usize, 5, 32] {
+            let lanes = lanes.min(trip as usize);
+            if lanes == 0 {
+                continue;
+            }
+            let mut dev_w = DeviceMemory::new();
+            let mut dev_v = DeviceMemory::new();
+            for &(id, len) in ids {
+                dev_w.copy_in(heap, id, 0, len, &cfg).unwrap();
+                dev_v.copy_in(heap, id, 0, len, &cfg).unwrap();
+            }
+            let iters: Vec<u64> = (0..lanes as u64).collect();
+            let walker = SimtExec::new(p, &cfg).run_warp(l, bounds, &iters, env, 7, &mut dev_w);
+            let vm =
+                SimtVm::new().run_warp(&kernel, l.var, bounds, &iters, env, 7, &mut dev_v, &cfg);
+            match (&walker, &vm) {
+                (Ok(sw), Ok(sv)) => {
+                    assert_eq!(
+                        sw.issue_cycles.to_bits(),
+                        sv.issue_cycles.to_bits(),
+                        "issue_cycles bits differ at {lanes} lanes: {} vs {}",
+                        sw.issue_cycles,
+                        sv.issue_cycles
+                    );
+                    assert_eq!(sw.mem_segments, sv.mem_segments, "mem_segments @{lanes}");
+                    assert_eq!(sw.branches, sv.branches, "branches @{lanes}");
+                    assert_eq!(
+                        sw.divergent_branches, sv.divergent_branches,
+                        "divergent_branches @{lanes}"
+                    );
+                }
+                (Err(ew), Err(ev)) => {
+                    assert_eq!(
+                        format!("{ew:?}"),
+                        format!("{ev:?}"),
+                        "error mismatch @{lanes}"
+                    );
+                }
+                _ => panic!("engine outcome mismatch @{lanes}: {walker:?} vs {vm:?}"),
+            }
+            for &(id, len) in ids {
+                for i in 0..len {
+                    assert_eq!(
+                        bits(dev_w.array(id).unwrap().get(i)),
+                        bits(dev_v.array(id).unwrap().get(i)),
+                        "array {id:?} element {i} differs @{lanes} lanes"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_add_matches_walker() {
+        let a: Vec<f64> = (0..32).map(|i| i as f64 * 1.5).collect();
+        let b: Vec<f64> = (0..32).map(|i| 100.0 - i as f64).collect();
+        let c = vec![0.0; 32];
+        assert_warp_identical(
+            "static void add(double[] a, double[] b, double[] c, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { c[i] = a[i] + b[i]; }
+            }",
+            "add",
+            &[&a, &b, &c],
+            &[],
+        );
+    }
+
+    #[test]
+    fn divergent_branch_matches_walker() {
+        let a = vec![0i32; 32];
+        assert_warp_identical(
+            "static void f(int[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    if (i % 2 == 0) { a[i] = i * 3; } else { a[i] = i - 7; }
+                }
+            }",
+            "f",
+            &[],
+            &[&a],
+        );
+    }
+
+    #[test]
+    fn unbalanced_inner_loop_matches_walker() {
+        let a = vec![0i32; 32];
+        assert_warp_identical(
+            "static void f(int[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    int s = 0;
+                    for (int j = 0; j < i; j++) { s = s + j * j; }
+                    a[i] = s;
+                }
+            }",
+            "f",
+            &[],
+            &[&a],
+        );
+    }
+
+    #[test]
+    fn while_and_short_circuit_match_walker() {
+        let a = vec![0i32; 32];
+        assert_warp_identical(
+            "static void f(int[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    int k = i;
+                    while (k > 1 && k < 40) {
+                        if (k % 2 == 0) { k = k / 2; } else { k = 3 * k + 1; }
+                    }
+                    a[i] = k;
+                }
+            }",
+            "f",
+            &[],
+            &[&a],
+        );
+    }
+
+    #[test]
+    fn intrinsics_and_calls_match_walker() {
+        let a: Vec<f64> = (0..32).map(|i| (i as f64) * 0.37 - 3.0).collect();
+        let b = vec![0.0f64; 32];
+        assert_warp_identical(
+            "static double shape(double x, double bias) {
+                if (x < 0.0) { return Math.exp(x) + bias; }
+                return Math.sqrt(x) * Math.max(x, bias);
+            }
+            static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    b[i] = shape(a[i], 0.5) > 1.0 ? shape(a[i], 0.25) : -1.0;
+                }
+            }",
+            "f",
+            &[&a, &b],
+            &[],
+        );
+    }
+
+    #[test]
+    fn lane_error_matches_walker() {
+        // Out-of-bounds store on one lane: the same lane must fault with
+        // the same rendered error under both engines.
+        let a = vec![0i32; 8];
+        assert_warp_identical(
+            "static void f(int[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i + 3] = i; }
+            }",
+            "f",
+            &[],
+            &[&a],
+        );
+    }
+
+    #[test]
+    fn strided_access_coalescing_matches_walker() {
+        let a: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let b = vec![0.0f64; 64];
+        let p = compile_source(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { b[i * 2] = a[i * 2] + a[0]; }
+            }",
+        )
+        .unwrap();
+        let (_, f) = p.function_by_name("f").unwrap();
+        let l = f.all_loops()[0].clone();
+        let mut heap = Heap::new();
+        let ia = heap.alloc_doubles(&a);
+        let ib = heap.alloc_doubles(&b);
+        let mut env = Env::with_slots(f.num_vars);
+        env.set(f.params[0].var, Value::Array(ia));
+        env.set(f.params[1].var, Value::Array(ib));
+        env.set(f.params[2].var, Value::Int(32));
+        let bounds = LoopBounds {
+            start: 0,
+            end: 32,
+            step: 1,
+        };
+        run_both(&p, &l, &bounds, &heap, &[(ia, 64), (ib, 64)], &env);
+    }
+}

@@ -1,0 +1,1781 @@
+//! Register-based kernel bytecode: a compile-once lowering of a kernel loop
+//! body (plus every statically reachable callee) into flat instruction
+//! streams, shared by the SIMT warp VM (`japonica-gpusim`) and the scalar
+//! chunk VM ([`ScalarVm`] below).
+//!
+//! The design goal is *bit-identical replay* of the tree walkers
+//! ([`crate::interp::Interp`] and the SIMT walker in `japonica-gpusim`):
+//! every dynamically executed operation charges the same `OpClass` in the
+//! same order, every runtime error carries the same payload, and every
+//! memory access happens in the same sequence. To get there the bytecode is
+//! *structured*: control-flow instructions carry explicit instruction-index
+//! extents (`then`/`else`/`cond`/`body` ranges) and the VMs execute those
+//! extents recursively, mirroring the walker's traversal instead of using
+//! raw branch targets. Expressions are linearized post-order into dense
+//! temporary registers, so the per-node charge points of the walkers map
+//! 1:1 onto instructions.
+//!
+//! Variables occupy registers `0..num_vars` (slot `r` is `VarId(r)`);
+//! expression temporaries live above and are re-allocated per statement.
+//! Anything the lowering cannot prove it can replay exactly (recursion,
+//! deep static call chains, void calls in expression position, …) is a
+//! [`CompileError`]; callers fall back to the tree walker, which is the
+//! reference oracle either way.
+
+use crate::cost::{binop_class, intrinsic_class, unop_class, OpClass};
+use crate::error::ExecError;
+use crate::expr::{BinOp, Expr, Intrinsic, UnOp};
+use crate::interp::{Backend, Env, Flow, LoopBounds};
+use crate::ops;
+use crate::program::{ParamTy, Program};
+use crate::stmt::{ForLoop, Stmt};
+use crate::types::{Ty, Value};
+use crate::VarId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which execution engine runs kernel bodies and CPU chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecEngine {
+    /// Compile-once register bytecode (the fast path, default).
+    #[default]
+    Bytecode,
+    /// The original tree walkers (reference oracle).
+    TreeWalker,
+}
+
+/// A register index. Registers `0..num_vars` are variable slots,
+/// higher registers are expression temporaries.
+pub type Reg = u16;
+
+/// An instruction-index extent `[start, end)` inside a chunk.
+pub type Extent = (u32, u32);
+
+/// One bytecode instruction. Structured control flow carries explicit
+/// extents; the VMs execute extents recursively so charge/error/memory
+/// order replays the tree walkers exactly.
+#[derive(Debug, Clone)]
+pub enum Instr {
+    /// Load constant-pool entry `pool` into `dst` (charges `Move`).
+    Const { dst: Reg, pool: u16 },
+    /// Read variable slot `src` into `dst` (charges `Move`).
+    Copy { dst: Reg, src: Reg },
+    /// Unary op; cost class pre-tagged for int/float operands.
+    Unary {
+        op: UnOp,
+        dst: Reg,
+        src: Reg,
+        cls_i: OpClass,
+        cls_f: OpClass,
+    },
+    /// Non-short-circuit binary op; cost class pre-tagged.
+    Binary {
+        op: BinOp,
+        dst: Reg,
+        a: Reg,
+        b: Reg,
+        cls_i: OpClass,
+        cls_f: OpClass,
+    },
+    /// Checked cast (charges `Cast`).
+    Cast { ty: Ty, dst: Reg, src: Reg },
+    /// Scalar-only pre-check that `arr` holds an array, performed *before*
+    /// the index expression evaluates (the scalar walker fetches the array
+    /// first). The SIMT VM treats this as a no-op: its walker checks the
+    /// array per lane after index evaluation.
+    GuardArray { arr: Reg, var: VarId },
+    /// Scalar-only integrality check of a store index, performed *between*
+    /// index and value evaluation (where `Interp::eval_index` raises). The
+    /// SIMT VM treats this as a no-op: its walker checks per lane after
+    /// both operands evaluate.
+    CheckIdx { idx: Reg },
+    /// Array element load (charges `Load` + coalescing on the SIMT side).
+    Load {
+        dst: Reg,
+        arr: Reg,
+        var: VarId,
+        idx: Reg,
+    },
+    /// Array length (charges `Move`).
+    Len { dst: Reg, arr: Reg, var: VarId },
+    /// Math intrinsic; cost class pre-tagged.
+    Intrinsic {
+        f: Intrinsic,
+        cls: OpClass,
+        dst: Reg,
+        args: Vec<Reg>,
+    },
+    /// Call into another chunk. Argument registers were filled by the
+    /// preceding instructions; `dst` is `None` in statement position.
+    Call {
+        chunk: u16,
+        dst: Option<Reg>,
+        args: Vec<Reg>,
+    },
+    /// Short-circuit `&&`/`||`: LHS is in `lhs`; `rhs` extent only runs for
+    /// lanes (or the scalar path) that need it.
+    Sc {
+        op: BinOp,
+        dst: Reg,
+        lhs: Reg,
+        rhs_range: Extent,
+        rhs: Reg,
+    },
+    /// `c ? t : f` with mask-split arm extents.
+    Ternary {
+        dst: Reg,
+        cond: Reg,
+        t_range: Extent,
+        t_dst: Reg,
+        f_range: Extent,
+        f_dst: Reg,
+    },
+    /// Variable declaration (`init` register is `None` for default-init).
+    Decl { var: Reg, ty: Ty, init: Option<Reg> },
+    /// Assignment with the walker's preserve-declared-type cast.
+    Assign { var: Reg, src: Reg },
+    /// Array element store (charges `Store` + coalescing on the SIMT side).
+    Store {
+        arr: Reg,
+        var: VarId,
+        idx: Reg,
+        val: Reg,
+    },
+    /// `new T[n]`. The SIMT VM rejects this *before* the length extent runs
+    /// (its walker rejects the statement before evaluating anything).
+    NewArray {
+        var: Reg,
+        elem: Ty,
+        len_range: Extent,
+        len: Reg,
+    },
+    /// `if` with complementary-mask branch extents.
+    If {
+        cond: Reg,
+        then_range: Extent,
+        else_range: Extent,
+    },
+    /// `while`: the condition extent re-executes every round.
+    While {
+        cond_range: Extent,
+        cond: Reg,
+        body_range: Extent,
+    },
+    /// Inner counted loop; the instruction drives bound evaluation and the
+    /// per-round induction/branch charges itself so error interleaving
+    /// matches the walkers.
+    For {
+        var: Reg,
+        start_range: Extent,
+        start: Reg,
+        end_range: Extent,
+        end: Reg,
+        step_range: Extent,
+        step: Reg,
+        body_range: Extent,
+    },
+    /// `return`. The SIMT VM checks `allow_return` *before* the value
+    /// extent runs, like its walker.
+    Return { val_range: Extent, val: Option<Reg> },
+    /// `break` (scalar flow; rejected at execution time under SIMT).
+    Break,
+    /// `continue` (scalar flow; rejected at execution time under SIMT).
+    Continue,
+}
+
+impl Instr {
+    /// Index of the next instruction after this one and its nested extents.
+    #[inline]
+    pub fn next_pc(&self, pc: u32) -> u32 {
+        match self {
+            Instr::Sc { rhs_range, .. } => rhs_range.1,
+            Instr::Ternary { f_range, .. } => f_range.1,
+            Instr::NewArray { len_range, .. } => len_range.1,
+            Instr::If { else_range, .. } => else_range.1,
+            Instr::While { body_range, .. } => body_range.1,
+            Instr::For { body_range, .. } => body_range.1,
+            Instr::Return { val_range, .. } => val_range.1,
+            _ => pc + 1,
+        }
+    }
+}
+
+/// One compiled function body (chunk 0 is the kernel loop body).
+#[derive(Debug, Clone)]
+pub struct Chunk {
+    /// Flat instruction stream.
+    pub code: Vec<Instr>,
+    /// Total registers (variables + temporaries).
+    pub num_regs: u16,
+    /// Variable slots (registers `0..num_vars` map to `VarId`s).
+    pub num_vars: u16,
+    /// Parameter bindings: target register + declared parameter type.
+    pub params: Vec<(Reg, ParamTy)>,
+    /// Function name, for call-related error messages.
+    pub fn_name: String,
+    /// Does the function declare a return type? (drives the SIMT
+    /// "completed without returning on some lane" check).
+    pub check_returned: bool,
+}
+
+/// A fully compiled kernel: chunk 0 plus every reachable callee.
+#[derive(Debug, Clone)]
+pub struct CompiledKernel {
+    /// Chunks; index 0 is the kernel loop body.
+    pub chunks: Vec<Chunk>,
+    /// Constant pool.
+    pub pool: Vec<Value>,
+}
+
+/// Why a kernel could not be lowered to bytecode. Every variant is a
+/// clean "use the tree walker instead" signal, never a hard error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Direct or mutual recursion among callees.
+    Recursion,
+    /// A call chain deep enough that the walkers' dynamic depth guards
+    /// could fire (their check order cannot be replayed post-hoc).
+    CallChainTooDeep,
+    /// Call target not present in the program.
+    UnknownFunction,
+    /// Call-site argument count differs from the callee's parameter list.
+    ArityMismatch,
+    /// A `void` function used in expression position (the scalar walker
+    /// raises this lazily at runtime; the SIMT walker propagates holes).
+    VoidCallInExpr,
+    /// A value-returning function containing a bare `return;` (the walkers
+    /// propagate a per-lane hole the register file cannot represent).
+    BareReturnInValueFn,
+    /// Register, pool, or chunk index would overflow its encoding.
+    Overflow,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let why = match self {
+            CompileError::Recursion => "recursive call graph",
+            CompileError::CallChainTooDeep => "static call chain too deep",
+            CompileError::UnknownFunction => "unknown callee",
+            CompileError::ArityMismatch => "call arity mismatch",
+            CompileError::VoidCallInExpr => "void call in expression position",
+            CompileError::BareReturnInValueFn => "bare return in value-returning function",
+            CompileError::Overflow => "bytecode encoding overflow",
+        };
+        write!(f, "kernel not compilable to bytecode: {why}")
+    }
+}
+
+/// Static call-chain bound under which neither walker's dynamic depth
+/// guard (SIMT: 16, scalar: 64) can fire, so the VMs may omit it.
+const MAX_STATIC_CHAIN: usize = 12;
+
+struct ChunkBuilder {
+    code: Vec<Instr>,
+    num_vars: u32,
+    next_temp: u32,
+    max_reg: u32,
+}
+
+impl ChunkBuilder {
+    fn new(num_vars: u32) -> ChunkBuilder {
+        ChunkBuilder {
+            code: Vec::new(),
+            num_vars,
+            next_temp: num_vars,
+            max_reg: num_vars,
+        }
+    }
+
+    fn temp(&mut self) -> Result<Reg, CompileError> {
+        let r = self.next_temp;
+        self.next_temp += 1;
+        self.max_reg = self.max_reg.max(self.next_temp);
+        u16::try_from(r).map_err(|_| CompileError::Overflow)
+    }
+
+    fn reset_temps(&mut self) {
+        self.next_temp = self.num_vars;
+    }
+
+    fn var_reg(&self, v: VarId) -> Result<Reg, CompileError> {
+        if (v.index() as u32) < self.num_vars {
+            Ok(v.0 as Reg)
+        } else {
+            // Hand-built IR can reference slots past the declared frame
+            // (Env grows on demand); the register file cannot.
+            Err(CompileError::Overflow)
+        }
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+}
+
+struct Compiler<'p> {
+    program: &'p Program,
+    pool: Vec<Value>,
+    chunks: Vec<Option<Chunk>>,
+    chunk_of_fn: BTreeMap<u32, u16>,
+    in_progress: Vec<u32>,
+}
+
+impl<'p> Compiler<'p> {
+    fn pool_idx(&mut self, v: Value) -> Result<u16, CompileError> {
+        let i = self.pool.len();
+        self.pool.push(v);
+        u16::try_from(i).map_err(|_| CompileError::Overflow)
+    }
+
+    /// Compile (or fetch) the chunk for function `fid`, tracking the static
+    /// call chain for recursion/depth bail-outs.
+    fn ensure_chunk(&mut self, fid: crate::program::FnId) -> Result<u16, CompileError> {
+        if self.in_progress.contains(&fid.0) {
+            return Err(CompileError::Recursion);
+        }
+        if let Some(&ci) = self.chunk_of_fn.get(&fid.0) {
+            return Ok(ci);
+        }
+        if self.in_progress.len() >= MAX_STATIC_CHAIN {
+            return Err(CompileError::CallChainTooDeep);
+        }
+        let f = self
+            .program
+            .function(fid)
+            .ok_or(CompileError::UnknownFunction)?;
+        if f.ret.is_some() && contains_bare_return(&f.body) {
+            return Err(CompileError::BareReturnInValueFn);
+        }
+        let ci = u16::try_from(self.chunks.len()).map_err(|_| CompileError::Overflow)?;
+        self.chunks.push(None); // reserve the slot
+        self.chunk_of_fn.insert(fid.0, ci);
+        self.in_progress.push(fid.0);
+        let mut b = ChunkBuilder::new(
+            f.num_vars
+                .max(max_var_in(&f.body))
+                .max(f.params.len() as u32),
+        );
+        self.compile_block(&f.body, &mut b)?;
+        self.in_progress.pop();
+        let chunk = Chunk {
+            code: b.code,
+            num_regs: u16::try_from(b.max_reg).map_err(|_| CompileError::Overflow)?,
+            num_vars: u16::try_from(b.num_vars).map_err(|_| CompileError::Overflow)?,
+            params: f
+                .params
+                .iter()
+                .map(|p| {
+                    Ok((
+                        u16::try_from(p.var.0).map_err(|_| CompileError::Overflow)?,
+                        p.ty,
+                    ))
+                })
+                .collect::<Result<_, CompileError>>()?,
+            fn_name: f.name.clone(),
+            check_returned: f.ret.is_some(),
+        };
+        self.chunks[ci as usize] = Some(chunk);
+        Ok(ci)
+    }
+
+    fn compile_block(&mut self, stmts: &[Stmt], b: &mut ChunkBuilder) -> Result<(), CompileError> {
+        for s in stmts {
+            self.compile_stmt(s, b)?;
+        }
+        Ok(())
+    }
+
+    fn compile_stmt(&mut self, s: &Stmt, b: &mut ChunkBuilder) -> Result<(), CompileError> {
+        b.reset_temps();
+        match s {
+            Stmt::DeclVar { var, ty, init } => {
+                let init = match init {
+                    Some(e) => Some(self.compile_expr(e, b)?),
+                    None => None,
+                };
+                let var = b.var_reg(*var)?;
+                b.code.push(Instr::Decl { var, ty: *ty, init });
+            }
+            Stmt::NewArray { var, elem, len } => {
+                let var = b.var_reg(*var)?;
+                let at = b.here();
+                b.code.push(Instr::NewArray {
+                    var,
+                    elem: *elem,
+                    len_range: (0, 0),
+                    len: 0,
+                });
+                let lo = b.here();
+                let len = self.compile_expr(len, b)?;
+                let hi = b.here();
+                if let Instr::NewArray {
+                    len_range, len: lr, ..
+                } = &mut b.code[at as usize]
+                {
+                    *len_range = (lo, hi);
+                    *lr = len;
+                }
+            }
+            Stmt::Assign { var, value } => {
+                let src = self.compile_expr(value, b)?;
+                let var = b.var_reg(*var)?;
+                b.code.push(Instr::Assign { var, src });
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                let arr = b.var_reg(*array)?;
+                b.code.push(Instr::GuardArray { arr, var: *array });
+                let idx = self.compile_expr(index, b)?;
+                b.code.push(Instr::CheckIdx { idx });
+                let val = self.compile_expr(value, b)?;
+                b.code.push(Instr::Store {
+                    arr,
+                    var: *array,
+                    idx,
+                    val,
+                });
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let cond = self.compile_expr(cond, b)?;
+                let at = b.here();
+                b.code.push(Instr::If {
+                    cond,
+                    then_range: (0, 0),
+                    else_range: (0, 0),
+                });
+                let t_lo = b.here();
+                self.compile_block(then_branch, b)?;
+                let t_hi = b.here();
+                self.compile_block(else_branch, b)?;
+                let e_hi = b.here();
+                if let Instr::If {
+                    then_range,
+                    else_range,
+                    ..
+                } = &mut b.code[at as usize]
+                {
+                    *then_range = (t_lo, t_hi);
+                    *else_range = (t_hi, e_hi);
+                }
+            }
+            Stmt::For(l) => {
+                let var = b.var_reg(l.var)?;
+                let at = b.here();
+                b.code.push(Instr::For {
+                    var,
+                    start_range: (0, 0),
+                    start: 0,
+                    end_range: (0, 0),
+                    end: 0,
+                    step_range: (0, 0),
+                    step: 0,
+                    body_range: (0, 0),
+                });
+                let s_lo = b.here();
+                let start = self.compile_expr(&l.start, b)?;
+                let e_lo = b.here();
+                let end = self.compile_expr(&l.end, b)?;
+                let st_lo = b.here();
+                let step = self.compile_expr(&l.step, b)?;
+                let body_lo = b.here();
+                self.compile_block(&l.body, b)?;
+                let body_hi = b.here();
+                if let Instr::For {
+                    start_range,
+                    start: sr,
+                    end_range,
+                    end: er,
+                    step_range,
+                    step: str_,
+                    body_range,
+                    ..
+                } = &mut b.code[at as usize]
+                {
+                    *start_range = (s_lo, e_lo);
+                    *sr = start;
+                    *end_range = (e_lo, st_lo);
+                    *er = end;
+                    *step_range = (st_lo, body_lo);
+                    *str_ = step;
+                    *body_range = (body_lo, body_hi);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let at = b.here();
+                b.code.push(Instr::While {
+                    cond_range: (0, 0),
+                    cond: 0,
+                    body_range: (0, 0),
+                });
+                let c_lo = b.here();
+                let cond = self.compile_expr(cond, b)?;
+                let c_hi = b.here();
+                self.compile_block(body, b)?;
+                let b_hi = b.here();
+                if let Instr::While {
+                    cond_range,
+                    cond: cr,
+                    body_range,
+                } = &mut b.code[at as usize]
+                {
+                    *cond_range = (c_lo, c_hi);
+                    *cr = cond;
+                    *body_range = (c_hi, b_hi);
+                }
+            }
+            Stmt::Return(e) => {
+                let at = b.here();
+                b.code.push(Instr::Return {
+                    val_range: (0, 0),
+                    val: None,
+                });
+                let lo = b.here();
+                let val = match e {
+                    Some(e) => Some(self.compile_expr(e, b)?),
+                    None => None,
+                };
+                let hi = b.here();
+                if let Instr::Return { val_range, val: vr } = &mut b.code[at as usize] {
+                    *val_range = (lo, hi);
+                    *vr = val;
+                }
+            }
+            Stmt::Break => b.code.push(Instr::Break),
+            Stmt::Continue => b.code.push(Instr::Continue),
+            Stmt::ExprStmt(e) => {
+                if let Expr::Call(fid, args) = e {
+                    // Statement-position call: no value demanded, so a void
+                    // callee is fine (the scalar walker special-cases this).
+                    let mut regs = Vec::with_capacity(args.len());
+                    for a in args {
+                        regs.push(self.compile_expr(a, b)?);
+                    }
+                    let chunk = self.call_target(*fid, args.len())?;
+                    b.code.push(Instr::Call {
+                        chunk,
+                        dst: None,
+                        args: regs,
+                    });
+                } else {
+                    self.compile_expr(e, b)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn call_target(&mut self, fid: crate::program::FnId, argc: usize) -> Result<u16, CompileError> {
+        let f = self
+            .program
+            .function(fid)
+            .ok_or(CompileError::UnknownFunction)?;
+        if f.params.len() != argc {
+            return Err(CompileError::ArityMismatch);
+        }
+        self.ensure_chunk(fid)
+    }
+
+    fn compile_expr(&mut self, e: &Expr, b: &mut ChunkBuilder) -> Result<Reg, CompileError> {
+        match e {
+            Expr::Const(v) => {
+                let pool = self.pool_idx(*v)?;
+                let dst = b.temp()?;
+                b.code.push(Instr::Const { dst, pool });
+                Ok(dst)
+            }
+            Expr::Var(v) => {
+                let src = b.var_reg(*v)?;
+                let dst = b.temp()?;
+                b.code.push(Instr::Copy { dst, src });
+                Ok(dst)
+            }
+            Expr::Unary(op, a) => {
+                let src = self.compile_expr(a, b)?;
+                let dst = b.temp()?;
+                b.code.push(Instr::Unary {
+                    op: *op,
+                    dst,
+                    src,
+                    cls_i: unop_class(*op, false),
+                    cls_f: unop_class(*op, true),
+                });
+                Ok(dst)
+            }
+            Expr::Binary(op, a, bb) if op.is_short_circuit() => {
+                let lhs = self.compile_expr(a, b)?;
+                let dst = b.temp()?;
+                let at = b.here();
+                b.code.push(Instr::Sc {
+                    op: *op,
+                    dst,
+                    lhs,
+                    rhs_range: (0, 0),
+                    rhs: 0,
+                });
+                let lo = b.here();
+                let rhs = self.compile_expr(bb, b)?;
+                let hi = b.here();
+                if let Instr::Sc {
+                    rhs_range, rhs: rr, ..
+                } = &mut b.code[at as usize]
+                {
+                    *rhs_range = (lo, hi);
+                    *rr = rhs;
+                }
+                Ok(dst)
+            }
+            Expr::Binary(op, a, bb) => {
+                let ra = self.compile_expr(a, b)?;
+                let rb = self.compile_expr(bb, b)?;
+                let dst = b.temp()?;
+                b.code.push(Instr::Binary {
+                    op: *op,
+                    dst,
+                    a: ra,
+                    b: rb,
+                    cls_i: binop_class(*op, false),
+                    cls_f: binop_class(*op, true),
+                });
+                Ok(dst)
+            }
+            Expr::Cast(ty, a) => {
+                let src = self.compile_expr(a, b)?;
+                let dst = b.temp()?;
+                b.code.push(Instr::Cast { ty: *ty, dst, src });
+                Ok(dst)
+            }
+            Expr::Index { array, index } => {
+                let arr = b.var_reg(*array)?;
+                b.code.push(Instr::GuardArray { arr, var: *array });
+                let idx = self.compile_expr(index, b)?;
+                let dst = b.temp()?;
+                b.code.push(Instr::Load {
+                    dst,
+                    arr,
+                    var: *array,
+                    idx,
+                });
+                Ok(dst)
+            }
+            Expr::Len(v) => {
+                let arr = b.var_reg(*v)?;
+                let dst = b.temp()?;
+                b.code.push(Instr::Len { dst, arr, var: *v });
+                Ok(dst)
+            }
+            Expr::Intrinsic(f, args) => {
+                let mut regs = Vec::with_capacity(args.len());
+                for a in args {
+                    regs.push(self.compile_expr(a, b)?);
+                }
+                let dst = b.temp()?;
+                b.code.push(Instr::Intrinsic {
+                    f: *f,
+                    cls: intrinsic_class(*f),
+                    dst,
+                    args: regs,
+                });
+                Ok(dst)
+            }
+            Expr::Call(fid, args) => {
+                let mut regs = Vec::with_capacity(args.len());
+                for a in args {
+                    regs.push(self.compile_expr(a, b)?);
+                }
+                let f = self
+                    .program
+                    .function(*fid)
+                    .ok_or(CompileError::UnknownFunction)?;
+                if f.ret.is_none() {
+                    return Err(CompileError::VoidCallInExpr);
+                }
+                let chunk = self.call_target(*fid, args.len())?;
+                let dst = b.temp()?;
+                b.code.push(Instr::Call {
+                    chunk,
+                    dst: Some(dst),
+                    args: regs,
+                });
+                Ok(dst)
+            }
+            Expr::Ternary(c, t, f) => {
+                let cond = self.compile_expr(c, b)?;
+                let dst = b.temp()?;
+                let at = b.here();
+                b.code.push(Instr::Ternary {
+                    dst,
+                    cond,
+                    t_range: (0, 0),
+                    t_dst: 0,
+                    f_range: (0, 0),
+                    f_dst: 0,
+                });
+                let t_lo = b.here();
+                let t_dst = self.compile_expr(t, b)?;
+                let t_hi = b.here();
+                let f_dst = self.compile_expr(f, b)?;
+                let f_hi = b.here();
+                if let Instr::Ternary {
+                    t_range,
+                    t_dst: tr,
+                    f_range,
+                    f_dst: fr,
+                    ..
+                } = &mut b.code[at as usize]
+                {
+                    *t_range = (t_lo, t_hi);
+                    *tr = t_dst;
+                    *f_range = (t_hi, f_hi);
+                    *fr = f_dst;
+                }
+                Ok(dst)
+            }
+        }
+    }
+}
+
+fn contains_bare_return(stmts: &[Stmt]) -> bool {
+    fn stmt_has(s: &Stmt) -> bool {
+        match s {
+            Stmt::Return(None) => true,
+            Stmt::Return(Some(_)) => false,
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => contains_bare_return(then_branch) || contains_bare_return(else_branch),
+            Stmt::For(l) => contains_bare_return(&l.body),
+            Stmt::While { body, .. } => contains_bare_return(body),
+            _ => false,
+        }
+    }
+    stmts.iter().any(stmt_has)
+}
+
+/// Highest variable slot mentioned anywhere in `stmts`, plus one.
+fn max_var_in(stmts: &[Stmt]) -> u32 {
+    fn expr_max(e: &Expr, m: &mut u32) {
+        match e {
+            Expr::Var(v) | Expr::Len(v) => *m = (*m).max(v.0 + 1),
+            Expr::Index { array, index } => {
+                *m = (*m).max(array.0 + 1);
+                expr_max(index, m);
+            }
+            Expr::Unary(_, a) | Expr::Cast(_, a) => expr_max(a, m),
+            Expr::Binary(_, a, b) => {
+                expr_max(a, m);
+                expr_max(b, m);
+            }
+            Expr::Intrinsic(_, args) | Expr::Call(_, args) => {
+                for a in args {
+                    expr_max(a, m);
+                }
+            }
+            Expr::Ternary(c, t, f) => {
+                expr_max(c, m);
+                expr_max(t, m);
+                expr_max(f, m);
+            }
+            Expr::Const(_) => {}
+        }
+    }
+    fn stmt_max(s: &Stmt, m: &mut u32) {
+        match s {
+            Stmt::DeclVar { var, init, .. } => {
+                *m = (*m).max(var.0 + 1);
+                if let Some(e) = init {
+                    expr_max(e, m);
+                }
+            }
+            Stmt::NewArray { var, len, .. } => {
+                *m = (*m).max(var.0 + 1);
+                expr_max(len, m);
+            }
+            Stmt::Assign { var, value } => {
+                *m = (*m).max(var.0 + 1);
+                expr_max(value, m);
+            }
+            Stmt::Store {
+                array,
+                index,
+                value,
+            } => {
+                *m = (*m).max(array.0 + 1);
+                expr_max(index, m);
+                expr_max(value, m);
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                expr_max(cond, m);
+                for s in then_branch.iter().chain(else_branch) {
+                    stmt_max(s, m);
+                }
+            }
+            Stmt::For(l) => {
+                *m = (*m).max(l.var.0 + 1);
+                expr_max(&l.start, m);
+                expr_max(&l.end, m);
+                expr_max(&l.step, m);
+                for s in &l.body {
+                    stmt_max(s, m);
+                }
+            }
+            Stmt::While { cond, body } => {
+                expr_max(cond, m);
+                for s in body {
+                    stmt_max(s, m);
+                }
+            }
+            Stmt::Return(Some(e)) | Stmt::ExprStmt(e) => expr_max(e, m),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+    let mut m = 0;
+    for s in stmts {
+        stmt_max(s, &mut m);
+    }
+    m
+}
+
+/// Compile the body of `loop_` (and every statically reachable callee)
+/// into a [`CompiledKernel`].
+pub fn compile_kernel(program: &Program, loop_: &ForLoop) -> Result<CompiledKernel, CompileError> {
+    let num_vars = max_var_in(&loop_.body).max(loop_.var.0 + 1);
+    let mut c = Compiler {
+        program,
+        pool: Vec::new(),
+        chunks: vec![None],
+        chunk_of_fn: BTreeMap::new(),
+        in_progress: Vec::new(),
+    };
+    let mut b = ChunkBuilder::new(num_vars);
+    c.compile_block(&loop_.body, &mut b)?;
+    c.chunks[0] = Some(Chunk {
+        code: b.code,
+        num_regs: u16::try_from(b.max_reg).map_err(|_| CompileError::Overflow)?,
+        num_vars: u16::try_from(b.num_vars).map_err(|_| CompileError::Overflow)?,
+        params: Vec::new(),
+        fn_name: String::new(),
+        check_returned: false,
+    });
+    let chunks = c
+        .chunks
+        .into_iter()
+        .map(|ch| ch.ok_or(CompileError::Recursion))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CompiledKernel {
+        chunks,
+        pool: c.pool,
+    })
+}
+
+/// A per-scheduler-run cache of compiled kernels keyed by loop id.
+///
+/// Loop ids are only unique within one program, so the cache must live per
+/// run (never inside a config that outlives the program). Uncompilable
+/// loops are memoized as `None` so the fallback decision is also paid once.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    map: Mutex<BTreeMap<u32, Option<Arc<CompiledKernel>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl KernelCache {
+    /// An empty cache.
+    pub fn new() -> KernelCache {
+        KernelCache::default()
+    }
+
+    /// Fetch the compiled form of `loop_`, compiling it on first use.
+    /// `None` means the loop is not bytecode-compilable (use the walker).
+    pub fn get_or_compile(
+        &self,
+        program: &Program,
+        loop_: &ForLoop,
+    ) -> Option<Arc<CompiledKernel>> {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = map.get(&loop_.id.0) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return entry.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let compiled = compile_kernel(program, loop_).ok().map(Arc::new);
+        map.insert(loop_.id.0, compiled.clone());
+        compiled
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (compilations, successful or not) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[inline]
+fn is_float_v(v: Value) -> bool {
+    matches!(v, Value::Float(_) | Value::Double(_))
+}
+
+/// Scalar bytecode VM: replays [`crate::interp::Interp`] bit-for-bit over
+/// a [`CompiledKernel`] — same `Backend::op` charge sequence, same memory
+/// access order, same errors — without per-node allocation or `Env`
+/// indirection. Register and boundness arenas are reused across chunks
+/// and iterations; calls push/pop frame regions.
+#[derive(Debug, Default)]
+pub struct ScalarVm {
+    regs: Vec<Value>,
+    bound: Vec<bool>,
+}
+
+impl ScalarVm {
+    /// An empty VM (arenas grow on first use and are then reused).
+    pub fn new() -> ScalarVm {
+        ScalarVm::default()
+    }
+
+    /// Execute iterations `k_lo..k_hi` of the compiled kernel against
+    /// `env`, mirroring `Interp::exec_range`: the environment is loaded
+    /// into registers up front and every bound variable slot is written
+    /// back on exit (including error exits, matching the walker's direct
+    /// `Env` mutation).
+    #[allow(clippy::too_many_arguments)] // mirrors the walker's exec_range signature
+    pub fn exec_range<B: Backend>(
+        &mut self,
+        k: &CompiledKernel,
+        var: VarId,
+        bounds: &LoopBounds,
+        k_lo: u64,
+        k_hi: u64,
+        env: &mut Env,
+        be: &mut B,
+    ) -> Result<Flow, ExecError> {
+        let num_vars = k.chunks[0].num_vars as usize;
+        let num_regs = k.chunks[0].num_regs as usize;
+        let code_len = k.chunks[0].code.len() as u32;
+        self.regs.clear();
+        self.regs.resize(num_regs, Value::Int(0));
+        self.bound.clear();
+        self.bound.resize(num_regs, false);
+        for v in 0..num_vars {
+            let vid = VarId(v as u32);
+            if env.is_set(vid) {
+                if let Ok(val) = env.get(vid) {
+                    self.regs[v] = val;
+                    self.bound[v] = true;
+                }
+            }
+        }
+        let vi = var.index();
+        let mut out = Ok(Flow::Normal);
+        for kk in k_lo..k_hi {
+            // Loop bookkeeping: induction update + bound test + back edge.
+            be.op(OpClass::IntAlu);
+            be.op(OpClass::Branch);
+            self.regs[vi] = Value::Int(bounds.value_of(kk) as i32);
+            self.bound[vi] = true;
+            match self.run(k, 0, 0, code_len, 0, be) {
+                Ok(Flow::Normal) | Ok(Flow::Continue) => {}
+                other => {
+                    out = other;
+                    break;
+                }
+            }
+        }
+        for v in 0..num_vars {
+            if self.bound[v] {
+                env.set(VarId(v as u32), self.regs[v]);
+            }
+        }
+        out
+    }
+
+    /// Bind arguments into the freshly pushed frame at `nbase` and run the
+    /// callee chunk. The caller truncates the arenas afterwards.
+    fn enter_call<B: Backend>(
+        &mut self,
+        k: &CompiledKernel,
+        callee: usize,
+        base: usize,
+        args: &[Reg],
+        nbase: usize,
+        be: &mut B,
+    ) -> Result<Flow, ExecError> {
+        let c = &k.chunks[callee];
+        for (i, (preg, pty)) in c.params.iter().enumerate() {
+            let a = self.regs[base + args[i] as usize];
+            // Apply the assignment conversion for scalar params.
+            let v = match pty {
+                ParamTy::Scalar(t) => a.cast(*t).ok_or_else(|| ExecError::TypeMismatch {
+                    expected: t.to_string(),
+                    found: format!("{a}"),
+                })?,
+                ParamTy::Array(_) => match a {
+                    Value::Array(_) => a,
+                    other => {
+                        return Err(ExecError::TypeMismatch {
+                            expected: format!("{pty}"),
+                            found: format!("{other}"),
+                        })
+                    }
+                },
+            };
+            self.regs[nbase + *preg as usize] = v;
+            self.bound[nbase + *preg as usize] = true;
+        }
+        self.run(k, callee, 0, c.code.len() as u32, nbase, be)
+    }
+
+    /// Execute instructions `lo..hi` of chunk `ci` with frame base `base`.
+    fn run<B: Backend>(
+        &mut self,
+        k: &CompiledKernel,
+        ci: usize,
+        lo: u32,
+        hi: u32,
+        base: usize,
+        be: &mut B,
+    ) -> Result<Flow, ExecError> {
+        let mut pc = lo;
+        while pc < hi {
+            let instr = &k.chunks[ci].code[pc as usize];
+            let next = instr.next_pc(pc);
+            match instr {
+                Instr::Const { dst, pool } => {
+                    be.op(OpClass::Move);
+                    self.regs[base + *dst as usize] = k.pool[*pool as usize];
+                }
+                Instr::Copy { dst, src } => {
+                    be.op(OpClass::Move);
+                    if !self.bound[base + *src as usize] {
+                        return Err(ExecError::UnboundVariable(VarId(*src as u32)));
+                    }
+                    self.regs[base + *dst as usize] = self.regs[base + *src as usize];
+                }
+                Instr::Unary {
+                    op,
+                    dst,
+                    src,
+                    cls_i,
+                    cls_f,
+                } => {
+                    let v = self.regs[base + *src as usize];
+                    be.op(if is_float_v(v) { *cls_f } else { *cls_i });
+                    self.regs[base + *dst as usize] = ops::unary(*op, v)?;
+                }
+                Instr::Binary {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    cls_i,
+                    cls_f,
+                } => {
+                    let va = self.regs[base + *a as usize];
+                    let vb = self.regs[base + *b as usize];
+                    be.op(if is_float_v(va) || is_float_v(vb) {
+                        *cls_f
+                    } else {
+                        *cls_i
+                    });
+                    self.regs[base + *dst as usize] = ops::binary(*op, va, vb)?;
+                }
+                Instr::Cast { ty, dst, src } => {
+                    let v = self.regs[base + *src as usize];
+                    be.op(OpClass::Cast);
+                    self.regs[base + *dst as usize] =
+                        v.cast(*ty).ok_or_else(|| ExecError::InvalidCast {
+                            from: format!("{v}"),
+                            to: *ty,
+                        })?;
+                }
+                Instr::GuardArray { arr, var } => {
+                    if !self.bound[base + *arr as usize] {
+                        return Err(ExecError::UnboundVariable(*var));
+                    }
+                    let v = self.regs[base + *arr as usize];
+                    if v.as_array().is_none() {
+                        return Err(ExecError::TypeMismatch {
+                            expected: "array".into(),
+                            found: format!("{var}"),
+                        });
+                    }
+                }
+                Instr::CheckIdx { idx } => {
+                    let v = self.regs[base + *idx as usize];
+                    if v.as_i64().is_none() {
+                        return Err(ExecError::TypeMismatch {
+                            expected: "int index".into(),
+                            found: format!("{v}"),
+                        });
+                    }
+                }
+                Instr::Load { dst, arr, var, idx } => {
+                    let av = self.regs[base + *arr as usize];
+                    let a = av.as_array().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{var}"),
+                    })?;
+                    let iv = self.regs[base + *idx as usize];
+                    let i = iv.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "int index".into(),
+                        found: format!("{iv}"),
+                    })?;
+                    be.op(OpClass::Load);
+                    self.regs[base + *dst as usize] = be.load(a, i)?;
+                }
+                Instr::Len { dst, arr, var } => {
+                    if !self.bound[base + *arr as usize] {
+                        return Err(ExecError::UnboundVariable(*var));
+                    }
+                    let v = self.regs[base + *arr as usize];
+                    let a = v.as_array().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{var}"),
+                    })?;
+                    be.op(OpClass::Move);
+                    self.regs[base + *dst as usize] = Value::Int(be.array_len(a)? as i32);
+                }
+                Instr::Intrinsic { f, cls, dst, args } => {
+                    let mut buf = [Value::Int(0); 4];
+                    for (i, r) in args.iter().enumerate() {
+                        buf[i] = self.regs[base + *r as usize];
+                    }
+                    be.op(*cls);
+                    self.regs[base + *dst as usize] = ops::intrinsic(*f, &buf[..args.len()])?;
+                }
+                Instr::Call { chunk, dst, args } => {
+                    be.op(OpClass::Call);
+                    let callee = *chunk as usize;
+                    let nbase = self.regs.len();
+                    let nregs = k.chunks[callee].num_regs as usize;
+                    self.regs.resize(nbase + nregs, Value::Int(0));
+                    self.bound.resize(nbase + nregs, false);
+                    let res = self.enter_call(k, callee, base, args, nbase, be);
+                    self.regs.truncate(nbase);
+                    self.bound.truncate(nbase);
+                    let ret = match res? {
+                        Flow::Return(v) => v,
+                        Flow::Normal => None,
+                        Flow::Break | Flow::Continue => {
+                            return Err(ExecError::Aborted(
+                                "break/continue escaped function body".into(),
+                            ))
+                        }
+                    };
+                    if let Some(dst) = dst {
+                        let v = ret.ok_or_else(|| ExecError::TypeMismatch {
+                            expected: "value".into(),
+                            found: "void call in expression".into(),
+                        })?;
+                        self.regs[base + *dst as usize] = v;
+                    }
+                }
+                Instr::Sc {
+                    op,
+                    dst,
+                    lhs,
+                    rhs_range,
+                    rhs,
+                } => {
+                    let v = self.regs[base + *lhs as usize];
+                    let lb = v.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "boolean".into(),
+                        found: format!("{v}"),
+                    })?;
+                    be.op(OpClass::Branch);
+                    let out = match (*op, lb) {
+                        (BinOp::LAnd, false) => Value::Bool(false),
+                        (BinOp::LOr, true) => Value::Bool(true),
+                        _ => {
+                            self.run(k, ci, rhs_range.0, rhs_range.1, base, be)?;
+                            let rv = self.regs[base + *rhs as usize];
+                            let rb = rv.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                                expected: "boolean".into(),
+                                found: format!("{rv}"),
+                            })?;
+                            Value::Bool(rb)
+                        }
+                    };
+                    self.regs[base + *dst as usize] = out;
+                }
+                Instr::Ternary {
+                    dst,
+                    cond,
+                    t_range,
+                    t_dst,
+                    f_range,
+                    f_dst,
+                } => {
+                    let cv = self.regs[base + *cond as usize];
+                    let c = cv.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "boolean".into(),
+                        found: format!("{cv}"),
+                    })?;
+                    be.op(OpClass::Branch);
+                    let (r, src) = if c {
+                        (t_range, t_dst)
+                    } else {
+                        (f_range, f_dst)
+                    };
+                    self.run(k, ci, r.0, r.1, base, be)?;
+                    self.regs[base + *dst as usize] = self.regs[base + *src as usize];
+                }
+                Instr::Decl { var, ty, init } => {
+                    let v = match init {
+                        Some(r) => {
+                            let raw = self.regs[base + *r as usize];
+                            raw.cast(*ty).ok_or_else(|| ExecError::TypeMismatch {
+                                expected: ty.to_string(),
+                                found: format!("{raw}"),
+                            })?
+                        }
+                        None => ty.zero(),
+                    };
+                    be.op(OpClass::Move);
+                    self.regs[base + *var as usize] = v;
+                    self.bound[base + *var as usize] = true;
+                }
+                Instr::Assign { var, src } => {
+                    let mut v = self.regs[base + *src as usize];
+                    // Preserve the declared scalar type across re-assignment.
+                    if self.bound[base + *var as usize] {
+                        if let Some(ty) = self.regs[base + *var as usize].ty() {
+                            v = v.cast(ty).ok_or_else(|| ExecError::TypeMismatch {
+                                expected: ty.to_string(),
+                                found: format!("{v}"),
+                            })?;
+                        }
+                    }
+                    be.op(OpClass::Move);
+                    self.regs[base + *var as usize] = v;
+                    self.bound[base + *var as usize] = true;
+                }
+                Instr::Store { arr, var, idx, val } => {
+                    let av = self.regs[base + *arr as usize];
+                    let a = av.as_array().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{var}"),
+                    })?;
+                    let iv = self.regs[base + *idx as usize];
+                    let i = iv.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "int index".into(),
+                        found: format!("{iv}"),
+                    })?;
+                    let v = self.regs[base + *val as usize];
+                    be.op(OpClass::Store);
+                    be.store(a, i, v)?;
+                }
+                Instr::NewArray {
+                    var,
+                    elem,
+                    len_range,
+                    len,
+                } => {
+                    self.run(k, ci, len_range.0, len_range.1, base, be)?;
+                    let lv = self.regs[base + *len as usize];
+                    let n = lv.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "int".into(),
+                        found: "non-integral length".into(),
+                    })?;
+                    if n < 0 {
+                        return Err(ExecError::NegativeArraySize(n));
+                    }
+                    be.op(OpClass::Move);
+                    let id = be.alloc(*elem, n as usize)?;
+                    self.regs[base + *var as usize] = Value::Array(id);
+                    self.bound[base + *var as usize] = true;
+                }
+                Instr::If {
+                    cond,
+                    then_range,
+                    else_range,
+                } => {
+                    let cv = self.regs[base + *cond as usize];
+                    let c = cv.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "boolean".into(),
+                        found: format!("{cv}"),
+                    })?;
+                    be.op(OpClass::Branch);
+                    let r = if c { then_range } else { else_range };
+                    match self.run(k, ci, r.0, r.1, base, be)? {
+                        Flow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Instr::While {
+                    cond_range,
+                    cond,
+                    body_range,
+                } => loop {
+                    self.run(k, ci, cond_range.0, cond_range.1, base, be)?;
+                    let cv = self.regs[base + *cond as usize];
+                    let c = cv.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "boolean".into(),
+                        found: format!("{cv}"),
+                    })?;
+                    be.op(OpClass::Branch);
+                    if !c {
+                        break;
+                    }
+                    match self.run(k, ci, body_range.0, body_range.1, base, be)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                },
+                Instr::For {
+                    var,
+                    start_range,
+                    start,
+                    end_range,
+                    end,
+                    step_range,
+                    step,
+                    body_range,
+                } => {
+                    let as_int = |v: Value| {
+                        v.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                            expected: "int".into(),
+                            found: format!("{v}"),
+                        })
+                    };
+                    self.run(k, ci, start_range.0, start_range.1, base, be)?;
+                    let s = as_int(self.regs[base + *start as usize])?;
+                    self.run(k, ci, end_range.0, end_range.1, base, be)?;
+                    let e = as_int(self.regs[base + *end as usize])?;
+                    self.run(k, ci, step_range.0, step_range.1, base, be)?;
+                    let st = as_int(self.regs[base + *step as usize])?;
+                    if st <= 0 {
+                        return Err(ExecError::NonPositiveStep(st));
+                    }
+                    let b2 = LoopBounds {
+                        start: s,
+                        end: e,
+                        step: st,
+                    };
+                    for kk in 0..b2.trip() {
+                        be.op(OpClass::IntAlu);
+                        be.op(OpClass::Branch);
+                        self.regs[base + *var as usize] = Value::Int(b2.value_of(kk) as i32);
+                        self.bound[base + *var as usize] = true;
+                        match self.run(k, ci, body_range.0, body_range.1, base, be)? {
+                            Flow::Normal | Flow::Continue => {}
+                            Flow::Break => break,
+                            ret @ Flow::Return(_) => return Ok(ret),
+                        }
+                    }
+                }
+                Instr::Return { val_range, val } => {
+                    self.run(k, ci, val_range.0, val_range.1, base, be)?;
+                    return Ok(Flow::Return(val.map(|r| self.regs[base + r as usize])));
+                }
+                Instr::Break => return Ok(Flow::Break),
+                Instr::Continue => return Ok(Flow::Continue),
+            }
+            pc = next;
+        }
+        Ok(Flow::Normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FnBuilder;
+    use crate::heap::{ArrayId, Heap};
+    use crate::interp::{HeapBackend, Interp};
+    use crate::span::Span;
+    use crate::stmt::LoopId;
+    use crate::types::Ty;
+
+    /// Backend recording the exact `op` charge sequence, so the tests can
+    /// assert bit-level replay (order, not just totals).
+    struct TraceBackend<'h> {
+        inner: HeapBackend<'h>,
+        trace: Vec<OpClass>,
+    }
+
+    impl Backend for TraceBackend<'_> {
+        fn load(&mut self, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+            self.inner.load(arr, idx)
+        }
+        fn store(&mut self, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+            self.inner.store(arr, idx, v)
+        }
+        fn array_len(&mut self, arr: ArrayId) -> Result<usize, ExecError> {
+            self.inner.array_len(arr)
+        }
+        fn alloc(&mut self, ty: Ty, len: usize) -> Result<ArrayId, ExecError> {
+            self.inner.alloc(ty, len)
+        }
+        fn op(&mut self, cls: OpClass) {
+            self.trace.push(cls);
+            self.inner.op(cls);
+        }
+    }
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// Bit-exact value comparison key (NaN-safe, unlike `PartialEq`).
+    fn bits(v: Option<Value>) -> Option<(u8, u64)> {
+        v.map(|v| match v {
+            Value::Bool(b) => (0, b as u64),
+            Value::Int(i) => (1, i as u64),
+            Value::Long(l) => (2, l as u64),
+            Value::Float(f) => (3, f.to_bits() as u64),
+            Value::Double(d) => (4, d.to_bits()),
+            Value::Array(a) => (5, a.0 as u64),
+        })
+    }
+
+    fn kernel_loop(var: VarId, n: i32, body: Vec<Stmt>) -> ForLoop {
+        ForLoop {
+            id: LoopId(0),
+            var,
+            start: Expr::int(0),
+            end: Expr::int(n),
+            step: Expr::int(1),
+            body,
+            annot: None,
+            span: Span::none(),
+        }
+    }
+
+    /// Run `loop_` over `0..trip` under both engines against identical
+    /// heap/env copies and assert results, env slots, heap contents, and
+    /// the charge trace are identical.
+    fn assert_engines_agree(program: &Program, loop_: &ForLoop, env0: &Env, heap0: &Heap) {
+        let bounds = LoopBounds {
+            start: 0,
+            end: match loop_.end {
+                Expr::Const(Value::Int(n)) => n as i64,
+                _ => unreachable!("test loops use literal bounds"),
+            },
+            step: 1,
+        };
+        let trip = bounds.trip();
+
+        let mut heap_a = heap0.clone();
+        let mut env_a = env0.clone();
+        let mut be_a = TraceBackend {
+            inner: HeapBackend::new(&mut heap_a),
+            trace: Vec::new(),
+        };
+        let interp = Interp::new(program);
+        let ra = interp.exec_range(loop_, &bounds, 0, trip, &mut env_a, &mut be_a);
+        let trace_a = be_a.trace;
+
+        let k = compile_kernel(program, loop_).expect("kernel should compile");
+        let mut heap_b = heap0.clone();
+        let mut env_b = env0.clone();
+        let mut be_b = TraceBackend {
+            inner: HeapBackend::new(&mut heap_b),
+            trace: Vec::new(),
+        };
+        let mut vm = ScalarVm::new();
+        let rb = vm.exec_range(&k, loop_.var, &bounds, 0, trip, &mut env_b, &mut be_b);
+        let trace_b = be_b.trace;
+
+        match (&ra, &rb) {
+            (Ok(fa), Ok(fb)) => assert_eq!(
+                std::mem::discriminant(fa),
+                std::mem::discriminant(fb),
+                "flow mismatch: {fa:?} vs {fb:?}"
+            ),
+            (Err(ea), Err(eb)) => assert_eq!(ea, eb, "error mismatch"),
+            _ => panic!("result mismatch: {ra:?} vs {rb:?}"),
+        }
+        assert_eq!(trace_a, trace_b, "charge order mismatch");
+        for slot in 0..64u32 {
+            let sa = env_a.get(v(slot)).ok();
+            let sb = env_b.get(v(slot)).ok();
+            assert_eq!(
+                bits(sa),
+                bits(sb),
+                "env slot v{slot} mismatch: {sa:?} vs {sb:?}"
+            );
+        }
+        assert_eq!(heap_a.array_count(), heap_b.array_count());
+        for i in 0..heap_a.array_count() {
+            let id = ArrayId(i as u32);
+            assert_eq!(
+                heap_a.array(id).ok(),
+                heap_b.array(id).ok(),
+                "array {i} mismatch"
+            );
+        }
+    }
+
+    /// Helper: `clamp2(x) = x > 10 ? x - 10 : x * 2` via early return.
+    fn add_helper(p: &mut Program) -> crate::program::FnId {
+        let mut f = FnBuilder::new("clamp2");
+        let x = f.param_scalar("x", Ty::Int);
+        f.push(Stmt::If {
+            cond: Expr::Binary(BinOp::Gt, Box::new(Expr::var(x)), Box::new(Expr::int(10))),
+            then_branch: vec![Stmt::Return(Some(Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::var(x)),
+                Box::new(Expr::int(10)),
+            )))],
+            else_branch: vec![],
+        });
+        f.push(Stmt::Return(Some(Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::var(x)),
+            Box::new(Expr::int(2)),
+        ))));
+        p.add_function(f.finish(Some(Ty::Int)))
+    }
+
+    #[test]
+    fn scalar_vm_matches_interp_on_rich_kernel() {
+        let mut p = Program::new();
+        let helper = add_helper(&mut p);
+        let (i, a, b, acc, j) = (v(0), v(1), v(2), v(3), v(4));
+        let body = vec![
+            Stmt::DeclVar {
+                var: acc,
+                ty: Ty::Double,
+                init: Some(Expr::double(0.0)),
+            },
+            Stmt::For(ForLoop {
+                id: LoopId(1),
+                var: j,
+                start: Expr::int(0),
+                end: Expr::int(3),
+                step: Expr::int(1),
+                body: vec![Stmt::Assign {
+                    var: acc,
+                    value: Expr::Binary(
+                        BinOp::Add,
+                        Box::new(Expr::var(acc)),
+                        Box::new(Expr::Intrinsic(
+                            Intrinsic::Sqrt,
+                            vec![Expr::Cast(
+                                Ty::Double,
+                                Box::new(Expr::Binary(
+                                    BinOp::Add,
+                                    Box::new(Expr::Index {
+                                        array: a,
+                                        index: Box::new(Expr::var(i)),
+                                    }),
+                                    Box::new(Expr::var(j)),
+                                )),
+                            )],
+                        )),
+                    ),
+                }],
+                annot: None,
+                span: Span::none(),
+            }),
+            Stmt::If {
+                cond: Expr::Binary(
+                    BinOp::LAnd,
+                    Box::new(Expr::Binary(
+                        BinOp::Eq,
+                        Box::new(Expr::Binary(
+                            BinOp::Rem,
+                            Box::new(Expr::var(i)),
+                            Box::new(Expr::int(2)),
+                        )),
+                        Box::new(Expr::int(0)),
+                    )),
+                    Box::new(Expr::Binary(
+                        BinOp::Gt,
+                        Box::new(Expr::Index {
+                            array: a,
+                            index: Box::new(Expr::var(i)),
+                        }),
+                        Box::new(Expr::int(0)),
+                    )),
+                ),
+                then_branch: vec![Stmt::Store {
+                    array: a,
+                    index: Expr::var(i),
+                    value: Expr::Call(
+                        helper,
+                        vec![Expr::Index {
+                            array: a,
+                            index: Box::new(Expr::var(i)),
+                        }],
+                    ),
+                }],
+                else_branch: vec![Stmt::Store {
+                    array: a,
+                    index: Expr::var(i),
+                    value: Expr::Ternary(
+                        Box::new(Expr::Binary(
+                            BinOp::Gt,
+                            Box::new(Expr::Index {
+                                array: b,
+                                index: Box::new(Expr::var(i)),
+                            }),
+                            Box::new(Expr::int(5)),
+                        )),
+                        Box::new(Expr::Index {
+                            array: b,
+                            index: Box::new(Expr::var(i)),
+                        }),
+                        Box::new(Expr::Binary(
+                            BinOp::Add,
+                            Box::new(Expr::Index {
+                                array: a,
+                                index: Box::new(Expr::var(i)),
+                            }),
+                            Box::new(Expr::int(1)),
+                        )),
+                    ),
+                }],
+            },
+            Stmt::While {
+                cond: Expr::Binary(
+                    BinOp::Gt,
+                    Box::new(Expr::var(acc)),
+                    Box::new(Expr::double(1.0)),
+                ),
+                body: vec![Stmt::Assign {
+                    var: acc,
+                    value: Expr::Binary(
+                        BinOp::Sub,
+                        Box::new(Expr::var(acc)),
+                        Box::new(Expr::double(1.0)),
+                    ),
+                }],
+            },
+            Stmt::Store {
+                array: b,
+                index: Expr::var(i),
+                value: Expr::Cast(Ty::Int, Box::new(Expr::var(acc))),
+            },
+        ];
+        let loop_ = kernel_loop(i, 8, body);
+        let mut heap = Heap::new();
+        let aa = heap.alloc_ints(&[3, -1, 14, 7, 0, 9, 22, -5]);
+        let bb = heap.alloc_ints(&[1, 9, 2, 8, 3, 7, 4, 6]);
+        let mut env = Env::with_slots(8);
+        env.set(a, Value::Array(aa));
+        env.set(b, Value::Array(bb));
+        assert_engines_agree(&p, &loop_, &env, &heap);
+    }
+
+    #[test]
+    fn scalar_vm_matches_interp_on_error_paths() {
+        // Iteration 2 divides by zero after a store already landed; the
+        // walker leaves the partial mutations visible, so must the VM.
+        let (i, a, x) = (v(0), v(1), v(2));
+        let p = Program::new();
+        let body = vec![
+            Stmt::DeclVar {
+                var: x,
+                ty: Ty::Int,
+                init: Some(Expr::int(7)),
+            },
+            Stmt::Store {
+                array: a,
+                index: Expr::var(i),
+                value: Expr::var(x),
+            },
+            Stmt::Assign {
+                var: x,
+                value: Expr::Binary(
+                    BinOp::Div,
+                    Box::new(Expr::int(10)),
+                    Box::new(Expr::Binary(
+                        BinOp::Sub,
+                        Box::new(Expr::int(2)),
+                        Box::new(Expr::var(i)),
+                    )),
+                ),
+            },
+        ];
+        let loop_ = kernel_loop(i, 8, body);
+        let mut heap = Heap::new();
+        let aa = heap.alloc_ints(&[0; 8]);
+        let mut env = Env::with_slots(4);
+        env.set(a, Value::Array(aa));
+        assert_engines_agree(&p, &loop_, &env, &heap);
+    }
+
+    #[test]
+    fn scalar_vm_matches_interp_on_unbound_read() {
+        let (i, y) = (v(0), v(3));
+        let p = Program::new();
+        let body = vec![Stmt::If {
+            cond: Expr::Binary(BinOp::Eq, Box::new(Expr::var(i)), Box::new(Expr::int(1))),
+            then_branch: vec![Stmt::Assign {
+                var: v(2),
+                value: Expr::var(y),
+            }],
+            else_branch: vec![],
+        }];
+        let loop_ = kernel_loop(i, 4, body);
+        let env = Env::with_slots(4);
+        assert_engines_agree(&p, &loop_, &env, &Heap::new());
+    }
+
+    #[test]
+    fn recursion_and_void_expr_calls_bail_to_walker() {
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("rec");
+        let x = f.param_scalar("x", Ty::Int);
+        let id = crate::program::FnId(0);
+        f.push(Stmt::Return(Some(Expr::Call(id, vec![Expr::var(x)]))));
+        p.add_function(f.finish(Some(Ty::Int)));
+        let body = vec![Stmt::Assign {
+            var: v(1),
+            value: Expr::Call(id, vec![Expr::var(v(0))]),
+        }];
+        let loop_ = kernel_loop(v(0), 2, body);
+        assert_eq!(
+            compile_kernel(&p, &loop_).err(),
+            Some(CompileError::Recursion)
+        );
+
+        let mut p2 = Program::new();
+        let mut g = FnBuilder::new("noop");
+        let _ = g.param_scalar("x", Ty::Int);
+        p2.add_function(g.finish(None));
+        let body2 = vec![Stmt::Assign {
+            var: v(1),
+            value: Expr::Call(crate::program::FnId(0), vec![Expr::var(v(0))]),
+        }];
+        let loop2 = kernel_loop(v(0), 2, body2);
+        assert_eq!(
+            compile_kernel(&p2, &loop2).err(),
+            Some(CompileError::VoidCallInExpr)
+        );
+    }
+
+    #[test]
+    fn kernel_cache_memoizes_and_counts() {
+        let p = Program::new();
+        let body = vec![Stmt::Assign {
+            var: v(1),
+            value: Expr::var(v(0)),
+        }];
+        let loop_ = kernel_loop(v(0), 2, body);
+        let cache = KernelCache::new();
+        assert!(cache.get_or_compile(&p, &loop_).is_some());
+        assert!(cache.get_or_compile(&p, &loop_).is_some());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+}

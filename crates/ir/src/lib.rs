@@ -18,6 +18,7 @@
 //! cycles.
 
 pub mod builder;
+pub mod bytecode;
 pub mod cost;
 pub mod error;
 pub mod expr;
@@ -30,6 +31,9 @@ pub mod span;
 pub mod stmt;
 pub mod types;
 
+pub use bytecode::{
+    compile_kernel, Chunk, CompileError, CompiledKernel, ExecEngine, Instr, KernelCache, ScalarVm,
+};
 pub use cost::{CostTable, OpClass, OpCounts};
 pub use error::ExecError;
 pub use expr::{BinOp, Expr, Intrinsic, UnOp};

@@ -36,7 +36,7 @@ pub fn function(p: &Program, f: &Function) -> String {
             ParamTy::Array(t) => format!("{t}[] {}", prm.name),
         })
         .collect();
-    writeln!(out, "static {ret} {}({}) {{", f.name, params.join(", ")).unwrap();
+    let _ = writeln!(out, "static {ret} {}({}) {{", f.name, params.join(", "));
     let mut pr = Pretty { p, f, out };
     for s in &f.body {
         pr.stmt(s, 1);
@@ -91,7 +91,7 @@ impl Pretty<'_> {
         self.out.push_str("/* acc parallel");
         if !a.private.is_empty() {
             let names: Vec<String> = a.private.iter().map(|v| self.name(*v)).collect();
-            write!(self.out, " private({})", names.join(", ")).unwrap();
+            let _ = write!(self.out, " private({})", names.join(", "));
         }
         let ranges = |label: &str, rs: &[crate::stmt::ArrayRange], out: &mut String| {
             if rs.is_empty() {
@@ -111,7 +111,7 @@ impl Pretty<'_> {
                     _ => self.f.var_name(r.array),
                 })
                 .collect();
-            write!(out, " {label}({})", items.join(", ")).unwrap();
+            let _ = write!(out, " {label}({})", items.join(", "));
         };
         let mut tmp = std::mem::take(&mut self.out);
         ranges("copyin", &a.copyin, &mut tmp);
@@ -119,10 +119,10 @@ impl Pretty<'_> {
         ranges("create", &a.create, &mut tmp);
         self.out = tmp;
         if let Some(t) = a.threads {
-            write!(self.out, " threads({t})").unwrap();
+            let _ = write!(self.out, " threads({t})");
         }
         if let Some(s) = a.scheme {
-            write!(self.out, " scheme({s})").unwrap();
+            let _ = write!(self.out, " scheme({s})");
         }
         self.out.push_str(" */\n");
     }
@@ -131,36 +131,33 @@ impl Pretty<'_> {
         match s {
             Stmt::DeclVar { var, ty, init } => {
                 self.indent(depth);
-                match init {
+                let _ = match init {
                     Some(e) => writeln!(
                         self.out,
                         "{ty} {} = {};",
                         self.name(*var),
                         expr(self.p, self.f, e)
-                    )
-                    .unwrap(),
-                    None => writeln!(self.out, "{ty} {};", self.name(*var)).unwrap(),
-                }
+                    ),
+                    None => writeln!(self.out, "{ty} {};", self.name(*var)),
+                };
             }
             Stmt::NewArray { var, elem, len } => {
                 self.indent(depth);
-                writeln!(
+                let _ = writeln!(
                     self.out,
                     "{elem}[] {} = new {elem}[{}];",
                     self.name(*var),
                     expr(self.p, self.f, len)
-                )
-                .unwrap();
+                );
             }
             Stmt::Assign { var, value } => {
                 self.indent(depth);
-                writeln!(
+                let _ = writeln!(
                     self.out,
                     "{} = {};",
                     self.name(*var),
                     expr(self.p, self.f, value)
-                )
-                .unwrap();
+                );
             }
             Stmt::Store {
                 array,
@@ -168,14 +165,13 @@ impl Pretty<'_> {
                 value,
             } => {
                 self.indent(depth);
-                writeln!(
+                let _ = writeln!(
                     self.out,
                     "{}[{}] = {};",
                     self.name(*array),
                     expr(self.p, self.f, index),
                     expr(self.p, self.f, value)
-                )
-                .unwrap();
+                );
             }
             Stmt::If {
                 cond,
@@ -183,7 +179,7 @@ impl Pretty<'_> {
                 else_branch,
             } => {
                 self.indent(depth);
-                writeln!(self.out, "if ({}) {{", expr(self.p, self.f, cond)).unwrap();
+                let _ = writeln!(self.out, "if ({}) {{", expr(self.p, self.f, cond));
                 for s in then_branch {
                     self.stmt(s, depth + 1);
                 }
@@ -214,14 +210,13 @@ impl Pretty<'_> {
                 }
                 self.indent(depth);
                 let v = self.name(*var);
-                writeln!(
+                let _ = writeln!(
                     self.out,
                     "for (int {v} = {}; {v} < {}; {v} = {v} + {}) {{",
                     expr(self.p, self.f, start),
                     expr(self.p, self.f, end),
                     expr(self.p, self.f, step)
-                )
-                .unwrap();
+                );
                 for s in body {
                     self.stmt(s, depth + 1);
                 }
@@ -230,7 +225,7 @@ impl Pretty<'_> {
             }
             Stmt::While { cond, body } => {
                 self.indent(depth);
-                writeln!(self.out, "while ({}) {{", expr(self.p, self.f, cond)).unwrap();
+                let _ = writeln!(self.out, "while ({}) {{", expr(self.p, self.f, cond));
                 for s in body {
                     self.stmt(s, depth + 1);
                 }
@@ -240,7 +235,9 @@ impl Pretty<'_> {
             Stmt::Return(e) => {
                 self.indent(depth);
                 match e {
-                    Some(e) => writeln!(self.out, "return {};", expr(self.p, self.f, e)).unwrap(),
+                    Some(e) => {
+                        let _ = writeln!(self.out, "return {};", expr(self.p, self.f, e));
+                    }
                     None => self.out.push_str("return;\n"),
                 }
             }
@@ -254,7 +251,7 @@ impl Pretty<'_> {
             }
             Stmt::ExprStmt(e) => {
                 self.indent(depth);
-                writeln!(self.out, "{};", expr(self.p, self.f, e)).unwrap();
+                let _ = writeln!(self.out, "{};", expr(self.p, self.f, e));
             }
         }
     }

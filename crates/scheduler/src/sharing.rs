@@ -16,14 +16,17 @@ use crate::modes::{decide_mode, try_decide_mode, ExecutionMode};
 use crate::plan::DataPlan;
 use crate::report::{LoopExecReport, SchedError};
 use japonica_analysis::LoopAnalysis;
-use japonica_cpuexec::{run_parallel, run_parallel_guarded, run_sequential, CpuExecError};
+use japonica_cpuexec::{
+    run_parallel_guarded_with, run_parallel_with, run_sequential_with, CpuConfig, CpuExecError,
+};
 use japonica_faults::{DegradationLevel, FaultOrigin, FaultStats, ResilienceConfig};
-use japonica_gpusim::{launch_loop_par, DeviceMemory, SimtError};
+use japonica_gpusim::{launch_loop_par_with, DeviceMemory, SimtError};
 use japonica_ir::{
-    ArrayId, Env, ExecError, ForLoop, Heap, HeapBackend, Interp, LoopBounds, Program, Scheme, Value,
+    ArrayId, Env, ExecEngine, ExecError, ForLoop, Heap, HeapBackend, Interp, KernelCache,
+    LoopBounds, Program, ScalarVm, Scheme, Value,
 };
 use japonica_profiler::LoopProfile;
-use japonica_tls::{run_privatized, run_tls_loop, run_tls_loop_guarded, SpeculativeMemory};
+use japonica_tls::{run_privatized_with, run_tls_loop_guarded_with, SpeculativeMemory};
 
 /// Everything the scheduler needs to know about one annotated loop.
 #[derive(Debug, Clone, Copy)]
@@ -156,6 +159,40 @@ pub(crate) fn stage_device_guarded(
     Ok(())
 }
 
+/// Run `lo..hi` of a loop sequentially against a fresh write buffer using
+/// whichever chunk engine `ccfg` selects (the deferred-write path modes D
+/// and D′ use for ordered cross-device commits). Returns the buffered
+/// backend for cycle accounting and write harvesting.
+#[allow(clippy::too_many_arguments)] // mirrors the chunk-dispatch signature
+pub(crate) fn exec_chunk_buffered<'h>(
+    program: &Program,
+    ccfg: &CpuConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    lo: u64,
+    hi: u64,
+    env: &Env,
+    heap: &'h Heap,
+    kernels: &KernelCache,
+) -> Result<japonica_cpuexec::BufferedBackend<'h>, ExecError> {
+    let mut be = japonica_cpuexec::BufferedBackend::new(heap);
+    let mut cenv = env.clone();
+    let compiled = if ccfg.engine == ExecEngine::Bytecode {
+        kernels.get_or_compile(program, loop_)
+    } else {
+        None
+    };
+    match &compiled {
+        Some(k) => {
+            ScalarVm::new().exec_range(k, loop_.var, bounds, lo, hi, &mut cenv, &mut be)?;
+        }
+        None => {
+            Interp::new(program).exec_range(loop_, bounds, lo, hi, &mut cenv, &mut be)?;
+        }
+    }
+    Ok(be)
+}
+
 fn apply_writes_to_host(
     heap: &mut Heap,
     writes: &[((ArrayId, i64), Value)],
@@ -187,18 +224,33 @@ pub fn run_sharing(
     if trip == 0 {
         return Ok(report);
     }
+    // One bytecode compilation per loop per run, shared by every chunk
+    // launch, TLS re-execution and fault-ladder retry below. Scoped to the
+    // run because `LoopId`s are only unique within one program.
+    let kernels = KernelCache::new();
     match mode {
         ExecutionMode::A | ExecutionMode::DPrime => greedy_share(
             program, cfg, task, env, heap, &bounds, &plan, report, /*cpu_seq=*/ false,
-            /*privatized=*/ false,
+            /*privatized=*/ false, &kernels,
         ),
         ExecutionMode::D => greedy_share(
             program, cfg, task, env, heap, &bounds, &plan, report, /*cpu_seq=*/ true,
-            /*privatized=*/ true,
+            /*privatized=*/ true, &kernels,
         ),
-        ExecutionMode::B => run_mode_b(program, cfg, task, env, heap, &bounds, &plan, report),
+        ExecutionMode::B => run_mode_b(
+            program, cfg, task, env, heap, &bounds, &plan, report, &kernels,
+        ),
         ExecutionMode::C => {
-            let r = run_sequential(program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap)?;
+            let r = run_sequential_with(
+                program,
+                &cfg.cpu,
+                task.loop_,
+                &bounds,
+                0..trip,
+                env,
+                heap,
+                Some(&kernels),
+            )?;
             report.cpu_iters = trip;
             report.cpu_busy_s = r.time_s;
             report.wall_s = r.time_s;
@@ -220,6 +272,7 @@ fn greedy_share(
     mut report: LoopExecReport,
     cpu_seq: bool,
     privatized: bool,
+    kernels: &KernelCache,
 ) -> Result<LoopExecReport, SchedError> {
     let trip = bounds.trip();
     // `threads(n)` clause overrides the configured CPU thread count.
@@ -256,7 +309,16 @@ fn greedy_share(
                 // sequentially on the host.
                 report.faults.fallbacks += 1;
                 report.faults.escalate(DegradationLevel::Sequential);
-                let r = run_sequential(program, &cfg.cpu, task.loop_, bounds, 0..trip, env, heap)?;
+                let r = run_sequential_with(
+                    program,
+                    &cfg.cpu,
+                    task.loop_,
+                    bounds,
+                    0..trip,
+                    env,
+                    heap,
+                    Some(kernels),
+                )?;
                 report.cpu_iters = trip;
                 report.cpu_busy_s = r.time_s + report.faults.backoff_s;
                 report.wall_s = report.cpu_busy_s;
@@ -340,7 +402,7 @@ fn greedy_share(
             let mut gpu_result = None;
             loop {
                 let mut spec = SpeculativeMemory::new(&mut dev, se_overhead);
-                match launch_loop_par(
+                match launch_loop_par_with(
                     program,
                     &cfg.gpu,
                     task.loop_,
@@ -350,6 +412,7 @@ fn greedy_share(
                     &mut spec,
                     faults,
                     watchdog,
+                    Some(kernels),
                 ) {
                     Ok(kr) => {
                         let writes = spec.commit_all_collect()?;
@@ -416,16 +479,15 @@ fn greedy_share(
                     // the host. This rung is deliberately unguarded — the
                     // ladder must terminate.
                     let batch_s = if cpu_seq {
-                        let mut be = japonica_cpuexec::BufferedBackend::new(heap);
-                        let mut cenv = env.clone();
-                        Interp::new(program)
-                            .exec_range(task.loop_, bounds, lo, hi, &mut cenv, &mut be)?;
+                        let be = exec_chunk_buffered(
+                            program, &cfg.cpu, task.loop_, bounds, lo, hi, env, heap, kernels,
+                        )?;
                         let t = cfg.cpu.cycles_to_seconds(cfg.cpu.cost.total(&be.counts));
                         let writes: Vec<_> = be.into_writes().into_iter().collect();
                         ordered_writes.push((idx, false, writes));
                         t
                     } else {
-                        run_parallel(
+                        run_parallel_with(
                             program,
                             &cfg.cpu,
                             task.loop_,
@@ -434,6 +496,7 @@ fn greedy_share(
                             env,
                             heap,
                             cpu_threads,
+                            Some(kernels),
                         )?
                         .time_s
                     };
@@ -463,9 +526,9 @@ fn greedy_share(
                 // Deferred-write sequential execution so commits can be
                 // ordered across devices (safe for FD-only loops: every
                 // cross-chunk read is killed by an own-iteration write).
-                let mut be = japonica_cpuexec::BufferedBackend::new(heap);
-                let mut cenv = env.clone();
-                Interp::new(program).exec_range(task.loop_, bounds, lo, hi, &mut cenv, &mut be)?;
+                let be = exec_chunk_buffered(
+                    program, &cfg.cpu, task.loop_, bounds, lo, hi, env, heap, kernels,
+                )?;
                 let cycles = cfg.cpu.cost.total(&be.counts);
                 let t = cfg.cpu.cycles_to_seconds(cycles);
                 let writes: Vec<_> = be.into_writes().into_iter().collect();
@@ -478,7 +541,7 @@ fn greedy_share(
                 let mut attempt = 0u32;
                 loop {
                     if !cpu_pool_alive {
-                        let r = run_sequential(
+                        let r = run_sequential_with(
                             program,
                             &cfg.cpu,
                             task.loop_,
@@ -486,10 +549,11 @@ fn greedy_share(
                             lo..hi,
                             &mut env.clone(),
                             heap,
+                            Some(kernels),
                         )?;
                         break r.time_s;
                     }
-                    match run_parallel_guarded(
+                    match run_parallel_guarded_with(
                         program,
                         &cfg.cpu,
                         task.loop_,
@@ -500,6 +564,7 @@ fn greedy_share(
                         cpu_threads,
                         faults,
                         loop_origin.with_chunk(idx),
+                        Some(kernels),
                     ) {
                         Ok(r) => break r.time_s,
                         Err(CpuExecError::Fault(f)) => {
@@ -518,7 +583,7 @@ fn greedy_share(
                                 report.faults.escalate(DegradationLevel::Sequential);
                             }
                             // One sequential shot for this batch either way.
-                            let r = run_sequential(
+                            let r = run_sequential_with(
                                 program,
                                 &cfg.cpu,
                                 task.loop_,
@@ -526,6 +591,7 @@ fn greedy_share(
                                 lo..hi,
                                 &mut env.clone(),
                                 heap,
+                                Some(kernels),
                             )?;
                             break r.time_s;
                         }
@@ -578,6 +644,7 @@ fn run_mode_b(
     bounds: &LoopBounds,
     plan: &DataPlan,
     mut report: LoopExecReport,
+    kernels: &KernelCache,
 ) -> Result<LoopExecReport, SchedError> {
     let trip = bounds.trip();
     let faults = cfg.faults.as_ref();
@@ -590,7 +657,7 @@ fn run_mode_b(
             report.faults.fallbacks += 1;
             report.faults.escalate(DegradationLevel::Sequential);
             *heap = pristine;
-            let r = run_sequential(
+            let r = run_sequential_with(
                 program,
                 &cfg.cpu,
                 task.loop_,
@@ -598,6 +665,7 @@ fn run_mode_b(
                 0..trip,
                 &mut env.clone(),
                 heap,
+                Some(kernels),
             )?;
             report.gpu_iters = 0;
             report.cpu_iters = trip;
@@ -619,7 +687,7 @@ fn run_mode_b(
         };
     }
     let h2d = cfg.gpu.transfer_seconds(plan.bytes_in(heap));
-    let tls = run_tls_loop_guarded(
+    let tls = run_tls_loop_guarded_with(
         program,
         &cfg.gpu,
         &cfg.cpu,
@@ -632,6 +700,7 @@ fn run_mode_b(
         task.profile.map(|p| &p.td_iters),
         faults,
         res,
+        Some(kernels),
     )?;
     report.faults.gpu_faults += tls.device_faults;
     report.faults.retries += tls.fault_retries;
@@ -691,13 +760,23 @@ pub fn run_cpu_only(
     let mut report = LoopExecReport::new(task.loop_.id, mode, Scheme::Sharing);
     report.iterations = trip;
     report.cpu_iters = trip;
+    let kernels = KernelCache::new();
     let r = match mode {
         ExecutionMode::B | ExecutionMode::C => {
             // A true dependence exists somewhere: a plain Java port cannot
             // blindly multithread this loop.
-            run_sequential(program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap)?
+            run_sequential_with(
+                program,
+                &cfg.cpu,
+                task.loop_,
+                &bounds,
+                0..trip,
+                env,
+                heap,
+                Some(&kernels),
+            )?
         }
-        _ => run_parallel(
+        _ => run_parallel_with(
             program,
             &cfg.cpu,
             task.loop_,
@@ -706,6 +785,7 @@ pub fn run_cpu_only(
             env,
             heap,
             threads,
+            Some(&kernels),
         )?,
     };
     report.cpu_busy_s = r.time_s;
@@ -726,7 +806,17 @@ pub fn run_cpu_serial(
     let mut report = LoopExecReport::new(task.loop_.id, task.try_mode(cfg)?, Scheme::Sharing);
     report.iterations = trip;
     report.cpu_iters = trip;
-    let r = run_sequential(program, &cfg.cpu, task.loop_, &bounds, 0..trip, env, heap)?;
+    let kernels = KernelCache::new();
+    let r = run_sequential_with(
+        program,
+        &cfg.cpu,
+        task.loop_,
+        &bounds,
+        0..trip,
+        env,
+        heap,
+        Some(&kernels),
+    )?;
     report.cpu_busy_s = r.time_s;
     report.wall_s = r.time_s;
     Ok(report)
@@ -756,9 +846,10 @@ pub fn run_gpu_only(
     stage_device(&plan, heap, &mut dev, cfg)?;
     let h2d = cfg.gpu.transfer_seconds(plan.bytes_in(heap));
     let mut tls_report = None;
+    let kernels = KernelCache::new();
     let compute_s = match mode {
         ExecutionMode::A | ExecutionMode::DPrime => {
-            let kr = launch_loop_par(
+            let kr = launch_loop_par_with(
                 program,
                 &cfg.gpu,
                 task.loop_,
@@ -768,11 +859,12 @@ pub fn run_gpu_only(
                 &mut dev,
                 None,
                 None,
+                Some(&kernels),
             )?;
             kr.time_s
         }
         ExecutionMode::D => {
-            let r = run_privatized(
+            let r = run_privatized_with(
                 program,
                 &cfg.gpu,
                 &cfg.tls,
@@ -781,6 +873,7 @@ pub fn run_gpu_only(
                 0..trip,
                 env,
                 &mut dev,
+                Some(&kernels),
             )?;
             let t = r.time_s;
             tls_report = Some(r);
@@ -791,7 +884,7 @@ pub fn run_gpu_only(
             // true dependences; dense TD makes this thrash (Gauss-Seidel's
             // tiny GPU bar in the paper's Fig. 4). A hand-ported GPU-only
             // version has no profiler, so it speculates blind.
-            let r = run_tls_loop(
+            let r = run_tls_loop_guarded_with(
                 program,
                 &cfg.gpu,
                 &cfg.cpu,
@@ -802,6 +895,9 @@ pub fn run_gpu_only(
                 env,
                 &mut dev,
                 None,
+                None,
+                &ResilienceConfig::default(),
+                Some(&kernels),
             )?;
             let t = r.time_s;
             report.cpu_iters = r.recovered_iters;
@@ -846,8 +942,9 @@ pub fn run_fixed_split(
     stage_device(&plan, heap, &mut dev, cfg)?;
     let in_share = (plan.bytes_in(heap) as f64 * gpu_fraction) as usize;
     let h2d = cfg.gpu.transfer_seconds(in_share);
+    let kernels = KernelCache::new();
     let mut spec = SpeculativeMemory::new(&mut dev, 0.0);
-    let kr = launch_loop_par(
+    let kr = launch_loop_par_with(
         program,
         &cfg.gpu,
         task.loop_,
@@ -857,9 +954,10 @@ pub fn run_fixed_split(
         &mut spec,
         None,
         None,
+        Some(&kernels),
     )?;
     let writes = spec.commit_all_collect()?;
-    let cpu = run_parallel(
+    let cpu = run_parallel_with(
         program,
         &cfg.cpu,
         task.loop_,
@@ -868,6 +966,7 @@ pub fn run_fixed_split(
         env,
         heap,
         cfg.cpu_threads,
+        Some(&kernels),
     )?;
     let bytes_out = apply_writes_to_host(heap, &writes)?;
     let d2h = cfg.gpu.transfer_seconds(bytes_out);
@@ -937,7 +1036,7 @@ mod tests {
     fn seq_reference(fx: &Fx) -> Vec<Vec<f64>> {
         let mut heap = fx.heap.clone();
         let bounds = eval_bounds(&fx.program, &fx.loop_, &fx.env, &mut heap).unwrap();
-        run_sequential(
+        run_sequential_with(
             &fx.program,
             &CpuConfig::default(),
             &fx.loop_,
@@ -945,6 +1044,7 @@ mod tests {
             0..bounds.trip(),
             &mut fx.env.clone(),
             &mut heap,
+            None,
         )
         .unwrap();
         fx.arrays

@@ -21,10 +21,10 @@ use crate::plan::DataPlan;
 use crate::report::{LoopExecReport, SchedError};
 use crate::sharing::{eval_bounds, stage_device_guarded, transfer_with_retry, LoopTask};
 use japonica_analysis::Pdg;
-use japonica_cpuexec::{run_parallel_guarded, run_sequential, CpuExecError};
+use japonica_cpuexec::{run_parallel_guarded_with, run_sequential_with, CpuExecError};
 use japonica_faults::{DegradationLevel, FaultOrigin, FaultStats};
-use japonica_gpusim::{launch_loop_par, DeviceMemory, SimtError};
-use japonica_ir::{Env, Heap, LoopBounds, LoopId, Program, Scheme};
+use japonica_gpusim::{launch_loop_par_with, DeviceMemory, SimtError};
+use japonica_ir::{Env, Heap, KernelCache, LoopBounds, LoopId, Program, Scheme};
 use japonica_tls::SpeculativeMemory;
 use std::collections::VecDeque;
 
@@ -137,6 +137,10 @@ pub fn run_stealing(
     heap: &mut Heap,
 ) -> Result<StealingReport, SchedError> {
     let mut report = StealingReport::default();
+    // One bytecode compilation per loop for the whole run: sub-loops,
+    // steals, TLS re-launches and fault retries all hit the cache. Scoped
+    // to the run because `LoopId`s are only unique within one program.
+    let kernels = KernelCache::new();
     let mut gpu_clock = 0.0f64;
     let mut cpu_clock = 0.0f64;
     // Degradation ladder state: once the device exhausts its fault
@@ -277,7 +281,7 @@ pub fn run_stealing(
                         gpu_xfer_clock = gpu_clock;
                         gpu_return_clock = gpu_return_clock.max(gpu_clock);
                     }
-                    match exec_gpu(program, cfg, &t, env, heap, &mut report.faults) {
+                    match exec_gpu(program, cfg, &t, env, heap, &kernels, &mut report.faults) {
                         Ok((h2d, kernel, d2h)) => {
                             gpu_xfer_clock += h2d; // streamed ahead of the kernel
                             let start = gpu_clock.max(gpu_xfer_clock);
@@ -304,8 +308,16 @@ pub fn run_stealing(
                                     cpu_q.push_back(q);
                                 }
                             }
-                            let dur =
-                                exec_cpu(program, cfg, &t, env, heap, res, &mut report.faults)?;
+                            let dur = exec_cpu(
+                                program,
+                                cfg,
+                                &t,
+                                env,
+                                heap,
+                                res,
+                                &kernels,
+                                &mut report.faults,
+                            )?;
                             let start = cpu_clock;
                             cpu_clock += dur;
                             stolen = true;
@@ -315,7 +327,16 @@ pub fn run_stealing(
                     }
                 }
                 Device::Cpu => {
-                    let dur = exec_cpu(program, cfg, &t, env, heap, res, &mut report.faults)?;
+                    let dur = exec_cpu(
+                        program,
+                        cfg,
+                        &t,
+                        env,
+                        heap,
+                        res,
+                        &kernels,
+                        &mut report.faults,
+                    )?;
                     let start = cpu_clock;
                     cpu_clock += dur;
                     (Device::Cpu, start, cpu_clock)
@@ -367,6 +388,7 @@ fn exec_gpu(
     t: &SubTask,
     env: &Env,
     heap: &mut Heap,
+    kernels: &KernelCache,
     stats: &mut FaultStats,
 ) -> Result<(f64, f64, f64), SchedError> {
     let faults = cfg.faults.as_ref();
@@ -391,7 +413,7 @@ fn exec_gpu(
     if matches!(t.mode, ExecutionMode::B | ExecutionMode::C) {
         // Defensive: a true-dependence task can only run on the GPU under
         // speculation (never reached for obligatory-CPU tasks).
-        let r = japonica_tls::run_tls_loop_guarded(
+        let r = japonica_tls::run_tls_loop_guarded_with(
             program,
             &cfg.gpu,
             &cfg.cpu,
@@ -404,6 +426,7 @@ fn exec_gpu(
             t.task.profile.map(|p| &p.td_iters),
             faults,
             res,
+            Some(kernels),
         )?;
         stats.gpu_faults += r.device_faults;
         stats.retries += r.fault_retries;
@@ -428,7 +451,7 @@ fn exec_gpu(
     let mut backoff = 0.0f64;
     let (kr, writes) = loop {
         let mut spec = SpeculativeMemory::new(&mut dev, overhead);
-        match launch_loop_par(
+        match launch_loop_par_with(
             program,
             &cfg.gpu,
             t.task.loop_,
@@ -438,6 +461,7 @@ fn exec_gpu(
             &mut spec,
             faults,
             watchdog,
+            Some(kernels),
         ) {
             Ok(kr) => {
                 let writes = spec.commit_all_collect()?;
@@ -485,6 +509,7 @@ fn exec_gpu(
 /// tasks, sequential otherwise. Injected worker-chunk faults are retried
 /// and then absorbed by dropping the batch to sequential execution — the
 /// CPU rung always completes.
+#[allow(clippy::too_many_arguments)] // mirrors exec_gpu plus the kernel cache
 fn exec_cpu(
     program: &Program,
     cfg: &SchedulerConfig,
@@ -492,6 +517,7 @@ fn exec_cpu(
     env: &Env,
     heap: &mut Heap,
     res: &japonica_faults::ResilienceConfig,
+    kernels: &KernelCache,
     stats: &mut FaultStats,
 ) -> Result<f64, SchedError> {
     let faults = cfg.faults.as_ref();
@@ -499,7 +525,7 @@ fn exec_cpu(
         .with_subloop(t.lo)
         .with_chunk(t.sub.0 as u64);
     let r = match t.mode {
-        ExecutionMode::B | ExecutionMode::C | ExecutionMode::D => run_sequential(
+        ExecutionMode::B | ExecutionMode::C | ExecutionMode::D => run_sequential_with(
             program,
             &cfg.cpu,
             t.task.loop_,
@@ -507,6 +533,7 @@ fn exec_cpu(
             t.lo..t.hi,
             &mut env.clone(),
             heap,
+            Some(kernels),
         )?,
         _ => {
             let threads = t
@@ -518,7 +545,7 @@ fn exec_cpu(
                 .unwrap_or(cfg.cpu_threads);
             let mut attempt = 0u32;
             loop {
-                match run_parallel_guarded(
+                match run_parallel_guarded_with(
                     program,
                     &cfg.cpu,
                     t.task.loop_,
@@ -529,6 +556,7 @@ fn exec_cpu(
                     threads,
                     faults,
                     origin,
+                    Some(kernels),
                 ) {
                     Ok(r) => break r,
                     Err(CpuExecError::Fault(f)) => {
@@ -543,7 +571,7 @@ fn exec_cpu(
                         if stats.cpu_faults >= res.device_fault_tolerance {
                             stats.escalate(DegradationLevel::Sequential);
                         }
-                        break run_sequential(
+                        break run_sequential_with(
                             program,
                             &cfg.cpu,
                             t.task.loop_,
@@ -551,6 +579,7 @@ fn exec_cpu(
                             t.lo..t.hi,
                             &mut env.clone(),
                             heap,
+                            Some(kernels),
                         )?;
                     }
                     Err(CpuExecError::Exec(e)) => return Err(e.into()),

@@ -1,0 +1,507 @@
+//! Differential property tests for the two kernel execution engines.
+//!
+//! Random kernels — generated from a proptest byte genome covering nested
+//! control flow, short-circuit conditions, intrinsics, helper calls, and
+//! mixed int/double arithmetic — must produce *bit-identical* results under
+//! the reference tree walker and the register bytecode VM:
+//!
+//! * GPU path: device memory, `GpuStats`, and every simulated cycle count,
+//!   at `host_threads ∈ {1, 4}`;
+//! * CPU path: heap memory, op counts, and modeled time for both the
+//!   sequential executor and the chunked parallel executor;
+//! * TLS path: identical rollback decisions (violations, recovery windows,
+//!   kernels launched) and committed memory on a loop with a seeded
+//!   cross-iteration dependence.
+
+use japonica_cpuexec::{run_parallel, run_sequential, CpuConfig, CpuReport};
+use japonica_frontend::compile_source;
+use japonica_gpusim::{launch_loop_par, DeviceConfig, DeviceMemory, KernelReport};
+use japonica_ir::{
+    compile_kernel, ArrayId, Env, ExecEngine, ForLoop, Heap, LoopBounds, Program, Value,
+};
+use japonica_tls::{run_tls_loop, TlsConfig, TlsReport};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Random kernel generator
+// ---------------------------------------------------------------------------
+
+/// Deterministic gene reader: statements/expressions are picked by consuming
+/// bytes from a proptest-generated genome (wrapping when exhausted), so every
+/// failure shrinks to a small reproducible byte vector.
+struct Genes<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    temps: u32,
+}
+
+impl<'a> Genes<'a> {
+    fn new(bytes: &'a [u8]) -> Genes<'a> {
+        Genes {
+            bytes,
+            pos: 0,
+            temps: 0,
+        }
+    }
+
+    fn next(&mut self) -> u8 {
+        let b = self.bytes[self.pos % self.bytes.len()];
+        self.pos = self.pos.wrapping_add(1);
+        b
+    }
+
+    fn pick(&mut self, n: u8) -> u8 {
+        self.next() % n
+    }
+
+    fn fresh(&mut self) -> u32 {
+        self.temps += 1;
+        self.temps
+    }
+}
+
+/// A double-typed expression over `a[i]`, `b[i]`, the induction variable,
+/// literals, arithmetic, intrinsics, ternaries, and a helper-function call.
+fn gen_expr(g: &mut Genes, depth: u32) -> String {
+    const LITS: [&str; 5] = ["0.5", "1.5", "2.0", "3.25", "0.125"];
+    if depth == 0 {
+        return match g.pick(4) {
+            0 => "a[i]".into(),
+            1 => "b[i]".into(),
+            2 => LITS[g.pick(5) as usize].into(),
+            _ => "(double) i".into(),
+        };
+    }
+    match g.pick(10) {
+        0..=2 => {
+            let op = ["+", "-", "*", "/"][g.pick(4) as usize];
+            let l = gen_expr(g, depth - 1);
+            let r = gen_expr(g, depth - 1);
+            format!("({l} {op} {r})")
+        }
+        3 => format!("Math.sqrt(Math.abs({}))", gen_expr(g, depth - 1)),
+        4 => format!(
+            "Math.min({}, {})",
+            gen_expr(g, depth - 1),
+            gen_expr(g, depth - 1)
+        ),
+        5 => format!(
+            "Math.max({}, {})",
+            gen_expr(g, depth - 1),
+            gen_expr(g, depth - 1)
+        ),
+        6 => format!("Math.sin({})", gen_expr(g, depth - 1)),
+        7 => {
+            let c = gen_cond(g, depth - 1);
+            let t = gen_expr(g, depth - 1);
+            let f = gen_expr(g, depth - 1);
+            format!("({c} ? {t} : {f})")
+        }
+        8 => format!("h({}, {})", gen_expr(g, depth - 1), gen_expr(g, depth - 1)),
+        _ => gen_expr(g, 0),
+    }
+}
+
+/// A boolean condition, including short-circuit combinations.
+fn gen_cond(g: &mut Genes, depth: u32) -> String {
+    match g.pick(if depth == 0 { 3 } else { 5 }) {
+        0 => {
+            let k = 2 + g.pick(4);
+            let c = g.pick(k);
+            format!("i % {k} == {c}")
+        }
+        1 => format!("{} < {}", gen_expr(g, 0), gen_expr(g, 0)),
+        2 => "i < n / 2".into(),
+        3 => format!("({} && {})", gen_cond(g, depth - 1), gen_cond(g, depth - 1)),
+        _ => format!("({} || {})", gen_cond(g, depth - 1), gen_cond(g, depth - 1)),
+    }
+}
+
+/// A statement list writing only `a[i]` and locals (the DOALL contract).
+fn gen_stmts(g: &mut Genes, depth: u32) -> String {
+    let n = 1 + g.pick(3);
+    let mut out = String::new();
+    for _ in 0..n {
+        let choice = if depth == 0 { g.pick(2) } else { g.pick(5) };
+        match choice {
+            0 => out.push_str(&format!("a[i] = {};\n", gen_expr(g, 2))),
+            1 => {
+                let t = g.fresh();
+                let op = ["+", "-", "*"][g.pick(3) as usize];
+                out.push_str(&format!(
+                    "double t{t} = {};\na[i] = (t{t} {op} {});\n",
+                    gen_expr(g, 2),
+                    gen_expr(g, 1)
+                ));
+            }
+            2 => {
+                let c = gen_cond(g, 1);
+                let then = gen_stmts(g, depth - 1);
+                if g.pick(2) == 0 {
+                    out.push_str(&format!("if ({c}) {{\n{then}}}\n"));
+                } else {
+                    let els = gen_stmts(g, depth - 1);
+                    out.push_str(&format!("if ({c}) {{\n{then}}} else {{\n{els}}}\n"));
+                }
+            }
+            3 => {
+                let j = g.fresh();
+                let k = 1 + g.pick(4);
+                out.push_str(&format!(
+                    "for (int j{j} = 0; j{j} < {k}; j{j}++) {{\na[i] = (a[i] + ({} * 0.0625));\n}}\n",
+                    gen_expr(g, 1)
+                ));
+            }
+            _ => {
+                let c = g.fresh();
+                let k = 1 + g.pick(3);
+                out.push_str(&format!(
+                    "int c{c} = 0;\nwhile (c{c} < {k}) {{\na[i] = (a[i] * 1.015625 + {});\nc{c} = c{c} + 1;\n}}\n",
+                    gen_expr(g, 0)
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Assemble a full compilation unit: a helper with divergent control flow
+/// plus the DOALL kernel loop whose body comes from the genome.
+fn gen_kernel(genes: &[u8]) -> String {
+    let mut g = Genes::new(genes);
+    let body = gen_stmts(&mut g, 2);
+    format!(
+        "static double h(double x, double y) {{
+            if (x > y) {{ return x - y; }}
+            return y - x + 1.0;
+        }}
+        static void k(double[] a, double[] b, int n) {{
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {{
+{body}            }}
+        }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Fixtures
+// ---------------------------------------------------------------------------
+
+struct Fx {
+    program: Program,
+    loop_: ForLoop,
+    env: Env,
+    heap: Heap,
+    a: ArrayId,
+    b: ArrayId,
+    bounds: LoopBounds,
+    n: usize,
+}
+
+fn fx(src: &str, n: usize) -> Fx {
+    let program = compile_source(src).unwrap();
+    let (_, f) = program.function_by_name("k").unwrap();
+    let loop_ = f.all_loops()[0].clone();
+    let mut heap = Heap::new();
+    let a = heap.alloc_doubles(
+        &(0..n)
+            .map(|i| (i as f64 * 0.7).sin() + 0.5)
+            .collect::<Vec<_>>(),
+    );
+    let b = heap.alloc_doubles(
+        &(0..n)
+            .map(|i| (i as f64 * 1.3).cos() * 2.0)
+            .collect::<Vec<_>>(),
+    );
+    let mut env = Env::with_slots(f.num_vars);
+    env.set(f.params[0].var, Value::Array(a));
+    env.set(f.params[1].var, Value::Array(b));
+    env.set(f.params[2].var, Value::Int(n as i32));
+    let bounds = LoopBounds {
+        start: 0,
+        end: n as i64,
+        step: 1,
+    };
+    Fx {
+        program,
+        loop_,
+        env,
+        heap,
+        a,
+        b,
+        bounds,
+        n,
+    }
+}
+
+fn mem_bits(dev: &DeviceMemory, a: ArrayId) -> Vec<u64> {
+    let arr = dev.array(a).unwrap();
+    (0..arr.len())
+        .map(|i| match arr.get(i) {
+            Value::Double(d) => d.to_bits(),
+            v => panic!("unexpected value {v:?}"),
+        })
+        .collect()
+}
+
+fn heap_bits(heap: &Heap, a: ArrayId) -> Vec<u64> {
+    heap.read_doubles(a)
+        .unwrap()
+        .iter()
+        .map(|d| d.to_bits())
+        .collect()
+}
+
+/// Everything a [`CpuReport`] carries, f64s as raw bits.
+#[derive(Debug, PartialEq, Eq)]
+struct CpuFingerprint {
+    time_bits: u64,
+    counts: japonica_ir::OpCounts,
+    threads_used: u32,
+    per_thread_bits: Vec<u64>,
+}
+
+impl CpuFingerprint {
+    fn of(r: &CpuReport) -> CpuFingerprint {
+        CpuFingerprint {
+            time_bits: r.time_s.to_bits(),
+            counts: r.counts.clone(),
+            threads_used: r.threads_used,
+            per_thread_bits: r.per_thread_seconds.iter().map(|t| t.to_bits()).collect(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// GPU path
+// ---------------------------------------------------------------------------
+
+fn run_gpu(fx: &Fx, engine: ExecEngine, threads: usize) -> (KernelReport, Vec<u64>) {
+    let mut cfg = DeviceConfig::default();
+    cfg.sim.engine = engine;
+    cfg.sim.host_threads = threads;
+    let mut dev = DeviceMemory::new();
+    dev.copy_in(&fx.heap, fx.a, 0, fx.n, &cfg).unwrap();
+    dev.copy_in(&fx.heap, fx.b, 0, fx.n, &cfg).unwrap();
+    let r = launch_loop_par(
+        &fx.program,
+        &cfg,
+        &fx.loop_,
+        &fx.bounds,
+        0..fx.n as u64,
+        &fx.env,
+        &mut dev,
+        None,
+        None,
+    )
+    .unwrap();
+    let mem = mem_bits(&dev, fx.a);
+    (r, mem)
+}
+
+// ---------------------------------------------------------------------------
+// CPU path
+// ---------------------------------------------------------------------------
+
+fn run_cpu_seq(fx: &Fx, engine: ExecEngine) -> (CpuFingerprint, Vec<u64>) {
+    let mut cfg = CpuConfig::default();
+    cfg.engine = engine;
+    let mut heap = fx.heap.clone();
+    let r = run_sequential(
+        &fx.program,
+        &cfg,
+        &fx.loop_,
+        &fx.bounds,
+        0..fx.n as u64,
+        &mut fx.env.clone(),
+        &mut heap,
+    )
+    .unwrap();
+    (CpuFingerprint::of(&r), heap_bits(&heap, fx.a))
+}
+
+fn run_cpu_par(fx: &Fx, engine: ExecEngine, threads: u32) -> (CpuFingerprint, Vec<u64>) {
+    let mut cfg = CpuConfig::default();
+    cfg.engine = engine;
+    let mut heap = fx.heap.clone();
+    let r = run_parallel(
+        &fx.program,
+        &cfg,
+        &fx.loop_,
+        &fx.bounds,
+        0..fx.n as u64,
+        &fx.env,
+        &mut heap,
+        threads,
+    )
+    .unwrap();
+    (CpuFingerprint::of(&r), heap_bits(&heap, fx.a))
+}
+
+// ---------------------------------------------------------------------------
+// TLS path (seeded RAW dependence so rollbacks actually happen)
+// ---------------------------------------------------------------------------
+
+/// Scheduler-visible rollback decisions from a [`TlsReport`], bit-exact.
+#[derive(Debug, PartialEq, Eq)]
+struct TlsFingerprint {
+    kernels: u32,
+    clean_subloops: u32,
+    violations: u32,
+    intra_warp: u32,
+    inter_warp: u32,
+    recovered_iters: u64,
+    gpu_time_bits: u64,
+    cpu_time_bits: u64,
+    time_bits: u64,
+}
+
+impl TlsFingerprint {
+    fn of(r: &TlsReport) -> TlsFingerprint {
+        TlsFingerprint {
+            kernels: r.kernels,
+            clean_subloops: r.clean_subloops,
+            violations: r.violations,
+            intra_warp: r.intra_warp_violations,
+            inter_warp: r.inter_warp_violations,
+            recovered_iters: r.recovered_iters,
+            gpu_time_bits: r.gpu_time_s.to_bits(),
+            cpu_time_bits: r.cpu_time_s.to_bits(),
+            time_bits: r.time_s.to_bits(),
+        }
+    }
+}
+
+fn run_tls(n: i64, dist: i64, subloop: u64, engine: ExecEngine) -> (TlsFingerprint, Vec<i64>) {
+    let src = format!(
+        "static void f(long[] a, int n) {{
+            /* acc parallel */
+            for (int i = 0; i < n; i++) {{
+                if (i >= {dist}) {{ a[i] = a[i - {dist}] + 1; }} else {{ a[i] = 1; }}
+            }}
+        }}"
+    );
+    let program = compile_source(&src).unwrap();
+    let f = &program.functions[0];
+    let loop_ = f.all_loops()[0].clone();
+    let mut heap = Heap::new();
+    let a = heap.alloc_longs(&(0..n).collect::<Vec<_>>());
+    let mut dcfg = DeviceConfig::default();
+    dcfg.sim.engine = engine;
+    let mut dev = DeviceMemory::new();
+    dev.copy_in(&heap, a, 0, n as usize, &dcfg).unwrap();
+    let mut env = Env::with_slots(f.num_vars);
+    env.set(f.params[0].var, Value::Array(a));
+    env.set(f.params[1].var, Value::Int(n as i32));
+    let bounds = LoopBounds {
+        start: 0,
+        end: n,
+        step: 1,
+    };
+    let tls = TlsConfig {
+        subloop_iters: subloop,
+        ..TlsConfig::default()
+    };
+    let r = run_tls_loop(
+        &program,
+        &dcfg,
+        &CpuConfig::default(),
+        &tls,
+        &loop_,
+        &bounds,
+        0..n as u64,
+        &env,
+        &mut dev,
+        None,
+    )
+    .unwrap();
+    let mem: Vec<i64> = {
+        let arr = dev.array(a).unwrap();
+        (0..arr.len())
+            .map(|i| arr.get(i).as_i64().unwrap())
+            .collect()
+    };
+    (TlsFingerprint::of(&r), mem)
+}
+
+// ---------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// GPU path: for random kernels the bytecode SIMT VM and the tree
+    /// walker agree on memory bits, `GpuStats`, and cycle bit patterns at
+    /// `host_threads ∈ {1, 4}`.
+    #[test]
+    fn gpu_engines_bit_identical(
+        genes in proptest::collection::vec(any::<u8>(), 8..64),
+        n in 33usize..700,
+    ) {
+        let src = gen_kernel(&genes);
+        let fx = fx(&src, n);
+        // The generated grammar stays inside the compilable subset: assert
+        // it so the bytecode leg genuinely exercises the VM (an
+        // uncompilable kernel would silently fall back to the walker).
+        prop_assert!(
+            compile_kernel(&fx.program, &fx.loop_).is_ok(),
+            "generated kernel must compile to bytecode:\n{}", src
+        );
+        for threads in [1usize, 4] {
+            let (rw, mw) = run_gpu(&fx, ExecEngine::TreeWalker, threads);
+            let (rb, mb) = run_gpu(&fx, ExecEngine::Bytecode, threads);
+            prop_assert_eq!(&rw.stats, &rb.stats, "GpuStats diverged at {} threads:\n{}", threads, &src);
+            prop_assert_eq!(
+                rw.critical_cycles.to_bits(), rb.critical_cycles.to_bits(),
+                "critical cycles diverged at {} threads:\n{}", threads, &src
+            );
+            prop_assert_eq!(
+                rw.time_s.to_bits(), rb.time_s.to_bits(),
+                "kernel time diverged at {} threads:\n{}", threads, &src
+            );
+            prop_assert_eq!(&rw, &rb, "report diverged at {} threads:\n{}", threads, &src);
+            prop_assert_eq!(&mw, &mb, "memory diverged at {} threads:\n{}", threads, &src);
+        }
+    }
+
+    /// CPU path: sequential and chunked-parallel execution agree between
+    /// engines on heap bits, op counts, and modeled time.
+    #[test]
+    fn cpu_engines_bit_identical(
+        genes in proptest::collection::vec(any::<u8>(), 8..64),
+        n in 33usize..700,
+    ) {
+        let src = gen_kernel(&genes);
+        let fx = fx(&src, n);
+        prop_assert!(
+            compile_kernel(&fx.program, &fx.loop_).is_ok(),
+            "generated kernel must compile to bytecode:\n{}", src
+        );
+        let (fw, mw) = run_cpu_seq(&fx, ExecEngine::TreeWalker);
+        let (fb, mb) = run_cpu_seq(&fx, ExecEngine::Bytecode);
+        prop_assert_eq!(&fw, &fb, "sequential report diverged:\n{}", &src);
+        prop_assert_eq!(&mw, &mb, "sequential memory diverged:\n{}", &src);
+        for threads in [1u32, 4] {
+            let (fw, mw) = run_cpu_par(&fx, ExecEngine::TreeWalker, threads);
+            let (fb, mb) = run_cpu_par(&fx, ExecEngine::Bytecode, threads);
+            prop_assert_eq!(&fw, &fb, "parallel report diverged at {} threads:\n{}", threads, &src);
+            prop_assert_eq!(&mw, &mb, "parallel memory diverged at {} threads:\n{}", threads, &src);
+        }
+    }
+
+    /// TLS path: on loops with true cross-iteration dependences both
+    /// engines make identical rollback decisions and commit identical
+    /// memory.
+    #[test]
+    fn tls_rollback_decisions_engine_invariant(
+        n in 200i64..900,
+        dist in 1i64..250,
+        subloop in prop_oneof![Just(64u64), Just(256u64)],
+    ) {
+        let (fw, mw) = run_tls(n, dist, subloop, ExecEngine::TreeWalker);
+        let (fb, mb) = run_tls(n, dist, subloop, ExecEngine::Bytecode);
+        prop_assert_eq!(&fw, &fb, "rollback decisions diverged (n={}, dist={})", n, dist);
+        prop_assert_eq!(&mw, &mb, "committed memory diverged (n={}, dist={})", n, dist);
+    }
+}

@@ -6,11 +6,11 @@ use crate::spec_mem::SpeculativeMemory;
 use japonica_cpuexec::CpuConfig;
 use japonica_faults::{DeviceFault, FaultPlan, ResilienceConfig};
 use japonica_gpusim::{
-    launch_loop_par, AccessCtx, DeviceConfig, DeviceMemory, LaneMemory, SimtError,
+    launch_loop_par_with, AccessCtx, DeviceConfig, DeviceMemory, LaneMemory, SimtError,
 };
 use japonica_ir::{
-    ArrayData, ArrayId, Backend, Env, ExecError, ForLoop, Interp, LoopBounds, OpClass, Program, Ty,
-    Value,
+    ArrayData, ArrayId, Backend, Env, ExecError, ForLoop, Interp, KernelCache, LoopBounds, OpClass,
+    Program, Ty, Value,
 };
 use std::collections::BTreeSet;
 use std::ops::Range;
@@ -241,6 +241,32 @@ pub fn run_tls_loop_guarded(
     faults: Option<&FaultPlan>,
     res: &ResilienceConfig,
 ) -> Result<TlsReport, TlsError> {
+    run_tls_loop_guarded_with(
+        program, dcfg, ccfg, tls, loop_, bounds, range, base_env, dev, td_iters, faults, res, None,
+    )
+}
+
+/// [`run_tls_loop_guarded`] with an optional shared [`KernelCache`]: the
+/// speculative re-launch after every sub-loop, recovery window and fault
+/// retry reuses one bytecode compilation of the loop body. Sequential
+/// recovery replays stay on the reference tree walker (they run against
+/// live device memory with sequential semantics either way).
+#[allow(clippy::too_many_arguments)]
+pub fn run_tls_loop_guarded_with(
+    program: &Program,
+    dcfg: &DeviceConfig,
+    ccfg: &CpuConfig,
+    tls: &TlsConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    base_env: &Env,
+    dev: &mut DeviceMemory,
+    td_iters: Option<&BTreeSet<u64>>,
+    faults: Option<&FaultPlan>,
+    res: &ResilienceConfig,
+    kernels: Option<&KernelCache>,
+) -> Result<TlsReport, TlsError> {
     let mut report = TlsReport::default();
     let mut k = range.start;
     // One-time stream/JNI open; per-subloop launches pipeline behind it.
@@ -266,7 +292,7 @@ pub fn run_tls_loop_guarded(
         loop {
             // ---- SE phase ----
             let mut spec = SpeculativeMemory::new(dev, tls.se_overhead_cycles);
-            let kr = match launch_loop_par(
+            let kr = match launch_loop_par_with(
                 program,
                 dcfg,
                 loop_,
@@ -276,6 +302,7 @@ pub fn run_tls_loop_guarded(
                 &mut spec,
                 faults,
                 watchdog,
+                kernels,
             ) {
                 Ok(kr) => kr,
                 Err(SimtError::Fault(f)) => {
@@ -383,10 +410,28 @@ pub fn run_privatized(
     base_env: &Env,
     dev: &mut DeviceMemory,
 ) -> Result<TlsReport, TlsError> {
+    run_privatized_with(
+        program, dcfg, tls, loop_, bounds, range, base_env, dev, None,
+    )
+}
+
+/// [`run_privatized`] with an optional shared [`KernelCache`].
+#[allow(clippy::too_many_arguments)] // mirrors the launch signature
+pub fn run_privatized_with(
+    program: &Program,
+    dcfg: &DeviceConfig,
+    tls: &TlsConfig,
+    loop_: &ForLoop,
+    bounds: &LoopBounds,
+    range: Range<u64>,
+    base_env: &Env,
+    dev: &mut DeviceMemory,
+    kernels: Option<&KernelCache>,
+) -> Result<TlsReport, TlsError> {
     let mut report = TlsReport::default();
     let mut spec = SpeculativeMemory::new(dev, tls.se_overhead_cycles / 2.0);
-    let kr = launch_loop_par(
-        program, dcfg, loop_, bounds, range, base_env, &mut spec, None, None,
+    let kr = launch_loop_par_with(
+        program, dcfg, loop_, bounds, range, base_env, &mut spec, None, None, kernels,
     )?;
     report.kernels = 1;
     let writes = spec.commit_all_collect()?;

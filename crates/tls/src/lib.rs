@@ -34,6 +34,7 @@ pub mod spec_mem;
 
 pub use config::TlsConfig;
 pub use engine::{
-    run_privatized, run_tls_loop, run_tls_loop_guarded, DeviceBackend, TlsError, TlsReport,
+    run_privatized, run_privatized_with, run_tls_loop, run_tls_loop_guarded,
+    run_tls_loop_guarded_with, DeviceBackend, TlsError, TlsReport,
 };
 pub use spec_mem::{DcOutcome, DepStats, SpecDelta, SpecView, SpeculativeMemory, WriteList};
