@@ -1,0 +1,388 @@
+//! `loadgen` — seeded synthetic load generator and determinism oracle for
+//! the `japonica-serve` multi-tenant service.
+//!
+//! Generates a reproducible mix of Table II programs with exponential
+//! inter-arrivals at `--rate` jobs per *virtual* second, replays it through
+//! the deterministic virtual-clock simulator, and checks three oracles:
+//!
+//! 1. **Replay determinism** — two simulations of the same trace must
+//!    produce byte-identical fingerprints (every simulated time bit-exact).
+//! 2. **Tenant isolation** — every job completed in the shared batch must
+//!    be bit-identical (simulated wall clock and report summary) to the
+//!    same job run *solo* on an equal-sized device slice.
+//! 3. **Exact accounting** — every submitted job lands in exactly one
+//!    `ServeStats` counter, in both the simulator and the threaded service.
+//!
+//! The threaded phase then pushes the same mix through the real
+//! [`Serve`](japonica_serve::Serve) worker pool for a host throughput /
+//! latency snapshot (optionally written as flat JSON with `--json`).
+//!
+//! Exit codes: 0 ok · 2 determinism or isolation violation ·
+//! 3 accounting violation · 4 a phase failed to run.
+
+use japonica_bench::{json_escape, json_f64};
+use japonica_serve::{
+    simulate_batch, JobRequest, ResourceRequest, Serve, ServeConfig, SimJobOutcome, SimServeConfig,
+};
+use japonica_workloads::Workload;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+struct Opts {
+    rate: f64,
+    seed: u64,
+    jobs: usize,
+    scale: u64,
+    queue_cap: usize,
+    workers: usize,
+    json: Option<String>,
+    quick: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--rate JOBS_PER_S] [--seed N] [--jobs N] [--scale N]\n\
+         \x20              [--queue-cap N] [--workers N] [--json PATH] [--quick]\n\
+         \n\
+         Replays a seeded synthetic mix of Table II programs through the\n\
+         japonica-serve virtual-clock simulator (determinism + isolation\n\
+         oracles, exit 2 on violation) and the threaded service (throughput\n\
+         and latency snapshot). --quick shrinks the mix for CI smoke."
+    );
+    std::process::exit(2)
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        rate: 200.0,
+        seed: 7,
+        jobs: 0,
+        scale: 1,
+        queue_cap: 16,
+        workers: 4,
+        json: None,
+        quick: false,
+    };
+    let mut jobs_set = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let num = |args: &mut dyn Iterator<Item = String>| -> f64 {
+            args.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage())
+        };
+        match a.as_str() {
+            "--rate" => o.rate = num(&mut args).max(1e-6),
+            "--seed" => o.seed = num(&mut args) as u64,
+            "--jobs" => {
+                o.jobs = (num(&mut args) as usize).max(1);
+                jobs_set = true;
+            }
+            "--scale" => o.scale = (num(&mut args) as u64).max(1),
+            "--queue-cap" => o.queue_cap = (num(&mut args) as usize).max(1),
+            "--workers" => o.workers = (num(&mut args) as usize).max(1),
+            "--json" => o.json = args.next().or_else(|| usage()).into(),
+            "--quick" => o.quick = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage()
+            }
+        }
+    }
+    if !jobs_set {
+        o.jobs = if o.quick { 8 } else { 24 };
+    }
+    o
+}
+
+/// The shape of one generated job, kept so it can be regenerated exactly
+/// (workload instances are seeded per kind, so rebuilding a request yields
+/// byte-identical inputs).
+#[derive(Clone, Copy)]
+struct MixSlot {
+    widx: usize,
+    sms: u32,
+    cpus: u32,
+    prio: u8,
+    arrival_s: f64,
+}
+
+/// Draw the seeded mix: which workload, which slice, which priority, and
+/// exponential inter-arrival times at `rate` jobs per virtual second.
+fn draw_mix(o: &Opts) -> Vec<MixSlot> {
+    let mut rng = StdRng::seed_from_u64(o.seed);
+    let mut t = 0.0f64;
+    (0..o.jobs)
+        .map(|i| {
+            let widx = rng.gen_range(0..Workload::all().len());
+            // Mostly partial slices so tenants can share; the occasional
+            // full-device job exercises head-of-line blocking.
+            let sms = [2u32, 3, 4, 7, 7, 14][rng.gen_range(0..6usize)];
+            let cpus = [2u32, 4, 8][rng.gen_range(0..3usize)];
+            let prio = [50u8, 100, 200][rng.gen_range(0..3usize)];
+            // Bursty arrivals: a third of the jobs arrive back-to-back with
+            // their predecessor, the rest after an exponential gap at
+            // `rate` jobs per virtual second.
+            let u: f64 = rng.gen();
+            if i > 0 && rng.gen_range(0..3u32) == 0 {
+                // burst: same arrival instant as the previous job
+            } else {
+                t += -(1.0 - u).ln() / o.rate;
+            }
+            MixSlot {
+                widx,
+                sms,
+                cpus,
+                prio,
+                arrival_s: t,
+            }
+        })
+        .collect()
+}
+
+fn build_request(slot: &MixSlot, scale: u64) -> JobRequest {
+    let w = &Workload::all()[slot.widx];
+    let inst = w.instantiate(scale);
+    JobRequest::new(
+        w.source,
+        w.entry,
+        inst.args,
+        inst.heap,
+        ResourceRequest::new(slot.sms, slot.cpus),
+    )
+    .with_priority(slot.prio)
+    .with_subloops(w.subloops)
+}
+
+fn trace(mix: &[MixSlot], scale: u64) -> Vec<(f64, JobRequest)> {
+    mix.iter()
+        .map(|s| (s.arrival_s, build_request(s, scale)))
+        .collect()
+}
+
+/// Count the maximum number of simultaneously running jobs in a schedule.
+fn peak_concurrency(rep: &japonica_serve::SimBatchReport) -> usize {
+    let mut edges: Vec<(f64, i32)> = Vec::new();
+    for o in &rep.outcomes {
+        if let SimJobOutcome::Completed {
+            started_s,
+            finished_s,
+            ..
+        } = o
+        {
+            edges.push((*started_s, 1));
+            edges.push((*finished_s, -1));
+        }
+    }
+    // Ends before starts at equal times: touching intervals don't overlap.
+    edges.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    let (mut cur, mut peak) = (0i32, 0i32);
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as usize
+}
+
+fn main() -> ExitCode {
+    let o = parse_opts();
+    let mix = draw_mix(&o);
+    let sim_cfg = SimServeConfig {
+        queue_capacity: o.queue_cap,
+        ..SimServeConfig::default()
+    };
+
+    // Phase 1: replay determinism — the same trace twice, bit-for-bit.
+    println!(
+        "loadgen: {} jobs, rate {}/s, seed {}, scale {}, queue {}",
+        o.jobs, o.rate, o.seed, o.scale, o.queue_cap
+    );
+    let rep = simulate_batch(&sim_cfg, trace(&mix, o.scale));
+    let rep2 = simulate_batch(&sim_cfg, trace(&mix, o.scale));
+    if rep.fingerprint() != rep2.fingerprint() {
+        eprintln!("FAIL: two replays of the same trace diverged");
+        eprintln!("--- first ---\n{}", rep.fingerprint());
+        eprintln!("--- second ---\n{}", rep2.fingerprint());
+        return ExitCode::from(2);
+    }
+    if !rep.stats.accounts_for_every_job() {
+        eprintln!("FAIL: simulator stats lost a job: {}", rep.stats.summary());
+        return ExitCode::from(3);
+    }
+    let peak = peak_concurrency(&rep);
+    println!(
+        "sim: {} completed, {} rejected (queue full), peak concurrency {}, \
+         makespan {:.6}s, SM occupancy {:.1}%",
+        rep.stats.completed,
+        rep.stats.rejected_full,
+        peak,
+        rep.makespan_s,
+        rep.stats.sm_occupancy * 100.0
+    );
+    if o.jobs >= 4 && peak < 2 {
+        eprintln!("FAIL: the mix never ran 2 jobs concurrently (peak {peak})");
+        return ExitCode::from(4);
+    }
+
+    // Phase 2: tenant isolation — every completed job must match a solo
+    // run of the same program on an equal-sized slice, bit for bit. One
+    // solo run per distinct (workload, slice) shape.
+    let mut solo_bits: BTreeMap<(usize, u32, u32), (u64, String)> = BTreeMap::new();
+    let mut isolation_checked = 0usize;
+    for (i, outcome) in rep.outcomes.iter().enumerate() {
+        let SimJobOutcome::Completed { report, .. } = outcome else {
+            continue;
+        };
+        let slot = &mix[i];
+        let key = (slot.widx, slot.sms, slot.cpus);
+        if !solo_bits.contains_key(&key) {
+            let solo = simulate_batch(&sim_cfg, vec![(0.0, build_request(slot, o.scale))]);
+            let SimJobOutcome::Completed { report: solo_r, .. } = &solo.outcomes[0] else {
+                eprintln!(
+                    "FAIL: solo run of {} on {} SMs did not complete: {:?}",
+                    Workload::all()[slot.widx].name,
+                    slot.sms,
+                    solo.outcomes[0]
+                );
+                return ExitCode::from(4);
+            };
+            solo_bits.insert(key, (solo_r.total_s.to_bits(), solo_r.summary()));
+        }
+        let (bits, summary) = &solo_bits[&key];
+        if report.total_s.to_bits() != *bits || report.summary() != *summary {
+            eprintln!(
+                "FAIL: job {i} ({}) diverged from its solo run on an equal slice\n\
+                 shared: total={:016x} {}\n  solo: total={bits:016x} {summary}",
+                Workload::all()[slot.widx].name,
+                report.total_s.to_bits(),
+                report.summary()
+            );
+            return ExitCode::from(2);
+        }
+        isolation_checked += 1;
+    }
+    println!(
+        "isolation: {} completed jobs bit-identical to {} solo references",
+        isolation_checked,
+        solo_bits.len()
+    );
+
+    // Phase 3: threaded service — same mix through real worker threads for
+    // a wall-clock throughput/latency snapshot. Queue sized to the mix so
+    // a synchronous submit loop never trips backpressure here.
+    let serve = Serve::start(ServeConfig {
+        queue_capacity: o.jobs.max(1),
+        workers: o.workers,
+        ..ServeConfig::default()
+    });
+    let wall_start = std::time::Instant::now();
+    let handles: Vec<_> = mix
+        .iter()
+        .map(|slot| {
+            (
+                *slot,
+                serve
+                    .submit(build_request(slot, o.scale))
+                    .unwrap_or_else(|r| {
+                        eprintln!("FAIL: threaded admission rejected a sized-to-fit mix: {r}");
+                        std::process::exit(4)
+                    }),
+            )
+        })
+        .collect();
+    for (slot, h) in handles {
+        match h.wait() {
+            Ok(result) => {
+                let key = (slot.widx, slot.sms, slot.cpus);
+                let (bits, summary) = &solo_bits.get(&key).cloned().unwrap_or_else(|| {
+                    let solo = simulate_batch(&sim_cfg, vec![(0.0, build_request(&slot, o.scale))]);
+                    match &solo.outcomes[0] {
+                        SimJobOutcome::Completed { report, .. } => {
+                            (report.total_s.to_bits(), report.summary())
+                        }
+                        other => {
+                            eprintln!("FAIL: solo reference did not complete: {other:?}");
+                            std::process::exit(4)
+                        }
+                    }
+                });
+                if result.report.total_s.to_bits() != *bits || result.report.summary() != *summary {
+                    eprintln!(
+                        "FAIL: threaded job {} ({}) diverged from its solo reference\n\
+                         threaded: total={:016x} {}\n    solo: total={bits:016x} {summary}",
+                        result.id,
+                        Workload::all()[slot.widx].name,
+                        result.report.total_s.to_bits(),
+                        result.report.summary()
+                    );
+                    std::process::exit(2)
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: threaded job failed: {e}");
+                return ExitCode::from(4);
+            }
+        }
+    }
+    let wall_s = wall_start.elapsed().as_secs_f64();
+    let stats = serve.shutdown();
+    if !stats.accounts_for_every_job() {
+        eprintln!("FAIL: threaded stats lost a job: {}", stats.summary());
+        return ExitCode::from(3);
+    }
+    let throughput = stats.completed as f64 / wall_s.max(1e-9);
+    println!("threaded: {}", stats.summary());
+    println!(
+        "threaded: {} jobs in {:.3}s host wall = {:.1} jobs/s",
+        stats.completed, wall_s, throughput
+    );
+
+    if let Some(path) = &o.json {
+        let mut out = String::from("{\n");
+        let mut kv = |k: &str, v: String| {
+            let _ = writeln!(out, "  \"{}\": {},", json_escape(k), v);
+        };
+        kv("schema", "1".into());
+        kv("jobs", o.jobs.to_string());
+        kv("rate_per_s", json_f64(o.rate));
+        kv("seed", o.seed.to_string());
+        kv("scale", o.scale.to_string());
+        kv("queue_capacity", o.queue_cap.to_string());
+        kv("workers", o.workers.to_string());
+        kv("sim_completed", rep.stats.completed.to_string());
+        kv("sim_rejected_full", rep.stats.rejected_full.to_string());
+        kv("sim_peak_concurrency", peak.to_string());
+        kv("sim_makespan_s", json_f64(rep.makespan_s));
+        kv("sim_sm_occupancy", json_f64(rep.stats.sm_occupancy));
+        kv("sim_p50_s", json_f64(rep.stats.latency.quantile(0.5)));
+        kv("sim_p99_s", json_f64(rep.stats.latency.quantile(0.99)));
+        kv("isolation_checked", isolation_checked.to_string());
+        kv("solo_references", solo_bits.len().to_string());
+        kv("threaded_completed", stats.completed.to_string());
+        kv("threaded_wall_s", json_f64(wall_s));
+        kv("threaded_jobs_per_s", json_f64(throughput));
+        kv("threaded_p50_s", json_f64(stats.latency.quantile(0.5)));
+        kv("threaded_p99_s", json_f64(stats.latency.quantile(0.99)));
+        kv("threaded_max_s", json_f64(stats.latency.max()));
+        kv(
+            "program_cache_hits",
+            (rep.stats.program_cache_hits + stats.program_cache_hits).to_string(),
+        );
+        let _ = writeln!(
+            out,
+            "  \"program_cache_misses\": {}",
+            rep.stats.program_cache_misses + stats.program_cache_misses
+        );
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            return ExitCode::from(4);
+        }
+        println!("wrote {path}");
+    }
+    println!("loadgen: all oracles passed");
+    ExitCode::SUCCESS
+}

@@ -49,6 +49,37 @@ impl SimConfig {
     }
 }
 
+/// A contiguous slice of a device's streaming multiprocessors, leased to
+/// one tenant of a shared device (see `japonica-serve`'s `DevicePool`).
+///
+/// Every simulated quantity depends only on `sm_count` — `sm_base` exists
+/// purely so occupancy can be attributed to physical SMs of the shared
+/// device. That is the multi-tenant determinism argument: a job running on
+/// the partition `[3, 10)` is bit-identical to the same job running alone
+/// on a 7-SM device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DevicePartition {
+    /// First physical SM of the slice (attribution only).
+    pub sm_base: u32,
+    /// Number of SMs in the slice (what the simulation sees).
+    pub sm_count: u32,
+}
+
+impl DevicePartition {
+    /// The whole device as one partition.
+    pub fn full(sm_count: u32) -> DevicePartition {
+        DevicePartition {
+            sm_base: 0,
+            sm_count,
+        }
+    }
+
+    /// Physical SM ids covered by this partition.
+    pub fn sm_range(&self) -> std::ops::Range<u32> {
+        self.sm_base..self.sm_base + self.sm_count
+    }
+}
+
 /// Parameters of the simulated GPU. Defaults model the paper's testbed GPU,
 /// an Nvidia Fermi M2050 (14 SMs × 32 CUDA cores @ 1.15 GHz, PCIe gen-2
 /// host link), at the granularity the scheduler cares about.
@@ -83,13 +114,35 @@ pub struct DeviceConfig {
     /// Host-side execution settings of the simulator itself (thread count);
     /// does not affect any simulated quantity.
     pub sim: SimConfig,
+    /// The SM slice this config may use. `None` (the default) means the
+    /// whole device; a multi-tenant lease restricts the simulation to its
+    /// slice (see [`DevicePartition`]).
+    pub partition: Option<DevicePartition>,
 }
 
 impl DeviceConfig {
-    /// Total hardware lanes (`sm_count × warp_size` — one warp resident per
-    /// SM per cycle in this model).
+    /// SMs the simulation actually schedules warps over: the partition's
+    /// size when one is set (clamped to the physical count), otherwise the
+    /// whole device.
+    pub fn effective_sms(&self) -> u32 {
+        self.partition
+            .map(|p| p.sm_count.min(self.sm_count))
+            .unwrap_or(self.sm_count)
+            .max(1)
+    }
+
+    /// Restrict this config to `partition`. The returned view is what a
+    /// `DeviceLease` hands to a tenant's scheduler.
+    pub fn partitioned(mut self, partition: DevicePartition) -> DeviceConfig {
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Total hardware lanes (`effective_sms × warp_size` — one warp
+    /// resident per SM per cycle in this model). Respects a partition, so
+    /// the sharing boundary of a leased slice is computed from the slice.
     pub fn total_lanes(&self) -> u32 {
-        self.sm_count * self.warp_size
+        self.effective_sms() * self.warp_size
     }
 
     /// Seconds for `cycles` device cycles.
@@ -125,6 +178,7 @@ impl Default for DeviceConfig {
             mem_concurrency: 16.0,
             cost: gpu_cost_table(),
             sim: SimConfig::default(),
+            partition: None,
         }
     }
 }
@@ -181,6 +235,32 @@ mod tests {
         assert_eq!(DeviceConfig::default().sim.host_threads, 1);
         assert_eq!(SimConfig::with_threads(0).host_threads, 1);
         assert!(SimConfig::auto().host_threads >= 1);
+    }
+
+    #[test]
+    fn partition_restricts_effective_sms_but_not_base() {
+        let c = DeviceConfig::default();
+        assert_eq!(c.effective_sms(), 14);
+        let p = c.clone().partitioned(DevicePartition {
+            sm_base: 3,
+            sm_count: 7,
+        });
+        assert_eq!(p.effective_sms(), 7);
+        assert_eq!(p.total_lanes(), 7 * 32);
+        // sm_base is attribution-only: two partitions of equal size are
+        // indistinguishable to the simulation.
+        let q = c.clone().partitioned(DevicePartition {
+            sm_base: 0,
+            sm_count: 7,
+        });
+        assert_eq!(p.effective_sms(), q.effective_sms());
+        assert_eq!(p.partition.expect("partitioned").sm_range(), 3..10);
+        // Oversized partitions clamp to the physical device.
+        let big = c.partitioned(DevicePartition {
+            sm_base: 0,
+            sm_count: 99,
+        });
+        assert_eq!(big.effective_sms(), 14);
     }
 
     #[test]

@@ -162,7 +162,7 @@ pub fn launch_loop_guarded_with<M: LaneMemory>(
         }
     }
     let exec = SimtExec::new(program, cfg);
-    let mut sm_cycles = vec![0.0f64; cfg.sm_count as usize];
+    let mut sm_cycles = vec![0.0f64; cfg.effective_sms() as usize];
     let mut agg = WarpStats::new();
     let mut warp_id = 0u32;
     let total = iters.end - iters.start;
@@ -190,7 +190,7 @@ pub fn launch_loop_guarded_with<M: LaneMemory>(
         };
         // Resident warps overlap memory latency with compute.
         let occupied = stats.issue_cycles + stats.mem_cycles / cfg.mem_concurrency.max(1.0);
-        sm_cycles[(warp_id % cfg.sm_count) as usize] += occupied;
+        sm_cycles[(warp_id % cfg.effective_sms()) as usize] += occupied;
         agg.merge(&stats);
         warp_id += 1;
         k = hi;
@@ -391,7 +391,7 @@ pub fn launch_loop_par_with<M: ParallelLaneMemory + Sync>(
         .find(|(_, r)| r.is_err())
         .map(|(w, _)| *w)
         .unwrap_or(run_warps);
-    let mut sm_cycles = vec![0.0f64; cfg.sm_count as usize];
+    let mut sm_cycles = vec![0.0f64; cfg.effective_sms() as usize];
     let mut agg = WarpStats::new();
     let mut first_err = None;
     for (w, r) in results {
@@ -401,7 +401,7 @@ pub fn launch_loop_par_with<M: ParallelLaneMemory + Sync>(
                     continue;
                 }
                 let occupied = stats.issue_cycles + stats.mem_cycles / cfg.mem_concurrency.max(1.0);
-                sm_cycles[(w % cfg.sm_count) as usize] += occupied;
+                sm_cycles[(w % cfg.effective_sms()) as usize] += occupied;
                 agg.merge(&stats);
                 mem.absorb(delta).map_err(SimtError::Mem)?;
             }

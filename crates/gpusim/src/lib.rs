@@ -27,7 +27,7 @@ pub mod simt;
 pub mod stats;
 pub mod vm;
 
-pub use config::{DeviceConfig, SimConfig};
+pub use config::{DeviceConfig, DevicePartition, SimConfig};
 pub use kernel::{
     launch_loop, launch_loop_guarded, launch_loop_guarded_with, launch_loop_par,
     launch_loop_par_with, KernelReport,

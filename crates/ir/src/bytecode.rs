@@ -880,16 +880,35 @@ pub fn compile_kernel(program: &Program, loop_: &ForLoop) -> Result<CompiledKern
     })
 }
 
+/// Shards of [`KernelCache`]. A small power of two: enough that the serve
+/// path's concurrent tenants (whose hot loops hash to different shards)
+/// rarely contend, cheap enough that an empty cache stays tiny.
+const KERNEL_CACHE_SHARDS: usize = 8;
+
 /// A per-scheduler-run cache of compiled kernels keyed by loop id.
 ///
 /// Loop ids are only unique within one program, so the cache must live per
 /// run (never inside a config that outlives the program). Uncompilable
 /// loops are memoized as `None` so the fallback decision is also paid once.
-#[derive(Debug, Default)]
+///
+/// The map is sharded by loop id so concurrent jobs hitting different loops
+/// do not serialize on one lock; hit/miss counters are atomics and stay
+/// exact under any interleaving (every lookup increments exactly one).
+#[derive(Debug)]
 pub struct KernelCache {
-    map: Mutex<BTreeMap<u32, Option<Arc<CompiledKernel>>>>,
+    shards: [Mutex<BTreeMap<u32, Option<Arc<CompiledKernel>>>>; KERNEL_CACHE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+impl Default for KernelCache {
+    fn default() -> KernelCache {
+        KernelCache {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl KernelCache {
@@ -898,14 +917,26 @@ impl KernelCache {
         KernelCache::default()
     }
 
+    /// The shard holding `loop_id`'s entry.
+    fn shard(&self, loop_id: u32) -> &Mutex<BTreeMap<u32, Option<Arc<CompiledKernel>>>> {
+        &self.shards[loop_id as usize % KERNEL_CACHE_SHARDS]
+    }
+
     /// Fetch the compiled form of `loop_`, compiling it on first use.
     /// `None` means the loop is not bytecode-compilable (use the walker).
+    ///
+    /// The shard lock is held across the compile so a loop is compiled at
+    /// most once per cache (two racing tenants would otherwise both pay the
+    /// compile); lookups of *other* shards proceed concurrently.
     pub fn get_or_compile(
         &self,
         program: &Program,
         loop_: &ForLoop,
     ) -> Option<Arc<CompiledKernel>> {
-        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        let mut map = self
+            .shard(loop_.id.0)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         if let Some(entry) = map.get(&loop_.id.0) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return entry.clone();
@@ -1777,5 +1808,37 @@ mod tests {
         assert!(cache.get_or_compile(&p, &loop_).is_some());
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn kernel_cache_counters_exact_across_shards_and_threads() {
+        // Loops 0..16 cover every shard twice; 4 threads × 3 passes over
+        // all 16 loops = 192 lookups: exactly 16 misses, 176 hits.
+        let p = Program::new();
+        let loops: Vec<ForLoop> = (0..16)
+            .map(|i| {
+                let body = vec![Stmt::Assign {
+                    var: v(1),
+                    value: Expr::var(v(0)),
+                }];
+                let mut l = kernel_loop(v(0), 2, body);
+                l.id = LoopId(i);
+                l
+            })
+            .collect();
+        let cache = KernelCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..3 {
+                        for l in &loops {
+                            assert!(cache.get_or_compile(&p, l).is_some());
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 16);
+        assert_eq!(cache.hits(), 4 * 3 * 16 - 16);
     }
 }

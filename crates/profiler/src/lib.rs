@@ -147,8 +147,9 @@ pub fn profile_loop(
     }
     // else: buffers dropped; the runtime re-executes in a safe mode.
 
-    let analysis_s =
-        dcfg.cycles_to_seconds(entries as f64 * ANALYSIS_CYCLES_PER_ENTRY / dcfg.sm_count as f64);
+    let analysis_s = dcfg.cycles_to_seconds(
+        entries as f64 * ANALYSIS_CYCLES_PER_ENTRY / dcfg.effective_sms() as f64,
+    );
     let denom = iterations.max(1) as f64;
     Ok(LoopProfile {
         loop_id: loop_.id,

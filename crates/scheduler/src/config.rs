@@ -2,7 +2,7 @@
 
 use japonica_cpuexec::CpuConfig;
 use japonica_faults::{FaultPlan, ResilienceConfig};
-use japonica_gpusim::DeviceConfig;
+use japonica_gpusim::{DeviceConfig, DevicePartition};
 use japonica_tls::TlsConfig;
 
 /// Tunables of both scheduling schemes plus the platform descriptions.
@@ -53,6 +53,22 @@ impl SchedulerConfig {
         self
     }
 
+    /// Restrict this configuration to one tenant's share of a partitioned
+    /// platform: the GPU simulation sees only `partition`'s SM slice and
+    /// the CPU side gets `cpu_slots` worker threads (each backed by one
+    /// core, capped at the physical core count). This is the view a
+    /// `DeviceLease` hands to the schedulers — the sharing boundary,
+    /// chunk occupancy, TLS dependence checking and profiling all scale to
+    /// the slice automatically, and none of them observe `sm_base`, so a
+    /// job on a lease is bit-identical to the same job alone on an
+    /// equal-sized device.
+    pub fn with_partition(mut self, partition: DevicePartition, cpu_slots: u32) -> SchedulerConfig {
+        self.gpu.partition = Some(partition);
+        self.cpu_threads = cpu_slots.max(1);
+        self.cpu.cores = self.cpu.cores.min(cpu_slots.max(1));
+        self
+    }
+
     /// The task-sharing boundary `Cg·Fg / (Cg·Fg + Cc·Fc)` (paper §V-A):
     /// the fraction of the iteration space preferentially assigned to the
     /// GPU, from the devices' core counts and clock frequencies.
@@ -93,6 +109,36 @@ mod tests {
         assert!((c.boundary_fraction() - expect).abs() < 1e-12);
         // The M2050/X5650 boundary strongly favors the GPU.
         assert!(c.boundary_fraction() > 0.9);
+    }
+
+    #[test]
+    fn partition_view_scales_boundary_and_cpu_side() {
+        let full = SchedulerConfig::default();
+        let half = SchedulerConfig::default().with_partition(
+            DevicePartition {
+                sm_base: 7,
+                sm_count: 7,
+            },
+            8,
+        );
+        assert_eq!(half.gpu.effective_sms(), 7);
+        assert_eq!(half.cpu_threads, 8);
+        assert_eq!(half.cpu.cores, 8);
+        // The boundary of the half-GPU slice tilts toward the CPU relative
+        // to the whole machine's boundary.
+        assert!(half.boundary_fraction() < full.boundary_fraction());
+        // sm_base does not enter any derived quantity.
+        let other = SchedulerConfig::default().with_partition(
+            DevicePartition {
+                sm_base: 0,
+                sm_count: 7,
+            },
+            8,
+        );
+        assert_eq!(
+            half.boundary_fraction().to_bits(),
+            other.boundary_fraction().to_bits()
+        );
     }
 
     #[test]

@@ -32,7 +32,20 @@ impl std::fmt::Display for SchedError {
     }
 }
 
-impl std::error::Error for SchedError {}
+impl std::error::Error for SchedError {
+    /// Expose the wrapped error so `?`-propagated `SchedError`s keep their
+    /// cause chain across crate boundaries (e.g. into `japonica-serve`'s
+    /// `ServeError`).
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Exec(e) => Some(e),
+            SchedError::Simt(e) => Some(e),
+            SchedError::Tls(e) => Some(e),
+            SchedError::Device(d) => Some(d),
+            SchedError::Internal(_) => None,
+        }
+    }
+}
 
 impl From<ExecError> for SchedError {
     fn from(e: ExecError) -> SchedError {

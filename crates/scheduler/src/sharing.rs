@@ -334,7 +334,7 @@ fn greedy_share(
     // Per-SM availability: Fermi runs concurrent kernels, so small chunk
     // kernels from different stream launches occupy different SMs in
     // parallel instead of serializing.
-    let mut sm_free = vec![0.0f64; cfg.gpu.sm_count.max(1) as usize];
+    let mut sm_free = vec![0.0f64; cfg.gpu.effective_sms() as usize];
     let mut gpu_clock = 0.0f64; // time the GPU *finishes* everything queued
     let mut cpu_clock = 0.0f64;
     let mut transfer_clock = 0.0f64; // the async H2D stream

@@ -1,0 +1,162 @@
+//! Content-hash program cache.
+//!
+//! Repeated submissions of the same MiniJava source skip the whole
+//! frontend → analysis → IR pipeline (and, transitively, most of the
+//! bytecode pipeline: a cached [`Compiled`] is shared by `Arc`, and each
+//! job's scheduler run then layers the per-run `KernelCache` on top for
+//! the IR → bytecode step). Keys are FNV-1a content hashes; a colliding
+//! hash is disambiguated by comparing sources, so the cache is correct
+//! even for adversarial inputs. Compile *failures* are memoized too — a
+//! hot broken program costs one compile, not one per submission.
+
+use japonica::{compile, Compiled};
+use japonica_frontend::CompileError;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shards of the cache map (same rationale as the IR `KernelCache`:
+/// concurrent tenants hash to different shards and don't serialize).
+const SHARDS: usize = 8;
+
+type Entry = (String, Result<Arc<Compiled>, CompileError>);
+
+/// 64-bit FNV-1a over the source bytes.
+pub fn content_hash(source: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in source.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A sharded, content-addressed compile cache.
+#[derive(Debug)]
+pub struct ProgramCache {
+    shards: [Mutex<BTreeMap<u64, Vec<Entry>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for ProgramCache {
+    fn default() -> ProgramCache {
+        ProgramCache {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Compile `source`, or reuse the cached result of a byte-identical
+    /// earlier submission. The shard lock is held across the compile so a
+    /// program is compiled at most once per cache.
+    pub fn get_or_compile(&self, source: &str) -> Result<Arc<Compiled>, CompileError> {
+        let hash = content_hash(source);
+        let shard = &self.shards[hash as usize % SHARDS];
+        let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
+        let bucket = map.entry(hash).or_default();
+        if let Some((_, cached)) = bucket.iter().find(|(src, _)| src == source) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return cached.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = compile(source).map(Arc::new);
+        bucket.push((source.to_string(), result.clone()));
+        result
+    }
+
+    /// Lookups that reused a cached result (success or failure).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the compiler.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct programs currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .values()
+                    .map(Vec::len)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OK: &str = "static void f(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+    }";
+
+    #[test]
+    fn caches_successes_and_failures() {
+        let c = ProgramCache::new();
+        let a = c.get_or_compile(OK).unwrap();
+        let b = c.get_or_compile(OK).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+        // A broken program's failure is memoized.
+        assert!(c.get_or_compile("static void broken(").is_err());
+        assert!(c.get_or_compile("static void broken(").is_err());
+        assert_eq!((c.hits(), c.misses()), (2, 2));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn distinct_sources_get_distinct_entries() {
+        let c = ProgramCache::new();
+        let other = OK.replace("2.0", "3.0");
+        let a = c.get_or_compile(OK).unwrap();
+        let b = c.get_or_compile(&other).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash("abc"), content_hash("abc"));
+        assert_ne!(content_hash("abc"), content_hash("abd"));
+    }
+
+    #[test]
+    fn concurrent_hits_do_not_recompile() {
+        let c = std::sync::Arc::new(ProgramCache::new());
+        c.get_or_compile(OK).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..8 {
+                        c.get_or_compile(OK).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 4 * 8);
+    }
+}

@@ -1,0 +1,143 @@
+//! Typed errors of the serving layer.
+//!
+//! [`Rejected`] is the *admission* verdict: the service never accepted the
+//! job, nothing ran, and the submitter should back off or resubmit.
+//! [`ServeError`] is the *execution* verdict of an admitted job. Both carry
+//! `Display + Error` (with `source()` chains) so callers can `?` them
+//! across crate boundaries without manual mapping.
+
+use japonica_frontend::CompileError;
+use japonica_scheduler::SchedError;
+
+/// Why a submission was turned away at the door (backpressure — the job
+/// was *rejected*, not dropped: the submitter gets this verdict
+/// synchronously and the stats account for it).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejected {
+    /// The bounded job queue is at capacity.
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
+    /// The service is draining and accepts no new work.
+    ShuttingDown,
+    /// The request itself is unusable (e.g. asks for more SMs than the
+    /// whole device has).
+    InvalidRequest(String),
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull { capacity } => {
+                write!(f, "admission rejected: queue full (capacity {capacity})")
+            }
+            Rejected::ShuttingDown => write!(f, "admission rejected: service shutting down"),
+            Rejected::InvalidRequest(m) => write!(f, "admission rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why an *admitted* job did not produce a result.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The program failed to compile (reported once per content hash; a
+    /// cached failure is replayed without recompiling).
+    Compile(CompileError),
+    /// The scheduler/runtime failed after every retry/fallback rung.
+    Sched(SchedError),
+    /// The job was cancelled by its submitter before it started.
+    Cancelled,
+    /// The job's deadline passed while it was still queued; it was
+    /// cancelled instead of started.
+    DeadlineMissed {
+        /// Seconds the job sat in the queue.
+        queued_s: f64,
+        /// The job's deadline in seconds after submission.
+        deadline_s: f64,
+    },
+    /// The service stopped (worker gone) before the job's result was
+    /// delivered.
+    Lost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Compile(e) => write!(f, "program rejected by compiler: {e}"),
+            ServeError::Sched(e) => write!(f, "job failed in the runtime: {e}"),
+            ServeError::Cancelled => write!(f, "job cancelled by submitter"),
+            ServeError::DeadlineMissed {
+                queued_s,
+                deadline_s,
+            } => write!(
+                f,
+                "deadline missed: queued {queued_s:.6}s past the {deadline_s:.6}s deadline"
+            ),
+            ServeError::Lost => write!(f, "service stopped before delivering the result"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Compile(e) => Some(e),
+            ServeError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for ServeError {
+    fn from(e: CompileError) -> ServeError {
+        ServeError::Compile(e)
+    }
+}
+
+impl From<SchedError> for ServeError {
+    fn from(e: SchedError) -> ServeError {
+        ServeError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_and_sources() {
+        let r = Rejected::QueueFull { capacity: 4 };
+        assert!(r.to_string().contains("capacity 4"));
+        assert!(Rejected::ShuttingDown.source().is_none());
+
+        let e: ServeError = SchedError::Internal("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+        // The cause chain survives one level down...
+        let src = e.source().expect("sched source");
+        assert!(src.to_string().contains("boom"));
+        // ...and SchedError itself chains further when it wraps a cause.
+        let nested: ServeError = SchedError::Exec(japonica_ir::ExecError::DivisionByZero).into();
+        let sched = nested.source().expect("sched");
+        assert!(sched
+            .source()
+            .expect("exec")
+            .to_string()
+            .contains("division"));
+    }
+
+    #[test]
+    fn question_mark_across_crates() {
+        fn inner() -> Result<(), SchedError> {
+            Err(SchedError::Internal("x".into()))
+        }
+        fn outer() -> Result<(), ServeError> {
+            inner()?;
+            Ok(())
+        }
+        assert!(matches!(outer(), Err(ServeError::Sched(_))));
+    }
+}

@@ -1,0 +1,209 @@
+//! Job descriptions, handles and results.
+
+use crate::cache::ProgramCache;
+use crate::error::ServeError;
+use crate::pool::ResourceRequest;
+use japonica::{RunReport, Runtime, RuntimeConfig};
+use japonica_gpusim::DevicePartition;
+use japonica_ir::{Heap, Scheme, Value};
+use japonica_scheduler::SchedulerConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Service-assigned job identity (dense, in submission order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One program submission: source + entry + inputs + scheduling intent.
+#[derive(Debug)]
+pub struct JobRequest {
+    /// Annotated MiniJava source (content-hashed for the program cache).
+    pub source: String,
+    /// Entry function name.
+    pub entry: String,
+    /// Entry arguments.
+    pub args: Vec<Value>,
+    /// The job's private heap (inputs in, outputs out). Jobs never share
+    /// heaps — tenant isolation is by construction.
+    pub heap: Heap,
+    /// Queue priority: higher runs earlier; FIFO within a class.
+    pub priority: u8,
+    /// Give up if the job has not *started* within this budget after
+    /// submission (and flag it `completed_late` if it finishes past it).
+    pub deadline: Option<Duration>,
+    /// The slice of the shared platform the job runs on.
+    pub resources: ResourceRequest,
+    /// Optional stealing-scheme split override (Table II's per-app knob).
+    pub subloops_per_task: Option<u32>,
+    /// Optional scheme override, as in `RuntimeConfig`.
+    pub scheme_override: Option<Scheme>,
+}
+
+impl JobRequest {
+    /// A request at default priority (100) with no deadline.
+    pub fn new(
+        source: impl Into<String>,
+        entry: impl Into<String>,
+        args: Vec<Value>,
+        heap: Heap,
+        resources: ResourceRequest,
+    ) -> JobRequest {
+        JobRequest {
+            source: source.into(),
+            entry: entry.into(),
+            args,
+            heap,
+            priority: 100,
+            deadline: None,
+            resources,
+            subloops_per_task: None,
+            scheme_override: None,
+        }
+    }
+
+    /// Set the queue priority.
+    pub fn with_priority(mut self, priority: u8) -> JobRequest {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the start deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> JobRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the stealing sub-loop split.
+    pub fn with_subloops(mut self, subloops: u32) -> JobRequest {
+        self.subloops_per_task = Some(subloops);
+        self
+    }
+}
+
+/// What a finished job hands back to its submitter.
+#[derive(Debug)]
+pub struct JobResult {
+    /// The job's identity.
+    pub id: JobId,
+    /// The runtime's full report (simulated wall, per-loop modes, faults).
+    pub report: RunReport,
+    /// The job's heap after execution (outputs live here).
+    pub heap: Heap,
+    /// Host seconds from submission to dispatch.
+    pub queued_s: f64,
+    /// Host seconds from submission to result.
+    pub latency_s: f64,
+}
+
+/// The submitter's side of an admitted job.
+#[derive(Debug)]
+pub struct JobHandle {
+    pub(crate) id: JobId,
+    pub(crate) cancel: Arc<AtomicBool>,
+    pub(crate) rx: mpsc::Receiver<Result<JobResult, ServeError>>,
+}
+
+impl JobHandle {
+    /// The service-assigned id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Ask the service to drop the job before it starts. Best-effort: a
+    /// job already running completes normally.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Block until the job's verdict arrives.
+    pub fn wait(self) -> Result<JobResult, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Lost))
+    }
+
+    /// Non-blocking poll; `None` while the job is still in the system.
+    pub fn try_wait(&self) -> Option<Result<JobResult, ServeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Compile (through `cache`) and run one job on `partition` of `base`.
+/// This is the single execution path shared by the threaded service and
+/// the deterministic virtual-clock simulator, so both produce bit-identical
+/// per-job reports for equal partitions.
+pub(crate) fn execute_on_partition(
+    cache: &ProgramCache,
+    base: &SchedulerConfig,
+    partition: DevicePartition,
+    cpu_slots: u32,
+    req: &JobRequest,
+    heap: &mut Heap,
+) -> Result<RunReport, ServeError> {
+    let compiled = cache.get_or_compile(&req.source)?;
+    let mut sched = base.clone().with_partition(partition, cpu_slots);
+    if let Some(s) = req.subloops_per_task {
+        sched.subloops_per_task = s;
+    }
+    let rt = Runtime::new(RuntimeConfig {
+        sched,
+        scheme_override: req.scheme_override,
+        profile_limit: None,
+    });
+    Ok(rt.run(&compiled, &req.entry, &req.args, heap)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "static void scale(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+    }";
+
+    #[test]
+    fn execute_on_partition_runs_and_respects_slice() {
+        let cache = ProgramCache::new();
+        let base = SchedulerConfig::default();
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&vec![1.0; 4096]);
+        let req = JobRequest::new(
+            SRC,
+            "scale",
+            vec![Value::Array(a), Value::Int(4096)],
+            Heap::new(),
+            ResourceRequest::new(7, 8),
+        );
+        let part = DevicePartition {
+            sm_base: 7,
+            sm_count: 7,
+        };
+        let report = execute_on_partition(&cache, &base, part, 8, &req, &mut heap).unwrap();
+        assert_eq!(report.loops.len(), 1);
+        assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 2.0));
+        // Identical job on the [0,7) slice: bit-identical simulated time.
+        let mut heap2 = Heap::new();
+        let a2 = heap2.alloc_doubles(&vec![1.0; 4096]);
+        let req2 = JobRequest::new(
+            SRC,
+            "scale",
+            vec![Value::Array(a2), Value::Int(4096)],
+            Heap::new(),
+            ResourceRequest::new(7, 8),
+        );
+        let part2 = DevicePartition {
+            sm_base: 0,
+            sm_count: 7,
+        };
+        let r2 = execute_on_partition(&cache, &base, part2, 8, &req2, &mut heap2).unwrap();
+        assert_eq!(report.total_s.to_bits(), r2.total_s.to_bits());
+        assert_eq!(report.summary(), r2.summary());
+        assert_eq!(cache.hits(), 1);
+    }
+}

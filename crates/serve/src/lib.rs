@@ -1,0 +1,42 @@
+//! `japonica-serve`: a multi-tenant runtime service over the shared
+//! simulated CPU+GPU platform.
+//!
+//! The paper's runtime executes one annotated MiniJava program at a time.
+//! This crate turns that runtime into a long-lived *service*: many
+//! concurrent program submissions share one simulated device through
+//!
+//! - a [`DevicePool`] that leases disjoint, contiguous SM slices and CPU
+//!   worker slots ([`DeviceLease`]) — tenant isolation by construction,
+//! - a bounded priority [`JobQueue`] with admission control: a full queue
+//!   *rejects* ([`Rejected::QueueFull`]) instead of dropping, deadlines
+//!   cancel jobs that queued too long, and submitters can cancel,
+//! - a content-hash [`ProgramCache`] so repeated submissions of the same
+//!   source skip the frontend entirely,
+//! - exact accounting in [`ServeStats`]: every submitted job lands in
+//!   exactly one counter, with a log₂ latency histogram and SM occupancy.
+//!
+//! The determinism backbone: the GPU simulation depends only on a
+//! partition's SM *count*, never on which physical SMs it occupies. A job
+//! on a lease is therefore bit-identical to the same job run solo on an
+//! equal-sized device — [`simulate_batch`] exploits this with a virtual
+//! clock to produce exactly reproducible schedules for tests and the
+//! loadgen's determinism oracle, while [`Serve`] runs the same policies
+//! with real worker threads.
+
+pub mod cache;
+pub mod error;
+pub mod job;
+pub mod pool;
+pub mod queue;
+pub mod server;
+pub mod sim;
+pub mod stats;
+
+pub use cache::{content_hash, ProgramCache};
+pub use error::{Rejected, ServeError};
+pub use job::{JobHandle, JobId, JobRequest, JobResult};
+pub use pool::{DeviceLease, DevicePool, PartitionAllocator, PoolSnapshot, ResourceRequest};
+pub use queue::JobQueue;
+pub use server::{Serve, ServeConfig};
+pub use sim::{simulate_batch, ScheduleEvent, SimBatchReport, SimJobOutcome, SimServeConfig};
+pub use stats::{LatencyHistogram, ServeStats};

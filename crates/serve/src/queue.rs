@@ -1,0 +1,183 @@
+//! Bounded priority job queue with admission control.
+//!
+//! Higher [`priority`](Entry::prio) wins; within a priority class the queue
+//! is FIFO (ties broken by admission sequence number, so the order is total
+//! and deterministic). Admission is all-or-nothing: a full queue rejects
+//! the submission with [`Rejected::QueueFull`] — the job is *turned away
+//! with a verdict*, never silently dropped.
+
+use crate::error::Rejected;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// One queued item with its ordering key.
+#[derive(Debug)]
+struct Entry<T> {
+    prio: u8,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then earlier admission (lower
+        // seq) first.
+        self.prio
+            .cmp(&other.prio)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct QueueState<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// A bounded, closable priority queue (multi-producer, multi-consumer).
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    state: Mutex<QueueState<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` items at a time.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue {
+            state: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueState<T>> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Admit `item` at `prio` (higher runs earlier). `Err` is the
+    /// admission-control verdict.
+    pub fn push(&self, prio: u8, item: T) -> Result<(), Rejected> {
+        let mut s = self.lock();
+        if s.closed {
+            return Err(Rejected::ShuttingDown);
+        }
+        if s.heap.len() >= self.capacity {
+            return Err(Rejected::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.heap.push(Entry { prio, seq, item });
+        drop(s);
+        self.nonempty.notify_one();
+        Ok(())
+    }
+
+    /// Take the highest-priority item, blocking while the queue is empty.
+    /// `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.lock();
+        loop {
+            if let Some(e) = s.heap.pop() {
+                return Some(e.item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.nonempty.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking take.
+    pub fn try_pop(&self) -> Option<T> {
+        self.lock().heap.pop().map(|e| e.item)
+    }
+
+    /// Items queued right now.
+    pub fn len(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    /// Whether the queue is empty right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stop admissions; blocked `pop`s return `None` after the drain.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.nonempty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_then_fifo_order() {
+        let q = JobQueue::new(8);
+        q.push(1, "low-a").unwrap();
+        q.push(5, "high-a").unwrap();
+        q.push(1, "low-b").unwrap();
+        q.push(5, "high-b").unwrap();
+        let order: Vec<_> = std::iter::from_fn(|| q.try_pop()).collect();
+        assert_eq!(order, ["high-a", "high-b", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_capacity() {
+        let q = JobQueue::new(2);
+        q.push(0, 1).unwrap();
+        q.push(0, 2).unwrap();
+        assert_eq!(q.push(0, 3), Err(Rejected::QueueFull { capacity: 2 }));
+        assert_eq!(q.len(), 2);
+        // Draining one slot re-opens admission.
+        q.try_pop();
+        assert!(q.push(0, 3).is_ok());
+    }
+
+    #[test]
+    fn closed_queue_rejects_and_drains() {
+        let q = JobQueue::new(4);
+        q.push(0, 1).unwrap();
+        q.close();
+        assert_eq!(q.push(0, 2), Err(Rejected::ShuttingDown));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(JobQueue::new(4));
+        let q2 = std::sync::Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(0, 42).unwrap();
+        assert_eq!(t.join().expect("no panic"), Some(42));
+    }
+}

@@ -1,0 +1,436 @@
+//! The long-lived multi-tenant service: admission control in front of a
+//! bounded priority queue, worker threads that lease device slices from
+//! the shared pool, and exact per-job accounting.
+//!
+//! Isolation argument: each admitted job owns its heap, executes on a
+//! disjoint [`DeviceLease`](crate::DeviceLease), and layers the PR-1
+//! retry/degrade ladder *inside its own scheduler run* — a job that
+//! exhausts the ladder fails alone ([`ServeError::Sched`]) and its lease
+//! returns to the pool; neighbors never observe the fault.
+
+use crate::cache::ProgramCache;
+use crate::error::{Rejected, ServeError};
+use crate::job::{execute_on_partition, JobHandle, JobId, JobRequest, JobResult};
+use crate::pool::DevicePool;
+use crate::queue::JobQueue;
+use crate::stats::{LatencyHistogram, ServeStats};
+use japonica_scheduler::SchedulerConfig;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// Service tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The shared platform every lease slices.
+    pub base: SchedulerConfig,
+    /// Leasable CPU worker slots (the paper's 16 threads by default).
+    pub cpu_slots: u32,
+    /// Bounded queue capacity — the backpressure knob.
+    pub queue_capacity: usize,
+    /// Dispatcher threads. More workers than the device has SMs is never
+    /// useful; 4 covers a half-SM-each four-tenant mix.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            base: SchedulerConfig::default(),
+            cpu_slots: 16,
+            queue_capacity: 64,
+            workers: 4,
+        }
+    }
+}
+
+/// One queue entry: the request plus its delivery channel and flags.
+struct QueuedJob {
+    id: JobId,
+    req: JobRequest,
+    cancel: Arc<AtomicBool>,
+    submitted: Instant,
+    tx: mpsc::Sender<Result<JobResult, ServeError>>,
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    rejected_full: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    rejected_invalid: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    deadline_missed: AtomicU64,
+    cancelled: AtomicU64,
+    completed_late: AtomicU64,
+}
+
+struct Shared {
+    queue: JobQueue<QueuedJob>,
+    pool: DevicePool,
+    cache: ProgramCache,
+    counters: Counters,
+    latency: Mutex<LatencyHistogram>,
+}
+
+/// The running service. Dropping it drains the queue (every admitted job
+/// still gets a verdict) and joins the workers.
+pub struct Serve {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Serve {
+    /// Start the service with `cfg.workers` dispatcher threads.
+    pub fn start(cfg: ServeConfig) -> Serve {
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(cfg.queue_capacity),
+            pool: DevicePool::new(cfg.base.clone(), cfg.cpu_slots),
+            cache: ProgramCache::new(),
+            counters: Counters::default(),
+            latency: Mutex::new(LatencyHistogram::new()),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Serve {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Submit one job. `Ok` means admitted: a verdict will arrive on the
+    /// handle. `Err` is the synchronous admission-control verdict.
+    pub fn submit(&self, req: JobRequest) -> Result<JobHandle, Rejected> {
+        let c = &self.shared.counters;
+        c.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Err(r) = self.shared.pool.admissible(req.resources) {
+            c.rejected_invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(r);
+        }
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let cancel = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let prio = req.priority;
+        let job = QueuedJob {
+            id,
+            req,
+            cancel: Arc::clone(&cancel),
+            submitted: Instant::now(),
+            tx,
+        };
+        match self.shared.queue.push(prio, job) {
+            Ok(()) => {
+                c.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { id, cancel, rx })
+            }
+            Err(r) => {
+                match r {
+                    Rejected::QueueFull { .. } => c.rejected_full.fetch_add(1, Ordering::Relaxed),
+                    Rejected::ShuttingDown => c.rejected_shutdown.fetch_add(1, Ordering::Relaxed),
+                    Rejected::InvalidRequest(_) => {
+                        c.rejected_invalid.fetch_add(1, Ordering::Relaxed)
+                    }
+                };
+                Err(r)
+            }
+        }
+    }
+
+    /// Point-in-time statistics; `accounts_for_every_job()` holds on every
+    /// snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let c = &self.shared.counters;
+        let admitted = c.admitted.load(Ordering::Relaxed);
+        let completed = c.completed.load(Ordering::Relaxed);
+        let failed = c.failed.load(Ordering::Relaxed);
+        let deadline_missed = c.deadline_missed.load(Ordering::Relaxed);
+        let cancelled = c.cancelled.load(Ordering::Relaxed);
+        let pool = self.shared.pool.snapshot();
+        ServeStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            admitted,
+            rejected_full: c.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
+            rejected_invalid: c.rejected_invalid.load(Ordering::Relaxed),
+            completed,
+            failed,
+            deadline_missed,
+            cancelled,
+            completed_late: c.completed_late.load(Ordering::Relaxed),
+            in_flight: admitted - completed - failed - deadline_missed - cancelled,
+            queue_depth: self.shared.queue.len(),
+            program_cache_hits: self.shared.cache.hits(),
+            program_cache_misses: self.shared.cache.misses(),
+            latency: self
+                .shared
+                .latency
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone(),
+            sm_occupancy: pool.sm_occupancy,
+            free_sms: pool.free_sms,
+        }
+    }
+
+    /// The shared pool (for monitoring).
+    pub fn pool(&self) -> &DevicePool {
+        &self.shared.pool
+    }
+
+    /// Drain and stop: no new admissions, queued jobs still get verdicts,
+    /// workers join. Returns the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.pool.close();
+        self.stats()
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.shared.pool.close();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let c = &shared.counters;
+    while let Some(mut job) = shared.queue.pop() {
+        if job.cancel.load(Ordering::Relaxed) {
+            c.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = job.tx.send(Err(ServeError::Cancelled));
+            continue;
+        }
+        let queued_s = job.submitted.elapsed().as_secs_f64();
+        let deadline_s = job.req.deadline.map(|d| d.as_secs_f64());
+        if let Some(dl) = deadline_s {
+            if queued_s > dl {
+                c.deadline_missed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.tx.send(Err(ServeError::DeadlineMissed {
+                    queued_s,
+                    deadline_s: dl,
+                }));
+                continue;
+            }
+        }
+        // Blocks until a slice frees up; `None` only when the pool closed
+        // mid-drain, in which case the job is cancelled with a verdict.
+        let Some(lease) = shared.pool.lease(job.req.resources) else {
+            c.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = job.tx.send(Err(ServeError::Cancelled));
+            continue;
+        };
+        if job.cancel.load(Ordering::Relaxed) {
+            c.cancelled.fetch_add(1, Ordering::Relaxed);
+            let _ = job.tx.send(Err(ServeError::Cancelled));
+            continue;
+        }
+        let queued_s = job.submitted.elapsed().as_secs_f64();
+        let mut heap = std::mem::take(&mut job.req.heap);
+        let outcome = execute_on_partition(
+            &shared.cache,
+            shared.pool.base_config(),
+            lease.partition(),
+            lease.cpu_slots(),
+            &job.req,
+            &mut heap,
+        );
+        drop(lease);
+        match outcome {
+            Ok(report) => {
+                let latency_s = job.submitted.elapsed().as_secs_f64();
+                c.completed.fetch_add(1, Ordering::Relaxed);
+                if deadline_s.is_some_and(|dl| latency_s > dl) {
+                    c.completed_late.fetch_add(1, Ordering::Relaxed);
+                }
+                shared
+                    .latency
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .record(latency_s);
+                let _ = job.tx.send(Ok(JobResult {
+                    id: job.id,
+                    report,
+                    heap,
+                    queued_s,
+                    latency_s,
+                }));
+            }
+            Err(e) => {
+                c.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.tx.send(Err(e));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ResourceRequest;
+    use japonica_ir::{Heap, Value};
+
+    const SRC: &str = "static void scale(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+    }";
+
+    fn request(n: usize, sms: u32, cpus: u32) -> (JobRequest, japonica_ir::ArrayId) {
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&vec![1.0; n]);
+        (
+            JobRequest::new(
+                SRC,
+                "scale",
+                vec![Value::Array(a), Value::Int(n as i32)],
+                heap,
+                ResourceRequest::new(sms, cpus),
+            ),
+            a,
+        )
+    }
+
+    #[test]
+    fn serves_concurrent_jobs_and_accounts_for_all() {
+        let serve = Serve::start(ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        });
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let (req, a) = request(2048, 7, 8);
+                (serve.submit(req).expect("admitted"), a)
+            })
+            .collect();
+        for (h, a) in handles {
+            let r = h.wait().expect("completed");
+            assert!(r.heap.read_doubles(a).unwrap().iter().all(|&v| v == 2.0));
+            assert!(r.latency_s >= r.queued_s);
+        }
+        let stats = serve.shutdown();
+        assert_eq!(stats.completed, 8);
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.accounts_for_every_job(), "{}", stats.summary());
+        // 8 identical programs: 1 compile, 7 cache hits.
+        assert_eq!(stats.program_cache_misses, 1);
+        assert_eq!(stats.program_cache_hits, 7);
+        assert_eq!(stats.latency.count(), 8);
+    }
+
+    #[test]
+    fn oversized_request_is_rejected_invalid() {
+        let serve = Serve::start(ServeConfig::default());
+        let (req, _) = request(64, 99, 1);
+        assert!(matches!(
+            serve.submit(req),
+            Err(Rejected::InvalidRequest(_))
+        ));
+        let stats = serve.shutdown();
+        assert_eq!(stats.rejected_invalid, 1);
+        assert!(stats.accounts_for_every_job());
+    }
+
+    #[test]
+    fn bad_program_fails_alone() {
+        let serve = Serve::start(ServeConfig::default());
+        let mut bad = request(64, 2, 2).0;
+        bad.source = "static void broken(".into();
+        let good = request(2048, 7, 8).0;
+        let hb = serve.submit(bad).unwrap();
+        let hg = serve.submit(good).unwrap();
+        assert!(matches!(hb.wait(), Err(ServeError::Compile(_))));
+        assert!(hg.wait().is_ok());
+        let stats = serve.shutdown();
+        assert_eq!((stats.completed, stats.failed), (1, 1));
+        assert!(stats.accounts_for_every_job());
+    }
+
+    #[test]
+    fn cancellation_before_dispatch_is_honored() {
+        // One worker, one huge-priority blocker job keeps the worker busy
+        // while we cancel a queued job behind it.
+        let serve = Serve::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (blocker, _) = request(65536, 14, 16);
+        let hb = serve.submit(blocker.with_priority(200)).unwrap();
+        let (victim, _) = request(64, 1, 1);
+        let hv = serve.submit(victim.with_priority(1)).unwrap();
+        hv.cancel();
+        assert!(hb.wait().is_ok());
+        assert!(matches!(hv.wait(), Err(ServeError::Cancelled)));
+        let stats = serve.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert!(stats.accounts_for_every_job());
+    }
+
+    #[test]
+    fn zero_deadline_jobs_miss_deterministically() {
+        let serve = Serve::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let (blocker, _) = request(65536, 14, 16);
+        let hb = serve.submit(blocker.with_priority(200)).unwrap();
+        let (hopeless, _) = request(64, 1, 1);
+        let hh = serve
+            .submit(
+                hopeless
+                    .with_priority(1)
+                    .with_deadline(std::time::Duration::ZERO),
+            )
+            .unwrap();
+        assert!(hb.wait().is_ok());
+        assert!(matches!(hh.wait(), Err(ServeError::DeadlineMissed { .. })));
+        let stats = serve.shutdown();
+        assert_eq!(stats.deadline_missed, 1);
+        assert!(stats.accounts_for_every_job());
+    }
+
+    #[test]
+    fn queue_full_rejects_with_backpressure() {
+        let serve = Serve::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            ..ServeConfig::default()
+        });
+        // Occupy the worker so the queue cannot drain while we overfill.
+        let (blocker, _) = request(65536, 14, 16);
+        let hb = serve.submit(blocker.with_priority(200)).unwrap();
+        let mut admitted = vec![hb];
+        let mut rejected = 0;
+        for _ in 0..6 {
+            let (req, _) = request(64, 1, 1);
+            match serve.submit(req.with_priority(1)) {
+                Ok(h) => admitted.push(h),
+                Err(Rejected::QueueFull { capacity }) => {
+                    assert_eq!(capacity, 2);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected rejection {other}"),
+            }
+        }
+        assert!(rejected >= 1, "backpressure never engaged");
+        for h in admitted {
+            h.wait().expect("admitted jobs complete");
+        }
+        let stats = serve.shutdown();
+        assert_eq!(stats.rejected_full, rejected);
+        assert!(stats.accounts_for_every_job(), "{}", stats.summary());
+    }
+}

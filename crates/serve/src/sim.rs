@@ -1,0 +1,538 @@
+//! Deterministic virtual-clock batch simulation of the service.
+//!
+//! [`simulate_batch`] replays a timed submission trace against the same
+//! admission policy, queue order, and first-fit placement as the threaded
+//! [`Serve`](crate::Serve) — but on a virtual clock, where a job's
+//! "run time" is its own simulated wall time (`RunReport::total_s`).
+//! Every quantity is a pure function of the inputs: tests can assert
+//! exact schedules, exact placements, and exact latencies, and the
+//! loadgen's determinism oracle can diff two runs bit-for-bit.
+//!
+//! Event order at equal timestamps is fixed: completions first (resources
+//! free before anything else happens), then arrivals (admission control),
+//! then dispatch (strict priority, head-of-line: the top job either
+//! places or blocks everyone behind it — the same greedy order a single
+//! pool wakeup converges to).
+
+use crate::error::ServeError;
+use crate::job::{execute_on_partition, JobRequest};
+use crate::pool::PartitionAllocator;
+use crate::stats::{LatencyHistogram, ServeStats};
+use crate::ProgramCache;
+use japonica::RunReport;
+use japonica_gpusim::DevicePartition;
+use japonica_ir::Heap;
+use japonica_scheduler::SchedulerConfig;
+use std::collections::BinaryHeap;
+
+/// Virtual-clock batch parameters.
+#[derive(Debug, Clone)]
+pub struct SimServeConfig {
+    /// The shared platform every lease slices.
+    pub base: SchedulerConfig,
+    /// Leasable CPU worker slots.
+    pub cpu_slots: u32,
+    /// Bounded queue capacity (admission control).
+    pub queue_capacity: usize,
+}
+
+impl Default for SimServeConfig {
+    fn default() -> SimServeConfig {
+        SimServeConfig {
+            base: SchedulerConfig::default(),
+            cpu_slots: 16,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Terminal state of one submitted job, in submission order.
+#[derive(Debug)]
+pub enum SimJobOutcome {
+    /// Ran to completion on its slice.
+    Completed {
+        /// The job's full runtime report (bit-identical to a solo run on
+        /// an equal-sized partition).
+        report: RunReport,
+        /// The job's heap after execution.
+        heap: Heap,
+        /// Virtual seconds spent queued before dispatch.
+        queued_s: f64,
+        /// Virtual dispatch time.
+        started_s: f64,
+        /// Virtual completion time (`started_s + report.total_s`).
+        finished_s: f64,
+    },
+    /// Turned away at arrival: the queue was at capacity.
+    RejectedFull,
+    /// Cancelled at dispatch: its deadline had already passed in the
+    /// virtual queue.
+    DeadlineMissed {
+        /// Virtual seconds spent queued.
+        queued_s: f64,
+        /// The job's deadline.
+        deadline_s: f64,
+    },
+    /// Compile or runtime failure.
+    Failed(ServeError),
+}
+
+/// One dispatch decision, for exact-schedule assertions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleEvent {
+    /// Index of the job in the submission trace.
+    pub job: usize,
+    /// First SM of the slice the job ran on.
+    pub sm_base: u32,
+    /// SMs in the slice.
+    pub sm_count: u32,
+    /// Virtual dispatch time.
+    pub started_s: f64,
+}
+
+/// The full, deterministic result of a batch simulation.
+#[derive(Debug)]
+pub struct SimBatchReport {
+    /// Per-job terminal states, indexed by submission order.
+    pub outcomes: Vec<SimJobOutcome>,
+    /// Dispatch decisions in dispatch order.
+    pub schedule: Vec<ScheduleEvent>,
+    /// Service counters with *virtual* latencies.
+    pub stats: ServeStats,
+    /// Virtual time when the last job finished.
+    pub makespan_s: f64,
+}
+
+impl SimBatchReport {
+    /// A compact fingerprint of the whole run — bit-exact over every
+    /// simulated time — for determinism oracles: two runs of the same
+    /// trace must produce byte-identical fingerprints.
+    pub fn fingerprint(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, o) in self.outcomes.iter().enumerate() {
+            match o {
+                SimJobOutcome::Completed {
+                    report,
+                    queued_s,
+                    started_s,
+                    finished_s,
+                    ..
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "job {i}: done total={:016x} queued={:016x} start={:016x} end={:016x} {}",
+                        report.total_s.to_bits(),
+                        queued_s.to_bits(),
+                        started_s.to_bits(),
+                        finished_s.to_bits(),
+                        report.summary()
+                    );
+                }
+                SimJobOutcome::RejectedFull => {
+                    let _ = writeln!(out, "job {i}: rejected-full");
+                }
+                SimJobOutcome::DeadlineMissed {
+                    queued_s,
+                    deadline_s,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "job {i}: deadline-missed queued={:016x} deadline={:016x}",
+                        queued_s.to_bits(),
+                        deadline_s.to_bits()
+                    );
+                }
+                SimJobOutcome::Failed(e) => {
+                    let _ = writeln!(out, "job {i}: failed {e}");
+                }
+            }
+        }
+        for ev in &self.schedule {
+            let _ = writeln!(
+                out,
+                "dispatch job {} on [{}, {}) at {:016x}",
+                ev.job,
+                ev.sm_base,
+                ev.sm_base + ev.sm_count,
+                ev.started_s.to_bits()
+            );
+        }
+        out
+    }
+}
+
+/// A job waiting in the virtual queue. Ordering mirrors the live
+/// [`JobQueue`](crate::JobQueue): max priority first, then earliest
+/// admission.
+struct Waiting {
+    prio: u8,
+    seq: u64,
+    job: usize,
+    arrived_s: f64,
+    req: JobRequest,
+}
+
+impl PartialEq for Waiting {
+    fn eq(&self, other: &Self) -> bool {
+        self.prio == other.prio && self.seq == other.seq
+    }
+}
+impl Eq for Waiting {}
+impl PartialOrd for Waiting {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Waiting {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.prio
+            .cmp(&other.prio)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Running {
+    finish_s: f64,
+    dispatch_seq: usize,
+    job: usize,
+    partition: DevicePartition,
+    cpu_slots: u32,
+    started_s: f64,
+    arrived_s: f64,
+    outcome: SimJobOutcome,
+}
+
+/// Replay `trace` — `(arrival_s, request)` pairs — through the service's
+/// policies on a virtual clock. Arrivals at equal times are processed in
+/// trace order. Returns every job's terminal state plus the exact
+/// schedule; the result is a pure function of `(cfg, trace)`.
+pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> SimBatchReport {
+    let cache = ProgramCache::new();
+    let mut alloc = PartitionAllocator::new(cfg.base.gpu.sm_count, cfg.cpu_slots.max(1));
+    let capacity = cfg.queue_capacity.max(1);
+
+    let n = trace.len();
+    let mut arrivals: Vec<(f64, usize, Option<JobRequest>)> = trace
+        .into_iter()
+        .enumerate()
+        .map(|(i, (t, r))| (t.max(0.0), i, Some(r)))
+        .collect();
+    // Stable by arrival time; trace order breaks ties.
+    arrivals.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+
+    let mut outcomes: Vec<Option<SimJobOutcome>> = (0..n).map(|_| None).collect();
+    let mut schedule: Vec<ScheduleEvent> = Vec::new();
+    let mut waiting: BinaryHeap<Waiting> = BinaryHeap::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut next_arrival = 0usize;
+    let mut next_seq = 0u64;
+    let mut now = 0.0f64;
+    let mut makespan = 0.0f64;
+    let mut busy_sm_s = 0.0f64;
+
+    let mut stats = ServeStats {
+        submitted: n as u64,
+        ..ServeStats::default()
+    };
+    let mut latency = LatencyHistogram::new();
+
+    loop {
+        // 1. Retire every run finishing at or before `now`, in
+        //    deterministic order (finish time, then dispatch order).
+        running.sort_by(|a, b| {
+            a.finish_s
+                .partial_cmp(&b.finish_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.dispatch_seq.cmp(&b.dispatch_seq))
+        });
+        while running.first().is_some_and(|r| r.finish_s <= now) {
+            let r = running.remove(0);
+            alloc.release(r.partition, r.cpu_slots);
+            busy_sm_s += (r.finish_s - r.started_s) * r.partition.sm_count as f64;
+            makespan = makespan.max(r.finish_s);
+            if matches!(r.outcome, SimJobOutcome::Completed { .. }) {
+                stats.completed += 1;
+                latency.record(r.finish_s - r.arrived_s);
+            } else {
+                stats.failed += 1;
+            }
+            outcomes[r.job] = Some(r.outcome);
+        }
+
+        // 2. Admit every job arriving at `now` (trace order on ties).
+        while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
+            let (t, idx) = (arrivals[next_arrival].0, arrivals[next_arrival].1);
+            let req = arrivals[next_arrival].2.take();
+            next_arrival += 1;
+            let Some(req) = req else { continue };
+            if waiting.len() >= capacity {
+                stats.rejected_full += 1;
+                outcomes[idx] = Some(SimJobOutcome::RejectedFull);
+                continue;
+            }
+            stats.admitted += 1;
+            waiting.push(Waiting {
+                prio: req.priority,
+                seq: next_seq,
+                job: idx,
+                arrived_s: t,
+                req,
+            });
+            next_seq += 1;
+        }
+
+        // 3. Dispatch from the head while the head fits (head-of-line).
+        while let Some(head) = waiting.peek() {
+            let queued_s = now - head.arrived_s;
+            if let Some(dl) = head.req.deadline.map(|d| d.as_secs_f64()) {
+                if queued_s > dl {
+                    let w = waiting.pop().unwrap_or_else(|| unreachable!());
+                    stats.deadline_missed += 1;
+                    outcomes[w.job] = Some(SimJobOutcome::DeadlineMissed {
+                        queued_s,
+                        deadline_s: dl,
+                    });
+                    continue;
+                }
+            }
+            let Some(partition) = alloc.try_alloc(head.req.resources) else {
+                break; // head blocks; strict priority order is preserved
+            };
+            let mut w = waiting.pop().unwrap_or_else(|| unreachable!());
+            let dispatch_seq = schedule.len();
+            schedule.push(ScheduleEvent {
+                job: w.job,
+                sm_base: partition.sm_base,
+                sm_count: partition.sm_count,
+                started_s: now,
+            });
+            let cpu = w.req.resources.cpu_slots;
+            let mut heap = std::mem::take(&mut w.req.heap);
+            let (finish_s, outcome) =
+                match execute_on_partition(&cache, &cfg.base, partition, cpu, &w.req, &mut heap) {
+                    Ok(report) => {
+                        let finish_s = now + report.total_s;
+                        (
+                            finish_s,
+                            SimJobOutcome::Completed {
+                                report,
+                                heap,
+                                queued_s,
+                                started_s: now,
+                                finished_s: finish_s,
+                            },
+                        )
+                    }
+                    // Failures retire instantly at `now`.
+                    Err(e) => (now, SimJobOutcome::Failed(e)),
+                };
+            running.push(Running {
+                finish_s,
+                dispatch_seq,
+                job: w.job,
+                partition,
+                cpu_slots: cpu,
+                started_s: now,
+                arrived_s: w.arrived_s,
+                outcome,
+            });
+            // A zero-length run frees its slice at `now`; restart the
+            // event loop so step 1 retires it before dispatching more.
+            if finish_s <= now {
+                break;
+            }
+        }
+        if running.iter().any(|r| r.finish_s <= now) {
+            continue;
+        }
+
+        // 4. Advance the clock to the next event.
+        let next_completion = running
+            .iter()
+            .map(|r| r.finish_s)
+            .fold(f64::INFINITY, f64::min);
+        let next_arrival_t = arrivals
+            .get(next_arrival)
+            .map_or(f64::INFINITY, |(t, _, _)| *t);
+        let next_t = next_completion.min(next_arrival_t);
+        if next_t.is_infinite() {
+            // Nothing will ever free resources or arrive. Anything still
+            // queued can never be placed (a request wider than the whole
+            // device — screened by the live service's admission check);
+            // fail it so the accounting identity holds.
+            while let Some(w) = waiting.pop() {
+                stats.failed += 1;
+                outcomes[w.job] = Some(SimJobOutcome::Failed(ServeError::Lost));
+            }
+            break;
+        }
+        now = next_t.max(now);
+    }
+
+    stats.latency = latency;
+    stats.program_cache_hits = cache.hits();
+    stats.program_cache_misses = cache.misses();
+    let sm_count = alloc.sm_count() as f64;
+    stats.sm_occupancy = if makespan > 0.0 {
+        (busy_sm_s / (makespan * sm_count)).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    stats.free_sms = alloc.free_sms();
+
+    SimBatchReport {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.unwrap_or(SimJobOutcome::Failed(ServeError::Lost)))
+            .collect(),
+        schedule,
+        stats,
+        makespan_s: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::ResourceRequest;
+    use japonica_ir::Value;
+
+    const SRC: &str = "static void scale(double[] a, int n) {
+        /* acc parallel */
+        for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }
+    }";
+
+    fn request(n: usize, sms: u32, cpus: u32) -> JobRequest {
+        let mut heap = Heap::new();
+        let a = heap.alloc_doubles(&vec![1.0; n]);
+        JobRequest::new(
+            SRC,
+            "scale",
+            vec![Value::Array(a), Value::Int(n as i32)],
+            heap,
+            ResourceRequest::new(sms, cpus),
+        )
+    }
+
+    #[test]
+    fn two_tenants_share_the_device_concurrently() {
+        let cfg = SimServeConfig::default();
+        let trace = vec![(0.0, request(4096, 7, 8)), (0.0, request(4096, 7, 8))];
+        let rep = simulate_batch(&cfg, trace);
+        // Both dispatch at t=0 on disjoint halves.
+        assert_eq!(rep.schedule.len(), 2);
+        assert_eq!(rep.schedule[0].started_s, 0.0);
+        assert_eq!(rep.schedule[1].started_s, 0.0);
+        assert_eq!(rep.schedule[0].sm_base, 0);
+        assert_eq!(rep.schedule[1].sm_base, 7);
+        // Equal jobs on equal slices: bit-identical reports.
+        let (
+            SimJobOutcome::Completed { report: r0, .. },
+            SimJobOutcome::Completed { report: r1, .. },
+        ) = (&rep.outcomes[0], &rep.outcomes[1])
+        else {
+            panic!("both jobs should complete: {:?}", rep.outcomes);
+        };
+        assert_eq!(r0.total_s.to_bits(), r1.total_s.to_bits());
+        assert_eq!(rep.stats.completed, 2);
+        assert!(
+            rep.stats.accounts_for_every_job(),
+            "{}",
+            rep.stats.summary()
+        );
+        assert!(rep.makespan_s > 0.0);
+        assert!(rep.stats.sm_occupancy > 0.0);
+    }
+
+    #[test]
+    fn multi_tenant_report_is_bit_identical_to_solo_run() {
+        // Two tenants sharing the device each see exactly the report a
+        // solo run on an equal-sized device slice produces.
+        let cfg = SimServeConfig::default();
+        let shared = simulate_batch(
+            &cfg,
+            vec![(0.0, request(4096, 7, 8)), (0.0, request(4096, 7, 8))],
+        );
+        let solo = simulate_batch(&cfg, vec![(0.0, request(4096, 7, 8))]);
+        let (
+            SimJobOutcome::Completed {
+                report: shared1, ..
+            },
+            SimJobOutcome::Completed { report: solo0, .. },
+        ) = (&shared.outcomes[1], &solo.outcomes[0])
+        else {
+            panic!("jobs should complete");
+        };
+        // Tenant 1 ran on [7, 14); the solo job on [0, 7) — same width,
+        // different base, same bits.
+        assert_eq!(shared.schedule[1].sm_base, 7);
+        assert_eq!(solo.schedule[0].sm_base, 0);
+        assert_eq!(shared1.total_s.to_bits(), solo0.total_s.to_bits());
+        assert_eq!(shared1.summary(), solo0.summary());
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let cfg = SimServeConfig {
+            queue_capacity: 3,
+            ..SimServeConfig::default()
+        };
+        let trace = || {
+            vec![
+                (0.0, request(4096, 14, 16)),
+                (0.0, request(1024, 7, 8).with_priority(5)),
+                (0.0, request(1024, 7, 8).with_priority(200)),
+                (0.0, request(64, 1, 1)), // 4th arrival: queue cap 3 → rejected
+                (1e-9, request(512, 2, 2)), // arrives after queue drains a slot
+            ]
+        };
+        let a = simulate_batch(&cfg, trace());
+        let b = simulate_batch(&cfg, trace());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(matches!(a.outcomes[3], SimJobOutcome::RejectedFull));
+        assert_eq!(a.stats.rejected_full, 1);
+        assert!(a.stats.accounts_for_every_job(), "{}", a.stats.summary());
+        // Priority 200 dispatches before priority 5 once the full-device
+        // job releases the SMs.
+        let pos_high = a.schedule.iter().position(|e| e.job == 2);
+        let pos_low = a.schedule.iter().position(|e| e.job == 1);
+        assert!(pos_high < pos_low, "schedule: {:?}", a.schedule);
+    }
+
+    #[test]
+    fn queued_deadline_misses_are_cancelled_not_run() {
+        let cfg = SimServeConfig::default();
+        let trace = vec![
+            (0.0, request(65536, 14, 16)),
+            (
+                0.0,
+                request(64, 1, 1).with_deadline(std::time::Duration::from_nanos(1)),
+            ),
+        ];
+        let rep = simulate_batch(&cfg, trace);
+        assert!(matches!(
+            rep.outcomes[1],
+            SimJobOutcome::DeadlineMissed { .. }
+        ));
+        assert_eq!(rep.stats.deadline_missed, 1);
+        assert_eq!(rep.schedule.len(), 1, "missed job must never dispatch");
+        assert!(rep.stats.accounts_for_every_job());
+    }
+
+    #[test]
+    fn broken_program_fails_without_stalling_the_batch() {
+        let cfg = SimServeConfig::default();
+        let mut bad = request(64, 2, 2);
+        bad.source = "static void broken(".into();
+        let rep = simulate_batch(&cfg, vec![(0.0, bad), (0.0, request(1024, 7, 8))]);
+        assert!(matches!(rep.outcomes[0], SimJobOutcome::Failed(_)));
+        assert!(matches!(rep.outcomes[1], SimJobOutcome::Completed { .. }));
+        assert_eq!((rep.stats.failed, rep.stats.completed), (1, 1));
+        assert!(rep.stats.accounts_for_every_job());
+    }
+}

@@ -1,0 +1,260 @@
+//! Serving statistics: per-job accounting and the latency histogram.
+//!
+//! The accounting invariant every snapshot satisfies (and tests assert):
+//!
+//! ```text
+//! submitted = admitted + rejected_full + rejected_shutdown + rejected_invalid
+//! admitted  = completed + failed + deadline_missed + cancelled + in_flight
+//! ```
+//!
+//! so no submitted job is ever unaccounted for.
+
+/// Number of log-spaced latency buckets. Bucket `i` covers latencies in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1 µs`), reaching past 10⁹
+/// seconds — far beyond any real latency.
+const BUCKETS: usize = 64;
+
+/// A fixed-size log₂ histogram of latencies in microseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_s: f64,
+    max_s: f64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> LatencyHistogram {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_s: 0.0,
+            max_s: 0.0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_of(seconds: f64) -> usize {
+        let us = (seconds * 1e6).max(0.0);
+        if us < 1.0 {
+            return 0;
+        }
+        // log2 via the bit width of the truncated microsecond count.
+        let us = us.min(u64::MAX as f64) as u64;
+        (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+    }
+
+    /// Record one latency.
+    pub fn record(&mut self, seconds: f64) {
+        self.buckets[Self::bucket_of(seconds)] += 1;
+        self.count += 1;
+        self.sum_s += seconds.max(0.0);
+        self.max_s = self.max_s.max(seconds);
+    }
+
+    /// Recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in seconds (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+
+    /// Largest recorded latency in seconds.
+    pub fn max(&self) -> f64 {
+        self.max_s
+    }
+
+    /// The latency below which a `q` fraction of samples fall, as the
+    /// upper edge of the containing bucket (conservative: never
+    /// under-reports). `q` is clamped to [0, 1]; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper edge of bucket i: 2^i µs (bucket 0: 1 µs).
+                let upper_us = if i == 0 { 1.0 } else { (1u64 << i) as f64 };
+                return upper_us.min(self.max_s * 1e6).max(0.0) * 1e-6;
+            }
+        }
+        self.max_s
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_s += other.sum_s;
+        self.max_s = self.max_s.max(other.max_s);
+    }
+}
+
+/// One point-in-time view of the service's counters.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Every call to `submit` (admitted or not).
+    pub submitted: u64,
+    /// Jobs that passed admission control.
+    pub admitted: u64,
+    /// Submissions turned away because the queue was at capacity.
+    pub rejected_full: u64,
+    /// Submissions turned away because the service was draining.
+    pub rejected_shutdown: u64,
+    /// Submissions turned away as unsatisfiable (bad resource ask).
+    pub rejected_invalid: u64,
+    /// Admitted jobs that produced a result.
+    pub completed: u64,
+    /// Admitted jobs that failed in compile or runtime.
+    pub failed: u64,
+    /// Admitted jobs cancelled at dispatch because their deadline had
+    /// already passed.
+    pub deadline_missed: u64,
+    /// Admitted jobs cancelled by their submitter before starting.
+    pub cancelled: u64,
+    /// Completed jobs whose latency exceeded their deadline (the result
+    /// was still delivered).
+    pub completed_late: u64,
+    /// Jobs admitted but not yet finished at snapshot time.
+    pub in_flight: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Program-cache hit/miss counters.
+    pub program_cache_hits: u64,
+    pub program_cache_misses: u64,
+    /// Submit→result latency distribution of completed jobs.
+    pub latency: LatencyHistogram,
+    /// Mean SM occupancy of the shared device since the pool opened.
+    pub sm_occupancy: f64,
+    /// SMs free at snapshot time.
+    pub free_sms: u32,
+}
+
+impl ServeStats {
+    /// `submitted = admitted + every rejection class` and
+    /// `admitted = completed + failed + deadline_missed + cancelled +
+    /// in_flight` — true in every reachable state.
+    pub fn accounts_for_every_job(&self) -> bool {
+        self.submitted
+            == self.admitted + self.rejected_full + self.rejected_shutdown + self.rejected_invalid
+            && self.admitted
+                == self.completed
+                    + self.failed
+                    + self.deadline_missed
+                    + self.cancelled
+                    + self.in_flight
+    }
+
+    /// One-paragraph human-readable rendering.
+    pub fn summary(&self) -> String {
+        format!(
+            "submitted {} | admitted {} (rejected: {} full, {} shutdown, {} invalid) | \
+             completed {} ({} late), failed {}, deadline-missed {}, cancelled {}, in-flight {} | \
+             queue {} | p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms | \
+             program cache {}/{} hits | SM occupancy {:.1}%",
+            self.submitted,
+            self.admitted,
+            self.rejected_full,
+            self.rejected_shutdown,
+            self.rejected_invalid,
+            self.completed,
+            self.completed_late,
+            self.failed,
+            self.deadline_missed,
+            self.cancelled,
+            self.in_flight,
+            self.queue_depth,
+            self.latency.quantile(0.5) * 1e3,
+            self.latency.quantile(0.99) * 1e3,
+            self.latency.max() * 1e3,
+            self.program_cache_hits,
+            self.program_cache_hits + self.program_cache_misses,
+            self.sm_occupancy * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i as f64 * 1e-6); // 1µs .. 1ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!(p50 <= p99, "p50 {p50} > p99 {p99}");
+        assert!(p99 <= h.max() + 1e-12);
+        // p50 of a 1..1000µs uniform sample sits in the 512µs bucket.
+        assert!((256e-6..=1024e-6).contains(&p50), "p50 {p50}");
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let mut h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), 0.0);
+        h.record(0.0);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) <= 1e-6);
+        // Absurd latencies saturate the last bucket instead of panicking.
+        h.record(1e12);
+        assert!(h.quantile(1.0) >= 1.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(1e-3);
+        b.record(2e-3);
+        b.record(4e-3);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.max() - 4e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accounting_identity() {
+        let mut s = ServeStats {
+            submitted: 10,
+            admitted: 7,
+            rejected_full: 2,
+            rejected_shutdown: 0,
+            rejected_invalid: 1,
+            completed: 4,
+            failed: 1,
+            deadline_missed: 1,
+            cancelled: 0,
+            in_flight: 1,
+            ..ServeStats::default()
+        };
+        assert!(s.accounts_for_every_job());
+        s.in_flight = 0;
+        assert!(!s.accounts_for_every_job());
+        assert!(s.summary().contains("submitted 10"));
+    }
+}

@@ -343,7 +343,7 @@ pub fn run_tls_loop_guarded_with(
             // ---- DC phase ----
             let dc = spec.check();
             report.gpu_time_s += dcfg.cycles_to_seconds(
-                dc.entries_scanned as f64 * tls.dc_cycles_per_entry / dcfg.sm_count as f64,
+                dc.entries_scanned as f64 * tls.dc_cycles_per_entry / dcfg.effective_sms() as f64,
             );
             report.intra_warp_violations += dc.intra_warp;
             report.inter_warp_violations += dc.inter_warp;
