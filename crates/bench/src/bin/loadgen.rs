@@ -17,12 +17,28 @@
 //! [`Serve`](japonica_serve::Serve) worker pool for a host throughput /
 //! latency snapshot (optionally written as flat JSON with `--json`).
 //!
-//! Exit codes: 0 ok · 2 determinism or isolation violation ·
+//! Chaos mode (`--chaos P`, optionally `--devices N`) runs the same
+//! oracles against a fault-injecting fleet: every device carries a seeded
+//! fault template (kernel launches fault with probability P, H2D
+//! transfers with P/2), jobs are salted so each attempt's fault draws are
+//! a pure function of `(salt, rung)`, and two more oracles apply:
+//!
+//! 4. **No job lost to chaos** — the failover ladder ends at a fault-free
+//!    CPU-only rung, so every admitted job must still complete.
+//! 5. **Fleet lockstep** — the threaded fleet and the virtual-clock fleet
+//!    must agree bit-for-bit on every per-job report and on the total
+//!    rung-counter walk (attempts / retried / migrated / cpu-degraded),
+//!    and no quarantined device may receive an unforced lease.
+//!
+//! Exit codes: 0 ok · 2 determinism, isolation, or embargo violation ·
 //! 3 accounting violation · 4 a phase failed to run.
 
 use japonica_bench::{json_escape, json_f64};
+use japonica_faults::{FaultKind, FaultPlan, FaultRule};
+use japonica_scheduler::SchedulerConfig;
 use japonica_serve::{
-    simulate_batch, JobRequest, ResourceRequest, Serve, ServeConfig, SimJobOutcome, SimServeConfig,
+    simulate_batch, FleetConfig, JobRequest, ResourceRequest, Serve, ServeConfig, SimJobOutcome,
+    SimServeConfig,
 };
 use japonica_workloads::Workload;
 use rand::{rngs::StdRng, Rng, SeedableRng};
@@ -37,6 +53,8 @@ struct Opts {
     scale: u64,
     queue_cap: usize,
     workers: usize,
+    devices: usize,
+    chaos: f64,
     json: Option<String>,
     quick: bool,
 }
@@ -44,12 +62,18 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--rate JOBS_PER_S] [--seed N] [--jobs N] [--scale N]\n\
-         \x20              [--queue-cap N] [--workers N] [--json PATH] [--quick]\n\
+         \x20              [--queue-cap N] [--workers N] [--devices N] [--chaos P]\n\
+         \x20              [--json PATH] [--quick]\n\
          \n\
          Replays a seeded synthetic mix of Table II programs through the\n\
          japonica-serve virtual-clock simulator (determinism + isolation\n\
          oracles, exit 2 on violation) and the threaded service (throughput\n\
-         and latency snapshot). --quick shrinks the mix for CI smoke."
+         and latency snapshot). --devices N serves over an N-device fleet;\n\
+         --chaos P injects seeded device faults (kernel launch probability\n\
+         P, H2D transfer P/2) and additionally enforces the fault-tolerance\n\
+         oracles: no admitted job lost, threaded/virtual-clock lockstep on\n\
+         per-job bits and rung counters, and a clean quarantine embargo.\n\
+         --quick shrinks the mix for CI smoke."
     );
     std::process::exit(2)
 }
@@ -62,6 +86,8 @@ fn parse_opts() -> Opts {
         scale: 1,
         queue_cap: 16,
         workers: 4,
+        devices: 1,
+        chaos: 0.0,
         json: None,
         quick: false,
     };
@@ -83,6 +109,8 @@ fn parse_opts() -> Opts {
             "--scale" => o.scale = (num(&mut args) as u64).max(1),
             "--queue-cap" => o.queue_cap = (num(&mut args) as usize).max(1),
             "--workers" => o.workers = (num(&mut args) as usize).max(1),
+            "--devices" => o.devices = (num(&mut args) as usize).clamp(1, 16),
+            "--chaos" => o.chaos = num(&mut args).clamp(0.0, 1.0),
             "--json" => o.json = args.next().or_else(|| usage()).into(),
             "--quick" => o.quick = true,
             "--help" | "-h" => usage(),
@@ -108,6 +136,9 @@ struct MixSlot {
     cpus: u32,
     prio: u8,
     arrival_s: f64,
+    /// Per-job salt: seeds every attempt's fault draws and the home-device
+    /// pick. Drawn with the mix so chaos schedules replay with the seed.
+    salt: u64,
 }
 
 /// Draw the seeded mix: which workload, which slice, which priority, and
@@ -138,6 +169,7 @@ fn draw_mix(o: &Opts) -> Vec<MixSlot> {
                 cpus,
                 prio,
                 arrival_s: t,
+                salt: rng.gen(),
             }
         })
         .collect()
@@ -155,6 +187,33 @@ fn build_request(slot: &MixSlot, scale: u64) -> JobRequest {
     )
     .with_priority(slot.prio)
     .with_subloops(w.subloops)
+    .with_salt(slot.salt)
+}
+
+/// The chaos fleet: `devices` uniform devices, each with the same seeded
+/// fault template (uniform templates keep the threaded and virtual-clock
+/// fleets in lockstep — fault draws depend on `(salt, rung)`, never on
+/// which device serves the attempt). `None` when neither knob is set, so
+/// the default single-device path is byte-identical to earlier versions.
+fn fleet_config(o: &Opts) -> Option<FleetConfig> {
+    if o.devices == 1 && o.chaos <= 0.0 {
+        return None;
+    }
+    let template = (o.chaos > 0.0).then(|| {
+        FaultPlan::new(
+            o.seed ^ 0xC4A0_5C4A_05C4_A05C,
+            vec![
+                FaultRule::persistent(FaultKind::KernelLaunch).with_probability(o.chaos),
+                FaultRule::persistent(FaultKind::TransferH2D).with_probability(o.chaos / 2.0),
+            ],
+        )
+    });
+    Some(FleetConfig::uniform(
+        o.devices,
+        SchedulerConfig::default(),
+        16,
+        template,
+    ))
 }
 
 fn trace(mix: &[MixSlot], scale: u64) -> Vec<(f64, JobRequest)> {
@@ -187,18 +246,38 @@ fn peak_concurrency(rep: &japonica_serve::SimBatchReport) -> usize {
     peak.max(0) as usize
 }
 
+/// Exit 2 if any device of a finished run ever handed an unforced lease
+/// to a quarantined device — the embargo is part of the contract.
+fn check_embargo(
+    devices: &[japonica_serve::DeviceHealthStats],
+    what: &str,
+) -> Result<(), ExitCode> {
+    for d in devices {
+        if d.embargo_violations > 0 {
+            eprintln!(
+                "FAIL: {what} dev#{} dispatched {} unforced lease(s) while quarantined",
+                d.device, d.embargo_violations
+            );
+            return Err(ExitCode::from(2));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let o = parse_opts();
     let mix = draw_mix(&o);
+    let fleet = fleet_config(&o);
     let sim_cfg = SimServeConfig {
         queue_capacity: o.queue_cap,
+        fleet: fleet.clone(),
         ..SimServeConfig::default()
     };
 
     // Phase 1: replay determinism — the same trace twice, bit-for-bit.
     println!(
-        "loadgen: {} jobs, rate {}/s, seed {}, scale {}, queue {}",
-        o.jobs, o.rate, o.seed, o.scale, o.queue_cap
+        "loadgen: {} jobs, rate {}/s, seed {}, scale {}, queue {}, devices {}, chaos {}",
+        o.jobs, o.rate, o.seed, o.scale, o.queue_cap, o.devices, o.chaos
     );
     let rep = simulate_batch(&sim_cfg, trace(&mix, o.scale));
     let rep2 = simulate_batch(&sim_cfg, trace(&mix, o.scale));
@@ -211,6 +290,24 @@ fn main() -> ExitCode {
     if !rep.stats.accounts_for_every_job() {
         eprintln!("FAIL: simulator stats lost a job: {}", rep.stats.summary());
         return ExitCode::from(3);
+    }
+    if let Err(code) = check_embargo(&rep.stats.devices, "sim") {
+        return code;
+    }
+    // Chaos never loses an admitted job: the ladder's last rung is the
+    // fault-free CPU-only executor, so with the default attempt budget
+    // every admitted job must still complete.
+    if o.chaos > 0.0 {
+        for (i, outcome) in rep.outcomes.iter().enumerate() {
+            match outcome {
+                SimJobOutcome::Completed { .. } | SimJobOutcome::RejectedFull => {}
+                other => {
+                    eprintln!("FAIL: chaos lost admitted job {i}: {other:?}");
+                    return ExitCode::from(4);
+                }
+            }
+        }
+        println!("chaos: {}", rep.stats.fleet_summary());
     }
     let peak = peak_concurrency(&rep);
     println!(
@@ -229,15 +326,25 @@ fn main() -> ExitCode {
 
     // Phase 2: tenant isolation — every completed job must match a solo
     // run of the same program on an equal-sized slice, bit for bit. One
-    // solo run per distinct (workload, slice) shape.
-    let mut solo_bits: BTreeMap<(usize, u32, u32), (u64, String)> = BTreeMap::new();
+    // solo run per distinct (workload, slice) shape — plus the salt under
+    // chaos, where the fault schedule (a pure function of the salt) decides
+    // which ladder rungs the job walks.
+    let solo_key = |slot: &MixSlot| {
+        (
+            slot.widx,
+            slot.sms,
+            slot.cpus,
+            if o.chaos > 0.0 { slot.salt } else { 0 },
+        )
+    };
+    let mut solo_bits: BTreeMap<(usize, u32, u32, u64), (u64, String)> = BTreeMap::new();
     let mut isolation_checked = 0usize;
     for (i, outcome) in rep.outcomes.iter().enumerate() {
         let SimJobOutcome::Completed { report, .. } = outcome else {
             continue;
         };
         let slot = &mix[i];
-        let key = (slot.widx, slot.sms, slot.cpus);
+        let key = solo_key(slot);
         if !solo_bits.contains_key(&key) {
             let solo = simulate_batch(&sim_cfg, vec![(0.0, build_request(slot, o.scale))]);
             let SimJobOutcome::Completed { report: solo_r, .. } = &solo.outcomes[0] else {
@@ -276,6 +383,7 @@ fn main() -> ExitCode {
     let serve = Serve::start(ServeConfig {
         queue_capacity: o.jobs.max(1),
         workers: o.workers,
+        fleet: fleet.clone(),
         ..ServeConfig::default()
     });
     let wall_start = std::time::Instant::now();
@@ -296,7 +404,7 @@ fn main() -> ExitCode {
     for (slot, h) in handles {
         match h.wait() {
             Ok(result) => {
-                let key = (slot.widx, slot.sms, slot.cpus);
+                let key = solo_key(&slot);
                 let (bits, summary) = &solo_bits.get(&key).cloned().unwrap_or_else(|| {
                     let solo = simulate_batch(&sim_cfg, vec![(0.0, build_request(&slot, o.scale))]);
                     match &solo.outcomes[0] {
@@ -333,6 +441,65 @@ fn main() -> ExitCode {
         eprintln!("FAIL: threaded stats lost a job: {}", stats.summary());
         return ExitCode::from(3);
     }
+    if let Err(code) = check_embargo(&stats.devices, "threaded") {
+        return code;
+    }
+
+    // Phase 4 (chaos only): fleet lockstep. Re-run the virtual clock with
+    // the threaded run's admission shape (queue sized to the whole mix) so
+    // both fleets process the identical job set, then require the total
+    // rung walk and merged fault accounting to agree exactly. Per-job
+    // report bits already agree transitively through the solo references.
+    if o.chaos > 0.0 {
+        let parity_cfg = SimServeConfig {
+            queue_capacity: o.jobs.max(1),
+            fleet: fleet.clone(),
+            ..SimServeConfig::default()
+        };
+        let parity = simulate_batch(&parity_cfg, trace(&mix, o.scale));
+        if !parity.stats.accounts_for_every_job() {
+            eprintln!(
+                "FAIL: parity sim stats lost a job: {}",
+                parity.stats.summary()
+            );
+            return ExitCode::from(3);
+        }
+        let threaded_walk = (
+            stats.attempts,
+            stats.retried,
+            stats.migrated,
+            stats.cpu_degraded,
+        );
+        let sim_walk = (
+            parity.stats.attempts,
+            parity.stats.retried,
+            parity.stats.migrated,
+            parity.stats.cpu_degraded,
+        );
+        if threaded_walk != sim_walk {
+            eprintln!(
+                "FAIL: threaded and virtual-clock fleets walked different ladders\n\
+                 threaded: {}\n     sim: {}",
+                stats.fleet_summary(),
+                parity.stats.fleet_summary()
+            );
+            return ExitCode::from(3);
+        }
+        if stats.faults != parity.stats.faults {
+            eprintln!(
+                "FAIL: merged fault accounting diverged\nthreaded: {}\n     sim: {}",
+                stats.fleet_summary(),
+                parity.stats.fleet_summary()
+            );
+            return ExitCode::from(2);
+        }
+        println!(
+            "lockstep: threaded and virtual-clock fleets agree on \
+             {} attempts ({} retried, {} migrated, {} cpu-degraded)",
+            stats.attempts, stats.retried, stats.migrated, stats.cpu_degraded
+        );
+    }
+
     let throughput = stats.completed as f64 / wall_s.max(1e-9);
     println!("threaded: {}", stats.summary());
     println!(
@@ -352,6 +519,8 @@ fn main() -> ExitCode {
         kv("scale", o.scale.to_string());
         kv("queue_capacity", o.queue_cap.to_string());
         kv("workers", o.workers.to_string());
+        kv("devices", o.devices.to_string());
+        kv("chaos", json_f64(o.chaos));
         kv("sim_completed", rep.stats.completed.to_string());
         kv("sim_rejected_full", rep.stats.rejected_full.to_string());
         kv("sim_peak_concurrency", peak.to_string());
@@ -367,6 +536,32 @@ fn main() -> ExitCode {
         kv("threaded_p50_s", json_f64(stats.latency.quantile(0.5)));
         kv("threaded_p99_s", json_f64(stats.latency.quantile(0.99)));
         kv("threaded_max_s", json_f64(stats.latency.max()));
+        kv("attempts", stats.attempts.to_string());
+        kv("retried", stats.retried.to_string());
+        kv("migrated", stats.migrated.to_string());
+        kv("cpu_degraded", stats.cpu_degraded.to_string());
+        kv("worker_panics", stats.worker_panics.to_string());
+        kv("cache_evictions", stats.cache_evictions.to_string());
+        kv("gpu_faults", stats.faults.gpu_faults.to_string());
+        kv("transfer_faults", stats.faults.transfer_faults.to_string());
+        kv(
+            "quarantines",
+            stats
+                .devices
+                .iter()
+                .map(|d| d.quarantines)
+                .sum::<u64>()
+                .to_string(),
+        );
+        kv(
+            "suspicions",
+            stats
+                .devices
+                .iter()
+                .map(|d| d.suspicions)
+                .sum::<u64>()
+                .to_string(),
+        );
         kv(
             "program_cache_hits",
             (rep.stats.program_cache_hits + stats.program_cache_hits).to_string(),

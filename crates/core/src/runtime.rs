@@ -7,8 +7,8 @@ use japonica_cpuexec::CpuConfig;
 use japonica_ir::{Env, ExecError, ForLoop, Heap, Scheme, Value};
 use japonica_profiler::{profile_loop, LoopProfile};
 use japonica_scheduler::{
-    run_sharing, run_stealing, sharing::eval_bounds, sharing::stage_device, DataPlan, LoopTask,
-    SchedError, SchedulerConfig,
+    run_sharing, run_stealing, sharing::eval_bounds, sharing::run_cpu_only, sharing::stage_device,
+    DataPlan, LoopTask, SchedError, SchedulerConfig,
 };
 use std::collections::BTreeMap;
 
@@ -105,6 +105,24 @@ impl Runtime {
                 report.profiling_s += p.profiling_time_s;
                 profiles.insert(l.id, p);
             }
+        }
+        // Degraded CPU-only placement: every loop takes the baseline host
+        // path (no device staging, no kernel launches, no fault hooks) —
+        // guaranteed progress for the serving layer's last ladder rung.
+        // Profiling above still ran on the scratch device: it is a
+        // deterministic measurement pass that only feeds mode selection.
+        if cfg.cpu_only {
+            for l in loops {
+                let task = LoopTask {
+                    loop_: l,
+                    analysis: analysis_of(l.id)?,
+                    profile: profiles.get(&l.id),
+                };
+                let r = run_cpu_only(&compiled.program, cfg, &task, env, heap, cfg.cpu_threads)?;
+                report.loops.push(r);
+            }
+            report.profiles.append(&mut profiles);
+            return Ok(());
         }
         // Scheme: global override > first loop's clause > default (sharing).
         let scheme = self.cfg.scheme_override.unwrap_or_else(|| {

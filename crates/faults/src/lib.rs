@@ -286,6 +286,20 @@ impl FaultPlan {
             .injected
     }
 
+    /// A fresh plan with the same rules but the seed mixed with `salt`
+    /// (splitmix-style finalizer so nearby salts decorrelate). Serving
+    /// layers use this to derive per-attempt plans from a device template:
+    /// the derived plan depends only on `(template seed, salt)`, never on
+    /// which physical device the attempt lands on, which is what keeps
+    /// fault draws placement-independent across the fleet.
+    pub fn reseeded(&self, salt: u64) -> FaultPlan {
+        let mut z = self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        FaultPlan::new(z, self.rules.clone())
+    }
+
     /// Reset occurrence counters and RNG to the initial state.
     pub fn reset(&self) {
         let mut st = self.state.lock().expect("fault-plan state poisoned");
@@ -506,6 +520,12 @@ pub struct ResilienceConfig {
     /// cost-model estimate × this factor is killed as a deadline overrun.
     /// Values ≤ 1 disable the watchdog.
     pub watchdog_slack: f64,
+    /// When set, the in-run recovery ladder is disabled past retries: the
+    /// first fault that would have triggered a cross-device fallback or a
+    /// degradation rung is returned as an error instead of being absorbed.
+    /// A serving layer that owns its own retry/failover ladder sets this so
+    /// faults escape to it with the run's accumulated `FaultStats` attached.
+    pub fail_fast: bool,
 }
 
 impl Default for ResilienceConfig {
@@ -515,6 +535,7 @@ impl Default for ResilienceConfig {
             retry_backoff_us: 50.0,
             device_fault_tolerance: 3,
             watchdog_slack: 4.0,
+            fail_fast: false,
         }
     }
 }
@@ -606,6 +627,26 @@ mod tests {
         assert!(p.on_kernel_launch(origin()).is_none());
         let q = p.clone();
         assert!(q.on_kernel_launch(origin()).is_some());
+    }
+
+    #[test]
+    fn reseeded_is_deterministic_and_salt_sensitive() {
+        let tmpl = FaultPlan::new(
+            42,
+            vec![FaultRule::persistent(FaultKind::KernelLaunch).with_probability(0.5)],
+        );
+        let draws = |p: &FaultPlan| {
+            (0..64)
+                .map(|_| p.on_kernel_launch(origin()).is_some())
+                .collect::<Vec<_>>()
+        };
+        // Same (template, salt) → identical derived behavior.
+        assert_eq!(draws(&tmpl.reseeded(3)), draws(&tmpl.reseeded(3)));
+        // Different salts decorrelate; rules are preserved.
+        assert_ne!(draws(&tmpl.reseeded(3)), draws(&tmpl.reseeded(4)));
+        assert_eq!(tmpl.reseeded(3).rules().len(), 1);
+        // Deriving never consumes template state.
+        assert_eq!(tmpl.injected(), 0);
     }
 
     #[test]

@@ -42,6 +42,10 @@ pub struct SchedulerConfig {
     /// Optional seeded fault-injection plan; `None` (default) leaves every
     /// hot path untouched.
     pub faults: Option<FaultPlan>,
+    /// Degraded placement: route every loop through the CPU-only baseline
+    /// executor (no device staging, no kernel launches, no fault hooks).
+    /// The serving layer's last ladder rung before giving up on a job.
+    pub cpu_only: bool,
 }
 
 impl SchedulerConfig {
@@ -93,6 +97,7 @@ impl Default for SchedulerConfig {
             cpu_steals_back: true,
             resilience: ResilienceConfig::default(),
             faults: None,
+            cpu_only: false,
         }
     }
 }

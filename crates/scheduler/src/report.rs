@@ -12,9 +12,15 @@ pub enum SchedError {
     Exec(ExecError),
     Simt(SimtError),
     Tls(TlsError),
-    /// A device fault that exhausted every retry/fallback rung, carried with
-    /// its structured origin (loop, sub-loop, warp, chunk).
-    Device(DeviceFault),
+    /// A device fault that exhausted every retry/fallback rung (or escaped
+    /// early under `ResilienceConfig::fail_fast`), carried with its
+    /// structured origin (loop, sub-loop, warp, chunk) and the resilience
+    /// counters accumulated before the run gave up, so callers above the
+    /// scheduler see what the ladder tried rather than just a message.
+    Device {
+        fault: DeviceFault,
+        stats: FaultStats,
+    },
     /// A scheduler invariant was violated — replaces what used to be a
     /// panic on the hot path.
     Internal(String),
@@ -26,7 +32,7 @@ impl std::fmt::Display for SchedError {
             SchedError::Exec(e) => write!(f, "{e}"),
             SchedError::Simt(e) => write!(f, "{e}"),
             SchedError::Tls(e) => write!(f, "{e}"),
-            SchedError::Device(d) => write!(f, "unrecovered device fault: {d}"),
+            SchedError::Device { fault, .. } => write!(f, "unrecovered device fault: {fault}"),
             SchedError::Internal(m) => write!(f, "scheduler invariant violated: {m}"),
         }
     }
@@ -41,7 +47,7 @@ impl std::error::Error for SchedError {
             SchedError::Exec(e) => Some(e),
             SchedError::Simt(e) => Some(e),
             SchedError::Tls(e) => Some(e),
-            SchedError::Device(d) => Some(d),
+            SchedError::Device { fault, .. } => Some(fault),
             SchedError::Internal(_) => None,
         }
     }
@@ -56,7 +62,7 @@ impl From<ExecError> for SchedError {
 impl From<SimtError> for SchedError {
     fn from(e: SimtError) -> SchedError {
         match e {
-            SimtError::Fault(f) => SchedError::Device(f),
+            SimtError::Fault(f) => f.into(),
             SimtError::Mem(e) => SchedError::Exec(e),
             other => SchedError::Simt(other),
         }
@@ -66,15 +72,29 @@ impl From<SimtError> for SchedError {
 impl From<TlsError> for SchedError {
     fn from(e: TlsError) -> SchedError {
         match e {
-            TlsError::Fault(f) => SchedError::Device(f),
+            TlsError::Fault(f) => f.into(),
             other => SchedError::Tls(other),
         }
     }
 }
 
 impl From<DeviceFault> for SchedError {
-    fn from(f: DeviceFault) -> SchedError {
-        SchedError::Device(f)
+    fn from(fault: DeviceFault) -> SchedError {
+        SchedError::Device {
+            fault,
+            stats: FaultStats::default(),
+        }
+    }
+}
+
+impl SchedError {
+    /// The resilience counters a failed run accumulated before giving up,
+    /// when the failure was a device fault.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match self {
+            SchedError::Device { stats, .. } => Some(*stats),
+            _ => None,
+        }
     }
 }
 

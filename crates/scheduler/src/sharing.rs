@@ -122,7 +122,10 @@ pub(crate) fn transfer_with_retry<T>(
                     stats.backoff_s += res.retry_backoff_us * 1e-6 * attempt as f64;
                     continue;
                 }
-                return Err(SchedError::Device(f));
+                return Err(SchedError::Device {
+                    fault: f,
+                    stats: *stats,
+                });
             }
             Err(e) => return Err(e.into()),
         }
@@ -303,10 +306,17 @@ fn greedy_share(
     if let Err(e) = stage_device_guarded(plan, heap, &mut dev, cfg, loop_origin, &mut report.faults)
     {
         match e {
-            SchedError::Device(_) => {
+            SchedError::Device { fault, .. } => {
                 // The device is unreachable before any compute was queued:
                 // bottom rung of the ladder, the whole loop runs
-                // sequentially on the host.
+                // sequentially on the host — unless the caller asked for the
+                // fault to escape instead of being absorbed.
+                if res.fail_fast {
+                    return Err(SchedError::Device {
+                        fault,
+                        stats: report.faults,
+                    });
+                }
                 report.faults.fallbacks += 1;
                 report.faults.escalate(DegradationLevel::Sequential);
                 let r = run_sequential_with(
@@ -429,6 +439,12 @@ fn greedy_share(
                             report.faults.backoff_s += b;
                             chunk_backoff += b;
                             continue;
+                        }
+                        if res.fail_fast {
+                            return Err(SchedError::Device {
+                                fault: f,
+                                stats: report.faults,
+                            });
                         }
                         report.faults.fallbacks += 1;
                         report.faults.escalate(DegradationLevel::GpuDegraded);
@@ -577,6 +593,12 @@ fn greedy_share(
                                 cpu_clock += b;
                                 continue;
                             }
+                            if res.fail_fast {
+                                return Err(SchedError::Device {
+                                    fault: f,
+                                    stats: report.faults,
+                                });
+                            }
                             report.faults.fallbacks += 1;
                             if report.faults.cpu_faults >= res.device_fault_tolerance {
                                 cpu_pool_alive = false;
@@ -679,7 +701,13 @@ fn run_mode_b(
     if let Err(e) = stage_device_guarded(plan, heap, &mut dev, cfg, loop_origin, &mut report.faults)
     {
         return match (e, pristine) {
-            (SchedError::Device(_), Some(p)) => {
+            (SchedError::Device { fault, .. }, Some(p)) => {
+                if res.fail_fast {
+                    return Err(SchedError::Device {
+                        fault,
+                        stats: report.faults,
+                    });
+                }
                 sequential_rung(&mut report, heap, p)?;
                 Ok(report)
             }
@@ -717,9 +745,12 @@ fn run_mode_b(
         });
         match copied {
             Ok(_) => bytes_out += e.bytes(heap),
-            Err(SchedError::Device(f)) => {
-                let Some(p) = pristine else {
-                    return Err(SchedError::Device(f));
+            Err(SchedError::Device { fault, .. }) => {
+                let (Some(p), false) = (pristine, res.fail_fast) else {
+                    return Err(SchedError::Device {
+                        fault,
+                        stats: report.faults,
+                    });
                 };
                 sequential_rung(&mut report, heap, p)?;
                 return Ok(report);

@@ -290,11 +290,18 @@ pub fn run_stealing(
                             gpu_return_clock = gpu_return_clock.max(end) + d2h;
                             (Device::Gpu, start, end)
                         }
-                        Err(SchedError::Device(_)) => {
+                        Err(SchedError::Device { fault, .. }) => {
                             // The fault already went through its retry
                             // budget inside exec_gpu and the heap is
                             // untouched: resubmit the task on the CPU
-                            // timeline.
+                            // timeline — unless the caller wants the fault
+                            // surfaced instead of absorbed.
+                            if res.fail_fast {
+                                return Err(SchedError::Device {
+                                    fault,
+                                    stats: report.faults,
+                                });
+                            }
                             report.faults.fallbacks += 1;
                             report.faults.escalate(DegradationLevel::GpuDegraded);
                             let device_faults = report.faults.gpu_faults
@@ -478,7 +485,10 @@ fn exec_gpu(
                     backoff += b;
                     continue;
                 }
-                return Err(SchedError::Device(f));
+                return Err(SchedError::Device {
+                    fault: f,
+                    stats: *stats,
+                });
             }
             Err(e) => return Err(e.into()),
         }
@@ -566,6 +576,12 @@ fn exec_cpu(
                             stats.retries += 1;
                             stats.backoff_s += res.retry_backoff_us * 1e-6 * attempt as f64;
                             continue;
+                        }
+                        if res.fail_fast {
+                            return Err(SchedError::Device {
+                                fault: f,
+                                stats: *stats,
+                            });
                         }
                         stats.fallbacks += 1;
                         if stats.cpu_faults >= res.device_fault_tolerance {

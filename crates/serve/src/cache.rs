@@ -8,6 +8,12 @@
 //! hash is disambiguated by comparing sources, so the cache is correct
 //! even for adversarial inputs. Compile *failures* are memoized too — a
 //! hot broken program costs one compile, not one per submission.
+//!
+//! The cache is *bounded*: each shard holds at most `capacity / SHARDS`
+//! entries and evicts its least-recently-used program on overflow (a
+//! global atomic tick stamps every access, so "least recent" is exact up
+//! to concurrent races, which only skew heuristics). A long-lived service
+//! therefore cannot be grown without bound by a churn of distinct tenants.
 
 use japonica::{compile, Compiled};
 use japonica_frontend::CompileError;
@@ -19,7 +25,11 @@ use std::sync::{Arc, Mutex};
 /// concurrent tenants hash to different shards and don't serialize).
 const SHARDS: usize = 8;
 
-type Entry = (String, Result<Arc<Compiled>, CompileError>);
+/// Default program capacity (across all shards).
+const DEFAULT_CAPACITY: usize = 256;
+
+/// (source, compile result, last-used tick).
+type Entry = (String, Result<Arc<Compiled>, CompileError>, u64);
 
 /// 64-bit FNV-1a over the source bytes.
 pub fn content_hash(source: &str) -> u64 {
@@ -31,45 +41,83 @@ pub fn content_hash(source: &str) -> u64 {
     h
 }
 
-/// A sharded, content-addressed compile cache.
+/// A sharded, content-addressed, LRU-bounded compile cache.
 #[derive(Debug)]
 pub struct ProgramCache {
     shards: [Mutex<BTreeMap<u64, Vec<Entry>>>; SHARDS],
+    /// Per-shard entry cap.
+    shard_capacity: usize,
+    /// Global access clock for LRU stamps.
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for ProgramCache {
     fn default() -> ProgramCache {
-        ProgramCache {
-            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        ProgramCache::with_capacity(DEFAULT_CAPACITY)
     }
 }
 
 impl ProgramCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> ProgramCache {
         ProgramCache::default()
     }
 
+    /// An empty cache bounded to roughly `capacity` programs (rounded up
+    /// to a multiple of the shard count; at least one per shard).
+    pub fn with_capacity(capacity: usize) -> ProgramCache {
+        ProgramCache {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            shard_capacity: (capacity / SHARDS).max(1),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
     /// Compile `source`, or reuse the cached result of a byte-identical
     /// earlier submission. The shard lock is held across the compile so a
-    /// program is compiled at most once per cache.
+    /// program is compiled at most once per cache (while it stays
+    /// resident).
     pub fn get_or_compile(&self, source: &str) -> Result<Arc<Compiled>, CompileError> {
         let hash = content_hash(source);
+        let now = self.tick.fetch_add(1, Ordering::Relaxed);
         let shard = &self.shards[hash as usize % SHARDS];
         let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
-        let bucket = map.entry(hash).or_default();
-        if let Some((_, cached)) = bucket.iter().find(|(src, _)| src == source) {
+        if let Some(entry) = map
+            .get_mut(&hash)
+            .and_then(|b| b.iter_mut().find(|(src, _, _)| src == source))
+        {
+            entry.2 = now;
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return cached.clone();
+            return entry.1.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let result = compile(source).map(Arc::new);
-        bucket.push((source.to_string(), result.clone()));
+        // Evict the shard's least-recently-used entry while over capacity
+        // (inserting first would let the new entry evict itself at cap 1).
+        while map.values().map(Vec::len).sum::<usize>() >= self.shard_capacity {
+            let victim = map
+                .iter()
+                .flat_map(|(h, b)| b.iter().map(move |e| (e.2, *h)))
+                .min();
+            let Some((stamp, vhash)) = victim else { break };
+            let bucket = map.get_mut(&vhash).expect("victim bucket exists");
+            if let Some(pos) = bucket.iter().position(|e| e.2 == stamp) {
+                drop(bucket.remove(pos));
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            if bucket.is_empty() {
+                map.remove(&vhash);
+            }
+        }
+        map.entry(hash)
+            .or_default()
+            .push((source.to_string(), result.clone(), now));
         result
     }
 
@@ -81,6 +129,16 @@ impl ProgramCache {
     /// Lookups that ran the compiler.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped to stay under the capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// The cache's total program capacity.
+    pub fn capacity(&self) -> usize {
+        self.shard_capacity * SHARDS
     }
 
     /// Distinct programs currently cached.
@@ -124,6 +182,7 @@ mod tests {
         assert!(c.get_or_compile("static void broken(").is_err());
         assert_eq!((c.hits(), c.misses()), (2, 2));
         assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]
@@ -140,6 +199,55 @@ mod tests {
     fn hash_is_stable_and_content_sensitive() {
         assert_eq!(content_hash("abc"), content_hash("abc"));
         assert_ne!(content_hash("abc"), content_hash("abd"));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recent() {
+        // Capacity 8 → one entry per shard: every same-shard collision
+        // evicts, and re-fetching an evicted program recompiles.
+        let c = ProgramCache::with_capacity(SHARDS);
+        assert_eq!(c.capacity(), SHARDS);
+        let variants: Vec<String> = (0..4)
+            .map(|i| OK.replace("2.0", &format!("{}.0", i + 2)))
+            .collect();
+        for v in &variants {
+            c.get_or_compile(v).unwrap();
+        }
+        assert!(c.len() <= SHARDS);
+        // Hammer one distinct program long enough to guarantee shard
+        // collisions with the earlier variants.
+        let churn: Vec<String> = (0..32)
+            .map(|i| OK.replace("2.0", &format!("{}.5", i + 10)))
+            .collect();
+        for v in &churn {
+            c.get_or_compile(v).unwrap();
+        }
+        assert!(c.evictions() > 0, "churn past capacity must evict");
+        assert!(c.len() <= SHARDS);
+        let misses = c.misses();
+        // At least one of the original variants was evicted and now
+        // recompiles (all four can't still be resident with ≤8 entries
+        // and 32 fresher programs behind them).
+        for v in &variants {
+            c.get_or_compile(v).unwrap();
+        }
+        assert!(c.misses() > misses);
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_entry() {
+        // Shard capacity 4: evictions pick the least-recent of a shard,
+        // so a program touched after every churn insert is never the
+        // victim and compiles exactly once.
+        let c = ProgramCache::with_capacity(4 * SHARDS);
+        c.get_or_compile(OK).unwrap();
+        for i in 0..40 {
+            c.get_or_compile(&OK.replace("2.0", &format!("{i}.25")))
+                .unwrap();
+            c.get_or_compile(OK).unwrap();
+        }
+        assert_eq!(c.misses(), 41, "hot entry must compile exactly once");
+        assert!(c.evictions() > 0, "churn must have overflowed some shard");
     }
 
     #[test]

@@ -6,8 +6,22 @@
 //! `Display + Error` (with `source()` chains) so callers can `?` them
 //! across crate boundaries without manual mapping.
 
+use japonica_faults::{DeviceFault, FaultStats};
 use japonica_frontend::CompileError;
 use japonica_scheduler::SchedError;
+
+/// The typed failure verdict of a job that exhausted the serve-layer
+/// retry/failover ladder: the last fault, the accumulated fault/recovery
+/// accounting across every attempt, and how many attempts were spent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultVerdict {
+    /// The fault of the final, budget-exhausting attempt.
+    pub fault: DeviceFault,
+    /// Fault/recovery accounting merged across every attempt of the job.
+    pub stats: FaultStats,
+    /// Attempts spent (≤ the fleet's per-job budget).
+    pub attempts: u32,
+}
 
 /// Why a submission was turned away at the door (backpressure — the job
 /// was *rejected*, not dropped: the submitter gets this verdict
@@ -58,9 +72,28 @@ pub enum ServeError {
         /// The job's deadline in seconds after submission.
         deadline_s: f64,
     },
+    /// The job spent its whole serve-layer attempt budget and still ended
+    /// on a device fault. Carries the full fault context, not a string.
+    Exhausted(FaultVerdict),
+    /// The job's worker panicked while executing it (a job bug, not a
+    /// device fault — the lease was returned and the service kept going).
+    Panicked(String),
     /// The service stopped (worker gone) before the job's result was
     /// delivered.
     Lost,
+}
+
+impl ServeError {
+    /// The accumulated [`FaultStats`] of a fault-related failure, when the
+    /// verdict carries them (`Exhausted` always does; `Sched` does when
+    /// the error is a device fault).
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        match self {
+            ServeError::Exhausted(v) => Some(v.stats),
+            ServeError::Sched(e) => e.fault_stats(),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -76,6 +109,14 @@ impl std::fmt::Display for ServeError {
                 f,
                 "deadline missed: queued {queued_s:.6}s past the {deadline_s:.6}s deadline"
             ),
+            ServeError::Exhausted(v) => write!(
+                f,
+                "retry budget exhausted after {} attempt(s): {} ({} fault(s) observed)",
+                v.attempts,
+                v.fault,
+                v.stats.gpu_faults + v.stats.cpu_faults + v.stats.transfer_faults
+            ),
+            ServeError::Panicked(m) => write!(f, "job worker panicked: {m}"),
             ServeError::Lost => write!(f, "service stopped before delivering the result"),
         }
     }
@@ -86,6 +127,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Compile(e) => Some(e),
             ServeError::Sched(e) => Some(e),
+            ServeError::Exhausted(v) => Some(&v.fault),
             _ => None,
         }
     }

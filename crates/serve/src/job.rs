@@ -44,6 +44,14 @@ pub struct JobRequest {
     pub subloops_per_task: Option<u32>,
     /// Optional scheme override, as in `RuntimeConfig`.
     pub scheme_override: Option<Scheme>,
+    /// Per-job salt: seeds the fault draws of every attempt (via
+    /// `fleet::attempt_salt`) and picks the job's home device
+    /// (`salt % devices`). Purely deterministic — equal salts on equal
+    /// fleets replay identical fault schedules.
+    pub salt: u64,
+    /// Test/chaos hook: make the worker panic while this job executes, to
+    /// exercise the panic-containment path. Never set by real submitters.
+    pub chaos_panic: bool,
 }
 
 impl JobRequest {
@@ -65,7 +73,15 @@ impl JobRequest {
             resources,
             subloops_per_task: None,
             scheme_override: None,
+            salt: 0,
+            chaos_panic: false,
         }
+    }
+
+    /// Set the per-job fault-schedule salt.
+    pub fn with_salt(mut self, salt: u64) -> JobRequest {
+        self.salt = salt;
+        self
     }
 
     /// Set the queue priority.
@@ -133,28 +149,49 @@ impl JobHandle {
     }
 }
 
-/// Compile (through `cache`) and run one job on `partition` of `base`.
-/// This is the single execution path shared by the threaded service and
-/// the deterministic virtual-clock simulator, so both produce bit-identical
-/// per-job reports for equal partitions.
-pub(crate) fn execute_on_partition(
+/// Compile (through `cache`) and run one ladder attempt of a job on
+/// `partition` of `base`, with the attempt's derived fault plan and
+/// placement mode. This is the single execution path shared by the
+/// threaded service and the deterministic virtual-clock simulator, so both
+/// produce bit-identical per-job reports for equal partitions and plans.
+///
+/// When a plan is installed (and the attempt is not CPU-only), the
+/// scheduler runs *fail-fast*: the in-run recovery ladder is disabled so
+/// the first device fault escapes — with its accumulated `FaultStats` — to
+/// the serve-layer ladder, which owns retry placement across the fleet.
+/// CPU-only attempts carry no plan at all (the paper's baseline executor
+/// has no fault injection points), so the final rung is guaranteed to be
+/// fault-free.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_attempt(
     cache: &ProgramCache,
     base: &SchedulerConfig,
     partition: DevicePartition,
     cpu_slots: u32,
     req: &JobRequest,
     heap: &mut Heap,
+    plan: Option<japonica_faults::FaultPlan>,
+    cpu_only: bool,
 ) -> Result<RunReport, ServeError> {
     let compiled = cache.get_or_compile(&req.source)?;
     let mut sched = base.clone().with_partition(partition, cpu_slots);
     if let Some(s) = req.subloops_per_task {
         sched.subloops_per_task = s;
     }
+    sched.cpu_only = cpu_only;
+    sched.faults = if cpu_only { None } else { plan };
+    if sched.faults.is_some() {
+        sched.resilience.fail_fast = true;
+        sched.resilience.max_retries = 0;
+    }
     let rt = Runtime::new(RuntimeConfig {
         sched,
         scheme_override: req.scheme_override,
         profile_limit: None,
     });
+    if req.chaos_panic {
+        panic!("chaos_panic requested for this job");
+    }
     Ok(rt.run(&compiled, &req.entry, &req.args, heap)?)
 }
 
@@ -184,7 +221,7 @@ mod tests {
             sm_base: 7,
             sm_count: 7,
         };
-        let report = execute_on_partition(&cache, &base, part, 8, &req, &mut heap).unwrap();
+        let report = execute_attempt(&cache, &base, part, 8, &req, &mut heap, None, false).unwrap();
         assert_eq!(report.loops.len(), 1);
         assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 2.0));
         // Identical job on the [0,7) slice: bit-identical simulated time.
@@ -201,7 +238,7 @@ mod tests {
             sm_base: 0,
             sm_count: 7,
         };
-        let r2 = execute_on_partition(&cache, &base, part2, 8, &req2, &mut heap2).unwrap();
+        let r2 = execute_attempt(&cache, &base, part2, 8, &req2, &mut heap2, None, false).unwrap();
         assert_eq!(report.total_s.to_bits(), r2.total_s.to_bits());
         assert_eq!(report.summary(), r2.summary());
         assert_eq!(cache.hits(), 1);

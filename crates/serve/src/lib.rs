@@ -22,9 +22,20 @@
 //! clock to produce exactly reproducible schedules for tests and the
 //! loadgen's determinism oracle, while [`Serve`] runs the same policies
 //! with real worker threads.
+//!
+//! Fault tolerance is the [`fleet`] layer: N independent device pools,
+//! each with an optional seeded fault template, a per-device sliding-
+//! window health circuit breaker (Healthy → Suspect → Quarantined, with
+//! deterministic probe-based recovery), and a serve-layer failover ladder
+//! above PR 1's in-run recovery — retry on the same device, resubmit on
+//! the healthiest other device, degrade to CPU-only, then a typed
+//! [`error::FaultVerdict`]. Per-attempt fault plans are derived from
+//! `(job salt, rung)` alone, so a faulted-and-migrated job is bit-
+//! identical to the same job run solo through the same rungs.
 
 pub mod cache;
 pub mod error;
+pub mod fleet;
 pub mod job;
 pub mod pool;
 pub mod queue;
@@ -33,9 +44,15 @@ pub mod sim;
 pub mod stats;
 
 pub use cache::{content_hash, ProgramCache};
-pub use error::{Rejected, ServeError};
+pub use error::{FaultVerdict, Rejected, ServeError};
+pub use fleet::{
+    attempt_salt, DeviceHealthStats, DeviceId, Fleet, FleetConfig, FleetDeviceConfig, HealthConfig,
+    HealthState, HealthTracker, RetryPolicy, CPU_RUNG,
+};
 pub use job::{JobHandle, JobId, JobRequest, JobResult};
-pub use pool::{DeviceLease, DevicePool, PartitionAllocator, PoolSnapshot, ResourceRequest};
+pub use pool::{
+    DeviceLease, DevicePool, LeaseAttempt, PartitionAllocator, PoolSnapshot, ResourceRequest,
+};
 pub use queue::JobQueue;
 pub use server::{Serve, ServeConfig};
 pub use sim::{simulate_batch, ScheduleEvent, SimBatchReport, SimJobOutcome, SimServeConfig};

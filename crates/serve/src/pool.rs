@@ -240,6 +240,38 @@ impl DevicePool {
         }
     }
 
+    /// Lease `req`, blocking at most `timeout`. The fleet's failover
+    /// ladder uses this to poll its *chosen* device without committing a
+    /// worker forever: placement is a health decision that should be
+    /// re-evaluated, not a queue position.
+    pub fn lease_for(&self, req: ResourceRequest, timeout: std::time::Duration) -> LeaseAttempt {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.lock();
+        loop {
+            if state.closed {
+                return LeaseAttempt::Closed;
+            }
+            if let Some(partition) = state.alloc.try_alloc(req) {
+                return LeaseAttempt::Leased(DeviceLease {
+                    pool: Arc::clone(&self.inner),
+                    partition,
+                    cpu_slots: req.cpu_slots,
+                    taken: Instant::now(),
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return LeaseAttempt::TimedOut;
+            }
+            let (s, _) = self
+                .inner
+                .freed
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            state = s;
+        }
+    }
+
     /// Close the pool: blocked `lease` calls return `None`; existing
     /// leases stay valid until dropped.
     pub fn close(&self) {
@@ -264,6 +296,17 @@ impl DevicePool {
             },
         }
     }
+}
+
+/// Outcome of a bounded lease attempt ([`DevicePool::lease_for`]).
+#[derive(Debug)]
+pub enum LeaseAttempt {
+    /// Resources carved out; the lease is live.
+    Leased(DeviceLease),
+    /// The timeout elapsed with the request still unplaceable.
+    TimedOut,
+    /// The pool closed while waiting.
+    Closed,
 }
 
 /// An exclusive slice of the shared platform, returned to the pool on
@@ -400,6 +443,37 @@ mod tests {
         drop(first);
         let second = t.join().expect("no panic");
         assert!(second.is_some());
+    }
+
+    #[test]
+    fn timed_lease_times_out_and_recovers() {
+        let pool = pool();
+        let hold = pool.try_lease(ResourceRequest::new(14, 16)).unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(matches!(
+            pool.lease_for(
+                ResourceRequest::new(1, 1),
+                std::time::Duration::from_millis(10)
+            ),
+            LeaseAttempt::TimedOut
+        ));
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(10));
+        drop(hold);
+        assert!(matches!(
+            pool.lease_for(
+                ResourceRequest::new(1, 1),
+                std::time::Duration::from_millis(10)
+            ),
+            LeaseAttempt::Leased(_)
+        ));
+        pool.close();
+        assert!(matches!(
+            pool.lease_for(
+                ResourceRequest::new(1, 1),
+                std::time::Duration::from_millis(10)
+            ),
+            LeaseAttempt::Closed
+        ));
     }
 
     #[test]

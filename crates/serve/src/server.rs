@@ -1,36 +1,50 @@
 //! The long-lived multi-tenant service: admission control in front of a
 //! bounded priority queue, worker threads that lease device slices from
-//! the shared pool, and exact per-job accounting.
+//! a fleet of shared pools, and exact per-job accounting.
 //!
 //! Isolation argument: each admitted job owns its heap, executes on a
 //! disjoint [`DeviceLease`](crate::DeviceLease), and layers the PR-1
-//! retry/degrade ladder *inside its own scheduler run* — a job that
-//! exhausts the ladder fails alone ([`ServeError::Sched`]) and its lease
-//! returns to the pool; neighbors never observe the fault.
+//! retry/degrade ladder *inside its own scheduler run*; neighbors never
+//! observe a fault. Above that, the serve-layer failover ladder
+//! ([`crate::fleet`]) reacts to whole-attempt device faults: retry on the
+//! same device, resubmit on the healthiest other device, degrade to a
+//! CPU-only placement, and only then return a typed
+//! [`ServeError::Exhausted`] verdict. A worker that *panics* inside a job
+//! is contained too: the panic is caught, the lease returns, the job
+//! fails alone as [`ServeError::Panicked`], and the worker keeps serving.
 
 use crate::cache::ProgramCache;
-use crate::error::{Rejected, ServeError};
-use crate::job::{execute_on_partition, JobHandle, JobId, JobRequest, JobResult};
-use crate::pool::DevicePool;
+use crate::error::{FaultVerdict, Rejected, ServeError};
+use crate::fleet::{attempt_salt, Fleet, FleetConfig, CPU_RUNG};
+use crate::job::{execute_attempt, JobHandle, JobId, JobRequest, JobResult};
+use crate::pool::{DevicePool, LeaseAttempt};
 use crate::queue::JobQueue;
 use crate::stats::{LatencyHistogram, ServeStats};
-use japonica_scheduler::SchedulerConfig;
+use japonica::RunReport;
+use japonica_faults::FaultStats;
+use japonica_ir::Heap;
+use japonica_scheduler::{SchedError, SchedulerConfig};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Service tunables.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// The shared platform every lease slices.
+    /// The shared platform every lease slices (device 0 when no explicit
+    /// fleet is configured).
     pub base: SchedulerConfig,
     /// Leasable CPU worker slots (the paper's 16 threads by default).
     pub cpu_slots: u32,
     /// Bounded queue capacity — the backpressure knob.
     pub queue_capacity: usize,
-    /// Dispatcher threads. More workers than the device has SMs is never
+    /// Dispatcher threads. More workers than the fleet has SMs is never
     /// useful; 4 covers a half-SM-each four-tenant mix.
     pub workers: usize,
+    /// Explicit fleet layout (devices, fault templates, retry/health
+    /// policy). `None` builds a single-device fleet from `base` and
+    /// `cpu_slots` — the PR-1 service shape.
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +54,7 @@ impl Default for ServeConfig {
             cpu_slots: 16,
             queue_capacity: 64,
             workers: 4,
+            fleet: None,
         }
     }
 }
@@ -65,14 +80,22 @@ struct Counters {
     deadline_missed: AtomicU64,
     cancelled: AtomicU64,
     completed_late: AtomicU64,
+    // Ladder counters, flushed only when a job retires so the extended
+    // accounting identity holds at every snapshot.
+    attempts: AtomicU64,
+    retried: AtomicU64,
+    migrated: AtomicU64,
+    cpu_degraded: AtomicU64,
+    worker_panics: AtomicU64,
 }
 
 struct Shared {
     queue: JobQueue<QueuedJob>,
-    pool: DevicePool,
+    fleet: Fleet,
     cache: ProgramCache,
     counters: Counters,
     latency: Mutex<LatencyHistogram>,
+    faults: Mutex<FaultStats>,
 }
 
 /// The running service. Dropping it drains the queue (every admitted job
@@ -86,12 +109,16 @@ pub struct Serve {
 impl Serve {
     /// Start the service with `cfg.workers` dispatcher threads.
     pub fn start(cfg: ServeConfig) -> Serve {
+        let fleet_cfg = cfg
+            .fleet
+            .unwrap_or_else(|| FleetConfig::single(cfg.base.clone(), cfg.cpu_slots));
         let shared = Arc::new(Shared {
             queue: JobQueue::new(cfg.queue_capacity),
-            pool: DevicePool::new(cfg.base.clone(), cfg.cpu_slots),
+            fleet: Fleet::new(fleet_cfg),
             cache: ProgramCache::new(),
             counters: Counters::default(),
             latency: Mutex::new(LatencyHistogram::new()),
+            faults: Mutex::new(FaultStats::default()),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|_| {
@@ -111,7 +138,7 @@ impl Serve {
     pub fn submit(&self, req: JobRequest) -> Result<JobHandle, Rejected> {
         let c = &self.shared.counters;
         c.submitted.fetch_add(1, Ordering::Relaxed);
-        if let Err(r) = self.shared.pool.admissible(req.resources) {
+        if let Err(r) = self.shared.fleet.admissible(req.resources) {
             c.rejected_invalid.fetch_add(1, Ordering::Relaxed);
             return Err(r);
         }
@@ -153,7 +180,13 @@ impl Serve {
         let failed = c.failed.load(Ordering::Relaxed);
         let deadline_missed = c.deadline_missed.load(Ordering::Relaxed);
         let cancelled = c.cancelled.load(Ordering::Relaxed);
-        let pool = self.shared.pool.snapshot();
+        // Fleet-wide utilization: free SMs sum, occupancy averages.
+        let snaps: Vec<_> = (0..self.shared.fleet.len())
+            .map(|i| self.shared.fleet.pool(i).snapshot())
+            .collect();
+        let free_sms = snaps.iter().map(|s| s.free_sms).sum();
+        let sm_occupancy =
+            snaps.iter().map(|s| s.sm_occupancy).sum::<f64>() / snaps.len().max(1) as f64;
         ServeStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             admitted,
@@ -175,14 +208,28 @@ impl Serve {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .clone(),
-            sm_occupancy: pool.sm_occupancy,
-            free_sms: pool.free_sms,
+            sm_occupancy,
+            free_sms,
+            attempts: c.attempts.load(Ordering::Relaxed),
+            retried: c.retried.load(Ordering::Relaxed),
+            migrated: c.migrated.load(Ordering::Relaxed),
+            cpu_degraded: c.cpu_degraded.load(Ordering::Relaxed),
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            cache_evictions: self.shared.cache.evictions(),
+            faults: *self.shared.faults.lock().unwrap_or_else(|e| e.into_inner()),
+            devices: self.shared.fleet.device_stats(),
         }
     }
 
-    /// The shared pool (for monitoring).
+    /// Device 0's pool (for monitoring; single-device services have only
+    /// this one).
     pub fn pool(&self) -> &DevicePool {
-        &self.shared.pool
+        self.shared.fleet.pool(0)
+    }
+
+    /// The fleet (for monitoring).
+    pub fn fleet(&self) -> &Fleet {
+        &self.shared.fleet
     }
 
     /// Drain and stop: no new admissions, queued jobs still get verdicts,
@@ -192,7 +239,7 @@ impl Serve {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        self.shared.pool.close();
+        self.shared.fleet.close();
         self.stats()
     }
 }
@@ -203,7 +250,149 @@ impl Drop for Serve {
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
-        self.shared.pool.close();
+        self.shared.fleet.close();
+    }
+}
+
+/// How one pass through the serve-layer ladder ended.
+struct LadderOutcome {
+    verdict: Result<RunReport, ServeError>,
+    /// Rung of the final attempt; `None` when no attempt ever dispatched
+    /// (fleet closed mid-drain) so nothing is flushed into the ladder
+    /// counters.
+    final_rung: Option<u32>,
+    /// Fault/recovery accounting merged across every attempt.
+    acc: FaultStats,
+    panicked: bool,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Walk the serve-layer failover ladder for one job: dispatch attempts at
+/// rungs 0..budget, deriving each attempt's fault plan from `(salt, rung)`
+/// alone so the fault schedule is placement-independent, restoring the
+/// heap from a pristine snapshot between attempts, and sleeping the
+/// bounded exponential backoff before every retry rung.
+fn run_ladder(shared: &Shared, req: &JobRequest, heap: &mut Heap) -> LadderOutcome {
+    let fleet = &shared.fleet;
+    let budget = fleet.retry().budget();
+    // A fail-fast abort can leave a half-written heap (CPU chunks write
+    // in place), so retries re-run from a snapshot. Only needed when
+    // faults are possible at all.
+    let pristine = fleet.any_template().then(|| heap.clone());
+    let mut acc = FaultStats::default();
+    let mut rung: u32 = 0;
+    loop {
+        if rung > 0 {
+            if let Some(p) = &pristine {
+                *heap = p.clone();
+            }
+            let backoff = fleet.retry().backoff_s(rung);
+            if backoff > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(backoff));
+            }
+        }
+        let (dev, _forced) = fleet.choose(rung, req.salt);
+        let cpu_only = rung >= CPU_RUNG;
+        // Poll the *chosen* device rather than committing this worker to
+        // one pool's wait queue: placement is a health decision.
+        let lease = loop {
+            match fleet
+                .pool(dev)
+                .lease_for(req.resources, Duration::from_millis(1))
+            {
+                LeaseAttempt::Leased(l) => break l,
+                LeaseAttempt::TimedOut => continue,
+                LeaseAttempt::Closed => {
+                    return LadderOutcome {
+                        verdict: Err(ServeError::Cancelled),
+                        final_rung: None,
+                        acc,
+                        panicked: false,
+                    }
+                }
+            }
+        };
+        let plan = if cpu_only {
+            None
+        } else {
+            fleet
+                .template(dev)
+                .map(|t| t.reseeded(attempt_salt(req.salt, rung)))
+        };
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_attempt(
+                &shared.cache,
+                fleet.pool(dev).base_config(),
+                lease.partition(),
+                lease.cpu_slots(),
+                req,
+                heap,
+                plan,
+                cpu_only,
+            )
+        }));
+        drop(lease);
+        match attempt {
+            Err(payload) => {
+                // A panic is a job bug, not a device fault: contained,
+                // terminal, and not held against the device's health.
+                return LadderOutcome {
+                    verdict: Err(ServeError::Panicked(panic_message(payload))),
+                    final_rung: Some(rung),
+                    acc,
+                    panicked: true,
+                };
+            }
+            Ok(Ok(report)) => {
+                fleet.record_outcome(dev, false);
+                acc.merge(&report.fault_stats());
+                return LadderOutcome {
+                    verdict: Ok(report),
+                    final_rung: Some(rung),
+                    acc,
+                    panicked: false,
+                };
+            }
+            Ok(Err(ServeError::Sched(SchedError::Device { fault, stats }))) => {
+                // The only retryable failure class: a device fault that
+                // escaped the scheduler's fail-fast run.
+                fleet.record_outcome(dev, true);
+                acc.merge(&stats);
+                if rung + 1 >= budget {
+                    return LadderOutcome {
+                        verdict: Err(ServeError::Exhausted(FaultVerdict {
+                            fault,
+                            stats: acc,
+                            attempts: rung + 1,
+                        })),
+                        final_rung: Some(rung),
+                        acc,
+                        panicked: false,
+                    };
+                }
+                rung += 1;
+            }
+            Ok(Err(other)) => {
+                // Compile/exec/internal failures are the job's own fault:
+                // terminal, and the device served its attempt cleanly.
+                fleet.record_outcome(dev, false);
+                return LadderOutcome {
+                    verdict: Err(other),
+                    final_rung: Some(rung),
+                    acc,
+                    panicked: false,
+                };
+            }
+        }
     }
 }
 
@@ -227,30 +416,37 @@ fn worker_loop(shared: &Shared) {
                 continue;
             }
         }
-        // Blocks until a slice frees up; `None` only when the pool closed
-        // mid-drain, in which case the job is cancelled with a verdict.
-        let Some(lease) = shared.pool.lease(job.req.resources) else {
-            c.cancelled.fetch_add(1, Ordering::Relaxed);
-            let _ = job.tx.send(Err(ServeError::Cancelled));
-            continue;
-        };
-        if job.cancel.load(Ordering::Relaxed) {
-            c.cancelled.fetch_add(1, Ordering::Relaxed);
-            let _ = job.tx.send(Err(ServeError::Cancelled));
-            continue;
-        }
         let queued_s = job.submitted.elapsed().as_secs_f64();
         let mut heap = std::mem::take(&mut job.req.heap);
-        let outcome = execute_on_partition(
-            &shared.cache,
-            shared.pool.base_config(),
-            lease.partition(),
-            lease.cpu_slots(),
-            &job.req,
-            &mut heap,
-        );
-        drop(lease);
-        match outcome {
+        let out = run_ladder(shared, &job.req, &mut heap);
+        // Flush the job's ladder counters atomically at retirement: each
+        // retired job contributes final_rung+1 attempts, one terminal
+        // state, and one count per rung it walked past the first — which
+        // is exactly the extended accounting identity.
+        if let Some(final_rung) = out.final_rung {
+            c.attempts
+                .fetch_add(final_rung as u64 + 1, Ordering::Relaxed);
+            if final_rung >= 1 {
+                c.retried.fetch_add(1, Ordering::Relaxed);
+            }
+            if final_rung >= 2 {
+                c.migrated.fetch_add(1, Ordering::Relaxed);
+            }
+            if final_rung >= CPU_RUNG {
+                c.cpu_degraded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if out.panicked {
+            c.worker_panics.fetch_add(1, Ordering::Relaxed);
+        }
+        if out.acc != FaultStats::default() {
+            shared
+                .faults
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .merge(&out.acc);
+        }
+        match out.verdict {
             Ok(report) => {
                 let latency_s = job.submitted.elapsed().as_secs_f64();
                 c.completed.fetch_add(1, Ordering::Relaxed);
@@ -269,6 +465,11 @@ fn worker_loop(shared: &Shared) {
                     queued_s,
                     latency_s,
                 }));
+            }
+            Err(ServeError::Cancelled) if out.final_rung.is_none() => {
+                // Fleet closed mid-drain before any attempt dispatched.
+                c.cancelled.fetch_add(1, Ordering::Relaxed);
+                let _ = job.tx.send(Err(ServeError::Cancelled));
             }
             Err(e) => {
                 c.failed.fetch_add(1, Ordering::Relaxed);

@@ -1,39 +1,59 @@
 //! Deterministic virtual-clock batch simulation of the service.
 //!
 //! [`simulate_batch`] replays a timed submission trace against the same
-//! admission policy, queue order, and first-fit placement as the threaded
+//! admission policy, queue order, first-fit placement, fleet failover
+//! ladder, and health circuit breaker as the threaded
 //! [`Serve`](crate::Serve) — but on a virtual clock, where a job's
-//! "run time" is its own simulated wall time (`RunReport::total_s`).
+//! "run time" is its own simulated wall time (`RunReport::total_s`) and a
+//! retry's backoff is a virtual ready-time gap instead of a sleep.
 //! Every quantity is a pure function of the inputs: tests can assert
 //! exact schedules, exact placements, and exact latencies, and the
 //! loadgen's determinism oracle can diff two runs bit-for-bit.
 //!
 //! Event order at equal timestamps is fixed: completions first (resources
 //! free before anything else happens), then arrivals (admission control),
-//! then dispatch (strict priority, head-of-line: the top job either
-//! places or blocks everyone behind it — the same greedy order a single
-//! pool wakeup converges to).
+//! then dispatch. Dispatch is a skip-over scan in (priority desc,
+//! admission order) — each round dispatches every queued job whose chosen
+//! device can place it right now, so one blocked wide job does not starve
+//! narrow jobs behind it (the same greedy order the threaded service's
+//! per-job workers converge to).
+//!
+//! Faulted attempts are zero-length on the virtual clock: the slice is
+//! carved and returned at the same instant (fail-fast aborts consume no
+//! simulated wall time of their own), the device's health records the
+//! fault, and the job re-enters the queue with its original admission
+//! order and a `ready` time one backoff in the future. Because each
+//! attempt's fault plan is derived from `(job salt, rung)` alone, the
+//! rung sequence and per-attempt reports are bit-identical to the
+//! threaded service's under the same fleet configuration.
 
-use crate::error::ServeError;
-use crate::job::{execute_on_partition, JobRequest};
+use crate::error::{FaultVerdict, ServeError};
+use crate::fleet::{
+    attempt_salt, select_device, DeviceHealthStats, FleetConfig, HealthTracker, CPU_RUNG,
+};
+use crate::job::{execute_attempt, JobRequest};
 use crate::pool::PartitionAllocator;
 use crate::stats::{LatencyHistogram, ServeStats};
 use crate::ProgramCache;
 use japonica::RunReport;
+use japonica_faults::{FaultPlan, FaultStats};
 use japonica_gpusim::DevicePartition;
 use japonica_ir::Heap;
-use japonica_scheduler::SchedulerConfig;
-use std::collections::BinaryHeap;
+use japonica_scheduler::{SchedError, SchedulerConfig};
 
 /// Virtual-clock batch parameters.
 #[derive(Debug, Clone)]
 pub struct SimServeConfig {
-    /// The shared platform every lease slices.
+    /// The shared platform every lease slices (device 0 when no explicit
+    /// fleet is configured).
     pub base: SchedulerConfig,
     /// Leasable CPU worker slots.
     pub cpu_slots: u32,
     /// Bounded queue capacity (admission control).
     pub queue_capacity: usize,
+    /// Explicit fleet layout; `None` builds a single-device fleet from
+    /// `base` and `cpu_slots` (the PR-1 shape).
+    pub fleet: Option<FleetConfig>,
 }
 
 impl Default for SimServeConfig {
@@ -42,6 +62,7 @@ impl Default for SimServeConfig {
             base: SchedulerConfig::default(),
             cpu_slots: 16,
             queue_capacity: 64,
+            fleet: None,
         }
     }
 }
@@ -56,15 +77,18 @@ pub enum SimJobOutcome {
         report: RunReport,
         /// The job's heap after execution.
         heap: Heap,
-        /// Virtual seconds spent queued before dispatch.
+        /// Virtual seconds spent queued before its first dispatch.
         queued_s: f64,
-        /// Virtual dispatch time.
+        /// Virtual dispatch time of the *successful* attempt.
         started_s: f64,
         /// Virtual completion time (`started_s + report.total_s`).
         finished_s: f64,
     },
     /// Turned away at arrival: the queue was at capacity.
     RejectedFull,
+    /// Turned away at arrival: no device of the fleet could ever satisfy
+    /// the request (mirrors the threaded admission screen).
+    RejectedInvalid,
     /// Cancelled at dispatch: its deadline had already passed in the
     /// virtual queue.
     DeadlineMissed {
@@ -73,7 +97,9 @@ pub enum SimJobOutcome {
         /// The job's deadline.
         deadline_s: f64,
     },
-    /// Compile or runtime failure.
+    /// Compile or runtime failure — including a typed
+    /// [`ServeError::Exhausted`] verdict after the failover ladder's
+    /// budget, and contained [`ServeError::Panicked`] worker panics.
     Failed(ServeError),
 }
 
@@ -82,12 +108,18 @@ pub enum SimJobOutcome {
 pub struct ScheduleEvent {
     /// Index of the job in the submission trace.
     pub job: usize,
+    /// Fleet device the attempt ran on.
+    pub device: usize,
     /// First SM of the slice the job ran on.
     pub sm_base: u32,
     /// SMs in the slice.
     pub sm_count: u32,
     /// Virtual dispatch time.
     pub started_s: f64,
+    /// Ladder rung of this attempt (0 = first try).
+    pub attempt: u32,
+    /// Whether quarantine was bypassed via the forced-dispatch hatch.
+    pub forced: bool,
 }
 
 /// The full, deterministic result of a batch simulation.
@@ -95,7 +127,7 @@ pub struct ScheduleEvent {
 pub struct SimBatchReport {
     /// Per-job terminal states, indexed by submission order.
     pub outcomes: Vec<SimJobOutcome>,
-    /// Dispatch decisions in dispatch order.
+    /// Dispatch decisions in dispatch order (one per *attempt*).
     pub schedule: Vec<ScheduleEvent>,
     /// Service counters with *virtual* latencies.
     pub stats: ServeStats,
@@ -105,8 +137,9 @@ pub struct SimBatchReport {
 
 impl SimBatchReport {
     /// A compact fingerprint of the whole run — bit-exact over every
-    /// simulated time — for determinism oracles: two runs of the same
-    /// trace must produce byte-identical fingerprints.
+    /// simulated time, placement, attempt, and health decision — for
+    /// determinism oracles: two runs of the same trace must produce
+    /// byte-identical fingerprints.
     pub fn fingerprint(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -132,6 +165,9 @@ impl SimBatchReport {
                 SimJobOutcome::RejectedFull => {
                     let _ = writeln!(out, "job {i}: rejected-full");
                 }
+                SimJobOutcome::RejectedInvalid => {
+                    let _ = writeln!(out, "job {i}: rejected-invalid");
+                }
                 SimJobOutcome::DeadlineMissed {
                     queued_s,
                     deadline_s,
@@ -151,56 +187,72 @@ impl SimBatchReport {
         for ev in &self.schedule {
             let _ = writeln!(
                 out,
-                "dispatch job {} on [{}, {}) at {:016x}",
+                "dispatch job {} attempt {} on dev{} [{}, {}) at {:016x}{}",
                 ev.job,
+                ev.attempt,
+                ev.device,
                 ev.sm_base,
                 ev.sm_base + ev.sm_count,
-                ev.started_s.to_bits()
+                ev.started_s.to_bits(),
+                if ev.forced { " forced" } else { "" }
             );
         }
         out
     }
 }
 
-/// A job waiting in the virtual queue. Ordering mirrors the live
+/// A job waiting in the virtual queue. The scan order mirrors the live
 /// [`JobQueue`](crate::JobQueue): max priority first, then earliest
-/// admission.
+/// admission — a faulted job re-enters with its *original* admission
+/// order, exactly as a threaded worker keeps owning its popped job.
 struct Waiting {
     prio: u8,
     seq: u64,
     job: usize,
     arrived_s: f64,
     req: JobRequest,
-}
-
-impl PartialEq for Waiting {
-    fn eq(&self, other: &Self) -> bool {
-        self.prio == other.prio && self.seq == other.seq
-    }
-}
-impl Eq for Waiting {}
-impl PartialOrd for Waiting {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Waiting {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.prio
-            .cmp(&other.prio)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+    /// Next ladder rung to dispatch (0 = first attempt).
+    rung: u32,
+    /// Earliest virtual time the next attempt may dispatch (arrival time,
+    /// then `fault time + backoff` after each faulted attempt).
+    ready_s: f64,
+    /// Fault/recovery accounting merged across the job's attempts so far.
+    acc: FaultStats,
+    /// Heap snapshot taken before the first attempt, restored before each
+    /// retry (a fail-fast abort can leave a half-written heap).
+    pristine: Option<Heap>,
+    /// Queue time captured at the first dispatch.
+    queued0: Option<f64>,
 }
 
 struct Running {
     finish_s: f64,
     dispatch_seq: usize,
     job: usize,
+    device: usize,
     partition: DevicePartition,
     cpu_slots: u32,
     started_s: f64,
     arrived_s: f64,
+    rung: u32,
+    acc: FaultStats,
     outcome: SimJobOutcome,
+}
+
+/// Flush one retired job's ladder counters (the extended accounting
+/// identity's third line: attempts = completed + failed + retried +
+/// migrated + cpu_degraded, flushed only at retirement).
+fn flush_rungs(stats: &mut ServeStats, final_rung: u32) {
+    stats.attempts += final_rung as u64 + 1;
+    if final_rung >= 1 {
+        stats.retried += 1;
+    }
+    if final_rung >= 2 {
+        stats.migrated += 1;
+    }
+    if final_rung >= CPU_RUNG {
+        stats.cpu_degraded += 1;
+    }
 }
 
 /// Replay `trace` — `(arrival_s, request)` pairs — through the service's
@@ -208,8 +260,30 @@ struct Running {
 /// trace order. Returns every job's terminal state plus the exact
 /// schedule; the result is a pure function of `(cfg, trace)`.
 pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> SimBatchReport {
+    let fleet = cfg
+        .fleet
+        .clone()
+        .unwrap_or_else(|| FleetConfig::single(cfg.base.clone(), cfg.cpu_slots));
+    let devices = if fleet.devices.is_empty() {
+        FleetConfig::single(cfg.base.clone(), cfg.cpu_slots).devices
+    } else {
+        fleet.devices
+    };
+    let retry = fleet.retry;
+    let budget = retry.budget();
     let cache = ProgramCache::new();
-    let mut alloc = PartitionAllocator::new(cfg.base.gpu.sm_count, cfg.cpu_slots.max(1));
+    let mut allocs: Vec<PartitionAllocator> = devices
+        .iter()
+        .map(|d| PartitionAllocator::new(d.base.gpu.sm_count, d.cpu_slots.max(1)))
+        .collect();
+    let mut trackers: Vec<HealthTracker> = devices
+        .iter()
+        .enumerate()
+        .map(|(i, _)| HealthTracker::new(i, fleet.health.clone()))
+        .collect();
+    let templates: Vec<Option<FaultPlan>> =
+        devices.iter().map(|d| d.fault_template.clone()).collect();
+    let any_template = templates.iter().any(Option::is_some);
     let capacity = cfg.queue_capacity.max(1);
 
     let n = trace.len();
@@ -227,7 +301,7 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
 
     let mut outcomes: Vec<Option<SimJobOutcome>> = (0..n).map(|_| None).collect();
     let mut schedule: Vec<ScheduleEvent> = Vec::new();
-    let mut waiting: BinaryHeap<Waiting> = BinaryHeap::new();
+    let mut waiting: Vec<Waiting> = Vec::new();
     let mut running: Vec<Running> = Vec::new();
     let mut next_arrival = 0usize;
     let mut next_seq = 0u64;
@@ -241,9 +315,25 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
     };
     let mut latency = LatencyHistogram::new();
 
+    // Mirror of `Fleet::admissible`: satisfiable by at least one device.
+    let shapes: Vec<(u32, u32)> = allocs
+        .iter()
+        .map(|a| (a.sm_count(), a.cpu_slots()))
+        .collect();
+    let admissible = move |req: &JobRequest| {
+        let r = req.resources;
+        r.sms > 0
+            && r.cpu_slots > 0
+            && shapes
+                .iter()
+                .any(|&(sms, cpus)| r.sms <= sms && r.cpu_slots <= cpus)
+    };
+
     loop {
         // 1. Retire every run finishing at or before `now`, in
-        //    deterministic order (finish time, then dispatch order).
+        //    deterministic order (finish time, then dispatch order). The
+        //    device's health sees the attempt outcome only now — when the
+        //    virtual run actually ends, as a threaded worker would report.
         running.sort_by(|a, b| {
             a.finish_s
                 .partial_cmp(&b.finish_s)
@@ -252,7 +342,8 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
         });
         while running.first().is_some_and(|r| r.finish_s <= now) {
             let r = running.remove(0);
-            alloc.release(r.partition, r.cpu_slots);
+            allocs[r.device].release(r.partition, r.cpu_slots);
+            trackers[r.device].record_outcome(false);
             busy_sm_s += (r.finish_s - r.started_s) * r.partition.sm_count as f64;
             makespan = makespan.max(r.finish_s);
             if matches!(r.outcome, SimJobOutcome::Completed { .. }) {
@@ -261,15 +352,24 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
             } else {
                 stats.failed += 1;
             }
+            flush_rungs(&mut stats, r.rung);
+            stats.faults.merge(&r.acc);
             outcomes[r.job] = Some(r.outcome);
         }
 
-        // 2. Admit every job arriving at `now` (trace order on ties).
+        // 2. Admit every job arriving at `now` (trace order on ties):
+        //    admission screen first, then queue capacity — exactly the
+        //    threaded `submit` order.
         while next_arrival < arrivals.len() && arrivals[next_arrival].0 <= now {
             let (t, idx) = (arrivals[next_arrival].0, arrivals[next_arrival].1);
             let req = arrivals[next_arrival].2.take();
             next_arrival += 1;
             let Some(req) = req else { continue };
+            if !admissible(&req) {
+                stats.rejected_invalid += 1;
+                outcomes[idx] = Some(SimJobOutcome::RejectedInvalid);
+                continue;
+            }
             if waiting.len() >= capacity {
                 stats.rejected_full += 1;
                 outcomes[idx] = Some(SimJobOutcome::RejectedFull);
@@ -282,76 +382,192 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                 job: idx,
                 arrived_s: t,
                 req,
+                rung: 0,
+                ready_s: t,
+                acc: FaultStats::default(),
+                pristine: None,
+                queued0: None,
             });
             next_seq += 1;
         }
 
-        // 3. Dispatch from the head while the head fits (head-of-line).
-        while let Some(head) = waiting.peek() {
-            let queued_s = now - head.arrived_s;
-            if let Some(dl) = head.req.deadline.map(|d| d.as_secs_f64()) {
-                if queued_s > dl {
-                    let w = waiting.pop().unwrap_or_else(|| unreachable!());
-                    stats.deadline_missed += 1;
-                    outcomes[w.job] = Some(SimJobOutcome::DeadlineMissed {
-                        queued_s,
-                        deadline_s: dl,
-                    });
+        // 3. Dispatch: skip-over scan in (priority desc, admission asc).
+        //    Restart the scan after every dispatch/retirement so freed or
+        //    newly taken resources are re-observed deterministically.
+        'scan: loop {
+            waiting.sort_by(|a, b| b.prio.cmp(&a.prio).then(a.seq.cmp(&b.seq)));
+            let mut idx = 0;
+            while idx < waiting.len() {
+                // Deadline screening applies to jobs that have never
+                // started; a faulted job already consumed its dispatch.
+                if waiting[idx].rung == 0 {
+                    let queued_s = now - waiting[idx].arrived_s;
+                    if let Some(dl) = waiting[idx].req.deadline.map(|d| d.as_secs_f64()) {
+                        if queued_s > dl {
+                            let w = waiting.remove(idx);
+                            stats.deadline_missed += 1;
+                            outcomes[w.job] = Some(SimJobOutcome::DeadlineMissed {
+                                queued_s,
+                                deadline_s: dl,
+                            });
+                            continue 'scan;
+                        }
+                    }
+                }
+                if waiting[idx].ready_s > now {
+                    idx += 1;
                     continue;
                 }
-            }
-            let Some(partition) = alloc.try_alloc(head.req.resources) else {
-                break; // head blocks; strict priority order is preserved
-            };
-            let mut w = waiting.pop().unwrap_or_else(|| unreachable!());
-            let dispatch_seq = schedule.len();
-            schedule.push(ScheduleEvent {
-                job: w.job,
-                sm_base: partition.sm_base,
-                sm_count: partition.sm_count,
-                started_s: now,
-            });
-            let cpu = w.req.resources.cpu_slots;
-            let mut heap = std::mem::take(&mut w.req.heap);
-            let (finish_s, outcome) =
-                match execute_on_partition(&cache, &cfg.base, partition, cpu, &w.req, &mut heap) {
-                    Ok(report) => {
+                // Choose the rung's device on a scratch copy of the health
+                // state: selection must not leave probe/dispatch traces
+                // when the chosen device has no capacity right now.
+                let (rung, salt) = (waiting[idx].rung, waiting[idx].req.salt);
+                let mut scratch = trackers.clone();
+                let (dev, _) = select_device(rung, salt, &mut scratch, &templates);
+                let Some(partition) = allocs[dev].try_alloc(waiting[idx].req.resources) else {
+                    idx += 1; // chosen device busy: the job waits for it
+                    continue;
+                };
+                // Commit the (deterministic) selection on the real state.
+                let (dev2, forced) = select_device(rung, salt, &mut trackers, &templates);
+                debug_assert_eq!(dev, dev2);
+                let mut w = waiting.remove(idx);
+                let dispatch_seq = schedule.len();
+                schedule.push(ScheduleEvent {
+                    job: w.job,
+                    device: dev,
+                    sm_base: partition.sm_base,
+                    sm_count: partition.sm_count,
+                    started_s: now,
+                    attempt: rung,
+                    forced,
+                });
+                if rung == 0 {
+                    w.queued0 = Some(now - w.arrived_s);
+                    if any_template {
+                        w.pristine = Some(w.req.heap.clone());
+                    }
+                } else if let Some(p) = &w.pristine {
+                    w.req.heap = p.clone();
+                }
+                let cpu = w.req.resources.cpu_slots;
+                let cpu_only = rung >= CPU_RUNG;
+                let plan = if cpu_only {
+                    None
+                } else {
+                    templates[dev]
+                        .as_ref()
+                        .map(|t| t.reseeded(attempt_salt(salt, rung)))
+                };
+                let mut heap = std::mem::take(&mut w.req.heap);
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    execute_attempt(
+                        &cache,
+                        &devices[dev].base,
+                        partition,
+                        cpu,
+                        &w.req,
+                        &mut heap,
+                        plan,
+                        cpu_only,
+                    )
+                }));
+                match attempt {
+                    Ok(Ok(report)) => {
                         let finish_s = now + report.total_s;
-                        (
+                        let mut acc = w.acc;
+                        acc.merge(&report.fault_stats());
+                        running.push(Running {
                             finish_s,
-                            SimJobOutcome::Completed {
+                            dispatch_seq,
+                            job: w.job,
+                            device: dev,
+                            partition,
+                            cpu_slots: cpu,
+                            started_s: now,
+                            arrived_s: w.arrived_s,
+                            rung,
+                            acc,
+                            outcome: SimJobOutcome::Completed {
                                 report,
                                 heap,
-                                queued_s,
+                                queued_s: w.queued0.unwrap_or(0.0),
                                 started_s: now,
                                 finished_s: finish_s,
                             },
-                        )
+                        });
+                        // A zero-length run frees its slice at `now`:
+                        // leave the scan so step 1 retires it first.
+                        if finish_s <= now {
+                            break 'scan;
+                        }
                     }
-                    // Failures retire instantly at `now`.
-                    Err(e) => (now, SimJobOutcome::Failed(e)),
-                };
-            running.push(Running {
-                finish_s,
-                dispatch_seq,
-                job: w.job,
-                partition,
-                cpu_slots: cpu,
-                started_s: now,
-                arrived_s: w.arrived_s,
-                outcome,
-            });
-            // A zero-length run frees its slice at `now`; restart the
-            // event loop so step 1 retires it before dispatching more.
-            if finish_s <= now {
-                break;
+                    Ok(Err(ServeError::Sched(SchedError::Device { fault, stats: fs }))) => {
+                        // Faulted attempt: zero-length on the virtual
+                        // clock. The slice returns instantly, the health
+                        // window records the fault, and the job requeues
+                        // (original admission order) one backoff later.
+                        allocs[dev].release(partition, cpu);
+                        trackers[dev].record_outcome(true);
+                        w.acc.merge(&fs);
+                        if rung + 1 >= budget {
+                            stats.failed += 1;
+                            flush_rungs(&mut stats, rung);
+                            stats.faults.merge(&w.acc);
+                            makespan = makespan.max(now);
+                            outcomes[w.job] =
+                                Some(SimJobOutcome::Failed(ServeError::Exhausted(FaultVerdict {
+                                    fault,
+                                    stats: w.acc,
+                                    attempts: rung + 1,
+                                })));
+                        } else {
+                            w.rung = rung + 1;
+                            w.ready_s = now + retry.backoff_s(w.rung);
+                            w.req.heap = heap; // restored before next attempt
+                            waiting.push(w);
+                        }
+                    }
+                    Ok(Err(e)) => {
+                        // Terminal, non-device failure: the device served
+                        // its attempt cleanly; the job fails alone, now.
+                        allocs[dev].release(partition, cpu);
+                        trackers[dev].record_outcome(false);
+                        stats.failed += 1;
+                        flush_rungs(&mut stats, rung);
+                        stats.faults.merge(&w.acc);
+                        makespan = makespan.max(now);
+                        outcomes[w.job] = Some(SimJobOutcome::Failed(e));
+                    }
+                    Err(payload) => {
+                        // Contained worker panic: terminal, not held
+                        // against the device's health.
+                        allocs[dev].release(partition, cpu);
+                        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else if let Some(s) = payload.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "opaque panic payload".to_string()
+                        };
+                        stats.worker_panics += 1;
+                        stats.failed += 1;
+                        flush_rungs(&mut stats, rung);
+                        stats.faults.merge(&w.acc);
+                        makespan = makespan.max(now);
+                        outcomes[w.job] = Some(SimJobOutcome::Failed(ServeError::Panicked(msg)));
+                    }
+                }
+                continue 'scan;
             }
+            break 'scan;
         }
         if running.iter().any(|r| r.finish_s <= now) {
             continue;
         }
 
-        // 4. Advance the clock to the next event.
+        // 4. Advance the clock to the next event: a completion, an
+        //    arrival, or a backed-off retry becoming ready.
         let next_completion = running
             .iter()
             .map(|r| r.finish_s)
@@ -359,14 +575,23 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
         let next_arrival_t = arrivals
             .get(next_arrival)
             .map_or(f64::INFINITY, |(t, _, _)| *t);
-        let next_t = next_completion.min(next_arrival_t);
+        let next_ready = waiting
+            .iter()
+            .map(|w| w.ready_s)
+            .filter(|t| *t > now)
+            .fold(f64::INFINITY, f64::min);
+        let next_t = next_completion.min(next_arrival_t).min(next_ready);
         if next_t.is_infinite() {
             // Nothing will ever free resources or arrive. Anything still
-            // queued can never be placed (a request wider than the whole
-            // device — screened by the live service's admission check);
-            // fail it so the accounting identity holds.
+            // queued can never be placed (defensive: the admission screen
+            // rejects unsatisfiable requests up front); fail it so the
+            // accounting identity holds.
             while let Some(w) = waiting.pop() {
                 stats.failed += 1;
+                if w.queued0.is_some() {
+                    flush_rungs(&mut stats, w.rung.saturating_sub(1));
+                }
+                stats.faults.merge(&w.acc);
                 outcomes[w.job] = Some(SimJobOutcome::Failed(ServeError::Lost));
             }
             break;
@@ -377,13 +602,18 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
     stats.latency = latency;
     stats.program_cache_hits = cache.hits();
     stats.program_cache_misses = cache.misses();
-    let sm_count = alloc.sm_count() as f64;
+    stats.cache_evictions = cache.evictions();
+    let sm_count: f64 = allocs.iter().map(|a| a.sm_count() as f64).sum();
     stats.sm_occupancy = if makespan > 0.0 {
         (busy_sm_s / (makespan * sm_count)).clamp(0.0, 1.0)
     } else {
         0.0
     };
-    stats.free_sms = alloc.free_sms();
+    stats.free_sms = allocs.iter().map(|a| a.free_sms()).sum();
+    stats.devices = trackers
+        .iter()
+        .map(HealthTracker::snapshot)
+        .collect::<Vec<DeviceHealthStats>>();
 
     SimBatchReport {
         outcomes: outcomes
@@ -399,7 +629,9 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fleet::RetryPolicy;
     use crate::pool::ResourceRequest;
+    use japonica_faults::{FaultKind, FaultRule};
     use japonica_ir::Value;
 
     const SRC: &str = "static void scale(double[] a, int n) {
@@ -534,5 +766,94 @@ mod tests {
         assert!(matches!(rep.outcomes[1], SimJobOutcome::Completed { .. }));
         assert_eq!((rep.stats.failed, rep.stats.completed), (1, 1));
         assert!(rep.stats.accounts_for_every_job());
+    }
+
+    #[test]
+    fn unsatisfiable_request_is_rejected_invalid() {
+        let cfg = SimServeConfig::default();
+        let rep = simulate_batch(
+            &cfg,
+            vec![(0.0, request(64, 99, 1)), (0.0, request(1024, 7, 8))],
+        );
+        assert!(matches!(rep.outcomes[0], SimJobOutcome::RejectedInvalid));
+        assert!(matches!(rep.outcomes[1], SimJobOutcome::Completed { .. }));
+        assert_eq!(rep.stats.rejected_invalid, 1);
+        assert!(
+            rep.stats.accounts_for_every_job(),
+            "{}",
+            rep.stats.summary()
+        );
+    }
+
+    #[test]
+    fn faulted_job_walks_the_ladder_and_completes() {
+        // Every kernel launch faults: rung 0 (home), rung 1 (retry), and
+        // rung 2 (migrate) all fault; rung 3 (CPU-only, no plan) must
+        // complete the job.
+        let template = FaultPlan::new(5, vec![FaultRule::persistent(FaultKind::KernelLaunch)]);
+        let cfg = SimServeConfig {
+            fleet: Some(FleetConfig::uniform(
+                2,
+                SchedulerConfig::default(),
+                16,
+                Some(template),
+            )),
+            ..SimServeConfig::default()
+        };
+        let rep = simulate_batch(&cfg, vec![(0.0, request(2048, 7, 8))]);
+        let SimJobOutcome::Completed { heap, .. } = &rep.outcomes[0] else {
+            panic!("job must complete via CPU degradation: {:?}", rep.outcomes);
+        };
+        // Output correctness survives the migrations.
+        let a = japonica_ir::ArrayId(0);
+        assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 2.0));
+        assert_eq!(rep.schedule.len(), 4, "{:?}", rep.schedule);
+        assert_eq!(rep.schedule[0].attempt, 0);
+        assert_eq!(rep.schedule[3].attempt, 3);
+        // Rung 2 migrated off the home device.
+        assert_ne!(rep.schedule[2].device, rep.schedule[1].device);
+        assert_eq!(rep.schedule[1].device, rep.schedule[0].device);
+        assert_eq!(
+            (
+                rep.stats.attempts,
+                rep.stats.retried,
+                rep.stats.migrated,
+                rep.stats.cpu_degraded
+            ),
+            (4, 1, 1, 1)
+        );
+        assert!(
+            rep.stats.accounts_for_every_job(),
+            "{}",
+            rep.stats.summary()
+        );
+        // Backoff gaps are charged to the virtual clock.
+        assert!(rep.schedule[1].started_s > rep.schedule[0].started_s);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_typed_verdict() {
+        let template = FaultPlan::new(5, vec![FaultRule::persistent(FaultKind::KernelLaunch)]);
+        let mut fleet = FleetConfig::uniform(1, SchedulerConfig::default(), 16, Some(template));
+        fleet.retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let cfg = SimServeConfig {
+            fleet: Some(fleet),
+            ..SimServeConfig::default()
+        };
+        let rep = simulate_batch(&cfg, vec![(0.0, request(2048, 7, 8))]);
+        let SimJobOutcome::Failed(ServeError::Exhausted(v)) = &rep.outcomes[0] else {
+            panic!("expected exhausted verdict: {:?}", rep.outcomes);
+        };
+        assert_eq!(v.attempts, 2);
+        assert!(v.stats.gpu_faults >= 2, "{:?}", v.stats);
+        assert_eq!(rep.stats.failed, 1);
+        assert!(
+            rep.stats.accounts_for_every_job(),
+            "{}",
+            rep.stats.summary()
+        );
     }
 }

@@ -5,9 +5,18 @@
 //! ```text
 //! submitted = admitted + rejected_full + rejected_shutdown + rejected_invalid
 //! admitted  = completed + failed + deadline_missed + cancelled + in_flight
+//! attempts  = completed + failed + retried + migrated + cpu_degraded
 //! ```
 //!
-//! so no submitted job is ever unaccounted for.
+//! so no submitted job is ever unaccounted for. The third line is the
+//! fleet extension: every dispatched *attempt* either finished the job
+//! (completed/failed) or walked a named ladder rung (retried on the same
+//! device, migrated to another, or degraded to CPU-only). The ladder
+//! counters are flushed atomically when a job retires — never while it is
+//! in flight — so the identity holds exactly at any snapshot.
+
+use crate::fleet::DeviceHealthStats;
+use japonica_faults::FaultStats;
 
 /// Number of log-spaced latency buckets. Bucket `i` covers latencies in
 /// `[2^(i-1), 2^i)` microseconds (bucket 0 is `< 1 µs`), reaching past 10⁹
@@ -147,12 +156,33 @@ pub struct ServeStats {
     pub sm_occupancy: f64,
     /// SMs free at snapshot time.
     pub free_sms: u32,
+    /// Ladder attempts dispatched for *retired* jobs (first tries and
+    /// every retry/failover rung; flushed when the job retires).
+    pub attempts: u64,
+    /// Rung-1 attempts: same-device retries after a fault.
+    pub retried: u64,
+    /// Rung-2 attempts: the job was resubmitted on another device.
+    pub migrated: u64,
+    /// Rung-3 attempts: degraded CPU-only placements.
+    pub cpu_degraded: u64,
+    /// Worker panics contained by the service (each also counts one
+    /// `failed` job).
+    pub worker_panics: u64,
+    /// Program-cache entries evicted by the capacity bound.
+    pub cache_evictions: u64,
+    /// Fault/recovery accounting merged across every job attempt.
+    pub faults: FaultStats,
+    /// Per-device health counters and circuit-breaker states.
+    pub devices: Vec<DeviceHealthStats>,
 }
 
 impl ServeStats {
-    /// `submitted = admitted + every rejection class` and
+    /// `submitted = admitted + every rejection class`,
     /// `admitted = completed + failed + deadline_missed + cancelled +
-    /// in_flight` — true in every reachable state.
+    /// in_flight`, and the fleet extension
+    /// `attempts = completed + failed + retried + migrated + cpu_degraded`
+    /// — true in every reachable state (ladder counters flush only at job
+    /// retirement, so in-flight jobs contribute zero to the third line).
     pub fn accounts_for_every_job(&self) -> bool {
         self.submitted
             == self.admitted + self.rejected_full + self.rejected_shutdown + self.rejected_invalid
@@ -162,6 +192,8 @@ impl ServeStats {
                     + self.deadline_missed
                     + self.cancelled
                     + self.in_flight
+            && self.attempts
+                == self.completed + self.failed + self.retried + self.migrated + self.cpu_degraded
     }
 
     /// One-paragraph human-readable rendering.
@@ -189,6 +221,30 @@ impl ServeStats {
             self.program_cache_hits,
             self.program_cache_hits + self.program_cache_misses,
             self.sm_occupancy * 100.0,
+        )
+    }
+
+    /// One-line rendering of the fleet/resilience counters (appended to
+    /// [`ServeStats::summary`] by callers that run a fleet).
+    pub fn fleet_summary(&self) -> String {
+        let states: Vec<String> = self
+            .devices
+            .iter()
+            .map(|d| format!("dev#{} {} ({} faults)", d.device, d.state, d.faults))
+            .collect();
+        format!(
+            "attempts {} (retried {}, migrated {}, cpu-degraded {}) | \
+             worker panics {} | cache evictions {} | faults: {} gpu, {} cpu, {} transfer | [{}]",
+            self.attempts,
+            self.retried,
+            self.migrated,
+            self.cpu_degraded,
+            self.worker_panics,
+            self.cache_evictions,
+            self.faults.gpu_faults,
+            self.faults.cpu_faults,
+            self.faults.transfer_faults,
+            states.join(", "),
         )
     }
 }
@@ -250,11 +306,22 @@ mod tests {
             deadline_missed: 1,
             cancelled: 0,
             in_flight: 1,
+            attempts: 8,
+            retried: 2,
+            migrated: 1,
+            cpu_degraded: 0,
             ..ServeStats::default()
         };
         assert!(s.accounts_for_every_job());
         s.in_flight = 0;
         assert!(!s.accounts_for_every_job());
+        s.in_flight = 1;
+        // A rung attempt unflushed at retirement would break line 3.
+        s.retried = 3;
+        assert!(!s.accounts_for_every_job());
+        s.retried = 2;
         assert!(s.summary().contains("submitted 10"));
+        assert!(s.fleet_summary().contains("attempts 8"));
+        assert!(s.fleet_summary().contains("migrated 1"));
     }
 }
