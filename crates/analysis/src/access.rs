@@ -4,7 +4,7 @@
 use crate::affine::{linearize, Affine};
 use crate::classify::VarClasses;
 use crate::effects::EffectSummaries;
-use japonica_ir::{Expr, ForLoop, Stmt, VarId};
+use japonica_ir::{Expr, ForLoop, Span, Stmt, VarId};
 
 /// Read or write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +42,10 @@ pub struct Access {
     /// The access happens inside a called function (recorded from its
     /// effect summary); `index` is a placeholder and `affine` is `None`.
     pub from_call: bool,
+    /// Source position of the access site. Writes carry the span of their
+    /// `Store`; reads inherit the span of the enclosing store statement when
+    /// there is one, and are [`Span::none`] otherwise.
+    pub span: Span,
 }
 
 struct Collector<'a> {
@@ -51,6 +55,7 @@ struct Collector<'a> {
     out: Vec<Access>,
     cond_depth: u32,
     inner: Vec<InnerLoopCtx>,
+    cur_span: Span,
 }
 
 impl Collector<'_> {
@@ -66,6 +71,7 @@ impl Collector<'_> {
             conditional: self.cond_depth > 0,
             inner: self.inner.clone(),
             from_call: false,
+            span: self.cur_span,
         });
     }
 
@@ -81,6 +87,7 @@ impl Collector<'_> {
             conditional: self.cond_depth > 0,
             inner: self.inner.clone(),
             from_call: true,
+            span: self.cur_span,
         });
     }
 
@@ -152,10 +159,14 @@ impl Collector<'_> {
                 array,
                 index,
                 value,
+                span,
             } => {
+                let prev = self.cur_span;
+                self.cur_span = *span;
                 self.expr(index);
                 self.expr(value);
                 self.record(*array, AccessKind::Write, index);
+                self.cur_span = prev;
             }
             Stmt::If {
                 cond,
@@ -221,6 +232,7 @@ pub fn collect_accesses_with(
         out: Vec::new(),
         cond_depth: 0,
         inner: Vec::new(),
+        cur_span: Span::none(),
     };
     for s in &l.body {
         c.stmt(s);

@@ -16,8 +16,9 @@ use crate::access::{collect_accesses_with, Access, AccessKind};
 use crate::affine::{linearize, Affine};
 use crate::classify::{classify_variables, VarClasses};
 use crate::effects::EffectSummaries;
-use japonica_ir::{Expr, ForLoop, LoopAnnotation, LoopId, Program, Value, VarId};
+use japonica_ir::{Expr, ForLoop, LoopAnnotation, LoopId, Program, Span, Value, VarId};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Kind of a loop-carried dependence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +69,49 @@ impl DepSummary {
     }
 }
 
+/// One access pair (or whole-loop condition) the static tests could not
+/// decide, carrying the source positions needed to point at the exact
+/// blocking accesses (`--auto --explain`, lint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blocker {
+    /// The array the unresolved pair is on; `None` for whole-loop reasons
+    /// such as a call with unknown side effects.
+    pub array: Option<VarId>,
+    /// Why the pair could not be decided.
+    pub why: String,
+    /// Source position of the write access of the pair (or of the loop
+    /// itself for whole-loop reasons).
+    pub span: Span,
+    /// Source position of the other access of the pair, when known.
+    pub other_span: Span,
+}
+
+impl Blocker {
+    /// A blocker that applies to the loop as a whole, not one access pair.
+    pub fn loop_level(why: impl Into<String>, span: Span) -> Blocker {
+        Blocker {
+            array: None,
+            why: why.into(),
+            span,
+            other_span: Span::none(),
+        }
+    }
+}
+
+impl fmt::Display for Blocker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.why)?;
+        if self.span.is_known() {
+            write!(f, " (at {}:{}", self.span.line, self.span.col)?;
+            if self.other_span.is_known() && self.other_span != self.span {
+                write!(f, ", vs {}:{}", self.other_span.line, self.other_span.col)?;
+            }
+            f.write_str(")")?;
+        }
+        Ok(())
+    }
+}
+
 /// The static verdict for one annotated loop.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Determination {
@@ -78,7 +122,7 @@ pub enum Determination {
     /// At least one access pair could not be decided; dynamic profiling on
     /// the GPU is required. `partial` holds whatever *was* proven.
     Uncertain {
-        reasons: Vec<String>,
+        reasons: Vec<Blocker>,
         partial: DepSummary,
     },
 }
@@ -122,16 +166,16 @@ pub fn analyze_loop_with(l: &ForLoop, summaries: Option<&EffectSummaries>) -> Lo
     let annot = l.annot.as_ref().unwrap_or(&empty);
 
     let mut summary = DepSummary::default();
-    let mut reasons: Vec<String> = Vec::new();
+    let mut reasons: Vec<Blocker> = Vec::new();
 
     // Without effect summaries a call could touch anything: the static
     // verdict cannot be trusted, so defer to the dynamic profiler.
     if summaries.is_none() && body_has_call(l) {
-        reasons.push(
+        reasons.push(Blocker::loop_level(
             "loop body calls a function whose side effects are unknown \
-             (no effect summaries)"
-                .into(),
-        );
+             (no effect summaries)",
+            l.span,
+        ));
     }
 
     // --- scalar hazards (paper: live-out scalars) ---
@@ -177,9 +221,12 @@ pub fn analyze_loop_with(l: &ForLoop, summaries: Option<&EffectSummaries>) -> Lo
                 PairResult::Dep { kind, distance } => {
                     summary.add(kind, distance, format!("WAW conflict on {}", w.array))
                 }
-                PairResult::Unknown(why) => {
-                    reasons.push(format!("unresolved WAW pair on {}: {why}", w.array))
-                }
+                PairResult::Unknown(why) => reasons.push(Blocker {
+                    array: Some(w.array),
+                    why: format!("unresolved WAW pair on {}: {why}", w.array),
+                    span: w.span,
+                    other_span: w2.span,
+                }),
             }
         }
         // write × read
@@ -198,9 +245,12 @@ pub fn analyze_loop_with(l: &ForLoop, summaries: Option<&EffectSummaries>) -> Lo
                         w.array
                     ),
                 ),
-                PairResult::Unknown(why) => {
-                    reasons.push(format!("unresolved RW pair on {}: {why}", w.array))
-                }
+                PairResult::Unknown(why) => reasons.push(Blocker {
+                    array: Some(w.array),
+                    why: format!("unresolved RW pair on {}: {why}", w.array),
+                    span: w.span,
+                    other_span: r.span,
+                }),
             }
         }
     }
@@ -655,6 +705,43 @@ mod tests {
                 for (int i = 0; i < n; i++) { t[i % b] = 1.0; o[i] = t[i % b]; }
             }");
         assert!(d.needs_profiling(), "{d:?}");
+    }
+
+    #[test]
+    fn uncertain_verdicts_carry_blocking_spans() {
+        let p = compile_source(
+            "static void f(double[] t, double[] o, int n, int b) {\n    /* acc parallel */\n    for (int i = 0; i < n; i++) { t[i % b] = 1.0; o[i] = t[i % b]; }\n}",
+        )
+        .unwrap();
+        let l = p.functions[0].all_loops()[0].clone();
+        match analyze_loop(&l).determination {
+            Determination::Uncertain { reasons, .. } => {
+                assert!(!reasons.is_empty());
+                let b = reasons.iter().find(|b| b.array.is_some()).unwrap();
+                // The blocking write is the t[i % b] store on line 3.
+                assert_eq!(b.span.line, 3);
+                assert!(b.to_string().contains("(at 3:"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_blocker_points_at_the_loop() {
+        let p = compile_source(
+            "static double sq(double x) { return x * x; }\nstatic void f(double[] a, int n) {\n    /* acc parallel */\n    for (int i = 0; i < n; i++) { a[i] = sq(a[i]); }\n}",
+        )
+        .unwrap();
+        let l = p.functions[1].all_loops()[0].clone();
+        // No summaries: the call is a whole-loop blocker anchored at the loop.
+        match analyze_loop(&l).determination {
+            Determination::Uncertain { reasons, .. } => {
+                let b = &reasons[0];
+                assert!(b.array.is_none());
+                assert_eq!(b.span.line, 4);
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -24,13 +24,15 @@ pub mod classify;
 pub mod deptest;
 pub mod effects;
 pub mod pdg;
+pub mod region;
 
 pub use access::{collect_accesses, collect_accesses_with, Access, AccessKind};
 pub use affine::{linearize, Affine};
 pub use classify::{classify_variables, VarClasses, VarUse};
 pub use deptest::{
-    analyze_loop, analyze_loop_with, analyze_program, DepKind, DepSummary, Determination,
+    analyze_loop, analyze_loop_with, analyze_program, Blocker, DepKind, DepSummary, Determination,
     LoopAnalysis,
 };
 pub use effects::{CallEffects, EffectSummaries};
 pub use pdg::{build_pdg, DepEdge, Pdg};
+pub use region::{affine_region, loop_bounds, Region};

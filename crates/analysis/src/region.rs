@@ -1,0 +1,194 @@
+//! Affine region inference shared by the annotation auditor (lint) and the
+//! auto-parallelizer: the symbolic `[start, end)` iteration bounds of a
+//! canonical loop, and the exact `[lo, hi)` element region an access set
+//! touches on one array, both as [`Affine`] forms over loop-invariant
+//! variables.
+
+use crate::access::{Access, AccessKind};
+use crate::affine::{linearize, Affine};
+use crate::classify::VarClasses;
+use japonica_ir::{ForLoop, VarId};
+
+/// A `[lo, hi)` element region in symbolic affine form.
+pub type Region = (Affine, Affine);
+
+/// The loop's `[start, end)` bounds as symbolic affine forms over
+/// loop-invariant variables, provided the step is the constant 1 (the
+/// canonical form every corpus loop uses; other steps make the last
+/// iteration value non-affine).
+pub fn loop_bounds(l: &ForLoop, classes: &VarClasses) -> Option<Region> {
+    let inv = |v: VarId| v != l.var && classes.is_invariant(v);
+    let step = linearize(&l.step, l.var, &inv)?;
+    if step != Affine::constant(1) {
+        return None;
+    }
+    let start = linearize(&l.start, l.var, &inv)?;
+    let end = linearize(&l.end, l.var, &inv)?;
+    if start.uses_induction() || end.uses_induction() {
+        return None;
+    }
+    Some((start, end))
+}
+
+/// The element region `[lo, hi)` of array `arr` touched by accesses of
+/// `kind`, or `None` when any matching access defeats affine inference
+/// (opaque call, nonlinear index, symbolically incomparable bounds). All
+/// arithmetic is checked: overflow degrades to `None`, never wraps.
+pub fn affine_region(
+    accesses: &[Access],
+    arr: VarId,
+    kind: AccessKind,
+    start: &Affine,
+    end: &Affine,
+) -> Option<Region> {
+    let mut region: Option<Region> = None;
+    for a in accesses.iter().filter(|a| a.array == arr && a.kind == kind) {
+        if a.from_call {
+            return None; // a callee touches unknown elements
+        }
+        let form = a.affine.as_ref()?;
+        let sym_part = Affine {
+            coeff: 0,
+            sym: form.sym.clone(),
+            konst: form.konst,
+        };
+        let (mut lo, last) = if form.coeff == 0 {
+            (sym_part.clone(), sym_part)
+        } else {
+            let at_start = start.clone().scale(form.coeff)?.add(&sym_part)?;
+            let last_iter = end.clone().add(&Affine::constant(-1))?;
+            let at_last = last_iter.scale(form.coeff)?.add(&sym_part)?;
+            if form.coeff > 0 {
+                (at_start, at_last)
+            } else {
+                (at_last, at_start)
+            }
+        };
+        // A constant-negative lower bound means the access *form* reaches
+        // below the array base (e.g. a guarded `a[i - 41]` evaluated from
+        // i = 0). A valid execution can never index below 0, so the
+        // effective region starts at the first element.
+        if lo.is_constant() && lo.konst < 0 {
+            lo = Affine::constant(0);
+        }
+        let hi = last.add(&Affine::constant(1))?;
+        region = Some(match region {
+            None => (lo, hi),
+            Some((rlo, rhi)) => (pick(rlo, lo, true)?, pick(rhi, hi, false)?),
+        });
+    }
+    region
+}
+
+/// Pick the smaller (`want_min`) or larger of two forms when their
+/// difference is a known constant.
+fn pick(a: Affine, b: Affine, want_min: bool) -> Option<Affine> {
+    let d = cmp_const(&a, &b)?;
+    let a_first = if want_min { d <= 0 } else { d >= 0 };
+    Some(if a_first { a } else { b })
+}
+
+/// `a - b` when it reduces to a plain integer.
+pub fn cmp_const(a: &Affine, b: &Affine) -> Option<i64> {
+    let d = a.diff(b)?;
+    d.is_constant().then_some(d.konst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::collect_accesses;
+    use crate::classify::classify_variables;
+    use japonica_frontend::compile_source;
+
+    fn region_of(src: &str, arr_name: &str, kind: AccessKind) -> Option<Region> {
+        let p = compile_source(src).unwrap();
+        let f = &p.functions[0];
+        let l = f.all_loops()[0].clone();
+        let classes = classify_variables(&l);
+        let accesses = collect_accesses(&l, &classes);
+        let arr = (0..f.var_names.len() as u32)
+            .map(japonica_ir::VarId)
+            .find(|v| f.var_name(*v) == arr_name)
+            .unwrap();
+        let (start, end) = loop_bounds(&l, &classes)?;
+        affine_region(&accesses, arr, kind, &start, &end)
+    }
+
+    #[test]
+    fn shifted_reads_union_to_full_stencil_width() {
+        let r = region_of(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 1; i < n; i++) { b[i] = a[i - 1] + a[i + 1]; }
+            }",
+            "a",
+            AccessKind::Read,
+        )
+        .unwrap();
+        // reads a[0] .. a[n]: lo = 0, hi = n + 1
+        assert_eq!(r.0, Affine::constant(0));
+        assert_eq!(r.1.konst, 1);
+        assert_eq!(r.1.sym.len(), 1);
+    }
+
+    #[test]
+    fn nonunit_step_defeats_bounds() {
+        let p = compile_source(
+            "static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i += 2) { a[i] = 0.0; }
+            }",
+        )
+        .unwrap();
+        let l = p.functions[0].all_loops()[0].clone();
+        let classes = classify_variables(&l);
+        assert!(loop_bounds(&l, &classes).is_none());
+    }
+
+    #[test]
+    fn fixed_index_region_is_single_element() {
+        let r = region_of(
+            "static void f(double[] a, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[3] = 1.0; }
+            }",
+            "a",
+            AccessKind::Write,
+        )
+        .unwrap();
+        assert_eq!(r.0, Affine::constant(3));
+        assert_eq!(r.1, Affine::constant(4));
+    }
+
+    #[test]
+    fn negative_reaching_reads_clamp_to_the_array_base() {
+        // A guarded `a[i - 4]` form evaluates to -4 at i = 0, but no valid
+        // execution indexes below 0: the region starts at element 0.
+        let r = region_of(
+            "static void f(double[] a, double[] b, int n) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    if (i >= 4) { b[i] = a[i - 4]; } else { b[i] = a[i]; }
+                }
+            }",
+            "a",
+            AccessKind::Read,
+        )
+        .unwrap();
+        assert_eq!(r.0, Affine::constant(0));
+    }
+
+    #[test]
+    fn nonlinear_index_defeats_region() {
+        assert!(region_of(
+            "static void f(double[] a, int n, int b) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) { a[i % b] = 1.0; }
+            }",
+            "a",
+            AccessKind::Write,
+        )
+        .is_none());
+    }
+}

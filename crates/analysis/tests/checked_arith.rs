@@ -1,0 +1,148 @@
+//! Checked-arithmetic edge cases: index forms built programmatically with
+//! extreme constants (`i64::MIN`/`i64::MAX` are not expressible in MiniJava
+//! source) must degrade to Unknown/None verdicts, never wrap around. A
+//! wrapped delta could fake a GCD "independent" verdict and license an
+//! unsound parallelization.
+
+use japonica_analysis::{
+    affine_region, analyze_loop, classify_variables, collect_accesses, loop_bounds, AccessKind,
+    Affine,
+};
+use japonica_ir::builder::FnBuilder;
+use japonica_ir::{Expr, ForLoop, LoopAnnotation, Span, Stmt, Ty, UnOp, VarId};
+
+/// Build `f(double[] a, int n)` with one annotated loop `for i in
+/// [start, end) step` whose body the closure produces, and return the loop.
+fn one_loop(
+    start: Expr,
+    end_of: impl FnOnce(VarId) -> Expr,
+    step: Expr,
+    body: impl FnOnce(VarId, VarId) -> Vec<Stmt>,
+) -> ForLoop {
+    let mut b = FnBuilder::new("f");
+    let a = b.param_array("a", Ty::Double);
+    let n = b.param_scalar("n", Ty::Int);
+    b.for_loop(
+        "i",
+        start,
+        end_of(n),
+        step,
+        Some(LoopAnnotation::parallel()),
+        |_, i| body(a, i),
+    );
+    b.finish(None).all_loops()[0].clone()
+}
+
+fn store(a: VarId, index: Expr) -> Stmt {
+    Stmt::Store {
+        array: a,
+        index,
+        value: Expr::double(1.0),
+        span: Span::none(),
+    }
+}
+
+#[test]
+fn negating_i64_min_in_an_index_degrades_to_unknown() {
+    // a[i + -(i64::MIN)]: the negation has no i64 representation, so the
+    // access must fail linearization and force profiling — not wrap to
+    // i64::MIN and "prove" anything.
+    let neg_min = Expr::Unary(UnOp::Neg, Box::new(Expr::long(i64::MIN)));
+    let l = one_loop(Expr::int(0), Expr::var, Expr::int(1), |a, i| {
+        vec![store(a, Expr::var(i).add(neg_min))]
+    });
+    let analysis = analyze_loop(&l);
+    assert!(
+        analysis.accesses.iter().all(|ac| ac.affine.is_none()),
+        "the unrepresentable index must not linearize: {:?}",
+        analysis.accesses
+    );
+    assert!(
+        analysis.determination.needs_profiling(),
+        "got {:?}",
+        analysis.determination
+    );
+}
+
+#[test]
+fn constant_delta_overflow_between_accesses_degrades_to_unknown() {
+    // Write a[i + i64::MAX], read a[i + i64::MIN]: both forms linearize,
+    // but their delta (MAX - MIN) does not fit in i64. The SIV test must
+    // report Unknown instead of wrapping the subtraction (a wrapped delta
+    // of -1 would look like a provable off-by-one pattern).
+    let l = one_loop(Expr::int(0), Expr::var, Expr::int(1), |a, i| {
+        vec![store(a, Expr::var(i).add(Expr::long(i64::MAX)))]
+            .into_iter()
+            .chain([Stmt::Store {
+                array: a,
+                index: Expr::var(i),
+                value: Expr::index(a, Expr::var(i).add(Expr::long(i64::MIN))),
+                span: Span::none(),
+            }])
+            .collect()
+    });
+    let analysis = analyze_loop(&l);
+    assert!(
+        analysis.accesses.iter().all(|ac| ac.affine.is_some()),
+        "both extreme-but-representable forms should linearize: {:?}",
+        analysis.accesses
+    );
+    assert!(
+        !analysis.determination.is_doall(),
+        "an overflowing delta must never prove independence"
+    );
+    assert!(
+        analysis.determination.needs_profiling(),
+        "got {:?}",
+        analysis.determination
+    );
+}
+
+#[test]
+fn multiply_overflow_in_region_width_degrades_to_none() {
+    // a[K*i] over i in [0, 3) with K = i64::MAX/2 + 1: the region's upper
+    // corner (2K) overflows. Region inference must return None — a wrapped
+    // width would tell the clause auditor the loop touches a tiny negative
+    // region.
+    let k = i64::MAX / 2 + 1;
+    let l = one_loop(
+        Expr::int(0),
+        |_| Expr::int(3),
+        Expr::int(1),
+        |a, i| vec![store(a, Expr::long(k).mul(Expr::var(i)))],
+    );
+    let classes = classify_variables(&l);
+    let accesses = collect_accesses(&l, &classes);
+    let arr = VarId(0);
+    let (start, end) = loop_bounds(&l, &classes).expect("unit-step constant bounds");
+    assert_eq!(
+        (start.clone(), end.clone()),
+        (Affine::constant(0), Affine::constant(3))
+    );
+    assert!(
+        accesses.iter().any(|ac| ac.affine.is_some()),
+        "the scaled form itself linearizes (coeff = K): {accesses:?}"
+    );
+    assert!(
+        affine_region(&accesses, arr, AccessKind::Write, &start, &end).is_none(),
+        "overflowing region arithmetic must degrade to None"
+    );
+}
+
+#[test]
+fn zero_and_nonunit_steps_defeat_loop_bounds() {
+    // A step of 0 never advances: trip-count and last-iteration reasoning
+    // would divide by zero / never terminate. `loop_bounds` must bail out
+    // (as it does for any non-unit step) rather than reason about it.
+    for step in [Expr::int(0), Expr::int(2)] {
+        let l = one_loop(Expr::int(0), Expr::var, step, |a, i| {
+            vec![store(a, Expr::var(i))]
+        });
+        let classes = classify_variables(&l);
+        assert!(
+            loop_bounds(&l, &classes).is_none(),
+            "step {:?} must defeat bounds inference",
+            l.step
+        );
+    }
+}

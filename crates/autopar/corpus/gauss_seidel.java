@@ -1,0 +1,6 @@
+
+static void gauss_seidel(double[] a, int n) {
+    for (int i = 1; i < n - 1; i++) {
+        a[i] = (a[i - 1] + a[i] + a[i + 1]) * 0.333333;
+    }
+}

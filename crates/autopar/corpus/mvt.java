@@ -1,0 +1,13 @@
+
+static void mvt(double[] a, double[] x1, double[] x2, double[] y1, double[] y2, int n) {
+    for (int i = 0; i < n; i++) {
+        double s = 0.0;
+        for (int j = 0; j < n; j++) { s += a[i * n + j] * y1[j]; }
+        x1[i] = x1[i] + s;
+    }
+    for (int i = 0; i < n; i++) {
+        double s = 0.0;
+        for (int j = 0; j < n; j++) { s += a[j * n + i] * y2[j]; }
+        x2[i] = x2[i] + s;
+    }
+}

@@ -1,0 +1,145 @@
+//! The auto-annotation pipeline over the Table II benchmark corpus.
+//!
+//! For each benchmark: strip the hand annotations, propose annotations for
+//! the bare program, replay them as source ([`crate::patch::apply`]),
+//! compile the auto-annotated program, and — when any proposal is
+//! speculative — run it once at scale 1 so the profiler's measured
+//! true-dependence density lands in the proposal evidence. The resulting
+//! patches are byte-pinned by golden files under `crates/autopar/corpus/`.
+
+use crate::patch::{apply, render_patch};
+use crate::propose::{propose_program, Proposal, ProposalKind};
+use japonica::{Runtime, RuntimeConfig};
+use japonica_frontend::strip_acc_annotations;
+use japonica_scheduler::SchedulerConfig;
+use japonica_workloads::Workload;
+use std::fmt;
+
+/// Pipeline failure (benchmark sources are expected to always pass; this
+/// surfaces regressions instead of panicking).
+#[derive(Debug)]
+pub enum AutoparError {
+    /// The bare or auto-annotated source failed to compile.
+    Compile(String),
+    /// The profiling run of the auto-annotated program failed.
+    Run(String),
+}
+
+impl fmt::Display for AutoparError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutoparError::Compile(e) => write!(f, "auto-annotation compile failed: {e}"),
+            AutoparError::Run(e) => write!(f, "auto-annotation profiling run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AutoparError {}
+
+/// File-name slug for one Table II benchmark (`crates/autopar/corpus/<slug>.java`).
+pub fn slug(w: &Workload) -> String {
+    w.name
+        .chars()
+        .map(|c| match c {
+            'A'..='Z' => c.to_ascii_lowercase(),
+            'a'..='z' | '0'..='9' => c,
+            _ => '_',
+        })
+        .collect::<String>()
+        .replace("2mm", "two_mm")
+}
+
+/// One benchmark's trip through the auto-annotation pipeline.
+#[derive(Debug, Clone)]
+pub struct AutoAnnotated {
+    /// Table II name.
+    pub name: &'static str,
+    /// Corpus file slug.
+    pub slug: String,
+    /// The unannotated source (hand annotations stripped).
+    pub bare: String,
+    /// Synthesized proposals, with measured densities where profiled.
+    pub proposals: Vec<Proposal>,
+    /// The bare source with the proposals applied.
+    pub auto_src: String,
+    /// The rendered annotation patch.
+    pub patch: String,
+}
+
+/// Run the pipeline for one benchmark.
+pub fn auto_annotate(w: &'static Workload) -> Result<AutoAnnotated, AutoparError> {
+    let bare = strip_acc_annotations(w.source);
+    let program = japonica_frontend::compile_source(&bare)
+        .map_err(|e| AutoparError::Compile(e.to_string()))?;
+    let mut proposals = propose_program(&program);
+    let auto_src = apply(&bare, &proposals);
+    let compiled =
+        japonica::compile(&auto_src).map_err(|e| AutoparError::Compile(e.to_string()))?;
+
+    if proposals
+        .iter()
+        .any(|p| p.kind == ProposalKind::Speculative)
+    {
+        // One instrumented run: uncertain loops are profiled on the
+        // simulated GPU, giving the measured density the paper's workflow
+        // (Fig. 2b) decides TLS-vs-sequential with. Loop ids are stable
+        // across the bare and auto programs, so profiles key directly.
+        let inst = w.instantiate(1);
+        let mut heap = inst.heap.clone();
+        let report = Runtime::new(RuntimeConfig::default())
+            .run(&compiled, w.entry, &inst.args, &mut heap)
+            .map_err(|e| AutoparError::Run(e.to_string()))?;
+        let threshold = SchedulerConfig::default().td_density_threshold;
+        for p in &mut proposals {
+            if p.kind != ProposalKind::Speculative {
+                continue;
+            }
+            if let Some(profile) = report.profiles.get(&p.loop_id) {
+                p.density = Some(profile.td_density);
+                p.evidence.push(if profile.td_density > threshold {
+                    format!(
+                        "density above the TLS threshold {threshold}; runtime degrades to \
+                         sequential (mode C)"
+                    )
+                } else {
+                    format!(
+                        "density at or below the TLS threshold {threshold}; runtime speculates \
+                         (GPU-TLS, mode B)"
+                    )
+                });
+            }
+        }
+    }
+
+    let file = format!("{}.java", slug(w));
+    let patch = render_patch(&file, &proposals);
+    Ok(AutoAnnotated {
+        name: w.name,
+        slug: slug(w),
+        bare,
+        proposals,
+        auto_src,
+        patch,
+    })
+}
+
+/// Run the pipeline over the full Table II registry, in the paper's order.
+pub fn auto_annotate_all() -> Result<Vec<AutoAnnotated>, AutoparError> {
+    Workload::all().iter().map(auto_annotate).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slugs_are_unique_and_filename_safe() {
+        let mut slugs: Vec<String> = Workload::all().iter().map(slug).collect();
+        assert!(slugs.iter().all(|s| s
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')));
+        slugs.sort();
+        slugs.dedup();
+        assert_eq!(slugs.len(), Workload::all().len());
+    }
+}

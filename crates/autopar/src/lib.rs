@@ -1,0 +1,42 @@
+//! # japonica-autopar
+//!
+//! The auto-parallelizer: takes *bare* (unannotated) MiniJava loops and
+//! synthesizes the full Table-I annotation clauses the paper otherwise
+//! expects the programmer to write — `parallel`, `private`, `copyin`,
+//! `copyout` and `scheme` — from the same static machinery the compiler
+//! already trusts:
+//!
+//! 1. **Independence proof** — every candidate loop is re-analyzed with the
+//!    [`japonica_analysis::deptest`] dependence tester (ZIV / SIV / GCD /
+//!    disjoint-rows over affine access regions). A proven-DOALL loop gets a
+//!    `parallel` annotation outright.
+//! 2. **Clause inference** — the live-in/live-out classification gives the
+//!    `copyin`/`copyout` array lists, and
+//!    [`japonica_analysis::region::affine_region`] tightens each to an exact
+//!    `[lo:hi)` element range whenever the accesses stay affine. Write-only
+//!    live-out scalars become `private(...)`.
+//! 3. **Scheme selection** — chained top-level parallel loops with enough
+//!    per-iteration work (the [`japonica_ir::estimate_loop_cost`] IR cost
+//!    model) get `scheme(stealing)`; everything else keeps the paper's
+//!    sharing default.
+//! 4. **TLS fallback** — when the dependence tester returns *Unknown*, the
+//!    loop is still proposed `parallel` as a *speculative* candidate: the
+//!    runtime profiles its true-dependence density on the GPU and picks
+//!    TLS (mode B) or sequential (mode C) itself. The proposal records the
+//!    exact access pairs that blocked the proof and, after one profiled
+//!    run, the measured density.
+//!
+//! Proposals carry real source spans and are emitted as a diffable
+//! annotation patch ([`patch::render_patch`]) that [`patch::apply`] can
+//! replay onto the bare source, producing a compilable auto-annotated
+//! program. The [`corpus`] module runs the whole pipeline over the Table II
+//! benchmark suite and is pinned by byte-for-byte golden patches.
+
+pub mod corpus;
+pub mod patch;
+pub mod propose;
+pub mod render;
+
+pub use corpus::{auto_annotate, auto_annotate_all, slug, AutoAnnotated, AutoparError};
+pub use patch::{apply, render_patch};
+pub use propose::{propose_program, Clauses, Proposal, ProposalKind};

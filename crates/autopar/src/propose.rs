@@ -1,0 +1,385 @@
+//! Annotation synthesis for bare loops.
+//!
+//! For every candidate loop the proposer re-runs the static pipeline the
+//! compiler applies to annotated loops — classification, access
+//! collection, dependence testing — against a *trial* annotation (parallel
+//! plus privatized write-only scalars), then turns the verdict into a
+//! [`Proposal`]:
+//!
+//! * proven DOALL → propose `parallel` at this level and stop recursing
+//!   (outermost parallelism is maximal);
+//! * not proven, but a nested loop is provable → skip this level and
+//!   propose the children (the BFS pattern: an uncertain outer sweep over
+//!   two provable inner loops);
+//! * proven true dependence on arrays only → propose `parallel` anyway as
+//!   a *doacross* candidate — the runtime's mode decision (Fig. 2b) sees
+//!   the deterministic TD and runs it ordered, never unsoundly parallel;
+//! * proven true dependence through a scalar reduction → no proposal
+//!   (privatization would change the result);
+//! * only false dependences → propose `parallel` as a *privatize*
+//!   candidate (runtime mode D);
+//! * undecidable → propose `parallel` as a *speculative* (TLS) candidate,
+//!   recording the exact access pairs that blocked the proof.
+
+use crate::render::{annotation_text, render_affine, ClauseEntry};
+use japonica_analysis::{
+    affine_region, analyze_loop_with, classify_variables, loop_bounds, AccessKind, Determination,
+    EffectSummaries, LoopAnalysis,
+};
+use japonica_ir::{
+    estimate_loop_cost, CostTable, ForLoop, Function, LoopAnnotation, LoopId, Program, Span, Stmt,
+    VarId,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why the loop can be annotated `parallel` (and what the runtime is
+/// expected to do with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposalKind {
+    /// Proven free of loop-carried dependences (runtime mode A).
+    Doall,
+    /// Proven true dependence on array elements with a known structure;
+    /// the runtime executes it ordered (deterministic TD, mode C).
+    Doacross,
+    /// Only false dependences proven; the runtime privatizes (mode D).
+    Privatize,
+    /// Not statically decidable; the runtime profiles the dependence
+    /// density and speculates (TLS, mode B) or degrades (mode C).
+    Speculative,
+}
+
+impl fmt::Display for ProposalKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl ProposalKind {
+    /// Short lowercase label used in patches and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProposalKind::Doall => "doall",
+            ProposalKind::Doacross => "doacross",
+            ProposalKind::Privatize => "privatize",
+            ProposalKind::Speculative => "speculative",
+        }
+    }
+}
+
+/// The inferred clause lists of one proposal, kept structured so the
+/// scheme pass can amend them before the final text is rendered.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Clauses {
+    pub private: Vec<String>,
+    pub copyin: Vec<ClauseEntry>,
+    pub copyout: Vec<ClauseEntry>,
+    pub stealing: bool,
+}
+
+/// One synthesized annotation for one loop.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// The loop (ids are stable between the bare and annotated programs —
+    /// the front end assigns them in source order).
+    pub loop_id: LoopId,
+    /// Enclosing function name.
+    pub function: String,
+    /// Source position of the `for` keyword.
+    pub span: Span,
+    /// What the proposal claims and how the runtime will execute it.
+    pub kind: ProposalKind,
+    /// Inferred clauses.
+    pub clauses: Clauses,
+    /// Human-readable justification lines (deterministic; golden-pinned).
+    pub evidence: Vec<String>,
+    /// Profiler-measured true-dependence density, filled in by the corpus
+    /// pipeline for speculative proposals after one instrumented run.
+    pub density: Option<f64>,
+    /// Statically estimated issue cycles per iteration (IR cost model).
+    pub est_cost: f64,
+    /// Is the loop a direct child of the function body (scheme selection
+    /// only considers chains of top-level loops)?
+    pub top_level: bool,
+}
+
+impl Proposal {
+    /// The annotation body text, `acc parallel ...` (no `/* */`).
+    pub fn annotation_text(&self) -> String {
+        annotation_text(
+            &self.clauses.private,
+            &self.clauses.copyin,
+            &self.clauses.copyout,
+            self.clauses.stealing,
+        )
+    }
+}
+
+/// Propose annotations for every parallelizable loop of `p`, in source
+/// order. Already-annotated loops are skipped — the auto-parallelizer
+/// never overrides the programmer.
+pub fn propose_program(p: &Program) -> Vec<Proposal> {
+    let summaries = EffectSummaries::build(p);
+    let mut out = Vec::new();
+    for f in &p.functions {
+        let start = out.len();
+        scan_stmts(f, &f.body, &summaries, true, &mut out);
+        pick_scheme(&mut out[start..]);
+    }
+    out
+}
+
+/// Walk a statement list, proposing for each `for` loop encountered.
+/// `top` marks direct children of the function body.
+fn scan_stmts(
+    f: &Function,
+    stmts: &[Stmt],
+    summaries: &EffectSummaries,
+    top: bool,
+    out: &mut Vec<Proposal>,
+) {
+    for s in stmts {
+        match s {
+            Stmt::For(l) => propose_loop(f, l, summaries, top, out),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                scan_stmts(f, then_branch, summaries, false, out);
+                scan_stmts(f, else_branch, summaries, false, out);
+            }
+            Stmt::While { body, .. } => scan_stmts(f, body, summaries, false, out),
+            _ => {}
+        }
+    }
+}
+
+fn propose_loop(
+    f: &Function,
+    l: &ForLoop,
+    summaries: &EffectSummaries,
+    top: bool,
+    out: &mut Vec<Proposal>,
+) {
+    if l.annot.is_some() {
+        // Respect existing annotations; still look inside for bare loops.
+        scan_stmts(f, &l.body, summaries, false, out);
+        return;
+    }
+    // Trial annotation: parallel, with write-only live-out scalars
+    // privatized (they carry no value between iterations — the same fact
+    // lint rule L004 reports on hand annotations).
+    let classes = classify_variables(l);
+    let private: Vec<VarId> = classes
+        .scalar_live_out()
+        .into_iter()
+        .filter(|v| !classes.uses[v].read)
+        .collect();
+    let mut trial = l.clone();
+    trial.annot = Some(LoopAnnotation {
+        parallel: true,
+        private: private.clone(),
+        ..LoopAnnotation::default()
+    });
+    let analysis = analyze_loop_with(&trial, Some(summaries));
+
+    if analysis.determination.is_doall() {
+        let mut evidence =
+            vec!["proven independent: every access pair passes the dependence tests".to_string()];
+        if !private.is_empty() {
+            evidence.push(format!(
+                "scalar(s) {} are overwritten each iteration and privatized",
+                names(f, &private).join(", ")
+            ));
+        }
+        out.push(build(
+            f,
+            l,
+            &analysis,
+            ProposalKind::Doall,
+            private,
+            evidence,
+            top,
+        ));
+        return;
+    }
+
+    // Prefer provable parallelism in nested loops over a weaker verdict
+    // at this level.
+    let mut inner = Vec::new();
+    scan_stmts(f, &l.body, summaries, false, &mut inner);
+    if !inner.is_empty() {
+        out.extend(inner);
+        return;
+    }
+
+    match &analysis.determination {
+        Determination::Deterministic(s) if s.true_dep => {
+            let reduction = classes
+                .scalar_live_out()
+                .iter()
+                .any(|v| classes.uses[v].read);
+            if reduction {
+                // A read-and-updated live-out scalar: privatizing it would
+                // change the result, so the loop stays sequential.
+                return;
+            }
+            let mut evidence = vec![format!(
+                "loop-carried true dependence (min distance {}); runtime executes ordered",
+                s.min_true_distance
+                    .map_or_else(|| "unknown".to_string(), |d| d.to_string())
+            )];
+            evidence.extend(s.notes.iter().map(|n| resolve_var_ids(n, f)));
+            out.push(build(
+                f,
+                l,
+                &analysis,
+                ProposalKind::Doacross,
+                private,
+                evidence,
+                top,
+            ));
+        }
+        Determination::Deterministic(s) => {
+            let mut evidence =
+                vec!["only false dependences proven; runtime privatizes (mode D)".to_string()];
+            evidence.extend(s.notes.iter().map(|n| resolve_var_ids(n, f)));
+            out.push(build(
+                f,
+                l,
+                &analysis,
+                ProposalKind::Privatize,
+                private,
+                evidence,
+                top,
+            ));
+        }
+        Determination::Uncertain { reasons, .. } => {
+            let evidence = reasons
+                .iter()
+                .map(|b| format!("unproven: {}", resolve_var_ids(&b.to_string(), f)))
+                .collect();
+            out.push(build(
+                f,
+                l,
+                &analysis,
+                ProposalKind::Speculative,
+                private,
+                evidence,
+                top,
+            ));
+        }
+        Determination::Doall => unreachable!("handled above"),
+    }
+}
+
+/// Assemble the proposal: infer `copyin`/`copyout` entries with exact
+/// affine ranges where possible, falling back to the always-safe
+/// whole-array form.
+fn build(
+    f: &Function,
+    l: &ForLoop,
+    analysis: &LoopAnalysis,
+    kind: ProposalKind,
+    private: Vec<VarId>,
+    evidence: Vec<String>,
+    top: bool,
+) -> Proposal {
+    let bounds = loop_bounds(l, &analysis.classes);
+    let entry = |arr: VarId, ak: AccessKind| -> ClauseEntry {
+        let name = f.var_name(arr);
+        let range = bounds.as_ref().and_then(|(start, end)| {
+            let (lo, hi) = affine_region(&analysis.accesses, arr, ak, start, end)?;
+            Some((render_affine(f, &lo)?, render_affine(f, &hi)?))
+        });
+        ClauseEntry { name, range }
+    };
+    let copyin = analysis
+        .classes
+        .arrays_in()
+        .into_iter()
+        .map(|v| entry(v, AccessKind::Read))
+        .collect();
+    let copyout = analysis
+        .classes
+        .arrays_out()
+        .into_iter()
+        .map(|v| entry(v, AccessKind::Write))
+        .collect();
+    Proposal {
+        loop_id: l.id,
+        function: f.name.clone(),
+        span: l.span,
+        kind,
+        clauses: Clauses {
+            private: names(f, &private),
+            copyin,
+            copyout,
+            stealing: false,
+        },
+        evidence,
+        density: None,
+        est_cost: estimate_loop_cost(l, &CostTable::default()),
+        top_level: top,
+    }
+}
+
+/// Minimum estimated cycles per iteration before `scheme(stealing)` pays
+/// for its queueing overhead.
+const STEAL_MIN_COST: f64 = 16.0;
+
+/// Decide `scheme(stealing)` for one function's proposals: at least two
+/// top-level parallel loops, chained (a later loop reads an array an
+/// earlier one writes), each with enough per-iteration work. This re-derives
+/// the paper's stealing choice for 2MM and Crypt; BICG's two kernels share
+/// inputs but are not chained, so the auto-annotator keeps the sharing
+/// default there (a performance hint, not a semantic difference).
+fn pick_scheme(props: &mut [Proposal]) {
+    let top: Vec<usize> = props
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.top_level)
+        .map(|(i, _)| i)
+        .collect();
+    if top.len() < 2 || top.iter().any(|&i| props[i].est_cost < STEAL_MIN_COST) {
+        return;
+    }
+    let reads = |p: &Proposal| -> BTreeSet<String> {
+        p.clauses.copyin.iter().map(|e| e.name.clone()).collect()
+    };
+    let writes = |p: &Proposal| -> BTreeSet<String> {
+        p.clauses.copyout.iter().map(|e| e.name.clone()).collect()
+    };
+    let chained = top.iter().enumerate().any(|(a, &i)| {
+        top[a + 1..]
+            .iter()
+            .any(|&j| !reads(&props[j]).is_disjoint(&writes(&props[i])))
+    });
+    if !chained {
+        return;
+    }
+    for &i in &top {
+        props[i].clauses.stealing = true;
+        props[i]
+            .evidence
+            .push("chained with sibling loop(s); task stealing amortizes the pipeline".into());
+    }
+}
+
+fn names(f: &Function, vars: &[VarId]) -> Vec<String> {
+    vars.iter().map(|v| f.var_name(*v)).collect()
+}
+
+/// Replace raw `v<N>` slot ids in analysis notes with source-level names
+/// (highest slots first so `v1` never clobbers `v12`).
+fn resolve_var_ids(note: &str, f: &Function) -> String {
+    let mut out = note.to_string();
+    for i in (0..f.var_names.len()).rev() {
+        let slot = format!("v{i}");
+        if out.contains(&slot) {
+            out = out.replace(&slot, &format!("`{}`", f.var_names[i]));
+        }
+    }
+    out
+}

@@ -1,0 +1,185 @@
+//! Rendering of inferred clauses back into MiniJava annotation syntax.
+//!
+//! The output must round-trip through the front end's annotation parser
+//! ([`japonica_frontend::annot::parse_annot`]) — the golden tests enforce
+//! this — so the renderer emits exactly the Table I grammar: a body
+//! starting with `acc parallel` followed by optional `private(...)`,
+//! `copyin(...)`, `copyout(...)` and `scheme(stealing)` clauses.
+
+use japonica_analysis::Affine;
+use japonica_ir::Function;
+
+/// One entry of a data clause: a bare array name, or `name[lo:hi]` with
+/// already-rendered bound expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClauseEntry {
+    pub name: String,
+    pub range: Option<(String, String)>,
+}
+
+impl ClauseEntry {
+    fn render(&self) -> String {
+        match &self.range {
+            Some((lo, hi)) => format!("{}[{lo}:{hi}]", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// Render an invariant affine form (`Σ cₖ·vₖ + c`) as a MiniJava
+/// expression, compact style: `n`, `n-1`, `3*npix`, `m*d+1`. Returns
+/// `None` for forms the clause grammar cannot express cleanly (an
+/// induction-variable term, a leading negative term, or a bare negative
+/// constant) — callers fall back to the always-safe whole-array form.
+pub fn render_affine(f: &Function, a: &Affine) -> Option<String> {
+    if a.coeff != 0 {
+        return None;
+    }
+    let mut s = String::new();
+    for (v, k) in &a.sym {
+        let name = f.var_name(*v);
+        let mag = k.unsigned_abs();
+        let term = if mag == 1 {
+            name
+        } else {
+            format!("{mag}*{name}")
+        };
+        if s.is_empty() {
+            if *k < 0 {
+                return None;
+            }
+            s = term;
+        } else {
+            s.push(if *k < 0 { '-' } else { '+' });
+            s.push_str(&term);
+        }
+    }
+    if s.is_empty() {
+        if a.konst < 0 {
+            return None;
+        }
+        s = a.konst.to_string();
+    } else if a.konst > 0 {
+        s.push('+');
+        s.push_str(&a.konst.to_string());
+    } else if a.konst < 0 {
+        s.push('-');
+        s.push_str(&(-a.konst).to_string());
+    }
+    Some(s)
+}
+
+/// Assemble the annotation body text (without the `/* */` delimiters) from
+/// rendered clause lists. `scheme(stealing)` is emitted only when set —
+/// sharing is the paper's default and stays implicit, like the hand
+/// sources write it.
+pub fn annotation_text(
+    private: &[String],
+    copyin: &[ClauseEntry],
+    copyout: &[ClauseEntry],
+    stealing: bool,
+) -> String {
+    let mut s = String::from("acc parallel");
+    if !private.is_empty() {
+        s.push_str(&format!(" private({})", private.join(", ")));
+    }
+    let list = |entries: &[ClauseEntry]| {
+        entries
+            .iter()
+            .map(ClauseEntry::render)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    if !copyin.is_empty() {
+        s.push_str(&format!(" copyin({})", list(copyin)));
+    }
+    if !copyout.is_empty() {
+        s.push_str(&format!(" copyout({})", list(copyout)));
+    }
+    if stealing {
+        s.push_str(" scheme(stealing)");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japonica_frontend::compile_source;
+    use japonica_ir::VarId;
+    use std::collections::BTreeMap;
+
+    fn func() -> Function {
+        let p = compile_source(
+            "static void f(double[] a, int n, int m) {
+                for (int i = 0; i < n; i++) { a[i] = 0.0; }
+            }",
+        )
+        .unwrap();
+        p.functions[0].clone()
+    }
+
+    fn var(f: &Function, name: &str) -> VarId {
+        (0..f.var_names.len() as u32)
+            .map(VarId)
+            .find(|v| f.var_name(*v) == name)
+            .unwrap()
+    }
+
+    #[test]
+    fn affine_rendering_styles() {
+        let f = func();
+        let n = var(&f, "n");
+        let m = var(&f, "m");
+        let aff = |sym: &[(VarId, i64)], konst: i64| Affine {
+            coeff: 0,
+            sym: sym.iter().copied().collect::<BTreeMap<_, _>>(),
+            konst,
+        };
+        assert_eq!(render_affine(&f, &aff(&[], 0)).unwrap(), "0");
+        assert_eq!(render_affine(&f, &aff(&[(n, 1)], 0)).unwrap(), "n");
+        assert_eq!(render_affine(&f, &aff(&[(n, 1)], -1)).unwrap(), "n-1");
+        assert_eq!(render_affine(&f, &aff(&[(n, 3)], 1)).unwrap(), "3*n+1");
+        assert_eq!(render_affine(&f, &aff(&[(m, 1), (n, -1)], 0)), None); // m before n? order is VarId order
+        assert_eq!(render_affine(&f, &aff(&[], -41)), None);
+        let induction = Affine {
+            coeff: 1,
+            sym: BTreeMap::new(),
+            konst: 0,
+        };
+        assert_eq!(render_affine(&f, &induction), None);
+    }
+
+    #[test]
+    fn annotation_text_round_trips_through_the_parser() {
+        let text = annotation_text(
+            &["t".into()],
+            &[
+                ClauseEntry {
+                    name: "a".into(),
+                    range: Some(("0".into(), "n".into())),
+                },
+                ClauseEntry {
+                    name: "b".into(),
+                    range: None,
+                },
+            ],
+            &[ClauseEntry {
+                name: "c".into(),
+                range: Some(("1".into(), "n-1".into())),
+            }],
+            true,
+        );
+        assert_eq!(
+            text,
+            "acc parallel private(t) copyin(a[0:n], b) copyout(c[1:n-1]) scheme(stealing)"
+        );
+        let parsed =
+            japonica_frontend::annot::parse_annot(&text, japonica_frontend::error::Pos::new(1, 1))
+                .unwrap();
+        assert!(parsed.parallel);
+        assert_eq!(parsed.copyin.len(), 2);
+        assert_eq!(parsed.copyout.len(), 1);
+        assert_eq!(parsed.scheme, Some(japonica_ir::Scheme::Stealing));
+    }
+}

@@ -1,0 +1,74 @@
+//! Differential proof that auto-annotated programs are *bit-identical* to
+//! the hand-annotated originals under the full Japonica runtime: same
+//! inputs, same simulated heterogeneous execution, outputs compared with
+//! `f64::to_bits` (no tolerance).
+
+use japonica::{Runtime, RuntimeConfig};
+use japonica_autopar::{auto_annotate_all, AutoAnnotated};
+use japonica_workloads::Workload;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn annotated() -> &'static [AutoAnnotated] {
+    static CACHE: OnceLock<Vec<AutoAnnotated>> = OnceLock::new();
+    CACHE.get_or_init(|| auto_annotate_all().expect("corpus pipeline"))
+}
+
+/// Run hand and auto variants of `w` at `scale` and assert bit-equality
+/// of every output array.
+fn assert_bit_identical(w: &Workload, a: &AutoAnnotated, scale: u64) {
+    let inst = w.instantiate(scale);
+    let hand = w.compile();
+    let auto_c = japonica::compile(&a.auto_src)
+        .unwrap_or_else(|e| panic!("{}: auto source does not compile: {e}", w.name));
+    let mut hand_heap = inst.heap.clone();
+    let mut auto_heap = inst.heap.clone();
+    Runtime::new(RuntimeConfig::default())
+        .run(&hand, w.entry, &inst.args, &mut hand_heap)
+        .unwrap_or_else(|e| panic!("{} (hand) failed: {e}", w.name));
+    Runtime::new(RuntimeConfig::default())
+        .run(&auto_c, w.entry, &inst.args, &mut auto_heap)
+        .unwrap_or_else(|e| panic!("{} (auto) failed: {e}", w.name));
+    for (name, id) in &inst.outputs {
+        let ty = hand_heap.array(*id).expect("output array").ty();
+        if ty.is_integral() || ty == japonica_ir::Ty::Bool {
+            let x = hand_heap.read_ints(*id).expect("hand ints");
+            let y = auto_heap.read_ints(*id).expect("auto ints");
+            assert_eq!(x, y, "{} scale {scale}: {name} differs", w.name);
+        } else {
+            let x = hand_heap.read_doubles(*id).expect("hand doubles");
+            let y = auto_heap.read_doubles(*id).expect("auto doubles");
+            assert_eq!(x.len(), y.len(), "{} scale {scale}: {name} length", w.name);
+            for (i, (a, b)) in x.iter().zip(&y).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} scale {scale}: {name}[{i}] {a} != {b}",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustive at scale 1: every Table II benchmark.
+#[test]
+fn auto_matches_hand_bitwise_on_every_benchmark() {
+    for (w, a) in Workload::all().iter().zip(annotated()) {
+        assert_bit_identical(w, a, 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Randomized: benchmark × input scale.
+    #[test]
+    fn auto_matches_hand_bitwise_at_random_scales(
+        idx in 0usize..japonica_workloads::ALL.len(),
+        scale in 1u64..=3,
+    ) {
+        let w = &japonica_workloads::ALL[idx];
+        assert_bit_identical(w, &annotated()[idx], scale);
+    }
+}

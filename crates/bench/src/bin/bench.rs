@@ -10,6 +10,13 @@
 //!
 //! Exit codes: 0 ok · 2 parallel sim diverged from sequential golden ·
 //! 3 perf gate regression · 4 a mode failed to run.
+//!
+//! `--auto` runs the auto-parallelizer over the Table II corpus instead:
+//! the hand annotations are stripped, annotations are re-synthesized from
+//! static analysis (plus one profiling run for speculative proposals), and
+//! the resulting patches are byte-diffed against the golden files under
+//! `crates/autopar/corpus/` (exit 2 on drift). `--auto --write-golden`
+//! regenerates the bare sources and golden patches in place.
 
 use japonica_bench::{
     json_escape, json_f64, median, parse_flat_json, run_timed_engine, SimFingerprint, Variant,
@@ -52,6 +59,7 @@ fn usage() -> ! {
         "usage: bench [--quick] [--scale N] [--trials K] [--warmup W] [--threads N]\n\
          \x20            [--engine bytecode|interp] [--out PATH] [--gate BASELINE.json]\n\
          \x20            [--write-baseline PATH]\n\
+         \x20      bench --auto [--write-golden]\n\
          \n\
          Runs every Table II workload under serial / CPU-16 / GPU / sharing /\n\
          stealing, reports median host wall-clock, and checks that the\n\
@@ -227,7 +235,78 @@ fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The byte-pinned auto-annotation corpus, addressed relative to this
+/// crate so `cargo run` works from any working directory.
+fn auto_corpus_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../autopar/corpus")
+}
+
+/// `--auto`: run the auto-parallelizer over the Table II corpus and diff
+/// (or, with `write`, regenerate) the golden bare sources and patches.
+fn auto_mode(write: bool) -> ExitCode {
+    let all = match japonica_autopar::auto_annotate_all() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("auto: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    let dir = auto_corpus_dir();
+    let mut drifted = false;
+    let mut proposals = 0usize;
+    for a in &all {
+        let kinds: Vec<String> = a.proposals.iter().map(|p| p.kind.to_string()).collect();
+        eprintln!(
+            "{:>14}: {} proposal(s) [{}]",
+            a.name,
+            a.proposals.len(),
+            kinds.join(", ")
+        );
+        proposals += a.proposals.len();
+        let bare_path = dir.join(format!("{}.java", a.slug));
+        let patch_path = dir.join(format!("{}.golden.patch", a.slug));
+        if write {
+            for (path, content) in [(&bare_path, &a.bare), (&patch_path, &a.patch)] {
+                if let Err(e) = std::fs::write(path, content) {
+                    eprintln!("auto: cannot write {}: {e}", path.display());
+                    return ExitCode::from(4);
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            continue;
+        }
+        for (path, fresh) in [(&bare_path, &a.bare), (&patch_path, &a.patch)] {
+            let committed = std::fs::read_to_string(path).unwrap_or_default();
+            if committed.trim_end() != fresh.trim_end() {
+                eprintln!("auto: {} drifted from {}", a.name, path.display());
+                drifted = true;
+            }
+        }
+    }
+    if drifted {
+        eprintln!("auto: golden drift — rerun with --auto --write-golden if intentional");
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "auto: {proposals} proposals across {} benchmarks {}",
+        all.len(),
+        if write {
+            "written"
+        } else {
+            "match the golden corpus"
+        }
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--auto") {
+        if argv.iter().any(|a| a != "--auto" && a != "--write-golden") {
+            usage();
+        }
+        return auto_mode(argv.iter().any(|a| a == "--write-golden"));
+    }
     let o = parse_opts();
     let rev = git_rev();
     let workloads = Workload::all();

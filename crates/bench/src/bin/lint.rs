@@ -5,22 +5,33 @@
 //! cargo run -p japonica-bench --bin lint -- prog.java
 //! cargo run -p japonica-bench --bin lint -- --json prog.java other.java
 //! cargo run -p japonica-bench --bin lint -- --workloads
+//! cargo run -p japonica-bench --bin lint -- --auto bare.java
 //! ```
+//!
+//! `--auto` switches from auditing to synthesis: every un-annotated loop
+//! of each input is pushed through the auto-parallelizer and the proposed
+//! Table I annotations are printed as an insertion patch. `--explain` adds
+//! the per-proposal evidence lines (dependence-test verdicts, blockers).
 //!
 //! Exit status: 0 when no file has `error`-severity findings, 1 when any
 //! does, 2 on a compile failure or bad invocation.
 
 use japonica::lint::{lint_source, LintConfig, RULES};
+use japonica_autopar::{propose_program, render_patch};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
     let mut workloads = false;
+    let mut auto = false;
+    let mut explain = false;
     let mut files: Vec<String> = Vec::new();
     for a in &args {
         match a.as_str() {
             "--json" => json = true,
             "--workloads" => workloads = true,
+            "--auto" => auto = true,
+            "--explain" => explain = true,
             "--rules" => {
                 for r in RULES {
                     println!("{}  {:<7}  {}", r.code, r.severity, r.summary);
@@ -58,6 +69,31 @@ fn main() {
         }
     }
 
+    if auto {
+        for (name, src) in inputs {
+            let program = match japonica::frontend::compile_source(&src) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("lint: {name}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let proposals = propose_program(&program);
+            if proposals.is_empty() {
+                println!("== {name}: no parallelizable bare loops ==");
+                continue;
+            }
+            let patch = render_patch(&name, &proposals);
+            for line in patch.lines() {
+                // Evidence lines (`  ; ...`) are --explain detail.
+                if explain || !line.starts_with("  ;") {
+                    println!("{line}");
+                }
+            }
+        }
+        return;
+    }
+
     let mut any_error = false;
     for (name, src) in inputs {
         match lint_source(&src, &cfg) {
@@ -82,6 +118,6 @@ fn main() {
 }
 
 fn usage(code: i32) -> ! {
-    eprintln!("usage: lint [--json] [--workloads] [--rules] FILE...");
+    eprintln!("usage: lint [--json] [--workloads] [--rules] [--auto [--explain]] FILE...");
     std::process::exit(code)
 }

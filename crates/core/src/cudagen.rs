@@ -294,6 +294,7 @@ impl Gen<'_> {
                 array,
                 index,
                 value,
+                ..
             } => {
                 self.indent(depth);
                 let a = self.name(*array);

@@ -21,9 +21,11 @@ pub mod lexer;
 pub mod lower;
 pub mod parser;
 pub mod sema;
+pub mod strip;
 pub mod token;
 
 pub use error::CompileError;
+pub use strip::strip_acc_annotations;
 
 /// Compile MiniJava source text to an IR [`japonica_ir::Program`].
 ///

@@ -193,6 +193,7 @@ impl<'u> Lowerer<'u> {
                             array,
                             index,
                             value,
+                            span: sp(s.pos),
                         });
                     }
                 }

@@ -1,0 +1,129 @@
+//! Source-to-source removal of `/* acc ... */` annotation comments.
+//!
+//! The auto-parallelizer's corpus is the hand-annotated Table II sources
+//! with every annotation stripped; keeping the stripper next to the lexer
+//! guarantees the two agree on what counts as an annotation comment (a
+//! block comment whose body starts with the word `acc`).
+
+/// Remove every `/* acc ... */` annotation comment from `src`, leaving all
+/// other text (including ordinary comments) byte-identical. A line that
+/// held nothing but an annotation is removed entirely, so the stripped
+/// source reads like it was written without annotations. Line comments and
+/// non-annotation block comments pass through untouched.
+pub fn strip_acc_annotations(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < src.len() {
+        let Some(rel) = src[i..].find('/') else {
+            out.push_str(&src[i..]);
+            break;
+        };
+        let j = i + rel;
+        out.push_str(&src[i..j]);
+        i = j;
+        if src[i..].starts_with("//") {
+            // Line comment: copy verbatim up to (not including) the newline.
+            let end = src[i..].find('\n').map_or(src.len(), |k| i + k);
+            out.push_str(&src[i..end]);
+            i = end;
+        } else if src[i..].starts_with("/*") {
+            let body_start = i + 2;
+            let (body, end) = match src[body_start..].find("*/") {
+                Some(k) => (&src[body_start..body_start + k], body_start + k + 2),
+                None => (&src[body_start..], src.len()),
+            };
+            let t = body.trim_start();
+            let is_acc = t.starts_with("acc")
+                && t[3..]
+                    .chars()
+                    .next()
+                    .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+            if is_acc {
+                // Drop the comment. When the line held nothing else, drop
+                // the whole line: rewind the output to the line start and
+                // skip the trailing blank remainder plus its newline.
+                let line_start = out.rfind('\n').map_or(0, |k| k + 1);
+                let prefix_blank = out[line_start..].chars().all(|c| c == ' ' || c == '\t');
+                let rest = &src[end..];
+                let nl = rest.find('\n');
+                let rest_blank = nl.map_or(rest, |k| &rest[..k]).trim().is_empty();
+                if prefix_blank && rest_blank {
+                    out.truncate(line_start);
+                    i = nl.map_or(src.len(), |k| end + k + 1);
+                } else {
+                    i = end;
+                }
+            } else {
+                out.push_str(&src[i..end]);
+                i = end;
+            }
+        } else {
+            out.push('/');
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn annotation_only_lines_disappear() {
+        let src = "static void f(double[] a, int n) {\n    /* acc parallel copyin(a[0:n]) */\n    for (int i = 0; i < n; i++) { a[i] = 0.0; }\n}\n";
+        let bare = strip_acc_annotations(src);
+        assert!(!bare.contains("acc"));
+        assert_eq!(bare.lines().count(), src.lines().count() - 1);
+        assert!(bare.contains("for (int i = 0; i < n; i++)"));
+    }
+
+    #[test]
+    fn ordinary_comments_and_code_survive_byte_identical() {
+        let src =
+            "// keep me\nint x = 1 / 2; /* not an annotation */\n/* accumulate is not acc */\n";
+        assert_eq!(strip_acc_annotations(src), src);
+    }
+
+    #[test]
+    fn inline_annotation_leaves_the_rest_of_the_line() {
+        let src = "    /* acc parallel */ for (int i = 0; i < n; i++) { }\n";
+        assert_eq!(
+            strip_acc_annotations(src),
+            "     for (int i = 0; i < n; i++) { }\n"
+        );
+    }
+
+    #[test]
+    fn stripping_is_idempotent() {
+        let src = "a\n  /* acc parallel */\nb /* acc parallel */ c\n// acc in a line comment\n";
+        let once = strip_acc_annotations(src);
+        assert_eq!(strip_acc_annotations(&once), once);
+    }
+
+    #[test]
+    fn stripped_source_compiles_without_annotated_loops() {
+        let src = "static void f(double[] a, int n) {\n    /* acc parallel copyin(a[0:n]) copyout(a[0:n]) */\n    for (int i = 0; i < n; i++) { a[i] = a[i] * 2.0; }\n}\n";
+        let bare = strip_acc_annotations(src);
+        let p = crate::compile_source(&bare).expect("bare source compiles");
+        let f = &p.functions[0];
+        assert!(f.all_loops().iter().all(|l| l.annot.is_none()));
+        // The annotated original still has the same loop ids in the same
+        // order — the property the auto-parallelizer's oracle relies on.
+        let hand = crate::compile_source(src).expect("hand source compiles");
+        let ids = |p: &japonica_ir::Program| {
+            p.functions[0]
+                .all_loops()
+                .iter()
+                .map(|l| l.id)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&p), ids(&hand));
+    }
+
+    #[test]
+    fn unterminated_annotation_comment_is_dropped_to_eof() {
+        let src = "x\n/* acc parallel";
+        assert_eq!(strip_acc_annotations(src), "x\n");
+    }
+}

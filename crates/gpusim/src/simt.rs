@@ -302,6 +302,7 @@ impl<'p> SimtExec<'p> {
                 array,
                 index,
                 value,
+                ..
             } => {
                 let idxs = self.eval(index, envs, mask, ctx)?;
                 let vals = self.eval(value, envs, mask, ctx)?;

@@ -172,6 +172,7 @@ mod tests {
                     array: b,
                     index: Expr::var(i),
                     value: Expr::index(a, Expr::var(i)).mul(Expr::int(2)),
+                    span: Span::none(),
                 }]
             },
         );

@@ -426,6 +426,7 @@ impl<'p> Compiler<'p> {
                 array,
                 index,
                 value,
+                ..
             } => {
                 let arr = b.var_reg(*array)?;
                 b.code.push(Instr::GuardArray { arr, var: *array });
@@ -807,6 +808,7 @@ fn max_var_in(stmts: &[Stmt]) -> u32 {
                 array,
                 index,
                 value,
+                ..
             } => {
                 *m = (*m).max(array.0 + 1);
                 expr_max(index, m);
@@ -1648,6 +1650,7 @@ mod tests {
                             index: Box::new(Expr::var(i)),
                         }],
                     ),
+                    span: crate::span::Span::none(),
                 }],
                 else_branch: vec![Stmt::Store {
                     array: a,
@@ -1674,6 +1677,7 @@ mod tests {
                             Box::new(Expr::int(1)),
                         )),
                     ),
+                    span: crate::span::Span::none(),
                 }],
             },
             Stmt::While {
@@ -1695,6 +1699,7 @@ mod tests {
                 array: b,
                 index: Expr::var(i),
                 value: Expr::Cast(Ty::Int, Box::new(Expr::var(acc))),
+                span: crate::span::Span::none(),
             },
         ];
         let loop_ = kernel_loop(i, 8, body);
@@ -1723,6 +1728,7 @@ mod tests {
                 array: a,
                 index: Expr::var(i),
                 value: Expr::var(x),
+                span: crate::span::Span::none(),
             },
             Stmt::Assign {
                 var: x,

@@ -173,6 +173,149 @@ impl OpCounts {
     }
 }
 
+/// Nominal trip count charged for nested loops whose bounds are not
+/// compile-time constants. The absolute value only matters relative to the
+/// scheme-selection threshold, not as a cycle prediction.
+const NOMINAL_TRIP: f64 = 32.0;
+
+/// Statically estimated issue cycles for **one iteration** of `l`'s body,
+/// including the loop's own back-edge bookkeeping (compare + increment).
+///
+/// This is a structural estimate for ahead-of-time decisions (the
+/// auto-parallelizer's scheme selection): nested loops multiply by their
+/// constant trip count when the bounds are literals and by [`NOMINAL_TRIP`]
+/// otherwise, `if`/ternary charge their more expensive branch, and calls
+/// charge only the call overhead class — callee bodies are not expanded.
+pub fn estimate_loop_cost(l: &crate::stmt::ForLoop, table: &CostTable) -> f64 {
+    estimate_body_cost(&l.body, table) + table.cost(OpClass::Branch) + table.cost(OpClass::IntAlu)
+}
+
+/// Statically estimated issue cycles for executing `stmts` once.
+pub fn estimate_body_cost(stmts: &[crate::stmt::Stmt], table: &CostTable) -> f64 {
+    use crate::stmt::Stmt;
+    let mut total = 0.0;
+    for s in stmts {
+        total += match s {
+            Stmt::DeclVar { init, .. } => {
+                table.cost(OpClass::Move)
+                    + init.as_ref().map_or(0.0, |e| estimate_expr_cost(e, table))
+            }
+            Stmt::NewArray { len, .. } => {
+                table.cost(OpClass::Move) + estimate_expr_cost(len, table)
+            }
+            Stmt::Assign { value, .. } => {
+                table.cost(OpClass::Move) + estimate_expr_cost(value, table)
+            }
+            Stmt::Store { index, value, .. } => {
+                table.cost(OpClass::Store)
+                    + estimate_expr_cost(index, table)
+                    + estimate_expr_cost(value, table)
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                let t = estimate_body_cost(then_branch, table);
+                let e = estimate_body_cost(else_branch, table);
+                table.cost(OpClass::Branch) + estimate_expr_cost(cond, table) + t.max(e)
+            }
+            Stmt::For(inner) => {
+                let trip = const_trip(inner).map_or(NOMINAL_TRIP, |t| t as f64);
+                estimate_expr_cost(&inner.start, table)
+                    + estimate_expr_cost(&inner.end, table)
+                    + estimate_expr_cost(&inner.step, table)
+                    + trip * estimate_loop_cost(inner, table)
+            }
+            Stmt::While { cond, body } => {
+                NOMINAL_TRIP
+                    * (table.cost(OpClass::Branch)
+                        + estimate_expr_cost(cond, table)
+                        + estimate_body_cost(body, table))
+            }
+            Stmt::Return(e) => {
+                table.cost(OpClass::Branch)
+                    + e.as_ref().map_or(0.0, |e| estimate_expr_cost(e, table))
+            }
+            Stmt::Break | Stmt::Continue => table.cost(OpClass::Branch),
+            Stmt::ExprStmt(e) => estimate_expr_cost(e, table),
+        };
+    }
+    total
+}
+
+/// Statically estimated issue cycles for evaluating `e` once.
+fn estimate_expr_cost(e: &crate::expr::Expr, table: &CostTable) -> f64 {
+    use crate::expr::Expr;
+    match e {
+        Expr::Const(_) => 0.0,
+        Expr::Var(_) | Expr::Len(_) => table.cost(OpClass::Move),
+        Expr::Unary(op, a) => {
+            table.cost(unop_class(*op, looks_float(a))) + estimate_expr_cost(a, table)
+        }
+        Expr::Binary(op, a, b) => {
+            table.cost(binop_class(*op, looks_float(a) || looks_float(b)))
+                + estimate_expr_cost(a, table)
+                + estimate_expr_cost(b, table)
+        }
+        Expr::Cast(_, a) => table.cost(OpClass::Cast) + estimate_expr_cost(a, table),
+        Expr::Index { index, .. } => table.cost(OpClass::Load) + estimate_expr_cost(index, table),
+        Expr::Intrinsic(f, args) => {
+            table.cost(intrinsic_class(*f))
+                + args
+                    .iter()
+                    .map(|a| estimate_expr_cost(a, table))
+                    .sum::<f64>()
+        }
+        Expr::Call(_, args) => {
+            table.cost(OpClass::Call)
+                + args
+                    .iter()
+                    .map(|a| estimate_expr_cost(a, table))
+                    .sum::<f64>()
+        }
+        Expr::Ternary(c, t, o) => {
+            table.cost(OpClass::Branch)
+                + estimate_expr_cost(c, table)
+                + estimate_expr_cost(t, table).max(estimate_expr_cost(o, table))
+        }
+    }
+}
+
+/// Syntactic guess whether an expression is floating-point (a double/float
+/// literal, FP cast, or math intrinsic anywhere in the tree). Types are not
+/// threaded through the IR, so this only steers int-vs-FP cost classes.
+fn looks_float(e: &crate::expr::Expr) -> bool {
+    use crate::expr::Expr;
+    use crate::types::{Ty, Value};
+    let mut fp = false;
+    e.walk(&mut |n| match n {
+        Expr::Const(Value::Double(_) | Value::Float(_)) => fp = true,
+        Expr::Cast(Ty::Double | Ty::Float, _) => fp = true,
+        Expr::Intrinsic(..) => fp = true,
+        _ => {}
+    });
+    fp
+}
+
+/// Trip count of a loop whose start/end/step are all integer literals
+/// (`ceil((end - start) / step)`, clamped at zero), else `None`.
+fn const_trip(l: &crate::stmt::ForLoop) -> Option<u64> {
+    use crate::expr::Expr;
+    use crate::types::Value;
+    let lit = |e: &Expr| match e {
+        Expr::Const(Value::Int(v)) => Some(i64::from(*v)),
+        Expr::Const(Value::Long(v)) => Some(*v),
+        _ => None,
+    };
+    let (start, end, step) = (lit(&l.start)?, lit(&l.end)?, lit(&l.step)?);
+    if step <= 0 {
+        return None;
+    }
+    let span = end.checked_sub(start)?.max(0);
+    Some((span as u64).div_ceil(step as u64))
+}
+
 /// Classify a unary operator application (`float` = operand is FP).
 pub fn unop_class(op: crate::expr::UnOp, float: bool) -> OpClass {
     match op {
@@ -205,6 +348,8 @@ pub fn intrinsic_class(f: crate::expr::Intrinsic) -> OpClass {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::expr::Expr;
+    use crate::stmt::{ForLoop, Stmt};
 
     #[test]
     fn default_table_orders_costs_sensibly() {
@@ -249,6 +394,71 @@ mod tests {
         c.record(OpClass::Load);
         c.record(OpClass::Store);
         assert!((c.arithmetic_intensity() - 5.0).abs() < 1e-12);
+    }
+
+    fn counted(id: u32, end: Expr, body: Vec<Stmt>) -> ForLoop {
+        ForLoop {
+            id: crate::stmt::LoopId(id),
+            var: crate::VarId(0),
+            start: Expr::int(0),
+            end,
+            step: Expr::int(1),
+            body,
+            annot: None,
+            span: crate::span::Span::none(),
+        }
+    }
+
+    #[test]
+    fn constant_trip_inner_loop_multiplies_body_cost() {
+        let t = CostTable::uniform(1.0);
+        let store = Stmt::Store {
+            array: crate::VarId(1),
+            index: Expr::var(crate::VarId(0)),
+            value: Expr::double(0.0),
+            span: crate::span::Span::none(),
+        };
+        let flat = counted(0, Expr::int(1), vec![store.clone()]);
+        let nested = counted(
+            1,
+            Expr::int(1),
+            vec![Stmt::For(counted(2, Expr::int(10), vec![store]))],
+        );
+        let one = estimate_loop_cost(&flat, &t);
+        let ten = estimate_loop_cost(&nested, &t);
+        // The inner body runs 10x; overheads stay constant.
+        assert!(ten > 9.0 * one && ten < 12.0 * one, "{one} vs {ten}");
+    }
+
+    #[test]
+    fn symbolic_inner_bounds_fall_back_to_nominal_trip() {
+        let t = CostTable::uniform(1.0);
+        let inner = counted(1, Expr::var(crate::VarId(2)), vec![]);
+        let l = counted(0, Expr::int(1), vec![Stmt::For(inner)]);
+        let c = estimate_loop_cost(&l, &t);
+        assert!(c >= NOMINAL_TRIP, "nominal trips not charged: {c}");
+    }
+
+    #[test]
+    fn calls_charge_overhead_without_expanding_the_callee() {
+        let t = CostTable::default();
+        let l = counted(
+            0,
+            Expr::int(1),
+            vec![Stmt::ExprStmt(Expr::Call(crate::FnId(3), vec![]))],
+        );
+        // call (5) + back-edge branch (1) + increment (1)
+        assert!((estimate_loop_cost(&l, &t) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn float_multiply_is_cheaper_than_int_multiply() {
+        let t = CostTable::default();
+        let imul = Expr::var(crate::VarId(0)).mul(Expr::var(crate::VarId(1)));
+        let fmul = Expr::var(crate::VarId(0)).mul(Expr::double(2.0));
+        let li = counted(0, Expr::int(1), vec![Stmt::ExprStmt(imul)]);
+        let lf = counted(1, Expr::int(1), vec![Stmt::ExprStmt(fmul)]);
+        assert!(estimate_loop_cost(&li, &t) > estimate_loop_cost(&lf, &t));
     }
 
     #[test]

@@ -374,6 +374,7 @@ impl<'p> Interp<'p> {
                 array,
                 index,
                 value,
+                ..
             } => {
                 let arr = env
                     .get(*array)?
@@ -862,6 +863,7 @@ mod tests {
             array: a,
             index: Expr::int(1),
             value: Expr::int(7),
+            span: crate::span::Span::none(),
         });
         f.push(Stmt::Return(Some(Expr::index(a, Expr::int(1)))));
         p.add_function(f.finish(Some(Ty::Int)));

@@ -34,14 +34,14 @@ pub mod types;
 pub use bytecode::{
     compile_kernel, Chunk, CompileError, CompiledKernel, ExecEngine, Instr, KernelCache, ScalarVm,
 };
-pub use cost::{CostTable, OpClass, OpCounts};
+pub use cost::{estimate_body_cost, estimate_loop_cost, CostTable, OpClass, OpCounts};
 pub use error::ExecError;
 pub use expr::{BinOp, Expr, Intrinsic, UnOp};
 pub use heap::{ArrayData, ArrayId, Heap};
 pub use interp::{Backend, CountingBackend, Env, Flow, HeapBackend, Interp, LoopBounds};
 pub use program::{FnId, Function, Param, ParamTy, Program};
 pub use span::Span;
-pub use stmt::{ArrayRange, ForLoop, LoopAnnotation, LoopId, Scheme, Stmt};
+pub use stmt::{annotated_loops, ArrayRange, ForLoop, LoopAnnotation, LoopId, Scheme, Stmt};
 pub use types::{Ty, Value};
 
 /// A variable slot inside one function's environment.

@@ -163,6 +163,7 @@ impl Pretty<'_> {
                 array,
                 index,
                 value,
+                ..
             } => {
                 self.indent(depth);
                 let _ = writeln!(
@@ -338,6 +339,7 @@ mod tests {
                     array: a,
                     index: Expr::var(i),
                     value: Expr::index(a, Expr::var(i)).mul(Expr::double(2.0)),
+                    span: crate::span::Span::none(),
                 }]
             },
         );

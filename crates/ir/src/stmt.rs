@@ -169,6 +169,9 @@ pub enum Stmt {
         array: VarId,
         index: Expr,
         value: Expr,
+        /// Source position of the assignment (the target element), so
+        /// dependence verdicts can point at the exact conflicting access.
+        span: Span,
     },
     /// `if (cond) { then } else { other }`.
     If {
@@ -304,6 +307,7 @@ mod tests {
             array: VarId(1),
             index: Expr::var(VarId(0)),
             value: Expr::int(42),
+            span: Span::none(),
         };
         let mut n = 0;
         s.walk_exprs(&mut |_| n += 1);

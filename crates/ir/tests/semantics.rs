@@ -152,6 +152,7 @@ fn kitchen_sink_function_via_builder() {
                     array: out,
                     index: Expr::var(i),
                     value: Expr::var(acc),
+                    span: japonica_ir::Span::none(),
                 },
             ]
         },
@@ -188,6 +189,7 @@ fn exec_range_is_equivalent_to_chunked_union() {
                 array: a,
                 index: Expr::var(i),
                 value: Expr::var(i).mul(Expr::var(i)),
+                span: japonica_ir::Span::none(),
             }]
         },
     );

@@ -16,6 +16,7 @@
 //! | L005 | note     | array parameters that would carry a dependence if they alias |
 //! | L006 | error    | annotated loop calls a function that writes caller memory |
 //! | L007 | warning  | `threads(n)` exceeds the simulated core count |
+//! | L008 | note     | annotation weaker than what the auto-parallelizer proves |
 //!
 //! Reports render two ways: [`LintReport::render`] (human, caret under the
 //! offending column) and [`LintReport::to_json`] (stable machine format).
@@ -175,14 +176,19 @@ mod tests {
     }
 
     #[test]
-    fn l003_threshold_tolerates_small_slack() {
+    fn l003_threshold_leaves_small_slack_to_l008() {
+        // Slack within the over-copy threshold is not *wasteful* enough for
+        // L003, but the auto-parallelizer can still tighten it: L008 note.
         let r = report(
             "static void f(double[] a, double[] c, int n) {
                 /* acc parallel copyin(a[0:n+8]) copyout(c[0:n]) */
                 for (int i = 0; i < n; i++) { c[i] = a[i]; }
             }",
         );
-        assert!(r.diagnostics.is_empty(), "got {:?}", r.diagnostics);
+        assert_eq!(rules_of(&r), vec!["L008"]);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("8 element(s) past"), "{}", d.message);
     }
 
     #[test]
@@ -307,7 +313,79 @@ mod tests {
         let codes: Vec<_> = RULES.iter().map(|r| r.code).collect();
         assert_eq!(
             codes,
-            vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007"]
+            vec!["L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008"]
+        );
+    }
+
+    #[test]
+    fn l008_bare_provable_loop_draws_a_note() {
+        let r = report(
+            "static void f(double[] a, double[] b, int n) {
+                for (int i = 0; i < n; i++) { b[i] = a[i] * 2.0; }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L008"]);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.severity, Severity::Note);
+        assert_eq!(d.span.line, 2, "span must point at the bare `for`");
+        assert!(d.message.contains("provably free"), "{}", d.message);
+    }
+
+    #[test]
+    fn l008_silent_for_bare_loop_with_a_real_dependence() {
+        let r = report(
+            "static void f(double[] a, int n) {
+                for (int i = 1; i < n; i++) { a[i] = a[i - 1] * 2.0; }
+            }",
+        );
+        assert!(r.diagnostics.is_empty(), "got {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn l008_flags_only_the_outermost_provable_loop() {
+        let r = report(
+            "static void f(double[] a, int n, int m) {
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < m; j++) { a[i * m + j] = 1.0; }
+                }
+            }",
+        );
+        assert_eq!(rules_of(&r), vec!["L008"], "got {:?}", r.diagnostics);
+        assert_eq!(r.diagnostics[0].span.line, 2);
+    }
+
+    #[test]
+    fn l008_respects_the_authors_parallel_granularity() {
+        // The inner loop is bare and provable, but the author already
+        // annotated the outer loop: no second-guessing inside the region.
+        let r = report(
+            "static void f(double[] a, int n, int m) {
+                /* acc parallel */
+                for (int i = 0; i < n; i++) {
+                    for (int j = 0; j < m; j++) { a[i * m + j] = 1.0; }
+                }
+            }",
+        );
+        assert!(!rules_of(&r).contains(&"L008"), "got {:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn l008_wide_copyin_lower_side() {
+        // Reads start at a[2] but the clause copies from a[0]: 2 elements
+        // of slack below the tight region.
+        let r = report(
+            "static void f(double[] a, double[] c, int n) {
+                /* acc parallel copyin(a[0:n+2]) copyout(c[0:n]) */
+                for (int i = 0; i < n; i++) { c[i] = a[i + 2]; }
+            }",
+        );
+        // (the shifted read also legitimately draws the L005 aliasing note)
+        let l008: Vec<_> = r.diagnostics.iter().filter(|d| d.rule == "L008").collect();
+        assert_eq!(l008.len(), 1, "got {:?}", r.diagnostics);
+        assert!(
+            l008[0].message.contains("2 element(s) below"),
+            "{}",
+            l008[0].message
         );
     }
 }

@@ -1,17 +1,23 @@
-//! The rule passes L001..L007.
+//! The rule passes L001..L008.
 //!
 //! Every annotated loop is re-analyzed with whole-program effect summaries
 //! (so callee side effects are visible) and audited against its own
 //! annotation. The rules never change what the compiler does — they explain,
 //! before execution, where the runtime will have to degrade (TLS fallback,
-//! profiling) or where an annotation asks for something unsound.
+//! profiling) or where an annotation asks for something unsound. L008 is
+//! the inverse direction: places where the hand annotation is strictly
+//! weaker than what the auto-parallelizer can prove.
 
 use crate::diag::{Diagnostic, LintReport, Severity};
 use crate::LintConfig;
 use japonica_analysis::{
-    analyze_loop_with, linearize, Access, AccessKind, Affine, Determination, EffectSummaries,
+    affine_region, analyze_loop_with, linearize, loop_bounds, region::cmp_const, Access,
+    AccessKind, Affine, Determination, EffectSummaries,
 };
-use japonica_ir::{ArrayRange, Expr, ForLoop, Function, ParamTy, Program, Span, VarId};
+use japonica_ir::{
+    annotated_loops, ArrayRange, Expr, ForLoop, Function, LoopAnnotation, ParamTy, Program, Span,
+    Stmt, VarId,
+};
 use std::collections::BTreeSet;
 
 /// Static description of one rule (for `--help`-style listings and docs).
@@ -23,7 +29,7 @@ pub struct RuleInfo {
 }
 
 /// The rule registry, in code order.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         code: "L001",
         severity: Severity::Warning,
@@ -59,6 +65,12 @@ pub const RULES: [RuleInfo; 7] = [
         severity: Severity::Warning,
         summary: "threads(n) exceeds the simulated platform's core count",
     },
+    RuleInfo {
+        code: "L008",
+        severity: Severity::Note,
+        summary: "annotation weaker than what the auto-parallelizer proves \
+                  (provable bare loop / over-wide copy range)",
+    },
 ];
 
 /// Audit every annotated loop of `p`. The report comes back sorted in
@@ -72,9 +84,80 @@ pub fn lint_program(p: &Program, cfg: &LintConfig) -> LintReport {
                 check_loop(p, f, l, &summaries, cfg, &mut report);
             }
         }
+        check_bare_loops(f, &f.body, &summaries, &mut report);
     }
     report.sort();
     report
+}
+
+/// L008 (bare side): un-annotated loops the dependence tester can prove
+/// independent — the auto-parallelizer would annotate them `parallel`.
+/// Loops nested inside an annotated region are left alone (the author
+/// already chose a parallel granularity), as are bare loops that *contain*
+/// an annotated loop; only the outermost provable loop of a nest is
+/// flagged.
+fn check_bare_loops(
+    f: &Function,
+    stmts: &[Stmt],
+    summaries: &EffectSummaries,
+    report: &mut LintReport,
+) {
+    for s in stmts {
+        match s {
+            Stmt::For(l) => {
+                if l.is_annotated() {
+                    continue;
+                }
+                if annotated_loops(&l.body).is_empty() && bare_provably_doall(l, summaries) {
+                    report.diagnostics.push(Diagnostic {
+                        rule: "L008",
+                        severity: Severity::Note,
+                        span: l.span,
+                        loop_id: Some(l.id),
+                        function: f.name.clone(),
+                        message: "loop is provably free of loop-carried dependences; \
+                                  the auto-parallelizer would annotate it `parallel` \
+                                  (run the bench CLI with --auto)"
+                            .into(),
+                    });
+                } else {
+                    check_bare_loops(f, &l.body, summaries, report);
+                }
+            }
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                check_bare_loops(f, then_branch, summaries, report);
+                check_bare_loops(f, else_branch, summaries, report);
+            }
+            Stmt::While { body, .. } => check_bare_loops(f, body, summaries, report),
+            _ => {}
+        }
+    }
+}
+
+/// Would the dependence tester prove this bare loop DOALL under the same
+/// trial annotation the auto-parallelizer uses (`parallel` plus
+/// `private(...)` for every write-only live-out scalar)?
+fn bare_provably_doall(l: &ForLoop, summaries: &EffectSummaries) -> bool {
+    let probe = analyze_loop_with(l, Some(summaries));
+    let private: Vec<VarId> = probe
+        .classes
+        .scalar_live_out()
+        .into_iter()
+        .filter(|v| !probe.classes.uses[v].read)
+        .collect();
+    let mut trial = l.clone();
+    trial.annot = Some(LoopAnnotation {
+        parallel: true,
+        private,
+        ..LoopAnnotation::default()
+    });
+    analyze_loop_with(&trial, Some(summaries))
+        .determination
+        .is_doall()
 }
 
 /// One loop, all rules.
@@ -128,7 +211,7 @@ fn check_loop(
     }
 
     // --- L002 / L003: data-clause ranges vs the accessed region ---------
-    if let Some((start, end)) = loop_bounds(l, &analysis) {
+    if let Some((start, end)) = loop_bounds(l, &analysis.classes) {
         check_ranges(
             f,
             l,
@@ -237,86 +320,9 @@ fn resolve_var_ids(note: &str, f: &Function) -> String {
     out
 }
 
-/// The loop's `[start, end)` bounds as symbolic affine forms over
-/// loop-invariant variables, provided the step is the constant 1 (the
-/// canonical form every corpus loop uses; other steps make the last
-/// iteration value non-affine).
-fn loop_bounds(
-    l: &ForLoop,
-    analysis: &japonica_analysis::LoopAnalysis,
-) -> Option<(Affine, Affine)> {
-    let classes = &analysis.classes;
-    let inv = |v: VarId| v != l.var && classes.is_invariant(v);
-    let step = linearize(&l.step, l.var, &inv)?;
-    if step != Affine::constant(1) {
-        return None;
-    }
-    let start = linearize(&l.start, l.var, &inv)?;
-    let end = linearize(&l.end, l.var, &inv)?;
-    if start.uses_induction() || end.uses_induction() {
-        return None;
-    }
-    Some((start, end))
-}
-
-/// The element region `[lo, hi)` of array `arr` touched by accesses of
-/// `kind`, or `None` when any matching access defeats affine inference
-/// (opaque call, nonlinear index, symbolically incomparable bounds).
-fn affine_region(
-    accesses: &[Access],
-    arr: VarId,
-    kind: AccessKind,
-    start: &Affine,
-    end: &Affine,
-) -> Option<(Affine, Affine)> {
-    let mut region: Option<(Affine, Affine)> = None;
-    for a in accesses.iter().filter(|a| a.array == arr && a.kind == kind) {
-        if a.from_call {
-            return None; // a callee touches unknown elements
-        }
-        let form = a.affine.as_ref()?;
-        let sym_part = Affine {
-            coeff: 0,
-            sym: form.sym.clone(),
-            konst: form.konst,
-        };
-        let (lo, last) = if form.coeff == 0 {
-            (sym_part.clone(), sym_part)
-        } else {
-            let at_start = start.clone().scale(form.coeff)?.add(&sym_part)?;
-            let last_iter = end.clone().add(&Affine::constant(-1))?;
-            let at_last = last_iter.scale(form.coeff)?.add(&sym_part)?;
-            if form.coeff > 0 {
-                (at_start, at_last)
-            } else {
-                (at_last, at_start)
-            }
-        };
-        let hi = last.add(&Affine::constant(1))?;
-        region = Some(match region {
-            None => (lo, hi),
-            Some((rlo, rhi)) => (pick(rlo, lo, true)?, pick(rhi, hi, false)?),
-        });
-    }
-    region
-}
-
-/// Pick the smaller (`want_min`) or larger of two forms when their
-/// difference is a known constant.
-fn pick(a: Affine, b: Affine, want_min: bool) -> Option<Affine> {
-    let d = cmp_const(&a, &b)?;
-    let a_first = if want_min { d <= 0 } else { d >= 0 };
-    Some(if a_first { a } else { b })
-}
-
-/// `a - b` when it reduces to a plain integer.
-fn cmp_const(a: &Affine, b: &Affine) -> Option<i64> {
-    let d = a.diff(b)?;
-    d.is_constant().then_some(d.konst)
-}
-
 /// L002 (range too short — error) and L003 (gross over-copy — warning)
-/// for one data clause list.
+/// for one data clause list. Region inference itself lives in
+/// [`japonica_analysis::region`], shared with the auto-parallelizer.
 #[allow(clippy::too_many_arguments)]
 fn check_ranges(
     f: &Function,
@@ -371,6 +377,18 @@ fn check_ranges(
                         -d
                     ),
                 );
+            } else if d < 0 {
+                emit(
+                    "L008",
+                    Severity::Note,
+                    r.span,
+                    format!(
+                        "{clause} range for `{name}` starts {} element(s) below the \
+                         inferred tight region; the auto-parallelizer derives the \
+                         exact range",
+                        -d
+                    ),
+                );
             }
         }
         // Upper side (absent hi = whole array: never short, over-copy
@@ -398,6 +416,18 @@ fn check_ranges(
                         format!(
                             "{clause} range for `{name}` extends {} element(s) past \
                              anything the loop {verb}; the extra transfer is wasted",
+                            -d
+                        ),
+                    );
+                } else if d < 0 {
+                    emit(
+                        "L008",
+                        Severity::Note,
+                        r.span,
+                        format!(
+                            "{clause} range for `{name}` extends {} element(s) past \
+                             the inferred tight region; the auto-parallelizer derives \
+                             the exact range",
                             -d
                         ),
                     );

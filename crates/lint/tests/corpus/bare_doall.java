@@ -1,0 +1,5 @@
+static void scale(double[] a, double[] b, int n) {
+    for (int i = 0; i < n; i++) {
+        b[i] = a[i] * 2.0;
+    }
+}

@@ -1,0 +1,6 @@
+static void pad(double[] a, double[] c, int n) {
+    /* acc parallel copyin(a[0:n+8]) copyout(c[0:n]) */
+    for (int i = 0; i < n; i++) {
+        c[i] = a[i];
+    }
+}

@@ -18,7 +18,7 @@ fn corpus(name: &str, ext: &str) -> String {
 }
 
 /// (corpus file, the one rule it seeds, its severity)
-const SEEDED: [(&str, &str, Severity); 8] = [
+const SEEDED: [(&str, &str, Severity); 10] = [
     ("bad_parallel", "L001", Severity::Warning),
     ("short_copyin", "L002", Severity::Error),
     ("short_copyout", "L002", Severity::Error),
@@ -27,6 +27,8 @@ const SEEDED: [(&str, &str, Severity); 8] = [
     ("aliased_args", "L005", Severity::Note),
     ("impure_call", "L006", Severity::Error),
     ("threads_limit", "L007", Severity::Warning),
+    ("bare_doall", "L008", Severity::Note),
+    ("wide_copyin", "L008", Severity::Note),
 ];
 
 #[test]

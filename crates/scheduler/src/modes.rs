@@ -115,7 +115,10 @@ mod tests {
 
     fn uncertain() -> Determination {
         Determination::Uncertain {
-            reasons: vec!["test".into()],
+            reasons: vec![japonica_analysis::Blocker::loop_level(
+                "test",
+                japonica_ir::Span::none(),
+            )],
             partial: DepSummary::default(),
         }
     }
