@@ -5,18 +5,28 @@
 //! 3. TLS sub-loop size under blind speculation;
 //! 4. profile-guided vs blind speculation for the low-density loop;
 //! 5. kernel execution engine: reference tree walker vs register bytecode
-//!    VM (real host wall-clock per simulated iteration, with the one-time
-//!    bytecode compile cost measured separately).
+//!    VM vs threaded-code native tier (real host wall-clock per simulated
+//!    iteration, with each tier's one-time compile cost measured
+//!    separately);
+//! 6. TLS speculative bookkeeping: the per-cell map-based reference vs the
+//!    struct-of-arrays `SpecView` fast path, on no-conflict and
+//!    high-conflict access patterns.
 //!
 //! Each ablation prints a small table; criterion measures one
 //! representative configuration pair.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use japonica::cpuexec::{run_sequential, CpuConfig};
-use japonica::ir::{compile_kernel, Env, ExecEngine, ForLoop, Heap, LoopBounds, Program, Value};
+use japonica::cpuexec::{run_sequential_with, CpuConfig};
+use japonica::gpusim::{AccessCtx, DeviceConfig, DeviceMemory, LaneMemory};
+use japonica::ir::{
+    compile_kernel, compile_native, ArrayId, Env, ExecEngine, ForLoop, Heap, KernelCache,
+    LoopBounds, Program, Value, NATIVE_PROMOTE_USES,
+};
+use japonica::tls::SpeculativeMemory;
 use japonica::{run_baseline, Baseline, Runtime, RuntimeConfig};
 use japonica_bench::{run_variant, Variant};
 use japonica_workloads::Workload;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::{Duration, Instant};
 
 fn wall_with(w: &Workload, n: u64, tweak: impl FnOnce(&mut RuntimeConfig)) -> f64 {
@@ -193,11 +203,22 @@ fn engine_fx(src: &str, n: usize) -> EngineFx {
     }
 }
 
-fn engine_run(fx: &EngineFx, engine: ExecEngine) {
+/// A kernel cache warmed past the native-promotion threshold, so
+/// `ExecEngine::Native` runs resolve the memoized closure-array tier
+/// (steady state, compile amortized) instead of recompiling per run.
+fn warmed_cache(fx: &EngineFx) -> KernelCache {
+    let cache = KernelCache::new();
+    for _ in 0..NATIVE_PROMOTE_USES {
+        cache.get_or_compile(&fx.program, &fx.loop_);
+    }
+    cache
+}
+
+fn engine_run(fx: &EngineFx, engine: ExecEngine, kernels: Option<&KernelCache>) {
     let mut cfg = CpuConfig::default();
     cfg.engine = engine;
     let mut heap = fx.heap.clone();
-    run_sequential(
+    run_sequential_with(
         &fx.program,
         &cfg,
         &fx.loop_,
@@ -205,6 +226,7 @@ fn engine_run(fx: &EngineFx, engine: ExecEngine) {
         0..fx.n,
         &mut fx.env.clone(),
         &mut heap,
+        kernels,
     )
     .unwrap();
 }
@@ -212,35 +234,189 @@ fn engine_run(fx: &EngineFx, engine: ExecEngine) {
 fn ablate_engine() {
     println!("== Ablation: kernel engine, host ns per simulated iteration (n=8192) ==");
     println!(
-        "  {:<12} {:>12} {:>12} {:>9} {:>14}",
-        "kernel", "walker", "bytecode", "speedup", "compile (µs)"
+        "  {:<12} {:>10} {:>10} {:>10} {:>8} {:>8} {:>12} {:>12}",
+        "kernel",
+        "walker",
+        "bytecode",
+        "native",
+        "bc spd",
+        "nat spd",
+        "bc comp(µs)",
+        "nat comp(µs)"
     );
     for (name, src) in ENGINE_KERNELS {
         let fx = engine_fx(src, 8192);
-        let time = |engine: ExecEngine| {
+        let cache = warmed_cache(&fx);
+        let time = |engine: ExecEngine, kernels: Option<&KernelCache>| {
             // One warm-up, then the median of 5 timed runs.
-            engine_run(&fx, engine);
+            engine_run(&fx, engine, kernels);
             let mut runs: Vec<f64> = (0..5)
                 .map(|_| {
                     let t0 = Instant::now();
-                    engine_run(&fx, engine);
+                    engine_run(&fx, engine, kernels);
                     t0.elapsed().as_secs_f64()
                 })
                 .collect();
             runs.sort_by(|a, b| a.total_cmp(b));
             runs[2] / fx.n as f64 * 1e9
         };
-        let walker = time(ExecEngine::TreeWalker);
-        let bytecode = time(ExecEngine::Bytecode);
-        let t0 = Instant::now();
+        let walker = time(ExecEngine::TreeWalker, None);
+        let bytecode = time(ExecEngine::Bytecode, None);
+        let native = time(ExecEngine::Native, Some(&cache));
+        let compiled = compile_kernel(&fx.program, &fx.loop_).unwrap();
         let reps = 100;
+        let t0 = Instant::now();
         for _ in 0..reps {
             compile_kernel(&fx.program, &fx.loop_).unwrap();
         }
         let compile_us = t0.elapsed().as_secs_f64() / reps as f64 * 1e6;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            compile_native(&compiled);
+        }
+        let native_compile_us = t0.elapsed().as_secs_f64() / reps as f64 * 1e6;
         println!(
-            "  {name:<12} {walker:>12.1} {bytecode:>12.1} {:>8.2}x {compile_us:>14.2}",
-            walker / bytecode
+            "  {name:<12} {walker:>10.1} {bytecode:>10.1} {native:>10.1} {:>7.2}x {:>7.2}x \
+             {compile_us:>12.2} {native_compile_us:>12.2}",
+            walker / bytecode,
+            walker / native,
+        );
+    }
+}
+
+/// Access-pattern driver for the spec-mem ablation: `(iter, idx, is_write)`
+/// streams for a no-conflict DOALL (each iteration touches only its own
+/// element) and a high-conflict Gauss-Seidel stencil (each iteration reads
+/// both neighbours, so nearly every read has an earlier cross-iteration
+/// writer).
+fn spec_stream(n: u64, conflict: bool) -> Vec<(u64, i64, bool)> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        if conflict {
+            if i > 0 {
+                out.push((i, i as i64 - 1, false));
+            }
+            if i + 1 < n {
+                out.push((i, i as i64 + 1, false));
+            }
+            out.push((i, i as i64, true));
+        } else {
+            out.push((i, i as i64, false));
+            out.push((i, i as i64, true));
+        }
+    }
+    out
+}
+
+/// The per-cell map-based bookkeeping the SoA core replaced: one global
+/// `(array, index)`-keyed writer set / reader list pair. Re-implemented
+/// here as the ablation baseline.
+#[derive(Default)]
+struct MapSpec {
+    writes: BTreeMap<u64, BTreeMap<(ArrayId, i64), Value>>,
+    writers: BTreeMap<(ArrayId, i64), BTreeSet<(u64, u32)>>,
+    readers: BTreeMap<(ArrayId, i64), Vec<(u64, u32)>>,
+}
+
+impl MapSpec {
+    fn load(&mut self, iter: u64, arr: ArrayId, idx: i64) {
+        if let Some(buf) = self.writes.get(&iter) {
+            if buf.contains_key(&(arr, idx)) {
+                return;
+            }
+        }
+        self.readers.entry((arr, idx)).or_default().push((iter, 0));
+    }
+
+    fn store(&mut self, iter: u64, arr: ArrayId, idx: i64, v: Value) {
+        self.writers
+            .entry((arr, idx))
+            .or_default()
+            .insert((iter, 0));
+        self.writes.entry(iter).or_default().insert((arr, idx), v);
+    }
+
+    fn check(&self) -> usize {
+        let mut violators: BTreeSet<u64> = BTreeSet::new();
+        for (loc, readers) in &self.readers {
+            if let Some(ws) = self.writers.get(loc) {
+                for &(r_iter, _) in readers {
+                    if ws.range(..(r_iter, 0u32)).next_back().is_some() {
+                        violators.insert(r_iter);
+                    }
+                }
+            }
+        }
+        violators.len()
+    }
+}
+
+fn spec_device(n: u64) -> (DeviceMemory, ArrayId) {
+    let mut heap = Heap::new();
+    let a = heap.alloc_doubles(&vec![1.0; n as usize]);
+    let mut dev = DeviceMemory::new();
+    dev.copy_in(&heap, a, 0, n as usize, &DeviceConfig::default())
+        .unwrap();
+    (dev, a)
+}
+
+fn spec_soa_run(dev: &mut DeviceMemory, a: ArrayId, stream: &[(u64, i64, bool)]) -> usize {
+    let mut sm = SpeculativeMemory::new(dev, 8.0);
+    for &(iter, idx, is_write) in stream {
+        let ctx = AccessCtx {
+            lane: 0,
+            warp: (iter / 32) as u32,
+            iter,
+        };
+        if is_write {
+            sm.store(ctx, a, idx, Value::Double(iter as f64)).unwrap();
+        } else {
+            sm.load(ctx, a, idx).unwrap();
+        }
+    }
+    sm.check().violating_iters.len()
+}
+
+fn spec_map_run(a: ArrayId, stream: &[(u64, i64, bool)]) -> usize {
+    let mut m = MapSpec::default();
+    for &(iter, idx, is_write) in stream {
+        if is_write {
+            m.store(iter, a, idx, Value::Double(iter as f64));
+        } else {
+            m.load(iter, a, idx);
+        }
+    }
+    m.check()
+}
+
+fn ablate_spec_mem() {
+    let n = 16_384u64;
+    println!("== Ablation: TLS bookkeeping, host µs per SE+DC pass (n={n}) ==");
+    println!(
+        "  {:<14} {:>12} {:>12} {:>9}",
+        "workload", "per-cell map", "SoA", "speedup"
+    );
+    for (name, conflict) in [("no_conflict", false), ("high_conflict", true)] {
+        let stream = spec_stream(n, conflict);
+        let (mut dev, a) = spec_device(n);
+        // Both sides must agree on the violation count before being timed.
+        assert_eq!(spec_soa_run(&mut dev, a, &stream), spec_map_run(a, &stream));
+        let median5 = |f: &mut dyn FnMut() -> usize| {
+            let mut runs: Vec<f64> = (0..5)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    std::hint::black_box(f());
+                    t0.elapsed().as_secs_f64()
+                })
+                .collect();
+            runs.sort_by(|x, y| x.total_cmp(y));
+            runs[2] * 1e6
+        };
+        let map_us = median5(&mut || spec_map_run(a, &stream));
+        let soa_us = median5(&mut || spec_soa_run(&mut dev, a, &stream));
+        println!(
+            "  {name:<14} {map_us:>12.1} {soa_us:>12.1} {:>8.2}x",
+            map_us / soa_us
         );
     }
 }
@@ -251,6 +427,7 @@ fn bench(c: &mut Criterion) {
     ablate_tls_subloop();
     ablate_profile_guidance();
     ablate_engine();
+    ablate_spec_mem();
 
     let mut g = c.benchmark_group("ablation_split");
     g.sample_size(10)
@@ -273,14 +450,42 @@ fn bench(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for (name, src) in ENGINE_KERNELS {
         let fx = engine_fx(src, 8192);
+        let cache = warmed_cache(&fx);
         g.bench_function(&format!("{name}_walker"), |b| {
-            b.iter(|| engine_run(&fx, ExecEngine::TreeWalker));
+            b.iter(|| engine_run(&fx, ExecEngine::TreeWalker, None));
         });
         g.bench_function(&format!("{name}_bytecode"), |b| {
-            b.iter(|| engine_run(&fx, ExecEngine::Bytecode));
+            b.iter(|| engine_run(&fx, ExecEngine::Bytecode, None));
+        });
+        // Steady state: the warmed cache serves the memoized closure array.
+        g.bench_function(&format!("{name}_native"), |b| {
+            b.iter(|| engine_run(&fx, ExecEngine::Native, Some(&cache)));
         });
         g.bench_function(&format!("{name}_compile"), |b| {
             b.iter(|| compile_kernel(&fx.program, &fx.loop_).unwrap());
+        });
+        // Native lowering cost on top of an already-compiled kernel.
+        let compiled = compile_kernel(&fx.program, &fx.loop_).unwrap();
+        g.bench_function(&format!("{name}_native_compile"), |b| {
+            b.iter(|| compile_native(&compiled));
+        });
+    }
+    g.finish();
+
+    // TLS bookkeeping: per-cell map baseline vs SoA SpecView, both access
+    // profiles.
+    let mut g = c.benchmark_group("spec_mem");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for (name, conflict) in [("no_conflict", false), ("high_conflict", true)] {
+        let stream = spec_stream(16_384, conflict);
+        let (mut dev, a) = spec_device(16_384);
+        g.bench_function(&format!("{name}_map"), |b| {
+            b.iter(|| spec_map_run(a, &stream));
+        });
+        g.bench_function(&format!("{name}_soa"), |b| {
+            b.iter(|| spec_soa_run(&mut dev, a, &stream));
         });
     }
     g.finish();

@@ -57,7 +57,7 @@ struct Opts {
 fn usage() -> ! {
     eprintln!(
         "usage: bench [--quick] [--scale N] [--trials K] [--warmup W] [--threads N]\n\
-         \x20            [--engine bytecode|interp] [--out PATH] [--gate BASELINE.json]\n\
+         \x20            [--engine bytecode|interp|native] [--out PATH] [--gate BASELINE.json]\n\
          \x20            [--write-baseline PATH]\n\
          \x20      bench --auto [--write-golden]\n\
          \n\
@@ -106,6 +106,7 @@ fn parse_opts() -> Opts {
                 o.engine = match args.next().as_deref() {
                     Some("bytecode") => ExecEngine::Bytecode,
                     Some("interp") | Some("tree-walker") => ExecEngine::TreeWalker,
+                    Some("native") => ExecEngine::Native,
                     _ => usage(),
                 }
             }
@@ -381,6 +382,7 @@ fn main() -> ExitCode {
     let engine_name = match o.engine {
         ExecEngine::Bytecode => "bytecode",
         ExecEngine::TreeWalker => "interp",
+        ExecEngine::Native => "native",
     };
     let _ = writeln!(json, "  \"engine\": \"{engine_name}\",");
     let host_cpus = std::thread::available_parallelism()
@@ -545,14 +547,23 @@ fn main() -> ExitCode {
             }
         };
         let mut skipped = 0usize;
+        // (key, baseline, measured, verdict) rows for the CI step summary.
+        let mut summary: Vec<(String, String, String, String)> = Vec::new();
         for (key, base_norm) in &base {
             let Some((wname, mname)) = key.split_once('/') else {
                 eprintln!("gate: malformed baseline key {key:?}");
                 gate_failed = true;
+                summary.push((key.clone(), "?".into(), "?".into(), "❌ malformed".into()));
                 continue;
             };
             if *base_norm < GATE_FLOOR {
                 skipped += 1;
+                summary.push((
+                    key.clone(),
+                    format!("{base_norm:.5}"),
+                    "—".into(),
+                    "⏭️ below noise floor".into(),
+                ));
                 continue;
             }
             let found = workloads.iter().find(|w| w.name == wname).and_then(|w| {
@@ -564,6 +575,12 @@ fn main() -> ExitCode {
             let Some((w, mi)) = found else {
                 eprintln!("gate: baseline key {key} unknown in this corpus");
                 gate_failed = true;
+                summary.push((
+                    key.clone(),
+                    format!("{base_norm:.5}"),
+                    "?".into(),
+                    "❌ unknown key".into(),
+                ));
                 continue;
             };
             let wi = workloads.iter().position(|x| x.name == wname).unwrap_or(0);
@@ -571,6 +588,12 @@ fn main() -> ExitCode {
             if c.error.is_some() || !c.wall_min_s.is_finite() {
                 eprintln!("gate: baseline key {key} failed in this run");
                 gate_failed = true;
+                summary.push((
+                    key.clone(),
+                    format!("{base_norm:.5}"),
+                    "FAIL".into(),
+                    "❌ run failed".into(),
+                ));
                 continue;
             }
             let norm = c.wall_min_s / calib_min;
@@ -588,13 +611,63 @@ fn main() -> ExitCode {
                         best / base_norm
                     );
                     gate_failed = true;
+                    summary.push((
+                        key.clone(),
+                        format!("{base_norm:.5}"),
+                        format!("{best:.5}"),
+                        format!("❌ regressed {:.2}x", best / base_norm),
+                    ));
                 } else {
                     eprintln!(
                         "gate: {key} first sample {ratio:.2}x over baseline but re-measure \
                          cleared it ({:.2}x)",
                         re_norm / base_norm
                     );
+                    summary.push((
+                        key.clone(),
+                        format!("{base_norm:.5}"),
+                        format!("{:.5}", norm.min(re_norm)),
+                        format!("✅ cleared on re-measure ({:.2}x)", re_norm / base_norm),
+                    ));
                 }
+            } else {
+                summary.push((
+                    key.clone(),
+                    format!("{base_norm:.5}"),
+                    format!("{norm:.5}"),
+                    format!("✅ ok ({ratio:.2}x)"),
+                ));
+            }
+        }
+        // Per-benchmark verdict table for the GitHub Actions job summary
+        // page; skipped silently when not running under Actions.
+        if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+            let mut md = String::new();
+            let _ = writeln!(
+                md,
+                "### Perf gate — engine `{engine_name}`{}\n",
+                if advisory {
+                    " (ADVISORY: noisy machine)"
+                } else {
+                    ""
+                }
+            );
+            let _ = writeln!(
+                md,
+                "| benchmark/mode | baseline (norm) | measured (norm) | verdict |"
+            );
+            let _ = writeln!(md, "|---|---|---|---|");
+            for (key, b, m, v) in &summary {
+                let _ = writeln!(md, "| `{key}` | {b} | {m} | {v} |");
+            }
+            let _ = writeln!(md);
+            if let Err(e) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| std::io::Write::write_all(&mut f, md.as_bytes()))
+            {
+                eprintln!("gate: cannot append step summary {path}: {e}");
             }
         }
         if !gate_failed {

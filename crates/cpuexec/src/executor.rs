@@ -4,28 +4,56 @@ use crate::buffer::BufferedBackend;
 use crate::config::CpuConfig;
 use japonica_faults::{DeviceFault, FaultOrigin, FaultPlan};
 use japonica_ir::{
-    compile_kernel, CompiledKernel, CountingBackend, Env, ExecEngine, ExecError, ForLoop, Heap,
-    HeapBackend, Interp, KernelCache, LoopBounds, OpCounts, Program, ScalarVm,
+    compile_kernel, compile_native, CompiledKernel, CountingBackend, Env, ExecEngine, ExecError,
+    ForLoop, Heap, HeapBackend, Interp, KernelCache, LoopBounds, NativeKernel, NativeVm, OpCounts,
+    Program, ScalarVm,
 };
 use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;
 
-/// Resolve which chunk executor to use: `Some(kernel)` for the bytecode
-/// VM, `None` for the reference tree walker (config opt-out, or a loop the
-/// bytecode compiler declines).
+/// Chunk executor picked for a loop: the reference tree walker (config
+/// opt-out, or a loop the bytecode compiler declines), the register
+/// bytecode VM, or the threaded-code native tier.
+enum ResolvedChunk {
+    Walker,
+    Bytecode(Arc<CompiledKernel>),
+    Native(Arc<NativeKernel>),
+}
+
+/// Resolve which chunk executor to use. Under [`ExecEngine::Native`] a
+/// cached loop is promoted to the closure-array tier once its use counter
+/// crosses [`japonica_ir::NATIVE_PROMOTE_USES`]; an uncached launch has no
+/// counter to consult and compiles natively up front.
 fn resolve_kernel(
     program: &Program,
     cfg: &CpuConfig,
     loop_: &ForLoop,
     kernels: Option<&KernelCache>,
-) -> Option<Arc<CompiledKernel>> {
-    if cfg.engine != ExecEngine::Bytecode {
-        return None;
+) -> ResolvedChunk {
+    if cfg.engine == ExecEngine::TreeWalker {
+        return ResolvedChunk::Walker;
     }
     match kernels {
-        Some(cache) => cache.get_or_compile(program, loop_),
-        None => compile_kernel(program, loop_).ok().map(Arc::new),
+        Some(cache) => {
+            let k = cache.get_or_compile(program, loop_);
+            if cfg.engine == ExecEngine::Native {
+                if let Some(nk) = cache.native_tier::<NativeKernel, _>(loop_.id.0, compile_native) {
+                    return ResolvedChunk::Native(nk);
+                }
+            }
+            match k {
+                Some(k) => ResolvedChunk::Bytecode(k),
+                None => ResolvedChunk::Walker,
+            }
+        }
+        None => match compile_kernel(program, loop_) {
+            Ok(k) if cfg.engine == ExecEngine::Native => {
+                ResolvedChunk::Native(Arc::new(compile_native(&k)))
+            }
+            Ok(k) => ResolvedChunk::Bytecode(Arc::new(k)),
+            Err(_) => ResolvedChunk::Walker,
+        },
     }
 }
 
@@ -116,7 +144,7 @@ pub fn run_sequential_with(
     let compiled = resolve_kernel(program, cfg, loop_, kernels);
     let mut be = CountingBackend::new(HeapBackend::new(heap));
     match &compiled {
-        Some(k) => {
+        ResolvedChunk::Bytecode(k) => {
             ScalarVm::new().exec_range(
                 k,
                 loop_.var,
@@ -127,7 +155,18 @@ pub fn run_sequential_with(
                 &mut be,
             )?;
         }
-        None => {
+        ResolvedChunk::Native(nk) => {
+            NativeVm::new().exec_range(
+                nk,
+                loop_.var,
+                bounds,
+                range.start,
+                range.end,
+                env,
+                &mut be,
+            )?;
+        }
+        ResolvedChunk::Walker => {
             Interp::new(program).exec_range(loop_, bounds, range.start, range.end, env, &mut be)?;
         }
     }
@@ -287,7 +326,7 @@ pub fn run_parallel_guarded_with(
                         let mut be = BufferedBackend::new(heap_ref);
                         let mut env = env;
                         match compiled {
-                            Some(k) => ScalarVm::new().exec_range(
+                            ResolvedChunk::Bytecode(k) => ScalarVm::new().exec_range(
                                 k,
                                 loop_.var,
                                 bounds,
@@ -296,7 +335,16 @@ pub fn run_parallel_guarded_with(
                                 &mut env,
                                 &mut be,
                             ),
-                            None => interp.exec_range(
+                            ResolvedChunk::Native(nk) => NativeVm::new().exec_range(
+                                nk,
+                                loop_.var,
+                                bounds,
+                                chunk.start,
+                                chunk.end,
+                                &mut env,
+                                &mut be,
+                            ),
+                            ResolvedChunk::Walker => interp.exec_range(
                                 loop_,
                                 bounds,
                                 chunk.start,

@@ -2,6 +2,7 @@
 
 use crate::config::DeviceConfig;
 use crate::memory::{LaneMemory, ParallelLaneMemory};
+use crate::native::{compile_native_warp, NativeSimtVm, NativeWarpKernel};
 use crate::simt::{SimtError, SimtExec};
 use crate::stats::WarpStats;
 use crate::vm::SimtVm;
@@ -13,22 +14,53 @@ use std::ops::Range;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
-/// Resolve which executor a launch should use: `Some(kernel)` to run the
-/// bytecode VM, `None` to run the reference tree walker. The walker is
-/// used when the config asks for it, when the warp width exceeds the VM's
-/// 32-lane mask, or when the loop is not bytecode-compilable.
+/// The executor a launch resolved to. The walker is used when the config
+/// asks for it, when the warp width exceeds the VMs' 32-lane mask, or when
+/// the loop is not bytecode-compilable; the native tier additionally
+/// requires `ExecEngine::Native` plus a hot-enough cache entry (or no
+/// cache at all, in which case promotion is immediate — a cacheless launch
+/// has no counter to consult and the compile can't be amortized anyway).
+enum Resolved {
+    Walker,
+    Bytecode(Arc<CompiledKernel>),
+    Native(Arc<NativeWarpKernel>),
+}
+
 fn resolve_kernel(
     program: &Program,
     cfg: &DeviceConfig,
     loop_: &ForLoop,
     kernels: Option<&KernelCache>,
-) -> Option<Arc<CompiledKernel>> {
-    if cfg.sim.engine != ExecEngine::Bytecode || cfg.warp_size > 32 {
-        return None;
+) -> Resolved {
+    if cfg.sim.engine == ExecEngine::TreeWalker || cfg.warp_size > 32 {
+        return Resolved::Walker;
     }
-    match kernels {
-        Some(cache) => cache.get_or_compile(program, loop_),
-        None => compile_kernel(program, loop_).ok().map(Arc::new),
+    let native = cfg.sim.engine == ExecEngine::Native;
+    let compiled = match kernels {
+        Some(cache) => {
+            let k = cache.get_or_compile(program, loop_);
+            if native {
+                if let Some(nk) =
+                    cache.native_tier::<NativeWarpKernel, _>(loop_.id.0, compile_native_warp)
+                {
+                    return Resolved::Native(nk);
+                }
+            }
+            k
+        }
+        None => {
+            let k = compile_kernel(program, loop_).ok().map(Arc::new);
+            if native {
+                if let Some(k) = &k {
+                    return Resolved::Native(Arc::new(compile_native_warp(k)));
+                }
+            }
+            k
+        }
+    };
+    match compiled {
+        Some(k) => Resolved::Bytecode(k),
+        None => Resolved::Walker,
     }
 }
 
@@ -151,6 +183,7 @@ pub fn launch_loop_guarded_with<M: LaneMemory>(
     }
     let compiled = resolve_kernel(program, cfg, loop_, kernels);
     let mut vm = SimtVm::new();
+    let mut nvm = NativeSimtVm::new();
     let origin = FaultOrigin {
         loop_id: Some(loop_.id),
         subloop: Some(iters.start),
@@ -176,7 +209,7 @@ pub fn launch_loop_guarded_with<M: LaneMemory>(
         }
         let warp_iters: Vec<u64> = (k..hi).collect();
         let stats = match &compiled {
-            Some(kc) => vm.run_warp(
+            Resolved::Bytecode(kc) => vm.run_warp(
                 kc,
                 loop_.var,
                 bounds,
@@ -186,7 +219,19 @@ pub fn launch_loop_guarded_with<M: LaneMemory>(
                 mem,
                 cfg,
             )?,
-            None => exec.run_warp(loop_, bounds, &warp_iters, base_env, warp_id, mem)?,
+            Resolved::Native(nk) => nvm.run_warp(
+                nk,
+                loop_.var,
+                bounds,
+                &warp_iters,
+                base_env,
+                warp_id,
+                mem,
+                cfg,
+            )?,
+            Resolved::Walker => {
+                exec.run_warp(loop_, bounds, &warp_iters, base_env, warp_id, mem)?
+            }
         };
         // Resident warps overlap memory latency with compute.
         let occupied = stats.issue_cycles + stats.mem_cycles / cfg.mem_concurrency.max(1.0);
@@ -343,6 +388,7 @@ pub fn launch_loop_par_with<M: ParallelLaneMemory + Sync>(
                 s.spawn(|| {
                     let mut out: WarpOutcome<M> = Vec::new();
                     let mut vm = SimtVm::new();
+                    let mut nvm = NativeSimtVm::new();
                     loop {
                         let w = next.fetch_add(1, Ordering::Relaxed);
                         if w >= run_warps {
@@ -353,7 +399,7 @@ pub fn launch_loop_par_with<M: ParallelLaneMemory + Sync>(
                         let warp_iters: Vec<u64> = (lo..hi).collect();
                         let mut view = mem_ref.fork();
                         let r = match &compiled {
-                            Some(kc) => vm.run_warp(
+                            Resolved::Bytecode(kc) => vm.run_warp(
                                 kc,
                                 loop_.var,
                                 bounds,
@@ -363,7 +409,17 @@ pub fn launch_loop_par_with<M: ParallelLaneMemory + Sync>(
                                 &mut view,
                                 cfg,
                             ),
-                            None => {
+                            Resolved::Native(nk) => nvm.run_warp(
+                                nk,
+                                loop_.var,
+                                bounds,
+                                &warp_iters,
+                                base_env,
+                                w,
+                                &mut view,
+                                cfg,
+                            ),
+                            Resolved::Walker => {
                                 exec.run_warp(loop_, bounds, &warp_iters, base_env, w, &mut view)
                             }
                         }

@@ -23,6 +23,7 @@
 pub mod config;
 pub mod kernel;
 pub mod memory;
+pub mod native;
 pub mod simt;
 pub mod stats;
 pub mod vm;
@@ -33,6 +34,7 @@ pub use kernel::{
     launch_loop_par_with, KernelReport,
 };
 pub use memory::{AccessCtx, DeviceMemory, LaneMemory, ParallelLaneMemory, ShadowView, Transfer};
+pub use native::{compile_native_warp, NativeSimtVm, NativeWarpKernel};
 pub use simt::{SimtError, SimtExec};
 pub use stats::{GpuStats, WarpStats};
 pub use vm::SimtVm;

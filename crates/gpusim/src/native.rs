@@ -1,0 +1,1050 @@
+//! The SIMT **native tier**: threaded-code compilation of warp bytecode.
+//!
+//! [`compile_native_warp`] lowers a [`CompiledKernel`] into a flat array of
+//! warp-op closures with operand registers, constant-pool values, callee
+//! chunks and error payloads pre-resolved at compile time, eliminating the
+//! per-instruction decode `match` of [`crate::vm::SimtVm`]. Mask handling
+//! is baked into the block runner: every op receives the live mask
+//! (`mask & !returned`) already recomputed, exactly as the bytecode VM
+//! recomputes it per instruction.
+//!
+//! [`NativeSimtVm`] replays `SimtVm` (and therefore the tree walker in
+//! `simt.rs`) **bit for bit**: identical charge order (so `issue_cycles`
+//! f64 accumulation matches to the last bit), identical branch/divergence
+//! counting, identical coalescing segment sets, identical per-lane error
+//! selection. The closures run against `&mut dyn LaneMemory`, so one
+//! compiled artifact (cached via
+//! [`japonica_ir::KernelCache::native_tier`]) serves device memory,
+//! speculative views and privatized buffers alike.
+
+use std::sync::Arc;
+
+use crate::config::DeviceConfig;
+use crate::memory::{AccessCtx, LaneMemory};
+use crate::simt::SimtError;
+use crate::stats::WarpStats;
+use japonica_ir::bytecode::{CompiledKernel, Instr};
+use japonica_ir::{
+    ops, ArrayId, BinOp, Env, ExecError, LoopBounds, OpClass, ParamTy, Value, VarId,
+};
+
+/// Call-frame metadata kept on the Rust stack (mirrors the bytecode VM's
+/// frame; static call chains are bounded at compile time).
+struct WFrame {
+    /// Lanes that executed `return` in this frame.
+    returned: u32,
+    /// `false` at kernel top level, where `return` is illegal.
+    allow_return: bool,
+    /// Per-lane return values.
+    ret: [Value; 32],
+}
+
+impl WFrame {
+    fn new(allow_return: bool) -> WFrame {
+        WFrame {
+            returned: 0,
+            allow_return,
+            ret: [Value::Int(0); 32],
+        }
+    }
+}
+
+/// Dynamic execution context threaded through the closure sweep. The
+/// memory is a trait object so the compiled artifact is backend-agnostic.
+struct DynCtx<'a> {
+    mem: &'a mut dyn LaneMemory,
+    stats: &'a mut WarpStats,
+    cfg: &'a DeviceConfig,
+    iters: &'a [u64],
+    warp_id: u32,
+}
+
+impl DynCtx<'_> {
+    fn access_ctx(&self, lane: usize) -> AccessCtx {
+        AccessCtx {
+            lane: lane as u32,
+            warp: self.warp_id,
+            iter: self.iters[lane],
+        }
+    }
+
+    fn lane_err(&self, lane: usize, error: ExecError) -> SimtError {
+        SimtError::Lane {
+            iter: self.iters[lane],
+            error,
+        }
+    }
+}
+
+/// Per-block execution geometry handed to every op: lane count, the live
+/// mask (already `mask & !returned`), and the register/boundness frame
+/// bases of the executing chunk.
+#[derive(Clone, Copy)]
+struct LaneCtx {
+    lanes: usize,
+    live: u32,
+    base: usize,
+    bbase: usize,
+}
+
+/// One pre-compiled warp op.
+type WOp = Box<
+    dyn for<'a, 'b, 'c> Fn(
+            &mut NativeSimtVm,
+            LaneCtx,
+            &'a mut WFrame,
+            &'b mut DynCtx<'c>,
+        ) -> Result<(), SimtError>
+        + Send
+        + Sync,
+>;
+
+/// A lowered chunk: the closure array plus the frame metadata needed to
+/// push it as a call frame and raise call-related errors.
+struct WChunk {
+    ops: Vec<WOp>,
+    num_regs: usize,
+    num_vars: usize,
+    params: Vec<(usize, ParamTy)>,
+    fn_name: String,
+    check_returned: bool,
+}
+
+/// A kernel fully lowered to SIMT threaded code. Build once via
+/// [`compile_native_warp`], share via `Arc`, execute via [`NativeSimtVm`].
+pub struct NativeWarpKernel {
+    entry: Arc<WChunk>,
+}
+
+impl std::fmt::Debug for NativeWarpKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeWarpKernel")
+            .field("entry_ops", &self.entry.ops.len())
+            .field("num_regs", &self.entry.num_regs)
+            .field("num_vars", &self.entry.num_vars)
+            .finish()
+    }
+}
+
+#[inline]
+fn is_float(v: Value) -> bool {
+    matches!(v, Value::Float(_) | Value::Double(_))
+}
+
+#[inline]
+fn bit(l: usize) -> u32 {
+    1u32 << l
+}
+
+/// Run a closure block under `mask`, recomputing liveness per op exactly
+/// like the bytecode VM's `run` loop (equivalent to the walker's
+/// per-statement recheck because `returned` only changes at `Return`).
+#[allow(clippy::too_many_arguments)]
+fn run_ops(
+    vm: &mut NativeSimtVm,
+    ops: &[WOp],
+    lanes: usize,
+    mask: u32,
+    base: usize,
+    bbase: usize,
+    frame: &mut WFrame,
+    ctx: &mut DynCtx<'_>,
+) -> Result<(), SimtError> {
+    for op in ops {
+        let live = mask & !frame.returned;
+        if live == 0 {
+            break;
+        }
+        op(
+            vm,
+            LaneCtx {
+                lanes,
+                live,
+                base,
+                bbase,
+            },
+            frame,
+            ctx,
+        )?;
+    }
+    Ok(())
+}
+
+/// The warp-level threaded-code VM. Owns reusable arenas; create one per
+/// host thread and reuse it across warps.
+#[derive(Debug, Default)]
+pub struct NativeSimtVm {
+    /// SoA register arena: `frame_base + r * lanes + l`.
+    regs: Vec<Value>,
+    /// Per-frame, per-variable lane-boundness bitmasks.
+    bound: Vec<u32>,
+    /// Reusable distinct-segment scratch for coalescing charges.
+    seg_scratch: Vec<u64>,
+}
+
+impl NativeSimtVm {
+    /// A fresh VM (arenas grow on first use, then get reused).
+    pub fn new() -> NativeSimtVm {
+        NativeSimtVm::default()
+    }
+
+    /// Execute one warp of a lowered kernel: lane `l` runs loop iteration
+    /// `warp_iters[l]`. Mirrors `SimtVm::run_warp` exactly.
+    #[allow(clippy::too_many_arguments)] // mirrors the walker's launch signature
+    pub fn run_warp<M: LaneMemory>(
+        &mut self,
+        kernel: &NativeWarpKernel,
+        loop_var: VarId,
+        bounds: &LoopBounds,
+        warp_iters: &[u64],
+        base_env: &Env,
+        warp_id: u32,
+        mem: &mut M,
+        cfg: &DeviceConfig,
+    ) -> Result<WarpStats, SimtError> {
+        assert!(warp_iters.len() <= cfg.warp_size as usize, "warp overfull");
+        assert!(warp_iters.len() <= 32, "native VM lanes bounded at 32");
+        let lanes = warp_iters.len();
+        let full: u32 = if lanes == 32 {
+            u32::MAX
+        } else {
+            bit(lanes) - 1
+        };
+        let c0 = &kernel.entry;
+        self.regs.clear();
+        self.regs.resize(c0.num_regs * lanes, Value::Int(0));
+        self.bound.clear();
+        self.bound.resize(c0.num_vars, 0);
+        for v in 0..c0.num_vars {
+            let vid = VarId(v as u32);
+            if base_env.is_set(vid) {
+                if let Ok(val) = base_env.get(vid) {
+                    for l in 0..lanes {
+                        self.regs[v * lanes + l] = val;
+                    }
+                    self.bound[v] = full;
+                }
+            }
+        }
+        let vi = loop_var.index();
+        for (l, &k) in warp_iters.iter().enumerate() {
+            self.regs[vi * lanes + l] = Value::Int(bounds.value_of(k) as i32);
+        }
+        self.bound[vi] = full;
+        let mut stats = WarpStats::new();
+        let mut ctx = DynCtx {
+            mem,
+            stats: &mut stats,
+            cfg,
+            iters: warp_iters,
+            warp_id,
+        };
+        let mut frame = WFrame::new(false);
+        run_ops(self, &c0.ops, lanes, full, 0, 0, &mut frame, &mut ctx)?;
+        Ok(stats)
+    }
+
+    #[inline]
+    fn reg(&self, base: usize, lanes: usize, r: usize, l: usize) -> Value {
+        self.regs[base + r * lanes + l]
+    }
+
+    #[inline]
+    fn set_reg(&mut self, base: usize, lanes: usize, r: usize, l: usize, v: Value) {
+        self.regs[base + r * lanes + l] = v;
+    }
+
+    /// Convert the lanes of `sub` to a truth bitmask, raising the walker's
+    /// per-lane boolean `TypeMismatch` in lane order.
+    fn truth_mask(
+        &self,
+        base: usize,
+        lanes: usize,
+        r: usize,
+        sub: u32,
+        ctx: &DynCtx<'_>,
+    ) -> Result<u32, SimtError> {
+        let mut truth = 0u32;
+        for l in 0..lanes {
+            if sub & bit(l) == 0 {
+                continue;
+            }
+            match self.reg(base, lanes, r, l) {
+                Value::Bool(true) => truth |= bit(l),
+                Value::Bool(false) => {}
+                other => {
+                    return Err(ctx.lane_err(
+                        l,
+                        ExecError::TypeMismatch {
+                            expected: "boolean".into(),
+                            found: format!("{other}"),
+                        },
+                    ))
+                }
+            }
+        }
+        Ok(truth)
+    }
+
+    /// Charge one coalesced warp memory access (same distinct-segment
+    /// count the walker's `BTreeSet` produced).
+    fn charge_coalesced(&mut self, touched: &[(usize, ArrayId, i64)], ctx: &mut DynCtx<'_>) {
+        self.seg_scratch.clear();
+        let mut uncoalesced = 0u64;
+        for &(_, arr, idx) in touched {
+            match ctx.mem.address_of(arr, idx) {
+                Some(addr) => self
+                    .seg_scratch
+                    .push(addr / ctx.cfg.mem_segment_bytes as u64),
+                None => uncoalesced += 1,
+            }
+        }
+        self.seg_scratch.sort_unstable();
+        self.seg_scratch.dedup();
+        let segs = self.seg_scratch.len() as u64 + uncoalesced;
+        if segs > 0 {
+            ctx.stats.charge_mem(segs, ctx.cfg.mem_tx_cycles);
+        }
+        let oh = ctx.mem.overhead_cycles();
+        if oh > 0.0 {
+            ctx.stats.charge_extra(oh);
+        }
+    }
+
+    /// Gather per-lane `(lane, array, index)` triples for a warp memory
+    /// access, raising the walker's per-lane errors in lane order.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_touched(
+        &self,
+        lc: LaneCtx,
+        arr: usize,
+        var: VarId,
+        idx: usize,
+        ctx: &DynCtx<'_>,
+        out: &mut [(usize, ArrayId, i64); 32],
+    ) -> Result<usize, SimtError> {
+        let LaneCtx {
+            lanes,
+            live,
+            base,
+            bbase,
+        } = lc;
+        let mut n = 0usize;
+        for l in 0..lanes {
+            if live & bit(l) == 0 {
+                continue;
+            }
+            if self.bound[bbase + arr] & bit(l) == 0 {
+                return Err(ctx.lane_err(l, ExecError::UnboundVariable(var)));
+            }
+            let a = self.reg(base, lanes, arr, l).as_array().ok_or_else(|| {
+                ctx.lane_err(
+                    l,
+                    ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{var}"),
+                    },
+                )
+            })?;
+            let i = self.reg(base, lanes, idx, l).as_i64().ok_or_else(|| {
+                ctx.lane_err(
+                    l,
+                    ExecError::TypeMismatch {
+                        expected: "int index".into(),
+                        found: "non-integer".into(),
+                    },
+                )
+            })?;
+            out[n] = (l, a, i);
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// Lower a compiled kernel to SIMT threaded code.
+///
+/// Lowering is total: every bytecode instruction has a closure form.
+/// Device-side limitations (`new` arrays, `break`/`continue`, top-level
+/// `return`) stay *runtime* bail-outs raising the identical
+/// [`SimtError::Unsupported`] the bytecode VM raises, preserving the
+/// three-way error contract.
+pub fn compile_native_warp(k: &CompiledKernel) -> NativeWarpKernel {
+    let mut lw = Lowerer {
+        k,
+        done: vec![None; k.chunks.len()],
+    };
+    let entry = lw.chunk(0);
+    NativeWarpKernel { entry }
+}
+
+/// Recursive chunk lowerer with memoization: the chunk call graph is a DAG
+/// (the bytecode compiler rejects recursion), so each chunk is lowered once
+/// and `Call` ops share the `Arc`.
+struct Lowerer<'k> {
+    k: &'k CompiledKernel,
+    done: Vec<Option<Arc<WChunk>>>,
+}
+
+impl Lowerer<'_> {
+    fn chunk(&mut self, ci: usize) -> Arc<WChunk> {
+        if let Some(c) = &self.done[ci] {
+            return Arc::clone(c);
+        }
+        let src = &self.k.chunks[ci];
+        let ops = self.lower(ci, 0, src.code.len() as u32);
+        let src = &self.k.chunks[ci];
+        let c = Arc::new(WChunk {
+            ops,
+            num_regs: src.num_regs as usize,
+            num_vars: src.num_vars as usize,
+            params: src.params.iter().map(|(r, t)| (*r as usize, *t)).collect(),
+            fn_name: src.fn_name.clone(),
+            check_returned: src.check_returned,
+        });
+        self.done[ci] = Some(Arc::clone(&c));
+        c
+    }
+
+    /// Lower instructions `lo..hi` of chunk `ci`, walking the same
+    /// `next_pc` extents the bytecode VM walks at run time.
+    fn lower(&mut self, ci: usize, lo: u32, hi: u32) -> Vec<WOp> {
+        let k = self.k;
+        let mut ops = Vec::new();
+        let mut pc = lo;
+        while pc < hi {
+            let instr = &k.chunks[ci].code[pc as usize];
+            let next = instr.next_pc(pc);
+            ops.push(self.lower_instr(ci, instr));
+            pc = next;
+        }
+        ops
+    }
+
+    /// One instruction → one warp-op closure. Each arm resolves its
+    /// operands now and mirrors the corresponding `SimtVm::run` arm
+    /// exactly: same charge order, same per-lane error order, same
+    /// branch/divergence accounting.
+    fn lower_instr(&mut self, ci: usize, instr: &Instr) -> WOp {
+        match instr {
+            Instr::Const { dst, pool } => {
+                let dst = *dst as usize;
+                let v = self.k.pool[*pool as usize];
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) != 0 {
+                            vm.set_reg(lc.base, lc.lanes, dst, l, v);
+                        }
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Copy { dst, src } => {
+                let (dst, src) = (*dst as usize, *src as usize);
+                let vid = VarId(src as u32);
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        if vm.bound[lc.bbase + src] & bit(l) == 0 {
+                            return Err(ctx.lane_err(l, ExecError::UnboundVariable(vid)));
+                        }
+                        let v = vm.reg(lc.base, lc.lanes, src, l);
+                        vm.set_reg(lc.base, lc.lanes, dst, l, v);
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Unary {
+                op,
+                dst,
+                src,
+                cls_i,
+                cls_f,
+            } => {
+                let (op, dst, src) = (*op, *dst as usize, *src as usize);
+                let (cls_i, cls_f) = (*cls_i, *cls_f);
+                Box::new(move |vm, lc, _f, ctx| {
+                    let fl = lc.live.trailing_zeros() as usize;
+                    let float = is_float(vm.reg(lc.base, lc.lanes, src, fl));
+                    ctx.stats
+                        .charge(if float { cls_f } else { cls_i }, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let v = vm.reg(lc.base, lc.lanes, src, l);
+                        let r = ops::unary(op, v).map_err(|er| ctx.lane_err(l, er))?;
+                        vm.set_reg(lc.base, lc.lanes, dst, l, r);
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Binary {
+                op,
+                dst,
+                a,
+                b,
+                cls_i,
+                cls_f,
+            } => {
+                let (op, dst, a, b) = (*op, *dst as usize, *a as usize, *b as usize);
+                let (cls_i, cls_f) = (*cls_i, *cls_f);
+                Box::new(move |vm, lc, _f, ctx| {
+                    let fl = lc.live.trailing_zeros() as usize;
+                    let float = is_float(vm.reg(lc.base, lc.lanes, a, fl))
+                        || is_float(vm.reg(lc.base, lc.lanes, b, fl));
+                    ctx.stats
+                        .charge(if float { cls_f } else { cls_i }, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let va = vm.reg(lc.base, lc.lanes, a, l);
+                        let vb = vm.reg(lc.base, lc.lanes, b, l);
+                        let r = ops::binary(op, va, vb).map_err(|er| ctx.lane_err(l, er))?;
+                        vm.set_reg(lc.base, lc.lanes, dst, l, r);
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Cast { ty, dst, src } => {
+                let (ty, dst, src) = (*ty, *dst as usize, *src as usize);
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Cast, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let v = vm.reg(lc.base, lc.lanes, src, l);
+                        let r = v.cast(ty).ok_or_else(|| {
+                            ctx.lane_err(
+                                l,
+                                ExecError::InvalidCast {
+                                    from: format!("{v}"),
+                                    to: ty,
+                                },
+                            )
+                        })?;
+                        vm.set_reg(lc.base, lc.lanes, dst, l, r);
+                    }
+                    Ok(())
+                })
+            }
+            // Scalar-walker-only pre-checks: the SIMT engines validate
+            // arrays and indices per lane at the access itself.
+            Instr::GuardArray { .. } | Instr::CheckIdx { .. } => Box::new(|_, _, _, _| Ok(())),
+            Instr::Load { dst, arr, var, idx } => {
+                let (dst, arr, var, idx) = (*dst as usize, *arr as usize, *var, *idx as usize);
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Load, &ctx.cfg.cost);
+                    let mut touched = [(0usize, ArrayId(0), 0i64); 32];
+                    let n = vm.gather_touched(lc, arr, var, idx, ctx, &mut touched)?;
+                    vm.charge_coalesced(&touched[..n], ctx);
+                    for &(l, a, i) in &touched[..n] {
+                        let actx = ctx.access_ctx(l);
+                        let v = ctx.mem.load(actx, a, i).map_err(|er| ctx.lane_err(l, er))?;
+                        vm.set_reg(lc.base, lc.lanes, dst, l, v);
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Len { dst, arr, var } => {
+                let (dst, arr, var) = (*dst as usize, *arr as usize, *var);
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        if vm.bound[lc.bbase + arr] & bit(l) == 0 {
+                            return Err(ctx.lane_err(l, ExecError::UnboundVariable(var)));
+                        }
+                        let a = vm
+                            .reg(lc.base, lc.lanes, arr, l)
+                            .as_array()
+                            .ok_or_else(|| {
+                                ctx.lane_err(
+                                    l,
+                                    ExecError::TypeMismatch {
+                                        expected: "array".into(),
+                                        found: format!("{var}"),
+                                    },
+                                )
+                            })?;
+                        let len = ctx.mem.array_len(a).map_err(|er| ctx.lane_err(l, er))?;
+                        vm.set_reg(lc.base, lc.lanes, dst, l, Value::Int(len as i32));
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Intrinsic { f, cls, dst, args } => {
+                let (f, cls, dst) = (*f, *cls, *dst as usize);
+                let args: Vec<usize> = args.iter().map(|r| *r as usize).collect();
+                Box::new(move |vm, lc, _fr, ctx| {
+                    ctx.stats.charge(cls, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let mut buf = [Value::Int(0); 4];
+                        for (i, r) in args.iter().enumerate() {
+                            buf[i] = vm.reg(lc.base, lc.lanes, *r, l);
+                        }
+                        let v = ops::intrinsic(f, &buf[..args.len()])
+                            .map_err(|er| ctx.lane_err(l, er))?;
+                        vm.set_reg(lc.base, lc.lanes, dst, l, v);
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Call { chunk, dst, args } => {
+                let callee = self.chunk(*chunk as usize);
+                let dst = dst.map(|d| d as usize);
+                let args: Vec<usize> = args.iter().map(|r| *r as usize).collect();
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Call, &ctx.cfg.cost);
+                    let c = &callee;
+                    let nbase = vm.regs.len();
+                    let nbbase = vm.bound.len();
+                    vm.regs.resize(nbase + c.num_regs * lc.lanes, Value::Int(0));
+                    vm.bound.resize(nbbase + c.num_vars, 0);
+                    // Lane-major binding, like the walker's per-lane envs.
+                    let mut bind_err = None;
+                    'bind: for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        for (i, (preg, pty)) in c.params.iter().enumerate() {
+                            let raw = vm.reg(lc.base, lc.lanes, args[i], l);
+                            let v = match pty {
+                                ParamTy::Scalar(t) => match raw.cast(*t) {
+                                    Some(v) => v,
+                                    None => {
+                                        bind_err = Some(ctx.lane_err(
+                                            l,
+                                            ExecError::TypeMismatch {
+                                                expected: t.to_string(),
+                                                found: format!("{raw}"),
+                                            },
+                                        ));
+                                        break 'bind;
+                                    }
+                                },
+                                ParamTy::Array(_) => raw,
+                            };
+                            vm.set_reg(nbase, lc.lanes, *preg, l, v);
+                        }
+                    }
+                    let res = match bind_err {
+                        Some(e) => Err(e),
+                        None => {
+                            for (preg, _) in &c.params {
+                                vm.bound[nbbase + *preg] = lc.live;
+                            }
+                            let mut callee_frame = WFrame::new(true);
+                            run_ops(
+                                vm,
+                                &c.ops,
+                                lc.lanes,
+                                lc.live,
+                                nbase,
+                                nbbase,
+                                &mut callee_frame,
+                                ctx,
+                            )
+                            .map(|()| callee_frame)
+                        }
+                    };
+                    vm.regs.truncate(nbase);
+                    vm.bound.truncate(nbbase);
+                    let callee_frame = res?;
+                    if c.check_returned {
+                        for l in 0..lc.lanes {
+                            if lc.live & bit(l) != 0 && callee_frame.returned & bit(l) == 0 {
+                                return Err(SimtError::Unsupported(format!(
+                                    "`{}` completed without returning on some lane",
+                                    c.fn_name
+                                )));
+                            }
+                        }
+                    }
+                    if let Some(dst) = dst {
+                        for l in 0..lc.lanes {
+                            if lc.live & bit(l) != 0 {
+                                vm.set_reg(lc.base, lc.lanes, dst, l, callee_frame.ret[l]);
+                            }
+                        }
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Sc {
+                op,
+                dst,
+                lhs,
+                rhs_range,
+                rhs,
+            } => {
+                let (op, dst, lhs, rhs) = (*op, *dst as usize, *lhs as usize, *rhs as usize);
+                let rhs_ops = self.lower(ci, rhs_range.0, rhs_range.1);
+                Box::new(move |vm, lc, frame, ctx| {
+                    let truth = vm.truth_mask(lc.base, lc.lanes, lhs, lc.live, ctx)?;
+                    ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                    ctx.stats.branches += 1;
+                    let need_rhs = match op {
+                        BinOp::LAnd => lc.live & truth,
+                        _ => lc.live & !truth,
+                    };
+                    let short = lc.live & !need_rhs;
+                    if need_rhs != 0 && short != 0 {
+                        ctx.stats.divergent_branches += 1;
+                    }
+                    let mut rtruth = 0u32;
+                    if need_rhs != 0 {
+                        run_ops(
+                            vm, &rhs_ops, lc.lanes, need_rhs, lc.base, lc.bbase, frame, ctx,
+                        )?;
+                        rtruth = vm.truth_mask(lc.base, lc.lanes, rhs, need_rhs, ctx)?;
+                    }
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let b = if need_rhs & bit(l) != 0 {
+                            rtruth & bit(l) != 0
+                        } else {
+                            truth & bit(l) != 0
+                        };
+                        vm.set_reg(lc.base, lc.lanes, dst, l, Value::Bool(b));
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Ternary {
+                dst,
+                cond,
+                t_range,
+                t_dst,
+                f_range,
+                f_dst,
+            } => {
+                let (dst, cond) = (*dst as usize, *cond as usize);
+                let (t_dst, f_dst) = (*t_dst as usize, *f_dst as usize);
+                let t_ops = self.lower(ci, t_range.0, t_range.1);
+                let f_ops = self.lower(ci, f_range.0, f_range.1);
+                Box::new(move |vm, lc, frame, ctx| {
+                    let truth = vm.truth_mask(lc.base, lc.lanes, cond, lc.live, ctx)?;
+                    ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                    ctx.stats.branches += 1;
+                    let t_mask = lc.live & truth;
+                    let f_mask = lc.live & !truth;
+                    if t_mask != 0 && f_mask != 0 {
+                        ctx.stats.divergent_branches += 1;
+                    }
+                    if t_mask != 0 {
+                        run_ops(vm, &t_ops, lc.lanes, t_mask, lc.base, lc.bbase, frame, ctx)?;
+                    }
+                    if f_mask != 0 {
+                        run_ops(vm, &f_ops, lc.lanes, f_mask, lc.base, lc.bbase, frame, ctx)?;
+                    }
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let src = if t_mask & bit(l) != 0 { t_dst } else { f_dst };
+                        let v = vm.reg(lc.base, lc.lanes, src, l);
+                        vm.set_reg(lc.base, lc.lanes, dst, l, v);
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Decl { var, ty, init } => {
+                let (var, ty) = (*var as usize, *ty);
+                let init = init.map(|r| r as usize);
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let v = match init {
+                            Some(r) => {
+                                let raw = vm.reg(lc.base, lc.lanes, r, l);
+                                raw.cast(ty).ok_or_else(|| {
+                                    ctx.lane_err(
+                                        l,
+                                        ExecError::TypeMismatch {
+                                            expected: ty.to_string(),
+                                            found: format!("{raw}"),
+                                        },
+                                    )
+                                })?
+                            }
+                            None => ty.zero(),
+                        };
+                        vm.set_reg(lc.base, lc.lanes, var, l, v);
+                    }
+                    vm.bound[lc.bbase + var] |= lc.live;
+                    Ok(())
+                })
+            }
+            Instr::Assign { var, src } => {
+                let (var, src) = (*var as usize, *src as usize);
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Move, &ctx.cfg.cost);
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let mut v = vm.reg(lc.base, lc.lanes, src, l);
+                        if vm.bound[lc.bbase + var] & bit(l) != 0 {
+                            if let Some(ty) = vm.reg(lc.base, lc.lanes, var, l).ty() {
+                                v = v.cast(ty).ok_or_else(|| {
+                                    ctx.lane_err(
+                                        l,
+                                        ExecError::TypeMismatch {
+                                            expected: ty.to_string(),
+                                            found: format!("{v}"),
+                                        },
+                                    )
+                                })?;
+                            }
+                        }
+                        vm.set_reg(lc.base, lc.lanes, var, l, v);
+                    }
+                    vm.bound[lc.bbase + var] |= lc.live;
+                    Ok(())
+                })
+            }
+            Instr::Store { arr, var, idx, val } => {
+                let (arr, var, idx, val) = (*arr as usize, *var, *idx as usize, *val as usize);
+                Box::new(move |vm, lc, _f, ctx| {
+                    ctx.stats.charge(OpClass::Store, &ctx.cfg.cost);
+                    let mut touched = [(0usize, ArrayId(0), 0i64); 32];
+                    let n = vm.gather_touched(lc, arr, var, idx, ctx, &mut touched)?;
+                    vm.charge_coalesced(&touched[..n], ctx);
+                    for &(l, a, i) in &touched[..n] {
+                        let v = vm.reg(lc.base, lc.lanes, val, l);
+                        let actx = ctx.access_ctx(l);
+                        ctx.mem
+                            .store(actx, a, i, v)
+                            .map_err(|er| ctx.lane_err(l, er))?;
+                    }
+                    Ok(())
+                })
+            }
+            Instr::NewArray { .. } => Box::new(|_, _, _, _| {
+                Err(SimtError::Unsupported(
+                    "device-side array allocation".into(),
+                ))
+            }),
+            Instr::If {
+                cond,
+                then_range,
+                else_range,
+            } => {
+                let cond = *cond as usize;
+                let then_ops = self.lower(ci, then_range.0, then_range.1);
+                let else_ops = self.lower(ci, else_range.0, else_range.1);
+                Box::new(move |vm, lc, frame, ctx| {
+                    let truth = vm.truth_mask(lc.base, lc.lanes, cond, lc.live, ctx)?;
+                    ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                    ctx.stats.branches += 1;
+                    let t_mask = lc.live & truth;
+                    let e_mask = lc.live & !truth;
+                    if t_mask != 0 && e_mask != 0 {
+                        ctx.stats.divergent_branches += 1;
+                    }
+                    if t_mask != 0 {
+                        run_ops(
+                            vm, &then_ops, lc.lanes, t_mask, lc.base, lc.bbase, frame, ctx,
+                        )?;
+                    }
+                    if e_mask != 0 {
+                        run_ops(
+                            vm, &else_ops, lc.lanes, e_mask, lc.base, lc.bbase, frame, ctx,
+                        )?;
+                    }
+                    Ok(())
+                })
+            }
+            Instr::While {
+                cond_range,
+                cond,
+                body_range,
+            } => {
+                let cond = *cond as usize;
+                let cond_ops = self.lower(ci, cond_range.0, cond_range.1);
+                let body_ops = self.lower(ci, body_range.0, body_range.1);
+                Box::new(move |vm, lc, frame, ctx| {
+                    let mut live_w = lc.live;
+                    let entered = live_w.count_ones();
+                    loop {
+                        let live_now = live_w & !frame.returned;
+                        if live_now == 0 {
+                            break;
+                        }
+                        run_ops(
+                            vm, &cond_ops, lc.lanes, live_now, lc.base, lc.bbase, frame, ctx,
+                        )?;
+                        let truth = vm.truth_mask(lc.base, lc.lanes, cond, live_now, ctx)?;
+                        ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                        ctx.stats.branches += 1;
+                        live_w = live_now & truth;
+                        if live_w == 0 {
+                            break;
+                        }
+                        if live_w.count_ones() < entered {
+                            ctx.stats.divergent_branches += 1;
+                        }
+                        run_ops(
+                            vm, &body_ops, lc.lanes, live_w, lc.base, lc.bbase, frame, ctx,
+                        )?;
+                    }
+                    Ok(())
+                })
+            }
+            Instr::For {
+                var,
+                start_range,
+                start,
+                end_range,
+                end,
+                step_range,
+                step,
+                body_range,
+            } => {
+                let (var, start, end, step) = (
+                    *var as usize,
+                    *start as usize,
+                    *end as usize,
+                    *step as usize,
+                );
+                let start_ops = self.lower(ci, start_range.0, start_range.1);
+                let end_ops = self.lower(ci, end_range.0, end_range.1);
+                let step_ops = self.lower(ci, step_range.0, step_range.1);
+                let body_ops = self.lower(ci, body_range.0, body_range.1);
+                Box::new(move |vm, lc, frame, ctx| {
+                    let mut starts = [0i64; 32];
+                    let mut steps = [0i64; 32];
+                    let mut trips = [0u64; 32];
+                    // Evaluate bounds like the walker's eval_i64: full
+                    // vector eval, then per-lane integrality in lane order.
+                    let bound_of = |vm: &mut NativeSimtVm,
+                                    ops: &[WOp],
+                                    r: usize,
+                                    out: &mut [i64; 32],
+                                    frame: &mut WFrame,
+                                    ctx: &mut DynCtx<'_>|
+                     -> Result<(), SimtError> {
+                        run_ops(vm, ops, lc.lanes, lc.live, lc.base, lc.bbase, frame, ctx)?;
+                        #[allow(clippy::needless_range_loop)] // lane indexing reads clearer
+                        for l in 0..lc.lanes {
+                            if lc.live & bit(l) == 0 {
+                                continue;
+                            }
+                            let v = vm.reg(lc.base, lc.lanes, r, l);
+                            out[l] = v.as_i64().ok_or_else(|| {
+                                ctx.lane_err(
+                                    l,
+                                    ExecError::TypeMismatch {
+                                        expected: "int".into(),
+                                        found: format!("{v}"),
+                                    },
+                                )
+                            })?;
+                        }
+                        Ok(())
+                    };
+                    bound_of(vm, &start_ops, start, &mut starts, frame, ctx)?;
+                    let mut ends = [0i64; 32];
+                    bound_of(vm, &end_ops, end, &mut ends, frame, ctx)?;
+                    bound_of(vm, &step_ops, step, &mut steps, frame, ctx)?;
+                    for l in 0..lc.lanes {
+                        if lc.live & bit(l) == 0 {
+                            continue;
+                        }
+                        let (s, e, st) = (starts[l], ends[l], steps[l]);
+                        if st <= 0 {
+                            return Err(ctx.lane_err(l, ExecError::NonPositiveStep(st)));
+                        }
+                        trips[l] = if e <= s {
+                            0
+                        } else {
+                            ((e - s) + st - 1) as u64 / st as u64
+                        };
+                    }
+                    let entered = lc.live.count_ones();
+                    let max_trip = (0..lc.lanes)
+                        .filter(|&l| lc.live & bit(l) != 0)
+                        .map(|l| trips[l])
+                        .max()
+                        .unwrap_or(0);
+                    for kk in 0..max_trip {
+                        let mut round = 0u32;
+                        #[allow(clippy::needless_range_loop)] // lane indexing reads clearer
+                        for l in 0..lc.lanes {
+                            if lc.live & bit(l) != 0
+                                && kk < trips[l]
+                                && frame.returned & bit(l) == 0
+                            {
+                                round |= bit(l);
+                            }
+                        }
+                        if round == 0 {
+                            break;
+                        }
+                        ctx.stats.charge(OpClass::IntAlu, &ctx.cfg.cost);
+                        ctx.stats.charge(OpClass::Branch, &ctx.cfg.cost);
+                        ctx.stats.branches += 1;
+                        if round.count_ones() < entered {
+                            ctx.stats.divergent_branches += 1;
+                        }
+                        for l in 0..lc.lanes {
+                            if round & bit(l) != 0 {
+                                let v = Value::Int((starts[l] + kk as i64 * steps[l]) as i32);
+                                vm.set_reg(lc.base, lc.lanes, var, l, v);
+                            }
+                        }
+                        vm.bound[lc.bbase + var] |= round;
+                        run_ops(
+                            vm, &body_ops, lc.lanes, round, lc.base, lc.bbase, frame, ctx,
+                        )?;
+                    }
+                    Ok(())
+                })
+            }
+            Instr::Return { val_range, val } => {
+                let val = val.map(|r| r as usize);
+                let val_ops = self.lower(ci, val_range.0, val_range.1);
+                Box::new(move |vm, lc, frame, ctx| {
+                    if !frame.allow_return {
+                        return Err(SimtError::Unsupported("return in kernel body".into()));
+                    }
+                    if let Some(r) = val {
+                        run_ops(
+                            vm, &val_ops, lc.lanes, lc.live, lc.base, lc.bbase, frame, ctx,
+                        )?;
+                        for l in 0..lc.lanes {
+                            if lc.live & bit(l) != 0 {
+                                frame.ret[l] = vm.reg(lc.base, lc.lanes, r, l);
+                            }
+                        }
+                    }
+                    frame.returned |= lc.live;
+                    Ok(())
+                })
+            }
+            Instr::Break => {
+                Box::new(|_, _, _, _| Err(SimtError::Unsupported("break in kernel body".into())))
+            }
+            Instr::Continue => {
+                Box::new(|_, _, _, _| Err(SimtError::Unsupported("continue in kernel body".into())))
+            }
+        }
+    }
+}

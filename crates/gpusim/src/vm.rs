@@ -943,8 +943,8 @@ mod tests {
     }
 
     /// Run one warp of `fname`'s first annotated loop through the tree
-    /// walker and the bytecode VM, asserting bit-identical stats, device
-    /// memory, and error text.
+    /// walker, the bytecode VM, and the native tier, asserting
+    /// bit-identical stats, device memory, and error text.
     fn assert_warp_identical(src: &str, fname: &str, arrays: &[&[f64]], int_arrays: &[&[i32]]) {
         let p = compile_source(src).unwrap();
         let (_, f) = p.function_by_name(fname).unwrap();
@@ -985,6 +985,7 @@ mod tests {
     ) {
         let cfg = DeviceConfig::default();
         let kernel = compile_kernel(p, l).expect("kernel should compile");
+        let native = crate::native::compile_native_warp(&kernel);
         let trip = bounds.trip();
         for lanes in [1usize, 5, 32] {
             let lanes = lanes.min(trip as usize);
@@ -993,46 +994,55 @@ mod tests {
             }
             let mut dev_w = DeviceMemory::new();
             let mut dev_v = DeviceMemory::new();
+            let mut dev_n = DeviceMemory::new();
             for &(id, len) in ids {
                 dev_w.copy_in(heap, id, 0, len, &cfg).unwrap();
                 dev_v.copy_in(heap, id, 0, len, &cfg).unwrap();
+                dev_n.copy_in(heap, id, 0, len, &cfg).unwrap();
             }
             let iters: Vec<u64> = (0..lanes as u64).collect();
             let walker = SimtExec::new(p, &cfg).run_warp(l, bounds, &iters, env, 7, &mut dev_w);
             let vm =
                 SimtVm::new().run_warp(&kernel, l.var, bounds, &iters, env, 7, &mut dev_v, &cfg);
-            match (&walker, &vm) {
-                (Ok(sw), Ok(sv)) => {
-                    assert_eq!(
-                        sw.issue_cycles.to_bits(),
-                        sv.issue_cycles.to_bits(),
-                        "issue_cycles bits differ at {lanes} lanes: {} vs {}",
-                        sw.issue_cycles,
-                        sv.issue_cycles
-                    );
-                    assert_eq!(sw.mem_segments, sv.mem_segments, "mem_segments @{lanes}");
-                    assert_eq!(sw.branches, sv.branches, "branches @{lanes}");
-                    assert_eq!(
-                        sw.divergent_branches, sv.divergent_branches,
-                        "divergent_branches @{lanes}"
-                    );
+            let nat = crate::native::NativeSimtVm::new()
+                .run_warp(&native, l.var, bounds, &iters, env, 7, &mut dev_n, &cfg);
+            for (name, other, dev) in [("bytecode", &vm, &dev_v), ("native", &nat, &dev_n)] {
+                match (&walker, other) {
+                    (Ok(sw), Ok(sv)) => {
+                        assert_eq!(
+                            sw.issue_cycles.to_bits(),
+                            sv.issue_cycles.to_bits(),
+                            "{name} issue_cycles bits differ at {lanes} lanes: {} vs {}",
+                            sw.issue_cycles,
+                            sv.issue_cycles
+                        );
+                        assert_eq!(
+                            sw.mem_segments, sv.mem_segments,
+                            "{name} mem_segments @{lanes}"
+                        );
+                        assert_eq!(sw.branches, sv.branches, "{name} branches @{lanes}");
+                        assert_eq!(
+                            sw.divergent_branches, sv.divergent_branches,
+                            "{name} divergent_branches @{lanes}"
+                        );
+                    }
+                    (Err(ew), Err(ev)) => {
+                        assert_eq!(
+                            format!("{ew:?}"),
+                            format!("{ev:?}"),
+                            "{name} error mismatch @{lanes}"
+                        );
+                    }
+                    _ => panic!("{name} outcome mismatch @{lanes}: {walker:?} vs {other:?}"),
                 }
-                (Err(ew), Err(ev)) => {
-                    assert_eq!(
-                        format!("{ew:?}"),
-                        format!("{ev:?}"),
-                        "error mismatch @{lanes}"
-                    );
-                }
-                _ => panic!("engine outcome mismatch @{lanes}: {walker:?} vs {vm:?}"),
-            }
-            for &(id, len) in ids {
-                for i in 0..len {
-                    assert_eq!(
-                        bits(dev_w.array(id).unwrap().get(i)),
-                        bits(dev_v.array(id).unwrap().get(i)),
-                        "array {id:?} element {i} differs @{lanes} lanes"
-                    );
+                for &(id, len) in ids {
+                    for i in 0..len {
+                        assert_eq!(
+                            bits(dev_w.array(id).unwrap().get(i)),
+                            bits(dev.array(id).unwrap().get(i)),
+                            "{name} array {id:?} element {i} differs @{lanes} lanes"
+                        );
+                    }
                 }
             }
         }

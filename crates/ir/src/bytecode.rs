@@ -31,6 +31,7 @@ use crate::program::{ParamTy, Program};
 use crate::stmt::{ForLoop, Stmt};
 use crate::types::{Ty, Value};
 use crate::VarId;
+use std::any::{Any, TypeId};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -43,6 +44,12 @@ pub enum ExecEngine {
     Bytecode,
     /// The original tree walkers (reference oracle).
     TreeWalker,
+    /// Threaded-code native tier: hot kernels are further lowered from
+    /// bytecode into a flat array of pre-resolved op closures (see
+    /// [`crate::native`]), with the bytecode VM executing until the
+    /// [`KernelCache`] use counter promotes the loop and as the
+    /// always-correct fallback for loops the bytecode compiler declines.
+    Native,
 }
 
 /// A register index. Registers `0..num_vars` are variable slots,
@@ -887,6 +894,34 @@ pub fn compile_kernel(program: &Program, loop_: &ForLoop) -> Result<CompiledKern
 /// rarely contend, cheap enough that an empty cache stays tiny.
 const KERNEL_CACHE_SHARDS: usize = 8;
 
+/// Demand threshold for the native tier: a loop is promoted from bytecode
+/// to threaded code on the lookup that brings its per-entry use count to
+/// this value. The first launch of every loop therefore runs bytecode (the
+/// always-correct lower tier); only loops the scheduler actually re-enters
+/// — sub-loop windows, chunk streams, TLS re-executions, retry ladders —
+/// pay a native compilation.
+pub const NATIVE_PROMOTE_USES: u64 = 2;
+
+/// One loop's cache slot: the memoized bytecode compile (or `None` for a
+/// bail-out the walker must handle), the demand counter, and any native-
+/// tier artifacts built from the bytecode, keyed by the artifact's type so
+/// the scalar and SIMT lowerings coexist on one entry.
+struct CacheEntry {
+    kernel: Option<Arc<CompiledKernel>>,
+    uses: u64,
+    native: BTreeMap<TypeId, Arc<dyn Any + Send + Sync>>,
+}
+
+impl std::fmt::Debug for CacheEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheEntry")
+            .field("compiled", &self.kernel.is_some())
+            .field("uses", &self.uses)
+            .field("native_tiers", &self.native.len())
+            .finish()
+    }
+}
+
 /// A per-scheduler-run cache of compiled kernels keyed by loop id.
 ///
 /// Loop ids are only unique within one program, so the cache must live per
@@ -896,9 +931,14 @@ const KERNEL_CACHE_SHARDS: usize = 8;
 /// The map is sharded by loop id so concurrent jobs hitting different loops
 /// do not serialize on one lock; hit/miss counters are atomics and stay
 /// exact under any interleaving (every lookup increments exactly one).
+///
+/// Each entry also carries a *use counter* (incremented by every
+/// [`KernelCache::get_or_compile`]) and a slot per native-tier artifact
+/// type; [`KernelCache::native_tier`] consults the counter to decide when
+/// a loop is hot enough to pay the threaded-code lowering.
 #[derive(Debug)]
 pub struct KernelCache {
-    shards: [Mutex<BTreeMap<u32, Option<Arc<CompiledKernel>>>>; KERNEL_CACHE_SHARDS],
+    shards: [Mutex<BTreeMap<u32, CacheEntry>>; KERNEL_CACHE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -920,7 +960,7 @@ impl KernelCache {
     }
 
     /// The shard holding `loop_id`'s entry.
-    fn shard(&self, loop_id: u32) -> &Mutex<BTreeMap<u32, Option<Arc<CompiledKernel>>>> {
+    fn shard(&self, loop_id: u32) -> &Mutex<BTreeMap<u32, CacheEntry>> {
         &self.shards[loop_id as usize % KERNEL_CACHE_SHARDS]
     }
 
@@ -929,7 +969,9 @@ impl KernelCache {
     ///
     /// The shard lock is held across the compile so a loop is compiled at
     /// most once per cache (two racing tenants would otherwise both pay the
-    /// compile); lookups of *other* shards proceed concurrently.
+    /// compile); lookups of *other* shards proceed concurrently. Every
+    /// lookup bumps the entry's use counter, which is what drives native-
+    /// tier promotion (see [`KernelCache::native_tier`]).
     pub fn get_or_compile(
         &self,
         program: &Program,
@@ -939,14 +981,62 @@ impl KernelCache {
             .shard(loop_.id.0)
             .lock()
             .unwrap_or_else(|e| e.into_inner());
-        if let Some(entry) = map.get(&loop_.id.0) {
+        if let Some(entry) = map.get_mut(&loop_.id.0) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return entry.clone();
+            entry.uses += 1;
+            return entry.kernel.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = compile_kernel(program, loop_).ok().map(Arc::new);
-        map.insert(loop_.id.0, compiled.clone());
+        map.insert(
+            loop_.id.0,
+            CacheEntry {
+                kernel: compiled.clone(),
+                uses: 1,
+                native: BTreeMap::new(),
+            },
+        );
         compiled
+    }
+
+    /// How many times `loop_id` has been looked up (0 if never seen).
+    pub fn uses(&self, loop_id: u32) -> u64 {
+        let map = self
+            .shard(loop_id)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        map.get(&loop_id).map_or(0, |e| e.uses)
+    }
+
+    /// The native-tier artifact of type `T` for `loop_id`, building and
+    /// memoizing it on the lookup that finds the loop hot enough.
+    ///
+    /// Returns `None` until the loop's use count reaches
+    /// [`NATIVE_PROMOTE_USES`] (the caller then runs the bytecode tier), or
+    /// forever if the loop never bytecode-compiled (walker fallback). The
+    /// artifact type is the key, so the scalar ([`crate::native`]) and SIMT
+    /// lowerings each get their own memoized slot on the same entry. The
+    /// shard lock is held across `build`, so each artifact is built at most
+    /// once per cache.
+    pub fn native_tier<T, F>(&self, loop_id: u32, build: F) -> Option<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+        F: FnOnce(&CompiledKernel) -> T,
+    {
+        let mut map = self
+            .shard(loop_id)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let entry = map.get_mut(&loop_id)?;
+        if entry.uses < NATIVE_PROMOTE_USES {
+            return None;
+        }
+        let kernel = entry.kernel.clone()?;
+        let slot = entry
+            .native
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Arc::new(build(&kernel)) as Arc<dyn Any + Send + Sync>);
+        slot.clone().downcast::<T>().ok()
     }
 
     /// Cache hits so far.
@@ -961,7 +1051,7 @@ impl KernelCache {
 }
 
 #[inline]
-fn is_float_v(v: Value) -> bool {
+pub(crate) fn is_float_v(v: Value) -> bool {
     matches!(v, Value::Float(_) | Value::Double(_))
 }
 

@@ -24,6 +24,7 @@ pub mod error;
 pub mod expr;
 pub mod heap;
 pub mod interp;
+pub mod native;
 pub mod ops;
 pub mod pretty;
 pub mod program;
@@ -33,12 +34,14 @@ pub mod types;
 
 pub use bytecode::{
     compile_kernel, Chunk, CompileError, CompiledKernel, ExecEngine, Instr, KernelCache, ScalarVm,
+    NATIVE_PROMOTE_USES,
 };
 pub use cost::{estimate_body_cost, estimate_loop_cost, CostTable, OpClass, OpCounts};
 pub use error::ExecError;
 pub use expr::{BinOp, Expr, Intrinsic, UnOp};
 pub use heap::{ArrayData, ArrayId, Heap};
 pub use interp::{Backend, CountingBackend, Env, Flow, HeapBackend, Interp, LoopBounds};
+pub use native::{compile_native, NativeKernel, NativeVm};
 pub use program::{FnId, Function, Param, ParamTy, Program};
 pub use span::Span;
 pub use stmt::{annotated_loops, ArrayRange, ForLoop, LoopAnnotation, LoopId, Scheme, Stmt};

@@ -1,0 +1,1103 @@
+//! The scalar **native tier**: threaded-code compilation of kernel bytecode.
+//!
+//! [`compile_native`] lowers a [`CompiledKernel`] one step further than the
+//! bytecode compiler: every instruction becomes a *monomorphized op closure*
+//! with its operand registers, constant-pool values, callee chunks and error
+//! payloads pre-resolved at compile time, and structured control flow
+//! becomes nested closure arrays. Execution is then a direct-call sweep over
+//! a flat `Vec<Op>` — no per-instruction decode `match`, no pool indexing,
+//! no extent arithmetic — which is the classic threaded-code escape hatch
+//! from interpreter dispatch overhead.
+//!
+//! [`NativeVm`] replays [`crate::bytecode::ScalarVm`] (and therefore the
+//! tree walker) **bit for bit**: same `Backend::op` charge sequence, same
+//! memory-access order, same error payloads, same flow semantics. That is
+//! the determinism contract the three-way `engine_differential` proptests
+//! pin, and it is why the bytecode VM can serve as the always-correct
+//! fallback tier: a loop that the bytecode compiler declines
+//! ([`crate::bytecode::CompileError`]) never reaches this module, and any
+//! runtime bail-out (deep recursion, arity miss) surfaces as the identical
+//! `ExecError` the lower tiers produce.
+
+use std::sync::Arc;
+
+use crate::bytecode::{is_float_v, CompiledKernel, Instr};
+use crate::cost::OpClass;
+use crate::error::ExecError;
+use crate::expr::BinOp;
+use crate::interp::{Backend, Env, Flow, LoopBounds};
+use crate::ops;
+use crate::program::ParamTy;
+use crate::types::Value;
+use crate::VarId;
+
+/// One pre-compiled op: a direct-callable closure over the VM state.
+///
+/// `base` is the register-frame base of the executing chunk (calls push a
+/// fresh frame region); the backend is dynamic so one compiled artifact is
+/// shared across every backend the schedulers use (counting, buffered,
+/// tracing) and can live in the [`crate::KernelCache`].
+type Op =
+    Box<dyn Fn(&mut NativeVm, usize, &mut dyn Backend) -> Result<Flow, ExecError> + Send + Sync>;
+
+/// A lowered chunk: the closure array plus the frame metadata needed to
+/// push it as a call frame.
+struct NativeChunk {
+    ops: Vec<Op>,
+    num_regs: usize,
+    params: Vec<(usize, ParamTy)>,
+}
+
+/// A kernel fully lowered to threaded code. Build once via
+/// [`compile_native`] (typically through [`crate::KernelCache::native_tier`]
+/// once a loop is hot), share via `Arc`, execute via [`NativeVm`].
+pub struct NativeKernel {
+    entry: Arc<NativeChunk>,
+    num_vars: usize,
+}
+
+impl std::fmt::Debug for NativeKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NativeKernel")
+            .field("entry_ops", &self.entry.ops.len())
+            .field("num_regs", &self.entry.num_regs)
+            .field("num_vars", &self.num_vars)
+            .finish()
+    }
+}
+
+/// Run a closure block: normal flow falls through, anything else (break,
+/// continue, return) propagates to the enclosing construct — exactly the
+/// `run` loop of the bytecode VM with the decode `match` deleted.
+fn run_ops(
+    vm: &mut NativeVm,
+    ops: &[Op],
+    base: usize,
+    be: &mut dyn Backend,
+) -> Result<Flow, ExecError> {
+    for op in ops {
+        match op(vm, base, be)? {
+            Flow::Normal => {}
+            other => return Ok(other),
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+/// Bind arguments into the freshly pushed frame at `nbase` and run the
+/// callee chunk. The `Call` op truncates the arenas afterwards. Mirrors
+/// `ScalarVm::enter_call` (same conversion, same error payloads).
+fn enter_call(
+    vm: &mut NativeVm,
+    c: &NativeChunk,
+    base: usize,
+    args: &[usize],
+    nbase: usize,
+    be: &mut dyn Backend,
+) -> Result<Flow, ExecError> {
+    for (i, (preg, pty)) in c.params.iter().enumerate() {
+        let a = vm.regs[base + args[i]];
+        // Apply the assignment conversion for scalar params.
+        let v = match pty {
+            ParamTy::Scalar(t) => a.cast(*t).ok_or_else(|| ExecError::TypeMismatch {
+                expected: t.to_string(),
+                found: format!("{a}"),
+            })?,
+            ParamTy::Array(_) => match a {
+                Value::Array(_) => a,
+                other => {
+                    return Err(ExecError::TypeMismatch {
+                        expected: format!("{pty}"),
+                        found: format!("{other}"),
+                    })
+                }
+            },
+        };
+        vm.regs[nbase + *preg] = v;
+        vm.bound[nbase + *preg] = true;
+    }
+    run_ops(vm, &c.ops, nbase, be)
+}
+
+/// Scalar VM over a [`NativeKernel`]: the same reusable register/boundness
+/// arenas as [`crate::bytecode::ScalarVm`], but execution is a direct-call
+/// sweep over the pre-compiled closure array.
+#[derive(Debug, Default)]
+pub struct NativeVm {
+    regs: Vec<Value>,
+    bound: Vec<bool>,
+}
+
+impl NativeVm {
+    /// An empty VM (arenas grow on first use and are then reused).
+    pub fn new() -> NativeVm {
+        NativeVm::default()
+    }
+
+    /// Execute iterations `k_lo..k_hi` of the lowered kernel against `env`,
+    /// mirroring `ScalarVm::exec_range` bit for bit: environment loaded
+    /// into registers up front, per-iteration induction bookkeeping charges,
+    /// every bound variable slot written back on exit (including error
+    /// exits).
+    #[allow(clippy::too_many_arguments)] // mirrors the walker's exec_range signature
+    pub fn exec_range<B: Backend>(
+        &mut self,
+        nk: &NativeKernel,
+        var: VarId,
+        bounds: &LoopBounds,
+        k_lo: u64,
+        k_hi: u64,
+        env: &mut Env,
+        be: &mut B,
+    ) -> Result<Flow, ExecError> {
+        let be: &mut dyn Backend = be;
+        let num_vars = nk.num_vars;
+        let num_regs = nk.entry.num_regs;
+        self.regs.clear();
+        self.regs.resize(num_regs, Value::Int(0));
+        self.bound.clear();
+        self.bound.resize(num_regs, false);
+        for v in 0..num_vars {
+            let vid = VarId(v as u32);
+            if env.is_set(vid) {
+                if let Ok(val) = env.get(vid) {
+                    self.regs[v] = val;
+                    self.bound[v] = true;
+                }
+            }
+        }
+        let vi = var.index();
+        let mut out = Ok(Flow::Normal);
+        for kk in k_lo..k_hi {
+            // Loop bookkeeping: induction update + bound test + back edge.
+            be.op(OpClass::IntAlu);
+            be.op(OpClass::Branch);
+            self.regs[vi] = Value::Int(bounds.value_of(kk) as i32);
+            self.bound[vi] = true;
+            match run_ops(self, &nk.entry.ops, 0, be) {
+                Ok(Flow::Normal) | Ok(Flow::Continue) => {}
+                other => {
+                    out = other;
+                    break;
+                }
+            }
+        }
+        for v in 0..num_vars {
+            if self.bound[v] {
+                env.set(VarId(v as u32), self.regs[v]);
+            }
+        }
+        out
+    }
+}
+
+/// Lower a compiled kernel to threaded code.
+///
+/// Lowering is total: every bytecode instruction has a closure form, so a
+/// kernel that bytecode-compiled always native-compiles (the bail-out
+/// ladder lives entirely in [`crate::bytecode::compile_kernel`]).
+pub fn compile_native(k: &CompiledKernel) -> NativeKernel {
+    let mut lw = Lowerer {
+        k,
+        done: vec![None; k.chunks.len()],
+    };
+    let entry = lw.chunk(0);
+    NativeKernel {
+        num_vars: k.chunks[0].num_vars as usize,
+        entry,
+    }
+}
+
+/// Recursive chunk lowerer with memoization: the chunk call graph is a DAG
+/// (the bytecode compiler rejects recursion), so each chunk is lowered once
+/// and `Call` ops share the `Arc`.
+struct Lowerer<'k> {
+    k: &'k CompiledKernel,
+    done: Vec<Option<Arc<NativeChunk>>>,
+}
+
+impl Lowerer<'_> {
+    fn chunk(&mut self, ci: usize) -> Arc<NativeChunk> {
+        if let Some(c) = &self.done[ci] {
+            return Arc::clone(c);
+        }
+        let src = &self.k.chunks[ci];
+        let ops = self.lower(ci, 0, src.code.len() as u32);
+        let src = &self.k.chunks[ci];
+        let c = Arc::new(NativeChunk {
+            ops,
+            num_regs: src.num_regs as usize,
+            params: src.params.iter().map(|(r, t)| (*r as usize, *t)).collect(),
+        });
+        self.done[ci] = Some(Arc::clone(&c));
+        c
+    }
+
+    /// Lower instructions `lo..hi` of chunk `ci`, walking the same
+    /// `next_pc` extents the bytecode VM walks at run time.
+    fn lower(&mut self, ci: usize, lo: u32, hi: u32) -> Vec<Op> {
+        let k = self.k;
+        let mut ops = Vec::new();
+        let mut pc = lo;
+        while pc < hi {
+            let instr = &k.chunks[ci].code[pc as usize];
+            let next = instr.next_pc(pc);
+            ops.push(self.lower_instr(ci, instr));
+            pc = next;
+        }
+        ops
+    }
+
+    /// One instruction → one closure. Each arm resolves its operands now
+    /// and mirrors the corresponding `ScalarVm::run` arm exactly: same
+    /// charge order, same checks, same error payloads.
+    fn lower_instr(&mut self, ci: usize, instr: &Instr) -> Op {
+        match instr {
+            Instr::Const { dst, pool } => {
+                let dst = *dst as usize;
+                let v = self.k.pool[*pool as usize];
+                Box::new(move |vm, base, be| {
+                    be.op(OpClass::Move);
+                    vm.regs[base + dst] = v;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Copy { dst, src } => {
+                let (dst, src) = (*dst as usize, *src as usize);
+                let vid = VarId(src as u32);
+                Box::new(move |vm, base, be| {
+                    be.op(OpClass::Move);
+                    if !vm.bound[base + src] {
+                        return Err(ExecError::UnboundVariable(vid));
+                    }
+                    vm.regs[base + dst] = vm.regs[base + src];
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Unary {
+                op,
+                dst,
+                src,
+                cls_i,
+                cls_f,
+            } => {
+                let (op, dst, src) = (*op, *dst as usize, *src as usize);
+                let (cls_i, cls_f) = (*cls_i, *cls_f);
+                Box::new(move |vm, base, be| {
+                    let v = vm.regs[base + src];
+                    be.op(if is_float_v(v) { cls_f } else { cls_i });
+                    vm.regs[base + dst] = ops::unary(op, v)?;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Binary {
+                op,
+                dst,
+                a,
+                b,
+                cls_i,
+                cls_f,
+            } => {
+                let (op, dst, a, b) = (*op, *dst as usize, *a as usize, *b as usize);
+                let (cls_i, cls_f) = (*cls_i, *cls_f);
+                Box::new(move |vm, base, be| {
+                    let va = vm.regs[base + a];
+                    let vb = vm.regs[base + b];
+                    be.op(if is_float_v(va) || is_float_v(vb) {
+                        cls_f
+                    } else {
+                        cls_i
+                    });
+                    vm.regs[base + dst] = ops::binary(op, va, vb)?;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Cast { ty, dst, src } => {
+                let (ty, dst, src) = (*ty, *dst as usize, *src as usize);
+                Box::new(move |vm, base, be| {
+                    let v = vm.regs[base + src];
+                    be.op(OpClass::Cast);
+                    vm.regs[base + dst] = v.cast(ty).ok_or_else(|| ExecError::InvalidCast {
+                        from: format!("{v}"),
+                        to: ty,
+                    })?;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::GuardArray { arr, var } => {
+                let (arr, var) = (*arr as usize, *var);
+                Box::new(move |vm, base, _be| {
+                    if !vm.bound[base + arr] {
+                        return Err(ExecError::UnboundVariable(var));
+                    }
+                    let v = vm.regs[base + arr];
+                    if v.as_array().is_none() {
+                        return Err(ExecError::TypeMismatch {
+                            expected: "array".into(),
+                            found: format!("{var}"),
+                        });
+                    }
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::CheckIdx { idx } => {
+                let idx = *idx as usize;
+                Box::new(move |vm, base, _be| {
+                    let v = vm.regs[base + idx];
+                    if v.as_i64().is_none() {
+                        return Err(ExecError::TypeMismatch {
+                            expected: "int index".into(),
+                            found: format!("{v}"),
+                        });
+                    }
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Load { dst, arr, var, idx } => {
+                let (dst, arr, var, idx) = (*dst as usize, *arr as usize, *var, *idx as usize);
+                Box::new(move |vm, base, be| {
+                    let av = vm.regs[base + arr];
+                    let a = av.as_array().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{var}"),
+                    })?;
+                    let iv = vm.regs[base + idx];
+                    let i = iv.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "int index".into(),
+                        found: format!("{iv}"),
+                    })?;
+                    be.op(OpClass::Load);
+                    vm.regs[base + dst] = be.load(a, i)?;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Len { dst, arr, var } => {
+                let (dst, arr, var) = (*dst as usize, *arr as usize, *var);
+                Box::new(move |vm, base, be| {
+                    if !vm.bound[base + arr] {
+                        return Err(ExecError::UnboundVariable(var));
+                    }
+                    let v = vm.regs[base + arr];
+                    let a = v.as_array().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{var}"),
+                    })?;
+                    be.op(OpClass::Move);
+                    vm.regs[base + dst] = Value::Int(be.array_len(a)? as i32);
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Intrinsic { f, cls, dst, args } => {
+                let (f, cls, dst) = (*f, *cls, *dst as usize);
+                let args: Vec<usize> = args.iter().map(|r| *r as usize).collect();
+                Box::new(move |vm, base, be| {
+                    let mut buf = [Value::Int(0); 4];
+                    for (i, r) in args.iter().enumerate() {
+                        buf[i] = vm.regs[base + r];
+                    }
+                    be.op(cls);
+                    vm.regs[base + dst] = ops::intrinsic(f, &buf[..args.len()])?;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Call { chunk, dst, args } => {
+                let callee = self.chunk(*chunk as usize);
+                let dst = dst.map(|d| d as usize);
+                let args: Vec<usize> = args.iter().map(|r| *r as usize).collect();
+                Box::new(move |vm, base, be| {
+                    be.op(OpClass::Call);
+                    let nbase = vm.regs.len();
+                    vm.regs.resize(nbase + callee.num_regs, Value::Int(0));
+                    vm.bound.resize(nbase + callee.num_regs, false);
+                    let res = enter_call(vm, &callee, base, &args, nbase, be);
+                    vm.regs.truncate(nbase);
+                    vm.bound.truncate(nbase);
+                    let ret = match res? {
+                        Flow::Return(v) => v,
+                        Flow::Normal => None,
+                        Flow::Break | Flow::Continue => {
+                            return Err(ExecError::Aborted(
+                                "break/continue escaped function body".into(),
+                            ))
+                        }
+                    };
+                    if let Some(dst) = dst {
+                        let v = ret.ok_or_else(|| ExecError::TypeMismatch {
+                            expected: "value".into(),
+                            found: "void call in expression".into(),
+                        })?;
+                        vm.regs[base + dst] = v;
+                    }
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Sc {
+                op,
+                dst,
+                lhs,
+                rhs_range,
+                rhs,
+            } => {
+                let (op, dst, lhs, rhs) = (*op, *dst as usize, *lhs as usize, *rhs as usize);
+                let rhs_ops = self.lower(ci, rhs_range.0, rhs_range.1);
+                Box::new(move |vm, base, be| {
+                    let v = vm.regs[base + lhs];
+                    let lb = v.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "boolean".into(),
+                        found: format!("{v}"),
+                    })?;
+                    be.op(OpClass::Branch);
+                    let out = match (op, lb) {
+                        (BinOp::LAnd, false) => Value::Bool(false),
+                        (BinOp::LOr, true) => Value::Bool(true),
+                        _ => {
+                            run_ops(vm, &rhs_ops, base, be)?;
+                            let rv = vm.regs[base + rhs];
+                            let rb = rv.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                                expected: "boolean".into(),
+                                found: format!("{rv}"),
+                            })?;
+                            Value::Bool(rb)
+                        }
+                    };
+                    vm.regs[base + dst] = out;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Ternary {
+                dst,
+                cond,
+                t_range,
+                t_dst,
+                f_range,
+                f_dst,
+            } => {
+                let (dst, cond) = (*dst as usize, *cond as usize);
+                let (t_dst, f_dst) = (*t_dst as usize, *f_dst as usize);
+                let t_ops = self.lower(ci, t_range.0, t_range.1);
+                let f_ops = self.lower(ci, f_range.0, f_range.1);
+                Box::new(move |vm, base, be| {
+                    let cv = vm.regs[base + cond];
+                    let c = cv.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "boolean".into(),
+                        found: format!("{cv}"),
+                    })?;
+                    be.op(OpClass::Branch);
+                    let (ops, src) = if c { (&t_ops, t_dst) } else { (&f_ops, f_dst) };
+                    run_ops(vm, ops, base, be)?;
+                    vm.regs[base + dst] = vm.regs[base + src];
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Decl { var, ty, init } => {
+                let (var, ty) = (*var as usize, *ty);
+                let init = init.map(|r| r as usize);
+                Box::new(move |vm, base, be| {
+                    let v = match init {
+                        Some(r) => {
+                            let raw = vm.regs[base + r];
+                            raw.cast(ty).ok_or_else(|| ExecError::TypeMismatch {
+                                expected: ty.to_string(),
+                                found: format!("{raw}"),
+                            })?
+                        }
+                        None => ty.zero(),
+                    };
+                    be.op(OpClass::Move);
+                    vm.regs[base + var] = v;
+                    vm.bound[base + var] = true;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Assign { var, src } => {
+                let (var, src) = (*var as usize, *src as usize);
+                Box::new(move |vm, base, be| {
+                    let mut v = vm.regs[base + src];
+                    // Preserve the declared scalar type across re-assignment.
+                    if vm.bound[base + var] {
+                        if let Some(ty) = vm.regs[base + var].ty() {
+                            v = v.cast(ty).ok_or_else(|| ExecError::TypeMismatch {
+                                expected: ty.to_string(),
+                                found: format!("{v}"),
+                            })?;
+                        }
+                    }
+                    be.op(OpClass::Move);
+                    vm.regs[base + var] = v;
+                    vm.bound[base + var] = true;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Store { arr, var, idx, val } => {
+                let (arr, var, idx, val) = (*arr as usize, *var, *idx as usize, *val as usize);
+                Box::new(move |vm, base, be| {
+                    let av = vm.regs[base + arr];
+                    let a = av.as_array().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "array".into(),
+                        found: format!("{var}"),
+                    })?;
+                    let iv = vm.regs[base + idx];
+                    let i = iv.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "int index".into(),
+                        found: format!("{iv}"),
+                    })?;
+                    let v = vm.regs[base + val];
+                    be.op(OpClass::Store);
+                    be.store(a, i, v)?;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::NewArray {
+                var,
+                elem,
+                len_range,
+                len,
+            } => {
+                let (var, elem, len) = (*var as usize, *elem, *len as usize);
+                let len_ops = self.lower(ci, len_range.0, len_range.1);
+                Box::new(move |vm, base, be| {
+                    run_ops(vm, &len_ops, base, be)?;
+                    let lv = vm.regs[base + len];
+                    let n = lv.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "int".into(),
+                        found: "non-integral length".into(),
+                    })?;
+                    if n < 0 {
+                        return Err(ExecError::NegativeArraySize(n));
+                    }
+                    be.op(OpClass::Move);
+                    let id = be.alloc(elem, n as usize)?;
+                    vm.regs[base + var] = Value::Array(id);
+                    vm.bound[base + var] = true;
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::If {
+                cond,
+                then_range,
+                else_range,
+            } => {
+                let cond = *cond as usize;
+                let then_ops = self.lower(ci, then_range.0, then_range.1);
+                let else_ops = self.lower(ci, else_range.0, else_range.1);
+                Box::new(move |vm, base, be| {
+                    let cv = vm.regs[base + cond];
+                    let c = cv.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                        expected: "boolean".into(),
+                        found: format!("{cv}"),
+                    })?;
+                    be.op(OpClass::Branch);
+                    let ops = if c { &then_ops } else { &else_ops };
+                    run_ops(vm, ops, base, be)
+                })
+            }
+            Instr::While {
+                cond_range,
+                cond,
+                body_range,
+            } => {
+                let cond = *cond as usize;
+                let cond_ops = self.lower(ci, cond_range.0, cond_range.1);
+                let body_ops = self.lower(ci, body_range.0, body_range.1);
+                Box::new(move |vm, base, be| {
+                    loop {
+                        run_ops(vm, &cond_ops, base, be)?;
+                        let cv = vm.regs[base + cond];
+                        let c = cv.as_bool().ok_or_else(|| ExecError::TypeMismatch {
+                            expected: "boolean".into(),
+                            found: format!("{cv}"),
+                        })?;
+                        be.op(OpClass::Branch);
+                        if !c {
+                            break;
+                        }
+                        match run_ops(vm, &body_ops, base, be)? {
+                            Flow::Normal | Flow::Continue => {}
+                            Flow::Break => break,
+                            ret @ Flow::Return(_) => return Ok(ret),
+                        }
+                    }
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::For {
+                var,
+                start_range,
+                start,
+                end_range,
+                end,
+                step_range,
+                step,
+                body_range,
+            } => {
+                let (var, start, end, step) = (
+                    *var as usize,
+                    *start as usize,
+                    *end as usize,
+                    *step as usize,
+                );
+                let start_ops = self.lower(ci, start_range.0, start_range.1);
+                let end_ops = self.lower(ci, end_range.0, end_range.1);
+                let step_ops = self.lower(ci, step_range.0, step_range.1);
+                let body_ops = self.lower(ci, body_range.0, body_range.1);
+                Box::new(move |vm, base, be| {
+                    let as_int = |v: Value| {
+                        v.as_i64().ok_or_else(|| ExecError::TypeMismatch {
+                            expected: "int".into(),
+                            found: format!("{v}"),
+                        })
+                    };
+                    run_ops(vm, &start_ops, base, be)?;
+                    let s = as_int(vm.regs[base + start])?;
+                    run_ops(vm, &end_ops, base, be)?;
+                    let e = as_int(vm.regs[base + end])?;
+                    run_ops(vm, &step_ops, base, be)?;
+                    let st = as_int(vm.regs[base + step])?;
+                    if st <= 0 {
+                        return Err(ExecError::NonPositiveStep(st));
+                    }
+                    let b2 = LoopBounds {
+                        start: s,
+                        end: e,
+                        step: st,
+                    };
+                    for kk in 0..b2.trip() {
+                        be.op(OpClass::IntAlu);
+                        be.op(OpClass::Branch);
+                        vm.regs[base + var] = Value::Int(b2.value_of(kk) as i32);
+                        vm.bound[base + var] = true;
+                        match run_ops(vm, &body_ops, base, be)? {
+                            Flow::Normal | Flow::Continue => {}
+                            Flow::Break => break,
+                            ret @ Flow::Return(_) => return Ok(ret),
+                        }
+                    }
+                    Ok(Flow::Normal)
+                })
+            }
+            Instr::Return { val_range, val } => {
+                let val = val.map(|r| r as usize);
+                let val_ops = self.lower(ci, val_range.0, val_range.1);
+                Box::new(move |vm, base, be| {
+                    run_ops(vm, &val_ops, base, be)?;
+                    Ok(Flow::Return(val.map(|r| vm.regs[base + r])))
+                })
+            }
+            Instr::Break => Box::new(|_, _, _| Ok(Flow::Break)),
+            Instr::Continue => Box::new(|_, _, _| Ok(Flow::Continue)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FnBuilder;
+    use crate::bytecode::{compile_kernel, KernelCache, ScalarVm, NATIVE_PROMOTE_USES};
+    use crate::expr::{Expr, Intrinsic};
+    use crate::heap::{ArrayId, Heap};
+    use crate::interp::{HeapBackend, Interp};
+    use crate::program::Program;
+    use crate::span::Span;
+    use crate::stmt::{ForLoop, LoopId, Stmt};
+    use crate::types::Ty;
+
+    /// Backend recording the exact `op` charge sequence, so the tests can
+    /// assert bit-level replay (order, not just totals).
+    struct TraceBackend<'h> {
+        inner: HeapBackend<'h>,
+        trace: Vec<OpClass>,
+    }
+
+    impl Backend for TraceBackend<'_> {
+        fn load(&mut self, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
+            self.inner.load(arr, idx)
+        }
+        fn store(&mut self, arr: ArrayId, idx: i64, v: Value) -> Result<(), ExecError> {
+            self.inner.store(arr, idx, v)
+        }
+        fn array_len(&mut self, arr: ArrayId) -> Result<usize, ExecError> {
+            self.inner.array_len(arr)
+        }
+        fn alloc(&mut self, ty: Ty, len: usize) -> Result<ArrayId, ExecError> {
+            self.inner.alloc(ty, len)
+        }
+        fn op(&mut self, cls: OpClass) {
+            self.trace.push(cls);
+            self.inner.op(cls);
+        }
+    }
+
+    fn v(i: u32) -> VarId {
+        VarId(i)
+    }
+
+    /// Bit-exact value comparison key (NaN-safe, unlike `PartialEq`).
+    fn bits(v: Option<Value>) -> Option<(u8, u64)> {
+        v.map(|v| match v {
+            Value::Bool(b) => (0, b as u64),
+            Value::Int(i) => (1, i as u64),
+            Value::Long(l) => (2, l as u64),
+            Value::Float(f) => (3, f.to_bits() as u64),
+            Value::Double(d) => (4, d.to_bits()),
+            Value::Array(a) => (5, a.0 as u64),
+        })
+    }
+
+    fn kernel_loop(var: VarId, n: i32, body: Vec<Stmt>) -> ForLoop {
+        ForLoop {
+            id: LoopId(0),
+            var,
+            start: Expr::int(0),
+            end: Expr::int(n),
+            step: Expr::int(1),
+            body,
+            annot: None,
+            span: Span::none(),
+        }
+    }
+
+    type EngineOutcome = (
+        Result<Flow, ExecError>,
+        Vec<OpClass>,
+        Vec<Option<(u8, u64)>>,
+        Heap,
+    );
+
+    fn outcome<F>(env0: &Env, heap0: &Heap, run: F) -> EngineOutcome
+    where
+        F: FnOnce(&mut Env, &mut TraceBackend<'_>) -> Result<Flow, ExecError>,
+    {
+        let mut heap = heap0.clone();
+        let mut env = env0.clone();
+        let mut be = TraceBackend {
+            inner: HeapBackend::new(&mut heap),
+            trace: Vec::new(),
+        };
+        let r = run(&mut env, &mut be);
+        let trace = be.trace;
+        let slots = (0..64u32).map(|s| bits(env.get(v(s)).ok())).collect();
+        (r, trace, slots, heap)
+    }
+
+    /// Run `loop_` under all three engines (tree walker, bytecode VM,
+    /// native tier) against identical heap/env copies and assert results,
+    /// env slots, heap contents, and the charge trace are identical.
+    fn assert_three_engines_agree(program: &Program, loop_: &ForLoop, env0: &Env, heap0: &Heap) {
+        let bounds = LoopBounds {
+            start: 0,
+            end: match loop_.end {
+                Expr::Const(Value::Int(n)) => n as i64,
+                _ => unreachable!("test loops use literal bounds"),
+            },
+            step: 1,
+        };
+        let trip = bounds.trip();
+
+        let walker = outcome(env0, heap0, |env, be| {
+            Interp::new(program).exec_range(loop_, &bounds, 0, trip, env, be)
+        });
+        let k = compile_kernel(program, loop_).expect("kernel should compile");
+        let byte = outcome(env0, heap0, |env, be| {
+            ScalarVm::new().exec_range(&k, loop_.var, &bounds, 0, trip, env, be)
+        });
+        let nk = compile_native(&k);
+        let native = outcome(env0, heap0, |env, be| {
+            NativeVm::new().exec_range(&nk, loop_.var, &bounds, 0, trip, env, be)
+        });
+
+        for (name, other) in [("bytecode", &byte), ("native", &native)] {
+            match (&walker.0, &other.0) {
+                (Ok(fa), Ok(fb)) => assert_eq!(
+                    std::mem::discriminant(fa),
+                    std::mem::discriminant(fb),
+                    "{name} flow mismatch: {fa:?} vs {fb:?}"
+                ),
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "{name} error mismatch"),
+                _ => panic!("{name} result mismatch: {:?} vs {:?}", walker.0, other.0),
+            }
+            assert_eq!(walker.1, other.1, "{name} charge order mismatch");
+            assert_eq!(walker.2, other.2, "{name} env slots mismatch");
+            assert_eq!(walker.3.array_count(), other.3.array_count());
+            for i in 0..walker.3.array_count() {
+                let id = ArrayId(i as u32);
+                assert_eq!(
+                    walker.3.array(id).ok(),
+                    other.3.array(id).ok(),
+                    "{name} array {i} mismatch"
+                );
+            }
+        }
+    }
+
+    /// Helper: `clamp2(x) = x > 10 ? x - 10 : x * 2` via early return.
+    fn add_helper(p: &mut Program) -> crate::program::FnId {
+        let mut f = FnBuilder::new("clamp2");
+        let x = f.param_scalar("x", Ty::Int);
+        f.push(Stmt::If {
+            cond: Expr::Binary(BinOp::Gt, Box::new(Expr::var(x)), Box::new(Expr::int(10))),
+            then_branch: vec![Stmt::Return(Some(Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::var(x)),
+                Box::new(Expr::int(10)),
+            )))],
+            else_branch: vec![],
+        });
+        f.push(Stmt::Return(Some(Expr::Binary(
+            BinOp::Mul,
+            Box::new(Expr::var(x)),
+            Box::new(Expr::int(2)),
+        ))));
+        p.add_function(f.finish(Some(Ty::Int)))
+    }
+
+    #[test]
+    fn native_matches_walker_and_bytecode_on_rich_kernel() {
+        let mut p = Program::new();
+        let helper = add_helper(&mut p);
+        let (i, a, b, acc, j) = (v(0), v(1), v(2), v(3), v(4));
+        let body = vec![
+            Stmt::DeclVar {
+                var: acc,
+                ty: Ty::Double,
+                init: Some(Expr::double(0.0)),
+            },
+            Stmt::For(ForLoop {
+                id: LoopId(1),
+                var: j,
+                start: Expr::int(0),
+                end: Expr::int(3),
+                step: Expr::int(1),
+                body: vec![Stmt::Assign {
+                    var: acc,
+                    value: Expr::Binary(
+                        BinOp::Add,
+                        Box::new(Expr::var(acc)),
+                        Box::new(Expr::Intrinsic(
+                            Intrinsic::Sqrt,
+                            vec![Expr::Cast(
+                                Ty::Double,
+                                Box::new(Expr::Binary(
+                                    BinOp::Add,
+                                    Box::new(Expr::Index {
+                                        array: a,
+                                        index: Box::new(Expr::var(i)),
+                                    }),
+                                    Box::new(Expr::var(j)),
+                                )),
+                            )],
+                        )),
+                    ),
+                }],
+                annot: None,
+                span: Span::none(),
+            }),
+            Stmt::If {
+                cond: Expr::Binary(
+                    BinOp::LAnd,
+                    Box::new(Expr::Binary(
+                        BinOp::Eq,
+                        Box::new(Expr::Binary(
+                            BinOp::Rem,
+                            Box::new(Expr::var(i)),
+                            Box::new(Expr::int(2)),
+                        )),
+                        Box::new(Expr::int(0)),
+                    )),
+                    Box::new(Expr::Binary(
+                        BinOp::Gt,
+                        Box::new(Expr::Index {
+                            array: a,
+                            index: Box::new(Expr::var(i)),
+                        }),
+                        Box::new(Expr::int(0)),
+                    )),
+                ),
+                then_branch: vec![Stmt::Store {
+                    array: a,
+                    index: Expr::var(i),
+                    value: Expr::Call(
+                        helper,
+                        vec![Expr::Index {
+                            array: a,
+                            index: Box::new(Expr::var(i)),
+                        }],
+                    ),
+                    span: Span::none(),
+                }],
+                else_branch: vec![Stmt::Store {
+                    array: a,
+                    index: Expr::var(i),
+                    value: Expr::Ternary(
+                        Box::new(Expr::Binary(
+                            BinOp::Gt,
+                            Box::new(Expr::Index {
+                                array: b,
+                                index: Box::new(Expr::var(i)),
+                            }),
+                            Box::new(Expr::int(5)),
+                        )),
+                        Box::new(Expr::Index {
+                            array: b,
+                            index: Box::new(Expr::var(i)),
+                        }),
+                        Box::new(Expr::Binary(
+                            BinOp::Add,
+                            Box::new(Expr::Index {
+                                array: a,
+                                index: Box::new(Expr::var(i)),
+                            }),
+                            Box::new(Expr::int(1)),
+                        )),
+                    ),
+                    span: Span::none(),
+                }],
+            },
+            Stmt::While {
+                cond: Expr::Binary(
+                    BinOp::Gt,
+                    Box::new(Expr::var(acc)),
+                    Box::new(Expr::double(1.0)),
+                ),
+                body: vec![Stmt::Assign {
+                    var: acc,
+                    value: Expr::Binary(
+                        BinOp::Sub,
+                        Box::new(Expr::var(acc)),
+                        Box::new(Expr::double(1.0)),
+                    ),
+                }],
+            },
+            Stmt::Store {
+                array: b,
+                index: Expr::var(i),
+                value: Expr::Cast(Ty::Int, Box::new(Expr::var(acc))),
+                span: Span::none(),
+            },
+        ];
+        let loop_ = kernel_loop(i, 8, body);
+        let mut heap = Heap::new();
+        let aa = heap.alloc_ints(&[3, -1, 14, 7, 0, 9, 22, -5]);
+        let bb = heap.alloc_ints(&[1, 9, 2, 8, 3, 7, 4, 6]);
+        let mut env = Env::with_slots(8);
+        env.set(a, Value::Array(aa));
+        env.set(b, Value::Array(bb));
+        assert_three_engines_agree(&p, &loop_, &env, &heap);
+    }
+
+    #[test]
+    fn native_matches_on_error_paths() {
+        // Iteration 2 divides by zero after a store already landed; the
+        // walker leaves the partial mutations visible, so must both VMs.
+        let (i, a, x) = (v(0), v(1), v(2));
+        let p = Program::new();
+        let body = vec![
+            Stmt::DeclVar {
+                var: x,
+                ty: Ty::Int,
+                init: Some(Expr::int(7)),
+            },
+            Stmt::Store {
+                array: a,
+                index: Expr::var(i),
+                value: Expr::var(x),
+                span: Span::none(),
+            },
+            Stmt::Assign {
+                var: x,
+                value: Expr::Binary(
+                    BinOp::Div,
+                    Box::new(Expr::int(10)),
+                    Box::new(Expr::Binary(
+                        BinOp::Sub,
+                        Box::new(Expr::int(2)),
+                        Box::new(Expr::var(i)),
+                    )),
+                ),
+            },
+        ];
+        let loop_ = kernel_loop(i, 8, body);
+        let mut heap = Heap::new();
+        let aa = heap.alloc_ints(&[0; 8]);
+        let mut env = Env::with_slots(4);
+        env.set(a, Value::Array(aa));
+        assert_three_engines_agree(&p, &loop_, &env, &heap);
+    }
+
+    #[test]
+    fn native_matches_on_unbound_read() {
+        let (i, y) = (v(0), v(3));
+        let p = Program::new();
+        let body = vec![Stmt::If {
+            cond: Expr::Binary(BinOp::Eq, Box::new(Expr::var(i)), Box::new(Expr::int(1))),
+            then_branch: vec![Stmt::Assign {
+                var: v(2),
+                value: Expr::var(y),
+            }],
+            else_branch: vec![],
+        }];
+        let loop_ = kernel_loop(i, 4, body);
+        let env = Env::with_slots(4);
+        assert_three_engines_agree(&p, &loop_, &env, &Heap::new());
+    }
+
+    #[test]
+    fn cache_promotes_to_native_after_threshold() {
+        let p = Program::new();
+        let body = vec![Stmt::Assign {
+            var: v(1),
+            value: Expr::var(v(0)),
+        }];
+        let loop_ = kernel_loop(v(0), 2, body);
+        let cache = KernelCache::new();
+
+        // Unknown loop: no entry, no promotion.
+        assert!(cache
+            .native_tier::<NativeKernel, _>(loop_.id.0, compile_native)
+            .is_none());
+
+        // First use: below the threshold, stays on bytecode.
+        assert!(cache.get_or_compile(&p, &loop_).is_some());
+        assert_eq!(cache.uses(loop_.id.0), 1);
+        assert!(NATIVE_PROMOTE_USES > 1);
+        assert!(cache
+            .native_tier::<NativeKernel, _>(loop_.id.0, compile_native)
+            .is_none());
+
+        // Second use: promoted; the artifact is built once and memoized.
+        assert!(cache.get_or_compile(&p, &loop_).is_some());
+        assert_eq!(cache.uses(loop_.id.0), NATIVE_PROMOTE_USES);
+        let n1 = cache
+            .native_tier::<NativeKernel, _>(loop_.id.0, compile_native)
+            .expect("hot loop should promote");
+        let n2 = cache
+            .native_tier::<NativeKernel, _>(loop_.id.0, compile_native)
+            .expect("promotion is sticky");
+        assert!(Arc::ptr_eq(&n1, &n2), "native artifact must be memoized");
+    }
+
+    #[test]
+    fn uncompilable_loop_never_promotes() {
+        // Recursive helper: bytecode compile fails, entry memoizes None,
+        // native_tier must keep returning None no matter how hot.
+        let mut p = Program::new();
+        let mut f = FnBuilder::new("rec");
+        let x = f.param_scalar("x", Ty::Int);
+        let id = crate::program::FnId(0);
+        f.push(Stmt::Return(Some(Expr::Call(id, vec![Expr::var(x)]))));
+        p.add_function(f.finish(Some(Ty::Int)));
+        let body = vec![Stmt::Assign {
+            var: v(1),
+            value: Expr::Call(id, vec![Expr::var(v(0))]),
+        }];
+        let loop_ = kernel_loop(v(0), 2, body);
+        let cache = KernelCache::new();
+        for _ in 0..4 {
+            assert!(cache.get_or_compile(&p, &loop_).is_none());
+        }
+        assert_eq!(cache.uses(loop_.id.0), 4);
+        assert!(cache
+            .native_tier::<NativeKernel, _>(loop_.id.0, compile_native)
+            .is_none());
+    }
+}

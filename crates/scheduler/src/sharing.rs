@@ -22,8 +22,8 @@ use japonica_cpuexec::{
 use japonica_faults::{DegradationLevel, FaultOrigin, FaultStats, ResilienceConfig};
 use japonica_gpusim::{launch_loop_par_with, DeviceMemory, SimtError};
 use japonica_ir::{
-    ArrayId, Env, ExecEngine, ExecError, ForLoop, Heap, HeapBackend, Interp, KernelCache,
-    LoopBounds, Program, ScalarVm, Scheme, Value,
+    compile_native, ArrayId, Env, ExecEngine, ExecError, ForLoop, Heap, HeapBackend, Interp,
+    KernelCache, LoopBounds, NativeKernel, NativeVm, Program, ScalarVm, Scheme, Value,
 };
 use japonica_profiler::LoopProfile;
 use japonica_tls::{run_privatized_with, run_tls_loop_guarded_with, SpeculativeMemory};
@@ -180,16 +180,24 @@ pub(crate) fn exec_chunk_buffered<'h>(
 ) -> Result<japonica_cpuexec::BufferedBackend<'h>, ExecError> {
     let mut be = japonica_cpuexec::BufferedBackend::new(heap);
     let mut cenv = env.clone();
-    let compiled = if ccfg.engine == ExecEngine::Bytecode {
+    let compiled = if ccfg.engine == ExecEngine::TreeWalker {
+        None
+    } else {
         kernels.get_or_compile(program, loop_)
+    };
+    let native = if ccfg.engine == ExecEngine::Native {
+        kernels.native_tier::<NativeKernel, _>(loop_.id.0, compile_native)
     } else {
         None
     };
-    match &compiled {
-        Some(k) => {
+    match (&native, &compiled) {
+        (Some(nk), _) => {
+            NativeVm::new().exec_range(nk, loop_.var, bounds, lo, hi, &mut cenv, &mut be)?;
+        }
+        (None, Some(k)) => {
             ScalarVm::new().exec_range(k, loop_.var, bounds, lo, hi, &mut cenv, &mut be)?;
         }
-        None => {
+        (None, None) => {
             Interp::new(program).exec_range(loop_, bounds, lo, hi, &mut cenv, &mut be)?;
         }
     }

@@ -1,26 +1,40 @@
-//! Differential property tests for the two kernel execution engines.
+//! Differential property tests for the three kernel execution engines.
 //!
 //! Random kernels — generated from a proptest byte genome covering nested
 //! control flow, short-circuit conditions, intrinsics, helper calls, and
 //! mixed int/double arithmetic — must produce *bit-identical* results under
-//! the reference tree walker and the register bytecode VM:
+//! the reference tree walker, the register bytecode VM, and the threaded-code
+//! native tier:
 //!
 //! * GPU path: device memory, `GpuStats`, and every simulated cycle count,
-//!   at `host_threads ∈ {1, 4}`;
+//!   at `host_threads ∈ {1, 4}`, both with an up-front native compile and
+//!   through the `KernelCache` hit-counter promotion path;
 //! * CPU path: heap memory, op counts, and modeled time for both the
 //!   sequential executor and the chunked parallel executor;
 //! * TLS path: identical rollback decisions (violations, recovery windows,
 //!   kernels launched) and committed memory on a loop with a seeded
-//!   cross-iteration dependence.
+//!   cross-iteration dependence;
+//! * fault-retry path: identical injected-fault surfacing and identical
+//!   post-retry results on both the GPU and CPU guarded executors.
 
-use japonica_cpuexec::{run_parallel, run_sequential, CpuConfig, CpuReport};
+use japonica_cpuexec::{
+    run_parallel, run_parallel_guarded, run_sequential, CpuConfig, CpuExecError, CpuReport,
+};
+use japonica_faults::{FaultKind, FaultOrigin, FaultPlan, FaultRule};
 use japonica_frontend::compile_source;
-use japonica_gpusim::{launch_loop_par, DeviceConfig, DeviceMemory, KernelReport};
+use japonica_gpusim::{
+    launch_loop_guarded, launch_loop_par, launch_loop_par_with, DeviceConfig, DeviceMemory,
+    KernelReport,
+};
 use japonica_ir::{
-    compile_kernel, ArrayId, Env, ExecEngine, ForLoop, Heap, LoopBounds, Program, Value,
+    compile_kernel, ArrayId, Env, ExecEngine, ForLoop, Heap, KernelCache, LoopBounds, Program,
+    Value, NATIVE_PROMOTE_USES,
 };
 use japonica_tls::{run_tls_loop, TlsConfig, TlsReport};
 use proptest::prelude::*;
+
+/// The two compiled engines, each diffed against the tree walker.
+const COMPILED_ENGINES: [ExecEngine; 2] = [ExecEngine::Bytecode, ExecEngine::Native];
 
 // ---------------------------------------------------------------------------
 // Random kernel generator
@@ -299,6 +313,37 @@ fn run_gpu(fx: &Fx, engine: ExecEngine, threads: usize) -> (KernelReport, Vec<u6
     (r, mem)
 }
 
+/// [`run_gpu`] through a shared [`KernelCache`], exercising the demand-driven
+/// tier-promotion path rather than the uncached up-front native compile.
+fn run_gpu_cached(
+    fx: &Fx,
+    engine: ExecEngine,
+    threads: usize,
+    kernels: &KernelCache,
+) -> (KernelReport, Vec<u64>) {
+    let mut cfg = DeviceConfig::default();
+    cfg.sim.engine = engine;
+    cfg.sim.host_threads = threads;
+    let mut dev = DeviceMemory::new();
+    dev.copy_in(&fx.heap, fx.a, 0, fx.n, &cfg).unwrap();
+    dev.copy_in(&fx.heap, fx.b, 0, fx.n, &cfg).unwrap();
+    let r = launch_loop_par_with(
+        &fx.program,
+        &cfg,
+        &fx.loop_,
+        &fx.bounds,
+        0..fx.n as u64,
+        &fx.env,
+        &mut dev,
+        None,
+        None,
+        Some(kernels),
+    )
+    .unwrap();
+    let mem = mem_bits(&dev, fx.a);
+    (r, mem)
+}
+
 // ---------------------------------------------------------------------------
 // CPU path
 // ---------------------------------------------------------------------------
@@ -431,9 +476,9 @@ fn run_tls(n: i64, dist: i64, subloop: u64, engine: ExecEngine) -> (TlsFingerpri
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
-    /// GPU path: for random kernels the bytecode SIMT VM and the tree
-    /// walker agree on memory bits, `GpuStats`, and cycle bit patterns at
-    /// `host_threads ∈ {1, 4}`.
+    /// GPU path: for random kernels the bytecode SIMT VM, the native tier,
+    /// and the tree walker agree on memory bits, `GpuStats`, and cycle bit
+    /// patterns at `host_threads ∈ {1, 4}`.
     #[test]
     fn gpu_engines_bit_identical(
         genes in proptest::collection::vec(any::<u8>(), 8..64),
@@ -442,26 +487,40 @@ proptest! {
         let src = gen_kernel(&genes);
         let fx = fx(&src, n);
         // The generated grammar stays inside the compilable subset: assert
-        // it so the bytecode leg genuinely exercises the VM (an
-        // uncompilable kernel would silently fall back to the walker).
+        // it so the compiled legs genuinely exercise the VM and native tier
+        // (an uncompilable kernel would silently fall back to the walker).
         prop_assert!(
             compile_kernel(&fx.program, &fx.loop_).is_ok(),
             "generated kernel must compile to bytecode:\n{}", src
         );
         for threads in [1usize, 4] {
             let (rw, mw) = run_gpu(&fx, ExecEngine::TreeWalker, threads);
-            let (rb, mb) = run_gpu(&fx, ExecEngine::Bytecode, threads);
-            prop_assert_eq!(&rw.stats, &rb.stats, "GpuStats diverged at {} threads:\n{}", threads, &src);
-            prop_assert_eq!(
-                rw.critical_cycles.to_bits(), rb.critical_cycles.to_bits(),
-                "critical cycles diverged at {} threads:\n{}", threads, &src
-            );
-            prop_assert_eq!(
-                rw.time_s.to_bits(), rb.time_s.to_bits(),
-                "kernel time diverged at {} threads:\n{}", threads, &src
-            );
-            prop_assert_eq!(&rw, &rb, "report diverged at {} threads:\n{}", threads, &src);
-            prop_assert_eq!(&mw, &mb, "memory diverged at {} threads:\n{}", threads, &src);
+            for engine in COMPILED_ENGINES {
+                let (rb, mb) = run_gpu(&fx, engine, threads);
+                prop_assert_eq!(
+                    &rw.stats, &rb.stats,
+                    "{:?} GpuStats diverged at {} threads:\n{}", engine, threads, &src
+                );
+                prop_assert_eq!(
+                    rw.critical_cycles.to_bits(), rb.critical_cycles.to_bits(),
+                    "{:?} critical cycles diverged at {} threads:\n{}", engine, threads, &src
+                );
+                prop_assert_eq!(
+                    rw.time_s.to_bits(), rb.time_s.to_bits(),
+                    "{:?} kernel time diverged at {} threads:\n{}", engine, threads, &src
+                );
+                prop_assert_eq!(&rw, &rb, "{:?} report diverged at {} threads:\n{}", engine, threads, &src);
+                prop_assert_eq!(&mw, &mb, "{:?} memory diverged at {} threads:\n{}", engine, threads, &src);
+            }
+            // Demand-driven promotion: warm a shared cache past the
+            // threshold so this launch resolves native via the hit counter.
+            let cache = KernelCache::new();
+            for _ in 0..NATIVE_PROMOTE_USES {
+                cache.get_or_compile(&fx.program, &fx.loop_);
+            }
+            let (rn, mn) = run_gpu_cached(&fx, ExecEngine::Native, threads, &cache);
+            prop_assert_eq!(&rw, &rn, "promoted-native report diverged at {} threads:\n{}", threads, &src);
+            prop_assert_eq!(&mw, &mn, "promoted-native memory diverged at {} threads:\n{}", threads, &src);
         }
     }
 
@@ -479,18 +538,22 @@ proptest! {
             "generated kernel must compile to bytecode:\n{}", src
         );
         let (fw, mw) = run_cpu_seq(&fx, ExecEngine::TreeWalker);
-        let (fb, mb) = run_cpu_seq(&fx, ExecEngine::Bytecode);
-        prop_assert_eq!(&fw, &fb, "sequential report diverged:\n{}", &src);
-        prop_assert_eq!(&mw, &mb, "sequential memory diverged:\n{}", &src);
+        for engine in COMPILED_ENGINES {
+            let (fb, mb) = run_cpu_seq(&fx, engine);
+            prop_assert_eq!(&fw, &fb, "{:?} sequential report diverged:\n{}", engine, &src);
+            prop_assert_eq!(&mw, &mb, "{:?} sequential memory diverged:\n{}", engine, &src);
+        }
         for threads in [1u32, 4] {
             let (fw, mw) = run_cpu_par(&fx, ExecEngine::TreeWalker, threads);
-            let (fb, mb) = run_cpu_par(&fx, ExecEngine::Bytecode, threads);
-            prop_assert_eq!(&fw, &fb, "parallel report diverged at {} threads:\n{}", threads, &src);
-            prop_assert_eq!(&mw, &mb, "parallel memory diverged at {} threads:\n{}", threads, &src);
+            for engine in COMPILED_ENGINES {
+                let (fb, mb) = run_cpu_par(&fx, engine, threads);
+                prop_assert_eq!(&fw, &fb, "{:?} parallel report diverged at {} threads:\n{}", engine, threads, &src);
+                prop_assert_eq!(&mw, &mb, "{:?} parallel memory diverged at {} threads:\n{}", engine, threads, &src);
+            }
         }
     }
 
-    /// TLS path: on loops with true cross-iteration dependences both
+    /// TLS path: on loops with true cross-iteration dependences all three
     /// engines make identical rollback decisions and commit identical
     /// memory.
     #[test]
@@ -500,8 +563,90 @@ proptest! {
         subloop in prop_oneof![Just(64u64), Just(256u64)],
     ) {
         let (fw, mw) = run_tls(n, dist, subloop, ExecEngine::TreeWalker);
-        let (fb, mb) = run_tls(n, dist, subloop, ExecEngine::Bytecode);
-        prop_assert_eq!(&fw, &fb, "rollback decisions diverged (n={}, dist={})", n, dist);
-        prop_assert_eq!(&mw, &mb, "committed memory diverged (n={}, dist={})", n, dist);
+        for engine in COMPILED_ENGINES {
+            let (fb, mb) = run_tls(n, dist, subloop, engine);
+            prop_assert_eq!(&fw, &fb, "{:?} rollback decisions diverged (n={}, dist={})", engine, n, dist);
+            prop_assert_eq!(&mw, &mb, "{:?} committed memory diverged (n={}, dist={})", engine, n, dist);
+        }
+    }
+
+    /// Fault-retry path: a transient injected fault surfaces identically
+    /// under every engine, and the retry that follows produces identical
+    /// results — on both the guarded GPU launch and the guarded CPU
+    /// executor.
+    #[test]
+    fn fault_retry_paths_engine_invariant(
+        genes in proptest::collection::vec(any::<u8>(), 8..48),
+        n in 33usize..300,
+    ) {
+        let src = gen_kernel(&genes);
+        let fx = fx(&src, n);
+        prop_assert!(
+            compile_kernel(&fx.program, &fx.loop_).is_ok(),
+            "generated kernel must compile to bytecode:\n{}", src
+        );
+
+        // GPU: transient launch fault fires once, retry succeeds.
+        let mut gpu_runs = Vec::new();
+        for engine in [ExecEngine::TreeWalker, ExecEngine::Bytecode, ExecEngine::Native] {
+            let mut cfg = DeviceConfig::default();
+            cfg.sim.engine = engine;
+            let mut dev = DeviceMemory::new();
+            dev.copy_in(&fx.heap, fx.a, 0, fx.n, &cfg).unwrap();
+            dev.copy_in(&fx.heap, fx.b, 0, fx.n, &cfg).unwrap();
+            let plan = FaultPlan::new(9, vec![FaultRule::transient(FaultKind::KernelLaunch, 1)]);
+            let launch = |dev: &mut DeviceMemory| {
+                launch_loop_guarded(
+                    &fx.program, &cfg, &fx.loop_, &fx.bounds, 0..fx.n as u64,
+                    &fx.env, dev, Some(&plan), None,
+                )
+            };
+            let first = launch(&mut dev);
+            prop_assert!(first.is_err(), "{:?}: injected launch fault did not surface", engine);
+            let retry = launch(&mut dev);
+            prop_assert!(retry.is_ok(), "{:?}: retry after transient fault failed", engine);
+            gpu_runs.push((
+                format!("{:?}", first.err()),
+                retry.ok(),
+                mem_bits(&dev, fx.a),
+            ));
+        }
+        for (engine, run) in COMPILED_ENGINES.iter().zip(&gpu_runs[1..]) {
+            prop_assert_eq!(&gpu_runs[0].0, &run.0, "{:?} fault surfaced differently:\n{}", engine, &src);
+            prop_assert_eq!(&gpu_runs[0].1, &run.1, "{:?} post-retry report diverged:\n{}", engine, &src);
+            prop_assert_eq!(&gpu_runs[0].2, &run.2, "{:?} post-retry memory diverged:\n{}", engine, &src);
+        }
+
+        // CPU: transient worker-chunk fault fires once, retry succeeds.
+        let mut cpu_runs = Vec::new();
+        for engine in [ExecEngine::TreeWalker, ExecEngine::Bytecode, ExecEngine::Native] {
+            let mut cfg = CpuConfig::default();
+            cfg.engine = engine;
+            let mut heap = fx.heap.clone();
+            let plan = FaultPlan::new(9, vec![FaultRule::transient(FaultKind::CpuChunk, 1)]);
+            let run = |heap: &mut Heap| {
+                run_parallel_guarded(
+                    &fx.program, &cfg, &fx.loop_, &fx.bounds, 0..fx.n as u64,
+                    &fx.env, heap, 4, Some(&plan), FaultOrigin::default(),
+                )
+            };
+            let first = run(&mut heap);
+            prop_assert!(
+                matches!(&first, Err(CpuExecError::Fault(f)) if f.kind == FaultKind::CpuChunk),
+                "{:?}: injected chunk fault did not surface", engine
+            );
+            let retry = run(&mut heap);
+            prop_assert!(retry.is_ok(), "{:?}: retry after transient fault failed", engine);
+            cpu_runs.push((
+                format!("{:?}", first.err()),
+                retry.ok().map(|r| CpuFingerprint::of(&r)),
+                heap_bits(&heap, fx.a),
+            ));
+        }
+        for (engine, run) in COMPILED_ENGINES.iter().zip(&cpu_runs[1..]) {
+            prop_assert_eq!(&cpu_runs[0].0, &run.0, "{:?} fault surfaced differently:\n{}", engine, &src);
+            prop_assert_eq!(&cpu_runs[0].1, &run.1, "{:?} post-retry report diverged:\n{}", engine, &src);
+            prop_assert_eq!(&cpu_runs[0].2, &run.2, "{:?} post-retry memory diverged:\n{}", engine, &src);
+        }
     }
 }

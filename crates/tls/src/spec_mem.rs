@@ -1,9 +1,19 @@
 //! Speculative memory: per-iteration write buffers + access metadata for
 //! the dependency-checking phase.
+//!
+//! The metadata store is struct-of-arrays: one dense per-element slot
+//! vector per touched array (writer timestamp pairs, reader records) with
+//! bitsets marking touched elements, instead of one global
+//! `BTreeMap<(ArrayId, i64), _>` keyed by location. The SE-phase hot path
+//! (one record per global read/write) is then an array index plus a small
+//! sorted-vec insert, and the DC phase walks set bits instead of tree
+//! nodes. Semantics are pinned bit-identical to the map-based reference
+//! (see the `matches_map_based_reference_model` test).
 
 use japonica_gpusim::{AccessCtx, DeviceMemory, LaneMemory, ParallelLaneMemory};
 use japonica_ir::{ArrayId, ExecError, Value};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// A flattened, iteration-ordered list of `(location, value)` writes.
 pub type WriteList = Vec<((ArrayId, i64), Value)>;
@@ -66,57 +76,178 @@ pub struct DepStats {
     pub inter_warp_td: u64,
 }
 
-/// The SE-phase memory wrapper: buffers all stores per iteration and logs
-/// global reads and writes for the DC phase.
-pub struct SpeculativeMemory<'d> {
-    base: &'d mut DeviceMemory,
-    /// iter -> ordered buffered writes.
-    writes: BTreeMap<u64, BTreeMap<(ArrayId, i64), Value>>,
-    /// location -> iterations that wrote it.
-    writers: BTreeMap<(ArrayId, i64), BTreeSet<(u64, u32)>>,
-    /// location -> iterations that read it from global memory.
-    readers: BTreeMap<(ArrayId, i64), Vec<ReadRec>>,
-    overhead_cycles: f64,
+/// Fixed-capacity bitset over one array's element indices.
+#[derive(Debug, Clone, Default)]
+struct BitSet {
+    words: Vec<u64>,
 }
 
-impl<'d> SpeculativeMemory<'d> {
-    /// Wrap device memory for one sub-loop's speculative execution.
-    pub fn new(base: &'d mut DeviceMemory, overhead_cycles: f64) -> SpeculativeMemory<'d> {
-        SpeculativeMemory {
-            base,
-            writes: BTreeMap::new(),
-            writers: BTreeMap::new(),
-            readers: BTreeMap::new(),
-            overhead_cycles,
+impl BitSet {
+    fn with_len(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
         }
     }
 
-    /// Number of metadata entries recorded so far.
-    pub fn entries(&self) -> u64 {
-        let w: usize = self.writers.values().map(|s| s.len()).sum();
-        let r: usize = self.readers.values().map(|v| v.len()).sum();
-        (w + r) as u64
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1u64 << (i % 64);
     }
 
-    /// Total buffered writes.
-    pub fn buffered_writes(&self) -> u64 {
-        self.writes.values().map(|m| m.len() as u64).sum()
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
     }
 
-    /// The DC phase: find read-after-write violations — a read by iteration
-    /// `r` of a location some iteration `w < r` wrote during this sub-loop.
-    /// Such a read observed the pre-sub-loop value instead of `w`'s update.
-    pub fn check(&self) -> DcOutcome {
+    /// Set bit positions, ascending.
+    fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    fn union(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+}
+
+/// Struct-of-arrays access metadata for one device array: per-element
+/// writer `(iter, warp)` pairs (sorted ascending, mirroring the reference
+/// `BTreeSet` order) and reader records (append order), with touched-bit
+/// tracking so the DC scan only visits elements that saw traffic. Untouched
+/// element slots are empty `Vec`s and thus allocation-free.
+#[derive(Debug, Clone)]
+struct ArrayMeta {
+    writers: Vec<Vec<(u64, u32)>>,
+    readers: Vec<Vec<ReadRec>>,
+    touched_w: BitSet,
+    touched_r: BitSet,
+    n_writers: u64,
+    n_readers: u64,
+}
+
+impl ArrayMeta {
+    fn new(len: usize) -> ArrayMeta {
+        ArrayMeta {
+            writers: vec![Vec::new(); len],
+            readers: vec![Vec::new(); len],
+            touched_w: BitSet::with_len(len),
+            touched_r: BitSet::with_len(len),
+            n_writers: 0,
+            n_readers: 0,
+        }
+    }
+
+    fn record_read(&mut self, idx: usize, rec: ReadRec) {
+        self.readers[idx].push(rec);
+        self.touched_r.set(idx);
+        self.n_readers += 1;
+    }
+
+    fn record_write(&mut self, idx: usize, iter: u64, warp: u32) {
+        let ws = &mut self.writers[idx];
+        if let Err(pos) = ws.binary_search(&(iter, warp)) {
+            ws.insert(pos, (iter, warp));
+            self.touched_w.set(idx);
+            self.n_writers += 1;
+        }
+    }
+
+    /// Merge another warp's metadata for the same array. Reader lists are
+    /// appended (the caller absorbs deltas in warp order, reproducing the
+    /// sequential append order per location); writer sets are disjoint
+    /// across warps but merged defensively.
+    fn merge(&mut self, other: ArrayMeta) {
+        for i in other.touched_w.iter_ones() {
+            for &(iter, warp) in &other.writers[i] {
+                self.record_write(i, iter, warp);
+            }
+        }
+        for i in other.touched_r.iter_ones() {
+            self.n_readers += other.readers[i].len() as u64;
+            self.readers[i].extend_from_slice(&other.readers[i]);
+        }
+        self.touched_w.union(&other.touched_w);
+        self.touched_r.union(&other.touched_r);
+    }
+}
+
+/// One iteration's buffered writes, sorted by location (so commits walk
+/// locations in the same `(array, index)` order as the map-based
+/// reference).
+type IterBuf = Vec<((ArrayId, i64), Value)>;
+
+/// The shared bookkeeping core behind [`SpeculativeMemory`] and
+/// [`SpecView`]: per-iteration write buffers plus per-array SoA metadata.
+#[derive(Debug, Default)]
+struct SpecCore {
+    /// iter -> buffered writes of that iteration, location-sorted.
+    writes: BTreeMap<u64, IterBuf>,
+    meta: BTreeMap<ArrayId, ArrayMeta>,
+}
+
+impl SpecCore {
+    fn entries(&self) -> u64 {
+        self.meta.values().map(|m| m.n_writers + m.n_readers).sum()
+    }
+
+    fn buffered_writes(&self) -> u64 {
+        self.writes.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Read-your-own-write lookup in `iter`'s buffer.
+    fn read_own(&self, iter: u64, arr: ArrayId, idx: i64) -> Option<Value> {
+        let buf = self.writes.get(&iter)?;
+        buf.binary_search_by_key(&(arr, idx), |&(loc, _)| loc)
+            .ok()
+            .map(|p| buf[p].1)
+    }
+
+    /// Ensure dense metadata exists for `arr` (slots sized to `len`).
+    fn touch_array(&mut self, arr: ArrayId, len: usize) -> &mut ArrayMeta {
+        self.meta.entry(arr).or_insert_with(|| ArrayMeta::new(len))
+    }
+
+    fn record_read(&mut self, arr: ArrayId, idx: i64, len: usize, iter: u64, warp: u32) {
+        self.touch_array(arr, len)
+            .record_read(idx as usize, ReadRec { iter, warp });
+    }
+
+    fn record_write(&mut self, arr: ArrayId, idx: i64, len: usize, v: Value, iter: u64, warp: u32) {
+        self.touch_array(arr, len)
+            .record_write(idx as usize, iter, warp);
+        let buf = self.writes.entry(iter).or_default();
+        match buf.binary_search_by_key(&(arr, idx), |&(loc, _)| loc) {
+            Ok(p) => buf[p].1 = v,
+            Err(p) => buf.insert(p, ((arr, idx), v)),
+        }
+    }
+
+    fn check(&self) -> DcOutcome {
         let mut out = DcOutcome {
             entries_scanned: self.entries(),
             ..DcOutcome::default()
         };
         let mut violators: BTreeSet<u64> = BTreeSet::new();
-        for (loc, readers) in &self.readers {
-            if let Some(writers) = self.writers.get(loc) {
-                for r in readers {
+        for m in self.meta.values() {
+            for i in m.touched_r.iter_ones() {
+                if !m.touched_w.get(i) {
+                    continue;
+                }
+                let ws = &m.writers[i];
+                for r in &m.readers[i] {
                     // Latest writer strictly earlier than the reader, if any.
-                    if let Some(&(w_iter, w_warp)) = writers.range(..(r.iter, 0u32)).next_back() {
+                    let p = ws.partition_point(|&w| w < (r.iter, 0u32));
+                    if p > 0 {
+                        let (w_iter, w_warp) = ws[p - 1];
                         debug_assert!(w_iter < r.iter);
                         violators.insert(r.iter);
                         if w_warp == r.warp {
@@ -132,21 +263,21 @@ impl<'d> SpeculativeMemory<'d> {
         out
     }
 
-    /// Full dependence classification of the recorded accesses, used by the
-    /// dynamic profiler (the DC phase only needs the RAW subset).
-    pub fn dependence_stats(&self) -> DepStats {
+    fn dependence_stats(&self) -> DepStats {
         let mut st = DepStats::default();
-        for (loc, readers) in &self.readers {
-            let writers = self.writers.get(loc);
-            for r in readers {
-                if let Some(ws) = writers {
+        for (&arr, m) in &self.meta {
+            for i in m.touched_r.iter_ones() {
+                let ws = &m.writers[i];
+                for r in &m.readers[i] {
                     // RAW: latest earlier writer.
-                    if let Some(&(w_iter, w_warp)) = ws.range(..(r.iter, 0u32)).next_back() {
+                    let p = ws.partition_point(|&w| w < (r.iter, 0u32));
+                    if p > 0 {
+                        let (w_iter, w_warp) = ws[p - 1];
                         debug_assert!(w_iter < r.iter);
                         st.raw_pairs += 1;
                         st.td_iters.insert(r.iter);
                         *st.td_distances.entry(r.iter - w_iter).or_insert(0) += 1;
-                        *st.td_by_array.entry(loc.0).or_insert(0) += 1;
+                        *st.td_by_array.entry(arr).or_insert(0) += 1;
                         if w_warp == r.warp {
                             st.intra_warp_td += 1;
                         } else {
@@ -154,23 +285,99 @@ impl<'d> SpeculativeMemory<'d> {
                         }
                     }
                     // WAR: earliest later writer (that write is anti-dependent).
-                    if let Some(&(w_iter, _)) = ws.range((r.iter + 1, 0u32)..).next() {
+                    let q = ws.partition_point(|&w| w < (r.iter + 1, 0u32));
+                    if q < ws.len() {
+                        let (w_iter, _) = ws[q];
                         debug_assert!(w_iter > r.iter);
                         st.war_pairs += 1;
                         st.fd_iters.insert(w_iter);
                     }
                 }
             }
-        }
-        for ws in self.writers.values() {
-            if ws.len() > 1 {
-                st.waw_pairs += ws.len() as u64 - 1;
-                for &(w, _) in ws.iter().skip(1) {
-                    st.fd_iters.insert(w);
+            for i in m.touched_w.iter_ones() {
+                let ws = &m.writers[i];
+                if ws.len() > 1 {
+                    st.waw_pairs += ws.len() as u64 - 1;
+                    for &(w, _) in ws.iter().skip(1) {
+                        st.fd_iters.insert(w);
+                    }
                 }
             }
         }
         st
+    }
+
+    fn merge(&mut self, other: SpecCore) {
+        for (iter, buf) in other.writes {
+            match self.writes.entry(iter) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(buf);
+                }
+                // Iteration keys are disjoint across warps (one iteration,
+                // one warp); merge defensively anyway.
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let dst = e.get_mut();
+                    for (loc, v) in buf {
+                        match dst.binary_search_by_key(&loc, |&(l, _)| l) {
+                            Ok(p) => dst[p].1 = v,
+                            Err(p) => dst.insert(p, (loc, v)),
+                        }
+                    }
+                }
+            }
+        }
+        for (arr, dm) in other.meta {
+            match self.meta.entry(arr) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(dm);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(dm);
+                }
+            }
+        }
+    }
+}
+
+/// The SE-phase memory wrapper: buffers all stores per iteration and logs
+/// global reads and writes for the DC phase.
+pub struct SpeculativeMemory<'d> {
+    base: &'d mut DeviceMemory,
+    core: SpecCore,
+    overhead_cycles: f64,
+}
+
+impl<'d> SpeculativeMemory<'d> {
+    /// Wrap device memory for one sub-loop's speculative execution.
+    pub fn new(base: &'d mut DeviceMemory, overhead_cycles: f64) -> SpeculativeMemory<'d> {
+        SpeculativeMemory {
+            base,
+            core: SpecCore::default(),
+            overhead_cycles,
+        }
+    }
+
+    /// Number of metadata entries recorded so far.
+    pub fn entries(&self) -> u64 {
+        self.core.entries()
+    }
+
+    /// Total buffered writes.
+    pub fn buffered_writes(&self) -> u64 {
+        self.core.buffered_writes()
+    }
+
+    /// The DC phase: find read-after-write violations — a read by iteration
+    /// `r` of a location some iteration `w < r` wrote during this sub-loop.
+    /// Such a read observed the pre-sub-loop value instead of `w`'s update.
+    pub fn check(&self) -> DcOutcome {
+        self.core.check()
+    }
+
+    /// Full dependence classification of the recorded accesses, used by the
+    /// dynamic profiler (the DC phase only needs the RAW subset).
+    pub fn dependence_stats(&self) -> DepStats {
+        self.core.dependence_stats()
     }
 
     /// Commit phase: apply buffered writes of iterations `< upto` to global
@@ -178,7 +385,7 @@ impl<'d> SpeculativeMemory<'d> {
     /// values copied.
     pub fn commit_prefix(self, upto: u64) -> Result<u64, ExecError> {
         let mut copied = 0u64;
-        for (iter, writes) in self.writes {
+        for (iter, writes) in self.core.writes {
             if iter >= upto {
                 break;
             }
@@ -206,7 +413,7 @@ impl<'d> SpeculativeMemory<'d> {
     /// sharing scheduler does both).
     pub fn commit_all_collect(self) -> Result<WriteList, ExecError> {
         let mut out = Vec::new();
-        for (iter, writes) in self.writes {
+        for (iter, writes) in self.core.writes {
             for ((arr, idx), v) in writes {
                 let ctx = AccessCtx {
                     lane: 0,
@@ -230,34 +437,26 @@ impl<'d> SpeculativeMemory<'d> {
 /// for every `host_threads` value.
 pub struct SpecView<'v> {
     base: &'v DeviceMemory,
-    writes: BTreeMap<u64, BTreeMap<(ArrayId, i64), Value>>,
-    writers: BTreeMap<(ArrayId, i64), BTreeSet<(u64, u32)>>,
-    readers: BTreeMap<(ArrayId, i64), Vec<ReadRec>>,
+    core: SpecCore,
     overhead_cycles: f64,
 }
 
 /// One warp's harvested speculative effects: buffered writes plus the
 /// read/write metadata the DC phase scans.
 pub struct SpecDelta {
-    writes: BTreeMap<u64, BTreeMap<(ArrayId, i64), Value>>,
-    writers: BTreeMap<(ArrayId, i64), BTreeSet<(u64, u32)>>,
-    readers: BTreeMap<(ArrayId, i64), Vec<ReadRec>>,
+    core: SpecCore,
 }
 
 impl LaneMemory for SpecView<'_> {
     fn load(&mut self, ctx: AccessCtx, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
         // Read-your-own-write: iterations never span warps, so the warp's
         // local buffer is authoritative for its own iterations.
-        if let Some(buf) = self.writes.get(&ctx.iter) {
-            if let Some(v) = buf.get(&(arr, idx)) {
-                return Ok(*v);
-            }
+        if let Some(v) = self.core.read_own(ctx.iter, arr, idx) {
+            return Ok(v);
         }
         let v = self.base.peek(arr, idx)?;
-        self.readers.entry((arr, idx)).or_default().push(ReadRec {
-            iter: ctx.iter,
-            warp: ctx.warp,
-        });
+        let len = self.base.array_len(arr)?;
+        self.core.record_read(arr, idx, len, ctx.iter, ctx.warp);
         Ok(v)
     }
 
@@ -270,14 +469,7 @@ impl LaneMemory for SpecView<'_> {
                 len,
             });
         }
-        self.writers
-            .entry((arr, idx))
-            .or_default()
-            .insert((ctx.iter, ctx.warp));
-        self.writes
-            .entry(ctx.iter)
-            .or_default()
-            .insert((arr, idx), v);
+        self.core.record_write(arr, idx, len, v, ctx.iter, ctx.warp);
         Ok(())
     }
 
@@ -304,35 +496,21 @@ impl ParallelLaneMemory for SpeculativeMemory<'_> {
     fn fork(&self) -> SpecView<'_> {
         SpecView {
             base: &*self.base,
-            writes: BTreeMap::new(),
-            writers: BTreeMap::new(),
-            readers: BTreeMap::new(),
+            core: SpecCore::default(),
             overhead_cycles: self.overhead_cycles,
         }
     }
 
     fn harvest(view: SpecView<'_>) -> SpecDelta {
-        SpecDelta {
-            writes: view.writes,
-            writers: view.writers,
-            readers: view.readers,
-        }
+        SpecDelta { core: view.core }
     }
 
     fn absorb(&mut self, delta: SpecDelta) -> Result<(), ExecError> {
         // Iteration keys are disjoint across warps (one iteration, one
-        // warp) and the per-location maps/sets are order-independent; the
+        // warp) and the per-location writer sets are order-independent; the
         // reader lists are appended in warp order by the caller's contract,
         // reproducing the sequential append order per location.
-        for (iter, buf) in delta.writes {
-            self.writes.entry(iter).or_default().extend(buf);
-        }
-        for (loc, set) in delta.writers {
-            self.writers.entry(loc).or_default().extend(set);
-        }
-        for (loc, recs) in delta.readers {
-            self.readers.entry(loc).or_default().extend(recs);
-        }
+        self.core.merge(delta.core);
         Ok(())
     }
 }
@@ -340,17 +518,13 @@ impl ParallelLaneMemory for SpeculativeMemory<'_> {
 impl LaneMemory for SpeculativeMemory<'_> {
     fn load(&mut self, ctx: AccessCtx, arr: ArrayId, idx: i64) -> Result<Value, ExecError> {
         // Read-your-own-write: the thread's buffered update wins.
-        if let Some(buf) = self.writes.get(&ctx.iter) {
-            if let Some(v) = buf.get(&(arr, idx)) {
-                return Ok(*v);
-            }
+        if let Some(v) = self.core.read_own(ctx.iter, arr, idx) {
+            return Ok(v);
         }
         // Global read: record metadata, then read the (stale) global value.
         let v = self.base.load(ctx, arr, idx)?;
-        self.readers.entry((arr, idx)).or_default().push(ReadRec {
-            iter: ctx.iter,
-            warp: ctx.warp,
-        });
+        let len = self.base.array_len(arr)?;
+        self.core.record_read(arr, idx, len, ctx.iter, ctx.warp);
         Ok(v)
     }
 
@@ -364,14 +538,7 @@ impl LaneMemory for SpeculativeMemory<'_> {
                 len,
             });
         }
-        self.writers
-            .entry((arr, idx))
-            .or_default()
-            .insert((ctx.iter, ctx.warp));
-        self.writes
-            .entry(ctx.iter)
-            .or_default()
-            .insert((arr, idx), v);
+        self.core.record_write(arr, idx, len, v, ctx.iter, ctx.warp);
         Ok(())
     }
 
@@ -515,5 +682,240 @@ mod tests {
             sm.store(ctx(0, 0), a, 9, Value::Long(1)),
             Err(ExecError::IndexOutOfBounds { .. })
         ));
+    }
+
+    /// The map-based bookkeeping the SoA core replaced, kept as an
+    /// executable specification: a global `(array, index)`-keyed writer
+    /// set / reader list pair with the original range queries.
+    #[derive(Default)]
+    struct MapModel {
+        writes: BTreeMap<u64, BTreeMap<(ArrayId, i64), Value>>,
+        writers: BTreeMap<(ArrayId, i64), BTreeSet<(u64, u32)>>,
+        readers: BTreeMap<(ArrayId, i64), Vec<ReadRec>>,
+    }
+
+    impl MapModel {
+        fn read(&mut self, iter: u64, warp: u32, arr: ArrayId, idx: i64) -> Option<Value> {
+            if let Some(v) = self.writes.get(&iter).and_then(|b| b.get(&(arr, idx))) {
+                return Some(*v);
+            }
+            self.readers
+                .entry((arr, idx))
+                .or_default()
+                .push(ReadRec { iter, warp });
+            None
+        }
+
+        fn write(&mut self, iter: u64, warp: u32, arr: ArrayId, idx: i64, v: Value) {
+            self.writers
+                .entry((arr, idx))
+                .or_default()
+                .insert((iter, warp));
+            self.writes.entry(iter).or_default().insert((arr, idx), v);
+        }
+
+        fn check(&self) -> DcOutcome {
+            let mut out = DcOutcome {
+                entries_scanned: (self.writers.values().map(|s| s.len()).sum::<usize>()
+                    + self.readers.values().map(|v| v.len()).sum::<usize>())
+                    as u64,
+                ..DcOutcome::default()
+            };
+            let mut violators: BTreeSet<u64> = BTreeSet::new();
+            for (loc, readers) in &self.readers {
+                if let Some(writers) = self.writers.get(loc) {
+                    for r in readers {
+                        if let Some(&(_, w_warp)) = writers.range(..(r.iter, 0u32)).next_back() {
+                            violators.insert(r.iter);
+                            if w_warp == r.warp {
+                                out.intra_warp += 1;
+                            } else {
+                                out.inter_warp += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            out.violating_iters = violators.into_iter().collect();
+            out
+        }
+
+        fn dependence_stats(&self) -> DepStats {
+            let mut st = DepStats::default();
+            for (loc, readers) in &self.readers {
+                let writers = self.writers.get(loc);
+                for r in readers {
+                    if let Some(ws) = writers {
+                        if let Some(&(w_iter, w_warp)) = ws.range(..(r.iter, 0u32)).next_back() {
+                            st.raw_pairs += 1;
+                            st.td_iters.insert(r.iter);
+                            *st.td_distances.entry(r.iter - w_iter).or_insert(0) += 1;
+                            *st.td_by_array.entry(loc.0).or_insert(0) += 1;
+                            if w_warp == r.warp {
+                                st.intra_warp_td += 1;
+                            } else {
+                                st.inter_warp_td += 1;
+                            }
+                        }
+                        if let Some(&(w_iter, _)) = ws.range((r.iter + 1, 0u32)..).next() {
+                            st.war_pairs += 1;
+                            st.fd_iters.insert(w_iter);
+                        }
+                    }
+                }
+            }
+            for ws in self.writers.values() {
+                if ws.len() > 1 {
+                    st.waw_pairs += ws.len() as u64 - 1;
+                    for &(w, _) in ws.iter().skip(1) {
+                        st.fd_iters.insert(w);
+                    }
+                }
+            }
+            st
+        }
+
+        fn commit_order(&self) -> Vec<(u64, (ArrayId, i64), Value)> {
+            let mut out = Vec::new();
+            for (&iter, writes) in &self.writes {
+                for (&loc, &v) in writes {
+                    out.push((iter, loc, v));
+                }
+            }
+            out
+        }
+    }
+
+    /// Deterministic pseudo-random access stream (xorshift, fixed seed).
+    fn access_stream(n: usize, arrays: usize, len: usize) -> Vec<(u64, u32, usize, i64, bool)> {
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        (0..n)
+            .map(|_| {
+                let iter = next() % 64;
+                let warp = (iter / 8) as u32;
+                let arr = (next() % arrays as u64) as usize;
+                let idx = (next() % len as u64) as i64;
+                let is_write = next() % 2 == 0;
+                (iter, warp, arr, idx, is_write)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_map_based_reference_model() {
+        // Drive the SoA core and the map-based executable spec through the
+        // same deterministic access stream and demand identical DC
+        // outcomes, dependence stats, and commit order — the determinism
+        // contract the rollback fingerprint tests build on.
+        let mut heap = Heap::new();
+        let arrs: Vec<ArrayId> = (0..3).map(|_| heap.alloc_longs(&[0; 32])).collect();
+        let mut dev = DeviceMemory::new();
+        for &a in &arrs {
+            dev.copy_in(&heap, a, 0, 32, &DeviceConfig::default())
+                .unwrap();
+        }
+        let mut sm = SpeculativeMemory::new(&mut dev, 8.0);
+        let mut model = MapModel::default();
+        for (iter, warp, ai, idx, is_write) in access_stream(4000, 3, 32) {
+            let arr = arrs[ai];
+            if is_write {
+                let v = Value::Long((iter * 1000 + idx as u64) as i64);
+                sm.store(ctx(iter, warp), arr, idx, v).unwrap();
+                model.write(iter, warp, arr, idx, v);
+            } else {
+                let got = sm.load(ctx(iter, warp), arr, idx).unwrap();
+                if let Some(own) = model.read(iter, warp, arr, idx) {
+                    assert_eq!(got, own, "own-buffer read diverged");
+                }
+            }
+        }
+        assert_eq!(sm.check(), model.check());
+        assert_eq!(sm.dependence_stats(), model.dependence_stats());
+        assert_eq!(
+            sm.entries(),
+            model.check().entries_scanned,
+            "entry count diverged"
+        );
+        // Commit order must match element-for-element (iteration ascending,
+        // location ascending within an iteration).
+        let expect = model.commit_order();
+        let mut flat = Vec::new();
+        for (&iter, buf) in &sm.core.writes {
+            for &(loc, v) in buf {
+                flat.push((iter, loc, v));
+            }
+        }
+        assert_eq!(flat, expect, "commit order diverged");
+    }
+
+    #[test]
+    fn fork_absorb_matches_sequential_recording() {
+        // Replaying per-warp slices through fork/harvest/absorb (in warp
+        // order) must leave bookkeeping identical to recording the whole
+        // stream sequentially.
+        let (mut dev_seq, _) = device_with_array(&[0; 32]);
+        let (mut dev_par, _) = device_with_array(&[0; 32]);
+        let mut heap = Heap::new();
+        let a = heap.alloc_longs(&[0; 32]);
+        dev_seq
+            .copy_in(&heap, a, 0, 32, &DeviceConfig::default())
+            .unwrap();
+        dev_par
+            .copy_in(&heap, a, 0, 32, &DeviceConfig::default())
+            .unwrap();
+        let stream = access_stream(1000, 1, 32);
+
+        let mut seq = SpeculativeMemory::new(&mut dev_seq, 8.0);
+        for &(iter, warp, _, idx, is_write) in &stream {
+            if is_write {
+                seq.store(ctx(iter, warp), a, idx, Value::Long(iter as i64))
+                    .unwrap();
+            } else {
+                seq.load(ctx(iter, warp), a, idx).unwrap();
+            }
+        }
+
+        let mut par = SpeculativeMemory::new(&mut dev_par, 8.0);
+        let warps: BTreeSet<u32> = stream.iter().map(|&(_, w, _, _, _)| w).collect();
+        let mut deltas = Vec::new();
+        for w in &warps {
+            let mut view = par.fork();
+            for &(iter, warp, _, idx, is_write) in &stream {
+                if warp != *w {
+                    continue;
+                }
+                if is_write {
+                    view.store(ctx(iter, warp), a, idx, Value::Long(iter as i64))
+                        .unwrap();
+                } else {
+                    view.load(ctx(iter, warp), a, idx).unwrap();
+                }
+            }
+            deltas.push(SpeculativeMemory::harvest(view));
+        }
+        for d in deltas {
+            par.absorb(d).unwrap();
+        }
+
+        assert_eq!(seq.check(), par.check());
+        assert_eq!(seq.dependence_stats(), par.dependence_stats());
+        assert_eq!(seq.entries(), par.entries());
+        assert_eq!(seq.buffered_writes(), par.buffered_writes());
+        let seq_n = seq.commit_all().unwrap();
+        let par_n = par.commit_all().unwrap();
+        assert_eq!(seq_n, par_n);
+        for i in 0..32 {
+            assert_eq!(
+                dev_seq.array(a).unwrap().get(i),
+                dev_par.array(a).unwrap().get(i),
+                "element {i} diverged after commit"
+            );
+        }
     }
 }
