@@ -334,7 +334,9 @@ const STEAL_MIN_COST: f64 = 16.0;
 /// earlier one writes), each with enough per-iteration work. This re-derives
 /// the paper's stealing choice for 2MM and Crypt; BICG's two kernels share
 /// inputs but are not chained, so the auto-annotator keeps the sharing
-/// default there (a performance hint, not a semantic difference).
+/// default there and records *why* as an evidence note (surfaced in the
+/// golden patches and by `bench --auto --explain`) — a performance hint,
+/// not a semantic difference.
 fn pick_scheme(props: &mut [Proposal]) {
     let top: Vec<usize> = props
         .iter()
@@ -357,6 +359,37 @@ fn pick_scheme(props: &mut [Proposal]) {
             .any(|&j| !reads(&props[j]).is_disjoint(&writes(&props[i])))
     });
     if !chained {
+        // The near-miss worth explaining: costly sibling kernels that
+        // share a read-only input (BICG's A, MVT's A) look like stealing
+        // candidates but have no producer→consumer chain to amortize, so
+        // the sharing default stands. Record the reasoning as evidence —
+        // a documented performance hint, not a semantic difference.
+        let all_writes: Vec<BTreeSet<String>> = top.iter().map(|&i| writes(&props[i])).collect();
+        let shared_ro: BTreeSet<String> = top
+            .iter()
+            .enumerate()
+            .flat_map(|(a, &i)| {
+                let r = reads(&props[i]);
+                top.iter()
+                    .enumerate()
+                    .filter(move |&(b, _)| b != a)
+                    .map(|(_, &j)| reads(&props[j]))
+                    .flat_map(move |other| r.intersection(&other).cloned().collect::<Vec<_>>())
+            })
+            .filter(|name| all_writes.iter().all(|w| !w.contains(name)))
+            .collect();
+        if !shared_ro.is_empty() {
+            let names: Vec<String> = shared_ro.into_iter().collect();
+            let note = format!(
+                "sibling loops share read-only input {} but are not chained; \
+                 keeping scheme(sharing) — stealing's queueing overhead has \
+                 no producer/consumer pipeline to amortize",
+                names.join(", ")
+            );
+            for &i in &top {
+                props[i].evidence.push(note.clone());
+            }
+        }
         return;
     }
     for &i in &top {

@@ -117,6 +117,37 @@ fn stealing_rederived_for_chained_pipelines() {
     }
 }
 
+/// The sharing-vs-stealing near-miss is *explained*, not silent: BICG and
+/// MVT (costly sibling kernels sharing read-only `a` with no
+/// producer→consumer chain) must carry the scheme-decision evidence note
+/// that `bench --auto --explain` and the golden patches surface. Chained
+/// pipelines carry the stealing rationale instead.
+#[test]
+fn unchained_shared_input_benchmarks_explain_the_sharing_default() {
+    for a in annotated() {
+        let notes: Vec<&String> = a.proposals.iter().flat_map(|p| p.evidence.iter()).collect();
+        match a.name {
+            "BICG" | "MVT" => {
+                assert!(
+                    notes
+                        .iter()
+                        .any(|e| e.contains("share read-only input a but are not chained")),
+                    "{}: missing scheme(sharing) rationale: {notes:?}",
+                    a.name
+                );
+            }
+            "2MM" | "Crypt" => {
+                assert!(
+                    notes.iter().any(|e| e.contains("task stealing amortizes")),
+                    "{}: missing stealing rationale: {notes:?}",
+                    a.name
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Every synthesized annotation must round-trip through the front end's
 /// annotation parser — the same grammar the hand annotations use.
 #[test]

@@ -59,7 +59,7 @@ fn usage() -> ! {
         "usage: bench [--quick] [--scale N] [--trials K] [--warmup W] [--threads N]\n\
          \x20            [--engine bytecode|interp|native] [--out PATH] [--gate BASELINE.json]\n\
          \x20            [--write-baseline PATH]\n\
-         \x20      bench --auto [--write-golden]\n\
+         \x20      bench --auto [--write-golden] [--explain]\n\
          \n\
          Runs every Table II workload under serial / CPU-16 / GPU / sharing /\n\
          stealing, reports median host wall-clock, and checks that the\n\
@@ -244,7 +244,10 @@ fn auto_corpus_dir() -> std::path::PathBuf {
 
 /// `--auto`: run the auto-parallelizer over the Table II corpus and diff
 /// (or, with `write`, regenerate) the golden bare sources and patches.
-fn auto_mode(write: bool) -> ExitCode {
+/// `explain` additionally prints every proposal's evidence chain — the
+/// analysis facts and scheme-decision notes (e.g. why BICG keeps
+/// `scheme(sharing)` despite its shared read-only input).
+fn auto_mode(write: bool, explain: bool) -> ExitCode {
     let all = match japonica_autopar::auto_annotate_all() {
         Ok(a) => a,
         Err(e) => {
@@ -264,6 +267,25 @@ fn auto_mode(write: bool) -> ExitCode {
             kinds.join(", ")
         );
         proposals += a.proposals.len();
+        if explain {
+            for p in &a.proposals {
+                eprintln!(
+                    "  {} {} line {} [{}]{}",
+                    p.function,
+                    p.loop_id,
+                    p.span.line,
+                    p.kind,
+                    if p.clauses.stealing {
+                        " scheme(stealing)"
+                    } else {
+                        ""
+                    }
+                );
+                for e in &p.evidence {
+                    eprintln!("    ; {e}");
+                }
+            }
+        }
         let bare_path = dir.join(format!("{}.java", a.slug));
         let patch_path = dir.join(format!("{}.golden.patch", a.slug));
         if write {
@@ -303,10 +325,16 @@ fn auto_mode(write: bool) -> ExitCode {
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.iter().any(|a| a == "--auto") {
-        if argv.iter().any(|a| a != "--auto" && a != "--write-golden") {
+        if argv
+            .iter()
+            .any(|a| a != "--auto" && a != "--write-golden" && a != "--explain")
+        {
             usage();
         }
-        return auto_mode(argv.iter().any(|a| a == "--write-golden"));
+        return auto_mode(
+            argv.iter().any(|a| a == "--write-golden"),
+            argv.iter().any(|a| a == "--explain"),
+        );
     }
     let o = parse_opts();
     let rev = git_rev();

@@ -30,21 +30,33 @@
 //!    rung-counter walk (attempts / retried / migrated / cpu-degraded),
 //!    and no quarantined device may receive an unforced lease.
 //!
+//! Open-loop mode (`--open --rate R --jobs N`) switches from the replay
+//! oracles to a saturation throughput benchmark: arrivals are paced by the
+//! *host* wall clock at `R` jobs/s, independent of completions (an open
+//! loop — the queue overflowing sheds load instead of slowing arrivals).
+//! The mix is duplicate-heavy (a small seeded pool of distinct program
+//! shapes, each arrival drawing one) and spread across weighted QoS
+//! tenants. The same mix runs twice — dedup + program-hash batching OFF,
+//! then ON — and every completed job in *both* arms must stay bit-identical
+//! to a solo virtual-clock run of the same shape. `--gate-speedup X` exits
+//! 5 when ON fails to reach `X`× the OFF arm's sustained jobs/s.
+//!
 //! Exit codes: 0 ok · 2 determinism, isolation, or embargo violation ·
-//! 3 accounting violation · 4 a phase failed to run.
+//! 3 accounting violation · 4 a phase failed to run · 5 speedup gate.
 
 use japonica_bench::{json_escape, json_f64};
 use japonica_faults::{FaultKind, FaultPlan, FaultRule};
 use japonica_scheduler::SchedulerConfig;
 use japonica_serve::{
-    simulate_batch, FleetConfig, JobRequest, ResourceRequest, Serve, ServeConfig, SimJobOutcome,
-    SimServeConfig,
+    simulate_batch, BatchConfig, DedupConfig, FleetConfig, JobRequest, QosConfig, Rejected,
+    ResourceRequest, Serve, ServeConfig, ServeStats, SimJobOutcome, SimServeConfig,
 };
 use japonica_workloads::Workload;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 struct Opts {
     rate: f64,
@@ -57,6 +69,9 @@ struct Opts {
     chaos: f64,
     json: Option<String>,
     quick: bool,
+    open: bool,
+    tenants: usize,
+    gate_speedup: Option<f64>,
 }
 
 fn usage() -> ! {
@@ -64,6 +79,9 @@ fn usage() -> ! {
         "usage: loadgen [--rate JOBS_PER_S] [--seed N] [--jobs N] [--scale N]\n\
          \x20              [--queue-cap N] [--workers N] [--devices N] [--chaos P]\n\
          \x20              [--json PATH] [--quick]\n\
+         \x20      loadgen --open --rate JOBS_PER_S --jobs N [--tenants N]\n\
+         \x20              [--gate-speedup X] [--seed N] [--queue-cap N]\n\
+         \x20              [--workers N] [--devices N] [--chaos P] [--json PATH]\n\
          \n\
          Replays a seeded synthetic mix of Table II programs through the\n\
          japonica-serve virtual-clock simulator (determinism + isolation\n\
@@ -73,7 +91,15 @@ fn usage() -> ! {
          P, H2D transfer P/2) and additionally enforces the fault-tolerance\n\
          oracles: no admitted job lost, threaded/virtual-clock lockstep on\n\
          per-job bits and rung counters, and a clean quarantine embargo.\n\
-         --quick shrinks the mix for CI smoke."
+         --quick shrinks the mix for CI smoke.\n\
+         \n\
+         --open runs the saturation benchmark instead: wall-clock-paced\n\
+         arrivals at --rate jobs/s (independent of completions; queue\n\
+         overflow sheds load), a duplicate-heavy seeded mix over --tenants\n\
+         weighted QoS tenants, one arm with execution dedup + program-hash\n\
+         batching OFF and one ON. Every completed job must stay\n\
+         bit-identical to its solo virtual-clock reference; --gate-speedup\n\
+         X exits 5 when ON < X times the OFF arm's sustained jobs/s."
     );
     std::process::exit(2)
 }
@@ -90,8 +116,12 @@ fn parse_opts() -> Opts {
         chaos: 0.0,
         json: None,
         quick: false,
+        open: false,
+        tenants: 3,
+        gate_speedup: None,
     };
     let mut jobs_set = false;
+    let mut queue_cap_set = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let num = |args: &mut dyn Iterator<Item = String>| -> f64 {
@@ -107,12 +137,18 @@ fn parse_opts() -> Opts {
                 jobs_set = true;
             }
             "--scale" => o.scale = (num(&mut args) as u64).max(1),
-            "--queue-cap" => o.queue_cap = (num(&mut args) as usize).max(1),
+            "--queue-cap" => {
+                o.queue_cap = (num(&mut args) as usize).max(1);
+                queue_cap_set = true;
+            }
             "--workers" => o.workers = (num(&mut args) as usize).max(1),
             "--devices" => o.devices = (num(&mut args) as usize).clamp(1, 16),
             "--chaos" => o.chaos = num(&mut args).clamp(0.0, 1.0),
             "--json" => o.json = args.next().or_else(|| usage()).into(),
             "--quick" => o.quick = true,
+            "--open" => o.open = true,
+            "--tenants" => o.tenants = (num(&mut args) as usize).clamp(1, 16),
+            "--gate-speedup" => o.gate_speedup = Some(num(&mut args).max(0.0)),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -121,7 +157,16 @@ fn parse_opts() -> Opts {
         }
     }
     if !jobs_set {
-        o.jobs = if o.quick { 8 } else { 24 };
+        o.jobs = match (o.open, o.quick) {
+            (true, _) => 2000,
+            (false, true) => 8,
+            (false, false) => 24,
+        };
+    }
+    // Open loop: a deeper default queue so transient bursts queue instead
+    // of shedding — saturation sheds at sustained overload, not jitter.
+    if o.open && !queue_cap_set {
+        o.queue_cap = 256;
     }
     o
 }
@@ -139,6 +184,11 @@ struct MixSlot {
     /// Per-job salt: seeds every attempt's fault draws and the home-device
     /// pick. Drawn with the mix so chaos schedules replay with the seed.
     salt: u64,
+    /// Workload instantiation scale (`--scale` closed-loop; drawn per pool
+    /// entry in the open-loop mix so dedup keys differ across scales).
+    scale: u64,
+    /// QoS tenant (always 0 closed-loop; spread over `--tenants` open-loop).
+    tenant: u32,
 }
 
 /// Draw the seeded mix: which workload, which slice, which priority, and
@@ -170,14 +220,56 @@ fn draw_mix(o: &Opts) -> Vec<MixSlot> {
                 prio,
                 arrival_s: t,
                 salt: rng.gen(),
+                scale: o.scale,
+                tenant: 0,
             }
         })
         .collect()
 }
 
-fn build_request(slot: &MixSlot, scale: u64) -> JobRequest {
+/// Draw the open-loop mix: a small seeded pool of distinct program shapes
+/// (so the stream is duplicate-heavy — the dedup and batching substrate),
+/// then `jobs` arrivals each picking a pool entry and a weighted-QoS
+/// tenant, with exponential inter-arrivals at `rate` jobs per second. The
+/// salt pool is small so chaos-mode dedup keys still collide.
+fn draw_open_mix(o: &Opts) -> Vec<MixSlot> {
+    let mut rng = StdRng::seed_from_u64(o.seed);
+    let salts: Vec<u64> = (0..4).map(|_| rng.gen()).collect();
+    let pool_n = (o.jobs / 16).clamp(4, 48);
+    let pool: Vec<MixSlot> = (0..pool_n)
+        .map(|_| MixSlot {
+            widx: rng.gen_range(0..Workload::all().len()),
+            sms: [2u32, 3, 4, 7][rng.gen_range(0..4usize)],
+            cpus: [2u32, 4][rng.gen_range(0..2usize)],
+            prio: [50u8, 100, 200][rng.gen_range(0..3usize)],
+            arrival_s: 0.0,
+            salt: salts[rng.gen_range(0..salts.len())],
+            scale: rng.gen_range(1..3u64),
+            tenant: 0,
+        })
+        .collect();
+    let mut t = 0.0f64;
+    (0..o.jobs)
+        .map(|_| {
+            let mut s = pool[rng.gen_range(0..pool_n)];
+            s.tenant = rng.gen_range(0..o.tenants as u32);
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).ln() / o.rate;
+            s.arrival_s = t;
+            s
+        })
+        .collect()
+}
+
+/// DWRR weights for the open-loop tenants: halving from 8 (floor 1), so
+/// three tenants get 8:4:2 service shares under saturation.
+fn tenant_weights(tenants: usize) -> Vec<u32> {
+    (0..tenants).map(|t| (8u32 >> t.min(3)).max(1)).collect()
+}
+
+fn build_request(slot: &MixSlot) -> JobRequest {
     let w = &Workload::all()[slot.widx];
-    let inst = w.instantiate(scale);
+    let inst = w.instantiate(slot.scale);
     JobRequest::new(
         w.source,
         w.entry,
@@ -188,6 +280,7 @@ fn build_request(slot: &MixSlot, scale: u64) -> JobRequest {
     .with_priority(slot.prio)
     .with_subloops(w.subloops)
     .with_salt(slot.salt)
+    .with_tenant(slot.tenant)
 }
 
 /// The chaos fleet: `devices` uniform devices, each with the same seeded
@@ -216,9 +309,24 @@ fn fleet_config(o: &Opts) -> Option<FleetConfig> {
     ))
 }
 
-fn trace(mix: &[MixSlot], scale: u64) -> Vec<(f64, JobRequest)> {
+/// Identity of a solo-reference run: which workload, which slice, which
+/// scale — plus the salt under chaos, where the fault schedule (a pure
+/// function of the salt) decides which ladder rungs the job walks.
+type SoloKey = (usize, u32, u32, u64, u64);
+
+fn solo_shape(slot: &MixSlot, chaos: f64) -> SoloKey {
+    (
+        slot.widx,
+        slot.sms,
+        slot.cpus,
+        slot.scale,
+        if chaos > 0.0 { slot.salt } else { 0 },
+    )
+}
+
+fn trace(mix: &[MixSlot]) -> Vec<(f64, JobRequest)> {
     mix.iter()
-        .map(|s| (s.arrival_s, build_request(s, scale)))
+        .map(|s| (s.arrival_s, build_request(s)))
         .collect()
 }
 
@@ -264,10 +372,313 @@ fn check_embargo(
     Ok(())
 }
 
+/// Sum the per-device kernel-cache registries into fleet-wide aggregates.
+fn kernel_totals(stats: &ServeStats) -> (u64, u64) {
+    stats
+        .device_kernels
+        .iter()
+        .fold((0, 0), |(h, m), d| (h + d.hits, m + d.misses))
+}
+
+/// Per-device kernel-cache registry as a flat JSON array value.
+fn device_kernels_json(stats: &ServeStats) -> String {
+    let items: Vec<String> = stats
+        .device_kernels
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"device\": {}, \"programs\": {}, \"hits\": {}, \"misses\": {}}}",
+                d.device, d.programs, d.hits, d.misses
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(", "))
+}
+
 fn main() -> ExitCode {
     let o = parse_opts();
-    let mix = draw_mix(&o);
-    let fleet = fleet_config(&o);
+    if o.open {
+        return run_open(&o);
+    }
+    run_closed(&o)
+}
+
+/// One arm of the open-loop benchmark: the full mix paced by the host
+/// wall clock through a fresh threaded service, dedup + batching either
+/// both off or both on.
+struct ArmReport {
+    stats: ServeStats,
+    wall_s: f64,
+    submitted: usize,
+    shed: usize,
+    /// `(slot, report.total_s bits, report summary)` per completed job —
+    /// enough for the solo-reference oracle without retaining heaps.
+    completed: Vec<(MixSlot, u64, String)>,
+}
+
+fn run_open_arm(o: &Opts, mix: &[MixSlot], fleet: &Option<FleetConfig>, accel: bool) -> ArmReport {
+    let serve = Serve::start(ServeConfig {
+        queue_capacity: o.queue_cap,
+        workers: o.workers,
+        fleet: fleet.clone(),
+        qos: QosConfig {
+            weights: tenant_weights(o.tenants),
+        },
+        dedup: if accel {
+            DedupConfig::enabled()
+        } else {
+            DedupConfig::default()
+        },
+        batch: if accel {
+            BatchConfig::enabled()
+        } else {
+            BatchConfig::default()
+        },
+        ..ServeConfig::default()
+    });
+    // A collector thread drains handles so arrivals never block on
+    // completions — the defining property of an open loop.
+    let (tx, rx) = std::sync::mpsc::channel::<(MixSlot, japonica_serve::JobHandle)>();
+    let collector = std::thread::spawn(move || {
+        let mut done = Vec::new();
+        for (slot, h) in rx {
+            match h.wait() {
+                Ok(r) => done.push((slot, r.report.total_s.to_bits(), r.report.summary())),
+                Err(e) => {
+                    eprintln!("FAIL: open-loop job failed: {e}");
+                    std::process::exit(4)
+                }
+            }
+        }
+        done
+    });
+    let start = Instant::now();
+    let mut submitted = 0usize;
+    let mut shed = 0usize;
+    for slot in mix {
+        let now = start.elapsed().as_secs_f64();
+        if slot.arrival_s > now {
+            std::thread::sleep(Duration::from_secs_f64(slot.arrival_s - now));
+        }
+        match serve.submit(build_request(slot)) {
+            Ok(h) => {
+                submitted += 1;
+                let _ = tx.send((*slot, h));
+            }
+            // Open loop: overflow sheds the arrival instead of pacing down.
+            Err(Rejected::QueueFull { .. }) => shed += 1,
+            Err(e) => {
+                eprintln!("FAIL: open-loop submit rejected: {e}");
+                std::process::exit(4)
+            }
+        }
+    }
+    drop(tx);
+    let completed = collector.join().unwrap_or_else(|_| {
+        eprintln!("FAIL: open-loop collector thread panicked");
+        std::process::exit(4)
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = serve.shutdown();
+    let arm = if accel { "on" } else { "off" };
+    if !stats.accounts_for_every_job() {
+        eprintln!(
+            "FAIL: open-loop [{arm}] stats lost a job: {}",
+            stats.summary()
+        );
+        std::process::exit(3)
+    }
+    if check_embargo(&stats.devices, "open-loop").is_err() {
+        std::process::exit(2)
+    }
+    ArmReport {
+        stats,
+        wall_s,
+        submitted,
+        shed,
+        completed,
+    }
+}
+
+fn run_open(o: &Opts) -> ExitCode {
+    let mix = draw_open_mix(o);
+    let fleet = fleet_config(o);
+    let weights = tenant_weights(o.tenants);
+    println!(
+        "loadgen --open: {} jobs at {}/s, {} tenants (weights {:?}), seed {}, \
+         queue {}, workers {}, devices {}, chaos {}",
+        o.jobs, o.rate, o.tenants, weights, o.seed, o.queue_cap, o.workers, o.devices, o.chaos
+    );
+    let off = run_open_arm(o, &mix, &fleet, false);
+    let on = run_open_arm(o, &mix, &fleet, true);
+
+    // Oracle: every completed job in both arms must be bit-identical to a
+    // solo virtual-clock run of the same shape — dedup fan-out and batch
+    // reordering are never allowed to change a single result bit.
+    let sim_cfg = SimServeConfig {
+        queue_capacity: o.queue_cap,
+        fleet: fleet.clone(),
+        ..SimServeConfig::default()
+    };
+    let mut solo: BTreeMap<SoloKey, (u64, String)> = BTreeMap::new();
+    let mut checked = 0usize;
+    for (arm, rep) in [("off", &off), ("on", &on)] {
+        for (slot, bits, summary) in &rep.completed {
+            let key = solo_shape(slot, o.chaos);
+            let (solo_bits, solo_summary) = solo.entry(key).or_insert_with(|| {
+                let s = simulate_batch(&sim_cfg, vec![(0.0, build_request(slot))]);
+                match &s.outcomes[0] {
+                    SimJobOutcome::Completed { report, .. } => {
+                        (report.total_s.to_bits(), report.summary())
+                    }
+                    other => {
+                        eprintln!("FAIL: solo reference did not complete: {other:?}");
+                        std::process::exit(4)
+                    }
+                }
+            });
+            if bits != solo_bits || summary != solo_summary {
+                eprintln!(
+                    "FAIL: [{arm}] job ({}) diverged from its solo reference\n\
+                     arm: total={bits:016x} {summary}\nsolo: total={solo_bits:016x} {solo_summary}",
+                    Workload::all()[slot.widx].name
+                );
+                return ExitCode::from(2);
+            }
+            checked += 1;
+        }
+    }
+    println!(
+        "isolation: {} completed jobs bit-identical to {} solo references",
+        checked,
+        solo.len()
+    );
+    // A duplicate-heavy mix must actually exercise the dedup table.
+    if o.jobs >= 64 && on.stats.dedup_hits == 0 {
+        eprintln!("FAIL: duplicate-heavy mix produced zero dedup hits in the ON arm");
+        return ExitCode::from(4);
+    }
+
+    let rate_of = |r: &ArmReport| r.completed.len() as f64 / r.wall_s.max(1e-9);
+    let (off_rate, on_rate) = (rate_of(&off), rate_of(&on));
+    let speedup = on_rate / off_rate.max(1e-9);
+    for (arm, rep, rate) in [("off", &off, off_rate), ("on", &on, on_rate)] {
+        let (khits, kmiss) = kernel_totals(&rep.stats);
+        println!(
+            "open[{arm}]: {} completed / {} submitted ({} shed) in {:.3}s = {:.1} jobs/s, \
+             p50 {:.6}s, p99 {:.6}s",
+            rep.completed.len(),
+            rep.submitted,
+            rep.shed,
+            rep.wall_s,
+            rate,
+            rep.stats.latency.quantile(0.5),
+            rep.stats.latency.quantile(0.99),
+        );
+        println!(
+            "open[{arm}]: executions {}, dedup joins {} ({} hits, {} attempts suppressed), \
+             kernel cache {}/{} hit/miss, program cache {}/{} hit/miss ({} evictions)",
+            rep.stats.executions,
+            rep.stats.dedup_joins,
+            rep.stats.dedup_hits,
+            rep.stats.dedup_suppressed_attempts,
+            khits,
+            kmiss,
+            rep.stats.program_cache_hits,
+            rep.stats.program_cache_misses,
+            rep.stats.cache_evictions,
+        );
+    }
+    println!(
+        "open: dedup+batching speedup {speedup:.2}x (on {on_rate:.1} / off {off_rate:.1} jobs/s)"
+    );
+
+    if let Some(path) = &o.json {
+        let mut out = String::from("{\n");
+        let mut kv = |k: &str, v: String| {
+            let _ = writeln!(out, "  \"{}\": {},", json_escape(k), v);
+        };
+        kv("schema", "\"open-1\"".into());
+        kv("jobs", o.jobs.to_string());
+        kv("rate_per_s", json_f64(o.rate));
+        kv("seed", o.seed.to_string());
+        kv("queue_capacity", o.queue_cap.to_string());
+        kv("workers", o.workers.to_string());
+        kv("devices", o.devices.to_string());
+        kv("chaos", json_f64(o.chaos));
+        kv("tenants", o.tenants.to_string());
+        kv(
+            "tenant_weights",
+            format!(
+                "[{}]",
+                weights
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        kv("isolation_checked", checked.to_string());
+        kv("solo_references", solo.len().to_string());
+        for (arm, rep, rate) in [("off", &off, off_rate), ("on", &on, on_rate)] {
+            let (khits, kmiss) = kernel_totals(&rep.stats);
+            let k = |name: &str| format!("{arm}_{name}");
+            kv(&k("submitted"), rep.submitted.to_string());
+            kv(&k("shed"), rep.shed.to_string());
+            kv(&k("completed"), rep.completed.len().to_string());
+            kv(&k("wall_s"), json_f64(rep.wall_s));
+            kv(&k("jobs_per_s"), json_f64(rate));
+            kv(&k("p50_s"), json_f64(rep.stats.latency.quantile(0.5)));
+            kv(&k("p99_s"), json_f64(rep.stats.latency.quantile(0.99)));
+            kv(&k("executions"), rep.stats.executions.to_string());
+            kv(&k("attempts"), rep.stats.attempts.to_string());
+            kv(&k("dedup_hits"), rep.stats.dedup_hits.to_string());
+            kv(&k("dedup_joins"), rep.stats.dedup_joins.to_string());
+            kv(
+                &k("dedup_suppressed_attempts"),
+                rep.stats.dedup_suppressed_attempts.to_string(),
+            );
+            kv(&k("kernel_cache_hits"), khits.to_string());
+            kv(&k("kernel_cache_misses"), kmiss.to_string());
+            kv(
+                &k("program_cache_hits"),
+                rep.stats.program_cache_hits.to_string(),
+            );
+            kv(
+                &k("program_cache_misses"),
+                rep.stats.program_cache_misses.to_string(),
+            );
+            kv(
+                &k("program_cache_evictions"),
+                rep.stats.cache_evictions.to_string(),
+            );
+            kv(&k("device_kernels"), device_kernels_json(&rep.stats));
+        }
+        let _ = writeln!(out, "  \"speedup\": {}", json_f64(speedup));
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            return ExitCode::from(4);
+        }
+        println!("wrote {path}");
+    }
+
+    if let Some(gate) = o.gate_speedup {
+        if speedup < gate {
+            eprintln!(
+                "FAIL: dedup+batching speedup {speedup:.2}x below the --gate-speedup {gate}x floor"
+            );
+            return ExitCode::from(5);
+        }
+        println!("gate: speedup {speedup:.2}x clears the {gate}x floor");
+    }
+    println!("loadgen --open: all oracles passed");
+    ExitCode::SUCCESS
+}
+
+fn run_closed(o: &Opts) -> ExitCode {
+    let mix = draw_mix(o);
+    let fleet = fleet_config(o);
     let sim_cfg = SimServeConfig {
         queue_capacity: o.queue_cap,
         fleet: fleet.clone(),
@@ -279,8 +690,8 @@ fn main() -> ExitCode {
         "loadgen: {} jobs, rate {}/s, seed {}, scale {}, queue {}, devices {}, chaos {}",
         o.jobs, o.rate, o.seed, o.scale, o.queue_cap, o.devices, o.chaos
     );
-    let rep = simulate_batch(&sim_cfg, trace(&mix, o.scale));
-    let rep2 = simulate_batch(&sim_cfg, trace(&mix, o.scale));
+    let rep = simulate_batch(&sim_cfg, trace(&mix));
+    let rep2 = simulate_batch(&sim_cfg, trace(&mix));
     if rep.fingerprint() != rep2.fingerprint() {
         eprintln!("FAIL: two replays of the same trace diverged");
         eprintln!("--- first ---\n{}", rep.fingerprint());
@@ -329,15 +740,8 @@ fn main() -> ExitCode {
     // solo run per distinct (workload, slice) shape — plus the salt under
     // chaos, where the fault schedule (a pure function of the salt) decides
     // which ladder rungs the job walks.
-    let solo_key = |slot: &MixSlot| {
-        (
-            slot.widx,
-            slot.sms,
-            slot.cpus,
-            if o.chaos > 0.0 { slot.salt } else { 0 },
-        )
-    };
-    let mut solo_bits: BTreeMap<(usize, u32, u32, u64), (u64, String)> = BTreeMap::new();
+    let solo_key = |slot: &MixSlot| solo_shape(slot, o.chaos);
+    let mut solo_bits: BTreeMap<SoloKey, (u64, String)> = BTreeMap::new();
     let mut isolation_checked = 0usize;
     for (i, outcome) in rep.outcomes.iter().enumerate() {
         let SimJobOutcome::Completed { report, .. } = outcome else {
@@ -346,7 +750,7 @@ fn main() -> ExitCode {
         let slot = &mix[i];
         let key = solo_key(slot);
         if !solo_bits.contains_key(&key) {
-            let solo = simulate_batch(&sim_cfg, vec![(0.0, build_request(slot, o.scale))]);
+            let solo = simulate_batch(&sim_cfg, vec![(0.0, build_request(slot))]);
             let SimJobOutcome::Completed { report: solo_r, .. } = &solo.outcomes[0] else {
                 eprintln!(
                     "FAIL: solo run of {} on {} SMs did not complete: {:?}",
@@ -392,12 +796,10 @@ fn main() -> ExitCode {
         .map(|slot| {
             (
                 *slot,
-                serve
-                    .submit(build_request(slot, o.scale))
-                    .unwrap_or_else(|r| {
-                        eprintln!("FAIL: threaded admission rejected a sized-to-fit mix: {r}");
-                        std::process::exit(4)
-                    }),
+                serve.submit(build_request(slot)).unwrap_or_else(|r| {
+                    eprintln!("FAIL: threaded admission rejected a sized-to-fit mix: {r}");
+                    std::process::exit(4)
+                }),
             )
         })
         .collect();
@@ -406,7 +808,7 @@ fn main() -> ExitCode {
             Ok(result) => {
                 let key = solo_key(&slot);
                 let (bits, summary) = &solo_bits.get(&key).cloned().unwrap_or_else(|| {
-                    let solo = simulate_batch(&sim_cfg, vec![(0.0, build_request(&slot, o.scale))]);
+                    let solo = simulate_batch(&sim_cfg, vec![(0.0, build_request(&slot))]);
                     match &solo.outcomes[0] {
                         SimJobOutcome::Completed { report, .. } => {
                             (report.total_s.to_bits(), report.summary())
@@ -456,7 +858,7 @@ fn main() -> ExitCode {
             fleet: fleet.clone(),
             ..SimServeConfig::default()
         };
-        let parity = simulate_batch(&parity_cfg, trace(&mix, o.scale));
+        let parity = simulate_batch(&parity_cfg, trace(&mix));
         if !parity.stats.accounts_for_every_job() {
             eprintln!(
                 "FAIL: parity sim stats lost a job: {}",
@@ -566,11 +968,19 @@ fn main() -> ExitCode {
             "program_cache_hits",
             (rep.stats.program_cache_hits + stats.program_cache_hits).to_string(),
         );
-        let _ = writeln!(
-            out,
-            "  \"program_cache_misses\": {}",
-            rep.stats.program_cache_misses + stats.program_cache_misses
+        kv(
+            "program_cache_misses",
+            (rep.stats.program_cache_misses + stats.program_cache_misses).to_string(),
         );
+        kv("program_cache_evictions", stats.cache_evictions.to_string());
+        let (sim_kh, sim_km) = kernel_totals(&rep.stats);
+        let (thr_kh, thr_km) = kernel_totals(&stats);
+        kv("kernel_cache_hits", (sim_kh + thr_kh).to_string());
+        kv("kernel_cache_misses", (sim_km + thr_km).to_string());
+        kv("executions", stats.executions.to_string());
+        kv("dedup_hits", stats.dedup_hits.to_string());
+        kv("dedup_joins", stats.dedup_joins.to_string());
+        let _ = writeln!(out, "  \"device_kernels\": {}", device_kernels_json(&stats));
         out.push_str("}\n");
         if let Err(e) = std::fs::write(path, &out) {
             eprintln!("FAIL: could not write {path}: {e}");

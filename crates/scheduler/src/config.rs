@@ -3,7 +3,9 @@
 use japonica_cpuexec::CpuConfig;
 use japonica_faults::{FaultPlan, ResilienceConfig};
 use japonica_gpusim::{DeviceConfig, DevicePartition};
+use japonica_ir::KernelCache;
 use japonica_tls::TlsConfig;
+use std::sync::Arc;
 
 /// Tunables of both scheduling schemes plus the platform descriptions.
 #[derive(Debug, Clone)]
@@ -46,6 +48,15 @@ pub struct SchedulerConfig {
     /// executor (no device staging, no kernel launches, no fault hooks).
     /// The serving layer's last ladder rung before giving up on a job.
     pub cpu_only: bool,
+    /// Optional externally owned kernel/native-tier cache. When `None`
+    /// (default) each run compiles into a private per-run cache, exactly as
+    /// before. A serving layer may hand in a cache scoped to one *program*
+    /// (loop ids are only unique within a program) so repeat executions of
+    /// the same program on the same device keep their compiled bytecode and
+    /// promoted native tiers warm. Engine choice never changes result bits
+    /// (walker ≡ bytecode ≡ native, proven by the differential suites), so
+    /// cache warmth affects host wall-clock only — never a report.
+    pub kernels: Option<Arc<KernelCache>>,
 }
 
 impl SchedulerConfig {
@@ -98,6 +109,7 @@ impl Default for SchedulerConfig {
             resilience: ResilienceConfig::default(),
             faults: None,
             cpu_only: false,
+            kernels: None,
         }
     }
 }

@@ -235,10 +235,15 @@ pub fn run_sharing(
     if trip == 0 {
         return Ok(report);
     }
-    // One bytecode compilation per loop per run, shared by every chunk
-    // launch, TLS re-execution and fault-ladder retry below. Scoped to the
-    // run because `LoopId`s are only unique within one program.
-    let kernels = KernelCache::new();
+    // One bytecode compilation per loop, shared by every chunk launch, TLS
+    // re-execution and fault-ladder retry below. Private to the run unless
+    // the caller hands in a program-scoped cache via `cfg.kernels`
+    // (`LoopId`s are only unique within one program, so a shared cache must
+    // never span programs).
+    let kernels = cfg
+        .kernels
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(KernelCache::new()));
     match mode {
         ExecutionMode::A | ExecutionMode::DPrime => greedy_share(
             program, cfg, task, env, heap, &bounds, &plan, report, /*cpu_seq=*/ false,
@@ -799,7 +804,10 @@ pub fn run_cpu_only(
     let mut report = LoopExecReport::new(task.loop_.id, mode, Scheme::Sharing);
     report.iterations = trip;
     report.cpu_iters = trip;
-    let kernels = KernelCache::new();
+    let kernels = cfg
+        .kernels
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(KernelCache::new()));
     let r = match mode {
         ExecutionMode::B | ExecutionMode::C => {
             // A true dependence exists somewhere: a plain Java port cannot
@@ -845,7 +853,10 @@ pub fn run_cpu_serial(
     let mut report = LoopExecReport::new(task.loop_.id, task.try_mode(cfg)?, Scheme::Sharing);
     report.iterations = trip;
     report.cpu_iters = trip;
-    let kernels = KernelCache::new();
+    let kernels = cfg
+        .kernels
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(KernelCache::new()));
     let r = run_sequential_with(
         program,
         &cfg.cpu,
@@ -885,7 +896,10 @@ pub fn run_gpu_only(
     stage_device(&plan, heap, &mut dev, cfg)?;
     let h2d = cfg.gpu.transfer_seconds(plan.bytes_in(heap));
     let mut tls_report = None;
-    let kernels = KernelCache::new();
+    let kernels = cfg
+        .kernels
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(KernelCache::new()));
     let compute_s = match mode {
         ExecutionMode::A | ExecutionMode::DPrime => {
             let kr = launch_loop_par_with(
@@ -981,7 +995,10 @@ pub fn run_fixed_split(
     stage_device(&plan, heap, &mut dev, cfg)?;
     let in_share = (plan.bytes_in(heap) as f64 * gpu_fraction) as usize;
     let h2d = cfg.gpu.transfer_seconds(in_share);
-    let kernels = KernelCache::new();
+    let kernels = cfg
+        .kernels
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(KernelCache::new()));
     let mut spec = SpeculativeMemory::new(&mut dev, 0.0);
     let kr = launch_loop_par_with(
         program,

@@ -137,10 +137,15 @@ pub fn run_stealing(
     heap: &mut Heap,
 ) -> Result<StealingReport, SchedError> {
     let mut report = StealingReport::default();
-    // One bytecode compilation per loop for the whole run: sub-loops,
-    // steals, TLS re-launches and fault retries all hit the cache. Scoped
-    // to the run because `LoopId`s are only unique within one program.
-    let kernels = KernelCache::new();
+    // One bytecode compilation per loop: sub-loops, steals, TLS re-launches
+    // and fault retries all hit the cache. Private to the run unless the
+    // caller hands in a program-scoped cache via `cfg.kernels` (`LoopId`s
+    // are only unique within one program, so a shared cache must never span
+    // programs).
+    let kernels = cfg
+        .kernels
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(KernelCache::new()));
     let mut gpu_clock = 0.0f64;
     let mut cpu_clock = 0.0f64;
     // Degradation ladder state: once the device exhausts its fault

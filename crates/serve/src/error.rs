@@ -55,7 +55,10 @@ impl std::fmt::Display for Rejected {
 impl std::error::Error for Rejected {}
 
 /// Why an *admitted* job did not produce a result.
-#[derive(Debug)]
+///
+/// `Clone` because execution dedup fans one leader's verdict out to every
+/// coalesced duplicate — each joiner gets its own copy of the error.
+#[derive(Debug, Clone)]
 pub enum ServeError {
     /// The program failed to compile (reported once per content hash; a
     /// cached failure is replayed without recompiling).

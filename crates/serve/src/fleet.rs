@@ -36,10 +36,11 @@
 use crate::error::Rejected;
 use crate::pool::{DevicePool, ResourceRequest};
 use japonica_faults::{FaultOrigin, FaultPlan};
+use japonica_ir::KernelCache;
 use japonica_scheduler::SchedulerConfig;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Index of a device in the fleet (dense, stable for the fleet's life).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -470,10 +471,101 @@ pub fn select_device(
     }
 }
 
+/// Default number of programs whose kernel caches one device keeps warm.
+pub const DEFAULT_KERNELS_PER_DEVICE: usize = 32;
+
+/// Per-device kernel-cache aggregate (summed over the device's resident
+/// program caches), surfaced in `ServeStats` and `loadgen --json`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceKernelStats {
+    /// Device index.
+    pub device: usize,
+    /// Programs with a resident kernel cache.
+    pub programs: usize,
+    /// Kernel-cache hits summed over resident programs.
+    pub hits: u64,
+    /// Kernel-cache misses (compilations) summed over resident programs.
+    pub misses: u64,
+}
+
+/// Bounded per-device registry of *program-scoped* kernel caches, the
+/// device-resident state that program-hash batch dispatch keeps warm:
+/// consecutive same-program jobs on a device reuse the program's compiled
+/// bytecode and promoted native tiers instead of recompiling per job.
+/// Keyed by program content hash because `LoopId`s are only unique within
+/// one program — a cache must never span programs. FIFO-bounded so a
+/// long-tailed program mix cannot grow device state without bound.
+/// Evicted hit/miss totals are folded into `retired_{hits,misses}` so the
+/// aggregates stay monotone.
+pub struct ProgramKernels {
+    capacity: usize,
+    inner: Mutex<ProgramKernelsState>,
+}
+
+struct ProgramKernelsState {
+    resident: BTreeMap<u64, Arc<KernelCache>>,
+    order: VecDeque<u64>,
+    retired_hits: u64,
+    retired_misses: u64,
+}
+
+impl ProgramKernels {
+    /// A registry keeping at most `capacity` program caches resident.
+    pub fn new(capacity: usize) -> ProgramKernels {
+        ProgramKernels {
+            capacity: capacity.max(1),
+            inner: Mutex::new(ProgramKernelsState {
+                resident: BTreeMap::new(),
+                order: VecDeque::new(),
+                retired_hits: 0,
+                retired_misses: 0,
+            }),
+        }
+    }
+
+    /// The kernel cache for `program_hash`, creating (and possibly
+    /// evicting the oldest) if absent.
+    pub fn for_program(&self, program_hash: u64) -> Arc<KernelCache> {
+        let mut st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(k) = st.resident.get(&program_hash) {
+            return k.clone();
+        }
+        if st.resident.len() >= self.capacity {
+            if let Some(old) = st.order.pop_front() {
+                if let Some(k) = st.resident.remove(&old) {
+                    st.retired_hits += k.hits();
+                    st.retired_misses += k.misses();
+                }
+            }
+        }
+        let k = Arc::new(KernelCache::new());
+        st.resident.insert(program_hash, k.clone());
+        st.order.push_back(program_hash);
+        k
+    }
+
+    /// Aggregate hit/miss totals over resident and evicted program caches.
+    pub fn stats(&self, device: usize) -> DeviceKernelStats {
+        let st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut s = DeviceKernelStats {
+            device,
+            programs: st.resident.len(),
+            hits: st.retired_hits,
+            misses: st.retired_misses,
+        };
+        for k in st.resident.values() {
+            s.hits += k.hits();
+            s.misses += k.misses();
+        }
+        s
+    }
+}
+
 struct FleetDevice {
     pool: DevicePool,
     template: Option<FaultPlan>,
     health: Mutex<HealthTracker>,
+    kernels: ProgramKernels,
 }
 
 /// The threaded fleet: N independent pools plus shared health state.
@@ -506,6 +598,7 @@ impl Fleet {
                     pool: DevicePool::new(d.base, d.cpu_slots),
                     template: d.fault_template,
                     health: Mutex::new(HealthTracker::new(i, health.clone())),
+                    kernels: ProgramKernels::new(DEFAULT_KERNELS_PER_DEVICE),
                 })
                 .collect(),
             retry: cfg.retry,
@@ -587,6 +680,20 @@ impl Fleet {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .record_outcome(fault);
+    }
+
+    /// The per-program kernel-cache registry of one device.
+    pub fn kernels(&self, dev: usize) -> &ProgramKernels {
+        &self.devices[dev].kernels
+    }
+
+    /// Per-device kernel-cache aggregates (batch-dispatch efficacy).
+    pub fn kernel_stats(&self) -> Vec<DeviceKernelStats> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| d.kernels.stats(i))
+            .collect()
     }
 
     /// Per-device health snapshots.

@@ -33,8 +33,13 @@ pub struct JobRequest {
     /// The job's private heap (inputs in, outputs out). Jobs never share
     /// heaps — tenant isolation is by construction.
     pub heap: Heap,
-    /// Queue priority: higher runs earlier; FIFO within a class.
+    /// Queue priority: higher runs earlier; FIFO within a class. Under
+    /// weighted-fair QoS the priority orders jobs *within* the tenant.
     pub priority: u8,
+    /// QoS tenant id: indexes the service's `QosConfig` weights for
+    /// deficit-weighted round-robin admission. Tenant 0 (default) with no
+    /// configured weights reproduces the pre-QoS strict-priority order.
+    pub tenant: u32,
     /// Give up if the job has not *started* within this budget after
     /// submission (and flag it `completed_late` if it finishes past it).
     pub deadline: Option<Duration>,
@@ -69,6 +74,7 @@ impl JobRequest {
             args,
             heap,
             priority: 100,
+            tenant: 0,
             deadline: None,
             resources,
             subloops_per_task: None,
@@ -87,6 +93,12 @@ impl JobRequest {
     /// Set the queue priority.
     pub fn with_priority(mut self, priority: u8) -> JobRequest {
         self.priority = priority;
+        self
+    }
+
+    /// Set the QoS tenant id.
+    pub fn with_tenant(mut self, tenant: u32) -> JobRequest {
+        self.tenant = tenant;
         self
     }
 
@@ -172,9 +184,13 @@ pub(crate) fn execute_attempt(
     heap: &mut Heap,
     plan: Option<japonica_faults::FaultPlan>,
     cpu_only: bool,
+    kernels: Option<Arc<japonica_ir::KernelCache>>,
 ) -> Result<RunReport, ServeError> {
     let compiled = cache.get_or_compile(&req.source)?;
     let mut sched = base.clone().with_partition(partition, cpu_slots);
+    // Program-scoped kernel/native-tier cache (batch dispatch keeps it
+    // warm). Engine warmth never changes result bits, only host time.
+    sched.kernels = kernels;
     if let Some(s) = req.subloops_per_task {
         sched.subloops_per_task = s;
     }
@@ -221,7 +237,8 @@ mod tests {
             sm_base: 7,
             sm_count: 7,
         };
-        let report = execute_attempt(&cache, &base, part, 8, &req, &mut heap, None, false).unwrap();
+        let report =
+            execute_attempt(&cache, &base, part, 8, &req, &mut heap, None, false, None).unwrap();
         assert_eq!(report.loops.len(), 1);
         assert!(heap.read_doubles(a).unwrap().iter().all(|&v| v == 2.0));
         // Identical job on the [0,7) slice: bit-identical simulated time.
@@ -238,7 +255,10 @@ mod tests {
             sm_base: 0,
             sm_count: 7,
         };
-        let r2 = execute_attempt(&cache, &base, part2, 8, &req2, &mut heap2, None, false).unwrap();
+        let r2 = execute_attempt(
+            &cache, &base, part2, 8, &req2, &mut heap2, None, false, None,
+        )
+        .unwrap();
         assert_eq!(report.total_s.to_bits(), r2.total_s.to_bits());
         assert_eq!(report.summary(), r2.summary());
         assert_eq!(cache.hits(), 1);

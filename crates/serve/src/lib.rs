@@ -32,27 +32,53 @@
 //! [`error::FaultVerdict`]. Per-attempt fault plans are derived from
 //! `(job salt, rung)` alone, so a faulted-and-migrated job is bit-
 //! identical to the same job run solo through the same rungs.
+//!
+//! Saturation throughput is the [`dedup`] + [`qos`] layer:
+//!
+//! - **Execution dedup** ([`dedup`]): submissions are keyed by `(program
+//!   content-hash, input fingerprint, device-relevant config)`; identical
+//!   submissions coalesce onto one execution whose result fans out to
+//!   every waiter, each with its own verdict, latency sample and
+//!   accounting row. The closed identity `completed + failed ==
+//!   executions + dedup_joins` makes coalescing exactly auditable.
+//! - **Weighted-fair QoS admission** ([`qos`]): deficit-weighted
+//!   round-robin across tenant tiers replaces head-of-line strict
+//!   priority; weights live in [`ServeConfig`], priority still orders jobs
+//!   within a tenant, and a single tenant reduces exactly to the old
+//!   order. Tenant queue shares bound admission so a greedy tenant cannot
+//!   crowd others out.
+//! - **Program-hash batch dispatch** ([`qos::BatchConfig`]): the dispatch
+//!   order prefers queued jobs sharing the previous pop's program hash (up
+//!   to a per-tenant burst cap), keeping each device's program-scoped
+//!   kernel/native-tier caches ([`fleet::ProgramKernels`]) warm. Batching
+//!   reorders dispatch only — placement and fault draws are untouched, so
+//!   every bit-identity and lockstep proof survives.
 
 pub mod cache;
+pub mod dedup;
 pub mod error;
 pub mod fleet;
 pub mod job;
 pub mod pool;
+pub mod qos;
 pub mod queue;
 pub mod server;
 pub mod sim;
 pub mod stats;
 
 pub use cache::{content_hash, ProgramCache};
+pub use dedup::{dedup_key, DedupConfig, DedupKey};
 pub use error::{FaultVerdict, Rejected, ServeError};
 pub use fleet::{
-    attempt_salt, DeviceHealthStats, DeviceId, Fleet, FleetConfig, FleetDeviceConfig, HealthConfig,
-    HealthState, HealthTracker, RetryPolicy, CPU_RUNG,
+    attempt_salt, DeviceHealthStats, DeviceId, DeviceKernelStats, Fleet, FleetConfig,
+    FleetDeviceConfig, HealthConfig, HealthState, HealthTracker, ProgramKernels, RetryPolicy,
+    CPU_RUNG,
 };
 pub use job::{JobHandle, JobId, JobRequest, JobResult};
 pub use pool::{
     DeviceLease, DevicePool, LeaseAttempt, PartitionAllocator, PoolSnapshot, ResourceRequest,
 };
+pub use qos::{BatchConfig, JobMeta, QosConfig};
 pub use queue::JobQueue;
 pub use server::{Serve, ServeConfig};
 pub use sim::{simulate_batch, ScheduleEvent, SimBatchReport, SimJobOutcome, SimServeConfig};

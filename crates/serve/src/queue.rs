@@ -1,52 +1,28 @@
-//! Bounded priority job queue with admission control.
+//! Bounded, weighted-fair job queue with admission control.
 //!
-//! Higher [`priority`](Entry::prio) wins; within a priority class the queue
-//! is FIFO (ties broken by admission sequence number, so the order is total
-//! and deterministic). Admission is all-or-nothing: a full queue rejects
-//! the submission with [`Rejected::QueueFull`] — the job is *turned away
-//! with a verdict*, never silently dropped.
+//! The dispatch order is the [`crate::qos::DwrrCore`] law: deficit-weighted
+//! round-robin across tenants (weights from [`QosConfig`]), priority then
+//! admission-sequence within a tenant, with an optional program-hash
+//! batching overlay. For a single tenant this reduces exactly to the old
+//! strict priority-then-FIFO order — ties broken by admission sequence, so
+//! the order is total and deterministic.
+//!
+//! Admission is all-or-nothing: a full queue (globally, or the tenant's
+//! weighted share when QoS tiers are configured) rejects the submission
+//! with [`Rejected::QueueFull`] — the job is *turned away with a verdict*,
+//! never silently dropped.
 
 use crate::error::Rejected;
-use std::collections::BinaryHeap;
+use crate::qos::{BatchConfig, DwrrCore, JobMeta, QosConfig};
 use std::sync::{Condvar, Mutex};
-
-/// One queued item with its ordering key.
-#[derive(Debug)]
-struct Entry<T> {
-    prio: u8,
-    seq: u64,
-    item: T,
-}
-
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.prio == other.prio && self.seq == other.seq
-    }
-}
-impl<T> Eq for Entry<T> {}
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: higher priority first, then earlier admission (lower
-        // seq) first.
-        self.prio
-            .cmp(&other.prio)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
 
 #[derive(Debug)]
 struct QueueState<T> {
-    heap: BinaryHeap<Entry<T>>,
-    next_seq: u64,
+    core: DwrrCore<T>,
     closed: bool,
 }
 
-/// A bounded, closable priority queue (multi-producer, multi-consumer).
+/// A bounded, closable weighted-fair queue (multi-producer, multi-consumer).
 #[derive(Debug)]
 pub struct JobQueue<T> {
     state: Mutex<QueueState<T>>,
@@ -55,12 +31,17 @@ pub struct JobQueue<T> {
 }
 
 impl<T> JobQueue<T> {
-    /// A queue admitting at most `capacity` items at a time.
+    /// A queue admitting at most `capacity` items at a time, with no QoS
+    /// tiers and no batching (the pre-QoS configuration).
     pub fn new(capacity: usize) -> JobQueue<T> {
+        JobQueue::with_qos(capacity, QosConfig::default(), BatchConfig::default())
+    }
+
+    /// A queue with explicit QoS weights and batching configuration.
+    pub fn with_qos(capacity: usize, qos: QosConfig, batch: BatchConfig) -> JobQueue<T> {
         JobQueue {
             state: Mutex::new(QueueState {
-                heap: BinaryHeap::new(),
-                next_seq: 0,
+                core: DwrrCore::new(qos, batch),
                 closed: false,
             }),
             nonempty: Condvar::new(),
@@ -77,33 +58,55 @@ impl<T> JobQueue<T> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Admit `item` at `prio` (higher runs earlier). `Err` is the
-    /// admission-control verdict.
+    /// Admit `item` at `prio` for tenant 0 (higher runs earlier). `Err` is
+    /// the admission-control verdict.
     pub fn push(&self, prio: u8, item: T) -> Result<(), Rejected> {
+        self.push_meta(
+            JobMeta {
+                prio,
+                tenant: 0,
+                hash: 0,
+            },
+            item,
+        )
+    }
+
+    /// Admit `item` with full scheduling metadata. Rejects when the queue
+    /// is full, or — with QoS tiers configured — when the tenant's weighted
+    /// share of the queue is full (so a greedy tenant can never crowd the
+    /// others out of admission).
+    pub fn push_meta(&self, meta: JobMeta, item: T) -> Result<(), Rejected> {
         let mut s = self.lock();
         if s.closed {
             return Err(Rejected::ShuttingDown);
         }
-        if s.heap.len() >= self.capacity {
+        if s.core.len() >= self.capacity {
             return Err(Rejected::QueueFull {
                 capacity: self.capacity,
             });
         }
-        let seq = s.next_seq;
-        s.next_seq += 1;
-        s.heap.push(Entry { prio, seq, item });
+        let share = s.core.qos().tenant_cap(self.capacity, meta.tenant);
+        if s.core.tenant_len(meta.tenant) >= share {
+            return Err(Rejected::QueueFull { capacity: share });
+        }
+        s.core.push(meta, item);
         drop(s);
         self.nonempty.notify_one();
         Ok(())
     }
 
-    /// Take the highest-priority item, blocking while the queue is empty.
-    /// `None` once the queue is closed *and* drained.
+    /// Take the head of the dispatch order, blocking while the queue is
+    /// empty. `None` once the queue is closed *and* drained.
     pub fn pop(&self) -> Option<T> {
+        self.pop_meta().map(|(_, item)| item)
+    }
+
+    /// Like [`pop`](JobQueue::pop), also returning the job's metadata.
+    pub fn pop_meta(&self) -> Option<(JobMeta, T)> {
         let mut s = self.lock();
         loop {
-            if let Some(e) = s.heap.pop() {
-                return Some(e.item);
+            if let Some((meta, _, item)) = s.core.pop() {
+                return Some((meta, item));
             }
             if s.closed {
                 return None;
@@ -114,12 +117,17 @@ impl<T> JobQueue<T> {
 
     /// Non-blocking take.
     pub fn try_pop(&self) -> Option<T> {
-        self.lock().heap.pop().map(|e| e.item)
+        self.try_pop_meta().map(|(_, item)| item)
+    }
+
+    /// Non-blocking take with the job's metadata.
+    pub fn try_pop_meta(&self) -> Option<(JobMeta, T)> {
+        self.lock().core.pop().map(|(meta, _, item)| (meta, item))
     }
 
     /// Items queued right now.
     pub fn len(&self) -> usize {
-        self.lock().heap.len()
+        self.lock().core.len()
     }
 
     /// Whether the queue is empty right now.
@@ -179,5 +187,72 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         q.push(0, 42).unwrap();
         assert_eq!(t.join().expect("no panic"), Some(42));
+    }
+
+    #[test]
+    fn dwrr_pops_follow_tenant_weights() {
+        let q = JobQueue::with_qos(
+            64,
+            QosConfig {
+                weights: vec![3, 1],
+            },
+            BatchConfig::default(),
+        );
+        for i in 0..8u32 {
+            q.push_meta(
+                JobMeta {
+                    prio: 100,
+                    tenant: 0,
+                    hash: 0,
+                },
+                (0u32, i),
+            )
+            .unwrap();
+            q.push_meta(
+                JobMeta {
+                    prio: 100,
+                    tenant: 1,
+                    hash: 0,
+                },
+                (1u32, i),
+            )
+            .unwrap();
+        }
+        // Close first: a drain via blocking pops must end in `None`, not a
+        // parked thread.
+        q.close();
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop_meta())
+            .map(|(m, _)| m.tenant)
+            .collect();
+        // Every 4-pop window while both are backlogged serves tenant 0
+        // three times.
+        let heavy_in_first_8 = order[..8].iter().filter(|&&t| t == 0).count();
+        assert_eq!(heavy_in_first_8, 6, "3:1 weights, got {order:?}");
+    }
+
+    #[test]
+    fn tenant_share_bounds_admission_when_weights_configured() {
+        let q = JobQueue::with_qos(
+            4,
+            QosConfig {
+                weights: vec![3, 1],
+            },
+            BatchConfig::default(),
+        );
+        let meta = |tenant: u32| JobMeta {
+            prio: 100,
+            tenant,
+            hash: 0,
+        };
+        // Tenant 0's share of 4 slots at 3:1 is 3; the 4th push bounces.
+        for i in 0..3 {
+            q.push_meta(meta(0), i).unwrap();
+        }
+        assert!(matches!(
+            q.push_meta(meta(0), 9),
+            Err(Rejected::QueueFull { .. })
+        ));
+        // Tenant 1 still has its slot.
+        q.push_meta(meta(1), 10).unwrap();
     }
 }

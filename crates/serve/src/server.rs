@@ -13,11 +13,13 @@
 //! is contained too: the panic is caught, the lease returns, the job
 //! fails alone as [`ServeError::Panicked`], and the worker keeps serving.
 
-use crate::cache::ProgramCache;
+use crate::cache::{content_hash, ProgramCache};
+use crate::dedup::{dedup_key, DedupConfig, DedupRole, DedupTable, DoneEntry};
 use crate::error::{FaultVerdict, Rejected, ServeError};
 use crate::fleet::{attempt_salt, Fleet, FleetConfig, CPU_RUNG};
 use crate::job::{execute_attempt, JobHandle, JobId, JobRequest, JobResult};
 use crate::pool::{DevicePool, LeaseAttempt};
+use crate::qos::{BatchConfig, JobMeta, QosConfig};
 use crate::queue::JobQueue;
 use crate::stats::{LatencyHistogram, ServeStats};
 use japonica::RunReport;
@@ -45,6 +47,14 @@ pub struct ServeConfig {
     /// policy). `None` builds a single-device fleet from `base` and
     /// `cpu_slots` — the PR-1 service shape.
     pub fleet: Option<FleetConfig>,
+    /// Per-tenant DWRR weights (weighted-fair QoS admission). Empty
+    /// (default) = every tenant weighs 1, no per-tenant queue shares —
+    /// which for a single tenant is exactly the old strict-priority order.
+    pub qos: QosConfig,
+    /// Execution dedup (off by default: every submission executes).
+    pub dedup: DedupConfig,
+    /// Program-hash batch dispatch (off by default).
+    pub batch: BatchConfig,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +65,9 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             workers: 4,
             fleet: None,
+            qos: QosConfig::default(),
+            dedup: DedupConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -63,8 +76,20 @@ impl Default for ServeConfig {
 struct QueuedJob {
     id: JobId,
     req: JobRequest,
+    /// Program content hash (batching key and kernel-registry key),
+    /// computed once at admission.
+    phash: u64,
     cancel: Arc<AtomicBool>,
     submitted: Instant,
+    tx: mpsc::Sender<Result<JobResult, ServeError>>,
+}
+
+/// A duplicate parked on an in-flight leader: everything its own verdict,
+/// latency sample and accounting row need at fan-out time.
+struct Waiter {
+    id: JobId,
+    submitted: Instant,
+    deadline_s: Option<f64>,
     tx: mpsc::Sender<Result<JobResult, ServeError>>,
 }
 
@@ -87,12 +112,17 @@ struct Counters {
     migrated: AtomicU64,
     cpu_degraded: AtomicU64,
     worker_panics: AtomicU64,
+    // Dedup accounting: completed + failed == executions + dedup_joins.
+    executions: AtomicU64,
+    dedup_joins: AtomicU64,
+    dedup_suppressed_attempts: AtomicU64,
 }
 
 struct Shared {
     queue: JobQueue<QueuedJob>,
     fleet: Fleet,
     cache: ProgramCache,
+    dedup: DedupTable<Waiter>,
     counters: Counters,
     latency: Mutex<LatencyHistogram>,
     faults: Mutex<FaultStats>,
@@ -113,9 +143,10 @@ impl Serve {
             .fleet
             .unwrap_or_else(|| FleetConfig::single(cfg.base.clone(), cfg.cpu_slots));
         let shared = Arc::new(Shared {
-            queue: JobQueue::new(cfg.queue_capacity),
+            queue: JobQueue::with_qos(cfg.queue_capacity, cfg.qos, cfg.batch),
             fleet: Fleet::new(fleet_cfg),
             cache: ProgramCache::new(),
+            dedup: DedupTable::new(cfg.dedup),
             counters: Counters::default(),
             latency: Mutex::new(LatencyHistogram::new()),
             faults: Mutex::new(FaultStats::default()),
@@ -145,15 +176,20 @@ impl Serve {
         let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let cancel = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel();
-        let prio = req.priority;
+        let meta = JobMeta {
+            prio: req.priority,
+            tenant: req.tenant,
+            hash: content_hash(&req.source),
+        };
         let job = QueuedJob {
             id,
+            phash: meta.hash,
             req,
             cancel: Arc::clone(&cancel),
             submitted: Instant::now(),
             tx,
         };
-        match self.shared.queue.push(prio, job) {
+        match self.shared.queue.push_meta(meta, job) {
             Ok(()) => {
                 c.admitted.fetch_add(1, Ordering::Relaxed);
                 Ok(JobHandle { id, cancel, rx })
@@ -218,6 +254,11 @@ impl Serve {
             cache_evictions: self.shared.cache.evictions(),
             faults: *self.shared.faults.lock().unwrap_or_else(|e| e.into_inner()),
             devices: self.shared.fleet.device_stats(),
+            executions: c.executions.load(Ordering::Relaxed),
+            dedup_hits: self.shared.dedup.hits(),
+            dedup_joins: c.dedup_joins.load(Ordering::Relaxed),
+            dedup_suppressed_attempts: c.dedup_suppressed_attempts.load(Ordering::Relaxed),
+            device_kernels: self.shared.fleet.kernel_stats(),
         }
     }
 
@@ -281,7 +322,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// alone so the fault schedule is placement-independent, restoring the
 /// heap from a pristine snapshot between attempts, and sleeping the
 /// bounded exponential backoff before every retry rung.
-fn run_ladder(shared: &Shared, req: &JobRequest, heap: &mut Heap) -> LadderOutcome {
+fn run_ladder(shared: &Shared, req: &JobRequest, phash: u64, heap: &mut Heap) -> LadderOutcome {
     let fleet = &shared.fleet;
     let budget = fleet.retry().budget();
     // A fail-fast abort can leave a half-written heap (CPU chunks write
@@ -328,6 +369,10 @@ fn run_ladder(shared: &Shared, req: &JobRequest, heap: &mut Heap) -> LadderOutco
                 .template(dev)
                 .map(|t| t.reseeded(attempt_salt(req.salt, rung)))
         };
+        // The chosen device's program-scoped kernel cache: batch dispatch
+        // lands same-program jobs here back to back, so the compiled
+        // bytecode and promoted native tiers stay warm across jobs.
+        let kernels = fleet.kernels(dev).for_program(phash);
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_attempt(
                 &shared.cache,
@@ -338,6 +383,7 @@ fn run_ladder(shared: &Shared, req: &JobRequest, heap: &mut Heap) -> LadderOutco
                 heap,
                 plan,
                 cpu_only,
+                Some(kernels),
             )
         }));
         drop(lease);
@@ -396,8 +442,60 @@ fn run_ladder(shared: &Shared, req: &JobRequest, heap: &mut Heap) -> LadderOutco
     }
 }
 
+/// Retire one coalesced duplicate from the leader's memoized verdict: its
+/// own latency sample, late flag, accounting row, and a cloned result.
+/// `queued_s == latency_s` for a join — it never dispatched; the fan-out
+/// instant is both its "start" and its completion.
+fn retire_join(
+    shared: &Shared,
+    id: JobId,
+    submitted: Instant,
+    deadline_s: Option<f64>,
+    tx: &mpsc::Sender<Result<JobResult, ServeError>>,
+    entry: &DoneEntry,
+) {
+    let c = &shared.counters;
+    let latency_s = submitted.elapsed().as_secs_f64();
+    c.dedup_joins.fetch_add(1, Ordering::Relaxed);
+    c.dedup_suppressed_attempts
+        .fetch_add(entry.attempts, Ordering::Relaxed);
+    match &entry.verdict {
+        Ok((report, heap)) => {
+            c.completed.fetch_add(1, Ordering::Relaxed);
+            if deadline_s.is_some_and(|dl| latency_s > dl) {
+                c.completed_late.fetch_add(1, Ordering::Relaxed);
+            }
+            shared
+                .latency
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .record(latency_s);
+            let _ = tx.send(Ok(JobResult {
+                id,
+                report: report.clone(),
+                heap: heap.clone(),
+                queued_s: latency_s,
+                latency_s,
+            }));
+        }
+        Err(e) => {
+            c.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(Err(e.clone()));
+        }
+    }
+}
+
+/// How the dedup table resolved one popped job.
+enum Claim {
+    /// Execute solo (dedup off or the job opted out).
+    Run,
+    /// Execute as the leader of `key`: memoize and fan out at retirement.
+    RunLead(crate::dedup::DedupKey),
+}
+
 fn worker_loop(shared: &Shared) {
     let c = &shared.counters;
+    let chaos = shared.fleet.any_template();
     while let Some(mut job) = shared.queue.pop() {
         if job.cancel.load(Ordering::Relaxed) {
             c.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -416,14 +514,38 @@ fn worker_loop(shared: &Shared) {
                 continue;
             }
         }
+        // Execution dedup: become the key's leader, join an in-flight
+        // leader, or take a memoized verdict. `chaos_panic` probes never
+        // coalesce — a deliberate panic must happen every time.
+        let claim = if shared.dedup.enabled() && !job.req.chaos_panic {
+            let key = dedup_key(&job.req, chaos);
+            let waiter = Waiter {
+                id: job.id,
+                submitted: job.submitted,
+                deadline_s,
+                tx: job.tx.clone(),
+            };
+            match shared.dedup.resolve(key, true, waiter) {
+                DedupRole::Lead(_) => Claim::RunLead(key),
+                DedupRole::Solo(_) => Claim::Run,
+                DedupRole::Joined => continue,
+                DedupRole::Done(w, entry) => {
+                    retire_join(shared, w.id, w.submitted, w.deadline_s, &w.tx, &entry);
+                    continue;
+                }
+            }
+        } else {
+            Claim::Run
+        };
         let queued_s = job.submitted.elapsed().as_secs_f64();
         let mut heap = std::mem::take(&mut job.req.heap);
-        let out = run_ladder(shared, &job.req, &mut heap);
+        let out = run_ladder(shared, &job.req, job.phash, &mut heap);
         // Flush the job's ladder counters atomically at retirement: each
-        // retired job contributes final_rung+1 attempts, one terminal
-        // state, and one count per rung it walked past the first — which
-        // is exactly the extended accounting identity.
+        // retired job contributes one execution, final_rung+1 attempts,
+        // one terminal state, and one count per rung it walked past the
+        // first — which is exactly the extended accounting identity.
         if let Some(final_rung) = out.final_rung {
+            c.executions.fetch_add(1, Ordering::Relaxed);
             c.attempts
                 .fetch_add(final_rung as u64 + 1, Ordering::Relaxed);
             if final_rung >= 1 {
@@ -446,6 +568,19 @@ fn worker_loop(shared: &Shared) {
                 .unwrap_or_else(|e| e.into_inner())
                 .merge(&out.acc);
         }
+        // A leader's verdict is memoized before it is delivered, so late
+        // duplicates can join; a leader that never executed (fleet closed
+        // mid-drain) memoizes nothing and its waiters are cancelled below.
+        let memo_entry = match (&claim, out.final_rung) {
+            (Claim::RunLead(_), Some(rung)) => Some(DoneEntry {
+                verdict: match &out.verdict {
+                    Ok(report) => Ok((report.clone(), heap.clone())),
+                    Err(e) => Err(e.clone()),
+                },
+                attempts: rung as u64 + 1,
+            }),
+            _ => None,
+        };
         match out.verdict {
             Ok(report) => {
                 let latency_s = job.submitted.elapsed().as_secs_f64();
@@ -474,6 +609,24 @@ fn worker_loop(shared: &Shared) {
             Err(e) => {
                 c.failed.fetch_add(1, Ordering::Relaxed);
                 let _ = job.tx.send(Err(e));
+            }
+        }
+        if let Claim::RunLead(key) = claim {
+            let (waiters, memo) = shared.dedup.complete(key, memo_entry);
+            match memo {
+                Some(m) => {
+                    for w in waiters {
+                        retire_join(shared, w.id, w.submitted, w.deadline_s, &w.tx, &m);
+                    }
+                }
+                None => {
+                    // The leader never executed: its duplicates get the
+                    // same terminal verdict it got.
+                    for w in waiters {
+                        c.cancelled.fetch_add(1, Ordering::Relaxed);
+                        let _ = w.tx.send(Err(ServeError::Cancelled));
+                    }
+                }
             }
         }
     }

@@ -12,11 +12,19 @@
 //!
 //! Event order at equal timestamps is fixed: completions first (resources
 //! free before anything else happens), then arrivals (admission control),
-//! then dispatch. Dispatch is a skip-over scan in (priority desc,
+//! then dispatch. Dispatch is a skip-over scan in the [`DwrrCore`] total
+//! order (batch preference, tenant virtual time, then priority and
 //! admission order) — each round dispatches every queued job whose chosen
 //! device can place it right now, so one blocked wide job does not starve
 //! narrow jobs behind it (the same greedy order the threaded service's
 //! per-job workers converge to).
+//!
+//! Execution dedup runs in lockstep with the threaded service *by
+//! construction*: per dedup key the counts are always (1 execution, n−1
+//! joins) however timing interleaves, because a duplicate either finds its
+//! leader in flight (joins it), finds the memoized verdict (joins it), or
+//! becomes the leader itself — and same key ⇒ same salt ⇒ identical rung
+//! walk and result bits, so it does not matter *which* duplicate leads.
 //!
 //! Faulted attempts are zero-length on the virtual clock: the slice is
 //! carved and returned at the same instant (fail-fast aborts consume no
@@ -27,12 +35,16 @@
 //! rung sequence and per-attempt reports are bit-identical to the
 //! threaded service's under the same fleet configuration.
 
+use crate::cache::content_hash;
+use crate::dedup::{dedup_key, DedupConfig, DedupKey, DoneEntry};
 use crate::error::{FaultVerdict, ServeError};
 use crate::fleet::{
-    attempt_salt, select_device, DeviceHealthStats, FleetConfig, HealthTracker, CPU_RUNG,
+    attempt_salt, select_device, DeviceHealthStats, FleetConfig, HealthTracker, ProgramKernels,
+    CPU_RUNG, DEFAULT_KERNELS_PER_DEVICE,
 };
 use crate::job::{execute_attempt, JobRequest};
 use crate::pool::PartitionAllocator;
+use crate::qos::{BatchConfig, DwrrCore, JobMeta, QosConfig, ScanVerdict};
 use crate::stats::{LatencyHistogram, ServeStats};
 use crate::ProgramCache;
 use japonica::RunReport;
@@ -40,6 +52,8 @@ use japonica_faults::{FaultPlan, FaultStats};
 use japonica_gpusim::DevicePartition;
 use japonica_ir::Heap;
 use japonica_scheduler::{SchedError, SchedulerConfig};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Virtual-clock batch parameters.
 #[derive(Debug, Clone)]
@@ -54,6 +68,12 @@ pub struct SimServeConfig {
     /// Explicit fleet layout; `None` builds a single-device fleet from
     /// `base` and `cpu_slots` (the PR-1 shape).
     pub fleet: Option<FleetConfig>,
+    /// Tenant QoS weights (mirrors `ServeConfig::qos`).
+    pub qos: QosConfig,
+    /// Execution dedup (mirrors `ServeConfig::dedup`).
+    pub dedup: DedupConfig,
+    /// Program-hash batch dispatch (mirrors `ServeConfig::batch`).
+    pub batch: BatchConfig,
 }
 
 impl Default for SimServeConfig {
@@ -63,6 +83,9 @@ impl Default for SimServeConfig {
             cpu_slots: 16,
             queue_capacity: 64,
             fleet: None,
+            qos: QosConfig::default(),
+            dedup: DedupConfig::default(),
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -201,13 +224,11 @@ impl SimBatchReport {
     }
 }
 
-/// A job waiting in the virtual queue. The scan order mirrors the live
-/// [`JobQueue`](crate::JobQueue): max priority first, then earliest
-/// admission — a faulted job re-enters with its *original* admission
-/// order, exactly as a threaded worker keeps owning its popped job.
+/// A job waiting in the virtual queue. The scan order is the shared
+/// [`DwrrCore`] dispatch-order law — a faulted job re-enters with its
+/// *original* admission sequence, exactly as a threaded worker keeps
+/// owning its popped job.
 struct Waiting {
-    prio: u8,
-    seq: u64,
     job: usize,
     arrived_s: f64,
     req: JobRequest,
@@ -223,6 +244,8 @@ struct Waiting {
     pristine: Option<Heap>,
     /// Queue time captured at the first dispatch.
     queued0: Option<f64>,
+    /// Execution identity, when dedup applies to this job.
+    key: Option<DedupKey>,
 }
 
 struct Running {
@@ -237,12 +260,23 @@ struct Running {
     rung: u32,
     acc: FaultStats,
     outcome: SimJobOutcome,
+    /// Set when this run leads a dedup key: joiners fan out at its finish.
+    key: Option<DedupKey>,
 }
 
-/// Flush one retired job's ladder counters (the extended accounting
-/// identity's third line: attempts = completed + failed + retried +
-/// migrated + cpu_degraded, flushed only at retirement).
+/// A duplicate parked on an in-flight leader, retired at the leader's
+/// finish with its own latency sample and accounting row.
+struct Joiner {
+    job: usize,
+    arrived_s: f64,
+}
+
+/// Flush one retired execution's ladder counters (the extended accounting
+/// identities: `completed + failed = executions + dedup_joins` and
+/// `attempts = executions + retried + migrated + cpu_degraded`, flushed
+/// only at retirement).
 fn flush_rungs(stats: &mut ServeStats, final_rung: u32) {
+    stats.executions += 1;
     stats.attempts += final_rung as u64 + 1;
     if final_rung >= 1 {
         stats.retried += 1;
@@ -252,6 +286,90 @@ fn flush_rungs(stats: &mut ServeStats, final_rung: u32) {
     }
     if final_rung >= CPU_RUNG {
         stats.cpu_degraded += 1;
+    }
+}
+
+/// Fan a leader's verdict out to its parked joiners: each joiner gets its
+/// own verdict, latency sample (`queued_s == latency_s` — a join never
+/// dispatches; the fan-out instant is both its start and its end) and
+/// accounting row.
+fn settle_joiners(
+    joiners: Vec<Joiner>,
+    entry: &DoneEntry,
+    at_s: f64,
+    stats: &mut ServeStats,
+    latency: &mut LatencyHistogram,
+    outcomes: &mut [Option<SimJobOutcome>],
+) {
+    for j in joiners {
+        let lat = at_s - j.arrived_s;
+        stats.dedup_joins += 1;
+        stats.dedup_suppressed_attempts += entry.attempts;
+        match &entry.verdict {
+            Ok((report, heap)) => {
+                stats.completed += 1;
+                latency.record(lat);
+                outcomes[j.job] = Some(SimJobOutcome::Completed {
+                    report: report.clone(),
+                    heap: heap.clone(),
+                    queued_s: lat,
+                    started_s: at_s,
+                    finished_s: at_s,
+                });
+            }
+            Err(e) => {
+                stats.failed += 1;
+                outcomes[j.job] = Some(SimJobOutcome::Failed(e.clone()));
+            }
+        }
+    }
+}
+
+/// Retire a failed leader's dedup key: fan the error out to parked
+/// joiners and memoize it so late duplicates inherit the same verdict.
+#[allow(clippy::too_many_arguments)]
+fn settle_leader_failure(
+    key: Option<DedupKey>,
+    err: &ServeError,
+    attempts: u64,
+    now: f64,
+    inflight: &mut BTreeMap<DedupKey, Vec<Joiner>>,
+    done: &mut BTreeMap<DedupKey, Arc<DoneEntry>>,
+    done_order: &mut VecDeque<DedupKey>,
+    capacity: usize,
+    stats: &mut ServeStats,
+    latency: &mut LatencyHistogram,
+    outcomes: &mut [Option<SimJobOutcome>],
+) {
+    let Some(key) = key else { return };
+    let joiners = inflight.remove(&key).unwrap_or_default();
+    let entry = Arc::new(DoneEntry {
+        verdict: Err(err.clone()),
+        attempts,
+    });
+    settle_joiners(joiners, &entry, now, stats, latency, outcomes);
+    memoize(done, done_order, capacity, key, entry);
+}
+
+/// Bounded-FIFO memoization of a completed dedup key (the sim mirror of
+/// the threaded `DedupTable`'s recently-completed side).
+fn memoize(
+    done: &mut BTreeMap<DedupKey, Arc<DoneEntry>>,
+    order: &mut VecDeque<DedupKey>,
+    capacity: usize,
+    key: DedupKey,
+    entry: Arc<DoneEntry>,
+) {
+    if capacity == 0 {
+        return;
+    }
+    if done.len() >= capacity {
+        if let Some(old) = order.pop_front() {
+            done.remove(&old);
+        }
+    }
+    if done.insert(key, entry).is_none() {
+        order.push_back(key);
     }
 }
 
@@ -301,10 +419,22 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
 
     let mut outcomes: Vec<Option<SimJobOutcome>> = (0..n).map(|_| None).collect();
     let mut schedule: Vec<ScheduleEvent> = Vec::new();
-    let mut waiting: Vec<Waiting> = Vec::new();
+    let mut core: DwrrCore<Waiting> = DwrrCore::new(cfg.qos.clone(), cfg.batch.clone());
     let mut running: Vec<Running> = Vec::new();
+    // Dedup state: keys with a leader dispatched but not yet retired (plus
+    // their parked joiners), and the bounded recently-completed memo.
+    let mut inflight: BTreeMap<DedupKey, Vec<Joiner>> = BTreeMap::new();
+    let mut done: BTreeMap<DedupKey, Arc<DoneEntry>> = BTreeMap::new();
+    let mut done_order: VecDeque<DedupKey> = VecDeque::new();
+    let dedup_on = cfg.dedup.enabled;
+    // Per-device program-scoped kernel caches (what batching keeps warm).
+    // Engine warmth never changes result bits, only host time, so the
+    // virtual clock and every fingerprint are unaffected.
+    let kernels: Vec<ProgramKernels> = devices
+        .iter()
+        .map(|_| ProgramKernels::new(DEFAULT_KERNELS_PER_DEVICE))
+        .collect();
     let mut next_arrival = 0usize;
-    let mut next_seq = 0u64;
     let mut now = 0.0f64;
     let mut makespan = 0.0f64;
     let mut busy_sm_s = 0.0f64;
@@ -354,6 +484,26 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
             }
             flush_rungs(&mut stats, r.rung);
             stats.faults.merge(&r.acc);
+            // A retiring leader fans its verdict out to every parked
+            // joiner and memoizes it for late duplicates.
+            if let Some(key) = r.key {
+                let joiners = inflight.remove(&key).unwrap_or_default();
+                if let SimJobOutcome::Completed { report, heap, .. } = &r.outcome {
+                    let entry = Arc::new(DoneEntry {
+                        verdict: Ok((report.clone(), heap.clone())),
+                        attempts: r.rung as u64 + 1,
+                    });
+                    settle_joiners(
+                        joiners,
+                        &entry,
+                        r.finish_s,
+                        &mut stats,
+                        &mut latency,
+                        &mut outcomes,
+                    );
+                    memoize(&mut done, &mut done_order, cfg.dedup.capacity, key, entry);
+                }
+            }
             outcomes[r.job] = Some(r.outcome);
         }
 
@@ -370,68 +520,167 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                 outcomes[idx] = Some(SimJobOutcome::RejectedInvalid);
                 continue;
             }
-            if waiting.len() >= capacity {
+            let meta = JobMeta {
+                prio: req.priority,
+                tenant: req.tenant,
+                hash: content_hash(&req.source),
+            };
+            // Global capacity, then the tenant's weighted share — the
+            // exact threaded `push_meta` admission order.
+            let share = core.qos().tenant_cap(capacity, meta.tenant);
+            if core.len() >= capacity || core.tenant_len(meta.tenant) >= share {
                 stats.rejected_full += 1;
                 outcomes[idx] = Some(SimJobOutcome::RejectedFull);
                 continue;
             }
             stats.admitted += 1;
-            waiting.push(Waiting {
-                prio: req.priority,
-                seq: next_seq,
-                job: idx,
-                arrived_s: t,
-                req,
-                rung: 0,
-                ready_s: t,
-                acc: FaultStats::default(),
-                pristine: None,
-                queued0: None,
-            });
-            next_seq += 1;
+            let key = if dedup_on && !req.chaos_panic {
+                Some(dedup_key(&req, any_template))
+            } else {
+                None
+            };
+            core.push(
+                meta,
+                Waiting {
+                    job: idx,
+                    arrived_s: t,
+                    req,
+                    rung: 0,
+                    ready_s: t,
+                    acc: FaultStats::default(),
+                    pristine: None,
+                    queued0: None,
+                    key,
+                },
+            );
         }
 
-        // 3. Dispatch: skip-over scan in (priority desc, admission asc).
-        //    Restart the scan after every dispatch/retirement so freed or
-        //    newly taken resources are re-observed deterministically.
+        // 3. Dispatch: skip-over scan in the shared DwrrCore total order
+        //    (batch preference, tenant virtual time, priority, admission
+        //    seq). Restart the scan after every take so freed or newly
+        //    taken resources — and new dedup state — are re-observed
+        //    deterministically.
         'scan: loop {
-            waiting.sort_by(|a, b| b.prio.cmp(&a.prio).then(a.seq.cmp(&b.seq)));
-            let mut idx = 0;
-            while idx < waiting.len() {
+            enum Action {
+                /// Expired in the queue before its first dispatch.
+                Deadline { queued_s: f64, deadline_s: f64 },
+                /// Coalesce onto the key's in-flight leader (`memo`
+                /// `None`) or its memoized verdict (`memo` `Some`).
+                Join {
+                    key: DedupKey,
+                    memo: Option<Arc<DoneEntry>>,
+                },
+                /// Execute an attempt on `dev` (slice already carved).
+                Dispatch {
+                    dev: usize,
+                    partition: DevicePartition,
+                },
+            }
+            let mut action: Option<Action> = None;
+            let taken = core.scan(|_, w| {
                 // Deadline screening applies to jobs that have never
                 // started; a faulted job already consumed its dispatch.
-                if waiting[idx].rung == 0 {
-                    let queued_s = now - waiting[idx].arrived_s;
-                    if let Some(dl) = waiting[idx].req.deadline.map(|d| d.as_secs_f64()) {
+                if w.rung == 0 {
+                    if let Some(dl) = w.req.deadline.map(|d| d.as_secs_f64()) {
+                        let queued_s = now - w.arrived_s;
                         if queued_s > dl {
-                            let w = waiting.remove(idx);
-                            stats.deadline_missed += 1;
-                            outcomes[w.job] = Some(SimJobOutcome::DeadlineMissed {
+                            action = Some(Action::Deadline {
                                 queued_s,
                                 deadline_s: dl,
                             });
-                            continue 'scan;
+                            return ScanVerdict::Take;
                         }
                     }
                 }
-                if waiting[idx].ready_s > now {
-                    idx += 1;
-                    continue;
+                if w.ready_s > now {
+                    return ScanVerdict::Skip;
+                }
+                // Dedup resolve at first dispatch (past rung 0 this job
+                // *is* its key's leader): join the in-flight leader or
+                // the memoized verdict, bypassing device allocation.
+                if w.rung == 0 {
+                    if let Some(key) = w.key {
+                        if inflight.contains_key(&key) {
+                            action = Some(Action::Join { key, memo: None });
+                            return ScanVerdict::Take;
+                        }
+                        if let Some(e) = done.get(&key) {
+                            action = Some(Action::Join {
+                                key,
+                                memo: Some(e.clone()),
+                            });
+                            return ScanVerdict::Take;
+                        }
+                    }
                 }
                 // Choose the rung's device on a scratch copy of the health
                 // state: selection must not leave probe/dispatch traces
                 // when the chosen device has no capacity right now.
-                let (rung, salt) = (waiting[idx].rung, waiting[idx].req.salt);
                 let mut scratch = trackers.clone();
-                let (dev, _) = select_device(rung, salt, &mut scratch, &templates);
-                let Some(partition) = allocs[dev].try_alloc(waiting[idx].req.resources) else {
-                    idx += 1; // chosen device busy: the job waits for it
-                    continue;
-                };
+                let (dev, _) = select_device(w.rung, w.req.salt, &mut scratch, &templates);
+                match allocs[dev].try_alloc(w.req.resources) {
+                    Some(partition) => {
+                        action = Some(Action::Dispatch { dev, partition });
+                        ScanVerdict::Take
+                    }
+                    // Chosen device busy: the job waits for it.
+                    None => ScanVerdict::Skip,
+                }
+            });
+            let Some((meta, seq, mut w)) = taken else {
+                break 'scan;
+            };
+            let (dev, partition) = match action {
+                Some(Action::Deadline {
+                    queued_s,
+                    deadline_s,
+                }) => {
+                    stats.deadline_missed += 1;
+                    outcomes[w.job] = Some(SimJobOutcome::DeadlineMissed {
+                        queued_s,
+                        deadline_s,
+                    });
+                    continue 'scan;
+                }
+                Some(Action::Join { key, memo: None }) => {
+                    // Park on the in-flight leader; retires at its finish.
+                    stats.dedup_hits += 1;
+                    if let Some(js) = inflight.get_mut(&key) {
+                        js.push(Joiner {
+                            job: w.job,
+                            arrived_s: w.arrived_s,
+                        });
+                    }
+                    continue 'scan;
+                }
+                Some(Action::Join {
+                    key: _,
+                    memo: Some(entry),
+                }) => {
+                    // Recently-completed hit: retire immediately.
+                    stats.dedup_hits += 1;
+                    settle_joiners(
+                        vec![Joiner {
+                            job: w.job,
+                            arrived_s: w.arrived_s,
+                        }],
+                        &entry,
+                        now,
+                        &mut stats,
+                        &mut latency,
+                        &mut outcomes,
+                    );
+                    makespan = makespan.max(now);
+                    continue 'scan;
+                }
+                Some(Action::Dispatch { dev, partition }) => (dev, partition),
+                None => break 'scan, // unreachable: Take always sets an action
+            };
+            {
+                let (rung, salt) = (w.rung, w.req.salt);
                 // Commit the (deterministic) selection on the real state.
                 let (dev2, forced) = select_device(rung, salt, &mut trackers, &templates);
                 debug_assert_eq!(dev, dev2);
-                let mut w = waiting.remove(idx);
                 let dispatch_seq = schedule.len();
                 schedule.push(ScheduleEvent {
                     job: w.job,
@@ -447,6 +696,11 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                     if any_template {
                         w.pristine = Some(w.req.heap.clone());
                     }
+                    // First dispatch makes this job its key's leader:
+                    // later duplicates join here instead of executing.
+                    if let Some(key) = w.key {
+                        inflight.entry(key).or_default();
+                    }
                 } else if let Some(p) = &w.pristine {
                     w.req.heap = p.clone();
                 }
@@ -459,6 +713,7 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                         .as_ref()
                         .map(|t| t.reseeded(attempt_salt(salt, rung)))
                 };
+                let kcache = kernels[dev].for_program(meta.hash);
                 let mut heap = std::mem::take(&mut w.req.heap);
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     execute_attempt(
@@ -470,6 +725,7 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                         &mut heap,
                         plan,
                         cpu_only,
+                        Some(kcache),
                     )
                 }));
                 match attempt {
@@ -495,6 +751,7 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                                 started_s: now,
                                 finished_s: finish_s,
                             },
+                            key: w.key,
                         });
                         // A zero-length run frees its slice at `now`:
                         // leave the scan so step 1 retires it first.
@@ -515,17 +772,30 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                             flush_rungs(&mut stats, rung);
                             stats.faults.merge(&w.acc);
                             makespan = makespan.max(now);
-                            outcomes[w.job] =
-                                Some(SimJobOutcome::Failed(ServeError::Exhausted(FaultVerdict {
-                                    fault,
-                                    stats: w.acc,
-                                    attempts: rung + 1,
-                                })));
+                            let err = ServeError::Exhausted(FaultVerdict {
+                                fault,
+                                stats: w.acc,
+                                attempts: rung + 1,
+                            });
+                            settle_leader_failure(
+                                w.key,
+                                &err,
+                                rung as u64 + 1,
+                                now,
+                                &mut inflight,
+                                &mut done,
+                                &mut done_order,
+                                cfg.dedup.capacity,
+                                &mut stats,
+                                &mut latency,
+                                &mut outcomes,
+                            );
+                            outcomes[w.job] = Some(SimJobOutcome::Failed(err));
                         } else {
                             w.rung = rung + 1;
                             w.ready_s = now + retry.backoff_s(w.rung);
                             w.req.heap = heap; // restored before next attempt
-                            waiting.push(w);
+                            core.push_with_seq(meta, seq, w);
                         }
                     }
                     Ok(Err(e)) => {
@@ -537,6 +807,19 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                         flush_rungs(&mut stats, rung);
                         stats.faults.merge(&w.acc);
                         makespan = makespan.max(now);
+                        settle_leader_failure(
+                            w.key,
+                            &e,
+                            rung as u64 + 1,
+                            now,
+                            &mut inflight,
+                            &mut done,
+                            &mut done_order,
+                            cfg.dedup.capacity,
+                            &mut stats,
+                            &mut latency,
+                            &mut outcomes,
+                        );
                         outcomes[w.job] = Some(SimJobOutcome::Failed(e));
                     }
                     Err(payload) => {
@@ -555,12 +838,24 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                         flush_rungs(&mut stats, rung);
                         stats.faults.merge(&w.acc);
                         makespan = makespan.max(now);
-                        outcomes[w.job] = Some(SimJobOutcome::Failed(ServeError::Panicked(msg)));
+                        let err = ServeError::Panicked(msg);
+                        settle_leader_failure(
+                            w.key,
+                            &err,
+                            rung as u64 + 1,
+                            now,
+                            &mut inflight,
+                            &mut done,
+                            &mut done_order,
+                            cfg.dedup.capacity,
+                            &mut stats,
+                            &mut latency,
+                            &mut outcomes,
+                        );
+                        outcomes[w.job] = Some(SimJobOutcome::Failed(err));
                     }
                 }
-                continue 'scan;
             }
-            break 'scan;
         }
         if running.iter().any(|r| r.finish_s <= now) {
             continue;
@@ -575,24 +870,38 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
         let next_arrival_t = arrivals
             .get(next_arrival)
             .map_or(f64::INFINITY, |(t, _, _)| *t);
-        let next_ready = waiting
-            .iter()
-            .map(|w| w.ready_s)
-            .filter(|t| *t > now)
-            .fold(f64::INFINITY, f64::min);
+        let mut next_ready = f64::INFINITY;
+        core.for_each(|_, w| {
+            if w.ready_s > now && w.ready_s < next_ready {
+                next_ready = w.ready_s;
+            }
+        });
         let next_t = next_completion.min(next_arrival_t).min(next_ready);
         if next_t.is_infinite() {
             // Nothing will ever free resources or arrive. Anything still
             // queued can never be placed (defensive: the admission screen
             // rejects unsatisfiable requests up front); fail it so the
-            // accounting identity holds.
-            while let Some(w) = waiting.pop() {
-                stats.failed += 1;
+            // accounting identities hold.
+            for (_, _, w) in core.drain() {
                 if w.queued0.is_some() {
+                    // Dispatched at least once: a failed execution.
+                    stats.failed += 1;
                     flush_rungs(&mut stats, w.rung.saturating_sub(1));
+                } else {
+                    // Never dispatched: no execution to account — mirror
+                    // the threaded shutdown verdict (cancelled).
+                    stats.cancelled += 1;
                 }
                 stats.faults.merge(&w.acc);
                 outcomes[w.job] = Some(SimJobOutcome::Failed(ServeError::Lost));
+            }
+            // Joiners whose leader was drained above lost their verdict.
+            let stranded: Vec<DedupKey> = inflight.keys().copied().collect();
+            for key in stranded {
+                for j in inflight.remove(&key).unwrap_or_default() {
+                    stats.cancelled += 1;
+                    outcomes[j.job] = Some(SimJobOutcome::Failed(ServeError::Lost));
+                }
             }
             break;
         }
@@ -614,6 +923,11 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
         .iter()
         .map(HealthTracker::snapshot)
         .collect::<Vec<DeviceHealthStats>>();
+    stats.device_kernels = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, k)| k.stats(i))
+        .collect();
 
     SimBatchReport {
         outcomes: outcomes

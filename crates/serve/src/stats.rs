@@ -3,19 +3,24 @@
 //! The accounting invariant every snapshot satisfies (and tests assert):
 //!
 //! ```text
-//! submitted = admitted + rejected_full + rejected_shutdown + rejected_invalid
-//! admitted  = completed + failed + deadline_missed + cancelled + in_flight
-//! attempts  = completed + failed + retried + migrated + cpu_degraded
+//! submitted          = admitted + rejected_full + rejected_shutdown + rejected_invalid
+//! admitted           = completed + failed + deadline_missed + cancelled + in_flight
+//! completed + failed = executions + dedup_joins
+//! attempts           = executions + retried + migrated + cpu_degraded
 //! ```
 //!
 //! so no submitted job is ever unaccounted for. The third line is the
-//! fleet extension: every dispatched *attempt* either finished the job
-//! (completed/failed) or walked a named ladder rung (retried on the same
-//! device, migrated to another, or degraded to CPU-only). The ladder
-//! counters are flushed atomically when a job retires — never while it is
-//! in flight — so the identity holds exactly at any snapshot.
+//! dedup extension: every job that finished either ran the ladder itself
+//! (an *execution*) or coalesced onto an identical in-flight or memoized
+//! execution (a *dedup join*). The fourth line is the fleet extension
+//! rebased onto executions: every dispatched *attempt* belongs to an
+//! execution, and an execution past its first attempt walked a named
+//! ladder rung (retried on the same device, migrated to another, or
+//! degraded to CPU-only). Ladder counters are flushed atomically when a
+//! job retires — never while it is in flight — so the identities hold
+//! exactly at any snapshot.
 
-use crate::fleet::DeviceHealthStats;
+use crate::fleet::{DeviceHealthStats, DeviceKernelStats};
 use japonica_faults::FaultStats;
 
 /// Number of log-spaced latency buckets. Bucket `i` covers latencies in
@@ -168,21 +173,37 @@ pub struct ServeStats {
     /// Worker panics contained by the service (each also counts one
     /// `failed` job).
     pub worker_panics: u64,
+    /// Jobs that ran the failover ladder themselves (dispatched at least
+    /// one attempt). `completed + failed == executions + dedup_joins`.
+    pub executions: u64,
+    /// Dedup-table hits at resolve time (join an in-flight leader or a
+    /// memoized verdict). Counted even when the joiner is later
+    /// cancelled, so `dedup_hits >= dedup_joins`.
+    pub dedup_hits: u64,
+    /// Jobs retired by fan-out from another job's execution.
+    pub dedup_joins: u64,
+    /// Ladder attempts that coalescing avoided: each join adds its
+    /// leader's `final_rung + 1`.
+    pub dedup_suppressed_attempts: u64,
     /// Program-cache entries evicted by the capacity bound.
     pub cache_evictions: u64,
     /// Fault/recovery accounting merged across every job attempt.
     pub faults: FaultStats,
     /// Per-device health counters and circuit-breaker states.
     pub devices: Vec<DeviceHealthStats>,
+    /// Per-device program-scoped kernel-cache aggregates.
+    pub device_kernels: Vec<DeviceKernelStats>,
 }
 
 impl ServeStats {
     /// `submitted = admitted + every rejection class`,
     /// `admitted = completed + failed + deadline_missed + cancelled +
-    /// in_flight`, and the fleet extension
-    /// `attempts = completed + failed + retried + migrated + cpu_degraded`
-    /// — true in every reachable state (ladder counters flush only at job
-    /// retirement, so in-flight jobs contribute zero to the third line).
+    /// in_flight`, the dedup extension
+    /// `completed + failed = executions + dedup_joins`, and the fleet
+    /// extension `attempts = executions + retried + migrated +
+    /// cpu_degraded` — true in every reachable state (ladder counters
+    /// flush only at job retirement, so in-flight jobs contribute zero to
+    /// the last two lines).
     pub fn accounts_for_every_job(&self) -> bool {
         self.submitted
             == self.admitted + self.rejected_full + self.rejected_shutdown + self.rejected_invalid
@@ -192,8 +213,8 @@ impl ServeStats {
                     + self.deadline_missed
                     + self.cancelled
                     + self.in_flight
-            && self.attempts
-                == self.completed + self.failed + self.retried + self.migrated + self.cpu_degraded
+            && self.completed + self.failed == self.executions + self.dedup_joins
+            && self.attempts == self.executions + self.retried + self.migrated + self.cpu_degraded
     }
 
     /// One-paragraph human-readable rendering.
@@ -234,11 +255,16 @@ impl ServeStats {
             .collect();
         format!(
             "attempts {} (retried {}, migrated {}, cpu-degraded {}) | \
+             executions {}, dedup joins {} ({} hits, {} attempts suppressed) | \
              worker panics {} | cache evictions {} | faults: {} gpu, {} cpu, {} transfer | [{}]",
             self.attempts,
             self.retried,
             self.migrated,
             self.cpu_degraded,
+            self.executions,
+            self.dedup_joins,
+            self.dedup_hits,
+            self.dedup_suppressed_attempts,
             self.worker_panics,
             self.cache_evictions,
             self.faults.gpu_faults,
@@ -306,22 +332,85 @@ mod tests {
             deadline_missed: 1,
             cancelled: 0,
             in_flight: 1,
-            attempts: 8,
+            attempts: 7,
             retried: 2,
             migrated: 1,
             cpu_degraded: 0,
+            executions: 4,
+            dedup_joins: 1,
+            dedup_hits: 1,
+            dedup_suppressed_attempts: 2,
             ..ServeStats::default()
         };
         assert!(s.accounts_for_every_job());
         s.in_flight = 0;
         assert!(!s.accounts_for_every_job());
         s.in_flight = 1;
-        // A rung attempt unflushed at retirement would break line 3.
+        // A rung attempt unflushed at retirement would break line 4.
         s.retried = 3;
         assert!(!s.accounts_for_every_job());
         s.retried = 2;
+        // A join that slipped past the executions counter breaks line 3.
+        s.dedup_joins = 0;
+        assert!(!s.accounts_for_every_job());
+        s.dedup_joins = 1;
         assert!(s.summary().contains("submitted 10"));
-        assert!(s.fleet_summary().contains("attempts 8"));
+        assert!(s.fleet_summary().contains("attempts 7"));
+        assert!(s.fleet_summary().contains("dedup joins 1"));
         assert!(s.fleet_summary().contains("migrated 1"));
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_pinned() {
+        // Bucket i covers [2^(i-1), 2^i) µs, bucket 0 is < 1 µs; a
+        // single sample's every quantile is its bucket's upper edge
+        // clamped to the recorded max.
+        let mut h = LatencyHistogram::new();
+        h.record(0.9e-6); // bucket 0
+        assert!((h.quantile(0.5) - 0.9e-6).abs() < 1e-15, "clamped to max");
+        let mut h = LatencyHistogram::new();
+        h.record(1.0e-6); // exactly 1 µs → bucket 1, upper edge 2 µs
+        assert!(
+            (h.quantile(0.01) - 1.0e-6).abs() < 1e-15,
+            "clamp to max 1µs"
+        );
+        let mut h = LatencyHistogram::new();
+        h.record(3.0e-6); // bucket 2 (covers [2, 4) µs), upper edge 4 µs
+        h.record(100.0e-6); // so p100 is not clamped below the edge
+        assert!((h.quantile(0.5) - 4.0e-6).abs() < 1e-15, "upper edge 4µs");
+        // Exact powers of two land in the bucket whose *lower* edge they
+        // are: 4 µs → bucket 3 ([4, 8) µs).
+        let mut h = LatencyHistogram::new();
+        h.record(4.0e-6);
+        h.record(100.0e-6);
+        assert!((h.quantile(0.5) - 8.0e-6).abs() < 1e-15, "upper edge 8µs");
+    }
+
+    #[test]
+    fn histogram_p50_p99_rank_semantics() {
+        // rank(q) = ceil(q * count) clamped to ≥ 1: with 100 one-µs
+        // samples and 1 huge sample, p99 rounds to rank 100 (the small
+        // bucket) and p100 to rank 101 (the huge one).
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(1.5e-6); // bucket 1, upper edge 2 µs
+        }
+        h.record(2.0); // 2 s
+        assert!((h.quantile(0.5) - 2.0e-6).abs() < 1e-15);
+        assert!((h.quantile(0.99) - 2.0e-6).abs() < 1e-15);
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_saturated_top_bucket() {
+        // Latencies beyond 2^62 µs land in the last bucket (63); its
+        // upper edge 2^63 µs is what quantiles report, and max() still
+        // carries the true sample.
+        let mut h = LatencyHistogram::new();
+        h.record(1e13); // 10^19 µs ≫ 2^63
+        assert_eq!(h.count(), 1);
+        let edge_s = (1u64 << 63) as f64 * 1e-6;
+        assert!((h.quantile(0.5) - edge_s).abs() / edge_s < 1e-12);
+        assert!((h.max() - 1e13).abs() < 1e-3);
     }
 }
