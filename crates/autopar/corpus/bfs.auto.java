@@ -1,0 +1,25 @@
+
+static void bfs(int[] rowstart, int[] edges, int[] costIn, int[] costOut, int n, int levels) {
+    for (int l = 0; l < levels; l++) {
+        /* acc parallel copyin(costIn, rowstart[0:n+1], edges) copyout(costOut[0:n]) */
+        for (int i = 0; i < n; i++) {
+            int best = costIn[i];
+            for (int e = rowstart[i]; e < rowstart[i + 1]; e++) {
+                int nb = edges[e];
+                int c = costIn[nb];
+                if (c >= 0) {
+                    if (best < 0) {
+                        best = c + 1;
+                    } else {
+                        if (c + 1 < best) { best = c + 1; }
+                    }
+                }
+            }
+            costOut[i] = best;
+        }
+        /* acc parallel copyin(costOut[0:n]) copyout(costIn[0:n]) */
+        for (int i = 0; i < n; i++) {
+            costIn[i] = costOut[i];
+        }
+    }
+}

@@ -1,0 +1,15 @@
+
+static void bicg(double[] a, double[] p, double[] r, double[] q, double[] s, int n) {
+    /* acc parallel copyin(a, p) copyout(q[0:n]) */
+    for (int i = 0; i < n; i++) {
+        double acc = 0.0;
+        for (int j = 0; j < n; j++) { acc += a[i * n + j] * p[j]; }
+        q[i] = acc;
+    }
+    /* acc parallel copyin(a, r) copyout(s[0:n]) */
+    for (int i = 0; i < n; i++) {
+        double acc = 0.0;
+        for (int j = 0; j < n; j++) { acc += a[j * n + i] * r[j]; }
+        s[i] = acc;
+    }
+}

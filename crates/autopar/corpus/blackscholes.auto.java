@@ -1,0 +1,29 @@
+
+static double cndf(double x) {
+    double l = Math.abs(x);
+    double k = 1.0 / (1.0 + 0.2316419 * l);
+    double poly = ((((1.330274429 * k - 1.821255978) * k + 1.781477937) * k
+                  - 0.356563782) * k + 0.31938153) * k;
+    double w = 1.0 - 0.39894228 * Math.exp(0.0 - l * l * 0.5) * poly;
+    if (x < 0.0) { return 1.0 - w; }
+    return w;
+}
+
+static void blackscholes(double[] spot, double[] strike, double[] rate,
+                         double[] vol, double[] time, double[] call, int n) {
+    /* acc parallel copyin(spot[0:n], strike[0:n], rate[0:n], vol[0:n], time[0:n], call[0:n]) copyout(call[0:n]) */
+    for (int i = 0; i < n; i++) {
+        double s = spot[i];
+        double k = strike[i];
+        double r = rate[i];
+        double v = vol[i];
+        double t = time[i];
+        double sq = Math.sqrt(t);
+        double d1 = (Math.log(s / k) + (r + v * v * 0.5) * t) / (v * sq);
+        double d2 = d1 - v * sq;
+        call[i] = s * cndf(d1) - k * Math.exp(0.0 - r * t) * cndf(d2);
+        if (i % 83 == 82) {
+            call[i] = (call[i] + call[i - 41]) * 0.5;
+        }
+    }
+}

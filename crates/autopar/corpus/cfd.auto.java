@@ -1,0 +1,12 @@
+
+static void cfd(double[] rho, double[] mom, int[] src, int[] dst,
+                double[] flux, double[] scratch, int nedges, int b) {
+    /* acc parallel copyin(src[0:nedges], dst[0:nedges], rho, mom, scratch) copyout(scratch, flux[0:nedges]) */
+    for (int i = 0; i < nedges; i++) {
+        int s = src[i];
+        int d = dst[i];
+        double f = (rho[s] - rho[d]) * 0.5 + mom[s] * 0.1 - mom[d] * 0.1;
+        scratch[i % b] = f;
+        flux[i] = scratch[i % b] * 1.5;
+    }
+}

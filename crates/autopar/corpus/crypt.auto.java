@@ -1,0 +1,25 @@
+
+static void crypt(long[] plain, long[] enc, long[] dec, long[] key, int n) {
+    /* acc parallel copyin(plain[0:n], key[0:4]) copyout(enc[0:n]) scheme(stealing) */
+    for (int i = 0; i < n; i++) {
+        long v = plain[i];
+        v = v ^ key[0];
+        v = (v << 5) | (v >>> 59);
+        v = v + key[1];
+        v = v ^ key[2];
+        v = (v << 7) | (v >>> 57);
+        v = v + key[3];
+        enc[i] = v;
+    }
+    /* acc parallel copyin(enc[0:n], key[0:4]) copyout(dec[0:n]) scheme(stealing) */
+    for (int i = 0; i < n; i++) {
+        long v = enc[i];
+        v = v - key[3];
+        v = (v >>> 7) | (v << 57);
+        v = v ^ key[2];
+        v = v - key[1];
+        v = (v >>> 5) | (v << 59);
+        v = v ^ key[0];
+        dec[i] = v;
+    }
+}

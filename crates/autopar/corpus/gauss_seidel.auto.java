@@ -1,0 +1,7 @@
+
+static void gauss_seidel(double[] a, int n) {
+    /* acc parallel copyin(a[0:n]) copyout(a[1:n-1]) */
+    for (int i = 1; i < n - 1; i++) {
+        a[i] = (a[i - 1] + a[i] + a[i + 1]) * 0.333333;
+    }
+}

@@ -1,0 +1,13 @@
+
+static void gemm(double[] a, double[] b, double[] c, int m, int d) {
+    /* acc parallel copyin(a, b) copyout(c) */
+    for (int i = 0; i < m; i++) {
+        for (int j = 0; j < d; j++) {
+            double s = 0.0;
+            for (int k = 0; k < d; k++) {
+                s += a[i * d + k] * b[k * d + j];
+            }
+            c[i * d + j] = s;
+        }
+    }
+}

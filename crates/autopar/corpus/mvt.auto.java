@@ -1,0 +1,15 @@
+
+static void mvt(double[] a, double[] x1, double[] x2, double[] y1, double[] y2, int n) {
+    /* acc parallel copyin(a, y1, x1[0:n]) copyout(x1[0:n]) */
+    for (int i = 0; i < n; i++) {
+        double s = 0.0;
+        for (int j = 0; j < n; j++) { s += a[i * n + j] * y1[j]; }
+        x1[i] = x1[i] + s;
+    }
+    /* acc parallel copyin(a, y2, x2[0:n]) copyout(x2[0:n]) */
+    for (int i = 0; i < n; i++) {
+        double s = 0.0;
+        for (int j = 0; j < n; j++) { s += a[j * n + i] * y2[j]; }
+        x2[i] = x2[i] + s;
+    }
+}

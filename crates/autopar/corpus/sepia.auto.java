@@ -1,0 +1,14 @@
+
+static void sepia(double[] img, double[] out, double[] tmp, int npix, int b) {
+    /* acc parallel copyin(img[0:3*npix], tmp) copyout(tmp, out[0:3*npix]) */
+    for (int i = 0; i < npix; i++) {
+        double r = img[3 * i];
+        double g = img[3 * i + 1];
+        double bl = img[3 * i + 2];
+        tmp[i % b] = r * 0.393 + g * 0.769 + bl * 0.189;
+        double v = tmp[i % b];
+        out[3 * i] = v;
+        out[3 * i + 1] = v * 0.89;
+        out[3 * i + 2] = v * 0.69;
+    }
+}

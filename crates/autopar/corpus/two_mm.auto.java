@@ -1,0 +1,19 @@
+
+static void mm2(double[] a, double[] b, double[] c, double[] t, double[] d, int n) {
+    /* acc parallel copyin(a, b) copyout(t) scheme(stealing) */
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            double s = 0.0;
+            for (int k = 0; k < n; k++) { s += a[i * n + k] * b[k * n + j]; }
+            t[i * n + j] = s;
+        }
+    }
+    /* acc parallel copyin(t, c) copyout(d) scheme(stealing) */
+    for (int i = 0; i < n; i++) {
+        for (int j = 0; j < n; j++) {
+            double s = 0.0;
+            for (int k = 0; k < n; k++) { s += t[i * n + k] * c[k * n + j]; }
+            d[i * n + j] = s;
+        }
+    }
+}

@@ -1,0 +1,7 @@
+
+static void vectoradd(double[] a, double[] b, double[] c, int n) {
+    /* acc parallel copyin(a[0:n], b[0:n]) copyout(c[0:n]) */
+    for (int i = 0; i < n; i++) {
+        c[i] = a[i] + b[i];
+    }
+}

@@ -242,3 +242,29 @@ fn auto_data_clauses_cover_the_hand_clauses() {
         }
     }
 }
+
+/// The `--fix` round-trip: each benchmark's patched source — what a user
+/// keeps after accepting the proposals — must (a) match the committed
+/// `<slug>.auto.java` byte-for-byte and (b) strip back to the bare
+/// source byte-identically, so fix → strip → fix is a fixed point and
+/// the corpus can be regenerated from either end.
+#[test]
+fn fixed_sources_are_byte_pinned_and_round_trip() {
+    for a in annotated() {
+        let path = corpus_dir().join(format!("{}.auto.java", a.slug));
+        let committed = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing fixed source {}: {e}", path.display()));
+        assert_eq!(
+            committed.trim_end(),
+            a.auto_src.trim_end(),
+            "{}: apply(bare, proposals) drifted from the committed .auto.java",
+            a.name
+        );
+        let stripped = japonica_frontend::strip_acc_annotations(&a.auto_src);
+        assert_eq!(
+            stripped, a.bare,
+            "{}: strip_acc_annotations(apply(bare, proposals)) != bare",
+            a.name
+        );
+    }
+}

@@ -16,7 +16,10 @@
 //! static analysis (plus one profiling run for speculative proposals), and
 //! the resulting patches are byte-diffed against the golden files under
 //! `crates/autopar/corpus/` (exit 2 on drift). `--auto --write-golden`
-//! regenerates the bare sources and golden patches in place.
+//! regenerates the bare sources and golden patches in place. `--fix`
+//! additionally pins each benchmark's patched source (`<slug>.auto.java`)
+//! — the file a user keeps after accepting the proposals — under the same
+//! drift rules.
 
 use japonica_bench::{
     json_escape, json_f64, median, parse_flat_json, run_timed_engine, SimFingerprint, Variant,
@@ -59,7 +62,7 @@ fn usage() -> ! {
         "usage: bench [--quick] [--scale N] [--trials K] [--warmup W] [--threads N]\n\
          \x20            [--engine bytecode|interp|native] [--out PATH] [--gate BASELINE.json]\n\
          \x20            [--write-baseline PATH]\n\
-         \x20      bench --auto [--write-golden] [--explain]\n\
+         \x20      bench --auto [--write-golden] [--explain] [--fix]\n\
          \n\
          Runs every Table II workload under serial / CPU-16 / GPU / sharing /\n\
          stealing, reports median host wall-clock, and checks that the\n\
@@ -246,8 +249,12 @@ fn auto_corpus_dir() -> std::path::PathBuf {
 /// (or, with `write`, regenerate) the golden bare sources and patches.
 /// `explain` additionally prints every proposal's evidence chain — the
 /// analysis facts and scheme-decision notes (e.g. why BICG keeps
-/// `scheme(sharing)` despite its shared read-only input).
-fn auto_mode(write: bool, explain: bool) -> ExitCode {
+/// `scheme(sharing)` despite its shared read-only input). `fix`
+/// additionally materializes each benchmark's patched source as
+/// `<slug>.auto.java` next to the bare golden — the file a user would
+/// keep after accepting the proposals — diffed (or regenerated) under
+/// the same byte-pinned drift rules.
+fn auto_mode(write: bool, explain: bool, fix: bool) -> ExitCode {
     let all = match japonica_autopar::auto_annotate_all() {
         Ok(a) => a,
         Err(e) => {
@@ -288,8 +295,14 @@ fn auto_mode(write: bool, explain: bool) -> ExitCode {
         }
         let bare_path = dir.join(format!("{}.java", a.slug));
         let patch_path = dir.join(format!("{}.golden.patch", a.slug));
+        let fixed_path = dir.join(format!("{}.auto.java", a.slug));
+        let mut targets: Vec<(&std::path::PathBuf, &String)> =
+            vec![(&bare_path, &a.bare), (&patch_path, &a.patch)];
+        if fix {
+            targets.push((&fixed_path, &a.auto_src));
+        }
         if write {
-            for (path, content) in [(&bare_path, &a.bare), (&patch_path, &a.patch)] {
+            for (path, content) in targets {
                 if let Err(e) = std::fs::write(path, content) {
                     eprintln!("auto: cannot write {}: {e}", path.display());
                     return ExitCode::from(4);
@@ -298,7 +311,7 @@ fn auto_mode(write: bool, explain: bool) -> ExitCode {
             }
             continue;
         }
-        for (path, fresh) in [(&bare_path, &a.bare), (&patch_path, &a.patch)] {
+        for (path, fresh) in targets {
             let committed = std::fs::read_to_string(path).unwrap_or_default();
             if committed.trim_end() != fresh.trim_end() {
                 eprintln!("auto: {} drifted from {}", a.name, path.display());
@@ -327,13 +340,14 @@ fn main() -> ExitCode {
     if argv.iter().any(|a| a == "--auto") {
         if argv
             .iter()
-            .any(|a| a != "--auto" && a != "--write-golden" && a != "--explain")
+            .any(|a| a != "--auto" && a != "--write-golden" && a != "--explain" && a != "--fix")
         {
             usage();
         }
         return auto_mode(
             argv.iter().any(|a| a == "--write-golden"),
             argv.iter().any(|a| a == "--explain"),
+            argv.iter().any(|a| a == "--fix"),
         );
     }
     let o = parse_opts();

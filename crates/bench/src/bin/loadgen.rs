@@ -72,6 +72,8 @@ struct Opts {
     open: bool,
     tenants: usize,
     gate_speedup: Option<f64>,
+    sessions: usize,
+    edits: f64,
 }
 
 fn usage() -> ! {
@@ -79,6 +81,8 @@ fn usage() -> ! {
         "usage: loadgen [--rate JOBS_PER_S] [--seed N] [--jobs N] [--scale N]\n\
          \x20              [--queue-cap N] [--workers N] [--devices N] [--chaos P]\n\
          \x20              [--json PATH] [--quick]\n\
+         \x20      loadgen --sessions K [--edits P] [--jobs N] [--seed N]\n\
+         \x20              [--workers N] [--json PATH]\n\
          \x20      loadgen --open --rate JOBS_PER_S --jobs N [--tenants N]\n\
          \x20              [--gate-speedup X] [--seed N] [--queue-cap N]\n\
          \x20              [--workers N] [--devices N] [--chaos P] [--json PATH]\n\
@@ -99,7 +103,16 @@ fn usage() -> ! {
          weighted QoS tenants, one arm with execution dedup + program-hash\n\
          batching OFF and one ON. Every completed job must stay\n\
          bit-identical to its solo virtual-clock reference; --gate-speedup\n\
-         X exits 5 when ON < X times the OFF arm's sustained jobs/s."
+         X exits 5 when ON < X times the OFF arm's sustained jobs/s.\n\
+         \n\
+         --sessions K drives K persistent tenant sessions (japonica-session)\n\
+         through seeded interleaved OPEN/LOAD/edit/RUN/CLOSE scripts, each\n\
+         LOAD editing one stage with probability P (--edits, default 0.3).\n\
+         The identical op list replays through the threaded service and the\n\
+         virtual-clock backend in lockstep: every LOAD's reuse/recompile/\n\
+         invalidate split and every RUN's result bits must agree byte-for-\n\
+         byte (exit 2), session + serve accounting identities must close and\n\
+         no device lease may leak (exit 3)."
     );
     std::process::exit(2)
 }
@@ -119,6 +132,8 @@ fn parse_opts() -> Opts {
         open: false,
         tenants: 3,
         gate_speedup: None,
+        sessions: 0,
+        edits: 0.3,
     };
     let mut jobs_set = false;
     let mut queue_cap_set = false;
@@ -149,6 +164,8 @@ fn parse_opts() -> Opts {
             "--open" => o.open = true,
             "--tenants" => o.tenants = (num(&mut args) as usize).clamp(1, 16),
             "--gate-speedup" => o.gate_speedup = Some(num(&mut args).max(0.0)),
+            "--sessions" => o.sessions = (num(&mut args) as usize).clamp(1, 64),
+            "--edits" => o.edits = num(&mut args).clamp(0.0, 1.0),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -397,6 +414,9 @@ fn device_kernels_json(stats: &ServeStats) -> String {
 
 fn main() -> ExitCode {
     let o = parse_opts();
+    if o.sessions > 0 {
+        return run_sessions(&o);
+    }
     if o.open {
         return run_open(&o);
     }
@@ -989,5 +1009,267 @@ fn run_closed(o: &Opts) -> ExitCode {
         println!("wrote {path}");
     }
     println!("loadgen: all oracles passed");
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Session lockstep mode (--sessions K --edits P)
+// ---------------------------------------------------------------------------
+
+/// One step of a seeded session script (generated up front, replayed
+/// identically against both backends).
+#[derive(Debug, Clone, PartialEq)]
+enum SessionOp {
+    Open { k: usize, tenant: u32 },
+    Load { k: usize, variant: u32 },
+    Run { k: usize, n: usize },
+    Close { k: usize },
+}
+
+/// A two-stage program family: `warm` never changes across variants, so
+/// every edit's LOAD must transplant it (`reused >= 1`); `stage` carries
+/// the variant constant, so every edit recompiles exactly one kernel.
+fn session_source(variant: u32) -> String {
+    format!(
+        "static void warm(double[] a, int n) {{\n\
+         \x20   /* acc parallel */\n\
+         \x20   for (int i = 0; i < n; i++) {{ a[i] = a[i] + 1.0; }}\n\
+         }}\n\
+         static void stage(double[] a, int n) {{\n\
+         \x20   /* acc parallel */\n\
+         \x20   for (int i = 0; i < n; i++) {{ a[i] = a[i] * {}.0 + 0.5; }}\n\
+         }}",
+        2 + variant
+    )
+}
+
+/// Seeded interleaved scripts for `K` sessions: each session opens, loads
+/// variant 0 and runs; every later step edits its program with
+/// probability `edits` (forcing an incremental reload) and runs again;
+/// even-numbered sessions close at the end, the rest are left resident
+/// for shutdown drain. Returns the ops and the number of edit reloads.
+fn session_script(
+    k_sessions: usize,
+    steps: usize,
+    edits: f64,
+    seed: u64,
+) -> (Vec<SessionOp>, usize) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e55_1011);
+    let mut ops = Vec::new();
+    let mut variants = vec![0u32; k_sessions];
+    let mut edited = 0usize;
+    for k in 0..k_sessions {
+        ops.push(SessionOp::Open {
+            k,
+            tenant: (k % 3) as u32,
+        });
+        ops.push(SessionOp::Load { k, variant: 0 });
+        ops.push(SessionOp::Run { k, n: 64 });
+    }
+    for _ in 1..steps {
+        for k in 0..k_sessions {
+            let u: f64 = rng.gen();
+            if u < edits {
+                variants[k] += 1;
+                edited += 1;
+                ops.push(SessionOp::Load {
+                    k,
+                    variant: variants[k],
+                });
+            }
+            let n = [64usize, 128, 192][rng.gen_range(0..3usize)];
+            ops.push(SessionOp::Run { k, n });
+        }
+    }
+    for k in (0..k_sessions).step_by(2) {
+        ops.push(SessionOp::Close { k });
+    }
+    (ops, edited)
+}
+
+/// Replay `ops` against one backend, fingerprinting every observable:
+/// each LOAD's reuse/recompile/invalidate split and each RUN's result
+/// bits. Returns the fingerprint and the final session counters.
+fn run_session_arm(
+    mgr: &japonica_session::SessionManager,
+    ops: &[SessionOp],
+) -> Result<(String, japonica_session::SessionStats), String> {
+    use japonica_session::RunInput;
+    let mut fp = String::new();
+    let mut sids: BTreeMap<usize, u64> = BTreeMap::new();
+    let mut now = 0.0f64;
+    for op in ops {
+        now += 1.0;
+        match op {
+            SessionOp::Open { k, tenant } => {
+                let sid = mgr.open(*tenant, now);
+                sids.insert(*k, sid);
+                let _ = writeln!(fp, "O k={k} sid={sid}");
+            }
+            SessionOp::Load { k, variant } => {
+                let sid = sids[k];
+                let r = mgr
+                    .load(sid, &session_source(*variant), now)
+                    .map_err(|e| format!("LOAD k={k} v={variant}: {e}"))?;
+                let _ = writeln!(
+                    fp,
+                    "L k={k} phash={:016x} resident={} reused={} recompiled={} invalidated={}",
+                    r.phash, r.resident, r.reused, r.recompiled, r.invalidated
+                );
+            }
+            SessionOp::Run { k, n } => {
+                let sid = sids[k];
+                let o = mgr
+                    .run(sid, "stage", RunInput::Fresh(*n), now)
+                    .map_err(|e| format!("RUN k={k} n={n}: {e}"))?;
+                let _ = writeln!(
+                    fp,
+                    "R k={k} total={:016x} sum={:016x} len={}",
+                    o.total_bits,
+                    o.sum_bits,
+                    o.out.len()
+                );
+            }
+            SessionOp::Close { k } => {
+                let sid = sids[k];
+                mgr.close(sid, now)
+                    .map_err(|e| format!("CLOSE k={k}: {e}"))?;
+                let _ = writeln!(fp, "C k={k}");
+            }
+        }
+        let stats = mgr.stats();
+        if !stats.identities_hold() {
+            return Err(format!(
+                "accounting identity broken after {op:?}: {stats:?}"
+            ));
+        }
+    }
+    Ok((fp, mgr.stats()))
+}
+
+/// `--sessions K`: the same seeded session scripts replayed through the
+/// threaded service and the virtual-clock backend must agree on every
+/// observable byte. Exit 2 on divergence, 3 on accounting/lease failure,
+/// 4 when an arm fails to run.
+fn run_sessions(o: &Opts) -> ExitCode {
+    use japonica_session::{SessionConfig, SessionManager};
+    let k = o.sessions;
+    let steps = (o.jobs / k).max(2);
+    let (ops, edited) = session_script(k, steps, o.edits, o.seed);
+    println!(
+        "session lockstep: {k} sessions x {steps} steps, {} ops, {edited} edit reloads (p={})",
+        ops.len(),
+        o.edits
+    );
+    let scfg = SessionConfig::default();
+
+    let virt = SessionManager::virtual_clock(SimServeConfig::default(), scfg.clone());
+    let (virt_fp, virt_stats) = match run_session_arm(&virt, &ops) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: virtual arm: {e}");
+            return ExitCode::from(if e.contains("identity") { 3 } else { 4 });
+        }
+    };
+    let (virt_final, _) = virt.shutdown();
+
+    let serve = Serve::start(ServeConfig {
+        workers: o.workers,
+        ..ServeConfig::default()
+    });
+    let thr = SessionManager::threaded(serve, scfg);
+    let (thr_fp, thr_stats) = match run_session_arm(&thr, &ops) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: threaded arm: {e}");
+            return ExitCode::from(if e.contains("identity") { 3 } else { 4 });
+        }
+    };
+    let pool_ok = thr
+        .with_serve(|s| {
+            let snap = s.pool().snapshot();
+            snap.free_sms == snap.sm_count && snap.free_cpu_slots == snap.cpu_slots
+        })
+        .unwrap_or(false);
+    let (thr_final, thr_serve) = thr.shutdown();
+
+    if virt_fp != thr_fp {
+        let diverged = virt_fp
+            .lines()
+            .zip(thr_fp.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        eprintln!("FAIL: threaded/virtual session transcripts diverged at op {diverged}");
+        for (a, b) in virt_fp.lines().zip(thr_fp.lines()).skip(diverged).take(3) {
+            eprintln!("  virtual:  {a}\n  threaded: {b}");
+        }
+        return ExitCode::from(2);
+    }
+    println!(
+        "lockstep OK: {} fingerprint lines byte-identical across backends",
+        virt_fp.lines().count()
+    );
+    if virt_stats != thr_stats {
+        eprintln!(
+            "FAIL: session counters diverged\n  virtual:  {virt_stats:?}\n  threaded: {thr_stats:?}"
+        );
+        return ExitCode::from(2);
+    }
+    if !pool_ok {
+        eprintln!("FAIL: threaded arm left device leases allocated");
+        return ExitCode::from(3);
+    }
+    let ss = thr_serve.expect("threaded backend reports serve stats");
+    if !ss.accounts_for_every_job() || ss.in_flight != 0 {
+        eprintln!("FAIL: serve accounting identity broken: {ss:?}");
+        return ExitCode::from(3);
+    }
+    if !virt_final.identities_hold() || !thr_final.identities_hold() {
+        eprintln!("FAIL: session accounting identity broken at shutdown");
+        return ExitCode::from(3);
+    }
+    if edited > 0 && thr_stats.reused_kernels == 0 {
+        eprintln!("FAIL: {edited} edit reloads but no kernel was ever reused: {thr_stats:?}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "sessions: loads={} runs={} resident={} reused={} recompiled={} invalidations={}",
+        thr_stats.loads,
+        thr_stats.runs,
+        thr_stats.resident_kernels,
+        thr_stats.reused_kernels,
+        thr_stats.recompiled_kernels,
+        thr_stats.invalidations
+    );
+    if let Some(path) = &o.json {
+        let mut out = String::from("{\n");
+        let mut kv = |k: &str, v: String| {
+            let _ = writeln!(out, "  \"{}\": {},", json_escape(k), v);
+        };
+        kv("mode", "\"sessions\"".to_string());
+        kv("sessions", k.to_string());
+        kv("steps", steps.to_string());
+        kv("edits_p", json_f64(o.edits));
+        kv("edit_reloads", edited.to_string());
+        kv("ops", ops.len().to_string());
+        kv("loads", thr_stats.loads.to_string());
+        kv("runs", thr_stats.runs.to_string());
+        kv("resident_kernels", thr_stats.resident_kernels.to_string());
+        kv("reused_kernels", thr_stats.reused_kernels.to_string());
+        kv(
+            "recompiled_kernels",
+            thr_stats.recompiled_kernels.to_string(),
+        );
+        kv("invalidations", thr_stats.invalidations.to_string());
+        kv("opened", thr_stats.opened.to_string());
+        kv("closed", thr_stats.closed.to_string());
+        out.push_str("  \"lockstep\": true\n}\n");
+        if let Err(e) = std::fs::write(path, &out) {
+            eprintln!("FAIL: could not write {path}: {e}");
+            return ExitCode::from(4);
+        }
+        println!("wrote {path}");
+    }
+    println!("loadgen: all session oracles passed");
     ExitCode::SUCCESS
 }

@@ -1,0 +1,147 @@
+//! `repl` — the session line protocol as a command-line client.
+//!
+//! Two modes over the same [`Engine`](japonica_session::Engine):
+//!
+//! - **Scripted** (`--script f.jrepl`): feeds the file line by line and
+//!   emits a deterministic JSON transcript (stdout, or `--json PATH`).
+//!   The transcript is byte-stable across runs and across the threaded
+//!   and virtual backends, so CI diffs it against committed goldens.
+//! - **Interactive** (no `--script`): reads protocol lines from stdin,
+//!   prints one reply line per command, and on EOF drains the session
+//!   manager and prints the final counters to stderr.
+//!
+//! The backend is the real threaded service by default; `--virtual`
+//! swaps in the virtual-clock simulator (identical replies, no threads).
+//!
+//! Exit codes: 0 ok · 1 usage or I/O failure.
+
+use japonica_serve::{Serve, ServeConfig, SimServeConfig};
+use japonica_session::{run_script, Engine, SessionConfig, SessionManager};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+struct Opts {
+    script: Option<String>,
+    json: Option<String>,
+    virtual_clock: bool,
+    ttl: f64,
+    max_sessions: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repl [--script FILE.jrepl] [--json OUT.json] [--virtual]\n\
+         \x20           [--ttl SECONDS] [--max-sessions N]\n\
+         \n\
+         protocol: OPEN <tenant> | LOAD <sid> <nlines> (+ payload) |\n\
+         \x20         RUN <sid> <entry> <n|@binding> | BIND <sid> <name> |\n\
+         \x20         SHOW <sid> <name> | CLOSE <sid>"
+    );
+    std::process::exit(1)
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts {
+        script: None,
+        json: None,
+        virtual_clock: false,
+        ttl: 1.0e9,
+        max_sessions: 64,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--script" => o.script = Some(take(&mut i)),
+            "--json" => o.json = Some(take(&mut i)),
+            "--virtual" => o.virtual_clock = true,
+            "--ttl" => o.ttl = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--max-sessions" => o.max_sessions = take(&mut i).parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn main() -> ExitCode {
+    let opts = parse_opts();
+    let cfg = SessionConfig {
+        ttl_s: opts.ttl,
+        max_sessions: opts.max_sessions,
+        ..SessionConfig::default()
+    };
+    let mgr = if opts.virtual_clock {
+        SessionManager::virtual_clock(SimServeConfig::default(), cfg)
+    } else {
+        SessionManager::threaded(Serve::start(ServeConfig::default()), cfg)
+    };
+    let mut engine = Engine::new(mgr);
+
+    if let Some(path) = &opts.script {
+        let script = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("repl: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let json = run_script(&mut engine, &script);
+        engine.finish();
+        match &opts.json {
+            Some(out) => {
+                if let Err(e) = std::fs::write(out, &json) {
+                    eprintln!("repl: cannot write {out}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+            None => print!("{json}"),
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    // Interactive: one reply line per completed command.
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("repl: stdin: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        if let Some(reply) = engine.feed_line(&line) {
+            if writeln!(stdout, "{}", reply.line)
+                .and_then(|()| stdout.flush())
+                .is_err()
+            {
+                break;
+            }
+        }
+    }
+    let (stats, serve_stats) = engine.finish();
+    eprintln!(
+        "sessions: opened={} active={} closed={} expired={} evicted={} \
+         loads={} runs={} resident={} reused={} recompiled={} invalidations={}",
+        stats.opened,
+        stats.active,
+        stats.closed,
+        stats.expired,
+        stats.evicted,
+        stats.loads,
+        stats.runs,
+        stats.resident_kernels,
+        stats.reused_kernels,
+        stats.recompiled_kernels,
+        stats.invalidations
+    );
+    if let Some(ss) = serve_stats {
+        eprintln!("{}", ss.summary());
+    }
+    ExitCode::SUCCESS
+}

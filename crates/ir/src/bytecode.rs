@@ -941,6 +941,7 @@ pub struct KernelCache {
     shards: [Mutex<BTreeMap<u32, CacheEntry>>; KERNEL_CACHE_SHARDS],
     hits: AtomicU64,
     misses: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Default for KernelCache {
@@ -949,6 +950,7 @@ impl Default for KernelCache {
             shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 }
@@ -1039,6 +1041,76 @@ impl KernelCache {
         slot.clone().downcast::<T>().ok()
     }
 
+    /// Drop `loop_id`'s entry — the memoized bytecode *and* every native
+    /// tier built from it. Returns whether an entry was resident. This is
+    /// the hot-code-reload hook: a session that recompiles an edited kernel
+    /// invalidates exactly this entry, and the drop is counted in
+    /// [`KernelCache::invalidations`], never in the hit/miss pair.
+    pub fn invalidate(&self, loop_id: u32) -> bool {
+        let dropped = self
+            .shard(loop_id)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&loop_id)
+            .is_some();
+        if dropped {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    /// Transplant `src`'s entry for `src_loop` into this cache under
+    /// `dst_loop`: the compiled kernel `Arc`, every native-tier artifact,
+    /// and the use counter (so a promoted loop stays promoted across a hot
+    /// reload). Returns `false` — and changes nothing — when `src` has no
+    /// entry for `src_loop` or this cache already holds `dst_loop`.
+    ///
+    /// The id remap exists because loop ids are program-wide ordinals:
+    /// editing one function renumbers the loops behind it, so an unchanged
+    /// kernel's entry moves to a *new* id in the reloaded program's cache.
+    /// The snapshot is taken before the destination shard is locked, so
+    /// transplanting within one cache (or between caches sharing a shard
+    /// index) cannot deadlock.
+    pub fn adopt_from(&self, src: &KernelCache, src_loop: u32, dst_loop: u32) -> bool {
+        let snapshot = {
+            let map = src
+                .shard(src_loop)
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            match map.get(&src_loop) {
+                Some(e) => CacheEntry {
+                    kernel: e.kernel.clone(),
+                    uses: e.uses,
+                    native: e.native.clone(),
+                },
+                None => return false,
+            }
+        };
+        let mut map = self
+            .shard(dst_loop)
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if map.contains_key(&dst_loop) {
+            return false;
+        }
+        map.insert(dst_loop, snapshot);
+        true
+    }
+
+    /// Entries resident right now (compiled kernels plus memoized
+    /// bail-outs).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -1047,6 +1119,12 @@ impl KernelCache {
     /// Cache misses (compilations, successful or not) so far.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by [`KernelCache::invalidate`] so far (never
+    /// overlaps the hit/miss counters).
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 }
 
@@ -1936,5 +2014,64 @@ mod tests {
         });
         assert_eq!(cache.misses(), 16);
         assert_eq!(cache.hits(), 4 * 3 * 16 - 16);
+    }
+
+    #[test]
+    fn invalidate_drops_entry_and_counts_separately() {
+        let p = Program::new();
+        let body = vec![Stmt::Assign {
+            var: v(1),
+            value: Expr::var(v(0)),
+        }];
+        let loop_ = kernel_loop(v(0), 4, body);
+        let cache = KernelCache::new();
+        assert!(cache.get_or_compile(&p, &loop_).is_some());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.invalidate(loop_.id.0));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.invalidations(), 1);
+        // A second invalidation of the same id is a no-op, not a count.
+        assert!(!cache.invalidate(loop_.id.0));
+        assert_eq!(cache.invalidations(), 1);
+        // Re-fetching recompiles: one more miss, hit count untouched.
+        assert!(cache.get_or_compile(&p, &loop_).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+    }
+
+    #[test]
+    fn adopt_from_transplants_kernel_uses_and_native_tiers() {
+        let p = Program::new();
+        let body = vec![Stmt::Assign {
+            var: v(1),
+            value: Expr::var(v(0)),
+        }];
+        let loop_ = kernel_loop(v(0), 4, body);
+        let old = KernelCache::new();
+        // Two lookups promote the loop; build a native-tier artifact.
+        let k1 = old.get_or_compile(&p, &loop_).expect("compiles");
+        old.get_or_compile(&p, &loop_);
+        let tier: Option<Arc<String>> = old.native_tier(loop_.id.0, |_| "artifact".to_string());
+        assert!(tier.is_some());
+        assert_eq!(old.uses(loop_.id.0), 2);
+
+        // Transplant under a *different* id, as a hot reload would after
+        // loop renumbering.
+        let new = KernelCache::new();
+        assert!(new.adopt_from(&old, loop_.id.0, 7));
+        assert_eq!(new.len(), 1);
+        assert_eq!(new.uses(7), 2, "use counter must survive the move");
+        // The compiled kernel is shared, not recompiled: same Arc, and the
+        // native tier is immediately available (still promoted).
+        let mut renumbered = loop_.clone();
+        renumbered.id = LoopId(7);
+        let k2 = new.get_or_compile(&p, &renumbered).expect("resident");
+        assert!(Arc::ptr_eq(&k1, &k2));
+        assert_eq!((new.hits(), new.misses()), (1, 0));
+        let moved: Option<Arc<String>> = new.native_tier(7, |_| "rebuilt".to_string());
+        assert_eq!(moved.as_deref().map(String::as_str), Some("artifact"));
+
+        // Missing source entry or occupied destination: refused.
+        assert!(!new.adopt_from(&old, 99, 8));
+        assert!(!new.adopt_from(&old, loop_.id.0, 7));
     }
 }

@@ -52,6 +52,7 @@ pub struct ProgramCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl Default for ProgramCache {
@@ -76,6 +77,7 @@ impl ProgramCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
         }
     }
 
@@ -121,6 +123,30 @@ impl ProgramCache {
         result
     }
 
+    /// Drop every resident entry whose source hashes to `hash` (normally
+    /// one; hash-colliding sources share the bucket and go together, which
+    /// is safe — invalidation only costs a recompile). Returns the number
+    /// of entries dropped.
+    ///
+    /// The drop is counted in [`ProgramCache::invalidations`], *never* in
+    /// [`ProgramCache::evictions`]: eviction is the capacity bound acting,
+    /// invalidation is a caller saying the program changed. Entries are
+    /// removed outright — not tombstoned — so a failed compile that is
+    /// re-requested after invalidation re-memoizes into a fresh entry
+    /// instead of stacking a duplicate behind a dead one (the duplicate
+    /// would be double-counted by the capacity scan and double-evicted
+    /// later).
+    pub fn invalidate(&self, hash: u64) -> usize {
+        let shard = &self.shards[hash as usize % SHARDS];
+        let mut map = shard.lock().unwrap_or_else(|e| e.into_inner());
+        let dropped = map.remove(&hash).map_or(0, |bucket| bucket.len());
+        if dropped > 0 {
+            self.invalidations
+                .fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        dropped
+    }
+
     /// Lookups that reused a cached result (success or failure).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -131,9 +157,16 @@ impl ProgramCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Entries dropped to stay under the capacity bound.
+    /// Entries dropped to stay under the capacity bound. Disjoint from
+    /// [`ProgramCache::invalidations`]: each removed entry lands in exactly
+    /// one of the two counters.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Entries dropped by [`ProgramCache::invalidate`].
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
     }
 
     /// The cache's total program capacity.
@@ -248,6 +281,42 @@ mod tests {
         }
         assert_eq!(c.misses(), 41, "hot entry must compile exactly once");
         assert!(c.evictions() > 0, "churn must have overflowed some shard");
+    }
+
+    #[test]
+    fn invalidation_splits_counters_from_eviction() {
+        let c = ProgramCache::new();
+        c.get_or_compile(OK).unwrap();
+        let hash = content_hash(OK);
+        assert_eq!(c.invalidate(hash), 1);
+        assert_eq!((c.evictions(), c.invalidations()), (0, 1));
+        // Gone: the next lookup recompiles.
+        c.get_or_compile(OK).unwrap();
+        assert_eq!((c.hits(), c.misses()), (0, 2));
+        // Invalidating an absent hash is a no-op, not a count.
+        assert_eq!(c.invalidate(0xDEAD_BEEF), 0);
+        assert_eq!(c.invalidations(), 1);
+    }
+
+    #[test]
+    fn refailed_compile_after_invalidation_is_not_double_counted() {
+        // Regression: a memoized compile *failure* that is invalidated and
+        // then re-requested must land in a fresh single entry — never a
+        // duplicate behind a dead one — and the removal must count as an
+        // invalidation, not an eviction.
+        const BROKEN: &str = "static void broken(";
+        let c = ProgramCache::new();
+        assert!(c.get_or_compile(BROKEN).is_err());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.invalidate(content_hash(BROKEN)), 1);
+        assert_eq!(c.len(), 0);
+        // Re-memoize the same failure twice: one recompile, one hit, and
+        // exactly one resident entry.
+        assert!(c.get_or_compile(BROKEN).is_err());
+        assert!(c.get_or_compile(BROKEN).is_err());
+        assert_eq!(c.len(), 1);
+        assert_eq!((c.hits(), c.misses()), (1, 2));
+        assert_eq!((c.evictions(), c.invalidations()), (0, 1));
     }
 
     #[test]

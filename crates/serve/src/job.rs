@@ -57,6 +57,13 @@ pub struct JobRequest {
     /// Test/chaos hook: make the worker panic while this job executes, to
     /// exercise the panic-containment path. Never set by real submitters.
     pub chaos_panic: bool,
+    /// Caller-owned kernel/native-tier cache, overriding the fleet's
+    /// per-device program-scoped registry. Sessions route their resident
+    /// compilation here so incrementally recompiled kernels (and their
+    /// promoted native tiers) survive across submissions. Warmth never
+    /// changes result bits, only host time, so every bit-identity oracle
+    /// is unaffected by the override.
+    pub kernels: Option<Arc<japonica_ir::KernelCache>>,
 }
 
 impl JobRequest {
@@ -81,6 +88,7 @@ impl JobRequest {
             scheme_override: None,
             salt: 0,
             chaos_panic: false,
+            kernels: None,
         }
     }
 
@@ -111,6 +119,13 @@ impl JobRequest {
     /// Set the stealing sub-loop split.
     pub fn with_subloops(mut self, subloops: u32) -> JobRequest {
         self.subloops_per_task = Some(subloops);
+        self
+    }
+
+    /// Route execution through a caller-owned kernel cache (session state)
+    /// instead of the fleet's per-device registry.
+    pub fn with_kernels(mut self, kernels: Arc<japonica_ir::KernelCache>) -> JobRequest {
+        self.kernels = Some(kernels);
         self
     }
 }

@@ -121,7 +121,7 @@ struct Counters {
 struct Shared {
     queue: JobQueue<QueuedJob>,
     fleet: Fleet,
-    cache: ProgramCache,
+    cache: Arc<ProgramCache>,
     dedup: DedupTable<Waiter>,
     counters: Counters,
     latency: Mutex<LatencyHistogram>,
@@ -145,7 +145,7 @@ impl Serve {
         let shared = Arc::new(Shared {
             queue: JobQueue::with_qos(cfg.queue_capacity, cfg.qos, cfg.batch),
             fleet: Fleet::new(fleet_cfg),
-            cache: ProgramCache::new(),
+            cache: Arc::new(ProgramCache::new()),
             dedup: DedupTable::new(cfg.dedup),
             counters: Counters::default(),
             latency: Mutex::new(LatencyHistogram::new()),
@@ -252,6 +252,7 @@ impl Serve {
             cpu_degraded: c.cpu_degraded.load(Ordering::Relaxed),
             worker_panics: c.worker_panics.load(Ordering::Relaxed),
             cache_evictions: self.shared.cache.evictions(),
+            cache_invalidations: self.shared.cache.invalidations(),
             faults: *self.shared.faults.lock().unwrap_or_else(|e| e.into_inner()),
             devices: self.shared.fleet.device_stats(),
             executions: c.executions.load(Ordering::Relaxed),
@@ -271,6 +272,14 @@ impl Serve {
     /// The fleet (for monitoring).
     pub fn fleet(&self) -> &Fleet {
         &self.shared.fleet
+    }
+
+    /// The service's content-hash program cache. Sessions share it so a
+    /// hot reload invalidates the stale program *here* — the next
+    /// submission of the old hash recompiles instead of reusing a corpse —
+    /// and so a LOAD-time compile is the same compile later RUNs hit.
+    pub fn program_cache(&self) -> Arc<ProgramCache> {
+        Arc::clone(&self.shared.cache)
     }
 
     /// Drain and stop: no new admissions, queued jobs still get verdicts,
@@ -369,10 +378,15 @@ fn run_ladder(shared: &Shared, req: &JobRequest, phash: u64, heap: &mut Heap) ->
                 .template(dev)
                 .map(|t| t.reseeded(attempt_salt(req.salt, rung)))
         };
-        // The chosen device's program-scoped kernel cache: batch dispatch
-        // lands same-program jobs here back to back, so the compiled
-        // bytecode and promoted native tiers stay warm across jobs.
-        let kernels = fleet.kernels(dev).for_program(phash);
+        // The job's kernel cache: a session-owned cache when the request
+        // carries one (hot-reload state follows the session, not the
+        // device), otherwise the chosen device's program-scoped registry —
+        // batch dispatch lands same-program jobs there back to back, so
+        // the compiled bytecode and promoted native tiers stay warm.
+        let kernels = req
+            .kernels
+            .clone()
+            .unwrap_or_else(|| fleet.kernels(dev).for_program(phash));
         let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             execute_attempt(
                 &shared.cache,

@@ -713,7 +713,14 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
                         .as_ref()
                         .map(|t| t.reseeded(attempt_salt(salt, rung)))
                 };
-                let kcache = kernels[dev].for_program(meta.hash);
+                // Session-owned kernel cache wins over the device registry
+                // (same rule as the threaded ladder, so both stay in
+                // lockstep for session-routed jobs).
+                let kcache = w
+                    .req
+                    .kernels
+                    .clone()
+                    .unwrap_or_else(|| kernels[dev].for_program(meta.hash));
                 let mut heap = std::mem::take(&mut w.req.heap);
                 let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     execute_attempt(
@@ -912,6 +919,7 @@ pub fn simulate_batch(cfg: &SimServeConfig, trace: Vec<(f64, JobRequest)>) -> Si
     stats.program_cache_hits = cache.hits();
     stats.program_cache_misses = cache.misses();
     stats.cache_evictions = cache.evictions();
+    stats.cache_invalidations = cache.invalidations();
     let sm_count: f64 = allocs.iter().map(|a| a.sm_count() as f64).sum();
     stats.sm_occupancy = if makespan > 0.0 {
         (busy_sm_s / (makespan * sm_count)).clamp(0.0, 1.0)

@@ -187,6 +187,10 @@ pub struct ServeStats {
     pub dedup_suppressed_attempts: u64,
     /// Program-cache entries evicted by the capacity bound.
     pub cache_evictions: u64,
+    /// Program-cache entries dropped by explicit invalidation (a session
+    /// hot-reloading an edited program). Disjoint from `cache_evictions`:
+    /// each removed entry lands in exactly one of the two.
+    pub cache_invalidations: u64,
     /// Fault/recovery accounting merged across every job attempt.
     pub faults: FaultStats,
     /// Per-device health counters and circuit-breaker states.

@@ -1,0 +1,197 @@
+//! Per-kernel content fingerprints for incremental recompilation.
+//!
+//! A session resubmitting an edited program should recompile only the
+//! kernels whose *meaning* changed, and transplant the rest (bytecode,
+//! use counts, promoted native tiers) from the previous resident cache.
+//! `LoopId`s renumber across program versions, so identity must come from
+//! content, not ids: each loop is keyed by its **enclosing function name
+//! plus its ordinal among that function's loops** (source walk order,
+//! nested loops included), and fingerprinted over the canonical
+//! pretty-printing of the enclosing function *and every function it
+//! transitively calls* (first-appearance DFS order).
+//!
+//! Two consequences, both deliberate:
+//!
+//! - Granularity is function-level. Editing one of two loops in the same
+//!   function invalidates both — the conservative direction. The common
+//!   session shape (one kernel per stage function) gets exact diffs.
+//! - The callee closure is included because a kernel body may call helper
+//!   functions; editing a helper must invalidate every kernel that can
+//!   reach it, even though the kernel's own function text is unchanged.
+//!
+//! Equal canonical text implies an identical `compile_kernel` artifact
+//! (chunk indices and `VarId`s are deterministic functions of the text),
+//! which is what makes cache transplant bit-safe. Hashes are FNV-1a for
+//! speed; the full text rides along and is what [`SessionManager`]
+//! actually compares, so a hash collision can never cause a stale kernel
+//! to be reused.
+//!
+//! [`SessionManager`]: crate::SessionManager
+
+use japonica_ir::pretty;
+use japonica_ir::{Expr, FnId, Function, LoopId, Program};
+use std::collections::BTreeMap;
+
+/// Stable identity of a kernel across program versions: the enclosing
+/// function's source name and the loop's ordinal within that function
+/// (source walk order, nested loops included).
+pub type KernelKey = (String, u32);
+
+/// Content fingerprint of one kernel in one program version.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelFingerprint {
+    /// FNV-1a over `text` (fast-path comparison and display).
+    pub hash: u64,
+    /// Canonical pretty-printing of the enclosing function followed by
+    /// its transitive callee closure. The collision-proof identity.
+    pub text: String,
+    /// The loop's id *in this program version* (used to address the
+    /// kernel cache; never compared across versions).
+    pub loop_id: LoopId,
+}
+
+/// FNV-1a, matching `japonica_serve::content_hash`'s construction.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Every function id called (transitively) from `root`, in
+/// first-appearance DFS order, excluding `root` itself.
+fn callee_closure(p: &Program, root: FnId) -> Vec<FnId> {
+    let mut order = Vec::new();
+    let mut seen = vec![root];
+    let mut stack = vec![root];
+    while let Some(fid) = stack.pop() {
+        let Some(f) = p.function(fid) else { continue };
+        let mut direct = Vec::new();
+        for s in &f.body {
+            s.walk_exprs(&mut |e| {
+                if let Expr::Call(callee, _) = e {
+                    if !seen.contains(callee) && !direct.contains(callee) {
+                        direct.push(*callee);
+                    }
+                }
+            });
+        }
+        for c in direct {
+            seen.push(c);
+            order.push(c);
+            stack.push(c);
+        }
+    }
+    order
+}
+
+/// Canonical fingerprint text for any loop enclosed by `f`.
+fn closure_text(p: &Program, fid: FnId, f: &Function) -> String {
+    let mut text = pretty::function(p, f);
+    for callee in callee_closure(p, fid) {
+        if let Some(cf) = p.function(callee) {
+            text.push_str(&pretty::function(p, cf));
+        }
+    }
+    text
+}
+
+/// Fingerprint every loop of `p`, keyed by [`KernelKey`]. The map is a
+/// `BTreeMap` so iteration (and hence session counter accumulation) is
+/// deterministic.
+pub fn kernel_fingerprints(p: &Program) -> BTreeMap<KernelKey, KernelFingerprint> {
+    let mut out = BTreeMap::new();
+    for (i, f) in p.functions.iter().enumerate() {
+        let fid = FnId(i as u32);
+        let loops = f.all_loops();
+        if loops.is_empty() {
+            continue;
+        }
+        let text = closure_text(p, fid, f);
+        let hash = fnv1a(text.as_bytes());
+        for (ordinal, l) in loops.into_iter().enumerate() {
+            out.insert(
+                (f.name.clone(), ordinal as u32),
+                KernelFingerprint {
+                    hash,
+                    text: text.clone(),
+                    loop_id: l.id,
+                },
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        japonica::compile(src)
+            .expect("test source compiles")
+            .program
+    }
+
+    const V1: &str = "static double gain(double x) { return x * 2.0; }
+static void stage(double[] a, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { a[i] = gain(a[i]); }
+}
+static void other(double[] a, int n) {
+    /* acc parallel */
+    for (int i = 0; i < n; i++) { a[i] = a[i] + 1.0; }
+}";
+
+    #[test]
+    fn identical_programs_fingerprint_identically() {
+        let a = kernel_fingerprints(&parse(V1));
+        let b = kernel_fingerprints(&parse(V1));
+        assert_eq!(a.len(), 2);
+        for (k, fa) in &a {
+            let fb = &b[k];
+            assert_eq!(fa.hash, fb.hash);
+            assert_eq!(fa.text, fb.text);
+        }
+    }
+
+    #[test]
+    fn editing_one_function_changes_only_its_kernel() {
+        let v2 = V1.replace("a[i] + 1.0", "a[i] + 3.0");
+        let a = kernel_fingerprints(&parse(V1));
+        let b = kernel_fingerprints(&parse(&v2));
+        assert_eq!(a[&("stage".into(), 0)].text, b[&("stage".into(), 0)].text);
+        assert_ne!(a[&("other".into(), 0)].text, b[&("other".into(), 0)].text);
+    }
+
+    #[test]
+    fn editing_a_transitive_callee_invalidates_the_caller_kernel() {
+        let v2 = V1.replace("x * 2.0", "x * 4.0");
+        let a = kernel_fingerprints(&parse(V1));
+        let b = kernel_fingerprints(&parse(&v2));
+        // `stage` calls `gain`, so its fingerprint must move.
+        assert_ne!(a[&("stage".into(), 0)].text, b[&("stage".into(), 0)].text);
+        // `other` never reaches `gain`; untouched.
+        assert_eq!(a[&("other".into(), 0)].text, b[&("other".into(), 0)].text);
+    }
+
+    #[test]
+    fn nested_loops_get_distinct_ordinals() {
+        let src = "static void nest(double[] a, int n) {
+            for (int i = 0; i < n; i++) {
+                /* acc parallel */
+                for (int j = 0; j < n; j++) { a[j] = a[j] + 1.0; }
+            }
+        }";
+        let fps = kernel_fingerprints(&parse(src));
+        assert_eq!(fps.len(), 2);
+        assert!(fps.contains_key(&("nest".into(), 0)));
+        assert!(fps.contains_key(&("nest".into(), 1)));
+        let a = &fps[&("nest".into(), 0)];
+        let b = &fps[&("nest".into(), 1)];
+        assert_ne!(a.loop_id, b.loop_id);
+        assert_eq!(a.text, b.text); // same enclosing function ⇒ shared fate
+    }
+}

@@ -1,0 +1,48 @@
+//! # japonica-session — persistent tenant sessions over the serving fleet
+//!
+//! The serving layer (`japonica-serve`) is stateless per job: every
+//! submission carries its source, compiles through the program cache,
+//! and leaves nothing behind but counters. Interactive use — a tenant
+//! iterating on a program, editing one stage and re-running — wants the
+//! opposite: compiled state that *persists between submissions* and a
+//! recompile bill proportional to the edit, not the program.
+//!
+//! This crate adds that layer, in three pieces:
+//!
+//! - [`SessionManager`]: per-tenant sessions owning a resident program
+//!   (content hash, per-kernel bytecode/native tiers in a session
+//!   [`KernelCache`], named result bindings), with seeded lease TTLs,
+//!   idle expiry, an LRU cap, and drain-on-shutdown that completes
+//!   in-flight jobs. Runs route the session's kernel cache through
+//!   `JobRequest::with_kernels`, honored identically by the threaded
+//!   service and the virtual-clock simulator.
+//! - **Hot reload** ([`hash`]): on resubmission, per-kernel content
+//!   fingerprints are diffed; only changed kernels recompile, unchanged
+//!   ones transplant (bytecode, use counts, promoted native tiers), and
+//!   exactly the stale `KernelCache`/`ProgramCache` entries are
+//!   invalidated. Counters close the identity
+//!   `resident = reused + recompiled`.
+//! - **Line protocol** ([`protocol`], [`script`]): a newline-framed
+//!   `OPEN`/`LOAD`/`RUN`/`BIND`/`SHOW`/`CLOSE` protocol with
+//!   deterministic error codes, driving the `repl` binary and scripted
+//!   golden transcripts.
+//!
+//! Determinism is inherited, not re-argued: result bits depend only on
+//! the partition width, never on cache warmth, so a warm incremental
+//! recompile is bit-identical to a cold compile — the differential
+//! tests in `tests/hot_reload.rs` hold the layer to that.
+//!
+//! [`KernelCache`]: japonica_ir::KernelCache
+
+pub mod hash;
+pub mod manager;
+pub mod protocol;
+pub mod script;
+
+pub use hash::{kernel_fingerprints, KernelFingerprint, KernelKey};
+pub use manager::{
+    fresh_input, LoadReport, RunInput, RunOutput, SessionConfig, SessionError, SessionManager,
+    SessionStats,
+};
+pub use protocol::{Engine, Reply};
+pub use script::{json_escape, run_script};

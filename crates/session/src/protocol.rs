@@ -1,0 +1,236 @@
+//! The newline-framed session line protocol.
+//!
+//! Hand-rolled, ASCII, one reply line per command — designed so a shell
+//! pipe or a golden-file diff is a full protocol client. Grammar:
+//!
+//! ```text
+//! OPEN <tenant>                 -> OK OPEN <sid>
+//! LOAD <sid> <nlines>           -> OK LOAD <sid> phash=<16hex> resident=<n>
+//!   <nlines> verbatim source lines        reused=<n> recompiled=<n> invalidated=<n>
+//! RUN <sid> <entry> <n>         -> OK RUN <sid> total=<16hex> sum=<16hex> len=<n>
+//! RUN <sid> <entry> @<name>     -> (same; input is the named binding)
+//! BIND <sid> <name>             -> OK BIND <sid> <name> len=<n>
+//! SHOW <sid> <name>             -> OK SHOW <sid> <name> len=<n> sum=<16hex>
+//! CLOSE <sid>                   -> OK CLOSE <sid>
+//! ```
+//!
+//! Failures reply `ERR <code> <msg>` with deterministic codes:
+//! `10` parse/framing, `11` unknown session, `12` no program loaded,
+//! `13` compile failed, `14` bad entry, `15` run failed, `16` unknown
+//! binding, `17` nothing to bind.
+//!
+//! Outside a `LOAD` payload, blank lines and lines starting with `#` are
+//! ignored. Inside the payload every line is verbatim source — the
+//! engine counts, it does not interpret.
+//!
+//! The engine owns a **virtual clock that advances 1.0 per completed
+//! command** and runs idle expiry at each tick, so a scripted transcript
+//! replays bit-identically on the threaded and virtual backends alike:
+//! nothing in the reply stream depends on wall time.
+
+use crate::manager::{RunInput, SessionError, SessionManager, SessionStats};
+use japonica_serve::ServeStats;
+
+/// A completed command and its reply line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The command line that completed (for `LOAD`, the header line).
+    pub cmd: String,
+    /// The protocol reply (`OK …` or `ERR <code> <msg>`).
+    pub line: String,
+}
+
+struct PendingLoad {
+    cmd: String,
+    sid: u64,
+    remaining: usize,
+    lines: Vec<String>,
+}
+
+/// A line-protocol engine over a [`SessionManager`].
+pub struct Engine {
+    mgr: SessionManager,
+    now: f64,
+    pending: Option<PendingLoad>,
+}
+
+fn err(code: u32, msg: impl std::fmt::Display) -> String {
+    format!("ERR {code} {msg}")
+}
+
+fn fail(e: &SessionError) -> String {
+    err(e.code(), e)
+}
+
+impl Engine {
+    /// Wrap a manager. The engine starts at virtual time 0.
+    pub fn new(mgr: SessionManager) -> Engine {
+        Engine {
+            mgr,
+            now: 0.0,
+            pending: None,
+        }
+    }
+
+    /// The engine's virtual clock (completed commands so far).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Session counters so far.
+    pub fn stats(&self) -> SessionStats {
+        self.mgr.stats()
+    }
+
+    /// Shut the manager down (drains in-flight work).
+    pub fn finish(self) -> (SessionStats, Option<ServeStats>) {
+        self.mgr.shutdown()
+    }
+
+    /// Feed one raw input line. Returns `Some` when a command completed
+    /// (possibly with an `ERR` reply), `None` while the line was a
+    /// comment, a blank, or part of a pending `LOAD` payload.
+    pub fn feed_line(&mut self, raw: &str) -> Option<Reply> {
+        if let Some(mut p) = self.pending.take() {
+            p.lines.push(raw.to_string());
+            p.remaining -= 1;
+            if p.remaining > 0 {
+                self.pending = Some(p);
+                return None;
+            }
+            let source = p.lines.join("\n");
+            let now = self.tick();
+            let line = match self.mgr.load(p.sid, &source, now) {
+                Ok(r) => format!(
+                    "OK LOAD {} phash={:016x} resident={} reused={} recompiled={} invalidated={}",
+                    p.sid, r.phash, r.resident, r.reused, r.recompiled, r.invalidated
+                ),
+                Err(e) => fail(&e),
+            };
+            return Some(Reply { cmd: p.cmd, line });
+        }
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return None;
+        }
+        let cmd = trimmed.to_string();
+        self.dispatch(trimmed).map(|line| Reply { cmd, line })
+    }
+
+    /// Advance the virtual clock one command and reap idle sessions.
+    fn tick(&mut self) -> f64 {
+        self.now += 1.0;
+        self.mgr.expire_idle(self.now);
+        self.now
+    }
+
+    /// `None` means a `LOAD` payload was opened; the reply comes later.
+    fn dispatch(&mut self, line: &str) -> Option<String> {
+        let mut it = line.split_whitespace();
+        let verb = it.next().unwrap_or_default();
+        let args: Vec<&str> = it.collect();
+        Some(match verb {
+            "OPEN" => match args.as_slice() {
+                [t] => match t.parse::<u32>() {
+                    Ok(tenant) => {
+                        let now = self.tick();
+                        let sid = self.mgr.open(tenant, now);
+                        format!("OK OPEN {sid}")
+                    }
+                    Err(_) => err(10, format!("bad tenant {t}")),
+                },
+                _ => err(10, "usage: OPEN <tenant>"),
+            },
+            "LOAD" => match args.as_slice() {
+                [s, n] => match (s.parse::<u64>(), n.parse::<usize>()) {
+                    (Ok(sid), Ok(nlines)) if nlines > 0 && nlines <= 10_000 => {
+                        self.pending = Some(PendingLoad {
+                            cmd: line.to_string(),
+                            sid,
+                            remaining: nlines,
+                            lines: Vec::with_capacity(nlines),
+                        });
+                        // Reply is emitted when the payload completes.
+                        return None;
+                    }
+                    (Ok(_), Ok(n)) => err(10, format!("bad LOAD payload length {n}")),
+                    _ => err(10, "usage: LOAD <sid> <nlines>"),
+                },
+                _ => err(10, "usage: LOAD <sid> <nlines>"),
+            },
+            "RUN" => match args.as_slice() {
+                [s, entry, input] => match s.parse::<u64>() {
+                    Ok(sid) => {
+                        let parsed = if let Some(name) = input.strip_prefix('@') {
+                            Ok(RunInput::Binding(name.to_string()))
+                        } else {
+                            input
+                                .parse::<usize>()
+                                .map(RunInput::Fresh)
+                                .map_err(|_| err(10, format!("bad RUN input {input}")))
+                        };
+                        match parsed {
+                            Ok(inp) => {
+                                let now = self.tick();
+                                match self.mgr.run(sid, entry, inp, now) {
+                                    Ok(o) => format!(
+                                        "OK RUN {sid} total={:016x} sum={:016x} len={}",
+                                        o.total_bits,
+                                        o.sum_bits,
+                                        o.out.len()
+                                    ),
+                                    Err(e) => fail(&e),
+                                }
+                            }
+                            Err(e) => e,
+                        }
+                    }
+                    Err(_) => err(10, format!("bad session id {s}")),
+                },
+                _ => err(10, "usage: RUN <sid> <entry> <n|@binding>"),
+            },
+            "BIND" => match args.as_slice() {
+                [s, name] => match s.parse::<u64>() {
+                    Ok(sid) => {
+                        let now = self.tick();
+                        match self.mgr.bind(sid, name, now) {
+                            Ok(len) => format!("OK BIND {sid} {name} len={len}"),
+                            Err(e) => fail(&e),
+                        }
+                    }
+                    Err(_) => err(10, format!("bad session id {s}")),
+                },
+                _ => err(10, "usage: BIND <sid> <name>"),
+            },
+            "SHOW" => match args.as_slice() {
+                [s, name] => match s.parse::<u64>() {
+                    Ok(sid) => {
+                        let now = self.tick();
+                        match self.mgr.show(sid, name, now) {
+                            Ok((len, sum)) => {
+                                format!("OK SHOW {sid} {name} len={len} sum={sum:016x}")
+                            }
+                            Err(e) => fail(&e),
+                        }
+                    }
+                    Err(_) => err(10, format!("bad session id {s}")),
+                },
+                _ => err(10, "usage: SHOW <sid> <name>"),
+            },
+            "CLOSE" => match args.as_slice() {
+                [s] => match s.parse::<u64>() {
+                    Ok(sid) => {
+                        let now = self.tick();
+                        match self.mgr.close(sid, now) {
+                            Ok(()) => format!("OK CLOSE {sid}"),
+                            Err(e) => fail(&e),
+                        }
+                    }
+                    Err(_) => err(10, format!("bad session id {s}")),
+                },
+                _ => err(10, "usage: CLOSE <sid>"),
+            },
+            other => err(10, format!("unknown command {other}")),
+        })
+    }
+}

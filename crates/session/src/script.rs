@@ -1,0 +1,54 @@
+//! Scripted transcript runner: a `.jrepl` script in, deterministic JSON
+//! out. The JSON is byte-stable across runs and across backends, so CI
+//! can diff it against committed goldens.
+
+use crate::protocol::Engine;
+
+/// Minimal JSON string escaper (the crate stays dependency-free).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Feed every line of `script` through `engine` and render the completed
+/// commands plus final session counters as deterministic JSON. The
+/// engine is left alive (call [`Engine::finish`] to shut it down).
+pub fn run_script(engine: &mut Engine, script: &str) -> String {
+    let mut entries = Vec::new();
+    for line in script.lines() {
+        if let Some(reply) = engine.feed_line(line) {
+            entries.push(format!(
+                "    {{\"cmd\": \"{}\", \"reply\": \"{}\"}}",
+                json_escape(&reply.cmd),
+                json_escape(&reply.line)
+            ));
+        }
+    }
+    let s = engine.stats();
+    format!(
+        "{{\n  \"schema\": \"jrepl-1\",\n  \"entries\": [\n{}\n  ],\n  \"stats\": {{\"opened\": {}, \"active\": {}, \"closed\": {}, \"expired\": {}, \"evicted\": {}, \"loads\": {}, \"runs\": {}, \"resident_kernels\": {}, \"reused_kernels\": {}, \"recompiled_kernels\": {}, \"invalidations\": {}}}\n}}\n",
+        entries.join(",\n"),
+        s.opened,
+        s.active,
+        s.closed,
+        s.expired,
+        s.evicted,
+        s.loads,
+        s.runs,
+        s.resident_kernels,
+        s.reused_kernels,
+        s.recompiled_kernels,
+        s.invalidations
+    )
+}

@@ -1,0 +1,47 @@
+//! Golden-transcript oracle: the committed `.jrepl` scripts must replay
+//! to byte-identical JSON on BOTH backends — the deterministic
+//! virtual-clock simulator and the real threaded service. The same
+//! goldens are diffed in CI against the `repl` binary's output, so this
+//! test and the CI job pin the same bytes from two directions.
+
+use japonica_serve::{Serve, ServeConfig, SimServeConfig};
+use japonica_session::{run_script, Engine, SessionConfig, SessionManager};
+
+const BASIC: &str = include_str!("transcripts/basic.jrepl");
+const BASIC_GOLDEN: &str = include_str!("transcripts/basic.golden.json");
+const HOTRELOAD: &str = include_str!("transcripts/hotreload.jrepl");
+const HOTRELOAD_GOLDEN: &str = include_str!("transcripts/hotreload.golden.json");
+
+fn replay(script: &str, virtual_clock: bool) -> String {
+    let cfg = SessionConfig::default();
+    let mgr = if virtual_clock {
+        SessionManager::virtual_clock(SimServeConfig::default(), cfg)
+    } else {
+        SessionManager::threaded(Serve::start(ServeConfig::default()), cfg)
+    };
+    let mut engine = Engine::new(mgr);
+    let json = run_script(&mut engine, script);
+    let (stats, _) = engine.finish();
+    assert!(stats.identities_hold(), "{stats:?}");
+    json
+}
+
+#[test]
+fn basic_transcript_matches_golden_on_both_backends() {
+    assert_eq!(replay(BASIC, true), BASIC_GOLDEN, "virtual vs golden");
+    assert_eq!(replay(BASIC, false), BASIC_GOLDEN, "threaded vs golden");
+}
+
+#[test]
+fn hotreload_transcript_matches_golden_on_both_backends() {
+    assert_eq!(
+        replay(HOTRELOAD, true),
+        HOTRELOAD_GOLDEN,
+        "virtual vs golden"
+    );
+    assert_eq!(
+        replay(HOTRELOAD, false),
+        HOTRELOAD_GOLDEN,
+        "threaded vs golden"
+    );
+}
